@@ -1,0 +1,212 @@
+// Ablation C (paper §3): fragments are processed "as and when they arrive,
+// without waiting to materialize". This harness drives the continuous
+// engine with a growing transaction stream and reports per-tick
+// re-evaluation latency and sustained event throughput as the store grows,
+// for each execution method.
+//
+//   ./build/bench/bench_continuous
+#include <chrono>
+#include <cstdio>
+#include <memory>
+
+#include "common/random.h"
+#include "common/string_util.h"
+#include "core/stream_manager.h"
+
+namespace {
+
+constexpr const char* kCreditTs = R"(
+<tag type="snapshot" id="1" name="creditAccounts">
+  <tag type="temporal" id="2" name="account">
+    <tag type="snapshot" id="3" name="customer"/>
+    <tag type="temporal" id="4" name="creditLimit"/>
+    <tag type="event" id="5" name="transaction">
+      <tag type="snapshot" id="6" name="vendor"/>
+      <tag type="snapshot" id="7" name="status"/>
+      <tag type="snapshot" id="8" name="amount"/>
+    </tag>
+  </tag>
+</tag>)";
+
+xcql::NodePtr Transaction(xcql::Random* rng, int id) {
+  xcql::NodePtr txn = xcql::Node::Element("transaction");
+  txn->SetAttr("id", std::to_string(id));
+  xcql::NodePtr vendor = xcql::Node::Element("vendor");
+  vendor->AddChild(xcql::Node::Text(rng->Word(8)));
+  txn->AddChild(std::move(vendor));
+  xcql::NodePtr status = xcql::Node::Element("status");
+  status->AddChild(
+      xcql::Node::Text(rng->Bernoulli(0.95) ? "charged" : "denied"));
+  txn->AddChild(std::move(status));
+  xcql::NodePtr amount = xcql::Node::Element("amount");
+  amount->AddChild(
+      xcql::Node::Text(xcql::StringPrintf("%.2f", rng->NextDouble() * 900)));
+  txn->AddChild(std::move(amount));
+  return txn;
+}
+
+void RunMethod(xcql::lang::ExecMethod method, int batches, int batch_size) {
+  xcql::StreamManager mgr;
+  if (!mgr.CreateStream("credit", kCreditTs).ok()) std::exit(1);
+  if (!mgr.PublishDocumentXml(
+              "credit",
+              R"(<creditAccounts>
+                   <account id="1" vtFrom="2004-01-01T00:00:00" vtTo="now">
+                     <customer>Streaming Sam</customer>
+                     <creditLimit vtFrom="2004-01-01T00:00:00"
+                                  vtTo="now">100000</creditLimit>
+                   </account>
+                 </creditAccounts>)")
+           .ok()) {
+    std::exit(1);
+  }
+  // Hang new transactions off the account fragment. The deterministic
+  // fragmentation above yields filler ids root=0, account=1, creditLimit=2;
+  // the maintained context payload must keep the account's existing
+  // children (customer inline, creditLimit as its hole).
+  xcql::NodePtr context = xcql::Node::Element("account");
+  context->SetAttr("id", "1");
+  xcql::NodePtr customer = xcql::Node::Element("customer");
+  customer->AddChild(xcql::Node::Text("Streaming Sam"));
+  context->AddChild(std::move(customer));
+  context->AddChild(xcql::frag::MakeHole(2, 4));
+  xcql::stream::EventAppender appender(mgr.server("credit"), 1, 2,
+                                       std::move(context));
+  // The paper's fraud-style window query: charges in the last hour.
+  auto qid = mgr.RegisterContinuousQuery(
+      "sum(stream(\"credit\")//account/transaction?[now - PT1H, now]"
+      "[status = \"charged\"]/amount)",
+      nullptr, {.method = method, .dedup = false});
+  if (!qid.ok()) {
+    std::fprintf(stderr, "register: %s\n", qid.status().ToString().c_str());
+    std::exit(1);
+  }
+
+  xcql::Random rng(7);
+  xcql::DateTime t = xcql::DateTime::Parse("2004-01-02T00:00:00").value();
+  int next_id = 0;
+  double total_tick_ms = 0;
+  for (int b = 1; b <= batches; ++b) {
+    for (int i = 0; i < batch_size; ++i) {
+      t = t.Add(xcql::Duration::FromSeconds(2));
+      if (!appender.Append(Transaction(&rng, next_id++), t).ok()) {
+        std::exit(1);
+      }
+    }
+    if (!appender.Flush(t).ok()) std::exit(1);
+    mgr.clock().AdvanceTo(t);
+    auto start = std::chrono::steady_clock::now();
+    if (!mgr.Tick().ok()) std::exit(1);
+    double ms = std::chrono::duration<double, std::milli>(
+                    std::chrono::steady_clock::now() - start)
+                    .count();
+    total_tick_ms += ms;
+    if (b == 1 || b == batches / 2 || b == batches) {
+      std::printf("  %-5s batch %3d: store=%5zu fragments, tick=%8.2fms\n",
+                  xcql::lang::ExecMethodName(method), b,
+                  mgr.store("credit")->size(), ms);
+    }
+  }
+  double events = static_cast<double>(batches) * batch_size;
+  std::printf(
+      "  %-5s total: %d events, %.1f events/sec sustained (query "
+      "re-evaluation only)\n\n",
+      xcql::lang::ExecMethodName(method), batches * batch_size,
+      total_tick_ms > 0 ? events / (total_tick_ms / 1000.0) : 0);
+}
+
+}  // namespace
+
+// Incremental-mode ablation: the same detection query evaluated over the
+// full history each tick versus restricted to fragments that arrived since
+// the previous tick (`?[$since, now]`, the engine's watermark mode) — a
+// lightweight stand-in for the operator scheduling the paper defers (§8).
+void RunIncrementalAblation(int batches, int batch_size) {
+  for (bool incremental : {false, true}) {
+    xcql::StreamManager mgr;
+    if (!mgr.CreateStream("credit", kCreditTs).ok()) std::exit(1);
+    if (!mgr.PublishDocumentXml(
+                "credit",
+                R"(<creditAccounts>
+                     <account id="1" vtFrom="2004-01-01T00:00:00" vtTo="now">
+                       <customer>Streaming Sam</customer>
+                       <creditLimit vtFrom="2004-01-01T00:00:00"
+                                    vtTo="now">100000</creditLimit>
+                     </account>
+                   </creditAccounts>)")
+             .ok()) {
+      std::exit(1);
+    }
+    xcql::NodePtr context = xcql::Node::Element("account");
+    context->SetAttr("id", "1");
+    xcql::NodePtr customer = xcql::Node::Element("customer");
+    customer->AddChild(xcql::Node::Text("Streaming Sam"));
+    context->AddChild(std::move(customer));
+    context->AddChild(xcql::frag::MakeHole(2, 4));
+    xcql::stream::EventAppender appender(mgr.server("credit"), 1, 2,
+                                         std::move(context));
+    const char* query =
+        incremental
+            ? "for $t in stream(\"credit\")//transaction?[$since, now] "
+              "where $t/amount > 800 return string($t/@id)"
+            : "for $t in stream(\"credit\")//transaction "
+              "where $t/amount > 800 return string($t/@id)";
+    int64_t emitted = 0;
+    auto qid = mgr.RegisterContinuousQuery(
+        query,
+        [&](const xcql::xq::Sequence& delta, xcql::DateTime) {
+          emitted += static_cast<int64_t>(delta.size());
+        },
+        {.method = xcql::lang::ExecMethod::kQaCPlus,
+         .dedup = true,
+         .incremental = incremental});
+    if (!qid.ok()) std::exit(1);
+
+    xcql::Random rng(7);
+    xcql::DateTime t = xcql::DateTime::Parse("2004-01-02T00:00:00").value();
+    int next_id = 0;
+    double total_ms = 0;
+    double last_ms = 0;
+    for (int b = 1; b <= batches; ++b) {
+      for (int i = 0; i < batch_size; ++i) {
+        t = t.Add(xcql::Duration::FromSeconds(2));
+        if (!appender.Append(Transaction(&rng, next_id++), t).ok()) {
+          std::exit(1);
+        }
+      }
+      if (!appender.Flush(t).ok()) std::exit(1);
+      mgr.clock().AdvanceTo(t);
+      auto start = std::chrono::steady_clock::now();
+      if (!mgr.Tick().ok()) std::exit(1);
+      last_ms = std::chrono::duration<double, std::milli>(
+                    std::chrono::steady_clock::now() - start)
+                    .count();
+      total_ms += last_ms;
+    }
+    std::printf(
+        "  %-11s detection query: %lld hits, total %8.2fms, final tick "
+        "%6.2fms\n",
+        incremental ? "incremental" : "full", static_cast<long long>(emitted),
+        total_ms, last_ms);
+  }
+  std::printf("\n");
+}
+
+int main() {
+  std::printf(
+      "Continuous engine throughput: 1-hour sliding-window aggregate over "
+      "an arriving transaction stream\n\n");
+  constexpr int kBatches = 40;
+  constexpr int kBatchSize = 25;
+  RunMethod(xcql::lang::ExecMethod::kQaCPlus, kBatches, kBatchSize);
+  RunMethod(xcql::lang::ExecMethod::kQaC, kBatches, kBatchSize);
+  // CaQ re-materializes the whole view every tick — the paper's motivation
+  // for processing fragments directly; fewer batches keep it bounded.
+  RunMethod(xcql::lang::ExecMethod::kCaQ, kBatches / 4, kBatchSize);
+
+  std::printf(
+      "Watermark ablation: full re-evaluation vs ?[$since, now] "
+      "incremental scans\n\n");
+  RunIncrementalAblation(kBatches, kBatchSize);
+  return 0;
+}

@@ -1,0 +1,84 @@
+// Ablation A (paper §8 future work): hole/filler resolution as a join.
+// The paper's QaC translation implies a linear filler[@id=$fid] scan per
+// get_fillers call; the paper conjectures it could be optimized by turning
+// the hole-id → filler-id matching into a join. This benchmark measures
+// the three access paths of the fragment store as the stream grows:
+//   GetFillers/linear  — the paper-faithful scan (O(total fragments))
+//   GetFillers/indexed — hash index on filler id (the conjectured join)
+//   TsidScan           — the QaC+ index over all fillers of one tag
+#include <benchmark/benchmark.h>
+
+#include "frag/fragment_store.h"
+#include "frag/fragmenter.h"
+#include "xmark/generator.h"
+
+namespace {
+
+using xcql::frag::FragmentStore;
+
+// One store per scale, shared across benchmark registrations.
+FragmentStore* StoreForScale(double scale) {
+  static std::map<double, std::unique_ptr<FragmentStore>>* stores =
+      new std::map<double, std::unique_ptr<FragmentStore>>();
+  auto it = stores->find(scale);
+  if (it != stores->end()) return it->second.get();
+  xcql::xmark::XMarkOptions gen;
+  gen.scale = scale;
+  auto doc = xcql::xmark::GenerateAuctionDoc(gen);
+  auto ts = xcql::frag::TagStructure::Parse(
+      xcql::xmark::AuctionTagStructureXml());
+  auto ts2 = xcql::frag::TagStructure::Parse(
+      xcql::xmark::AuctionTagStructureXml());
+  xcql::frag::Fragmenter fragmenter(&ts.value());
+  auto frags = fragmenter.Split(*doc.value());
+  auto store = std::make_unique<FragmentStore>(std::move(ts2).MoveValue(),
+                                               "auction");
+  (void)store->InsertAll(std::move(frags).MoveValue());
+  FragmentStore* raw = store.get();
+  (*stores)[scale] = std::move(store);
+  return raw;
+}
+
+double ScaleForState(const benchmark::State& state) {
+  return static_cast<double>(state.range(0)) / 1000.0;
+}
+
+void BM_GetFillersLinear(benchmark::State& state) {
+  FragmentStore* store = StoreForScale(ScaleForState(state));
+  // Resolve a mid-stream filler id (a person), the paper's common case.
+  int64_t id = static_cast<int64_t>(store->size()) / 2;
+  for (auto _ : state) {
+    auto versions = store->GetFillerVersions(id, /*linear=*/true);
+    benchmark::DoNotOptimize(versions);
+  }
+  state.counters["fragments"] = static_cast<double>(store->size());
+}
+
+void BM_GetFillersIndexed(benchmark::State& state) {
+  FragmentStore* store = StoreForScale(ScaleForState(state));
+  int64_t id = static_cast<int64_t>(store->size()) / 2;
+  for (auto _ : state) {
+    auto versions = store->GetFillerVersions(id, /*linear=*/false);
+    benchmark::DoNotOptimize(versions);
+  }
+  state.counters["fragments"] = static_cast<double>(store->size());
+}
+
+void BM_TsidScanClosedAuctions(benchmark::State& state) {
+  FragmentStore* store = StoreForScale(ScaleForState(state));
+  for (auto _ : state) {
+    auto wrappers = store->GetFillersByTsid(603);
+    benchmark::DoNotOptimize(wrappers);
+  }
+  state.counters["fillers"] =
+      static_cast<double>(store->CountIdsWithTsid(603));
+}
+
+}  // namespace
+
+// range(0) is the scale ×1000: 0, 10, 50 → scales 0.0, 0.01, 0.05.
+BENCHMARK(BM_GetFillersLinear)->Arg(0)->Arg(10)->Arg(50);
+BENCHMARK(BM_GetFillersIndexed)->Arg(0)->Arg(10)->Arg(50);
+BENCHMARK(BM_TsidScanClosedAuctions)->Arg(0)->Arg(10)->Arg(50);
+
+BENCHMARK_MAIN();

@@ -1,0 +1,226 @@
+// Ablation B (paper §1): "it is essential that a server does a reasonable
+// fragmentation of data to accommodate future updates with minimal
+// overhead". The same credit-card data is fragmented at three
+// granularities; for each we report the stream layout, the wire cost of
+// one status update (= the size of the fragment that must be
+// retransmitted, since a fragment is the unit of update), and query time.
+//
+//   coarse — only account fragments        (update ⇒ resend the account)
+//   medium — account + transaction         (update ⇒ resend the transaction)
+//   fine   — the paper's §4.1 layout       (update ⇒ resend just the status)
+//
+//   ./build/bench/bench_granularity
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <memory>
+#include <string>
+
+#include "common/random.h"
+#include "common/string_util.h"
+#include "frag/fragment_store.h"
+#include "frag/fragmenter.h"
+#include "xcql/executor.h"
+#include "xml/serializer.h"
+
+namespace {
+
+using xcql::frag::FragmentStore;
+
+struct Granularity {
+  const char* name;
+  const char* tag_structure;
+};
+
+const Granularity kGranularities[] = {
+    {"coarse", R"(
+<tag type="snapshot" id="1" name="creditAccounts">
+  <tag type="temporal" id="2" name="account">
+    <tag type="snapshot" id="3" name="customer"/>
+    <tag type="snapshot" id="4" name="creditLimit"/>
+    <tag type="snapshot" id="5" name="transaction">
+      <tag type="snapshot" id="6" name="vendor"/>
+      <tag type="snapshot" id="7" name="status"/>
+      <tag type="snapshot" id="8" name="amount"/>
+    </tag>
+  </tag>
+</tag>)"},
+    {"medium", R"(
+<tag type="snapshot" id="1" name="creditAccounts">
+  <tag type="temporal" id="2" name="account">
+    <tag type="snapshot" id="3" name="customer"/>
+    <tag type="snapshot" id="4" name="creditLimit"/>
+    <tag type="event" id="5" name="transaction">
+      <tag type="snapshot" id="6" name="vendor"/>
+      <tag type="snapshot" id="7" name="status"/>
+      <tag type="snapshot" id="8" name="amount"/>
+    </tag>
+  </tag>
+</tag>)"},
+    {"fine", R"(
+<tag type="snapshot" id="1" name="creditAccounts">
+  <tag type="temporal" id="2" name="account">
+    <tag type="snapshot" id="3" name="customer"/>
+    <tag type="temporal" id="4" name="creditLimit"/>
+    <tag type="event" id="5" name="transaction">
+      <tag type="snapshot" id="6" name="vendor"/>
+      <tag type="temporal" id="7" name="status"/>
+      <tag type="snapshot" id="8" name="amount"/>
+    </tag>
+  </tag>
+</tag>)"},
+};
+
+// Builds a synthetic credit document: `accounts` accounts with ~20
+// transactions each, single status per transaction (comparable under all
+// three granularities).
+xcql::NodePtr BuildDoc(int accounts) {
+  xcql::Random rng(99);
+  xcql::NodePtr root = xcql::Node::Element("creditAccounts");
+  int64_t t = 1000000;
+  auto time = [&]() {
+    t += 60 + static_cast<int64_t>(rng.Uniform(2000));
+    return xcql::DateTime(t).ToString();
+  };
+  for (int a = 0; a < accounts; ++a) {
+    xcql::NodePtr account = xcql::Node::Element("account");
+    account->SetAttr("id", std::to_string(1000 + a));
+    std::string opened = time();
+    account->SetAttr("vtFrom", opened);
+    account->SetAttr("vtTo", "now");
+    xcql::NodePtr customer = xcql::Node::Element("customer");
+    customer->AddChild(xcql::Node::Text(rng.Word(6) + " " + rng.Word(8)));
+    account->AddChild(std::move(customer));
+    xcql::NodePtr limit = xcql::Node::Element("creditLimit");
+    limit->SetAttr("vtFrom", opened);
+    limit->SetAttr("vtTo", "now");
+    limit->AddChild(
+        xcql::Node::Text(std::to_string(1000 * rng.UniformRange(1, 9))));
+    account->AddChild(std::move(limit));
+    for (int k = 0; k < 20; ++k) {
+      xcql::NodePtr txn = xcql::Node::Element("transaction");
+      txn->SetAttr("id", std::to_string(a * 1000 + k));
+      std::string when = time();
+      txn->SetAttr("vtFrom", when);
+      txn->SetAttr("vtTo", when);
+      xcql::NodePtr vendor = xcql::Node::Element("vendor");
+      vendor->AddChild(xcql::Node::Text(rng.Word(8) + " " + rng.Word(5)));
+      txn->AddChild(std::move(vendor));
+      xcql::NodePtr status = xcql::Node::Element("status");
+      status->SetAttr("vtFrom", when);
+      status->SetAttr("vtTo", "now");
+      status->AddChild(
+          xcql::Node::Text(rng.Bernoulli(0.9) ? "charged" : "denied"));
+      txn->AddChild(std::move(status));
+      xcql::NodePtr amount = xcql::Node::Element("amount");
+      amount->AddChild(xcql::Node::Text(
+          xcql::StringPrintf("%.2f", rng.NextDouble() * 2000)));
+      txn->AddChild(std::move(amount));
+      account->AddChild(std::move(txn));
+    }
+    root->AddChild(std::move(account));
+  }
+  return root;
+}
+
+// Strips vtFrom/vtTo below fragmentation level: snapshot elements must not
+// carry lifespan attributes (their type has no temporal dimension).
+void StripSnapshotLifespans(xcql::Node* node,
+                            const xcql::frag::TagNode* tag) {
+  for (const xcql::NodePtr& c : node->children()) {
+    if (!c->is_element()) continue;
+    const xcql::frag::TagNode* ctag = tag->Child(c->name());
+    if (ctag == nullptr) continue;
+    if (!ctag->fragmented()) {
+      c->RemoveAttr("vtFrom");
+      c->RemoveAttr("vtTo");
+    }
+    StripSnapshotLifespans(c.get(), ctag);
+  }
+}
+
+}  // namespace
+
+int main() {
+  constexpr int kAccounts = 200;
+  std::printf(
+      "Granularity ablation: %d accounts x 20 transactions, one status "
+      "update\n\n",
+      kAccounts);
+  std::printf("%-7s %10s %12s %16s %18s %14s\n", "layout", "fragments",
+              "stream(KB)", "update-cost(B)", "query(QaC+ ms)",
+              "query(QaC ms)");
+
+  for (const Granularity& g : kGranularities) {
+    auto ts_for_strip = xcql::frag::TagStructure::Parse(g.tag_structure);
+    auto ts_for_frag = xcql::frag::TagStructure::Parse(g.tag_structure);
+    auto ts_for_store = xcql::frag::TagStructure::Parse(g.tag_structure);
+    if (!ts_for_frag.ok() || !ts_for_store.ok() || !ts_for_strip.ok()) {
+      std::fprintf(stderr, "%s\n", ts_for_frag.status().ToString().c_str());
+      return 1;
+    }
+    xcql::NodePtr doc = BuildDoc(kAccounts);
+    StripSnapshotLifespans(doc.get(), ts_for_strip.value().root());
+
+    xcql::frag::Fragmenter fragmenter(&ts_for_frag.value());
+    auto frags = fragmenter.Split(*doc);
+    if (!frags.ok()) {
+      std::fprintf(stderr, "%s\n", frags.status().ToString().c_str());
+      return 1;
+    }
+    double stream_kb = 0;
+    // The wire cost of updating one status: the smallest retransmittable
+    // fragment containing a status element (a fragment is the unit of
+    // update — one cannot replace part of a filler).
+    size_t update_bytes = 0;
+    for (const auto& f : frags.value()) {
+      std::string xml = f.ToXml();
+      stream_kb += static_cast<double>(xml.size()) / 1024;
+      bool has_status = xml.find("<status") != std::string::npos ||
+                        xml.find("status>") != std::string::npos;
+      if (has_status && (update_bytes == 0 || xml.size() < update_bytes)) {
+        update_bytes = xml.size();
+      }
+    }
+    size_t nfrags = frags.value().size();
+
+    auto store = std::make_unique<FragmentStore>(
+        std::move(ts_for_store).MoveValue(), "credit");
+    if (!store->InsertAll(std::move(frags).MoveValue()).ok()) return 1;
+    xcql::lang::QueryExecutor exec;
+    if (!exec.RegisterStream(store.get()).ok()) return 1;
+
+    const char* query =
+        "count(stream(\"credit\")//transaction[amount > 1500]"
+        "[status = \"charged\"])";
+    auto time_query = [&](xcql::lang::ExecMethod m) {
+      xcql::lang::ExecOptions opts;
+      opts.method = m;
+      double best = 1e18;
+      for (int run = 0; run < 3; ++run) {
+        auto start = std::chrono::steady_clock::now();
+        auto r = exec.Execute(query, opts);
+        double ms = std::chrono::duration<double, std::milli>(
+                        std::chrono::steady_clock::now() - start)
+                        .count();
+        if (!r.ok()) {
+          std::fprintf(stderr, "%s\n", r.status().ToString().c_str());
+          std::exit(1);
+        }
+        if (run > 0 || ms > 2000) best = std::min(best, ms);
+        if (ms > 2000) break;  // slow runs are representative already
+      }
+      return best;
+    };
+    double qacp_ms = time_query(xcql::lang::ExecMethod::kQaCPlus);
+    double qac_ms = time_query(xcql::lang::ExecMethod::kQaC);
+
+    std::printf("%-7s %10zu %12.1f %16zu %18.2f %14.2f\n", g.name, nfrags,
+                stream_kb, update_bytes, qacp_ms, qac_ms);
+  }
+  std::printf(
+      "\nFiner fragmentation shrinks the unit of update by orders of "
+      "magnitude at a modest stream-size overhead (the paper's §1 "
+      "trade-off).\n");
+  return 0;
+}

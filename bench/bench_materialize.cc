@@ -1,0 +1,86 @@
+// Ablation E (paper §5/§5.1): cost of reconstructing the full temporal
+// view from fragments — the first stage of every CaQ execution — comparing
+// the generic recursive temporalize with the paper-faithful linear filler
+// lookup, the hash-indexed variant, and the schema-driven reconstruction
+// generated from the Tag Structure.
+#include <benchmark/benchmark.h>
+
+#include "frag/assembler.h"
+#include "frag/fragment_store.h"
+#include "frag/fragmenter.h"
+#include "xmark/generator.h"
+
+namespace {
+
+using xcql::frag::FragmentStore;
+
+FragmentStore* StoreForScale(double scale) {
+  static std::map<double, std::unique_ptr<FragmentStore>>* stores =
+      new std::map<double, std::unique_ptr<FragmentStore>>();
+  auto it = stores->find(scale);
+  if (it != stores->end()) return it->second.get();
+  xcql::xmark::XMarkOptions gen;
+  gen.scale = scale;
+  auto doc = xcql::xmark::GenerateAuctionDoc(gen);
+  auto ts = xcql::frag::TagStructure::Parse(
+      xcql::xmark::AuctionTagStructureXml());
+  auto ts2 = xcql::frag::TagStructure::Parse(
+      xcql::xmark::AuctionTagStructureXml());
+  xcql::frag::Fragmenter fragmenter(&ts.value());
+  auto frags = fragmenter.Split(*doc.value());
+  auto store = std::make_unique<FragmentStore>(std::move(ts2).MoveValue(),
+                                               "auction");
+  (void)store->InsertAll(std::move(frags).MoveValue());
+  FragmentStore* raw = store.get();
+  (*stores)[scale] = std::move(store);
+  return raw;
+}
+
+double ScaleForState(const benchmark::State& state) {
+  return static_cast<double>(state.range(0)) / 1000.0;
+}
+
+void BM_TemporalizeLinear(benchmark::State& state) {
+  FragmentStore* store = StoreForScale(ScaleForState(state));
+  for (auto _ : state) {
+    auto view = xcql::frag::Temporalize(*store, /*linear_scan=*/true);
+    benchmark::DoNotOptimize(view);
+  }
+  state.counters["fragments"] = static_cast<double>(store->size());
+}
+
+void BM_TemporalizeIndexed(benchmark::State& state) {
+  FragmentStore* store = StoreForScale(ScaleForState(state));
+  for (auto _ : state) {
+    auto view = xcql::frag::Temporalize(*store, /*linear_scan=*/false);
+    benchmark::DoNotOptimize(view);
+  }
+  state.counters["fragments"] = static_cast<double>(store->size());
+}
+
+void BM_TemporalizeSchemaDriven(benchmark::State& state) {
+  FragmentStore* store = StoreForScale(ScaleForState(state));
+  for (auto _ : state) {
+    auto view = xcql::frag::TemporalizeSchemaDriven(*store);
+    benchmark::DoNotOptimize(view);
+  }
+  state.counters["fragments"] = static_cast<double>(store->size());
+}
+
+}  // namespace
+
+// range(0) is the scale ×1000. The linear variant is quadratic in stream
+// size, so it stops one scale earlier.
+BENCHMARK(BM_TemporalizeLinear)->Arg(0)->Arg(10)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_TemporalizeIndexed)
+    ->Arg(0)
+    ->Arg(10)
+    ->Arg(50)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_TemporalizeSchemaDriven)
+    ->Arg(0)
+    ->Arg(10)
+    ->Arg(50)
+    ->Unit(benchmark::kMillisecond);
+
+BENCHMARK_MAIN();

@@ -1,0 +1,69 @@
+// Ablation D: XCQL parse + Fig. 3 translation overhead. The translation is
+// performed once per registered query, so it must be negligible next to
+// execution; this benchmark measures parse and translate cost for the
+// paper's queries under each method.
+#include <benchmark/benchmark.h>
+
+#include "test_queries.h"
+#include "xcql/translator.h"
+#include "xq/parser.h"
+
+namespace {
+
+const xcql::frag::TagStructure& CreditTs() {
+  static xcql::frag::TagStructure* ts = [] {
+    auto r = xcql::frag::TagStructure::Parse(xcql::bench::kCreditTagStructure);
+    return new xcql::frag::TagStructure(std::move(r).MoveValue());
+  }();
+  return *ts;
+}
+
+void BM_ParseQuery(benchmark::State& state) {
+  const char* query =
+      xcql::bench::kPaperQueries[static_cast<size_t>(state.range(0))].text;
+  for (auto _ : state) {
+    auto prog = xcql::xq::ParseQuery(query);
+    benchmark::DoNotOptimize(prog);
+  }
+  state.SetLabel(
+      xcql::bench::kPaperQueries[static_cast<size_t>(state.range(0))].name);
+}
+
+void BM_TranslateQaC(benchmark::State& state) {
+  const char* query =
+      xcql::bench::kPaperQueries[static_cast<size_t>(state.range(0))].text;
+  auto prog = xcql::xq::ParseQuery(query);
+  std::map<std::string, const xcql::frag::TagStructure*> schemas;
+  schemas["credit"] = &CreditTs();
+  xcql::lang::Translator tr(schemas, xcql::lang::ExecMethod::kQaC);
+  for (auto _ : state) {
+    auto out = tr.Translate(prog.value());
+    benchmark::DoNotOptimize(out);
+  }
+  state.SetLabel(
+      xcql::bench::kPaperQueries[static_cast<size_t>(state.range(0))].name);
+}
+
+void BM_TranslateQaCPlus(benchmark::State& state) {
+  const char* query =
+      xcql::bench::kPaperQueries[static_cast<size_t>(state.range(0))].text;
+  auto prog = xcql::xq::ParseQuery(query);
+  std::map<std::string, const xcql::frag::TagStructure*> schemas;
+  schemas["credit"] = &CreditTs();
+  xcql::lang::Translator tr(schemas, xcql::lang::ExecMethod::kQaCPlus);
+  for (auto _ : state) {
+    auto out = tr.Translate(prog.value());
+    benchmark::DoNotOptimize(out);
+  }
+  state.SetLabel(
+      xcql::bench::kPaperQueries[static_cast<size_t>(state.range(0))].name);
+}
+
+}  // namespace
+
+BENCHMARK(BM_ParseQuery)->DenseRange(0, xcql::bench::kNumPaperQueries - 1);
+BENCHMARK(BM_TranslateQaC)->DenseRange(0, xcql::bench::kNumPaperQueries - 1);
+BENCHMARK(BM_TranslateQaCPlus)
+    ->DenseRange(0, xcql::bench::kNumPaperQueries - 1);
+
+BENCHMARK_MAIN();

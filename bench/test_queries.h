@@ -1,0 +1,52 @@
+// Shared corpus for the benchmark binaries: the credit-card schema/view of
+// the paper's running example and the paper's queries over it.
+#ifndef XCQL_BENCH_TEST_QUERIES_H_
+#define XCQL_BENCH_TEST_QUERIES_H_
+
+namespace xcql::bench {
+
+inline constexpr const char* kCreditTagStructure = R"(
+<stream:structure>
+  <tag type="snapshot" id="1" name="creditAccounts">
+    <tag type="temporal" id="2" name="account">
+      <tag type="snapshot" id="3" name="customer"/>
+      <tag type="temporal" id="4" name="creditLimit"/>
+      <tag type="event" id="5" name="transaction">
+        <tag type="snapshot" id="6" name="vendor"/>
+        <tag type="temporal" id="7" name="status"/>
+        <tag type="snapshot" id="8" name="amount"/>
+      </tag>
+    </tag>
+  </tag>
+</stream:structure>)";
+
+struct NamedQuery {
+  const char* name;
+  const char* text;
+};
+
+inline constexpr NamedQuery kPaperQueries[] = {
+    {"path",
+     "stream(\"credit\")/creditAccounts/account/transaction/vendor/text()"},
+    {"descendant", "stream(\"credit\")//transaction[amount > 1000]"},
+    {"credit-q1",
+     R"(for $a in stream("credit")/creditAccounts/account
+        where sum($a/transaction?[2003-11-01,2003-12-01]
+                  [status = "charged"]/amount) >= $a/creditLimit?[now]
+        return <account>{attribute id {$a/@id}, $a/customer}</account>)"},
+    {"credit-q2",
+     R"(for $a in stream("credit")/creditAccounts/account
+        where sum($a/transaction?[now - PT1H, now]
+                  [status = "charged"]/amount) >=
+              max($a/creditLimit?[now] * 0.9, 5000)
+        return <alert><account id={$a/@id}>{$a/customer}</account></alert>)"},
+    {"versions",
+     "stream(\"credit\")//account/creditLimit#[1,10]"},
+};
+
+inline constexpr int kNumPaperQueries =
+    sizeof(kPaperQueries) / sizeof(kPaperQueries[0]);
+
+}  // namespace xcql::bench
+
+#endif  // XCQL_BENCH_TEST_QUERIES_H_

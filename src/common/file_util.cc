@@ -1,0 +1,43 @@
+#include "common/file_util.h"
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+
+namespace xcql {
+
+Result<std::string> ReadFileToString(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) {
+    return Status::NotFound("cannot open '" + path +
+                            "': " + std::strerror(errno));
+  }
+  std::string out;
+  char buf[1 << 16];
+  size_t n;
+  while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) {
+    out.append(buf, n);
+  }
+  bool failed = std::ferror(f) != 0;
+  std::fclose(f);
+  if (failed) {
+    return Status::Internal("error reading '" + path + "'");
+  }
+  return out;
+}
+
+Status WriteStringToFile(const std::string& path, std::string_view content) {
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) {
+    return Status::InvalidArgument("cannot create '" + path +
+                                   "': " + std::strerror(errno));
+  }
+  size_t written = std::fwrite(content.data(), 1, content.size(), f);
+  bool failed = written != content.size() || std::fclose(f) != 0;
+  if (failed) {
+    return Status::Internal("error writing '" + path + "'");
+  }
+  return Status::OK();
+}
+
+}  // namespace xcql

@@ -1,0 +1,20 @@
+// Minimal file I/O with Status-based error reporting.
+#ifndef XCQL_COMMON_FILE_UTIL_H_
+#define XCQL_COMMON_FILE_UTIL_H_
+
+#include <string>
+#include <string_view>
+
+#include "common/result.h"
+
+namespace xcql {
+
+/// \brief Reads a whole file into a string.
+Result<std::string> ReadFileToString(const std::string& path);
+
+/// \brief Writes (or overwrites) a file.
+Status WriteStringToFile(const std::string& path, std::string_view content);
+
+}  // namespace xcql
+
+#endif  // XCQL_COMMON_FILE_UTIL_H_

@@ -1,0 +1,42 @@
+// Deterministic PRNG used by the XMark generator, the workload generators in
+// benches/examples, and the property tests. Fixed algorithm (xorshift128+)
+// so generated documents are byte-identical across platforms and runs.
+#ifndef XCQL_COMMON_RANDOM_H_
+#define XCQL_COMMON_RANDOM_H_
+
+#include <cstdint>
+#include <string>
+
+namespace xcql {
+
+/// \brief Deterministic, seedable random source (xorshift128+).
+class Random {
+ public:
+  explicit Random(uint64_t seed);
+
+  /// \brief Uniform 64-bit value.
+  uint64_t Next();
+
+  /// \brief Uniform integer in [0, bound). `bound` must be > 0.
+  uint64_t Uniform(uint64_t bound);
+
+  /// \brief Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  int64_t UniformRange(int64_t lo, int64_t hi);
+
+  /// \brief Uniform double in [0, 1).
+  double NextDouble();
+
+  /// \brief True with probability p (clamped to [0,1]).
+  bool Bernoulli(double p);
+
+  /// \brief Lowercase ASCII word of `len` characters.
+  std::string Word(int len);
+
+ private:
+  uint64_t s0_;
+  uint64_t s1_;
+};
+
+}  // namespace xcql
+
+#endif  // XCQL_COMMON_RANDOM_H_

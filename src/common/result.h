@@ -1,0 +1,69 @@
+// Arrow-style Result<T>: a value or a Status, for fallible functions that
+// produce a value.
+#ifndef XCQL_COMMON_RESULT_H_
+#define XCQL_COMMON_RESULT_H_
+
+#include <cassert>
+#include <utility>
+#include <variant>
+
+#include "common/status.h"
+
+namespace xcql {
+
+/// \brief Holds either a successfully produced T or the Status explaining
+/// why it could not be produced.
+template <typename T>
+class Result {
+ public:
+  // Implicit construction from a value or an error Status keeps call sites
+  // terse: `return value;` / `return Status::ParseError(...)`.
+  Result(T value) : v_(std::move(value)) {}  // NOLINT(google-explicit-constructor)
+  Result(Status st) : v_(std::move(st)) {    // NOLINT(google-explicit-constructor)
+    assert(!status().ok() && "Result constructed from OK Status");
+  }
+
+  bool ok() const { return std::holds_alternative<T>(v_); }
+
+  const Status& status() const {
+    static const Status kOk;
+    return ok() ? kOk : std::get<Status>(v_);
+  }
+
+  /// \brief Access the value. Must only be called when ok().
+  const T& value() const& {
+    assert(ok());
+    return std::get<T>(v_);
+  }
+  T& value() & {
+    assert(ok());
+    return std::get<T>(v_);
+  }
+  T&& value() && {
+    assert(ok());
+    return std::get<T>(std::move(v_));
+  }
+
+  /// \brief Move the value out. Must only be called when ok().
+  T MoveValue() { return std::get<T>(std::move(v_)); }
+
+ private:
+  std::variant<T, Status> v_;
+};
+
+}  // namespace xcql
+
+/// Assigns the value of a Result expression to `lhs`, or propagates its error
+/// Status to the caller.
+#define XCQL_ASSIGN_OR_RETURN_IMPL(tmp, lhs, expr) \
+  auto tmp = (expr);                               \
+  if (!tmp.ok()) return tmp.status();              \
+  lhs = std::move(tmp).MoveValue()
+
+#define XCQL_CONCAT_IMPL(a, b) a##b
+#define XCQL_CONCAT(a, b) XCQL_CONCAT_IMPL(a, b)
+
+#define XCQL_ASSIGN_OR_RETURN(lhs, expr) \
+  XCQL_ASSIGN_OR_RETURN_IMPL(XCQL_CONCAT(_res_, __LINE__), lhs, expr)
+
+#endif  // XCQL_COMMON_RESULT_H_

@@ -1,0 +1,41 @@
+#include "common/status.h"
+
+namespace xcql {
+
+const char* StatusCodeName(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk:
+      return "OK";
+    case StatusCode::kInvalidArgument:
+      return "InvalidArgument";
+    case StatusCode::kParseError:
+      return "ParseError";
+    case StatusCode::kTypeError:
+      return "TypeError";
+    case StatusCode::kNotFound:
+      return "NotFound";
+    case StatusCode::kUnsupported:
+      return "Unsupported";
+    case StatusCode::kInternal:
+      return "Internal";
+  }
+  return "Unknown";
+}
+
+Status::Status(StatusCode code, std::string msg)
+    : state_(std::make_shared<State>(State{code, std::move(msg)})) {}
+
+const std::string& Status::message() const {
+  static const std::string kEmpty;
+  return ok() ? kEmpty : state_->msg;
+}
+
+std::string Status::ToString() const {
+  if (ok()) return "OK";
+  std::string out = StatusCodeName(state_->code);
+  out += ": ";
+  out += state_->msg;
+  return out;
+}
+
+}  // namespace xcql

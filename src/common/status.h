@@ -1,0 +1,79 @@
+// Arrow-style Status: error propagation without exceptions across the
+// public API. A Status is either OK or carries a code and message.
+#ifndef XCQL_COMMON_STATUS_H_
+#define XCQL_COMMON_STATUS_H_
+
+#include <memory>
+#include <string>
+#include <utility>
+
+namespace xcql {
+
+/// \brief Error categories used across the library.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,   // caller passed something malformed
+  kParseError,        // XML / XQuery / XCQL / datetime syntax error
+  kTypeError,         // dynamic type mismatch during evaluation
+  kNotFound,          // stream / filler / function / variable missing
+  kUnsupported,       // construct outside the implemented subset
+  kInternal,          // invariant violation inside the library
+};
+
+/// \brief Returns a short human-readable name for a StatusCode.
+const char* StatusCodeName(StatusCode code);
+
+/// \brief Outcome of an operation: OK, or a code plus message.
+///
+/// OK is represented by a null state pointer so copying a success Status is
+/// free; error details are heap-allocated only on the failure path.
+class Status {
+ public:
+  Status() = default;  // OK
+  Status(StatusCode code, std::string msg);
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status ParseError(std::string msg) {
+    return Status(StatusCode::kParseError, std::move(msg));
+  }
+  static Status TypeError(std::string msg) {
+    return Status(StatusCode::kTypeError, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status Unsupported(std::string msg) {
+    return Status(StatusCode::kUnsupported, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return state_ == nullptr; }
+  StatusCode code() const { return ok() ? StatusCode::kOk : state_->code; }
+  const std::string& message() const;
+
+  /// \brief "OK" or "<code>: <message>".
+  std::string ToString() const;
+
+ private:
+  struct State {
+    StatusCode code;
+    std::string msg;
+  };
+  std::shared_ptr<State> state_;  // null means OK
+};
+
+}  // namespace xcql
+
+/// Propagates a non-OK Status to the caller.
+#define XCQL_RETURN_NOT_OK(expr)                \
+  do {                                          \
+    ::xcql::Status _st = (expr);                \
+    if (!_st.ok()) return _st;                  \
+  } while (false)
+
+#endif  // XCQL_COMMON_STATUS_H_

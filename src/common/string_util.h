@@ -1,0 +1,38 @@
+// Small string helpers shared by the parsers and serializers.
+#ifndef XCQL_COMMON_STRING_UTIL_H_
+#define XCQL_COMMON_STRING_UTIL_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace xcql {
+
+/// \brief Removes leading and trailing ASCII whitespace.
+std::string_view StripWhitespace(std::string_view s);
+
+/// \brief Splits `s` on `sep`, keeping empty pieces.
+std::vector<std::string> SplitString(std::string_view s, char sep);
+
+/// \brief True if `s` begins with `prefix`.
+bool StartsWith(std::string_view s, std::string_view prefix);
+
+/// \brief Parses a whole string as a signed 64-bit decimal integer.
+std::optional<int64_t> ParseInt64(std::string_view s);
+
+/// \brief Parses a whole string as a double (leading/trailing space allowed).
+std::optional<double> ParseDouble(std::string_view s);
+
+/// \brief printf-style formatting into a std::string.
+std::string StringPrintf(const char* fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/// \brief Joins pieces with `sep`.
+std::string JoinStrings(const std::vector<std::string>& pieces,
+                        std::string_view sep);
+
+}  // namespace xcql
+
+#endif  // XCQL_COMMON_STRING_UTIL_H_

@@ -1,0 +1,136 @@
+#include "core/stream_manager.h"
+
+#include "xml/parser.h"
+#include "xml/serializer.h"
+
+namespace xcql {
+
+std::string RenderResult(const xq::Sequence& result) {
+  std::string out;
+  for (size_t i = 0; i < result.size(); ++i) {
+    if (i > 0) out += " ";
+    if (xq::IsNode(result[i])) {
+      out += SerializeXml(*xq::AsNode(result[i]));
+    } else {
+      out += xq::AsAtomic(result[i]).ToStringValue();
+    }
+  }
+  return out;
+}
+
+StreamManager::StreamManager() : engine_(&hub_, &clock_) {}
+
+Result<stream::StreamServer*> StreamManager::CreateStream(
+    const std::string& name, std::string_view tag_structure) {
+  if (servers_.count(name) != 0) {
+    return Status::InvalidArgument("stream '" + name + "' already exists");
+  }
+  XCQL_ASSIGN_OR_RETURN(frag::TagStructure ts,
+                        frag::TagStructure::Parse(tag_structure));
+  auto server = std::make_unique<stream::StreamServer>(name, std::move(ts));
+  stream::StreamServer* raw = server.get();
+  servers_[name] = std::move(server);
+  XCQL_RETURN_NOT_OK(hub_.Subscribe(raw));
+  return raw;
+}
+
+stream::StreamServer* StreamManager::server(const std::string& name) const {
+  auto it = servers_.find(name);
+  return it == servers_.end() ? nullptr : it->second.get();
+}
+
+frag::FragmentStore* StreamManager::store(const std::string& name) const {
+  return hub_.store(name);
+}
+
+std::vector<std::string> StreamManager::StreamNames() const {
+  std::vector<std::string> out;
+  out.reserve(servers_.size());
+  for (const auto& [name, server] : servers_) out.push_back(name);
+  return out;
+}
+
+Status StreamManager::PublishDocumentXml(
+    const std::string& stream, std::string_view xml,
+    const frag::FragmenterOptions& options) {
+  stream::StreamServer* srv = server(stream);
+  if (srv == nullptr) return Status::NotFound("unknown stream '" + stream + "'");
+  XCQL_ASSIGN_OR_RETURN(NodePtr doc, ParseXml(xml));
+  XCQL_RETURN_NOT_OK(srv->PublishDocument(*doc, options));
+  clock_.AdvanceTo(hub_.store(stream)->max_valid_time());
+  return Status::OK();
+}
+
+Status StreamManager::PublishFragmentXml(const std::string& stream,
+                                         std::string_view xml) {
+  XCQL_ASSIGN_OR_RETURN(frag::Fragment f, frag::Fragment::Parse(xml));
+  return PublishFragment(stream, std::move(f));
+}
+
+Status StreamManager::PublishFragment(const std::string& stream,
+                                      frag::Fragment fragment) {
+  stream::StreamServer* srv = server(stream);
+  if (srv == nullptr) return Status::NotFound("unknown stream '" + stream + "'");
+  clock_.AdvanceTo(fragment.valid_time);
+  return srv->Publish(std::move(fragment));
+}
+
+Status StreamManager::EnsureQueryStreams() {
+  for (const frag::FragmentStore* store : hub_.stores()) {
+    if (executor_streams_.insert(store->name()).second) {
+      XCQL_RETURN_NOT_OK(executor_.RegisterStream(store));
+    }
+  }
+  return Status::OK();
+}
+
+Result<xq::Sequence> StreamManager::Query(std::string_view xcql,
+                                          const lang::ExecOptions& options) {
+  XCQL_RETURN_NOT_OK(EnsureQueryStreams());
+  lang::ExecOptions opts = options;
+  if (!opts.now.has_value()) opts.now = clock_.Now();
+  return executor_.Execute(xcql, opts);
+}
+
+Result<std::string> StreamManager::QueryToString(
+    std::string_view xcql, const lang::ExecOptions& options) {
+  XCQL_ASSIGN_OR_RETURN(xq::Sequence result, Query(xcql, options));
+  return RenderResult(result);
+}
+
+Result<std::string> StreamManager::Translate(std::string_view xcql,
+                                             lang::ExecMethod method) {
+  XCQL_RETURN_NOT_OK(EnsureQueryStreams());
+  return executor_.TranslateToText(xcql, method);
+}
+
+Result<NodePtr> StreamManager::MaterializeView(const std::string& stream) {
+  XCQL_RETURN_NOT_OK(EnsureQueryStreams());
+  return executor_.MaterializeView(stream, /*linear=*/false);
+}
+
+void StreamManager::RegisterFunction(const std::string& name, int min_arity,
+                                     int max_arity,
+                                     xq::FunctionRegistry::NativeFn fn) {
+  executor_.RegisterFunction(name, min_arity, max_arity, fn);
+  engine_.RegisterFunction(name, min_arity, max_arity, std::move(fn));
+}
+
+Result<int> StreamManager::RegisterContinuousQuery(
+    const std::string& xcql, stream::ContinuousQueryEngine::Callback cb,
+    const stream::ContinuousQueryOptions& options) {
+  return engine_.Register(xcql, std::move(cb), options);
+}
+
+Status StreamManager::UnregisterContinuousQuery(int id) {
+  return engine_.Unregister(id);
+}
+
+Status StreamManager::Tick() { return engine_.Tick(); }
+
+Status StreamManager::AdvanceTo(DateTime t) {
+  clock_.AdvanceTo(t);
+  return Tick();
+}
+
+}  // namespace xcql

@@ -1,0 +1,119 @@
+// The library's top-level facade: create streams, publish documents and
+// fragment updates, run one-shot XCQL queries under any execution method,
+// and register continuous queries — everything the paper's client/server
+// configuration needs, in one object.
+//
+// Typical use (see examples/quickstart.cc):
+//   StreamManager mgr;
+//   mgr.CreateStream("credit", kCreditTagStructure);
+//   mgr.PublishDocumentXml("credit", initial_doc);
+//   mgr.PublishFragmentXml("credit", "<filler id=… >…</filler>");
+//   auto result = mgr.Query("for $a in stream(\"credit\")…", {});
+#ifndef XCQL_CORE_STREAM_MANAGER_H_
+#define XCQL_CORE_STREAM_MANAGER_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+
+#include "common/result.h"
+#include "stream/continuous.h"
+#include "stream/registry.h"
+#include "stream/transport.h"
+#include "xcql/executor.h"
+
+namespace xcql {
+
+/// \brief Renders a query result: nodes serialized as XML, atomics in
+/// lexical form, items space-separated.
+std::string RenderResult(const xq::Sequence& result);
+
+/// \brief One-stop client+server harness for historical XML streams.
+class StreamManager {
+ public:
+  StreamManager();
+
+  StreamManager(const StreamManager&) = delete;
+  StreamManager& operator=(const StreamManager&) = delete;
+
+  // ---- Stream lifecycle -----------------------------------------------------
+
+  /// \brief Creates a stream (server + client subscription) from a Tag
+  /// Structure in the paper's XML form.
+  Result<stream::StreamServer*> CreateStream(const std::string& name,
+                                             std::string_view tag_structure);
+
+  stream::StreamServer* server(const std::string& name) const;
+  frag::FragmentStore* store(const std::string& name) const;
+
+  /// \brief Names of all created streams, sorted.
+  std::vector<std::string> StreamNames() const;
+
+  // ---- Publishing -----------------------------------------------------------
+
+  /// \brief Fragments and publishes an initial document (parsed from XML).
+  Status PublishDocumentXml(const std::string& stream, std::string_view xml,
+                            const frag::FragmenterOptions& options = {});
+
+  /// \brief Publishes one `<filler …>` fragment from its wire form.
+  Status PublishFragmentXml(const std::string& stream, std::string_view xml);
+
+  /// \brief Publishes a fragment built programmatically.
+  Status PublishFragment(const std::string& stream, frag::Fragment fragment);
+
+  // ---- Querying ---------------------------------------------------------------
+
+  /// \brief Runs a one-shot XCQL query over the subscribed streams.
+  Result<xq::Sequence> Query(std::string_view xcql,
+                             const lang::ExecOptions& options = {});
+
+  /// \brief Query + RenderResult in one call.
+  Result<std::string> QueryToString(std::string_view xcql,
+                                    const lang::ExecOptions& options = {});
+
+  /// \brief Shows the Fig. 3 translation of a query.
+  Result<std::string> Translate(std::string_view xcql,
+                                lang::ExecMethod method);
+
+  /// \brief Materializes a stream's full temporal view.
+  Result<NodePtr> MaterializeView(const std::string& stream);
+
+  /// \brief Registers an application UDF for one-shot and continuous
+  /// queries alike.
+  void RegisterFunction(const std::string& name, int min_arity, int max_arity,
+                        xq::FunctionRegistry::NativeFn fn);
+
+  // ---- Continuous queries -------------------------------------------------------
+
+  /// \brief The simulated clock driving `now` for continuous evaluation.
+  stream::SimClock& clock() { return clock_; }
+
+  Result<int> RegisterContinuousQuery(
+      const std::string& xcql, stream::ContinuousQueryEngine::Callback cb,
+      const stream::ContinuousQueryOptions& options = {});
+
+  Status UnregisterContinuousQuery(int id);
+
+  /// \brief Re-evaluates continuous queries at the clock's current time.
+  Status Tick();
+
+  /// \brief Advances the clock to `t`, then ticks.
+  Status AdvanceTo(DateTime t);
+
+  stream::ContinuousQueryEngine& continuous_engine() { return engine_; }
+
+ private:
+  Status EnsureQueryStreams();
+
+  std::map<std::string, std::unique_ptr<stream::StreamServer>> servers_;
+  stream::StreamHub hub_;
+  stream::SimClock clock_;
+  lang::QueryExecutor executor_;  // one-shot queries
+  stream::ContinuousQueryEngine engine_;
+  std::set<std::string> executor_streams_;
+};
+
+}  // namespace xcql
+
+#endif  // XCQL_CORE_STREAM_MANAGER_H_

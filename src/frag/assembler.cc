@@ -1,0 +1,134 @@
+#include "frag/assembler.h"
+
+namespace xcql::frag {
+
+namespace {
+
+constexpr int kMaxDepth = 500;
+
+bool HasFragmentedDescendant(const TagNode* tag) {
+  for (const auto& c : tag->children) {
+    if (c->fragmented() || HasFragmentedDescendant(c.get())) return true;
+  }
+  return false;
+}
+
+// Generic variant: checks every element child for holes, like the paper's
+// recursive temporalize/get_fillers functions.
+Status SpliceGeneric(const FragmentStore& store, bool linear, const Node& src,
+                     Node* dst, int depth) {
+  if (depth > kMaxDepth) {
+    return Status::Internal("temporalize recursion too deep (filler cycle?)");
+  }
+  for (const NodePtr& child : src.children()) {
+    if (!child->is_element()) {
+      dst->AddChild(Node::Text(child->text()));
+      continue;
+    }
+    if (IsHoleElement(*child)) {
+      XCQL_ASSIGN_OR_RETURN(int64_t id, HoleId(*child));
+      XCQL_ASSIGN_OR_RETURN(std::vector<NodePtr> versions,
+                            store.GetFillerVersions(id, linear));
+      for (const NodePtr& v : versions) {
+        NodePtr out = Node::Element(v->name());
+        for (const auto& [k, a] : v->attrs()) out->SetAttr(k, a);
+        XCQL_RETURN_NOT_OK(
+            SpliceGeneric(store, linear, *v, out.get(), depth + 1));
+        dst->AddChild(std::move(out));
+      }
+      continue;
+    }
+    NodePtr out = Node::Element(child->name());
+    for (const auto& [k, a] : child->attrs()) out->SetAttr(k, a);
+    XCQL_RETURN_NOT_OK(SpliceGeneric(store, linear, *child, out.get(),
+                                     depth + 1));
+    dst->AddChild(std::move(out));
+  }
+  return Status::OK();
+}
+
+// Schema-driven variant (§5.1): the Tag Structure tells us which children
+// can be holes (fragmented tags) and which subtrees are pure snapshots that
+// can be copied without inspection.
+Status SpliceSchema(const FragmentStore& store, const Node& src,
+                    const TagNode* tag, Node* dst, int depth) {
+  if (depth > kMaxDepth) {
+    return Status::Internal("temporalize recursion too deep (filler cycle?)");
+  }
+  // A tag with no fragmented descendants ⇒ the whole subtree is literal.
+  bool any_fragmented_child = false;
+  for (const auto& c : tag->children) {
+    if (c->fragmented()) {
+      any_fragmented_child = true;
+      break;
+    }
+  }
+  for (const NodePtr& child : src.children()) {
+    if (!child->is_element()) {
+      dst->AddChild(Node::Text(child->text()));
+      continue;
+    }
+    if (any_fragmented_child && IsHoleElement(*child)) {
+      XCQL_ASSIGN_OR_RETURN(int64_t id, HoleId(*child));
+      XCQL_ASSIGN_OR_RETURN(int tsid, HoleTsid(*child));
+      const TagNode* ctag = store.tag_structure().FindById(tsid);
+      if (ctag == nullptr) {
+        return Status::InvalidArgument("hole references unknown tsid");
+      }
+      XCQL_ASSIGN_OR_RETURN(std::vector<NodePtr> versions,
+                            store.GetFillerVersions(id, /*linear=*/false));
+      for (const NodePtr& v : versions) {
+        NodePtr out = Node::Element(v->name());
+        for (const auto& [k, a] : v->attrs()) out->SetAttr(k, a);
+        XCQL_RETURN_NOT_OK(SpliceSchema(store, *v, ctag, out.get(),
+                                        depth + 1));
+        dst->AddChild(std::move(out));
+      }
+      continue;
+    }
+    const TagNode* ctag = tag->Child(child->name());
+    if (ctag == nullptr || !HasFragmentedDescendant(ctag)) {
+      // Pure snapshot subtree: deep-copy without further inspection.
+      dst->AddChild(child->Clone());
+      continue;
+    }
+    NodePtr out = Node::Element(child->name());
+    for (const auto& [k, a] : child->attrs()) out->SetAttr(k, a);
+    XCQL_RETURN_NOT_OK(SpliceSchema(store, *child, ctag, out.get(),
+                                    depth + 1));
+    dst->AddChild(std::move(out));
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<NodePtr> Temporalize(const FragmentStore& store, bool linear_scan) {
+  XCQL_ASSIGN_OR_RETURN(std::vector<NodePtr> roots,
+                        store.GetFillerVersions(0, linear_scan));
+  if (roots.empty()) {
+    return Status::NotFound("store has no root fragment (filler id 0)");
+  }
+  // The root is a snapshot; a republished root replaces the earlier one.
+  const NodePtr& src = roots.back();
+  NodePtr out = Node::Element(src->name());
+  for (const auto& [k, a] : src->attrs()) out->SetAttr(k, a);
+  XCQL_RETURN_NOT_OK(SpliceGeneric(store, linear_scan, *src, out.get(), 0));
+  return out;
+}
+
+Result<NodePtr> TemporalizeSchemaDriven(const FragmentStore& store) {
+  XCQL_ASSIGN_OR_RETURN(std::vector<NodePtr> roots,
+                        store.GetFillerVersions(0, /*linear=*/false));
+  if (roots.empty()) {
+    return Status::NotFound("store has no root fragment (filler id 0)");
+  }
+  const NodePtr& src = roots.back();
+  NodePtr out = Node::Element(src->name());
+  for (const auto& [k, a] : src->attrs()) out->SetAttr(k, a);
+  XCQL_RETURN_NOT_OK(
+      SpliceSchema(store, *src, store.tag_structure().root(), out.get(), 0));
+  return out;
+}
+
+}  // namespace xcql::frag

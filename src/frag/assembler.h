@@ -1,0 +1,27 @@
+// Reconstruction of the temporal view from fragments (paper §5): replaces
+// every hole with the version sequence of its fillers, annotating versions
+// with derived vtFrom/vtTo lifespans. Two variants mirror the paper:
+// the generic recursive `temporalize` (§5) and the schema-driven
+// reconstruction generated from the Tag Structure (§5.1).
+#ifndef XCQL_FRAG_ASSEMBLER_H_
+#define XCQL_FRAG_ASSEMBLER_H_
+
+#include "common/result.h"
+#include "frag/fragment_store.h"
+
+namespace xcql::frag {
+
+/// \brief Generic recursive reconstruction (paper §5): inspects every child
+/// of every element for holes. `linear_scan` selects the paper-faithful
+/// O(N) filler lookup per hole (the CaQ cost model) versus the hash index.
+Result<NodePtr> Temporalize(const FragmentStore& store, bool linear_scan);
+
+/// \brief Schema-driven reconstruction (paper §5.1): walks fragments guided
+/// by the Tag Structure, visiting only positions where the schema says
+/// holes can occur, with indexed filler lookup. Produces the same tree as
+/// Temporalize.
+Result<NodePtr> TemporalizeSchemaDriven(const FragmentStore& store);
+
+}  // namespace xcql::frag
+
+#endif  // XCQL_FRAG_ASSEMBLER_H_

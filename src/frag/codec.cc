@@ -1,0 +1,156 @@
+#include "frag/codec.h"
+
+#include "common/string_util.h"
+#include "xml/parser.h"
+#include "xml/serializer.h"
+
+namespace xcql::frag {
+
+namespace {
+
+Status CompressNode(const Node& e, const TagNode* tag, std::string* out) {
+  *out += "<_";
+  *out += std::to_string(tag->id);
+  for (const auto& [k, v] : e.attrs()) {
+    *out += " ";
+    *out += k;
+    *out += "=\"";
+    *out += EscapeAttr(v);
+    *out += "\"";
+  }
+  if (e.children().empty()) {
+    *out += "/>";
+    return Status::OK();
+  }
+  *out += ">";
+  for (const NodePtr& c : e.children()) {
+    if (!c->is_element()) {
+      *out += EscapeText(c->text());
+      continue;
+    }
+    if (IsHoleElement(*c)) {
+      XCQL_ASSIGN_OR_RETURN(int64_t hid, HoleId(*c));
+      XCQL_ASSIGN_OR_RETURN(int htsid, HoleTsid(*c));
+      *out += StringPrintf("<h i=\"%lld\" t=\"%d\"/>",
+                           static_cast<long long>(hid), htsid);
+      continue;
+    }
+    const TagNode* ctag = tag->Child(c->name());
+    if (ctag == nullptr) {
+      return Status::InvalidArgument("element <" + c->name() +
+                                     "> not declared under <" + tag->name +
+                                     "> in the tag structure");
+    }
+    XCQL_RETURN_NOT_OK(CompressNode(*c, ctag, out));
+  }
+  *out += "</_";
+  *out += std::to_string(tag->id);
+  *out += ">";
+  return Status::OK();
+}
+
+Result<NodePtr> DecompressNode(const Node& e, const TagStructure& ts) {
+  if (e.name() == "h") {
+    const std::string* i = e.FindAttr("i");
+    const std::string* t = e.FindAttr("t");
+    if (i == nullptr || t == nullptr) {
+      return Status::ParseError("compressed hole missing i/t attributes");
+    }
+    auto id = ParseInt64(*i);
+    auto tsid = ParseInt64(*t);
+    if (!id || !tsid) return Status::ParseError("bad compressed hole ids");
+    return MakeHole(*id, static_cast<int>(*tsid));
+  }
+  if (e.name().size() < 2 || e.name()[0] != '_') {
+    return Status::ParseError("unexpected compressed element <" + e.name() +
+                              ">");
+  }
+  auto tagid = ParseInt64(std::string_view(e.name()).substr(1));
+  if (!tagid) {
+    return Status::ParseError("bad compressed tag name <" + e.name() + ">");
+  }
+  const TagNode* tag = ts.FindById(static_cast<int>(*tagid));
+  if (tag == nullptr) {
+    return Status::ParseError(
+        StringPrintf("compressed tag id %lld not in the tag structure",
+                     static_cast<long long>(*tagid)));
+  }
+  NodePtr node = Node::Element(tag->name);
+  for (const auto& [k, v] : e.attrs()) node->SetAttr(k, v);
+  for (const NodePtr& c : e.children()) {
+    if (!c->is_element()) {
+      node->AddChild(Node::Text(c->text()));
+      continue;
+    }
+    XCQL_ASSIGN_OR_RETURN(NodePtr child, DecompressNode(*c, ts));
+    node->AddChild(std::move(child));
+  }
+  return node;
+}
+
+}  // namespace
+
+Result<std::string> CompressFragment(const Fragment& fragment,
+                                     const TagStructure& ts) {
+  if (fragment.content == nullptr) {
+    return Status::InvalidArgument("fragment without payload");
+  }
+  const TagNode* tag = ts.FindById(fragment.tsid);
+  if (tag == nullptr) {
+    return Status::InvalidArgument(
+        StringPrintf("fragment tsid %d not in the tag structure",
+                     fragment.tsid));
+  }
+  if (tag->name != fragment.content->name()) {
+    return Status::InvalidArgument("payload <" + fragment.content->name() +
+                                   "> does not match tag <" + tag->name +
+                                   ">");
+  }
+  std::string out = StringPrintf(
+      "<f i=\"%lld\" t=\"%d\" v=\"%lld\">",
+      static_cast<long long>(fragment.id), fragment.tsid,
+      static_cast<long long>(fragment.valid_time.seconds()));
+  XCQL_RETURN_NOT_OK(CompressNode(*fragment.content, tag, &out));
+  out += "</f>";
+  return out;
+}
+
+Result<Fragment> DecompressFragment(std::string_view data,
+                                    const TagStructure& ts) {
+  XCQL_ASSIGN_OR_RETURN(NodePtr root, ParseXml(data));
+  if (root->name() != "f") {
+    return Status::ParseError("compressed fragment must be <f>");
+  }
+  const std::string* i = root->FindAttr("i");
+  const std::string* t = root->FindAttr("t");
+  const std::string* v = root->FindAttr("v");
+  if (i == nullptr || t == nullptr || v == nullptr) {
+    return Status::ParseError("compressed fragment missing i/t/v attributes");
+  }
+  Fragment f;
+  auto id = ParseInt64(*i);
+  auto tsid = ParseInt64(*t);
+  auto secs = ParseInt64(*v);
+  if (!id || !tsid || !secs) {
+    return Status::ParseError("bad compressed fragment envelope");
+  }
+  f.id = *id;
+  f.tsid = static_cast<int>(*tsid);
+  f.valid_time = DateTime(*secs);
+  NodePtr payload;
+  for (const NodePtr& c : root->children()) {
+    if (!c->is_element()) continue;
+    if (payload != nullptr) {
+      return Status::ParseError(
+          "compressed fragment must contain a single payload");
+    }
+    payload = c;
+  }
+  if (payload == nullptr) {
+    return Status::ParseError("compressed fragment has no payload");
+  }
+  XCQL_ASSIGN_OR_RETURN(f.content, DecompressNode(*payload, ts));
+  return f;
+}
+
+}  // namespace xcql::frag

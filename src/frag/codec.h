@@ -1,0 +1,40 @@
+// Wire compression (paper §4.1: the Tag Structure "gives us the
+// convenience of abbreviating the tag names with IDs … for compressing
+// stream data"). The compact form replaces element names with their tag
+// ids and shortens the filler envelope:
+//
+//   <filler id="100" tsid="5" validTime="2003-10-23T12:23:34">
+//     <transaction id="12345"><vendor>Pizza</vendor>
+//       <hole id="200" tsid="7"/></transaction></filler>
+//   ⇢
+//   <f i="100" t="5" v="1066911814">
+//     <_5 id="12345"><_6>Pizza</_6><h i="200" t="7"/></_5></f>
+//
+// validTime travels as epoch seconds; attribute values and text are
+// untouched. Decompression needs the same Tag Structure (which both ends
+// hold by construction — it defines the stream).
+#ifndef XCQL_FRAG_CODEC_H_
+#define XCQL_FRAG_CODEC_H_
+
+#include <string>
+#include <string_view>
+
+#include "common/result.h"
+#include "frag/fragment.h"
+#include "frag/tag_structure.h"
+
+namespace xcql::frag {
+
+/// \brief Compresses one fragment. The payload's tags must be declared in
+/// the Tag Structure at their positions (the same requirement the
+/// fragmenter enforces).
+Result<std::string> CompressFragment(const Fragment& fragment,
+                                     const TagStructure& ts);
+
+/// \brief Decompresses the compact form back into a Fragment.
+Result<Fragment> DecompressFragment(std::string_view data,
+                                    const TagStructure& ts);
+
+}  // namespace xcql::frag
+
+#endif  // XCQL_FRAG_CODEC_H_

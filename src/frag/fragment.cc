@@ -1,0 +1,102 @@
+#include "frag/fragment.h"
+
+#include "common/string_util.h"
+#include "xml/parser.h"
+#include "xml/serializer.h"
+
+namespace xcql::frag {
+
+NodePtr Fragment::ToNode() const {
+  NodePtr filler = Node::Element("filler");
+  filler->SetAttr("id", std::to_string(id));
+  filler->SetAttr("tsid", std::to_string(tsid));
+  filler->SetAttr("validTime", valid_time.ToString());
+  if (content != nullptr) filler->AddChild(content->Clone());
+  return filler;
+}
+
+std::string Fragment::ToXml() const { return SerializeXml(*ToNode()); }
+
+Result<Fragment> Fragment::FromNode(const Node& filler) {
+  if (filler.name() != "filler") {
+    return Status::ParseError("expected <filler>, found <" + filler.name() +
+                              ">");
+  }
+  const std::string* id = filler.FindAttr("id");
+  const std::string* tsid = filler.FindAttr("tsid");
+  const std::string* vt = filler.FindAttr("validTime");
+  if (id == nullptr || tsid == nullptr || vt == nullptr) {
+    return Status::ParseError(
+        "<filler> requires id, tsid and validTime attributes");
+  }
+  Fragment f;
+  auto idv = ParseInt64(*id);
+  auto tsidv = ParseInt64(*tsid);
+  if (!idv || !tsidv) {
+    return Status::ParseError("bad filler id/tsid: id='" + *id + "' tsid='" +
+                              *tsid + "'");
+  }
+  f.id = *idv;
+  f.tsid = static_cast<int>(*tsidv);
+  XCQL_ASSIGN_OR_RETURN(f.valid_time, DateTime::Parse(*vt));
+  NodePtr payload;
+  for (const NodePtr& c : filler.children()) {
+    if (!c->is_element()) continue;
+    if (payload != nullptr) {
+      return Status::ParseError("<filler> must contain a single element");
+    }
+    payload = c;
+  }
+  if (payload == nullptr) {
+    return Status::ParseError("<filler> has no payload element");
+  }
+  f.content = payload->Clone();
+  return f;
+}
+
+Result<Fragment> Fragment::Parse(std::string_view xml) {
+  XCQL_ASSIGN_OR_RETURN(NodePtr node, ParseXml(xml));
+  return FromNode(*node);
+}
+
+Result<std::vector<Fragment>> Fragment::ParseStream(std::string_view xml) {
+  XCQL_ASSIGN_OR_RETURN(std::vector<NodePtr> nodes, ParseXmlFragments(xml));
+  std::vector<Fragment> out;
+  out.reserve(nodes.size());
+  for (const NodePtr& n : nodes) {
+    XCQL_ASSIGN_OR_RETURN(Fragment f, FromNode(*n));
+    out.push_back(std::move(f));
+  }
+  return out;
+}
+
+NodePtr MakeHole(int64_t filler_id, int tsid) {
+  NodePtr hole = Node::Element("hole");
+  hole->SetAttr("id", std::to_string(filler_id));
+  hole->SetAttr("tsid", std::to_string(tsid));
+  return hole;
+}
+
+bool IsHoleElement(const Node& n) {
+  return n.is_element() && n.name() == "hole";
+}
+
+Result<int64_t> HoleId(const Node& hole) {
+  const std::string* id = hole.FindAttr("id");
+  if (id == nullptr) return Status::ParseError("<hole> without id attribute");
+  auto v = ParseInt64(*id);
+  if (!v) return Status::ParseError("bad hole id '" + *id + "'");
+  return *v;
+}
+
+Result<int> HoleTsid(const Node& hole) {
+  const std::string* t = hole.FindAttr("tsid");
+  if (t == nullptr) {
+    return Status::ParseError("<hole> without tsid attribute");
+  }
+  auto v = ParseInt64(*t);
+  if (!v) return Status::ParseError("bad hole tsid '" + *t + "'");
+  return static_cast<int>(*v);
+}
+
+}  // namespace xcql::frag

@@ -1,0 +1,56 @@
+// The unit of transfer in the Hole-Filler model (paper §4.2): a filler
+// fragment with a unique filler id, the tsid of its tag, the validTime of
+// its generation, and a single-element payload that may contain
+// <hole id=… tsid=…/> references to child fillers.
+#ifndef XCQL_FRAG_FRAGMENT_H_
+#define XCQL_FRAG_FRAGMENT_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+#include "temporal/datetime.h"
+#include "xml/node.h"
+
+namespace xcql::frag {
+
+/// \brief One filler fragment.
+struct Fragment {
+  int64_t id = 0;        // filler id; versions share the id
+  int tsid = 0;          // tag structure id of the payload's tag
+  DateTime valid_time;   // generation time (the version timestamp)
+  NodePtr content;       // the payload element (holes inside reference
+                         // child fillers)
+
+  /// \brief Serializes to the wire form
+  /// `<filler id=… tsid=… validTime=…>payload</filler>`.
+  std::string ToXml() const;
+
+  /// \brief Builds the wire-form node without serializing.
+  NodePtr ToNode() const;
+
+  /// \brief Parses one `<filler>` element.
+  static Result<Fragment> FromNode(const Node& filler);
+
+  /// \brief Parses the wire form.
+  static Result<Fragment> Parse(std::string_view xml);
+
+  /// \brief Parses a stream of consecutive `<filler>` elements.
+  static Result<std::vector<Fragment>> ParseStream(std::string_view xml);
+};
+
+/// \brief Creates a `<hole id=… tsid=…/>` reference element.
+NodePtr MakeHole(int64_t filler_id, int tsid);
+
+/// \brief True if the element is a hole reference.
+bool IsHoleElement(const Node& n);
+
+/// \brief Reads the id / tsid of a hole element.
+Result<int64_t> HoleId(const Node& hole);
+Result<int> HoleTsid(const Node& hole);
+
+}  // namespace xcql::frag
+
+#endif  // XCQL_FRAG_FRAGMENT_H_

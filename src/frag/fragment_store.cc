@@ -1,0 +1,217 @@
+#include "frag/fragment_store.h"
+
+#include <algorithm>
+
+#include "common/string_util.h"
+
+namespace xcql::frag {
+
+FragmentStore::FragmentStore(TagStructure ts, std::string name)
+    : ts_(std::move(ts)), name_(std::move(name)) {}
+
+Status FragmentStore::Insert(Fragment f) {
+  if (f.content == nullptr) {
+    return Status::InvalidArgument("fragment without payload");
+  }
+  if (ts_.FindById(f.tsid) == nullptr) {
+    return Status::InvalidArgument(
+        StringPrintf("fragment tsid %d not in the tag structure", f.tsid));
+  }
+  // Servers may repeat critical fragments (paper §1); an exact duplicate
+  // (same id, timestamp and payload) must not create a spurious version.
+  if (auto existing = by_id_.find(f.id); existing != by_id_.end()) {
+    for (size_t idx : existing->second) {
+      const Fragment& g = fragments_[idx];
+      if (g.valid_time == f.valid_time && g.tsid == f.tsid &&
+          Node::DeepEqual(*g.content, *f.content)) {
+        return Status::OK();
+      }
+    }
+  }
+  max_valid_time_ = std::max(max_valid_time_, f.valid_time);
+  ++revision_;
+  size_t idx = fragments_.size();
+  fragments_.push_back(std::move(f));
+  const Fragment& stored = fragments_.back();
+  NodePtr header = Node::Element("filler");
+  header->SetAttr("id", std::to_string(stored.id));
+  header->SetAttr("tsid", std::to_string(stored.tsid));
+  header->SetAttr("validTime", stored.valid_time.ToString());
+  wire_headers_.push_back(std::move(header));
+
+  auto [it, inserted] = by_id_.try_emplace(stored.id);
+  std::vector<size_t>& versions = it->second;
+  if (inserted) {
+    ids_by_tsid_[stored.tsid].push_back(stored.id);
+  }
+  // Maintain version order by (validTime, arrival). Appends are the common
+  // case; out-of-order arrivals insert in place.
+  auto pos = std::upper_bound(versions.begin(), versions.end(), idx,
+                              [this](size_t a, size_t b) {
+                                return fragments_[a].valid_time <
+                                       fragments_[b].valid_time;
+                              });
+  versions.insert(pos, idx);
+  return Status::OK();
+}
+
+Status FragmentStore::InsertAll(std::vector<Fragment> fragments) {
+  for (Fragment& f : fragments) {
+    XCQL_RETURN_NOT_OK(Insert(std::move(f)));
+  }
+  return Status::OK();
+}
+
+std::vector<const Fragment*> FragmentStore::CollectById(int64_t id,
+                                                        bool linear) const {
+  std::vector<const Fragment*> out;
+  if (linear) {
+    // The access path the paper's QaC translation implies:
+    // doc("fragments.xml")/fragments/filler[@id=$fid] — a node-level scan
+    // comparing each filler's @id attribute lexically.
+    std::string wanted = std::to_string(id);
+    for (size_t i = 0; i < wire_headers_.size(); ++i) {
+      const std::string* idattr = wire_headers_[i]->FindAttr("id");
+      if (idattr != nullptr && *idattr == wanted) {
+        out.push_back(&fragments_[i]);
+      }
+    }
+    std::stable_sort(out.begin(), out.end(),
+                     [](const Fragment* a, const Fragment* b) {
+                       return a->valid_time < b->valid_time;
+                     });
+    return out;
+  }
+  auto it = by_id_.find(id);
+  if (it == by_id_.end()) return out;
+  out.reserve(it->second.size());
+  for (size_t idx : it->second) out.push_back(&fragments_[idx]);
+  return out;
+}
+
+Result<std::vector<NodePtr>> FragmentStore::BuildVersions(
+    std::vector<const Fragment*> versions) const {
+  // Snapshot fragments have replacement semantics (paper §1: a server "can
+  // replace them when they change"): only the latest transmission counts.
+  if (!versions.empty()) {
+    const TagNode* tag0 = ts_.FindById(versions.front()->tsid);
+    if (tag0 != nullptr && tag0->type == TagType::kSnapshot &&
+        versions.size() > 1) {
+      versions.erase(versions.begin(), versions.end() - 1);
+    }
+  }
+  std::vector<NodePtr> out;
+  out.reserve(versions.size());
+  for (size_t i = 0; i < versions.size(); ++i) {
+    const Fragment& f = *versions[i];
+    const TagNode* tag = ts_.FindById(f.tsid);
+    NodePtr v = f.content->Clone();
+    if (tag->type == TagType::kEvent) {
+      v->SetAttr("vtFrom", f.valid_time.ToString());
+      v->SetAttr("vtTo", f.valid_time.ToString());
+    } else if (tag->type == TagType::kTemporal) {
+      v->SetAttr("vtFrom", f.valid_time.ToString());
+      v->SetAttr("vtTo", i + 1 < versions.size()
+                             ? versions[i + 1]->valid_time.ToString()
+                             : "now");
+    }
+    // Stamp holes with the stream name so multi-stream hole resolution can
+    // route back to this store.
+    if (!name_.empty()) {
+      std::vector<Node*> stack = {v.get()};
+      while (!stack.empty()) {
+        Node* n = stack.back();
+        stack.pop_back();
+        if (IsHoleElement(*n)) n->SetAttr("stream", name_);
+        for (const NodePtr& c : n->children()) {
+          if (c->is_element()) stack.push_back(c.get());
+        }
+      }
+    }
+    out.push_back(std::move(v));
+  }
+  return out;
+}
+
+Result<std::vector<NodePtr>> FragmentStore::GetFillerVersions(
+    int64_t id, bool linear) const {
+  return BuildVersions(CollectById(id, linear));
+}
+
+Result<NodePtr> FragmentStore::GetFillerWrapper(int64_t id,
+                                                bool linear) const {
+  XCQL_ASSIGN_OR_RETURN(std::vector<NodePtr> versions,
+                        GetFillerVersions(id, linear));
+  NodePtr wrapper = Node::Element("filler");
+  wrapper->SetAttr("id", std::to_string(id));
+  for (NodePtr& v : versions) wrapper->AddChild(std::move(v));
+  return wrapper;
+}
+
+Result<std::vector<NodePtr>> FragmentStore::GetFillersByTsid(int tsid) const {
+  std::vector<NodePtr> out;
+  auto it = ids_by_tsid_.find(tsid);
+  if (it == ids_by_tsid_.end()) return out;
+  out.reserve(it->second.size());
+  for (int64_t id : it->second) {
+    XCQL_ASSIGN_OR_RETURN(NodePtr wrapper,
+                          GetFillerWrapper(id, /*linear=*/false));
+    out.push_back(std::move(wrapper));
+  }
+  return out;
+}
+
+Result<std::vector<NodePtr>> FragmentStore::GetFillersByTsidInRange(
+    int tsid, DateTime tb, DateTime te) const {
+  std::vector<NodePtr> out;
+  auto it = ids_by_tsid_.find(tsid);
+  if (it == ids_by_tsid_.end()) return out;
+  const TagNode* tag = ts_.FindById(tsid);
+  bool is_event = tag != nullptr && tag->type == TagType::kEvent;
+  for (int64_t id : it->second) {
+    auto versions_it = by_id_.find(id);
+    if (versions_it == by_id_.end() || versions_it->second.empty()) continue;
+    DateTime first = fragments_[versions_it->second.front()].valid_time;
+    DateTime last = fragments_[versions_it->second.back()].valid_time;
+    if (first > te) continue;
+    if (is_event && last < tb) continue;
+    // Temporal groups stay open at `now`, so they always reach tb.
+    XCQL_ASSIGN_OR_RETURN(NodePtr wrapper,
+                          GetFillerWrapper(id, /*linear=*/false));
+    out.push_back(std::move(wrapper));
+  }
+  return out;
+}
+
+size_t FragmentStore::CountIdsWithTsid(int tsid) const {
+  auto it = ids_by_tsid_.find(tsid);
+  return it == ids_by_tsid_.end() ? 0 : it->second.size();
+}
+
+void StoreHoleResolver::AddStore(const FragmentStore* store) {
+  stores_[store->name()] = store;
+  sole_store_ = stores_.size() == 1 ? store : nullptr;
+}
+
+Result<std::vector<NodePtr>> StoreHoleResolver::Resolve(xq::EvalContext&,
+                                                        const Node& hole) {
+  const FragmentStore* store = sole_store_;
+  const std::string* stream = hole.FindAttr("stream");
+  if (stream != nullptr) {
+    auto it = stores_.find(*stream);
+    if (it == stores_.end()) {
+      return Status::NotFound("hole references unknown stream '" + *stream +
+                              "'");
+    }
+    store = it->second;
+  }
+  if (store == nullptr) {
+    return Status::InvalidArgument(
+        "cannot resolve hole: multiple streams registered and the hole "
+        "carries no stream attribute");
+  }
+  XCQL_ASSIGN_OR_RETURN(int64_t id, HoleId(hole));
+  return store->GetFillerVersions(id, linear_);
+}
+
+}  // namespace xcql::frag

@@ -1,0 +1,117 @@
+#include "frag/fragmenter.h"
+
+#include <deque>
+#include <map>
+
+#include "common/string_util.h"
+#include "temporal/duration.h"
+
+namespace xcql::frag {
+
+Fragmenter::Fragmenter(const TagStructure* ts, FragmenterOptions options)
+    : ts_(ts), opts_(options) {}
+
+Result<DateTime> Fragmenter::VersionTime(const Node& occ) {
+  const std::string* vt = occ.FindAttr("vtFrom");
+  if (vt != nullptr) return DateTime::Parse(*vt);
+  DateTime t(opts_.base_time.seconds() + synthetic_seq_ * opts_.step_seconds);
+  ++synthetic_seq_;
+  return t;
+}
+
+Result<NodePtr> Fragmenter::BuildContent(const Node& occ, const TagNode* tag,
+                                         std::vector<Job>* jobs) {
+  NodePtr content = Node::Element(occ.name());
+  for (const auto& [k, v] : occ.attrs()) {
+    // Lifespans of fragmented elements are carried by the version sequence,
+    // not by attributes of the payload.
+    if (tag->fragmented() && (k == "vtFrom" || k == "vtTo")) continue;
+    content->SetAttr(k, v);
+  }
+  // Version grouping among this element's children: group key is
+  // (tag name, id attribute or a per-occurrence unique marker).
+  std::map<std::pair<std::string, std::string>, size_t> group_index;
+  int64_t occurrence_marker = 0;
+  for (const NodePtr& child : occ.children()) {
+    if (!child->is_element()) {
+      content->AddChild(Node::Text(child->text()));
+      continue;
+    }
+    const TagNode* ctag = tag->Child(child->name());
+    if (ctag == nullptr) {
+      return Status::InvalidArgument(
+          "element <" + child->name() + "> under <" + occ.name() +
+          "> is not declared in the tag structure");
+    }
+    if (!ctag->fragmented()) {
+      XCQL_ASSIGN_OR_RETURN(NodePtr inlined, BuildContent(*child, ctag, jobs));
+      content->AddChild(std::move(inlined));
+      continue;
+    }
+    // Fragmented child: find (or open) its version group.
+    const std::string* idattr = child->FindAttr("id");
+    std::string key;
+    if (idattr != nullptr) {
+      key = *idattr;
+    } else if (ctag->type == TagType::kEvent) {
+      // Events without ids are distinct occurrences, never versions.
+      key = StringPrintf("#occ%lld",
+                         static_cast<long long>(occurrence_marker++));
+    }  // temporal without id: empty key — all same-name siblings group
+    auto [it, inserted] =
+        group_index.try_emplace({child->name(), key}, jobs->size());
+    if (inserted) {
+      Job job;
+      job.filler_id = next_id_++;
+      job.tag = ctag;
+      jobs->push_back(std::move(job));
+      content->AddChild(MakeHole((*jobs)[it->second].filler_id, ctag->id));
+    }
+    (*jobs)[it->second].occurrences.push_back(child.get());
+  }
+  return content;
+}
+
+Result<std::vector<Fragment>> Fragmenter::Split(const Node& doc_root) {
+  if (ts_ == nullptr || ts_->root() == nullptr) {
+    return Status::InvalidArgument("fragmenter has no tag structure");
+  }
+  if (doc_root.name() != ts_->root()->name) {
+    return Status::InvalidArgument("document root <" + doc_root.name() +
+                                   "> does not match tag structure root <" +
+                                   ts_->root()->name + ">");
+  }
+  next_id_ = 0;
+  synthetic_seq_ = 0;
+
+  std::vector<Fragment> out;
+  std::deque<Job> queue;
+  Job root_job;
+  root_job.filler_id = next_id_++;  // id 0
+  root_job.tag = ts_->root();
+  root_job.occurrences.push_back(&doc_root);
+  queue.push_back(std::move(root_job));
+
+  while (!queue.empty()) {
+    Job job = std::move(queue.front());
+    queue.pop_front();
+    std::vector<Job> child_jobs;
+    for (const Node* occ : job.occurrences) {
+      Fragment f;
+      f.id = job.filler_id;
+      f.tsid = job.tag->id;
+      XCQL_ASSIGN_OR_RETURN(f.valid_time, VersionTime(*occ));
+      XCQL_ASSIGN_OR_RETURN(f.content, BuildContent(*occ, job.tag,
+                                                    &child_jobs));
+      out.push_back(std::move(f));
+    }
+    // DFS pre-order over groups: children of this group go to the front, in
+    // their document order.
+    for (auto it = child_jobs.rbegin(); it != child_jobs.rend(); ++it) {
+      queue.push_front(std::move(*it));
+    }
+  }
+  return out;
+}
+
+}  // namespace xcql::frag

@@ -1,0 +1,75 @@
+// Fragments a (possibly temporal) XML document into Hole-Filler fragments
+// according to a Tag Structure (paper §4): elements with `temporal`/`event`
+// tags become separate fillers, replaced by <hole> references in their
+// context fragment; `snapshot` elements stay embedded.
+#ifndef XCQL_FRAG_FRAGMENTER_H_
+#define XCQL_FRAG_FRAGMENTER_H_
+
+#include <vector>
+
+#include "common/result.h"
+#include "frag/fragment.h"
+#include "frag/tag_structure.h"
+
+namespace xcql::frag {
+
+/// \brief Options controlling fragmentation.
+struct FragmenterOptions {
+  /// validTime assigned to fragments whose element carries no vtFrom
+  /// attribute: base_time + k * step for the k-th such fragment, simulating
+  /// stream arrival order (used when fragmenting non-temporal documents
+  /// such as the XMark auction data).
+  DateTime base_time = DateTime(0);
+  int64_t step_seconds = 1;
+};
+
+/// \brief Splits a document into fillers.
+///
+/// Version grouping (which sibling elements are versions of one logical
+/// element, sharing a filler id) follows the paper's model:
+///  * elements with an `id` attribute form one logical element per distinct
+///    id value (each id gets its own hole/filler id; repeats are versions);
+///  * `temporal` elements without an `id` attribute: all same-name siblings
+///    are versions of one logical element (e.g. the creditLimit history);
+///  * `event` elements without an `id` attribute: every occurrence is its
+///    own logical element (events are distinct occurrences).
+///
+/// The validTime of a version is its vtFrom attribute when present,
+/// otherwise synthetic per FragmenterOptions. vtFrom/vtTo attributes are
+/// stripped from filler payloads — reconstruction re-derives them from the
+/// version sequence (paper §5), with the final version of a temporal
+/// element open-ended at "now" and events collapsing to a time point.
+///
+/// The root element becomes filler id 0. Fragments are emitted in document
+/// (DFS pre-order) group order, all versions of a group together.
+class Fragmenter {
+ public:
+  explicit Fragmenter(const TagStructure* ts, FragmenterOptions options = {});
+
+  /// \brief Fragments the document rooted at `doc_root`.
+  Result<std::vector<Fragment>> Split(const Node& doc_root);
+
+ private:
+  struct Job {
+    int64_t filler_id;
+    const TagNode* tag;
+    std::vector<const Node*> occurrences;
+  };
+
+  /// Builds a filler payload for `occ`: snapshot children inlined
+  /// (recursively), fragmented children replaced by holes; child groups are
+  /// appended to `jobs`.
+  Result<NodePtr> BuildContent(const Node& occ, const TagNode* tag,
+                               std::vector<Job>* jobs);
+
+  Result<DateTime> VersionTime(const Node& occ);
+
+  const TagStructure* ts_;
+  FragmenterOptions opts_;
+  int64_t next_id_ = 0;
+  int64_t synthetic_seq_ = 0;
+};
+
+}  // namespace xcql::frag
+
+#endif  // XCQL_FRAG_FRAGMENTER_H_

@@ -1,0 +1,73 @@
+#include "frag/infer.h"
+
+#include <map>
+#include <string>
+#include <vector>
+
+namespace xcql::frag {
+
+namespace {
+
+// Accumulated evidence for one tag position.
+struct Evidence {
+  bool any_lifespan = false;
+  bool any_interval = false;  // vtFrom != vtTo, or vtTo == "now"
+  std::map<std::string, Evidence> children;
+  std::vector<std::string> child_order;  // first-seen order
+
+  Evidence* Child(const std::string& name) {
+    auto [it, inserted] = children.try_emplace(name);
+    if (inserted) child_order.push_back(name);
+    return &it->second;
+  }
+};
+
+void Collect(const Node& e, Evidence* ev) {
+  const std::string* from = e.FindAttr("vtFrom");
+  const std::string* to = e.FindAttr("vtTo");
+  if (from != nullptr || to != nullptr) {
+    ev->any_lifespan = true;
+    if (from == nullptr || to == nullptr || *from != *to) {
+      ev->any_interval = true;
+    }
+  }
+  for (const NodePtr& c : e.children()) {
+    if (!c->is_element()) continue;
+    Collect(*c, ev->Child(c->name()));
+  }
+}
+
+Status Emit(const Evidence& ev, const std::string& name, TagStructure* ts,
+            TagNode* parent, int* next_id) {
+  TagType type = TagType::kSnapshot;
+  if (ev.any_lifespan) {
+    type = ev.any_interval ? TagType::kTemporal : TagType::kEvent;
+  }
+  XCQL_ASSIGN_OR_RETURN(TagNode * node,
+                        ts->AddChild(parent, name, type, (*next_id)++));
+  for (const std::string& child : ev.child_order) {
+    XCQL_RETURN_NOT_OK(Emit(ev.children.at(child), child, ts, node,
+                            next_id));
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<TagStructure> InferTagStructure(const Node& doc_root) {
+  if (!doc_root.is_element()) {
+    return Status::InvalidArgument("tag inference requires an element root");
+  }
+  Evidence root_ev;
+  Collect(doc_root, &root_ev);
+  int next_id = 1;
+  TagStructure ts =
+      TagStructure::Make(doc_root.name(), TagType::kSnapshot, next_id++);
+  for (const std::string& child : root_ev.child_order) {
+    XCQL_RETURN_NOT_OK(Emit(root_ev.children.at(child), child, &ts,
+                            ts.mutable_root(), &next_id));
+  }
+  return ts;
+}
+
+}  // namespace xcql::frag

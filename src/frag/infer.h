@@ -1,0 +1,26 @@
+// Tag Structure inference: proposes a Tag Structure from a sample temporal
+// document, so stream producers don't have to hand-write the schema. The
+// classification follows the temporal-view encoding:
+//   * elements carrying vtFrom == vtTo on every occurrence → event;
+//   * elements carrying lifespan attributes otherwise     → temporal;
+//   * elements never carrying lifespan attributes         → snapshot.
+// The root is always snapshot (the fragment model roots the stream in a
+// static context fragment, paper §4.1).
+#ifndef XCQL_FRAG_INFER_H_
+#define XCQL_FRAG_INFER_H_
+
+#include "common/result.h"
+#include "frag/tag_structure.h"
+
+namespace xcql::frag {
+
+/// \brief Infers a Tag Structure from a sample document. Ids are assigned
+/// in depth-first order starting at 1. Same-named elements under the same
+/// parent path share one tag; their occurrences' evidence is merged
+/// (any lifespan ⇒ fragmented; any open or multi-version lifespan ⇒
+/// temporal).
+Result<TagStructure> InferTagStructure(const Node& doc_root);
+
+}  // namespace xcql::frag
+
+#endif  // XCQL_FRAG_INFER_H_

@@ -1,0 +1,46 @@
+#include "frag/io.h"
+
+#include "common/file_util.h"
+#include "xml/parser.h"
+
+namespace xcql::frag {
+
+std::string SerializeFragmentStream(const std::vector<Fragment>& fragments) {
+  std::string out = "<fragments>\n";
+  for (const Fragment& f : fragments) {
+    out += f.ToXml();
+    out += "\n";
+  }
+  out += "</fragments>\n";
+  return out;
+}
+
+Result<std::vector<Fragment>> ParseFragmentStream(std::string_view xml) {
+  XCQL_ASSIGN_OR_RETURN(std::vector<NodePtr> roots, ParseXmlFragments(xml));
+  std::vector<Fragment> out;
+  for (const NodePtr& root : roots) {
+    if (root->name() == "fragments") {
+      for (const NodePtr& c : root->children()) {
+        if (!c->is_element()) continue;
+        XCQL_ASSIGN_OR_RETURN(Fragment f, Fragment::FromNode(*c));
+        out.push_back(std::move(f));
+      }
+    } else {
+      XCQL_ASSIGN_OR_RETURN(Fragment f, Fragment::FromNode(*root));
+      out.push_back(std::move(f));
+    }
+  }
+  return out;
+}
+
+Status WriteFragmentStreamFile(const std::string& path,
+                               const std::vector<Fragment>& fragments) {
+  return WriteStringToFile(path, SerializeFragmentStream(fragments));
+}
+
+Result<std::vector<Fragment>> ReadFragmentStreamFile(const std::string& path) {
+  XCQL_ASSIGN_OR_RETURN(std::string content, ReadFileToString(path));
+  return ParseFragmentStream(content);
+}
+
+}  // namespace xcql::frag

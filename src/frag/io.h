@@ -1,0 +1,32 @@
+// Persistence of recorded fragment streams: the on-disk form is a single
+// well-formed XML document — a <fragments> element wrapping the wire-form
+// fillers in arrival order (the "fragments.xml" of the paper's §5/§6.1).
+#ifndef XCQL_FRAG_IO_H_
+#define XCQL_FRAG_IO_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+#include "frag/fragment.h"
+
+namespace xcql::frag {
+
+/// \brief Serializes fragments as a <fragments> document.
+std::string SerializeFragmentStream(const std::vector<Fragment>& fragments);
+
+/// \brief Parses a recorded stream: accepts a <fragments> wrapper or a bare
+/// sequence of <filler> elements.
+Result<std::vector<Fragment>> ParseFragmentStream(std::string_view xml);
+
+/// \brief Writes a recorded stream to a file.
+Status WriteFragmentStreamFile(const std::string& path,
+                               const std::vector<Fragment>& fragments);
+
+/// \brief Reads a recorded stream from a file.
+Result<std::vector<Fragment>> ReadFragmentStreamFile(const std::string& path);
+
+}  // namespace xcql::frag
+
+#endif  // XCQL_FRAG_IO_H_

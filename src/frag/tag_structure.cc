@@ -1,0 +1,153 @@
+#include "frag/tag_structure.h"
+
+#include "common/string_util.h"
+#include "xml/parser.h"
+#include "xml/serializer.h"
+
+namespace xcql::frag {
+
+const char* TagTypeName(TagType t) {
+  switch (t) {
+    case TagType::kSnapshot:
+      return "snapshot";
+    case TagType::kTemporal:
+      return "temporal";
+    case TagType::kEvent:
+      return "event";
+  }
+  return "?";
+}
+
+const TagNode* TagNode::Child(std::string_view child_name) const {
+  for (const auto& c : children) {
+    if (c->name == child_name) return c.get();
+  }
+  return nullptr;
+}
+
+namespace {
+
+Result<TagType> ParseTagType(const std::string& s) {
+  if (s == "snapshot") return TagType::kSnapshot;
+  if (s == "temporal") return TagType::kTemporal;
+  if (s == "event") return TagType::kEvent;
+  return Status::ParseError("unknown tag type '" + s + "'");
+}
+
+Result<std::unique_ptr<TagNode>> BuildTag(const Node& el) {
+  if (el.name() != "tag") {
+    return Status::ParseError("expected <tag>, found <" + el.name() + ">");
+  }
+  const std::string* type = el.FindAttr("type");
+  const std::string* id = el.FindAttr("id");
+  const std::string* name = el.FindAttr("name");
+  if (type == nullptr || id == nullptr || name == nullptr) {
+    return Status::ParseError("<tag> requires type, id and name attributes");
+  }
+  auto node = std::make_unique<TagNode>();
+  XCQL_ASSIGN_OR_RETURN(node->type, ParseTagType(*type));
+  auto idv = ParseInt64(*id);
+  if (!idv) return Status::ParseError("bad tag id '" + *id + "'");
+  node->id = static_cast<int>(*idv);
+  node->name = *name;
+  for (const NodePtr& c : el.children()) {
+    if (!c->is_element()) continue;
+    XCQL_ASSIGN_OR_RETURN(std::unique_ptr<TagNode> child, BuildTag(*c));
+    child->parent = node.get();
+    node->children.push_back(std::move(child));
+  }
+  return node;
+}
+
+void WriteTag(const TagNode& t, int depth, std::string* out) {
+  out->append(static_cast<size_t>(depth * 2), ' ');
+  *out += "<tag type=\"";
+  *out += TagTypeName(t.type);
+  *out += "\" id=\"";
+  *out += std::to_string(t.id);
+  *out += "\" name=\"";
+  *out += EscapeAttr(t.name);
+  if (t.children.empty()) {
+    *out += "\"/>\n";
+    return;
+  }
+  *out += "\">\n";
+  for (const auto& c : t.children) WriteTag(*c, depth + 1, out);
+  out->append(static_cast<size_t>(depth * 2), ' ');
+  *out += "</tag>\n";
+}
+
+}  // namespace
+
+Result<TagStructure> TagStructure::Parse(std::string_view xml) {
+  XCQL_ASSIGN_OR_RETURN(NodePtr root, ParseXml(xml));
+  return FromXml(*root);
+}
+
+Result<TagStructure> TagStructure::FromXml(const Node& root) {
+  const Node* tag_root = &root;
+  if (root.name() != "tag") {
+    // Unwrap <stream:structure> (or any single wrapper element).
+    const NodePtr inner = root.FirstChildElement("tag");
+    if (inner == nullptr) {
+      return Status::ParseError("tag structure has no root <tag> element");
+    }
+    tag_root = inner.get();
+  }
+  TagStructure ts;
+  XCQL_ASSIGN_OR_RETURN(ts.root_, BuildTag(*tag_root));
+  XCQL_RETURN_NOT_OK(ts.IndexSubtree(ts.root_.get()));
+  return ts;
+}
+
+TagStructure TagStructure::Make(std::string root_name, TagType type, int id) {
+  TagStructure ts;
+  ts.root_ = std::make_unique<TagNode>();
+  ts.root_->name = std::move(root_name);
+  ts.root_->type = type;
+  ts.root_->id = id;
+  ts.by_id_[id] = ts.root_.get();
+  return ts;
+}
+
+Result<TagNode*> TagStructure::AddChild(TagNode* parent, std::string name,
+                                        TagType type, int id) {
+  if (by_id_.count(id) != 0) {
+    return Status::InvalidArgument(
+        StringPrintf("duplicate tag id %d in tag structure", id));
+  }
+  auto node = std::make_unique<TagNode>();
+  node->name = std::move(name);
+  node->type = type;
+  node->id = id;
+  node->parent = parent;
+  TagNode* raw = node.get();
+  parent->children.push_back(std::move(node));
+  by_id_[id] = raw;
+  return raw;
+}
+
+Status TagStructure::IndexSubtree(TagNode* n) {
+  if (!by_id_.emplace(n->id, n).second) {
+    return Status::ParseError(
+        StringPrintf("duplicate tag id %d in tag structure", n->id));
+  }
+  for (const auto& c : n->children) {
+    XCQL_RETURN_NOT_OK(IndexSubtree(c.get()));
+  }
+  return Status::OK();
+}
+
+const TagNode* TagStructure::FindById(int id) const {
+  auto it = by_id_.find(id);
+  return it == by_id_.end() ? nullptr : it->second;
+}
+
+std::string TagStructure::ToXml() const {
+  std::string out = "<stream:structure>\n";
+  if (root_ != nullptr) WriteTag(*root_, 1, &out);
+  out += "</stream:structure>";
+  return out;
+}
+
+}  // namespace xcql::frag

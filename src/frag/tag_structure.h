@@ -1,0 +1,93 @@
+// The Tag Structure (paper §4.1): a structural summary of the stream's
+// schema annotating every tag with a fragment type. The XML data is
+// fragmented only on tags typed `temporal` and `event`; `snapshot` tags stay
+// embedded in their context fragment.
+#ifndef XCQL_FRAG_TAG_STRUCTURE_H_
+#define XCQL_FRAG_TAG_STRUCTURE_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+#include "xml/node.h"
+
+namespace xcql::frag {
+
+/// \brief Fragment type of a tag (paper §4.1).
+enum class TagType {
+  kSnapshot,  // non-temporal, embedded in its context fragment
+  kTemporal,  // versioned updates with a [vtFrom, vtTo) lifespan
+  kEvent,     // instantaneous occurrences, vtFrom == vtTo
+};
+
+const char* TagTypeName(TagType t);
+
+/// \brief One node of the Tag Structure tree.
+struct TagNode {
+  TagType type = TagType::kSnapshot;
+  int id = 0;  // the tsid carried by fragments
+  std::string name;
+  TagNode* parent = nullptr;
+  std::vector<std::unique_ptr<TagNode>> children;
+
+  /// \brief True if elements with this tag travel as separate fillers.
+  bool fragmented() const { return type != TagType::kSnapshot; }
+
+  /// \brief Child tag with the given element name, or nullptr.
+  const TagNode* Child(std::string_view child_name) const;
+};
+
+/// \brief The schema summary for one stream.
+///
+/// Parsed from the paper's XML form:
+///   <stream:structure>
+///     <tag type="snapshot" id="1" name="creditAccounts">
+///       <tag type="temporal" id="2" name="account"> … </tag>
+///     </tag>
+///   </stream:structure>
+/// (the <stream:structure> wrapper is optional; a bare root <tag> works).
+class TagStructure {
+ public:
+  TagStructure() = default;
+  TagStructure(TagStructure&&) = default;
+  TagStructure& operator=(TagStructure&&) = default;
+
+  /// \brief Parses the XML form above.
+  static Result<TagStructure> Parse(std::string_view xml);
+
+  /// \brief Builds from an already-parsed XML tree.
+  static Result<TagStructure> FromXml(const Node& root);
+
+  /// \brief Programmatic construction: creates the root tag.
+  static TagStructure Make(std::string root_name, TagType type, int id);
+
+  /// \brief Adds a child tag under `parent` (which must belong to this
+  /// structure); returns the new node. Ids must be unique.
+  Result<TagNode*> AddChild(TagNode* parent, std::string name, TagType type,
+                            int id);
+
+  const TagNode* root() const { return root_.get(); }
+  TagNode* mutable_root() { return root_.get(); }
+
+  /// \brief Tag with the given tsid, or nullptr.
+  const TagNode* FindById(int id) const;
+
+  /// \brief Serializes back to the paper's XML form.
+  std::string ToXml() const;
+
+  /// \brief Number of tags.
+  size_t size() const { return by_id_.size(); }
+
+ private:
+  Status IndexSubtree(TagNode* n);
+
+  std::unique_ptr<TagNode> root_;
+  std::map<int, TagNode*> by_id_;
+};
+
+}  // namespace xcql::frag
+
+#endif  // XCQL_FRAG_TAG_STRUCTURE_H_

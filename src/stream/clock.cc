@@ -1,0 +1,11 @@
+#include "stream/clock.h"
+
+#include <algorithm>
+
+namespace xcql::stream {
+
+void SimClock::AdvanceTo(DateTime t) { now_ = std::max(now_, t); }
+
+void SimClock::Advance(const Duration& d) { now_ = now_.Add(d); }
+
+}  // namespace xcql::stream

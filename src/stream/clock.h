@@ -1,0 +1,33 @@
+// Simulated time for the continuous runtime. Examples, tests and benches
+// drive the clock explicitly, which makes continuous-query behaviour
+// deterministic and reproducible.
+#ifndef XCQL_STREAM_CLOCK_H_
+#define XCQL_STREAM_CLOCK_H_
+
+#include "temporal/datetime.h"
+#include "temporal/duration.h"
+
+namespace xcql::stream {
+
+/// \brief A monotonic simulated clock.
+class SimClock {
+ public:
+  SimClock() = default;
+  explicit SimClock(DateTime start) : now_(start) {}
+
+  DateTime Now() const { return now_; }
+
+  /// \brief Moves the clock forward to `t`; moving backwards is ignored
+  /// (the clock is monotonic).
+  void AdvanceTo(DateTime t);
+
+  /// \brief Moves the clock forward by a duration.
+  void Advance(const Duration& d);
+
+ private:
+  DateTime now_ = DateTime(0);
+};
+
+}  // namespace xcql::stream
+
+#endif  // XCQL_STREAM_CLOCK_H_

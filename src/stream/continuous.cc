@@ -1,0 +1,82 @@
+#include "stream/continuous.h"
+
+#include "xml/serializer.h"
+
+namespace xcql::stream {
+
+ContinuousQueryEngine::ContinuousQueryEngine(StreamHub* hub, SimClock* clock)
+    : hub_(hub), clock_(clock) {}
+
+Result<int> ContinuousQueryEngine::Register(
+    const std::string& xcql, Callback callback,
+    const ContinuousQueryOptions& options) {
+  // Streams may have been subscribed after engine construction; sync lazily.
+  for (const frag::FragmentStore* store : hub_->stores()) {
+    if (registered_streams_.insert(store->name()).second) {
+      XCQL_RETURN_NOT_OK(executor_.RegisterStream(store));
+    }
+  }
+  // Validate the query now so registration errors surface immediately.
+  XCQL_ASSIGN_OR_RETURN(std::string translated,
+                        executor_.TranslateToText(xcql, options.method));
+  (void)translated;
+  int id = next_id_++;
+  queries_[id] = Query{xcql, std::move(callback), options, {}};
+  return id;
+}
+
+Status ContinuousQueryEngine::Unregister(int id) {
+  if (queries_.erase(id) == 0) {
+    return Status::NotFound("no continuous query with id " +
+                            std::to_string(id));
+  }
+  return Status::OK();
+}
+
+void ContinuousQueryEngine::RegisterFunction(
+    const std::string& name, int min_arity, int max_arity,
+    xq::FunctionRegistry::NativeFn fn) {
+  executor_.RegisterFunction(name, min_arity, max_arity, std::move(fn));
+}
+
+Status ContinuousQueryEngine::Tick() {
+  for (const frag::FragmentStore* store : hub_->stores()) {
+    if (registered_streams_.insert(store->name()).second) {
+      XCQL_RETURN_NOT_OK(executor_.RegisterStream(store));
+    }
+  }
+  for (auto& [id, q] : queries_) {
+    lang::ExecOptions opts;
+    opts.method = q.options.method;
+    opts.now = clock_->Now();
+    if (q.options.incremental) {
+      opts.bindings["since"] =
+          xq::SingletonAtomic(xq::Atomic(q.watermark));
+    }
+    XCQL_ASSIGN_OR_RETURN(xq::Sequence result,
+                          executor_.Execute(q.text, opts));
+    q.watermark = clock_->Now();
+    ++evaluations_;
+    if (!q.options.dedup) {
+      results_emitted_ += static_cast<int64_t>(result.size());
+      if (q.callback) q.callback(result, clock_->Now());
+      continue;
+    }
+    xq::Sequence delta;
+    for (xq::Item& item : result) {
+      std::string key = xq::IsNode(item)
+                            ? SerializeXml(*xq::AsNode(item))
+                            : xq::AsAtomic(item).ToStringValue();
+      if (q.seen.insert(std::move(key)).second) {
+        delta.push_back(std::move(item));
+      }
+    }
+    if (!delta.empty()) {
+      results_emitted_ += static_cast<int64_t>(delta.size());
+      if (q.callback) q.callback(delta, clock_->Now());
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace xcql::stream

@@ -1,0 +1,85 @@
+// The continuous query engine: registered XCQL queries are re-evaluated
+// over the growing fragment stores as the clock advances, emitting newly
+// appearing results (paper §1/§3: queries run continuously over the
+// fragmented streams; operator-level scheduling is the paper's future
+// work, so the engine re-evaluates per tick and deduplicates output).
+#ifndef XCQL_STREAM_CONTINUOUS_H_
+#define XCQL_STREAM_CONTINUOUS_H_
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+
+#include "common/result.h"
+#include "stream/clock.h"
+#include "stream/registry.h"
+#include "xcql/executor.h"
+
+namespace xcql::stream {
+
+/// \brief Per-query options.
+struct ContinuousQueryOptions {
+  lang::ExecMethod method = lang::ExecMethod::kQaCPlus;
+  /// Emit each distinct result item at most once across ticks. With it off,
+  /// every tick reports the full current result.
+  bool dedup = true;
+  /// Incremental (watermark) mode: the query sees a variable `$since`
+  /// holding the previous tick's evaluation time (`start` on the first
+  /// tick). A query that restricts its event scan to `?[$since, now]`
+  /// touches only fragments that arrived since it last ran — cooperative
+  /// delta evaluation, a lightweight stand-in for the operator scheduling
+  /// the paper defers to future work (§8).
+  bool incremental = false;
+};
+
+/// \brief Runs registered XCQL queries continuously over a hub's streams.
+class ContinuousQueryEngine {
+ public:
+  /// Callback: the delta (or full) result plus the evaluation time.
+  using Callback =
+      std::function<void(const xq::Sequence& results, DateTime at)>;
+
+  ContinuousQueryEngine(StreamHub* hub, SimClock* clock);
+
+  /// \brief Registers a continuous query; returns its id. The query is
+  /// validated (parsed and translated) immediately.
+  Result<int> Register(const std::string& xcql, Callback callback,
+                       const ContinuousQueryOptions& options = {});
+
+  Status Unregister(int id);
+
+  /// \brief Registers an application UDF available to all queries.
+  void RegisterFunction(const std::string& name, int min_arity, int max_arity,
+                        xq::FunctionRegistry::NativeFn fn);
+
+  /// \brief Re-evaluates every registered query at the clock's current
+  /// time, invoking callbacks with new results.
+  Status Tick();
+
+  int64_t evaluations() const { return evaluations_; }
+  int64_t results_emitted() const { return results_emitted_; }
+
+ private:
+  struct Query {
+    std::string text;
+    Callback callback;
+    ContinuousQueryOptions options;
+    std::set<std::string> seen;  // serialized results already emitted
+    DateTime watermark = DateTime::Start();  // $since in incremental mode
+  };
+
+  StreamHub* hub_;
+  SimClock* clock_;
+  lang::QueryExecutor executor_;
+  std::map<int, Query> queries_;
+  std::set<std::string> registered_streams_;
+  int next_id_ = 1;
+  int64_t evaluations_ = 0;
+  int64_t results_emitted_ = 0;
+};
+
+}  // namespace xcql::stream
+
+#endif  // XCQL_STREAM_CONTINUOUS_H_

@@ -1,0 +1,58 @@
+#include "stream/registry.h"
+
+namespace xcql::stream {
+
+StreamHub::~StreamHub() {
+  for (StreamServer* s : servers_) s->UnregisterClient(this);
+}
+
+Status StreamHub::Subscribe(StreamServer* server) {
+  if (stores_.count(server->name()) != 0) {
+    return Status::InvalidArgument("already subscribed to stream '" +
+                                   server->name() + "'");
+  }
+  // The store needs its own copy of the schema.
+  XCQL_ASSIGN_OR_RETURN(frag::TagStructure ts,
+                        frag::TagStructure::Parse(
+                            server->tag_structure().ToXml()));
+  stores_[server->name()] = std::make_unique<frag::FragmentStore>(
+      std::move(ts), server->name());
+  servers_.push_back(server);
+  server->RegisterClient(this);
+  return Status::OK();
+}
+
+Result<frag::FragmentStore*> StreamHub::AddLocalStream(const std::string& name,
+                                                       frag::TagStructure ts) {
+  if (stores_.count(name) != 0) {
+    return Status::InvalidArgument("stream '" + name + "' already exists");
+  }
+  auto store = std::make_unique<frag::FragmentStore>(std::move(ts), name);
+  frag::FragmentStore* raw = store.get();
+  stores_[name] = std::move(store);
+  return raw;
+}
+
+void StreamHub::OnFragment(const std::string& stream_name,
+                           frag::Fragment fragment) {
+  auto it = stores_.find(stream_name);
+  if (it == stores_.end()) return;  // not subscribed; drop
+  ++fragments_received_;
+  // A malformed fragment from the wire is dropped: the push model has no
+  // back-channel to request retransmission (paper §1).
+  (void)it->second->Insert(std::move(fragment)).ok();
+}
+
+frag::FragmentStore* StreamHub::store(const std::string& name) const {
+  auto it = stores_.find(name);
+  return it == stores_.end() ? nullptr : it->second.get();
+}
+
+std::vector<const frag::FragmentStore*> StreamHub::stores() const {
+  std::vector<const frag::FragmentStore*> out;
+  out.reserve(stores_.size());
+  for (const auto& [name, store] : stores_) out.push_back(store.get());
+  return out;
+}
+
+}  // namespace xcql::stream

@@ -1,0 +1,55 @@
+// Client-side stream management: subscribing to servers, maintaining one
+// FragmentStore per stream, and exposing the stores to the query layer.
+#ifndef XCQL_STREAM_REGISTRY_H_
+#define XCQL_STREAM_REGISTRY_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "frag/fragment_store.h"
+#include "stream/transport.h"
+
+namespace xcql::stream {
+
+/// \brief A client's collection of subscribed streams.
+///
+/// Subscribing registers the hub with the server (the once-per-client
+/// registration of paper §1) and creates a FragmentStore that accumulates
+/// every fragment the server pushes.
+class StreamHub : public StreamClient {
+ public:
+  StreamHub() = default;
+  ~StreamHub() override;
+
+  StreamHub(const StreamHub&) = delete;
+  StreamHub& operator=(const StreamHub&) = delete;
+
+  /// \brief Subscribes to a server; the server must outlive the hub.
+  Status Subscribe(StreamServer* server);
+
+  /// \brief Creates a local store without a server (for replaying recorded
+  /// fragment streams).
+  Result<frag::FragmentStore*> AddLocalStream(const std::string& name,
+                                              frag::TagStructure ts);
+
+  void OnFragment(const std::string& stream_name,
+                  frag::Fragment fragment) override;
+
+  frag::FragmentStore* store(const std::string& name) const;
+  std::vector<const frag::FragmentStore*> stores() const;
+
+  /// \brief Total fragments received across all streams.
+  int64_t fragments_received() const { return fragments_received_; }
+
+ private:
+  std::map<std::string, std::unique_ptr<frag::FragmentStore>> stores_;
+  std::vector<StreamServer*> servers_;
+  int64_t fragments_received_ = 0;
+};
+
+}  // namespace xcql::stream
+
+#endif  // XCQL_STREAM_REGISTRY_H_

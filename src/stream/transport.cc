@@ -1,0 +1,160 @@
+#include "stream/transport.h"
+
+#include <algorithm>
+
+#include "common/string_util.h"
+#include "frag/codec.h"
+
+namespace xcql::stream {
+
+StreamServer::StreamServer(std::string name, frag::TagStructure ts)
+    : name_(std::move(name)), ts_(std::move(ts)) {}
+
+void StreamServer::RegisterClient(StreamClient* client) {
+  if (std::find(clients_.begin(), clients_.end(), client) == clients_.end()) {
+    clients_.push_back(client);
+  }
+}
+
+void StreamServer::UnregisterClient(StreamClient* client) {
+  clients_.erase(std::remove(clients_.begin(), clients_.end(), client),
+                 clients_.end());
+}
+
+Status StreamServer::Publish(frag::Fragment fragment) {
+  if (fragment.content == nullptr) {
+    return Status::InvalidArgument("fragment without payload");
+  }
+  if (ts_.FindById(fragment.tsid) == nullptr) {
+    return Status::InvalidArgument("fragment tsid not in the tag structure");
+  }
+  next_filler_id_ = std::max(next_filler_id_, fragment.id + 1);
+  ++fragments_sent_;
+  if (compress_wire_) {
+    XCQL_ASSIGN_OR_RETURN(std::string wire,
+                          frag::CompressFragment(fragment, ts_));
+    bytes_sent_ += static_cast<int64_t>(wire.size());
+  } else {
+    bytes_sent_ += static_cast<int64_t>(fragment.ToXml().size());
+  }
+  for (StreamClient* c : clients_) {
+    frag::Fragment copy;
+    copy.id = fragment.id;
+    copy.tsid = fragment.tsid;
+    copy.valid_time = fragment.valid_time;
+    copy.content = fragment.content->Clone();
+    c->OnFragment(name_, std::move(copy));
+  }
+  history_.push_back(std::move(fragment));
+  return Status::OK();
+}
+
+Status StreamServer::PublishDocument(const Node& doc,
+                                     const frag::FragmenterOptions& options) {
+  frag::Fragmenter fragmenter(&ts_, options);
+  XCQL_ASSIGN_OR_RETURN(std::vector<frag::Fragment> frags,
+                        fragmenter.Split(doc));
+  for (frag::Fragment& f : frags) {
+    XCQL_RETURN_NOT_OK(Publish(std::move(f)));
+  }
+  return Status::OK();
+}
+
+Result<int> StreamServer::RepeatFiller(int64_t filler_id) {
+  // Copy first: Publish appends to history_, which would invalidate any
+  // references into it.
+  std::vector<frag::Fragment> matches;
+  for (const frag::Fragment& f : history_) {
+    if (f.id != filler_id) continue;
+    frag::Fragment copy;
+    copy.id = f.id;
+    copy.tsid = f.tsid;
+    copy.valid_time = f.valid_time;
+    copy.content = f.content->Clone();
+    matches.push_back(std::move(copy));
+  }
+  int repeated = 0;
+  for (frag::Fragment& f : matches) {
+    XCQL_RETURN_NOT_OK(Publish(std::move(f)));
+    ++repeated;
+  }
+  return repeated;
+}
+
+Result<int> StreamServer::ReplayTo(StreamClient* client) {
+  int replayed = 0;
+  for (const frag::Fragment& f : history_) {
+    frag::Fragment copy;
+    copy.id = f.id;
+    copy.tsid = f.tsid;
+    copy.valid_time = f.valid_time;
+    copy.content = f.content->Clone();
+    client->OnFragment(name_, std::move(copy));
+    ++replayed;
+  }
+  return replayed;
+}
+
+EventAppender::EventAppender(StreamServer* server, int64_t context_id,
+                             int context_tsid, NodePtr context)
+    : server_(server),
+      context_id_(context_id),
+      context_tsid_(context_tsid),
+      context_(std::move(context)) {
+  server_->ReserveFillerId(context_id_);
+}
+
+Result<int64_t> EventAppender::Append(NodePtr element, DateTime valid_time) {
+  const frag::TagNode* context_tag =
+      server_->tag_structure().FindById(context_tsid_);
+  if (context_tag == nullptr) {
+    return Status::InvalidArgument("unknown context tsid");
+  }
+  const frag::TagNode* child_tag = context_tag->Child(element->name());
+  if (child_tag == nullptr || !child_tag->fragmented()) {
+    return Status::InvalidArgument(
+        "element <" + element->name() +
+        "> is not a fragmented child of the context tag <" +
+        context_tag->name + ">");
+  }
+  int64_t id = server_->NextFillerId();
+  frag::Fragment f;
+  f.id = id;
+  f.tsid = child_tag->id;
+  f.valid_time = valid_time;
+  f.content = std::move(element);
+  XCQL_RETURN_NOT_OK(server_->Publish(std::move(f)));
+  context_->AddChild(frag::MakeHole(id, child_tag->id));
+  dirty_ = true;
+  ++appended_;
+  return id;
+}
+
+Status EventAppender::Remove(int64_t filler_id) {
+  for (const NodePtr& c : context_->children()) {
+    if (!c->is_element() || !frag::IsHoleElement(*c)) continue;
+    auto id = frag::HoleId(*c);
+    if (id.ok() && id.value() == filler_id) {
+      context_->RemoveChild(c.get());
+      dirty_ = true;
+      return Status::OK();
+    }
+  }
+  return Status::NotFound(
+      StringPrintf("context has no hole for filler %lld",
+                   static_cast<long long>(filler_id)));
+}
+
+Status EventAppender::Flush(DateTime valid_time) {
+  if (!dirty_) return Status::OK();
+  frag::Fragment f;
+  f.id = context_id_;
+  f.tsid = context_tsid_;
+  f.valid_time = valid_time;
+  f.content = context_->Clone();
+  XCQL_RETURN_NOT_OK(server_->Publish(std::move(f)));
+  dirty_ = false;
+  return Status::OK();
+}
+
+}  // namespace xcql::stream

@@ -1,0 +1,140 @@
+// Push-based stream transport (paper §1): a server multicasts XML fragments
+// to registered clients without per-query feedback; a client registers with
+// a server once and then runs any number of continuous queries locally.
+#ifndef XCQL_STREAM_TRANSPORT_H_
+#define XCQL_STREAM_TRANSPORT_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "frag/fragment.h"
+#include "frag/fragmenter.h"
+#include "frag/tag_structure.h"
+
+namespace xcql::stream {
+
+/// \brief Receiver interface; implemented by client-side sinks.
+class StreamClient {
+ public:
+  virtual ~StreamClient() = default;
+
+  /// \brief Called once per multicast fragment. The fragment's content is
+  /// owned by the receiver (each client gets its own copy).
+  virtual void OnFragment(const std::string& stream_name,
+                          frag::Fragment fragment) = 0;
+};
+
+/// \brief Server-side publisher for one stream.
+///
+/// Keeps aggregate wire statistics (fragments and serialized bytes), which
+/// the granularity ablation uses to measure update-transmission cost.
+class StreamServer {
+ public:
+  StreamServer(std::string name, frag::TagStructure ts);
+
+  const std::string& name() const { return name_; }
+  const frag::TagStructure& tag_structure() const { return ts_; }
+
+  /// \brief Registers a client (idempotent). Per the paper's model this
+  /// happens once per client, not per query.
+  void RegisterClient(StreamClient* client);
+  void UnregisterClient(StreamClient* client);
+
+  /// \brief Multicasts one fragment to all registered clients.
+  Status Publish(frag::Fragment fragment);
+
+  /// \brief Fragments a full document and publishes every fragment — the
+  /// "finite XML document" that starts a stream (paper §1).
+  Status PublishDocument(const Node& doc,
+                         const frag::FragmenterOptions& options = {});
+
+  /// \brief Retransmits the current versions of a filler id (the paper's
+  /// "repeat critical fragments" facility). Returns the number repeated.
+  Result<int> RepeatFiller(int64_t filler_id);
+
+  /// \brief Replays the entire published history to one client — how a
+  /// late subscriber catches up in a model where receivers cannot request
+  /// retransmission (paper §1). Returns the number of fragments replayed.
+  Result<int> ReplayTo(StreamClient* client);
+
+  /// \brief Accounts wire bytes using the §4.1 tag-id compression instead
+  /// of plain XML (delivery is unaffected; only bytes_sent changes).
+  void EnableWireCompression() { compress_wire_ = true; }
+
+  int64_t fragments_sent() const { return fragments_sent_; }
+  int64_t bytes_sent() const { return bytes_sent_; }
+
+  /// \brief Next unused filler id (for publishing updates that fill holes
+  /// created by earlier fragments).
+  int64_t NextFillerId() { return next_filler_id_++; }
+
+  /// \brief Ensures NextFillerId never returns `id` (used by publishers
+  /// that manage a fragment whose id was assigned elsewhere).
+  void ReserveFillerId(int64_t id) {
+    next_filler_id_ = std::max(next_filler_id_, id + 1);
+  }
+
+ private:
+  std::string name_;
+  frag::TagStructure ts_;
+  std::vector<StreamClient*> clients_;
+  std::vector<frag::Fragment> history_;  // for RepeatFiller
+  int64_t fragments_sent_ = 0;
+  int64_t bytes_sent_ = 0;
+  int64_t next_filler_id_ = 0;
+  bool compress_wire_ = false;
+};
+
+/// \brief Publishes events/updates into a context fragment over time.
+///
+/// Implements the paper's insertion rule (§1): "an insertion of a new child
+/// to a node is achieved by updating the fragment that contains the node
+/// with a new hole". Append() creates the child's filler immediately;
+/// Flush() republishes the context fragment once with all holes added since
+/// the previous flush (batching keeps the context-retransmission overhead
+/// linear in the number of flushes, not of events).
+class EventAppender {
+ public:
+  /// \param server        the stream to publish into
+  /// \param context_id    filler id of the context fragment (0 = root)
+  /// \param context_tsid  tsid of the context fragment
+  /// \param context       initial payload of the context fragment (its
+  ///                      current holes included); published on first Flush
+  EventAppender(StreamServer* server, int64_t context_id, int context_tsid,
+                NodePtr context);
+
+  /// \brief Creates and publishes a filler for `element` (whose tag must be
+  /// a fragmented child of the context's tag) and records the new hole.
+  /// Returns the new filler id.
+  Result<int64_t> Append(NodePtr element, DateTime valid_time);
+
+  /// \brief Deletes a child: removes its hole from the maintained context
+  /// payload (paper §1: "deletion of a child, by removing the hole
+  /// corresponding to the deleted fragment"). Takes effect at the next
+  /// Flush; the child's fragments stay reachable in earlier context
+  /// versions (history is never erased) but disappear from the current
+  /// one, and "all its children fragments become inaccessible" with it.
+  Status Remove(int64_t filler_id);
+
+  /// \brief Publishes a new version of the context fragment carrying the
+  /// holes accumulated since the last flush. No-op when nothing changed.
+  Status Flush(DateTime valid_time);
+
+  int64_t appended() const { return appended_; }
+
+ private:
+  StreamServer* server_;
+  int64_t context_id_;
+  int context_tsid_;
+  NodePtr context_;
+  bool dirty_ = true;  // initial context not yet published
+  int64_t appended_ = 0;
+};
+
+}  // namespace xcql::stream
+
+#endif  // XCQL_STREAM_TRANSPORT_H_

@@ -1,0 +1,189 @@
+#include "temporal/datetime.h"
+
+#include <cctype>
+
+#include "common/string_util.h"
+#include "temporal/duration.h"
+
+namespace xcql {
+
+namespace {
+
+constexpr int64_t kSecondsPerDay = 86400;
+
+// Days since 1970-01-01 for a proleptic-Gregorian civil date.
+// Howard Hinnant's algorithm.
+int64_t DaysFromCivil(int32_t y, int32_t m, int32_t d) {
+  y -= m <= 2;
+  const int64_t era = (y >= 0 ? y : y - 399) / 400;
+  const int32_t yoe = static_cast<int32_t>(y - era * 400);            // [0,399]
+  const int32_t doy = (153 * (m + (m > 2 ? -3 : 9)) + 2) / 5 + d - 1;  // [0,365]
+  const int32_t doe = yoe * 365 + yoe / 4 - yoe / 100 + doy;           // [0,146096]
+  return era * 146097 + doe - 719468;
+}
+
+void CivilFromDays(int64_t z, int32_t* y_out, int32_t* m_out, int32_t* d_out) {
+  z += 719468;
+  const int64_t era = (z >= 0 ? z : z - 146096) / 146097;
+  const int32_t doe = static_cast<int32_t>(z - era * 146097);  // [0,146096]
+  const int32_t yoe =
+      (doe - doe / 1460 + doe / 36524 - doe / 146096) / 365;  // [0,399]
+  const int64_t y = static_cast<int64_t>(yoe) + era * 400;
+  const int32_t doy = doe - (365 * yoe + yoe / 4 - yoe / 100);  // [0,365]
+  const int32_t mp = (5 * doy + 2) / 153;                       // [0,11]
+  const int32_t d = doy - (153 * mp + 2) / 5 + 1;               // [1,31]
+  const int32_t m = mp + (mp < 10 ? 3 : -9);                    // [1,12]
+  *y_out = static_cast<int32_t>(y + (m <= 2));
+  *m_out = m;
+  *d_out = d;
+}
+
+bool IsLeap(int32_t y) {
+  return (y % 4 == 0 && y % 100 != 0) || y % 400 == 0;
+}
+
+int32_t DaysInMonth(int32_t y, int32_t m) {
+  static const int32_t kDays[] = {31, 28, 31, 30, 31, 30,
+                                  31, 31, 30, 31, 30, 31};
+  if (m == 2 && IsLeap(y)) return 29;
+  return kDays[m - 1];
+}
+
+// Parses exactly `n` decimal digits starting at s[pos]; advances pos.
+bool ParseDigits(std::string_view s, size_t* pos, int n, int32_t* out) {
+  if (*pos + static_cast<size_t>(n) > s.size()) return false;
+  int32_t v = 0;
+  for (int i = 0; i < n; ++i) {
+    char c = s[*pos + static_cast<size_t>(i)];
+    if (!std::isdigit(static_cast<unsigned char>(c))) return false;
+    v = v * 10 + (c - '0');
+  }
+  *pos += static_cast<size_t>(n);
+  *out = v;
+  return true;
+}
+
+}  // namespace
+
+DateTime DateTime::FromCivil(const CivilTime& ct) {
+  int64_t days = DaysFromCivil(ct.year, ct.month, ct.day);
+  return DateTime(days * kSecondsPerDay + ct.hour * 3600 + ct.minute * 60 +
+                  ct.second);
+}
+
+Result<DateTime> DateTime::Parse(std::string_view s) {
+  s = StripWhitespace(s);
+  if (s == "start") return DateTime::Start();
+  if (s == "now") return DateTime::End();
+  size_t pos = 0;
+  CivilTime ct;
+  if (!ParseDigits(s, &pos, 4, &ct.year) || pos >= s.size() || s[pos] != '-') {
+    return Status::ParseError("bad dateTime year in '" + std::string(s) + "'");
+  }
+  ++pos;
+  if (!ParseDigits(s, &pos, 2, &ct.month) || pos >= s.size() ||
+      s[pos] != '-') {
+    return Status::ParseError("bad dateTime month in '" + std::string(s) + "'");
+  }
+  ++pos;
+  if (!ParseDigits(s, &pos, 2, &ct.day)) {
+    return Status::ParseError("bad dateTime day in '" + std::string(s) + "'");
+  }
+  if (pos < s.size()) {
+    if (s[pos] != 'T') {
+      return Status::ParseError("expected 'T' separator in '" +
+                                std::string(s) + "'");
+    }
+    ++pos;
+    if (!ParseDigits(s, &pos, 2, &ct.hour) || pos >= s.size() ||
+        s[pos] != ':') {
+      return Status::ParseError("bad dateTime hour in '" + std::string(s) +
+                                "'");
+    }
+    ++pos;
+    if (!ParseDigits(s, &pos, 2, &ct.minute) || pos >= s.size() ||
+        s[pos] != ':') {
+      return Status::ParseError("bad dateTime minute in '" + std::string(s) +
+                                "'");
+    }
+    ++pos;
+    if (!ParseDigits(s, &pos, 2, &ct.second)) {
+      return Status::ParseError("bad dateTime second in '" + std::string(s) +
+                                "'");
+    }
+  }
+  if (pos != s.size()) {
+    return Status::ParseError("trailing characters in dateTime '" +
+                              std::string(s) + "'");
+  }
+  if (ct.month < 1 || ct.month > 12 || ct.day < 1 ||
+      ct.day > DaysInMonth(ct.year, ct.month) || ct.hour > 23 ||
+      ct.minute > 59 || ct.second > 59) {
+    return Status::ParseError("dateTime field out of range in '" +
+                              std::string(s) + "'");
+  }
+  return FromCivil(ct);
+}
+
+bool DateTime::LooksLikeDateTime(std::string_view s) {
+  // dddd-dd-dd prefix.
+  if (s.size() < 10) return false;
+  for (int i : {0, 1, 2, 3, 5, 6, 8, 9}) {
+    if (!std::isdigit(static_cast<unsigned char>(s[static_cast<size_t>(i)]))) {
+      return false;
+    }
+  }
+  return s[4] == '-' && s[7] == '-';
+}
+
+CivilTime DateTime::ToCivil() const {
+  int64_t days = secs_ / kSecondsPerDay;
+  int64_t rem = secs_ % kSecondsPerDay;
+  if (rem < 0) {
+    rem += kSecondsPerDay;
+    --days;
+  }
+  CivilTime ct;
+  CivilFromDays(days, &ct.year, &ct.month, &ct.day);
+  ct.hour = static_cast<int32_t>(rem / 3600);
+  ct.minute = static_cast<int32_t>((rem % 3600) / 60);
+  ct.second = static_cast<int32_t>(rem % 60);
+  return ct;
+}
+
+std::string DateTime::ToString() const {
+  if (*this == Start()) return "start";
+  if (*this == End()) return "now";
+  CivilTime ct = ToCivil();
+  return StringPrintf("%04d-%02d-%02dT%02d:%02d:%02d", ct.year, ct.month,
+                      ct.day, ct.hour, ct.minute, ct.second);
+}
+
+DateTime DateTime::Add(const Duration& d) const {
+  if (*this == Start() || *this == End()) return *this;
+  int64_t secs = secs_;
+  if (d.months() != 0) {
+    CivilTime ct = ToCivil();
+    int64_t total = static_cast<int64_t>(ct.year) * 12 + (ct.month - 1) +
+                    d.months();
+    int32_t y = static_cast<int32_t>(total / 12);
+    int32_t m = static_cast<int32_t>(total % 12);
+    if (m < 0) {
+      m += 12;
+      --y;
+    }
+    ct.year = y;
+    ct.month = m + 1;
+    if (ct.day > DaysInMonth(ct.year, ct.month)) {
+      ct.day = DaysInMonth(ct.year, ct.month);  // end-of-month clamp
+    }
+    secs = FromCivil(ct).seconds();
+  }
+  return DateTime(secs + d.seconds());
+}
+
+DateTime DateTime::Subtract(const Duration& d) const {
+  return Add(d.Negated());
+}
+
+}  // namespace xcql

@@ -1,0 +1,85 @@
+// xs:dateTime values in the ISO-8601 extended format CCYY-MM-DDThh:mm:ss
+// (paper §2). Stored as seconds since the Unix epoch in the proleptic
+// Gregorian calendar; second granularity matches the paper's data.
+#ifndef XCQL_TEMPORAL_DATETIME_H_
+#define XCQL_TEMPORAL_DATETIME_H_
+
+#include <compare>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "common/result.h"
+
+namespace xcql {
+
+class Duration;
+
+/// \brief Calendar fields of a dateTime (proleptic Gregorian).
+struct CivilTime {
+  int32_t year = 1970;
+  int32_t month = 1;  // 1..12
+  int32_t day = 1;    // 1..31
+  int32_t hour = 0;
+  int32_t minute = 0;
+  int32_t second = 0;
+};
+
+/// \brief An xs:dateTime value with second granularity.
+///
+/// The symbolic endpoints of the paper's time model map to the extremes:
+/// `start` ("the beginning of time") is DateTime::Start() and the open end
+/// of a still-valid lifespan (serialized as the literal "now" in vtTo
+/// attributes) is resolved against the evaluation clock before it becomes a
+/// DateTime, so ordinary comparisons suffice everywhere downstream.
+class DateTime {
+ public:
+  DateTime() = default;
+  explicit constexpr DateTime(int64_t seconds_since_epoch)
+      : secs_(seconds_since_epoch) {}
+
+  /// \brief The beginning of time (the XCQL constant `start`).
+  static constexpr DateTime Start() { return DateTime(INT64_MIN); }
+  /// \brief The end of time; used to order still-open lifespans after any
+  /// concrete instant.
+  static constexpr DateTime End() { return DateTime(INT64_MAX); }
+
+  /// \brief Builds a DateTime from calendar fields (fields are not
+  /// range-checked; use Parse for validated input).
+  static DateTime FromCivil(const CivilTime& ct);
+
+  /// \brief Parses "CCYY-MM-DDThh:mm:ss" or the date-only "CCYY-MM-DD"
+  /// (midnight). Rejects out-of-range fields and trailing garbage.
+  static Result<DateTime> Parse(std::string_view s);
+
+  /// \brief True if `s` looks like a dateTime literal (used by the lexer).
+  static bool LooksLikeDateTime(std::string_view s);
+
+  int64_t seconds() const { return secs_; }
+
+  /// \brief Calendar decomposition. Undefined for Start()/End().
+  CivilTime ToCivil() const;
+
+  /// \brief "CCYY-MM-DDThh:mm:ss"; Start() formats as "start" and End()
+  /// as "now" to mirror the paper's serialized attributes.
+  std::string ToString() const;
+
+  /// \brief Adds a duration: months first with end-of-month clamping, then
+  /// the seconds component (per XML Schema arithmetic).
+  DateTime Add(const Duration& d) const;
+  DateTime Subtract(const Duration& d) const;
+
+  /// \brief Difference in seconds (this - other).
+  int64_t DiffSeconds(const DateTime& other) const {
+    return secs_ - other.secs_;
+  }
+
+  friend auto operator<=>(const DateTime&, const DateTime&) = default;
+
+ private:
+  int64_t secs_ = 0;
+};
+
+}  // namespace xcql
+
+#endif  // XCQL_TEMPORAL_DATETIME_H_

@@ -1,0 +1,131 @@
+#include "temporal/duration.h"
+
+#include <cctype>
+
+#include "common/string_util.h"
+
+namespace xcql {
+
+Result<Duration> Duration::Parse(std::string_view s) {
+  s = StripWhitespace(s);
+  std::string_view orig = s;
+  bool neg = false;
+  if (!s.empty() && s[0] == '-') {
+    neg = true;
+    s.remove_prefix(1);
+  }
+  if (s.empty() || s[0] != 'P') {
+    return Status::ParseError("duration must start with 'P': '" +
+                              std::string(orig) + "'");
+  }
+  s.remove_prefix(1);
+  int64_t months = 0;
+  int64_t seconds = 0;
+  bool in_time = false;
+  bool any_component = false;
+  size_t i = 0;
+  while (i < s.size()) {
+    if (s[i] == 'T') {
+      if (in_time) {
+        return Status::ParseError("duplicate 'T' in duration '" +
+                                  std::string(orig) + "'");
+      }
+      in_time = true;
+      ++i;
+      continue;
+    }
+    size_t start = i;
+    while (i < s.size() && std::isdigit(static_cast<unsigned char>(s[i]))) {
+      ++i;
+    }
+    if (start == i || i >= s.size()) {
+      return Status::ParseError("malformed duration '" + std::string(orig) +
+                                "'");
+    }
+    auto num = ParseInt64(s.substr(start, i - start));
+    if (!num) {
+      return Status::ParseError("bad number in duration '" +
+                                std::string(orig) + "'");
+    }
+    char unit = s[i++];
+    any_component = true;
+    if (!in_time) {
+      switch (unit) {
+        case 'Y':
+          months += *num * 12;
+          break;
+        case 'M':
+          months += *num;
+          break;
+        case 'D':
+          seconds += *num * 86400;
+          break;
+        default:
+          return Status::ParseError(std::string("unexpected unit '") + unit +
+                                    "' before 'T' in duration '" +
+                                    std::string(orig) + "'");
+      }
+    } else {
+      switch (unit) {
+        case 'H':
+          seconds += *num * 3600;
+          break;
+        case 'M':
+          seconds += *num * 60;
+          break;
+        case 'S':
+          seconds += *num;
+          break;
+        default:
+          return Status::ParseError(std::string("unexpected unit '") + unit +
+                                    "' after 'T' in duration '" +
+                                    std::string(orig) + "'");
+      }
+    }
+  }
+  if (!any_component) {
+    return Status::ParseError("duration has no components: '" +
+                              std::string(orig) + "'");
+  }
+  if (neg) {
+    months = -months;
+    seconds = -seconds;
+  }
+  return Duration(months, seconds);
+}
+
+bool Duration::LooksLikeDuration(std::string_view s) {
+  if (s.empty()) return false;
+  if (s[0] == '-') s.remove_prefix(1);
+  if (s.size() < 2 || s[0] != 'P') return false;
+  return std::isdigit(static_cast<unsigned char>(s[1])) || s[1] == 'T';
+}
+
+std::string Duration::ToString() const {
+  int64_t m = months_;
+  int64_t s = seconds_;
+  bool neg = m < 0 || (m == 0 && s < 0);
+  if (neg) {
+    m = -m;
+    s = -s;
+  }
+  std::string out = neg ? "-P" : "P";
+  if (m / 12 != 0) out += std::to_string(m / 12) + "Y";
+  if (m % 12 != 0) out += std::to_string(m % 12) + "M";
+  int64_t days = s / 86400;
+  s %= 86400;
+  if (days != 0) out += std::to_string(days) + "D";
+  if (s != 0) {
+    out += "T";
+    int64_t h = s / 3600;
+    int64_t min = (s % 3600) / 60;
+    int64_t sec = s % 60;
+    if (h != 0) out += std::to_string(h) + "H";
+    if (min != 0) out += std::to_string(min) + "M";
+    if (sec != 0) out += std::to_string(sec) + "S";
+  }
+  if (out == "P" || out == "-P") out = "PT0S";
+  return out;
+}
+
+}  // namespace xcql

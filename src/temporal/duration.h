@@ -1,0 +1,50 @@
+// xs:duration values in the format PnYnMnDTnHnMnS (paper §2). Year/month
+// components are calendar-dependent and kept separate from the
+// day/hour/minute/second components, which are a fixed number of seconds.
+#ifndef XCQL_TEMPORAL_DURATION_H_
+#define XCQL_TEMPORAL_DURATION_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "common/result.h"
+
+namespace xcql {
+
+/// \brief An xs:duration. `months` carries the Y/M part, `seconds` the
+/// D/H/M/S part; either may be negative (both share the sign of the
+/// duration).
+class Duration {
+ public:
+  Duration() = default;
+  Duration(int64_t months, int64_t seconds)
+      : months_(months), seconds_(seconds) {}
+
+  static Duration FromSeconds(int64_t s) { return Duration(0, s); }
+
+  /// \brief Parses "[-]PnYnMnDTnHnMnS" with any subset of components, e.g.
+  /// "PT1M" (one minute), "PT1H", "P1Y2M3DT4H5M6S", "-P30D".
+  static Result<Duration> Parse(std::string_view s);
+
+  /// \brief True if `s` starts like a duration literal ("P…" / "-P…").
+  static bool LooksLikeDuration(std::string_view s);
+
+  int64_t months() const { return months_; }
+  int64_t seconds() const { return seconds_; }
+
+  Duration Negated() const { return Duration(-months_, -seconds_); }
+
+  /// \brief Canonical "PnYnMnDTnHnMnS" rendering ("PT0S" for zero).
+  std::string ToString() const;
+
+  friend bool operator==(const Duration&, const Duration&) = default;
+
+ private:
+  int64_t months_ = 0;
+  int64_t seconds_ = 0;
+};
+
+}  // namespace xcql
+
+#endif  // XCQL_TEMPORAL_DURATION_H_

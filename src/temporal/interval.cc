@@ -1,0 +1,27 @@
+#include "temporal/interval.h"
+
+#include <algorithm>
+
+namespace xcql {
+
+std::optional<Interval> Interval::Intersect(const Interval& b) const {
+  DateTime lo = std::max(begin_, b.begin_);
+  DateTime hi = std::min(end_, b.end_);
+  if (lo > hi) return std::nullopt;
+  return Interval(lo, hi);
+}
+
+Interval Interval::Span(const Interval& b) const {
+  return Interval(std::min(begin_, b.begin_), std::max(end_, b.end_));
+}
+
+std::string Interval::ToString() const {
+  std::string out = "[";
+  out += begin_.ToString();
+  out += ", ";
+  out += end_.ToString();
+  out += "]";
+  return out;
+}
+
+}  // namespace xcql

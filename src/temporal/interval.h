@@ -1,0 +1,77 @@
+// Closed time intervals [t1, t2] and the interval relations of XCQL
+// (paper §2: "a before b" etc.), plus the clipping used by
+// interval_projection (§6).
+#ifndef XCQL_TEMPORAL_INTERVAL_H_
+#define XCQL_TEMPORAL_INTERVAL_H_
+
+#include <optional>
+#include <string>
+
+#include "temporal/datetime.h"
+
+namespace xcql {
+
+/// \brief A closed time interval [begin, end]. The degenerate interval
+/// [t, t] represents a single time point (events).
+class Interval {
+ public:
+  Interval() = default;
+  Interval(DateTime begin, DateTime end) : begin_(begin), end_(end) {}
+
+  /// \brief The whole timeline [start, now-resolved-end].
+  static Interval All() { return Interval(DateTime::Start(), DateTime::End()); }
+
+  /// \brief The single time point [t, t].
+  static Interval Point(DateTime t) { return Interval(t, t); }
+
+  DateTime begin() const { return begin_; }
+  DateTime end() const { return end_; }
+
+  /// \brief True when begin > end (the empty interval).
+  bool empty() const { return begin_ > end_; }
+
+  bool Contains(DateTime t) const { return begin_ <= t && t <= end_; }
+
+  // Allen-style relations between closed intervals (paper §2 exposes
+  // `before`; the rest round out the algebra used by tests and the stream
+  // runtime).
+  bool Before(const Interval& b) const { return end_ < b.begin_; }
+  bool After(const Interval& b) const { return b.end_ < begin_; }
+  bool Meets(const Interval& b) const { return end_ == b.begin_; }
+  bool MetBy(const Interval& b) const { return b.Meets(*this); }
+  bool Overlaps(const Interval& b) const {
+    return begin_ < b.begin_ && end_ >= b.begin_ && end_ < b.end_;
+  }
+  bool ContainsInterval(const Interval& b) const {
+    return begin_ <= b.begin_ && b.end_ <= end_;
+  }
+  bool During(const Interval& b) const { return b.ContainsInterval(*this); }
+  bool Equals(const Interval& b) const {
+    return begin_ == b.begin_ && end_ == b.end_;
+  }
+  /// \brief True if the two closed intervals share at least one point.
+  bool Intersects(const Interval& b) const {
+    return begin_ <= b.end_ && b.begin_ <= end_;
+  }
+
+  /// \brief Intersection, or nullopt when disjoint. This is the clipping
+  /// rule of interval_projection: lifespans are clipped to the projection
+  /// range (paper §6).
+  std::optional<Interval> Intersect(const Interval& b) const;
+
+  /// \brief Smallest interval covering both (used to derive a parent's
+  /// lifespan from its children, paper §2).
+  Interval Span(const Interval& b) const;
+
+  std::string ToString() const;
+
+  friend bool operator==(const Interval&, const Interval&) = default;
+
+ private:
+  DateTime begin_ = DateTime::Start();
+  DateTime end_ = DateTime::End();
+};
+
+}  // namespace xcql
+
+#endif  // XCQL_TEMPORAL_INTERVAL_H_

@@ -1,0 +1,276 @@
+// xcqlsh — command-line shell for historical XML streams.
+//
+// Load streams (a Tag Structure plus an initial document and/or a recorded
+// fragment stream), then run XCQL queries from the command line or an
+// interactive REPL, under any execution method.
+//
+//   xcqlsh --stream credit --structure credit.ts.xml --document credit.xml
+//          [--fragments updates.xml] [--method qac+] [--now TIME]
+//          [--query 'stream("credit")//account' ...]
+//          [--translate] [--materialize credit]
+//
+// Without --query, an interactive prompt reads queries (finish a query
+// with a ';' at the end of a line, or with an empty line) and commands:
+//   :method caq|qac|qac+    switch execution method
+//   :now 2004-01-01T00:00:00   pin the evaluation time
+//   :translate <query>      show the Fig. 3 translation
+//   :view <stream>          print the materialized temporal view
+//   :streams                list loaded streams
+//   :quit
+#include <cstdio>
+#include <cstring>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "common/file_util.h"
+#include "common/string_util.h"
+#include "core/stream_manager.h"
+#include "frag/io.h"
+#include "xml/serializer.h"
+
+namespace {
+
+using xcql::lang::ExecMethod;
+
+struct StreamSpec {
+  std::string name;
+  std::string structure_file;
+  std::string document_file;
+  std::vector<std::string> fragment_files;
+};
+
+struct ShellOptions {
+  std::vector<StreamSpec> streams;
+  ExecMethod method = ExecMethod::kQaCPlus;
+  std::optional<xcql::DateTime> now;
+  std::vector<std::string> queries;
+  bool translate_only = false;
+  std::string materialize;
+};
+
+int Usage(const char* argv0) {
+  std::fprintf(
+      stderr,
+      "usage: %s --stream NAME --structure FILE [--document FILE]\n"
+      "          [--fragments FILE]... [--stream NAME2 ...]\n"
+      "          [--method caq|qac|qac+] [--now dateTime]\n"
+      "          [--query XCQL]... [--translate] [--materialize NAME]\n",
+      argv0);
+  return 2;
+}
+
+bool ParseMethod(const std::string& s, ExecMethod* out) {
+  if (s == "caq" || s == "CaQ") {
+    *out = ExecMethod::kCaQ;
+  } else if (s == "qac" || s == "QaC") {
+    *out = ExecMethod::kQaC;
+  } else if (s == "qac+" || s == "QaC+" || s == "qacplus") {
+    *out = ExecMethod::kQaCPlus;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+int Fail(const xcql::Status& st) {
+  std::fprintf(stderr, "error: %s\n", st.ToString().c_str());
+  return 1;
+}
+
+xcql::Status LoadStreams(const ShellOptions& opts, xcql::StreamManager* mgr) {
+  for (const StreamSpec& spec : opts.streams) {
+    if (spec.structure_file.empty()) {
+      return xcql::Status::InvalidArgument("stream '" + spec.name +
+                                           "' has no --structure");
+    }
+    XCQL_ASSIGN_OR_RETURN(std::string ts,
+                          xcql::ReadFileToString(spec.structure_file));
+    XCQL_RETURN_NOT_OK(mgr->CreateStream(spec.name, ts).status());
+    if (!spec.document_file.empty()) {
+      XCQL_ASSIGN_OR_RETURN(std::string doc,
+                            xcql::ReadFileToString(spec.document_file));
+      XCQL_RETURN_NOT_OK(mgr->PublishDocumentXml(spec.name, doc));
+    }
+    for (const std::string& file : spec.fragment_files) {
+      XCQL_ASSIGN_OR_RETURN(std::vector<xcql::frag::Fragment> frags,
+                            xcql::frag::ReadFragmentStreamFile(file));
+      for (xcql::frag::Fragment& f : frags) {
+        XCQL_RETURN_NOT_OK(mgr->PublishFragment(spec.name, std::move(f)));
+      }
+    }
+  }
+  return xcql::Status::OK();
+}
+
+void RunQuery(xcql::StreamManager* mgr, const ShellOptions& opts,
+              const std::string& query) {
+  if (opts.translate_only) {
+    auto t = mgr->Translate(query, opts.method);
+    std::printf("%s\n", t.ok() ? t.value().c_str()
+                               : t.status().ToString().c_str());
+    return;
+  }
+  xcql::lang::ExecOptions eopts;
+  eopts.method = opts.method;
+  eopts.now = opts.now;
+  auto r = mgr->Query(query, eopts);
+  if (!r.ok()) {
+    std::printf("error: %s\n", r.status().ToString().c_str());
+    return;
+  }
+  for (const auto& item : r.value()) {
+    std::printf("%s\n", xcql::RenderResult({item}).c_str());
+  }
+  if (r.value().empty()) std::printf("(empty)\n");
+}
+
+void PrintView(xcql::StreamManager* mgr, const std::string& stream) {
+  auto view = mgr->MaterializeView(stream);
+  if (!view.ok()) {
+    std::printf("error: %s\n", view.status().ToString().c_str());
+    return;
+  }
+  std::printf("%s\n",
+              xcql::SerializeXml(*view.value(), {.pretty = true}).c_str());
+}
+
+void Repl(xcql::StreamManager* mgr, ShellOptions* opts) {
+  std::printf("xcqlsh — type :help for commands\n");
+  std::string buffer;
+  std::string line;
+  for (;;) {
+    std::printf(buffer.empty() ? "xcql> " : "   -> ");
+    std::fflush(stdout);
+    if (!std::getline(std::cin, line)) break;
+    // Commands act immediately.
+    if (buffer.empty() && !line.empty() && line[0] == ':') {
+      std::string cmd = line.substr(1);
+      if (cmd == "quit" || cmd == "q") break;
+      if (cmd == "help") {
+        std::printf(
+            ":method caq|qac|qac+   :now dateTime   :translate <query>\n"
+            ":view <stream>         :streams        :quit\n"
+            "End a query with ';' or an empty line to execute it.\n");
+      } else if (cmd.rfind("method ", 0) == 0) {
+        if (!ParseMethod(cmd.substr(7), &opts->method)) {
+          std::printf("unknown method '%s'\n", cmd.substr(7).c_str());
+        }
+      } else if (cmd.rfind("now ", 0) == 0) {
+        auto t = xcql::DateTime::Parse(cmd.substr(4));
+        if (t.ok()) {
+          opts->now = t.value();
+        } else {
+          std::printf("%s\n", t.status().ToString().c_str());
+        }
+      } else if (cmd.rfind("translate ", 0) == 0) {
+        auto t = mgr->Translate(cmd.substr(10), opts->method);
+        std::printf("%s\n", t.ok() ? t.value().c_str()
+                                   : t.status().ToString().c_str());
+      } else if (cmd.rfind("view ", 0) == 0) {
+        PrintView(mgr, cmd.substr(5));
+      } else if (cmd == "streams") {
+        for (const std::string& name : mgr->StreamNames()) {
+          const xcql::frag::FragmentStore* store = mgr->store(name);
+          std::printf("  %s (%zu fragments)\n", name.c_str(),
+                      store != nullptr ? store->size() : 0);
+        }
+      } else {
+        std::printf("unknown command ':%s' (:help)\n", cmd.c_str());
+      }
+      continue;
+    }
+    // Accumulate query text; empty line or trailing ';' executes.
+    bool run = false;
+    if (line.empty()) {
+      run = !buffer.empty();
+    } else {
+      buffer += line;
+      buffer += "\n";
+      std::string_view sv = xcql::StripWhitespace(line);
+      if (!sv.empty() && sv.back() == ';') {
+        buffer.erase(buffer.find_last_of(';'));
+        run = true;
+      }
+    }
+    if (run) {
+      RunQuery(mgr, *opts, buffer);
+      buffer.clear();
+    }
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  ShellOptions opts;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : nullptr;
+    };
+    if (arg == "--stream") {
+      const char* v = next();
+      if (v == nullptr) return Usage(argv[0]);
+      opts.streams.push_back({});
+      opts.streams.back().name = v;
+    } else if (arg == "--structure" || arg == "--document" ||
+               arg == "--fragments") {
+      const char* v = next();
+      if (v == nullptr || opts.streams.empty()) return Usage(argv[0]);
+      StreamSpec& spec = opts.streams.back();
+      if (arg == "--structure") {
+        spec.structure_file = v;
+      } else if (arg == "--document") {
+        spec.document_file = v;
+      } else {
+        spec.fragment_files.emplace_back(v);
+      }
+    } else if (arg == "--method") {
+      const char* v = next();
+      if (v == nullptr || !ParseMethod(v, &opts.method)) {
+        return Usage(argv[0]);
+      }
+    } else if (arg == "--now") {
+      const char* v = next();
+      if (v == nullptr) return Usage(argv[0]);
+      auto t = xcql::DateTime::Parse(v);
+      if (!t.ok()) return Fail(t.status());
+      opts.now = t.value();
+    } else if (arg == "--query" || arg == "-q") {
+      const char* v = next();
+      if (v == nullptr) return Usage(argv[0]);
+      opts.queries.emplace_back(v);
+    } else if (arg == "--translate") {
+      opts.translate_only = true;
+    } else if (arg == "--materialize") {
+      const char* v = next();
+      if (v == nullptr) return Usage(argv[0]);
+      opts.materialize = v;
+    } else if (arg == "--help" || arg == "-h") {
+      Usage(argv[0]);
+      return 0;
+    } else {
+      std::fprintf(stderr, "unknown argument '%s'\n", arg.c_str());
+      return Usage(argv[0]);
+    }
+  }
+  if (opts.streams.empty()) return Usage(argv[0]);
+
+  xcql::StreamManager mgr;
+  xcql::Status st = LoadStreams(opts, &mgr);
+  if (!st.ok()) return Fail(st);
+
+  if (!opts.materialize.empty()) {
+    PrintView(&mgr, opts.materialize);
+    return 0;
+  }
+  if (!opts.queries.empty()) {
+    for (const std::string& q : opts.queries) {
+      RunQuery(&mgr, opts, q);
+    }
+    return 0;
+  }
+  Repl(&mgr, &opts);
+  return 0;
+}

@@ -1,0 +1,324 @@
+#include "xcql/executor.h"
+
+#include <algorithm>
+
+#include "common/string_util.h"
+#include "frag/assembler.h"
+#include "xcql/projections.h"
+#include "xq/parser.h"
+
+namespace xcql::lang {
+
+namespace {
+
+Result<int64_t> ItemToFillerId(const xq::Item& item) {
+  xq::Atomic a = xq::AtomizeItem(item);
+  if (a.is_int()) return a.AsInt();
+  auto v = ParseInt64(a.ToStringValue());
+  if (!v) {
+    return Status::TypeError("bad filler id '" + a.ToStringValue() + "'");
+  }
+  return *v;
+}
+
+bool SubtreeHasHole(const Node& n) {
+  if (frag::IsHoleElement(n)) return true;
+  for (const NodePtr& c : n.children()) {
+    if (c->is_element() && SubtreeHasHole(*c)) return true;
+  }
+  return false;
+}
+
+Result<NodePtr> ResolveHolesDeep(xq::EvalContext* ctx, const NodePtr& node,
+                                 int depth) {
+  if (depth > 500) {
+    return Status::Internal("result materialization recursion too deep");
+  }
+  if (!node->is_element() || !SubtreeHasHole(*node)) return node;
+  NodePtr out = Node::Element(node->name());
+  for (const auto& [k, v] : node->attrs()) out->SetAttr(k, v);
+  for (const NodePtr& c : node->children()) {
+    if (c->is_element() && frag::IsHoleElement(*c)) {
+      XCQL_ASSIGN_OR_RETURN(std::vector<NodePtr> versions,
+                            ctx->hole_resolver->Resolve(*ctx, *c));
+      for (const NodePtr& v : versions) {
+        XCQL_ASSIGN_OR_RETURN(NodePtr rv, ResolveHolesDeep(ctx, v, depth + 1));
+        out->AddChild(rv == v ? v->Clone() : rv);
+      }
+      continue;
+    }
+    if (c->is_element()) {
+      XCQL_ASSIGN_OR_RETURN(NodePtr rc, ResolveHolesDeep(ctx, c, depth + 1));
+      out->AddChild(rc == c ? c->Clone() : rc);
+      continue;
+    }
+    out->AddChild(Node::Text(c->text()));
+  }
+  return out;
+}
+
+}  // namespace
+
+QueryExecutor::QueryExecutor() : registry_(xq::FunctionRegistry::Builtins()) {
+  RegisterProjectionFunctions(&registry_);
+
+  // xcql:get_fillers(stream, ids) — filler wrappers for each id, using the
+  // method's cost model (paper-faithful linear scan for QaC).
+  registry_.RegisterNative(
+      "xcql:get_fillers", 2, 2,
+      [this](xq::EvalContext&,
+             std::vector<xq::Sequence>& args) -> Result<xq::Sequence> {
+        if (args[0].size() != 1) {
+          return Status::InvalidArgument("xcql:get_fillers: bad stream arg");
+        }
+        std::string stream = xq::AtomizeItem(args[0].front()).ToStringValue();
+        auto it = stores_.find(stream);
+        if (it == stores_.end()) {
+          return Status::NotFound("unknown stream '" + stream + "'");
+        }
+        xq::Sequence out;
+        for (const xq::Item& idi : args[1]) {
+          XCQL_ASSIGN_OR_RETURN(int64_t id, ItemToFillerId(idi));
+          XCQL_ASSIGN_OR_RETURN(
+              NodePtr wrapper,
+              it->second->GetFillerWrapper(id, linear_get_fillers_));
+          out.emplace_back(std::move(wrapper));
+        }
+        return out;
+      });
+
+  // xcql:tsid_scan(stream, tsid) — the QaC+ index path: filler wrappers for
+  // every filler id carrying the tsid.
+  registry_.RegisterNative(
+      "xcql:tsid_scan", 2, 2,
+      [this](xq::EvalContext&,
+             std::vector<xq::Sequence>& args) -> Result<xq::Sequence> {
+        if (args[0].size() != 1 || args[1].size() != 1) {
+          return Status::InvalidArgument("xcql:tsid_scan: bad arguments");
+        }
+        std::string stream = xq::AtomizeItem(args[0].front()).ToStringValue();
+        auto it = stores_.find(stream);
+        if (it == stores_.end()) {
+          return Status::NotFound("unknown stream '" + stream + "'");
+        }
+        XCQL_ASSIGN_OR_RETURN(int64_t tsid, ItemToFillerId(args[1].front()));
+        XCQL_ASSIGN_OR_RETURN(
+            std::vector<NodePtr> wrappers,
+            it->second->GetFillersByTsid(static_cast<int>(tsid)));
+        xq::Sequence out;
+        for (NodePtr& w : wrappers) out.emplace_back(std::move(w));
+        return out;
+      });
+
+  // xcql:tsid_scan_range(stream, tsid, tb, te) — the tsid scan with the
+  // enclosing interval projection's bounds pushed down: filler groups whose
+  // lifespan cannot intersect [tb, te] are skipped at the index.
+  registry_.RegisterNative(
+      "xcql:tsid_scan_range", 4, 4,
+      [this](xq::EvalContext& ctx,
+             std::vector<xq::Sequence>& args) -> Result<xq::Sequence> {
+        if (args[0].size() != 1 || args[1].size() != 1) {
+          return Status::InvalidArgument("xcql:tsid_scan_range: bad args");
+        }
+        std::string stream = xq::AtomizeItem(args[0].front()).ToStringValue();
+        auto it = stores_.find(stream);
+        if (it == stores_.end()) {
+          return Status::NotFound("unknown stream '" + stream + "'");
+        }
+        XCQL_ASSIGN_OR_RETURN(int64_t tsid, ItemToFillerId(args[1].front()));
+        XCQL_ASSIGN_OR_RETURN(DateTime tb,
+                              ProjectionBoundToDateTime(ctx, args[2]));
+        XCQL_ASSIGN_OR_RETURN(DateTime te,
+                              ProjectionBoundToDateTime(ctx, args[3]));
+        XCQL_ASSIGN_OR_RETURN(std::vector<NodePtr> wrappers,
+                              it->second->GetFillersByTsidInRange(
+                                  static_cast<int>(tsid), tb, te));
+        xq::Sequence out;
+        for (NodePtr& w : wrappers) out.emplace_back(std::move(w));
+        return out;
+      });
+
+  // get_fillers(ids) / get_fillers_list(ids) — the paper's §5/§6.1 spelling,
+  // bound to the sole registered stream for hand-written fragment queries.
+  auto sole_store_fillers =
+      [this](xq::EvalContext&,
+             std::vector<xq::Sequence>& args) -> Result<xq::Sequence> {
+    if (stores_.size() != 1) {
+      return Status::InvalidArgument(
+          "get_fillers(ids) requires exactly one registered stream; use "
+          "xcql:get_fillers(stream, ids)");
+    }
+    const frag::FragmentStore* store = stores_.begin()->second;
+    xq::Sequence out;
+    for (const xq::Item& idi : args[0]) {
+      XCQL_ASSIGN_OR_RETURN(int64_t id, ItemToFillerId(idi));
+      XCQL_ASSIGN_OR_RETURN(NodePtr wrapper,
+                            store->GetFillerWrapper(id, linear_get_fillers_));
+      out.emplace_back(std::move(wrapper));
+    }
+    return out;
+  };
+  registry_.RegisterNative("get_fillers", 1, 1, sole_store_fillers);
+  registry_.RegisterNative("get_fillers_list", 1, 1, sole_store_fillers);
+
+  // stream(name) — reaches evaluation only in CaQ mode, where the executor
+  // has bound the materialized temporal view as a document.
+  registry_.RegisterNative(
+      "stream", 1, 1,
+      [](xq::EvalContext& ctx,
+         std::vector<xq::Sequence>& args) -> Result<xq::Sequence> {
+        std::string name = xq::SequenceToString(args[0]);
+        auto it = ctx.documents.find(name);
+        if (it == ctx.documents.end()) {
+          return Status::NotFound(
+              "stream('" + name +
+              "') reached evaluation without a materialized view — was the "
+              "query translated for a fragment method?");
+        }
+        return xq::SingletonNode(it->second);
+      });
+
+  // temporalize(stream-name) — materializes a stream's temporal view.
+  registry_.RegisterNative(
+      "temporalize", 1, 1,
+      [this](xq::EvalContext&,
+             std::vector<xq::Sequence>& args) -> Result<xq::Sequence> {
+        std::string name = xq::SequenceToString(args[0]);
+        auto it = stores_.find(name);
+        if (it == stores_.end()) {
+          return Status::NotFound("unknown stream '" + name + "'");
+        }
+        XCQL_ASSIGN_OR_RETURN(
+            NodePtr view, frag::Temporalize(*it->second, linear_get_fillers_));
+        return xq::SingletonNode(std::move(view));
+      });
+}
+
+Status QueryExecutor::RegisterStream(const frag::FragmentStore* store) {
+  if (store->name().empty()) {
+    return Status::InvalidArgument("stream store must have a name");
+  }
+  if (!stores_.emplace(store->name(), store).second) {
+    return Status::InvalidArgument("stream '" + store->name() +
+                                   "' already registered");
+  }
+  resolver_.AddStore(store);
+  return Status::OK();
+}
+
+void QueryExecutor::RegisterFunction(const std::string& name, int min_arity,
+                                     int max_arity,
+                                     xq::FunctionRegistry::NativeFn fn) {
+  registry_.RegisterNative(name, min_arity, max_arity, std::move(fn));
+}
+
+Result<xq::Sequence> QueryExecutor::Execute(std::string_view query,
+                                            const ExecOptions& options) {
+  XCQL_ASSIGN_OR_RETURN(xq::Program prog, xq::ParseQuery(query));
+  std::map<std::string, const frag::TagStructure*> schemas;
+  for (const auto& [name, store] : stores_) {
+    schemas[name] = &store->tag_structure();
+  }
+  Translator translator(std::move(schemas), options.method);
+  XCQL_ASSIGN_OR_RETURN(xq::Program translated, translator.Translate(prog));
+
+  // Cost model: QaC (and CaQ's materialization) use the paper-faithful
+  // linear scan; QaC+ uses the hash index.
+  linear_get_fillers_ = options.linear_get_fillers.value_or(
+      options.method != ExecMethod::kQaCPlus);
+  resolver_.set_linear(linear_get_fillers_);
+
+  xq::EvalContext ctx;
+  ctx.functions = &registry_;
+  ctx.hole_resolver = &resolver_;
+  if (options.now.has_value()) {
+    ctx.now = *options.now;
+  } else {
+    DateTime now(0);
+    for (const auto& [name, store] : stores_) {
+      now = std::max(now, store->max_valid_time());
+    }
+    ctx.now = now;
+  }
+
+  if (options.method == ExecMethod::kCaQ) {
+    for (const auto& [name, store] : stores_) {
+      if (options.cache_materialized_views) {
+        auto cached = view_cache_.find(name);
+        if (cached != view_cache_.end() &&
+            cached->second.revision == store->revision()) {
+          ctx.documents[name] = cached->second.doc;
+          continue;
+        }
+      }
+      XCQL_ASSIGN_OR_RETURN(NodePtr view,
+                            frag::Temporalize(*store, linear_get_fillers_));
+      // Wrap in a synthetic document node so `stream(x)/root-name` steps
+      // work exactly as they do over the fragment methods' root wrapper.
+      NodePtr doc = Node::Element("#document");
+      doc->AddChild(std::move(view));
+      if (options.cache_materialized_views) {
+        view_cache_[name] = CachedView{store->revision(), doc};
+      }
+      ctx.documents[name] = std::move(doc);
+    }
+  }
+
+  xq::Evaluator evaluator(&ctx);
+  for (const auto& [name, seq] : options.bindings) {
+    evaluator.Bind(name, seq);
+  }
+  XCQL_ASSIGN_OR_RETURN(xq::Sequence result, evaluator.EvalProgram(translated));
+  if (options.materialize_result && options.method != ExecMethod::kCaQ) {
+    return MaterializeResult(std::move(result), &ctx);
+  }
+  return result;
+}
+
+Result<xq::Sequence> QueryExecutor::MaterializeResult(xq::Sequence seq,
+                                                      xq::EvalContext* ctx) {
+  for (xq::Item& item : seq) {
+    if (!xq::IsNode(item)) continue;
+    XCQL_ASSIGN_OR_RETURN(NodePtr resolved,
+                          ResolveHolesDeep(ctx, xq::AsNode(item), 0));
+    item = std::move(resolved);
+  }
+  return seq;
+}
+
+Result<std::string> QueryExecutor::TranslateToText(std::string_view query,
+                                                   ExecMethod method) {
+  XCQL_ASSIGN_OR_RETURN(xq::Program prog, xq::ParseQuery(query));
+  std::map<std::string, const frag::TagStructure*> schemas;
+  for (const auto& [name, store] : stores_) {
+    schemas[name] = &store->tag_structure();
+  }
+  Translator translator(std::move(schemas), method);
+  XCQL_ASSIGN_OR_RETURN(xq::Program translated, translator.Translate(prog));
+  std::string out;
+  for (const auto& f : translated.functions) {
+    out += "declare function " + f.name + "(";
+    for (size_t i = 0; i < f.params.size(); ++i) {
+      if (i > 0) out += ", ";
+      out += "$" + f.params[i];
+    }
+    out += ") { " + f.body->ToString() + " };\n";
+  }
+  for (const auto& v : translated.variables) {
+    out += "declare variable $" + v.name + " := " + v.init->ToString() +
+           ";\n";
+  }
+  out += translated.body->ToString();
+  return out;
+}
+
+Result<NodePtr> QueryExecutor::MaterializeView(const std::string& stream,
+                                               bool linear) {
+  auto it = stores_.find(stream);
+  if (it == stores_.end()) {
+    return Status::NotFound("unknown stream '" + stream + "'");
+  }
+  return frag::Temporalize(*it->second, linear);
+}
+
+}  // namespace xcql::lang

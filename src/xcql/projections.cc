@@ -1,0 +1,69 @@
+#include "xcql/projections.h"
+
+#include "xq/eval.h"
+
+namespace xcql::lang {
+
+Result<DateTime> ProjectionBoundToDateTime(xq::EvalContext& ctx,
+                                           const xq::Sequence& bound) {
+  if (bound.size() != 1) {
+    return Status::TypeError("projection bound must be a singleton");
+  }
+  xq::Atomic a = xq::AtomizeItem(bound.front());
+  if (a.is_datetime()) {
+    DateTime t = a.AsDateTime();
+    return t == DateTime::End() ? ctx.now : t;
+  }
+  if (a.is_string()) {
+    XCQL_ASSIGN_OR_RETURN(DateTime t, DateTime::Parse(a.AsString()));
+    return t == DateTime::End() ? ctx.now : t;
+  }
+  return Status::TypeError(std::string("expected xs:dateTime bound, got ") +
+                           a.TypeName());
+}
+
+namespace {
+
+Result<int64_t> BoundToVersion(const xq::Sequence& seq) {
+  if (seq.size() != 1) {
+    return Status::TypeError("projection bound must be a singleton");
+  }
+  xq::Atomic a = xq::AtomizeItem(seq.front());
+  if (a.is_int()) return a.AsInt();
+  auto n = a.ToNumber();
+  if (!n) {
+    return Status::TypeError("expected integer version bound");
+  }
+  return static_cast<int64_t>(*n);
+}
+
+}  // namespace
+
+void RegisterProjectionFunctions(xq::FunctionRegistry* registry) {
+  registry->RegisterNative(
+      "interval_projection", 3, 3,
+      [](xq::EvalContext& ctx,
+         std::vector<xq::Sequence>& args) -> Result<xq::Sequence> {
+        XCQL_ASSIGN_OR_RETURN(DateTime tb, ProjectionBoundToDateTime(ctx, args[1]));
+        XCQL_ASSIGN_OR_RETURN(DateTime te, ProjectionBoundToDateTime(ctx, args[2]));
+        if (tb > te) {
+          return Status::InvalidArgument(
+              "interval_projection with begin > end");
+        }
+        return xq::IntervalProjection(ctx, args[0], tb, te);
+      });
+  registry->RegisterNative(
+      "version_projection", 3, 3,
+      [](xq::EvalContext& ctx,
+         std::vector<xq::Sequence>& args) -> Result<xq::Sequence> {
+        XCQL_ASSIGN_OR_RETURN(int64_t vb, BoundToVersion(args[1]));
+        XCQL_ASSIGN_OR_RETURN(int64_t ve, BoundToVersion(args[2]));
+        if (vb > ve) {
+          return Status::InvalidArgument(
+              "version_projection with begin > end");
+        }
+        return xq::VersionProjection(ctx, args[0], vb, ve);
+      });
+}
+
+}  // namespace xcql::lang

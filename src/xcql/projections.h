@@ -1,0 +1,24 @@
+// Registers the paper's §6 runtime functions (interval_projection,
+// version_projection) as callable natives, so translated queries — and users
+// writing the paper's §6.1 style directly — can invoke them by name. The
+// underlying semantics live in xq/eval.h and are shared with the `?[…]` /
+// `#[…]` operators.
+#ifndef XCQL_XCQL_PROJECTIONS_H_
+#define XCQL_XCQL_PROJECTIONS_H_
+
+#include "xq/context.h"
+
+namespace xcql::lang {
+
+/// \brief Adds interval_projection(e, tb, te) and
+/// version_projection(e, vb, ve) to the registry.
+void RegisterProjectionFunctions(xq::FunctionRegistry* registry);
+
+/// \brief Converts an evaluated projection bound (dateTime or parseable
+/// string; the literal "now" resolves to ctx.now) to a DateTime.
+Result<DateTime> ProjectionBoundToDateTime(xq::EvalContext& ctx,
+                                           const xq::Sequence& bound);
+
+}  // namespace xcql::lang
+
+#endif  // XCQL_XCQL_PROJECTIONS_H_

@@ -1,0 +1,940 @@
+#include "xcql/translator.h"
+
+#include "common/string_util.h"
+
+namespace xcql::lang {
+
+using xq::BinaryExpr;
+using xq::ComputedAttributeExpr;
+using xq::ComputedElementExpr;
+using xq::ContentPart;
+using xq::DirectElementExpr;
+using xq::Expr;
+using xq::ExprKind;
+using xq::ExprPtr;
+using xq::FilterExpr;
+using xq::FlworClause;
+using xq::FlworExpr;
+using xq::FunctionCallExpr;
+using xq::IfExpr;
+using xq::IntervalProjExpr;
+using xq::LiteralExpr;
+using xq::PathExpr;
+using xq::PathStep;
+using xq::QuantifiedExpr;
+using xq::SequenceExpr;
+using xq::UnaryExpr;
+using xq::VarRefExpr;
+using xq::VersionProjExpr;
+
+namespace {
+
+ExprPtr StringLit(const std::string& s) {
+  return std::make_unique<LiteralExpr>(xq::Atomic(s));
+}
+
+ExprPtr IntLit(int64_t v) {
+  return std::make_unique<LiteralExpr>(xq::Atomic(v));
+}
+
+// Appends one step to `cur`, reusing the tail PathExpr when this fold owns
+// it (tracked by the caller through `owned`).
+ExprPtr AppendStep(ExprPtr cur, PathStep step, bool* owned) {
+  if (*owned && cur->kind() == ExprKind::kPath) {
+    static_cast<PathExpr*>(cur.get())->steps.push_back(std::move(step));
+    return cur;
+  }
+  std::vector<PathStep> steps;
+  steps.push_back(std::move(step));
+  *owned = true;
+  return std::make_unique<PathExpr>(std::move(cur), std::move(steps));
+}
+
+PathStep ChildStep(std::string name, std::vector<ExprPtr> preds = {}) {
+  PathStep s;
+  s.axis = PathStep::Axis::kChild;
+  s.test = PathStep::Test::kName;
+  s.name = std::move(name);
+  s.predicates = std::move(preds);
+  return s;
+}
+
+bool HasDescendantNamed(const frag::TagNode* tag, const std::string& name) {
+  for (const auto& c : tag->children) {
+    if (c->name == name || HasDescendantNamed(c.get(), name)) return true;
+  }
+  return false;
+}
+
+// Descendants (or self) of `tag` with the given name.
+void FindNamed(const frag::TagNode* tag, const std::string& name,
+               std::vector<const frag::TagNode*>* out) {
+  if (tag->name == name) out->push_back(tag);
+  for (const auto& c : tag->children) FindNamed(c.get(), name, out);
+}
+
+// Conservatively true when a predicate cannot be positional (a numeric
+// value selecting by index). Used to keep the QaC+ tsid jump safe:
+// hoisted positional predicates over a multi-parent scan would lose the
+// per-parent sibling numbering.
+bool IsDefinitelyBoolean(const Expr& e) {
+  switch (e.kind()) {
+    case ExprKind::kQuantified:
+      return true;
+    case ExprKind::kBinary: {
+      const auto& b = static_cast<const BinaryExpr&>(e);
+      switch (b.op) {
+        case xq::BinOp::kPlus:
+        case xq::BinOp::kMinus:
+        case xq::BinOp::kMul:
+        case xq::BinOp::kDiv:
+        case xq::BinOp::kIdiv:
+        case xq::BinOp::kMod:
+        case xq::BinOp::kTo:
+          return false;
+        default:
+          return true;  // comparisons and logical operators
+      }
+    }
+    case ExprKind::kFunctionCall: {
+      const auto& f = static_cast<const FunctionCallExpr&>(e);
+      return f.name == "not" || f.name == "empty" || f.name == "exists" ||
+             f.name == "boolean" || f.name == "contains" ||
+             f.name == "starts-with" || f.name == "ends-with" ||
+             f.name == "deep-equal" || f.name == "true" || f.name == "false";
+    }
+    default:
+      return false;
+  }
+}
+
+}  // namespace
+
+const char* ExecMethodName(ExecMethod m) {
+  switch (m) {
+    case ExecMethod::kCaQ:
+      return "CaQ";
+    case ExecMethod::kQaC:
+      return "QaC";
+    case ExecMethod::kQaCPlus:
+      return "QaC+";
+  }
+  return "?";
+}
+
+Translator::Translator(
+    std::map<std::string, const frag::TagStructure*> schemas,
+    ExecMethod method)
+    : schemas_(std::move(schemas)), method_(method) {}
+
+Result<xq::Program> Translator::Translate(const xq::Program& prog) {
+  xq::Program out;
+  if (method_ == ExecMethod::kCaQ) {
+    // CaQ queries run against the fully materialized temporal view; the
+    // XCQL projections are evaluated natively, so no rewriting is needed.
+    for (const auto& f : prog.functions) out.functions.push_back(f);
+    for (const auto& v : prog.variables) out.variables.push_back(v);
+    out.body = prog.body->Clone();
+    return out;
+  }
+  for (const auto& f : prog.functions) {
+    var_env_.clear();
+    context_ts_.reset();
+    XCQL_ASSIGN_OR_RETURN(Out body, Tr(*f.body));
+    xq::FunctionDecl decl;
+    decl.name = f.name;
+    decl.params = f.params;
+    decl.body = std::shared_ptr<Expr>(std::move(body.expr));
+    out.functions.push_back(std::move(decl));
+  }
+  var_env_.clear();
+  context_ts_.reset();
+  // Prolog variables: translated in order, with their schema positions
+  // visible to later declarations and to the body.
+  for (const auto& v : prog.variables) {
+    XCQL_ASSIGN_OR_RETURN(Out init, Tr(*v.init));
+    xq::VariableDecl decl;
+    decl.name = v.name;
+    decl.init = std::shared_ptr<Expr>(std::move(init.expr));
+    out.variables.push_back(std::move(decl));
+    var_env_.emplace_back(v.name, init.ts);
+  }
+  XCQL_ASSIGN_OR_RETURN(Out body, Tr(*prog.body));
+  out.body = std::move(body.expr);
+  return out;
+}
+
+Result<ExprPtr> Translator::TranslateExpr(const Expr& e) {
+  if (method_ == ExecMethod::kCaQ) return e.Clone();
+  var_env_.clear();
+  context_ts_.reset();
+  XCQL_ASSIGN_OR_RETURN(Out out, Tr(e));
+  return std::move(out.expr);
+}
+
+const Translator::TsOpt* Translator::LookupVar(const std::string& name) const {
+  for (auto it = var_env_.rbegin(); it != var_env_.rend(); ++it) {
+    if (it->first == name) return &it->second;
+  }
+  return nullptr;
+}
+
+Result<Translator::Out> Translator::Tr(const Expr& e) {
+  switch (e.kind()) {
+    case ExprKind::kLiteral:
+      return Out{e.Clone(), std::nullopt};
+    case ExprKind::kVarRef: {
+      const auto& v = static_cast<const VarRefExpr&>(e);
+      const TsOpt* ts = LookupVar(v.name);
+      return Out{e.Clone(), ts != nullptr ? *ts : TsOpt()};
+    }
+    case ExprKind::kContextItem:
+      return Out{e.Clone(), context_ts_};
+    case ExprKind::kSequence: {
+      const auto& s = static_cast<const SequenceExpr&>(e);
+      std::vector<ExprPtr> items;
+      TsOpt merged;
+      bool first = true;
+      bool uniform = true;
+      for (const auto& item : s.items) {
+        XCQL_ASSIGN_OR_RETURN(Out o, Tr(*item));
+        if (first) {
+          merged = o.ts;
+          first = false;
+        } else if (!(merged.has_value() == o.ts.has_value() &&
+                     (!merged.has_value() ||
+                      (merged->stream == o.ts->stream &&
+                       merged->node == o.ts->node &&
+                       merged->wrapper == o.ts->wrapper)))) {
+          uniform = false;
+        }
+        items.push_back(std::move(o.expr));
+      }
+      return Out{std::make_unique<SequenceExpr>(std::move(items)),
+                 uniform ? merged : TsOpt()};
+    }
+    case ExprKind::kFlwor:
+      return TrFlwor(static_cast<const FlworExpr&>(e));
+    case ExprKind::kQuantified:
+      return TrQuantified(static_cast<const QuantifiedExpr&>(e));
+    case ExprKind::kIf: {
+      const auto& i = static_cast<const IfExpr&>(e);
+      XCQL_ASSIGN_OR_RETURN(Out c, Tr(*i.cond));
+      XCQL_ASSIGN_OR_RETURN(Out t, Tr(*i.then_branch));
+      XCQL_ASSIGN_OR_RETURN(Out f, Tr(*i.else_branch));
+      TsOpt ts;
+      if (t.ts.has_value() && f.ts.has_value() &&
+          t.ts->stream == f.ts->stream && t.ts->node == f.ts->node &&
+          t.ts->wrapper == f.ts->wrapper) {
+        ts = t.ts;
+      }
+      return Out{std::make_unique<IfExpr>(std::move(c.expr), std::move(t.expr),
+                                          std::move(f.expr)),
+                 ts};
+    }
+    case ExprKind::kBinary: {
+      const auto& b = static_cast<const BinaryExpr&>(e);
+      XCQL_ASSIGN_OR_RETURN(Out l, Tr(*b.lhs));
+      XCQL_ASSIGN_OR_RETURN(Out r, Tr(*b.rhs));
+      return Out{std::make_unique<BinaryExpr>(b.op, std::move(l.expr),
+                                              std::move(r.expr)),
+                 std::nullopt};
+    }
+    case ExprKind::kUnary: {
+      const auto& u = static_cast<const UnaryExpr&>(e);
+      XCQL_ASSIGN_OR_RETURN(Out o, Tr(*u.operand));
+      return Out{std::make_unique<UnaryExpr>(std::move(o.expr)), std::nullopt};
+    }
+    case ExprKind::kPath:
+      return TrPath(static_cast<const PathExpr&>(e));
+    case ExprKind::kFilter: {
+      const auto& f = static_cast<const FilterExpr&>(e);
+      XCQL_ASSIGN_OR_RETURN(Out in, Tr(*f.input));
+      XCQL_ASSIGN_OR_RETURN(std::vector<ExprPtr> preds,
+                            TrPredicates(f.predicates, in.ts));
+      return Out{std::make_unique<FilterExpr>(std::move(in.expr),
+                                              std::move(preds)),
+                 in.ts};
+    }
+    case ExprKind::kFunctionCall:
+      return TrFunctionCall(static_cast<const FunctionCallExpr&>(e));
+    case ExprKind::kDirectElement: {
+      const auto& d = static_cast<const DirectElementExpr&>(e);
+      std::vector<DirectElementExpr::Attr> attrs;
+      for (const auto& a : d.attrs) {
+        DirectElementExpr::Attr na;
+        na.name = a.name;
+        for (const auto& part : a.value) {
+          ContentPart np;
+          np.text = part.text;
+          if (part.expr != nullptr) {
+            XCQL_ASSIGN_OR_RETURN(Out o, Tr(*part.expr));
+            np.expr = std::move(o.expr);
+          }
+          na.value.push_back(std::move(np));
+        }
+        attrs.push_back(std::move(na));
+      }
+      std::vector<ContentPart> content;
+      for (const auto& part : d.content) {
+        ContentPart np;
+        np.text = part.text;
+        if (part.expr != nullptr) {
+          XCQL_ASSIGN_OR_RETURN(Out o, Tr(*part.expr));
+          np.expr = std::move(o.expr);
+        }
+        content.push_back(std::move(np));
+      }
+      return Out{std::make_unique<DirectElementExpr>(d.name, std::move(attrs),
+                                                     std::move(content)),
+                 std::nullopt};
+    }
+    case ExprKind::kComputedElement: {
+      const auto& c = static_cast<const ComputedElementExpr&>(e);
+      XCQL_ASSIGN_OR_RETURN(Out n, Tr(*c.name_expr));
+      ExprPtr content;
+      if (c.content != nullptr) {
+        XCQL_ASSIGN_OR_RETURN(Out o, Tr(*c.content));
+        content = std::move(o.expr);
+      }
+      return Out{std::make_unique<ComputedElementExpr>(std::move(n.expr),
+                                                       std::move(content)),
+                 std::nullopt};
+    }
+    case ExprKind::kComputedAttribute: {
+      const auto& c = static_cast<const ComputedAttributeExpr&>(e);
+      XCQL_ASSIGN_OR_RETURN(Out n, Tr(*c.name_expr));
+      ExprPtr content;
+      if (c.content != nullptr) {
+        XCQL_ASSIGN_OR_RETURN(Out o, Tr(*c.content));
+        content = std::move(o.expr);
+      }
+      return Out{std::make_unique<ComputedAttributeExpr>(std::move(n.expr),
+                                                         std::move(content)),
+                 std::nullopt};
+    }
+    case ExprKind::kIntervalProj: {
+      const auto& p = static_cast<const IntervalProjExpr&>(e);
+      XCQL_ASSIGN_OR_RETURN(Out in, Tr(*p.input));
+      XCQL_ASSIGN_OR_RETURN(Out lo, Tr(*p.lo));
+      ExprPtr hi;
+      if (p.hi != nullptr) {
+        XCQL_ASSIGN_OR_RETURN(Out h, Tr(*p.hi));
+        hi = std::move(h.expr);
+      }
+      // QaC+ pushdown: when the projected input is a bare tsid scan
+      // (xcql:tsid_scan(s,t)/A with no predicates), give the scan the
+      // projection bounds so it can skip filler groups at the index. The
+      // projection wrapper stays for lifespan clipping.
+      if (method_ == ExecMethod::kQaCPlus &&
+          in.expr->kind() == ExprKind::kPath) {
+        auto* path = static_cast<PathExpr*>(in.expr.get());
+        if (path->input != nullptr &&
+            path->input->kind() == ExprKind::kFunctionCall &&
+            path->steps.size() == 1 &&
+            path->steps[0].axis == PathStep::Axis::kChild &&
+            path->steps[0].test == PathStep::Test::kName &&
+            path->steps[0].predicates.empty()) {
+          auto* call = static_cast<FunctionCallExpr*>(path->input.get());
+          if (call->name == "xcql:tsid_scan") {
+            call->name = "xcql:tsid_scan_range";
+            call->args.push_back(lo.expr->Clone());
+            call->args.push_back(hi != nullptr ? hi->Clone()
+                                               : lo.expr->Clone());
+          }
+        }
+      }
+      // Projection output is fully materialized (holes are resolved during
+      // the projection), so downstream steps stay direct: ts resets.
+      return Out{std::make_unique<IntervalProjExpr>(
+                     std::move(in.expr), std::move(lo.expr), std::move(hi)),
+                 std::nullopt};
+    }
+    case ExprKind::kVersionProj: {
+      const auto& p = static_cast<const VersionProjExpr&>(e);
+      XCQL_ASSIGN_OR_RETURN(Out in, Tr(*p.input));
+      XCQL_ASSIGN_OR_RETURN(Out lo, Tr(*p.lo));
+      ExprPtr hi;
+      if (p.hi != nullptr) {
+        XCQL_ASSIGN_OR_RETURN(Out h, Tr(*p.hi));
+        hi = std::move(h.expr);
+      }
+      return Out{std::make_unique<VersionProjExpr>(
+                     std::move(in.expr), std::move(lo.expr), std::move(hi)),
+                 std::nullopt};
+    }
+  }
+  return Status::Internal("unhandled expression kind in translator");
+}
+
+Result<Translator::Out> Translator::TrFlwor(const FlworExpr& e) {
+  size_t env_mark = var_env_.size();
+  std::vector<FlworClause> clauses;
+  Status st;
+  for (const auto& c : e.clauses) {
+    FlworClause nc;
+    nc.kind = c.kind;
+    nc.var = c.var;
+    nc.pos_var = c.pos_var;
+    switch (c.kind) {
+      case FlworClause::Kind::kFor: {
+        auto o = Tr(*c.expr);
+        if (!o.ok()) {
+          st = o.status();
+          break;
+        }
+        nc.expr = std::move(o.value().expr);
+        var_env_.emplace_back(c.var, o.value().ts);
+        if (!c.pos_var.empty()) var_env_.emplace_back(c.pos_var, TsOpt());
+        break;
+      }
+      case FlworClause::Kind::kLet: {
+        auto o = Tr(*c.expr);
+        if (!o.ok()) {
+          st = o.status();
+          break;
+        }
+        nc.expr = std::move(o.value().expr);
+        var_env_.emplace_back(c.var, o.value().ts);
+        break;
+      }
+      case FlworClause::Kind::kWhere: {
+        auto o = Tr(*c.expr);
+        if (!o.ok()) {
+          st = o.status();
+          break;
+        }
+        nc.expr = std::move(o.value().expr);
+        break;
+      }
+      case FlworClause::Kind::kOrderBy: {
+        for (const auto& k : c.keys) {
+          auto o = Tr(*k.key);
+          if (!o.ok()) {
+            st = o.status();
+            break;
+          }
+          nc.keys.push_back({std::move(o.value().expr), k.descending});
+        }
+        break;
+      }
+    }
+    if (!st.ok()) break;
+    clauses.push_back(std::move(nc));
+  }
+  Result<Out> ret = st.ok() ? Tr(*e.ret) : Result<Out>(st);
+  var_env_.resize(env_mark);
+  if (!ret.ok()) return ret.status();
+  return Out{std::make_unique<FlworExpr>(std::move(clauses),
+                                         std::move(ret.value().expr)),
+             std::nullopt};
+}
+
+Result<Translator::Out> Translator::TrQuantified(const QuantifiedExpr& e) {
+  size_t env_mark = var_env_.size();
+  std::vector<QuantifiedExpr::Binding> bindings;
+  Status st;
+  for (const auto& b : e.bindings) {
+    auto o = Tr(*b.expr);
+    if (!o.ok()) {
+      st = o.status();
+      break;
+    }
+    bindings.push_back({b.var, std::move(o.value().expr)});
+    var_env_.emplace_back(b.var, o.value().ts);
+  }
+  Result<Out> sat = st.ok() ? Tr(*e.satisfies) : Result<Out>(st);
+  var_env_.resize(env_mark);
+  if (!sat.ok()) return sat.status();
+  return Out{std::make_unique<QuantifiedExpr>(e.every, std::move(bindings),
+                                              std::move(sat.value().expr)),
+             std::nullopt};
+}
+
+Result<Translator::Out> Translator::TrFunctionCall(const FunctionCallExpr& e) {
+  if (e.name == "stream") {
+    if (e.args.size() != 1 || e.args[0]->kind() != ExprKind::kLiteral) {
+      return Status::InvalidArgument(
+          "stream() requires a single literal stream name");
+    }
+    const auto& lit = static_cast<const LiteralExpr&>(*e.args[0]);
+    if (!lit.value.is_string()) {
+      return Status::InvalidArgument("stream() name must be a string");
+    }
+    const std::string& name = lit.value.AsString();
+    auto it = schemas_.find(name);
+    if (it == schemas_.end()) {
+      return Status::NotFound("unknown stream '" + name + "'");
+    }
+    std::vector<ExprPtr> args;
+    args.push_back(StringLit(name));
+    args.push_back(IntLit(0));
+    return Out{std::make_unique<FunctionCallExpr>("xcql:get_fillers",
+                                                  std::move(args)),
+               TsRef{name, it->second->root(), /*wrapper=*/true}};
+  }
+  std::vector<ExprPtr> args;
+  for (const auto& a : e.args) {
+    XCQL_ASSIGN_OR_RETURN(Out o, Tr(*a));
+    args.push_back(std::move(o.expr));
+  }
+  return Out{std::make_unique<FunctionCallExpr>(e.name, std::move(args)),
+             std::nullopt};
+}
+
+Result<std::vector<ExprPtr>> Translator::TrPredicates(
+    const std::vector<ExprPtr>& preds, const TsOpt& target_ts) {
+  TsOpt saved = context_ts_;
+  context_ts_ = target_ts;
+  std::vector<ExprPtr> out;
+  Status st;
+  for (const auto& p : preds) {
+    auto o = Tr(*p);
+    if (!o.ok()) {
+      st = o.status();
+      break;
+    }
+    out.push_back(std::move(o.value().expr));
+  }
+  context_ts_ = saved;
+  XCQL_RETURN_NOT_OK(st);
+  return out;
+}
+
+Result<Translator::Out> Translator::ApplyChildStep(
+    ExprPtr cur, const TsOpt& ts, const std::string& name,
+    std::vector<ExprPtr> preds) {
+  bool owned = false;
+  if (!ts.has_value()) {
+    return Out{AppendStep(std::move(cur), ChildStep(name, std::move(preds)),
+                          &owned),
+               std::nullopt};
+  }
+  if (ts->wrapper) {
+    TsOpt out_ts;
+    if (name == ts->node->name) {
+      out_ts = TsRef{ts->stream, ts->node, /*wrapper=*/false};
+    }
+    return Out{AppendStep(std::move(cur), ChildStep(name, std::move(preds)),
+                          &owned),
+               out_ts};
+  }
+  const frag::TagNode* ctag = ts->node->Child(name);
+  if (ctag == nullptr) {
+    // Not in the schema: the step selects nothing; keep it direct.
+    return Out{AppendStep(std::move(cur), ChildStep(name, std::move(preds)),
+                          &owned),
+               std::nullopt};
+  }
+  if (!ctag->fragmented()) {
+    return Out{AppendStep(std::move(cur), ChildStep(name, std::move(preds)),
+                          &owned),
+               TsRef{ts->stream, ctag, false}};
+  }
+  // Fragmented: e/A → xcql:get_fillers(stream, e/hole/@id)/A   (Fig. 3)
+  std::vector<PathStep> hole_steps;
+  hole_steps.push_back(ChildStep("hole"));
+  PathStep idstep;
+  idstep.axis = PathStep::Axis::kAttribute;
+  idstep.test = PathStep::Test::kName;
+  idstep.name = "id";
+  hole_steps.push_back(std::move(idstep));
+  ExprPtr ids =
+      std::make_unique<PathExpr>(std::move(cur), std::move(hole_steps));
+  std::vector<ExprPtr> args;
+  args.push_back(StringLit(ts->stream));
+  args.push_back(std::move(ids));
+  ExprPtr call = std::make_unique<FunctionCallExpr>("xcql:get_fillers",
+                                                    std::move(args));
+  std::vector<PathStep> steps;
+  steps.push_back(ChildStep(name));
+  ExprPtr result =
+      std::make_unique<PathExpr>(std::move(call), std::move(steps));
+  // Predicates are hoisted onto the combined result rather than the step:
+  // the step's per-node grouping would be per filler *wrapper*, not per
+  // original sibling group, which breaks positional predicates. Hoisting
+  // restores sibling semantics whenever the context is a single element
+  // (FLWOR-bound variables, the common case).
+  if (!preds.empty()) {
+    result = std::make_unique<FilterExpr>(std::move(result), std::move(preds));
+  }
+  return Out{std::move(result), TsRef{ts->stream, ctag, false}};
+}
+
+Result<Translator::Out> Translator::ExpandWildcard(
+    ExprPtr cur, const TsRef& ts, const std::vector<ExprPtr>& raw_preds) {
+  // Fig. 3: e/* : (ts1,…,tsn) → (e/c1, …, e/cn). A let binding avoids
+  // re-evaluating e once per branch.
+  std::string var = StringPrintf("xcql_t%d", fresh_var_counter_++);
+  std::vector<ExprPtr> branches;
+  TsOpt out_ts;
+  for (size_t i = 0; i < ts.node->children.size(); ++i) {
+    const auto& c = ts.node->children[i];
+    XCQL_ASSIGN_OR_RETURN(
+        std::vector<ExprPtr> branch_preds,
+        TrPredicates(raw_preds, StepTargetTs(TsOpt(ts), c->name)));
+    XCQL_ASSIGN_OR_RETURN(
+        Out branch,
+        ApplyChildStep(std::make_unique<VarRefExpr>(var), TsOpt(ts), c->name,
+                       std::move(branch_preds)));
+    if (ts.node->children.size() == 1) out_ts = branch.ts;
+    branches.push_back(std::move(branch.expr));
+  }
+  std::vector<FlworClause> clauses;
+  FlworClause let;
+  let.kind = FlworClause::Kind::kLet;
+  let.var = var;
+  let.expr = std::move(cur);
+  clauses.push_back(std::move(let));
+  return Out{std::make_unique<FlworExpr>(
+                 std::move(clauses),
+                 std::make_unique<SequenceExpr>(std::move(branches))),
+             out_ts};
+}
+
+Result<Translator::Out> Translator::ExpandDescendant(
+    ExprPtr cur, const TsRef& ts, const std::string& name,
+    const std::vector<ExprPtr>& raw_preds) {
+  // Fig. 3: e//A → (e/A, e/c1//A, …, e/cn//A), pruned to branches that can
+  // reach A, with e bound once.
+  std::string var = StringPrintf("xcql_t%d", fresh_var_counter_++);
+  std::vector<ExprPtr> branches;
+  TsOpt out_ts;
+  int producing = 0;
+  if (ts.node->Child(name) != nullptr) {
+    XCQL_ASSIGN_OR_RETURN(
+        std::vector<ExprPtr> branch_preds,
+        TrPredicates(raw_preds, StepTargetTs(TsOpt(ts), name)));
+    XCQL_ASSIGN_OR_RETURN(
+        Out direct,
+        ApplyChildStep(std::make_unique<VarRefExpr>(var), TsOpt(ts), name,
+                       std::move(branch_preds)));
+    out_ts = direct.ts;
+    ++producing;
+    branches.push_back(std::move(direct.expr));
+  }
+  for (const auto& c : ts.node->children) {
+    if (!HasDescendantNamed(c.get(), name)) continue;
+    XCQL_ASSIGN_OR_RETURN(
+        Out to_child,
+        ApplyChildStep(std::make_unique<VarRefExpr>(var), TsOpt(ts), c->name,
+                       {}));
+    if (!to_child.ts.has_value()) continue;  // unreachable in practice
+    XCQL_ASSIGN_OR_RETURN(Out sub,
+                          ExpandDescendant(std::move(to_child.expr),
+                                           *to_child.ts, name, raw_preds));
+    out_ts = sub.ts;
+    ++producing;
+    branches.push_back(std::move(sub.expr));
+  }
+  if (producing != 1) out_ts.reset();
+  std::vector<FlworClause> clauses;
+  FlworClause let;
+  let.kind = FlworClause::Kind::kLet;
+  let.var = var;
+  let.expr = std::move(cur);
+  clauses.push_back(std::move(let));
+  return Out{std::make_unique<FlworExpr>(
+                 std::move(clauses),
+                 std::make_unique<SequenceExpr>(std::move(branches))),
+             out_ts};
+}
+
+ExprPtr Translator::EmitDeferredPrefix(const TsRef& at,
+                                       std::vector<ExprPtr> last_preds) {
+  // Walk up to the nearest fragmented ancestor-or-self; the tail of
+  // snapshot steps below it is re-applied after the indexed access.
+  const frag::TagNode* frag_anchor = at.node;
+  std::vector<const frag::TagNode*> tail;  // anchor (exclusive) → at
+  while (frag_anchor != nullptr && !frag_anchor->fragmented() &&
+         frag_anchor->parent != nullptr) {
+    tail.push_back(frag_anchor);
+    frag_anchor = frag_anchor->parent;
+  }
+  ExprPtr cur;
+  bool owned = false;
+  if (frag_anchor->fragmented()) {
+    // QaC+ jump: all fillers with the anchor's tsid, directly (paper §7).
+    std::vector<ExprPtr> args;
+    args.push_back(StringLit(at.stream));
+    args.push_back(IntLit(frag_anchor->id));
+    cur = std::make_unique<FunctionCallExpr>("xcql:tsid_scan",
+                                             std::move(args));
+  } else {
+    // Pure-snapshot prefix: the root filler.
+    std::vector<ExprPtr> args;
+    args.push_back(StringLit(at.stream));
+    args.push_back(IntLit(0));
+    cur = std::make_unique<FunctionCallExpr>("xcql:get_fillers",
+                                             std::move(args));
+  }
+  // Step out of the filler wrapper into the payload elements, then the
+  // snapshot tail in root→leaf order.
+  cur = AppendStep(std::move(cur), ChildStep(frag_anchor->name), &owned);
+  for (auto it = tail.rbegin(); it != tail.rend(); ++it) {
+    cur = AppendStep(std::move(cur), ChildStep((*it)->name), &owned);
+  }
+  // The forcing step's predicates filter the combined result (they are
+  // guaranteed non-positional by the jump guard).
+  if (!last_preds.empty()) {
+    cur = std::make_unique<FilterExpr>(std::move(cur), std::move(last_preds));
+  }
+  return cur;
+}
+
+Result<Translator::Out> Translator::TrPath(const PathExpr& e) {
+  ExprPtr cur;
+  TsOpt ts;
+  if (e.input != nullptr) {
+    XCQL_ASSIGN_OR_RETURN(Out in, Tr(*e.input));
+    cur = std::move(in.expr);
+    ts = in.ts;
+  }
+  // cur == nullptr ⇒ absolute path (only meaningful over materialized
+  // trees); steps stay untranslated.
+
+  // QaC+ pure-prefix deferral: while the chain from stream() consists of
+  // predicate-free name steps, only the schema position advances; the
+  // value expression is emitted lazily via the tsid index.
+  bool deferring = method_ == ExecMethod::kQaCPlus && ts.has_value() &&
+                   ts->wrapper && e.input != nullptr &&
+                   e.input->kind() == ExprKind::kFunctionCall;
+
+  for (size_t si = 0; si < e.steps.size(); ++si) {
+    const PathStep& step = e.steps[si];
+
+    if (deferring) {
+      bool can_defer = (step.axis == PathStep::Axis::kChild ||
+                        step.axis == PathStep::Axis::kDescendant) &&
+                       step.test == PathStep::Test::kName &&
+                       step.predicates.empty();
+      if (can_defer) {
+        if (ts->wrapper) {
+          // First step must select the root payload.
+          if (step.axis == PathStep::Axis::kChild) {
+            if (step.name == ts->node->name) {
+              ts = TsRef{ts->stream, ts->node, false};
+              continue;
+            }
+            // Selects nothing; emit literally.
+          } else {  // descendant from the wrapper
+            std::vector<const frag::TagNode*> hits;
+            FindNamed(ts->node, step.name, &hits);
+            if (hits.size() == 1) {
+              ts = TsRef{ts->stream, hits[0], false};
+              continue;
+            }
+          }
+        } else if (step.axis == PathStep::Axis::kChild) {
+          const frag::TagNode* ctag = ts->node->Child(step.name);
+          if (ctag != nullptr) {
+            ts = TsRef{ts->stream, ctag, false};
+            continue;
+          }
+        } else {  // descendant below the current node
+          std::vector<const frag::TagNode*> hits;
+          for (const auto& c : ts->node->children) {
+            FindNamed(c.get(), step.name, &hits);
+          }
+          if (hits.size() == 1) {
+            ts = TsRef{ts->stream, hits[0], false};
+            continue;
+          }
+        }
+      }
+      // Forced to materialize. If the forcing step is itself a name test
+      // with a unique schema target, jump straight to that target with the
+      // tsid index and attach the step's predicates there.
+      deferring = false;
+      bool preds_jumpable = true;
+      for (const auto& p : step.predicates) {
+        if (!IsDefinitelyBoolean(*p)) {
+          preds_jumpable = false;
+          break;
+        }
+      }
+      const frag::TagNode* target = nullptr;
+      if (preds_jumpable && step.test == PathStep::Test::kName &&
+          (step.axis == PathStep::Axis::kChild ||
+           step.axis == PathStep::Axis::kDescendant)) {
+        if (ts->wrapper) {
+          if (step.axis == PathStep::Axis::kChild) {
+            if (step.name == ts->node->name) target = ts->node;
+          } else {
+            std::vector<const frag::TagNode*> hits;
+            FindNamed(ts->node, step.name, &hits);
+            if (hits.size() == 1) target = hits[0];
+          }
+        } else if (step.axis == PathStep::Axis::kChild) {
+          target = ts->node->Child(step.name);
+        } else {
+          std::vector<const frag::TagNode*> hits;
+          for (const auto& c : ts->node->children) {
+            FindNamed(c.get(), step.name, &hits);
+          }
+          if (hits.size() == 1) target = hits[0];
+        }
+      }
+      if (target != nullptr) {
+        TsRef target_ts{ts->stream, target, false};
+        XCQL_ASSIGN_OR_RETURN(std::vector<ExprPtr> preds,
+                              TrPredicates(step.predicates, TsOpt(target_ts)));
+        cur = EmitDeferredPrefix(target_ts, std::move(preds));
+        ts = target_ts;
+        continue;  // this step is consumed by the jump
+      }
+      // No unique target: materialize the current position and translate
+      // the step generically.
+      if (!ts->wrapper) {
+        cur = EmitDeferredPrefix(*ts, {});
+      }
+      // (wrapper case keeps the original get_fillers(x,0) expression)
+    }
+
+    switch (step.axis) {
+      case PathStep::Axis::kChild: {
+        if (step.test == PathStep::Test::kName) {
+          XCQL_ASSIGN_OR_RETURN(std::vector<ExprPtr> preds,
+                                TrPredicates(step.predicates, StepTargetTs(
+                                    ts, step.name)));
+          XCQL_ASSIGN_OR_RETURN(
+              Out o, ApplyChildStep(std::move(cur), ts, step.name,
+                                    std::move(preds)));
+          cur = std::move(o.expr);
+          ts = o.ts;
+        } else if (step.test == PathStep::Test::kWildcard &&
+                   ts.has_value() && !ts->wrapper) {
+          XCQL_ASSIGN_OR_RETURN(
+              Out o, ExpandWildcard(std::move(cur), *ts, step.predicates));
+          cur = std::move(o.expr);
+          ts = o.ts;
+        } else {
+          // text()/node()/wildcard-without-schema: direct.
+          XCQL_ASSIGN_OR_RETURN(std::vector<ExprPtr> preds,
+                                TrPredicates(step.predicates, std::nullopt));
+          PathStep ns;
+          ns.axis = step.axis;
+          ns.test = step.test;
+          ns.name = step.name;
+          ns.predicates = std::move(preds);
+          bool owned = false;
+          cur = AppendStep(std::move(cur), std::move(ns), &owned);
+          ts.reset();
+        }
+        break;
+      }
+      case PathStep::Axis::kDescendant: {
+        if (step.test == PathStep::Test::kName && ts.has_value()) {
+          TsRef base = *ts;
+          ExprPtr base_expr = std::move(cur);
+          if (base.wrapper) {
+            // Unwrap to the root payload first.
+            XCQL_ASSIGN_OR_RETURN(
+                Out unwrapped,
+                ApplyChildStep(std::move(base_expr), ts, base.node->name, {}));
+            base_expr = std::move(unwrapped.expr);
+            if (!unwrapped.ts.has_value()) {
+              return Status::Internal("wrapper unwrap lost schema position");
+            }
+            base = *unwrapped.ts;
+            // The root element itself can match e//A.
+            if (base.node->name == step.name) {
+              XCQL_ASSIGN_OR_RETURN(
+                  std::vector<ExprPtr> self_preds,
+                  TrPredicates(step.predicates, TsOpt(base)));
+              std::string var =
+                  StringPrintf("xcql_t%d", fresh_var_counter_++);
+              // (self[preds], self//A) — build via let + branches below by
+              // re-binding base_expr.
+              std::vector<FlworClause> clauses;
+              FlworClause let;
+              let.kind = FlworClause::Kind::kLet;
+              let.var = var;
+              let.expr = std::move(base_expr);
+              clauses.push_back(std::move(let));
+              std::vector<ExprPtr> branches;
+              branches.push_back(std::make_unique<FilterExpr>(
+                  std::make_unique<VarRefExpr>(var), std::move(self_preds)));
+              XCQL_ASSIGN_OR_RETURN(
+                  Out sub,
+                  ExpandDescendant(std::make_unique<VarRefExpr>(var), base,
+                                   step.name, step.predicates));
+              branches.push_back(std::move(sub.expr));
+              cur = std::make_unique<FlworExpr>(
+                  std::move(clauses),
+                  std::make_unique<SequenceExpr>(std::move(branches)));
+              ts.reset();
+              break;
+            }
+          }
+          XCQL_ASSIGN_OR_RETURN(
+              Out o, ExpandDescendant(std::move(base_expr), base, step.name,
+                                      step.predicates));
+          cur = std::move(o.expr);
+          ts = o.ts;
+        } else {
+          XCQL_ASSIGN_OR_RETURN(std::vector<ExprPtr> preds,
+                                TrPredicates(step.predicates, std::nullopt));
+          PathStep ns;
+          ns.axis = step.axis;
+          ns.test = step.test;
+          ns.name = step.name;
+          ns.predicates = std::move(preds);
+          bool owned = false;
+          cur = AppendStep(std::move(cur), std::move(ns), &owned);
+          ts.reset();
+        }
+        break;
+      }
+      case PathStep::Axis::kAttribute:
+      case PathStep::Axis::kParent: {
+        if (step.axis == PathStep::Axis::kParent && ts.has_value() &&
+            !ts->wrapper) {
+          return Status::Unsupported(
+              "parent axis crosses filler boundaries on fragmented data");
+        }
+        XCQL_ASSIGN_OR_RETURN(std::vector<ExprPtr> preds,
+                              TrPredicates(step.predicates, std::nullopt));
+        PathStep ns;
+        ns.axis = step.axis;
+        ns.test = step.test;
+        ns.name = step.name;
+        ns.predicates = std::move(preds);
+        bool owned = false;
+        cur = AppendStep(std::move(cur), std::move(ns), &owned);
+        ts.reset();
+        break;
+      }
+    }
+  }
+  if (deferring) {
+    // Path ended while deferring: materialize now.
+    if (!ts->wrapper) {
+      cur = EmitDeferredPrefix(*ts, {});
+    }
+  }
+  return Out{std::move(cur), ts};
+}
+
+// --- small helpers used above -------------------------------------------------
+
+Translator::TsOpt Translator::StepTargetTs(const TsOpt& ts,
+                                           const std::string& name) const {
+  if (!ts.has_value()) return std::nullopt;
+  if (ts->wrapper) {
+    if (name == ts->node->name) return TsRef{ts->stream, ts->node, false};
+    return std::nullopt;
+  }
+  const frag::TagNode* ctag = ts->node->Child(name);
+  if (ctag == nullptr) return std::nullopt;
+  return TsRef{ts->stream, ctag, false};
+}
+
+std::vector<ExprPtr> Translator::CloneVecOf(const std::vector<ExprPtr>& v) {
+  std::vector<ExprPtr> out;
+  out.reserve(v.size());
+  for (const auto& e : v) out.push_back(e->Clone());
+  return out;
+}
+
+}  // namespace xcql::lang

@@ -1,0 +1,128 @@
+// The schema-based XCQL→XQuery translation of paper Fig. 3: rewrites path
+// expressions over the virtual temporal view into expressions over the
+// fragmented stream, guided by the Tag Structure.
+//
+//   stream(x)            → xcql:get_fillers("x", 0)          (root wrapper)
+//   e/A  (A snapshot)    → e'/A
+//   e/A  (A fragmented)  → xcql:get_fillers("x", e'/hole/@id)/A
+//   e//A                 → union over the Tag Structure's paths to A
+//   e/*                  → union over the Tag Structure's children
+//   e[pred]              → e'[pred']   (pred translated in e's context)
+//   e?[t1,t2], e#[v1,v2] → evaluated natively; projections resolve holes
+//                          through the store, so their results are fully
+//                          materialized and later steps stay direct
+//
+// Three methods (paper §7):
+//   CaQ   — identity translation; the executor materializes the whole
+//           temporal view first and the query runs against it.
+//   QaC   — the rewriting above, with the paper-faithful linear
+//           filler[@id=$fid] scan inside xcql:get_fillers.
+//   QaC+  — additionally collapses pure root-anchored path prefixes into a
+//           tsid-index scan (xcql:tsid_scan) and uses the hash index for
+//           any remaining hole resolution.
+#ifndef XCQL_XCQL_TRANSLATOR_H_
+#define XCQL_XCQL_TRANSLATOR_H_
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "frag/tag_structure.h"
+#include "xq/ast.h"
+
+namespace xcql::lang {
+
+/// \brief Execution method of paper §7.
+enum class ExecMethod {
+  kCaQ,      // construct (materialize) then query
+  kQaC,      // query fragments along the path, linear filler scans
+  kQaCPlus,  // tsid-indexed access to only the fillers the query needs
+};
+
+const char* ExecMethodName(ExecMethod m);
+
+/// \brief Rewrites parsed XCQL into fragment-operating XQuery.
+///
+/// The translator tracks, for every subexpression, its position in the Tag
+/// Structure of its stream (single position per branch; `//` and `*` are
+/// expanded into explicit unions per Fig. 3), flowing positions through
+/// FLWOR/quantifier variable bindings and predicate context items.
+class Translator {
+ public:
+  /// \param schemas stream name → its Tag Structure (not owned).
+  Translator(std::map<std::string, const frag::TagStructure*> schemas,
+             ExecMethod method);
+
+  /// \brief Translates a whole program (prolog function bodies included).
+  Result<xq::Program> Translate(const xq::Program& prog);
+
+  /// \brief Translates a single expression (mainly for tests/demos).
+  Result<xq::ExprPtr> TranslateExpr(const xq::Expr& e);
+
+ private:
+  /// Schema position of an expression's value.
+  struct TsRef {
+    std::string stream;
+    const frag::TagNode* node = nullptr;
+    /// True when the value is a <filler> wrapper whose children are the
+    /// version elements of tag `node` (the shape get_fillers returns).
+    bool wrapper = false;
+  };
+  using TsOpt = std::optional<TsRef>;
+
+  struct Out {
+    xq::ExprPtr expr;
+    TsOpt ts;
+  };
+
+  Result<Out> Tr(const xq::Expr& e);
+  Result<Out> TrPath(const xq::PathExpr& e);
+  Result<Out> TrFlwor(const xq::FlworExpr& e);
+  Result<Out> TrQuantified(const xq::QuantifiedExpr& e);
+  Result<Out> TrFunctionCall(const xq::FunctionCallExpr& e);
+
+  /// Applies one child-name step (with already-translated predicates) to
+  /// `cur`.
+  Result<Out> ApplyChildStep(xq::ExprPtr cur, const TsOpt& ts,
+                             const std::string& name,
+                             std::vector<xq::ExprPtr> preds);
+
+  /// Fig. 3 expansions; bind `cur` to a fresh variable and union branches.
+  /// `raw_preds` are untranslated; each branch translates them in its own
+  /// target context.
+  Result<Out> ExpandWildcard(xq::ExprPtr cur, const TsRef& ts,
+                             const std::vector<xq::ExprPtr>& raw_preds);
+  Result<Out> ExpandDescendant(xq::ExprPtr cur, const TsRef& ts,
+                               const std::string& name,
+                               const std::vector<xq::ExprPtr>& raw_preds);
+
+  Result<std::vector<xq::ExprPtr>> TrPredicates(
+      const std::vector<xq::ExprPtr>& preds, const TsOpt& target_ts);
+
+  /// Schema position reached by a child step named `name` from `ts`.
+  TsOpt StepTargetTs(const TsOpt& ts, const std::string& name) const;
+
+  static std::vector<xq::ExprPtr> CloneVecOf(
+      const std::vector<xq::ExprPtr>& v);
+
+  /// QaC+ prefix collapse: emits a tsid scan (or the root filler) for the
+  /// deferred pure prefix ending at `at`, attaching `last_preds`
+  /// (already translated) to the final step.
+  xq::ExprPtr EmitDeferredPrefix(const TsRef& at,
+                                 std::vector<xq::ExprPtr> last_preds);
+
+  // Environment handling (variables and the context item's position).
+  const TsOpt* LookupVar(const std::string& name) const;
+
+  std::map<std::string, const frag::TagStructure*> schemas_;
+  ExecMethod method_;
+  std::vector<std::pair<std::string, TsOpt>> var_env_;
+  TsOpt context_ts_;
+  int fresh_var_counter_ = 0;
+};
+
+}  // namespace xcql::lang
+
+#endif  // XCQL_XCQL_TRANSLATOR_H_

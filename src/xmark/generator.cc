@@ -1,0 +1,432 @@
+#include "xmark/generator.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/random.h"
+#include "common/string_util.h"
+
+namespace xcql::xmark {
+
+namespace {
+
+// Compact stand-in for xmlgen's Shakespeare vocabulary.
+constexpr const char* kWords[] = {
+    "stream",   "auction",  "vintage",  "silver",  "golden",   "ancient",
+    "modern",   "rare",     "fine",     "classic", "original", "signed",
+    "limited",  "edition",  "antique",  "crystal", "wooden",   "marble",
+    "bronze",   "ceramic",  "painting", "watch",   "camera",   "guitar",
+    "table",    "mirror",   "lamp",     "vase",    "clock",    "ring",
+    "necklace", "bracelet", "coin",     "stamp",   "book",     "map",
+    "print",    "poster",   "sculpture", "carpet", "excellent", "condition",
+    "shipping", "included", "worldwide", "insured", "tracked",  "priority",
+    "seller",   "reserve",  "minimum",  "increment", "bidder", "winner",
+    "estate",   "private",  "collection", "museum", "quality", "certified",
+    "authentic", "verified", "graded",  "sealed",  "boxed",    "complete",
+    "working",  "restored", "polished", "engraved", "handmade", "imported",
+};
+constexpr size_t kNumWords = sizeof(kWords) / sizeof(kWords[0]);
+
+constexpr const char* kRegions[] = {"africa",   "asia",     "australia",
+                                    "europe",   "namerica", "samerica"};
+
+constexpr const char* kCities[] = {"Paris",  "Dallas", "Tokyo",
+                                   "Berlin", "Sydney", "Lagos"};
+constexpr const char* kCountries[] = {"France",  "UnitedStates", "Japan",
+                                      "Germany", "Australia",    "Nigeria"};
+
+class Builder {
+ public:
+  explicit Builder(const XMarkOptions& options)
+      : rng_(options.seed), counts_(CountsForScale(options.scale)) {}
+
+  NodePtr Build() {
+    NodePtr site = Node::Element("site");
+    site->AddChild(BuildRegions());
+    site->AddChild(BuildCategories());
+    site->AddChild(BuildPeople());
+    site->AddChild(BuildOpenAuctions());
+    site->AddChild(BuildClosedAuctions());
+    return site;
+  }
+
+ private:
+  std::string Words(int n) {
+    std::string out;
+    for (int i = 0; i < n; ++i) {
+      if (i > 0) out += ' ';
+      out += kWords[rng_.Uniform(kNumWords)];
+    }
+    return out;
+  }
+
+  std::string RandomDate() {
+    return StringPrintf("%02d/%02d/%04d",
+                        static_cast<int>(rng_.UniformRange(1, 12)),
+                        static_cast<int>(rng_.UniformRange(1, 28)),
+                        static_cast<int>(rng_.UniformRange(1998, 2003)));
+  }
+
+  static NodePtr TextElement(const std::string& name, std::string text) {
+    NodePtr e = Node::Element(name);
+    e->AddChild(Node::Text(std::move(text)));
+    return e;
+  }
+
+  NodePtr BuildRegions() {
+    NodePtr regions = Node::Element("regions");
+    int item_no = 0;
+    for (int r = 0; r < 6; ++r) {
+      NodePtr region = Node::Element(kRegions[r]);
+      int count = counts_.items / 6 + (r < counts_.items % 6 ? 1 : 0);
+      for (int i = 0; i < count; ++i) {
+        region->AddChild(BuildItem(item_no++));
+      }
+      regions->AddChild(std::move(region));
+    }
+    return regions;
+  }
+
+  NodePtr BuildItem(int n) {
+    NodePtr item = Node::Element("item");
+    item->SetAttr("id", "item" + std::to_string(n));
+    item->AddChild(TextElement("location",
+                               kCountries[rng_.Uniform(6)]));
+    item->AddChild(TextElement(
+        "quantity", std::to_string(rng_.UniformRange(1, 5))));
+    item->AddChild(TextElement("name", Words(2)));
+    item->AddChild(TextElement("payment", "Creditcard"));
+    NodePtr description = Node::Element("description");
+    description->AddChild(TextElement(
+        "text", Words(static_cast<int>(rng_.UniformRange(320, 560)))));
+    item->AddChild(std::move(description));
+    item->AddChild(TextElement("shipping", Words(4)));
+    int cats = static_cast<int>(rng_.UniformRange(1, 3));
+    for (int c = 0; c < cats; ++c) {
+      NodePtr incat = Node::Element("incategory");
+      incat->SetAttr("category",
+                     "category" + std::to_string(rng_.Uniform(
+                         static_cast<uint64_t>(counts_.categories))));
+      item->AddChild(std::move(incat));
+    }
+    return item;
+  }
+
+  NodePtr BuildCategories() {
+    NodePtr categories = Node::Element("categories");
+    for (int i = 0; i < counts_.categories; ++i) {
+      NodePtr category = Node::Element("category");
+      category->SetAttr("id", "category" + std::to_string(i));
+      category->AddChild(TextElement("name", Words(2)));
+      NodePtr description = Node::Element("description");
+      description->AddChild(TextElement(
+          "text", Words(static_cast<int>(rng_.UniformRange(60, 110)))));
+      category->AddChild(std::move(description));
+      categories->AddChild(std::move(category));
+    }
+    return categories;
+  }
+
+  NodePtr BuildPeople() {
+    NodePtr people = Node::Element("people");
+    for (int i = 0; i < counts_.persons; ++i) {
+      NodePtr person = Node::Element("person");
+      person->SetAttr("id", "person" + std::to_string(i));
+      std::string first = kWords[rng_.Uniform(kNumWords)];
+      std::string last = kWords[rng_.Uniform(kNumWords)];
+      person->AddChild(TextElement("name", first + " " + last));
+      person->AddChild(
+          TextElement("emailaddress", "mailto:" + first + "@" + last + ".com"));
+      person->AddChild(TextElement(
+          "phone",
+          StringPrintf("+%d (%d) %d", static_cast<int>(rng_.UniformRange(1, 99)),
+                       static_cast<int>(rng_.UniformRange(100, 999)),
+                       static_cast<int>(rng_.UniformRange(1000000, 9999999)))));
+      NodePtr address = Node::Element("address");
+      address->AddChild(TextElement(
+          "street", StringPrintf("%d %s St",
+                                 static_cast<int>(rng_.UniformRange(1, 99)),
+                                 kWords[rng_.Uniform(kNumWords)])));
+      address->AddChild(TextElement("city", kCities[rng_.Uniform(6)]));
+      address->AddChild(TextElement("country", kCountries[rng_.Uniform(6)]));
+      address->AddChild(TextElement(
+          "zipcode", std::to_string(rng_.UniformRange(10000, 99999))));
+      person->AddChild(std::move(address));
+      NodePtr profile = Node::Element("profile");
+      profile->SetAttr("income",
+                       StringPrintf("%.2f", 20000 + rng_.NextDouble() * 80000));
+      NodePtr interest = Node::Element("interest");
+      interest->SetAttr("category",
+                        "category" + std::to_string(rng_.Uniform(
+                            static_cast<uint64_t>(counts_.categories))));
+      profile->AddChild(std::move(interest));
+      profile->AddChild(TextElement("education", "Graduate School"));
+      profile->AddChild(TextElement("business", rng_.Bernoulli(0.5) ? "Yes"
+                                                                    : "No"));
+      person->AddChild(std::move(profile));
+      people->AddChild(std::move(person));
+    }
+    return people;
+  }
+
+  NodePtr BuildOpenAuctions() {
+    NodePtr auctions = Node::Element("open_auctions");
+    for (int i = 0; i < counts_.open_auctions; ++i) {
+      NodePtr a = Node::Element("open_auction");
+      a->SetAttr("id", "open_auction" + std::to_string(i));
+      double initial = 1 + rng_.NextDouble() * 100;
+      a->AddChild(TextElement("initial", StringPrintf("%.2f", initial)));
+      int bids = static_cast<int>(rng_.Uniform(6));
+      double current = initial;
+      for (int b = 0; b < bids; ++b) {
+        NodePtr bidder = Node::Element("bidder");
+        bidder->AddChild(TextElement("date", RandomDate()));
+        double increase = 1.5 * (1 + static_cast<double>(rng_.Uniform(20)));
+        current += increase;
+        bidder->AddChild(TextElement("increase",
+                                     StringPrintf("%.2f", increase)));
+        NodePtr pref = Node::Element("personref");
+        pref->SetAttr("person",
+                      "person" + std::to_string(rng_.Uniform(
+                          static_cast<uint64_t>(counts_.persons))));
+        bidder->AddChild(std::move(pref));
+        a->AddChild(std::move(bidder));
+      }
+      a->AddChild(TextElement("current", StringPrintf("%.2f", current)));
+      NodePtr itemref = Node::Element("itemref");
+      itemref->SetAttr("item", "item" + std::to_string(rng_.Uniform(
+                                   static_cast<uint64_t>(
+                                       std::max(counts_.items, 1)))));
+      a->AddChild(std::move(itemref));
+      NodePtr seller = Node::Element("seller");
+      seller->SetAttr("person",
+                      "person" + std::to_string(rng_.Uniform(
+                          static_cast<uint64_t>(counts_.persons))));
+      a->AddChild(std::move(seller));
+      NodePtr annotation = Node::Element("annotation");
+      NodePtr description = Node::Element("description");
+      description->AddChild(TextElement(
+          "text", Words(static_cast<int>(rng_.UniformRange(60, 110)))));
+      annotation->AddChild(std::move(description));
+      a->AddChild(std::move(annotation));
+      a->AddChild(TextElement("quantity", "1"));
+      a->AddChild(TextElement("type", "Regular"));
+      auctions->AddChild(std::move(a));
+    }
+    return auctions;
+  }
+
+  NodePtr BuildClosedAuctions() {
+    NodePtr auctions = Node::Element("closed_auctions");
+    for (int i = 0; i < counts_.closed_auctions; ++i) {
+      NodePtr a = Node::Element("closed_auction");
+      NodePtr seller = Node::Element("seller");
+      seller->SetAttr("person",
+                      "person" + std::to_string(rng_.Uniform(
+                          static_cast<uint64_t>(counts_.persons))));
+      a->AddChild(std::move(seller));
+      NodePtr buyer = Node::Element("buyer");
+      buyer->SetAttr("person",
+                     "person" + std::to_string(rng_.Uniform(
+                         static_cast<uint64_t>(counts_.persons))));
+      a->AddChild(std::move(buyer));
+      NodePtr itemref = Node::Element("itemref");
+      itemref->SetAttr("item", "item" + std::to_string(rng_.Uniform(
+                                   static_cast<uint64_t>(
+                                       std::max(counts_.items, 1)))));
+      a->AddChild(std::move(itemref));
+      // Price in [0, 200): Q5's ">= 40" filter keeps roughly 80%.
+      a->AddChild(TextElement("price",
+                              StringPrintf("%.2f", rng_.NextDouble() * 200)));
+      a->AddChild(TextElement("date", RandomDate()));
+      a->AddChild(TextElement("quantity", "1"));
+      a->AddChild(TextElement("type", "Regular"));
+      NodePtr annotation = Node::Element("annotation");
+      NodePtr description = Node::Element("description");
+      description->AddChild(TextElement(
+          "text", Words(static_cast<int>(rng_.UniformRange(50, 90)))));
+      annotation->AddChild(std::move(description));
+      a->AddChild(std::move(annotation));
+      auctions->AddChild(std::move(a));
+    }
+    return auctions;
+  }
+
+  Random rng_;
+  XMarkCounts counts_;
+};
+
+}  // namespace
+
+XMarkCounts CountsForScale(double scale) {
+  auto scaled = [scale](int base, int floor_value) {
+    return std::max(floor_value,
+                    static_cast<int>(std::lround(base * scale)));
+  };
+  XMarkCounts c;
+  c.categories = scaled(1000, 3);
+  c.items = scaled(21750, 4);
+  c.persons = scaled(25500, 8);
+  c.open_auctions = scaled(12000, 4);
+  c.closed_auctions = scaled(9750, 4);
+  return c;
+}
+
+Result<NodePtr> GenerateAuctionDoc(const XMarkOptions& options) {
+  if (options.scale < 0) {
+    return Status::InvalidArgument("scale must be non-negative");
+  }
+  Builder builder(options);
+  return builder.Build();
+}
+
+const char* AuctionTagStructureXml() {
+  return R"(<stream:structure>
+<tag type="snapshot" id="1" name="site">
+  <tag type="snapshot" id="2" name="regions">
+    <tag type="snapshot" id="3" name="africa">
+      <tag type="event" id="601" name="item">
+        <tag type="snapshot" id="20" name="location"/>
+        <tag type="snapshot" id="21" name="quantity"/>
+        <tag type="snapshot" id="22" name="name"/>
+        <tag type="snapshot" id="23" name="payment"/>
+        <tag type="snapshot" id="24" name="description">
+          <tag type="snapshot" id="25" name="text"/>
+        </tag>
+        <tag type="snapshot" id="26" name="shipping"/>
+        <tag type="snapshot" id="27" name="incategory"/>
+      </tag>
+    </tag>
+    <tag type="snapshot" id="4" name="asia">
+      <tag type="event" id="611" name="item">
+        <tag type="snapshot" id="30" name="location"/>
+        <tag type="snapshot" id="31" name="quantity"/>
+        <tag type="snapshot" id="32" name="name"/>
+        <tag type="snapshot" id="33" name="payment"/>
+        <tag type="snapshot" id="34" name="description">
+          <tag type="snapshot" id="35" name="text"/>
+        </tag>
+        <tag type="snapshot" id="36" name="shipping"/>
+        <tag type="snapshot" id="37" name="incategory"/>
+      </tag>
+    </tag>
+    <tag type="snapshot" id="5" name="australia">
+      <tag type="event" id="621" name="item">
+        <tag type="snapshot" id="40" name="location"/>
+        <tag type="snapshot" id="41" name="quantity"/>
+        <tag type="snapshot" id="42" name="name"/>
+        <tag type="snapshot" id="43" name="payment"/>
+        <tag type="snapshot" id="44" name="description">
+          <tag type="snapshot" id="45" name="text"/>
+        </tag>
+        <tag type="snapshot" id="46" name="shipping"/>
+        <tag type="snapshot" id="47" name="incategory"/>
+      </tag>
+    </tag>
+    <tag type="snapshot" id="6" name="europe">
+      <tag type="event" id="631" name="item">
+        <tag type="snapshot" id="50" name="location"/>
+        <tag type="snapshot" id="51" name="quantity"/>
+        <tag type="snapshot" id="52" name="name"/>
+        <tag type="snapshot" id="53" name="payment"/>
+        <tag type="snapshot" id="54" name="description">
+          <tag type="snapshot" id="55" name="text"/>
+        </tag>
+        <tag type="snapshot" id="56" name="shipping"/>
+        <tag type="snapshot" id="57" name="incategory"/>
+      </tag>
+    </tag>
+    <tag type="snapshot" id="7" name="namerica">
+      <tag type="event" id="641" name="item">
+        <tag type="snapshot" id="60" name="location"/>
+        <tag type="snapshot" id="61" name="quantity"/>
+        <tag type="snapshot" id="62" name="name"/>
+        <tag type="snapshot" id="63" name="payment"/>
+        <tag type="snapshot" id="64" name="description">
+          <tag type="snapshot" id="65" name="text"/>
+        </tag>
+        <tag type="snapshot" id="66" name="shipping"/>
+        <tag type="snapshot" id="67" name="incategory"/>
+      </tag>
+    </tag>
+    <tag type="snapshot" id="8" name="samerica">
+      <tag type="event" id="651" name="item">
+        <tag type="snapshot" id="70" name="location"/>
+        <tag type="snapshot" id="71" name="quantity"/>
+        <tag type="snapshot" id="72" name="name"/>
+        <tag type="snapshot" id="73" name="payment"/>
+        <tag type="snapshot" id="74" name="description">
+          <tag type="snapshot" id="75" name="text"/>
+        </tag>
+        <tag type="snapshot" id="76" name="shipping"/>
+        <tag type="snapshot" id="77" name="incategory"/>
+      </tag>
+    </tag>
+  </tag>
+  <tag type="snapshot" id="9" name="categories">
+    <tag type="event" id="602" name="category">
+      <tag type="snapshot" id="80" name="name"/>
+      <tag type="snapshot" id="81" name="description">
+        <tag type="snapshot" id="82" name="text"/>
+      </tag>
+    </tag>
+  </tag>
+  <tag type="snapshot" id="10" name="people">
+    <tag type="event" id="604" name="person">
+      <tag type="snapshot" id="90" name="name"/>
+      <tag type="snapshot" id="91" name="emailaddress"/>
+      <tag type="snapshot" id="92" name="phone"/>
+      <tag type="snapshot" id="93" name="address">
+        <tag type="snapshot" id="94" name="street"/>
+        <tag type="snapshot" id="95" name="city"/>
+        <tag type="snapshot" id="96" name="country"/>
+        <tag type="snapshot" id="97" name="zipcode"/>
+      </tag>
+      <tag type="snapshot" id="98" name="profile">
+        <tag type="snapshot" id="99" name="interest"/>
+        <tag type="snapshot" id="100" name="education"/>
+        <tag type="snapshot" id="101" name="business"/>
+      </tag>
+    </tag>
+  </tag>
+  <tag type="snapshot" id="11" name="open_auctions">
+    <tag type="event" id="605" name="open_auction">
+      <tag type="snapshot" id="110" name="initial"/>
+      <tag type="event" id="606" name="bidder">
+        <tag type="snapshot" id="111" name="date"/>
+        <tag type="snapshot" id="112" name="increase"/>
+        <tag type="snapshot" id="113" name="personref"/>
+      </tag>
+      <tag type="snapshot" id="114" name="current"/>
+      <tag type="snapshot" id="115" name="itemref"/>
+      <tag type="snapshot" id="116" name="seller"/>
+      <tag type="snapshot" id="117" name="annotation">
+        <tag type="snapshot" id="118" name="description">
+          <tag type="snapshot" id="119" name="text"/>
+        </tag>
+      </tag>
+      <tag type="snapshot" id="120" name="quantity"/>
+      <tag type="snapshot" id="121" name="type"/>
+    </tag>
+  </tag>
+  <tag type="snapshot" id="12" name="closed_auctions">
+    <tag type="event" id="603" name="closed_auction">
+      <tag type="snapshot" id="130" name="seller"/>
+      <tag type="snapshot" id="131" name="buyer"/>
+      <tag type="snapshot" id="132" name="itemref"/>
+      <tag type="snapshot" id="133" name="price"/>
+      <tag type="snapshot" id="134" name="date"/>
+      <tag type="snapshot" id="135" name="quantity"/>
+      <tag type="snapshot" id="136" name="type"/>
+      <tag type="snapshot" id="137" name="annotation">
+        <tag type="snapshot" id="138" name="description">
+          <tag type="snapshot" id="139" name="text"/>
+        </tag>
+      </tag>
+    </tag>
+  </tag>
+</tag>
+</stream:structure>)";
+}
+
+}  // namespace xcql::xmark

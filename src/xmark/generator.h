@@ -1,0 +1,48 @@
+// Deterministic XMark-style auction document generator (substitute for the
+// benchmark's xmlgen, paper §7). Produces schema-compatible <site> documents
+// whose size is calibrated so the paper's scaling factors {0.0, 0.05, 0.1}
+// yield approximately the reported 27.3KB / 5.8MB / 11.8MB inputs.
+#ifndef XCQL_XMARK_GENERATOR_H_
+#define XCQL_XMARK_GENERATOR_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/result.h"
+#include "xml/node.h"
+
+namespace xcql::xmark {
+
+/// \brief Generation parameters.
+struct XMarkOptions {
+  /// XMark scaling factor; 0.0 produces the minimal document.
+  double scale = 0.1;
+  /// PRNG seed; equal options produce byte-identical documents.
+  uint64_t seed = 42;
+};
+
+/// \brief Entity counts implied by a scaling factor.
+struct XMarkCounts {
+  int categories;
+  int items;  // split across the six regions
+  int persons;
+  int open_auctions;
+  int closed_auctions;
+};
+
+/// \brief Counts for a scaling factor (XMark's entity ratios with floors
+/// that reproduce xmlgen's minimal document at f=0).
+XMarkCounts CountsForScale(double scale);
+
+/// \brief Generates the auction document.
+Result<NodePtr> GenerateAuctionDoc(const XMarkOptions& options);
+
+/// \brief The Tag Structure used to fragment the auction stream: item,
+/// category, person, open_auction, bidder and closed_auction travel as
+/// separate fillers (closed_auction carries tsid 603, as in the paper's
+/// §7 QaC+ example); everything else is snapshot context.
+const char* AuctionTagStructureXml();
+
+}  // namespace xcql::xmark
+
+#endif  // XCQL_XMARK_GENERATOR_H_

@@ -1,0 +1,42 @@
+#include "xmark/queries.h"
+
+namespace xcql::xmark {
+
+const char* XMarkQueryName(XMarkQueryId id) {
+  switch (id) {
+    case XMarkQueryId::kQ1:
+      return "Q1";
+    case XMarkQueryId::kQ2:
+      return "Q2";
+    case XMarkQueryId::kQ5:
+      return "Q5";
+  }
+  return "?";
+}
+
+std::string XMarkQueryText(XMarkQueryId id) {
+  switch (id) {
+    case XMarkQueryId::kQ1:
+      // XMark Q1: the name of a specific person (highly selective).
+      return R"(for $b in stream("auction")/site/people/person[@id = "person0"]
+return $b/name/text())";
+    case XMarkQueryId::kQ2:
+      // XMark Q2: the first bid increase of every open auction. The
+      // positional selection is written over the combined bidder sequence
+      // of each auction, which is well-defined on fragmented data.
+      return R"(for $b in stream("auction")/site/open_auctions/open_auction
+return <increase>{ $b/bidder[1]/increase/text() }</increase>)";
+    case XMarkQueryId::kQ5:
+      // XMark Q5 exactly as quoted in the paper's §7.
+      return R"(count(for $i in stream("auction")/site/closed_auctions/closed_auction
+where $i/price/text() >= 40
+return $i/price))";
+  }
+  return "";
+}
+
+std::vector<XMarkQueryId> AllXMarkQueries() {
+  return {XMarkQueryId::kQ1, XMarkQueryId::kQ2, XMarkQueryId::kQ5};
+}
+
+}  // namespace xcql::xmark

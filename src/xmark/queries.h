@@ -1,0 +1,25 @@
+// The XMark queries used in the paper's evaluation (§7): Q1 (selective),
+// Q2 (range) and Q5 (cumulative aggregate), phrased over the auction
+// stream.
+#ifndef XCQL_XMARK_QUERIES_H_
+#define XCQL_XMARK_QUERIES_H_
+
+#include <string>
+#include <vector>
+
+namespace xcql::xmark {
+
+/// \brief Identifiers of the paper's three benchmark queries.
+enum class XMarkQueryId { kQ1, kQ2, kQ5 };
+
+const char* XMarkQueryName(XMarkQueryId id);
+
+/// \brief XCQL text of a benchmark query over stream("auction").
+std::string XMarkQueryText(XMarkQueryId id);
+
+/// \brief All three queries, in the paper's order.
+std::vector<XMarkQueryId> AllXMarkQueries();
+
+}  // namespace xcql::xmark
+
+#endif  // XCQL_XMARK_QUERIES_H_

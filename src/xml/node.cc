@@ -1,0 +1,123 @@
+#include "xml/node.h"
+
+namespace xcql {
+
+NodePtr Node::Element(std::string name) {
+  NodePtr n(new Node(Kind::kElement));
+  n->name_ = std::move(name);
+  return n;
+}
+
+NodePtr Node::Text(std::string text) {
+  NodePtr n(new Node(Kind::kText));
+  n->text_ = std::move(text);
+  return n;
+}
+
+NodePtr Node::Attribute(std::string name, std::string value) {
+  NodePtr n(new Node(Kind::kAttribute));
+  n->name_ = std::move(name);
+  n->text_ = std::move(value);
+  return n;
+}
+
+void Node::AddChild(NodePtr child) {
+  child->parent_ = this;
+  children_.push_back(std::move(child));
+}
+
+void Node::SetAttr(std::string_view name, std::string value) {
+  for (auto& [k, v] : attrs_) {
+    if (k == name) {
+      v = std::move(value);
+      return;
+    }
+  }
+  attrs_.emplace_back(std::string(name), std::move(value));
+}
+
+const std::string* Node::FindAttr(std::string_view name) const {
+  for (const auto& [k, v] : attrs_) {
+    if (k == name) return &v;
+  }
+  return nullptr;
+}
+
+void Node::RemoveAttr(std::string_view name) {
+  for (auto it = attrs_.begin(); it != attrs_.end(); ++it) {
+    if (it->first == name) {
+      attrs_.erase(it);
+      return;
+    }
+  }
+}
+
+bool Node::RemoveChild(const Node* child) {
+  for (auto it = children_.begin(); it != children_.end(); ++it) {
+    if (it->get() == child) {
+      children_.erase(it);
+      return true;
+    }
+  }
+  return false;
+}
+
+std::string Node::StringValue() const {
+  if (is_text() || is_attribute()) return text_;
+  std::string out;
+  for (const auto& c : children_) {
+    out += c->StringValue();
+  }
+  return out;
+}
+
+std::vector<NodePtr> Node::ChildElements(std::string_view name) const {
+  std::vector<NodePtr> out;
+  for (const auto& c : children_) {
+    if (c->is_element() && c->name_ == name) out.push_back(c);
+  }
+  return out;
+}
+
+NodePtr Node::FirstChildElement(std::string_view name) const {
+  for (const auto& c : children_) {
+    if (c->is_element() && c->name_ == name) return c;
+  }
+  return nullptr;
+}
+
+NodePtr Node::Clone() const {
+  NodePtr n(new Node(kind_));
+  n->name_ = name_;
+  n->text_ = text_;
+  n->attrs_ = attrs_;
+  n->children_.reserve(children_.size());
+  for (const auto& c : children_) {
+    NodePtr cc = c->Clone();
+    cc->parent_ = n.get();
+    n->children_.push_back(std::move(cc));
+  }
+  return n;
+}
+
+bool Node::DeepEqual(const Node& a, const Node& b) {
+  if (a.kind_ != b.kind_) return false;
+  if (a.is_text()) return a.text_ == b.text_;
+  if (a.is_attribute()) return a.name_ == b.name_ && a.text_ == b.text_;
+  if (a.name_ != b.name_ || a.attrs_ != b.attrs_ ||
+      a.children_.size() != b.children_.size()) {
+    return false;
+  }
+  for (size_t i = 0; i < a.children_.size(); ++i) {
+    if (!DeepEqual(*a.children_[i], *b.children_[i])) return false;
+  }
+  return true;
+}
+
+size_t Node::SubtreeSize() const {
+  size_t n = 1;
+  for (const auto& c : children_) n += c->SubtreeSize();
+  return n;
+}
+
+}  // namespace xcql

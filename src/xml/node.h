@@ -1,0 +1,113 @@
+// In-memory XML tree model. Two node kinds suffice for the paper's data:
+// elements (name, ordered attributes, children) and text. Attribute order is
+// preserved so serialization round-trips byte-for-byte.
+#ifndef XCQL_XML_NODE_H_
+#define XCQL_XML_NODE_H_
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace xcql {
+
+class Node;
+using NodePtr = std::shared_ptr<Node>;
+
+/// \brief One XML node: an element or a text node.
+///
+/// Parent links are non-owning raw pointers; ownership flows strictly
+/// downward through `children`, so a tree is destroyed by releasing its
+/// root. Trees handed to the query engine are treated as immutable.
+/// Every Node is owned by a shared_ptr (the factories enforce this), so the
+/// query engine can recover an owning handle from a parent link via
+/// shared_from_this().
+class Node : public std::enable_shared_from_this<Node> {
+ public:
+  enum class Kind { kElement, kText, kAttribute };
+
+  /// \brief Creates an element node.
+  static NodePtr Element(std::string name);
+
+  /// \brief Creates a text node.
+  static NodePtr Text(std::string text);
+
+  /// \brief Creates a free-standing attribute node (name + value). Stored
+  /// attributes of parsed elements live in `attrs()`; attribute *nodes*
+  /// exist transiently, as results of `@name` steps and computed attribute
+  /// constructors in the query engine.
+  static NodePtr Attribute(std::string name, std::string value);
+
+  Kind kind() const { return kind_; }
+  bool is_element() const { return kind_ == Kind::kElement; }
+  bool is_text() const { return kind_ == Kind::kText; }
+  bool is_attribute() const { return kind_ == Kind::kAttribute; }
+
+  /// \brief Element name; empty for text nodes.
+  const std::string& name() const { return name_; }
+
+  /// \brief Text content (text nodes) or attribute value (attribute nodes);
+  /// empty for elements (see StringValue()).
+  const std::string& text() const { return text_; }
+
+  const std::vector<std::pair<std::string, std::string>>& attrs() const {
+    return attrs_;
+  }
+  const std::vector<NodePtr>& children() const { return children_; }
+  Node* parent() const { return parent_; }
+
+  /// \brief Appends a child and sets its parent link.
+  void AddChild(NodePtr child);
+
+  /// \brief Sets (or overwrites) an attribute, preserving first-set order.
+  void SetAttr(std::string_view name, std::string value);
+
+  /// \brief Attribute value, or nullptr if absent.
+  const std::string* FindAttr(std::string_view name) const;
+
+  /// \brief True if the attribute is present.
+  bool HasAttr(std::string_view name) const {
+    return FindAttr(name) != nullptr;
+  }
+
+  /// \brief Removes an attribute if present.
+  void RemoveAttr(std::string_view name);
+
+  /// \brief Removes the first child identical to `child` (by address).
+  /// Returns false when not found.
+  bool RemoveChild(const Node* child);
+
+  /// \brief Concatenation of all descendant text (the XPath string value).
+  std::string StringValue() const;
+
+  /// \brief Child elements with the given name, in document order.
+  std::vector<NodePtr> ChildElements(std::string_view name) const;
+
+  /// \brief First child element with the given name, or nullptr.
+  NodePtr FirstChildElement(std::string_view name) const;
+
+  /// \brief Deep copy; the copy's parent is null.
+  NodePtr Clone() const;
+
+  /// \brief Structural equality: same kind, name/text, attributes (order-
+  /// sensitive), and children.
+  static bool DeepEqual(const Node& a, const Node& b);
+
+  /// \brief Number of nodes in the subtree rooted here (including this).
+  size_t SubtreeSize() const;
+
+ private:
+  explicit Node(Kind kind) : kind_(kind) {}
+
+  Kind kind_;
+  std::string name_;
+  std::string text_;
+  std::vector<std::pair<std::string, std::string>> attrs_;
+  std::vector<NodePtr> children_;
+  Node* parent_ = nullptr;
+};
+
+}  // namespace xcql
+
+#endif  // XCQL_XML_NODE_H_

@@ -1,0 +1,336 @@
+#include "xml/parser.h"
+
+#include <cctype>
+#include <string>
+
+#include "common/string_util.h"
+
+namespace xcql {
+
+namespace {
+
+bool IsNameStartChar(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_' || c == ':';
+}
+
+bool IsNameChar(char c) {
+  return IsNameStartChar(c) || std::isdigit(static_cast<unsigned char>(c)) ||
+         c == '-' || c == '.';
+}
+
+bool IsAllWhitespace(std::string_view s) {
+  for (char c : s) {
+    if (c != ' ' && c != '\t' && c != '\n' && c != '\r') return false;
+  }
+  return true;
+}
+
+class Parser {
+ public:
+  Parser(std::string_view input, const XmlParseOptions& options)
+      : in_(input), opts_(options) {}
+
+  Result<std::vector<NodePtr>> ParseTopLevel() {
+    std::vector<NodePtr> roots;
+    for (;;) {
+      SkipMisc();
+      if (AtEnd()) break;
+      if (Peek() != '<') {
+        return Err("unexpected character data at top level");
+      }
+      XCQL_ASSIGN_OR_RETURN(NodePtr el, ParseElement());
+      roots.push_back(std::move(el));
+    }
+    return roots;
+  }
+
+ private:
+  bool AtEnd() const { return pos_ >= in_.size(); }
+  char Peek() const { return in_[pos_]; }
+  char PeekAt(size_t off) const {
+    return pos_ + off < in_.size() ? in_[pos_ + off] : '\0';
+  }
+
+  Status Err(const std::string& msg) const {
+    // Compute 1-based line/column for the error position.
+    size_t line = 1, col = 1;
+    for (size_t i = 0; i < pos_ && i < in_.size(); ++i) {
+      if (in_[i] == '\n') {
+        ++line;
+        col = 1;
+      } else {
+        ++col;
+      }
+    }
+    return Status::ParseError(msg + StringPrintf(" at line %zu col %zu", line,
+                                                 col));
+  }
+
+  void SkipWs() {
+    while (!AtEnd() && std::isspace(static_cast<unsigned char>(Peek()))) {
+      ++pos_;
+    }
+  }
+
+  bool TryConsume(std::string_view lit) {
+    if (in_.substr(pos_, lit.size()) == lit) {
+      pos_ += lit.size();
+      return true;
+    }
+    return false;
+  }
+
+  // Skips whitespace, comments, PIs/XML declarations, and DOCTYPE.
+  void SkipMisc() {
+    for (;;) {
+      SkipWs();
+      if (TryConsume("<!--")) {
+        size_t end = in_.find("-->", pos_);
+        pos_ = end == std::string_view::npos ? in_.size() : end + 3;
+      } else if (pos_ + 1 < in_.size() && Peek() == '<' &&
+                 PeekAt(1) == '?') {
+        size_t end = in_.find("?>", pos_);
+        pos_ = end == std::string_view::npos ? in_.size() : end + 2;
+      } else if (in_.substr(pos_, 9) == "<!DOCTYPE") {
+        SkipDoctype();
+      } else {
+        return;
+      }
+    }
+  }
+
+  void SkipDoctype() {
+    // Balance '<' and '>' to skip internal subsets like <!DOCTYPE x [ ... ]>.
+    int depth = 0;
+    while (!AtEnd()) {
+      char c = in_[pos_++];
+      if (c == '<') {
+        ++depth;
+      } else if (c == '>') {
+        if (--depth == 0) return;
+      }
+    }
+  }
+
+  Result<std::string> ParseName() {
+    size_t start = pos_;
+    if (AtEnd() || !IsNameStartChar(Peek())) {
+      return Err("expected name");
+    }
+    while (!AtEnd() && IsNameChar(Peek())) ++pos_;
+    return std::string(in_.substr(start, pos_ - start));
+  }
+
+  // Decodes entity/char references in raw character data.
+  Result<std::string> DecodeText(std::string_view raw) {
+    std::string out;
+    out.reserve(raw.size());
+    for (size_t i = 0; i < raw.size();) {
+      if (raw[i] != '&') {
+        out.push_back(raw[i++]);
+        continue;
+      }
+      size_t semi = raw.find(';', i);
+      if (semi == std::string_view::npos) {
+        return Err("unterminated entity reference");
+      }
+      std::string_view ent = raw.substr(i + 1, semi - i - 1);
+      if (ent == "lt") {
+        out.push_back('<');
+      } else if (ent == "gt") {
+        out.push_back('>');
+      } else if (ent == "amp") {
+        out.push_back('&');
+      } else if (ent == "apos") {
+        out.push_back('\'');
+      } else if (ent == "quot") {
+        out.push_back('"');
+      } else if (!ent.empty() && ent[0] == '#') {
+        int64_t code = 0;
+        bool ok = false;
+        if (ent.size() > 1 && (ent[1] == 'x' || ent[1] == 'X')) {
+          code = 0;
+          ok = ent.size() > 2;
+          for (size_t k = 2; k < ent.size() && ok; ++k) {
+            char c = ent[k];
+            int d;
+            if (c >= '0' && c <= '9') {
+              d = c - '0';
+            } else if (c >= 'a' && c <= 'f') {
+              d = c - 'a' + 10;
+            } else if (c >= 'A' && c <= 'F') {
+              d = c - 'A' + 10;
+            } else {
+              ok = false;
+              break;
+            }
+            code = code * 16 + d;
+          }
+        } else {
+          auto v = ParseInt64(ent.substr(1));
+          ok = v.has_value();
+          if (ok) code = *v;
+        }
+        if (!ok || code <= 0 || code > 0x10FFFF) {
+          return Err("bad character reference &" + std::string(ent) + ";");
+        }
+        AppendUtf8(&out, static_cast<uint32_t>(code));
+      } else {
+        return Err("unknown entity &" + std::string(ent) + ";");
+      }
+      i = semi + 1;
+    }
+    return out;
+  }
+
+  static void AppendUtf8(std::string* out, uint32_t cp) {
+    if (cp < 0x80) {
+      out->push_back(static_cast<char>(cp));
+    } else if (cp < 0x800) {
+      out->push_back(static_cast<char>(0xC0 | (cp >> 6)));
+      out->push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+    } else if (cp < 0x10000) {
+      out->push_back(static_cast<char>(0xE0 | (cp >> 12)));
+      out->push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3F)));
+      out->push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+    } else {
+      out->push_back(static_cast<char>(0xF0 | (cp >> 18)));
+      out->push_back(static_cast<char>(0x80 | ((cp >> 12) & 0x3F)));
+      out->push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3F)));
+      out->push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+    }
+  }
+
+  Result<std::string> ParseAttrValue() {
+    if (AtEnd() || (Peek() != '"' && Peek() != '\'')) {
+      return Err("expected quoted attribute value");
+    }
+    char quote = Peek();
+    ++pos_;
+    size_t start = pos_;
+    while (!AtEnd() && Peek() != quote) {
+      if (Peek() == '<') return Err("'<' in attribute value");
+      ++pos_;
+    }
+    if (AtEnd()) return Err("unterminated attribute value");
+    std::string_view raw = in_.substr(start, pos_ - start);
+    ++pos_;  // closing quote
+    return DecodeText(raw);
+  }
+
+  Result<NodePtr> ParseElement() {
+    if (!TryConsume("<")) return Err("expected '<'");
+    XCQL_ASSIGN_OR_RETURN(std::string name, ParseName());
+    NodePtr el = Node::Element(std::move(name));
+    // Attributes.
+    for (;;) {
+      SkipWs();
+      if (AtEnd()) return Err("unterminated start tag");
+      if (Peek() == '>' || Peek() == '/') break;
+      XCQL_ASSIGN_OR_RETURN(std::string aname, ParseName());
+      SkipWs();
+      if (!TryConsume("=")) return Err("expected '=' after attribute name");
+      SkipWs();
+      XCQL_ASSIGN_OR_RETURN(std::string aval, ParseAttrValue());
+      if (el->HasAttr(aname)) {
+        return Err("duplicate attribute '" + aname + "'");
+      }
+      el->SetAttr(aname, std::move(aval));
+    }
+    if (TryConsume("/>")) return el;
+    if (!TryConsume(">")) return Err("expected '>'");
+    // Content.
+    XCQL_RETURN_NOT_OK(ParseContent(el.get()));
+    // End tag: ParseContent stops right after "</".
+    XCQL_ASSIGN_OR_RETURN(std::string ename, ParseName());
+    if (ename != el->name()) {
+      return Err("mismatched end tag </" + ename + "> for <" + el->name() +
+                 ">");
+    }
+    SkipWs();
+    if (!TryConsume(">")) return Err("expected '>' in end tag");
+    return el;
+  }
+
+  Status ParseContent(Node* el) {
+    std::string pending_text;
+    auto flush_text = [&]() -> Status {
+      if (pending_text.empty()) return Status::OK();
+      if (!opts_.strip_inter_element_whitespace ||
+          !IsAllWhitespace(pending_text)) {
+        XCQL_ASSIGN_OR_RETURN(std::string decoded, DecodeText(pending_text));
+        el->AddChild(Node::Text(std::move(decoded)));
+      }
+      pending_text.clear();
+      return Status::OK();
+    };
+    for (;;) {
+      if (AtEnd()) return Err("unterminated element <" + el->name() + ">");
+      if (Peek() == '<') {
+        if (TryConsume("</")) {
+          return flush_text();
+        }
+        if (TryConsume("<!--")) {
+          size_t end = in_.find("-->", pos_);
+          if (end == std::string_view::npos) {
+            return Err("unterminated comment");
+          }
+          pos_ = end + 3;
+          continue;
+        }
+        if (TryConsume("<![CDATA[")) {
+          size_t end = in_.find("]]>", pos_);
+          if (end == std::string_view::npos) {
+            return Err("unterminated CDATA section");
+          }
+          // CDATA content is literal; merge into pending text pre-escaped by
+          // temporarily flushing, then adding raw text directly.
+          XCQL_RETURN_NOT_OK(flush_text());
+          el->AddChild(Node::Text(std::string(in_.substr(pos_, end - pos_))));
+          pos_ = end + 3;
+          continue;
+        }
+        if (PeekAt(1) == '?') {
+          size_t end = in_.find("?>", pos_);
+          if (end == std::string_view::npos) {
+            return Err("unterminated processing instruction");
+          }
+          pos_ = end + 2;
+          continue;
+        }
+        XCQL_RETURN_NOT_OK(flush_text());
+        XCQL_ASSIGN_OR_RETURN(NodePtr child, ParseElement());
+        el->AddChild(std::move(child));
+      } else {
+        pending_text.push_back(Peek());
+        ++pos_;
+      }
+    }
+  }
+
+  std::string_view in_;
+  XmlParseOptions opts_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+Result<NodePtr> ParseXml(std::string_view input,
+                         const XmlParseOptions& options) {
+  Parser p(input, options);
+  XCQL_ASSIGN_OR_RETURN(std::vector<NodePtr> roots, p.ParseTopLevel());
+  if (roots.size() != 1) {
+    return Status::ParseError(
+        StringPrintf("expected exactly one root element, found %zu",
+                     roots.size()));
+  }
+  return roots[0];
+}
+
+Result<std::vector<NodePtr>> ParseXmlFragments(std::string_view input,
+                                               const XmlParseOptions& options) {
+  Parser p(input, options);
+  return p.ParseTopLevel();
+}
+
+}  // namespace xcql

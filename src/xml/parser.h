@@ -1,0 +1,37 @@
+// Non-validating XML parser producing the Node tree of node.h.
+//
+// Supports the subset the paper's data model needs: elements, attributes
+// (single- or double-quoted), character data, the five predefined entities
+// plus numeric character references, comments, CDATA sections, processing
+// instructions and XML declarations (skipped), and DOCTYPE declarations
+// (skipped — the paper's DTDs are documentation, not validation input).
+#ifndef XCQL_XML_PARSER_H_
+#define XCQL_XML_PARSER_H_
+
+#include <string_view>
+
+#include "common/result.h"
+#include "xml/node.h"
+
+namespace xcql {
+
+/// \brief Options controlling XML parsing.
+struct XmlParseOptions {
+  /// Drop text nodes that are entirely whitespace between elements.
+  /// Documents in this system are data-centric, so this defaults to true;
+  /// mixed-content text with any non-space character is always kept intact.
+  bool strip_inter_element_whitespace = true;
+};
+
+/// \brief Parses a complete document; returns its single root element.
+Result<NodePtr> ParseXml(std::string_view input,
+                         const XmlParseOptions& options = {});
+
+/// \brief Parses a sequence of sibling fragments (no single-root
+/// requirement), as they appear on the wire in a fragment stream.
+Result<std::vector<NodePtr>> ParseXmlFragments(
+    std::string_view input, const XmlParseOptions& options = {});
+
+}  // namespace xcql
+
+#endif  // XCQL_XML_PARSER_H_

@@ -1,0 +1,122 @@
+#include "xml/serializer.h"
+
+namespace xcql {
+
+namespace {
+
+void AppendEscaped(std::string_view s, bool attr, std::string* out) {
+  for (char c : s) {
+    switch (c) {
+      case '&':
+        out->append("&amp;");
+        break;
+      case '<':
+        out->append("&lt;");
+        break;
+      case '>':
+        out->append("&gt;");
+        break;
+      case '"':
+        if (attr) {
+          out->append("&quot;");
+        } else {
+          out->push_back(c);
+        }
+        break;
+      default:
+        out->push_back(c);
+    }
+  }
+}
+
+bool HasElementChild(const Node& n) {
+  for (const auto& c : n.children()) {
+    if (c->is_element()) return true;
+  }
+  return false;
+}
+
+void Write(const Node& n, const XmlWriteOptions& opts, int depth,
+           std::string* out) {
+  if (n.is_text()) {
+    AppendEscaped(n.text(), /*attr=*/false, out);
+    return;
+  }
+  if (n.is_attribute()) {
+    // Free-standing attribute nodes only appear in debug output.
+    out->append(n.name());
+    out->append("=\"");
+    AppendEscaped(n.text(), /*attr=*/true, out);
+    out->push_back('"');
+    return;
+  }
+  std::string pad =
+      opts.pretty ? std::string(static_cast<size_t>(depth * opts.indent), ' ')
+                  : std::string();
+  out->append(pad);
+  out->push_back('<');
+  out->append(n.name());
+  for (const auto& [k, v] : n.attrs()) {
+    out->push_back(' ');
+    out->append(k);
+    out->append("=\"");
+    AppendEscaped(v, /*attr=*/true, out);
+    out->push_back('"');
+  }
+  if (n.children().empty()) {
+    out->append("/>");
+    if (opts.pretty) out->push_back('\n');
+    return;
+  }
+  out->push_back('>');
+  // Pretty mode breaks lines only around element children; elements holding
+  // just text stay on one line so text content is never perturbed.
+  bool break_lines = opts.pretty && HasElementChild(n);
+  if (break_lines) out->push_back('\n');
+  for (const auto& c : n.children()) {
+    if (c->is_text()) {
+      if (break_lines) {
+        out->append(
+            std::string(static_cast<size_t>((depth + 1) * opts.indent), ' '));
+      }
+      AppendEscaped(c->text(), /*attr=*/false, out);
+      if (break_lines) out->push_back('\n');
+    } else {
+      Write(*c, opts, break_lines ? depth + 1 : 0, out);
+      if (opts.pretty && !break_lines) {
+        // Nested element inside a no-break parent: already newline-terminated.
+      }
+    }
+  }
+  if (break_lines) out->append(pad);
+  out->append("</");
+  out->append(n.name());
+  out->push_back('>');
+  if (opts.pretty) out->push_back('\n');
+}
+
+}  // namespace
+
+std::string SerializeXml(const Node& node, const XmlWriteOptions& options) {
+  std::string out;
+  Write(node, options, 0, &out);
+  // Trim the trailing newline added by pretty mode for tidy embedding.
+  if (options.pretty && !out.empty() && out.back() == '\n') out.pop_back();
+  return out;
+}
+
+std::string EscapeText(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  AppendEscaped(s, /*attr=*/false, &out);
+  return out;
+}
+
+std::string EscapeAttr(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  AppendEscaped(s, /*attr=*/true, &out);
+  return out;
+}
+
+}  // namespace xcql

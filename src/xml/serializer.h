@@ -1,0 +1,32 @@
+// XML serialization of Node trees with correct escaping, optional
+// pretty-printing, and helpers shared by the wire format and the tests.
+#ifndef XCQL_XML_SERIALIZER_H_
+#define XCQL_XML_SERIALIZER_H_
+
+#include <string>
+#include <string_view>
+
+#include "xml/node.h"
+
+namespace xcql {
+
+/// \brief Options controlling serialization.
+struct XmlWriteOptions {
+  /// Indent nested elements; text-only elements stay on one line.
+  bool pretty = false;
+  /// Indentation width when pretty-printing.
+  int indent = 2;
+};
+
+/// \brief Serializes a subtree to XML text.
+std::string SerializeXml(const Node& node, const XmlWriteOptions& options = {});
+
+/// \brief Escapes character data (&, <, >).
+std::string EscapeText(std::string_view s);
+
+/// \brief Escapes an attribute value (&, <, >, ").
+std::string EscapeAttr(std::string_view s);
+
+}  // namespace xcql
+
+#endif  // XCQL_XML_SERIALIZER_H_

@@ -1,0 +1,427 @@
+#include "xq/ast.h"
+
+namespace xcql::xq {
+
+namespace {
+
+std::vector<ExprPtr> CloneVec(const std::vector<ExprPtr>& v) {
+  std::vector<ExprPtr> out;
+  out.reserve(v.size());
+  for (const auto& e : v) out.push_back(e->Clone());
+  return out;
+}
+
+std::vector<ContentPart> CloneParts(const std::vector<ContentPart>& v) {
+  std::vector<ContentPart> out;
+  out.reserve(v.size());
+  for (const auto& p : v) out.push_back(p.Clone());
+  return out;
+}
+
+std::string QuoteString(const std::string& s) {
+  std::string out = "\"";
+  for (char c : s) {
+    if (c == '"') out += "\"\"";
+    else out.push_back(c);
+  }
+  out.push_back('"');
+  return out;
+}
+
+}  // namespace
+
+const char* BinOpName(BinOp op) {
+  switch (op) {
+    case BinOp::kOr: return "or";
+    case BinOp::kAnd: return "and";
+    case BinOp::kGenEq: return "=";
+    case BinOp::kGenNe: return "!=";
+    case BinOp::kGenLt: return "<";
+    case BinOp::kGenLe: return "<=";
+    case BinOp::kGenGt: return ">";
+    case BinOp::kGenGe: return ">=";
+    case BinOp::kValEq: return "eq";
+    case BinOp::kValNe: return "ne";
+    case BinOp::kValLt: return "lt";
+    case BinOp::kValLe: return "le";
+    case BinOp::kValGt: return "gt";
+    case BinOp::kValGe: return "ge";
+    case BinOp::kPlus: return "+";
+    case BinOp::kMinus: return "-";
+    case BinOp::kMul: return "*";
+    case BinOp::kDiv: return "div";
+    case BinOp::kIdiv: return "idiv";
+    case BinOp::kMod: return "mod";
+    case BinOp::kTo: return "to";
+    case BinOp::kUnion: return "|";
+    case BinOp::kIntersect: return "intersect";
+    case BinOp::kExcept: return "except";
+    case BinOp::kBefore: return "before";
+    case BinOp::kAfter: return "after";
+    case BinOp::kMeets: return "meets";
+    case BinOp::kOverlaps: return "overlaps";
+    case BinOp::kContains: return "contains";
+    case BinOp::kDuring: return "during";
+  }
+  return "?";
+}
+
+ExprPtr LiteralExpr::Clone() const {
+  return std::make_unique<LiteralExpr>(value);
+}
+
+std::string LiteralExpr::ToString() const {
+  if (value.is_string()) return QuoteString(value.AsString());
+  return value.ToStringValue();
+}
+
+ExprPtr VarRefExpr::Clone() const {
+  return std::make_unique<VarRefExpr>(name);
+}
+
+std::string VarRefExpr::ToString() const { return "$" + name; }
+
+ExprPtr ContextItemExpr::Clone() const {
+  return std::make_unique<ContextItemExpr>();
+}
+
+std::string ContextItemExpr::ToString() const { return "."; }
+
+ExprPtr SequenceExpr::Clone() const {
+  return std::make_unique<SequenceExpr>(CloneVec(items));
+}
+
+std::string SequenceExpr::ToString() const {
+  std::string out = "(";
+  for (size_t i = 0; i < items.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += items[i]->ToString();
+  }
+  out += ")";
+  return out;
+}
+
+FlworClause FlworClause::Clone() const {
+  FlworClause c;
+  c.kind = kind;
+  c.var = var;
+  c.pos_var = pos_var;
+  if (expr) c.expr = expr->Clone();
+  for (const auto& k : keys) {
+    c.keys.push_back({k.key->Clone(), k.descending});
+  }
+  return c;
+}
+
+ExprPtr FlworExpr::Clone() const {
+  std::vector<FlworClause> cs;
+  cs.reserve(clauses.size());
+  for (const auto& c : clauses) cs.push_back(c.Clone());
+  return std::make_unique<FlworExpr>(std::move(cs), ret->Clone());
+}
+
+std::string FlworExpr::ToString() const {
+  std::string out;
+  for (const auto& c : clauses) {
+    switch (c.kind) {
+      case FlworClause::Kind::kFor:
+        out += "for $";
+        out += c.var;
+        if (!c.pos_var.empty()) {
+          out += " at $";
+          out += c.pos_var;
+        }
+        out += " in ";
+        out += c.expr->ToString();
+        out += " ";
+        break;
+      case FlworClause::Kind::kLet:
+        out += "let $";
+        out += c.var;
+        out += " := ";
+        out += c.expr->ToString();
+        out += " ";
+        break;
+      case FlworClause::Kind::kWhere:
+        out += "where ";
+        out += c.expr->ToString();
+        out += " ";
+        break;
+      case FlworClause::Kind::kOrderBy: {
+        out += "order by ";
+        for (size_t i = 0; i < c.keys.size(); ++i) {
+          if (i > 0) out += ", ";
+          out += c.keys[i].key->ToString();
+          if (c.keys[i].descending) out += " descending";
+        }
+        out += " ";
+        break;
+      }
+    }
+  }
+  out += "return ";
+  out += ret->ToString();
+  return out;
+}
+
+ExprPtr QuantifiedExpr::Clone() const {
+  std::vector<Binding> bs;
+  bs.reserve(bindings.size());
+  for (const auto& b : bindings) bs.push_back({b.var, b.expr->Clone()});
+  return std::make_unique<QuantifiedExpr>(every, std::move(bs),
+                                          satisfies->Clone());
+}
+
+std::string QuantifiedExpr::ToString() const {
+  std::string out = every ? "every " : "some ";
+  for (size_t i = 0; i < bindings.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += "$";
+    out += bindings[i].var;
+    out += " in ";
+    out += bindings[i].expr->ToString();
+  }
+  out += " satisfies ";
+  out += satisfies->ToString();
+  return out;
+}
+
+ExprPtr IfExpr::Clone() const {
+  return std::make_unique<IfExpr>(cond->Clone(), then_branch->Clone(),
+                                  else_branch->Clone());
+}
+
+std::string IfExpr::ToString() const {
+  std::string out = "if (";
+  out += cond->ToString();
+  out += ") then ";
+  out += then_branch->ToString();
+  out += " else ";
+  out += else_branch->ToString();
+  return out;
+}
+
+ExprPtr BinaryExpr::Clone() const {
+  return std::make_unique<BinaryExpr>(op, lhs->Clone(), rhs->Clone());
+}
+
+std::string BinaryExpr::ToString() const {
+  std::string out = "(";
+  out += lhs->ToString();
+  out += " ";
+  out += BinOpName(op);
+  out += " ";
+  out += rhs->ToString();
+  out += ")";
+  return out;
+}
+
+ExprPtr UnaryExpr::Clone() const {
+  return std::make_unique<UnaryExpr>(operand->Clone());
+}
+
+std::string UnaryExpr::ToString() const {
+  std::string out = "-";
+  out += operand->ToString();
+  return out;
+}
+
+PathStep PathStep::Clone() const {
+  PathStep s;
+  s.axis = axis;
+  s.test = test;
+  s.name = name;
+  s.predicates = CloneVec(predicates);
+  return s;
+}
+
+std::string PathStep::ToString() const {
+  std::string out = axis == Axis::kDescendant ? "//" : "/";
+  if (axis == Axis::kAttribute) out += "@";
+  if (axis == Axis::kParent) {
+    out += "..";
+  } else {
+    switch (test) {
+      case Test::kName:
+        out += name;
+        break;
+      case Test::kWildcard:
+        out += "*";
+        break;
+      case Test::kText:
+        out += "text()";
+        break;
+      case Test::kNode:
+        out += "node()";
+        break;
+    }
+  }
+  for (const auto& p : predicates) {
+    out += "[";
+    out += p->ToString();
+    out += "]";
+  }
+  return out;
+}
+
+ExprPtr PathExpr::Clone() const {
+  std::vector<PathStep> ss;
+  ss.reserve(steps.size());
+  for (const auto& s : steps) ss.push_back(s.Clone());
+  return std::make_unique<PathExpr>(input ? input->Clone() : nullptr,
+                                    std::move(ss));
+}
+
+std::string PathExpr::ToString() const {
+  std::string out = input ? input->ToString() : "";
+  for (const auto& s : steps) out += s.ToString();
+  return out;
+}
+
+ExprPtr FilterExpr::Clone() const {
+  return std::make_unique<FilterExpr>(input->Clone(), CloneVec(predicates));
+}
+
+std::string FilterExpr::ToString() const {
+  std::string out = input->ToString();
+  for (const auto& p : predicates) {
+    out += "[";
+    out += p->ToString();
+    out += "]";
+  }
+  return out;
+}
+
+ExprPtr FunctionCallExpr::Clone() const {
+  return std::make_unique<FunctionCallExpr>(name, CloneVec(args));
+}
+
+std::string FunctionCallExpr::ToString() const {
+  std::string out = name + "(";
+  for (size_t i = 0; i < args.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += args[i]->ToString();
+  }
+  out += ")";
+  return out;
+}
+
+ContentPart ContentPart::Clone() const {
+  ContentPart p;
+  p.text = text;
+  if (expr) p.expr = expr->Clone();
+  return p;
+}
+
+DirectElementExpr::Attr DirectElementExpr::Attr::Clone() const {
+  Attr a;
+  a.name = name;
+  a.value = CloneParts(value);
+  return a;
+}
+
+ExprPtr DirectElementExpr::Clone() const {
+  std::vector<Attr> as;
+  as.reserve(attrs.size());
+  for (const auto& a : attrs) as.push_back(a.Clone());
+  return std::make_unique<DirectElementExpr>(name, std::move(as),
+                                             CloneParts(content));
+}
+
+std::string DirectElementExpr::ToString() const {
+  std::string out = "<" + name;
+  for (const auto& a : attrs) {
+    out += " ";
+    out += a.name;
+    out += "=\"";
+    for (const auto& p : a.value) {
+      if (p.expr) {
+        out += "{";
+        out += p.expr->ToString();
+        out += "}";
+      } else {
+        out += p.text;
+      }
+    }
+    out += "\"";
+  }
+  if (content.empty()) return out + "/>";
+  out += ">";
+  for (const auto& p : content) {
+    if (p.expr) {
+      out += "{";
+      out += p.expr->ToString();
+      out += "}";
+    } else {
+      out += p.text;
+    }
+  }
+  out += "</";
+  out += name;
+  out += ">";
+  return out;
+}
+
+ExprPtr ComputedElementExpr::Clone() const {
+  return std::make_unique<ComputedElementExpr>(
+      name_expr->Clone(), content ? content->Clone() : nullptr);
+}
+
+std::string ComputedElementExpr::ToString() const {
+  std::string out = "element {";
+  out += name_expr->ToString();
+  out += "} {";
+  if (content) out += content->ToString();
+  out += "}";
+  return out;
+}
+
+ExprPtr ComputedAttributeExpr::Clone() const {
+  return std::make_unique<ComputedAttributeExpr>(
+      name_expr->Clone(), content ? content->Clone() : nullptr);
+}
+
+std::string ComputedAttributeExpr::ToString() const {
+  std::string out = "attribute {";
+  out += name_expr->ToString();
+  out += "} {";
+  if (content) out += content->ToString();
+  out += "}";
+  return out;
+}
+
+ExprPtr IntervalProjExpr::Clone() const {
+  return std::make_unique<IntervalProjExpr>(input->Clone(), lo->Clone(),
+                                            hi ? hi->Clone() : nullptr);
+}
+
+std::string IntervalProjExpr::ToString() const {
+  std::string out = input->ToString();
+  out += "?[";
+  out += lo->ToString();
+  if (hi) {
+    out += ",";
+    out += hi->ToString();
+  }
+  out += "]";
+  return out;
+}
+
+ExprPtr VersionProjExpr::Clone() const {
+  return std::make_unique<VersionProjExpr>(input->Clone(), lo->Clone(),
+                                           hi ? hi->Clone() : nullptr);
+}
+
+std::string VersionProjExpr::ToString() const {
+  std::string out = input->ToString();
+  out += "#[";
+  out += lo->ToString();
+  if (hi) {
+    out += ",";
+    out += hi->ToString();
+  }
+  out += "]";
+  return out;
+}
+
+}  // namespace xcql::xq

@@ -1,0 +1,396 @@
+// Abstract syntax for the XQuery/XCQL subset. The XCQL translator (Fig. 3 of
+// the paper) rewrites these trees, so every node supports deep Clone() and a
+// readable ToString() used to display translations and in tests.
+#ifndef XCQL_XQ_AST_H_
+#define XCQL_XQ_AST_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "xq/value.h"
+
+namespace xcql::xq {
+
+class Expr;
+using ExprPtr = std::unique_ptr<Expr>;
+
+enum class ExprKind {
+  kLiteral,
+  kVarRef,
+  kContextItem,
+  kSequence,       // comma expression
+  kFlwor,
+  kQuantified,     // some/every … satisfies
+  kIf,
+  kBinary,
+  kUnary,          // unary minus
+  kPath,
+  kFilter,         // predicates on a non-step expression: (e)[pred]
+  kFunctionCall,
+  kDirectElement,  // <a x="…">…</a>
+  kComputedElement,
+  kComputedAttribute,
+  kIntervalProj,   // e?[t1,t2]      (XCQL)
+  kVersionProj,    // e#[v1,v2]      (XCQL)
+};
+
+enum class BinOp {
+  kOr,
+  kAnd,
+  // General comparisons (existential over sequences).
+  kGenEq,
+  kGenNe,
+  kGenLt,
+  kGenLe,
+  kGenGt,
+  kGenGe,
+  // Value comparisons (singletons).
+  kValEq,
+  kValNe,
+  kValLt,
+  kValLe,
+  kValGt,
+  kValGe,
+  kPlus,
+  kMinus,
+  kMul,
+  kDiv,
+  kIdiv,
+  kMod,
+  kTo,     // integer range
+  kUnion,      // node-sequence union (duplicates by identity removed)
+  kIntersect,  // nodes present in both operands (by identity)
+  kExcept,     // nodes of the left operand not present in the right
+  // XCQL interval relations (paper §2: "a before b" compares lifespans).
+  // Operands are elements (compared by lifespan) or dateTimes (points);
+  // existential over sequences like general comparisons.
+  kBefore,
+  kAfter,
+  kMeets,
+  kOverlaps,
+  kContains,
+  kDuring,
+};
+
+const char* BinOpName(BinOp op);
+
+/// \brief Base class for all expression nodes.
+class Expr {
+ public:
+  explicit Expr(ExprKind kind) : kind_(kind) {}
+  virtual ~Expr() = default;
+
+  ExprKind kind() const { return kind_; }
+
+  /// \brief Deep copy.
+  virtual ExprPtr Clone() const = 0;
+
+  /// \brief Readable XQuery-like rendering (used to display translations).
+  virtual std::string ToString() const = 0;
+
+ private:
+  ExprKind kind_;
+};
+
+/// \brief Atomic literal (number, string, dateTime, duration, boolean).
+class LiteralExpr : public Expr {
+ public:
+  explicit LiteralExpr(Atomic v)
+      : Expr(ExprKind::kLiteral), value(std::move(v)) {}
+  ExprPtr Clone() const override;
+  std::string ToString() const override;
+
+  Atomic value;
+};
+
+/// \brief Variable reference $name.
+class VarRefExpr : public Expr {
+ public:
+  explicit VarRefExpr(std::string n)
+      : Expr(ExprKind::kVarRef), name(std::move(n)) {}
+  ExprPtr Clone() const override;
+  std::string ToString() const override;
+
+  std::string name;
+};
+
+/// \brief The context item ".".
+class ContextItemExpr : public Expr {
+ public:
+  ContextItemExpr() : Expr(ExprKind::kContextItem) {}
+  ExprPtr Clone() const override;
+  std::string ToString() const override;
+};
+
+/// \brief Comma expression (e1, e2, …): concatenation of sequences.
+class SequenceExpr : public Expr {
+ public:
+  explicit SequenceExpr(std::vector<ExprPtr> its)
+      : Expr(ExprKind::kSequence), items(std::move(its)) {}
+  ExprPtr Clone() const override;
+  std::string ToString() const override;
+
+  std::vector<ExprPtr> items;
+};
+
+/// \brief One FLWOR clause.
+struct FlworClause {
+  enum class Kind { kFor, kLet, kWhere, kOrderBy };
+  struct OrderKey {
+    ExprPtr key;
+    bool descending = false;
+  };
+
+  Kind kind;
+  std::string var;      // for/let variable (without '$')
+  std::string pos_var;  // 'at $p' positional variable, empty if none
+  ExprPtr expr;         // for/let binding or where condition
+  std::vector<OrderKey> keys;  // order by keys
+
+  FlworClause Clone() const;
+};
+
+/// \brief for/let/where/order by/return.
+class FlworExpr : public Expr {
+ public:
+  FlworExpr(std::vector<FlworClause> cs, ExprPtr ret_expr)
+      : Expr(ExprKind::kFlwor),
+        clauses(std::move(cs)),
+        ret(std::move(ret_expr)) {}
+  ExprPtr Clone() const override;
+  std::string ToString() const override;
+
+  std::vector<FlworClause> clauses;
+  ExprPtr ret;
+};
+
+/// \brief some/every $v in e (, …) satisfies cond.
+class QuantifiedExpr : public Expr {
+ public:
+  struct Binding {
+    std::string var;
+    ExprPtr expr;
+  };
+  QuantifiedExpr(bool every_, std::vector<Binding> bs, ExprPtr sat)
+      : Expr(ExprKind::kQuantified),
+        every(every_),
+        bindings(std::move(bs)),
+        satisfies(std::move(sat)) {}
+  ExprPtr Clone() const override;
+  std::string ToString() const override;
+
+  bool every;
+  std::vector<Binding> bindings;
+  ExprPtr satisfies;
+};
+
+/// \brief if (cond) then e1 else e2.
+class IfExpr : public Expr {
+ public:
+  IfExpr(ExprPtr c, ExprPtr t, ExprPtr e)
+      : Expr(ExprKind::kIf),
+        cond(std::move(c)),
+        then_branch(std::move(t)),
+        else_branch(std::move(e)) {}
+  ExprPtr Clone() const override;
+  std::string ToString() const override;
+
+  ExprPtr cond;
+  ExprPtr then_branch;
+  ExprPtr else_branch;
+};
+
+/// \brief Binary operator application.
+class BinaryExpr : public Expr {
+ public:
+  BinaryExpr(BinOp o, ExprPtr l, ExprPtr r)
+      : Expr(ExprKind::kBinary), op(o), lhs(std::move(l)), rhs(std::move(r)) {}
+  ExprPtr Clone() const override;
+  std::string ToString() const override;
+
+  BinOp op;
+  ExprPtr lhs;
+  ExprPtr rhs;
+};
+
+/// \brief Unary minus.
+class UnaryExpr : public Expr {
+ public:
+  explicit UnaryExpr(ExprPtr e) : Expr(ExprKind::kUnary), operand(std::move(e)) {}
+  ExprPtr Clone() const override;
+  std::string ToString() const override;
+
+  ExprPtr operand;
+};
+
+/// \brief One path step: axis + node test + predicates.
+struct PathStep {
+  enum class Axis { kChild, kDescendant, kAttribute, kParent };
+  enum class Test { kName, kWildcard, kText, kNode };
+
+  Axis axis = Axis::kChild;
+  Test test = Test::kName;
+  std::string name;  // for Test::kName / attribute name
+  std::vector<ExprPtr> predicates;
+
+  PathStep Clone() const;
+  std::string ToString() const;
+};
+
+/// \brief input/step/step… . A null input means the path starts at the
+/// context item's document root ("/a/b").
+class PathExpr : public Expr {
+ public:
+  PathExpr(ExprPtr in, std::vector<PathStep> ss)
+      : Expr(ExprKind::kPath), input(std::move(in)), steps(std::move(ss)) {}
+  ExprPtr Clone() const override;
+  std::string ToString() const override;
+
+  ExprPtr input;  // may be null (absolute path)
+  std::vector<PathStep> steps;
+};
+
+/// \brief Predicates applied to an arbitrary expression: (e)[p1][p2].
+class FilterExpr : public Expr {
+ public:
+  FilterExpr(ExprPtr in, std::vector<ExprPtr> preds)
+      : Expr(ExprKind::kFilter),
+        input(std::move(in)),
+        predicates(std::move(preds)) {}
+  ExprPtr Clone() const override;
+  std::string ToString() const override;
+
+  ExprPtr input;
+  std::vector<ExprPtr> predicates;
+};
+
+/// \brief Function call f(a1, …, an). Builtins, user-declared functions and
+/// host-registered natives share one namespace.
+class FunctionCallExpr : public Expr {
+ public:
+  FunctionCallExpr(std::string n, std::vector<ExprPtr> as)
+      : Expr(ExprKind::kFunctionCall), name(std::move(n)), args(std::move(as)) {}
+  ExprPtr Clone() const override;
+  std::string ToString() const override;
+
+  std::string name;
+  std::vector<ExprPtr> args;
+};
+
+/// \brief A piece of direct-constructor content: literal text or an
+/// enclosed expression.
+struct ContentPart {
+  std::string text;  // used when expr is null
+  ExprPtr expr;
+
+  ContentPart Clone() const;
+};
+
+/// \brief Direct element constructor <name a="v{e}">content</name>.
+class DirectElementExpr : public Expr {
+ public:
+  struct Attr {
+    std::string name;
+    std::vector<ContentPart> value;  // concatenated at evaluation
+    Attr Clone() const;
+  };
+
+  DirectElementExpr(std::string n, std::vector<Attr> as,
+                    std::vector<ContentPart> cs)
+      : Expr(ExprKind::kDirectElement),
+        name(std::move(n)),
+        attrs(std::move(as)),
+        content(std::move(cs)) {}
+  ExprPtr Clone() const override;
+  std::string ToString() const override;
+
+  std::string name;
+  std::vector<Attr> attrs;
+  std::vector<ContentPart> content;
+};
+
+/// \brief Computed element constructor: element {name-expr} {content}.
+class ComputedElementExpr : public Expr {
+ public:
+  ComputedElementExpr(ExprPtr n, ExprPtr c)
+      : Expr(ExprKind::kComputedElement),
+        name_expr(std::move(n)),
+        content(std::move(c)) {}
+  ExprPtr Clone() const override;
+  std::string ToString() const override;
+
+  ExprPtr name_expr;
+  ExprPtr content;  // may be null for empty content
+};
+
+/// \brief Computed attribute constructor: attribute {name-expr} {content}.
+class ComputedAttributeExpr : public Expr {
+ public:
+  ComputedAttributeExpr(ExprPtr n, ExprPtr c)
+      : Expr(ExprKind::kComputedAttribute),
+        name_expr(std::move(n)),
+        content(std::move(c)) {}
+  ExprPtr Clone() const override;
+  std::string ToString() const override;
+
+  ExprPtr name_expr;
+  ExprPtr content;
+};
+
+/// \brief XCQL interval projection e?[t1,t2] (e?[t] when `hi` is null).
+class IntervalProjExpr : public Expr {
+ public:
+  IntervalProjExpr(ExprPtr in, ExprPtr lo_, ExprPtr hi_)
+      : Expr(ExprKind::kIntervalProj),
+        input(std::move(in)),
+        lo(std::move(lo_)),
+        hi(std::move(hi_)) {}
+  ExprPtr Clone() const override;
+  std::string ToString() const override;
+
+  ExprPtr input;
+  ExprPtr lo;
+  ExprPtr hi;  // null means point interval [lo, lo]
+};
+
+/// \brief XCQL version projection e#[v1,v2] (e#[v] when `hi` is null).
+class VersionProjExpr : public Expr {
+ public:
+  VersionProjExpr(ExprPtr in, ExprPtr lo_, ExprPtr hi_)
+      : Expr(ExprKind::kVersionProj),
+        input(std::move(in)),
+        lo(std::move(lo_)),
+        hi(std::move(hi_)) {}
+  ExprPtr Clone() const override;
+  std::string ToString() const override;
+
+  ExprPtr input;
+  ExprPtr lo;
+  ExprPtr hi;
+};
+
+/// \brief A user-declared function from the query prolog.
+struct FunctionDecl {
+  std::string name;
+  std::vector<std::string> params;
+  // Shared so declarations can be copied into evaluation contexts cheaply.
+  std::shared_ptr<Expr> body;
+};
+
+/// \brief A prolog variable declaration: declare variable $name := expr;
+struct VariableDecl {
+  std::string name;
+  std::shared_ptr<Expr> init;
+};
+
+/// \brief A parsed query: prolog declarations plus the body.
+struct Program {
+  std::vector<FunctionDecl> functions;
+  std::vector<VariableDecl> variables;
+  ExprPtr body;
+};
+
+}  // namespace xcql::xq
+
+#endif  // XCQL_XQ_AST_H_

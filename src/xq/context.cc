@@ -1,0 +1,25 @@
+#include "xq/context.h"
+
+namespace xcql::xq {
+
+void FunctionRegistry::RegisterNative(const std::string& name, int min_arity,
+                                      int max_arity, NativeFn fn) {
+  natives_[name] = NativeEntry{min_arity, max_arity, std::move(fn)};
+}
+
+void FunctionRegistry::RegisterUser(FunctionDecl decl) {
+  user_[decl.name] = std::move(decl);
+}
+
+const FunctionRegistry::NativeEntry* FunctionRegistry::FindNative(
+    const std::string& name) const {
+  auto it = natives_.find(name);
+  return it == natives_.end() ? nullptr : &it->second;
+}
+
+const FunctionDecl* FunctionRegistry::FindUser(const std::string& name) const {
+  auto it = user_.find(name);
+  return it == user_.end() ? nullptr : &it->second;
+}
+
+}  // namespace xcql::xq

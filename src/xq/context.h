@@ -1,0 +1,84 @@
+// Evaluation context: the clock, named documents, the function registry,
+// and the hook through which the Hole-Filler layer resolves holes during
+// temporal projections.
+#ifndef XCQL_XQ_CONTEXT_H_
+#define XCQL_XQ_CONTEXT_H_
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "xq/ast.h"
+#include "xq/value.h"
+
+namespace xcql::xq {
+
+struct EvalContext;
+
+/// \brief Resolves a <hole id=… tsid=…/> element into the version elements
+/// (annotated with vtFrom/vtTo) of the fillers that fill it. Implemented by
+/// the fragment layer; null in contexts with no fragmented data (e.g. CaQ
+/// queries over a fully materialized view).
+class HoleResolver {
+ public:
+  virtual ~HoleResolver() = default;
+  virtual Result<std::vector<NodePtr>> Resolve(EvalContext& ctx,
+                                               const Node& hole) = 0;
+};
+
+/// \brief Registry of callable functions: C++ natives and user-declared
+/// XQuery functions share one namespace.
+class FunctionRegistry {
+ public:
+  /// Native signature: evaluated argument sequences in, sequence out.
+  using NativeFn =
+      std::function<Result<Sequence>(EvalContext&, std::vector<Sequence>&)>;
+
+  struct NativeEntry {
+    int min_arity;
+    int max_arity;  // -1 = variadic
+    NativeFn fn;
+  };
+
+  /// \brief Registers (or replaces) a native function.
+  void RegisterNative(const std::string& name, int min_arity, int max_arity,
+                      NativeFn fn);
+
+  /// \brief Registers (or replaces) a user-declared function.
+  void RegisterUser(FunctionDecl decl);
+
+  const NativeEntry* FindNative(const std::string& name) const;
+  const FunctionDecl* FindUser(const std::string& name) const;
+
+  /// \brief A registry preloaded with the standard builtin library
+  /// (fn: core, temporal accessors, geo helpers for the paper's examples).
+  static FunctionRegistry Builtins();
+
+ private:
+  std::map<std::string, NativeEntry> natives_;
+  std::map<std::string, FunctionDecl> user_;
+};
+
+/// \brief Everything an evaluation needs beyond the expression itself.
+struct EvalContext {
+  /// The value of the XCQL constant `now` (and of vtTo="now") during this
+  /// evaluation. Continuous queries advance it between re-evaluations.
+  DateTime now;
+
+  /// Function registry; must outlive the evaluation. Never null during
+  /// evaluation (Evaluator checks).
+  const FunctionRegistry* functions = nullptr;
+
+  /// Optional hole resolution for projections over fragmented data.
+  HoleResolver* hole_resolver = nullptr;
+
+  /// Named documents for fn:doc (and for stream() once a method binds
+  /// stream names to materialized roots).
+  std::map<std::string, NodePtr, std::less<>> documents;
+};
+
+}  // namespace xcql::xq
+
+#endif  // XCQL_XQ_CONTEXT_H_

@@ -1,0 +1,1251 @@
+#include "xq/eval.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_set>
+
+#include "common/string_util.h"
+#include "temporal/interval.h"
+#include "xq/parser.h"
+
+namespace xcql::xq {
+
+namespace {
+
+// Recursion guard: deep enough for any realistic document/query, shallow
+// enough to fail cleanly instead of overflowing the stack.
+constexpr int kMaxDepth = 1200;
+
+// Resolves the serialized lifespan endpoint "now" (DateTime::End after
+// parsing) to the evaluation clock, per the temporal-view semantics: the
+// view always shows history up to `ctx.now`.
+DateTime ResolveNow(const EvalContext& ctx, DateTime t) {
+  return t == DateTime::End() ? ctx.now : t;
+}
+
+Result<DateTime> ParseVtAttr(const EvalContext& ctx, const std::string& s) {
+  XCQL_ASSIGN_OR_RETURN(DateTime t, DateTime::Parse(s));
+  return ResolveNow(ctx, t);
+}
+
+// Converts an atomic to a dateTime bound for interval projections.
+Result<DateTime> AtomicToDateTime(const EvalContext& ctx, const Atomic& a) {
+  if (a.is_datetime()) return ResolveNow(ctx, a.AsDateTime());
+  if (a.is_string()) return ParseVtAttr(ctx, a.AsString());
+  return Status::TypeError(std::string("expected xs:dateTime bound, got ") +
+                           a.TypeName() + " '" + a.ToStringValue() + "'");
+}
+
+Result<int64_t> AtomicToVersion(const Atomic& a) {
+  if (a.is_int()) return a.AsInt();
+  if (a.is_double()) return static_cast<int64_t>(a.AsDoubleUnchecked());
+  if (a.is_string()) {
+    auto v = ParseInt64(a.AsString());
+    if (v) return *v;
+  }
+  return Status::TypeError(std::string("expected integer version bound, got ") +
+                           a.TypeName());
+}
+
+// Reads the (vtFrom, vtTo) lifespan attributes of an element, if present.
+Result<std::optional<Interval>> ReadLifespanAttrs(const EvalContext& ctx,
+                                                  const Node& e) {
+  const std::string* f = e.FindAttr("vtFrom");
+  const std::string* t = e.FindAttr("vtTo");
+  if (f == nullptr && t == nullptr) return std::optional<Interval>();
+  DateTime from = DateTime::Start();
+  DateTime to = ctx.now;
+  if (f != nullptr) {
+    XCQL_ASSIGN_OR_RETURN(from, ParseVtAttr(ctx, *f));
+  }
+  if (t != nullptr) {
+    XCQL_ASSIGN_OR_RETURN(to, ParseVtAttr(ctx, *t));
+  }
+  return std::optional<Interval>(Interval(from, to));
+}
+
+bool IsHole(const Node& n) {
+  return n.is_element() && n.name() == "hole";
+}
+
+Status ProjectNode(EvalContext& ctx, const NodePtr& node, DateTime tb,
+                   DateTime te, Sequence* out, int depth);
+
+Status ProjectChildrenInto(EvalContext& ctx, const Node& src, DateTime tb,
+                           DateTime te, Node* dst, int depth) {
+  if (depth > kMaxDepth) {
+    return Status::Internal("interval projection recursion too deep");
+  }
+  for (const NodePtr& c : src.children()) {
+    Sequence projected;
+    XCQL_RETURN_NOT_OK(ProjectNode(ctx, c, tb, te, &projected, depth + 1));
+    for (auto& item : projected) {
+      if (IsNode(item)) dst->AddChild(AsNode(item));
+    }
+  }
+  return Status::OK();
+}
+
+// Core of interval_projection (paper §6) for one node.
+Status ProjectNode(EvalContext& ctx, const NodePtr& node, DateTime tb,
+                   DateTime te, Sequence* out, int depth) {
+  if (depth > kMaxDepth) {
+    return Status::Internal("interval projection recursion too deep");
+  }
+  if (!node->is_element()) {
+    out->emplace_back(Node::Text(node->text()));
+    if (node->is_attribute()) {
+      out->back() = Node::Attribute(node->name(), node->text());
+    }
+    return Status::OK();
+  }
+  if (IsHole(*node) && ctx.hole_resolver != nullptr) {
+    XCQL_ASSIGN_OR_RETURN(std::vector<NodePtr> versions,
+                          ctx.hole_resolver->Resolve(ctx, *node));
+    for (const NodePtr& v : versions) {
+      XCQL_RETURN_NOT_OK(ProjectNode(ctx, v, tb, te, out, depth + 1));
+    }
+    return Status::OK();
+  }
+  XCQL_ASSIGN_OR_RETURN(std::optional<Interval> life,
+                        ReadLifespanAttrs(ctx, *node));
+  if (!life.has_value()) {
+    // Snapshot element: keep it, project the children.
+    NodePtr copy = Node::Element(node->name());
+    for (const auto& [k, v] : node->attrs()) copy->SetAttr(k, v);
+    XCQL_RETURN_NOT_OK(ProjectChildrenInto(ctx, *node, tb, te, copy.get(),
+                                           depth));
+    out->emplace_back(std::move(copy));
+    return Status::OK();
+  }
+  if (life->end() < tb || life->begin() > te) return Status::OK();  // pruned
+  NodePtr copy = Node::Element(node->name());
+  for (const auto& [k, v] : node->attrs()) {
+    if (k == "vtFrom" || k == "vtTo") continue;
+    copy->SetAttr(k, v);
+  }
+  copy->SetAttr("vtFrom", std::max(life->begin(), tb).ToString());
+  copy->SetAttr("vtTo", std::min(life->end(), te).ToString());
+  XCQL_RETURN_NOT_OK(ProjectChildrenInto(ctx, *node, tb, te, copy.get(),
+                                         depth));
+  out->emplace_back(std::move(copy));
+  return Status::OK();
+}
+
+struct SortKey {
+  // Type rank orders heterogeneous keys deterministically:
+  // empty < boolean < number < dateTime < duration < string.
+  int rank = 0;
+  bool b = false;
+  double num = 0;
+  int64_t ticks = 0;
+  int64_t months = 0;
+  std::string str;
+
+  static SortKey From(const Sequence& seq) {
+    SortKey k;
+    if (seq.empty()) return k;
+    Atomic a = AtomizeItem(seq.front());
+    if (a.is_bool()) {
+      k.rank = 1;
+      k.b = a.AsBool();
+    } else if (a.is_numeric()) {
+      k.rank = 2;
+      k.num = *a.ToNumber();
+    } else if (a.is_datetime()) {
+      k.rank = 3;
+      k.ticks = a.AsDateTime().seconds();
+    } else if (a.is_duration()) {
+      k.rank = 4;
+      k.months = a.AsDuration().months();
+      k.ticks = a.AsDuration().seconds();
+    } else {
+      // Untyped strings that look numeric sort numerically, so documents
+      // with unannotated numbers (the common case) order as expected.
+      auto n = a.untyped() ? ParseDouble(a.AsString()) : std::nullopt;
+      if (n) {
+        k.rank = 2;
+        k.num = *n;
+      } else {
+        k.rank = 5;
+        k.str = a.AsString();
+      }
+    }
+    return k;
+  }
+
+  std::weak_ordering Compare(const SortKey& o) const {
+    if (auto c = rank <=> o.rank; c != 0) return c;
+    switch (rank) {
+      case 1:
+        return b <=> o.b;
+      case 2:
+        return num < o.num    ? std::weak_ordering::less
+               : num > o.num  ? std::weak_ordering::greater
+                              : std::weak_ordering::equivalent;
+      case 3:
+        return ticks <=> o.ticks;
+      case 4:
+        if (auto c = months <=> o.months; c != 0) return c;
+        return ticks <=> o.ticks;
+      case 5:
+        return str.compare(o.str) <=> 0;
+      default:
+        return std::weak_ordering::equivalent;
+    }
+  }
+};
+
+}  // namespace
+
+Result<Sequence> IntervalProjection(EvalContext& ctx, const Sequence& input,
+                                    DateTime tb, DateTime te) {
+  Sequence out;
+  for (const Item& item : input) {
+    if (!IsNode(item)) {
+      out.push_back(item);
+      continue;
+    }
+    XCQL_RETURN_NOT_OK(ProjectNode(ctx, AsNode(item), tb, te, &out, 0));
+  }
+  return out;
+}
+
+Result<Sequence> VersionProjection(EvalContext& ctx, const Sequence& input,
+                                   int64_t vb, int64_t ve) {
+  Sequence out;
+  int64_t pos = 0;
+  for (const Item& item : input) {
+    ++pos;
+    if (pos < vb || pos > ve) continue;
+    if (!IsNode(item) || !AsNode(item)->is_element()) {
+      out.push_back(item);
+      continue;
+    }
+    const NodePtr& node = AsNode(item);
+    XCQL_ASSIGN_OR_RETURN(std::optional<Interval> life,
+                          ReadLifespanAttrs(ctx, *node));
+    // A snapshot element counts as a single version spanning all time.
+    Interval span = life.value_or(Interval(DateTime::Start(), ctx.now));
+    NodePtr copy = Node::Element(node->name());
+    for (const auto& [k, v] : node->attrs()) copy->SetAttr(k, v);
+    XCQL_RETURN_NOT_OK(ProjectChildrenInto(ctx, *node, span.begin(),
+                                           span.end(), copy.get(), 0));
+    out.emplace_back(std::move(copy));
+  }
+  return out;
+}
+
+Result<DateTime> LifespanFrom(EvalContext& ctx, const Node& e) {
+  if (!e.is_element()) return DateTime::Start();
+  XCQL_ASSIGN_OR_RETURN(std::optional<Interval> life,
+                        ReadLifespanAttrs(ctx, e));
+  if (life.has_value()) return life->begin();
+  DateTime best = DateTime::End();
+  bool any = false;
+  for (const NodePtr& c : e.children()) {
+    if (!c->is_element()) continue;
+    if (IsHole(*c) && ctx.hole_resolver != nullptr) {
+      XCQL_ASSIGN_OR_RETURN(std::vector<NodePtr> versions,
+                            ctx.hole_resolver->Resolve(ctx, *c));
+      for (const NodePtr& v : versions) {
+        XCQL_ASSIGN_OR_RETURN(DateTime f, LifespanFrom(ctx, *v));
+        best = std::min(best, f);
+        any = true;
+      }
+      continue;
+    }
+    XCQL_ASSIGN_OR_RETURN(DateTime f, LifespanFrom(ctx, *c));
+    best = std::min(best, f);
+    any = true;
+  }
+  return any ? best : DateTime::Start();
+}
+
+Result<DateTime> LifespanTo(EvalContext& ctx, const Node& e) {
+  if (!e.is_element()) return ctx.now;
+  XCQL_ASSIGN_OR_RETURN(std::optional<Interval> life,
+                        ReadLifespanAttrs(ctx, e));
+  if (life.has_value()) return ResolveNow(ctx, life->end());
+  DateTime best = DateTime::Start();
+  bool any = false;
+  for (const NodePtr& c : e.children()) {
+    if (!c->is_element()) continue;
+    if (IsHole(*c) && ctx.hole_resolver != nullptr) {
+      XCQL_ASSIGN_OR_RETURN(std::vector<NodePtr> versions,
+                            ctx.hole_resolver->Resolve(ctx, *c));
+      for (const NodePtr& v : versions) {
+        XCQL_ASSIGN_OR_RETURN(DateTime t, LifespanTo(ctx, *v));
+        best = std::max(best, t);
+        any = true;
+      }
+      continue;
+    }
+    XCQL_ASSIGN_OR_RETURN(DateTime t, LifespanTo(ctx, *c));
+    best = std::max(best, t);
+    any = true;
+  }
+  return any ? best : ctx.now;
+}
+
+// ---------------------------------------------------------------------------
+// Evaluator
+// ---------------------------------------------------------------------------
+
+Evaluator::Evaluator(EvalContext* ctx) : ctx_(ctx) {}
+
+void Evaluator::Bind(const std::string& name, Sequence value) {
+  vars_.emplace_back(name, std::move(value));
+}
+
+const Sequence* Evaluator::Lookup(const std::string& name) const {
+  for (auto it = vars_.rbegin(); it != vars_.rend(); ++it) {
+    if (it->first == name) return &it->second;
+  }
+  return nullptr;
+}
+
+Result<Sequence> Evaluator::Eval(const Expr& e) {
+  if (ctx_->functions == nullptr) {
+    return Status::InvalidArgument("EvalContext has no function registry");
+  }
+  return EvalExpr(e);
+}
+
+Result<Sequence> Evaluator::EvalProgram(const Program& prog) {
+  if (ctx_->functions == nullptr) {
+    return Status::InvalidArgument("EvalContext has no function registry");
+  }
+  if (prog.functions.empty() && prog.variables.empty()) {
+    return EvalExpr(*prog.body);
+  }
+  // Prolog functions extend a per-call copy of the registry.
+  FunctionRegistry extended = *ctx_->functions;
+  for (const FunctionDecl& d : prog.functions) extended.RegisterUser(d);
+  const FunctionRegistry* saved = ctx_->functions;
+  ctx_->functions = &extended;
+  size_t var_mark = vars_.size();
+  Status st;
+  for (const VariableDecl& v : prog.variables) {
+    Result<Sequence> init = EvalExpr(*v.init);
+    if (!init.ok()) {
+      st = init.status();
+      break;
+    }
+    vars_.emplace_back(v.name, std::move(init).MoveValue());
+  }
+  Result<Sequence> r = st.ok() ? EvalExpr(*prog.body) : Result<Sequence>(st);
+  vars_.resize(var_mark);
+  ctx_->functions = saved;
+  return r;
+}
+
+Result<Sequence> Evaluator::EvalExpr(const Expr& e) {
+  if (++depth_ > kMaxDepth) {
+    --depth_;
+    return Status::Internal("expression evaluation recursion too deep");
+  }
+  struct DepthGuard {
+    int* d;
+    ~DepthGuard() { --*d; }
+  } guard{&depth_};
+
+  switch (e.kind()) {
+    case ExprKind::kLiteral:
+      return SingletonAtomic(static_cast<const LiteralExpr&>(e).value);
+    case ExprKind::kVarRef: {
+      const auto& v = static_cast<const VarRefExpr&>(e);
+      const Sequence* s = Lookup(v.name);
+      if (s == nullptr) {
+        return Status::NotFound("undefined variable $" + v.name);
+      }
+      return *s;
+    }
+    case ExprKind::kContextItem: {
+      if (!focus_.has) {
+        return Status::TypeError("context item is undefined here");
+      }
+      Sequence s;
+      s.push_back(focus_.item);
+      return s;
+    }
+    case ExprKind::kSequence: {
+      const auto& seq = static_cast<const SequenceExpr&>(e);
+      Sequence out;
+      for (const auto& item : seq.items) {
+        XCQL_ASSIGN_OR_RETURN(Sequence r, EvalExpr(*item));
+        out.insert(out.end(), std::make_move_iterator(r.begin()),
+                   std::make_move_iterator(r.end()));
+      }
+      return out;
+    }
+    case ExprKind::kFlwor:
+      return EvalFlwor(static_cast<const FlworExpr&>(e));
+    case ExprKind::kQuantified:
+      return EvalQuantified(static_cast<const QuantifiedExpr&>(e));
+    case ExprKind::kIf: {
+      const auto& i = static_cast<const IfExpr&>(e);
+      XCQL_ASSIGN_OR_RETURN(Sequence c, EvalExpr(*i.cond));
+      XCQL_ASSIGN_OR_RETURN(bool b, EffectiveBooleanValue(c));
+      return EvalExpr(b ? *i.then_branch : *i.else_branch);
+    }
+    case ExprKind::kBinary:
+      return EvalBinary(static_cast<const BinaryExpr&>(e));
+    case ExprKind::kUnary: {
+      const auto& u = static_cast<const UnaryExpr&>(e);
+      XCQL_ASSIGN_OR_RETURN(Sequence r, EvalExpr(*u.operand));
+      if (r.empty()) return r;
+      if (r.size() != 1) {
+        return Status::TypeError("unary minus on a multi-item sequence");
+      }
+      Atomic a = AtomizeItem(r.front());
+      if (a.is_int()) return SingletonAtomic(Atomic(-a.AsInt()));
+      auto n = a.ToNumber();
+      if (!n) {
+        return Status::TypeError(std::string("unary minus on ") + a.TypeName());
+      }
+      return SingletonAtomic(Atomic(-*n));
+    }
+    case ExprKind::kPath:
+      return EvalPath(static_cast<const PathExpr&>(e));
+    case ExprKind::kFilter: {
+      const auto& f = static_cast<const FilterExpr&>(e);
+      XCQL_ASSIGN_OR_RETURN(Sequence in, EvalExpr(*f.input));
+      return ApplyPredicates(f.predicates, std::move(in));
+    }
+    case ExprKind::kFunctionCall:
+      return EvalFunctionCall(static_cast<const FunctionCallExpr&>(e));
+    case ExprKind::kDirectElement:
+      return EvalDirectElement(static_cast<const DirectElementExpr&>(e));
+    case ExprKind::kComputedElement:
+      return EvalComputedElement(static_cast<const ComputedElementExpr&>(e));
+    case ExprKind::kComputedAttribute:
+      return EvalComputedAttribute(
+          static_cast<const ComputedAttributeExpr&>(e));
+    case ExprKind::kIntervalProj:
+      return EvalIntervalProj(static_cast<const IntervalProjExpr&>(e));
+    case ExprKind::kVersionProj:
+      return EvalVersionProj(static_cast<const VersionProjExpr&>(e));
+  }
+  return Status::Internal("unhandled expression kind");
+}
+
+// ---- FLWOR ----------------------------------------------------------------
+
+Result<Sequence> Evaluator::EvalFlwor(const FlworExpr& e) {
+  Sequence out;
+  std::vector<std::pair<std::vector<Atomic>, Sequence>> ordered;
+  XCQL_RETURN_NOT_OK(EvalFlworClauses(e, 0, &ordered, &out));
+  if (!ordered.empty() || HasOrderBy(e)) {
+    // Sort collected tuples by their keys (stable, empty-least).
+    struct Row {
+      std::vector<SortKey> keys;
+      Sequence* seq;
+    };
+    std::vector<Row> rows;
+    rows.reserve(ordered.size());
+    for (auto& [keys, seq] : ordered) {
+      Row r;
+      for (const Atomic& a : keys) {
+        Sequence s;
+        if (!(a.is_string() && a.AsString().empty() && a.untyped())) {
+          s.push_back(a);
+        }
+        r.keys.push_back(SortKey::From(s));
+      }
+      r.seq = &seq;
+      rows.push_back(std::move(r));
+    }
+    // Direction flags were folded into the keys during collection (negated
+    // numeric trick does not generalize), so we re-read them here.
+    const std::vector<FlworClause::OrderKey>* keyspec = nullptr;
+    for (const auto& c : e.clauses) {
+      if (c.kind == FlworClause::Kind::kOrderBy) keyspec = &c.keys;
+    }
+    std::stable_sort(rows.begin(), rows.end(),
+                     [&](const Row& a, const Row& b) {
+                       for (size_t i = 0; i < a.keys.size(); ++i) {
+                         auto c = a.keys[i].Compare(b.keys[i]);
+                         bool desc = keyspec != nullptr &&
+                                     i < keyspec->size() &&
+                                     (*keyspec)[i].descending;
+                         if (c == std::weak_ordering::less) return !desc;
+                         if (c == std::weak_ordering::greater) return desc;
+                       }
+                       return false;
+                     });
+    for (const Row& r : rows) {
+      out.insert(out.end(), r.seq->begin(), r.seq->end());
+    }
+  }
+  return out;
+}
+
+bool Evaluator::HasOrderBy(const FlworExpr& e) {
+  for (const auto& c : e.clauses) {
+    if (c.kind == FlworClause::Kind::kOrderBy) return true;
+  }
+  return false;
+}
+
+Status Evaluator::EvalFlworClauses(
+    const FlworExpr& e, size_t idx,
+    std::vector<std::pair<std::vector<Atomic>, Sequence>>* ordered,
+    Sequence* out) {
+  if (idx == e.clauses.size()) {
+    XCQL_ASSIGN_OR_RETURN(Sequence r, EvalExpr(*e.ret));
+    out->insert(out->end(), std::make_move_iterator(r.begin()),
+                std::make_move_iterator(r.end()));
+    return Status::OK();
+  }
+  const FlworClause& c = e.clauses[idx];
+  switch (c.kind) {
+    case FlworClause::Kind::kFor: {
+      XCQL_ASSIGN_OR_RETURN(Sequence seq, EvalExpr(*c.expr));
+      int64_t pos = 0;
+      for (Item& item : seq) {
+        ++pos;
+        Sequence binding;
+        binding.push_back(item);
+        vars_.emplace_back(c.var, std::move(binding));
+        size_t mark = vars_.size();
+        if (!c.pos_var.empty()) {
+          vars_.emplace_back(c.pos_var, SingletonAtomic(Atomic(pos)));
+        }
+        Status st = EvalFlworClauses(e, idx + 1, ordered, out);
+        vars_.resize(mark - 1);
+        XCQL_RETURN_NOT_OK(st);
+      }
+      return Status::OK();
+    }
+    case FlworClause::Kind::kLet: {
+      XCQL_ASSIGN_OR_RETURN(Sequence seq, EvalExpr(*c.expr));
+      vars_.emplace_back(c.var, std::move(seq));
+      Status st = EvalFlworClauses(e, idx + 1, ordered, out);
+      vars_.pop_back();
+      return st;
+    }
+    case FlworClause::Kind::kWhere: {
+      XCQL_ASSIGN_OR_RETURN(Sequence cond, EvalExpr(*c.expr));
+      XCQL_ASSIGN_OR_RETURN(bool b, EffectiveBooleanValue(cond));
+      if (!b) return Status::OK();
+      return EvalFlworClauses(e, idx + 1, ordered, out);
+    }
+    case FlworClause::Kind::kOrderBy: {
+      std::vector<Atomic> keys;
+      for (const auto& k : c.keys) {
+        XCQL_ASSIGN_OR_RETURN(Sequence kv, EvalExpr(*k.key));
+        if (kv.empty()) {
+          keys.emplace_back(std::string(), /*untyped=*/true);  // empty marker
+        } else {
+          keys.push_back(AtomizeItem(kv.front()));
+        }
+      }
+      Sequence tuple_out;
+      XCQL_RETURN_NOT_OK(EvalFlworClauses(e, idx + 1, ordered, &tuple_out));
+      ordered->emplace_back(std::move(keys), std::move(tuple_out));
+      return Status::OK();
+    }
+  }
+  return Status::Internal("unhandled FLWOR clause");
+}
+
+Result<Sequence> Evaluator::EvalQuantified(const QuantifiedExpr& e) {
+  // Depth-first over the bindings.
+  bool result = e.every;
+  Status st = QuantifyFrom(e, 0, &result);
+  XCQL_RETURN_NOT_OK(st);
+  return SingletonAtomic(Atomic(result));
+}
+
+Status Evaluator::QuantifyFrom(const QuantifiedExpr& e, size_t idx,
+                               bool* result) {
+  // Early exit once decided.
+  if (e.every ? !*result : *result) return Status::OK();
+  if (idx == e.bindings.size()) {
+    XCQL_ASSIGN_OR_RETURN(Sequence s, EvalExpr(*e.satisfies));
+    XCQL_ASSIGN_OR_RETURN(bool b, EffectiveBooleanValue(s));
+    if (e.every) {
+      if (!b) *result = false;
+    } else {
+      if (b) *result = true;
+    }
+    return Status::OK();
+  }
+  XCQL_ASSIGN_OR_RETURN(Sequence seq, EvalExpr(*e.bindings[idx].expr));
+  for (Item& item : seq) {
+    Sequence binding;
+    binding.push_back(item);
+    vars_.emplace_back(e.bindings[idx].var, std::move(binding));
+    Status st = QuantifyFrom(e, idx + 1, result);
+    vars_.pop_back();
+    XCQL_RETURN_NOT_OK(st);
+    if (e.every ? !*result : *result) return Status::OK();
+  }
+  return Status::OK();
+}
+
+// ---- Operators --------------------------------------------------------------
+
+Result<Sequence> Evaluator::EvalBinary(const BinaryExpr& e) {
+  // Logical operators: effective boolean values, short-circuit.
+  if (e.op == BinOp::kAnd || e.op == BinOp::kOr) {
+    XCQL_ASSIGN_OR_RETURN(Sequence l, EvalExpr(*e.lhs));
+    XCQL_ASSIGN_OR_RETURN(bool lb, EffectiveBooleanValue(l));
+    if (e.op == BinOp::kAnd && !lb) return SingletonAtomic(Atomic(false));
+    if (e.op == BinOp::kOr && lb) return SingletonAtomic(Atomic(true));
+    XCQL_ASSIGN_OR_RETURN(Sequence r, EvalExpr(*e.rhs));
+    XCQL_ASSIGN_OR_RETURN(bool rb, EffectiveBooleanValue(r));
+    return SingletonAtomic(Atomic(rb));
+  }
+
+  XCQL_ASSIGN_OR_RETURN(Sequence l, EvalExpr(*e.lhs));
+  XCQL_ASSIGN_OR_RETURN(Sequence r, EvalExpr(*e.rhs));
+
+  auto cmp_op = [](BinOp op) {
+    switch (op) {
+      case BinOp::kGenEq:
+      case BinOp::kValEq:
+        return CmpOp::kEq;
+      case BinOp::kGenNe:
+      case BinOp::kValNe:
+        return CmpOp::kNe;
+      case BinOp::kGenLt:
+      case BinOp::kValLt:
+        return CmpOp::kLt;
+      case BinOp::kGenLe:
+      case BinOp::kValLe:
+        return CmpOp::kLe;
+      case BinOp::kGenGt:
+      case BinOp::kValGt:
+        return CmpOp::kGt;
+      default:
+        return CmpOp::kGe;
+    }
+  };
+
+  switch (e.op) {
+    case BinOp::kGenEq:
+    case BinOp::kGenNe:
+    case BinOp::kGenLt:
+    case BinOp::kGenLe:
+    case BinOp::kGenGt:
+    case BinOp::kGenGe: {
+      // General comparison: existential over the two sequences.
+      std::vector<Atomic> la = Atomize(l);
+      std::vector<Atomic> ra = Atomize(r);
+      for (const Atomic& a : la) {
+        for (const Atomic& b : ra) {
+          XCQL_ASSIGN_OR_RETURN(bool ok, CompareAtomics(a, b, cmp_op(e.op)));
+          if (ok) return SingletonAtomic(Atomic(true));
+        }
+      }
+      return SingletonAtomic(Atomic(false));
+    }
+    case BinOp::kValEq:
+    case BinOp::kValNe:
+    case BinOp::kValLt:
+    case BinOp::kValLe:
+    case BinOp::kValGt:
+    case BinOp::kValGe: {
+      if (l.empty() || r.empty()) return Sequence{};
+      if (l.size() != 1 || r.size() != 1) {
+        return Status::TypeError(
+            "value comparison requires singleton operands");
+      }
+      XCQL_ASSIGN_OR_RETURN(
+          bool ok, CompareAtomics(AtomizeItem(l.front()),
+                                  AtomizeItem(r.front()), cmp_op(e.op)));
+      return SingletonAtomic(Atomic(ok));
+    }
+    case BinOp::kTo: {
+      if (l.empty() || r.empty()) return Sequence{};
+      Atomic la = AtomizeItem(l.front());
+      Atomic ra = AtomizeItem(r.front());
+      XCQL_ASSIGN_OR_RETURN(int64_t lo, AtomicToVersion(la));
+      XCQL_ASSIGN_OR_RETURN(int64_t hi, AtomicToVersion(ra));
+      Sequence out;
+      for (int64_t i = lo; i <= hi; ++i) out.emplace_back(Atomic(i));
+      return out;
+    }
+    case BinOp::kUnion:
+    case BinOp::kIntersect:
+    case BinOp::kExcept: {
+      // Node-set operators by node identity, preserving the left operand's
+      // order (we do not maintain a global document order).
+      for (const Sequence* side : {&l, &r}) {
+        for (const Item& item : *side) {
+          if (!IsNode(item)) {
+            return Status::TypeError("set operands must be nodes");
+          }
+        }
+      }
+      std::unordered_set<const Node*> right;
+      for (const Item& item : r) right.insert(AsNode(item).get());
+      Sequence out;
+      std::unordered_set<const Node*> seen;
+      if (e.op == BinOp::kUnion) {
+        for (Sequence* side : {&l, &r}) {
+          for (Item& item : *side) {
+            if (seen.insert(AsNode(item).get()).second) {
+              out.push_back(std::move(item));
+            }
+          }
+        }
+        return out;
+      }
+      for (Item& item : l) {
+        bool in_right = right.count(AsNode(item).get()) > 0;
+        if ((e.op == BinOp::kIntersect) != in_right) continue;
+        if (seen.insert(AsNode(item).get()).second) {
+          out.push_back(std::move(item));
+        }
+      }
+      return out;
+    }
+    case BinOp::kBefore:
+    case BinOp::kAfter:
+    case BinOp::kMeets:
+    case BinOp::kOverlaps:
+    case BinOp::kContains:
+    case BinOp::kDuring: {
+      // XCQL interval relations: existential over the lifespans of the two
+      // sequences (elements by lifespan; dateTimes as point intervals).
+      // `overlaps` means "share at least one instant" (symmetric), which is
+      // the useful reading for coincidence queries; the strict Allen
+      // overlap is expressible as (a overlaps b and not(a contains b) …).
+      for (const Item& a : l) {
+        XCQL_ASSIGN_OR_RETURN(Interval ia, ItemLifespan(a));
+        for (const Item& b : r) {
+          XCQL_ASSIGN_OR_RETURN(Interval ib, ItemLifespan(b));
+          bool hit = false;
+          switch (e.op) {
+            case BinOp::kBefore:
+              hit = ia.Before(ib);
+              break;
+            case BinOp::kAfter:
+              hit = ia.After(ib);
+              break;
+            case BinOp::kMeets:
+              hit = ia.Meets(ib);
+              break;
+            case BinOp::kOverlaps:
+              hit = ia.Intersects(ib);
+              break;
+            case BinOp::kContains:
+              hit = ia.ContainsInterval(ib);
+              break;
+            default:
+              hit = ia.During(ib);
+          }
+          if (hit) return SingletonAtomic(Atomic(true));
+        }
+      }
+      return SingletonAtomic(Atomic(false));
+    }
+    default: {
+      if (l.empty() || r.empty()) return Sequence{};
+      if (l.size() != 1 || r.size() != 1) {
+        return Status::TypeError("arithmetic requires singleton operands");
+      }
+      return EvalArithmetic(e.op, AtomizeItem(l.front()),
+                            AtomizeItem(r.front()));
+    }
+  }
+}
+
+Result<Interval> Evaluator::ItemLifespan(const Item& item) {
+  if (IsNode(item)) {
+    const NodePtr& n = AsNode(item);
+    XCQL_ASSIGN_OR_RETURN(DateTime f, LifespanFrom(*ctx_, *n));
+    XCQL_ASSIGN_OR_RETURN(DateTime t, LifespanTo(*ctx_, *n));
+    return Interval(f, t);
+  }
+  XCQL_ASSIGN_OR_RETURN(DateTime d, AtomicToDateTime(*ctx_, AsAtomic(item)));
+  return Interval::Point(d);
+}
+
+Result<Sequence> Evaluator::EvalArithmetic(BinOp op, const Atomic& a,
+                                           const Atomic& b) {
+  // Temporal arithmetic first: dateTime ± duration, dateTime - dateTime,
+  // duration ± duration, duration * number.
+  auto as_datetime = [&](const Atomic& x) -> std::optional<DateTime> {
+    if (x.is_datetime()) return ResolveNow(*ctx_, x.AsDateTime());
+    if (x.is_string()) {
+      auto r = DateTime::Parse(x.AsString());
+      if (r.ok()) return ResolveNow(*ctx_, r.value());
+    }
+    return std::nullopt;
+  };
+  auto as_duration = [&](const Atomic& x) -> std::optional<Duration> {
+    if (x.is_duration()) return x.AsDuration();
+    if (x.is_string()) {
+      auto r = Duration::Parse(x.AsString());
+      if (r.ok()) return r.value();
+    }
+    return std::nullopt;
+  };
+
+  if (a.is_datetime() || b.is_datetime() || a.is_duration() ||
+      b.is_duration()) {
+    if (op == BinOp::kPlus || op == BinOp::kMinus) {
+      auto da = as_datetime(a);
+      auto db = as_datetime(b);
+      auto ua = as_duration(a);
+      auto ub = as_duration(b);
+      if (da && ub) {
+        DateTime r = op == BinOp::kPlus ? da->Add(*ub) : da->Subtract(*ub);
+        return SingletonAtomic(Atomic(r));
+      }
+      if (ua && db && op == BinOp::kPlus) {
+        return SingletonAtomic(Atomic(db->Add(*ua)));
+      }
+      if (da && db && op == BinOp::kMinus) {
+        return SingletonAtomic(
+            Atomic(Duration::FromSeconds(da->DiffSeconds(*db))));
+      }
+      if (ua && ub) {
+        Duration r = op == BinOp::kPlus
+                         ? Duration(ua->months() + ub->months(),
+                                    ua->seconds() + ub->seconds())
+                         : Duration(ua->months() - ub->months(),
+                                    ua->seconds() - ub->seconds());
+        return SingletonAtomic(Atomic(r));
+      }
+    }
+    if (op == BinOp::kMul) {
+      auto ua = as_duration(a);
+      auto ub = as_duration(b);
+      auto na = a.ToNumber();
+      auto nb = b.ToNumber();
+      if (ua && nb) {
+        return SingletonAtomic(
+            Atomic(Duration(static_cast<int64_t>(ua->months() * *nb),
+                            static_cast<int64_t>(ua->seconds() * *nb))));
+      }
+      if (ub && na) {
+        return SingletonAtomic(
+            Atomic(Duration(static_cast<int64_t>(ub->months() * *na),
+                            static_cast<int64_t>(ub->seconds() * *na))));
+      }
+    }
+    return Status::TypeError(std::string("invalid temporal arithmetic: ") +
+                             a.TypeName() + " " + BinOpName(op) + " " +
+                             b.TypeName());
+  }
+
+  // Mixed string/number operands: strings must parse as numbers.
+  auto na = a.ToNumber();
+  auto nb = b.ToNumber();
+  if (!na || !nb) {
+    return Status::TypeError(std::string("arithmetic on ") + a.TypeName() +
+                             " '" + a.ToStringValue() + "' and " +
+                             b.TypeName() + " '" + b.ToStringValue() + "'");
+  }
+  bool both_int = a.is_int() && b.is_int();
+  switch (op) {
+    case BinOp::kPlus:
+      if (both_int) return SingletonAtomic(Atomic(a.AsInt() + b.AsInt()));
+      return SingletonAtomic(Atomic(*na + *nb));
+    case BinOp::kMinus:
+      if (both_int) return SingletonAtomic(Atomic(a.AsInt() - b.AsInt()));
+      return SingletonAtomic(Atomic(*na - *nb));
+    case BinOp::kMul:
+      if (both_int) return SingletonAtomic(Atomic(a.AsInt() * b.AsInt()));
+      return SingletonAtomic(Atomic(*na * *nb));
+    case BinOp::kDiv:
+      if (*nb == 0) {
+        return Status::TypeError("division by zero");
+      }
+      return SingletonAtomic(Atomic(*na / *nb));
+    case BinOp::kIdiv: {
+      if (*nb == 0) return Status::TypeError("integer division by zero");
+      return SingletonAtomic(
+          Atomic(static_cast<int64_t>(std::trunc(*na / *nb))));
+    }
+    case BinOp::kMod: {
+      if (*nb == 0) return Status::TypeError("modulo by zero");
+      if (both_int) {
+        return SingletonAtomic(Atomic(a.AsInt() % b.AsInt()));
+      }
+      return SingletonAtomic(Atomic(std::fmod(*na, *nb)));
+    }
+    default:
+      return Status::Internal("unhandled arithmetic operator");
+  }
+}
+
+// ---- Paths ------------------------------------------------------------------
+
+namespace {
+
+void CollectDescendants(const NodePtr& n, std::vector<NodePtr>* out) {
+  for (const NodePtr& c : n->children()) {
+    out->push_back(c);
+    if (c->is_element()) CollectDescendants(c, out);
+  }
+}
+
+bool MatchesTest(const Node& n, const PathStep& step) {
+  switch (step.test) {
+    case PathStep::Test::kName:
+      return n.is_element() && n.name() == step.name;
+    case PathStep::Test::kWildcard:
+      return n.is_element();
+    case PathStep::Test::kText:
+      return n.is_text();
+    case PathStep::Test::kNode:
+      return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+Result<Sequence> Evaluator::EvalPath(const PathExpr& e) {
+  Sequence current;
+  if (e.input != nullptr) {
+    XCQL_ASSIGN_OR_RETURN(current, EvalExpr(*e.input));
+  } else {
+    // Absolute path: root of the context item's tree.
+    if (!focus_.has || !IsNode(focus_.item)) {
+      return Status::TypeError(
+          "absolute path requires a node context item");
+    }
+    Node* root = AsNode(focus_.item).get();
+    while (root->parent() != nullptr) root = root->parent();
+    current = SingletonNode(root->shared_from_this());
+  }
+  for (const PathStep& step : e.steps) {
+    XCQL_ASSIGN_OR_RETURN(current, EvalStep(step, current));
+  }
+  return current;
+}
+
+Result<Sequence> Evaluator::EvalStep(const PathStep& step,
+                                     const Sequence& input) {
+  Sequence out;
+  std::unordered_set<const Node*> seen;  // dedup for the descendant axis
+  for (const Item& item : input) {
+    if (!IsNode(item)) {
+      return Status::TypeError("path step applied to an atomic value");
+    }
+    const NodePtr& node = AsNode(item);
+    Sequence matches;
+    switch (step.axis) {
+      case PathStep::Axis::kChild: {
+        for (const NodePtr& c : node->children()) {
+          if (MatchesTest(*c, step)) matches.emplace_back(c);
+        }
+        break;
+      }
+      case PathStep::Axis::kDescendant: {
+        std::vector<NodePtr> desc;
+        CollectDescendants(node, &desc);
+        for (const NodePtr& d : desc) {
+          if (MatchesTest(*d, step) && seen.insert(d.get()).second) {
+            matches.emplace_back(d);
+          }
+        }
+        break;
+      }
+      case PathStep::Axis::kAttribute: {
+        if (step.test == PathStep::Test::kWildcard) {
+          for (const auto& [k, v] : node->attrs()) {
+            matches.emplace_back(Node::Attribute(k, v));
+          }
+        } else {
+          const std::string* v = node->FindAttr(step.name);
+          if (v != nullptr) {
+            matches.emplace_back(Node::Attribute(step.name, *v));
+          }
+        }
+        break;
+      }
+      case PathStep::Axis::kParent: {
+        if (node->parent() != nullptr) {
+          matches.emplace_back(node->parent()->shared_from_this());
+        }
+        break;
+      }
+    }
+    if (!step.predicates.empty()) {
+      XCQL_ASSIGN_OR_RETURN(matches,
+                            ApplyPredicates(step.predicates,
+                                            std::move(matches)));
+    }
+    out.insert(out.end(), std::make_move_iterator(matches.begin()),
+               std::make_move_iterator(matches.end()));
+  }
+  return out;
+}
+
+Result<Sequence> Evaluator::ApplyPredicates(const std::vector<ExprPtr>& preds,
+                                            Sequence input) {
+  for (const ExprPtr& pred : preds) {
+    Sequence kept;
+    Focus saved = focus_;
+    int64_t size = static_cast<int64_t>(input.size());
+    Status st;
+    for (int64_t i = 0; i < size; ++i) {
+      focus_.has = true;
+      focus_.item = input[static_cast<size_t>(i)];
+      focus_.pos = i + 1;
+      focus_.size = size;
+      Result<Sequence> r = EvalExpr(*pred);
+      if (!r.ok()) {
+        st = r.status();
+        break;
+      }
+      const Sequence& rv = r.value();
+      // A singleton numeric predicate selects by position.
+      if (rv.size() == 1 && !IsNode(rv.front()) &&
+          AsAtomic(rv.front()).is_numeric()) {
+        double want = *AsAtomic(rv.front()).ToNumber();
+        if (static_cast<double>(i + 1) == want) {
+          kept.push_back(input[static_cast<size_t>(i)]);
+        }
+        continue;
+      }
+      Result<bool> b = EffectiveBooleanValue(rv);
+      if (!b.ok()) {
+        st = b.status();
+        break;
+      }
+      if (b.value()) kept.push_back(input[static_cast<size_t>(i)]);
+    }
+    focus_ = saved;
+    XCQL_RETURN_NOT_OK(st);
+    input = std::move(kept);
+  }
+  return input;
+}
+
+// ---- Functions ---------------------------------------------------------------
+
+Result<Sequence> Evaluator::EvalFunctionCall(const FunctionCallExpr& e) {
+  // Focus- and projection-dependent builtins are evaluator-internal.
+  if (e.name == "position" && e.args.empty()) {
+    if (!focus_.has) return Status::TypeError("position() without focus");
+    return SingletonAtomic(Atomic(focus_.pos));
+  }
+  if (e.name == "last" && e.args.empty()) {
+    if (!focus_.has) return Status::TypeError("last() without focus");
+    return SingletonAtomic(Atomic(focus_.size));
+  }
+  if (e.name == "xcql:now" && e.args.empty()) {
+    return SingletonAtomic(Atomic(ctx_->now));
+  }
+  if (e.name == "xcql:start" && e.args.empty()) {
+    return SingletonAtomic(Atomic(DateTime::Start()));
+  }
+  if (e.name == "xcql:last" && e.args.empty()) {
+    if (version_last_ < 0) {
+      return Status::TypeError("'last' used outside a version projection");
+    }
+    return SingletonAtomic(Atomic(version_last_));
+  }
+
+  std::vector<Sequence> args;
+  args.reserve(e.args.size());
+  for (const ExprPtr& a : e.args) {
+    XCQL_ASSIGN_OR_RETURN(Sequence s, EvalExpr(*a));
+    args.push_back(std::move(s));
+  }
+
+  const FunctionRegistry::NativeEntry* native =
+      ctx_->functions->FindNative(e.name);
+  if (native != nullptr) {
+    int n = static_cast<int>(args.size());
+    if (n < native->min_arity ||
+        (native->max_arity >= 0 && n > native->max_arity)) {
+      return Status::InvalidArgument(
+          StringPrintf("wrong number of arguments (%d) to %s()", n,
+                       e.name.c_str()));
+    }
+    return native->fn(*ctx_, args);
+  }
+
+  const FunctionDecl* user = ctx_->functions->FindUser(e.name);
+  if (user != nullptr) {
+    if (args.size() != user->params.size()) {
+      return Status::InvalidArgument(
+          StringPrintf("wrong number of arguments (%zu, expected %zu) to %s()",
+                       args.size(), user->params.size(), e.name.c_str()));
+    }
+    // Function bodies see only their parameters (XQuery function scoping).
+    std::vector<std::pair<std::string, Sequence>> saved_vars;
+    saved_vars.swap(vars_);
+    Focus saved_focus = focus_;
+    focus_ = Focus{};
+    for (size_t i = 0; i < args.size(); ++i) {
+      vars_.emplace_back(user->params[i], std::move(args[i]));
+    }
+    Result<Sequence> r = EvalExpr(*user->body);
+    vars_ = std::move(saved_vars);
+    focus_ = saved_focus;
+    return r;
+  }
+
+  return Status::NotFound("unknown function " + e.name + "()");
+}
+
+// ---- Constructors -------------------------------------------------------------
+
+Status Evaluator::AppendConstructorContent(const Sequence& items, Node* element,
+                                           std::string* pending_text) {
+  bool prev_atomic = false;
+  for (const Item& item : items) {
+    if (IsNode(item)) {
+      const NodePtr& n = AsNode(item);
+      if (n->is_attribute()) {
+        element->SetAttr(n->name(), n->text());
+        prev_atomic = false;
+        continue;
+      }
+      if (!pending_text->empty()) {
+        element->AddChild(Node::Text(std::move(*pending_text)));
+        pending_text->clear();
+      }
+      if (n->is_text()) {
+        element->AddChild(Node::Text(n->text()));
+      } else {
+        element->AddChild(n->Clone());
+      }
+      prev_atomic = false;
+    } else {
+      if (prev_atomic) pending_text->push_back(' ');
+      *pending_text += AsAtomic(item).ToStringValue();
+      prev_atomic = true;
+    }
+  }
+  return Status::OK();
+}
+
+Result<Sequence> Evaluator::EvalDirectElement(const DirectElementExpr& e) {
+  NodePtr el = Node::Element(e.name);
+  for (const auto& attr : e.attrs) {
+    std::string value;
+    for (const ContentPart& part : attr.value) {
+      if (part.expr == nullptr) {
+        value += part.text;
+      } else {
+        XCQL_ASSIGN_OR_RETURN(Sequence r, EvalExpr(*part.expr));
+        value += SequenceToString(r);
+      }
+    }
+    el->SetAttr(attr.name, std::move(value));
+  }
+  std::string pending;
+  for (const ContentPart& part : e.content) {
+    if (part.expr == nullptr) {
+      pending += part.text;
+      continue;
+    }
+    XCQL_ASSIGN_OR_RETURN(Sequence r, EvalExpr(*part.expr));
+    XCQL_RETURN_NOT_OK(AppendConstructorContent(r, el.get(), &pending));
+  }
+  if (!pending.empty()) el->AddChild(Node::Text(std::move(pending)));
+  return SingletonNode(std::move(el));
+}
+
+Result<Sequence> Evaluator::EvalComputedElement(const ComputedElementExpr& e) {
+  XCQL_ASSIGN_OR_RETURN(Sequence name_seq, EvalExpr(*e.name_expr));
+  std::string name = SequenceToString(name_seq);
+  if (name.empty()) {
+    return Status::TypeError("computed element constructor: empty name");
+  }
+  NodePtr el = Node::Element(std::move(name));
+  if (e.content != nullptr) {
+    XCQL_ASSIGN_OR_RETURN(Sequence r, EvalExpr(*e.content));
+    std::string pending;
+    XCQL_RETURN_NOT_OK(AppendConstructorContent(r, el.get(), &pending));
+    if (!pending.empty()) el->AddChild(Node::Text(std::move(pending)));
+  }
+  return SingletonNode(std::move(el));
+}
+
+Result<Sequence> Evaluator::EvalComputedAttribute(
+    const ComputedAttributeExpr& e) {
+  XCQL_ASSIGN_OR_RETURN(Sequence name_seq, EvalExpr(*e.name_expr));
+  std::string name = SequenceToString(name_seq);
+  if (name.empty()) {
+    return Status::TypeError("computed attribute constructor: empty name");
+  }
+  std::string value;
+  if (e.content != nullptr) {
+    XCQL_ASSIGN_OR_RETURN(Sequence r, EvalExpr(*e.content));
+    value = SequenceToString(r);
+  }
+  return SingletonNode(Node::Attribute(std::move(name), std::move(value)));
+}
+
+// ---- XCQL projections ----------------------------------------------------------
+
+Result<Sequence> Evaluator::EvalIntervalProj(const IntervalProjExpr& e) {
+  XCQL_ASSIGN_OR_RETURN(Sequence input, EvalExpr(*e.input));
+  XCQL_ASSIGN_OR_RETURN(Sequence lo_seq, EvalExpr(*e.lo));
+  if (lo_seq.size() != 1) {
+    return Status::TypeError("interval projection bound must be a singleton");
+  }
+  XCQL_ASSIGN_OR_RETURN(DateTime tb,
+                        AtomicToDateTime(*ctx_, AtomizeItem(lo_seq.front())));
+  DateTime te = tb;
+  if (e.hi != nullptr) {
+    XCQL_ASSIGN_OR_RETURN(Sequence hi_seq, EvalExpr(*e.hi));
+    if (hi_seq.size() != 1) {
+      return Status::TypeError(
+          "interval projection bound must be a singleton");
+    }
+    XCQL_ASSIGN_OR_RETURN(
+        te, AtomicToDateTime(*ctx_, AtomizeItem(hi_seq.front())));
+  }
+  if (tb > te) {
+    return Status::InvalidArgument("interval projection with begin > end: " +
+                                   Interval(tb, te).ToString());
+  }
+  return IntervalProjection(*ctx_, input, tb, te);
+}
+
+Result<Sequence> Evaluator::EvalVersionProj(const VersionProjExpr& e) {
+  XCQL_ASSIGN_OR_RETURN(Sequence input, EvalExpr(*e.input));
+  int64_t saved_last = version_last_;
+  version_last_ = static_cast<int64_t>(input.size());
+  auto eval_bound = [&](const Expr& bound) -> Result<int64_t> {
+    XCQL_ASSIGN_OR_RETURN(Sequence s, EvalExpr(bound));
+    if (s.size() != 1) {
+      return Status::TypeError("version projection bound must be a singleton");
+    }
+    return AtomicToVersion(AtomizeItem(s.front()));
+  };
+  Result<int64_t> vb = eval_bound(*e.lo);
+  if (!vb.ok()) {
+    version_last_ = saved_last;
+    return vb.status();
+  }
+  int64_t ve = vb.value();
+  if (e.hi != nullptr) {
+    Result<int64_t> hi = eval_bound(*e.hi);
+    if (!hi.ok()) {
+      version_last_ = saved_last;
+      return hi.status();
+    }
+    ve = hi.value();
+  }
+  version_last_ = saved_last;
+  if (vb.value() > ve) {
+    return Status::InvalidArgument(
+        StringPrintf("version projection with begin %lld > end %lld",
+                     static_cast<long long>(vb.value()),
+                     static_cast<long long>(ve)));
+  }
+  return VersionProjection(*ctx_, input, vb.value(), ve);
+}
+
+Result<Sequence> EvalQuery(std::string_view query, EvalContext* ctx) {
+  XCQL_ASSIGN_OR_RETURN(Program prog, ParseQuery(query));
+  Evaluator ev(ctx);
+  return ev.EvalProgram(prog);
+}
+
+}  // namespace xcql::xq

@@ -1,0 +1,108 @@
+// Tree-walking evaluator for the XQuery/XCQL subset, plus the temporal
+// projection primitives (interval_projection / version_projection of paper
+// §6) that both the evaluator and the XCQL translation runtime share.
+#ifndef XCQL_XQ_EVAL_H_
+#define XCQL_XQ_EVAL_H_
+
+#include <string>
+#include <vector>
+
+#include "temporal/interval.h"
+#include "xq/ast.h"
+#include "xq/context.h"
+#include "xq/value.h"
+
+namespace xcql::xq {
+
+/// \brief Evaluates expressions against an EvalContext.
+///
+/// An Evaluator instance carries the dynamic environment (variable bindings
+/// and the focus); it is cheap to construct per evaluation and is not
+/// thread-safe.
+class Evaluator {
+ public:
+  explicit Evaluator(EvalContext* ctx);
+
+  /// \brief Binds an external variable visible to the evaluated expression.
+  void Bind(const std::string& name, Sequence value);
+
+  /// \brief Evaluates an expression with the current bindings.
+  Result<Sequence> Eval(const Expr& e);
+
+  /// \brief Parses and evaluates a full query (prolog functions are
+  /// registered into a per-call copy of the context's registry).
+  Result<Sequence> EvalProgram(const Program& prog);
+
+ private:
+  struct Focus {
+    bool has = false;
+    Item item;
+    int64_t pos = 0;
+    int64_t size = 0;
+  };
+
+  Result<Sequence> EvalExpr(const Expr& e);
+  Result<Sequence> EvalFlwor(const FlworExpr& e);
+  Status EvalFlworClauses(
+      const FlworExpr& e, size_t idx,
+      std::vector<std::pair<std::vector<Atomic>, Sequence>>* ordered,
+      Sequence* out);
+  static bool HasOrderBy(const FlworExpr& e);
+  Result<Sequence> EvalQuantified(const QuantifiedExpr& e);
+  Status QuantifyFrom(const QuantifiedExpr& e, size_t idx, bool* result);
+  Result<Sequence> EvalBinary(const BinaryExpr& e);
+  Result<Sequence> EvalArithmetic(BinOp op, const Atomic& a, const Atomic& b);
+  Result<Sequence> EvalPath(const PathExpr& e);
+  Result<Sequence> EvalStep(const PathStep& step, const Sequence& input);
+  Result<Sequence> ApplyPredicates(const std::vector<ExprPtr>& preds,
+                                   Sequence input);
+  Result<Sequence> EvalFunctionCall(const FunctionCallExpr& e);
+  Result<Sequence> EvalDirectElement(const DirectElementExpr& e);
+  Result<Sequence> EvalComputedElement(const ComputedElementExpr& e);
+  Result<Sequence> EvalComputedAttribute(const ComputedAttributeExpr& e);
+  Result<Sequence> EvalIntervalProj(const IntervalProjExpr& e);
+  Result<Sequence> EvalVersionProj(const VersionProjExpr& e);
+
+  Status AppendConstructorContent(const Sequence& items, Node* element,
+                                  std::string* pending_text);
+
+  /// Lifespan of one item for interval relations: elements via
+  /// vtFrom/vtTo (paper §2), dateTime atomics as point intervals.
+  Result<Interval> ItemLifespan(const Item& item);
+
+  // Scoped variable lookup.
+  const Sequence* Lookup(const std::string& name) const;
+
+  EvalContext* ctx_;
+  std::vector<std::pair<std::string, Sequence>> vars_;
+  Focus focus_;
+  int64_t version_last_ = -1;  // value of `last` inside #[…] bounds
+  int depth_ = 0;
+};
+
+/// \brief The interval projection of paper §6: slices `input` to the time
+/// range [tb, te], clipping the vtFrom/vtTo lifespans of temporal elements,
+/// pruning elements whose lifespan misses the range, recursing through
+/// children and resolving holes via ctx.hole_resolver.
+Result<Sequence> IntervalProjection(EvalContext& ctx, const Sequence& input,
+                                    DateTime tb, DateTime te);
+
+/// \brief The version projection of paper §6: selects versions vb..ve
+/// (1-based) from the input version sequence, then interval-projects each
+/// selected version's children to its own lifespan. Snapshot elements count
+/// as a single version.
+Result<Sequence> VersionProjection(EvalContext& ctx, const Sequence& input,
+                                   int64_t vb, int64_t ve);
+
+/// \brief Lifespan accessors (paper §2): vtFrom/vtTo attributes when
+/// present, otherwise the span covering the children's lifespans, otherwise
+/// [start, now].
+Result<DateTime> LifespanFrom(EvalContext& ctx, const Node& e);
+Result<DateTime> LifespanTo(EvalContext& ctx, const Node& e);
+
+/// \brief Parses and evaluates `query` in one call; convenience wrapper.
+Result<Sequence> EvalQuery(std::string_view query, EvalContext* ctx);
+
+}  // namespace xcql::xq
+
+#endif  // XCQL_XQ_EVAL_H_

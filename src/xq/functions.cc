@@ -1,0 +1,477 @@
+// The builtin function library (FunctionRegistry::Builtins): the fn: core
+// subset the paper's queries use, temporal accessors (vtFrom/vtTo,
+// current-dateTime), constructors for dateTime/duration, string functions,
+// and the geo helpers (distance, triangulate) of the paper's §2 examples.
+#include <algorithm>
+#include <cctype>
+#include <cmath>
+
+#include "common/string_util.h"
+#include "xml/serializer.h"
+#include "xq/context.h"
+#include "xq/eval.h"
+#include "xq/value.h"
+
+namespace xcql::xq {
+
+namespace {
+
+using Args = std::vector<Sequence>;
+
+// Flattens all argument sequences into one (for variadic aggregates like
+// max(a, b) which the paper writes with two arguments).
+Sequence FlattenArgs(const Args& args) {
+  Sequence out;
+  for (const Sequence& s : args) {
+    out.insert(out.end(), s.begin(), s.end());
+  }
+  return out;
+}
+
+Result<double> ItemToNumber(const Item& item) {
+  Atomic a = AtomizeItem(item);
+  auto n = a.ToNumber();
+  if (!n) {
+    return Status::TypeError(std::string("cannot convert ") + a.TypeName() +
+                             " '" + a.ToStringValue() + "' to a number");
+  }
+  return *n;
+}
+
+// Parses a 2-D point from "x y" or "x,y" text (locations in the paper's
+// sensor examples).
+Result<std::pair<double, double>> ParsePoint(const Item& item) {
+  std::string s(StripWhitespace(AtomizeItem(item).ToStringValue()));
+  std::replace(s.begin(), s.end(), ',', ' ');
+  std::vector<std::string> parts;
+  for (const std::string& p : SplitString(s, ' ')) {
+    if (!p.empty()) parts.push_back(p);
+  }
+  if (parts.size() != 2) {
+    return Status::TypeError("cannot parse point from '" + s + "'");
+  }
+  auto x = ParseDouble(parts[0]);
+  auto y = ParseDouble(parts[1]);
+  if (!x || !y) {
+    return Status::TypeError("cannot parse point from '" + s + "'");
+  }
+  return std::make_pair(*x, *y);
+}
+
+Result<Sequence> FnCount(EvalContext&, Args& args) {
+  return SingletonAtomic(Atomic(static_cast<int64_t>(args[0].size())));
+}
+
+Result<Sequence> FnSum(EvalContext&, Args& args) {
+  const Sequence& seq = args[0];
+  if (seq.empty()) {
+    if (args.size() > 1) return args[1];
+    return SingletonAtomic(Atomic(static_cast<int64_t>(0)));
+  }
+  bool all_int = true;
+  double total = 0;
+  int64_t itotal = 0;
+  for (const Item& item : seq) {
+    Atomic a = AtomizeItem(item);
+    XCQL_ASSIGN_OR_RETURN(double v, ItemToNumber(item));
+    total += v;
+    if (a.is_int()) {
+      itotal += a.AsInt();
+    } else {
+      all_int = false;
+    }
+  }
+  if (all_int) return SingletonAtomic(Atomic(itotal));
+  return SingletonAtomic(Atomic(total));
+}
+
+Result<Sequence> FnAvg(EvalContext&, Args& args) {
+  const Sequence& seq = args[0];
+  if (seq.empty()) return Sequence{};
+  double total = 0;
+  for (const Item& item : seq) {
+    XCQL_ASSIGN_OR_RETURN(double v, ItemToNumber(item));
+    total += v;
+  }
+  return SingletonAtomic(Atomic(total / static_cast<double>(seq.size())));
+}
+
+Result<Sequence> FnMaxMin(bool is_max, Args& args) {
+  Sequence all = FlattenArgs(args);
+  if (all.empty()) return Sequence{};
+  Atomic best = AtomizeItem(all.front());
+  for (size_t i = 1; i < all.size(); ++i) {
+    Atomic a = AtomizeItem(all[i]);
+    XCQL_ASSIGN_OR_RETURN(
+        bool better, CompareAtomics(a, best, is_max ? CmpOp::kGt : CmpOp::kLt));
+    if (better) best = a;
+  }
+  return SingletonAtomic(std::move(best));
+}
+
+Result<Sequence> FnNot(EvalContext&, Args& args) {
+  XCQL_ASSIGN_OR_RETURN(bool b, EffectiveBooleanValue(args[0]));
+  return SingletonAtomic(Atomic(!b));
+}
+
+Result<Sequence> FnBoolean(EvalContext&, Args& args) {
+  XCQL_ASSIGN_OR_RETURN(bool b, EffectiveBooleanValue(args[0]));
+  return SingletonAtomic(Atomic(b));
+}
+
+Result<Sequence> FnEmpty(EvalContext&, Args& args) {
+  return SingletonAtomic(Atomic(args[0].empty()));
+}
+
+Result<Sequence> FnExists(EvalContext&, Args& args) {
+  return SingletonAtomic(Atomic(!args[0].empty()));
+}
+
+Result<Sequence> FnName(EvalContext&, Args& args) {
+  if (args[0].empty()) return SingletonAtomic(Atomic(std::string()));
+  if (!IsNode(args[0].front())) {
+    return Status::TypeError("name() requires a node argument");
+  }
+  return SingletonAtomic(Atomic(AsNode(args[0].front())->name()));
+}
+
+Result<Sequence> FnString(EvalContext&, Args& args) {
+  return SingletonAtomic(Atomic(SequenceToString(args[0])));
+}
+
+Result<Sequence> FnNumber(EvalContext&, Args& args) {
+  if (args[0].empty()) {
+    return SingletonAtomic(Atomic(std::nan("")));
+  }
+  Atomic a = AtomizeItem(args[0].front());
+  auto n = a.ToNumber();
+  return SingletonAtomic(Atomic(n ? *n : std::nan("")));
+}
+
+Result<Sequence> FnData(EvalContext&, Args& args) {
+  Sequence out;
+  for (const Atomic& a : Atomize(args[0])) out.emplace_back(a);
+  return out;
+}
+
+Result<Sequence> FnConcat(EvalContext&, Args& args) {
+  std::string out;
+  for (const Sequence& s : args) out += SequenceToString(s);
+  return SingletonAtomic(Atomic(std::move(out)));
+}
+
+Result<Sequence> FnStringJoin(EvalContext&, Args& args) {
+  std::string sep = args.size() > 1 ? SequenceToString(args[1]) : "";
+  std::string out;
+  for (size_t i = 0; i < args[0].size(); ++i) {
+    if (i > 0) out += sep;
+    out += AtomizeItem(args[0][i]).ToStringValue();
+  }
+  return SingletonAtomic(Atomic(std::move(out)));
+}
+
+Result<Sequence> FnContains(EvalContext&, Args& args) {
+  std::string hay = SequenceToString(args[0]);
+  std::string needle = SequenceToString(args[1]);
+  return SingletonAtomic(Atomic(hay.find(needle) != std::string::npos));
+}
+
+Result<Sequence> FnStartsWith(EvalContext&, Args& args) {
+  std::string hay = SequenceToString(args[0]);
+  std::string prefix = SequenceToString(args[1]);
+  return SingletonAtomic(Atomic(StartsWith(hay, prefix)));
+}
+
+Result<Sequence> FnEndsWith(EvalContext&, Args& args) {
+  std::string hay = SequenceToString(args[0]);
+  std::string suffix = SequenceToString(args[1]);
+  bool ok = hay.size() >= suffix.size() &&
+            hay.compare(hay.size() - suffix.size(), suffix.size(), suffix) == 0;
+  return SingletonAtomic(Atomic(ok));
+}
+
+Result<Sequence> FnSubstring(EvalContext&, Args& args) {
+  std::string s = SequenceToString(args[0]);
+  XCQL_ASSIGN_OR_RETURN(double startd, ItemToNumber(args[1].front()));
+  int64_t start = static_cast<int64_t>(std::llround(startd));
+  int64_t len = static_cast<int64_t>(s.size()) - (start - 1);
+  if (args.size() > 2) {
+    XCQL_ASSIGN_OR_RETURN(double lend, ItemToNumber(args[2].front()));
+    len = static_cast<int64_t>(std::llround(lend));
+  }
+  int64_t begin = std::max<int64_t>(start - 1, 0);
+  int64_t end = std::min<int64_t>(start - 1 + len, static_cast<int64_t>(s.size()));
+  if (begin >= end) return SingletonAtomic(Atomic(std::string()));
+  return SingletonAtomic(Atomic(s.substr(static_cast<size_t>(begin),
+                                         static_cast<size_t>(end - begin))));
+}
+
+Result<Sequence> FnStringLength(EvalContext&, Args& args) {
+  return SingletonAtomic(
+      Atomic(static_cast<int64_t>(SequenceToString(args[0]).size())));
+}
+
+Result<Sequence> FnNormalizeSpace(EvalContext&, Args& args) {
+  std::string s = SequenceToString(args[0]);
+  std::string out;
+  bool in_space = true;  // also trims leading whitespace
+  for (char c : s) {
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      if (!in_space) out.push_back(' ');
+      in_space = true;
+    } else {
+      out.push_back(c);
+      in_space = false;
+    }
+  }
+  if (!out.empty() && out.back() == ' ') out.pop_back();
+  return SingletonAtomic(Atomic(std::move(out)));
+}
+
+Result<Sequence> FnDoc(EvalContext& ctx, Args& args) {
+  std::string name = SequenceToString(args[0]);
+  auto it = ctx.documents.find(name);
+  if (it == ctx.documents.end()) {
+    return Status::NotFound("doc(): no document named '" + name + "'");
+  }
+  return SingletonNode(it->second);
+}
+
+Result<Sequence> FnCurrentDateTime(EvalContext& ctx, Args&) {
+  return SingletonAtomic(Atomic(ctx.now));
+}
+
+Result<Sequence> FnDateTimeCtor(EvalContext&, Args& args) {
+  if (args[0].empty()) return Sequence{};
+  XCQL_ASSIGN_OR_RETURN(
+      DateTime dt, DateTime::Parse(AtomizeItem(args[0].front()).ToStringValue()));
+  return SingletonAtomic(Atomic(dt));
+}
+
+Result<Sequence> FnDurationCtor(EvalContext&, Args& args) {
+  if (args[0].empty()) return Sequence{};
+  XCQL_ASSIGN_OR_RETURN(
+      Duration d, Duration::Parse(AtomizeItem(args[0].front()).ToStringValue()));
+  return SingletonAtomic(Atomic(d));
+}
+
+Result<Sequence> FnVtFrom(EvalContext& ctx, Args& args) {
+  if (args[0].empty()) return Sequence{};
+  if (!IsNode(args[0].front())) {
+    return Status::TypeError("vtFrom() requires an element argument");
+  }
+  XCQL_ASSIGN_OR_RETURN(DateTime t, LifespanFrom(ctx, *AsNode(args[0].front())));
+  return SingletonAtomic(Atomic(t));
+}
+
+Result<Sequence> FnVtTo(EvalContext& ctx, Args& args) {
+  if (args[0].empty()) return Sequence{};
+  if (!IsNode(args[0].front())) {
+    return Status::TypeError("vtTo() requires an element argument");
+  }
+  XCQL_ASSIGN_OR_RETURN(DateTime t, LifespanTo(ctx, *AsNode(args[0].front())));
+  return SingletonAtomic(Atomic(t));
+}
+
+Result<Sequence> FnRoundFloorCeil(int mode, Args& args) {
+  if (args[0].empty()) return Sequence{};
+  Atomic a = AtomizeItem(args[0].front());
+  if (a.is_int()) return SingletonAtomic(a);
+  XCQL_ASSIGN_OR_RETURN(double v, ItemToNumber(args[0].front()));
+  double r = mode == 0 ? std::round(v) : mode == 1 ? std::floor(v)
+                                                   : std::ceil(v);
+  return SingletonAtomic(Atomic(static_cast<int64_t>(r)));
+}
+
+Result<Sequence> FnAbs(EvalContext&, Args& args) {
+  if (args[0].empty()) return Sequence{};
+  Atomic a = AtomizeItem(args[0].front());
+  if (a.is_int()) {
+    return SingletonAtomic(Atomic(a.AsInt() < 0 ? -a.AsInt() : a.AsInt()));
+  }
+  XCQL_ASSIGN_OR_RETURN(double v, ItemToNumber(args[0].front()));
+  return SingletonAtomic(Atomic(std::abs(v)));
+}
+
+Result<Sequence> FnDeepEqual(EvalContext&, Args& args) {
+  const Sequence& a = args[0];
+  const Sequence& b = args[1];
+  if (a.size() != b.size()) return SingletonAtomic(Atomic(false));
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (IsNode(a[i]) != IsNode(b[i])) return SingletonAtomic(Atomic(false));
+    if (IsNode(a[i])) {
+      if (!Node::DeepEqual(*AsNode(a[i]), *AsNode(b[i]))) {
+        return SingletonAtomic(Atomic(false));
+      }
+    } else {
+      auto eq = CompareAtomics(AsAtomic(a[i]), AsAtomic(b[i]), CmpOp::kEq);
+      if (!eq.ok() || !eq.value()) return SingletonAtomic(Atomic(false));
+    }
+  }
+  return SingletonAtomic(Atomic(true));
+}
+
+Result<Sequence> FnSerialize(EvalContext&, Args& args) {
+  std::string out;
+  for (const Item& item : args[0]) {
+    if (IsNode(item)) {
+      out += SerializeXml(*AsNode(item));
+    } else {
+      out += AsAtomic(item).ToStringValue();
+    }
+  }
+  return SingletonAtomic(Atomic(std::move(out)));
+}
+
+Result<Sequence> FnDistinctValues(EvalContext&, Args& args) {
+  Sequence out;
+  std::vector<Atomic> seen;
+  for (const Item& item : args[0]) {
+    Atomic a = AtomizeItem(item);
+    bool dup = false;
+    for (const Atomic& s : seen) {
+      auto eq = CompareAtomics(a, s, CmpOp::kEq);
+      if (eq.ok() && eq.value()) {
+        dup = true;
+        break;
+      }
+    }
+    if (!dup) {
+      seen.push_back(a);
+      out.emplace_back(std::move(a));
+    }
+  }
+  return out;
+}
+
+Result<Sequence> FnReverse(EvalContext&, Args& args) {
+  Sequence out(args[0].rbegin(), args[0].rend());
+  return out;
+}
+
+Result<Sequence> FnSubsequence(EvalContext&, Args& args) {
+  XCQL_ASSIGN_OR_RETURN(double startd, ItemToNumber(args[1].front()));
+  int64_t start = static_cast<int64_t>(std::llround(startd));
+  int64_t len = static_cast<int64_t>(args[0].size());
+  if (args.size() > 2) {
+    XCQL_ASSIGN_OR_RETURN(double lend, ItemToNumber(args[2].front()));
+    len = static_cast<int64_t>(std::llround(lend));
+  }
+  Sequence out;
+  int64_t n = static_cast<int64_t>(args[0].size());
+  for (int64_t pos = std::max<int64_t>(start, 1);
+       pos < start + len && pos <= n; ++pos) {
+    out.push_back(args[0][static_cast<size_t>(pos - 1)]);
+  }
+  return out;
+}
+
+Result<Sequence> FnIndexOf(EvalContext&, Args& args) {
+  if (args[1].empty()) return Sequence{};
+  Atomic needle = AtomizeItem(args[1].front());
+  Sequence out;
+  int64_t pos = 0;
+  for (const Item& item : args[0]) {
+    ++pos;
+    auto eq = CompareAtomics(AtomizeItem(item), needle, CmpOp::kEq);
+    if (eq.ok() && eq.value()) out.emplace_back(Atomic(pos));
+  }
+  return out;
+}
+
+Result<Sequence> FnDistance(EvalContext&, Args& args) {
+  if (args[0].empty() || args[1].empty()) return Sequence{};
+  XCQL_ASSIGN_OR_RETURN(auto p1, ParsePoint(args[0].front()));
+  XCQL_ASSIGN_OR_RETURN(auto p2, ParsePoint(args[1].front()));
+  double dx = p1.first - p2.first;
+  double dy = p1.second - p2.second;
+  return SingletonAtomic(Atomic(std::sqrt(dx * dx + dy * dy)));
+}
+
+// Triangulation for the paper's radar example (§2): two radars on a
+// baseline of length 100 at (0,0) and (100,0); each reports the angle (in
+// degrees from the baseline) at which it sees the vehicle. Returns "x y".
+Result<Sequence> FnTriangulate(EvalContext&, Args& args) {
+  if (args[0].empty() || args[1].empty()) return Sequence{};
+  XCQL_ASSIGN_OR_RETURN(double a_deg, ItemToNumber(args[0].front()));
+  XCQL_ASSIGN_OR_RETURN(double b_deg, ItemToNumber(args[1].front()));
+  constexpr double kBaseline = 100.0;
+  constexpr double kPi = 3.14159265358979323846;
+  double a = a_deg * kPi / 180.0;
+  double b = b_deg * kPi / 180.0;
+  double ta = std::tan(a);
+  double tb = std::tan(b);
+  if (ta + tb == 0) {
+    return Status::InvalidArgument("triangulate: degenerate angles");
+  }
+  double x = kBaseline * tb / (ta + tb);
+  double y = x * ta;
+  return SingletonAtomic(Atomic(StringPrintf("%.3f %.3f", x, y)));
+}
+
+}  // namespace
+
+FunctionRegistry FunctionRegistry::Builtins() {
+  FunctionRegistry r;
+  r.RegisterNative("count", 1, 1, FnCount);
+  r.RegisterNative("sum", 1, 2, FnSum);
+  r.RegisterNative("avg", 1, 1, FnAvg);
+  r.RegisterNative("max", 1, -1,
+                   [](EvalContext&, Args& a) { return FnMaxMin(true, a); });
+  r.RegisterNative("min", 1, -1,
+                   [](EvalContext&, Args& a) { return FnMaxMin(false, a); });
+  r.RegisterNative("not", 1, 1, FnNot);
+  r.RegisterNative("boolean", 1, 1, FnBoolean);
+  r.RegisterNative("true", 0, 0, [](EvalContext&, Args&) -> Result<Sequence> {
+    return SingletonAtomic(Atomic(true));
+  });
+  r.RegisterNative("false", 0, 0, [](EvalContext&, Args&) -> Result<Sequence> {
+    return SingletonAtomic(Atomic(false));
+  });
+  r.RegisterNative("empty", 1, 1, FnEmpty);
+  r.RegisterNative("exists", 1, 1, FnExists);
+  r.RegisterNative("name", 1, 1, FnName);
+  r.RegisterNative("string", 1, 1, FnString);
+  r.RegisterNative("number", 1, 1, FnNumber);
+  r.RegisterNative("data", 1, 1, FnData);
+  r.RegisterNative("concat", 2, -1, FnConcat);
+  r.RegisterNative("string-join", 1, 2, FnStringJoin);
+  r.RegisterNative("contains", 2, 2, FnContains);
+  r.RegisterNative("starts-with", 2, 2, FnStartsWith);
+  r.RegisterNative("ends-with", 2, 2, FnEndsWith);
+  r.RegisterNative("substring", 2, 3, FnSubstring);
+  r.RegisterNative("string-length", 1, 1, FnStringLength);
+  r.RegisterNative("normalize-space", 1, 1, FnNormalizeSpace);
+  r.RegisterNative("doc", 1, 1, FnDoc);
+  r.RegisterNative("document", 1, 1, FnDoc);  // XMark queries use document()
+  r.RegisterNative("current-dateTime", 0, 0, FnCurrentDateTime);
+  r.RegisterNative("currentDateTime", 0, 0, FnCurrentDateTime);  // paper §6.1
+  r.RegisterNative("dateTime", 1, 1, FnDateTimeCtor);
+  r.RegisterNative("xs:dateTime", 1, 1, FnDateTimeCtor);
+  r.RegisterNative("duration", 1, 1, FnDurationCtor);
+  r.RegisterNative("xs:duration", 1, 1, FnDurationCtor);
+  r.RegisterNative("xdt:dayTimeDuration", 1, 1, FnDurationCtor);
+  r.RegisterNative("vtFrom", 1, 1, FnVtFrom);
+  r.RegisterNative("vtTo", 1, 1, FnVtTo);
+  r.RegisterNative("round", 1, 1, [](EvalContext&, Args& a) {
+    return FnRoundFloorCeil(0, a);
+  });
+  r.RegisterNative("floor", 1, 1, [](EvalContext&, Args& a) {
+    return FnRoundFloorCeil(1, a);
+  });
+  r.RegisterNative("ceiling", 1, 1, [](EvalContext&, Args& a) {
+    return FnRoundFloorCeil(2, a);
+  });
+  r.RegisterNative("abs", 1, 1, FnAbs);
+  r.RegisterNative("deep-equal", 2, 2, FnDeepEqual);
+  r.RegisterNative("serialize", 1, 1, FnSerialize);
+  r.RegisterNative("distinct-values", 1, 1, FnDistinctValues);
+  r.RegisterNative("reverse", 1, 1, FnReverse);
+  r.RegisterNative("subsequence", 2, 3, FnSubsequence);
+  r.RegisterNative("index-of", 2, 2, FnIndexOf);
+  r.RegisterNative("distance", 2, 2, FnDistance);
+  r.RegisterNative("triangulate", 2, 2, FnTriangulate);
+  return r;
+}
+
+}  // namespace xcql::xq

@@ -1,0 +1,340 @@
+#include "xq/lexer.h"
+
+#include <cctype>
+
+#include "common/string_util.h"
+
+namespace xcql::xq {
+
+namespace {
+
+bool IsIdentStart(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+
+bool IsIdentChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_' || c == '.' ||
+         c == ':';
+}
+
+// Hyphenated builtin names the lexer recognizes as single identifiers.
+// Everywhere else '-' is the subtraction operator, so `now-PT1H` lexes as
+// now MINUS PT1H (paper §3.1 Query 2).
+constexpr std::string_view kHyphenatedBuiltins[] = {
+    "current-dateTime", "current-date",    "current-time",
+    "starts-with",      "ends-with",       "string-length",
+    "normalize-space",  "string-join",     "deep-equal",
+    "distinct-values",  "index-of",
+};
+
+}  // namespace
+
+Lexer::Lexer(std::string_view src) : src_(src) {
+  // Position at the first token; errors surface on the first Advance() by
+  // leaving an EOF token and re-lexing there.
+  Status st = Lex(&cur_);
+  if (!st.ok()) {
+    cur_ = Token{};
+    cur_.kind = TokKind::kEof;
+    pending_error_ = st;
+  }
+}
+
+Status Lexer::Advance() {
+  if (!pending_error_.ok()) {
+    Status st = pending_error_;
+    pending_error_ = Status::OK();
+    return st;
+  }
+  return Lex(&cur_);
+}
+
+Status Lexer::ResetTo(size_t offset) {
+  if (offset > src_.size()) {
+    return Status::Internal("lexer reset beyond end of input");
+  }
+  pos_ = 0;
+  line_ = 1;
+  col_ = 1;
+  while (pos_ < offset) Bump(src_[pos_]);
+  pending_error_ = Status::OK();
+  return Lex(&cur_);
+}
+
+std::string Lexer::Where() const {
+  return StringPrintf("line %zu col %zu", cur_.line, cur_.col);
+}
+
+void Lexer::Bump(char c) {
+  ++pos_;
+  if (c == '\n') {
+    ++line_;
+    col_ = 1;
+  } else {
+    ++col_;
+  }
+}
+
+void Lexer::SkipWsAndComments() {
+  for (;;) {
+    while (pos_ < src_.size() &&
+           std::isspace(static_cast<unsigned char>(src_[pos_]))) {
+      Bump(src_[pos_]);
+    }
+    // XQuery comments (: ... :), nestable.
+    if (pos_ + 1 < src_.size() && src_[pos_] == '(' && src_[pos_ + 1] == ':') {
+      int depth = 0;
+      while (pos_ < src_.size()) {
+        if (pos_ + 1 < src_.size() && src_[pos_] == '(' &&
+            src_[pos_ + 1] == ':') {
+          ++depth;
+          Bump(src_[pos_]);
+          Bump(src_[pos_]);
+        } else if (pos_ + 1 < src_.size() && src_[pos_] == ':' &&
+                   src_[pos_ + 1] == ')') {
+          Bump(src_[pos_]);
+          Bump(src_[pos_]);
+          if (--depth == 0) break;
+        } else {
+          Bump(src_[pos_]);
+        }
+      }
+      continue;
+    }
+    return;
+  }
+}
+
+Status Lexer::Lex(Token* t) {
+  SkipWsAndComments();
+  t->text.clear();
+  t->begin = pos_;
+  t->line = line_;
+  t->col = col_;
+  if (pos_ >= src_.size()) {
+    t->kind = TokKind::kEof;
+    t->end = pos_;
+    return Status::OK();
+  }
+  char c = src_[pos_];
+
+  // Numbers and dateTime literals (dddd-dd-dd…).
+  if (std::isdigit(static_cast<unsigned char>(c))) {
+    if (DateTime::LooksLikeDateTime(src_.substr(pos_))) {
+      size_t len = 10;  // date part
+      std::string_view rest = src_.substr(pos_);
+      if (rest.size() >= 19 && rest[10] == 'T' &&
+          std::isdigit(static_cast<unsigned char>(rest[11]))) {
+        len = 19;
+      }
+      auto dt = DateTime::Parse(rest.substr(0, len));
+      if (!dt.ok()) {
+        return Status::ParseError(dt.status().message() + " (" + Where() +
+                                  ")");
+      }
+      t->kind = TokKind::kDateTime;
+      t->dt_val = dt.value();
+      t->text = std::string(rest.substr(0, len));
+      for (size_t i = 0; i < len; ++i) Bump(src_[pos_]);
+      t->end = pos_;
+      return Status::OK();
+    }
+    size_t start = pos_;
+    while (pos_ < src_.size() &&
+           std::isdigit(static_cast<unsigned char>(src_[pos_]))) {
+      Bump(src_[pos_]);
+    }
+    bool is_double = false;
+    if (pos_ + 1 < src_.size() && src_[pos_] == '.' &&
+        std::isdigit(static_cast<unsigned char>(src_[pos_ + 1]))) {
+      is_double = true;
+      Bump(src_[pos_]);
+      while (pos_ < src_.size() &&
+             std::isdigit(static_cast<unsigned char>(src_[pos_]))) {
+        Bump(src_[pos_]);
+      }
+    }
+    // Exponent part (3e2, 1.5E-3).
+    if (pos_ < src_.size() && (src_[pos_] == 'e' || src_[pos_] == 'E')) {
+      size_t save = pos_;
+      size_t k = pos_ + 1;
+      if (k < src_.size() && (src_[k] == '+' || src_[k] == '-')) ++k;
+      if (k < src_.size() && std::isdigit(static_cast<unsigned char>(src_[k]))) {
+        is_double = true;
+        while (pos_ < k) Bump(src_[pos_]);
+        while (pos_ < src_.size() &&
+               std::isdigit(static_cast<unsigned char>(src_[pos_]))) {
+          Bump(src_[pos_]);
+        }
+      } else {
+        pos_ = save;  // 'e' belongs to a following identifier
+      }
+    }
+    std::string_view num = src_.substr(start, pos_ - start);
+    if (is_double) {
+      auto d = ParseDouble(num);
+      if (!d) return Status::ParseError("bad number '" + std::string(num) + "'");
+      t->kind = TokKind::kDouble;
+      t->dbl_val = *d;
+    } else {
+      auto i = ParseInt64(num);
+      if (!i) return Status::ParseError("bad integer '" + std::string(num) + "'");
+      t->kind = TokKind::kInt;
+      t->int_val = *i;
+    }
+    t->text = std::string(num);
+    t->end = pos_;
+    return Status::OK();
+  }
+
+  // Identifiers, keywords, duration literals, hyphenated builtins.
+  if (IsIdentStart(c)) {
+    // Duration literal: an identifier-shaped token starting with 'P' whose
+    // full maximal [A-Z0-9]* extent parses as a duration.
+    if (c == 'P') {
+      size_t k = pos_;
+      while (k < src_.size() &&
+             (std::isdigit(static_cast<unsigned char>(src_[k])) ||
+              std::isupper(static_cast<unsigned char>(src_[k])))) {
+        ++k;
+      }
+      std::string_view cand = src_.substr(pos_, k - pos_);
+      if (Duration::LooksLikeDuration(cand)) {
+        auto d = Duration::Parse(cand);
+        if (d.ok() &&
+            (k >= src_.size() || !IsIdentChar(src_[k]))) {
+          t->kind = TokKind::kDuration;
+          t->dur_val = d.value();
+          t->text = std::string(cand);
+          while (pos_ < k) Bump(src_[pos_]);
+          t->end = pos_;
+          return Status::OK();
+        }
+      }
+    }
+    // Hyphenated builtin names (longest-match against the whitelist).
+    for (std::string_view name : kHyphenatedBuiltins) {
+      if (StartsWith(src_.substr(pos_), name)) {
+        size_t after = pos_ + name.size();
+        if (after >= src_.size() ||
+            (!IsIdentChar(src_[after]) && src_[after] != '-')) {
+          t->kind = TokKind::kIdent;
+          t->text = std::string(name);
+          while (pos_ < after) Bump(src_[pos_]);
+          t->end = pos_;
+          return Status::OK();
+        }
+      }
+    }
+    size_t start = pos_;
+    while (pos_ < src_.size() && IsIdentChar(src_[pos_])) Bump(src_[pos_]);
+    t->kind = TokKind::kIdent;
+    t->text = std::string(src_.substr(start, pos_ - start));
+    t->end = pos_;
+    return Status::OK();
+  }
+
+  // String literals.
+  if (c == '"' || c == '\'') {
+    char quote = c;
+    Bump(c);
+    std::string out;
+    while (pos_ < src_.size()) {
+      char d = src_[pos_];
+      if (d == quote) {
+        // Doubled quote escapes itself inside the literal.
+        if (pos_ + 1 < src_.size() && src_[pos_ + 1] == quote) {
+          out.push_back(quote);
+          Bump(d);
+          Bump(d);
+          continue;
+        }
+        Bump(d);
+        t->kind = TokKind::kString;
+        t->text = std::move(out);
+        t->end = pos_;
+        return Status::OK();
+      }
+      out.push_back(d);
+      Bump(d);
+    }
+    return Status::ParseError("unterminated string literal (" + Where() + ")");
+  }
+
+  // Punctuation and operators.
+  auto two = [&](char a, char b) {
+    return pos_ + 1 < src_.size() && src_[pos_] == a && src_[pos_ + 1] == b;
+  };
+  auto emit1 = [&](TokKind k) {
+    t->kind = k;
+    t->text = std::string(1, src_[pos_]);
+    Bump(src_[pos_]);
+    t->end = pos_;
+    return Status::OK();
+  };
+  auto emit2 = [&](TokKind k) {
+    t->kind = k;
+    t->text = std::string(src_.substr(pos_, 2));
+    Bump(src_[pos_]);
+    Bump(src_[pos_]);
+    t->end = pos_;
+    return Status::OK();
+  };
+
+  if (two('/', '/')) return emit2(TokKind::kSlashSlash);
+  if (two('!', '=')) return emit2(TokKind::kNe);
+  if (two('<', '=')) return emit2(TokKind::kLe);
+  if (two('>', '=')) return emit2(TokKind::kGe);
+  if (two(':', '=')) return emit2(TokKind::kAssign);
+  if (two('.', '.')) return emit2(TokKind::kDotDot);
+
+  switch (c) {
+    case '(':
+      return emit1(TokKind::kLParen);
+    case ')':
+      return emit1(TokKind::kRParen);
+    case '[':
+      return emit1(TokKind::kLBracket);
+    case ']':
+      return emit1(TokKind::kRBracket);
+    case '{':
+      return emit1(TokKind::kLBrace);
+    case '}':
+      return emit1(TokKind::kRBrace);
+    case ',':
+      return emit1(TokKind::kComma);
+    case ';':
+      return emit1(TokKind::kSemicolon);
+    case '$':
+      return emit1(TokKind::kDollar);
+    case '.':
+      return emit1(TokKind::kDot);
+    case '/':
+      return emit1(TokKind::kSlash);
+    case '@':
+      return emit1(TokKind::kAt);
+    case '*':
+      return emit1(TokKind::kStar);
+    case '+':
+      return emit1(TokKind::kPlus);
+    case '-':
+      return emit1(TokKind::kMinus);
+    case '=':
+      return emit1(TokKind::kEq);
+    case '<':
+      return emit1(TokKind::kLt);
+    case '>':
+      return emit1(TokKind::kGt);
+    case '|':
+      return emit1(TokKind::kPipe);
+    case '?':
+      return emit1(TokKind::kQuestion);
+    case '#':
+      return emit1(TokKind::kHash);
+    default:
+      return Status::ParseError(StringPrintf(
+          "unexpected character '%c' (line %zu col %zu)", c, line_, col_));
+  }
+}
+
+}  // namespace xcql::xq

@@ -1,0 +1,108 @@
+// Tokenizer for the XQuery/XCQL surface syntax.
+//
+// XCQL specifics handled here: dateTime literals (2003-11-01T12:23:34 and
+// the date-only form), duration literals (PT1H, P1Y2M…), and the `?[`/`#[`
+// projection operators. Direct element constructors are scanned in raw
+// character mode by the parser, which rewinds the lexer via ResetTo().
+#ifndef XCQL_XQ_LEXER_H_
+#define XCQL_XQ_LEXER_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "common/result.h"
+#include "temporal/datetime.h"
+#include "temporal/duration.h"
+
+namespace xcql::xq {
+
+enum class TokKind {
+  kEof,
+  kIdent,     // names; may contain letters, digits, _, ., : and the
+              // whitelisted hyphenated builtins (current-dateTime, …)
+  kInt,       // integer literal
+  kDouble,    // decimal literal
+  kString,    // quoted string literal (quotes removed, entities kept)
+  kDateTime,  // ISO-8601 dateTime literal
+  kDuration,  // ISO-8601 duration literal
+  kLParen,
+  kRParen,
+  kLBracket,
+  kRBracket,
+  kLBrace,
+  kRBrace,
+  kComma,
+  kSemicolon,
+  kDollar,
+  kDot,
+  kDotDot,
+  kSlash,
+  kSlashSlash,
+  kAt,
+  kStar,
+  kPlus,
+  kMinus,
+  kEq,
+  kNe,
+  kLt,
+  kLe,
+  kGt,
+  kGe,
+  kPipe,      // |  (union)
+  kQuestion,  // ?  (interval projection)
+  kHash,      // #  (version projection)
+  kAssign,    // :=
+};
+
+/// \brief One token with its source span.
+struct Token {
+  TokKind kind = TokKind::kEof;
+  std::string text;    // identifier/string text
+  int64_t int_val = 0;
+  double dbl_val = 0;
+  DateTime dt_val;
+  Duration dur_val;
+  size_t begin = 0;  // offset of first char
+  size_t end = 0;    // offset one past last char
+  size_t line = 1;
+  size_t col = 1;
+};
+
+/// \brief Pull-based tokenizer over a query string.
+class Lexer {
+ public:
+  explicit Lexer(std::string_view src);
+
+  /// \brief The current token.
+  const Token& cur() const { return cur_; }
+
+  /// \brief Advances to the next token.
+  Status Advance();
+
+  /// \brief Rewinds so the next Advance() re-lexes from `offset`. Used when
+  /// the parser switches into raw XML-constructor scanning.
+  Status ResetTo(size_t offset);
+
+  /// \brief Whole source text (the constructor scanner reads it directly).
+  std::string_view source() const { return src_; }
+
+  /// \brief Formats "line L col C" for the current token.
+  std::string Where() const;
+
+ private:
+  Status Lex(Token* t);
+  void SkipWsAndComments();
+  void Bump(char c);
+
+  std::string_view src_;
+  size_t pos_ = 0;
+  size_t line_ = 1;
+  size_t col_ = 1;
+  Token cur_;
+  Status pending_error_;  // error from lexing the very first token
+};
+
+}  // namespace xcql::xq
+
+#endif  // XCQL_XQ_LEXER_H_

@@ -1,0 +1,974 @@
+#include "xq/parser.h"
+
+#include <cctype>
+
+#include "common/string_util.h"
+#include "xq/lexer.h"
+
+namespace xcql::xq {
+
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(std::string_view src) : lex_(src) {}
+
+  Result<Program> ParseProgram() {
+    Program prog;
+    XCQL_RETURN_NOT_OK(ParseProlog(&prog));
+    XCQL_ASSIGN_OR_RETURN(prog.body, ParseExprList());
+    if (!AtEof()) {
+      return Err("unexpected trailing input '" + Cur().text + "'");
+    }
+    return prog;
+  }
+
+ private:
+  const Token& Cur() const { return lex_.cur(); }
+  bool AtEof() const { return Cur().kind == TokKind::kEof; }
+  bool Is(TokKind k) const { return Cur().kind == k; }
+  bool IsKw(std::string_view kw) const {
+    return Cur().kind == TokKind::kIdent && Cur().text == kw;
+  }
+
+  Status Err(const std::string& msg) const {
+    return Status::ParseError(msg + " (" + lex_.Where() + ")");
+  }
+
+  Status Next() { return lex_.Advance(); }
+
+  Status Expect(TokKind k, const char* what) {
+    if (!Is(k)) return Err(std::string("expected ") + what);
+    return Next();
+  }
+
+  Status ExpectKw(std::string_view kw) {
+    if (!IsKw(kw)) return Err("expected '" + std::string(kw) + "'");
+    return Next();
+  }
+
+  // ---- Prolog ------------------------------------------------------------
+
+  Status ParseProlog(Program* prog) {
+    // Optional "xquery version "1.0";"
+    if (IsKw("xquery")) {
+      XCQL_RETURN_NOT_OK(Next());
+      XCQL_RETURN_NOT_OK(ExpectKw("version"));
+      if (!Is(TokKind::kString)) return Err("expected version string");
+      XCQL_RETURN_NOT_OK(Next());
+      if (Is(TokKind::kSemicolon)) XCQL_RETURN_NOT_OK(Next());
+    }
+    while (IsKw("declare") || IsKw("define")) {
+      XCQL_RETURN_NOT_OK(Next());
+      if (IsKw("variable")) {
+        XCQL_RETURN_NOT_OK(Next());
+        XCQL_RETURN_NOT_OK(Expect(TokKind::kDollar, "'$'"));
+        if (!Is(TokKind::kIdent)) return Err("expected variable name");
+        VariableDecl decl;
+        decl.name = Cur().text;
+        XCQL_RETURN_NOT_OK(Next());
+        XCQL_RETURN_NOT_OK(SkipTypeAnnotation());
+        XCQL_RETURN_NOT_OK(Expect(TokKind::kAssign, "':='"));
+        XCQL_ASSIGN_OR_RETURN(ExprPtr init, ParseExprSingle());
+        if (Is(TokKind::kSemicolon)) XCQL_RETURN_NOT_OK(Next());
+        decl.init = std::shared_ptr<Expr>(std::move(init));
+        prog->variables.push_back(std::move(decl));
+        continue;
+      }
+      XCQL_RETURN_NOT_OK(ExpectKw("function"));
+      if (!Is(TokKind::kIdent)) return Err("expected function name");
+      FunctionDecl decl;
+      decl.name = Cur().text;
+      XCQL_RETURN_NOT_OK(Next());
+      XCQL_RETURN_NOT_OK(Expect(TokKind::kLParen, "'('"));
+      if (!Is(TokKind::kRParen)) {
+        for (;;) {
+          XCQL_RETURN_NOT_OK(Expect(TokKind::kDollar, "'$'"));
+          if (!Is(TokKind::kIdent)) return Err("expected parameter name");
+          decl.params.push_back(Cur().text);
+          XCQL_RETURN_NOT_OK(Next());
+          XCQL_RETURN_NOT_OK(SkipTypeAnnotation());
+          if (Is(TokKind::kComma)) {
+            XCQL_RETURN_NOT_OK(Next());
+            continue;
+          }
+          break;
+        }
+      }
+      XCQL_RETURN_NOT_OK(Expect(TokKind::kRParen, "')'"));
+      XCQL_RETURN_NOT_OK(SkipTypeAnnotation());
+      XCQL_RETURN_NOT_OK(Expect(TokKind::kLBrace, "'{'"));
+      XCQL_ASSIGN_OR_RETURN(ExprPtr body, ParseExprList());
+      XCQL_RETURN_NOT_OK(Expect(TokKind::kRBrace, "'}'"));
+      if (Is(TokKind::kSemicolon)) XCQL_RETURN_NOT_OK(Next());
+      decl.body = std::shared_ptr<Expr>(std::move(body));
+      prog->functions.push_back(std::move(decl));
+    }
+    return Status::OK();
+  }
+
+  // Parses and discards "as element()*" / "as xs:integer" style annotations.
+  Status SkipTypeAnnotation() {
+    if (!IsKw("as")) return Status::OK();
+    XCQL_RETURN_NOT_OK(Next());
+    if (!Is(TokKind::kIdent)) return Err("expected type name after 'as'");
+    XCQL_RETURN_NOT_OK(Next());
+    if (Is(TokKind::kLParen)) {
+      XCQL_RETURN_NOT_OK(Next());
+      XCQL_RETURN_NOT_OK(Expect(TokKind::kRParen, "')' in type"));
+    }
+    if (Is(TokKind::kStar) || Is(TokKind::kPlus) || Is(TokKind::kQuestion)) {
+      XCQL_RETURN_NOT_OK(Next());
+    }
+    return Status::OK();
+  }
+
+  // ---- Expressions -------------------------------------------------------
+
+  Result<ExprPtr> ParseExprList() {
+    XCQL_ASSIGN_OR_RETURN(ExprPtr first, ParseExprSingle());
+    if (!Is(TokKind::kComma)) return first;
+    std::vector<ExprPtr> items;
+    items.push_back(std::move(first));
+    while (Is(TokKind::kComma)) {
+      XCQL_RETURN_NOT_OK(Next());
+      XCQL_ASSIGN_OR_RETURN(ExprPtr e, ParseExprSingle());
+      items.push_back(std::move(e));
+    }
+    return ExprPtr(std::make_unique<SequenceExpr>(std::move(items)));
+  }
+
+  Result<ExprPtr> ParseExprSingle() {
+    if (IsKw("for") || IsKw("let")) return ParseFlwor();
+    if (IsKw("some") || IsKw("every")) return ParseQuantified();
+    if (IsKw("if")) return ParseIf();
+    return ParseOr();
+  }
+
+  Result<ExprPtr> ParseFlwor() {
+    std::vector<FlworClause> clauses;
+    for (;;) {
+      if (IsKw("for")) {
+        XCQL_RETURN_NOT_OK(Next());
+        for (;;) {
+          FlworClause c;
+          c.kind = FlworClause::Kind::kFor;
+          XCQL_RETURN_NOT_OK(Expect(TokKind::kDollar, "'$'"));
+          if (!Is(TokKind::kIdent)) return Err("expected variable name");
+          c.var = Cur().text;
+          XCQL_RETURN_NOT_OK(Next());
+          if (IsKw("at")) {
+            XCQL_RETURN_NOT_OK(Next());
+            XCQL_RETURN_NOT_OK(Expect(TokKind::kDollar, "'$'"));
+            if (!Is(TokKind::kIdent)) return Err("expected position variable");
+            c.pos_var = Cur().text;
+            XCQL_RETURN_NOT_OK(Next());
+          }
+          XCQL_RETURN_NOT_OK(ExpectKw("in"));
+          XCQL_ASSIGN_OR_RETURN(c.expr, ParseExprSingle());
+          clauses.push_back(std::move(c));
+          if (Is(TokKind::kComma)) {
+            XCQL_RETURN_NOT_OK(Next());
+            continue;
+          }
+          // Lenient: the paper's examples sometimes omit the comma between
+          // successive `for` bindings; a '$' right here can only start one.
+          if (Is(TokKind::kDollar)) continue;
+          break;
+        }
+      } else if (IsKw("let")) {
+        XCQL_RETURN_NOT_OK(Next());
+        for (;;) {
+          FlworClause c;
+          c.kind = FlworClause::Kind::kLet;
+          XCQL_RETURN_NOT_OK(Expect(TokKind::kDollar, "'$'"));
+          if (!Is(TokKind::kIdent)) return Err("expected variable name");
+          c.var = Cur().text;
+          XCQL_RETURN_NOT_OK(Next());
+          XCQL_RETURN_NOT_OK(Expect(TokKind::kAssign, "':='"));
+          XCQL_ASSIGN_OR_RETURN(c.expr, ParseExprSingle());
+          clauses.push_back(std::move(c));
+          if (Is(TokKind::kComma)) {
+            XCQL_RETURN_NOT_OK(Next());
+            continue;
+          }
+          break;
+        }
+      } else {
+        break;
+      }
+    }
+    if (clauses.empty()) return Err("expected 'for' or 'let'");
+    if (IsKw("where")) {
+      FlworClause c;
+      c.kind = FlworClause::Kind::kWhere;
+      XCQL_RETURN_NOT_OK(Next());
+      XCQL_ASSIGN_OR_RETURN(c.expr, ParseExprSingle());
+      clauses.push_back(std::move(c));
+    }
+    if (IsKw("stable")) XCQL_RETURN_NOT_OK(Next());
+    if (IsKw("order")) {
+      XCQL_RETURN_NOT_OK(Next());
+      XCQL_RETURN_NOT_OK(ExpectKw("by"));
+      FlworClause c;
+      c.kind = FlworClause::Kind::kOrderBy;
+      for (;;) {
+        FlworClause::OrderKey k;
+        XCQL_ASSIGN_OR_RETURN(k.key, ParseExprSingle());
+        if (IsKw("ascending")) {
+          XCQL_RETURN_NOT_OK(Next());
+        } else if (IsKw("descending")) {
+          k.descending = true;
+          XCQL_RETURN_NOT_OK(Next());
+        }
+        c.keys.push_back(std::move(k));
+        if (Is(TokKind::kComma)) {
+          XCQL_RETURN_NOT_OK(Next());
+          continue;
+        }
+        break;
+      }
+      clauses.push_back(std::move(c));
+    }
+    XCQL_RETURN_NOT_OK(ExpectKw("return"));
+    XCQL_ASSIGN_OR_RETURN(ExprPtr ret, ParseExprSingle());
+    return ExprPtr(
+        std::make_unique<FlworExpr>(std::move(clauses), std::move(ret)));
+  }
+
+  Result<ExprPtr> ParseQuantified() {
+    bool every = IsKw("every");
+    XCQL_RETURN_NOT_OK(Next());
+    std::vector<QuantifiedExpr::Binding> bindings;
+    for (;;) {
+      QuantifiedExpr::Binding b;
+      XCQL_RETURN_NOT_OK(Expect(TokKind::kDollar, "'$'"));
+      if (!Is(TokKind::kIdent)) return Err("expected variable name");
+      b.var = Cur().text;
+      XCQL_RETURN_NOT_OK(Next());
+      XCQL_RETURN_NOT_OK(ExpectKw("in"));
+      XCQL_ASSIGN_OR_RETURN(b.expr, ParseExprSingle());
+      bindings.push_back(std::move(b));
+      if (Is(TokKind::kComma)) {
+        XCQL_RETURN_NOT_OK(Next());
+        continue;
+      }
+      break;
+    }
+    XCQL_RETURN_NOT_OK(ExpectKw("satisfies"));
+    XCQL_ASSIGN_OR_RETURN(ExprPtr sat, ParseExprSingle());
+    return ExprPtr(std::make_unique<QuantifiedExpr>(every, std::move(bindings),
+                                                    std::move(sat)));
+  }
+
+  Result<ExprPtr> ParseIf() {
+    XCQL_RETURN_NOT_OK(Next());  // 'if'
+    XCQL_RETURN_NOT_OK(Expect(TokKind::kLParen, "'(' after if"));
+    XCQL_ASSIGN_OR_RETURN(ExprPtr cond, ParseExprList());
+    XCQL_RETURN_NOT_OK(Expect(TokKind::kRParen, "')'"));
+    XCQL_RETURN_NOT_OK(ExpectKw("then"));
+    XCQL_ASSIGN_OR_RETURN(ExprPtr then_b, ParseExprSingle());
+    XCQL_RETURN_NOT_OK(ExpectKw("else"));
+    XCQL_ASSIGN_OR_RETURN(ExprPtr else_b, ParseExprSingle());
+    return ExprPtr(std::make_unique<IfExpr>(std::move(cond), std::move(then_b),
+                                            std::move(else_b)));
+  }
+
+  Result<ExprPtr> ParseOr() {
+    XCQL_ASSIGN_OR_RETURN(ExprPtr lhs, ParseAnd());
+    while (IsKw("or")) {
+      XCQL_RETURN_NOT_OK(Next());
+      XCQL_ASSIGN_OR_RETURN(ExprPtr rhs, ParseAnd());
+      lhs = std::make_unique<BinaryExpr>(BinOp::kOr, std::move(lhs),
+                                         std::move(rhs));
+    }
+    return lhs;
+  }
+
+  Result<ExprPtr> ParseAnd() {
+    XCQL_ASSIGN_OR_RETURN(ExprPtr lhs, ParseComparison());
+    while (IsKw("and")) {
+      XCQL_RETURN_NOT_OK(Next());
+      XCQL_ASSIGN_OR_RETURN(ExprPtr rhs, ParseComparison());
+      lhs = std::make_unique<BinaryExpr>(BinOp::kAnd, std::move(lhs),
+                                         std::move(rhs));
+    }
+    return lhs;
+  }
+
+  Result<ExprPtr> ParseComparison() {
+    XCQL_ASSIGN_OR_RETURN(ExprPtr lhs, ParseRange());
+    BinOp op;
+    if (Is(TokKind::kEq)) {
+      op = BinOp::kGenEq;
+    } else if (Is(TokKind::kNe)) {
+      op = BinOp::kGenNe;
+    } else if (Is(TokKind::kLt)) {
+      op = BinOp::kGenLt;
+    } else if (Is(TokKind::kLe)) {
+      op = BinOp::kGenLe;
+    } else if (Is(TokKind::kGt)) {
+      op = BinOp::kGenGt;
+    } else if (Is(TokKind::kGe)) {
+      op = BinOp::kGenGe;
+    } else if (IsKw("eq")) {
+      op = BinOp::kValEq;
+    } else if (IsKw("ne")) {
+      op = BinOp::kValNe;
+    } else if (IsKw("lt")) {
+      op = BinOp::kValLt;
+    } else if (IsKw("le")) {
+      op = BinOp::kValLe;
+    } else if (IsKw("gt")) {
+      op = BinOp::kValGt;
+    } else if (IsKw("ge")) {
+      op = BinOp::kValGe;
+    } else if (IsKw("before")) {
+      op = BinOp::kBefore;
+    } else if (IsKw("after")) {
+      op = BinOp::kAfter;
+    } else if (IsKw("meets")) {
+      op = BinOp::kMeets;
+    } else if (IsKw("overlaps")) {
+      op = BinOp::kOverlaps;
+    } else if (IsKw("contains")) {
+      op = BinOp::kContains;
+    } else if (IsKw("during")) {
+      op = BinOp::kDuring;
+    } else {
+      return lhs;
+    }
+    XCQL_RETURN_NOT_OK(Next());
+    XCQL_ASSIGN_OR_RETURN(ExprPtr rhs, ParseRange());
+    return ExprPtr(
+        std::make_unique<BinaryExpr>(op, std::move(lhs), std::move(rhs)));
+  }
+
+  Result<ExprPtr> ParseRange() {
+    XCQL_ASSIGN_OR_RETURN(ExprPtr lhs, ParseAdditive());
+    if (IsKw("to")) {
+      XCQL_RETURN_NOT_OK(Next());
+      XCQL_ASSIGN_OR_RETURN(ExprPtr rhs, ParseAdditive());
+      return ExprPtr(std::make_unique<BinaryExpr>(BinOp::kTo, std::move(lhs),
+                                                  std::move(rhs)));
+    }
+    return lhs;
+  }
+
+  Result<ExprPtr> ParseAdditive() {
+    XCQL_ASSIGN_OR_RETURN(ExprPtr lhs, ParseMultiplicative());
+    for (;;) {
+      BinOp op;
+      if (Is(TokKind::kPlus)) {
+        op = BinOp::kPlus;
+      } else if (Is(TokKind::kMinus)) {
+        op = BinOp::kMinus;
+      } else {
+        return lhs;
+      }
+      XCQL_RETURN_NOT_OK(Next());
+      XCQL_ASSIGN_OR_RETURN(ExprPtr rhs, ParseMultiplicative());
+      lhs = std::make_unique<BinaryExpr>(op, std::move(lhs), std::move(rhs));
+    }
+  }
+
+  Result<ExprPtr> ParseMultiplicative() {
+    XCQL_ASSIGN_OR_RETURN(ExprPtr lhs, ParseUnion());
+    for (;;) {
+      BinOp op;
+      if (Is(TokKind::kStar)) {
+        op = BinOp::kMul;
+      } else if (IsKw("div")) {
+        op = BinOp::kDiv;
+      } else if (IsKw("idiv")) {
+        op = BinOp::kIdiv;
+      } else if (IsKw("mod")) {
+        op = BinOp::kMod;
+      } else {
+        return lhs;
+      }
+      XCQL_RETURN_NOT_OK(Next());
+      XCQL_ASSIGN_OR_RETURN(ExprPtr rhs, ParseUnion());
+      lhs = std::make_unique<BinaryExpr>(op, std::move(lhs), std::move(rhs));
+    }
+  }
+
+  Result<ExprPtr> ParseUnion() {
+    XCQL_ASSIGN_OR_RETURN(ExprPtr lhs, ParseUnary());
+    for (;;) {
+      BinOp op;
+      if (Is(TokKind::kPipe) || IsKw("union")) {
+        op = BinOp::kUnion;
+      } else if (IsKw("intersect")) {
+        op = BinOp::kIntersect;
+      } else if (IsKw("except")) {
+        op = BinOp::kExcept;
+      } else {
+        return lhs;
+      }
+      XCQL_RETURN_NOT_OK(Next());
+      XCQL_ASSIGN_OR_RETURN(ExprPtr rhs, ParseUnary());
+      lhs = std::make_unique<BinaryExpr>(op, std::move(lhs), std::move(rhs));
+    }
+  }
+
+  Result<ExprPtr> ParseUnary() {
+    if (Is(TokKind::kMinus)) {
+      XCQL_RETURN_NOT_OK(Next());
+      XCQL_ASSIGN_OR_RETURN(ExprPtr e, ParseUnary());
+      return ExprPtr(std::make_unique<UnaryExpr>(std::move(e)));
+    }
+    if (Is(TokKind::kPlus)) {
+      XCQL_RETURN_NOT_OK(Next());
+      return ParseUnary();
+    }
+    return ParsePathChain();
+  }
+
+  // ---- Paths, predicates and projections ----------------------------------
+
+  // Parses one step after '/' or '//' and appends it to *steps.
+  Status ParseStepInto(bool descendant, std::vector<PathStep>* steps) {
+    PathStep step;
+    step.axis =
+        descendant ? PathStep::Axis::kDescendant : PathStep::Axis::kChild;
+    if (Is(TokKind::kAt)) {
+      XCQL_RETURN_NOT_OK(Next());
+      step.axis = PathStep::Axis::kAttribute;
+      if (Is(TokKind::kStar)) {
+        step.test = PathStep::Test::kWildcard;
+        XCQL_RETURN_NOT_OK(Next());
+      } else if (Is(TokKind::kIdent)) {
+        step.test = PathStep::Test::kName;
+        step.name = Cur().text;
+        XCQL_RETURN_NOT_OK(Next());
+      } else {
+        return Err("expected attribute name after '@'");
+      }
+    } else if (Is(TokKind::kStar)) {
+      step.test = PathStep::Test::kWildcard;
+      XCQL_RETURN_NOT_OK(Next());
+    } else if (Is(TokKind::kDotDot)) {
+      step.axis = PathStep::Axis::kParent;
+      step.test = PathStep::Test::kNode;
+      XCQL_RETURN_NOT_OK(Next());
+    } else if (Is(TokKind::kIdent)) {
+      std::string name = Cur().text;
+      XCQL_RETURN_NOT_OK(Next());
+      if ((name == "text" || name == "node") && Is(TokKind::kLParen)) {
+        XCQL_RETURN_NOT_OK(Next());
+        XCQL_RETURN_NOT_OK(Expect(TokKind::kRParen, "')'"));
+        step.test =
+            name == "text" ? PathStep::Test::kText : PathStep::Test::kNode;
+      } else {
+        step.test = PathStep::Test::kName;
+        step.name = std::move(name);
+      }
+    } else {
+      return Err("expected path step");
+    }
+    // Predicates bind to the step.
+    while (Is(TokKind::kLBracket)) {
+      XCQL_RETURN_NOT_OK(Next());
+      XCQL_ASSIGN_OR_RETURN(ExprPtr p, ParseExprList());
+      XCQL_RETURN_NOT_OK(Expect(TokKind::kRBracket, "']'"));
+      step.predicates.push_back(std::move(p));
+    }
+    steps->push_back(std::move(step));
+    return Status::OK();
+  }
+
+  // Parses "[lo]" or "[lo, hi]" after '?' / '#'.
+  Status ParseProjectionBounds(ExprPtr* lo, ExprPtr* hi) {
+    XCQL_RETURN_NOT_OK(Expect(TokKind::kLBracket, "'[' after projection"));
+    XCQL_ASSIGN_OR_RETURN(*lo, ParseExprSingle());
+    if (Is(TokKind::kComma)) {
+      XCQL_RETURN_NOT_OK(Next());
+      XCQL_ASSIGN_OR_RETURN(*hi, ParseExprSingle());
+    } else {
+      *hi = nullptr;
+    }
+    return Expect(TokKind::kRBracket, "']'");
+  }
+
+  Result<ExprPtr> ParsePathChain() {
+    ExprPtr e;
+    bool open_path = false;  // e is a PathExpr still accepting steps
+
+    if (Is(TokKind::kSlash) || Is(TokKind::kSlashSlash)) {
+      // Absolute path: rooted at the context item's document root.
+      bool desc = Is(TokKind::kSlashSlash);
+      XCQL_RETURN_NOT_OK(Next());
+      std::vector<PathStep> steps;
+      XCQL_RETURN_NOT_OK(ParseStepInto(desc, &steps));
+      e = std::make_unique<PathExpr>(nullptr, std::move(steps));
+      open_path = true;
+    } else {
+      XCQL_ASSIGN_OR_RETURN(e, ParsePostfixPrimary(&open_path));
+    }
+
+    for (;;) {
+      if (Is(TokKind::kSlash) || Is(TokKind::kSlashSlash)) {
+        bool desc = Is(TokKind::kSlashSlash);
+        XCQL_RETURN_NOT_OK(Next());
+        if (open_path) {
+          auto* pe = static_cast<PathExpr*>(e.get());
+          XCQL_RETURN_NOT_OK(ParseStepInto(desc, &pe->steps));
+        } else {
+          std::vector<PathStep> steps;
+          XCQL_RETURN_NOT_OK(ParseStepInto(desc, &steps));
+          e = std::make_unique<PathExpr>(std::move(e), std::move(steps));
+          open_path = true;
+        }
+      } else if (Is(TokKind::kQuestion)) {
+        XCQL_RETURN_NOT_OK(Next());
+        ExprPtr lo, hi;
+        XCQL_RETURN_NOT_OK(ParseProjectionBounds(&lo, &hi));
+        e = std::make_unique<IntervalProjExpr>(std::move(e), std::move(lo),
+                                               std::move(hi));
+        open_path = false;
+      } else if (Is(TokKind::kHash)) {
+        XCQL_RETURN_NOT_OK(Next());
+        ExprPtr lo, hi;
+        XCQL_RETURN_NOT_OK(ParseProjectionBounds(&lo, &hi));
+        e = std::make_unique<VersionProjExpr>(std::move(e), std::move(lo),
+                                              std::move(hi));
+        open_path = false;
+      } else if (Is(TokKind::kLBracket)) {
+        // Predicate on a non-step expression (or after a projection).
+        XCQL_RETURN_NOT_OK(Next());
+        XCQL_ASSIGN_OR_RETURN(ExprPtr p, ParseExprList());
+        XCQL_RETURN_NOT_OK(Expect(TokKind::kRBracket, "']'"));
+        std::vector<ExprPtr> preds;
+        preds.push_back(std::move(p));
+        e = std::make_unique<FilterExpr>(std::move(e), std::move(preds));
+        open_path = false;
+      } else {
+        return e;
+      }
+    }
+  }
+
+  // Primary expressions. Sets *open_path when the result is a PathExpr that
+  // later '/' steps should extend in place (a bare name step).
+  Result<ExprPtr> ParsePostfixPrimary(bool* open_path) {
+    *open_path = false;
+    switch (Cur().kind) {
+      case TokKind::kInt: {
+        auto e = std::make_unique<LiteralExpr>(Atomic(Cur().int_val));
+        XCQL_RETURN_NOT_OK(Next());
+        return ExprPtr(std::move(e));
+      }
+      case TokKind::kDouble: {
+        auto e = std::make_unique<LiteralExpr>(Atomic(Cur().dbl_val));
+        XCQL_RETURN_NOT_OK(Next());
+        return ExprPtr(std::move(e));
+      }
+      case TokKind::kString: {
+        auto e = std::make_unique<LiteralExpr>(Atomic(Cur().text));
+        XCQL_RETURN_NOT_OK(Next());
+        return ExprPtr(std::move(e));
+      }
+      case TokKind::kDateTime: {
+        auto e = std::make_unique<LiteralExpr>(Atomic(Cur().dt_val));
+        XCQL_RETURN_NOT_OK(Next());
+        return ExprPtr(std::move(e));
+      }
+      case TokKind::kDuration: {
+        auto e = std::make_unique<LiteralExpr>(Atomic(Cur().dur_val));
+        XCQL_RETURN_NOT_OK(Next());
+        return ExprPtr(std::move(e));
+      }
+      case TokKind::kDollar: {
+        XCQL_RETURN_NOT_OK(Next());
+        if (!Is(TokKind::kIdent)) return Err("expected variable name");
+        auto e = std::make_unique<VarRefExpr>(Cur().text);
+        XCQL_RETURN_NOT_OK(Next());
+        return ExprPtr(std::move(e));
+      }
+      case TokKind::kDot: {
+        XCQL_RETURN_NOT_OK(Next());
+        return ExprPtr(std::make_unique<ContextItemExpr>());
+      }
+      case TokKind::kLParen: {
+        XCQL_RETURN_NOT_OK(Next());
+        if (Is(TokKind::kRParen)) {
+          XCQL_RETURN_NOT_OK(Next());
+          return ExprPtr(
+              std::make_unique<SequenceExpr>(std::vector<ExprPtr>{}));
+        }
+        XCQL_ASSIGN_OR_RETURN(ExprPtr e, ParseExprList());
+        XCQL_RETURN_NOT_OK(Expect(TokKind::kRParen, "')'"));
+        return e;
+      }
+      case TokKind::kLt:
+        return ParseDirectConstructor();
+      case TokKind::kAt: {
+        // Attribute step on the context item: @id.
+        std::vector<PathStep> steps;
+        XCQL_RETURN_NOT_OK(ParseStepInto(false, &steps));
+        // ParseStepInto consumed '@name' (no leading slash at primary).
+        *open_path = true;
+        return ExprPtr(std::make_unique<PathExpr>(
+            std::make_unique<ContextItemExpr>(), std::move(steps)));
+      }
+      case TokKind::kStar: {
+        XCQL_RETURN_NOT_OK(Next());
+        std::vector<PathStep> steps;
+        PathStep s;
+        s.test = PathStep::Test::kWildcard;
+        steps.push_back(std::move(s));
+        *open_path = true;
+        return ExprPtr(std::make_unique<PathExpr>(
+            std::make_unique<ContextItemExpr>(), std::move(steps)));
+      }
+      case TokKind::kIdent:
+        return ParseIdentPrimary(open_path);
+      default:
+        return Err("unexpected token '" + Cur().text + "'");
+    }
+  }
+
+  Result<ExprPtr> ParseIdentPrimary(bool* open_path) {
+    std::string name = Cur().text;
+
+    // XCQL temporal constants.
+    if (name == "now" || name == "start" || name == "last") {
+      // `last` followed by '(' is the XPath last() function instead.
+      XCQL_RETURN_NOT_OK(Next());
+      if (Is(TokKind::kLParen) && name == "last") {
+        XCQL_RETURN_NOT_OK(Next());
+        XCQL_RETURN_NOT_OK(Expect(TokKind::kRParen, "')'"));
+        return ExprPtr(std::make_unique<FunctionCallExpr>(
+            "last", std::vector<ExprPtr>{}));
+      }
+      return ExprPtr(std::make_unique<FunctionCallExpr>(
+          "xcql:" + name, std::vector<ExprPtr>{}));
+    }
+
+    if (name == "element" || name == "attribute") {
+      // Could be a computed constructor: element Name {…} or element {…} {…}.
+      // Distinguish from a bare path step named "element" by lookahead.
+      XCQL_RETURN_NOT_OK(Next());
+      if (Is(TokKind::kLBrace) ||
+          (Is(TokKind::kIdent) && CanStartConstructorBody())) {
+        return ParseComputedConstructor(name == "element");
+      }
+      // Not a constructor: fall through to a path step named `name`.
+      return MakeNameStepOrCall(std::move(name), open_path,
+                                /*already_advanced=*/true);
+    }
+
+    XCQL_RETURN_NOT_OK(Next());
+    return MakeNameStepOrCall(std::move(name), open_path,
+                              /*already_advanced=*/true);
+  }
+
+  // After `element` / `attribute` we saw an IDENT; it is a constructor body
+  // only if the token after the name is '{'. Peeking requires no extra
+  // machinery: the caller re-parses via MakeNameStepOrCall otherwise, and an
+  // IDENT directly followed by '{' cannot occur elsewhere in the grammar.
+  bool CanStartConstructorBody() {
+    // Conservative single-token lookahead using the raw source: find the
+    // first non-space character after the current identifier token.
+    std::string_view src = lex_.source();
+    size_t i = Cur().end;
+    while (i < src.size() &&
+           std::isspace(static_cast<unsigned char>(src[i]))) {
+      ++i;
+    }
+    return i < src.size() && src[i] == '{';
+  }
+
+  Result<ExprPtr> ParseComputedConstructor(bool is_element) {
+    ExprPtr name_expr;
+    if (Is(TokKind::kIdent)) {
+      name_expr = std::make_unique<LiteralExpr>(Atomic(Cur().text));
+      XCQL_RETURN_NOT_OK(Next());
+    } else {
+      XCQL_RETURN_NOT_OK(Expect(TokKind::kLBrace, "'{'"));
+      XCQL_ASSIGN_OR_RETURN(name_expr, ParseExprList());
+      XCQL_RETURN_NOT_OK(Expect(TokKind::kRBrace, "'}'"));
+    }
+    XCQL_RETURN_NOT_OK(Expect(TokKind::kLBrace, "'{' for constructor body"));
+    ExprPtr content;
+    if (!Is(TokKind::kRBrace)) {
+      XCQL_ASSIGN_OR_RETURN(content, ParseExprList());
+    }
+    XCQL_RETURN_NOT_OK(Expect(TokKind::kRBrace, "'}'"));
+    if (is_element) {
+      return ExprPtr(std::make_unique<ComputedElementExpr>(
+          std::move(name_expr), std::move(content)));
+    }
+    return ExprPtr(std::make_unique<ComputedAttributeExpr>(
+        std::move(name_expr), std::move(content)));
+  }
+
+  // `name` was consumed. Either a function call (name '(' …) or a child
+  // step on the context item.
+  Result<ExprPtr> MakeNameStepOrCall(std::string name, bool* open_path,
+                                     bool already_advanced) {
+    (void)already_advanced;
+    if (Is(TokKind::kLParen)) {
+      XCQL_RETURN_NOT_OK(Next());
+      std::vector<ExprPtr> args;
+      if (!Is(TokKind::kRParen)) {
+        for (;;) {
+          XCQL_ASSIGN_OR_RETURN(ExprPtr a, ParseExprSingle());
+          args.push_back(std::move(a));
+          if (Is(TokKind::kComma)) {
+            XCQL_RETURN_NOT_OK(Next());
+            continue;
+          }
+          break;
+        }
+      }
+      XCQL_RETURN_NOT_OK(Expect(TokKind::kRParen, "')'"));
+      return ExprPtr(
+          std::make_unique<FunctionCallExpr>(std::move(name), std::move(args)));
+    }
+    // Bare name: a child step on the context item.
+    std::vector<PathStep> steps;
+    PathStep s;
+    s.test = PathStep::Test::kName;
+    s.name = std::move(name);
+    while (Is(TokKind::kLBracket)) {
+      XCQL_RETURN_NOT_OK(Next());
+      XCQL_ASSIGN_OR_RETURN(ExprPtr p, ParseExprList());
+      XCQL_RETURN_NOT_OK(Expect(TokKind::kRBracket, "']'"));
+      s.predicates.push_back(std::move(p));
+    }
+    steps.push_back(std::move(s));
+    *open_path = true;
+    return ExprPtr(std::make_unique<PathExpr>(
+        std::make_unique<ContextItemExpr>(), std::move(steps)));
+  }
+
+  // ---- Direct element constructors (raw character scanning) ---------------
+
+  Result<ExprPtr> ParseDirectConstructor() {
+    size_t p = Cur().begin;  // offset of '<'
+    XCQL_ASSIGN_OR_RETURN(ExprPtr e, ScanElement(&p));
+    XCQL_RETURN_NOT_OK(lex_.ResetTo(p));
+    return e;
+  }
+
+  Status RawErr(size_t p, const std::string& msg) const {
+    return Status::ParseError(msg +
+                              StringPrintf(" (constructor at offset %zu)", p));
+  }
+
+  void SkipRawWs(size_t* p) const {
+    std::string_view s = lex_.source();
+    while (*p < s.size() && std::isspace(static_cast<unsigned char>(s[*p]))) {
+      ++*p;
+    }
+  }
+
+  Result<std::string> ScanRawName(size_t* p) const {
+    std::string_view s = lex_.source();
+    size_t start = *p;
+    if (start >= s.size() ||
+        (!std::isalpha(static_cast<unsigned char>(s[start])) &&
+         s[start] != '_')) {
+      return RawErr(*p, "expected element name");
+    }
+    size_t i = start;
+    while (i < s.size() &&
+           (std::isalnum(static_cast<unsigned char>(s[i])) || s[i] == '_' ||
+            s[i] == '-' || s[i] == '.' || s[i] == ':')) {
+      ++i;
+    }
+    *p = i;
+    return std::string(s.substr(start, i - start));
+  }
+
+  // Parses "{expr}" starting at offset *p (which points at '{'); on return
+  // *p is positioned after the matching '}'.
+  Result<ExprPtr> ScanEnclosedExpr(size_t* p) {
+    XCQL_RETURN_NOT_OK(lex_.ResetTo(*p));
+    XCQL_RETURN_NOT_OK(Expect(TokKind::kLBrace, "'{'"));
+    XCQL_ASSIGN_OR_RETURN(ExprPtr e, ParseExprList());
+    if (!Is(TokKind::kRBrace)) return Err("expected '}' in constructor");
+    *p = Cur().end;
+    return e;
+  }
+
+  Result<ExprPtr> ScanElement(size_t* p) {
+    std::string_view s = lex_.source();
+    if (*p >= s.size() || s[*p] != '<') return RawErr(*p, "expected '<'");
+    ++*p;
+    XCQL_ASSIGN_OR_RETURN(std::string name, ScanRawName(p));
+    std::vector<DirectElementExpr::Attr> attrs;
+    for (;;) {
+      SkipRawWs(p);
+      if (*p >= s.size()) return RawErr(*p, "unterminated start tag");
+      if (s[*p] == '>' || s[*p] == '/') break;
+      DirectElementExpr::Attr attr;
+      XCQL_ASSIGN_OR_RETURN(attr.name, ScanRawName(p));
+      SkipRawWs(p);
+      if (*p >= s.size() || s[*p] != '=') {
+        return RawErr(*p, "expected '=' after attribute name");
+      }
+      ++*p;
+      SkipRawWs(p);
+      if (*p < s.size() && s[*p] == '{') {
+        // Unquoted enclosed expression: id={$a/@id} (paper's style).
+        ContentPart part;
+        XCQL_ASSIGN_OR_RETURN(part.expr, ScanEnclosedExpr(p));
+        attr.value.push_back(std::move(part));
+      } else if (*p < s.size() && (s[*p] == '"' || s[*p] == '\'')) {
+        char quote = s[*p];
+        ++*p;
+        std::string text;
+        auto flush = [&]() {
+          if (!text.empty()) {
+            ContentPart part;
+            part.text = std::move(text);
+            text.clear();
+            attr.value.push_back(std::move(part));
+          }
+        };
+        for (;;) {
+          if (*p >= s.size()) return RawErr(*p, "unterminated attribute value");
+          char c = s[*p];
+          if (c == quote) {
+            ++*p;
+            break;
+          }
+          if (c == '{') {
+            if (*p + 1 < s.size() && s[*p + 1] == '{') {
+              text.push_back('{');
+              *p += 2;
+              continue;
+            }
+            flush();
+            ContentPart part;
+            XCQL_ASSIGN_OR_RETURN(part.expr, ScanEnclosedExpr(p));
+            attr.value.push_back(std::move(part));
+            continue;
+          }
+          if (c == '}' && *p + 1 < s.size() && s[*p + 1] == '}') {
+            text.push_back('}');
+            *p += 2;
+            continue;
+          }
+          text.push_back(c);
+          ++*p;
+        }
+        flush();
+      } else {
+        return RawErr(*p, "expected attribute value");
+      }
+      attrs.push_back(std::move(attr));
+    }
+    if (s[*p] == '/') {
+      if (*p + 1 >= s.size() || s[*p + 1] != '>') {
+        return RawErr(*p, "expected '/>'");
+      }
+      *p += 2;
+      return ExprPtr(std::make_unique<DirectElementExpr>(
+          std::move(name), std::move(attrs), std::vector<ContentPart>{}));
+    }
+    ++*p;  // '>'
+    // Content.
+    std::vector<ContentPart> content;
+    std::string text;
+    auto flush_text = [&](bool keep_ws_only) {
+      if (text.empty()) return;
+      bool ws_only = true;
+      for (char c : text) {
+        if (!std::isspace(static_cast<unsigned char>(c))) {
+          ws_only = false;
+          break;
+        }
+      }
+      // Boundary whitespace is stripped (XQuery default boundary-space).
+      if (!ws_only || keep_ws_only) {
+        ContentPart part;
+        part.text = std::move(text);
+        content.push_back(std::move(part));
+      }
+      text.clear();
+    };
+    for (;;) {
+      if (*p >= s.size()) return RawErr(*p, "unterminated element content");
+      char c = s[*p];
+      if (c == '<') {
+        if (*p + 1 < s.size() && s[*p + 1] == '/') {
+          flush_text(false);
+          *p += 2;
+          XCQL_ASSIGN_OR_RETURN(std::string ename, ScanRawName(p));
+          if (ename != name) {
+            return RawErr(*p, "mismatched end tag </" + ename + ">");
+          }
+          SkipRawWs(p);
+          if (*p >= s.size() || s[*p] != '>') {
+            return RawErr(*p, "expected '>' in end tag");
+          }
+          ++*p;
+          return ExprPtr(std::make_unique<DirectElementExpr>(
+              std::move(name), std::move(attrs), std::move(content)));
+        }
+        if (*p + 3 < s.size() && s.substr(*p, 4) == "<!--") {
+          size_t end = s.find("-->", *p);
+          if (end == std::string_view::npos) {
+            return RawErr(*p, "unterminated comment");
+          }
+          *p = end + 3;
+          continue;
+        }
+        flush_text(false);
+        ContentPart part;
+        XCQL_ASSIGN_OR_RETURN(part.expr, ScanElement(p));
+        content.push_back(std::move(part));
+        continue;
+      }
+      if (c == '{') {
+        if (*p + 1 < s.size() && s[*p + 1] == '{') {
+          text.push_back('{');
+          *p += 2;
+          continue;
+        }
+        flush_text(false);
+        ContentPart part;
+        XCQL_ASSIGN_OR_RETURN(part.expr, ScanEnclosedExpr(p));
+        content.push_back(std::move(part));
+        continue;
+      }
+      if (c == '}' && *p + 1 < s.size() && s[*p + 1] == '}') {
+        text.push_back('}');
+        *p += 2;
+        continue;
+      }
+      text.push_back(c);
+      ++*p;
+    }
+  }
+
+ public:
+  Result<ExprPtr> ParseSingleExpression() {
+    XCQL_ASSIGN_OR_RETURN(ExprPtr e, ParseExprList());
+    if (!AtEof()) {
+      return Err("unexpected trailing input '" + Cur().text + "'");
+    }
+    return e;
+  }
+
+ private:
+  Lexer lex_;
+};
+
+}  // namespace
+
+Result<Program> ParseQuery(std::string_view src) {
+  Parser p(src);
+  return p.ParseProgram();
+}
+
+Result<ExprPtr> ParseExpression(std::string_view src) {
+  Parser p(src);
+  return p.ParseSingleExpression();
+}
+
+}  // namespace xcql::xq

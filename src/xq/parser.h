@@ -1,0 +1,44 @@
+// Recursive-descent parser for the XQuery/XCQL subset.
+//
+// Grammar (informal, precedence low→high):
+//   Program    ::= Prolog Expr
+//   Prolog     ::= (("declare"|"define") "function" Name "(" Params ")"
+//                   ("as" Type)? "{" Expr "}" ";"?)*
+//   Expr       ::= ExprSingle ("," ExprSingle)*
+//   ExprSingle ::= Flwor | Quantified | If | OrExpr
+//   Flwor      ::= (ForClause | LetClause)+ WhereClause? OrderByClause?
+//                  "return" ExprSingle
+//   OrExpr     ::= AndExpr ("or" AndExpr)*
+//   AndExpr    ::= CmpExpr ("and" CmpExpr)*
+//   CmpExpr    ::= RangeExpr (CmpOp RangeExpr)?
+//   RangeExpr  ::= AddExpr ("to" AddExpr)?
+//   AddExpr    ::= MulExpr (("+"|"-") MulExpr)*
+//   MulExpr    ::= UnaryExpr (("*"|"div"|"idiv"|"mod") UnaryExpr)*
+//   UnaryExpr  ::= "-"* PathChain
+//   PathChain  ::= ("/" | "//")? Postfix (("/"|"//") Step | "?[" … "]"
+//                  | "#[" … "]" | "[" Expr "]")*
+//   Postfix    ::= Literal | "$"Name | "." | "(" Expr? ")" | Constructor
+//                  | FunctionCall | NameStep | "@"Name | "*"
+//
+// XCQL extensions: `?[t1(,t2)?]` interval projection, `#[v1(,v2)?]` version
+// projection, the constants `now`, `start`, `last`, and dateTime/duration
+// literals. Direct element constructors are scanned in raw character mode.
+#ifndef XCQL_XQ_PARSER_H_
+#define XCQL_XQ_PARSER_H_
+
+#include <string_view>
+
+#include "common/result.h"
+#include "xq/ast.h"
+
+namespace xcql::xq {
+
+/// \brief Parses a complete query (prolog + body).
+Result<Program> ParseQuery(std::string_view src);
+
+/// \brief Parses a single expression (no prolog); convenience for tests.
+Result<ExprPtr> ParseExpression(std::string_view src);
+
+}  // namespace xcql::xq
+
+#endif  // XCQL_XQ_PARSER_H_

@@ -1,0 +1,194 @@
+#include "xq/value.h"
+
+#include <cmath>
+
+#include "common/string_util.h"
+
+namespace xcql::xq {
+
+std::optional<double> Atomic::ToNumber() const {
+  if (is_int()) return static_cast<double>(AsInt());
+  if (is_double()) return AsDoubleUnchecked();
+  if (is_string()) return ParseDouble(AsString());
+  if (is_bool()) return AsBool() ? 1.0 : 0.0;
+  return std::nullopt;
+}
+
+std::string Atomic::ToStringValue() const {
+  if (is_bool()) return AsBool() ? "true" : "false";
+  if (is_int()) return std::to_string(AsInt());
+  if (is_double()) {
+    double d = AsDoubleUnchecked();
+    if (std::isnan(d)) return "NaN";
+    if (std::isinf(d)) return d > 0 ? "INF" : "-INF";
+    // Integral doubles print without a fractional part, like XQuery.
+    if (d == std::floor(d) && std::abs(d) < 1e15) {
+      return std::to_string(static_cast<int64_t>(d));
+    }
+    std::string s = StringPrintf("%.12g", d);
+    return s;
+  }
+  if (is_string()) return AsString();
+  if (is_datetime()) return AsDateTime().ToString();
+  return AsDuration().ToString();
+}
+
+const char* Atomic::TypeName() const {
+  if (is_bool()) return "xs:boolean";
+  if (is_int()) return "xs:integer";
+  if (is_double()) return "xs:double";
+  if (is_string()) return untyped_ ? "xs:untypedAtomic" : "xs:string";
+  if (is_datetime()) return "xs:dateTime";
+  return "xs:duration";
+}
+
+Sequence SingletonNode(NodePtr n) {
+  Sequence s;
+  s.emplace_back(std::move(n));
+  return s;
+}
+
+Sequence SingletonAtomic(Atomic a) {
+  Sequence s;
+  s.emplace_back(std::move(a));
+  return s;
+}
+
+Atomic AtomizeItem(const Item& item) {
+  if (IsNode(item)) {
+    return Atomic(AsNode(item)->StringValue(), /*untyped=*/true);
+  }
+  return AsAtomic(item);
+}
+
+std::vector<Atomic> Atomize(const Sequence& seq) {
+  std::vector<Atomic> out;
+  out.reserve(seq.size());
+  for (const auto& it : seq) out.push_back(AtomizeItem(it));
+  return out;
+}
+
+Result<bool> EffectiveBooleanValue(const Sequence& seq) {
+  if (seq.empty()) return false;
+  if (IsNode(seq.front())) return true;
+  if (seq.size() != 1) {
+    return Status::TypeError(
+        "effective boolean value of a multi-item atomic sequence");
+  }
+  const Atomic& a = AsAtomic(seq.front());
+  if (a.is_bool()) return a.AsBool();
+  if (a.is_int()) return a.AsInt() != 0;
+  if (a.is_double()) {
+    double d = a.AsDoubleUnchecked();
+    return d != 0.0 && !std::isnan(d);
+  }
+  if (a.is_string()) return !a.AsString().empty();
+  return Status::TypeError(std::string("no effective boolean value for ") +
+                           a.TypeName());
+}
+
+namespace {
+
+template <typename T>
+bool ApplyOrder(const T& a, const T& b, CmpOp op) {
+  switch (op) {
+    case CmpOp::kEq:
+      return a == b;
+    case CmpOp::kNe:
+      return a != b;
+    case CmpOp::kLt:
+      return a < b;
+    case CmpOp::kLe:
+      return a <= b;
+    case CmpOp::kGt:
+      return a > b;
+    case CmpOp::kGe:
+      return a >= b;
+  }
+  return false;
+}
+
+}  // namespace
+
+Result<bool> CompareAtomics(const Atomic& a, const Atomic& b, CmpOp op) {
+  // Booleans compare only with booleans (or untyped cast to boolean-ish).
+  if (a.is_bool() || b.is_bool()) {
+    if (a.is_bool() && b.is_bool()) {
+      return ApplyOrder(a.AsBool(), b.AsBool(), op);
+    }
+    return Status::TypeError(std::string("cannot compare ") + a.TypeName() +
+                             " with " + b.TypeName());
+  }
+  // dateTime comparisons: cast a (possibly untyped) string operand.
+  if (a.is_datetime() || b.is_datetime()) {
+    DateTime da, db;
+    if (a.is_datetime()) {
+      da = a.AsDateTime();
+    } else if (a.is_string()) {
+      XCQL_ASSIGN_OR_RETURN(da, DateTime::Parse(a.AsString()));
+    } else {
+      return Status::TypeError(std::string("cannot compare ") + a.TypeName() +
+                               " with xs:dateTime");
+    }
+    if (b.is_datetime()) {
+      db = b.AsDateTime();
+    } else if (b.is_string()) {
+      XCQL_ASSIGN_OR_RETURN(db, DateTime::Parse(b.AsString()));
+    } else {
+      return Status::TypeError(std::string("cannot compare xs:dateTime with ") +
+                               b.TypeName());
+    }
+    return ApplyOrder(da, db, op);
+  }
+  // Duration comparisons: only equality is total without a calendar anchor;
+  // order compares the (months, seconds) pair lexicographically, which is
+  // exact whenever the month components are equal.
+  if (a.is_duration() || b.is_duration()) {
+    Duration da, db;
+    if (a.is_duration()) {
+      da = a.AsDuration();
+    } else if (a.is_string()) {
+      XCQL_ASSIGN_OR_RETURN(da, Duration::Parse(a.AsString()));
+    } else {
+      return Status::TypeError(std::string("cannot compare ") + a.TypeName() +
+                               " with xs:duration");
+    }
+    if (b.is_duration()) {
+      db = b.AsDuration();
+    } else if (b.is_string()) {
+      XCQL_ASSIGN_OR_RETURN(db, Duration::Parse(b.AsString()));
+    } else {
+      return Status::TypeError(std::string("cannot compare xs:duration with ") +
+                               b.TypeName());
+    }
+    auto key = [](const Duration& d) {
+      return std::pair<int64_t, int64_t>(d.months(), d.seconds());
+    };
+    return ApplyOrder(key(da), key(db), op);
+  }
+  // Numeric comparison when either side is numeric; strings (untyped or
+  // literal) are cast to double.
+  if (a.is_numeric() || b.is_numeric()) {
+    auto na = a.ToNumber();
+    auto nb = b.ToNumber();
+    if (!na || !nb) {
+      return Status::TypeError(std::string("cannot compare ") + a.TypeName() +
+                               " '" + a.ToStringValue() + "' with " +
+                               b.TypeName() + " '" + b.ToStringValue() + "'");
+    }
+    return ApplyOrder(*na, *nb, op);
+  }
+  // Both strings.
+  return ApplyOrder(a.AsString(), b.AsString(), op);
+}
+
+std::string SequenceToString(const Sequence& seq) {
+  std::string out;
+  for (size_t i = 0; i < seq.size(); ++i) {
+    if (i > 0) out.push_back(' ');
+    out += AtomizeItem(seq[i]).ToStringValue();
+  }
+  return out;
+}
+
+}  // namespace xcql::xq

@@ -1,0 +1,115 @@
+// The XQuery data model subset used by the engine: items are nodes or
+// atomic values; every expression evaluates to a flat sequence of items.
+#ifndef XCQL_XQ_VALUE_H_
+#define XCQL_XQ_VALUE_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "common/result.h"
+#include "temporal/datetime.h"
+#include "temporal/duration.h"
+#include "xml/node.h"
+
+namespace xcql::xq {
+
+/// \brief An atomic value: xs:boolean, xs:integer, xs:double, xs:string,
+/// xs:dateTime or xs:duration.
+///
+/// Strings atomized from nodes are flagged `untyped`, which mirrors
+/// xs:untypedAtomic: in comparisons an untyped value is cast to the other
+/// operand's type.
+class Atomic {
+ public:
+  using Variant =
+      std::variant<bool, int64_t, double, std::string, DateTime, Duration>;
+
+  Atomic() : v_(std::string()) {}
+  explicit Atomic(bool b) : v_(b) {}
+  explicit Atomic(int64_t i) : v_(i) {}
+  explicit Atomic(double d) : v_(d) {}
+  explicit Atomic(std::string s, bool untyped = false)
+      : v_(std::move(s)), untyped_(untyped) {}
+  explicit Atomic(DateTime dt) : v_(dt) {}
+  explicit Atomic(Duration d) : v_(d) {}
+
+  bool is_bool() const { return std::holds_alternative<bool>(v_); }
+  bool is_int() const { return std::holds_alternative<int64_t>(v_); }
+  bool is_double() const { return std::holds_alternative<double>(v_); }
+  bool is_numeric() const { return is_int() || is_double(); }
+  bool is_string() const { return std::holds_alternative<std::string>(v_); }
+  bool is_datetime() const { return std::holds_alternative<DateTime>(v_); }
+  bool is_duration() const { return std::holds_alternative<Duration>(v_); }
+  bool untyped() const { return untyped_; }
+
+  bool AsBool() const { return std::get<bool>(v_); }
+  int64_t AsInt() const { return std::get<int64_t>(v_); }
+  double AsDoubleUnchecked() const { return std::get<double>(v_); }
+  const std::string& AsString() const { return std::get<std::string>(v_); }
+  DateTime AsDateTime() const { return std::get<DateTime>(v_); }
+  const Duration& AsDuration() const { return std::get<Duration>(v_); }
+
+  /// \brief Numeric value: the number itself, or a parse of a (possibly
+  /// untyped) string; nullopt when not convertible.
+  std::optional<double> ToNumber() const;
+
+  /// \brief Lexical form (xs:string cast).
+  std::string ToStringValue() const;
+
+  /// \brief Short type name for error messages.
+  const char* TypeName() const;
+
+  const Variant& variant() const { return v_; }
+
+ private:
+  Variant v_;
+  bool untyped_ = false;
+};
+
+/// \brief One item in a sequence: a node or an atomic value.
+using Item = std::variant<NodePtr, Atomic>;
+
+inline bool IsNode(const Item& it) {
+  return std::holds_alternative<NodePtr>(it);
+}
+inline const NodePtr& AsNode(const Item& it) { return std::get<NodePtr>(it); }
+inline const Atomic& AsAtomic(const Item& it) { return std::get<Atomic>(it); }
+
+/// \brief A flat, ordered sequence of items (sequences never nest).
+using Sequence = std::vector<Item>;
+
+/// \brief Wraps a single node as a sequence.
+Sequence SingletonNode(NodePtr n);
+
+/// \brief Wraps a single atomic as a sequence.
+Sequence SingletonAtomic(Atomic a);
+
+/// \brief Atomizes one item: atomics pass through; a node yields its string
+/// value as an untyped atomic.
+Atomic AtomizeItem(const Item& item);
+
+/// \brief Atomizes every item of a sequence.
+std::vector<Atomic> Atomize(const Sequence& seq);
+
+/// \brief XQuery effective boolean value: () is false, a sequence whose
+/// first item is a node is true, a singleton atomic converts by type;
+/// anything else is a type error.
+Result<bool> EffectiveBooleanValue(const Sequence& seq);
+
+/// \brief Comparison operators shared by general and value comparisons.
+enum class CmpOp { kEq, kNe, kLt, kLe, kGt, kGe };
+
+/// \brief Compares two atomics under XQuery casting rules (untyped values
+/// cast to the other operand's type; numeric types compare numerically).
+Result<bool> CompareAtomics(const Atomic& a, const Atomic& b, CmpOp op);
+
+/// \brief String rendering of a whole sequence (items space-separated),
+/// used by fn:string on sequences and by tests.
+std::string SequenceToString(const Sequence& seq);
+
+}  // namespace xcql::xq
+
+#endif  // XCQL_XQ_VALUE_H_

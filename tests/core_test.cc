@@ -1,0 +1,249 @@
+// Tests for the StreamManager facade: stream lifecycle, publishing,
+// one-shot querying under all methods, continuous queries, UDF
+// registration, and the paper's running example end to end.
+#include <gtest/gtest.h>
+
+#include "core/stream_manager.h"
+#include "test_util.h"
+
+namespace xcql {
+namespace {
+
+DateTime T(const char* s) { return DateTime::Parse(s).value(); }
+
+class StreamManagerTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ASSERT_TRUE(
+        mgr_.CreateStream("credit", testutil::kCreditTagStructure).ok());
+    ASSERT_TRUE(
+        mgr_.PublishDocumentXml("credit", testutil::kCreditView).ok());
+    mgr_.clock().AdvanceTo(T("2003-12-01T00:00:00"));
+  }
+
+  std::string Run(const std::string& q,
+                  lang::ExecMethod m = lang::ExecMethod::kQaCPlus) {
+    lang::ExecOptions opts;
+    opts.method = m;
+    auto r = mgr_.QueryToString(q, opts);
+    if (!r.ok()) return "ERROR: " + r.status().ToString();
+    return r.value();
+  }
+
+  StreamManager mgr_;
+};
+
+TEST_F(StreamManagerTest, CreateStreamValidates) {
+  EXPECT_FALSE(mgr_.CreateStream("credit", testutil::kCreditTagStructure)
+                   .ok());  // duplicate
+  EXPECT_FALSE(mgr_.CreateStream("bad", "<junk/>").ok());
+  EXPECT_NE(mgr_.server("credit"), nullptr);
+  EXPECT_NE(mgr_.store("credit"), nullptr);
+  EXPECT_EQ(mgr_.server("missing"), nullptr);
+}
+
+TEST_F(StreamManagerTest, PublishingValidates) {
+  EXPECT_FALSE(mgr_.PublishDocumentXml("missing", "<x/>").ok());
+  EXPECT_FALSE(mgr_.PublishDocumentXml("credit", "not xml").ok());
+  EXPECT_FALSE(mgr_.PublishFragmentXml("credit", "<notfiller/>").ok());
+}
+
+TEST_F(StreamManagerTest, QueriesRunUnderAllMethods) {
+  for (lang::ExecMethod m : {lang::ExecMethod::kCaQ, lang::ExecMethod::kQaC,
+                             lang::ExecMethod::kQaCPlus}) {
+    EXPECT_EQ(Run("count(stream(\"credit\")//transaction)", m), "2")
+        << lang::ExecMethodName(m);
+  }
+}
+
+TEST_F(StreamManagerTest, TranslateShowsTheRewriting) {
+  auto t = mgr_.Translate("stream(\"credit\")//transaction",
+                          lang::ExecMethod::kQaCPlus);
+  ASSERT_TRUE(t.ok());
+  EXPECT_NE(t.value().find("xcql:tsid_scan"), std::string::npos);
+}
+
+TEST_F(StreamManagerTest, MaterializeViewReconstructs) {
+  auto view = mgr_.MaterializeView("credit");
+  ASSERT_TRUE(view.ok());
+  EXPECT_EQ(view.value()->name(), "creditAccounts");
+  EXPECT_EQ(view.value()->ChildElements("account").size(), 2u);
+}
+
+TEST_F(StreamManagerTest, FragmentUpdateChangesQueryResults) {
+  // Paper §4.2 filler 5 in reverse: before any update, the $1200
+  // transaction is suspended; a new status version re-charges it.
+  EXPECT_EQ(Run("count(stream(\"credit\")//transaction[amount > 1000]"
+                "[status?[now] = \"charged\"])"),
+            "0");
+  // Locate the suspended status filler.
+  int64_t status_id = -1;
+  for (int64_t cand = 0; cand < 32; ++cand) {
+    auto versions = mgr_.store("credit")->GetFillerVersions(cand, false);
+    if (versions.ok() && !versions.value().empty() &&
+        versions.value().back()->StringValue() == "suspended") {
+      status_id = cand;
+      break;
+    }
+  }
+  ASSERT_GE(status_id, 0);
+  std::string filler = "<filler id=\"" + std::to_string(status_id) +
+                       "\" tsid=\"7\" validTime=\"2003-12-05T08:00:00\">"
+                       "<status>charged</status></filler>";
+  ASSERT_TRUE(mgr_.PublishFragmentXml("credit", filler).ok());
+  EXPECT_EQ(Run("count(stream(\"credit\")//transaction[amount > 1000]"
+                "[status?[now] = \"charged\"])"),
+            "1");
+}
+
+TEST_F(StreamManagerTest, UserDefinedFunctions) {
+  mgr_.RegisterFunction(
+      "half", 1, 1,
+      [](xq::EvalContext&,
+         std::vector<xq::Sequence>& args) -> Result<xq::Sequence> {
+        auto n = xq::AtomizeItem(args[0].front()).ToNumber();
+        if (!n) return Status::TypeError("half() needs a number");
+        return xq::SingletonAtomic(xq::Atomic(*n / 2));
+      });
+  EXPECT_EQ(Run("half(sum(stream(\"credit\")//creditLimit/text()))"), "5000");
+}
+
+TEST_F(StreamManagerTest, ContinuousQueryThroughFacade) {
+  std::vector<std::string> emitted;
+  auto id = mgr_.RegisterContinuousQuery(
+      "for $t in stream(\"credit\")//transaction where $t/amount > 1000 "
+      "return string($t/@id)",
+      [&](const xq::Sequence& delta, DateTime) {
+        for (const auto& item : delta) {
+          emitted.push_back(xq::AsAtomic(item).ToStringValue());
+        }
+      });
+  ASSERT_TRUE(id.ok()) << id.status().ToString();
+  ASSERT_TRUE(mgr_.Tick().ok());
+  ASSERT_EQ(emitted.size(), 1u);
+  EXPECT_EQ(emitted[0], "23456");
+  ASSERT_TRUE(mgr_.AdvanceTo(T("2003-12-10T00:00:00")).ok());
+  EXPECT_EQ(emitted.size(), 1u);  // nothing new
+  ASSERT_TRUE(mgr_.UnregisterContinuousQuery(id.value()).ok());
+}
+
+TEST_F(StreamManagerTest, StreamNames) {
+  EXPECT_EQ(mgr_.StreamNames(), std::vector<std::string>{"credit"});
+}
+
+TEST_F(StreamManagerTest, TimeTravelQueries) {
+  // The temporal view is a read-once temporal database (paper §1): pinning
+  // `now` evaluates the stream's state at any past instant.
+  struct Probe {
+    const char* at;
+    const char* expected_limit;
+    const char* expected_status_count;  // statuses valid at that instant
+  };
+  const Probe probes[] = {
+      // Before the 2001 limit change: the original $2000 limit.
+      {"2000-06-01T00:00:00", "2000", "0"},
+      // After the change, before any transaction.
+      {"2002-01-01T00:00:00", "5000", "0"},
+      // After both transactions and the suspension.
+      {"2003-11-20T00:00:00", "5000", "2"},
+  };
+  for (const Probe& p : probes) {
+    lang::ExecOptions opts;
+    opts.now = T(p.at);
+    auto limit = mgr_.QueryToString(
+        "stream(\"credit\")//account[@id = \"1234\"]/creditLimit?[now]"
+        "/text()",
+        opts);
+    ASSERT_TRUE(limit.ok()) << limit.status().ToString();
+    EXPECT_EQ(limit.value(), p.expected_limit) << "at " << p.at;
+    auto statuses = mgr_.QueryToString(
+        "count(stream(\"credit\")//status?[now])", opts);
+    ASSERT_TRUE(statuses.ok());
+    EXPECT_EQ(statuses.value(), p.expected_status_count) << "at " << p.at;
+  }
+}
+
+TEST_F(StreamManagerTest, TimeTravelSeesEventsOnlyAfterTheyHappen) {
+  lang::ExecOptions before;
+  before.now = T("2003-01-01T00:00:00");
+  EXPECT_EQ(
+      mgr_.QueryToString(
+              "count(stream(\"credit\")//transaction?[start, now])", before)
+          .value(),
+      "0");
+  lang::ExecOptions after;
+  after.now = T("2003-12-01T00:00:00");
+  EXPECT_EQ(
+      mgr_.QueryToString(
+              "count(stream(\"credit\")//transaction?[start, now])", after)
+          .value(),
+      "2");
+}
+
+TEST_F(StreamManagerTest, PaperQuery1EndToEnd) {
+  // Push a burst of November transactions that max out account 5678
+  // (limit 3000), then run the paper's Query 1.
+  stream::StreamServer* srv = mgr_.server("credit");
+  ASSERT_NE(srv, nullptr);
+  // Find account 5678's filler id to hang new transactions off it.
+  int64_t account_id = -1;
+  for (int64_t cand = 0; cand < 32; ++cand) {
+    auto versions = mgr_.store("credit")->GetFillerVersions(cand, false);
+    if (versions.ok() && !versions.value().empty() &&
+        versions.value().back()->name() == "account" &&
+        *versions.value().back()->FindAttr("id") == "5678") {
+      account_id = cand;
+      break;
+    }
+  }
+  ASSERT_GE(account_id, 0);
+  // Rebuild the account context payload (customer + existing holes) the way
+  // the server-side event generator would maintain it.
+  auto versions = mgr_.store("credit")->GetFillerVersions(account_id, false);
+  ASSERT_TRUE(versions.ok());
+  NodePtr context = Node::Element("account");
+  context->SetAttr("id", "5678");
+  for (const auto& c : versions.value().back()->children()) {
+    if (c->is_element() && c->name() == "hole") {
+      context->AddChild(frag::MakeHole(frag::HoleId(*c).value(),
+                                       frag::HoleTsid(*c).value()));
+    } else if (c->is_element() && c->name() == "customer") {
+      context->AddChild(c->Clone());
+    }
+  }
+  stream::EventAppender appender(srv, account_id, /*tsid=*/2,
+                                 std::move(context));
+  for (int i = 0; i < 2; ++i) {
+    NodePtr txn = Node::Element("transaction");
+    txn->SetAttr("id", "9990" + std::to_string(i));
+    NodePtr vendor = Node::Element("vendor");
+    vendor->AddChild(Node::Text("MegaStore"));
+    txn->AddChild(std::move(vendor));
+    NodePtr status = Node::Element("status");
+    status->AddChild(Node::Text("charged"));
+    txn->AddChild(std::move(status));
+    NodePtr amount = Node::Element("amount");
+    amount->AddChild(Node::Text("1600"));
+    txn->AddChild(std::move(amount));
+    ASSERT_TRUE(appender
+                    .Append(std::move(txn),
+                            T(i == 0 ? "2003-11-05T10:00:00"
+                                     : "2003-11-12T15:00:00"))
+                    .ok());
+  }
+  ASSERT_TRUE(appender.Flush(T("2003-11-12T15:00:00")).ok());
+
+  // The appended transactions make account 5678's November charges (3200)
+  // exceed its current limit (3000). The account now has two versions (the
+  // update created one), but only the second version's payload carries the
+  // new transaction holes, so exactly one row is reported.
+  const char* q1 = R"(
+    for $a in stream("credit")/creditAccounts/account
+    where sum($a/transaction?[2003-11-01,2003-12-01]
+              [status = "charged"]/amount) >= $a/creditLimit?[now]
+    return <maxed>{string($a/@id)}</maxed>)";
+  EXPECT_EQ(Run(q1), "<maxed>5678</maxed>");
+}
+
+}  // namespace
+}  // namespace xcql

@@ -1,0 +1,593 @@
+// Tests for the Hole-Filler fragment layer: Tag Structure parsing,
+// fragment wire format, document fragmentation, the fragment store's three
+// access paths, lifespan derivation, and temporal-view reconstruction
+// (including the fragment→reassemble round-trip property).
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+#include "frag/assembler.h"
+#include "frag/fragment.h"
+#include "frag/fragment_store.h"
+#include "frag/fragmenter.h"
+#include "frag/tag_structure.h"
+#include "xml/parser.h"
+#include "xml/serializer.h"
+
+namespace xcql::frag {
+namespace {
+
+// The paper's §4.1 tag structure for the credit card system.
+constexpr const char* kCreditTagStructure = R"(
+<stream:structure>
+  <tag type="snapshot" id="1" name="creditAccounts">
+    <tag type="temporal" id="2" name="account">
+      <tag type="snapshot" id="3" name="customer"/>
+      <tag type="temporal" id="4" name="creditLimit"/>
+      <tag type="event" id="5" name="transaction">
+        <tag type="snapshot" id="6" name="vendor"/>
+        <tag type="temporal" id="7" name="status"/>
+        <tag type="snapshot" id="8" name="amount"/>
+      </tag>
+    </tag>
+  </tag>
+</stream:structure>)";
+
+// A temporal view consistent with the fragment model: chained creditLimit /
+// status versions whose last vtTo is "now", events with vtFrom == vtTo.
+constexpr const char* kCreditView = R"(
+<creditAccounts>
+  <account id="1234" vtFrom="1998-10-10T12:20:22" vtTo="now">
+    <customer>John Smith</customer>
+    <creditLimit vtFrom="1998-10-10T12:20:22"
+                 vtTo="2001-04-23T23:11:08">2000</creditLimit>
+    <creditLimit vtFrom="2001-04-23T23:11:08" vtTo="now">5000</creditLimit>
+    <transaction id="12345" vtFrom="2003-10-23T12:23:34"
+                 vtTo="2003-10-23T12:23:34">
+      <vendor>Southlake Pizza</vendor>
+      <status vtFrom="2003-10-23T12:24:35" vtTo="now">charged</status>
+      <amount>38.20</amount>
+    </transaction>
+    <transaction id="23456" vtFrom="2003-09-10T14:30:12"
+                 vtTo="2003-09-10T14:30:12">
+      <vendor>ResAris Contaceu</vendor>
+      <status vtFrom="2003-09-10T14:30:13"
+              vtTo="2003-11-01T10:12:56">charged</status>
+      <status vtFrom="2003-11-01T10:12:56" vtTo="now">suspended</status>
+      <amount>1200</amount>
+    </transaction>
+  </account>
+  <account id="5678" vtFrom="2000-01-01T00:00:00" vtTo="now">
+    <customer>Jane Doe</customer>
+    <creditLimit vtFrom="2000-01-01T00:00:00" vtTo="now">3000</creditLimit>
+  </account>
+</creditAccounts>)";
+
+TagStructure CreditTs() {
+  auto r = TagStructure::Parse(kCreditTagStructure);
+  EXPECT_TRUE(r.ok()) << r.status().ToString();
+  return std::move(r).MoveValue();
+}
+
+// ---- TagStructure -------------------------------------------------------------
+
+TEST(TagStructureTest, ParsesPaperStructure) {
+  TagStructure ts = CreditTs();
+  ASSERT_NE(ts.root(), nullptr);
+  EXPECT_EQ(ts.root()->name, "creditAccounts");
+  EXPECT_EQ(ts.root()->type, TagType::kSnapshot);
+  EXPECT_EQ(ts.size(), 8u);
+  const TagNode* account = ts.root()->Child("account");
+  ASSERT_NE(account, nullptr);
+  EXPECT_EQ(account->type, TagType::kTemporal);
+  EXPECT_TRUE(account->fragmented());
+  const TagNode* txn = account->Child("transaction");
+  ASSERT_NE(txn, nullptr);
+  EXPECT_EQ(txn->type, TagType::kEvent);
+  EXPECT_EQ(ts.FindById(7)->name, "status");
+  EXPECT_EQ(ts.FindById(99), nullptr);
+}
+
+TEST(TagStructureTest, ParsesBareRootTag) {
+  auto r = TagStructure::Parse("<tag type=\"snapshot\" id=\"1\" name=\"r\"/>");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value().root()->name, "r");
+}
+
+TEST(TagStructureTest, ToXmlRoundTrips) {
+  TagStructure ts = CreditTs();
+  auto again = TagStructure::Parse(ts.ToXml());
+  ASSERT_TRUE(again.ok()) << again.status().ToString();
+  EXPECT_EQ(again.value().ToXml(), ts.ToXml());
+}
+
+TEST(TagStructureTest, RejectsBadInput) {
+  EXPECT_FALSE(TagStructure::Parse("<tag id=\"1\" name=\"x\"/>").ok());
+  EXPECT_FALSE(
+      TagStructure::Parse("<tag type=\"bogus\" id=\"1\" name=\"x\"/>").ok());
+  EXPECT_FALSE(TagStructure::Parse(
+                   "<tag type=\"snapshot\" id=\"1\" name=\"a\">"
+                   "<tag type=\"event\" id=\"1\" name=\"b\"/></tag>")
+                   .ok());  // duplicate id
+  EXPECT_FALSE(TagStructure::Parse("<notatag/>").ok());
+}
+
+TEST(TagStructureTest, ProgrammaticConstruction) {
+  TagStructure ts = TagStructure::Make("root", TagType::kSnapshot, 1);
+  auto child = ts.AddChild(ts.mutable_root(), "ev", TagType::kEvent, 2);
+  ASSERT_TRUE(child.ok());
+  EXPECT_EQ(ts.root()->Child("ev"), child.value());
+  EXPECT_FALSE(
+      ts.AddChild(ts.mutable_root(), "dup", TagType::kEvent, 2).ok());
+}
+
+// ---- Fragment wire format --------------------------------------------------------
+
+TEST(FragmentTest, ParsesPaperFiller) {
+  auto r = Fragment::Parse(R"(
+      <filler id="100" tsid="5" validTime="2003-10-23T12:23:34">
+        <transaction id="12345">
+          <vendor>Southlake Pizza</vendor>
+          <amount>38.20</amount>
+          <hole id="200" tsid="7"/>
+        </transaction>
+      </filler>)");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  const Fragment& f = r.value();
+  EXPECT_EQ(f.id, 100);
+  EXPECT_EQ(f.tsid, 5);
+  EXPECT_EQ(f.valid_time.ToString(), "2003-10-23T12:23:34");
+  EXPECT_EQ(f.content->name(), "transaction");
+  NodePtr hole = f.content->FirstChildElement("hole");
+  ASSERT_NE(hole, nullptr);
+  EXPECT_EQ(HoleId(*hole).value(), 200);
+  EXPECT_EQ(HoleTsid(*hole).value(), 7);
+}
+
+TEST(FragmentTest, SerializeParseRoundTrip) {
+  Fragment f;
+  f.id = 7;
+  f.tsid = 3;
+  f.valid_time = DateTime::Parse("2003-01-02T03:04:05").value();
+  f.content = Node::Element("ev");
+  f.content->SetAttr("x", "1");
+  auto again = Fragment::Parse(f.ToXml());
+  ASSERT_TRUE(again.ok()) << again.status().ToString();
+  EXPECT_EQ(again.value().id, 7);
+  EXPECT_EQ(again.value().tsid, 3);
+  EXPECT_TRUE(Node::DeepEqual(*again.value().content, *f.content));
+}
+
+TEST(FragmentTest, ParseStreamOfFillers) {
+  auto r = Fragment::ParseStream(
+      "<filler id=\"1\" tsid=\"2\" validTime=\"2003-01-01\"><a/></filler>"
+      "<filler id=\"2\" tsid=\"2\" validTime=\"2003-01-02\"><a/></filler>");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value().size(), 2u);
+}
+
+TEST(FragmentTest, RejectsMalformed) {
+  EXPECT_FALSE(Fragment::Parse("<filler id=\"1\"><a/></filler>").ok());
+  EXPECT_FALSE(Fragment::Parse(
+                   "<filler id=\"1\" tsid=\"2\" validTime=\"2003-01-01\"/>")
+                   .ok());  // no payload
+  EXPECT_FALSE(Fragment::Parse("<filler id=\"x\" tsid=\"2\" "
+                               "validTime=\"2003-01-01\"><a/></filler>")
+                   .ok());
+  EXPECT_FALSE(Fragment::Parse("<notfiller/>").ok());
+}
+
+// ---- Fragmenter ------------------------------------------------------------------
+
+class FragmenterTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ts_ = CreditTs();
+    auto doc = ParseXml(kCreditView);
+    ASSERT_TRUE(doc.ok()) << doc.status().ToString();
+    doc_ = doc.value();
+    Fragmenter fr(&ts_);
+    auto frags = fr.Split(*doc_);
+    ASSERT_TRUE(frags.ok()) << frags.status().ToString();
+    frags_ = std::move(frags).MoveValue();
+  }
+
+  std::vector<const Fragment*> WithTsid(int tsid) {
+    std::vector<const Fragment*> out;
+    for (const Fragment& f : frags_) {
+      if (f.tsid == tsid) out.push_back(&f);
+    }
+    return out;
+  }
+
+  TagStructure ts_;
+  NodePtr doc_;
+  std::vector<Fragment> frags_;
+};
+
+TEST_F(FragmenterTest, RootIsFillerZero) {
+  ASSERT_FALSE(frags_.empty());
+  EXPECT_EQ(frags_[0].id, 0);
+  EXPECT_EQ(frags_[0].tsid, 1);
+  EXPECT_EQ(frags_[0].content->name(), "creditAccounts");
+  // Root content holds only holes for the two accounts.
+  EXPECT_EQ(frags_[0].content->children().size(), 2u);
+  EXPECT_TRUE(IsHoleElement(*frags_[0].content->children()[0]));
+}
+
+TEST_F(FragmenterTest, FragmentCounts) {
+  // 1 root + 2 accounts + 3 creditLimit versions + 2 transactions +
+  // 3 status versions = 11 fragments.
+  EXPECT_EQ(frags_.size(), 11u);
+  EXPECT_EQ(WithTsid(2).size(), 2u);  // accounts
+  EXPECT_EQ(WithTsid(4).size(), 3u);  // creditLimit versions
+  EXPECT_EQ(WithTsid(5).size(), 2u);  // transactions
+  EXPECT_EQ(WithTsid(7).size(), 3u);  // status versions
+}
+
+TEST_F(FragmenterTest, TemporalSiblingsShareFillerId) {
+  auto limits = WithTsid(4);
+  // Account 1234's two creditLimit versions share one filler id; account
+  // 5678's limit has another.
+  EXPECT_EQ(limits[0]->id, limits[1]->id);
+  EXPECT_NE(limits[0]->id, limits[2]->id);
+  // Versions take their validTime from vtFrom.
+  EXPECT_EQ(limits[0]->valid_time.ToString(), "1998-10-10T12:20:22");
+  EXPECT_EQ(limits[1]->valid_time.ToString(), "2001-04-23T23:11:08");
+}
+
+TEST_F(FragmenterTest, EventsGetDistinctFillerIds) {
+  auto txns = WithTsid(5);
+  EXPECT_NE(txns[0]->id, txns[1]->id);
+}
+
+TEST_F(FragmenterTest, StatusVersionsGroupPerTransaction) {
+  auto statuses = WithTsid(7);
+  // Transaction 23456 has two status versions sharing an id; 12345 has one.
+  EXPECT_NE(statuses[0]->id, statuses[1]->id);
+  EXPECT_EQ(statuses[1]->id, statuses[2]->id);
+}
+
+TEST_F(FragmenterTest, PayloadsCarryNoLifespanAttrs) {
+  for (const Fragment& f : frags_) {
+    EXPECT_FALSE(f.content->HasAttr("vtFrom")) << f.ToXml();
+    EXPECT_FALSE(f.content->HasAttr("vtTo")) << f.ToXml();
+  }
+}
+
+TEST_F(FragmenterTest, HolesMatchEmittedFillers) {
+  std::set<int64_t> filler_ids;
+  for (const Fragment& f : frags_) filler_ids.insert(f.id);
+  for (const Fragment& f : frags_) {
+    std::vector<const Node*> stack = {f.content.get()};
+    while (!stack.empty()) {
+      const Node* n = stack.back();
+      stack.pop_back();
+      if (IsHoleElement(*n)) {
+        EXPECT_TRUE(filler_ids.count(HoleId(*n).value()))
+            << "dangling hole in " << f.ToXml();
+      }
+      for (const NodePtr& c : n->children()) {
+        if (c->is_element()) stack.push_back(c.get());
+      }
+    }
+  }
+}
+
+TEST_F(FragmenterTest, RejectsUndeclaredElements) {
+  auto doc = ParseXml("<creditAccounts><bogus/></creditAccounts>");
+  ASSERT_TRUE(doc.ok());
+  Fragmenter fr(&ts_);
+  EXPECT_FALSE(fr.Split(*doc.value()).ok());
+}
+
+TEST_F(FragmenterTest, RejectsWrongRoot) {
+  auto doc = ParseXml("<other/>");
+  ASSERT_TRUE(doc.ok());
+  Fragmenter fr(&ts_);
+  EXPECT_FALSE(fr.Split(*doc.value()).ok());
+}
+
+TEST(FragmenterSyntheticTimeTest, AssignsArrivalTimes) {
+  TagStructure ts = TagStructure::Make("root", TagType::kSnapshot, 1);
+  ASSERT_TRUE(ts.AddChild(ts.mutable_root(), "ev", TagType::kEvent, 2).ok());
+  auto doc = ParseXml("<root><ev/><ev/><ev/></root>");
+  ASSERT_TRUE(doc.ok());
+  FragmenterOptions opts;
+  opts.base_time = DateTime::Parse("2004-01-01T00:00:00").value();
+  opts.step_seconds = 10;
+  Fragmenter fr(&ts, opts);
+  auto frags = fr.Split(*doc.value());
+  ASSERT_TRUE(frags.ok());
+  ASSERT_EQ(frags.value().size(), 4u);
+  // Root consumes the first synthetic tick, events the following ones.
+  EXPECT_EQ(frags.value()[1].valid_time.ToString(), "2004-01-01T00:00:10");
+  EXPECT_EQ(frags.value()[2].valid_time.ToString(), "2004-01-01T00:00:20");
+  EXPECT_EQ(frags.value()[3].valid_time.ToString(), "2004-01-01T00:00:30");
+}
+
+// ---- FragmentStore ----------------------------------------------------------------
+
+class StoreTest : public FragmenterTest {
+ protected:
+  void SetUp() override {
+    FragmenterTest::SetUp();
+    store_ = std::make_unique<FragmentStore>(CreditTs(), "credit");
+    std::vector<Fragment> copy;
+    for (const Fragment& f : frags_) {
+      Fragment c;
+      c.id = f.id;
+      c.tsid = f.tsid;
+      c.valid_time = f.valid_time;
+      c.content = f.content->Clone();
+      copy.push_back(std::move(c));
+    }
+    ASSERT_TRUE(store_->InsertAll(std::move(copy)).ok());
+  }
+
+  std::unique_ptr<FragmentStore> store_;
+};
+
+TEST_F(StoreTest, LinearAndIndexedLookupsAgree) {
+  for (const Fragment& f : frags_) {
+    auto lin = store_->GetFillerVersions(f.id, /*linear=*/true);
+    auto idx = store_->GetFillerVersions(f.id, /*linear=*/false);
+    ASSERT_TRUE(lin.ok());
+    ASSERT_TRUE(idx.ok());
+    ASSERT_EQ(lin.value().size(), idx.value().size());
+    for (size_t i = 0; i < lin.value().size(); ++i) {
+      EXPECT_TRUE(Node::DeepEqual(*lin.value()[i], *idx.value()[i]));
+    }
+  }
+}
+
+TEST_F(StoreTest, TemporalVersionLifespansChain) {
+  // Account 1234's creditLimit versions: find their shared filler id.
+  auto limits = WithTsid(4);
+  int64_t id = limits[0]->id;
+  auto versions = store_->GetFillerVersions(id, false);
+  ASSERT_TRUE(versions.ok());
+  ASSERT_EQ(versions.value().size(), 2u);
+  EXPECT_EQ(*versions.value()[0]->FindAttr("vtFrom"), "1998-10-10T12:20:22");
+  EXPECT_EQ(*versions.value()[0]->FindAttr("vtTo"), "2001-04-23T23:11:08");
+  EXPECT_EQ(*versions.value()[1]->FindAttr("vtFrom"), "2001-04-23T23:11:08");
+  EXPECT_EQ(*versions.value()[1]->FindAttr("vtTo"), "now");
+}
+
+TEST_F(StoreTest, EventVersionsArePoints) {
+  auto txns = WithTsid(5);
+  auto versions = store_->GetFillerVersions(txns[0]->id, false);
+  ASSERT_TRUE(versions.ok());
+  ASSERT_EQ(versions.value().size(), 1u);
+  EXPECT_EQ(*versions.value()[0]->FindAttr("vtFrom"),
+            *versions.value()[0]->FindAttr("vtTo"));
+}
+
+TEST_F(StoreTest, RootSnapshotHasNoLifespan) {
+  auto versions = store_->GetFillerVersions(0, false);
+  ASSERT_TRUE(versions.ok());
+  ASSERT_EQ(versions.value().size(), 1u);
+  EXPECT_FALSE(versions.value()[0]->HasAttr("vtFrom"));
+}
+
+TEST_F(StoreTest, UnknownIdYieldsEmpty) {
+  auto versions = store_->GetFillerVersions(999, false);
+  ASSERT_TRUE(versions.ok());
+  EXPECT_TRUE(versions.value().empty());
+}
+
+TEST_F(StoreTest, WrapperShape) {
+  auto wrapper = store_->GetFillerWrapper(0, false);
+  ASSERT_TRUE(wrapper.ok());
+  EXPECT_EQ(wrapper.value()->name(), "filler");
+  EXPECT_EQ(*wrapper.value()->FindAttr("id"), "0");
+  EXPECT_EQ(wrapper.value()->children().size(), 1u);
+}
+
+TEST_F(StoreTest, TsidScanGroupsByFillerId) {
+  auto wrappers = store_->GetFillersByTsid(5);
+  ASSERT_TRUE(wrappers.ok());
+  EXPECT_EQ(wrappers.value().size(), 2u);  // two transactions
+  EXPECT_EQ(store_->CountIdsWithTsid(4), 2u);
+  EXPECT_EQ(store_->CountIdsWithTsid(99), 0u);
+}
+
+TEST_F(StoreTest, HolesAreStampedWithStreamName) {
+  auto versions = store_->GetFillerVersions(0, false);
+  ASSERT_TRUE(versions.ok());
+  NodePtr hole = versions.value()[0]->FirstChildElement("hole");
+  ASSERT_NE(hole, nullptr);
+  EXPECT_EQ(*hole->FindAttr("stream"), "credit");
+}
+
+TEST_F(StoreTest, OutOfOrderInsertionSortsVersions) {
+  FragmentStore store(CreditTs(), "s");
+  auto mk = [](int64_t id, const char* t, const char* text) {
+    Fragment f;
+    f.id = id;
+    f.tsid = 4;
+    f.valid_time = DateTime::Parse(t).value();
+    f.content = Node::Element("creditLimit");
+    f.content->AddChild(Node::Text(text));
+    return f;
+  };
+  ASSERT_TRUE(store.Insert(mk(10, "2003-06-01", "late")).ok());
+  ASSERT_TRUE(store.Insert(mk(10, "2003-01-01", "early")).ok());
+  auto versions = store.GetFillerVersions(10, false);
+  ASSERT_TRUE(versions.ok());
+  ASSERT_EQ(versions.value().size(), 2u);
+  EXPECT_EQ(versions.value()[0]->StringValue(), "early");
+  EXPECT_EQ(*versions.value()[0]->FindAttr("vtTo"), "2003-06-01T00:00:00");
+  EXPECT_EQ(versions.value()[1]->StringValue(), "late");
+}
+
+TEST_F(StoreTest, RejectsBadFragments) {
+  FragmentStore store(CreditTs(), "s");
+  Fragment f;
+  f.id = 1;
+  f.tsid = 99;  // unknown tsid
+  f.valid_time = DateTime(0);
+  f.content = Node::Element("x");
+  EXPECT_FALSE(store.Insert(std::move(f)).ok());
+  Fragment g;
+  g.id = 1;
+  g.tsid = 4;
+  EXPECT_FALSE(store.Insert(std::move(g)).ok());  // no payload
+}
+
+// ---- Reconstruction ---------------------------------------------------------------
+
+TEST_F(StoreTest, TemporalizeRoundTripsTheView) {
+  auto view = Temporalize(*store_, /*linear_scan=*/false);
+  ASSERT_TRUE(view.ok()) << view.status().ToString();
+  EXPECT_TRUE(Node::DeepEqual(*doc_, *view.value()))
+      << "expected:\n"
+      << SerializeXml(*doc_, {.pretty = true}) << "\ngot:\n"
+      << SerializeXml(*view.value(), {.pretty = true});
+}
+
+TEST_F(StoreTest, LinearTemporalizeAgrees) {
+  auto lin = Temporalize(*store_, true);
+  auto idx = Temporalize(*store_, false);
+  ASSERT_TRUE(lin.ok());
+  ASSERT_TRUE(idx.ok());
+  EXPECT_TRUE(Node::DeepEqual(*lin.value(), *idx.value()));
+}
+
+TEST_F(StoreTest, SchemaDrivenTemporalizeAgrees) {
+  auto generic = Temporalize(*store_, false);
+  auto schema = TemporalizeSchemaDriven(*store_);
+  ASSERT_TRUE(generic.ok());
+  ASSERT_TRUE(schema.ok()) << schema.status().ToString();
+  EXPECT_TRUE(Node::DeepEqual(*generic.value(), *schema.value()))
+      << "generic:\n"
+      << SerializeXml(*generic.value(), {.pretty = true}) << "\nschema:\n"
+      << SerializeXml(*schema.value(), {.pretty = true});
+}
+
+TEST(TemporalizeTest, EmptyStoreIsError) {
+  FragmentStore store(CreditTs(), "s");
+  EXPECT_FALSE(Temporalize(store, false).ok());
+}
+
+// Property: for random model-consistent temporal documents over random tag
+// structures, fragment → store → temporalize reproduces the document, and
+// both reconstruction variants agree.
+class RoundTripPropertyTest : public ::testing::TestWithParam<uint64_t> {
+ protected:
+  struct Gen {
+    Random rng;
+    TagStructure ts;
+    int next_tag_id = 2;
+    int64_t clock = 0;
+
+    explicit Gen(uint64_t seed)
+        : rng(seed), ts(TagStructure::Make("root", TagType::kSnapshot, 1)) {}
+
+    void GrowTags(TagNode* parent, int depth) {
+      if (depth == 0) return;
+      int n = 1 + static_cast<int>(rng.Uniform(3));
+      for (int i = 0; i < n; ++i) {
+        TagType type = static_cast<TagType>(rng.Uniform(3));
+        auto child = ts.AddChild(parent,
+                                 "t" + std::to_string(next_tag_id), type,
+                                 next_tag_id);
+        ++next_tag_id;
+        if (child.ok() && rng.Bernoulli(0.5)) {
+          GrowTags(child.value(), depth - 1);
+        }
+      }
+    }
+
+    std::string NextTime() {
+      clock += 1 + static_cast<int64_t>(rng.Uniform(1000));
+      return DateTime(clock).ToString();
+    }
+
+    NodePtr BuildElement(const TagNode* tag) {
+      NodePtr e = Node::Element(tag->name);
+      if (rng.Bernoulli(0.4)) {
+        e->AddChild(Node::Text(rng.Word(5)));
+      }
+      for (const auto& c : tag->children) {
+        BuildChildren(c.get(), e.get());
+      }
+      return e;
+    }
+
+    void BuildChildren(const TagNode* tag, Node* parent) {
+      switch (tag->type) {
+        case TagType::kSnapshot: {
+          if (rng.Bernoulli(0.8)) {
+            parent->AddChild(BuildElement(tag));
+          }
+          break;
+        }
+        case TagType::kTemporal: {
+          // One logical element (no id attr): chained versions, last open.
+          int versions = 1 + static_cast<int>(rng.Uniform(3));
+          std::vector<std::string> times;
+          for (int i = 0; i <= versions; ++i) times.push_back(NextTime());
+          for (int i = 0; i < versions; ++i) {
+            NodePtr v = BuildElement(tag);
+            v->SetAttr("vtFrom", times[static_cast<size_t>(i)]);
+            v->SetAttr("vtTo", i + 1 == versions
+                                   ? "now"
+                                   : times[static_cast<size_t>(i + 1)]);
+            parent->AddChild(std::move(v));
+          }
+          break;
+        }
+        case TagType::kEvent: {
+          int events = static_cast<int>(rng.Uniform(3));
+          for (int i = 0; i < events; ++i) {
+            NodePtr v = BuildElement(tag);
+            std::string t = NextTime();
+            v->SetAttr("vtFrom", t);
+            v->SetAttr("vtTo", t);
+            parent->AddChild(std::move(v));
+          }
+          break;
+        }
+      }
+    }
+  };
+};
+
+TEST_P(RoundTripPropertyTest, FragmentThenTemporalizeIsIdentity) {
+  Gen gen(GetParam());
+  gen.GrowTags(gen.ts.mutable_root(), 3);
+  NodePtr doc = gen.BuildElement(gen.ts.root());
+
+  Fragmenter fr(&gen.ts);
+  auto frags = fr.Split(*doc);
+  ASSERT_TRUE(frags.ok()) << frags.status().ToString();
+
+  // Reconstruction must be identical with and without the stream stamp, so
+  // use an unnamed store (no hole stamping) for the equality check.
+  auto ts2 = TagStructure::Parse(gen.ts.ToXml());
+  ASSERT_TRUE(ts2.ok());
+  FragmentStore store(std::move(ts2).MoveValue(), "");
+  ASSERT_TRUE(store.InsertAll(std::move(frags).MoveValue()).ok());
+
+  auto view = Temporalize(store, /*linear_scan=*/false);
+  ASSERT_TRUE(view.ok()) << view.status().ToString();
+  EXPECT_TRUE(Node::DeepEqual(*doc, *view.value()))
+      << "seed " << GetParam() << "\nexpected:\n"
+      << SerializeXml(*doc, {.pretty = true}) << "\ngot:\n"
+      << SerializeXml(*view.value(), {.pretty = true});
+
+  auto schema_view = TemporalizeSchemaDriven(store);
+  ASSERT_TRUE(schema_view.ok());
+  EXPECT_TRUE(Node::DeepEqual(*view.value(), *schema_view.value()));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RoundTripPropertyTest,
+                         ::testing::Range<uint64_t>(0, 32));
+
+}  // namespace
+}  // namespace xcql::frag

@@ -1,0 +1,124 @@
+// Deterministic fuzz-style robustness tests: randomly mutated documents,
+// fragment streams and queries must never crash the parsers or the
+// evaluator — every input yields either a value or a clean error Status.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "common/random.h"
+#include "frag/fragment.h"
+#include "frag/tag_structure.h"
+#include "test_util.h"
+#include "xml/parser.h"
+#include "xq/eval.h"
+#include "xq/parser.h"
+
+namespace xcql {
+namespace {
+
+// Applies `n` random byte-level mutations (replace/insert/delete).
+std::string Mutate(std::string input, Random* rng, int n) {
+  static const char kBytes[] =
+      "<>/=\"'&;{}[]()$#?@!abcXYZ019 \t\n-_.:*+|,";
+  for (int i = 0; i < n && !input.empty(); ++i) {
+    size_t pos = rng->Uniform(input.size());
+    switch (rng->Uniform(3)) {
+      case 0:
+        input[pos] = kBytes[rng->Uniform(sizeof(kBytes) - 1)];
+        break;
+      case 1:
+        input.insert(pos, 1, kBytes[rng->Uniform(sizeof(kBytes) - 1)]);
+        break;
+      default:
+        input.erase(pos, 1);
+        break;
+    }
+  }
+  return input;
+}
+
+class XmlFuzzTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(XmlFuzzTest, MutatedDocumentsNeverCrashTheParser) {
+  Random rng(GetParam());
+  std::string doc = testutil::kCreditView;
+  for (int round = 0; round < 20; ++round) {
+    std::string mutated = Mutate(doc, &rng, 1 + static_cast<int>(
+                                                   rng.Uniform(8)));
+    auto r = ParseXml(mutated);
+    if (r.ok()) {
+      // Whatever parsed must serialize and reparse.
+      std::string again = SerializeXml(*r.value());
+      EXPECT_TRUE(ParseXml(again).ok()) << again;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, XmlFuzzTest,
+                         ::testing::Range<uint64_t>(0, 16));
+
+class QueryFuzzTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(QueryFuzzTest, MutatedQueriesNeverCrashParserOrEvaluator) {
+  Random rng(GetParam() + 1000);
+  const char* corpus[] = {
+      "for $a in doc(\"credit\")//account "
+      "where sum($a/transaction?[2003-11-01,2003-12-01]"
+      "[status = \"charged\"]/amount) >= $a/creditLimit?[now] "
+      "return <account>{attribute id {$a/@id}, $a/customer}</account>",
+      "declare function f($x) { $x * 2 }; f(3) + count((1 to 10)[. mod 2])",
+      "some $x in (1, 2, 3) satisfies $x > 2 and \"a\" < \"b\"",
+      "stream(\"credit\")//transaction#[1,last]?[start,now]",
+  };
+  xq::FunctionRegistry registry = xq::FunctionRegistry::Builtins();
+  auto doc = ParseXml(testutil::kCreditView);
+  ASSERT_TRUE(doc.ok());
+  for (const char* base : corpus) {
+    for (int round = 0; round < 12; ++round) {
+      std::string mutated =
+          Mutate(base, &rng, 1 + static_cast<int>(rng.Uniform(6)));
+      auto prog = xq::ParseQuery(mutated);
+      if (!prog.ok()) continue;  // clean parse error
+      // Evaluate whatever still parses; errors must come back as Status.
+      xq::EvalContext ctx;
+      ctx.functions = &registry;
+      ctx.now = DateTime::Parse("2003-12-01T00:00:00").value();
+      ctx.documents["credit"] = doc.value();
+      xq::Evaluator ev(&ctx);
+      auto result = ev.EvalProgram(prog.value());
+      (void)result;  // ok or clean error — reaching here is the assertion
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, QueryFuzzTest,
+                         ::testing::Range<uint64_t>(0, 16));
+
+class FragmentFuzzTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(FragmentFuzzTest, MutatedWireFormsNeverCrash) {
+  Random rng(GetParam() + 2000);
+  const char* wire =
+      "<filler id=\"100\" tsid=\"5\" validTime=\"2003-10-23T12:23:34\">"
+      "<transaction id=\"12345\"><vendor>Pizza</vendor>"
+      "<hole id=\"200\" tsid=\"7\"/></transaction></filler>";
+  for (int round = 0; round < 30; ++round) {
+    std::string mutated =
+        Mutate(wire, &rng, 1 + static_cast<int>(rng.Uniform(6)));
+    auto f = frag::Fragment::Parse(mutated);
+    (void)f;
+  }
+  // Tag structures too.
+  for (int round = 0; round < 30; ++round) {
+    std::string mutated = Mutate(testutil::kCreditTagStructure, &rng,
+                                 1 + static_cast<int>(rng.Uniform(6)));
+    auto ts = frag::TagStructure::Parse(mutated);
+    (void)ts;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FragmentFuzzTest,
+                         ::testing::Range<uint64_t>(0, 16));
+
+}  // namespace
+}  // namespace xcql

@@ -1,0 +1,177 @@
+// Tests for the optional features built on the Tag Structure: schema
+// inference from sample documents and the §4.1 tag-id wire compression.
+#include <gtest/gtest.h>
+
+#include "frag/assembler.h"
+#include "frag/codec.h"
+#include "frag/fragment_store.h"
+#include "frag/fragmenter.h"
+#include "frag/infer.h"
+#include "test_util.h"
+#include "xml/parser.h"
+
+namespace xcql::frag {
+namespace {
+
+// ---- Tag Structure inference ----------------------------------------------------
+
+TEST(InferTest, RecoversThePaperCreditSchema) {
+  auto doc = ParseXml(testutil::kCreditView);
+  ASSERT_TRUE(doc.ok());
+  auto ts = InferTagStructure(*doc.value());
+  ASSERT_TRUE(ts.ok()) << ts.status().ToString();
+
+  const TagNode* root = ts.value().root();
+  EXPECT_EQ(root->name, "creditAccounts");
+  EXPECT_EQ(root->type, TagType::kSnapshot);
+  const TagNode* account = root->Child("account");
+  ASSERT_NE(account, nullptr);
+  EXPECT_EQ(account->type, TagType::kTemporal);
+  EXPECT_EQ(account->Child("customer")->type, TagType::kSnapshot);
+  EXPECT_EQ(account->Child("creditLimit")->type, TagType::kTemporal);
+  const TagNode* txn = account->Child("transaction");
+  ASSERT_NE(txn, nullptr);
+  EXPECT_EQ(txn->type, TagType::kEvent);  // vtFrom == vtTo on every one
+  EXPECT_EQ(txn->Child("vendor")->type, TagType::kSnapshot);
+  EXPECT_EQ(txn->Child("status")->type, TagType::kTemporal);
+  EXPECT_EQ(txn->Child("amount")->type, TagType::kSnapshot);
+}
+
+TEST(InferTest, InferredStructureFragmentsTheDocument) {
+  auto doc = ParseXml(testutil::kCreditView);
+  ASSERT_TRUE(doc.ok());
+  auto ts = InferTagStructure(*doc.value());
+  ASSERT_TRUE(ts.ok());
+  Fragmenter fragmenter(&ts.value());
+  auto frags = fragmenter.Split(*doc.value());
+  ASSERT_TRUE(frags.ok()) << frags.status().ToString();
+  EXPECT_EQ(frags.value().size(), 11u);  // same as the hand-written schema
+
+  // And the round trip still holds.
+  auto ts2 = TagStructure::Parse(ts.value().ToXml());
+  ASSERT_TRUE(ts2.ok());
+  FragmentStore store(std::move(ts2).MoveValue(), "");
+  ASSERT_TRUE(store.InsertAll(std::move(frags).MoveValue()).ok());
+  auto view = Temporalize(store, false);
+  ASSERT_TRUE(view.ok());
+  EXPECT_TRUE(Node::DeepEqual(*doc.value(), *view.value()));
+}
+
+TEST(InferTest, MixedEvidencePromotesToTemporal) {
+  // One occurrence is an instant, another an interval: the tag must be
+  // temporal (events are the special case).
+  auto doc = ParseXml(R"(
+    <root>
+      <x vtFrom="2004-01-01T00:00:00" vtTo="2004-01-01T00:00:00"/>
+      <x vtFrom="2004-02-01T00:00:00" vtTo="now"/>
+    </root>)");
+  ASSERT_TRUE(doc.ok());
+  auto ts = InferTagStructure(*doc.value());
+  ASSERT_TRUE(ts.ok());
+  EXPECT_EQ(ts.value().root()->Child("x")->type, TagType::kTemporal);
+}
+
+TEST(InferTest, PlainDocumentIsAllSnapshot) {
+  auto doc = ParseXml("<a><b><c/></b><b/></a>");
+  ASSERT_TRUE(doc.ok());
+  auto ts = InferTagStructure(*doc.value());
+  ASSERT_TRUE(ts.ok());
+  EXPECT_EQ(ts.value().root()->Child("b")->type, TagType::kSnapshot);
+  EXPECT_EQ(ts.value().size(), 3u);  // a, b, c — occurrences merged
+}
+
+// ---- Wire compression --------------------------------------------------------------
+
+class CodecTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto ts = TagStructure::Parse(testutil::kCreditTagStructure);
+    ASSERT_TRUE(ts.ok());
+    ts_ = std::move(ts).MoveValue();
+    auto doc = ParseXml(testutil::kCreditView);
+    ASSERT_TRUE(doc.ok());
+    auto ts_frag = TagStructure::Parse(testutil::kCreditTagStructure);
+    Fragmenter fragmenter(&ts_frag.value());
+    auto frags = fragmenter.Split(*doc.value());
+    ASSERT_TRUE(frags.ok());
+    frags_ = std::move(frags).MoveValue();
+  }
+
+  TagStructure ts_;
+  std::vector<Fragment> frags_;
+};
+
+TEST_F(CodecTest, RoundTripsEveryFragment) {
+  for (const Fragment& f : frags_) {
+    auto wire = CompressFragment(f, ts_);
+    ASSERT_TRUE(wire.ok()) << wire.status().ToString();
+    auto back = DecompressFragment(wire.value(), ts_);
+    ASSERT_TRUE(back.ok()) << back.status().ToString() << "\n"
+                           << wire.value();
+    EXPECT_EQ(back.value().id, f.id);
+    EXPECT_EQ(back.value().tsid, f.tsid);
+    EXPECT_EQ(back.value().valid_time, f.valid_time);
+    EXPECT_TRUE(Node::DeepEqual(*back.value().content, *f.content))
+        << wire.value();
+  }
+}
+
+TEST_F(CodecTest, CompressesTheStream) {
+  size_t plain = 0, compressed = 0;
+  for (const Fragment& f : frags_) {
+    plain += f.ToXml().size();
+    auto wire = CompressFragment(f, ts_);
+    ASSERT_TRUE(wire.ok());
+    compressed += wire.value().size();
+  }
+  EXPECT_LT(compressed, plain);
+  // Tag-id abbreviation should save a decent fraction on this tag-heavy
+  // stream.
+  EXPECT_LT(static_cast<double>(compressed) / static_cast<double>(plain),
+            0.85)
+      << "plain=" << plain << " compressed=" << compressed;
+}
+
+TEST_F(CodecTest, CompressedFormUsesTagIds) {
+  // Find a transaction fragment (tsid 5) and check the compact shape.
+  for (const Fragment& f : frags_) {
+    if (f.tsid != 5) continue;
+    auto wire = CompressFragment(f, ts_);
+    ASSERT_TRUE(wire.ok());
+    EXPECT_NE(wire.value().find("<_5"), std::string::npos) << wire.value();
+    EXPECT_NE(wire.value().find("<_6>"), std::string::npos) << wire.value();
+    EXPECT_EQ(wire.value().find("<transaction"), std::string::npos);
+    return;
+  }
+  FAIL() << "no transaction fragment found";
+}
+
+TEST_F(CodecTest, RejectsUndeclaredPayloads) {
+  Fragment f;
+  f.id = 1;
+  f.tsid = 5;
+  f.valid_time = DateTime(0);
+  f.content = Node::Element("transaction");
+  f.content->AddChild(Node::Element("bogus"));
+  EXPECT_FALSE(CompressFragment(f, ts_).ok());
+
+  Fragment g;
+  g.id = 1;
+  g.tsid = 5;
+  g.valid_time = DateTime(0);
+  g.content = Node::Element("wrongname");
+  EXPECT_FALSE(CompressFragment(g, ts_).ok());
+}
+
+TEST_F(CodecTest, RejectsMalformedCompressedData) {
+  EXPECT_FALSE(DecompressFragment("<notf/>", ts_).ok());
+  EXPECT_FALSE(DecompressFragment("<f i=\"1\" t=\"5\"/>", ts_).ok());
+  EXPECT_FALSE(
+      DecompressFragment("<f i=\"1\" t=\"5\" v=\"0\"><_99/></f>", ts_).ok());
+  EXPECT_FALSE(
+      DecompressFragment("<f i=\"1\" t=\"5\" v=\"0\"><junk/></f>", ts_)
+          .ok());
+}
+
+}  // namespace
+}  // namespace xcql::frag

@@ -1,0 +1,99 @@
+// Tests for file utilities and fragment-stream persistence.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+
+#include "common/file_util.h"
+#include "frag/io.h"
+
+namespace xcql {
+namespace {
+
+std::string TempPath(const char* name) {
+  return std::string(::testing::TempDir()) + "/" + name;
+}
+
+TEST(FileUtilTest, WriteThenReadRoundTrips) {
+  std::string path = TempPath("xcql_io_test.txt");
+  std::string content = "hello\nworld\0binary ok";
+  content += std::string(1, '\0');
+  ASSERT_TRUE(WriteStringToFile(path, content).ok());
+  auto back = ReadFileToString(path);
+  ASSERT_TRUE(back.ok()) << back.status().ToString();
+  EXPECT_EQ(back.value(), content);
+  std::remove(path.c_str());
+}
+
+TEST(FileUtilTest, MissingFileIsNotFound) {
+  auto r = ReadFileToString("/definitely/not/here.xml");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kNotFound);
+}
+
+TEST(FileUtilTest, UnwritablePathIsError) {
+  EXPECT_FALSE(WriteStringToFile("/nonexistent-dir/x.txt", "x").ok());
+}
+
+frag::Fragment MakeFragment(int64_t id, int tsid, const char* time,
+                            const char* payload_name) {
+  frag::Fragment f;
+  f.id = id;
+  f.tsid = tsid;
+  f.valid_time = DateTime::Parse(time).value();
+  f.content = Node::Element(payload_name);
+  f.content->AddChild(Node::Text("v" + std::to_string(id)));
+  return f;
+}
+
+TEST(FragmentIoTest, SerializeParseRoundTrips) {
+  std::vector<frag::Fragment> frags;
+  frags.push_back(MakeFragment(0, 1, "2004-01-01T00:00:00", "root"));
+  frags.push_back(MakeFragment(1, 2, "2004-01-01T00:01:00", "ev"));
+  frags.push_back(MakeFragment(1, 2, "2004-01-01T00:02:00", "ev"));
+
+  std::string xml = frag::SerializeFragmentStream(frags);
+  EXPECT_NE(xml.find("<fragments>"), std::string::npos);
+  auto back = frag::ParseFragmentStream(xml);
+  ASSERT_TRUE(back.ok()) << back.status().ToString();
+  ASSERT_EQ(back.value().size(), 3u);
+  EXPECT_EQ(back.value()[1].id, 1);
+  EXPECT_EQ(back.value()[1].tsid, 2);
+  EXPECT_EQ(back.value()[2].valid_time.ToString(), "2004-01-01T00:02:00");
+  EXPECT_TRUE(Node::DeepEqual(*back.value()[0].content, *frags[0].content));
+}
+
+TEST(FragmentIoTest, ParsesBareFillerSequence) {
+  auto r = frag::ParseFragmentStream(
+      "<filler id=\"1\" tsid=\"2\" validTime=\"2004-01-01\"><a/></filler>"
+      "<filler id=\"2\" tsid=\"2\" validTime=\"2004-01-02\"><a/></filler>");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value().size(), 2u);
+}
+
+TEST(FragmentIoTest, FileRoundTrip) {
+  std::vector<frag::Fragment> frags;
+  frags.push_back(MakeFragment(7, 1, "2004-05-05T05:05:05", "x"));
+  std::string path = TempPath("xcql_frags_test.xml");
+  ASSERT_TRUE(frag::WriteFragmentStreamFile(path, frags).ok());
+  auto back = frag::ReadFragmentStreamFile(path);
+  ASSERT_TRUE(back.ok()) << back.status().ToString();
+  ASSERT_EQ(back.value().size(), 1u);
+  EXPECT_EQ(back.value()[0].id, 7);
+  std::remove(path.c_str());
+}
+
+TEST(FragmentIoTest, RejectsMalformedStream) {
+  EXPECT_FALSE(frag::ParseFragmentStream("<fragments><junk/></fragments>")
+                   .ok());
+  EXPECT_FALSE(frag::ParseFragmentStream("not xml").ok());
+}
+
+TEST(FragmentIoTest, EmptyStreamIsEmpty) {
+  auto r = frag::ParseFragmentStream("<fragments></fragments>");
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(r.value().empty());
+}
+
+}  // namespace
+}  // namespace xcql

@@ -1,0 +1,204 @@
+// Property tests for the XCQL projections (DESIGN.md §4): over randomized
+// temporal documents and randomized projection intervals,
+//   * clipping     — every lifespan in the output lies within [tb, te];
+//   * idempotence  — projecting twice with the same interval is a no-op;
+//   * monotonicity — narrowing the interval never adds elements;
+//   * versions     — #[last] equals ?[now] for single-version selection of
+//                    temporal chains (the paper's §6.1 remark).
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "xml/serializer.h"
+#include "xq/eval.h"
+
+namespace xcql::xq {
+namespace {
+
+constexpr int64_t kBase = 1'072'915'200;  // 2004-01-01T00:00:00
+
+// Random temporal tree: nested elements, some with chained lifespans, some
+// events, some snapshots, with text leaves.
+class Gen {
+ public:
+  explicit Gen(uint64_t seed) : rng_(seed) {}
+
+  NodePtr Build() {
+    NodePtr root = Node::Element("root");
+    Fill(root.get(), 3);
+    return root;
+  }
+
+  DateTime RandomInstant() {
+    return DateTime(kBase + rng_.UniformRange(0, kSpan));
+  }
+
+ private:
+  static constexpr int64_t kSpan = 10'000'000;
+
+  void Fill(Node* parent, int depth) {
+    int children = 1 + static_cast<int>(rng_.Uniform(4));
+    for (int i = 0; i < children; ++i) {
+      NodePtr e = Node::Element("n" + std::to_string(rng_.Uniform(4)));
+      switch (rng_.Uniform(3)) {
+        case 0: {  // temporal chain of 1..3 versions, last open
+          int64_t t = kBase + rng_.UniformRange(0, kSpan / 2);
+          int versions = 1 + static_cast<int>(rng_.Uniform(3));
+          for (int v = 0; v < versions; ++v) {
+            NodePtr ver = Node::Element(e->name());
+            int64_t next = t + 1 + rng_.UniformRange(0, kSpan / 8);
+            ver->SetAttr("vtFrom", DateTime(t).ToString());
+            ver->SetAttr("vtTo", v + 1 == versions ? "now"
+                                                   : DateTime(next).ToString());
+            ver->AddChild(Node::Text(rng_.Word(4)));
+            if (depth > 0 && rng_.Bernoulli(0.4)) Fill(ver.get(), depth - 1);
+            parent->AddChild(std::move(ver));
+            t = next;
+          }
+          continue;  // versions already added
+        }
+        case 1: {  // event
+          DateTime t = RandomInstant();
+          e->SetAttr("vtFrom", t.ToString());
+          e->SetAttr("vtTo", t.ToString());
+          e->AddChild(Node::Text(rng_.Word(3)));
+          break;
+        }
+        default:  // snapshot
+          e->AddChild(Node::Text(rng_.Word(5)));
+          if (depth > 0 && rng_.Bernoulli(0.5)) Fill(e.get(), depth - 1);
+          break;
+      }
+      parent->AddChild(std::move(e));
+    }
+  }
+
+  Random rng_;
+};
+
+// Walks the projected output checking every lifespan lies within [tb, te].
+void CheckClipped(const Node& n, DateTime tb, DateTime te,
+                  const EvalContext& ctx) {
+  const std::string* from = n.FindAttr("vtFrom");
+  const std::string* to = n.FindAttr("vtTo");
+  if (from != nullptr && to != nullptr) {
+    DateTime f = DateTime::Parse(*from).value();
+    DateTime t = DateTime::Parse(*to).value();
+    if (t == DateTime::End()) t = ctx.now;
+    EXPECT_GE(f.seconds(), tb.seconds()) << SerializeXml(n);
+    EXPECT_LE(t.seconds(), te.seconds()) << SerializeXml(n);
+    EXPECT_LE(f.seconds(), t.seconds()) << SerializeXml(n);
+  }
+  for (const NodePtr& c : n.children()) {
+    if (c->is_element()) CheckClipped(*c, tb, te, ctx);
+  }
+}
+
+size_t CountElements(const Sequence& seq) {
+  size_t n = 0;
+  for (const auto& item : seq) {
+    if (IsNode(item)) n += AsNode(item)->SubtreeSize();
+  }
+  return n;
+}
+
+std::string RenderAll(const Sequence& seq) {
+  std::string out;
+  for (const auto& item : seq) {
+    if (IsNode(item)) out += SerializeXml(*AsNode(item));
+  }
+  return out;
+}
+
+class ProjectionPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(ProjectionPropertyTest, ClippingIdempotenceMonotonicity) {
+  Gen gen(GetParam());
+  NodePtr doc = gen.Build();
+  FunctionRegistry registry = FunctionRegistry::Builtins();
+  EvalContext ctx;
+  ctx.functions = &registry;
+  ctx.now = DateTime(kBase + 20'000'000);
+
+  Sequence input = SingletonNode(doc);
+  Gen bounds_gen(GetParam() + 500);
+  for (int round = 0; round < 6; ++round) {
+    DateTime a = bounds_gen.RandomInstant();
+    DateTime b = bounds_gen.RandomInstant();
+    DateTime tb = std::min(a, b);
+    DateTime te = std::max(a, b);
+
+    auto once = IntervalProjection(ctx, input, tb, te);
+    ASSERT_TRUE(once.ok()) << once.status().ToString();
+    // Clipping.
+    for (const auto& item : once.value()) {
+      if (IsNode(item)) CheckClipped(*AsNode(item), tb, te, ctx);
+    }
+    // Idempotence.
+    auto twice = IntervalProjection(ctx, once.value(), tb, te);
+    ASSERT_TRUE(twice.ok());
+    EXPECT_EQ(RenderAll(once.value()), RenderAll(twice.value()))
+        << "seed " << GetParam();
+
+    // Monotonicity: a strictly narrower interval keeps no more elements.
+    int64_t shrink = (te.seconds() - tb.seconds()) / 4;
+    DateTime tb2(tb.seconds() + shrink);
+    DateTime te2(te.seconds() - shrink);
+    if (tb2 <= te2) {
+      auto narrow = IntervalProjection(ctx, input, tb2, te2);
+      ASSERT_TRUE(narrow.ok());
+      EXPECT_LE(CountElements(narrow.value()), CountElements(once.value()));
+      // And narrowing the already-projected result equals projecting the
+      // original with the narrow interval (composition).
+      auto composed = IntervalProjection(ctx, once.value(), tb2, te2);
+      ASSERT_TRUE(composed.ok());
+      EXPECT_EQ(RenderAll(composed.value()), RenderAll(narrow.value()))
+          << "seed " << GetParam();
+    }
+  }
+}
+
+TEST_P(ProjectionPropertyTest, FullRangeProjectionKeepsEverything) {
+  Gen gen(GetParam() + 900);
+  NodePtr doc = gen.Build();
+  FunctionRegistry registry = FunctionRegistry::Builtins();
+  EvalContext ctx;
+  ctx.functions = &registry;
+  ctx.now = DateTime(kBase + 20'000'000);
+  Sequence input = SingletonNode(doc);
+  auto all = IntervalProjection(ctx, input, DateTime::Start(), ctx.now);
+  ASSERT_TRUE(all.ok());
+  // Same number of elements (lifespans may be rewritten to resolved forms).
+  EXPECT_EQ(CountElements(all.value()), doc->SubtreeSize());
+}
+
+TEST_P(ProjectionPropertyTest, VersionProjectionSelectsWithinBounds) {
+  Gen gen(GetParam() + 1300);
+  NodePtr doc = gen.Build();
+  FunctionRegistry registry = FunctionRegistry::Builtins();
+  EvalContext ctx;
+  ctx.functions = &registry;
+  ctx.now = DateTime(kBase + 20'000'000);
+
+  // Collect any element's children as a version sequence.
+  Sequence versions;
+  for (const NodePtr& c : doc->children()) {
+    if (c->is_element()) versions.emplace_back(c);
+  }
+  ASSERT_FALSE(versions.empty());
+  int64_t n = static_cast<int64_t>(versions.size());
+  auto all = VersionProjection(ctx, versions, 1, n);
+  ASSERT_TRUE(all.ok());
+  EXPECT_EQ(all.value().size(), versions.size());
+  auto first = VersionProjection(ctx, versions, 1, 1);
+  ASSERT_TRUE(first.ok());
+  EXPECT_EQ(first.value().size(), 1u);
+  auto beyond = VersionProjection(ctx, versions, n + 1, n + 5);
+  ASSERT_TRUE(beyond.ok());
+  EXPECT_TRUE(beyond.value().empty());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ProjectionPropertyTest,
+                         ::testing::Range<uint64_t>(0, 16));
+
+}  // namespace
+}  // namespace xcql::xq

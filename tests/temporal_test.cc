@@ -1,0 +1,309 @@
+// Unit tests for the temporal substrate: dateTime parsing/formatting and
+// calendar arithmetic, duration parsing, interval algebra.
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "temporal/datetime.h"
+#include "temporal/duration.h"
+#include "temporal/interval.h"
+
+namespace xcql {
+namespace {
+
+TEST(DateTimeTest, ParsesFullDateTime) {
+  auto r = DateTime::Parse("2003-10-23T12:23:34");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(r.value().ToString(), "2003-10-23T12:23:34");
+}
+
+TEST(DateTimeTest, ParsesDateOnlyAsMidnight) {
+  auto r = DateTime::Parse("2003-11-01");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value().ToString(), "2003-11-01T00:00:00");
+}
+
+TEST(DateTimeTest, ParsesEpoch) {
+  auto r = DateTime::Parse("1970-01-01T00:00:00");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value().seconds(), 0);
+}
+
+TEST(DateTimeTest, RoundTripsManyDates) {
+  const char* dates[] = {
+      "1998-10-10T12:20:22", "2001-04-23T23:11:08", "2003-12-31T23:59:59",
+      "2000-02-29T00:00:00",  // leap day
+      "1900-03-01T01:02:03",  // 1900 not a leap year
+      "2400-02-29T12:00:00",  // 2400 is a leap year
+      "1969-07-20T20:17:40",  // pre-epoch
+      "0001-01-01T00:00:00",
+  };
+  for (const char* d : dates) {
+    auto r = DateTime::Parse(d);
+    ASSERT_TRUE(r.ok()) << d << ": " << r.status().ToString();
+    EXPECT_EQ(r.value().ToString(), d);
+  }
+}
+
+TEST(DateTimeTest, RejectsMalformed) {
+  EXPECT_FALSE(DateTime::Parse("2003-13-01").ok());        // month 13
+  EXPECT_FALSE(DateTime::Parse("2003-02-30").ok());        // Feb 30
+  EXPECT_FALSE(DateTime::Parse("1900-02-29").ok());        // not leap
+  EXPECT_FALSE(DateTime::Parse("2003-10-23 12:23:34").ok());  // no 'T'
+  EXPECT_FALSE(DateTime::Parse("2003-10-23T25:00:00").ok());  // hour 25
+  EXPECT_FALSE(DateTime::Parse("2003-10-23T12:61:00").ok());  // minute 61
+  EXPECT_FALSE(DateTime::Parse("2003-10-23T12:23:34x").ok());  // trailing
+  EXPECT_FALSE(DateTime::Parse("").ok());
+  EXPECT_FALSE(DateTime::Parse("garbage").ok());
+}
+
+TEST(DateTimeTest, SpecialConstants) {
+  EXPECT_EQ(DateTime::Parse("start").value(), DateTime::Start());
+  EXPECT_EQ(DateTime::Parse("now").value(), DateTime::End());
+  EXPECT_EQ(DateTime::Start().ToString(), "start");
+  EXPECT_EQ(DateTime::End().ToString(), "now");
+}
+
+TEST(DateTimeTest, Ordering) {
+  DateTime a = DateTime::Parse("2003-10-23T12:23:34").value();
+  DateTime b = DateTime::Parse("2003-10-23T12:23:35").value();
+  EXPECT_LT(a, b);
+  EXPECT_LT(DateTime::Start(), a);
+  EXPECT_LT(b, DateTime::End());
+}
+
+TEST(DateTimeTest, AddSecondsDuration) {
+  DateTime a = DateTime::Parse("2003-10-23T12:23:34").value();
+  Duration d = Duration::Parse("PT1H").value();
+  EXPECT_EQ(a.Add(d).ToString(), "2003-10-23T13:23:34");
+  EXPECT_EQ(a.Subtract(d).ToString(), "2003-10-23T11:23:34");
+}
+
+TEST(DateTimeTest, AddCrossesDayBoundary) {
+  DateTime a = DateTime::Parse("2003-10-23T23:30:00").value();
+  EXPECT_EQ(a.Add(Duration::Parse("PT1H").value()).ToString(),
+            "2003-10-24T00:30:00");
+}
+
+TEST(DateTimeTest, AddMonthsClampsToMonthEnd) {
+  DateTime jan31 = DateTime::Parse("2003-01-31T10:00:00").value();
+  EXPECT_EQ(jan31.Add(Duration::Parse("P1M").value()).ToString(),
+            "2003-02-28T10:00:00");
+  DateTime leap = DateTime::Parse("2004-01-31T10:00:00").value();
+  EXPECT_EQ(leap.Add(Duration::Parse("P1M").value()).ToString(),
+            "2004-02-29T10:00:00");
+}
+
+TEST(DateTimeTest, AddYearDuration) {
+  DateTime a = DateTime::Parse("2003-06-15T08:00:00").value();
+  EXPECT_EQ(a.Add(Duration::Parse("P2Y").value()).ToString(),
+            "2005-06-15T08:00:00");
+}
+
+TEST(DateTimeTest, SubtractMixedDuration) {
+  DateTime a = DateTime::Parse("2003-03-31T00:00:00").value();
+  // Subtract one month: clamps to Feb 28, then subtract one day.
+  EXPECT_EQ(a.Subtract(Duration::Parse("P1M1D").value()).ToString(),
+            "2003-02-27T00:00:00");
+}
+
+TEST(DateTimeTest, DiffSeconds) {
+  DateTime a = DateTime::Parse("2003-10-23T12:23:34").value();
+  DateTime b = DateTime::Parse("2003-10-23T12:24:35").value();
+  EXPECT_EQ(b.DiffSeconds(a), 61);
+  EXPECT_EQ(a.DiffSeconds(b), -61);
+}
+
+TEST(DateTimeTest, SpecialsAbsorbArithmetic) {
+  Duration d = Duration::Parse("PT1S").value();
+  EXPECT_EQ(DateTime::Start().Add(d), DateTime::Start());
+  EXPECT_EQ(DateTime::End().Add(d), DateTime::End());
+}
+
+TEST(DateTimeTest, LooksLikeDateTime) {
+  EXPECT_TRUE(DateTime::LooksLikeDateTime("2003-11-01"));
+  EXPECT_TRUE(DateTime::LooksLikeDateTime("2003-11-01T00:00:00,more"));
+  EXPECT_FALSE(DateTime::LooksLikeDateTime("203-11-01"));
+  EXPECT_FALSE(DateTime::LooksLikeDateTime("20031101"));
+  EXPECT_FALSE(DateTime::LooksLikeDateTime("2003"));
+}
+
+TEST(DurationTest, ParsesSimpleForms) {
+  EXPECT_EQ(Duration::Parse("PT1M").value().seconds(), 60);
+  EXPECT_EQ(Duration::Parse("PT1H").value().seconds(), 3600);
+  EXPECT_EQ(Duration::Parse("PT1S").value().seconds(), 1);
+  EXPECT_EQ(Duration::Parse("P1D").value().seconds(), 86400);
+  EXPECT_EQ(Duration::Parse("P1Y").value().months(), 12);
+  EXPECT_EQ(Duration::Parse("P3M").value().months(), 3);
+}
+
+TEST(DurationTest, MonthBeforeTIsMonthAfterTIsMinute) {
+  Duration d = Duration::Parse("P1MT1M").value();
+  EXPECT_EQ(d.months(), 1);
+  EXPECT_EQ(d.seconds(), 60);
+}
+
+TEST(DurationTest, ParsesCompositeForm) {
+  Duration d = Duration::Parse("P1Y2M3DT4H5M6S").value();
+  EXPECT_EQ(d.months(), 14);
+  EXPECT_EQ(d.seconds(), 3 * 86400 + 4 * 3600 + 5 * 60 + 6);
+}
+
+TEST(DurationTest, ParsesNegative) {
+  Duration d = Duration::Parse("-P30D").value();
+  EXPECT_EQ(d.seconds(), -30 * 86400);
+}
+
+TEST(DurationTest, RejectsMalformed) {
+  EXPECT_FALSE(Duration::Parse("").ok());
+  EXPECT_FALSE(Duration::Parse("P").ok());
+  EXPECT_FALSE(Duration::Parse("1Y").ok());
+  EXPECT_FALSE(Duration::Parse("PT1X").ok());
+  EXPECT_FALSE(Duration::Parse("P1H").ok());   // H only valid after T
+  EXPECT_FALSE(Duration::Parse("PT1D").ok());  // D only valid before T
+  EXPECT_FALSE(Duration::Parse("P1MT1MT1M").ok());  // duplicate T
+}
+
+TEST(DurationTest, CanonicalToString) {
+  EXPECT_EQ(Duration::Parse("PT1H").value().ToString(), "PT1H");
+  EXPECT_EQ(Duration::Parse("PT90M").value().ToString(), "PT1H30M");
+  EXPECT_EQ(Duration::Parse("P14M").value().ToString(), "P1Y2M");
+  EXPECT_EQ(Duration(0, 0).ToString(), "PT0S");
+  EXPECT_EQ(Duration::Parse("-P30D").value().ToString(), "-P30D");
+}
+
+TEST(DurationTest, RoundTripThroughToString) {
+  const char* durs[] = {"PT1M", "PT1H", "P1D", "P1Y2M3DT4H5M6S", "-PT30S"};
+  for (const char* d : durs) {
+    Duration v = Duration::Parse(d).value();
+    Duration again = Duration::Parse(v.ToString()).value();
+    EXPECT_EQ(v, again) << d;
+  }
+}
+
+// Property: ToString∘Parse is the identity on random instants across a
+// ±200-year window, and ordering agrees with the underlying seconds.
+class DateTimeRoundTripTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(DateTimeRoundTripTest, SecondsToStringParseRoundTrip) {
+  Random rng(GetParam());
+  for (int i = 0; i < 200; ++i) {
+    int64_t secs = rng.UniformRange(-6'311'520'000LL, 6'311'520'000LL);
+    DateTime t(secs);
+    auto back = DateTime::Parse(t.ToString());
+    ASSERT_TRUE(back.ok()) << t.ToString();
+    EXPECT_EQ(back.value().seconds(), secs) << t.ToString();
+  }
+}
+
+TEST_P(DateTimeRoundTripTest, AddThenSubtractSecondsDurationIsIdentity) {
+  Random rng(GetParam() + 77);
+  for (int i = 0; i < 100; ++i) {
+    DateTime t(rng.UniformRange(0, 4'000'000'000LL));
+    Duration d = Duration::FromSeconds(rng.UniformRange(0, 10'000'000));
+    EXPECT_EQ(t.Add(d).Subtract(d), t);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DateTimeRoundTripTest,
+                         ::testing::Range<uint64_t>(0, 8));
+
+TEST(DateTimeEdgeTest, CenturyBoundaries) {
+  // 2000 was a leap year (divisible by 400), 2100 is not.
+  EXPECT_TRUE(DateTime::Parse("2000-02-29").ok());
+  EXPECT_FALSE(DateTime::Parse("2100-02-29").ok());
+  DateTime end_of_feb = DateTime::Parse("2000-02-29T23:59:59").value();
+  EXPECT_EQ(end_of_feb.Add(Duration::FromSeconds(1)).ToString(),
+            "2000-03-01T00:00:00");
+}
+
+TEST(DateTimeEdgeTest, YearBoundary) {
+  DateTime nye = DateTime::Parse("2003-12-31T23:59:59").value();
+  EXPECT_EQ(nye.Add(Duration::FromSeconds(1)).ToString(),
+            "2004-01-01T00:00:00");
+}
+
+class IntervalRelationTest : public ::testing::Test {
+ protected:
+  static Interval I(const char* a, const char* b) {
+    return Interval(DateTime::Parse(a).value(), DateTime::Parse(b).value());
+  }
+};
+
+TEST_F(IntervalRelationTest, Before) {
+  Interval a = I("2003-01-01", "2003-02-01");
+  Interval b = I("2003-03-01", "2003-04-01");
+  EXPECT_TRUE(a.Before(b));
+  EXPECT_FALSE(b.Before(a));
+  EXPECT_TRUE(b.After(a));
+}
+
+TEST_F(IntervalRelationTest, Meets) {
+  Interval a = I("2003-01-01", "2003-02-01");
+  Interval b = I("2003-02-01", "2003-03-01");
+  EXPECT_TRUE(a.Meets(b));
+  EXPECT_TRUE(b.MetBy(a));
+  EXPECT_FALSE(a.Before(b));  // closed intervals share the endpoint
+  EXPECT_TRUE(a.Intersects(b));
+}
+
+TEST_F(IntervalRelationTest, Overlaps) {
+  Interval a = I("2003-01-01", "2003-02-15");
+  Interval b = I("2003-02-01", "2003-03-01");
+  EXPECT_TRUE(a.Overlaps(b));
+  EXPECT_FALSE(b.Overlaps(a));
+  EXPECT_TRUE(a.Intersects(b));
+}
+
+TEST_F(IntervalRelationTest, ContainsAndDuring) {
+  Interval outer = I("2003-01-01", "2003-12-31");
+  Interval inner = I("2003-03-01", "2003-04-01");
+  EXPECT_TRUE(outer.ContainsInterval(inner));
+  EXPECT_TRUE(inner.During(outer));
+  EXPECT_FALSE(inner.ContainsInterval(outer));
+}
+
+TEST_F(IntervalRelationTest, IntersectClips) {
+  Interval a = I("2003-01-01", "2003-02-15");
+  Interval b = I("2003-02-01", "2003-03-01");
+  auto c = a.Intersect(b);
+  ASSERT_TRUE(c.has_value());
+  EXPECT_EQ(c->begin().ToString(), "2003-02-01T00:00:00");
+  EXPECT_EQ(c->end().ToString(), "2003-02-15T00:00:00");
+}
+
+TEST_F(IntervalRelationTest, IntersectDisjointIsEmpty) {
+  Interval a = I("2003-01-01", "2003-02-01");
+  Interval b = I("2003-03-01", "2003-04-01");
+  EXPECT_FALSE(a.Intersect(b).has_value());
+}
+
+TEST_F(IntervalRelationTest, SpanCovers) {
+  Interval a = I("2003-01-01", "2003-02-01");
+  Interval b = I("2003-03-01", "2003-04-01");
+  Interval s = a.Span(b);
+  EXPECT_EQ(s.begin(), a.begin());
+  EXPECT_EQ(s.end(), b.end());
+}
+
+TEST_F(IntervalRelationTest, PointInterval) {
+  DateTime t = DateTime::Parse("2003-10-23T12:23:34").value();
+  Interval p = Interval::Point(t);
+  EXPECT_TRUE(p.Contains(t));
+  EXPECT_FALSE(p.empty());
+  EXPECT_TRUE(p.Equals(Interval(t, t)));
+}
+
+TEST_F(IntervalRelationTest, EmptyInterval) {
+  Interval e(DateTime::Parse("2003-02-01").value(),
+             DateTime::Parse("2003-01-01").value());
+  EXPECT_TRUE(e.empty());
+}
+
+TEST_F(IntervalRelationTest, AllContainsEverything) {
+  EXPECT_TRUE(Interval::All().Contains(DateTime::Parse("2003-01-01").value()));
+  EXPECT_TRUE(Interval::All().Contains(DateTime::Start()));
+  EXPECT_TRUE(Interval::All().Contains(DateTime::End()));
+}
+
+}  // namespace
+}  // namespace xcql

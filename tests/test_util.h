@@ -1,0 +1,122 @@
+// Shared fixtures for the XCQL-layer tests: the paper's credit-card stream
+// (tag structure + a model-consistent temporal view), stream construction
+// helpers, and result rendering.
+#ifndef XCQL_TESTS_TEST_UTIL_H_
+#define XCQL_TESTS_TEST_UTIL_H_
+
+#include <algorithm>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "frag/fragment_store.h"
+#include "frag/fragmenter.h"
+#include "frag/tag_structure.h"
+#include "xml/parser.h"
+#include "xml/serializer.h"
+#include "xq/value.h"
+
+namespace xcql::testutil {
+
+inline constexpr const char* kCreditTagStructure = R"(
+<stream:structure>
+  <tag type="snapshot" id="1" name="creditAccounts">
+    <tag type="temporal" id="2" name="account">
+      <tag type="snapshot" id="3" name="customer"/>
+      <tag type="temporal" id="4" name="creditLimit"/>
+      <tag type="event" id="5" name="transaction">
+        <tag type="snapshot" id="6" name="vendor"/>
+        <tag type="temporal" id="7" name="status"/>
+        <tag type="snapshot" id="8" name="amount"/>
+      </tag>
+    </tag>
+  </tag>
+</stream:structure>)";
+
+// Paper §3.1 data, normalized to the fragment model (chained versions, the
+// last one open at "now"; events with vtFrom == vtTo). Account 1234 has a
+// small charged transaction and the $1200 transaction whose status was
+// later suspended (fillers 3–5 of §4.2); account 5678 is quiet.
+inline constexpr const char* kCreditView = R"(
+<creditAccounts>
+  <account id="1234" vtFrom="1998-10-10T12:20:22" vtTo="now">
+    <customer>John Smith</customer>
+    <creditLimit vtFrom="1998-10-10T12:20:22"
+                 vtTo="2001-04-23T23:11:08">2000</creditLimit>
+    <creditLimit vtFrom="2001-04-23T23:11:08" vtTo="now">5000</creditLimit>
+    <transaction id="12345" vtFrom="2003-10-23T12:23:34"
+                 vtTo="2003-10-23T12:23:34">
+      <vendor>Southlake Pizza</vendor>
+      <status vtFrom="2003-10-23T12:24:35" vtTo="now">charged</status>
+      <amount>38.20</amount>
+    </transaction>
+    <transaction id="23456" vtFrom="2003-09-10T14:30:12"
+                 vtTo="2003-09-10T14:30:12">
+      <vendor>ResAris Contaceu</vendor>
+      <status vtFrom="2003-09-10T14:30:13"
+              vtTo="2003-11-01T10:12:56">charged</status>
+      <status vtFrom="2003-11-01T10:12:56" vtTo="now">suspended</status>
+      <amount>1200</amount>
+    </transaction>
+  </account>
+  <account id="5678" vtFrom="2000-01-01T00:00:00" vtTo="now">
+    <customer>Jane Doe</customer>
+    <creditLimit vtFrom="2000-01-01T00:00:00" vtTo="now">3000</creditLimit>
+  </account>
+</creditAccounts>)";
+
+/// Builds a named fragment store by fragmenting `view_xml` under `ts_xml`.
+inline std::unique_ptr<frag::FragmentStore> MakeStream(
+    const std::string& name, const char* ts_xml, const char* view_xml) {
+  auto ts = frag::TagStructure::Parse(ts_xml);
+  if (!ts.ok()) return nullptr;
+  auto doc = ParseXml(view_xml);
+  if (!doc.ok()) return nullptr;
+  auto ts_for_frag = frag::TagStructure::Parse(ts_xml);
+  if (!ts_for_frag.ok()) return nullptr;
+  frag::Fragmenter fragmenter(&ts_for_frag.value());
+  auto frags = fragmenter.Split(*doc.value());
+  if (!frags.ok()) return nullptr;
+  auto store = std::make_unique<frag::FragmentStore>(std::move(ts).MoveValue(),
+                                                     name);
+  if (!store->InsertAll(std::move(frags).MoveValue()).ok()) return nullptr;
+  return store;
+}
+
+inline std::unique_ptr<frag::FragmentStore> MakeCreditStream() {
+  return MakeStream("credit", kCreditTagStructure, kCreditView);
+}
+
+/// Renders a result sequence: nodes serialized, atomics lexical,
+/// space-separated.
+inline std::string Render(const xq::Sequence& seq) {
+  std::string out;
+  for (size_t i = 0; i < seq.size(); ++i) {
+    if (i > 0) out += " ";
+    if (xq::IsNode(seq[i])) {
+      out += SerializeXml(*xq::AsNode(seq[i]));
+    } else {
+      out += xq::AsAtomic(seq[i]).ToStringValue();
+    }
+  }
+  return out;
+}
+
+/// Renders a result as an order-insensitive multiset (sorted items), for
+/// comparisons where document order is not guaranteed to agree.
+inline std::vector<std::string> RenderSorted(const xq::Sequence& seq) {
+  std::vector<std::string> out;
+  for (const auto& item : seq) {
+    if (xq::IsNode(item)) {
+      out.push_back(SerializeXml(*xq::AsNode(item)));
+    } else {
+      out.push_back(xq::AsAtomic(item).ToStringValue());
+    }
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+}  // namespace xcql::testutil
+
+#endif  // XCQL_TESTS_TEST_UTIL_H_

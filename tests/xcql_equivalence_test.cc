@@ -1,0 +1,371 @@
+// The paper's central correctness claim (Fig. 2): querying the fragments
+// directly — with (QaC) or without (QaC+) full hole resolution along the
+// path — returns the same results as materializing the temporal view and
+// querying it (CaQ). This suite runs a corpus of XCQL queries under all
+// three methods and demands identical results, plus scenario tests for the
+// paper's worked examples (the filler-5 suspension, Queries 1 and 2, the
+// radar coincidence join).
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+#include "xcql/executor.h"
+
+namespace xcql::lang {
+namespace {
+
+class EquivalenceTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    store_ = testutil::MakeCreditStream();
+    ASSERT_NE(store_, nullptr);
+    ASSERT_TRUE(exec_.RegisterStream(store_.get()).ok());
+  }
+
+  std::string Run(const std::string& q, ExecMethod m) {
+    ExecOptions opts;
+    opts.method = m;
+    // Evaluate strictly after the last event; at the exact boundary instant
+    // both versions of an update are valid (closed intervals).
+    opts.now = DateTime::Parse("2003-12-01T00:00:00").value();
+    auto r = exec_.Execute(q, opts);
+    if (!r.ok()) return "ERROR: " + r.status().ToString();
+    return testutil::Render(r.value());
+  }
+
+  // Runs under all three methods; returns the common result, failing the
+  // test if any two differ.
+  std::string RunAll(const std::string& q) {
+    std::string caq = Run(q, ExecMethod::kCaQ);
+    std::string qac = Run(q, ExecMethod::kQaC);
+    std::string qacp = Run(q, ExecMethod::kQaCPlus);
+    EXPECT_EQ(caq, qac) << q;
+    EXPECT_EQ(qac, qacp) << q;
+    return caq;
+  }
+
+  std::unique_ptr<frag::FragmentStore> store_;
+  QueryExecutor exec_;
+};
+
+TEST_F(EquivalenceTest, AccountIds) {
+  EXPECT_EQ(RunAll("for $a in stream(\"credit\")/creditAccounts/account "
+                   "return string($a/@id)"),
+            "1234 5678");
+}
+
+TEST_F(EquivalenceTest, DescendantCounts) {
+  EXPECT_EQ(RunAll("count(stream(\"credit\")//account)"), "2");
+  EXPECT_EQ(RunAll("count(stream(\"credit\")//transaction)"), "2");
+  EXPECT_EQ(RunAll("count(stream(\"credit\")//status)"), "3");
+  EXPECT_EQ(RunAll("count(stream(\"credit\")//creditLimit)"), "3");
+  EXPECT_EQ(RunAll("count(stream(\"credit\")//customer)"), "2");
+}
+
+TEST_F(EquivalenceTest, SnapshotNavigation) {
+  EXPECT_EQ(
+      RunAll("stream(\"credit\")/creditAccounts/account/customer/text()"),
+      "John Smith Jane Doe");
+}
+
+TEST_F(EquivalenceTest, ValuePredicateOnAmount) {
+  EXPECT_EQ(
+      RunAll("stream(\"credit\")//transaction[amount > 1000]/vendor/text()"),
+      "ResAris Contaceu");
+}
+
+TEST_F(EquivalenceTest, ExistentialStatusPredicate) {
+  // Without temporal qualification, the suspended transaction still has a
+  // past "charged" status version (existential semantics).
+  EXPECT_EQ(RunAll("count(stream(\"credit\")//transaction"
+                   "[amount > 1000][status = \"charged\"])"),
+            "1");
+}
+
+TEST_F(EquivalenceTest, PaperSuspensionScenario) {
+  // Paper §6.1: with ?[now], the transaction suspended by filler 5 must not
+  // be reported as charged.
+  EXPECT_EQ(RunAll("count(stream(\"credit\")//transaction"
+                   "[amount > 1000][status?[now] = \"charged\"])"),
+            "0");
+  // #[last] gives the same answer (the paper's remark).
+  EXPECT_EQ(RunAll("count(stream(\"credit\")//transaction"
+                   "[amount > 1000][status#[last] = \"charged\"])"),
+            "0");
+}
+
+TEST_F(EquivalenceTest, CurrentCreditLimits) {
+  EXPECT_EQ(RunAll("for $a in stream(\"credit\")//account "
+                   "return $a/creditLimit?[now]/text()"),
+            "5000 3000");
+}
+
+TEST_F(EquivalenceTest, VersionProjections) {
+  EXPECT_EQ(RunAll("stream(\"credit\")//account[@id = \"1234\"]"
+                   "/creditLimit#[1]/text()"),
+            "2000");
+  EXPECT_EQ(RunAll("stream(\"credit\")//account[@id = \"1234\"]"
+                   "/creditLimit#[last]/text()"),
+            "5000");
+  // The projection applies to the whole selected sequence (3 creditLimit
+  // versions across both accounts), not per account.
+  EXPECT_EQ(RunAll("count(stream(\"credit\")//account/creditLimit#[1,10])"),
+            "3");
+}
+
+TEST_F(EquivalenceTest, IntervalProjectionWindow) {
+  EXPECT_EQ(RunAll("stream(\"credit\")//transaction"
+                   "?[2003-09-01,2003-10-01]/vendor/text()"),
+            "ResAris Contaceu");
+  EXPECT_EQ(RunAll("count(stream(\"credit\")//transaction"
+                   "?[2003-01-01,2003-12-31])"),
+            "2");
+}
+
+TEST_F(EquivalenceTest, WildcardStep) {
+  EXPECT_EQ(RunAll("count(stream(\"credit\")//account/*)"), "7");
+}
+
+TEST_F(EquivalenceTest, Aggregation) {
+  EXPECT_EQ(RunAll("sum(stream(\"credit\")//transaction/amount)"), "1238.2");
+  EXPECT_EQ(RunAll("max(stream(\"credit\")//creditLimit/text())"), "5000");
+}
+
+TEST_F(EquivalenceTest, Quantifiers) {
+  EXPECT_EQ(RunAll("some $t in stream(\"credit\")//transaction "
+                   "satisfies $t/amount > 1000"),
+            "true");
+  EXPECT_EQ(RunAll("every $t in stream(\"credit\")//transaction "
+                   "satisfies $t/amount > 1000"),
+            "false");
+}
+
+TEST_F(EquivalenceTest, FlworWithOrderBy) {
+  EXPECT_EQ(RunAll("for $a in stream(\"credit\")//account "
+                   "order by $a/customer return string($a/@id)"),
+            "5678 1234");
+}
+
+TEST_F(EquivalenceTest, ConstructedResults) {
+  EXPECT_EQ(RunAll("for $a in stream(\"credit\")//account "
+                   "where $a/customer = \"Jane Doe\" "
+                   "return <hit id={$a/@id}>{$a/customer/text()}</hit>"),
+            "<hit id=\"5678\">Jane Doe</hit>");
+}
+
+TEST_F(EquivalenceTest, ResultsWithNestedFragmentsMaterialize) {
+  // Returning whole transactions: QaC/QaC+ results contain status holes
+  // that the final materialization must resolve identically to CaQ.
+  EXPECT_EQ(RunAll("stream(\"credit\")//transaction[amount > 1000]"),
+            Run("stream(\"credit\")//transaction[amount > 1000]",
+                ExecMethod::kCaQ));
+  std::string r = Run("stream(\"credit\")//transaction[amount > 1000]",
+                      ExecMethod::kQaC);
+  EXPECT_EQ(r.find("hole"), std::string::npos) << r;
+  EXPECT_NE(r.find("suspended"), std::string::npos) << r;
+}
+
+TEST_F(EquivalenceTest, PaperQuery1MaxedOutAccounts) {
+  const char* q = R"(
+    for $a in stream("credit")/creditAccounts/account
+    where sum($a/transaction?[2003-11-01,2003-12-01]
+              [status = "charged"]/amount) >= $a/creditLimit?[now]
+    return <account>{attribute id {$a/@id}, $a/customer}</account>)";
+  EXPECT_EQ(RunAll(q), "");
+}
+
+TEST_F(EquivalenceTest, PaperQuery2Fraud) {
+  const char* q = R"(
+    for $a in stream("credit")/creditAccounts/account
+    where sum($a/transaction?[now - PT1H, now]
+              [status = "charged"]/amount) >=
+          max($a/creditLimit?[now] * 0.9, 5000)
+    return <alert><account id={$a/@id}>{$a/customer/text()}</account></alert>)";
+  EXPECT_EQ(RunAll(q), "");
+}
+
+TEST_F(EquivalenceTest, FilterChainsKeepSchemaPositions) {
+  // Predicates on a parenthesized fragmented expression: the filter's
+  // result keeps its schema position, so the next step still resolves
+  // holes correctly.
+  EXPECT_EQ(RunAll("(stream(\"credit\")//account)[@id = \"1234\"]"
+                   "/creditLimit#[last]/text()"),
+            "5000");
+  EXPECT_EQ(RunAll("count((stream(\"credit\")//transaction)[2]/status)"),
+            "2");
+}
+
+TEST_F(EquivalenceTest, QuantifierBindingsKeepSchemaPositions) {
+  EXPECT_EQ(RunAll("some $t in stream(\"credit\")//transaction "
+                   "satisfies $t/status = \"suspended\""),
+            "true");
+  EXPECT_EQ(RunAll("every $a in stream(\"credit\")//account "
+                   "satisfies count($a/creditLimit) > 0"),
+            "true");
+}
+
+TEST_F(EquivalenceTest, LetBindingsKeepSchemaPositions) {
+  EXPECT_EQ(RunAll("let $ts := stream(\"credit\")//transaction "
+                   "return count($ts/status)"),
+            "3");
+}
+
+TEST_F(EquivalenceTest, SetOperatorsOverFragmentedData) {
+  EXPECT_EQ(RunAll("count(stream(\"credit\")//transaction | "
+                   "stream(\"credit\")//creditLimit)"),
+            "5");
+  // Account 1234 has customer + 2 creditLimit versions + 2 transactions.
+  EXPECT_EQ(RunAll("for $a in stream(\"credit\")//account "
+                   "return count($a/* except $a/customer)"),
+            "4 1");
+}
+
+TEST_F(EquivalenceTest, VtAccessors) {
+  EXPECT_EQ(RunAll("for $t in stream(\"credit\")//transaction "
+                   "return vtFrom($t)"),
+            "2003-10-23T12:23:34 2003-09-10T14:30:12");
+}
+
+TEST_F(EquivalenceTest, ExplicitNowOption) {
+  // Pin `now` before the suspension: the $1200 transaction is then still
+  // "charged" under ?[now].
+  ExecOptions opts;
+  opts.method = ExecMethod::kQaCPlus;
+  opts.now = DateTime::Parse("2003-10-30T00:00:00").value();
+  auto r = exec_.Execute(
+      "count(stream(\"credit\")//transaction"
+      "[amount > 1000][status?[now] = \"charged\"])",
+      opts);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(testutil::Render(r.value()), "1");
+}
+
+TEST_F(EquivalenceTest, CachedCaQViewsStayFreshAcrossUpdates) {
+  ExecOptions opts;
+  opts.method = ExecMethod::kCaQ;
+  opts.cache_materialized_views = true;
+  opts.now = DateTime::Parse("2003-12-01T00:00:00").value();
+  const char* q = "count(stream(\"credit\")//status)";
+  auto first = exec_.Execute(q, opts);
+  ASSERT_TRUE(first.ok());
+  EXPECT_EQ(testutil::Render(first.value()), "3");
+  // A cached re-run returns the same result…
+  auto again = exec_.Execute(q, opts);
+  ASSERT_TRUE(again.ok());
+  EXPECT_EQ(testutil::Render(again.value()), "3");
+  // …and a new status version invalidates the cache (revision bump).
+  int64_t status_id = -1;
+  for (int64_t cand = 0; cand < 32 && status_id < 0; ++cand) {
+    auto versions = store_->GetFillerVersions(cand, false);
+    if (versions.ok() && !versions.value().empty() &&
+        versions.value().back()->name() == "status") {
+      status_id = cand;
+    }
+  }
+  ASSERT_GE(status_id, 0);
+  frag::Fragment f;
+  f.id = status_id;
+  f.tsid = 7;
+  f.valid_time = DateTime::Parse("2003-11-25T00:00:00").value();
+  f.content = Node::Element("status");
+  f.content->AddChild(Node::Text("reviewed"));
+  ASSERT_TRUE(store_->Insert(std::move(f)).ok());
+  auto after = exec_.Execute(q, opts);
+  ASSERT_TRUE(after.ok());
+  EXPECT_EQ(testutil::Render(after.value()), "4");
+}
+
+TEST_F(EquivalenceTest, LinearOverrideDoesNotChangeResults) {
+  ExecOptions a;
+  a.method = ExecMethod::kQaC;
+  a.linear_get_fillers = true;
+  ExecOptions b = a;
+  b.linear_get_fillers = false;
+  const char* q = "stream(\"credit\")//transaction[amount > 1000]";
+  auto ra = exec_.Execute(q, a);
+  auto rb = exec_.Execute(q, b);
+  ASSERT_TRUE(ra.ok());
+  ASSERT_TRUE(rb.ok());
+  EXPECT_EQ(testutil::Render(ra.value()), testutil::Render(rb.value()));
+}
+
+// ---- Multi-stream coincidence (paper §2, radar example) ----------------------------
+
+constexpr const char* kRadarTs = R"(
+<tag type="snapshot" id="1" name="radar">
+  <tag type="event" id="2" name="event">
+    <tag type="snapshot" id="3" name="frequency"/>
+    <tag type="snapshot" id="4" name="angle"/>
+  </tag>
+</tag>)";
+
+class RadarTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    radar1_ = testutil::MakeStream("radar1", kRadarTs, R"(
+      <radar>
+        <event vtFrom="2004-05-01T10:00:00" vtTo="2004-05-01T10:00:00">
+          <frequency>101</frequency><angle>45</angle>
+        </event>
+        <event vtFrom="2004-05-01T10:00:07" vtTo="2004-05-01T10:00:07">
+          <frequency>99</frequency><angle>30</angle>
+        </event>
+      </radar>)");
+    radar2_ = testutil::MakeStream("radar2", kRadarTs, R"(
+      <radar>
+        <event vtFrom="2004-05-01T10:00:01" vtTo="2004-05-01T10:00:01">
+          <frequency>101</frequency><angle>45</angle>
+        </event>
+        <event vtFrom="2004-05-01T10:00:30" vtTo="2004-05-01T10:00:30">
+          <frequency>99</frequency><angle>60</angle>
+        </event>
+      </radar>)");
+    ASSERT_NE(radar1_, nullptr);
+    ASSERT_NE(radar2_, nullptr);
+    ASSERT_TRUE(exec_.RegisterStream(radar1_.get()).ok());
+    ASSERT_TRUE(exec_.RegisterStream(radar2_.get()).ok());
+  }
+
+  std::unique_ptr<frag::FragmentStore> radar1_;
+  std::unique_ptr<frag::FragmentStore> radar2_;
+  QueryExecutor exec_;
+};
+
+TEST_F(RadarTest, CoincidenceJoinAcrossStreams) {
+  // Paper §2 example 2: join the two radar streams on frequency within a
+  // one-second window. Only the 101 MHz detections coincide.
+  const char* q = R"(
+    for $r in stream("radar1")//event,
+        $s in stream("radar2")//event
+             ?[vtFrom($r) - PT1S, vtTo($r) + PT1S]
+    where $r/frequency = $s/frequency
+    return <position>{ triangulate($r/angle, $s/angle) }</position>)";
+  for (ExecMethod m :
+       {ExecMethod::kCaQ, ExecMethod::kQaC, ExecMethod::kQaCPlus}) {
+    ExecOptions opts;
+    opts.method = m;
+    auto r = exec_.Execute(q, opts);
+    ASSERT_TRUE(r.ok()) << ExecMethodName(m) << ": "
+                        << r.status().ToString();
+    EXPECT_EQ(testutil::Render(r.value()),
+              "<position>50.000 50.000</position>")
+        << ExecMethodName(m);
+  }
+}
+
+TEST_F(RadarTest, WindowExcludesDistantEvents) {
+  // Widening the window to a minute lets the 99 MHz pair coincide too.
+  const char* q = R"(
+    count(for $r in stream("radar1")//event,
+              $s in stream("radar2")//event
+                   ?[vtFrom($r) - PT1M, vtTo($r) + PT1M]
+          where $r/frequency = $s/frequency
+          return $s))";
+  ExecOptions opts;
+  opts.method = ExecMethod::kQaCPlus;
+  auto r = exec_.Execute(q, opts);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(testutil::Render(r.value()), "2");
+}
+
+}  // namespace
+}  // namespace xcql::lang

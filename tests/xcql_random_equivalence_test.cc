@@ -1,0 +1,210 @@
+// Randomized method-equivalence property (the paper's Fig. 2 claim, tested
+// adversarially): for randomized temporal documents over the credit-card
+// schema, a corpus of XCQL queries spanning every language feature must
+// return identical results under CaQ, QaC and QaC+.
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "common/string_util.h"
+#include "test_util.h"
+#include "xcql/executor.h"
+
+namespace xcql::lang {
+namespace {
+
+// Builds a random, model-consistent temporal view: version chains with the
+// last version open at "now", events with point lifespans, times strictly
+// increasing within each chain.
+class DocGen {
+ public:
+  explicit DocGen(uint64_t seed) : rng_(seed) {}
+
+  NodePtr Build() {
+    NodePtr root = Node::Element("creditAccounts");
+    int accounts = 1 + static_cast<int>(rng_.Uniform(5));
+    for (int a = 0; a < accounts; ++a) {
+      root->AddChild(Account(a));
+    }
+    return root;
+  }
+
+ private:
+  std::string NextTime() {
+    clock_ += 1000 + static_cast<int64_t>(rng_.Uniform(40000));
+    return DateTime(clock_).ToString();
+  }
+
+  NodePtr Account(int n) {
+    NodePtr account = Node::Element("account");
+    account->SetAttr("id", std::to_string(1000 + n));
+    std::string opened = NextTime();
+    account->SetAttr("vtFrom", opened);
+    account->SetAttr("vtTo", "now");
+    NodePtr customer = Node::Element("customer");
+    customer->AddChild(Node::Text(rng_.Word(5) + " " + rng_.Word(7)));
+    account->AddChild(std::move(customer));
+    // creditLimit version chain.
+    int limits = 1 + static_cast<int>(rng_.Uniform(3));
+    std::vector<std::string> times = {opened};
+    for (int i = 0; i < limits; ++i) times.push_back(NextTime());
+    for (int i = 0; i < limits; ++i) {
+      NodePtr limit = Node::Element("creditLimit");
+      limit->SetAttr("vtFrom", times[static_cast<size_t>(i)]);
+      limit->SetAttr("vtTo", i + 1 == limits
+                                 ? "now"
+                                 : times[static_cast<size_t>(i + 1)]);
+      limit->AddChild(Node::Text(
+          std::to_string(500 * rng_.UniformRange(1, 20))));
+      account->AddChild(std::move(limit));
+    }
+    // Transactions (events) with status version chains.
+    int txns = static_cast<int>(rng_.Uniform(6));
+    for (int t = 0; t < txns; ++t) {
+      NodePtr txn = Node::Element("transaction");
+      txn->SetAttr("id", std::to_string(n * 100 + t));
+      std::string when = NextTime();
+      txn->SetAttr("vtFrom", when);
+      txn->SetAttr("vtTo", when);
+      NodePtr vendor = Node::Element("vendor");
+      static const char* kVendors[] = {"Pizza Palace", "MegaStore",
+                                       "Corner Cafe", "ABC Inc"};
+      vendor->AddChild(Node::Text(kVendors[rng_.Uniform(4)]));
+      txn->AddChild(std::move(vendor));
+      int statuses = 1 + static_cast<int>(rng_.Uniform(3));
+      std::vector<std::string> stimes;
+      for (int i = 0; i <= statuses; ++i) stimes.push_back(NextTime());
+      static const char* kStates[] = {"charged", "suspended", "denied",
+                                      "questioned"};
+      for (int i = 0; i < statuses; ++i) {
+        NodePtr status = Node::Element("status");
+        status->SetAttr("vtFrom", stimes[static_cast<size_t>(i)]);
+        status->SetAttr("vtTo", i + 1 == statuses
+                                    ? "now"
+                                    : stimes[static_cast<size_t>(i + 1)]);
+        status->AddChild(Node::Text(kStates[rng_.Uniform(4)]));
+        txn->AddChild(std::move(status));
+      }
+      NodePtr amount = Node::Element("amount");
+      amount->AddChild(
+          Node::Text(StringPrintf("%.2f", rng_.NextDouble() * 3000)));
+      txn->AddChild(std::move(amount));
+      account->AddChild(std::move(txn));
+    }
+    return account;
+  }
+
+  Random rng_;
+  // Seconds since epoch, starting 2004-01-01 and always advancing; the
+  // fixture's `now` (2006-01-01) stays safely beyond every generated time.
+  int64_t clock_ = 1072915200;
+};
+
+// Query corpus: one entry per language feature over this schema. Windows
+// use absolute times inside the generated range.
+const char* kQueryCorpus[] = {
+    // paths and predicates
+    "for $a in stream(\"credit\")/creditAccounts/account return "
+    "string($a/@id)",
+    "count(stream(\"credit\")//transaction)",
+    "stream(\"credit\")//transaction[amount > 1500]/vendor/text()",
+    "count(stream(\"credit\")//transaction[vendor = \"ABC Inc\"])",
+    "count(stream(\"credit\")//status)",
+    "count(stream(\"credit\")//account/*)",
+    "stream(\"credit\")//account[@id = \"1002\"]/customer/text()",
+    // positional predicates on single contexts
+    "for $a in stream(\"credit\")//account return "
+    "string($a/transaction[1]/@id)",
+    "for $t in stream(\"credit\")//transaction return $t/status[last()]"
+    "/text()",
+    // projections
+    "for $a in stream(\"credit\")//account return "
+    "$a/creditLimit?[now]/text()",
+    "count(stream(\"credit\")//transaction?[2004-02-01,2004-08-01])",
+    "stream(\"credit\")//transaction[status?[now] = \"charged\"]"
+    "/vendor/text()",
+    "for $a in stream(\"credit\")//account return "
+    "$a/creditLimit#[1]/text()",
+    "for $a in stream(\"credit\")//account return "
+    "$a/creditLimit#[last]/text()",
+    "for $t in stream(\"credit\")//transaction return "
+    "count($t/status#[1,2])",
+    // lifespan accessors and interval relations
+    "for $t in stream(\"credit\")//transaction return vtFrom($t)",
+    "count(for $t in stream(\"credit\")//transaction "
+    "where $t before 2004-06-01T00:00:00 return $t)",
+    "some $t in stream(\"credit\")//transaction, "
+    "$s in stream(\"credit\")//status satisfies $t before $s",
+    // aggregates and quantifiers
+    "sum(stream(\"credit\")//transaction/amount)",
+    "avg(stream(\"credit\")//creditLimit/text())",
+    "every $t in stream(\"credit\")//transaction satisfies "
+    "$t/amount >= 0",
+    "max(stream(\"credit\")//transaction/amount)",
+    // FLWOR features
+    "for $a in stream(\"credit\")//account "
+    "order by $a/customer return string($a/@id)",
+    "for $a at $i in stream(\"credit\")//account "
+    "where count($a/transaction) > 0 return $i",
+    "for $a in stream(\"credit\")//account "
+    "let $n := count($a/transaction) order by $n descending "
+    "return concat(string($a/@id), \":\", $n)",
+    // constructors
+    "for $a in stream(\"credit\")//account return "
+    "<summary id={$a/@id} limits=\"{count($a/creditLimit)}\">"
+    "{$a/customer/text()}</summary>",
+    // prolog declarations
+    "declare variable $cut := 1000; "
+    "count(stream(\"credit\")//transaction[amount > $cut])",
+    "declare function big($t) { $t/amount > 2000 }; "
+    "count(for $t in stream(\"credit\")//transaction "
+    "where big($t) return $t)",
+    // paper queries
+    R"(for $a in stream("credit")/creditAccounts/account
+       where sum($a/transaction?[2004-03-01,2004-12-01]
+                 [status = "charged"]/amount) >= $a/creditLimit?[now]
+       return <maxed>{string($a/@id)}</maxed>)",
+    R"(for $a in stream("credit")/creditAccounts/account
+       where sum($a/transaction?[now - P30D, now]
+                 [status = "charged"]/amount) >=
+             max($a/creditLimit?[now] * 0.9, 5000)
+       return <alert>{string($a/@id)}</alert>)",
+};
+
+class RandomEquivalenceTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(RandomEquivalenceTest, AllMethodsAgreeOnRandomDocuments) {
+  DocGen gen(GetParam());
+  NodePtr doc = gen.Build();
+  std::string xml = SerializeXml(*doc);
+  auto store = testutil::MakeStream("credit", testutil::kCreditTagStructure,
+                                    xml.c_str());
+  ASSERT_NE(store, nullptr) << xml;
+  QueryExecutor exec;
+  ASSERT_TRUE(exec.RegisterStream(store.get()).ok());
+
+  for (const char* query : kQueryCorpus) {
+    std::string results[3];
+    int i = 0;
+    for (ExecMethod m :
+         {ExecMethod::kCaQ, ExecMethod::kQaC, ExecMethod::kQaCPlus}) {
+      ExecOptions opts;
+      opts.method = m;
+      opts.now = DateTime::Parse("2006-01-01T00:00:00").value();
+      auto r = exec.Execute(query, opts);
+      ASSERT_TRUE(r.ok()) << "seed " << GetParam() << " method "
+                          << ExecMethodName(m) << "\nquery: " << query
+                          << "\n" << r.status().ToString();
+      results[i++] = testutil::Render(r.value());
+    }
+    EXPECT_EQ(results[0], results[1])
+        << "seed " << GetParam() << " CaQ vs QaC\nquery: " << query;
+    EXPECT_EQ(results[1], results[2])
+        << "seed " << GetParam() << " QaC vs QaC+\nquery: " << query;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomEquivalenceTest,
+                         ::testing::Range<uint64_t>(0, 20));
+
+}  // namespace
+}  // namespace xcql::lang

@@ -1,0 +1,229 @@
+// Tests for the Fig. 3 schema-based translation: shapes of the rewritten
+// queries under QaC and QaC+, identity under CaQ, and error handling.
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+#include "xcql/executor.h"
+
+namespace xcql::lang {
+namespace {
+
+class TranslationTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    store_ = testutil::MakeCreditStream();
+    ASSERT_NE(store_, nullptr);
+    ASSERT_TRUE(exec_.RegisterStream(store_.get()).ok());
+  }
+
+  std::string Translate(const std::string& q, ExecMethod m) {
+    auto r = exec_.TranslateToText(q, m);
+    if (!r.ok()) return "ERROR: " + r.status().ToString();
+    return r.value();
+  }
+
+  std::unique_ptr<frag::FragmentStore> store_;
+  QueryExecutor exec_;
+};
+
+TEST_F(TranslationTest, CaQIsIdentity) {
+  const char* q = "for $a in stream(\"credit\")//account return $a";
+  std::string t = Translate(q, ExecMethod::kCaQ);
+  EXPECT_NE(t.find("stream(\"credit\")"), std::string::npos) << t;
+  EXPECT_EQ(t.find("xcql:get_fillers"), std::string::npos) << t;
+}
+
+TEST_F(TranslationTest, StreamBecomesRootFiller) {
+  std::string t =
+      Translate("stream(\"credit\")/creditAccounts", ExecMethod::kQaC);
+  EXPECT_NE(t.find("xcql:get_fillers(\"credit\", 0)/creditAccounts"),
+            std::string::npos)
+      << t;
+}
+
+TEST_F(TranslationTest, FragmentedStepUsesHoleResolution) {
+  // Paper §6.1: account is temporal, so the step crosses a hole.
+  std::string t = Translate("stream(\"credit\")/creditAccounts/account",
+                            ExecMethod::kQaC);
+  EXPECT_NE(
+      t.find("xcql:get_fillers(\"credit\", "
+             "xcql:get_fillers(\"credit\", 0)/creditAccounts/hole/@id)"
+             "/account"),
+      std::string::npos)
+      << t;
+}
+
+TEST_F(TranslationTest, SnapshotStepStaysDirect) {
+  std::string t = Translate(
+      "stream(\"credit\")/creditAccounts/account/customer", ExecMethod::kQaC);
+  // customer is snapshot: a direct step after the account hole resolution.
+  EXPECT_NE(t.find(")/account/customer"), std::string::npos) << t;
+}
+
+TEST_F(TranslationTest, PredicatesTranslateInContext) {
+  // The status reference inside the predicate crosses a hole from the
+  // transaction context (the paper's §6.1 first translation).
+  std::string t = Translate(
+      "stream(\"credit\")/creditAccounts/account/"
+      "transaction[status = \"charged\"]",
+      ExecMethod::kQaC);
+  EXPECT_NE(t.find("xcql:get_fillers(\"credit\", ./hole/@id)/status"),
+            std::string::npos)
+      << t;
+}
+
+TEST_F(TranslationTest, DescendantExpandsThroughTheTagStructure) {
+  std::string t = Translate("stream(\"credit\")//transaction",
+                            ExecMethod::kQaC);
+  // Expansion reaches transaction through creditAccounts → account.
+  EXPECT_NE(t.find("/transaction"), std::string::npos) << t;
+  EXPECT_NE(t.find("xcql:get_fillers"), std::string::npos) << t;
+  // No leftover descendant step on fragmented data.
+  EXPECT_EQ(t.find("//transaction"), std::string::npos) << t;
+}
+
+TEST_F(TranslationTest, QaCPlusCollapsesPurePrefixToTsidScan) {
+  // transaction is tsid 5.
+  std::string t = Translate(
+      "stream(\"credit\")/creditAccounts/account/transaction",
+      ExecMethod::kQaCPlus);
+  EXPECT_NE(t.find("xcql:tsid_scan(\"credit\", 5)/transaction"),
+            std::string::npos)
+      << t;
+  EXPECT_EQ(t.find("hole"), std::string::npos) << t;
+}
+
+TEST_F(TranslationTest, QaCPlusCollapsesDescendantToTsidScan) {
+  std::string t =
+      Translate("stream(\"credit\")//transaction", ExecMethod::kQaCPlus);
+  EXPECT_NE(t.find("xcql:tsid_scan(\"credit\", 5)/transaction"),
+            std::string::npos)
+      << t;
+}
+
+TEST_F(TranslationTest, QaCPlusStopsDeferringAtPredicates) {
+  std::string t = Translate(
+      "stream(\"credit\")//account[customer = \"Jane Doe\"]/transaction",
+      ExecMethod::kQaCPlus);
+  // The predicate forces materialization at account (tsid 2); the deeper
+  // transaction step then resolves holes.
+  EXPECT_NE(t.find("xcql:tsid_scan(\"credit\", 2)/account"),
+            std::string::npos)
+      << t;
+  EXPECT_NE(t.find("hole"), std::string::npos) << t;
+}
+
+TEST_F(TranslationTest, QaCPlusPushesProjectionBoundsIntoTheTsidScan) {
+  std::string t = Translate(
+      "stream(\"credit\")//transaction?[2003-09-01,2003-10-01]",
+      ExecMethod::kQaCPlus);
+  EXPECT_NE(t.find("xcql:tsid_scan_range(\"credit\", 5, "
+                   "2003-09-01T00:00:00, 2003-10-01T00:00:00)"),
+            std::string::npos)
+      << t;
+  // The projection wrapper remains for lifespan clipping.
+  EXPECT_NE(t.find("?[2003-09-01T00:00:00"), std::string::npos) << t;
+  // QaC keeps the plain hole-resolving translation.
+  std::string qac = Translate(
+      "stream(\"credit\")//transaction?[2003-09-01,2003-10-01]",
+      ExecMethod::kQaC);
+  EXPECT_EQ(qac.find("tsid_scan_range"), std::string::npos) << qac;
+}
+
+TEST_F(TranslationTest, PushdownSkipsPredicatedScans) {
+  // A predicate on the scanned step blocks the bare-scan pattern; the
+  // translation must stay correct (plain scan + hoisted filter).
+  std::string t = Translate(
+      "stream(\"credit\")//transaction[amount > 10]?[2003-09-01,2003-10-01]",
+      ExecMethod::kQaCPlus);
+  EXPECT_EQ(t.find("tsid_scan_range"), std::string::npos) << t;
+  EXPECT_NE(t.find("xcql:tsid_scan(\"credit\", 5)"), std::string::npos) << t;
+}
+
+TEST_F(TranslationTest, ProjectionsArePreservedAndBoundsTranslated) {
+  std::string t = Translate(
+      "for $a in stream(\"credit\")//account "
+      "return $a/transaction?[vtFrom($a), now]",
+      ExecMethod::kQaC);
+  EXPECT_NE(t.find("?[vtFrom($a)"), std::string::npos) << t;
+  // $a/transaction crosses the account hole.
+  EXPECT_NE(t.find("xcql:get_fillers(\"credit\", $a/hole/@id)/transaction"),
+            std::string::npos)
+      << t;
+}
+
+TEST_F(TranslationTest, VariablesCarrySchemaPositions) {
+  std::string t = Translate(
+      "for $a in stream(\"credit\")//account return $a/creditLimit",
+      ExecMethod::kQaC);
+  EXPECT_NE(t.find("xcql:get_fillers(\"credit\", $a/hole/@id)/creditLimit"),
+            std::string::npos)
+      << t;
+}
+
+TEST_F(TranslationTest, WildcardExpandsOverChildren) {
+  std::string t = Translate("stream(\"credit\")//account/*",
+                            ExecMethod::kQaC);
+  EXPECT_NE(t.find("/customer"), std::string::npos) << t;
+  EXPECT_NE(t.find("/creditLimit"), std::string::npos) << t;
+  EXPECT_NE(t.find("/transaction"), std::string::npos) << t;
+}
+
+TEST_F(TranslationTest, UnknownStreamIsError) {
+  std::string t = Translate("stream(\"nope\")//x", ExecMethod::kQaC);
+  EXPECT_NE(t.find("ERROR"), std::string::npos) << t;
+}
+
+TEST_F(TranslationTest, NonLiteralStreamNameIsError) {
+  std::string t = Translate("stream(concat(\"cr\", \"edit\"))//x",
+                            ExecMethod::kQaC);
+  EXPECT_NE(t.find("ERROR"), std::string::npos) << t;
+}
+
+TEST_F(TranslationTest, ParentAxisOnFragmentedDataIsUnsupported) {
+  std::string t = Translate("stream(\"credit\")//transaction/..",
+                            ExecMethod::kQaC);
+  EXPECT_NE(t.find("ERROR"), std::string::npos) << t;
+}
+
+TEST_F(TranslationTest, StreamInsideUserFunctionsIsTranslated) {
+  std::string t = Translate(
+      "declare function f() { stream(\"credit\")//transaction }; count(f())",
+      ExecMethod::kQaCPlus);
+  EXPECT_NE(t.find("xcql:tsid_scan(\"credit\", 5)"), std::string::npos) << t;
+  EXPECT_EQ(t.find("stream("), std::string::npos) << t;
+}
+
+TEST_F(TranslationTest, StreamInsidePrologVariablesIsTranslated) {
+  std::string t = Translate(
+      "declare variable $txns := stream(\"credit\")//transaction; "
+      "for $t in $txns return $t/status",
+      ExecMethod::kQaC);
+  EXPECT_NE(t.find("declare variable $txns"), std::string::npos) << t;
+  // The variable's schema position flows into the body: $t/status crosses
+  // the status hole.
+  EXPECT_NE(t.find("xcql:get_fillers(\"credit\", $t/hole/@id)/status"),
+            std::string::npos)
+      << t;
+}
+
+TEST_F(TranslationTest, PaperQuery1TranslationShape) {
+  // Paper §6.1's translation of Query 1 resolves account and transaction
+  // holes and wraps the window in the interval projection.
+  const char* q = R"(
+    for $a in stream("credit")/creditAccounts/account
+    where sum($a/transaction?[2003-11-01,2003-12-01]
+              [status = "charged"]/amount) >= $a/creditLimit?[now]
+    return <account>{attribute id {$a/@id}, $a/customer}</account>)";
+  std::string t = Translate(q, ExecMethod::kQaC);
+  EXPECT_NE(t.find("xcql:get_fillers(\"credit\", $a/hole/@id)/transaction"),
+            std::string::npos)
+      << t;
+  EXPECT_NE(t.find("xcql:get_fillers(\"credit\", $a/hole/@id)/creditLimit"),
+            std::string::npos)
+      << t;
+  EXPECT_NE(t.find("?[xcql:now()]"), std::string::npos) << t;
+}
+
+}  // namespace
+}  // namespace xcql::lang

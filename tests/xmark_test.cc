@@ -1,0 +1,180 @@
+// Tests for the XMark substrate: generator determinism, schema validity
+// (the documents fragment cleanly under the auction Tag Structure), size
+// calibration against the paper's Figure 4 inputs, and correctness of the
+// three benchmark queries across all execution methods.
+#include <gtest/gtest.h>
+
+#include "common/string_util.h"
+#include "test_util.h"
+#include "xcql/executor.h"
+#include "xmark/generator.h"
+#include "xmark/queries.h"
+
+namespace xcql::xmark {
+namespace {
+
+TEST(XMarkCountsTest, ScalesWithFloors) {
+  XMarkCounts zero = CountsForScale(0.0);
+  EXPECT_EQ(zero.items, 4);
+  EXPECT_EQ(zero.persons, 8);
+  XMarkCounts tenth = CountsForScale(0.1);
+  EXPECT_EQ(tenth.items, 2175);
+  EXPECT_EQ(tenth.persons, 2550);
+  EXPECT_EQ(tenth.open_auctions, 1200);
+  EXPECT_EQ(tenth.closed_auctions, 975);
+  EXPECT_EQ(tenth.categories, 100);
+}
+
+TEST(XMarkGeneratorTest, IsDeterministic) {
+  XMarkOptions opts;
+  opts.scale = 0.0;
+  auto a = GenerateAuctionDoc(opts);
+  auto b = GenerateAuctionDoc(opts);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_TRUE(Node::DeepEqual(*a.value(), *b.value()));
+  opts.seed = 43;
+  auto c = GenerateAuctionDoc(opts);
+  ASSERT_TRUE(c.ok());
+  EXPECT_FALSE(Node::DeepEqual(*a.value(), *c.value()));
+}
+
+TEST(XMarkGeneratorTest, RejectsNegativeScale) {
+  XMarkOptions opts;
+  opts.scale = -1;
+  EXPECT_FALSE(GenerateAuctionDoc(opts).ok());
+}
+
+TEST(XMarkGeneratorTest, HasExpectedShape) {
+  XMarkOptions opts;
+  opts.scale = 0.0;
+  auto doc = GenerateAuctionDoc(opts);
+  ASSERT_TRUE(doc.ok());
+  const Node& site = *doc.value();
+  EXPECT_EQ(site.name(), "site");
+  ASSERT_NE(site.FirstChildElement("regions"), nullptr);
+  ASSERT_NE(site.FirstChildElement("people"), nullptr);
+  ASSERT_NE(site.FirstChildElement("open_auctions"), nullptr);
+  ASSERT_NE(site.FirstChildElement("closed_auctions"), nullptr);
+  // person0 exists (XMark Q1's target).
+  NodePtr people = site.FirstChildElement("people");
+  ASSERT_FALSE(people->children().empty());
+  EXPECT_EQ(*people->children()[0]->FindAttr("id"), "person0");
+  // Every closed auction has a numeric price (Q5's filter).
+  NodePtr closed = site.FirstChildElement("closed_auctions");
+  for (const NodePtr& c : closed->children()) {
+    NodePtr price = c->FirstChildElement("price");
+    ASSERT_NE(price, nullptr);
+    EXPECT_TRUE(ParseDouble(price->StringValue()).has_value());
+  }
+}
+
+TEST(XMarkGeneratorTest, FragmentsUnderTheAuctionSchema) {
+  XMarkOptions opts;
+  opts.scale = 0.0;
+  auto doc = GenerateAuctionDoc(opts);
+  ASSERT_TRUE(doc.ok());
+  auto ts = frag::TagStructure::Parse(AuctionTagStructureXml());
+  ASSERT_TRUE(ts.ok()) << ts.status().ToString();
+  frag::Fragmenter fr(&ts.value());
+  auto frags = fr.Split(*doc.value());
+  ASSERT_TRUE(frags.ok()) << frags.status().ToString();
+  // closed_auction fillers carry the paper's tsid 603.
+  XMarkCounts counts = CountsForScale(0.0);
+  int closed = 0;
+  for (const auto& f : frags.value()) {
+    if (f.tsid == 603) ++closed;
+  }
+  EXPECT_EQ(closed, counts.closed_auctions);
+}
+
+TEST(XMarkGeneratorTest, SizesTrackThePaperInputs) {
+  // Fig. 4 inputs: 27.3KB / 5.8MB / 11.8MB plain. Allow ±20%.
+  struct Row {
+    double scale;
+    double kb;
+  } rows[] = {{0.0, 27.3}, {0.05, 5800}};
+  for (const Row& row : rows) {
+    XMarkOptions opts;
+    opts.scale = row.scale;
+    auto doc = GenerateAuctionDoc(opts);
+    ASSERT_TRUE(doc.ok());
+    double kb = static_cast<double>(SerializeXml(*doc.value()).size()) / 1024;
+    EXPECT_GT(kb, row.kb * 0.8) << "scale " << row.scale;
+    EXPECT_LT(kb, row.kb * 1.2) << "scale " << row.scale;
+  }
+}
+
+class XMarkQueryTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    XMarkOptions opts;
+    opts.scale = 0.0;
+    auto doc = GenerateAuctionDoc(opts);
+    ASSERT_TRUE(doc.ok());
+    std::string xml = SerializeXml(*doc.value());
+    store_ = testutil::MakeStream("auction", AuctionTagStructureXml(),
+                                  xml.c_str());
+    ASSERT_NE(store_, nullptr);
+    ASSERT_TRUE(exec_.RegisterStream(store_.get()).ok());
+  }
+
+  std::string Run(XMarkQueryId q, lang::ExecMethod m) {
+    lang::ExecOptions opts;
+    opts.method = m;
+    auto r = exec_.Execute(XMarkQueryText(q), opts);
+    if (!r.ok()) return "ERROR: " + r.status().ToString();
+    return testutil::Render(r.value());
+  }
+
+  std::unique_ptr<frag::FragmentStore> store_;
+  lang::QueryExecutor exec_;
+};
+
+TEST_F(XMarkQueryTest, AllQueriesAgreeAcrossMethods) {
+  for (XMarkQueryId q : AllXMarkQueries()) {
+    std::string caq = Run(q, lang::ExecMethod::kCaQ);
+    std::string qac = Run(q, lang::ExecMethod::kQaC);
+    std::string qacp = Run(q, lang::ExecMethod::kQaCPlus);
+    EXPECT_EQ(caq, qac) << XMarkQueryName(q);
+    EXPECT_EQ(qac, qacp) << XMarkQueryName(q);
+    EXPECT_EQ(caq.find("ERROR"), std::string::npos)
+        << XMarkQueryName(q) << ": " << caq;
+  }
+}
+
+TEST_F(XMarkQueryTest, Q1FindsPersonZero) {
+  std::string r = Run(XMarkQueryId::kQ1, lang::ExecMethod::kQaCPlus);
+  EXPECT_FALSE(r.empty());
+  EXPECT_EQ(r.find("ERROR"), std::string::npos) << r;
+}
+
+TEST_F(XMarkQueryTest, Q2EmitsOneIncreasePerAuction) {
+  std::string r = Run(XMarkQueryId::kQ2, lang::ExecMethod::kQaCPlus);
+  size_t n = 0;
+  for (size_t pos = 0; (pos = r.find("<increase", pos)) != std::string::npos;
+       ++pos) {
+    ++n;
+  }
+  EXPECT_EQ(n, static_cast<size_t>(CountsForScale(0.0).open_auctions)) << r;
+}
+
+TEST_F(XMarkQueryTest, Q5CountsExpensiveClosedAuctions) {
+  std::string r = Run(XMarkQueryId::kQ5, lang::ExecMethod::kQaCPlus);
+  auto count = ParseInt64(r);
+  ASSERT_TRUE(count.has_value()) << r;
+  EXPECT_GE(*count, 0);
+  EXPECT_LE(*count, CountsForScale(0.0).closed_auctions);
+}
+
+TEST_F(XMarkQueryTest, QaCPlusUsesTheTsidIndexForQ5) {
+  auto t = exec_.TranslateToText(XMarkQueryText(XMarkQueryId::kQ5),
+                                 lang::ExecMethod::kQaCPlus);
+  ASSERT_TRUE(t.ok());
+  EXPECT_NE(t.value().find("xcql:tsid_scan(\"auction\", 603)"),
+            std::string::npos)
+      << t.value();
+}
+
+}  // namespace
+}  // namespace xcql::xmark

@@ -1,0 +1,289 @@
+// Unit tests for the XML substrate: node model, parser, serializer, and
+// parse→serialize round-trips.
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "xml/node.h"
+#include "xml/parser.h"
+#include "xml/serializer.h"
+
+namespace xcql {
+namespace {
+
+TEST(NodeTest, ElementBasics) {
+  NodePtr e = Node::Element("account");
+  e->SetAttr("id", "1234");
+  e->AddChild(Node::Text("hello"));
+  EXPECT_TRUE(e->is_element());
+  EXPECT_EQ(e->name(), "account");
+  ASSERT_NE(e->FindAttr("id"), nullptr);
+  EXPECT_EQ(*e->FindAttr("id"), "1234");
+  EXPECT_EQ(e->FindAttr("missing"), nullptr);
+  EXPECT_EQ(e->StringValue(), "hello");
+  EXPECT_EQ(e->children()[0]->parent(), e.get());
+}
+
+TEST(NodeTest, SetAttrOverwritesInPlace) {
+  NodePtr e = Node::Element("x");
+  e->SetAttr("a", "1");
+  e->SetAttr("b", "2");
+  e->SetAttr("a", "3");
+  ASSERT_EQ(e->attrs().size(), 2u);
+  EXPECT_EQ(e->attrs()[0].first, "a");
+  EXPECT_EQ(e->attrs()[0].second, "3");
+}
+
+TEST(NodeTest, RemoveAttr) {
+  NodePtr e = Node::Element("x");
+  e->SetAttr("a", "1");
+  e->RemoveAttr("a");
+  EXPECT_FALSE(e->HasAttr("a"));
+  e->RemoveAttr("nonexistent");  // no-op
+}
+
+TEST(NodeTest, StringValueConcatenatesDescendants) {
+  NodePtr root = Node::Element("r");
+  NodePtr a = Node::Element("a");
+  a->AddChild(Node::Text("foo"));
+  root->AddChild(a);
+  root->AddChild(Node::Text("bar"));
+  EXPECT_EQ(root->StringValue(), "foobar");
+}
+
+TEST(NodeTest, CloneIsDeepAndDetached) {
+  NodePtr e = Node::Element("a");
+  e->SetAttr("k", "v");
+  NodePtr c = Node::Element("b");
+  c->AddChild(Node::Text("t"));
+  e->AddChild(c);
+  NodePtr copy = e->Clone();
+  EXPECT_TRUE(Node::DeepEqual(*e, *copy));
+  EXPECT_EQ(copy->parent(), nullptr);
+  EXPECT_NE(copy->children()[0].get(), e->children()[0].get());
+  EXPECT_EQ(copy->children()[0]->parent(), copy.get());
+}
+
+TEST(NodeTest, DeepEqualDistinguishes) {
+  NodePtr a = Node::Element("a");
+  NodePtr b = Node::Element("b");
+  EXPECT_FALSE(Node::DeepEqual(*a, *b));
+  NodePtr a2 = Node::Element("a");
+  a2->SetAttr("x", "1");
+  EXPECT_FALSE(Node::DeepEqual(*a, *a2));
+  EXPECT_TRUE(Node::DeepEqual(*a, *Node::Element("a")));
+}
+
+TEST(NodeTest, SubtreeSize) {
+  NodePtr e = Node::Element("a");
+  NodePtr c = Node::Element("b");
+  c->AddChild(Node::Text("t"));
+  e->AddChild(c);
+  EXPECT_EQ(e->SubtreeSize(), 3u);
+}
+
+TEST(NodeTest, ChildElementsByName) {
+  NodePtr e = Node::Element("r");
+  e->AddChild(Node::Element("a"));
+  e->AddChild(Node::Element("b"));
+  e->AddChild(Node::Element("a"));
+  EXPECT_EQ(e->ChildElements("a").size(), 2u);
+  EXPECT_EQ(e->FirstChildElement("b")->name(), "b");
+  EXPECT_EQ(e->FirstChildElement("z"), nullptr);
+}
+
+// ---- Parser -----------------------------------------------------------------
+
+TEST(XmlParserTest, ParsesSimpleDocument) {
+  auto r = ParseXml("<a x=\"1\"><b>text</b></a>");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  NodePtr root = r.value();
+  EXPECT_EQ(root->name(), "a");
+  EXPECT_EQ(*root->FindAttr("x"), "1");
+  ASSERT_EQ(root->children().size(), 1u);
+  EXPECT_EQ(root->children()[0]->name(), "b");
+  EXPECT_EQ(root->children()[0]->StringValue(), "text");
+}
+
+TEST(XmlParserTest, ParsesSelfClosingAndSingleQuotes) {
+  auto r = ParseXml("<a><hole id='200' tsid='7'/></a>");
+  ASSERT_TRUE(r.ok());
+  const Node& hole = *r.value()->children()[0];
+  EXPECT_EQ(hole.name(), "hole");
+  EXPECT_EQ(*hole.FindAttr("id"), "200");
+  EXPECT_TRUE(hole.children().empty());
+}
+
+TEST(XmlParserTest, DecodesEntities) {
+  auto r = ParseXml("<a>&lt;x&gt; &amp; &quot;y&quot; &apos;z&apos;</a>");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value()->StringValue(), "<x> & \"y\" 'z'");
+}
+
+TEST(XmlParserTest, DecodesNumericCharRefs) {
+  auto r = ParseXml("<a>&#65;&#x42;</a>");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value()->StringValue(), "AB");
+}
+
+TEST(XmlParserTest, EntityInAttribute) {
+  auto r = ParseXml("<a x=\"a&amp;b\"/>");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r.value()->FindAttr("x"), "a&b");
+}
+
+TEST(XmlParserTest, SkipsCommentsPIsAndDoctype) {
+  const char* doc = R"(<?xml version="1.0"?>
+    <!DOCTYPE creditSystem [ <!ELEMENT a (b)> ]>
+    <!-- a comment -->
+    <a><!-- inner --><b/></a>)";
+  auto r = ParseXml(doc);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(r.value()->name(), "a");
+  ASSERT_EQ(r.value()->children().size(), 1u);
+}
+
+TEST(XmlParserTest, CdataIsLiteral) {
+  auto r = ParseXml("<a><![CDATA[<not-a-tag> & stuff]]></a>");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value()->StringValue(), "<not-a-tag> & stuff");
+}
+
+TEST(XmlParserTest, StripsInterElementWhitespaceByDefault) {
+  auto r = ParseXml("<a>\n  <b/>\n  <c/>\n</a>");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value()->children().size(), 2u);
+}
+
+TEST(XmlParserTest, KeepsWhitespaceWhenAskedTo) {
+  XmlParseOptions opts;
+  opts.strip_inter_element_whitespace = false;
+  auto r = ParseXml("<a> <b/> </a>", opts);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value()->children().size(), 3u);
+}
+
+TEST(XmlParserTest, KeepsMixedContentText) {
+  auto r = ParseXml("<a>hello <b>world</b> again</a>");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value()->StringValue(), "hello world again");
+  EXPECT_EQ(r.value()->children().size(), 3u);
+}
+
+TEST(XmlParserTest, ErrorsCarryLineAndColumn) {
+  auto r = ParseXml("<a>\n<b></c>\n</a>");
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.status().message().find("line 2"), std::string::npos)
+      << r.status().ToString();
+}
+
+TEST(XmlParserTest, RejectsMalformed) {
+  EXPECT_FALSE(ParseXml("<a>").ok());                  // unterminated
+  EXPECT_FALSE(ParseXml("<a></b>").ok());              // mismatched
+  EXPECT_FALSE(ParseXml("<a x=1/>").ok());             // unquoted attr
+  EXPECT_FALSE(ParseXml("<a x=\"1\" x=\"2\"/>").ok()); // duplicate attr
+  EXPECT_FALSE(ParseXml("<a/><b/>").ok());             // two roots
+  EXPECT_FALSE(ParseXml("text").ok());                 // no element
+  EXPECT_FALSE(ParseXml("<a>&bogus;</a>").ok());       // unknown entity
+  EXPECT_FALSE(ParseXml("").ok());
+}
+
+TEST(XmlParserTest, ParsesFragmentSequence) {
+  auto r = ParseXmlFragments("<filler id=\"1\"/><filler id=\"2\"/>");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value().size(), 2u);
+}
+
+TEST(XmlParserTest, ParsesPaperFillerFragment) {
+  const char* filler = R"(
+    <filler id="100" tsid="5" validTime="2003-10-23T12:23:34">
+      <transaction id="12345">
+        <vendor> Southlake Pizza </vendor>
+        <amount> 38.20 </amount>
+        <hole id="200" tsid="7"/>
+      </transaction>
+    </filler>)";
+  auto r = ParseXml(filler);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  const Node& f = *r.value();
+  EXPECT_EQ(*f.FindAttr("validTime"), "2003-10-23T12:23:34");
+  const NodePtr txn = f.FirstChildElement("transaction");
+  ASSERT_NE(txn, nullptr);
+  EXPECT_NE(txn->FirstChildElement("hole"), nullptr);
+}
+
+// ---- Serializer ---------------------------------------------------------------
+
+TEST(XmlSerializerTest, EscapesSpecials) {
+  NodePtr e = Node::Element("a");
+  e->SetAttr("x", "a\"b<c>&d");
+  e->AddChild(Node::Text("1 < 2 & 3 > 2"));
+  std::string s = SerializeXml(*e);
+  EXPECT_EQ(s,
+            "<a x=\"a&quot;b&lt;c&gt;&amp;d\">1 &lt; 2 &amp; 3 &gt; 2</a>");
+}
+
+TEST(XmlSerializerTest, SelfClosesEmptyElements) {
+  EXPECT_EQ(SerializeXml(*Node::Element("empty")), "<empty/>");
+}
+
+TEST(XmlSerializerTest, RoundTripsSimpleDoc) {
+  const char* doc = "<a x=\"1\"><b>text</b><c/></a>";
+  auto parsed = ParseXml(doc);
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(SerializeXml(*parsed.value()), doc);
+}
+
+TEST(XmlSerializerTest, PrettyPrintIndents) {
+  auto parsed = ParseXml("<a><b>t</b><c/></a>");
+  ASSERT_TRUE(parsed.ok());
+  XmlWriteOptions opts;
+  opts.pretty = true;
+  std::string s = SerializeXml(*parsed.value(), opts);
+  EXPECT_NE(s.find("\n  <b>t</b>"), std::string::npos) << s;
+}
+
+// Property: serialize(parse(serialize(tree))) == serialize(tree) for random
+// trees, and the reparsed tree is deeply equal to the original.
+class XmlRoundTripTest : public ::testing::TestWithParam<uint64_t> {
+ protected:
+  static NodePtr RandomTree(Random* rng, int depth) {
+    NodePtr e = Node::Element("n" + std::to_string(rng->Uniform(5)));
+    int nattrs = static_cast<int>(rng->Uniform(3));
+    for (int i = 0; i < nattrs; ++i) {
+      std::string value = rng->Word(4);
+      value += "&<>\"'";
+      e->SetAttr("a" + std::to_string(i), std::move(value));
+    }
+    int nchildren = depth > 0 ? static_cast<int>(rng->Uniform(4)) : 0;
+    bool last_was_text = false;  // adjacent text nodes would merge on reparse
+    for (int i = 0; i < nchildren; ++i) {
+      if (!last_was_text && rng->Bernoulli(0.3)) {
+        std::string text = rng->Word(6);
+        text += " <&> ";
+        text += rng->Word(3);
+        e->AddChild(Node::Text(std::move(text)));
+        last_was_text = true;
+      } else {
+        e->AddChild(RandomTree(rng, depth - 1));
+        last_was_text = false;
+      }
+    }
+    return e;
+  }
+};
+
+TEST_P(XmlRoundTripTest, SerializeParseRoundTrip) {
+  Random rng(GetParam());
+  NodePtr tree = RandomTree(&rng, 4);
+  std::string xml = SerializeXml(*tree);
+  auto reparsed = ParseXml(xml);
+  ASSERT_TRUE(reparsed.ok()) << reparsed.status().ToString() << "\n" << xml;
+  EXPECT_TRUE(Node::DeepEqual(*tree, *reparsed.value())) << xml;
+  EXPECT_EQ(SerializeXml(*reparsed.value()), xml);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, XmlRoundTripTest,
+                         ::testing::Range<uint64_t>(0, 24));
+
+}  // namespace
+}  // namespace xcql

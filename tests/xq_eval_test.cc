@@ -1,0 +1,681 @@
+// Tests for the XQuery/XCQL engine: lexing/parsing (via AST round-trips),
+// evaluation semantics (paths, predicates, FLWOR, comparisons, arithmetic,
+// constructors, functions), and the XCQL temporal projections over
+// vtFrom/vtTo-annotated documents.
+#include <gtest/gtest.h>
+
+#include "xml/parser.h"
+#include "xml/serializer.h"
+#include "xq/eval.h"
+#include "xq/parser.h"
+
+namespace xcql::xq {
+namespace {
+
+class EvalTest : public ::testing::Test {
+ protected:
+  EvalTest() : registry_(FunctionRegistry::Builtins()) {
+    ctx_.functions = &registry_;
+    ctx_.now = DateTime::Parse("2003-12-01T00:00:00").value();
+  }
+
+  // Evaluates `query` and renders the result (nodes serialized, atomics via
+  // their lexical form, items space-separated).
+  std::string Run(const std::string& query) {
+    auto r = EvalQuery(query, &ctx_);
+    if (!r.ok()) return "ERROR: " + r.status().ToString();
+    std::string out;
+    for (size_t i = 0; i < r.value().size(); ++i) {
+      if (i > 0) out += " ";
+      const Item& item = r.value()[i];
+      if (IsNode(item)) {
+        out += SerializeXml(*AsNode(item));
+      } else {
+        out += AsAtomic(item).ToStringValue();
+      }
+    }
+    return out;
+  }
+
+  Status RunStatus(const std::string& query) {
+    return EvalQuery(query, &ctx_).status();
+  }
+
+  void LoadDoc(const std::string& name, const std::string& xml) {
+    auto r = ParseXml(xml);
+    ASSERT_TRUE(r.ok()) << r.status().ToString();
+    ctx_.documents[name] = r.value();
+  }
+
+  FunctionRegistry registry_;
+  EvalContext ctx_;
+};
+
+// ---- Literals and arithmetic -------------------------------------------------
+
+TEST_F(EvalTest, IntegerArithmetic) {
+  EXPECT_EQ(Run("1 + 2 * 3"), "7");
+  EXPECT_EQ(Run("(1 + 2) * 3"), "9");
+  EXPECT_EQ(Run("10 mod 3"), "1");
+  EXPECT_EQ(Run("10 idiv 3"), "3");
+  EXPECT_EQ(Run("-5 + 2"), "-3");
+}
+
+TEST_F(EvalTest, DivisionAlwaysDecimal) {
+  EXPECT_EQ(Run("7 div 2"), "3.5");
+  EXPECT_EQ(Run("6 div 2"), "3");
+}
+
+TEST_F(EvalTest, DivisionByZeroIsError) {
+  EXPECT_FALSE(RunStatus("1 div 0").ok());
+  EXPECT_FALSE(RunStatus("1 idiv 0").ok());
+  EXPECT_FALSE(RunStatus("1 mod 0").ok());
+}
+
+TEST_F(EvalTest, DoubleFormatting) {
+  EXPECT_EQ(Run("1.5 + 1.25"), "2.75");
+  EXPECT_EQ(Run("2.0 * 2"), "4");
+}
+
+TEST_F(EvalTest, StringLiteralsAndEscapedQuote) {
+  EXPECT_EQ(Run("\"hello\""), "hello");
+  EXPECT_EQ(Run("\"say \"\"hi\"\"\""), "say \"hi\"");
+  EXPECT_EQ(Run("'single'"), "single");
+}
+
+TEST_F(EvalTest, ArithmeticOnNumericStrings) {
+  EXPECT_EQ(Run("\"3\" + 4"), "7");
+  EXPECT_FALSE(RunStatus("\"abc\" + 1").ok());
+}
+
+TEST_F(EvalTest, EmptySequencePropagatesThroughArithmetic) {
+  EXPECT_EQ(Run("() + 1"), "");
+  EXPECT_EQ(Run("1 + ()"), "");
+}
+
+TEST_F(EvalTest, CommaMakesSequences) {
+  EXPECT_EQ(Run("(1, 2, 3)"), "1 2 3");
+  EXPECT_EQ(Run("(1, (2, 3), ())"), "1 2 3");
+}
+
+TEST_F(EvalTest, RangeExpression) {
+  EXPECT_EQ(Run("1 to 5"), "1 2 3 4 5");
+  EXPECT_EQ(Run("3 to 1"), "");
+  EXPECT_EQ(Run("count(2 to 7)"), "6");
+}
+
+// ---- dateTime / duration literals and arithmetic --------------------------------
+
+TEST_F(EvalTest, DateTimeLiteral) {
+  EXPECT_EQ(Run("2003-10-23T12:23:34"), "2003-10-23T12:23:34");
+  EXPECT_EQ(Run("2003-11-01"), "2003-11-01T00:00:00");
+}
+
+TEST_F(EvalTest, DurationLiteral) {
+  EXPECT_EQ(Run("PT1H"), "PT1H");
+  EXPECT_EQ(Run("P1Y2M3DT4H5M6S"), "P1Y2M3DT4H5M6S");
+}
+
+TEST_F(EvalTest, DateTimePlusDuration) {
+  EXPECT_EQ(Run("2003-10-23T12:23:34 + PT1M"), "2003-10-23T12:24:34");
+  EXPECT_EQ(Run("2003-10-23T12:23:34 - PT1H"), "2003-10-23T11:23:34");
+  EXPECT_EQ(Run("PT1H + 2003-10-23T12:23:34"), "2003-10-23T13:23:34");
+}
+
+TEST_F(EvalTest, DateTimeMinusDateTime) {
+  EXPECT_EQ(Run("2003-10-23T12:24:35 - 2003-10-23T12:23:34"), "PT1M1S");
+}
+
+TEST_F(EvalTest, DurationArithmetic) {
+  EXPECT_EQ(Run("PT1H + PT30M"), "PT1H30M");
+  EXPECT_EQ(Run("PT1H - PT30M"), "PT30M");
+  EXPECT_EQ(Run("PT1H * 2"), "PT2H");
+}
+
+TEST_F(EvalTest, NowAndStartConstants) {
+  EXPECT_EQ(Run("now"), "2003-12-01T00:00:00");
+  EXPECT_EQ(Run("now - PT1H"), "2003-11-30T23:00:00");
+  EXPECT_EQ(Run("start"), "start");
+  EXPECT_EQ(Run("currentDateTime()"), "2003-12-01T00:00:00");
+  EXPECT_EQ(Run("current-dateTime()"), "2003-12-01T00:00:00");
+}
+
+TEST_F(EvalTest, DateTimeComparisons) {
+  EXPECT_EQ(Run("2003-01-01 < 2003-06-01"), "true");
+  EXPECT_EQ(Run("2003-01-01 = 2003-01-01T00:00:00"), "true");
+  EXPECT_EQ(Run("start < 1066-01-01"), "true");
+  EXPECT_EQ(Run("\"2003-01-01T00:00:00\" < 2003-06-01"), "true");
+}
+
+// ---- Comparisons ---------------------------------------------------------------
+
+TEST_F(EvalTest, GeneralComparisonIsExistential) {
+  EXPECT_EQ(Run("(1, 2, 3) = 2"), "true");
+  EXPECT_EQ(Run("(1, 2, 3) = 9"), "false");
+  EXPECT_EQ(Run("(1, 2) != (1, 2)"), "true");  // 1 != 2 existentially
+  EXPECT_EQ(Run("() = 1"), "false");
+}
+
+TEST_F(EvalTest, ValueComparison) {
+  EXPECT_EQ(Run("1 eq 1"), "true");
+  EXPECT_EQ(Run("1 lt 2"), "true");
+  EXPECT_EQ(Run("\"a\" lt \"b\""), "true");
+  EXPECT_EQ(Run("() eq 1"), "");  // empty result
+}
+
+TEST_F(EvalTest, MixedNumericStringComparison) {
+  EXPECT_EQ(Run("\"10\" > 9"), "true");  // numeric cast
+  EXPECT_EQ(Run("\"10\" = \"10.0\""), "false");  // string compare
+}
+
+TEST_F(EvalTest, LogicalOperators) {
+  EXPECT_EQ(Run("true() and false()"), "false");
+  EXPECT_EQ(Run("true() or false()"), "true");
+  EXPECT_EQ(Run("not(false())"), "true");
+  // Short-circuit: the error on the rhs is never evaluated.
+  EXPECT_EQ(Run("false() and (1 div 0 = 1)"), "false");
+  EXPECT_EQ(Run("true() or (1 div 0 = 1)"), "true");
+}
+
+TEST_F(EvalTest, IfExpression) {
+  EXPECT_EQ(Run("if (1 < 2) then \"yes\" else \"no\""), "yes");
+  EXPECT_EQ(Run("if (()) then 1 else 2"), "2");  // empty is false
+}
+
+// ---- Paths ---------------------------------------------------------------------
+
+constexpr const char* kCredit = R"(
+<creditAccounts>
+  <account id="1234" vtFrom="1998-10-10T12:20:22" vtTo="2003-11-10T09:30:45">
+    <customer>John Smith</customer>
+    <creditLimit vtFrom="1998-10-10T12:20:22"
+                 vtTo="2001-04-23T23:11:08">2000</creditLimit>
+    <creditLimit vtFrom="2001-04-23T23:11:08" vtTo="now">5000</creditLimit>
+    <transaction id="12345" vtFrom="2003-10-23T12:23:34"
+                 vtTo="2003-10-23T12:23:34">
+      <vendor>Southlake Pizza</vendor>
+      <amount>38.20</amount>
+      <status vtFrom="2003-10-23T12:24:35" vtTo="now">charged</status>
+    </transaction>
+    <transaction id="23456" vtFrom="2003-09-10T14:30:12"
+                 vtTo="2003-09-10T14:30:12">
+      <vendor>ResAris Contaceu</vendor>
+      <amount>1200</amount>
+      <status vtFrom="2003-09-10T14:30:13"
+              vtTo="2003-11-01T10:12:56">charged</status>
+      <status vtFrom="2003-11-01T10:12:56" vtTo="now">suspended</status>
+    </transaction>
+  </account>
+  <account id="5678" vtFrom="2000-01-01T00:00:00" vtTo="now">
+    <customer>Jane Doe</customer>
+    <creditLimit vtFrom="2000-01-01T00:00:00" vtTo="now">3000</creditLimit>
+  </account>
+</creditAccounts>)";
+
+class PathTest : public EvalTest {
+ protected:
+  void SetUp() override { LoadDoc("credit", kCredit); }
+};
+
+TEST_F(PathTest, ChildSteps) {
+  EXPECT_EQ(Run("count(doc(\"credit\")/account)"), "2");
+  EXPECT_EQ(Run("doc(\"credit\")/account[1]/customer/text()"), "John Smith");
+}
+
+TEST_F(PathTest, DescendantStep) {
+  EXPECT_EQ(Run("count(doc(\"credit\")//transaction)"), "2");
+  EXPECT_EQ(Run("count(doc(\"credit\")//status)"), "3");
+  EXPECT_EQ(Run("count(doc(\"credit\")//creditLimit)"), "3");
+}
+
+TEST_F(PathTest, AttributeStep) {
+  EXPECT_EQ(Run("doc(\"credit\")/account[1]/@id"), "id=\"1234\"");
+  EXPECT_EQ(Run("string(doc(\"credit\")/account[2]/@id)"), "5678");
+}
+
+TEST_F(PathTest, WildcardStep) {
+  EXPECT_EQ(Run("count(doc(\"credit\")/account[2]/*)"), "2");
+}
+
+TEST_F(PathTest, PositionalPredicates) {
+  EXPECT_EQ(Run("doc(\"credit\")/account[2]/customer/text()"), "Jane Doe");
+  EXPECT_EQ(Run("doc(\"credit\")//transaction[position() = 2]/vendor/text()"),
+            "ResAris Contaceu");
+  EXPECT_EQ(Run("doc(\"credit\")//transaction[last()]/vendor/text()"),
+            "ResAris Contaceu");
+}
+
+TEST_F(PathTest, ValuePredicates) {
+  EXPECT_EQ(Run("doc(\"credit\")//transaction[amount > 1000]/vendor/text()"),
+            "ResAris Contaceu");
+  EXPECT_EQ(
+      Run("count(doc(\"credit\")//transaction[status = \"suspended\"])"), "1");
+}
+
+TEST_F(PathTest, PredicateOnAttribute) {
+  EXPECT_EQ(Run("doc(\"credit\")/account[@id = \"5678\"]/customer/text()"),
+            "Jane Doe");
+}
+
+TEST_F(PathTest, ChainedPredicates) {
+  EXPECT_EQ(Run("count(doc(\"credit\")//transaction[amount > 10][vendor = "
+                "\"Southlake Pizza\"])"),
+            "1");
+}
+
+TEST_F(PathTest, PathOnAtomicIsError) {
+  EXPECT_FALSE(RunStatus("(1)/a").ok());
+}
+
+TEST_F(PathTest, ParentStep) {
+  EXPECT_EQ(Run("string(doc(\"credit\")//transaction[1]/../@id)"), "1234");
+}
+
+TEST_F(PathTest, TextNodeStep) {
+  EXPECT_EQ(Run("doc(\"credit\")//transaction[1]/vendor/text()"),
+            "Southlake Pizza");
+}
+
+// ---- FLWOR ---------------------------------------------------------------------
+
+TEST_F(PathTest, ForReturn) {
+  EXPECT_EQ(Run("for $a in doc(\"credit\")/account return string($a/@id)"),
+            "1234 5678");
+}
+
+TEST_F(PathTest, ForWithPositionVariable) {
+  EXPECT_EQ(Run("for $a at $i in doc(\"credit\")/account return $i * 10"),
+            "10 20");
+}
+
+TEST_F(PathTest, LetBinding) {
+  EXPECT_EQ(Run("let $x := (1, 2, 3) return count($x)"), "3");
+  EXPECT_EQ(Run("let $x := 5 let $y := $x + 1 return $y"), "6");
+}
+
+TEST_F(PathTest, WhereClause) {
+  EXPECT_EQ(Run("for $a in doc(\"credit\")/account "
+                "where $a/customer = \"Jane Doe\" return string($a/@id)"),
+            "5678");
+}
+
+TEST_F(PathTest, MultipleForBindingsAreCrossProduct) {
+  EXPECT_EQ(Run("for $i in (1, 2), $j in (10, 20) return $i + $j"),
+            "11 21 12 22");
+}
+
+TEST_F(PathTest, OrderByAscendingDescending) {
+  EXPECT_EQ(Run("for $x in (3, 1, 2) order by $x return $x"), "1 2 3");
+  EXPECT_EQ(Run("for $x in (3, 1, 2) order by $x descending return $x"),
+            "3 2 1");
+}
+
+TEST_F(PathTest, OrderByStringKey) {
+  EXPECT_EQ(Run("for $a in doc(\"credit\")/account "
+                "order by $a/customer descending return string($a/@id)"),
+            "1234 5678");
+}
+
+TEST_F(PathTest, OrderByMultipleKeys) {
+  EXPECT_EQ(
+      Run("for $p in ((1, 2), (1, 1), (2, 1)) return $p"),  // sanity: flat
+      "1 2 1 1 2 1");
+  EXPECT_EQ(Run("for $i in (2, 1), $j in (2, 1) order by $i, $j return "
+                "concat($i, \"-\", $j)"),
+            "1-1 1-2 2-1 2-2");
+}
+
+TEST_F(PathTest, NestedFlwor) {
+  EXPECT_EQ(Run("for $a in doc(\"credit\")/account return "
+                "count(for $t in $a/transaction return $t)"),
+            "2 0");
+}
+
+// ---- Quantifiers ----------------------------------------------------------------
+
+TEST_F(PathTest, SomeQuantifier) {
+  EXPECT_EQ(Run("some $x in (1, 2, 3) satisfies $x > 2"), "true");
+  EXPECT_EQ(Run("some $x in (1, 2, 3) satisfies $x > 5"), "false");
+  EXPECT_EQ(Run("some $x in () satisfies $x > 0"), "false");
+}
+
+TEST_F(PathTest, EveryQuantifier) {
+  EXPECT_EQ(Run("every $x in (1, 2, 3) satisfies $x > 0"), "true");
+  EXPECT_EQ(Run("every $x in (1, 2, 3) satisfies $x > 1"), "false");
+  EXPECT_EQ(Run("every $x in () satisfies $x > 0"), "true");
+}
+
+TEST_F(PathTest, QuantifierMultipleBindings) {
+  EXPECT_EQ(Run("some $x in (1, 2), $y in (3, 4) satisfies $x + $y = 6"),
+            "true");
+}
+
+TEST_F(PathTest, NegatedQuantifierLikeSynAckQuery) {
+  // Shape of the paper's §2 example 1: not(some … satisfies …).
+  EXPECT_EQ(Run("not(some $a in (1, 2) satisfies $a = 3)"), "true");
+}
+
+// ---- Functions -------------------------------------------------------------------
+
+TEST_F(PathTest, Aggregates) {
+  EXPECT_EQ(Run("sum((1, 2, 3))"), "6");
+  EXPECT_EQ(Run("sum(())"), "0");
+  EXPECT_EQ(Run("avg((1, 2, 3))"), "2");
+  EXPECT_EQ(Run("max((1, 5, 3))"), "5");
+  EXPECT_EQ(Run("min((4, 2, 9))"), "2");
+  EXPECT_EQ(Run("max(3, 7)"), "7");  // paper's two-argument max
+  EXPECT_EQ(Run("count(())"), "0");
+}
+
+TEST_F(PathTest, SumOverNodeValues) {
+  EXPECT_EQ(Run("sum(doc(\"credit\")//amount)"), "1238.2");
+}
+
+TEST_F(PathTest, StringFunctions) {
+  EXPECT_EQ(Run("concat(\"a\", \"b\", \"c\")"), "abc");
+  EXPECT_EQ(Run("contains(\"hello\", \"ell\")"), "true");
+  EXPECT_EQ(Run("starts-with(\"hello\", \"he\")"), "true");
+  EXPECT_EQ(Run("ends-with(\"hello\", \"lo\")"), "true");
+  EXPECT_EQ(Run("substring(\"hello\", 2, 3)"), "ell");
+  EXPECT_EQ(Run("string-length(\"hello\")"), "5");
+  EXPECT_EQ(Run("normalize-space(\"  a  b  \")"), "a b");
+  EXPECT_EQ(Run("string-join((\"a\", \"b\"), \"-\")"), "a-b");
+}
+
+TEST_F(PathTest, NumericFunctions) {
+  EXPECT_EQ(Run("round(2.5)"), "3");
+  EXPECT_EQ(Run("floor(2.9)"), "2");
+  EXPECT_EQ(Run("ceiling(2.1)"), "3");
+  EXPECT_EQ(Run("abs(-4)"), "4");
+}
+
+TEST_F(PathTest, EmptyExistsName) {
+  EXPECT_EQ(Run("empty(())"), "true");
+  EXPECT_EQ(Run("empty((1))"), "false");
+  EXPECT_EQ(Run("exists(doc(\"credit\")/account)"), "true");
+  EXPECT_EQ(Run("name(doc(\"credit\"))"), "creditAccounts");
+}
+
+TEST_F(PathTest, UnknownFunctionIsError) {
+  Status st = RunStatus("bogus(1)");
+  EXPECT_EQ(st.code(), StatusCode::kNotFound);
+}
+
+TEST_F(PathTest, WrongArityIsError) {
+  EXPECT_FALSE(RunStatus("count()").ok());
+  EXPECT_FALSE(RunStatus("count((1), (2))").ok());
+}
+
+TEST_F(PathTest, GeoHelpers) {
+  EXPECT_EQ(Run("distance(\"0 0\", \"3 4\")"), "5");
+  EXPECT_EQ(Run("distance(\"0,0\", \"3,4\")"), "5");
+  EXPECT_EQ(Run("triangulate(45, 45)"), "50.000 50.000");
+}
+
+// ---- User-declared functions ------------------------------------------------------
+
+TEST_F(PathTest, DeclareFunction) {
+  EXPECT_EQ(Run("declare function twice($x) { $x * 2 }; twice(21)"), "42");
+}
+
+TEST_F(PathTest, DefineFunctionOldSyntax) {
+  EXPECT_EQ(Run("define function add($a as xs:integer, $b as xs:integer) "
+                "as xs:integer { $a + $b } add(1, 2)"),
+            "3");
+}
+
+TEST_F(PathTest, RecursiveUserFunction) {
+  EXPECT_EQ(
+      Run("declare function fact($n) { if ($n <= 1) then 1 else $n * "
+          "fact($n - 1) }; fact(6)"),
+      "720");
+}
+
+TEST_F(PathTest, UserFunctionSeesOnlyParams) {
+  Status st = RunStatus(
+      "declare function f($x) { $x + $y }; let $y := 1 return f(2)");
+  EXPECT_FALSE(st.ok());
+}
+
+// ---- Constructors -----------------------------------------------------------------
+
+TEST_F(PathTest, DirectElementConstructor) {
+  EXPECT_EQ(Run("<warning>overload</warning>"), "<warning>overload</warning>");
+  EXPECT_EQ(Run("<a x=\"1\"/>"), "<a x=\"1\"/>");
+}
+
+TEST_F(PathTest, EnclosedExpressionsInContent) {
+  EXPECT_EQ(Run("<r>{1 + 1}</r>"), "<r>2</r>");
+  EXPECT_EQ(Run("<r>{(1, 2, 3)}</r>"), "<r>1 2 3</r>");
+}
+
+TEST_F(PathTest, EnclosedExpressionsInAttributes) {
+  EXPECT_EQ(Run("<r id=\"{1 + 1}\"/>"), "<r id=\"2\"/>");
+  EXPECT_EQ(Run("<r id=\"v{40 + 2}x\"/>"), "<r id=\"v42x\"/>");
+  // The paper's unquoted style.
+  EXPECT_EQ(Run("let $i := 7 return <account id={$i}/>"),
+            "<account id=\"7\"/>");
+}
+
+TEST_F(PathTest, NestedConstructors) {
+  EXPECT_EQ(Run("<a><b>{2 + 3}</b><c/></a>"), "<a><b>5</b><c/></a>");
+}
+
+TEST_F(PathTest, ConstructorCopiesNodes) {
+  EXPECT_EQ(Run("<wrap>{doc(\"credit\")/account[2]/customer}</wrap>"),
+            "<wrap><customer>Jane Doe</customer></wrap>");
+}
+
+TEST_F(PathTest, ConstructorWithQueryInside) {
+  EXPECT_EQ(
+      Run("<position>{ triangulate(45, 45) }</position>"),
+      "<position>50.000 50.000</position>");
+}
+
+TEST_F(PathTest, ComputedElementAndAttribute) {
+  EXPECT_EQ(Run("element {\"foo\"} {1 + 1}"), "<foo>2</foo>");
+  EXPECT_EQ(Run("element bar {\"x\"}"), "<bar>x</bar>");
+  EXPECT_EQ(Run("<a>{attribute id {\"9\"}, \"body\"}</a>"),
+            "<a id=\"9\">body</a>");
+}
+
+TEST_F(PathTest, CurlyBraceEscapes) {
+  EXPECT_EQ(Run("<a>{{literal}}</a>"), "<a>{literal}</a>");
+}
+
+TEST_F(PathTest, BoundaryWhitespaceStripped) {
+  EXPECT_EQ(Run("<warning> { \"w\" } </warning>"), "<warning>w</warning>");
+}
+
+// ---- XCQL interval/version projections ----------------------------------------------
+
+TEST_F(PathTest, VtFromVtToAccessors) {
+  EXPECT_EQ(Run("vtFrom(doc(\"credit\")/account[1])"), "1998-10-10T12:20:22");
+  EXPECT_EQ(Run("vtTo(doc(\"credit\")/account[1])"), "2003-11-10T09:30:45");
+  // vtTo="now" resolves to the evaluation clock.
+  EXPECT_EQ(Run("vtTo(doc(\"credit\")/account[2])"), "2003-12-01T00:00:00");
+  // Lifespan of an element without attributes spans its children.
+  EXPECT_EQ(Run("vtFrom(doc(\"credit\"))"), "1998-10-10T12:20:22");
+}
+
+TEST_F(PathTest, IntervalProjectionFiltersByLifespan) {
+  // Only the September transaction falls in [2003-09-01, 2003-10-01].
+  EXPECT_EQ(Run("count(doc(\"credit\")/account[1]/transaction"
+                "?[2003-09-01,2003-10-01])"),
+            "1");
+  EXPECT_EQ(Run("doc(\"credit\")/account[1]/transaction"
+                "?[2003-09-01,2003-10-01]/vendor/text()"),
+            "ResAris Contaceu");
+}
+
+TEST_F(PathTest, IntervalProjectionClipsLifespans) {
+  EXPECT_EQ(Run("string(doc(\"credit\")/account[1]/creditLimit"
+                "?[2000-01-01,2002-01-01][1]/@vtFrom)"),
+            "2000-01-01T00:00:00");
+  EXPECT_EQ(Run("string(doc(\"credit\")/account[1]/creditLimit"
+                "?[2000-01-01,2002-01-01][1]/@vtTo)"),
+            "2001-04-23T23:11:08");
+}
+
+TEST_F(PathTest, PointProjectionNowSelectsCurrentVersion) {
+  // ?[now]: only the creditLimit valid at the evaluation time remains.
+  EXPECT_EQ(Run("doc(\"credit\")/account[1]/creditLimit?[now]/text()"),
+            "5000");
+}
+
+TEST_F(PathTest, SuspendedTransactionFiltering) {
+  // Paper §6.1: with the current-status check, the $1200 transaction whose
+  // status changed to "suspended" must not match.
+  EXPECT_EQ(Run("count(doc(\"credit\")//transaction"
+                "[amount > 1000][status = \"charged\"])"),
+            "1");  // existential match without temporal qualification
+  EXPECT_EQ(Run("count(doc(\"credit\")//transaction"
+                "[amount > 1000][status?[now] = \"charged\"])"),
+            "0");  // the current status is "suspended"
+}
+
+TEST_F(PathTest, VersionProjectionSelectsByIndex) {
+  EXPECT_EQ(Run("doc(\"credit\")/account[1]/creditLimit#[1]/text()"), "2000");
+  EXPECT_EQ(Run("doc(\"credit\")/account[1]/creditLimit#[2]/text()"), "5000");
+  EXPECT_EQ(Run("count(doc(\"credit\")/account[1]/creditLimit#[1,2])"), "2");
+  EXPECT_EQ(Run("count(doc(\"credit\")/account[1]/creditLimit#[5])"), "0");
+}
+
+TEST_F(PathTest, VersionProjectionLast) {
+  EXPECT_EQ(Run("doc(\"credit\")/account[1]/creditLimit#[last]/text()"),
+            "5000");
+  EXPECT_EQ(Run("doc(\"credit\")/account[1]/status#[last]"), "");
+}
+
+TEST_F(PathTest, VersionProjectionOfSnapshotIsSingleVersion) {
+  EXPECT_EQ(Run("doc(\"credit\")/account[1]/customer#[1]/text()"),
+            "John Smith");
+  EXPECT_EQ(Run("count(doc(\"credit\")/account[1]/customer#[2])"), "0");
+}
+
+TEST_F(PathTest, ProjectionBoundsValidation) {
+  EXPECT_FALSE(RunStatus("doc(\"credit\")/account?[2003-02-01,2003-01-01]")
+                   .ok());  // begin > end
+  EXPECT_FALSE(RunStatus("doc(\"credit\")/account#[3,1]").ok());
+  EXPECT_FALSE(RunStatus("doc(\"credit\")/account?[\"junk\"]").ok());
+}
+
+TEST_F(PathTest, DefaultProjectionKeepsEverything) {
+  EXPECT_EQ(Run("count(doc(\"credit\")/account[1]/creditLimit"
+                "?[start,now])"),
+            "2");
+}
+
+TEST_F(PathTest, PaperQuery2FraudShape) {
+  // Paper §3.1 Query 2 over the materialized view (no fraud in this data).
+  const char* q = R"(
+    for $a in doc("credit")/account
+    where sum($a/transaction?[now - PT1H, now]
+              [status = "charged"]/amount) >=
+          max($a/creditLimit?[now] * 0.9, 5000)
+    return <alert><account id={$a/@id}>{$a/customer}</account></alert>)";
+  EXPECT_EQ(Run(q), "");
+}
+
+TEST_F(PathTest, PaperQuery1MaxedOutShape) {
+  // Paper §3.1 Query 1 shape: November transactions vs current limit. The
+  // data has no account exceeding the limit, so no result rows.
+  const char* q = R"(
+    for $a in doc("credit")/account
+    where sum($a/transaction?[2003-11-01,2003-12-01]
+              [status = "charged"]/amount) >= $a/creditLimit?[now]
+    return <account>{attribute id {$a/@id}, $a/customer}</account>)";
+  EXPECT_EQ(Run(q), "");
+}
+
+// ---- Parser round-trips -------------------------------------------------------------
+
+TEST(ParserTest, AstToStringRoundTrips) {
+  const char* queries[] = {
+      "1 + 2",
+      "for $x in (1, 2) return $x",
+      "some $a in $s satisfies ($a = 1)",
+      "doc(\"credit\")//transaction[(amount > 1000)]",
+      "$a/transaction?[2003-11-01T00:00:00,2003-12-01T00:00:00]",
+      "$a/creditLimit#[1,10]",
+      "if (($x = 1)) then \"a\" else \"b\"",
+  };
+  for (const char* q : queries) {
+    auto e1 = ParseExpression(q);
+    ASSERT_TRUE(e1.ok()) << q << ": " << e1.status().ToString();
+    std::string s1 = e1.value()->ToString();
+    auto e2 = ParseExpression(s1);
+    ASSERT_TRUE(e2.ok()) << s1 << ": " << e2.status().ToString();
+    EXPECT_EQ(e2.value()->ToString(), s1) << q;
+  }
+}
+
+TEST(ParserTest, CloneProducesEqualRendering) {
+  auto e = ParseExpression(
+      "for $a in doc(\"x\")//y where $a/z > 1 order by $a/w descending "
+      "return <out id={$a/@id}>{$a/z}</out>");
+  ASSERT_TRUE(e.ok()) << e.status().ToString();
+  EXPECT_EQ(e.value()->Clone()->ToString(), e.value()->ToString());
+}
+
+TEST(ParserTest, RejectsMalformedQueries) {
+  EXPECT_FALSE(ParseExpression("for $x in").ok());
+  EXPECT_FALSE(ParseExpression("1 +").ok());
+  EXPECT_FALSE(ParseExpression("(1, 2").ok());
+  EXPECT_FALSE(ParseExpression("$").ok());
+  EXPECT_FALSE(ParseExpression("<a>").ok());
+  EXPECT_FALSE(ParseExpression("<a></b>").ok());
+  EXPECT_FALSE(ParseExpression("e?[1").ok());
+  EXPECT_FALSE(ParseExpression("").ok());
+  EXPECT_FALSE(ParseExpression("1 2").ok());
+}
+
+TEST(ParserTest, CommentsAreSkipped) {
+  auto e = ParseExpression("1 (: comment (: nested :) here :) + 2");
+  ASSERT_TRUE(e.ok()) << e.status().ToString();
+}
+
+TEST(ParserTest, ParsesPaperRadarQuery) {
+  const char* q = R"(
+    for $r in stream("radar1")//event,
+        $s in stream("radar2")//event
+             ?[vtFrom($r) - PT1S, vtTo($r) + PT1S]
+    where $r/frequency = $s/frequency
+    return <position>{ triangulate($r/angle, $s/angle) }</position>)";
+  auto e = ParseExpression(q);
+  ASSERT_TRUE(e.ok()) << e.status().ToString();
+}
+
+TEST(ParserTest, ParsesPaperSynAckQuery) {
+  const char* q = R"(
+    for $s in stream("gsyn")//packet
+    where not(some $a in stream("ack")//packet?[vtFrom($s) + PT1M, now]
+              satisfies $s/id = $a/id and $s/srcIP = $a/destIP
+              and $s/srcPort = $a/destPort)
+    return <warning>{ $s/id }</warning>)";
+  auto e = ParseExpression(q);
+  ASSERT_TRUE(e.ok()) << e.status().ToString();
+}
+
+TEST(ParserTest, ParsesPaperTrafficQueryWithMissingCommas) {
+  // The paper's §2 example 3 omits the commas between for-bindings; the
+  // parser accepts that form leniently.
+  const char* q = R"(
+    for $v in stream("vehicle")//event
+        $r in stream("road_sensor")//event?[vtFrom($v), vtTo($v)]
+        $t in stream("traffic_light")//event?[vtFrom($v), vtTo($v)]
+    where distance($v/location, $r/location) < 0.1
+      and distance($v/location, $t/location) < 10
+      and $v/type = "ambulance"
+    return
+      <set_traffic_light ID="{$t/id}">
+        <status>green</status>
+        <time>{vtFrom($t) + (distance($v/location, $t/location)
+               div $r/speed) * PT1S}</time>
+      </set_traffic_light>)";
+  auto e = ParseExpression(q);
+  ASSERT_TRUE(e.ok()) << e.status().ToString();
+}
+
+}  // namespace
+}  // namespace xcql::xq

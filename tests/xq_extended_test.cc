@@ -1,0 +1,280 @@
+// Extended engine tests: the XCQL interval-relation operators (paper §2),
+// prolog variable declarations, the sequence function library, and engine
+// edge cases (recursion guards, error positions, focus semantics).
+#include <gtest/gtest.h>
+
+#include "xml/parser.h"
+#include "xml/serializer.h"
+#include "xq/eval.h"
+#include "xq/parser.h"
+
+namespace xcql::xq {
+namespace {
+
+class ExtendedTest : public ::testing::Test {
+ protected:
+  ExtendedTest() : registry_(FunctionRegistry::Builtins()) {
+    ctx_.functions = &registry_;
+    ctx_.now = DateTime::Parse("2004-06-01T00:00:00").value();
+  }
+
+  std::string Run(const std::string& query) {
+    auto r = EvalQuery(query, &ctx_);
+    if (!r.ok()) return "ERROR: " + r.status().ToString();
+    std::string out;
+    for (size_t i = 0; i < r.value().size(); ++i) {
+      if (i > 0) out += " ";
+      const Item& item = r.value()[i];
+      out += IsNode(item) ? SerializeXml(*AsNode(item))
+                          : AsAtomic(item).ToStringValue();
+    }
+    return out;
+  }
+
+  Status RunStatus(const std::string& query) {
+    return EvalQuery(query, &ctx_).status();
+  }
+
+  void LoadDoc(const std::string& name, const std::string& xml) {
+    auto r = ParseXml(xml);
+    ASSERT_TRUE(r.ok()) << r.status().ToString();
+    ctx_.documents[name] = r.value();
+  }
+
+  FunctionRegistry registry_;
+  EvalContext ctx_;
+};
+
+// ---- Interval relation operators (paper §2: "a before b") -----------------------
+
+class IntervalOpTest : public ExtendedTest {
+ protected:
+  void SetUp() override {
+    LoadDoc("log", R"(
+      <log>
+        <phase name="build" vtFrom="2004-01-01T00:00:00"
+               vtTo="2004-01-01T01:00:00"/>
+        <phase name="test" vtFrom="2004-01-01T01:00:00"
+               vtTo="2004-01-01T02:30:00"/>
+        <phase name="deploy" vtFrom="2004-01-01T02:00:00"
+               vtTo="2004-01-01T03:00:00"/>
+        <event name="alert" vtFrom="2004-01-01T02:15:00"
+               vtTo="2004-01-01T02:15:00"/>
+      </log>)");
+  }
+
+  std::string Phase(const char* name) {
+    return std::string("doc(\"log\")/phase[@name = \"") + name + "\"]";
+  }
+};
+
+TEST_F(IntervalOpTest, BeforeAndAfterOnDateTimes) {
+  EXPECT_EQ(Run("2004-01-01 before 2004-02-01"), "true");
+  EXPECT_EQ(Run("2004-02-01 before 2004-01-01"), "false");
+  EXPECT_EQ(Run("2004-02-01 after 2004-01-01"), "true");
+  // A point is not before itself (closed intervals share the instant).
+  EXPECT_EQ(Run("2004-01-01 before 2004-01-01"), "false");
+}
+
+TEST_F(IntervalOpTest, ElementLifespans) {
+  EXPECT_EQ(Run(Phase("build") + " before " + Phase("deploy")), "true");
+  EXPECT_EQ(Run(Phase("deploy") + " after " + Phase("build")), "true");
+  // build meets test exactly at 01:00:00.
+  EXPECT_EQ(Run(Phase("build") + " meets " + Phase("test")), "true");
+  EXPECT_EQ(Run(Phase("build") + " before " + Phase("test")), "false");
+  // test and deploy overlap between 02:00 and 02:30.
+  EXPECT_EQ(Run(Phase("test") + " overlaps " + Phase("deploy")), "true");
+  EXPECT_EQ(Run(Phase("build") + " overlaps " + Phase("deploy")), "false");
+}
+
+TEST_F(IntervalOpTest, ContainsAndDuring) {
+  EXPECT_EQ(Run(Phase("test") + " contains doc(\"log\")/event"), "true");
+  EXPECT_EQ(Run("doc(\"log\")/event during " + Phase("test")), "true");
+  EXPECT_EQ(Run("doc(\"log\")/event during " + Phase("build")), "false");
+}
+
+TEST_F(IntervalOpTest, MixedElementAndDateTime) {
+  EXPECT_EQ(Run(Phase("build") + " before 2004-01-01T02:00:00"), "true");
+  EXPECT_EQ(Run(Phase("build") + " contains 2004-01-01T00:30:00"), "true");
+  EXPECT_EQ(Run("vtFrom(" + Phase("test") + ") during " + Phase("test")),
+            "true");
+}
+
+TEST_F(IntervalOpTest, ExistentialOverSequences) {
+  // Any phase before deploy?
+  EXPECT_EQ(Run("doc(\"log\")/phase before " + Phase("deploy")), "true");
+  // Any phase after the alert? deploy ends at 03:00 but starts before the
+  // alert, so none is strictly after — except... deploy starts 02:00 which
+  // is before 02:15, so no phase lies strictly after the point. Check:
+  EXPECT_EQ(Run("doc(\"log\")/phase after doc(\"log\")/event"), "false");
+}
+
+TEST_F(IntervalOpTest, InPredicatesAndWhereClauses) {
+  // The 02:15 alert falls inside both test [01:00,02:30] and deploy
+  // [02:00,03:00].
+  EXPECT_EQ(Run("for $p in doc(\"log\")/phase "
+                "where $p contains doc(\"log\")/event "
+                "return string($p/@name)"),
+            "test deploy");
+  // All three phases share an instant with test: build touches it at
+  // 01:00 (closed intervals), test coincides with itself, deploy overlaps.
+  EXPECT_EQ(Run("count(doc(\"log\")/phase[. overlaps " + Phase("test") +
+                "])"),
+            "3");
+}
+
+TEST_F(IntervalOpTest, BadOperandIsError) {
+  EXPECT_FALSE(RunStatus("1 before 2").ok());
+  EXPECT_FALSE(RunStatus("\"junk\" before 2004-01-01").ok());
+}
+
+// ---- Prolog variable declarations -----------------------------------------------
+
+TEST_F(ExtendedTest, DeclareVariable) {
+  EXPECT_EQ(Run("declare variable $x := 21; $x * 2"), "42");
+}
+
+TEST_F(ExtendedTest, VariablesSeeEarlierVariables) {
+  EXPECT_EQ(Run("declare variable $a := 5; "
+                "declare variable $b := $a + 1; $b"),
+            "6");
+}
+
+TEST_F(ExtendedTest, VariableWithTypeAnnotation) {
+  EXPECT_EQ(Run("declare variable $x as xs:integer := 7; $x"), "7");
+}
+
+TEST_F(ExtendedTest, LetShadowsPrologVariable) {
+  EXPECT_EQ(Run("declare variable $x := 1; let $x := 2 return $x"), "2");
+}
+
+TEST_F(ExtendedTest, VariableUsableInFunctions) {
+  // Function bodies see only parameters, not prolog variables — matching
+  // user-function scoping.
+  EXPECT_FALSE(
+      RunStatus("declare variable $x := 1; "
+                "declare function f() { $x }; f()")
+          .ok());
+}
+
+// ---- Sequence function library ---------------------------------------------------
+
+TEST_F(ExtendedTest, DistinctValues) {
+  EXPECT_EQ(Run("distinct-values((1, 2, 1, 3, 2))"), "1 2 3");
+  EXPECT_EQ(Run("distinct-values((\"a\", \"b\", \"a\"))"), "a b");
+  EXPECT_EQ(Run("distinct-values(())"), "");
+  // Numeric equality across int/double.
+  EXPECT_EQ(Run("count(distinct-values((1, 1.0)))"), "1");
+}
+
+TEST_F(ExtendedTest, Reverse) {
+  EXPECT_EQ(Run("reverse((1, 2, 3))"), "3 2 1");
+  EXPECT_EQ(Run("reverse(())"), "");
+}
+
+TEST_F(ExtendedTest, Subsequence) {
+  EXPECT_EQ(Run("subsequence((1, 2, 3, 4, 5), 2, 3)"), "2 3 4");
+  EXPECT_EQ(Run("subsequence((1, 2, 3), 2)"), "2 3");
+  EXPECT_EQ(Run("subsequence((1, 2, 3), 0, 2)"), "1");
+  EXPECT_EQ(Run("subsequence((1, 2, 3), 9)"), "");
+}
+
+TEST_F(ExtendedTest, IndexOf) {
+  EXPECT_EQ(Run("index-of((10, 20, 10), 10)"), "1 3");
+  EXPECT_EQ(Run("index-of((10, 20), 99)"), "");
+  EXPECT_EQ(Run("index-of((\"a\", \"b\"), \"b\")"), "2");
+}
+
+// ---- Engine edge cases --------------------------------------------------------------
+
+TEST_F(ExtendedTest, RunawayRecursionFailsCleanly) {
+  Status st = RunStatus(
+      "declare function loop($n) { loop($n + 1) }; loop(0)");
+  EXPECT_FALSE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kInternal);
+}
+
+TEST_F(ExtendedTest, MultiItemAtomicEbvIsError) {
+  EXPECT_FALSE(RunStatus("if ((1, 2)) then 1 else 2").ok());
+}
+
+TEST_F(ExtendedTest, ParseErrorsCarryPositions) {
+  auto r = ParseExpression("for $x in (1,2)\nwhere");
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.status().message().find("line 2"), std::string::npos)
+      << r.status().ToString();
+}
+
+TEST_F(ExtendedTest, MaxMinOverDateTimes) {
+  EXPECT_EQ(Run("max((2004-01-01, 2004-06-01, 2004-03-01))"),
+            "2004-06-01T00:00:00");
+  EXPECT_EQ(Run("min((2004-01-01, 2004-06-01))"), "2004-01-01T00:00:00");
+}
+
+TEST_F(ExtendedTest, SumRejectsNonNumeric) {
+  EXPECT_FALSE(RunStatus("sum((1, \"abc\"))").ok());
+}
+
+TEST_F(ExtendedTest, NumberReturnsNaNForJunk) {
+  EXPECT_EQ(Run("number(\"junk\")"), "NaN");
+  EXPECT_EQ(Run("number(())"), "NaN");
+}
+
+TEST_F(ExtendedTest, OrderBySortsEmptyLeast) {
+  LoadDoc("d", "<r><x><k>2</k></x><x/><x><k>1</k></x></r>");
+  EXPECT_EQ(Run("for $x in doc(\"d\")/x order by $x/k "
+                "return count($x/k)"),
+            "0 1 1");
+}
+
+TEST_F(ExtendedTest, PositionalPredicateWithArithmetic) {
+  EXPECT_EQ(Run("(10, 20, 30)[position() = 3]"), "30");
+  EXPECT_EQ(Run("(10, 20, 30)[position() < last()]"), "10 20");
+}
+
+TEST_F(ExtendedTest, SerializeFunction) {
+  EXPECT_EQ(Run("serialize(<a x=\"1\"><b/></a>)"), "<a x=\"1\"><b/></a>");
+}
+
+TEST_F(ExtendedTest, ComparisonChainsAreNotAssociative) {
+  // 1 < 2 < 3 parses as (1 < 2) < 3 in XQuery 1.0? Our grammar allows a
+  // single comparison per level, so the chain is a parse error.
+  EXPECT_FALSE(ParseExpression("1 < 2 < 3").ok());
+}
+
+TEST_F(ExtendedTest, UnionOperator) {
+  LoadDoc("d", "<r><a>1</a><b>2</b><a>3</a></r>");
+  EXPECT_EQ(Run("count(doc(\"d\")/a | doc(\"d\")/b)"), "3");
+  // Duplicates (by node identity) appear once.
+  EXPECT_EQ(Run("count(doc(\"d\")/a | doc(\"d\")/a)"), "2");
+  EXPECT_EQ(Run("count(doc(\"d\")/* | doc(\"d\")/b)"), "3");
+  // The spelled-out keyword works too.
+  EXPECT_EQ(Run("count(doc(\"d\")/a union doc(\"d\")/b)"), "3");
+  // Union requires nodes.
+  EXPECT_FALSE(RunStatus("(1, 2) | (3)").ok());
+}
+
+TEST_F(ExtendedTest, IntersectAndExcept) {
+  LoadDoc("d", "<r><a>1</a><b>2</b><a>3</a></r>");
+  EXPECT_EQ(Run("count(doc(\"d\")/* intersect doc(\"d\")/a)"), "2");
+  EXPECT_EQ(Run("(doc(\"d\")/* except doc(\"d\")/a)/text()"), "2");
+  EXPECT_EQ(Run("count(doc(\"d\")/a except doc(\"d\")/a)"), "0");
+  EXPECT_EQ(Run("count(doc(\"d\")/a intersect doc(\"d\")/b)"), "0");
+  EXPECT_FALSE(RunStatus("(1) intersect (1)").ok());
+}
+
+TEST_F(ExtendedTest, UnionBindsTighterThanMultiplication) {
+  LoadDoc("d", "<r><a>1</a><a>2</a></r>");
+  EXPECT_EQ(Run("count(doc(\"d\")/a | doc(\"d\")/a) * 10"), "20");
+}
+
+TEST_F(ExtendedTest, IntervalOpPrintsAndReparses) {
+  auto e = ParseExpression("$a before $b");
+  ASSERT_TRUE(e.ok());
+  EXPECT_EQ(e.value()->ToString(), "($a before $b)");
+  auto again = ParseExpression(e.value()->ToString());
+  ASSERT_TRUE(again.ok());
+}
+
+}  // namespace
+}  // namespace xcql::xq

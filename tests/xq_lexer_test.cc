@@ -1,0 +1,186 @@
+// Direct unit tests for the XQuery/XCQL lexer: token kinds, the XCQL
+// dateTime/duration literal recognition, hyphenated builtin names, nested
+// comments, operators, and the raw-rescan (ResetTo) used by constructor
+// parsing.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "xq/lexer.h"
+
+namespace xcql::xq {
+namespace {
+
+std::vector<Token> LexAll(std::string_view src) {
+  Lexer lex(src);
+  std::vector<Token> out;
+  while (lex.cur().kind != TokKind::kEof) {
+    out.push_back(lex.cur());
+    EXPECT_TRUE(lex.Advance().ok());
+  }
+  return out;
+}
+
+std::vector<TokKind> KindsOf(std::string_view src) {
+  std::vector<TokKind> out;
+  for (const Token& t : LexAll(src)) out.push_back(t.kind);
+  return out;
+}
+
+TEST(LexerTest, BasicTokens) {
+  auto kinds = KindsOf("for $x in (1, 2.5) return $x + \"s\"");
+  std::vector<TokKind> expected = {
+      TokKind::kIdent,  TokKind::kDollar, TokKind::kIdent, TokKind::kIdent,
+      TokKind::kLParen, TokKind::kInt,    TokKind::kComma, TokKind::kDouble,
+      TokKind::kRParen, TokKind::kIdent,  TokKind::kDollar, TokKind::kIdent,
+      TokKind::kPlus,   TokKind::kString};
+  EXPECT_EQ(kinds, expected);
+}
+
+TEST(LexerTest, TwoCharOperators) {
+  auto kinds = KindsOf("// != <= >= := ..");
+  std::vector<TokKind> expected = {TokKind::kSlashSlash, TokKind::kNe,
+                                   TokKind::kLe,         TokKind::kGe,
+                                   TokKind::kAssign,     TokKind::kDotDot};
+  EXPECT_EQ(kinds, expected);
+}
+
+TEST(LexerTest, ProjectionOperators) {
+  auto kinds = KindsOf("$e?[1] $e#[2]");
+  std::vector<TokKind> expected = {
+      TokKind::kDollar, TokKind::kIdent, TokKind::kQuestion,
+      TokKind::kLBracket, TokKind::kInt, TokKind::kRBracket,
+      TokKind::kDollar, TokKind::kIdent, TokKind::kHash,
+      TokKind::kLBracket, TokKind::kInt, TokKind::kRBracket};
+  EXPECT_EQ(kinds, expected);
+}
+
+TEST(LexerTest, DateTimeLiterals) {
+  auto toks = LexAll("2003-10-23T12:23:34 2003-11-01");
+  ASSERT_EQ(toks.size(), 2u);
+  EXPECT_EQ(toks[0].kind, TokKind::kDateTime);
+  EXPECT_EQ(toks[0].dt_val.ToString(), "2003-10-23T12:23:34");
+  EXPECT_EQ(toks[1].kind, TokKind::kDateTime);
+  EXPECT_EQ(toks[1].dt_val.ToString(), "2003-11-01T00:00:00");
+}
+
+TEST(LexerTest, DateLiteralFollowedByOperator) {
+  // The date part is 10 chars; the minus afterwards is subtraction.
+  auto toks = LexAll("2003-11-01 - PT1H");
+  ASSERT_EQ(toks.size(), 3u);
+  EXPECT_EQ(toks[0].kind, TokKind::kDateTime);
+  EXPECT_EQ(toks[1].kind, TokKind::kMinus);
+  EXPECT_EQ(toks[2].kind, TokKind::kDuration);
+}
+
+TEST(LexerTest, DurationLiterals) {
+  auto toks = LexAll("PT1M P1Y2M3DT4H5M6S");
+  ASSERT_EQ(toks.size(), 2u);
+  EXPECT_EQ(toks[0].kind, TokKind::kDuration);
+  EXPECT_EQ(toks[0].dur_val.seconds(), 60);
+  EXPECT_EQ(toks[1].kind, TokKind::kDuration);
+  EXPECT_EQ(toks[1].dur_val.months(), 14);
+}
+
+TEST(LexerTest, DurationLikeIdentifiersStayIdentifiers) {
+  // P2P is not a valid duration; PT1X neither.
+  auto toks = LexAll("P2P PT1X Price");
+  ASSERT_EQ(toks.size(), 3u);
+  EXPECT_EQ(toks[0].kind, TokKind::kIdent);
+  EXPECT_EQ(toks[0].text, "P2P");
+  EXPECT_EQ(toks[1].kind, TokKind::kIdent);
+  EXPECT_EQ(toks[2].kind, TokKind::kIdent);
+}
+
+TEST(LexerTest, NowMinusDurationSplitsCorrectly) {
+  // Crucial XCQL case (paper Query 2): now-PT1H must not lex as one name.
+  auto toks = LexAll("now-PT1H");
+  ASSERT_EQ(toks.size(), 3u);
+  EXPECT_EQ(toks[0].text, "now");
+  EXPECT_EQ(toks[1].kind, TokKind::kMinus);
+  EXPECT_EQ(toks[2].kind, TokKind::kDuration);
+}
+
+TEST(LexerTest, HyphenatedBuiltinsAreSingleTokens) {
+  auto toks = LexAll("current-dateTime() string-length(x)");
+  ASSERT_GE(toks.size(), 2u);
+  EXPECT_EQ(toks[0].text, "current-dateTime");
+  EXPECT_EQ(toks[3].text, "string-length");
+}
+
+TEST(LexerTest, HyphenInOtherNamesIsMinus) {
+  auto toks = LexAll("price-cost");
+  ASSERT_EQ(toks.size(), 3u);
+  EXPECT_EQ(toks[0].text, "price");
+  EXPECT_EQ(toks[1].kind, TokKind::kMinus);
+  EXPECT_EQ(toks[2].text, "cost");
+}
+
+TEST(LexerTest, IdentifiersAllowColonAndDot) {
+  auto toks = LexAll("xs:dateTime xdt:dayTimeDuration a.b");
+  ASSERT_EQ(toks.size(), 3u);
+  EXPECT_EQ(toks[0].text, "xs:dateTime");
+  EXPECT_EQ(toks[1].text, "xdt:dayTimeDuration");
+  EXPECT_EQ(toks[2].text, "a.b");
+}
+
+TEST(LexerTest, StringEscapesByDoubling) {
+  auto toks = LexAll("\"say \"\"hi\"\"\" 'it''s'");
+  ASSERT_EQ(toks.size(), 2u);
+  EXPECT_EQ(toks[0].text, "say \"hi\"");
+  EXPECT_EQ(toks[1].text, "it's");
+}
+
+TEST(LexerTest, NestedCommentsSkip) {
+  auto toks = LexAll("1 (: outer (: inner :) still :) 2");
+  ASSERT_EQ(toks.size(), 2u);
+  EXPECT_EQ(toks[0].int_val, 1);
+  EXPECT_EQ(toks[1].int_val, 2);
+}
+
+TEST(LexerTest, NumbersWithExponents) {
+  auto toks = LexAll("3e2 1.5E-3 7");
+  ASSERT_EQ(toks.size(), 3u);
+  EXPECT_EQ(toks[0].kind, TokKind::kDouble);
+  EXPECT_DOUBLE_EQ(toks[0].dbl_val, 300.0);
+  EXPECT_EQ(toks[1].kind, TokKind::kDouble);
+  EXPECT_DOUBLE_EQ(toks[1].dbl_val, 0.0015);
+  EXPECT_EQ(toks[2].kind, TokKind::kInt);
+}
+
+TEST(LexerTest, TracksLineAndColumn) {
+  Lexer lex("a\n  bb");
+  EXPECT_EQ(lex.cur().line, 1u);
+  EXPECT_EQ(lex.cur().col, 1u);
+  ASSERT_TRUE(lex.Advance().ok());
+  EXPECT_EQ(lex.cur().line, 2u);
+  EXPECT_EQ(lex.cur().col, 3u);
+}
+
+TEST(LexerTest, ResetToRelexesFromOffset) {
+  Lexer lex("abc def ghi");
+  ASSERT_TRUE(lex.Advance().ok());  // now at "def"
+  EXPECT_EQ(lex.cur().text, "def");
+  size_t def_begin = lex.cur().begin;
+  ASSERT_TRUE(lex.Advance().ok());  // "ghi"
+  ASSERT_TRUE(lex.ResetTo(def_begin).ok());
+  EXPECT_EQ(lex.cur().text, "def");
+  EXPECT_FALSE(lex.ResetTo(999).ok());
+}
+
+TEST(LexerTest, UnterminatedStringIsError) {
+  Lexer lex("\"oops");
+  // The error surfaces either immediately or on the first Advance.
+  Status st = lex.Advance();
+  EXPECT_FALSE(st.ok());
+}
+
+TEST(LexerTest, UnexpectedCharacterIsError) {
+  Lexer lex("1 ~ 2");
+  Status st = Status::OK();
+  for (int i = 0; i < 3 && st.ok(); ++i) st = lex.Advance();
+  EXPECT_FALSE(st.ok());
+}
+
+}  // namespace
+}  // namespace xcql::xq

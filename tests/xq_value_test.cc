@@ -1,0 +1,149 @@
+// Direct unit tests for the XQuery value model: atomics, atomization,
+// effective boolean value, and the comparison casting matrix.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/status.h"
+#include "xq/value.h"
+
+namespace xcql::xq {
+namespace {
+
+DateTime T(const char* s) { return DateTime::Parse(s).value(); }
+
+TEST(AtomicTest, KindsAndAccessors) {
+  EXPECT_TRUE(Atomic(true).is_bool());
+  EXPECT_TRUE(Atomic(int64_t{7}).is_int());
+  EXPECT_TRUE(Atomic(int64_t{7}).is_numeric());
+  EXPECT_TRUE(Atomic(1.5).is_double());
+  EXPECT_TRUE(Atomic(std::string("x")).is_string());
+  EXPECT_TRUE(Atomic(T("2004-01-01")).is_datetime());
+  EXPECT_TRUE(Atomic(Duration::FromSeconds(60)).is_duration());
+  EXPECT_TRUE(Atomic(std::string("x"), /*untyped=*/true).untyped());
+  EXPECT_FALSE(Atomic(std::string("x")).untyped());
+}
+
+TEST(AtomicTest, ToNumber) {
+  EXPECT_DOUBLE_EQ(*Atomic(int64_t{7}).ToNumber(), 7.0);
+  EXPECT_DOUBLE_EQ(*Atomic(2.5).ToNumber(), 2.5);
+  EXPECT_DOUBLE_EQ(*Atomic(std::string("3.5")).ToNumber(), 3.5);
+  EXPECT_DOUBLE_EQ(*Atomic(true).ToNumber(), 1.0);
+  EXPECT_FALSE(Atomic(std::string("junk")).ToNumber().has_value());
+  EXPECT_FALSE(Atomic(T("2004-01-01")).ToNumber().has_value());
+}
+
+TEST(AtomicTest, LexicalForms) {
+  EXPECT_EQ(Atomic(true).ToStringValue(), "true");
+  EXPECT_EQ(Atomic(int64_t{-3}).ToStringValue(), "-3");
+  EXPECT_EQ(Atomic(4.0).ToStringValue(), "4");    // integral doubles
+  EXPECT_EQ(Atomic(2.5).ToStringValue(), "2.5");
+  EXPECT_EQ(Atomic(T("2004-01-01")).ToStringValue(), "2004-01-01T00:00:00");
+  EXPECT_EQ(Atomic(Duration::FromSeconds(90)).ToStringValue(), "PT1M30S");
+  EXPECT_EQ(Atomic(std::nan("")).ToStringValue(), "NaN");
+}
+
+TEST(AtomizeTest, NodesAtomizeToUntypedStrings) {
+  NodePtr e = Node::Element("amount");
+  e->AddChild(Node::Text("38.20"));
+  Atomic a = AtomizeItem(Item(e));
+  EXPECT_TRUE(a.is_string());
+  EXPECT_TRUE(a.untyped());
+  EXPECT_EQ(a.AsString(), "38.20");
+}
+
+TEST(EbvTest, Rules) {
+  EXPECT_FALSE(EffectiveBooleanValue({}).value());
+  EXPECT_TRUE(EffectiveBooleanValue(SingletonNode(Node::Element("x")))
+                  .value());
+  EXPECT_TRUE(EffectiveBooleanValue(SingletonAtomic(Atomic(true))).value());
+  EXPECT_FALSE(EffectiveBooleanValue(SingletonAtomic(Atomic(int64_t{0})))
+                   .value());
+  EXPECT_TRUE(EffectiveBooleanValue(SingletonAtomic(Atomic(0.5))).value());
+  EXPECT_FALSE(
+      EffectiveBooleanValue(SingletonAtomic(Atomic(std::nan("")))).value());
+  EXPECT_FALSE(EffectiveBooleanValue(SingletonAtomic(Atomic(std::string())))
+                   .value());
+  EXPECT_TRUE(
+      EffectiveBooleanValue(SingletonAtomic(Atomic(std::string("x"))))
+          .value());
+  // Multi-item atomic sequences have no EBV.
+  Sequence two;
+  two.emplace_back(Atomic(int64_t{1}));
+  two.emplace_back(Atomic(int64_t{2}));
+  EXPECT_FALSE(EffectiveBooleanValue(two).ok());
+  // dateTime has no EBV.
+  EXPECT_FALSE(
+      EffectiveBooleanValue(SingletonAtomic(Atomic(T("2004-01-01")))).ok());
+}
+
+class CompareTest : public ::testing::Test {
+ protected:
+  static bool Cmp(const Atomic& a, CmpOp op, const Atomic& b) {
+    auto r = CompareAtomics(a, b, op);
+    EXPECT_TRUE(r.ok()) << r.status().ToString();
+    return r.ok() && r.value();
+  }
+};
+
+TEST_F(CompareTest, NumericPairs) {
+  EXPECT_TRUE(Cmp(Atomic(int64_t{2}), CmpOp::kLt, Atomic(2.5)));
+  EXPECT_TRUE(Cmp(Atomic(2.0), CmpOp::kEq, Atomic(int64_t{2})));
+  EXPECT_TRUE(Cmp(Atomic(int64_t{3}), CmpOp::kGe, Atomic(int64_t{3})));
+  EXPECT_FALSE(Cmp(Atomic(int64_t{3}), CmpOp::kNe, Atomic(3.0)));
+}
+
+TEST_F(CompareTest, StringNumericCasting) {
+  EXPECT_TRUE(Cmp(Atomic(std::string("10"), true), CmpOp::kGt,
+                  Atomic(int64_t{9})));
+  EXPECT_TRUE(Cmp(Atomic(int64_t{9}), CmpOp::kLt,
+                  Atomic(std::string("10"), true)));
+  // Two strings compare lexically, even numeric-looking ones.
+  EXPECT_TRUE(Cmp(Atomic(std::string("10")), CmpOp::kLt,
+                  Atomic(std::string("9"))));
+}
+
+TEST_F(CompareTest, UnparseableNumericCastIsError) {
+  auto r = CompareAtomics(Atomic(std::string("junk"), true), Atomic(int64_t{1}),
+                          CmpOp::kEq);
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kTypeError);
+}
+
+TEST_F(CompareTest, DateTimePairs) {
+  EXPECT_TRUE(Cmp(Atomic(T("2004-01-01")), CmpOp::kLt,
+                  Atomic(T("2004-06-01"))));
+  EXPECT_TRUE(Cmp(Atomic(std::string("2004-01-01"), true), CmpOp::kEq,
+                  Atomic(T("2004-01-01"))));
+  EXPECT_FALSE(CompareAtomics(Atomic(int64_t{1}), Atomic(T("2004-01-01")),
+                              CmpOp::kLt)
+                   .ok());
+}
+
+TEST_F(CompareTest, DurationPairs) {
+  EXPECT_TRUE(Cmp(Atomic(Duration::FromSeconds(60)), CmpOp::kLt,
+                  Atomic(Duration::FromSeconds(90))));
+  EXPECT_TRUE(Cmp(Atomic(std::string("PT1M"), true), CmpOp::kEq,
+                  Atomic(Duration::FromSeconds(60))));
+}
+
+TEST_F(CompareTest, BooleanPairs) {
+  EXPECT_TRUE(Cmp(Atomic(true), CmpOp::kEq, Atomic(true)));
+  EXPECT_TRUE(Cmp(Atomic(false), CmpOp::kNe, Atomic(true)));
+  EXPECT_FALSE(
+      CompareAtomics(Atomic(true), Atomic(int64_t{1}), CmpOp::kEq).ok());
+}
+
+TEST(SequenceToStringTest, SpaceSeparatesItems) {
+  Sequence s;
+  s.emplace_back(Atomic(int64_t{1}));
+  NodePtr e = Node::Element("v");
+  e->AddChild(Node::Text("x"));
+  s.emplace_back(e);
+  s.emplace_back(Atomic(std::string("z")));
+  EXPECT_EQ(SequenceToString(s), "1 x z");
+  EXPECT_EQ(SequenceToString({}), "");
+}
+
+}  // namespace
+}  // namespace xcql::xq
