@@ -1,0 +1,134 @@
+// Transport ablation: throughput and wire cost of the networked fragment
+// transport (src/net/) over loopback TCP, plain XML vs §4.1 tag-compressed
+// frames, across three XMark document granularities. Each iteration
+// publishes a batch of update fragments through a StreamServer fronted by
+// a FragmentServer and waits until a FragmentSubscriber has decoded every
+// one — i.e. it measures the full pipeline: encode, frame, TCP, deframe,
+// decode.
+//
+//   ./build/bench/bench_transport [--benchmark_format=json]
+#include <benchmark/benchmark.h>
+
+#include <chrono>
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+#include "net/server.h"
+#include "net/subscriber.h"
+#include "stream/transport.h"
+#include "xmark/generator.h"
+
+namespace {
+
+using namespace std::chrono_literals;
+
+void BM_Transport(benchmark::State& state) {
+  const double scale = static_cast<double>(state.range(0)) / 1000.0;
+  const bool compressed = state.range(1) != 0;
+
+  auto ts = xcql::frag::TagStructure::Parse(
+      xcql::xmark::AuctionTagStructureXml());
+  if (!ts.ok()) {
+    state.SkipWithError(ts.status().ToString().c_str());
+    return;
+  }
+  xcql::stream::StreamServer source("auction", std::move(ts).MoveValue());
+  if (compressed) source.EnableWireCompression();
+  xcql::net::FragmentServerOptions server_opts;
+  server_opts.queue_capacity = 2048;
+  xcql::net::FragmentServer server(&source, server_opts);
+  if (!server.Start().ok()) {
+    state.SkipWithError("server failed to start");
+    return;
+  }
+
+  xcql::net::FragmentSubscriberOptions sub_opts;
+  sub_opts.port = server.port();
+  sub_opts.stream = "auction";
+  sub_opts.codec = compressed ? xcql::frag::WireCodec::kTagCompressed
+                              : xcql::frag::WireCodec::kPlainXml;
+  xcql::net::FragmentSubscriber sub(sub_opts);
+  if (!sub.Start().ok() || !sub.WaitConnected(10s)) {
+    state.SkipWithError("subscriber failed to connect");
+    return;
+  }
+
+  xcql::xmark::XMarkOptions gen;
+  gen.scale = scale;
+  auto doc = xcql::xmark::GenerateAuctionDoc(gen);
+  if (!doc.ok() || !source.PublishDocument(*doc.value()).ok()) {
+    state.SkipWithError("document publish failed");
+    return;
+  }
+  const int64_t doc_frags = source.history_size();
+  sub.WaitForSeq(server.next_seq() - 1, 60s);
+
+  // Updates replace random fragmented fillers of the initial document.
+  std::vector<int64_t> candidates;
+  for (int64_t i = 0; i < doc_frags; ++i) {
+    const auto* tag =
+        source.tag_structure().FindById(source.history_at(i).tsid);
+    if (tag != nullptr && tag->fragmented()) candidates.push_back(i);
+  }
+  xcql::Random rng(5);
+  int64_t t = source.history_at(doc_frags - 1).valid_time.seconds();
+  int rev = 0;
+
+  constexpr int kBatch = 200;
+  std::vector<xcql::frag::Fragment> sink;
+  for (auto _ : state) {
+    const int64_t target = server.next_seq() + kBatch - 1;
+    for (int k = 0; k < kBatch; ++k) {
+      const auto& base = source.history_at(static_cast<int64_t>(
+          candidates[rng.Uniform(candidates.size())]));
+      xcql::frag::Fragment f;
+      f.id = base.id;
+      f.tsid = base.tsid;
+      t += 1 + static_cast<int64_t>(rng.Uniform(30));
+      f.valid_time = xcql::DateTime(t);
+      f.content = base.content->Clone();
+      f.content->SetAttr("rev", std::to_string(++rev));
+      if (!source.Publish(std::move(f)).ok()) {
+        state.SkipWithError("publish failed");
+        return;
+      }
+    }
+    if (!sub.WaitForSeq(target, 60s)) {
+      state.SkipWithError("subscriber fell behind");
+      return;
+    }
+    sink.clear();
+    sub.Drain(&sink);
+  }
+
+  state.SetItemsProcessed(state.iterations() * kBatch);
+  auto m = sub.metrics();
+  if (m.fragments_in > 0) {
+    state.counters["wire_bytes_per_frag"] =
+        static_cast<double>(m.bytes_in) /
+        static_cast<double>(m.fragments_in);
+  }
+  state.counters["doc_fragments"] = static_cast<double>(doc_frags);
+  sub.Stop();
+  server.Stop();
+}
+
+}  // namespace
+
+// scale_permille: XMark scale factor x1000 (0 = minimal document);
+// compressed: 0 = plain XML payloads, 1 = §4.1 tag-compressed payloads.
+// Fixed iteration count keeps the replayable frame log (which grows with
+// every published update) bounded.
+BENCHMARK(BM_Transport)
+    ->ArgNames({"scale_permille", "compressed"})
+    ->Args({0, 0})
+    ->Args({0, 1})
+    ->Args({10, 0})
+    ->Args({10, 1})
+    ->Args({50, 0})
+    ->Args({50, 1})
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(8);
+
+BENCHMARK_MAIN();

@@ -153,4 +153,37 @@ Result<Fragment> DecompressFragment(std::string_view data,
   return f;
 }
 
+const char* WireCodecName(WireCodec codec) {
+  switch (codec) {
+    case WireCodec::kPlainXml:
+      return "plain";
+    case WireCodec::kTagCompressed:
+      return "compressed";
+  }
+  return "unknown";
+}
+
+Result<std::string> EncodeWirePayload(const Fragment& fragment,
+                                      const TagStructure& ts,
+                                      WireCodec codec) {
+  switch (codec) {
+    case WireCodec::kPlainXml:
+      return fragment.ToXml();
+    case WireCodec::kTagCompressed:
+      return CompressFragment(fragment, ts);
+  }
+  return Status::InvalidArgument("unknown wire codec");
+}
+
+Result<Fragment> DecodeWirePayload(std::string_view data,
+                                   const TagStructure& ts, WireCodec codec) {
+  switch (codec) {
+    case WireCodec::kPlainXml:
+      return Fragment::Parse(data);
+    case WireCodec::kTagCompressed:
+      return DecompressFragment(data, ts);
+  }
+  return Status::InvalidArgument("unknown wire codec");
+}
+
 }  // namespace xcql::frag

@@ -16,6 +16,7 @@
 #ifndef XCQL_FRAG_CODEC_H_
 #define XCQL_FRAG_CODEC_H_
 
+#include <cstdint>
 #include <string>
 #include <string_view>
 
@@ -34,6 +35,27 @@ Result<std::string> CompressFragment(const Fragment& fragment,
 /// \brief Decompresses the compact form back into a Fragment.
 Result<Fragment> DecompressFragment(std::string_view data,
                                     const TagStructure& ts);
+
+/// \brief Payload encodings a fragment can travel under. Negotiated per
+/// connection by the net transport; also the single sizing code path for
+/// StreamServer's wire-byte accounting, so in-process byte counts and
+/// actual socket traffic agree.
+enum class WireCodec : uint8_t {
+  kPlainXml = 0,       // Fragment::ToXml / Fragment::Parse
+  kTagCompressed = 1,  // §4.1 CompressFragment / DecompressFragment
+};
+
+const char* WireCodecName(WireCodec codec);
+
+/// \brief Serializes one fragment's wire payload under `codec`. Errors
+/// (payload tags missing from the Tag Structure) surface as a Status; there
+/// is no silent fallback to the plain form.
+Result<std::string> EncodeWirePayload(const Fragment& fragment,
+                                      const TagStructure& ts, WireCodec codec);
+
+/// \brief Parses a wire payload produced by EncodeWirePayload.
+Result<Fragment> DecodeWirePayload(std::string_view data,
+                                   const TagStructure& ts, WireCodec codec);
 
 }  // namespace xcql::frag
 

@@ -1,0 +1,187 @@
+#include "net/frame.h"
+
+#include <cstring>
+
+#include "common/string_util.h"
+
+namespace xcql::net {
+
+namespace {
+
+void PutU16(std::string* out, uint16_t v) {
+  out->push_back(static_cast<char>(v & 0xff));
+  out->push_back(static_cast<char>((v >> 8) & 0xff));
+}
+
+void PutU32(std::string* out, uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    out->push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+  }
+}
+
+void PutU64(std::string* out, uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    out->push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+  }
+}
+
+uint16_t GetU16(const char* p) {
+  const auto* u = reinterpret_cast<const unsigned char*>(p);
+  return static_cast<uint16_t>(u[0] | (u[1] << 8));
+}
+
+uint32_t GetU32(const char* p) {
+  const auto* u = reinterpret_cast<const unsigned char*>(p);
+  return static_cast<uint32_t>(u[0]) | (static_cast<uint32_t>(u[1]) << 8) |
+         (static_cast<uint32_t>(u[2]) << 16) |
+         (static_cast<uint32_t>(u[3]) << 24);
+}
+
+uint64_t GetU64(const char* p) {
+  uint64_t v = 0;
+  const auto* u = reinterpret_cast<const unsigned char*>(p);
+  for (int i = 7; i >= 0; --i) v = (v << 8) | u[i];
+  return v;
+}
+
+bool ValidFrameType(uint8_t t) {
+  return t >= static_cast<uint8_t>(FrameType::kHello) &&
+         t <= static_cast<uint8_t>(FrameType::kBye);
+}
+
+}  // namespace
+
+const char* FrameTypeName(FrameType type) {
+  switch (type) {
+    case FrameType::kHello:
+      return "HELLO";
+    case FrameType::kFragment:
+      return "FRAGMENT";
+    case FrameType::kHeartbeat:
+      return "HEARTBEAT";
+    case FrameType::kReplayFrom:
+      return "REPLAY_FROM";
+    case FrameType::kBye:
+      return "BYE";
+  }
+  return "?";
+}
+
+std::string EncodeFrame(const Frame& frame) {
+  std::string out;
+  out.reserve(kFrameHeaderSize + frame.payload.size());
+  PutU32(&out, kFrameMagic);
+  out.push_back(static_cast<char>(kFrameVersion));
+  out.push_back(static_cast<char>(frame.type));
+  out.push_back(static_cast<char>(frame.flags));
+  out.push_back(0);  // reserved
+  PutU64(&out, frame.seq);
+  PutU32(&out, static_cast<uint32_t>(frame.payload.size()));
+  out += frame.payload;
+  return out;
+}
+
+void FrameReader::Feed(const char* data, size_t len) {
+  // Compact before growing: the buffer never holds more than one partial
+  // frame beyond what Next() has consumed.
+  if (pos_ > 0 && pos_ == buf_.size()) {
+    buf_.clear();
+    pos_ = 0;
+  } else if (pos_ > (64u << 10)) {
+    buf_.erase(0, pos_);
+    pos_ = 0;
+  }
+  buf_.append(data, len);
+}
+
+Result<std::optional<Frame>> FrameReader::Next() {
+  if (buffered() < kFrameHeaderSize) return std::optional<Frame>();
+  const char* h = buf_.data() + pos_;
+  if (GetU32(h) != kFrameMagic) {
+    return Status::ParseError("bad frame magic (stream out of sync)");
+  }
+  uint8_t version = static_cast<uint8_t>(h[4]);
+  if (version != kFrameVersion) {
+    return Status::Unsupported(
+        StringPrintf("frame version %u (expected %u)", version,
+                     kFrameVersion));
+  }
+  uint8_t type = static_cast<uint8_t>(h[5]);
+  if (!ValidFrameType(type)) {
+    return Status::ParseError(StringPrintf("unknown frame type %u", type));
+  }
+  uint32_t len = GetU32(h + 16);
+  if (len > kMaxFramePayload) {
+    return Status::ParseError(
+        StringPrintf("frame payload of %u bytes exceeds the %u limit", len,
+                     kMaxFramePayload));
+  }
+  if (buffered() < kFrameHeaderSize + len) return std::optional<Frame>();
+  Frame frame;
+  frame.type = static_cast<FrameType>(type);
+  frame.flags = static_cast<uint8_t>(h[6]);
+  frame.seq = GetU64(h + 8);
+  frame.payload.assign(h + kFrameHeaderSize, len);
+  pos_ += kFrameHeaderSize + len;
+  return std::optional<Frame>(std::move(frame));
+}
+
+std::string EncodeHello(const Hello& hello) {
+  std::string out;
+  out.push_back(static_cast<char>(hello.codec));
+  PutU64(&out, hello.ts_hash);
+  PutU16(&out, static_cast<uint16_t>(hello.stream_name.size()));
+  out += hello.stream_name;
+  out += hello.tag_structure_xml;
+  return out;
+}
+
+Result<Hello> DecodeHello(std::string_view payload) {
+  if (payload.size() < 11) {
+    return Status::ParseError("HELLO payload truncated");
+  }
+  Hello hello;
+  uint8_t codec = static_cast<uint8_t>(payload[0]);
+  if (codec > static_cast<uint8_t>(frag::WireCodec::kTagCompressed)) {
+    return Status::Unsupported(StringPrintf("unknown wire codec %u", codec));
+  }
+  hello.codec = static_cast<frag::WireCodec>(codec);
+  hello.ts_hash = GetU64(payload.data() + 1);
+  uint16_t name_len = GetU16(payload.data() + 9);
+  if (payload.size() < 11u + name_len) {
+    return Status::ParseError("HELLO stream name truncated");
+  }
+  hello.stream_name.assign(payload.data() + 11, name_len);
+  hello.tag_structure_xml.assign(payload.begin() + 11 + name_len,
+                                 payload.end());
+  return hello;
+}
+
+std::string EncodeReplayFrom(int64_t last_seen_seq) {
+  std::string out;
+  PutU64(&out, static_cast<uint64_t>(last_seen_seq));
+  return out;
+}
+
+Result<int64_t> DecodeReplayFrom(std::string_view payload) {
+  if (payload.size() != 8) {
+    return Status::ParseError("REPLAY_FROM payload must be 8 bytes");
+  }
+  return static_cast<int64_t>(GetU64(payload.data()));
+}
+
+uint64_t TagStructureHash(std::string_view ts_xml) {
+  uint64_t h = 0xcbf29ce484222325ull;  // FNV-1a 64
+  for (unsigned char c : ts_xml) {
+    h ^= c;
+    h *= 0x100000001b3ull;
+  }
+  // 0 means "unknown" in HELLO; remap the (astronomically unlikely) zero.
+  return h == 0 ? 1 : h;
+}
+
+uint64_t TagStructureHash(const frag::TagStructure& ts) {
+  return TagStructureHash(ts.ToXml());
+}
+
+}  // namespace xcql::net

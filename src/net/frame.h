@@ -1,0 +1,111 @@
+// The wire protocol of the fragment transport: length-prefixed binary
+// frames carrying control messages and serialized fragments.
+//
+// Frame layout (all integers little-endian):
+//
+//   offset  size  field
+//        0     4  magic  "XFRM"
+//        4     1  version (kFrameVersion)
+//        5     1  type    (FrameType)
+//        6     1  flags   (kFlagCompressedPayload: payload is the §4.1
+//                          tag-compressed form instead of plain XML)
+//        7     1  reserved, must be 0
+//        8     8  seq     (per-stream monotonic sequence number; fragment
+//                          frames carry their 0-based publish position,
+//                          heartbeats the count of frames published so far)
+//       16     4  payload length
+//       20     n  payload
+//
+// Conversation: the subscriber opens with HELLO (stream name, desired
+// codec, known tag-structure hash or 0), the server answers with HELLO
+// (accepted codec, its hash, and the Tag Structure XML so a cold client
+// can decode without out-of-band schema exchange), the subscriber then
+// sends REPLAY_FROM(last seen seq; -1 for everything) and receives the
+// replayed history followed by live FRAGMENT frames. HEARTBEATs flow
+// server→client on idle; BYE announces an orderly close in either
+// direction.
+#ifndef XCQL_NET_FRAME_H_
+#define XCQL_NET_FRAME_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "common/result.h"
+#include "frag/codec.h"
+#include "frag/tag_structure.h"
+
+namespace xcql::net {
+
+inline constexpr uint32_t kFrameMagic = 0x4D52'4658;  // "XFRM" on the wire
+inline constexpr uint8_t kFrameVersion = 1;
+inline constexpr size_t kFrameHeaderSize = 20;
+inline constexpr uint8_t kFlagCompressedPayload = 0x01;
+// Sanity bound: a frame larger than this is treated as stream corruption.
+inline constexpr uint32_t kMaxFramePayload = 64u << 20;
+
+enum class FrameType : uint8_t {
+  kHello = 1,
+  kFragment = 2,
+  kHeartbeat = 3,
+  kReplayFrom = 4,
+  kBye = 5,
+};
+
+const char* FrameTypeName(FrameType type);
+
+/// \brief One decoded frame.
+struct Frame {
+  FrameType type = FrameType::kHeartbeat;
+  uint8_t flags = 0;
+  uint64_t seq = 0;
+  std::string payload;
+};
+
+/// \brief Serializes header + payload.
+std::string EncodeFrame(const Frame& frame);
+
+/// \brief Incremental decoder over a TCP byte stream: Feed() whatever
+/// arrived, then pop complete frames with Next().
+class FrameReader {
+ public:
+  void Feed(const char* data, size_t len);
+
+  /// \brief The next complete frame, std::nullopt when more bytes are
+  /// needed, or a Status on malformed input (bad magic, unknown version,
+  /// oversized payload) — after which the stream is unusable.
+  Result<std::optional<Frame>> Next();
+
+  size_t buffered() const { return buf_.size() - pos_; }
+
+ private:
+  std::string buf_;
+  size_t pos_ = 0;
+};
+
+/// \brief HELLO payload, used in both directions (tag_structure_xml is
+/// filled only server→client).
+struct Hello {
+  std::string stream_name;
+  frag::WireCodec codec = frag::WireCodec::kPlainXml;
+  uint64_t ts_hash = 0;  // 0 = unknown, ask the server
+  std::string tag_structure_xml;
+};
+
+std::string EncodeHello(const Hello& hello);
+Result<Hello> DecodeHello(std::string_view payload);
+
+/// \brief REPLAY_FROM payload: the last sequence number the subscriber has
+/// (-1 = replay everything).
+std::string EncodeReplayFrom(int64_t last_seen_seq);
+Result<int64_t> DecodeReplayFrom(std::string_view payload);
+
+/// \brief FNV-1a over the Tag Structure's canonical XML form; both ends
+/// compare hashes at HELLO to verify they hold the same schema.
+uint64_t TagStructureHash(const frag::TagStructure& ts);
+uint64_t TagStructureHash(std::string_view ts_xml);
+
+}  // namespace xcql::net
+
+#endif  // XCQL_NET_FRAME_H_

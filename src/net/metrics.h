@@ -1,0 +1,118 @@
+// Transport observability: lock-free counters updated by the I/O threads,
+// copied out as a plain snapshot for logging, benches and tests.
+#ifndef XCQL_NET_METRICS_H_
+#define XCQL_NET_METRICS_H_
+
+#include <atomic>
+#include <cstdint>
+
+namespace xcql::net {
+
+/// \brief A point-in-time copy of one endpoint's counters. Fields that only
+/// make sense on one side stay zero on the other.
+struct MetricsSnapshot {
+  int64_t frames_out = 0;
+  int64_t bytes_out = 0;
+  int64_t frames_in = 0;
+  int64_t bytes_in = 0;
+  int64_t fragments_out = 0;       // FRAGMENT frames published (server)
+  int64_t fragments_in = 0;        // FRAGMENT frames decoded (subscriber)
+  int64_t queue_depth_hwm = 0;     // deepest any outbound queue ever got
+  int64_t drops = 0;               // frames dropped by kDropOldest
+  int64_t slow_disconnects = 0;    // connections cut by kDisconnect
+  int64_t reconnects = 0;          // successful re-handshakes (subscriber)
+  int64_t handshake_failures = 0;
+  int64_t replays_served = 0;      // REPLAY_FROM requests honored (server)
+  int64_t replays_requested = 0;   // REPLAY_FROM frames sent (subscriber)
+  int64_t connections_accepted = 0;
+  int64_t connections_active = 0;
+  int64_t encode_failures = 0;     // fragments that failed wire encoding
+};
+
+/// \brief The live counters. Relaxed atomics: each counter is independent
+/// and snapshots need no cross-field consistency.
+class Metrics {
+ public:
+  void AddFrameOut(int64_t bytes) {
+    frames_out_.fetch_add(1, std::memory_order_relaxed);
+    bytes_out_.fetch_add(bytes, std::memory_order_relaxed);
+  }
+  void AddFrameIn(int64_t bytes) {
+    frames_in_.fetch_add(1, std::memory_order_relaxed);
+    bytes_in_.fetch_add(bytes, std::memory_order_relaxed);
+  }
+  void AddFragmentOut() { fragments_out_.fetch_add(1, std::memory_order_relaxed); }
+  void AddFragmentIn() { fragments_in_.fetch_add(1, std::memory_order_relaxed); }
+  void AddDrop() { drops_.fetch_add(1, std::memory_order_relaxed); }
+  void AddSlowDisconnect() {
+    slow_disconnects_.fetch_add(1, std::memory_order_relaxed);
+  }
+  void AddReconnect() { reconnects_.fetch_add(1, std::memory_order_relaxed); }
+  void AddHandshakeFailure() {
+    handshake_failures_.fetch_add(1, std::memory_order_relaxed);
+  }
+  void AddReplayServed() {
+    replays_served_.fetch_add(1, std::memory_order_relaxed);
+  }
+  void AddReplayRequested() {
+    replays_requested_.fetch_add(1, std::memory_order_relaxed);
+  }
+  void AddConnectionAccepted() {
+    connections_accepted_.fetch_add(1, std::memory_order_relaxed);
+  }
+  void AddEncodeFailure() {
+    encode_failures_.fetch_add(1, std::memory_order_relaxed);
+  }
+  void ConnectionOpened() {
+    connections_active_.fetch_add(1, std::memory_order_relaxed);
+  }
+  void ConnectionClosed() {
+    connections_active_.fetch_sub(1, std::memory_order_relaxed);
+  }
+
+  void UpdateQueueHwm(int64_t depth) {
+    int64_t cur = queue_depth_hwm_.load(std::memory_order_relaxed);
+    while (depth > cur && !queue_depth_hwm_.compare_exchange_weak(
+                              cur, depth, std::memory_order_relaxed)) {
+    }
+  }
+
+  MetricsSnapshot Snapshot() const {
+    MetricsSnapshot s;
+    s.frames_out = frames_out_.load(std::memory_order_relaxed);
+    s.bytes_out = bytes_out_.load(std::memory_order_relaxed);
+    s.frames_in = frames_in_.load(std::memory_order_relaxed);
+    s.bytes_in = bytes_in_.load(std::memory_order_relaxed);
+    s.fragments_out = fragments_out_.load(std::memory_order_relaxed);
+    s.fragments_in = fragments_in_.load(std::memory_order_relaxed);
+    s.queue_depth_hwm = queue_depth_hwm_.load(std::memory_order_relaxed);
+    s.drops = drops_.load(std::memory_order_relaxed);
+    s.slow_disconnects = slow_disconnects_.load(std::memory_order_relaxed);
+    s.reconnects = reconnects_.load(std::memory_order_relaxed);
+    s.handshake_failures =
+        handshake_failures_.load(std::memory_order_relaxed);
+    s.replays_served = replays_served_.load(std::memory_order_relaxed);
+    s.replays_requested =
+        replays_requested_.load(std::memory_order_relaxed);
+    s.connections_accepted =
+        connections_accepted_.load(std::memory_order_relaxed);
+    s.connections_active =
+        connections_active_.load(std::memory_order_relaxed);
+    s.encode_failures = encode_failures_.load(std::memory_order_relaxed);
+    return s;
+  }
+
+ private:
+  std::atomic<int64_t> frames_out_{0}, bytes_out_{0};
+  std::atomic<int64_t> frames_in_{0}, bytes_in_{0};
+  std::atomic<int64_t> fragments_out_{0}, fragments_in_{0};
+  std::atomic<int64_t> queue_depth_hwm_{0}, drops_{0}, slow_disconnects_{0};
+  std::atomic<int64_t> reconnects_{0}, handshake_failures_{0};
+  std::atomic<int64_t> replays_served_{0}, replays_requested_{0};
+  std::atomic<int64_t> connections_accepted_{0}, connections_active_{0};
+  std::atomic<int64_t> encode_failures_{0};
+};
+
+}  // namespace xcql::net
+
+#endif  // XCQL_NET_METRICS_H_

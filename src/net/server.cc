@@ -1,0 +1,376 @@
+#include "net/server.h"
+
+#include <algorithm>
+
+namespace xcql::net {
+
+namespace {
+
+// HEARTBEAT frames carry the count of frames published so far: a
+// subscriber is caught up when its last seen seq is that count minus one.
+Frame HeartbeatFrame(int64_t published) {
+  Frame hb;
+  hb.type = FrameType::kHeartbeat;
+  hb.seq = static_cast<uint64_t>(published);
+  return hb;
+}
+
+}  // namespace
+
+FragmentServer::FragmentServer(stream::StreamServer* source,
+                               FragmentServerOptions options)
+    : source_(source), opts_(options) {}
+
+FragmentServer::~FragmentServer() { Stop(); }
+
+Status FragmentServer::Start() {
+  if (started_) return Status::InvalidArgument("server already started");
+  ts_xml_ = source_->tag_structure().ToXml();
+  ts_hash_ = TagStructureHash(ts_xml_);
+  // Seed the frame log with everything the source published before the
+  // network face existed, so late subscribers replay the full stream.
+  {
+    std::lock_guard<std::mutex> lock(log_mu_);
+    for (int64_t i = 0; i < source_->history_size(); ++i) {
+      log_.push_back(EncodeEntry(source_->history_at(i),
+                                 static_cast<uint64_t>(log_.size())));
+    }
+    published_.store(static_cast<int64_t>(log_.size()));
+  }
+  XCQL_ASSIGN_OR_RETURN(listener_, ListenOn(opts_.port));
+  XCQL_ASSIGN_OR_RETURN(port_, BoundPort(listener_));
+  source_->RegisterClient(this);
+  stopping_.store(false);
+  accept_thread_ = std::thread([this] { AcceptLoop(); });
+  started_ = true;
+  return Status::OK();
+}
+
+void FragmentServer::Stop() {
+  if (!started_) return;
+  started_ = false;
+  stopping_.store(true);
+  source_->UnregisterClient(this);
+  listener_.Shutdown();
+  if (accept_thread_.joinable()) accept_thread_.join();
+  listener_.Close();
+  std::vector<std::unique_ptr<Connection>> conns;
+  {
+    std::lock_guard<std::mutex> lock(conns_mu_);
+    conns.swap(conns_);
+  }
+  for (auto& conn : conns) {
+    CloseConnection(conn.get());
+    if (conn->reader.joinable()) conn->reader.join();
+    if (conn->writer.joinable()) conn->writer.join();
+  }
+}
+
+int64_t FragmentServer::next_seq() const {
+  std::lock_guard<std::mutex> lock(log_mu_);
+  return static_cast<int64_t>(log_.size());
+}
+
+FragmentServer::LogEntry FragmentServer::EncodeEntry(
+    const frag::Fragment& fragment, uint64_t seq) {
+  LogEntry entry;
+  const frag::TagStructure& ts = source_->tag_structure();
+  Frame frame;
+  frame.type = FrameType::kFragment;
+  frame.seq = seq;
+  auto plain =
+      frag::EncodeWirePayload(fragment, ts, frag::WireCodec::kPlainXml);
+  if (plain.ok()) {
+    frame.flags = 0;
+    frame.payload = std::move(plain).MoveValue();
+    entry.plain = EncodeFrame(frame);
+  } else {
+    metrics_.AddEncodeFailure();
+  }
+  auto compressed =
+      frag::EncodeWirePayload(fragment, ts, frag::WireCodec::kTagCompressed);
+  if (compressed.ok()) {
+    frame.flags = kFlagCompressedPayload;
+    frame.payload = std::move(compressed).MoveValue();
+    entry.compressed = EncodeFrame(frame);
+  }
+  return entry;
+}
+
+void FragmentServer::OnFragment(const std::string& /*stream_name*/,
+                                frag::Fragment fragment) {
+  std::lock_guard<std::mutex> log_lock(log_mu_);
+  LogEntry entry = EncodeEntry(fragment, static_cast<uint64_t>(log_.size()));
+  if (entry.plain.empty()) return;  // unencodable: nothing to transport
+  metrics_.AddFragmentOut();
+  log_.push_back(std::move(entry));
+  published_.store(static_cast<int64_t>(log_.size()));
+  const LogEntry& stored = log_.back();
+  std::lock_guard<std::mutex> conns_lock(conns_mu_);
+  for (auto& conn : conns_) Enqueue(conn.get(), stored);
+}
+
+void FragmentServer::Enqueue(Connection* conn, const LogEntry& entry) {
+  std::unique_lock<std::mutex> lock(conn->mu);
+  if (conn->closing || !conn->live) return;
+  if (conn->queue.size() >= opts_.queue_capacity) {
+    switch (opts_.slow_consumer) {
+      case SlowConsumerPolicy::kBlock:
+        conn->cv_space.wait(lock, [&] {
+          return conn->queue.size() < opts_.queue_capacity || conn->closing;
+        });
+        if (conn->closing) return;
+        break;
+      case SlowConsumerPolicy::kDropOldest:
+        while (conn->queue.size() >= opts_.queue_capacity) {
+          conn->queue.pop_front();
+          ++conn->dropped;
+          metrics_.AddDrop();
+        }
+        break;
+      case SlowConsumerPolicy::kDisconnect:
+        conn->closing = true;
+        conn->sock.Shutdown();
+        conn->cv_data.notify_all();
+        conn->cv_space.notify_all();
+        metrics_.AddSlowDisconnect();
+        return;
+    }
+  }
+  const std::string& frame =
+      (conn->codec == frag::WireCodec::kTagCompressed &&
+       !entry.compressed.empty())
+          ? entry.compressed
+          : entry.plain;
+  conn->queue.push_back(frame);
+  ++conn->enqueued;
+  metrics_.UpdateQueueHwm(static_cast<int64_t>(conn->queue.size()));
+  conn->cv_data.notify_one();
+}
+
+Status FragmentServer::SendRaw(Connection* conn, const std::string& bytes) {
+  std::lock_guard<std::mutex> lock(conn->send_mu);
+  Status st = conn->sock.SendAll(bytes.data(), bytes.size());
+  if (st.ok()) metrics_.AddFrameOut(static_cast<int64_t>(bytes.size()));
+  return st;
+}
+
+void FragmentServer::CloseConnection(Connection* conn) {
+  std::lock_guard<std::mutex> lock(conn->mu);
+  conn->closing = true;
+  conn->sock.Shutdown();
+  conn->cv_data.notify_all();
+  conn->cv_space.notify_all();
+}
+
+void FragmentServer::AcceptLoop() {
+  while (!stopping_.load()) {
+    auto accepted = Accept(listener_);
+    if (!accepted.ok()) {
+      if (stopping_.load()) break;
+      continue;  // transient accept error
+    }
+    metrics_.AddConnectionAccepted();
+    auto conn = std::make_unique<Connection>();
+    conn->sock = std::move(accepted).MoveValue();
+    Connection* raw = conn.get();
+    raw->reader = std::thread([this, raw] { ReaderLoop(raw); });
+    raw->writer = std::thread([this, raw] { WriterLoop(raw); });
+    {
+      std::lock_guard<std::mutex> lock(conns_mu_);
+      conns_.push_back(std::move(conn));
+    }
+    ReapFinished();
+  }
+}
+
+void FragmentServer::ReapFinished() {
+  std::lock_guard<std::mutex> lock(conns_mu_);
+  for (auto it = conns_.begin(); it != conns_.end();) {
+    Connection* conn = it->get();
+    bool done;
+    {
+      std::lock_guard<std::mutex> conn_lock(conn->mu);
+      done = conn->reader_done && conn->writer_done;
+    }
+    if (done) {
+      if (conn->reader.joinable()) conn->reader.join();
+      if (conn->writer.joinable()) conn->writer.join();
+      it = conns_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+Status FragmentServer::HandleHello(Connection* conn, const Frame& frame) {
+  auto hello = DecodeHello(frame.payload);
+  if (!hello.ok()) return hello.status();
+  if (hello.value().stream_name != source_->name()) {
+    return Status::NotFound("unknown stream '" + hello.value().stream_name +
+                            "' (serving '" + source_->name() + "')");
+  }
+  if (hello.value().ts_hash != 0 && hello.value().ts_hash != ts_hash_) {
+    return Status::InvalidArgument(
+        "tag-structure hash mismatch: subscriber holds a different schema");
+  }
+  {
+    std::lock_guard<std::mutex> lock(conn->mu);
+    conn->codec = hello.value().codec;
+  }
+  Hello ack;
+  ack.stream_name = source_->name();
+  ack.codec = hello.value().codec;
+  ack.ts_hash = ts_hash_;
+  ack.tag_structure_xml = ts_xml_;
+  Frame out;
+  out.type = FrameType::kHello;
+  out.payload = EncodeHello(ack);
+  return SendRaw(conn, EncodeFrame(out));
+}
+
+void FragmentServer::ServeReplay(Connection* conn, int64_t last_seen_seq) {
+  // Holding log_mu_ across the whole replay closes the gap between "copy
+  // the history" and "go live": OnFragment serializes behind us, so the
+  // subscriber sees every seq exactly once, in order.
+  std::lock_guard<std::mutex> lock(log_mu_);
+  metrics_.AddReplayServed();
+  {
+    std::lock_guard<std::mutex> conn_lock(conn->mu);
+    conn->live = true;
+  }
+  int64_t from = last_seen_seq < 0 ? 0 : last_seen_seq + 1;
+  for (size_t seq = static_cast<size_t>(from); seq < log_.size(); ++seq) {
+    Enqueue(conn, log_[seq]);
+  }
+}
+
+void FragmentServer::ReaderLoop(Connection* conn) {
+  FrameReader reader;
+  char buf[64 * 1024];
+  bool handshaken = false;
+  for (;;) {
+    auto n = conn->sock.Recv(buf, sizeof(buf));
+    if (!n.ok() || n.value() == 0) break;
+    reader.Feed(buf, n.value());
+    bool done = false;
+    for (;;) {
+      auto next = reader.Next();
+      if (!next.ok()) {
+        done = true;  // malformed stream; cut the connection
+        break;
+      }
+      if (!next.value().has_value()) break;
+      const Frame& frame = *next.value();
+      metrics_.AddFrameIn(
+          static_cast<int64_t>(kFrameHeaderSize + frame.payload.size()));
+      if (!handshaken) {
+        if (frame.type != FrameType::kHello ||
+            !HandleHello(conn, frame).ok()) {
+          metrics_.AddHandshakeFailure();
+          Frame bye;
+          bye.type = FrameType::kBye;
+          (void)SendRaw(conn, EncodeFrame(bye));
+          done = true;
+          break;
+        }
+        handshaken = true;
+        continue;
+      }
+      switch (frame.type) {
+        case FrameType::kReplayFrom: {
+          auto from = DecodeReplayFrom(frame.payload);
+          if (!from.ok()) {
+            done = true;
+            break;
+          }
+          ServeReplay(conn, from.value());
+          break;
+        }
+        case FrameType::kBye:
+          done = true;
+          break;
+        default:
+          break;  // HEARTBEAT and anything else: ignore
+      }
+      if (done) break;
+    }
+    if (done) break;
+  }
+  std::lock_guard<std::mutex> lock(conn->mu);
+  conn->closing = true;
+  conn->reader_done = true;
+  conn->sock.Shutdown();
+  conn->cv_data.notify_all();
+  conn->cv_space.notify_all();
+}
+
+void FragmentServer::WriterLoop(Connection* conn) {
+  for (;;) {
+    std::string frame;
+    bool heartbeat = false;
+    {
+      std::unique_lock<std::mutex> lock(conn->mu);
+      conn->cv_data.wait_for(lock, opts_.heartbeat_interval, [&] {
+        return !conn->queue.empty() || conn->closing;
+      });
+      if (conn->queue.empty()) {
+        if (conn->closing) break;
+        if (!conn->live) continue;  // no heartbeats before the handshake
+        heartbeat = true;
+      } else {
+        frame = std::move(conn->queue.front());
+        conn->queue.pop_front();
+        ++conn->sent;
+        conn->cv_space.notify_one();
+      }
+    }
+    // published_ instead of next_seq(): the writer must stay off log_mu_,
+    // which a kBlock publisher may hold while waiting on this very writer.
+    if (heartbeat) frame = EncodeFrame(HeartbeatFrame(published_.load()));
+    if (!SendRaw(conn, frame).ok()) {
+      std::lock_guard<std::mutex> lock(conn->mu);
+      conn->closing = true;
+      conn->sock.Shutdown();  // wake the reader
+      conn->cv_space.notify_all();
+    }
+  }
+  std::lock_guard<std::mutex> lock(conn->mu);
+  conn->writer_done = true;
+}
+
+MetricsSnapshot FragmentServer::metrics() const {
+  MetricsSnapshot s = metrics_.Snapshot();
+  s.connections_active = active_connections();
+  return s;
+}
+
+int FragmentServer::active_connections() const {
+  std::lock_guard<std::mutex> lock(conns_mu_);
+  int active = 0;
+  for (const auto& conn : conns_) {
+    std::lock_guard<std::mutex> conn_lock(conn->mu);
+    if (!conn->closing) ++active;
+  }
+  return active;
+}
+
+std::vector<ConnectionStats> FragmentServer::connection_stats() const {
+  std::lock_guard<std::mutex> lock(conns_mu_);
+  std::vector<ConnectionStats> out;
+  out.reserve(conns_.size());
+  for (const auto& conn : conns_) {
+    std::lock_guard<std::mutex> conn_lock(conn->mu);
+    ConnectionStats stats;
+    stats.enqueued = conn->enqueued;
+    stats.sent = conn->sent;
+    stats.dropped = conn->dropped;
+    stats.queue_depth = static_cast<int64_t>(conn->queue.size());
+    stats.live = conn->live;
+    stats.closing = conn->closing;
+    out.push_back(stats);
+  }
+  return out;
+}
+
+}  // namespace xcql::net

@@ -1,0 +1,163 @@
+// net::FragmentServer — the networked face of a stream::StreamServer.
+//
+// The server registers itself as one more StreamClient on the in-process
+// multicast, encodes every published fragment once per supported codec into
+// an append-only frame log (seq = publish position), and fans frames out to
+// any number of TCP subscribers. Each connection owns a bounded outbound
+// queue drained by a dedicated writer thread, so one stalled consumer
+// cannot stall the publisher or its peers; what happens when a queue fills
+// is the configurable SlowConsumerPolicy. Late subscribers and resuming
+// subscribers catch up from the frame log via REPLAY_FROM.
+//
+// Threading: all socket work happens on threads owned by this class. The
+// core engine stays single-threaded — Start(), Stop() and the publishes
+// that reach OnFragment() must come from the same (publisher) thread.
+#ifndef XCQL_NET_SERVER_H_
+#define XCQL_NET_SERVER_H_
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/result.h"
+#include "net/frame.h"
+#include "net/metrics.h"
+#include "net/socket.h"
+#include "stream/transport.h"
+
+namespace xcql::net {
+
+/// \brief What to do when a subscriber's outbound queue is full.
+enum class SlowConsumerPolicy {
+  kBlock,       // publisher waits for space (lossless, stalls the stream)
+  kDropOldest,  // evict the oldest queued frame, counting the drop; the
+                // subscriber can recover the gap later via REPLAY_FROM
+  kDisconnect,  // cut the connection; the subscriber's reconnect+replay
+                // machinery refetches what it missed
+};
+
+struct FragmentServerOptions {
+  uint16_t port = 0;  // 0 = pick an ephemeral port (see port())
+  size_t queue_capacity = 1024;  // outbound frames per connection
+  SlowConsumerPolicy slow_consumer = SlowConsumerPolicy::kBlock;
+  std::chrono::milliseconds heartbeat_interval{1000};
+};
+
+/// \brief Per-connection counters, exposed so tests and tools can verify
+/// the conservation law enqueued == sent + dropped + queue_depth.
+struct ConnectionStats {
+  int64_t enqueued = 0;
+  int64_t sent = 0;
+  int64_t dropped = 0;
+  int64_t queue_depth = 0;
+  bool live = false;     // handshake + replay done, receiving live frames
+  bool closing = false;
+};
+
+class FragmentServer : public stream::StreamClient {
+ public:
+  explicit FragmentServer(stream::StreamServer* source,
+                          FragmentServerOptions options = {});
+  ~FragmentServer() override;
+
+  FragmentServer(const FragmentServer&) = delete;
+  FragmentServer& operator=(const FragmentServer&) = delete;
+
+  /// \brief Seeds the frame log from the source's already-published
+  /// history, registers with the source, binds and starts accepting.
+  Status Start();
+
+  /// \brief Unregisters, closes every connection, joins all threads.
+  /// Idempotent.
+  void Stop();
+
+  /// \brief The bound TCP port (after Start()).
+  uint16_t port() const { return port_; }
+
+  /// \brief Sequence number the next published fragment will carry.
+  int64_t next_seq() const;
+
+  /// \brief StreamClient hook: called by the source on the publisher
+  /// thread for every multicast fragment.
+  void OnFragment(const std::string& stream_name,
+                  frag::Fragment fragment) override;
+
+  MetricsSnapshot metrics() const;
+  std::vector<ConnectionStats> connection_stats() const;
+  int active_connections() const;
+
+ private:
+  struct Connection {
+    Socket sock;
+    std::thread reader;
+    std::thread writer;
+    std::mutex mu;                     // guards everything below
+    std::condition_variable cv_data;   // queue became non-empty / closing
+    std::condition_variable cv_space;  // queue gained room / closing
+    std::deque<std::string> queue;     // encoded frames awaiting send
+    frag::WireCodec codec = frag::WireCodec::kPlainXml;
+    bool live = false;
+    bool closing = false;
+    int64_t enqueued = 0;
+    int64_t sent = 0;
+    int64_t dropped = 0;
+    std::mutex send_mu;  // serializes socket writes (writer + handshake)
+    bool reader_done = false;
+    bool writer_done = false;
+  };
+
+  // One published fragment, encoded once per codec the server offers.
+  struct LogEntry {
+    std::string plain;       // FRAGMENT frame, plain-XML payload
+    std::string compressed;  // FRAGMENT frame, §4.1 payload ("" if the
+                             // payload does not compress under the schema)
+  };
+
+  LogEntry EncodeEntry(const frag::Fragment& fragment, uint64_t seq);
+  void AcceptLoop();
+  void ReaderLoop(Connection* conn);
+  void WriterLoop(Connection* conn);
+  Status HandleHello(Connection* conn, const Frame& frame);
+  void ServeReplay(Connection* conn, int64_t last_seen_seq);
+  /// \brief Appends one encoded frame to the connection's queue, applying
+  /// the slow-consumer policy. Caller may hold log_mu_.
+  void Enqueue(Connection* conn, const LogEntry& entry);
+  Status SendRaw(Connection* conn, const std::string& bytes);
+  void CloseConnection(Connection* conn);
+  void ReapFinished();
+
+  stream::StreamServer* source_;
+  FragmentServerOptions opts_;
+  std::string ts_xml_;
+  uint64_t ts_hash_ = 0;
+  uint16_t port_ = 0;
+  bool started_ = false;
+
+  Socket listener_;
+  std::thread accept_thread_;
+  std::atomic<bool> stopping_{false};
+
+  // Frame log. Lock order: log_mu_ -> conns_mu_ -> Connection::mu.
+  mutable std::mutex log_mu_;
+  std::vector<LogEntry> log_;
+  // log_.size(), readable without log_mu_. The heartbeat path uses this:
+  // a kBlock publisher can hold log_mu_ while waiting for queue space, so
+  // the writer thread must never take log_mu_ to make progress.
+  std::atomic<int64_t> published_{0};
+
+  mutable std::mutex conns_mu_;
+  std::vector<std::unique_ptr<Connection>> conns_;
+
+  mutable Metrics metrics_;
+};
+
+}  // namespace xcql::net
+
+#endif  // XCQL_NET_SERVER_H_

@@ -1,0 +1,143 @@
+#include "net/socket.h"
+
+#include <arpa/inet.h>
+#include <netdb.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "common/string_util.h"
+
+namespace xcql::net {
+
+namespace {
+
+Status Errno(const char* op) {
+  return Status::Internal(StringPrintf("%s: %s", op, std::strerror(errno)));
+}
+
+}  // namespace
+
+Socket& Socket::operator=(Socket&& other) noexcept {
+  if (this != &other) {
+    Close();
+    fd_ = other.fd_;
+    other.fd_ = -1;
+  }
+  return *this;
+}
+
+void Socket::Shutdown() {
+  if (fd_ >= 0) ::shutdown(fd_, SHUT_RDWR);
+}
+
+void Socket::Close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+Status Socket::SendAll(const void* data, size_t len) {
+  const char* p = static_cast<const char*>(data);
+  while (len > 0) {
+    // MSG_NOSIGNAL: a peer that vanished mid-send must surface as EPIPE,
+    // not kill the process.
+    ssize_t n = ::send(fd_, p, len, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Errno("send");
+    }
+    p += n;
+    len -= static_cast<size_t>(n);
+  }
+  return Status::OK();
+}
+
+Result<size_t> Socket::Recv(void* buf, size_t len) {
+  for (;;) {
+    ssize_t n = ::recv(fd_, buf, len, 0);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Errno("recv");
+    }
+    return static_cast<size_t>(n);
+  }
+}
+
+Result<Socket> ListenOn(uint16_t port, int backlog) {
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return Errno("socket");
+  Socket sock(fd);
+  int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_ANY);
+  addr.sin_port = htons(port);
+  if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+    return Errno("bind");
+  }
+  if (::listen(fd, backlog) < 0) return Errno("listen");
+  return sock;
+}
+
+Result<uint16_t> BoundPort(const Socket& sock) {
+  sockaddr_in addr{};
+  socklen_t len = sizeof(addr);
+  if (::getsockname(sock.fd(), reinterpret_cast<sockaddr*>(&addr), &len) < 0) {
+    return Errno("getsockname");
+  }
+  return static_cast<uint16_t>(ntohs(addr.sin_port));
+}
+
+Result<Socket> Accept(const Socket& listener) {
+  for (;;) {
+    int fd = ::accept(listener.fd(), nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EINTR) continue;
+      return Errno("accept");
+    }
+    Socket sock(fd);
+    int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    return sock;
+  }
+}
+
+Result<Socket> ConnectTo(const std::string& host, uint16_t port) {
+  addrinfo hints{};
+  hints.ai_family = AF_INET;
+  hints.ai_socktype = SOCK_STREAM;
+  addrinfo* res = nullptr;
+  std::string service = std::to_string(port);
+  int rc = ::getaddrinfo(host.c_str(), service.c_str(), &hints, &res);
+  if (rc != 0) {
+    return Status::InvalidArgument(StringPrintf("resolve %s: %s", host.c_str(),
+                                                ::gai_strerror(rc)));
+  }
+  Status last = Status::Internal("no addresses for " + host);
+  for (addrinfo* ai = res; ai != nullptr; ai = ai->ai_next) {
+    int fd = ::socket(ai->ai_family, ai->ai_socktype, ai->ai_protocol);
+    if (fd < 0) {
+      last = Errno("socket");
+      continue;
+    }
+    Socket sock(fd);
+    if (::connect(fd, ai->ai_addr, ai->ai_addrlen) == 0) {
+      int one = 1;
+      ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+      ::freeaddrinfo(res);
+      return sock;
+    }
+    last = Errno("connect");
+  }
+  ::freeaddrinfo(res);
+  return last;
+}
+
+}  // namespace xcql::net

@@ -1,0 +1,64 @@
+// Thin RAII wrappers over POSIX TCP sockets — everything the fragment
+// transport needs and nothing more: listen/accept, connect, send-all,
+// blocking recv, and Shutdown() as the cross-thread wakeup for blocked
+// reads and writes.
+#ifndef XCQL_NET_SOCKET_H_
+#define XCQL_NET_SOCKET_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#include "common/result.h"
+
+namespace xcql::net {
+
+/// \brief Owns one socket file descriptor.
+class Socket {
+ public:
+  Socket() = default;
+  explicit Socket(int fd) : fd_(fd) {}
+  ~Socket() { Close(); }
+
+  Socket(const Socket&) = delete;
+  Socket& operator=(const Socket&) = delete;
+  Socket(Socket&& other) noexcept : fd_(other.fd_) { other.fd_ = -1; }
+  Socket& operator=(Socket&& other) noexcept;
+
+  int fd() const { return fd_; }
+  bool valid() const { return fd_ >= 0; }
+
+  /// \brief Shuts down both directions without closing the descriptor:
+  /// safe to call from another thread to wake a blocked Recv/SendAll
+  /// (closing concurrently would race on fd reuse).
+  void Shutdown();
+
+  void Close();
+
+  /// \brief Sends the whole buffer, retrying short writes and EINTR.
+  Status SendAll(const void* data, size_t len);
+
+  /// \brief Receives up to `len` bytes. Returns 0 on orderly shutdown.
+  Result<size_t> Recv(void* buf, size_t len);
+
+ private:
+  int fd_ = -1;
+};
+
+/// \brief Binds and listens on 0.0.0.0:`port` (0 = ephemeral; read the
+/// chosen port back with BoundPort).
+Result<Socket> ListenOn(uint16_t port, int backlog = 16);
+
+/// \brief The locally bound port of a listening (or connected) socket.
+Result<uint16_t> BoundPort(const Socket& sock);
+
+/// \brief Blocks until a connection arrives. Fails once the listener is
+/// Shutdown().
+Result<Socket> Accept(const Socket& listener);
+
+/// \brief Connects to `host`:`port` (dotted-quad or DNS name).
+Result<Socket> ConnectTo(const std::string& host, uint16_t port);
+
+}  // namespace xcql::net
+
+#endif  // XCQL_NET_SOCKET_H_

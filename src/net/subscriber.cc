@@ -1,0 +1,249 @@
+#include "net/subscriber.h"
+
+#include <algorithm>
+#include <iterator>
+
+namespace xcql::net {
+
+FragmentSubscriber::FragmentSubscriber(FragmentSubscriberOptions options)
+    : opts_(std::move(options)) {
+  if (!opts_.tag_structure_xml.empty()) {
+    auto ts = frag::TagStructure::Parse(opts_.tag_structure_xml);
+    if (ts.ok()) {
+      ts_ = std::make_unique<frag::TagStructure>(std::move(ts).MoveValue());
+      ts_xml_ = opts_.tag_structure_xml;
+    }
+  }
+}
+
+FragmentSubscriber::~FragmentSubscriber() { Stop(); }
+
+Status FragmentSubscriber::Start() {
+  if (started_) return Status::InvalidArgument("subscriber already started");
+  if (opts_.stream.empty()) {
+    return Status::InvalidArgument("subscriber needs a stream name");
+  }
+  stopping_.store(false);
+  thread_ = std::thread([this] { Run(); });
+  started_ = true;
+  return Status::OK();
+}
+
+void FragmentSubscriber::Stop() {
+  if (!started_) return;
+  started_ = false;
+  stopping_.store(true);
+  {
+    std::lock_guard<std::mutex> lock(state_mu_);
+    sock_.Shutdown();
+    state_cv_.notify_all();
+  }
+  if (thread_.joinable()) thread_.join();
+}
+
+bool FragmentSubscriber::SleepBackoff(std::chrono::milliseconds delay) {
+  std::unique_lock<std::mutex> lock(state_mu_);
+  state_cv_.wait_for(lock, delay, [this] { return stopping_.load(); });
+  return !stopping_.load();
+}
+
+void FragmentSubscriber::Run() {
+  auto delay = opts_.backoff_initial;
+  while (!stopping_.load()) {
+    auto sock = ConnectTo(opts_.host, opts_.port);
+    if (sock.ok()) {
+      {
+        std::lock_guard<std::mutex> lock(state_mu_);
+        sock_ = std::move(sock).MoveValue();
+      }
+      Session();
+      bool was_connected;
+      {
+        std::lock_guard<std::mutex> lock(state_mu_);
+        was_connected = connected_;
+        connected_ = false;
+        sock_.Close();
+        state_cv_.notify_all();
+      }
+      if (fatal_ || stopping_.load()) break;
+      if (was_connected) delay = opts_.backoff_initial;
+    }
+    if (!SleepBackoff(delay)) break;
+    delay = std::min(delay * 2, opts_.backoff_max);
+  }
+  std::lock_guard<std::mutex> lock(state_mu_);
+  connected_ = false;
+  state_cv_.notify_all();
+}
+
+void FragmentSubscriber::Session() {
+  Hello hello;
+  hello.stream_name = opts_.stream;
+  hello.codec = opts_.codec;
+  hello.ts_hash = ts_xml_.empty() ? 0 : TagStructureHash(ts_xml_);
+  Frame out;
+  out.type = FrameType::kHello;
+  out.payload = EncodeHello(hello);
+  std::string bytes = EncodeFrame(out);
+  if (!sock_.SendAll(bytes.data(), bytes.size()).ok()) return;
+  metrics_.AddFrameOut(static_cast<int64_t>(bytes.size()));
+
+  FrameReader reader;
+  char buf[64 * 1024];
+  bool handshaken = false;
+  for (;;) {
+    auto n = sock_.Recv(buf, sizeof(buf));
+    if (!n.ok() || n.value() == 0) return;
+    reader.Feed(buf, n.value());
+    for (;;) {
+      auto next = reader.Next();
+      if (!next.ok()) return;  // malformed stream: drop and reconnect
+      if (!next.value().has_value()) break;
+      Frame frame = std::move(*next.value());
+      metrics_.AddFrameIn(
+          static_cast<int64_t>(kFrameHeaderSize + frame.payload.size()));
+      if (!handshaken) {
+        // The server answers HELLO with HELLO, or BYE on rejection.
+        if (frame.type != FrameType::kHello) {
+          metrics_.AddHandshakeFailure();
+          std::lock_guard<std::mutex> lock(state_mu_);
+          fatal_ = true;
+          state_cv_.notify_all();
+          return;
+        }
+        auto ack = DecodeHello(frame.payload);
+        bool ok = ack.ok() && ack.value().stream_name == opts_.stream;
+        if (ok && ts_ == nullptr) {
+          auto ts = frag::TagStructure::Parse(ack.value().tag_structure_xml);
+          if (ts.ok() &&
+              TagStructureHash(ack.value().tag_structure_xml) ==
+                  ack.value().ts_hash) {
+            ts_ = std::make_unique<frag::TagStructure>(
+                std::move(ts).MoveValue());
+          } else {
+            ok = false;
+          }
+        } else if (ok && TagStructureHash(ts_xml_) != ack.value().ts_hash) {
+          ok = false;
+        }
+        if (!ok) {
+          metrics_.AddHandshakeFailure();
+          std::lock_guard<std::mutex> lock(state_mu_);
+          fatal_ = true;
+          state_cv_.notify_all();
+          return;
+        }
+        handshaken = true;
+        {
+          std::lock_guard<std::mutex> lock(state_mu_);
+          if (ts_xml_.empty()) ts_xml_ = ack.value().tag_structure_xml;
+          connected_ = true;
+          if (ever_connected_) metrics_.AddReconnect();
+          ever_connected_ = true;
+          state_cv_.notify_all();
+        }
+        // Resume from where we left off (-1 the first time = everything:
+        // the late subscriber's catch-up).
+        Frame replay;
+        replay.type = FrameType::kReplayFrom;
+        replay.payload = EncodeReplayFrom(last_seq());
+        std::string rb = EncodeFrame(replay);
+        if (!sock_.SendAll(rb.data(), rb.size()).ok()) return;
+        metrics_.AddFrameOut(static_cast<int64_t>(rb.size()));
+        metrics_.AddReplayRequested();
+        continue;
+      }
+      switch (frame.type) {
+        case FrameType::kFragment: {
+          frag::WireCodec codec = (frame.flags & kFlagCompressedPayload)
+                                      ? frag::WireCodec::kTagCompressed
+                                      : frag::WireCodec::kPlainXml;
+          auto fragment = frag::DecodeWirePayload(frame.payload, *ts_, codec);
+          if (!fragment.ok()) return;  // schema drift: resync via reconnect
+          metrics_.AddFragmentIn();
+          std::lock_guard<std::mutex> lock(pending_mu_);
+          pending_.push_back(std::move(fragment).MoveValue());
+          last_seq_ =
+              std::max(last_seq_, static_cast<int64_t>(frame.seq));
+          pending_cv_.notify_all();
+          break;
+        }
+        case FrameType::kHeartbeat:
+          break;  // liveness only
+        case FrameType::kBye:
+          return;  // server going away; reconnect with backoff
+        default:
+          break;
+      }
+    }
+  }
+}
+
+Result<int> FragmentSubscriber::DrainInto(frag::FragmentStore* store) {
+  std::vector<frag::Fragment> batch;
+  Drain(&batch);
+  int n = static_cast<int>(batch.size());
+  XCQL_RETURN_NOT_OK(store->InsertAll(std::move(batch)));
+  return n;
+}
+
+int FragmentSubscriber::Drain(std::vector<frag::Fragment>* out) {
+  std::lock_guard<std::mutex> lock(pending_mu_);
+  int n = static_cast<int>(pending_.size());
+  if (out->empty()) {
+    out->swap(pending_);
+  } else {
+    std::move(pending_.begin(), pending_.end(), std::back_inserter(*out));
+    pending_.clear();
+  }
+  return n;
+}
+
+int64_t FragmentSubscriber::last_seq() const {
+  std::lock_guard<std::mutex> lock(pending_mu_);
+  return last_seq_;
+}
+
+bool FragmentSubscriber::WaitForSeq(int64_t seq,
+                                    std::chrono::milliseconds timeout) const {
+  std::unique_lock<std::mutex> lock(pending_mu_);
+  return pending_cv_.wait_for(lock, timeout,
+                              [&] { return last_seq_ >= seq; });
+}
+
+bool FragmentSubscriber::WaitConnected(
+    std::chrono::milliseconds timeout) const {
+  std::unique_lock<std::mutex> lock(state_mu_);
+  state_cv_.wait_for(lock, timeout,
+                     [this] { return connected_ || fatal_; });
+  return connected_;
+}
+
+bool FragmentSubscriber::connected() const {
+  std::lock_guard<std::mutex> lock(state_mu_);
+  return connected_;
+}
+
+bool FragmentSubscriber::handshake_failed() const {
+  std::lock_guard<std::mutex> lock(state_mu_);
+  return fatal_;
+}
+
+Result<std::string> FragmentSubscriber::TagStructureXml() const {
+  std::lock_guard<std::mutex> lock(state_mu_);
+  if (ts_xml_.empty()) {
+    return Status::NotFound("no handshake completed yet");
+  }
+  return ts_xml_;
+}
+
+MetricsSnapshot FragmentSubscriber::metrics() const {
+  return metrics_.Snapshot();
+}
+
+void FragmentSubscriber::KillConnection() {
+  std::lock_guard<std::mutex> lock(state_mu_);
+  sock_.Shutdown();
+}
+
+}  // namespace xcql::net

@@ -1,0 +1,130 @@
+// net::FragmentSubscriber — the client end of the fragment transport.
+//
+// A receive thread connects, handshakes (learning the stream's Tag
+// Structure from the server if it doesn't hold one), asks for a replay
+// from the last sequence number it has seen (-1 the first time: the late
+// subscriber's full catch-up), and decodes FRAGMENT frames into
+// frag::Fragments. Decoded fragments accumulate behind a mutex; the
+// application drains them into its FragmentStore / StreamManager from its
+// own thread with DrainInto() — the locked handoff that keeps the core
+// engine single-threaded. On disconnect the thread reconnects with
+// exponential backoff and resumes via REPLAY_FROM, so a subscriber that
+// missed frames (restart, drop-oldest gap, network blip) converges back to
+// the full stream.
+#ifndef XCQL_NET_SUBSCRIBER_H_
+#define XCQL_NET_SUBSCRIBER_H_
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/result.h"
+#include "frag/fragment_store.h"
+#include "net/frame.h"
+#include "net/metrics.h"
+#include "net/socket.h"
+
+namespace xcql::net {
+
+struct FragmentSubscriberOptions {
+  std::string host = "127.0.0.1";
+  uint16_t port = 0;
+  std::string stream;  // stream name to subscribe to
+  frag::WireCodec codec = frag::WireCodec::kPlainXml;
+  std::chrono::milliseconds backoff_initial{50};
+  std::chrono::milliseconds backoff_max{2000};
+  /// Known Tag Structure XML; empty = accept the server's at handshake.
+  /// When set, its hash travels in HELLO and a mismatching server is
+  /// rejected (fatal, no reconnect).
+  std::string tag_structure_xml;
+};
+
+class FragmentSubscriber {
+ public:
+  explicit FragmentSubscriber(FragmentSubscriberOptions options);
+  ~FragmentSubscriber();
+
+  FragmentSubscriber(const FragmentSubscriber&) = delete;
+  FragmentSubscriber& operator=(const FragmentSubscriber&) = delete;
+
+  /// \brief Spawns the receive thread (which owns connecting, handshaking,
+  /// reconnecting). Fails if already started.
+  Status Start();
+
+  /// \brief Stops the receive thread and closes the connection. Idempotent.
+  void Stop();
+
+  /// \brief Moves every fragment received since the previous drain into
+  /// `store`, in arrival order, on the caller's thread. Returns how many.
+  Result<int> DrainInto(frag::FragmentStore* store);
+
+  /// \brief Like DrainInto, into a plain vector.
+  int Drain(std::vector<frag::Fragment>* out);
+
+  /// \brief Highest FRAGMENT sequence number received (-1 before the
+  /// first).
+  int64_t last_seq() const;
+
+  /// \brief Blocks until last_seq() >= seq (true) or the timeout expires
+  /// (false).
+  bool WaitForSeq(int64_t seq, std::chrono::milliseconds timeout) const;
+
+  /// \brief Blocks until a handshake completes (true), or the timeout
+  /// expires or the subscription failed fatally (false).
+  bool WaitConnected(std::chrono::milliseconds timeout) const;
+
+  bool connected() const;
+
+  /// \brief True once the server rejected the handshake (wrong stream or
+  /// schema hash); the subscriber has given up reconnecting.
+  bool handshake_failed() const;
+
+  /// \brief The stream's Tag Structure XML as learned at the handshake
+  /// (or as configured). Errors before the first successful handshake.
+  Result<std::string> TagStructureXml() const;
+
+  MetricsSnapshot metrics() const;
+
+  /// \brief Severs the current connection (as a network fault would),
+  /// exercising the reconnect + REPLAY_FROM path. Test/chaos hook.
+  void KillConnection();
+
+ private:
+  void Run();
+  // One connect→handshake→receive cycle; returns when the connection dies.
+  void Session();
+  bool SleepBackoff(std::chrono::milliseconds delay);
+
+  FragmentSubscriberOptions opts_;
+  std::thread thread_;
+  std::atomic<bool> stopping_{false};
+  bool started_ = false;
+
+  mutable std::mutex state_mu_;
+  mutable std::condition_variable state_cv_;
+  bool connected_ = false;
+  bool fatal_ = false;
+  bool ever_connected_ = false;
+  std::string ts_xml_;  // set at first handshake (or from options)
+  Socket sock_;         // guarded by state_mu_; owned by the receive thread
+
+  // Receive-thread-only: the parsed schema used to decode payloads.
+  std::unique_ptr<frag::TagStructure> ts_;
+
+  mutable std::mutex pending_mu_;
+  mutable std::condition_variable pending_cv_;
+  std::vector<frag::Fragment> pending_;
+  int64_t last_seq_ = -1;
+
+  mutable Metrics metrics_;
+};
+
+}  // namespace xcql::net
+
+#endif  // XCQL_NET_SUBSCRIBER_H_

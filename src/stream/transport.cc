@@ -21,22 +21,14 @@ void StreamServer::UnregisterClient(StreamClient* client) {
                  clients_.end());
 }
 
-Status StreamServer::Publish(frag::Fragment fragment) {
-  if (fragment.content == nullptr) {
-    return Status::InvalidArgument("fragment without payload");
-  }
-  if (ts_.FindById(fragment.tsid) == nullptr) {
-    return Status::InvalidArgument("fragment tsid not in the tag structure");
-  }
-  next_filler_id_ = std::max(next_filler_id_, fragment.id + 1);
+Status StreamServer::Multicast(const frag::Fragment& fragment) {
+  // One sizing code path for in-process accounting and the networked
+  // transport: a codec error surfaces as a Status before any counter or
+  // history mutation (no silent fallback to plain-XML byte counts).
+  XCQL_ASSIGN_OR_RETURN(std::string wire,
+                        frag::EncodeWirePayload(fragment, ts_, wire_codec()));
   ++fragments_sent_;
-  if (compress_wire_) {
-    XCQL_ASSIGN_OR_RETURN(std::string wire,
-                          frag::CompressFragment(fragment, ts_));
-    bytes_sent_ += static_cast<int64_t>(wire.size());
-  } else {
-    bytes_sent_ += static_cast<int64_t>(fragment.ToXml().size());
-  }
+  bytes_sent_ += static_cast<int64_t>(wire.size());
   for (StreamClient* c : clients_) {
     frag::Fragment copy;
     copy.id = fragment.id;
@@ -45,6 +37,18 @@ Status StreamServer::Publish(frag::Fragment fragment) {
     copy.content = fragment.content->Clone();
     c->OnFragment(name_, std::move(copy));
   }
+  return Status::OK();
+}
+
+Status StreamServer::Publish(frag::Fragment fragment) {
+  if (fragment.content == nullptr) {
+    return Status::InvalidArgument("fragment without payload");
+  }
+  if (ts_.FindById(fragment.tsid) == nullptr) {
+    return Status::InvalidArgument("fragment tsid not in the tag structure");
+  }
+  XCQL_RETURN_NOT_OK(Multicast(fragment));
+  next_filler_id_ = std::max(next_filler_id_, fragment.id + 1);
   history_.push_back(std::move(fragment));
   return Status::OK();
 }
@@ -61,21 +65,25 @@ Status StreamServer::PublishDocument(const Node& doc,
 }
 
 Result<int> StreamServer::RepeatFiller(int64_t filler_id) {
-  // Copy first: Publish appends to history_, which would invalidate any
-  // references into it.
-  std::vector<frag::Fragment> matches;
+  // Retransmit the distinct versions only: history may itself be the
+  // product of duplicate publishes, and repeating duplicates would inflate
+  // the wire for no information.
+  std::vector<const frag::Fragment*> versions;
   for (const frag::Fragment& f : history_) {
     if (f.id != filler_id) continue;
-    frag::Fragment copy;
-    copy.id = f.id;
-    copy.tsid = f.tsid;
-    copy.valid_time = f.valid_time;
-    copy.content = f.content->Clone();
-    matches.push_back(std::move(copy));
+    bool duplicate = false;
+    for (const frag::Fragment* seen : versions) {
+      if (seen->tsid == f.tsid && seen->valid_time == f.valid_time &&
+          Node::DeepEqual(*seen->content, *f.content)) {
+        duplicate = true;
+        break;
+      }
+    }
+    if (!duplicate) versions.push_back(&f);
   }
   int repeated = 0;
-  for (frag::Fragment& f : matches) {
-    XCQL_RETURN_NOT_OK(Publish(std::move(f)));
+  for (const frag::Fragment* f : versions) {
+    XCQL_RETURN_NOT_OK(Multicast(*f));
     ++repeated;
   }
   return repeated;

@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "common/result.h"
+#include "frag/codec.h"
 #include "frag/fragment.h"
 #include "frag/fragmenter.h"
 #include "frag/tag_structure.h"
@@ -52,8 +53,12 @@ class StreamServer {
   Status PublishDocument(const Node& doc,
                          const frag::FragmenterOptions& options = {});
 
-  /// \brief Retransmits the current versions of a filler id (the paper's
-  /// "repeat critical fragments" facility). Returns the number repeated.
+  /// \brief Retransmits the current distinct versions of a filler id (the
+  /// paper's "repeat critical fragments" facility). Repeats are wire-level
+  /// retransmissions, not new information: they reach every client (whose
+  /// stores drop the exact duplicates) but are not recorded into the
+  /// replayable history, so a later ReplayTo reproduces the original
+  /// publication sequence exactly. Returns the number repeated.
   Result<int> RepeatFiller(int64_t filler_id);
 
   /// \brief Replays the entire published history to one client — how a
@@ -64,6 +69,24 @@ class StreamServer {
   /// \brief Accounts wire bytes using the §4.1 tag-id compression instead
   /// of plain XML (delivery is unaffected; only bytes_sent changes).
   void EnableWireCompression() { compress_wire_ = true; }
+
+  /// \brief The codec Publish sizes frames with (and the default a
+  /// networked transport fronting this server should offer).
+  frag::WireCodec wire_codec() const {
+    return compress_wire_ ? frag::WireCodec::kTagCompressed
+                          : frag::WireCodec::kPlainXml;
+  }
+
+  // The published history, exposed for catch-up replay: a fragment's
+  // sequence number is its 0-based publish position, so a networked
+  // transport can seed its frame log from a server that already published
+  // and resume subscribers from any sequence number.
+  int64_t history_size() const {
+    return static_cast<int64_t>(history_.size());
+  }
+  const frag::Fragment& history_at(int64_t seq) const {
+    return history_[static_cast<size_t>(seq)];
+  }
 
   int64_t fragments_sent() const { return fragments_sent_; }
   int64_t bytes_sent() const { return bytes_sent_; }
@@ -79,10 +102,14 @@ class StreamServer {
   }
 
  private:
+  /// \brief Sizes, counts, and delivers one fragment to every client
+  /// without recording it into history (the retransmission path).
+  Status Multicast(const frag::Fragment& fragment);
+
   std::string name_;
   frag::TagStructure ts_;
   std::vector<StreamClient*> clients_;
-  std::vector<frag::Fragment> history_;  // for RepeatFiller
+  std::vector<frag::Fragment> history_;  // for RepeatFiller / ReplayTo
   int64_t fragments_sent_ = 0;
   int64_t bytes_sent_ = 0;
   int64_t next_filler_id_ = 0;

@@ -1,0 +1,221 @@
+// xcql_serve — publish a historical XML stream over TCP.
+//
+// Loads a Tag Structure plus an initial document (or generates an XMark
+// auction document), serves it on a port through net::FragmentServer, and
+// optionally keeps publishing timed update fragments — new versions of
+// randomly chosen temporal/event fillers — so subscribers see a live
+// stream. Pair with xcql_tail.
+//
+//   xcql_serve --port 7788 --xmark 0.01 --updates 1000 --interval-ms 50
+//   xcql_serve --port 7788 --stream credit --structure credit.ts.xml
+//              --document credit.xml [--compress] [--policy drop]
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/file_util.h"
+#include "common/random.h"
+#include "common/string_util.h"
+#include "net/server.h"
+#include "stream/transport.h"
+#include "xmark/generator.h"
+#include "xml/parser.h"
+
+namespace {
+
+struct ServeOptions {
+  uint16_t port = 7788;
+  std::string stream = "auction";
+  std::string structure_file;
+  std::string document_file;
+  double xmark_scale = -1;
+  int updates = 0;
+  int interval_ms = 100;
+  int serve_ms = 0;  // after updates finish: 0 = serve until killed
+  bool compress = false;
+  xcql::net::SlowConsumerPolicy policy =
+      xcql::net::SlowConsumerPolicy::kBlock;
+  size_t queue = 1024;
+};
+
+int Usage(const char* argv0) {
+  std::fprintf(
+      stderr,
+      "usage: %s [--port N] [--stream NAME]\n"
+      "          (--structure FILE --document FILE | --xmark SCALE)\n"
+      "          [--updates N] [--interval-ms M] [--serve-ms M]\n"
+      "          [--compress] [--policy block|drop|disconnect] [--queue N]\n",
+      argv0);
+  return 2;
+}
+
+bool Fail(const xcql::Status& st) {
+  if (st.ok()) return false;
+  std::fprintf(stderr, "xcql_serve: %s\n", st.ToString().c_str());
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  ServeOptions opt;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : nullptr;
+    };
+    if (arg == "--port") {
+      const char* v = next();
+      if (v == nullptr) return Usage(argv[0]);
+      opt.port = static_cast<uint16_t>(std::atoi(v));
+    } else if (arg == "--stream") {
+      const char* v = next();
+      if (v == nullptr) return Usage(argv[0]);
+      opt.stream = v;
+    } else if (arg == "--structure") {
+      const char* v = next();
+      if (v == nullptr) return Usage(argv[0]);
+      opt.structure_file = v;
+    } else if (arg == "--document") {
+      const char* v = next();
+      if (v == nullptr) return Usage(argv[0]);
+      opt.document_file = v;
+    } else if (arg == "--xmark") {
+      const char* v = next();
+      if (v == nullptr) return Usage(argv[0]);
+      opt.xmark_scale = std::atof(v);
+    } else if (arg == "--updates") {
+      const char* v = next();
+      if (v == nullptr) return Usage(argv[0]);
+      opt.updates = std::atoi(v);
+    } else if (arg == "--interval-ms") {
+      const char* v = next();
+      if (v == nullptr) return Usage(argv[0]);
+      opt.interval_ms = std::atoi(v);
+    } else if (arg == "--serve-ms") {
+      const char* v = next();
+      if (v == nullptr) return Usage(argv[0]);
+      opt.serve_ms = std::atoi(v);
+    } else if (arg == "--compress") {
+      opt.compress = true;
+    } else if (arg == "--queue") {
+      const char* v = next();
+      if (v == nullptr) return Usage(argv[0]);
+      opt.queue = static_cast<size_t>(std::atoll(v));
+    } else if (arg == "--policy") {
+      const char* v = next();
+      if (v == nullptr) return Usage(argv[0]);
+      if (std::strcmp(v, "block") == 0) {
+        opt.policy = xcql::net::SlowConsumerPolicy::kBlock;
+      } else if (std::strcmp(v, "drop") == 0) {
+        opt.policy = xcql::net::SlowConsumerPolicy::kDropOldest;
+      } else if (std::strcmp(v, "disconnect") == 0) {
+        opt.policy = xcql::net::SlowConsumerPolicy::kDisconnect;
+      } else {
+        return Usage(argv[0]);
+      }
+    } else {
+      return Usage(argv[0]);
+    }
+  }
+
+  // Assemble schema + document.
+  std::string ts_xml;
+  xcql::NodePtr doc;
+  if (opt.xmark_scale >= 0) {
+    ts_xml = xcql::xmark::AuctionTagStructureXml();
+    xcql::xmark::XMarkOptions gen;
+    gen.scale = opt.xmark_scale;
+    auto d = xcql::xmark::GenerateAuctionDoc(gen);
+    if (Fail(d.status())) return 1;
+    doc = std::move(d).MoveValue();
+  } else if (!opt.structure_file.empty()) {
+    auto ts = xcql::ReadFileToString(opt.structure_file);
+    if (Fail(ts.status())) return 1;
+    ts_xml = std::move(ts).MoveValue();
+    if (!opt.document_file.empty()) {
+      auto xml = xcql::ReadFileToString(opt.document_file);
+      if (Fail(xml.status())) return 1;
+      auto d = xcql::ParseXml(xml.value());
+      if (Fail(d.status())) return 1;
+      doc = std::move(d).MoveValue();
+    }
+  } else {
+    return Usage(argv[0]);
+  }
+
+  auto ts = xcql::frag::TagStructure::Parse(ts_xml);
+  if (Fail(ts.status())) return 1;
+  xcql::stream::StreamServer server(opt.stream, std::move(ts).MoveValue());
+  if (opt.compress) server.EnableWireCompression();
+
+  xcql::net::FragmentServerOptions net_opts;
+  net_opts.port = opt.port;
+  net_opts.slow_consumer = opt.policy;
+  net_opts.queue_capacity = opt.queue;
+  xcql::net::FragmentServer net_server(&server, net_opts);
+  if (Fail(net_server.Start())) return 1;
+  std::printf("serving stream \"%s\" on port %u (%s wire accounting)\n",
+              opt.stream.c_str(), net_server.port(),
+              xcql::frag::WireCodecName(server.wire_codec()));
+
+  if (doc != nullptr) {
+    if (Fail(server.PublishDocument(*doc))) return 1;
+    std::printf("published initial document: %lld fragments\n",
+                static_cast<long long>(server.fragments_sent()));
+  }
+
+  // Timed updates: new versions of existing fragmented fillers.
+  if (opt.updates > 0) {
+    std::vector<int64_t> candidates;
+    for (int64_t i = 0; i < server.history_size(); ++i) {
+      const auto& f = server.history_at(i);
+      const auto* tag = server.tag_structure().FindById(f.tsid);
+      if (tag != nullptr && tag->fragmented()) candidates.push_back(i);
+    }
+    if (candidates.empty()) {
+      std::fprintf(stderr, "xcql_serve: no fragmented fillers to update\n");
+      return 1;
+    }
+    xcql::Random rng(7);
+    int64_t t = server.history_size() > 0
+                    ? server.history_at(server.history_size() - 1)
+                          .valid_time.seconds()
+                    : 0;
+    for (int u = 0; u < opt.updates; ++u) {
+      int64_t pick = candidates[static_cast<size_t>(
+          rng.Uniform(static_cast<int>(candidates.size())))];
+      const auto& base = server.history_at(pick);
+      xcql::frag::Fragment f;
+      f.id = base.id;
+      f.tsid = base.tsid;
+      t += 1 + static_cast<int64_t>(rng.Uniform(60));
+      f.valid_time = xcql::DateTime(t);
+      f.content = base.content->Clone();
+      f.content->SetAttr("rev", std::to_string(u + 1));
+      if (Fail(server.Publish(std::move(f)))) return 1;
+      std::this_thread::sleep_for(
+          std::chrono::milliseconds(opt.interval_ms));
+    }
+    std::printf("published %d updates\n", opt.updates);
+  }
+
+  if (opt.serve_ms > 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(opt.serve_ms));
+  } else {
+    std::printf("serving until killed (ctrl-c)...\n");
+    for (;;) std::this_thread::sleep_for(std::chrono::seconds(3600));
+  }
+  auto m = net_server.metrics();
+  std::printf(
+      "frames out %lld, bytes out %lld, drops %lld, subscribers served "
+      "%lld\n",
+      static_cast<long long>(m.frames_out),
+      static_cast<long long>(m.bytes_out), static_cast<long long>(m.drops),
+      static_cast<long long>(m.connections_accepted));
+  net_server.Stop();
+  return 0;
+}

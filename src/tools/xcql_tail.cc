@@ -1,0 +1,165 @@
+// xcql_tail — subscribe to a networked fragment stream and run a
+// continuous XCQL query against it.
+//
+// Connects to an xcql_serve endpoint, learns the stream's Tag Structure at
+// the handshake, accumulates received fragments in a local FragmentStore,
+// and re-evaluates the query as data arrives, printing newly appearing
+// results. Without --query it prints arrival statistics instead.
+//
+//   xcql_tail --connect localhost:7788 --stream auction
+//             --query 'count(stream("auction")//item)' [--compressed]
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <thread>
+
+#include "common/string_util.h"
+#include "core/stream_manager.h"
+#include "net/subscriber.h"
+#include "stream/continuous.h"
+#include "stream/registry.h"
+
+namespace {
+
+struct TailOptions {
+  std::string host = "127.0.0.1";
+  uint16_t port = 7788;
+  std::string stream;
+  std::string query;
+  bool compressed = false;
+  int interval_ms = 500;
+  int duration_ms = 0;  // 0 = until killed
+};
+
+int Usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s --connect HOST:PORT --stream NAME [--query XCQL]\n"
+               "          [--compressed] [--interval-ms M] [--duration-ms M]\n",
+               argv0);
+  return 2;
+}
+
+bool Fail(const xcql::Status& st) {
+  if (st.ok()) return false;
+  std::fprintf(stderr, "xcql_tail: %s\n", st.ToString().c_str());
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  TailOptions opt;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : nullptr;
+    };
+    if (arg == "--connect") {
+      const char* v = next();
+      if (v == nullptr) return Usage(argv[0]);
+      std::string hp = v;
+      size_t colon = hp.rfind(':');
+      if (colon == std::string::npos) return Usage(argv[0]);
+      opt.host = hp.substr(0, colon);
+      opt.port = static_cast<uint16_t>(std::atoi(hp.c_str() + colon + 1));
+    } else if (arg == "--stream") {
+      const char* v = next();
+      if (v == nullptr) return Usage(argv[0]);
+      opt.stream = v;
+    } else if (arg == "--query") {
+      const char* v = next();
+      if (v == nullptr) return Usage(argv[0]);
+      opt.query = v;
+    } else if (arg == "--compressed") {
+      opt.compressed = true;
+    } else if (arg == "--interval-ms") {
+      const char* v = next();
+      if (v == nullptr) return Usage(argv[0]);
+      opt.interval_ms = std::atoi(v);
+    } else if (arg == "--duration-ms") {
+      const char* v = next();
+      if (v == nullptr) return Usage(argv[0]);
+      opt.duration_ms = std::atoi(v);
+    } else {
+      return Usage(argv[0]);
+    }
+  }
+  if (opt.stream.empty()) return Usage(argv[0]);
+
+  xcql::net::FragmentSubscriberOptions sub_opts;
+  sub_opts.host = opt.host;
+  sub_opts.port = opt.port;
+  sub_opts.stream = opt.stream;
+  sub_opts.codec = opt.compressed ? xcql::frag::WireCodec::kTagCompressed
+                                  : xcql::frag::WireCodec::kPlainXml;
+  xcql::net::FragmentSubscriber subscriber(sub_opts);
+  if (Fail(subscriber.Start())) return 1;
+  if (!subscriber.WaitConnected(std::chrono::seconds(10))) {
+    std::fprintf(stderr, "xcql_tail: could not reach %s:%u (%s)\n",
+                 opt.host.c_str(), opt.port,
+                 subscriber.handshake_failed() ? "handshake rejected"
+                                               : "timeout");
+    return 1;
+  }
+
+  // The schema arrived with the handshake: build the local store the
+  // received fragments feed and the continuous engine queries.
+  auto ts_xml = subscriber.TagStructureXml();
+  if (Fail(ts_xml.status())) return 1;
+  auto ts = xcql::frag::TagStructure::Parse(ts_xml.value());
+  if (Fail(ts.status())) return 1;
+  xcql::stream::StreamHub hub;
+  auto store_r = hub.AddLocalStream(opt.stream, std::move(ts).MoveValue());
+  if (Fail(store_r.status())) return 1;
+  xcql::frag::FragmentStore* store = store_r.value();
+  xcql::stream::SimClock clock;
+  xcql::stream::ContinuousQueryEngine engine(&hub, &clock);
+
+  if (!opt.query.empty()) {
+    auto id = engine.Register(
+        opt.query, [](const xcql::xq::Sequence& delta, xcql::DateTime at) {
+          for (const auto& item : delta) {
+            std::printf("[%s] %s\n", at.ToString().c_str(),
+                        xcql::RenderResult({item}).c_str());
+          }
+          std::fflush(stdout);
+        });
+    if (Fail(id.status())) return 1;
+  }
+
+  auto started = std::chrono::steady_clock::now();
+  int64_t total = 0;
+  for (;;) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(opt.interval_ms));
+    auto drained = subscriber.DrainInto(store);
+    if (Fail(drained.status())) return 1;
+    if (drained.value() > 0) {
+      total += drained.value();
+      clock.AdvanceTo(store->max_valid_time());
+      if (!opt.query.empty()) {
+        if (Fail(engine.Tick())) return 1;
+      } else {
+        std::printf("received %d fragments (%lld total, seq %lld)\n",
+                    drained.value(), static_cast<long long>(total),
+                    static_cast<long long>(subscriber.last_seq()));
+        std::fflush(stdout);
+      }
+    }
+    if (opt.duration_ms > 0 &&
+        std::chrono::steady_clock::now() - started >=
+            std::chrono::milliseconds(opt.duration_ms)) {
+      break;
+    }
+  }
+  auto m = subscriber.metrics();
+  std::printf(
+      "done: %lld fragments, %lld bytes in, %lld reconnects, last seq "
+      "%lld\n",
+      static_cast<long long>(m.fragments_in),
+      static_cast<long long>(m.bytes_in),
+      static_cast<long long>(m.reconnects),
+      static_cast<long long>(subscriber.last_seq()));
+  subscriber.Stop();
+  return 0;
+}

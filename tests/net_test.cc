@@ -1,0 +1,692 @@
+// Tests for the networked fragment transport (src/net/): frame codec,
+// handshake, end-to-end equivalence over loopback TCP (live subscribers,
+// late joiners, disconnect + resume via REPLAY_FROM), and the
+// slow-consumer policies. All TCP traffic stays on 127.0.0.1 with
+// ephemeral ports, so tests run in parallel and offline.
+#include <gtest/gtest.h>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/random.h"
+#include "frag/assembler.h"
+#include "net/frame.h"
+#include "net/server.h"
+#include "net/subscriber.h"
+#include "stream/registry.h"
+#include "stream/transport.h"
+#include "xmark/generator.h"
+#include "xml/serializer.h"
+
+namespace xcql::net {
+namespace {
+
+using namespace std::chrono_literals;
+
+frag::TagStructure MustParseTs(const std::string& xml) {
+  auto r = frag::TagStructure::Parse(xml);
+  EXPECT_TRUE(r.ok()) << r.status().ToString();
+  return std::move(r).MoveValue();
+}
+
+constexpr const char* kPacketTs = R"(
+<tag type="snapshot" id="1" name="packets">
+  <tag type="event" id="2" name="packet">
+    <tag type="snapshot" id="3" name="id"/>
+    <tag type="snapshot" id="4" name="srcIP"/>
+  </tag>
+</tag>)";
+
+// A packet fragment; `pad` grows the payload (so tests can exceed kernel
+// socket buffering deterministically).
+frag::Fragment MakePacket(int64_t id, int64_t t, int pkt, size_t pad = 0) {
+  frag::Fragment f;
+  f.id = id;
+  f.tsid = 2;
+  f.valid_time = DateTime(t);
+  f.content = Node::Element("packet");
+  NodePtr pid = Node::Element("id");
+  pid->AddChild(Node::Text(std::to_string(pkt)));
+  f.content->AddChild(std::move(pid));
+  if (pad > 0) {
+    NodePtr src = Node::Element("srcIP");
+    src->AddChild(Node::Text(std::string(pad, 'x')));
+    f.content->AddChild(std::move(src));
+  }
+  return f;
+}
+
+std::string ViewOf(const frag::FragmentStore& store) {
+  auto view = frag::Temporalize(store, false);
+  EXPECT_TRUE(view.ok()) << view.status().ToString();
+  if (!view.ok()) return "";
+  return SerializeXml(*view.value());
+}
+
+// ---- Frame codec ------------------------------------------------------------
+
+TEST(FrameCodecTest, RoundTripsAllTypesFedByteByByte) {
+  std::vector<Frame> in;
+  in.push_back({FrameType::kHello, 0, 0, "hello-payload"});
+  in.push_back({FrameType::kFragment, kFlagCompressedPayload, 41,
+                std::string(100000, 'z')});
+  in.push_back({FrameType::kHeartbeat, 0, 42, ""});
+  in.push_back({FrameType::kReplayFrom, 0, 0, EncodeReplayFrom(-1)});
+  in.push_back({FrameType::kBye, 0, 7, ""});
+  std::string wire;
+  for (const auto& f : in) wire += EncodeFrame(f);
+
+  FrameReader reader;
+  std::vector<Frame> out;
+  for (char c : wire) {
+    reader.Feed(&c, 1);
+    for (;;) {
+      auto next = reader.Next();
+      ASSERT_TRUE(next.ok()) << next.status().ToString();
+      if (!next.value().has_value()) break;
+      out.push_back(std::move(*next.value()));
+    }
+  }
+  ASSERT_EQ(out.size(), in.size());
+  for (size_t i = 0; i < in.size(); ++i) {
+    EXPECT_EQ(out[i].type, in[i].type);
+    EXPECT_EQ(out[i].flags, in[i].flags);
+    EXPECT_EQ(out[i].seq, in[i].seq);
+    EXPECT_EQ(out[i].payload, in[i].payload);
+  }
+  EXPECT_EQ(reader.buffered(), 0u);
+}
+
+TEST(FrameCodecTest, DecodesFramesSplitAcrossFeeds) {
+  Frame f{FrameType::kFragment, 0, 9, "abcdef"};
+  std::string wire = EncodeFrame(f) + EncodeFrame(f);
+  FrameReader reader;
+  // Feed in two lumps that split mid-header of the second frame.
+  size_t cut = wire.size() / 2 + 3;
+  reader.Feed(wire.data(), cut);
+  int seen = 0;
+  auto drain = [&] {
+    for (;;) {
+      auto next = reader.Next();
+      ASSERT_TRUE(next.ok());
+      if (!next.value().has_value()) break;
+      EXPECT_EQ(next.value()->payload, "abcdef");
+      ++seen;
+    }
+  };
+  drain();
+  reader.Feed(wire.data() + cut, wire.size() - cut);
+  drain();
+  EXPECT_EQ(seen, 2);
+}
+
+TEST(FrameCodecTest, RejectsBadMagic) {
+  std::string wire = EncodeFrame({FrameType::kHeartbeat, 0, 1, ""});
+  wire[0] ^= 0x55;
+  FrameReader reader;
+  reader.Feed(wire.data(), wire.size());
+  EXPECT_FALSE(reader.Next().ok());
+}
+
+TEST(FrameCodecTest, RejectsUnknownVersion) {
+  std::string wire = EncodeFrame({FrameType::kHeartbeat, 0, 1, ""});
+  wire[4] = 99;
+  FrameReader reader;
+  reader.Feed(wire.data(), wire.size());
+  EXPECT_FALSE(reader.Next().ok());
+}
+
+TEST(FrameCodecTest, RejectsOversizedPayload) {
+  std::string wire = EncodeFrame({FrameType::kFragment, 0, 1, "x"});
+  uint32_t huge = kMaxFramePayload + 1;
+  std::memcpy(&wire[16], &huge, sizeof(huge));
+  FrameReader reader;
+  reader.Feed(wire.data(), wire.size());
+  EXPECT_FALSE(reader.Next().ok());
+}
+
+TEST(FrameCodecTest, HelloRoundTrips) {
+  Hello h;
+  h.stream_name = "auction";
+  h.codec = frag::WireCodec::kTagCompressed;
+  h.ts_hash = 0xdeadbeefcafe1234ull;
+  h.tag_structure_xml = "<tag id=\"1\" name=\"site\"/>";
+  auto back = DecodeHello(EncodeHello(h));
+  ASSERT_TRUE(back.ok()) << back.status().ToString();
+  EXPECT_EQ(back.value().stream_name, h.stream_name);
+  EXPECT_EQ(back.value().codec, h.codec);
+  EXPECT_EQ(back.value().ts_hash, h.ts_hash);
+  EXPECT_EQ(back.value().tag_structure_xml, h.tag_structure_xml);
+
+  Hello bare;
+  bare.stream_name = "s";
+  auto bare_back = DecodeHello(EncodeHello(bare));
+  ASSERT_TRUE(bare_back.ok());
+  EXPECT_EQ(bare_back.value().stream_name, "s");
+  EXPECT_EQ(bare_back.value().ts_hash, 0u);
+  EXPECT_TRUE(bare_back.value().tag_structure_xml.empty());
+
+  EXPECT_FALSE(DecodeHello("tooshort").ok());
+}
+
+TEST(FrameCodecTest, ReplayFromRoundTrips) {
+  for (int64_t seq : {int64_t{-1}, int64_t{0}, int64_t{123456789}}) {
+    auto back = DecodeReplayFrom(EncodeReplayFrom(seq));
+    ASSERT_TRUE(back.ok());
+    EXPECT_EQ(back.value(), seq);
+  }
+  EXPECT_FALSE(DecodeReplayFrom("abc").ok());
+}
+
+TEST(FrameCodecTest, TagStructureHashDistinguishesSchemas) {
+  frag::TagStructure pkts = MustParseTs(kPacketTs);
+  frag::TagStructure auction =
+      MustParseTs(xmark::AuctionTagStructureXml());
+  EXPECT_NE(TagStructureHash(pkts), 0u);
+  EXPECT_NE(TagStructureHash(auction), 0u);
+  EXPECT_NE(TagStructureHash(pkts), TagStructureHash(auction));
+  // Object and canonical-XML forms agree.
+  EXPECT_EQ(TagStructureHash(pkts), TagStructureHash(pkts.ToXml()));
+}
+
+// ---- Raw protocol client ----------------------------------------------------
+
+// A hand-rolled protocol client used to (a) stall on purpose — it
+// handshakes, requests a replay, then never reads again — and (b) keep the
+// server honest against a non-FragmentSubscriber peer. The tiny SO_RCVBUF
+// (set before connect, so the window scale is negotiated small) bounds how
+// much a stalled connection can sink into kernel buffers.
+class RawClient {
+ public:
+  ~RawClient() { Close(); }
+
+  void Connect(uint16_t port, const std::string& stream) {
+    fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    ASSERT_GE(fd_, 0);
+    int rcvbuf = 4096;
+    ::setsockopt(fd_, SOL_SOCKET, SO_RCVBUF, &rcvbuf, sizeof(rcvbuf));
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(port);
+    ASSERT_EQ(inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr), 1);
+    ASSERT_EQ(::connect(fd_, reinterpret_cast<sockaddr*>(&addr),
+                        sizeof(addr)),
+              0);
+    Hello hello;
+    hello.stream_name = stream;
+    Send(EncodeFrame({FrameType::kHello, 0, 0, EncodeHello(hello)}));
+    // Read just far enough to see the server's HELLO ack, then go silent.
+    FrameReader reader;
+    char buf[4096];
+    for (;;) {
+      ssize_t n = ::recv(fd_, buf, sizeof(buf), 0);
+      ASSERT_GT(n, 0) << "connection died during handshake";
+      reader.Feed(buf, static_cast<size_t>(n));
+      auto next = reader.Next();
+      ASSERT_TRUE(next.ok());
+      if (!next.value().has_value()) continue;
+      ASSERT_EQ(next.value()->type, FrameType::kHello);
+      break;
+    }
+    Send(EncodeFrame({FrameType::kReplayFrom, 0, 0, EncodeReplayFrom(-1)}));
+  }
+
+  void Close() {
+    if (fd_ >= 0) {
+      ::close(fd_);
+      fd_ = -1;
+    }
+  }
+
+ private:
+  void Send(const std::string& bytes) {
+    size_t off = 0;
+    while (off < bytes.size()) {
+      ssize_t n = ::send(fd_, bytes.data() + off, bytes.size() - off,
+                         MSG_NOSIGNAL);
+      ASSERT_GT(n, 0);
+      off += static_cast<size_t>(n);
+    }
+  }
+
+  int fd_ = -1;
+};
+
+// Polls until `pred` holds or the deadline passes.
+template <typename Pred>
+bool PollFor(Pred pred, std::chrono::milliseconds timeout) {
+  auto deadline = std::chrono::steady_clock::now() + timeout;
+  while (std::chrono::steady_clock::now() < deadline) {
+    if (pred()) return true;
+    std::this_thread::sleep_for(5ms);
+  }
+  return pred();
+}
+
+// ---- Handshake --------------------------------------------------------------
+
+TEST(FragmentServerTest, RejectsWrongStreamName) {
+  stream::StreamServer source("pkts", MustParseTs(kPacketTs));
+  FragmentServer server(&source);
+  ASSERT_TRUE(server.Start().ok());
+
+  FragmentSubscriberOptions opts;
+  opts.port = server.port();
+  opts.stream = "not-the-stream";
+  FragmentSubscriber sub(opts);
+  ASSERT_TRUE(sub.Start().ok());
+  EXPECT_FALSE(sub.WaitConnected(5s));
+  EXPECT_TRUE(sub.handshake_failed());
+  EXPECT_GE(server.metrics().handshake_failures, 1);
+  sub.Stop();
+  server.Stop();
+}
+
+TEST(FragmentServerTest, RejectsMismatchedSchemaHash) {
+  stream::StreamServer source("pkts", MustParseTs(kPacketTs));
+  FragmentServer server(&source);
+  ASSERT_TRUE(server.Start().ok());
+
+  FragmentSubscriberOptions opts;
+  opts.port = server.port();
+  opts.stream = "pkts";
+  // The subscriber holds a different schema: its hash travels in HELLO and
+  // the server must refuse rather than feed it undecodable frames.
+  opts.tag_structure_xml = xmark::AuctionTagStructureXml();
+  FragmentSubscriber sub(opts);
+  ASSERT_TRUE(sub.Start().ok());
+  EXPECT_FALSE(sub.WaitConnected(5s));
+  EXPECT_TRUE(sub.handshake_failed());
+  sub.Stop();
+  server.Stop();
+}
+
+TEST(FragmentServerTest, HandshakeDeliversTagStructure) {
+  stream::StreamServer source("pkts", MustParseTs(kPacketTs));
+  FragmentServer server(&source);
+  ASSERT_TRUE(server.Start().ok());
+
+  FragmentSubscriberOptions opts;
+  opts.port = server.port();
+  opts.stream = "pkts";
+  FragmentSubscriber sub(opts);
+  ASSERT_TRUE(sub.Start().ok());
+  ASSERT_TRUE(sub.WaitConnected(5s));
+  auto ts_xml = sub.TagStructureXml();
+  ASSERT_TRUE(ts_xml.ok());
+  EXPECT_EQ(TagStructureHash(ts_xml.value()),
+            TagStructureHash(source.tag_structure()));
+  sub.Stop();
+  server.Stop();
+}
+
+TEST(FragmentServerTest, HeartbeatsFlowWhenIdle) {
+  stream::StreamServer source("pkts", MustParseTs(kPacketTs));
+  FragmentServerOptions opts;
+  opts.heartbeat_interval = 20ms;
+  FragmentServer server(&source, opts);
+  ASSERT_TRUE(server.Start().ok());
+
+  FragmentSubscriberOptions sopts;
+  sopts.port = server.port();
+  sopts.stream = "pkts";
+  FragmentSubscriber sub(sopts);
+  ASSERT_TRUE(sub.Start().ok());
+  ASSERT_TRUE(sub.WaitConnected(5s));
+  // HELLO ack + several heartbeats; no fragments were ever published.
+  EXPECT_TRUE(PollFor([&] { return sub.metrics().frames_in >= 4; }, 5s));
+  EXPECT_EQ(sub.metrics().fragments_in, 0);
+  sub.Stop();
+  server.Stop();
+}
+
+TEST(FragmentServerTest, SeedsReplayLogFromPreStartHistory) {
+  // Fragments published before the network face existed are still
+  // replayable: Start() seeds the frame log from the source's history.
+  stream::StreamServer source("pkts", MustParseTs(kPacketTs));
+  for (int i = 0; i < 3; ++i) {
+    ASSERT_TRUE(source.Publish(MakePacket(i + 1, 1000 + i, i)).ok());
+  }
+  FragmentServer server(&source);
+  ASSERT_TRUE(server.Start().ok());
+  EXPECT_EQ(server.next_seq(), 3);
+
+  FragmentSubscriberOptions opts;
+  opts.port = server.port();
+  opts.stream = "pkts";
+  FragmentSubscriber sub(opts);
+  ASSERT_TRUE(sub.Start().ok());
+  ASSERT_TRUE(sub.WaitForSeq(2, 10s));
+  std::vector<frag::Fragment> got;
+  sub.Drain(&got);
+  ASSERT_EQ(got.size(), 3u);
+  EXPECT_EQ(got[0].id, 1);
+  EXPECT_EQ(got[2].id, 3);
+  sub.Stop();
+  server.Stop();
+}
+
+// ---- End-to-end equivalence -------------------------------------------------
+
+// The acceptance scenario: an XMark document plus >= 1,000 updates
+// published through a StreamServer reach (a) an in-process StreamHub, (b)
+// a TCP subscriber connected from the start, (c) one whose connection is
+// severed mid-stream (reconnect + REPLAY_FROM resume), and (d) a late
+// joiner that replays everything. All four stores must materialize to
+// byte-identical views.
+void RunEquivalence(frag::WireCodec codec) {
+  std::string ts_xml = xmark::AuctionTagStructureXml();
+  stream::StreamServer source("auction", MustParseTs(ts_xml));
+  if (codec == frag::WireCodec::kTagCompressed) {
+    source.EnableWireCompression();
+  }
+  stream::StreamHub reference;
+  ASSERT_TRUE(reference.Subscribe(&source).ok());
+
+  FragmentServerOptions sopts;
+  sopts.queue_capacity = 256;
+  sopts.heartbeat_interval = 200ms;
+  FragmentServer server(&source, sopts);
+  ASSERT_TRUE(server.Start().ok());
+
+  auto sub_opts = [&] {
+    FragmentSubscriberOptions o;
+    o.port = server.port();
+    o.stream = "auction";
+    o.codec = codec;
+    return o;
+  };
+  FragmentSubscriber early(sub_opts());
+  FragmentSubscriber resumer(sub_opts());
+  ASSERT_TRUE(early.Start().ok());
+  ASSERT_TRUE(resumer.Start().ok());
+  ASSERT_TRUE(early.WaitConnected(10s));
+  ASSERT_TRUE(resumer.WaitConnected(10s));
+
+  xmark::XMarkOptions gen;
+  gen.scale = 0.0;
+  auto doc = xmark::GenerateAuctionDoc(gen);
+  ASSERT_TRUE(doc.ok()) << doc.status().ToString();
+  ASSERT_TRUE(source.PublishDocument(*doc.value()).ok());
+
+  // Update targets: the fragmented fillers of the initial document.
+  std::vector<int64_t> candidates;
+  for (int64_t i = 0; i < source.history_size(); ++i) {
+    const auto* tag =
+        source.tag_structure().FindById(source.history_at(i).tsid);
+    if (tag != nullptr && tag->fragmented()) candidates.push_back(i);
+  }
+  ASSERT_FALSE(candidates.empty());
+
+  constexpr int kUpdates = 1000;
+  Random rng(11);
+  int64_t t =
+      source.history_at(source.history_size() - 1).valid_time.seconds();
+  for (int u = 0; u < kUpdates; ++u) {
+    if (u == kUpdates / 2) {
+      // Network fault mid-stream: the resumer must reconnect and resume
+      // from its last seen seq without loss or duplication.
+      resumer.KillConnection();
+    }
+    const auto& base = source.history_at(static_cast<int64_t>(
+        candidates[rng.Uniform(candidates.size())]));
+    frag::Fragment f;
+    f.id = base.id;
+    f.tsid = base.tsid;
+    t += 1 + static_cast<int64_t>(rng.Uniform(30));
+    f.valid_time = DateTime(t);
+    f.content = base.content->Clone();
+    f.content->SetAttr("rev", std::to_string(u + 1));
+    ASSERT_TRUE(source.Publish(std::move(f)).ok());
+  }
+  const int64_t last = server.next_seq() - 1;
+  ASSERT_EQ(last + 1, source.history_size());
+
+  FragmentSubscriber late(sub_opts());
+  ASSERT_TRUE(late.Start().ok());
+
+  const frag::FragmentStore* ref = reference.store("auction");
+  ASSERT_NE(ref, nullptr);
+  const std::string want = ViewOf(*ref);
+  ASSERT_FALSE(want.empty());
+
+  struct Case {
+    const char* name;
+    FragmentSubscriber* sub;
+  };
+  for (const Case& c : {Case{"early", &early}, Case{"resumer", &resumer},
+                        Case{"late", &late}}) {
+    SCOPED_TRACE(c.name);
+    ASSERT_TRUE(c.sub->WaitForSeq(last, 60s))
+        << "stuck at seq " << c.sub->last_seq() << " of " << last;
+    stream::StreamHub hub;
+    auto store = hub.AddLocalStream("auction", MustParseTs(ts_xml));
+    ASSERT_TRUE(store.ok());
+    auto drained = c.sub->DrainInto(store.value());
+    ASSERT_TRUE(drained.ok()) << drained.status().ToString();
+    EXPECT_EQ(store.value()->size(), ref->size());
+    EXPECT_EQ(ViewOf(*store.value()), want);
+  }
+  EXPECT_GE(resumer.metrics().reconnects, 1);
+  EXPECT_GE(server.metrics().replays_served, 4);  // 3 initial + 1 resume
+  EXPECT_EQ(server.metrics().drops, 0);           // kBlock never drops
+
+  early.Stop();
+  resumer.Stop();
+  late.Stop();
+  server.Stop();
+}
+
+TEST(NetEquivalenceTest, PlainXmlWire) {
+  RunEquivalence(frag::WireCodec::kPlainXml);
+}
+
+TEST(NetEquivalenceTest, TagCompressedWire) {
+  RunEquivalence(frag::WireCodec::kTagCompressed);
+}
+
+TEST(NetEquivalenceTest, CompressedWireCarriesFewerBytes) {
+  // Same stream, both codecs: the §4.1 wire form must be smaller on the
+  // fragment frames (the reason the negotiation exists at all).
+  stream::StreamServer source("pkts", MustParseTs(kPacketTs));
+  for (int i = 0; i < 50; ++i) {
+    ASSERT_TRUE(source.Publish(MakePacket(i + 1, 1000 + i, i, 64)).ok());
+  }
+  FragmentServer server(&source);
+  ASSERT_TRUE(server.Start().ok());
+
+  int64_t bytes[2] = {0, 0};
+  frag::WireCodec codecs[2] = {frag::WireCodec::kPlainXml,
+                               frag::WireCodec::kTagCompressed};
+  for (int k = 0; k < 2; ++k) {
+    FragmentSubscriberOptions opts;
+    opts.port = server.port();
+    opts.stream = "pkts";
+    opts.codec = codecs[k];
+    FragmentSubscriber sub(opts);
+    ASSERT_TRUE(sub.Start().ok());
+    ASSERT_TRUE(sub.WaitForSeq(49, 10s));
+    auto m = sub.metrics();
+    EXPECT_EQ(m.fragments_in, 50);
+    bytes[k] = m.bytes_in;
+    sub.Stop();
+  }
+  EXPECT_LT(bytes[1], bytes[0]);
+  server.Stop();
+}
+
+// ---- Slow consumers ---------------------------------------------------------
+
+TEST(SlowConsumerTest, DropOldestBoundsQueueAndCountsDrops) {
+  stream::StreamServer source("pkts", MustParseTs(kPacketTs));
+  FragmentServerOptions opts;
+  opts.queue_capacity = 64;
+  opts.slow_consumer = SlowConsumerPolicy::kDropOldest;
+  opts.heartbeat_interval = 10s;  // keep heartbeats out of the picture
+  FragmentServer server(&source, opts);
+  ASSERT_TRUE(server.Start().ok());
+
+  // A subscriber that handshakes, asks for a replay, then never reads.
+  RawClient stalled;
+  stalled.Connect(server.port(), "pkts");
+  ASSERT_TRUE(PollFor(
+      [&] {
+        auto stats = server.connection_stats();
+        return stats.size() == 1 && stats[0].live;
+      },
+      5s));
+
+  // And a healthy one, which must be unaffected throughout.
+  FragmentSubscriberOptions sopts;
+  sopts.port = server.port();
+  sopts.stream = "pkts";
+  FragmentSubscriber healthy(sopts);
+  ASSERT_TRUE(healthy.Start().ok());
+  ASSERT_TRUE(healthy.WaitConnected(5s));
+  ASSERT_TRUE(PollFor([&] { return server.active_connections() == 2; }, 5s));
+
+  // 64 KiB payloads: ~19 MB in total, far beyond what the stalled
+  // connection can sink into kernel buffers (tcp_wmem autotunes to a few
+  // MB at most against the tiny receive window), so its queue must
+  // overflow. The light throttle keeps the healthy writer comfortably
+  // ahead — this test is about a slow *consumer*, not a publisher
+  // outrunning everyone.
+  constexpr int kCount = 300;
+  for (int i = 0; i < kCount; ++i) {
+    ASSERT_TRUE(
+        source.Publish(MakePacket(i + 1, 1000 + i, i, 64 * 1024)).ok());
+    if (i % 10 == 9) std::this_thread::sleep_for(1ms);
+  }
+
+  // The healthy subscriber got every fragment — no gaps, so its
+  // connection never dropped.
+  ASSERT_TRUE(healthy.WaitForSeq(kCount - 1, 30s));
+  EXPECT_EQ(healthy.metrics().fragments_in, kCount);
+
+  // The stalled connection dropped, stayed within its bound, and its
+  // counters obey the conservation law at any sampled instant.
+  ASSERT_TRUE(PollFor(
+      [&] {
+        for (const auto& s : server.connection_stats()) {
+          if (s.dropped > 0) return true;
+        }
+        return false;
+      },
+      10s));
+  int stalled_conns = 0;
+  int64_t total_dropped = 0;
+  for (const auto& s : server.connection_stats()) {
+    EXPECT_EQ(s.enqueued, s.sent + s.dropped + s.queue_depth);
+    EXPECT_LE(s.queue_depth, 64);
+    total_dropped += s.dropped;
+    if (s.dropped > 0) {
+      ++stalled_conns;
+      EXPECT_EQ(s.enqueued, kCount);
+      // Everything beyond the queue bound and what the kernel absorbed
+      // (at most ~4 MB / 64 KiB ≈ 65 frames) was evicted.
+      EXPECT_GE(s.dropped, 100);
+    }
+  }
+  EXPECT_EQ(stalled_conns, 1);
+  EXPECT_EQ(server.metrics().drops, total_dropped);
+  EXPECT_GE(server.metrics().queue_depth_hwm, 64);
+  EXPECT_EQ(server.metrics().slow_disconnects, 0);
+
+  stalled.Close();
+  healthy.Stop();
+  server.Stop();
+}
+
+TEST(SlowConsumerTest, DisconnectCutsTheStalledConnectionOnly) {
+  stream::StreamServer source("pkts", MustParseTs(kPacketTs));
+  FragmentServerOptions opts;
+  opts.queue_capacity = 16;
+  opts.slow_consumer = SlowConsumerPolicy::kDisconnect;
+  opts.heartbeat_interval = 10s;
+  FragmentServer server(&source, opts);
+  ASSERT_TRUE(server.Start().ok());
+
+  RawClient stalled;
+  stalled.Connect(server.port(), "pkts");
+  ASSERT_TRUE(PollFor(
+      [&] {
+        auto stats = server.connection_stats();
+        return stats.size() == 1 && stats[0].live;
+      },
+      5s));
+
+  FragmentSubscriberOptions sopts;
+  sopts.port = server.port();
+  sopts.stream = "pkts";
+  FragmentSubscriber healthy(sopts);
+  ASSERT_TRUE(healthy.Start().ok());
+  ASSERT_TRUE(healthy.WaitConnected(5s));
+  ASSERT_TRUE(PollFor([&] { return server.active_connections() == 2; }, 5s));
+
+  // Same sizing rationale as the drop test: enough 64 KiB frames to
+  // overrun kernel buffering plus the queue bound on the stalled
+  // connection, throttled so the healthy writer never falls behind.
+  constexpr int kCount = 120;
+  for (int i = 0; i < kCount; ++i) {
+    ASSERT_TRUE(
+        source.Publish(MakePacket(i + 1, 1000 + i, i, 64 * 1024)).ok());
+    if (i % 10 == 9) std::this_thread::sleep_for(1ms);
+  }
+
+  ASSERT_TRUE(healthy.WaitForSeq(kCount - 1, 30s));
+  EXPECT_EQ(healthy.metrics().fragments_in, kCount);
+  EXPECT_TRUE(
+      PollFor([&] { return server.metrics().slow_disconnects >= 1; }, 10s));
+  EXPECT_EQ(server.metrics().slow_disconnects, 1);  // the healthy one lives
+  EXPECT_EQ(server.metrics().drops, 0);
+
+  stalled.Close();
+  healthy.Stop();
+  server.Stop();
+}
+
+TEST(SlowConsumerTest, BlockPolicyDeliversEverythingToEveryone) {
+  // kBlock with a tiny queue: the publisher throttles to the slowest
+  // consumer but nothing is ever lost.
+  stream::StreamServer source("pkts", MustParseTs(kPacketTs));
+  FragmentServerOptions opts;
+  opts.queue_capacity = 2;
+  FragmentServer server(&source, opts);
+  ASSERT_TRUE(server.Start().ok());
+
+  FragmentSubscriberOptions sopts;
+  sopts.port = server.port();
+  sopts.stream = "pkts";
+  FragmentSubscriber a(sopts), b(sopts);
+  ASSERT_TRUE(a.Start().ok());
+  ASSERT_TRUE(b.Start().ok());
+  ASSERT_TRUE(a.WaitConnected(5s));
+  ASSERT_TRUE(b.WaitConnected(5s));
+  ASSERT_TRUE(PollFor([&] { return server.active_connections() == 2; }, 5s));
+
+  constexpr int kCount = 300;
+  for (int i = 0; i < kCount; ++i) {
+    ASSERT_TRUE(source.Publish(MakePacket(i + 1, 1000 + i, i)).ok());
+  }
+  ASSERT_TRUE(a.WaitForSeq(kCount - 1, 30s));
+  ASSERT_TRUE(b.WaitForSeq(kCount - 1, 30s));
+  EXPECT_EQ(a.metrics().fragments_in, kCount);
+  EXPECT_EQ(b.metrics().fragments_in, kCount);
+  EXPECT_EQ(server.metrics().drops, 0);
+  EXPECT_EQ(server.metrics().slow_disconnects, 0);
+
+  a.Stop();
+  b.Stop();
+  server.Stop();
+}
+
+}  // namespace
+}  // namespace xcql::net

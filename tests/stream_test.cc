@@ -354,6 +354,147 @@ TEST(StreamServerTest, WireCompressionShrinksByteAccounting) {
   EXPECT_LT(compressed.bytes_sent(), plain.bytes_sent());
 }
 
+TEST(StreamServerTest, PublishSurfacesCodecErrorsWithoutSideEffects) {
+  // With wire compression on, a payload carrying a tag the schema does not
+  // declare cannot be sized; the error must surface as a Status before any
+  // counter, history or client delivery mutation happens.
+  StreamServer server("pkts", ParseTs(kPacketTs));
+  server.EnableWireCompression();
+  CountingClient a;
+  server.RegisterClient(&a);
+  frag::Fragment bad = MakePacket(1, "2004-01-01T00:00:00", 7);
+  bad.content->AddChild(Node::Element("bogus"));
+  Status st = server.Publish(std::move(bad));
+  EXPECT_FALSE(st.ok());
+  EXPECT_EQ(server.fragments_sent(), 0);
+  EXPECT_EQ(server.bytes_sent(), 0);
+  EXPECT_EQ(server.history_size(), 0);
+  EXPECT_EQ(a.count, 0);
+}
+
+TEST(StreamServerTest, ExposesHistoryForReplay) {
+  StreamServer server("pkts", ParseTs(kPacketTs));
+  ASSERT_TRUE(server.Publish(MakePacket(3, "2004-01-01T00:00:00", 7)).ok());
+  ASSERT_TRUE(server.Publish(MakePacket(4, "2004-01-01T00:00:05", 8)).ok());
+  ASSERT_EQ(server.history_size(), 2);
+  EXPECT_EQ(server.history_at(0).id, 3);
+  EXPECT_EQ(server.history_at(1).id, 4);
+  EXPECT_EQ(server.wire_codec(), frag::WireCodec::kPlainXml);
+  server.EnableWireCompression();
+  EXPECT_EQ(server.wire_codec(), frag::WireCodec::kTagCompressed);
+}
+
+// Regression (satellite of the net transport PR): repeating a filler used
+// to re-enter the repeated versions into the replayable history, so a
+// late subscriber replaying after a repeat received superseded versions
+// again — and a second repeat doubled them. A repeat is a wire-level
+// retransmission: stores must converge to the same state whether a
+// subscriber replayed before or after any number of repeats.
+TEST(StreamServerTest, RepeatThenReplayMatchesOriginalStore) {
+  StreamServer server("pkts", ParseTs(kPacketTs));
+  StreamHub early;
+  ASSERT_TRUE(early.Subscribe(&server).ok());
+  // Two versions of filler 5, one other filler.
+  ASSERT_TRUE(server.Publish(MakePacket(5, "2004-01-01T00:00:00", 7)).ok());
+  ASSERT_TRUE(server.Publish(MakePacket(5, "2004-01-01T00:01:00", 9)).ok());
+  ASSERT_TRUE(server.Publish(MakePacket(6, "2004-01-01T00:02:00", 8)).ok());
+  ASSERT_EQ(server.history_size(), 3);
+
+  auto repeated = server.RepeatFiller(5);
+  ASSERT_TRUE(repeated.ok());
+  EXPECT_EQ(repeated.value(), 2);
+  ASSERT_TRUE(server.RepeatFiller(5).ok());  // repeat twice for good measure
+  // Retransmissions do not grow the replayable history.
+  EXPECT_EQ(server.history_size(), 3);
+
+  StreamHub late;
+  ASSERT_TRUE(late.Subscribe(&server).ok());
+  auto replayed = server.ReplayTo(&late);
+  ASSERT_TRUE(replayed.ok());
+  EXPECT_EQ(replayed.value(), 3);
+
+  const frag::FragmentStore* a = early.store("pkts");
+  const frag::FragmentStore* b = late.store("pkts");
+  ASSERT_EQ(a->size(), 3u);
+  ASSERT_EQ(b->size(), 3u);
+  for (int64_t id : {int64_t{5}, int64_t{6}}) {
+    auto va = a->GetFillerVersions(id, false);
+    auto vb = b->GetFillerVersions(id, false);
+    ASSERT_TRUE(va.ok());
+    ASSERT_TRUE(vb.ok());
+    ASSERT_EQ(va.value().size(), vb.value().size());
+    for (size_t i = 0; i < va.value().size(); ++i) {
+      EXPECT_TRUE(Node::DeepEqual(*va.value()[i], *vb.value()[i]));
+    }
+  }
+}
+
+TEST(StreamServerTest, RepeatFillerSkipsDuplicateHistoryEntries) {
+  // The same version published twice sits in history twice; a repeat must
+  // retransmit the distinct versions only.
+  StreamServer server("pkts", ParseTs(kPacketTs));
+  ASSERT_TRUE(server.Publish(MakePacket(5, "2004-01-01T00:00:00", 7)).ok());
+  ASSERT_TRUE(server.Publish(MakePacket(5, "2004-01-01T00:00:00", 7)).ok());
+  auto repeated = server.RepeatFiller(5);
+  ASSERT_TRUE(repeated.ok());
+  EXPECT_EQ(repeated.value(), 1);
+}
+
+TEST(EventAppenderTest, RemoveBeforeFirstFlushIsClean) {
+  // A hole that was never part of the context must fail cleanly without
+  // touching the maintained payload, before the first Flush ever runs.
+  StreamServer server("pkts", ParseTs(kPacketTs));
+  StreamHub hub;
+  ASSERT_TRUE(hub.Subscribe(&server).ok());
+  EventAppender app(&server, 0, 1, Node::Element("packets"));
+  EXPECT_FALSE(app.Remove(42).ok());
+  EXPECT_EQ(server.fragments_sent(), 0);  // nothing published by the probe
+  ASSERT_TRUE(app.Flush(T("2004-01-01T00:00:00")).ok());
+  // The published context is exactly the payload the appender was given.
+  ASSERT_EQ(server.history_size(), 1);
+  EXPECT_TRUE(
+      Node::DeepEqual(*server.history_at(0).content, *Node::Element("packets")));
+}
+
+TEST(EventAppenderTest, RemoveOfChildAppendedBeforeFirstFlush) {
+  // Append then Remove before the context was ever published: the first
+  // Flush must carry a context without the hole (the child's filler stays
+  // in history but is unreachable — the paper's deletion rule).
+  StreamServer server("pkts", ParseTs(kPacketTs));
+  StreamHub hub;
+  ASSERT_TRUE(hub.Subscribe(&server).ok());
+  EventAppender app(&server, 0, 1, Node::Element("packets"));
+  NodePtr pkt = Node::Element("packet");
+  pkt->AddChild(Node::Text("gone"));
+  auto id = app.Append(std::move(pkt), T("2004-01-01T00:00:01"));
+  ASSERT_TRUE(id.ok());
+  ASSERT_TRUE(app.Remove(id.value()).ok());
+  ASSERT_TRUE(app.Flush(T("2004-01-01T00:00:02")).ok());
+  auto view = frag::Temporalize(*hub.store("pkts"), false);
+  ASSERT_TRUE(view.ok()) << view.status().ToString();
+  EXPECT_TRUE(view.value()->ChildElements("packet").empty());
+}
+
+TEST(EventAppenderTest, RejectedAppendLeavesContextIntact) {
+  // An Append of a tag that is not a fragmented child must not publish a
+  // filler nor leave a dangling hole in the maintained context.
+  StreamServer server("pkts", ParseTs(kPacketTs));
+  StreamHub hub;
+  ASSERT_TRUE(hub.Subscribe(&server).ok());
+  EventAppender app(&server, 0, 1, Node::Element("packets"));
+  EXPECT_FALSE(app.Append(Node::Element("bogus"),
+                          T("2004-01-01T00:00:00")).ok());
+  // `id` is declared but snapshot-typed: also rejected, also side-effect
+  // free.
+  EXPECT_FALSE(app.Append(Node::Element("id"),
+                          T("2004-01-01T00:00:00")).ok());
+  EXPECT_EQ(server.fragments_sent(), 0);
+  ASSERT_TRUE(app.Flush(T("2004-01-01T00:00:01")).ok());
+  auto view = frag::Temporalize(*hub.store("pkts"), false);
+  ASSERT_TRUE(view.ok());
+  EXPECT_TRUE(view.value()->children().empty());
+}
+
 TEST(StreamServerTest, LateSubscriberCatchesUpViaReplay) {
   StreamServer server("pkts", ParseTs(kPacketTs));
   StreamHub early;
