@@ -166,11 +166,20 @@ const char* WireCodecName(WireCodec codec) {
 Result<std::string> EncodeWirePayload(const Fragment& fragment,
                                       const TagStructure& ts,
                                       WireCodec codec) {
+  auto bounded = [](Result<std::string> encoded) -> Result<std::string> {
+    if (encoded.ok() && encoded.value().size() > kMaxWirePayload) {
+      return Status::InvalidArgument(StringPrintf(
+          "fragment wire payload of %llu bytes exceeds the %llu-byte limit",
+          static_cast<unsigned long long>(encoded.value().size()),
+          static_cast<unsigned long long>(kMaxWirePayload)));
+    }
+    return encoded;
+  };
   switch (codec) {
     case WireCodec::kPlainXml:
-      return fragment.ToXml();
+      return bounded(fragment.ToXml());
     case WireCodec::kTagCompressed:
-      return CompressFragment(fragment, ts);
+      return bounded(CompressFragment(fragment, ts));
   }
   return Status::InvalidArgument("unknown wire codec");
 }

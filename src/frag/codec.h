@@ -47,6 +47,13 @@ enum class WireCodec : uint8_t {
 
 const char* WireCodecName(WireCodec codec);
 
+/// \brief Upper bound on one fragment's serialized wire payload, enforced
+/// by EncodeWirePayload. The net framing layer's 32-bit length field
+/// treats anything larger as stream corruption, so an oversized fragment
+/// must fail at publish time — before counters, history, or the wire —
+/// instead of producing a frame every decoder is guaranteed to reject.
+inline constexpr size_t kMaxWirePayload = 64u << 20;  // 64 MB
+
 /// \brief Serializes one fragment's wire payload under `codec`. Errors
 /// (payload tags missing from the Tag Structure) surface as a Status; there
 /// is no silent fallback to the plain form.

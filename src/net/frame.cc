@@ -67,7 +67,13 @@ const char* FrameTypeName(FrameType type) {
   return "?";
 }
 
-std::string EncodeFrame(const Frame& frame) {
+Result<std::string> EncodeFrame(const Frame& frame) {
+  if (frame.payload.size() > kMaxFramePayload) {
+    return Status::InvalidArgument(StringPrintf(
+        "frame payload of %llu bytes exceeds the %u-byte limit",
+        static_cast<unsigned long long>(frame.payload.size()),
+        kMaxFramePayload));
+  }
   std::string out;
   out.reserve(kFrameHeaderSize + frame.payload.size());
   PutU32(&out, kFrameMagic);

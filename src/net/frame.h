@@ -42,8 +42,13 @@ inline constexpr uint32_t kFrameMagic = 0x4D52'4658;  // "XFRM" on the wire
 inline constexpr uint8_t kFrameVersion = 1;
 inline constexpr size_t kFrameHeaderSize = 20;
 inline constexpr uint8_t kFlagCompressedPayload = 0x01;
-// Sanity bound: a frame larger than this is treated as stream corruption.
-inline constexpr uint32_t kMaxFramePayload = 64u << 20;
+// Sanity bound: a received frame larger than this is treated as stream
+// corruption, and EncodeFrame refuses to produce one. Tied to the codec
+// layer's publish-time limit so an accepted fragment always frames.
+inline constexpr uint32_t kMaxFramePayload =
+    static_cast<uint32_t>(frag::kMaxWirePayload);
+static_assert(frag::kMaxWirePayload < (1ull << 32),
+              "wire payload limit must fit the 32-bit frame length field");
 
 enum class FrameType : uint8_t {
   kHello = 1,
@@ -63,8 +68,10 @@ struct Frame {
   std::string payload;
 };
 
-/// \brief Serializes header + payload.
-std::string EncodeFrame(const Frame& frame);
+/// \brief Serializes header + payload. Fails on a payload larger than
+/// kMaxFramePayload — the decoder is guaranteed to reject such a frame as
+/// stream corruption, so it must never reach the wire (or the frame log).
+Result<std::string> EncodeFrame(const Frame& frame);
 
 /// \brief Incremental decoder over a TCP byte stream: Feed() whatever
 /// arrived, then pop complete frames with Next().

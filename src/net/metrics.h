@@ -27,6 +27,8 @@ struct MetricsSnapshot {
   int64_t connections_accepted = 0;
   int64_t connections_active = 0;
   int64_t encode_failures = 0;     // fragments that failed wire encoding
+  int64_t repeats_out = 0;         // logged frames re-sent by RepeatFiller
+  int64_t gaps_detected = 0;       // seq gaps that forced a reconnect
 };
 
 /// \brief The live counters. Relaxed atomics: each counter is independent
@@ -62,6 +64,10 @@ class Metrics {
   }
   void AddEncodeFailure() {
     encode_failures_.fetch_add(1, std::memory_order_relaxed);
+  }
+  void AddRepeatOut() { repeats_out_.fetch_add(1, std::memory_order_relaxed); }
+  void AddGapDetected() {
+    gaps_detected_.fetch_add(1, std::memory_order_relaxed);
   }
   void ConnectionOpened() {
     connections_active_.fetch_add(1, std::memory_order_relaxed);
@@ -99,6 +105,8 @@ class Metrics {
     s.connections_active =
         connections_active_.load(std::memory_order_relaxed);
     s.encode_failures = encode_failures_.load(std::memory_order_relaxed);
+    s.repeats_out = repeats_out_.load(std::memory_order_relaxed);
+    s.gaps_detected = gaps_detected_.load(std::memory_order_relaxed);
     return s;
   }
 
@@ -111,6 +119,7 @@ class Metrics {
   std::atomic<int64_t> replays_served_{0}, replays_requested_{0};
   std::atomic<int64_t> connections_accepted_{0}, connections_active_{0};
   std::atomic<int64_t> encode_failures_{0};
+  std::atomic<int64_t> repeats_out_{0}, gaps_detected_{0};
 };
 
 }  // namespace xcql::net

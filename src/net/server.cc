@@ -83,16 +83,17 @@ FragmentServer::LogEntry FragmentServer::EncodeEntry(
   if (plain.ok()) {
     frame.flags = 0;
     frame.payload = std::move(plain).MoveValue();
-    entry.plain = EncodeFrame(frame);
-  } else {
-    metrics_.AddEncodeFailure();
+    auto bytes = EncodeFrame(frame);
+    if (bytes.ok()) entry.plain = std::move(bytes).MoveValue();
   }
+  if (entry.plain.empty()) metrics_.AddEncodeFailure();
   auto compressed =
       frag::EncodeWirePayload(fragment, ts, frag::WireCodec::kTagCompressed);
   if (compressed.ok()) {
     frame.flags = kFlagCompressedPayload;
     frame.payload = std::move(compressed).MoveValue();
-    entry.compressed = EncodeFrame(frame);
+    auto bytes = EncodeFrame(frame);
+    if (bytes.ok()) entry.compressed = std::move(bytes).MoveValue();
   }
   return entry;
 }
@@ -101,8 +102,13 @@ void FragmentServer::OnFragment(const std::string& /*stream_name*/,
                                 frag::Fragment fragment) {
   std::lock_guard<std::mutex> log_lock(log_mu_);
   LogEntry entry = EncodeEntry(fragment, static_cast<uint64_t>(log_.size()));
-  if (entry.plain.empty()) return;  // unencodable: nothing to transport
-  metrics_.AddFragmentOut();
+  // The seq is burned even for a fragment with no transportable form
+  // (unreachable while the source enforces the wire payload limit at
+  // publish): the log must stay aligned with the source's history
+  // numbering, or resume after a restart skips or duplicates fragments.
+  if (!entry.plain.empty() || !entry.compressed.empty()) {
+    metrics_.AddFragmentOut();
+  }
   log_.push_back(std::move(entry));
   published_.store(static_cast<int64_t>(log_.size()));
   const LogEntry& stored = log_.back();
@@ -110,9 +116,36 @@ void FragmentServer::OnFragment(const std::string& /*stream_name*/,
   for (auto& conn : conns_) Enqueue(conn.get(), stored);
 }
 
+void FragmentServer::OnRepeat(const std::string& /*stream_name*/,
+                              int64_t history_pos,
+                              frag::Fragment /*fragment*/) {
+  // A repeat is a wire-level retransmission: re-send the logged frame with
+  // its original seq instead of minting a new one, so the log and the
+  // source's history keep the same numbering across restarts.
+  std::lock_guard<std::mutex> log_lock(log_mu_);
+  if (history_pos < 0 || history_pos >= static_cast<int64_t>(log_.size())) {
+    return;
+  }
+  metrics_.AddRepeatOut();
+  const LogEntry& stored = log_[static_cast<size_t>(history_pos)];
+  std::lock_guard<std::mutex> conns_lock(conns_mu_);
+  for (auto& conn : conns_) Enqueue(conn.get(), stored);
+}
+
 void FragmentServer::Enqueue(Connection* conn, const LogEntry& entry) {
   std::unique_lock<std::mutex> lock(conn->mu);
   if (conn->closing || !conn->live) return;
+  // Preferred codec first, the other form as fallback: the flag in the
+  // frame header (not the handshake) is authoritative for decoding, so
+  // either form is decodable by any subscriber.
+  const bool prefer_compressed =
+      conn->codec == frag::WireCodec::kTagCompressed;
+  const std::string& primary =
+      prefer_compressed ? entry.compressed : entry.plain;
+  const std::string& fallback =
+      prefer_compressed ? entry.plain : entry.compressed;
+  const std::string& frame = primary.empty() ? fallback : primary;
+  if (frame.empty()) return;  // unencodable in any form: nothing to send
   if (conn->queue.size() >= opts_.queue_capacity) {
     switch (opts_.slow_consumer) {
       case SlowConsumerPolicy::kBlock:
@@ -137,11 +170,6 @@ void FragmentServer::Enqueue(Connection* conn, const LogEntry& entry) {
         return;
     }
   }
-  const std::string& frame =
-      (conn->codec == frag::WireCodec::kTagCompressed &&
-       !entry.compressed.empty())
-          ? entry.compressed
-          : entry.plain;
   conn->queue.push_back(frame);
   ++conn->enqueued;
   metrics_.UpdateQueueHwm(static_cast<int64_t>(conn->queue.size()));
@@ -174,12 +202,16 @@ void FragmentServer::AcceptLoop() {
     auto conn = std::make_unique<Connection>();
     conn->sock = std::move(accepted).MoveValue();
     Connection* raw = conn.get();
-    raw->reader = std::thread([this, raw] { ReaderLoop(raw); });
-    raw->writer = std::thread([this, raw] { WriterLoop(raw); });
+    // The connection must be visible to OnFragment before its reader can
+    // finish the handshake + replay: otherwise a fragment published
+    // between the end of the replay and the insertion is never enqueued
+    // (a silent gap).
     {
       std::lock_guard<std::mutex> lock(conns_mu_);
       conns_.push_back(std::move(conn));
     }
+    raw->reader = std::thread([this, raw] { ReaderLoop(raw); });
+    raw->writer = std::thread([this, raw] { WriterLoop(raw); });
     ReapFinished();
   }
 }
@@ -226,7 +258,8 @@ Status FragmentServer::HandleHello(Connection* conn, const Frame& frame) {
   Frame out;
   out.type = FrameType::kHello;
   out.payload = EncodeHello(ack);
-  return SendRaw(conn, EncodeFrame(out));
+  XCQL_ASSIGN_OR_RETURN(std::string bytes, EncodeFrame(out));
+  return SendRaw(conn, bytes);
 }
 
 void FragmentServer::ServeReplay(Connection* conn, int64_t last_seen_seq) {
@@ -270,7 +303,8 @@ void FragmentServer::ReaderLoop(Connection* conn) {
           metrics_.AddHandshakeFailure();
           Frame bye;
           bye.type = FrameType::kBye;
-          (void)SendRaw(conn, EncodeFrame(bye));
+          auto bye_bytes = EncodeFrame(bye);
+          if (bye_bytes.ok()) (void)SendRaw(conn, bye_bytes.value());
           done = true;
           break;
         }
@@ -327,7 +361,11 @@ void FragmentServer::WriterLoop(Connection* conn) {
     }
     // published_ instead of next_seq(): the writer must stay off log_mu_,
     // which a kBlock publisher may hold while waiting on this very writer.
-    if (heartbeat) frame = EncodeFrame(HeartbeatFrame(published_.load()));
+    if (heartbeat) {
+      auto hb = EncodeFrame(HeartbeatFrame(published_.load()));
+      if (!hb.ok()) continue;  // empty payload: cannot actually fail
+      frame = std::move(hb).MoveValue();
+    }
     if (!SendRaw(conn, frame).ok()) {
       std::lock_guard<std::mutex> lock(conn->mu);
       conn->closing = true;

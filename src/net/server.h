@@ -89,6 +89,14 @@ class FragmentServer : public stream::StreamClient {
   void OnFragment(const std::string& stream_name,
                   frag::Fragment fragment) override;
 
+  /// \brief StreamClient hook for RepeatFiller retransmissions: re-sends
+  /// the logged frame at `history_pos` with its original sequence number.
+  /// No new seq is minted, so the frame log stays aligned with the
+  /// source's history numbering (subscribers that already hold the seq
+  /// discard the duplicate).
+  void OnRepeat(const std::string& stream_name, int64_t history_pos,
+                frag::Fragment fragment) override;
+
   MetricsSnapshot metrics() const;
   std::vector<ConnectionStats> connection_stats() const;
   int active_connections() const;

@@ -52,10 +52,16 @@ void FragmentSubscriber::Run() {
   while (!stopping_.load()) {
     auto sock = ConnectTo(opts_.host, opts_.port);
     if (sock.ok()) {
+      bool bail;
       {
         std::lock_guard<std::mutex> lock(state_mu_);
-        sock_ = std::move(sock).MoveValue();
+        // Stop() may have shut down the *previous* socket while we were
+        // inside ConnectTo; entering Session() on the fresh one would
+        // block Stop()'s join for as long as the server keeps talking.
+        bail = stopping_.load();
+        if (!bail) sock_ = std::move(sock).MoveValue();
       }
+      if (bail) break;
       Session();
       bool was_connected;
       {
@@ -84,7 +90,9 @@ void FragmentSubscriber::Session() {
   Frame out;
   out.type = FrameType::kHello;
   out.payload = EncodeHello(hello);
-  std::string bytes = EncodeFrame(out);
+  auto hello_bytes = EncodeFrame(out);
+  if (!hello_bytes.ok()) return;
+  const std::string& bytes = hello_bytes.value();
   if (!sock_.SendAll(bytes.data(), bytes.size()).ok()) return;
   metrics_.AddFrameOut(static_cast<int64_t>(bytes.size()));
 
@@ -92,6 +100,7 @@ void FragmentSubscriber::Session() {
   char buf[64 * 1024];
   bool handshaken = false;
   for (;;) {
+    if (stopping_.load()) return;
     auto n = sock_.Recv(buf, sizeof(buf));
     if (!n.ok() || n.value() == 0) return;
     reader.Feed(buf, n.value());
@@ -147,7 +156,9 @@ void FragmentSubscriber::Session() {
         Frame replay;
         replay.type = FrameType::kReplayFrom;
         replay.payload = EncodeReplayFrom(last_seq());
-        std::string rb = EncodeFrame(replay);
+        auto replay_bytes = EncodeFrame(replay);
+        if (!replay_bytes.ok()) return;
+        const std::string& rb = replay_bytes.value();
         if (!sock_.SendAll(rb.data(), rb.size()).ok()) return;
         metrics_.AddFrameOut(static_cast<int64_t>(rb.size()));
         metrics_.AddReplayRequested();
@@ -155,6 +166,20 @@ void FragmentSubscriber::Session() {
       }
       switch (frame.type) {
         case FrameType::kFragment: {
+          // last_seq_ tracks the *contiguous* prefix, and only the
+          // receive thread writes it, so reading it via the locked getter
+          // and advancing later cannot race.
+          const int64_t seq = static_cast<int64_t>(frame.seq);
+          const int64_t have = last_seq();
+          if (seq <= have) break;  // retransmission of a frame we hold
+          if (seq > have + 1) {
+            // Frames between have and seq are gone (kDropOldest eviction
+            // ahead of the replay): cut the connection and resume from
+            // the last contiguous seq — silently skipping the gap would
+            // permanently lose the dropped fragments.
+            metrics_.AddGapDetected();
+            return;
+          }
           frag::WireCodec codec = (frame.flags & kFlagCompressedPayload)
                                       ? frag::WireCodec::kTagCompressed
                                       : frag::WireCodec::kPlainXml;
@@ -163,8 +188,7 @@ void FragmentSubscriber::Session() {
           metrics_.AddFragmentIn();
           std::lock_guard<std::mutex> lock(pending_mu_);
           pending_.push_back(std::move(fragment).MoveValue());
-          last_seq_ =
-              std::max(last_seq_, static_cast<int64_t>(frame.seq));
+          last_seq_ = seq;
           pending_cv_.notify_all();
           break;
         }

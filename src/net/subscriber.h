@@ -67,8 +67,10 @@ class FragmentSubscriber {
   /// \brief Like DrainInto, into a plain vector.
   int Drain(std::vector<frag::Fragment>* out);
 
-  /// \brief Highest FRAGMENT sequence number received (-1 before the
-  /// first).
+  /// \brief Highest *contiguously* received FRAGMENT sequence number (-1
+  /// before the first). A frame beyond a sequence gap is never admitted:
+  /// the subscriber kills the connection and resumes via
+  /// REPLAY_FROM(last_seq) instead, so the gap is refetched, not skipped.
   int64_t last_seq() const;
 
   /// \brief Blocks until last_seq() >= seq (true) or the timeout expires
@@ -120,7 +122,7 @@ class FragmentSubscriber {
   mutable std::mutex pending_mu_;
   mutable std::condition_variable pending_cv_;
   std::vector<frag::Fragment> pending_;
-  int64_t last_seq_ = -1;
+  int64_t last_seq_ = -1;  // contiguous prefix; written by receive thread
 
   mutable Metrics metrics_;
 };

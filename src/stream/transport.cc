@@ -21,10 +21,12 @@ void StreamServer::UnregisterClient(StreamClient* client) {
                  clients_.end());
 }
 
-Status StreamServer::Multicast(const frag::Fragment& fragment) {
+Status StreamServer::Multicast(const frag::Fragment& fragment,
+                               int64_t repeat_pos) {
   // One sizing code path for in-process accounting and the networked
-  // transport: a codec error surfaces as a Status before any counter or
-  // history mutation (no silent fallback to plain-XML byte counts).
+  // transport: a codec error (including a payload over the wire limit)
+  // surfaces as a Status before any counter or history mutation (no silent
+  // fallback to plain-XML byte counts).
   XCQL_ASSIGN_OR_RETURN(std::string wire,
                         frag::EncodeWirePayload(fragment, ts_, wire_codec()));
   ++fragments_sent_;
@@ -35,7 +37,11 @@ Status StreamServer::Multicast(const frag::Fragment& fragment) {
     copy.tsid = fragment.tsid;
     copy.valid_time = fragment.valid_time;
     copy.content = fragment.content->Clone();
-    c->OnFragment(name_, std::move(copy));
+    if (repeat_pos >= 0) {
+      c->OnRepeat(name_, repeat_pos, std::move(copy));
+    } else {
+      c->OnFragment(name_, std::move(copy));
+    }
   }
   return Status::OK();
 }
@@ -68,22 +74,28 @@ Result<int> StreamServer::RepeatFiller(int64_t filler_id) {
   // Retransmit the distinct versions only: history may itself be the
   // product of duplicate publishes, and repeating duplicates would inflate
   // the wire for no information.
-  std::vector<const frag::Fragment*> versions;
-  for (const frag::Fragment& f : history_) {
+  struct Version {
+    int64_t pos;  // 0-based publish position in history_
+    const frag::Fragment* fragment;
+  };
+  std::vector<Version> versions;
+  for (size_t i = 0; i < history_.size(); ++i) {
+    const frag::Fragment& f = history_[i];
     if (f.id != filler_id) continue;
     bool duplicate = false;
-    for (const frag::Fragment* seen : versions) {
-      if (seen->tsid == f.tsid && seen->valid_time == f.valid_time &&
-          Node::DeepEqual(*seen->content, *f.content)) {
+    for (const Version& seen : versions) {
+      if (seen.fragment->tsid == f.tsid &&
+          seen.fragment->valid_time == f.valid_time &&
+          Node::DeepEqual(*seen.fragment->content, *f.content)) {
         duplicate = true;
         break;
       }
     }
-    if (!duplicate) versions.push_back(&f);
+    if (!duplicate) versions.push_back({static_cast<int64_t>(i), &f});
   }
   int repeated = 0;
-  for (const frag::Fragment* f : versions) {
-    XCQL_RETURN_NOT_OK(Multicast(*f));
+  for (const Version& v : versions) {
+    XCQL_RETURN_NOT_OK(Multicast(*v.fragment, v.pos));
     ++repeated;
   }
   return repeated;

@@ -27,6 +27,18 @@ class StreamClient {
   /// owned by the receiver (each client gets its own copy).
   virtual void OnFragment(const std::string& stream_name,
                           frag::Fragment fragment) = 0;
+
+  /// \brief Called once per retransmitted fragment (RepeatFiller).
+  /// `history_pos` is the fragment's 0-based publish position, so a
+  /// transport that numbers frames by publish position can re-send the
+  /// original frame instead of minting a new sequence number. The default
+  /// treats a repeat like any other delivery (stores drop the exact
+  /// duplicate).
+  virtual void OnRepeat(const std::string& stream_name, int64_t history_pos,
+                        frag::Fragment fragment) {
+    (void)history_pos;
+    OnFragment(stream_name, std::move(fragment));
+  }
 };
 
 /// \brief Server-side publisher for one stream.
@@ -55,10 +67,11 @@ class StreamServer {
 
   /// \brief Retransmits the current distinct versions of a filler id (the
   /// paper's "repeat critical fragments" facility). Repeats are wire-level
-  /// retransmissions, not new information: they reach every client (whose
-  /// stores drop the exact duplicates) but are not recorded into the
-  /// replayable history, so a later ReplayTo reproduces the original
-  /// publication sequence exactly. Returns the number repeated.
+  /// retransmissions, not new information: they reach every client via
+  /// OnRepeat (carrying their original publish position, so sequence-
+  /// numbered transports re-send the original frame) but are not recorded
+  /// into the replayable history, so a later ReplayTo reproduces the
+  /// original publication sequence exactly. Returns the number repeated.
   Result<int> RepeatFiller(int64_t filler_id);
 
   /// \brief Replays the entire published history to one client — how a
@@ -103,8 +116,10 @@ class StreamServer {
 
  private:
   /// \brief Sizes, counts, and delivers one fragment to every client
-  /// without recording it into history (the retransmission path).
-  Status Multicast(const frag::Fragment& fragment);
+  /// without recording it into history. `repeat_pos >= 0` marks the
+  /// delivery as a retransmission of history_[repeat_pos] (via OnRepeat);
+  /// -1 is a fresh publish (via OnFragment).
+  Status Multicast(const frag::Fragment& fragment, int64_t repeat_pos = -1);
 
   std::string name_;
   frag::TagStructure ts_;

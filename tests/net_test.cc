@@ -64,6 +64,12 @@ frag::Fragment MakePacket(int64_t id, int64_t t, int pkt, size_t pad = 0) {
   return f;
 }
 
+std::string MustEncode(const Frame& f) {
+  auto r = EncodeFrame(f);
+  EXPECT_TRUE(r.ok()) << r.status().ToString();
+  return r.ok() ? std::move(r).MoveValue() : std::string();
+}
+
 std::string ViewOf(const frag::FragmentStore& store) {
   auto view = frag::Temporalize(store, false);
   EXPECT_TRUE(view.ok()) << view.status().ToString();
@@ -82,7 +88,7 @@ TEST(FrameCodecTest, RoundTripsAllTypesFedByteByByte) {
   in.push_back({FrameType::kReplayFrom, 0, 0, EncodeReplayFrom(-1)});
   in.push_back({FrameType::kBye, 0, 7, ""});
   std::string wire;
-  for (const auto& f : in) wire += EncodeFrame(f);
+  for (const auto& f : in) wire += MustEncode(f);
 
   FrameReader reader;
   std::vector<Frame> out;
@@ -107,7 +113,7 @@ TEST(FrameCodecTest, RoundTripsAllTypesFedByteByByte) {
 
 TEST(FrameCodecTest, DecodesFramesSplitAcrossFeeds) {
   Frame f{FrameType::kFragment, 0, 9, "abcdef"};
-  std::string wire = EncodeFrame(f) + EncodeFrame(f);
+  std::string wire = MustEncode(f) + MustEncode(f);
   FrameReader reader;
   // Feed in two lumps that split mid-header of the second frame.
   size_t cut = wire.size() / 2 + 3;
@@ -129,7 +135,7 @@ TEST(FrameCodecTest, DecodesFramesSplitAcrossFeeds) {
 }
 
 TEST(FrameCodecTest, RejectsBadMagic) {
-  std::string wire = EncodeFrame({FrameType::kHeartbeat, 0, 1, ""});
+  std::string wire = MustEncode({FrameType::kHeartbeat, 0, 1, ""});
   wire[0] ^= 0x55;
   FrameReader reader;
   reader.Feed(wire.data(), wire.size());
@@ -137,7 +143,7 @@ TEST(FrameCodecTest, RejectsBadMagic) {
 }
 
 TEST(FrameCodecTest, RejectsUnknownVersion) {
-  std::string wire = EncodeFrame({FrameType::kHeartbeat, 0, 1, ""});
+  std::string wire = MustEncode({FrameType::kHeartbeat, 0, 1, ""});
   wire[4] = 99;
   FrameReader reader;
   reader.Feed(wire.data(), wire.size());
@@ -145,12 +151,37 @@ TEST(FrameCodecTest, RejectsUnknownVersion) {
 }
 
 TEST(FrameCodecTest, RejectsOversizedPayload) {
-  std::string wire = EncodeFrame({FrameType::kFragment, 0, 1, "x"});
+  std::string wire = MustEncode({FrameType::kFragment, 0, 1, "x"});
   uint32_t huge = kMaxFramePayload + 1;
   std::memcpy(&wire[16], &huge, sizeof(huge));
   FrameReader reader;
   reader.Feed(wire.data(), wire.size());
   EXPECT_FALSE(reader.Next().ok());
+}
+
+TEST(FrameCodecTest, EncodeRejectsOversizedPayload) {
+  // The decoder treats an over-limit length as stream corruption, so the
+  // encoder must refuse to produce such a frame in the first place —
+  // otherwise one oversized fragment kills every subscriber in an endless
+  // reconnect loop on that seq.
+  Frame f{FrameType::kFragment, 0, 1,
+          std::string(kMaxFramePayload + 1, 'x')};
+  EXPECT_FALSE(EncodeFrame(f).ok());
+  f.payload.resize(kMaxFramePayload);  // exactly at the limit is legal
+  EXPECT_TRUE(EncodeFrame(f).ok());
+}
+
+TEST(FrameCodecTest, PublishRejectsOversizedFragment) {
+  // The same limit holds at publish time (EncodeWirePayload): the
+  // fragment fails with a Status before any counter or history mutation,
+  // so it can never reach the frame log or the wire.
+  stream::StreamServer source("pkts", MustParseTs(kPacketTs));
+  EXPECT_FALSE(
+      source.Publish(MakePacket(1, 1000, 0, frag::kMaxWirePayload + 1))
+          .ok());
+  EXPECT_EQ(source.history_size(), 0);
+  EXPECT_EQ(source.fragments_sent(), 0);
+  EXPECT_EQ(source.bytes_sent(), 0);
 }
 
 TEST(FrameCodecTest, HelloRoundTrips) {
@@ -222,7 +253,7 @@ class RawClient {
               0);
     Hello hello;
     hello.stream_name = stream;
-    Send(EncodeFrame({FrameType::kHello, 0, 0, EncodeHello(hello)}));
+    Send(MustEncode({FrameType::kHello, 0, 0, EncodeHello(hello)}));
     // Read just far enough to see the server's HELLO ack, then go silent.
     FrameReader reader;
     char buf[4096];
@@ -236,7 +267,7 @@ class RawClient {
       ASSERT_EQ(next.value()->type, FrameType::kHello);
       break;
     }
-    Send(EncodeFrame({FrameType::kReplayFrom, 0, 0, EncodeReplayFrom(-1)}));
+    Send(MustEncode({FrameType::kReplayFrom, 0, 0, EncodeReplayFrom(-1)}));
   }
 
   void Close() {
@@ -521,6 +552,163 @@ TEST(NetEquivalenceTest, CompressedWireCarriesFewerBytes) {
   }
   EXPECT_LT(bytes[1], bytes[0]);
   server.Stop();
+}
+
+// ---- Repeats over the wire --------------------------------------------------
+
+TEST(FragmentServerTest, RepeatFillerKeepsSeqAlignedWithHistory) {
+  // RepeatFiller retransmissions must re-send the original logged frames,
+  // not mint new seqs: otherwise the frame log diverges from
+  // StreamServer::history_ numbering and resume-after-restart (log
+  // reseeded from history) skips or duplicates fragments.
+  stream::StreamServer source("pkts", MustParseTs(kPacketTs));
+  FragmentServer server(&source);
+  ASSERT_TRUE(server.Start().ok());
+  ASSERT_TRUE(source.Publish(MakePacket(5, 1000, 0)).ok());
+  ASSERT_TRUE(source.Publish(MakePacket(5, 1001, 1)).ok());
+  ASSERT_TRUE(source.Publish(MakePacket(6, 1002, 2)).ok());
+
+  FragmentSubscriberOptions opts;
+  opts.port = server.port();
+  opts.stream = "pkts";
+  FragmentSubscriber sub(opts);
+  ASSERT_TRUE(sub.Start().ok());
+  ASSERT_TRUE(sub.WaitForSeq(2, 10s));
+  const int64_t frames_before = sub.metrics().frames_in;
+
+  auto repeated = source.RepeatFiller(5);
+  ASSERT_TRUE(repeated.ok());
+  EXPECT_EQ(repeated.value(), 2);
+  // No new seqs: the log's next seq still equals the history size.
+  EXPECT_EQ(server.next_seq(), 3);
+  EXPECT_EQ(server.next_seq(), source.history_size());
+  EXPECT_TRUE(PollFor([&] { return server.metrics().repeats_out >= 2; }, 5s));
+  // The repeated frames do reach the subscriber...
+  ASSERT_TRUE(PollFor(
+      [&] { return sub.metrics().frames_in >= frames_before + 2; }, 10s));
+  // ...which discards them as duplicates of seqs it already holds.
+  EXPECT_EQ(sub.metrics().fragments_in, 3);
+  EXPECT_EQ(sub.last_seq(), 2);
+
+  // The stream continues seamlessly after the repeats.
+  ASSERT_TRUE(source.Publish(MakePacket(6, 1003, 3)).ok());
+  ASSERT_TRUE(sub.WaitForSeq(3, 10s));
+  std::vector<frag::Fragment> got;
+  sub.Drain(&got);
+  EXPECT_EQ(got.size(), 4u);
+  sub.Stop();
+  server.Stop();
+}
+
+// ---- Gap detection ----------------------------------------------------------
+
+// A hand-rolled protocol server for fault injection: accepts one
+// connection, answers the handshake, records the REPLAY_FROM value, sends
+// a scripted list of pre-encoded frames, then holds the connection open
+// until the peer closes it. Returns the REPLAY_FROM seq (-100 on protocol
+// error).
+int64_t ServeOneSession(const Socket& listener, const std::string& ts_xml,
+                        const std::vector<std::string>& frames,
+                        const std::vector<int>& to_send) {
+  auto accepted = Accept(listener);
+  if (!accepted.ok()) return -100;
+  Socket conn = std::move(accepted).MoveValue();
+  FrameReader reader;
+  char buf[4096];
+  int64_t replay_from = -100;
+  bool handshaken = false;
+  bool have_replay = false;
+  while (!have_replay) {
+    auto n = conn.Recv(buf, sizeof(buf));
+    if (!n.ok() || n.value() == 0) return -100;
+    reader.Feed(buf, n.value());
+    for (;;) {
+      auto next = reader.Next();
+      if (!next.ok()) return -100;
+      if (!next.value().has_value()) break;
+      Frame fr = std::move(*next.value());
+      if (!handshaken && fr.type == FrameType::kHello) {
+        Hello ack;
+        ack.stream_name = "pkts";
+        ack.ts_hash = TagStructureHash(ts_xml);
+        ack.tag_structure_xml = ts_xml;
+        std::string hello =
+            MustEncode({FrameType::kHello, 0, 0, EncodeHello(ack)});
+        if (!conn.SendAll(hello.data(), hello.size()).ok()) return -100;
+        handshaken = true;
+      } else if (fr.type == FrameType::kReplayFrom) {
+        auto from = DecodeReplayFrom(fr.payload);
+        if (!from.ok()) return -100;
+        replay_from = from.value();
+        have_replay = true;
+      }
+    }
+  }
+  for (int idx : to_send) {
+    if (!conn.SendAll(frames[idx].data(), frames[idx].size()).ok()) break;
+  }
+  for (;;) {  // hold until the peer closes (gap kill or Stop())
+    auto n = conn.Recv(buf, sizeof(buf));
+    if (!n.ok() || n.value() == 0) break;
+  }
+  return replay_from;
+}
+
+TEST(FragmentSubscriberTest, SeqGapForcesReconnectAndReplayFromContiguous) {
+  // A mid-session seq gap (what a kDropOldest eviction looks like on the
+  // wire) must not be silently absorbed: the subscriber kills the
+  // connection and resumes via REPLAY_FROM(last contiguous seq), so the
+  // dropped frames are refetched rather than permanently lost.
+  frag::TagStructure ts = MustParseTs(kPacketTs);
+  const std::string ts_xml = ts.ToXml();
+  auto listener = ListenOn(0);
+  ASSERT_TRUE(listener.ok());
+  auto port = BoundPort(listener.value());
+  ASSERT_TRUE(port.ok());
+
+  std::vector<std::string> frames;
+  for (int i = 0; i < 4; ++i) {
+    auto payload = frag::EncodeWirePayload(MakePacket(i + 1, 1000 + i, i),
+                                           ts, frag::WireCodec::kPlainXml);
+    ASSERT_TRUE(payload.ok()) << payload.status().ToString();
+    frames.push_back(MustEncode({FrameType::kFragment, 0,
+                                 static_cast<uint64_t>(i),
+                                 std::move(payload).MoveValue()}));
+  }
+
+  int64_t first_replay = -7;
+  int64_t second_replay = -7;
+  std::thread faulty([&] {
+    // Session 1: deliver seq 0, then seq 2 — seq 1 is "lost".
+    first_replay =
+        ServeOneSession(listener.value(), ts_xml, frames, {0, 2});
+    // Session 2: the reconnect replays from the contiguous prefix.
+    second_replay =
+        ServeOneSession(listener.value(), ts_xml, frames, {1, 2, 3});
+  });
+
+  FragmentSubscriberOptions opts;
+  opts.port = port.value();
+  opts.stream = "pkts";
+  FragmentSubscriber sub(opts);
+  ASSERT_TRUE(sub.Start().ok());
+  const bool caught_up = sub.WaitForSeq(3, 10s);
+  const MetricsSnapshot m = sub.metrics();
+  std::vector<frag::Fragment> got;
+  sub.Drain(&got);
+  sub.Stop();
+  listener.value().Shutdown();
+  faulty.join();
+
+  EXPECT_TRUE(caught_up);
+  EXPECT_EQ(first_replay, -1);   // cold start: replay everything
+  EXPECT_EQ(second_replay, 0);   // resume from the last contiguous seq
+  EXPECT_GE(m.gaps_detected, 1);
+  EXPECT_GE(m.reconnects, 1);
+  ASSERT_EQ(got.size(), 4u);     // every fragment exactly once, in order
+  for (size_t i = 0; i < got.size(); ++i) {
+    EXPECT_EQ(got[i].id, static_cast<int64_t>(i + 1));
+  }
 }
 
 // ---- Slow consumers ---------------------------------------------------------
