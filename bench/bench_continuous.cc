@@ -2,18 +2,60 @@
 // without waiting to materialize". This harness drives the continuous
 // engine with a growing transaction stream and reports per-tick
 // re-evaluation latency and sustained event throughput as the store grows,
-// for each execution method.
+// for each execution method — plus the incremental-engine ablations:
+// quiescent-stream tick latency (relevance skipping vs the seed's full
+// re-evaluation) and a mixed workload where only some queries are relevant
+// to the arriving fragments.
 //
-//   ./build/bench/bench_continuous
+//   ./build/bench/bench_continuous [--quick] [--json]
+//
+// --quick shrinks every scenario for CI smoke runs; --json replaces the
+// tables with one machine-readable object (see BENCH_continuous.json).
 #include <chrono>
 #include <cstdio>
+#include <cstring>
 #include <memory>
+#include <string>
+#include <vector>
 
 #include "common/random.h"
 #include "common/string_util.h"
 #include "core/stream_manager.h"
 
 namespace {
+
+bool g_json = false;
+
+// One benchmark scenario flattened to numeric fields, dumped as JSON when
+// --json is set.
+struct ScenarioResult {
+  std::string name;
+  std::vector<std::pair<std::string, double>> nums;
+};
+std::vector<ScenarioResult> g_results;
+
+void Record(std::string name,
+            std::vector<std::pair<std::string, double>> nums) {
+  g_results.push_back(ScenarioResult{std::move(name), std::move(nums)});
+}
+
+void PrintJson() {
+  std::printf("{\n  \"bench\": \"bench_continuous\",\n  \"scenarios\": [\n");
+  for (size_t i = 0; i < g_results.size(); ++i) {
+    std::printf("    {\"name\": \"%s\"", g_results[i].name.c_str());
+    for (const auto& [key, value] : g_results[i].nums) {
+      std::printf(", \"%s\": %.6g", key.c_str(), value);
+    }
+    std::printf("}%s\n", i + 1 < g_results.size() ? "," : "");
+  }
+  std::printf("  ]\n}\n");
+}
+
+double MsSince(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - start)
+      .count();
+}
 
 constexpr const char* kCreditTs = R"(
 <tag type="snapshot" id="1" name="creditAccounts">
@@ -27,6 +69,13 @@ constexpr const char* kCreditTs = R"(
     </tag>
   </tag>
 </tag>)";
+
+constexpr const char* kSeedView = R"(<creditAccounts>
+  <account id="1" vtFrom="2004-01-01T00:00:00" vtTo="now">
+    <customer>Streaming Sam</customer>
+    <creditLimit vtFrom="2004-01-01T00:00:00" vtTo="now">100000</creditLimit>
+  </account>
+</creditAccounts>)";
 
 xcql::NodePtr Transaction(xcql::Random* rng, int id) {
   xcql::NodePtr txn = xcql::Node::Element("transaction");
@@ -45,35 +94,62 @@ xcql::NodePtr Transaction(xcql::Random* rng, int id) {
   return txn;
 }
 
-void RunMethod(xcql::lang::ExecMethod method, int batches, int batch_size) {
-  xcql::StreamManager mgr;
-  if (!mgr.CreateStream("credit", kCreditTs).ok()) std::exit(1);
-  if (!mgr.PublishDocumentXml(
-              "credit",
-              R"(<creditAccounts>
-                   <account id="1" vtFrom="2004-01-01T00:00:00" vtTo="now">
-                     <customer>Streaming Sam</customer>
-                     <creditLimit vtFrom="2004-01-01T00:00:00"
-                                  vtTo="now">100000</creditLimit>
-                   </account>
-                 </creditAccounts>)")
-           .ok()) {
-    std::exit(1);
+// A manager with the credit stream, seed view, and an EventAppender
+// hanging transactions off the account filler (ids root=0, account=1,
+// creditLimit=2 from the deterministic fragmentation of kSeedView).
+struct Harness {
+  Harness() {
+    if (!mgr.CreateStream("credit", kCreditTs).ok()) std::exit(1);
+    if (!mgr.PublishDocumentXml("credit", kSeedView).ok()) std::exit(1);
+    xcql::NodePtr context = xcql::Node::Element("account");
+    context->SetAttr("id", "1");
+    xcql::NodePtr customer = xcql::Node::Element("customer");
+    customer->AddChild(xcql::Node::Text("Streaming Sam"));
+    context->AddChild(std::move(customer));
+    context->AddChild(xcql::frag::MakeHole(2, 4));
+    appender = std::make_unique<xcql::stream::EventAppender>(
+        mgr.server("credit"), 1, 2, std::move(context));
+    t = xcql::DateTime::Parse("2004-01-02T00:00:00").value();
   }
-  // Hang new transactions off the account fragment. The deterministic
-  // fragmentation above yields filler ids root=0, account=1, creditLimit=2;
-  // the maintained context payload must keep the account's existing
-  // children (customer inline, creditLimit as its hole).
-  xcql::NodePtr context = xcql::Node::Element("account");
-  context->SetAttr("id", "1");
-  xcql::NodePtr customer = xcql::Node::Element("customer");
-  customer->AddChild(xcql::Node::Text("Streaming Sam"));
-  context->AddChild(std::move(customer));
-  context->AddChild(xcql::frag::MakeHole(2, 4));
-  xcql::stream::EventAppender appender(mgr.server("credit"), 1, 2,
-                                       std::move(context));
+
+  // Publishes n further versions of the creditLimit filler (id 2): a long
+  // but quiet temporal history for queries that never touch transactions.
+  void AddLimitVersions(int n) {
+    for (int i = 0; i < n; ++i) {
+      t = t.Add(xcql::Duration::FromSeconds(60));
+      xcql::frag::Fragment f;
+      f.id = 2;
+      f.tsid = 4;
+      f.valid_time = t;
+      f.content = xcql::Node::Element("creditLimit");
+      f.content->AddChild(xcql::Node::Text(std::to_string(50000 + i)));
+      if (!mgr.server("credit")->Publish(std::move(f)).ok()) std::exit(1);
+    }
+    mgr.clock().AdvanceTo(t);
+  }
+
+  void AppendEvents(int n) {
+    for (int i = 0; i < n; ++i) {
+      t = t.Add(xcql::Duration::FromSeconds(2));
+      if (!appender->Append(Transaction(&rng, next_id++), t).ok()) {
+        std::exit(1);
+      }
+    }
+    if (!appender->Flush(t).ok()) std::exit(1);
+    mgr.clock().AdvanceTo(t);
+  }
+
+  xcql::StreamManager mgr;
+  std::unique_ptr<xcql::stream::EventAppender> appender;
+  xcql::Random rng{7};
+  xcql::DateTime t;
+  int next_id = 0;
+};
+
+void RunMethod(xcql::lang::ExecMethod method, int batches, int batch_size) {
+  Harness h;
   // The paper's fraud-style window query: charges in the last hour.
-  auto qid = mgr.RegisterContinuousQuery(
+  auto qid = h.mgr.RegisterContinuousQuery(
       "sum(stream(\"credit\")//account/transaction?[now - PT1H, now]"
       "[status = \"charged\"]/amount)",
       nullptr, {.method = method, .dedup = false});
@@ -82,40 +158,169 @@ void RunMethod(xcql::lang::ExecMethod method, int batches, int batch_size) {
     std::exit(1);
   }
 
-  xcql::Random rng(7);
-  xcql::DateTime t = xcql::DateTime::Parse("2004-01-02T00:00:00").value();
-  int next_id = 0;
   double total_tick_ms = 0;
   for (int b = 1; b <= batches; ++b) {
-    for (int i = 0; i < batch_size; ++i) {
-      t = t.Add(xcql::Duration::FromSeconds(2));
-      if (!appender.Append(Transaction(&rng, next_id++), t).ok()) {
-        std::exit(1);
-      }
-    }
-    if (!appender.Flush(t).ok()) std::exit(1);
-    mgr.clock().AdvanceTo(t);
+    h.AppendEvents(batch_size);
     auto start = std::chrono::steady_clock::now();
-    if (!mgr.Tick().ok()) std::exit(1);
-    double ms = std::chrono::duration<double, std::milli>(
-                    std::chrono::steady_clock::now() - start)
-                    .count();
+    if (!h.mgr.Tick().ok()) std::exit(1);
+    double ms = MsSince(start);
     total_tick_ms += ms;
-    if (b == 1 || b == batches / 2 || b == batches) {
+    if (!g_json && (b == 1 || b == batches / 2 || b == batches)) {
       std::printf("  %-5s batch %3d: store=%5zu fragments, tick=%8.2fms\n",
                   xcql::lang::ExecMethodName(method), b,
-                  mgr.store("credit")->size(), ms);
+                  h.mgr.store("credit")->size(), ms);
     }
   }
   double events = static_cast<double>(batches) * batch_size;
-  std::printf(
-      "  %-5s total: %d events, %.1f events/sec sustained (query "
-      "re-evaluation only)\n\n",
-      xcql::lang::ExecMethodName(method), batches * batch_size,
-      total_tick_ms > 0 ? events / (total_tick_ms / 1000.0) : 0);
+  double throughput =
+      total_tick_ms > 0 ? events / (total_tick_ms / 1000.0) : 0;
+  if (!g_json) {
+    std::printf(
+        "  %-5s total: %d events, %.1f events/sec sustained (query "
+        "re-evaluation only)\n\n",
+        xcql::lang::ExecMethodName(method), batches * batch_size, throughput);
+  }
+  Record(std::string("throughput_") + xcql::lang::ExecMethodName(method),
+         {{"events", events},
+          {"total_tick_ms", total_tick_ms},
+          {"avg_tick_ms", total_tick_ms / batches},
+          {"events_per_sec", throughput}});
 }
 
-}  // namespace
+// Quiescent-stream ablation: a populated store, registered data-bounded
+// queries, and ticks where nothing arrives. The seed engine re-evaluated
+// every query anyway; relevance skipping makes these ticks O(#queries)
+// stamp checks.
+void RunQuiescent(xcql::stream::TickPolicy policy, const char* name,
+                  int warm_events, int ticks) {
+  Harness h;
+  h.AppendEvents(warm_events);
+  const struct {
+    const char* text;
+    xcql::lang::ExecMethod method;
+  } kQueries[] = {
+      {"for $t in stream(\"credit\")//transaction where $t/amount > 800 "
+       "return string($t/@id)",
+       xcql::lang::ExecMethod::kQaCPlus},
+      {"for $t in stream(\"credit\")//transaction where $t/amount > 800 "
+       "return string($t/@id)",
+       xcql::lang::ExecMethod::kQaC},
+      {"count(stream(\"credit\")//transaction)",
+       xcql::lang::ExecMethod::kCaQ},
+      {"for $t in stream(\"credit\")//transaction[status = \"denied\"] "
+       "return string($t/@id)",
+       xcql::lang::ExecMethod::kQaCPlus},
+      {"for $l in stream(\"credit\")//creditLimit return string($l)",
+       xcql::lang::ExecMethod::kQaCPlus},
+      {"for $t in stream(\"credit\")//transaction where $t/amount > 890 "
+       "return string($t/vendor)",
+       xcql::lang::ExecMethod::kQaCPlus},
+  };
+  for (const auto& q : kQueries) {
+    auto qid = h.mgr.RegisterContinuousQuery(
+        q.text, nullptr,
+        {.method = q.method, .dedup = true, .tick_policy = policy});
+    if (!qid.ok()) {
+      std::fprintf(stderr, "register: %s\n", qid.status().ToString().c_str());
+      std::exit(1);
+    }
+  }
+  if (!h.mgr.Tick().ok()) std::exit(1);  // initial evaluation, not timed
+  auto& engine = h.mgr.continuous_engine();
+  int64_t evals0 = engine.evaluations();
+  double total_ms = 0;
+  for (int i = 0; i < ticks; ++i) {
+    h.mgr.clock().Advance(xcql::Duration::FromSeconds(60));
+    auto start = std::chrono::steady_clock::now();
+    if (!h.mgr.Tick().ok()) std::exit(1);
+    total_ms += MsSince(start);
+  }
+  double avg = total_ms / ticks;
+  if (!g_json) {
+    std::printf(
+        "  %-9s %3d quiescent ticks: avg %8.4fms/tick, %lld evaluations, "
+        "%lld skips\n",
+        name, ticks, avg,
+        static_cast<long long>(engine.evaluations() - evals0),
+        static_cast<long long>(engine.skips()));
+  }
+  Record(std::string("quiescent_") + name,
+         {{"ticks", static_cast<double>(ticks)},
+          {"store_fragments", static_cast<double>(h.mgr.store("credit")->size())},
+          {"avg_tick_ms", avg},
+          {"evaluations", static_cast<double>(engine.evaluations() - evals0)},
+          {"skips", static_cast<double>(engine.skips())}});
+}
+
+// Mixed workload: transaction events keep arriving, but most registered
+// queries watch the (quiet) creditLimit subtree — only the transaction
+// queries are due each tick, and the due ones evaluate on the worker pool.
+void RunMixed(xcql::stream::TickPolicy policy, int workers, const char* name,
+              int batches, int batch_size, int limit_versions) {
+  Harness h;
+  h.AddLimitVersions(limit_versions);
+  const char* kRelevant[] = {
+      "for $t in stream(\"credit\")//transaction where $t/amount > 800 "
+      "return string($t/@id)",
+      "for $t in stream(\"credit\")//transaction[status = \"denied\"] "
+      "return string($t/@id)",
+  };
+  const char* kIrrelevant[] = {
+      "for $l in stream(\"credit\")//creditLimit return string($l)",
+      "for $l in stream(\"credit\")//creditLimit where $l > 50000 "
+      "return string($l)",
+      "count(stream(\"credit\")//creditLimit)",
+      "for $l in stream(\"credit\")//creditLimit where $l > 99999 "
+      "return string($l)",
+  };
+  for (const char* text : kRelevant) {
+    if (!h.mgr
+             .RegisterContinuousQuery(
+                 text, nullptr,
+                 {.method = xcql::lang::ExecMethod::kQaCPlus,
+                  .dedup = true,
+                  .tick_policy = policy})
+             .ok()) {
+      std::exit(1);
+    }
+  }
+  for (const char* text : kIrrelevant) {
+    if (!h.mgr
+             .RegisterContinuousQuery(
+                 text, nullptr,
+                 {.method = xcql::lang::ExecMethod::kQaCPlus,
+                  .dedup = true,
+                  .tick_policy = policy})
+             .ok()) {
+      std::exit(1);
+    }
+  }
+  auto& engine = h.mgr.continuous_engine();
+  engine.set_workers(workers);
+  double total_ms = 0;
+  for (int b = 0; b < batches; ++b) {
+    h.AppendEvents(batch_size);
+    auto start = std::chrono::steady_clock::now();
+    if (!h.mgr.Tick().ok()) std::exit(1);
+    total_ms += MsSince(start);
+  }
+  double avg = total_ms / batches;
+  if (!g_json) {
+    std::printf(
+        "  %-9s %3d ticks x %d events: avg %8.3fms/tick, %lld evaluations, "
+        "%lld skips, %d workers\n",
+        name, batches, batch_size, avg,
+        static_cast<long long>(engine.evaluations()),
+        static_cast<long long>(engine.skips()), engine.workers());
+  }
+  Record(std::string("mixed_") + name,
+         {{"ticks", static_cast<double>(batches)},
+          {"events", static_cast<double>(batches) * batch_size},
+          {"avg_tick_ms", avg},
+          {"evaluations", static_cast<double>(engine.evaluations())},
+          {"skips", static_cast<double>(engine.skips())},
+          {"workers", static_cast<double>(workers)}});
+}
 
 // Incremental-mode ablation: the same detection query evaluated over the
 // full history each tick versus restricted to fragments that arrived since
@@ -123,28 +328,7 @@ void RunMethod(xcql::lang::ExecMethod method, int batches, int batch_size) {
 // lightweight stand-in for the operator scheduling the paper defers (§8).
 void RunIncrementalAblation(int batches, int batch_size) {
   for (bool incremental : {false, true}) {
-    xcql::StreamManager mgr;
-    if (!mgr.CreateStream("credit", kCreditTs).ok()) std::exit(1);
-    if (!mgr.PublishDocumentXml(
-                "credit",
-                R"(<creditAccounts>
-                     <account id="1" vtFrom="2004-01-01T00:00:00" vtTo="now">
-                       <customer>Streaming Sam</customer>
-                       <creditLimit vtFrom="2004-01-01T00:00:00"
-                                    vtTo="now">100000</creditLimit>
-                     </account>
-                   </creditAccounts>)")
-             .ok()) {
-      std::exit(1);
-    }
-    xcql::NodePtr context = xcql::Node::Element("account");
-    context->SetAttr("id", "1");
-    xcql::NodePtr customer = xcql::Node::Element("customer");
-    customer->AddChild(xcql::Node::Text("Streaming Sam"));
-    context->AddChild(std::move(customer));
-    context->AddChild(xcql::frag::MakeHole(2, 4));
-    xcql::stream::EventAppender appender(mgr.server("credit"), 1, 2,
-                                         std::move(context));
+    Harness h;
     const char* query =
         incremental
             ? "for $t in stream(\"credit\")//transaction?[$since, now] "
@@ -152,7 +336,7 @@ void RunIncrementalAblation(int batches, int batch_size) {
             : "for $t in stream(\"credit\")//transaction "
               "where $t/amount > 800 return string($t/@id)";
     int64_t emitted = 0;
-    auto qid = mgr.RegisterContinuousQuery(
+    auto qid = h.mgr.RegisterContinuousQuery(
         query,
         [&](const xcql::xq::Sequence& delta, xcql::DateTime) {
           emitted += static_cast<int64_t>(delta.size());
@@ -162,51 +346,87 @@ void RunIncrementalAblation(int batches, int batch_size) {
          .incremental = incremental});
     if (!qid.ok()) std::exit(1);
 
-    xcql::Random rng(7);
-    xcql::DateTime t = xcql::DateTime::Parse("2004-01-02T00:00:00").value();
-    int next_id = 0;
     double total_ms = 0;
     double last_ms = 0;
     for (int b = 1; b <= batches; ++b) {
-      for (int i = 0; i < batch_size; ++i) {
-        t = t.Add(xcql::Duration::FromSeconds(2));
-        if (!appender.Append(Transaction(&rng, next_id++), t).ok()) {
-          std::exit(1);
-        }
-      }
-      if (!appender.Flush(t).ok()) std::exit(1);
-      mgr.clock().AdvanceTo(t);
+      h.AppendEvents(batch_size);
       auto start = std::chrono::steady_clock::now();
-      if (!mgr.Tick().ok()) std::exit(1);
-      last_ms = std::chrono::duration<double, std::milli>(
-                    std::chrono::steady_clock::now() - start)
-                    .count();
+      if (!h.mgr.Tick().ok()) std::exit(1);
+      last_ms = MsSince(start);
       total_ms += last_ms;
     }
-    std::printf(
-        "  %-11s detection query: %lld hits, total %8.2fms, final tick "
-        "%6.2fms\n",
-        incremental ? "incremental" : "full", static_cast<long long>(emitted),
-        total_ms, last_ms);
+    if (!g_json) {
+      std::printf(
+          "  %-11s detection query: %lld hits, total %8.2fms, final tick "
+          "%6.2fms\n",
+          incremental ? "incremental" : "full",
+          static_cast<long long>(emitted), total_ms, last_ms);
+    }
+    Record(incremental ? "watermark_incremental" : "watermark_full",
+           {{"hits", static_cast<double>(emitted)},
+            {"total_ms", total_ms},
+            {"final_tick_ms", last_ms}});
   }
-  std::printf("\n");
+  if (!g_json) std::printf("\n");
 }
 
-int main() {
-  std::printf(
-      "Continuous engine throughput: 1-hour sliding-window aggregate over "
-      "an arriving transaction stream\n\n");
-  constexpr int kBatches = 40;
-  constexpr int kBatchSize = 25;
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool quick = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0) g_json = true;
+    if (std::strcmp(argv[i], "--quick") == 0) quick = true;
+  }
+  const int kBatches = quick ? 8 : 40;
+  const int kBatchSize = quick ? 10 : 25;
+  const int kQuiescentWarm = quick ? 100 : 500;
+  const int kQuiescentTicks = quick ? 10 : 50;
+
+  if (!g_json) {
+    std::printf(
+        "Continuous engine throughput: 1-hour sliding-window aggregate over "
+        "an arriving transaction stream\n\n");
+  }
   RunMethod(xcql::lang::ExecMethod::kQaCPlus, kBatches, kBatchSize);
   RunMethod(xcql::lang::ExecMethod::kQaC, kBatches, kBatchSize);
   // CaQ re-materializes the whole view every tick — the paper's motivation
   // for processing fragments directly; fewer batches keep it bounded.
-  RunMethod(xcql::lang::ExecMethod::kCaQ, kBatches / 4, kBatchSize);
+  RunMethod(xcql::lang::ExecMethod::kCaQ, std::max(kBatches / 4, 2),
+            kBatchSize);
 
-  std::printf(
-      "Watermark ablation: full re-evaluation vs ?[$since, now] "
-      "incremental scans\n\n");
+  if (!g_json) {
+    std::printf(
+        "Quiescent stream: %d registered queries, no new fragments (seed = "
+        "re-evaluate every tick, skipping = relevance stamps)\n\n",
+        6);
+  }
+  RunQuiescent(xcql::stream::TickPolicy::kAlways, "seed", kQuiescentWarm,
+               kQuiescentTicks);
+  RunQuiescent(xcql::stream::TickPolicy::kAuto, "skipping", kQuiescentWarm,
+               kQuiescentTicks);
+  if (!g_json) std::printf("\n");
+
+  if (!g_json) {
+    std::printf(
+        "Mixed workload: 2 transaction queries + 4 queries over a long but "
+        "quiet creditLimit history, transaction events arriving every "
+        "tick\n\n");
+  }
+  const int kLimitVersions = quick ? 60 : 400;
+  RunMixed(xcql::stream::TickPolicy::kAlways, 0, "seed", kBatches, kBatchSize,
+           kLimitVersions);
+  RunMixed(xcql::stream::TickPolicy::kAuto, 3, "optimized", kBatches,
+           kBatchSize, kLimitVersions);
+  if (!g_json) std::printf("\n");
+
+  if (!g_json) {
+    std::printf(
+        "Watermark ablation: full re-evaluation vs ?[$since, now] "
+        "incremental scans\n\n");
+  }
   RunIncrementalAblation(kBatches, kBatchSize);
+
+  if (g_json) PrintJson();
   return 0;
 }

@@ -30,6 +30,7 @@ Status FragmentStore::Insert(Fragment f) {
   }
   max_valid_time_ = std::max(max_valid_time_, f.valid_time);
   ++revision_;
+  ++revision_by_tsid_[f.tsid];
   size_t idx = fragments_.size();
   fragments_.push_back(std::move(f));
   const Fragment& stored = fragments_.back();
@@ -193,7 +194,7 @@ void StoreHoleResolver::AddStore(const FragmentStore* store) {
   sole_store_ = stores_.size() == 1 ? store : nullptr;
 }
 
-Result<std::vector<NodePtr>> StoreHoleResolver::Resolve(xq::EvalContext&,
+Result<std::vector<NodePtr>> StoreHoleResolver::Resolve(xq::EvalContext& ctx,
                                                         const Node& hole) {
   const FragmentStore* store = sole_store_;
   const std::string* stream = hole.FindAttr("stream");
@@ -211,7 +212,7 @@ Result<std::vector<NodePtr>> StoreHoleResolver::Resolve(xq::EvalContext&,
         "carries no stream attribute");
   }
   XCQL_ASSIGN_OR_RETURN(int64_t id, HoleId(hole));
-  return store->GetFillerVersions(id, linear_);
+  return store->GetFillerVersions(id, ctx.linear_fillers);
 }
 
 }  // namespace xcql::frag

@@ -51,6 +51,15 @@ class FragmentStore {
   /// it to invalidate derived state such as cached materialized views.
   int64_t revision() const { return revision_; }
 
+  /// \brief Monotonic per-tsid change counter: bumped by every stored
+  /// fragment carrying the tsid. The continuous engine compares sums of
+  /// these against a per-query snapshot to decide whether a tick can skip a
+  /// query whose relevant tsids saw no new fragments.
+  int64_t tsid_revision(int tsid) const {
+    auto it = revision_by_tsid_.find(tsid);
+    return it == revision_by_tsid_.end() ? 0 : it->second;
+  }
+
   /// \brief Version elements for a filler id: payload clones annotated with
   /// vtFrom/vtTo, ordered by validTime. `linear` selects the paper-faithful
   /// O(total fragments) scan; otherwise the hash index is used.
@@ -95,6 +104,7 @@ class FragmentStore {
   std::unordered_map<int64_t, std::vector<size_t>> by_id_;
   // tsid index: distinct filler ids in first-arrival order.
   std::unordered_map<int, std::vector<int64_t>> ids_by_tsid_;
+  std::unordered_map<int, int64_t> revision_by_tsid_;
   DateTime max_valid_time_ = DateTime::Start();
   int64_t revision_ = 0;
 };
@@ -102,16 +112,13 @@ class FragmentStore {
 /// \brief HoleResolver over one or more stores: routes each hole to the
 /// store named by the hole's `stream` attribute (stamped by
 /// GetFillerVersions), defaulting to the sole store when only one is
-/// registered.
+/// registered. The lookup cost model comes from ctx.linear_fillers, so one
+/// resolver instance serves concurrent evaluations with different methods.
 class StoreHoleResolver : public xq::HoleResolver {
  public:
   StoreHoleResolver() = default;
 
   void AddStore(const FragmentStore* store);
-
-  /// \brief Selects the paper-faithful linear scan (true) or the hash
-  /// index (false) for all resolutions.
-  void set_linear(bool linear) { linear_ = linear; }
 
   Result<std::vector<NodePtr>> Resolve(xq::EvalContext& ctx,
                                        const Node& hole) override;
@@ -119,7 +126,6 @@ class StoreHoleResolver : public xq::HoleResolver {
  private:
   std::unordered_map<std::string, const FragmentStore*> stores_;
   const FragmentStore* sole_store_ = nullptr;
-  bool linear_ = false;
 };
 
 }  // namespace xcql::frag

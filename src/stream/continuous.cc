@@ -1,27 +1,63 @@
 #include "stream/continuous.h"
 
+#include <thread>
+#include <vector>
+
 #include "xml/serializer.h"
 
 namespace xcql::stream {
 
-ContinuousQueryEngine::ContinuousQueryEngine(StreamHub* hub, SimClock* clock)
-    : hub_(hub), clock_(clock) {}
+namespace {
 
-Result<int> ContinuousQueryEngine::Register(
-    const std::string& xcql, Callback callback,
-    const ContinuousQueryOptions& options) {
+// Small by design: tick evaluation is read-only over the stores, but each
+// evaluation is itself sequential, so a handful of workers saturates the
+// typical handful of due queries.
+int DefaultWorkers() {
+  unsigned hw = std::thread::hardware_concurrency();
+  if (hw <= 1) return 0;
+  return static_cast<int>(hw - 1 < 3 ? hw - 1 : 3);
+}
+
+// Dedup key of one result item: the FNV-1a hash of exactly the bytes the
+// seed engine used as its string key (SerializeXml for nodes, the string
+// value for atomics), computed without materializing them.
+uint64_t ItemKey(const xq::Item& item) {
+  if (xq::IsNode(item)) return HashSerializedXml(*xq::AsNode(item));
+  return HashBytes(xq::AsAtomic(item).ToStringValue());
+}
+
+}  // namespace
+
+ContinuousQueryEngine::ContinuousQueryEngine(StreamHub* hub, SimClock* clock)
+    : hub_(hub), clock_(clock), pool_(DefaultWorkers()) {}
+
+Status ContinuousQueryEngine::SyncStreams() {
   // Streams may have been subscribed after engine construction; sync lazily.
   for (const frag::FragmentStore* store : hub_->stores()) {
     if (registered_streams_.insert(store->name()).second) {
       XCQL_RETURN_NOT_OK(executor_.RegisterStream(store));
+      ++schema_epoch_;  // existing plans recompile against the new schema
     }
   }
-  // Validate the query now so registration errors surface immediately.
-  XCQL_ASSIGN_OR_RETURN(std::string translated,
-                        executor_.TranslateToText(xcql, options.method));
-  (void)translated;
+  return Status::OK();
+}
+
+Result<int> ContinuousQueryEngine::Register(
+    const std::string& xcql, Callback callback,
+    const ContinuousQueryOptions& options) {
+  XCQL_RETURN_NOT_OK(SyncStreams());
+  // Compile now: registration errors surface immediately, and ticks replay
+  // the plan instead of re-translating the text.
+  XCQL_ASSIGN_OR_RETURN(lang::PreparedQuery prepared,
+                        executor_.Prepare(xcql, options.method));
   int id = next_id_++;
-  queries_[id] = Query{xcql, std::move(callback), options, {}};
+  Query q;
+  q.text = xcql;
+  q.callback = std::move(callback);
+  q.options = options;
+  q.prepared = std::move(prepared);
+  q.plan_epoch = schema_epoch_;
+  queries_[id] = std::move(q);
   return id;
 }
 
@@ -37,46 +73,153 @@ void ContinuousQueryEngine::RegisterFunction(
     const std::string& name, int min_arity, int max_arity,
     xq::FunctionRegistry::NativeFn fn) {
   executor_.RegisterFunction(name, min_arity, max_arity, std::move(fn));
+  // Plans compiled before this call classified the name as unknown-opaque;
+  // recompile them so arity checks and relevance reflect the registration.
+  ++schema_epoch_;
+}
+
+int64_t ContinuousQueryEngine::RelevanceStamp(
+    const lang::QueryRelevance& rel) const {
+  const auto& stores = executor_.stores();
+  if (!rel.unbounded) {
+    int64_t stamp = 0;
+    bool bounded = true;
+    for (const auto& [stream, tsids] : rel.streams) {
+      auto it = stores.find(stream);
+      if (it == stores.end()) {
+        bounded = false;  // plan references a stream we cannot observe
+        break;
+      }
+      for (int tsid : tsids) stamp += it->second->tsid_revision(tsid);
+    }
+    if (bounded) return stamp;
+  }
+  // Conservative fallback: any fragment anywhere is relevant. The store
+  // count folds in so that a newly registered (still empty) stream also
+  // changes the stamp — it can alter results by itself (e.g. the
+  // sole-stream get_fillers binding).
+  int64_t stamp = static_cast<int64_t>(stores.size());
+  for (const auto& [name, store] : stores) stamp += store->revision();
+  return stamp;
+}
+
+bool ContinuousQueryEngine::IsDue(const Query& q, int64_t stamp) const {
+  switch (q.options.tick_policy) {
+    case TickPolicy::kAlways:
+      return true;
+    case TickPolicy::kDataDriven:
+      return stamp != q.last_stamp;
+    case TickPolicy::kAuto:
+      break;
+  }
+  // Without dedup every tick's callback is observable; with a
+  // time-sensitive plan the result can drift between ticks on the clock
+  // alone. Either way a skip could change what the consumer sees.
+  if (!q.options.dedup || q.prepared.relevance.time_sensitive) return true;
+  return stamp != q.last_stamp;
 }
 
 Status ContinuousQueryEngine::Tick() {
-  for (const frag::FragmentStore* store : hub_->stores()) {
-    if (registered_streams_.insert(store->name()).second) {
-      XCQL_RETURN_NOT_OK(executor_.RegisterStream(store));
-    }
-  }
+  XCQL_RETURN_NOT_OK(SyncStreams());
+  ++ticks_;
+  DateTime now = clock_->Now();
+
+  // Phase 1 (ticking thread): refresh stale plans, decide who is due.
+  struct DueEntry {
+    Query* q;
+    int64_t stamp;
+    Result<xq::Sequence> result = Status::Internal("not evaluated");
+  };
+  std::vector<DueEntry> due;  // ascending query id (queries_ is ordered)
   for (auto& [id, q] : queries_) {
-    lang::ExecOptions opts;
-    opts.method = q.options.method;
-    opts.now = clock_->Now();
-    if (q.options.incremental) {
-      opts.bindings["since"] =
-          xq::SingletonAtomic(xq::Atomic(q.watermark));
+    if (q.plan_epoch != schema_epoch_) {
+      auto recompiled = executor_.Prepare(q.text, q.options.method);
+      if (!recompiled.ok()) {
+        // The environment change broke this query; record and move on —
+        // other queries still tick.
+        q.last_status = recompiled.status();
+        ++q.errors;
+        continue;
+      }
+      q.prepared = recompiled.MoveValue();
+      q.plan_epoch = schema_epoch_;
+      q.last_stamp = -1;  // schema changed: previous stamp is meaningless
     }
-    XCQL_ASSIGN_OR_RETURN(xq::Sequence result,
-                          executor_.Execute(q.text, opts));
-    q.watermark = clock_->Now();
+    int64_t stamp = RelevanceStamp(q.prepared.relevance);
+    if (!IsDue(q, stamp)) {
+      ++q.skips;
+      ++skips_;
+      continue;
+    }
+    due.push_back(DueEntry{&q, stamp});
+  }
+
+  // Phase 2 (worker pool): evaluate due plans concurrently. Evaluation
+  // only reads the stores and writes its own slot, so the workers share
+  // nothing writable.
+  pool_.ParallelFor(due.size(), [&](size_t i) {
+    DueEntry& entry = due[i];
+    lang::ExecOptions opts;
+    opts.method = entry.q->options.method;
+    opts.now = now;
+    if (entry.q->options.incremental) {
+      opts.bindings["since"] =
+          xq::SingletonAtomic(xq::Atomic(entry.q->watermark));
+    }
+    entry.result = executor_.ExecutePrepared(entry.q->prepared, opts);
+  });
+
+  // Phase 3 (ticking thread): commit state and fire callbacks in query-id
+  // order — the observable sequence is independent of worker scheduling.
+  for (DueEntry& entry : due) {
+    Query& q = *entry.q;
     ++evaluations_;
+    ++q.evaluations;
+    if (!entry.result.ok()) {
+      // Keep watermark, stamp and seen-set untouched: the query retries
+      // with identical inputs next tick.
+      q.last_status = entry.result.status();
+      ++q.errors;
+      continue;
+    }
+    q.last_status = Status::OK();
+    q.last_stamp = entry.stamp;
+    q.watermark = now;
+    xq::Sequence result = std::move(entry.result).MoveValue();
     if (!q.options.dedup) {
       results_emitted_ += static_cast<int64_t>(result.size());
-      if (q.callback) q.callback(result, clock_->Now());
+      if (q.callback) q.callback(result, now);
       continue;
     }
     xq::Sequence delta;
     for (xq::Item& item : result) {
-      std::string key = xq::IsNode(item)
-                            ? SerializeXml(*xq::AsNode(item))
-                            : xq::AsAtomic(item).ToStringValue();
-      if (q.seen.insert(std::move(key)).second) {
+      if (q.seen.insert(ItemKey(item)).second) {
         delta.push_back(std::move(item));
       }
     }
     if (!delta.empty()) {
       results_emitted_ += static_cast<int64_t>(delta.size());
-      if (q.callback) q.callback(delta, clock_->Now());
+      if (q.callback) q.callback(delta, now);
     }
   }
   return Status::OK();
+}
+
+Result<ContinuousQueryStats> ContinuousQueryEngine::QueryStats(int id) const {
+  auto it = queries_.find(id);
+  if (it == queries_.end()) {
+    return Status::NotFound("no continuous query with id " +
+                            std::to_string(id));
+  }
+  const Query& q = it->second;
+  ContinuousQueryStats stats;
+  stats.evaluations = q.evaluations;
+  stats.skips = q.skips;
+  stats.errors = q.errors;
+  stats.last_status = q.last_status;
+  stats.time_sensitive = q.prepared.relevance.time_sensitive;
+  stats.unbounded = q.prepared.relevance.unbounded;
+  return stats;
 }
 
 }  // namespace xcql::stream

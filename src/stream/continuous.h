@@ -3,21 +3,52 @@
 // appearing results (paper §1/§3: queries run continuously over the
 // fragmented streams; operator-level scheduling is the paper's future
 // work, so the engine re-evaluates per tick and deduplicates output).
+//
+// A tick is incremental in three ways:
+//  * compile once — each query is parsed and translated at Register()
+//    time; ticks replay the compiled plan (QueryExecutor::ExecutePrepared);
+//  * relevance skipping — the translation names the (stream, tsid) pairs a
+//    plan can touch; a query is re-evaluated only when a relevant fragment
+//    arrived since its last evaluation (or when skipping is not provably
+//    safe: see TickPolicy);
+//  * parallel evaluation — due queries evaluate concurrently on a small
+//    worker pool (evaluation only reads the stores), then callbacks fire
+//    on the ticking thread in ascending query-id order, so observable
+//    behavior is deterministic regardless of worker count.
 #ifndef XCQL_STREAM_CONTINUOUS_H_
 #define XCQL_STREAM_CONTINUOUS_H_
 
+#include <cstdint>
 #include <functional>
 #include <map>
 #include <memory>
 #include <set>
 #include <string>
+#include <unordered_set>
 
 #include "common/result.h"
 #include "stream/clock.h"
 #include "stream/registry.h"
+#include "stream/tick_pool.h"
 #include "xcql/executor.h"
 
 namespace xcql::stream {
+
+/// \brief When a tick may skip re-evaluating a query.
+enum class TickPolicy {
+  /// Skip only when provably invisible: dedup is on (a skipped evaluation
+  /// could at most have re-found already-emitted items), the plan is not
+  /// time-sensitive (its result cannot drift with the clock alone), and no
+  /// relevant fragment arrived. This is the default and never changes the
+  /// emitted delta stream.
+  kAuto,
+  /// Never skip — the seed engine's behavior.
+  kAlways,
+  /// Skip whenever no relevant fragment arrived, even without dedup or for
+  /// time-sensitive plans. The caller asserts that clock-only drift does
+  /// not matter to this query's consumer.
+  kDataDriven,
+};
 
 /// \brief Per-query options.
 struct ContinuousQueryOptions {
@@ -32,6 +63,19 @@ struct ContinuousQueryOptions {
   /// delta evaluation, a lightweight stand-in for the operator scheduling
   /// the paper defers to future work (§8).
   bool incremental = false;
+  /// Tick-skipping policy (see TickPolicy).
+  TickPolicy tick_policy = TickPolicy::kAuto;
+};
+
+/// \brief Per-query runtime counters and status.
+struct ContinuousQueryStats {
+  int64_t evaluations = 0;  // plan executions
+  int64_t skips = 0;        // ticks that skipped this query
+  int64_t errors = 0;       // failed evaluations (tick continued)
+  Status last_status;       // outcome of the most recent evaluation attempt
+  /// From the plan's relevance analysis (see lang::QueryRelevance).
+  bool time_sensitive = false;
+  bool unbounded = false;
 };
 
 /// \brief Runs registered XCQL queries continuously over a hub's streams.
@@ -44,40 +88,82 @@ class ContinuousQueryEngine {
   ContinuousQueryEngine(StreamHub* hub, SimClock* clock);
 
   /// \brief Registers a continuous query; returns its id. The query is
-  /// validated (parsed and translated) immediately.
+  /// compiled (parsed, translated, relevance-analyzed) immediately; ticks
+  /// reuse the compiled plan.
   Result<int> Register(const std::string& xcql, Callback callback,
                        const ContinuousQueryOptions& options = {});
 
   Status Unregister(int id);
 
-  /// \brief Registers an application UDF available to all queries.
+  /// \brief Registers an application UDF available to all queries. Queries
+  /// calling it are never skipped (its data accesses are opaque), and
+  /// already-compiled plans are recompiled on the next tick so they can
+  /// see it.
   void RegisterFunction(const std::string& name, int min_arity, int max_arity,
                         xq::FunctionRegistry::NativeFn fn);
 
-  /// \brief Re-evaluates every registered query at the clock's current
-  /// time, invoking callbacks with new results.
+  /// \brief Re-evaluates every due query at the clock's current time,
+  /// invoking callbacks with new results. A query whose evaluation fails
+  /// does not abort the tick: its error is recorded (see QueryStats) and
+  /// its watermark/relevance state stays put so it retries next tick.
   Status Tick();
+
+  /// \brief Number of evaluation worker threads (in addition to the ticking
+  /// thread). 0 evaluates everything inline.
+  void set_workers(int workers) { pool_.Resize(workers); }
+  int workers() const { return pool_.workers(); }
 
   int64_t evaluations() const { return evaluations_; }
   int64_t results_emitted() const { return results_emitted_; }
+  int64_t ticks() const { return ticks_; }
+  /// \brief Query-ticks skipped by relevance/policy checks.
+  int64_t skips() const { return skips_; }
+
+  Result<ContinuousQueryStats> QueryStats(int id) const;
 
  private:
   struct Query {
     std::string text;
     Callback callback;
     ContinuousQueryOptions options;
-    std::set<std::string> seen;  // serialized results already emitted
+    lang::PreparedQuery prepared;
+    /// Engine schema epoch the plan was compiled against; a mismatch (new
+    /// stream or UDF appeared) triggers recompilation at the next tick.
+    int64_t plan_epoch = 0;
+    /// Relevance stamp at the last successful evaluation; -1 = never
+    /// evaluated, so the first tick is always due.
+    int64_t last_stamp = -1;
+    /// 64-bit FNV-1a hashes of the serialized items already emitted
+    /// (dedup mode). Hashing streams the serialization events, so no
+    /// per-item result string is ever materialized.
+    std::unordered_set<uint64_t> seen;
     DateTime watermark = DateTime::Start();  // $since in incremental mode
+    int64_t evaluations = 0;
+    int64_t skips = 0;
+    int64_t errors = 0;
+    Status last_status;
   };
+
+  Status SyncStreams();
+  /// Monotonic sum of the revision counters of the plan's relevant tsids
+  /// (all stores when unbounded): unchanged ⇔ no relevant fragment arrived.
+  int64_t RelevanceStamp(const lang::QueryRelevance& rel) const;
+  bool IsDue(const Query& q, int64_t stamp) const;
 
   StreamHub* hub_;
   SimClock* clock_;
   lang::QueryExecutor executor_;
+  TickPool pool_;
   std::map<int, Query> queries_;
   std::set<std::string> registered_streams_;
+  /// Bumped whenever the compile environment changes (stream or UDF
+  /// registered); plans with an older epoch are recompiled lazily.
+  int64_t schema_epoch_ = 0;
   int next_id_ = 1;
   int64_t evaluations_ = 0;
   int64_t results_emitted_ = 0;
+  int64_t ticks_ = 0;
+  int64_t skips_ = 0;
 };
 
 }  // namespace xcql::stream

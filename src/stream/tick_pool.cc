@@ -1,0 +1,79 @@
+#include "stream/tick_pool.h"
+
+namespace xcql::stream {
+
+TickPool::TickPool(int workers) { Resize(workers); }
+
+TickPool::~TickPool() {
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& t : threads_) t.join();
+}
+
+void TickPool::Resize(int workers) {
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& t : threads_) t.join();
+  threads_.clear();
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    stop_ = false;
+  }
+  if (workers < 0) workers = 0;
+  threads_.reserve(static_cast<size_t>(workers));
+  for (int i = 0; i < workers; ++i) {
+    threads_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+int TickPool::workers() const { return static_cast<int>(threads_.size()); }
+
+void TickPool::DrainJob(std::unique_lock<std::mutex>& lock) {
+  while (fn_ != nullptr && next_ < n_) {
+    size_t idx = next_++;
+    ++running_;
+    const std::function<void(size_t)>* fn = fn_;
+    lock.unlock();
+    (*fn)(idx);
+    lock.lock();
+    --running_;
+  }
+}
+
+void TickPool::WorkerLoop() {
+  std::unique_lock<std::mutex> lock(mu_);
+  for (;;) {
+    work_cv_.wait(lock,
+                  [this] { return stop_ || (fn_ != nullptr && next_ < n_); });
+    if (stop_) return;
+    DrainJob(lock);
+    if (running_ == 0 && next_ >= n_) done_cv_.notify_all();
+  }
+}
+
+void TickPool::ParallelFor(size_t n, const std::function<void(size_t)>& fn) {
+  if (n == 0) return;
+  if (threads_.empty() || n == 1) {
+    for (size_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+  std::unique_lock<std::mutex> lock(mu_);
+  fn_ = &fn;
+  n_ = n;
+  next_ = 0;
+  running_ = 0;
+  work_cv_.notify_all();
+  // The caller is a worker too: claim indices until none remain, then wait
+  // for stragglers still executing theirs.
+  DrainJob(lock);
+  done_cv_.wait(lock, [this] { return running_ == 0 && next_ >= n_; });
+  fn_ = nullptr;
+}
+
+}  // namespace xcql::stream

@@ -1,0 +1,63 @@
+// A small persistent worker pool for the continuous engine's parallel tick:
+// ParallelFor fans an index range out over the workers (the calling thread
+// participates too) and returns only when every index has been processed.
+//
+// All shared state is mutex-guarded — no atomics, no lock-free tricks — so
+// the pool is trivially clean under ThreadSanitizer and the engine's
+// determinism argument stays simple: workers only ever run the closure;
+// everything order-sensitive happens on the caller after the join.
+#ifndef XCQL_STREAM_TICK_POOL_H_
+#define XCQL_STREAM_TICK_POOL_H_
+
+#include <condition_variable>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace xcql::stream {
+
+/// \brief Fixed-size worker pool executing indexed jobs.
+///
+/// One ParallelFor runs at a time (calls do not nest); the closure must be
+/// safe to invoke concurrently for distinct indices.
+class TickPool {
+ public:
+  /// \param workers number of worker threads in addition to the calling
+  /// thread; 0 means ParallelFor runs everything inline.
+  explicit TickPool(int workers = 0);
+  ~TickPool();
+
+  TickPool(const TickPool&) = delete;
+  TickPool& operator=(const TickPool&) = delete;
+
+  /// \brief Joins the current workers and spawns `workers` new ones.
+  void Resize(int workers);
+
+  int workers() const;
+
+  /// \brief Invokes fn(0) … fn(n-1), distributing indices over the workers
+  /// and the calling thread; returns after the last invocation finished.
+  void ParallelFor(size_t n, const std::function<void(size_t)>& fn);
+
+ private:
+  void WorkerLoop();
+  /// Claims and runs indices until none are left. Caller must hold `lock`.
+  void DrainJob(std::unique_lock<std::mutex>& lock);
+
+  mutable std::mutex mu_;
+  std::condition_variable work_cv_;  // signals workers: job posted / stop
+  std::condition_variable done_cv_;  // signals caller: job finished
+  std::vector<std::thread> threads_;
+  bool stop_ = false;
+
+  // Current job; fn_ is non-null exactly while a ParallelFor is active.
+  const std::function<void(size_t)>* fn_ = nullptr;
+  size_t n_ = 0;
+  size_t next_ = 0;    // next unclaimed index
+  size_t running_ = 0;  // invocations currently executing
+};
+
+}  // namespace xcql::stream
+
+#endif  // XCQL_STREAM_TICK_POOL_H_

@@ -62,11 +62,15 @@ Result<NodePtr> ResolveHolesDeep(xq::EvalContext* ctx, const NodePtr& node,
 QueryExecutor::QueryExecutor() : registry_(xq::FunctionRegistry::Builtins()) {
   RegisterProjectionFunctions(&registry_);
 
+  // The fragment-access natives read their cost model (linear scan vs hash
+  // index) from ctx.linear_fillers, so concurrent evaluations with
+  // different methods can share this executor.
+
   // xcql:get_fillers(stream, ids) — filler wrappers for each id, using the
   // method's cost model (paper-faithful linear scan for QaC).
   registry_.RegisterNative(
       "xcql:get_fillers", 2, 2,
-      [this](xq::EvalContext&,
+      [this](xq::EvalContext& ctx,
              std::vector<xq::Sequence>& args) -> Result<xq::Sequence> {
         if (args[0].size() != 1) {
           return Status::InvalidArgument("xcql:get_fillers: bad stream arg");
@@ -81,7 +85,7 @@ QueryExecutor::QueryExecutor() : registry_(xq::FunctionRegistry::Builtins()) {
           XCQL_ASSIGN_OR_RETURN(int64_t id, ItemToFillerId(idi));
           XCQL_ASSIGN_OR_RETURN(
               NodePtr wrapper,
-              it->second->GetFillerWrapper(id, linear_get_fillers_));
+              it->second->GetFillerWrapper(id, ctx.linear_fillers));
           out.emplace_back(std::move(wrapper));
         }
         return out;
@@ -141,7 +145,7 @@ QueryExecutor::QueryExecutor() : registry_(xq::FunctionRegistry::Builtins()) {
   // get_fillers(ids) / get_fillers_list(ids) — the paper's §5/§6.1 spelling,
   // bound to the sole registered stream for hand-written fragment queries.
   auto sole_store_fillers =
-      [this](xq::EvalContext&,
+      [this](xq::EvalContext& ctx,
              std::vector<xq::Sequence>& args) -> Result<xq::Sequence> {
     if (stores_.size() != 1) {
       return Status::InvalidArgument(
@@ -153,7 +157,7 @@ QueryExecutor::QueryExecutor() : registry_(xq::FunctionRegistry::Builtins()) {
     for (const xq::Item& idi : args[0]) {
       XCQL_ASSIGN_OR_RETURN(int64_t id, ItemToFillerId(idi));
       XCQL_ASSIGN_OR_RETURN(NodePtr wrapper,
-                            store->GetFillerWrapper(id, linear_get_fillers_));
+                            store->GetFillerWrapper(id, ctx.linear_fillers));
       out.emplace_back(std::move(wrapper));
     }
     return out;
@@ -181,7 +185,7 @@ QueryExecutor::QueryExecutor() : registry_(xq::FunctionRegistry::Builtins()) {
   // temporalize(stream-name) — materializes a stream's temporal view.
   registry_.RegisterNative(
       "temporalize", 1, 1,
-      [this](xq::EvalContext&,
+      [this](xq::EvalContext& ctx,
              std::vector<xq::Sequence>& args) -> Result<xq::Sequence> {
         std::string name = xq::SequenceToString(args[0]);
         auto it = stores_.find(name);
@@ -189,7 +193,7 @@ QueryExecutor::QueryExecutor() : registry_(xq::FunctionRegistry::Builtins()) {
           return Status::NotFound("unknown stream '" + name + "'");
         }
         XCQL_ASSIGN_OR_RETURN(
-            NodePtr view, frag::Temporalize(*it->second, linear_get_fillers_));
+            NodePtr view, frag::Temporalize(*it->second, ctx.linear_fillers));
         return xq::SingletonNode(std::move(view));
       });
 }
@@ -210,27 +214,50 @@ void QueryExecutor::RegisterFunction(const std::string& name, int min_arity,
                                      int max_arity,
                                      xq::FunctionRegistry::NativeFn fn) {
   registry_.RegisterNative(name, min_arity, max_arity, std::move(fn));
+  custom_natives_.insert(name);
 }
 
-Result<xq::Sequence> QueryExecutor::Execute(std::string_view query,
-                                            const ExecOptions& options) {
-  XCQL_ASSIGN_OR_RETURN(xq::Program prog, xq::ParseQuery(query));
+std::map<std::string, const frag::TagStructure*> QueryExecutor::Schemas()
+    const {
   std::map<std::string, const frag::TagStructure*> schemas;
   for (const auto& [name, store] : stores_) {
     schemas[name] = &store->tag_structure();
   }
-  Translator translator(std::move(schemas), options.method);
+  return schemas;
+}
+
+Result<PreparedQuery> QueryExecutor::Prepare(std::string_view query,
+                                             ExecMethod method) const {
+  XCQL_ASSIGN_OR_RETURN(xq::Program prog, xq::ParseQuery(query));
+  std::map<std::string, const frag::TagStructure*> schemas = Schemas();
+  Translator translator(schemas, method);
   XCQL_ASSIGN_OR_RETURN(xq::Program translated, translator.Translate(prog));
+  PreparedQuery out;
+  out.method = method;
+  out.relevance = AnalyzeRelevance(translated, schemas, custom_natives_);
+  out.program = std::make_shared<const xq::Program>(std::move(translated));
+  return out;
+}
 
-  // Cost model: QaC (and CaQ's materialization) use the paper-faithful
-  // linear scan; QaC+ uses the hash index.
-  linear_get_fillers_ = options.linear_get_fillers.value_or(
-      options.method != ExecMethod::kQaCPlus);
-  resolver_.set_linear(linear_get_fillers_);
+Result<xq::Sequence> QueryExecutor::Execute(std::string_view query,
+                                            const ExecOptions& options) const {
+  XCQL_ASSIGN_OR_RETURN(PreparedQuery prepared,
+                        Prepare(query, options.method));
+  return ExecutePrepared(prepared, options);
+}
 
+Result<xq::Sequence> QueryExecutor::ExecutePrepared(
+    const PreparedQuery& prepared, const ExecOptions& options) const {
+  if (prepared.program == nullptr) {
+    return Status::InvalidArgument("ExecutePrepared: empty prepared query");
+  }
   xq::EvalContext ctx;
   ctx.functions = &registry_;
   ctx.hole_resolver = &resolver_;
+  // Cost model: QaC (and CaQ's materialization) use the paper-faithful
+  // linear scan; QaC+ uses the hash index.
+  ctx.linear_fillers = options.linear_get_fillers.value_or(
+      prepared.method != ExecMethod::kQaCPlus);
   if (options.now.has_value()) {
     ctx.now = *options.now;
   } else {
@@ -241,9 +268,10 @@ Result<xq::Sequence> QueryExecutor::Execute(std::string_view query,
     ctx.now = now;
   }
 
-  if (options.method == ExecMethod::kCaQ) {
+  if (prepared.method == ExecMethod::kCaQ) {
     for (const auto& [name, store] : stores_) {
       if (options.cache_materialized_views) {
+        std::lock_guard<std::mutex> lock(view_cache_mu_);
         auto cached = view_cache_.find(name);
         if (cached != view_cache_.end() &&
             cached->second.revision == store->revision()) {
@@ -252,12 +280,13 @@ Result<xq::Sequence> QueryExecutor::Execute(std::string_view query,
         }
       }
       XCQL_ASSIGN_OR_RETURN(NodePtr view,
-                            frag::Temporalize(*store, linear_get_fillers_));
+                            frag::Temporalize(*store, ctx.linear_fillers));
       // Wrap in a synthetic document node so `stream(x)/root-name` steps
       // work exactly as they do over the fragment methods' root wrapper.
       NodePtr doc = Node::Element("#document");
       doc->AddChild(std::move(view));
       if (options.cache_materialized_views) {
+        std::lock_guard<std::mutex> lock(view_cache_mu_);
         view_cache_[name] = CachedView{store->revision(), doc};
       }
       ctx.documents[name] = std::move(doc);
@@ -268,15 +297,16 @@ Result<xq::Sequence> QueryExecutor::Execute(std::string_view query,
   for (const auto& [name, seq] : options.bindings) {
     evaluator.Bind(name, seq);
   }
-  XCQL_ASSIGN_OR_RETURN(xq::Sequence result, evaluator.EvalProgram(translated));
-  if (options.materialize_result && options.method != ExecMethod::kCaQ) {
+  XCQL_ASSIGN_OR_RETURN(xq::Sequence result,
+                        evaluator.EvalProgram(*prepared.program));
+  if (options.materialize_result && prepared.method != ExecMethod::kCaQ) {
     return MaterializeResult(std::move(result), &ctx);
   }
   return result;
 }
 
-Result<xq::Sequence> QueryExecutor::MaterializeResult(xq::Sequence seq,
-                                                      xq::EvalContext* ctx) {
+Result<xq::Sequence> QueryExecutor::MaterializeResult(
+    xq::Sequence seq, xq::EvalContext* ctx) const {
   for (xq::Item& item : seq) {
     if (!xq::IsNode(item)) continue;
     XCQL_ASSIGN_OR_RETURN(NodePtr resolved,
@@ -287,13 +317,9 @@ Result<xq::Sequence> QueryExecutor::MaterializeResult(xq::Sequence seq,
 }
 
 Result<std::string> QueryExecutor::TranslateToText(std::string_view query,
-                                                   ExecMethod method) {
+                                                   ExecMethod method) const {
   XCQL_ASSIGN_OR_RETURN(xq::Program prog, xq::ParseQuery(query));
-  std::map<std::string, const frag::TagStructure*> schemas;
-  for (const auto& [name, store] : stores_) {
-    schemas[name] = &store->tag_structure();
-  }
-  Translator translator(std::move(schemas), method);
+  Translator translator(Schemas(), method);
   XCQL_ASSIGN_OR_RETURN(xq::Program translated, translator.Translate(prog));
   std::string out;
   for (const auto& f : translated.functions) {
@@ -313,7 +339,7 @@ Result<std::string> QueryExecutor::TranslateToText(std::string_view query,
 }
 
 Result<NodePtr> QueryExecutor::MaterializeView(const std::string& stream,
-                                               bool linear) {
+                                               bool linear) const {
   auto it = stores_.find(stream);
   if (it == stores_.end()) {
     return Status::NotFound("unknown stream '" + stream + "'");

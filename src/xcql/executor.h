@@ -2,10 +2,19 @@
 // translates XCQL per execution method, installs the fragment-access
 // natives (xcql:get_fillers, xcql:tsid_scan) with the method's cost model,
 // runs the query, and materializes result fragments (paper Fig. 2).
+//
+// Queries can be compiled once with Prepare() and run many times with
+// ExecutePrepared() — the continuous engine does this so a tick pays only
+// evaluation, never parsing or translation. ExecutePrepared() is const and
+// safe to call from several threads at once as long as no stream store is
+// mutated concurrently (evaluation only reads the stores).
 #ifndef XCQL_XCQL_EXECUTOR_H_
 #define XCQL_XCQL_EXECUTOR_H_
 
 #include <map>
+#include <memory>
+#include <mutex>
+#include <set>
 #include <string>
 #include <string_view>
 
@@ -45,9 +54,22 @@ struct ExecOptions {
   bool cache_materialized_views = false;
 };
 
+/// \brief A query compiled once for one execution method: the translated
+/// program plus its relevance summary. Cheap to copy (the program is
+/// shared and immutable after Prepare).
+struct PreparedQuery {
+  std::shared_ptr<const xq::Program> program;
+  ExecMethod method = ExecMethod::kQaCPlus;
+  /// Conservative summary of the fragments that can affect the result and
+  /// whether the result can drift without new data (see QueryRelevance).
+  QueryRelevance relevance;
+};
+
 /// \brief Executes XCQL queries over registered fragment streams.
 ///
-/// Not thread-safe; use one executor per thread.
+/// Registration (RegisterStream/RegisterFunction) is not thread-safe;
+/// Execute/Prepare/ExecutePrepared afterwards may run concurrently with
+/// each other provided the registered stores are not mutated meanwhile.
 class QueryExecutor {
  public:
   QueryExecutor();
@@ -57,38 +79,56 @@ class QueryExecutor {
   Status RegisterStream(const frag::FragmentStore* store);
 
   /// \brief Registers an application-specific native function, visible to
-  /// all queries run through this executor.
+  /// all queries run through this executor. Its data accesses are opaque to
+  /// the relevance analysis, so queries calling it are never tick-skipped.
   void RegisterFunction(const std::string& name, int min_arity, int max_arity,
                         xq::FunctionRegistry::NativeFn fn);
 
-  /// \brief Parses, translates and runs `query`.
+  /// \brief Parses, translates and runs `query` (Prepare + ExecutePrepared).
   Result<xq::Sequence> Execute(std::string_view query,
-                               const ExecOptions& options);
+                               const ExecOptions& options) const;
+
+  /// \brief Parses and translates `query` once; the result can be executed
+  /// any number of times without re-compilation.
+  Result<PreparedQuery> Prepare(std::string_view query,
+                                ExecMethod method) const;
+
+  /// \brief Runs a compiled query. `options.method` is ignored — the method
+  /// was fixed at Prepare time.
+  Result<xq::Sequence> ExecutePrepared(const PreparedQuery& prepared,
+                                       const ExecOptions& options) const;
 
   /// \brief Returns the translated query text (for inspection/tests; this
   /// is the output of the paper's Fig. 3 mapping).
   Result<std::string> TranslateToText(std::string_view query,
-                                      ExecMethod method);
+                                      ExecMethod method) const;
 
   /// \brief Materializes a stream's full temporal view (CaQ's first stage;
   /// also useful on its own). `linear` selects the paper-faithful scan.
-  Result<NodePtr> MaterializeView(const std::string& stream, bool linear);
+  Result<NodePtr> MaterializeView(const std::string& stream, bool linear) const;
+
+  const std::map<std::string, const frag::FragmentStore*>& stores() const {
+    return stores_;
+  }
 
  private:
   Result<xq::Sequence> MaterializeResult(xq::Sequence seq,
-                                         xq::EvalContext* ctx);
+                                         xq::EvalContext* ctx) const;
+  std::map<std::string, const frag::TagStructure*> Schemas() const;
 
   std::map<std::string, const frag::FragmentStore*> stores_;
   xq::FunctionRegistry registry_;
-  frag::StoreHoleResolver resolver_;
-  // Per-execution state read by the fragment-access natives.
-  bool linear_get_fillers_ = false;
-  // CaQ view cache (see ExecOptions::cache_materialized_views).
+  // Host-registered native names: opaque to the relevance analysis.
+  std::set<std::string> custom_natives_;
+  mutable frag::StoreHoleResolver resolver_;
+  // CaQ view cache (see ExecOptions::cache_materialized_views). Guarded by
+  // view_cache_mu_ so concurrent ExecutePrepared calls stay safe.
   struct CachedView {
     int64_t revision;
     NodePtr doc;
   };
-  std::map<std::string, CachedView> view_cache_;
+  mutable std::mutex view_cache_mu_;
+  mutable std::map<std::string, CachedView> view_cache_;
 };
 
 }  // namespace xcql::lang

@@ -108,7 +108,328 @@ bool IsDefinitelyBoolean(const Expr& e) {
   }
 }
 
+// --- relevance analysis -------------------------------------------------------
+
+// Builtins that read neither the stores nor the clock. Anything not listed
+// here (and not otherwise classified) is treated as opaque.
+bool IsPureBuiltin(const std::string& name) {
+  static const std::set<std::string> kPure = {
+      "count",        "sum",          "avg",
+      "max",          "min",          "not",
+      "boolean",      "true",         "false",
+      "empty",        "exists",       "name",
+      "string",       "number",       "data",
+      "concat",       "string-join",  "contains",
+      "starts-with",  "ends-with",    "substring",
+      "string-length", "normalize-space",
+      "dateTime",     "xs:dateTime",  "duration",
+      "xs:duration",  "xdt:dayTimeDuration",
+      "vtFrom",       "round",        "floor",
+      "ceiling",      "abs",          "deep-equal",
+      "serialize",    "distinct-values", "reverse",
+      "subsequence",  "index-of",     "distance",
+      "triangulate",  "xcql:start",
+  };
+  return kPure.count(name) > 0;
+}
+
+// Builtins whose value depends on the evaluation clock.
+bool IsClockBuiltin(const std::string& name) {
+  // vtTo resolves the open bound "now" to ctx.now; the current-* family and
+  // xcql:now read the clock directly.
+  return name == "xcql:now" || name == "current-dateTime" ||
+         name == "currentDateTime" || name == "current-date" ||
+         name == "current-time" || name == "vtTo";
+}
+
+void CollectSubtreeTsids(const frag::TagNode* tag, std::set<int>* out) {
+  out->insert(tag->id);
+  for (const auto& c : tag->children) CollectSubtreeTsids(c.get(), out);
+}
+
+class RelevanceWalker {
+ public:
+  RelevanceWalker(const std::map<std::string, const frag::TagStructure*>& schemas,
+                  const std::set<std::string>& opaque,
+                  std::set<std::string> declared, QueryRelevance* out)
+      : schemas_(schemas),
+        opaque_(opaque),
+        declared_(std::move(declared)),
+        out_(out) {}
+
+  void Walk(const Expr* e) {
+    if (e == nullptr) return;
+    switch (e->kind()) {
+      case ExprKind::kLiteral:
+      case ExprKind::kVarRef:
+      case ExprKind::kContextItem:
+        return;
+      case ExprKind::kSequence:
+        for (const auto& it : static_cast<const SequenceExpr*>(e)->items) {
+          Walk(it.get());
+        }
+        return;
+      case ExprKind::kFlwor: {
+        const auto* f = static_cast<const FlworExpr*>(e);
+        for (const auto& c : f->clauses) {
+          Walk(c.expr.get());
+          for (const auto& k : c.keys) Walk(k.key.get());
+        }
+        Walk(f->ret.get());
+        return;
+      }
+      case ExprKind::kQuantified: {
+        const auto* q = static_cast<const QuantifiedExpr*>(e);
+        for (const auto& b : q->bindings) Walk(b.expr.get());
+        Walk(q->satisfies.get());
+        return;
+      }
+      case ExprKind::kIf: {
+        const auto* i = static_cast<const IfExpr*>(e);
+        Walk(i->cond.get());
+        Walk(i->then_branch.get());
+        Walk(i->else_branch.get());
+        return;
+      }
+      case ExprKind::kBinary: {
+        const auto* b = static_cast<const BinaryExpr*>(e);
+        switch (b->op) {
+          case xq::BinOp::kBefore:
+          case xq::BinOp::kAfter:
+          case xq::BinOp::kMeets:
+          case xq::BinOp::kOverlaps:
+          case xq::BinOp::kContains:
+          case xq::BinOp::kDuring:
+            // Interval relations compare lifespans, and open lifespans end
+            // at the moving `now`.
+            out_->time_sensitive = true;
+            break;
+          default:
+            break;
+        }
+        Walk(b->lhs.get());
+        Walk(b->rhs.get());
+        return;
+      }
+      case ExprKind::kUnary:
+        Walk(static_cast<const UnaryExpr*>(e)->operand.get());
+        return;
+      case ExprKind::kPath: {
+        const auto* p = static_cast<const PathExpr*>(e);
+        Walk(p->input.get());
+        for (const auto& s : p->steps) {
+          if (s.axis == PathStep::Axis::kAttribute && s.name == "vtTo") {
+            // @vtTo of an open version reads "now".
+            out_->time_sensitive = true;
+          }
+          for (const auto& pr : s.predicates) Walk(pr.get());
+        }
+        return;
+      }
+      case ExprKind::kFilter: {
+        const auto* f = static_cast<const FilterExpr*>(e);
+        Walk(f->input.get());
+        for (const auto& pr : f->predicates) Walk(pr.get());
+        return;
+      }
+      case ExprKind::kFunctionCall:
+        WalkCall(*static_cast<const FunctionCallExpr*>(e));
+        return;
+      case ExprKind::kDirectElement: {
+        const auto* d = static_cast<const DirectElementExpr*>(e);
+        for (const auto& a : d->attrs) {
+          for (const auto& part : a.value) Walk(part.expr.get());
+        }
+        for (const auto& part : d->content) Walk(part.expr.get());
+        return;
+      }
+      case ExprKind::kComputedElement: {
+        const auto* c = static_cast<const ComputedElementExpr*>(e);
+        Walk(c->name_expr.get());
+        Walk(c->content.get());
+        return;
+      }
+      case ExprKind::kComputedAttribute: {
+        const auto* c = static_cast<const ComputedAttributeExpr*>(e);
+        Walk(c->name_expr.get());
+        Walk(c->content.get());
+        return;
+      }
+      case ExprKind::kIntervalProj: {
+        const auto* p = static_cast<const IntervalProjExpr*>(e);
+        // Projections clip against open lifespans, which end at `now`.
+        out_->time_sensitive = true;
+        Walk(p->input.get());
+        Walk(p->lo.get());
+        Walk(p->hi.get());
+        return;
+      }
+      case ExprKind::kVersionProj: {
+        const auto* p = static_cast<const VersionProjExpr*>(e);
+        // Version lifespans are annotated onto the output; the last one is
+        // open at `now`.
+        out_->time_sensitive = true;
+        Walk(p->input.get());
+        Walk(p->lo.get());
+        Walk(p->hi.get());
+        return;
+      }
+    }
+  }
+
+ private:
+  // Literal helpers: nullopt when the argument is absent or not a literal
+  // of the wanted type.
+  static std::optional<std::string> LitString(
+      const std::vector<ExprPtr>& args, size_t i) {
+    if (i >= args.size() || args[i] == nullptr ||
+        args[i]->kind() != ExprKind::kLiteral) {
+      return std::nullopt;
+    }
+    const auto& lit = static_cast<const LiteralExpr&>(*args[i]);
+    if (!lit.value.is_string()) return std::nullopt;
+    return lit.value.AsString();
+  }
+  static std::optional<int64_t> LitInt(const std::vector<ExprPtr>& args,
+                                       size_t i) {
+    if (i >= args.size() || args[i] == nullptr ||
+        args[i]->kind() != ExprKind::kLiteral) {
+      return std::nullopt;
+    }
+    const auto& lit = static_cast<const LiteralExpr&>(*args[i]);
+    if (!lit.value.is_int()) return std::nullopt;
+    return lit.value.AsInt();
+  }
+
+  void AddWholeStream(const std::string& stream) {
+    auto it = schemas_.find(stream);
+    if (it == schemas_.end() || it->second->root() == nullptr) {
+      out_->unbounded = true;
+      return;
+    }
+    CollectSubtreeTsids(it->second->root(), &out_->streams[stream]);
+  }
+
+  void AddTsidSubtree(const std::string& stream, int64_t tsid) {
+    auto it = schemas_.find(stream);
+    const frag::TagNode* tag =
+        it == schemas_.end() ? nullptr
+                             : it->second->FindById(static_cast<int>(tsid));
+    if (tag == nullptr) {
+      AddWholeStream(stream);
+      return;
+    }
+    // The scan returns fillers of `tsid`, but their payloads hold holes
+    // whose resolution (projections, result materialization) descends into
+    // the fillers of every schema descendant.
+    CollectSubtreeTsids(tag, &out_->streams[stream]);
+  }
+
+  void WalkCall(const FunctionCallExpr& e) {
+    for (const auto& a : e.args) Walk(a.get());
+
+    if (e.name == "xcql:tsid_scan" || e.name == "xcql:tsid_scan_range") {
+      std::optional<std::string> stream = LitString(e.args, 0);
+      std::optional<int64_t> tsid = LitInt(e.args, 1);
+      if (!stream.has_value()) {
+        out_->unbounded = true;
+      } else if (!tsid.has_value()) {
+        AddWholeStream(*stream);
+      } else {
+        AddTsidSubtree(*stream, *tsid);
+      }
+      return;
+    }
+    if (e.name == "xcql:get_fillers") {
+      // The filler ids flow from hole attributes in the data, so anything
+      // on the named stream may be touched.
+      std::optional<std::string> stream = LitString(e.args, 0);
+      if (stream.has_value()) {
+        AddWholeStream(*stream);
+      } else {
+        out_->unbounded = true;
+      }
+      return;
+    }
+    if (e.name == "get_fillers" || e.name == "get_fillers_list") {
+      // Paper spelling, bound to the sole registered stream.
+      if (schemas_.size() == 1) {
+        AddWholeStream(schemas_.begin()->first);
+      } else {
+        out_->unbounded = true;
+      }
+      return;
+    }
+    if (e.name == "stream" || e.name == "temporalize") {
+      std::optional<std::string> stream = LitString(e.args, 0);
+      if (stream.has_value()) {
+        AddWholeStream(*stream);
+      } else {
+        out_->unbounded = true;
+      }
+      return;
+    }
+    if (e.name == "doc" || e.name == "document") {
+      // CaQ binds materialized stream views as documents; a doc() naming a
+      // registered stream reads that stream, any other literal name is a
+      // static document.
+      std::optional<std::string> name = LitString(e.args, 0);
+      if (!name.has_value()) {
+        out_->unbounded = true;
+      } else if (schemas_.count(*name) > 0) {
+        AddWholeStream(*name);
+      }
+      return;
+    }
+    if (e.name == "interval_projection" || e.name == "version_projection") {
+      // Native spelling of the projection operators.
+      out_->time_sensitive = true;
+      return;
+    }
+    if (IsClockBuiltin(e.name)) {
+      out_->time_sensitive = true;
+      return;
+    }
+    if (opaque_.count(e.name) > 0) {
+      MarkOpaque();
+      return;
+    }
+    if (IsPureBuiltin(e.name) || declared_.count(e.name) > 0) {
+      return;  // declared bodies are walked separately
+    }
+    // Unknown name: a host-registered native with opaque data accesses
+    // (or a typo that will fail at evaluation anyway).
+    MarkOpaque();
+  }
+
+  void MarkOpaque() {
+    out_->unbounded = true;
+    // An opaque native may read external state, so the result can change
+    // even when no fragment arrives and the clock stands still.
+    out_->time_sensitive = true;
+  }
+
+  const std::map<std::string, const frag::TagStructure*>& schemas_;
+  const std::set<std::string>& opaque_;
+  std::set<std::string> declared_;
+  QueryRelevance* out_;
+};
+
 }  // namespace
+
+QueryRelevance AnalyzeRelevance(
+    const xq::Program& translated,
+    const std::map<std::string, const frag::TagStructure*>& schemas,
+    const std::set<std::string>& opaque_functions) {
+  QueryRelevance out;
+  std::set<std::string> declared;
+  for (const auto& f : translated.functions) declared.insert(f.name);
+  RelevanceWalker walker(schemas, opaque_functions, std::move(declared), &out);
+  for (const auto& f : translated.functions) walker.Walk(f.body.get());
+  for (const auto& v : translated.variables) walker.Walk(v.init.get());
+  walker.Walk(translated.body.get());
+  return out;
+}
 
 const char* ExecMethodName(ExecMethod m) {
   switch (m) {

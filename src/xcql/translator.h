@@ -25,6 +25,7 @@
 
 #include <map>
 #include <optional>
+#include <set>
 #include <string>
 #include <vector>
 
@@ -42,6 +43,41 @@ enum class ExecMethod {
 };
 
 const char* ExecMethodName(ExecMethod m);
+
+/// \brief Conservative summary of what can change a compiled query's result,
+/// derived from the translated AST: the store-access calls the Fig. 3
+/// rewriting emitted name their streams and tsids explicitly.
+///
+/// Soundness contract: if inserting a fragment with tsid t on stream s can
+/// change the query's result, then either `unbounded` is true or t is in
+/// `streams[s]`; if advancing the clock alone can change the result, then
+/// `time_sensitive` is true. The converses need not hold (the analysis may
+/// over-approximate), so consumers can only use this to *skip* work, never
+/// to force it.
+struct QueryRelevance {
+  /// stream name → tsids whose fragments can affect the result. A scan of
+  /// tsid t pulls in t's whole schema subtree, because filler payloads
+  /// carry holes whose resolution descends into child tsids.
+  std::map<std::string, std::set<int>> streams;
+  /// The analysis could not bound the query's data accesses (opaque host
+  /// natives, computed stream names): every fragment is relevant.
+  bool unbounded = false;
+  /// The result can change without any new fragment: clock reads
+  /// (xcql:now, current-dateTime, vtTo of open lifespans), interval
+  /// relations, temporal projections, or opaque natives reading external
+  /// state. Quiescent data does not imply a stable result.
+  bool time_sensitive = false;
+};
+
+/// \brief Analyzes a *translated* program (the output of
+/// Translator::Translate for any method; the CaQ identity translation works
+/// too, via its stream() calls). `opaque_functions` names host-registered
+/// natives whose data accesses are unknown; calling one makes the result
+/// unbounded.
+QueryRelevance AnalyzeRelevance(
+    const xq::Program& translated,
+    const std::map<std::string, const frag::TagStructure*>& schemas,
+    const std::set<std::string>& opaque_functions = {});
 
 /// \brief Rewrites parsed XCQL into fragment-operating XQuery.
 ///

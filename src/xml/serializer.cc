@@ -4,27 +4,43 @@ namespace xcql {
 
 namespace {
 
-void AppendEscaped(std::string_view s, bool attr, std::string* out) {
+// Serialization sinks: the same Write() logic drives both the string
+// builder and the streaming hash, guaranteeing the hash covers exactly the
+// bytes SerializeXml produces.
+struct StringEmitter {
+  std::string* out;
+  void Append(std::string_view s) { out->append(s); }
+  void Push(char c) { out->push_back(c); }
+};
+
+struct HashEmitter {
+  uint64_t h;
+  void Append(std::string_view s) { h = HashBytes(s, h); }
+  void Push(char c) { h = HashBytes(std::string_view(&c, 1), h); }
+};
+
+template <class Emitter>
+void AppendEscaped(std::string_view s, bool attr, Emitter* out) {
   for (char c : s) {
     switch (c) {
       case '&':
-        out->append("&amp;");
+        out->Append("&amp;");
         break;
       case '<':
-        out->append("&lt;");
+        out->Append("&lt;");
         break;
       case '>':
-        out->append("&gt;");
+        out->Append("&gt;");
         break;
       case '"':
         if (attr) {
-          out->append("&quot;");
+          out->Append("&quot;");
         } else {
-          out->push_back(c);
+          out->Push(c);
         }
         break;
       default:
-        out->push_back(c);
+        out->Push(c);
     }
   }
 }
@@ -36,51 +52,52 @@ bool HasElementChild(const Node& n) {
   return false;
 }
 
+template <class Emitter>
 void Write(const Node& n, const XmlWriteOptions& opts, int depth,
-           std::string* out) {
+           Emitter* out) {
   if (n.is_text()) {
     AppendEscaped(n.text(), /*attr=*/false, out);
     return;
   }
   if (n.is_attribute()) {
     // Free-standing attribute nodes only appear in debug output.
-    out->append(n.name());
-    out->append("=\"");
+    out->Append(n.name());
+    out->Append("=\"");
     AppendEscaped(n.text(), /*attr=*/true, out);
-    out->push_back('"');
+    out->Push('"');
     return;
   }
   std::string pad =
       opts.pretty ? std::string(static_cast<size_t>(depth * opts.indent), ' ')
                   : std::string();
-  out->append(pad);
-  out->push_back('<');
-  out->append(n.name());
+  out->Append(pad);
+  out->Push('<');
+  out->Append(n.name());
   for (const auto& [k, v] : n.attrs()) {
-    out->push_back(' ');
-    out->append(k);
-    out->append("=\"");
+    out->Push(' ');
+    out->Append(k);
+    out->Append("=\"");
     AppendEscaped(v, /*attr=*/true, out);
-    out->push_back('"');
+    out->Push('"');
   }
   if (n.children().empty()) {
-    out->append("/>");
-    if (opts.pretty) out->push_back('\n');
+    out->Append("/>");
+    if (opts.pretty) out->Push('\n');
     return;
   }
-  out->push_back('>');
+  out->Push('>');
   // Pretty mode breaks lines only around element children; elements holding
   // just text stay on one line so text content is never perturbed.
   bool break_lines = opts.pretty && HasElementChild(n);
-  if (break_lines) out->push_back('\n');
+  if (break_lines) out->Push('\n');
   for (const auto& c : n.children()) {
     if (c->is_text()) {
       if (break_lines) {
-        out->append(
+        out->Append(
             std::string(static_cast<size_t>((depth + 1) * opts.indent), ' '));
       }
       AppendEscaped(c->text(), /*attr=*/false, out);
-      if (break_lines) out->push_back('\n');
+      if (break_lines) out->Push('\n');
     } else {
       Write(*c, opts, break_lines ? depth + 1 : 0, out);
       if (opts.pretty && !break_lines) {
@@ -88,18 +105,19 @@ void Write(const Node& n, const XmlWriteOptions& opts, int depth,
       }
     }
   }
-  if (break_lines) out->append(pad);
-  out->append("</");
-  out->append(n.name());
-  out->push_back('>');
-  if (opts.pretty) out->push_back('\n');
+  if (break_lines) out->Append(pad);
+  out->Append("</");
+  out->Append(n.name());
+  out->Push('>');
+  if (opts.pretty) out->Push('\n');
 }
 
 }  // namespace
 
 std::string SerializeXml(const Node& node, const XmlWriteOptions& options) {
   std::string out;
-  Write(node, options, 0, &out);
+  StringEmitter emitter{&out};
+  Write(node, options, 0, &emitter);
   // Trim the trailing newline added by pretty mode for tidy embedding.
   if (options.pretty && !out.empty() && out.back() == '\n') out.pop_back();
   return out;
@@ -108,15 +126,32 @@ std::string SerializeXml(const Node& node, const XmlWriteOptions& options) {
 std::string EscapeText(std::string_view s) {
   std::string out;
   out.reserve(s.size());
-  AppendEscaped(s, /*attr=*/false, &out);
+  StringEmitter emitter{&out};
+  AppendEscaped(s, /*attr=*/false, &emitter);
   return out;
 }
 
 std::string EscapeAttr(std::string_view s) {
   std::string out;
   out.reserve(s.size());
-  AppendEscaped(s, /*attr=*/true, &out);
+  StringEmitter emitter{&out};
+  AppendEscaped(s, /*attr=*/true, &emitter);
   return out;
+}
+
+uint64_t HashBytes(std::string_view s, uint64_t seed) {
+  uint64_t h = seed;
+  for (unsigned char c : s) {
+    h ^= c;
+    h *= 0x100000001b3ULL;  // FNV-1a 64-bit prime
+  }
+  return h;
+}
+
+uint64_t HashSerializedXml(const Node& node, uint64_t seed) {
+  HashEmitter emitter{seed};
+  Write(node, XmlWriteOptions{}, 0, &emitter);
+  return emitter.h;
 }
 
 }  // namespace xcql

@@ -3,6 +3,7 @@
 #ifndef XCQL_XML_SERIALIZER_H_
 #define XCQL_XML_SERIALIZER_H_
 
+#include <cstdint>
 #include <string>
 #include <string_view>
 
@@ -26,6 +27,19 @@ std::string EscapeText(std::string_view s);
 
 /// \brief Escapes an attribute value (&, <, >, ").
 std::string EscapeAttr(std::string_view s);
+
+/// \brief FNV-1a offset basis; seed for HashBytes chains.
+inline constexpr uint64_t kFnv64Offset = 0xcbf29ce484222325ULL;
+
+/// \brief Streaming 64-bit FNV-1a over raw bytes. Pass a previous result as
+/// `seed` to hash a concatenation without building it.
+uint64_t HashBytes(std::string_view s, uint64_t seed = kFnv64Offset);
+
+/// \brief 64-bit FNV-1a hash of exactly the bytes SerializeXml(node) would
+/// produce (compact form), computed by streaming the serialization events —
+/// the string is never materialized. Used by the continuous engine to
+/// deduplicate emitted results with O(1) memory per item.
+uint64_t HashSerializedXml(const Node& node, uint64_t seed = kFnv64Offset);
 
 }  // namespace xcql
 

@@ -74,6 +74,12 @@ struct EvalContext {
   /// Optional hole resolution for projections over fragmented data.
   HoleResolver* hole_resolver = nullptr;
 
+  /// Cost model for filler lookups during this evaluation: true selects the
+  /// paper-faithful linear `filler[@id=$fid]` scan, false the hash index.
+  /// Lives here (not on the resolver) so concurrent evaluations sharing one
+  /// resolver each carry their own method's cost model.
+  bool linear_fillers = false;
+
   /// Named documents for fn:doc (and for stream() once a method binds
   /// stream names to materialized roots).
   std::map<std::string, NodePtr, std::less<>> documents;

@@ -253,10 +253,13 @@ TEST_F(ContinuousTest, EmitsInitialResultsOnFirstTick) {
   ASSERT_TRUE(engine_->Tick().ok());
   ASSERT_EQ(emitted.size(), 1u);
   EXPECT_EQ(emitted[0], "23456");
-  // A second tick with no new data emits nothing (dedup).
+  // A second tick with no new data emits nothing — and the relevance check
+  // skips the evaluation outright: the plan is deduped, not time-sensitive,
+  // and no fragment with a relevant tsid arrived.
   ASSERT_TRUE(engine_->Tick().ok());
   EXPECT_EQ(emitted.size(), 1u);
-  EXPECT_EQ(engine_->evaluations(), 2);
+  EXPECT_EQ(engine_->evaluations(), 1);
+  EXPECT_EQ(engine_->skips(), 1);
   EXPECT_EQ(engine_->results_emitted(), 1);
 }
 

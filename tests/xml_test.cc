@@ -282,6 +282,15 @@ TEST_P(XmlRoundTripTest, SerializeParseRoundTrip) {
   EXPECT_EQ(SerializeXml(*reparsed.value()), xml);
 }
 
+// Property: the streaming serialization hash covers exactly the bytes
+// SerializeXml would produce (escaping included), so hash equality is
+// serialized-form equality up to 64-bit collisions.
+TEST_P(XmlRoundTripTest, HashMatchesSerializedBytes) {
+  Random rng(GetParam());
+  NodePtr tree = RandomTree(&rng, 4);
+  EXPECT_EQ(HashSerializedXml(*tree), HashBytes(SerializeXml(*tree)));
+}
+
 INSTANTIATE_TEST_SUITE_P(Seeds, XmlRoundTripTest,
                          ::testing::Range<uint64_t>(0, 24));
 
