@@ -9,11 +9,15 @@
 //   ./build/bench/bench_transport [--benchmark_format=json]
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
 #include <chrono>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "common/random.h"
+#include "frag/fragment_store.h"
+#include "net/chaos.h"
 #include "net/server.h"
 #include "net/subscriber.h"
 #include "stream/transport.h"
@@ -114,6 +118,196 @@ void BM_Transport(benchmark::State& state) {
   server.Stop();
 }
 
+void CollectHoleIds(const xcql::Node& n, std::vector<int64_t>* out) {
+  if (xcql::frag::IsHoleElement(n)) {
+    auto id = xcql::frag::HoleId(n);
+    if (id.ok()) out->push_back(id.value());
+    return;
+  }
+  for (const auto& c : n.children()) CollectHoleIds(*c, out);
+}
+
+// Same pipeline as BM_Transport, but routed through a ChaosLink that drops
+// and corrupts data-plane frames at the configured loss rate. The timed
+// loop measures end-to-end recovery: every published batch must fully
+// arrive despite faults (via CRC rejection, reconnect + REPLAY_FROM, and
+// heartbeat-lag catch-up). After the loop, two fillers are withheld from
+// the local store and recovered via the NACK/repeat path; the repair
+// round-trip is reported as `repair_ms`.
+void BM_TransportChaos(benchmark::State& state) {
+  const double loss = static_cast<double>(state.range(0)) / 1000.0;
+
+  auto ts = xcql::frag::TagStructure::Parse(
+      xcql::xmark::AuctionTagStructureXml());
+  auto store_ts = xcql::frag::TagStructure::Parse(
+      xcql::xmark::AuctionTagStructureXml());
+  if (!ts.ok() || !store_ts.ok()) {
+    state.SkipWithError(ts.status().ToString().c_str());
+    return;
+  }
+  xcql::stream::StreamServer source("auction", std::move(ts).MoveValue());
+  source.EnableWireCompression();
+  xcql::net::FragmentServerOptions server_opts;
+  server_opts.queue_capacity = 4096;
+  server_opts.heartbeat_interval = std::chrono::milliseconds(100);
+  xcql::net::FragmentServer server(&source, server_opts);
+  if (!server.Start().ok()) {
+    state.SkipWithError("server failed to start");
+    return;
+  }
+
+  xcql::net::ChaosLinkOptions chaos_opts;
+  chaos_opts.upstream_port = server.port();
+  chaos_opts.seed = 42 + static_cast<uint64_t>(state.range(0));
+  chaos_opts.faults.drop = loss / 2;
+  chaos_opts.faults.corrupt = loss / 2;
+  xcql::net::ChaosLink chaos(chaos_opts);
+  if (!chaos.Start().ok()) {
+    state.SkipWithError("chaos link failed to start");
+    return;
+  }
+
+  xcql::net::FragmentSubscriberOptions sub_opts;
+  sub_opts.port = chaos.port();
+  sub_opts.stream = "auction";
+  sub_opts.codec = xcql::frag::WireCodec::kTagCompressed;
+  sub_opts.backoff_initial = std::chrono::milliseconds(10);
+  sub_opts.backoff_max = std::chrono::milliseconds(200);
+  sub_opts.repair_retry_interval = std::chrono::milliseconds(25);
+  sub_opts.repair_retry_budget = 100;
+  xcql::net::FragmentSubscriber sub(sub_opts);
+  if (!sub.Start().ok() || !sub.WaitConnected(10s)) {
+    state.SkipWithError("subscriber failed to connect");
+    return;
+  }
+
+  xcql::xmark::XMarkOptions gen;
+  gen.scale = 0.0;
+  auto doc = xcql::xmark::GenerateAuctionDoc(gen);
+  if (!doc.ok() || !source.PublishDocument(*doc.value()).ok()) {
+    state.SkipWithError("document publish failed");
+    return;
+  }
+  const int64_t doc_frags = source.history_size();
+  if (!sub.WaitForSeq(server.next_seq() - 1, 60s)) {
+    state.SkipWithError("initial document never converged");
+    return;
+  }
+
+  // Two hole referents become NACK-repair victims: withheld from the local
+  // store and excluded from the update workload (repair is filler-id
+  // granular, so a victim must be recoverable in one repeat).
+  std::vector<int64_t> hole_ids;
+  for (int64_t i = 0; i < doc_frags; ++i) {
+    CollectHoleIds(*source.history_at(i).content, &hole_ids);
+  }
+  std::sort(hole_ids.begin(), hole_ids.end());
+  hole_ids.erase(std::unique(hole_ids.begin(), hole_ids.end()),
+                 hole_ids.end());
+  if (hole_ids.size() < 2) {
+    state.SkipWithError("document too small for repair victims");
+    return;
+  }
+  const std::vector<int64_t> victims(hole_ids.begin(),
+                                     hole_ids.begin() + 2);
+  auto is_victim = [&](int64_t id) {
+    return std::find(victims.begin(), victims.end(), id) != victims.end();
+  };
+
+  xcql::frag::FragmentStore store(std::move(store_ts).MoveValue(),
+                                  "auction");
+  std::vector<xcql::frag::Fragment> sink;
+  auto drain_filtered = [&] {
+    sink.clear();
+    sub.Drain(&sink);
+    for (auto& f : sink) {
+      if (!is_victim(f.id)) (void)store.Insert(std::move(f));
+    }
+  };
+  drain_filtered();
+
+  std::vector<int64_t> candidates;
+  for (int64_t i = 0; i < doc_frags; ++i) {
+    const auto& base = source.history_at(i);
+    const auto* tag = source.tag_structure().FindById(base.tsid);
+    if (tag != nullptr && tag->fragmented() && !is_victim(base.id)) {
+      candidates.push_back(i);
+    }
+  }
+  xcql::Random rng(7);
+  int64_t t = source.history_at(doc_frags - 1).valid_time.seconds();
+  int rev = 0;
+
+  constexpr int kBatch = 100;
+  for (auto _ : state) {
+    const int64_t target = server.next_seq() + kBatch - 1;
+    for (int k = 0; k < kBatch; ++k) {
+      const auto& base = source.history_at(static_cast<int64_t>(
+          candidates[rng.Uniform(candidates.size())]));
+      xcql::frag::Fragment f;
+      f.id = base.id;
+      f.tsid = base.tsid;
+      t += 1 + static_cast<int64_t>(rng.Uniform(30));
+      f.valid_time = xcql::DateTime(t);
+      f.content = base.content->Clone();
+      f.content->SetAttr("rev", std::to_string(++rev));
+      if (!source.Publish(std::move(f)).ok()) {
+        state.SkipWithError("publish failed");
+        return;
+      }
+    }
+    if (!sub.WaitForSeq(target, 60s)) {
+      state.SkipWithError("subscriber never recovered the batch");
+      return;
+    }
+    drain_filtered();
+  }
+
+  // NACK-repair round-trip: the store is missing exactly the victims;
+  // sweep until the repeats land.
+  const auto repair_start = std::chrono::steady_clock::now();
+  const auto repair_deadline = repair_start + 30s;
+  while (!store.MissingFillers().empty() &&
+         std::chrono::steady_clock::now() < repair_deadline) {
+    auto sweep = sub.RepairMissing(store);
+    if (!sweep.ok()) {
+      state.SkipWithError(sweep.status().ToString().c_str());
+      return;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    (void)sub.DrainInto(&store);
+  }
+  const double repair_ms =
+      std::chrono::duration<double, std::milli>(
+          std::chrono::steady_clock::now() - repair_start)
+          .count();
+  if (!store.MissingFillers().empty()) {
+    state.SkipWithError("repair never converged");
+    return;
+  }
+  // One more sweep so the repaired fillers are accounted (a filler counts
+  // as repaired on the first sweep that finds it no longer missing).
+  (void)sub.RepairMissing(store);
+
+  state.SetItemsProcessed(state.iterations() * kBatch);
+  auto m = sub.metrics();
+  auto cs = chaos.stats();
+  state.counters["repair_ms"] = repair_ms;
+  state.counters["fillers_repaired"] = static_cast<double>(
+      m.fillers_repaired);
+  state.counters["nacks_sent"] = static_cast<double>(m.nacks_sent);
+  state.counters["reconnects"] = static_cast<double>(m.reconnects);
+  state.counters["frames_corrupt"] = static_cast<double>(m.frames_corrupt);
+  state.counters["catchup_replays"] = static_cast<double>(
+      m.catchup_replays);
+  state.counters["faults_injected"] = static_cast<double>(
+      cs.dropped + cs.duplicated + cs.reordered + cs.corrupted +
+      cs.truncated);
+  sub.Stop();
+  chaos.Stop();
+  server.Stop();
+}
+
 }  // namespace
 
 // scale_permille: XMark scale factor x1000 (0 = minimal document);
@@ -130,5 +324,15 @@ BENCHMARK(BM_Transport)
     ->Args({50, 1})
     ->Unit(benchmark::kMillisecond)
     ->Iterations(8);
+
+// loss_permille: per-frame fault rate x1000, split evenly between drops
+// and CRC-detectable corruption (0 = clean link, 10 = 1% loss, 50 = 5%).
+BENCHMARK(BM_TransportChaos)
+    ->ArgNames({"loss_permille"})
+    ->Args({0})
+    ->Args({10})
+    ->Args({50})
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(5);
 
 BENCHMARK_MAIN();

@@ -1,5 +1,7 @@
 #include "frag/assembler.h"
 
+#include "common/string_util.h"
+
 namespace xcql::frag {
 
 namespace {
@@ -13,10 +15,34 @@ bool HasFragmentedDescendant(const TagNode* tag) {
   return false;
 }
 
+// Shared handling of a hole whose filler never arrived. Returns an error
+// only under kFail; otherwise records the incompleteness and (for
+// kKeepHole) re-emits the hole element itself. A kept hole is a leaf, so
+// no recursion is needed on it.
+Status HandleMissingFiller(const Node& hole, int64_t id,
+                           xq::HolePolicy policy, TemporalizeStats* stats,
+                           Node* dst) {
+  switch (policy) {
+    case xq::HolePolicy::kFail:
+      return Status::NotFound(
+          StringPrintf("missing filler %lld referenced by a hole",
+                       static_cast<long long>(id)));
+    case xq::HolePolicy::kKeepHole:
+      ++stats->unresolved_holes;
+      dst->AddChild(hole.Clone());
+      return Status::OK();
+    case xq::HolePolicy::kOmit:
+      ++stats->unresolved_holes;
+      return Status::OK();
+  }
+  return Status::OK();
+}
+
 // Generic variant: checks every element child for holes, like the paper's
 // recursive temporalize/get_fillers functions.
-Status SpliceGeneric(const FragmentStore& store, bool linear, const Node& src,
-                     Node* dst, int depth) {
+Status SpliceGeneric(const FragmentStore& store, bool linear,
+                     xq::HolePolicy policy, TemporalizeStats* stats,
+                     const Node& src, Node* dst, int depth) {
   if (depth > kMaxDepth) {
     return Status::Internal("temporalize recursion too deep (filler cycle?)");
   }
@@ -29,19 +55,26 @@ Status SpliceGeneric(const FragmentStore& store, bool linear, const Node& src,
       XCQL_ASSIGN_OR_RETURN(int64_t id, HoleId(*child));
       XCQL_ASSIGN_OR_RETURN(std::vector<NodePtr> versions,
                             store.GetFillerVersions(id, linear));
+      // Any stored fragment yields at least one version, so empty means
+      // the filler is missing.
+      if (versions.empty()) {
+        XCQL_RETURN_NOT_OK(
+            HandleMissingFiller(*child, id, policy, stats, dst));
+        continue;
+      }
       for (const NodePtr& v : versions) {
         NodePtr out = Node::Element(v->name());
         for (const auto& [k, a] : v->attrs()) out->SetAttr(k, a);
-        XCQL_RETURN_NOT_OK(
-            SpliceGeneric(store, linear, *v, out.get(), depth + 1));
+        XCQL_RETURN_NOT_OK(SpliceGeneric(store, linear, policy, stats, *v,
+                                         out.get(), depth + 1));
         dst->AddChild(std::move(out));
       }
       continue;
     }
     NodePtr out = Node::Element(child->name());
     for (const auto& [k, a] : child->attrs()) out->SetAttr(k, a);
-    XCQL_RETURN_NOT_OK(SpliceGeneric(store, linear, *child, out.get(),
-                                     depth + 1));
+    XCQL_RETURN_NOT_OK(SpliceGeneric(store, linear, policy, stats, *child,
+                                     out.get(), depth + 1));
     dst->AddChild(std::move(out));
   }
   return Status::OK();
@@ -50,7 +83,8 @@ Status SpliceGeneric(const FragmentStore& store, bool linear, const Node& src,
 // Schema-driven variant (§5.1): the Tag Structure tells us which children
 // can be holes (fragmented tags) and which subtrees are pure snapshots that
 // can be copied without inspection.
-Status SpliceSchema(const FragmentStore& store, const Node& src,
+Status SpliceSchema(const FragmentStore& store, xq::HolePolicy policy,
+                    TemporalizeStats* stats, const Node& src,
                     const TagNode* tag, Node* dst, int depth) {
   if (depth > kMaxDepth) {
     return Status::Internal("temporalize recursion too deep (filler cycle?)");
@@ -77,11 +111,16 @@ Status SpliceSchema(const FragmentStore& store, const Node& src,
       }
       XCQL_ASSIGN_OR_RETURN(std::vector<NodePtr> versions,
                             store.GetFillerVersions(id, /*linear=*/false));
+      if (versions.empty()) {
+        XCQL_RETURN_NOT_OK(
+            HandleMissingFiller(*child, id, policy, stats, dst));
+        continue;
+      }
       for (const NodePtr& v : versions) {
         NodePtr out = Node::Element(v->name());
         for (const auto& [k, a] : v->attrs()) out->SetAttr(k, a);
-        XCQL_RETURN_NOT_OK(SpliceSchema(store, *v, ctag, out.get(),
-                                        depth + 1));
+        XCQL_RETURN_NOT_OK(SpliceSchema(store, policy, stats, *v, ctag,
+                                        out.get(), depth + 1));
         dst->AddChild(std::move(out));
       }
       continue;
@@ -94,8 +133,8 @@ Status SpliceSchema(const FragmentStore& store, const Node& src,
     }
     NodePtr out = Node::Element(child->name());
     for (const auto& [k, a] : child->attrs()) out->SetAttr(k, a);
-    XCQL_RETURN_NOT_OK(SpliceSchema(store, *child, ctag, out.get(),
-                                    depth + 1));
+    XCQL_RETURN_NOT_OK(SpliceSchema(store, policy, stats, *child, ctag,
+                                    out.get(), depth + 1));
     dst->AddChild(std::move(out));
   }
   return Status::OK();
@@ -103,7 +142,10 @@ Status SpliceSchema(const FragmentStore& store, const Node& src,
 
 }  // namespace
 
-Result<NodePtr> Temporalize(const FragmentStore& store, bool linear_scan) {
+Result<NodePtr> Temporalize(const FragmentStore& store, bool linear_scan,
+                            xq::HolePolicy policy, TemporalizeStats* stats) {
+  TemporalizeStats local;
+  if (stats == nullptr) stats = &local;
   XCQL_ASSIGN_OR_RETURN(std::vector<NodePtr> roots,
                         store.GetFillerVersions(0, linear_scan));
   if (roots.empty()) {
@@ -113,11 +155,16 @@ Result<NodePtr> Temporalize(const FragmentStore& store, bool linear_scan) {
   const NodePtr& src = roots.back();
   NodePtr out = Node::Element(src->name());
   for (const auto& [k, a] : src->attrs()) out->SetAttr(k, a);
-  XCQL_RETURN_NOT_OK(SpliceGeneric(store, linear_scan, *src, out.get(), 0));
+  XCQL_RETURN_NOT_OK(SpliceGeneric(store, linear_scan, policy, stats, *src,
+                                   out.get(), 0));
   return out;
 }
 
-Result<NodePtr> TemporalizeSchemaDriven(const FragmentStore& store) {
+Result<NodePtr> TemporalizeSchemaDriven(const FragmentStore& store,
+                                        xq::HolePolicy policy,
+                                        TemporalizeStats* stats) {
+  TemporalizeStats local;
+  if (stats == nullptr) stats = &local;
   XCQL_ASSIGN_OR_RETURN(std::vector<NodePtr> roots,
                         store.GetFillerVersions(0, /*linear=*/false));
   if (roots.empty()) {
@@ -126,8 +173,9 @@ Result<NodePtr> TemporalizeSchemaDriven(const FragmentStore& store) {
   const NodePtr& src = roots.back();
   NodePtr out = Node::Element(src->name());
   for (const auto& [k, a] : src->attrs()) out->SetAttr(k, a);
-  XCQL_RETURN_NOT_OK(
-      SpliceSchema(store, *src, store.tag_structure().root(), out.get(), 0));
+  XCQL_RETURN_NOT_OK(SpliceSchema(store, policy, stats, *src,
+                                  store.tag_structure().root(), out.get(),
+                                  0));
   return out;
 }
 

@@ -3,24 +3,43 @@
 // with derived vtFrom/vtTo lifespans. Two variants mirror the paper:
 // the generic recursive `temporalize` (§5) and the schema-driven
 // reconstruction generated from the Tag Structure (§5.1).
+//
+// Both variants take an xq::HolePolicy governing holes whose filler never
+// arrived (lossy transport, repair budget exhausted — docs/ROBUSTNESS.md):
+// kOmit splices nothing (the historical behavior), kFail aborts with
+// NotFound, kKeepHole keeps the <hole/> element as an explicit marker. The
+// optional TemporalizeStats out-param reports how many holes were left
+// unresolved, the completeness signal for degraded-mode consumers.
 #ifndef XCQL_FRAG_ASSEMBLER_H_
 #define XCQL_FRAG_ASSEMBLER_H_
 
 #include "common/result.h"
 #include "frag/fragment_store.h"
+#include "xq/context.h"
 
 namespace xcql::frag {
+
+/// \brief Completeness report for one reconstruction.
+struct TemporalizeStats {
+  /// Holes whose filler was missing, handled per kOmit/kKeepHole.
+  int64_t unresolved_holes = 0;
+};
 
 /// \brief Generic recursive reconstruction (paper §5): inspects every child
 /// of every element for holes. `linear_scan` selects the paper-faithful
 /// O(N) filler lookup per hole (the CaQ cost model) versus the hash index.
-Result<NodePtr> Temporalize(const FragmentStore& store, bool linear_scan);
+Result<NodePtr> Temporalize(const FragmentStore& store, bool linear_scan,
+                            xq::HolePolicy policy = xq::HolePolicy::kOmit,
+                            TemporalizeStats* stats = nullptr);
 
 /// \brief Schema-driven reconstruction (paper §5.1): walks fragments guided
 /// by the Tag Structure, visiting only positions where the schema says
 /// holes can occur, with indexed filler lookup. Produces the same tree as
 /// Temporalize.
-Result<NodePtr> TemporalizeSchemaDriven(const FragmentStore& store);
+Result<NodePtr> TemporalizeSchemaDriven(
+    const FragmentStore& store,
+    xq::HolePolicy policy = xq::HolePolicy::kOmit,
+    TemporalizeStats* stats = nullptr);
 
 }  // namespace xcql::frag
 

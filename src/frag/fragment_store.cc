@@ -40,6 +40,24 @@ Status FragmentStore::Insert(Fragment f) {
   header->SetAttr("validTime", stored.valid_time.ToString());
   wire_headers_.push_back(std::move(header));
 
+  // Record which filler ids this payload dangles from, so MissingFillers()
+  // can report the unfilled ones without rescanning every stored payload.
+  {
+    std::vector<const Node*> stack = {stored.content.get()};
+    while (!stack.empty()) {
+      const Node* n = stack.back();
+      stack.pop_back();
+      if (IsHoleElement(*n)) {
+        if (auto hid = HoleId(*n); hid.ok()) {
+          referenced_holes_.insert(hid.value());
+        }
+      }
+      for (const NodePtr& c : n->children()) {
+        if (c->is_element()) stack.push_back(c.get());
+      }
+    }
+  }
+
   auto [it, inserted] = by_id_.try_emplace(stored.id);
   std::vector<size_t>& versions = it->second;
   if (inserted) {
@@ -189,6 +207,14 @@ size_t FragmentStore::CountIdsWithTsid(int tsid) const {
   return it == ids_by_tsid_.end() ? 0 : it->second.size();
 }
 
+std::vector<int64_t> FragmentStore::MissingFillers() const {
+  std::vector<int64_t> out;
+  for (int64_t id : referenced_holes_) {
+    if (by_id_.find(id) == by_id_.end()) out.push_back(id);
+  }
+  return out;
+}
+
 void StoreHoleResolver::AddStore(const FragmentStore* store) {
   stores_[store->name()] = store;
   sole_store_ = stores_.size() == 1 ? store : nullptr;
@@ -212,7 +238,26 @@ Result<std::vector<NodePtr>> StoreHoleResolver::Resolve(xq::EvalContext& ctx,
         "carries no stream attribute");
   }
   XCQL_ASSIGN_OR_RETURN(int64_t id, HoleId(hole));
-  return store->GetFillerVersions(id, ctx.linear_fillers);
+  XCQL_ASSIGN_OR_RETURN(std::vector<NodePtr> versions,
+                        store->GetFillerVersions(id, ctx.linear_fillers));
+  // An id with any stored fragment always yields at least one version, so
+  // an empty vector means the filler never arrived: apply the hole policy.
+  if (versions.empty()) {
+    switch (ctx.hole_policy) {
+      case xq::HolePolicy::kFail:
+        return Status::NotFound(
+            StringPrintf("missing filler %lld referenced by a hole",
+                         static_cast<long long>(id)));
+      case xq::HolePolicy::kKeepHole:
+        ++ctx.holes_unresolved;
+        versions.push_back(hole.Clone());
+        break;
+      case xq::HolePolicy::kOmit:
+        ++ctx.holes_unresolved;
+        break;
+    }
+  }
+  return versions;
 }
 
 }  // namespace xcql::frag

@@ -14,6 +14,7 @@
 #define XCQL_FRAG_FRAGMENT_STORE_H_
 
 #include <deque>
+#include <set>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -85,6 +86,13 @@ class FragmentStore {
   /// \brief Number of distinct filler ids carrying the given tsid.
   size_t CountIdsWithTsid(int tsid) const;
 
+  /// \brief Filler ids referenced by a hole in some stored fragment but for
+  /// which no fragment has arrived, in ascending id order. These are the
+  /// dangling edges of the Hole-Filler graph — what a subscriber NACKs
+  /// upstream (net::FragmentSubscriber::RepairMissing) and what degraded-
+  /// mode temporalization must splice around (xq::HolePolicy).
+  std::vector<int64_t> MissingFillers() const;
+
  private:
   std::vector<const Fragment*> CollectById(int64_t id, bool linear) const;
   Result<std::vector<NodePtr>> BuildVersions(
@@ -105,6 +113,9 @@ class FragmentStore {
   // tsid index: distinct filler ids in first-arrival order.
   std::unordered_map<int, std::vector<int64_t>> ids_by_tsid_;
   std::unordered_map<int, int64_t> revision_by_tsid_;
+  // Every filler id some stored payload references via <hole id=…/>;
+  // ordered so MissingFillers() is deterministic.
+  std::set<int64_t> referenced_holes_;
   DateTime max_valid_time_ = DateTime::Start();
   int64_t revision_ = 0;
 };

@@ -1,5 +1,6 @@
 #include "net/frame.h"
 
+#include <array>
 #include <cstring>
 
 #include "common/string_util.h"
@@ -46,10 +47,53 @@ uint64_t GetU64(const char* p) {
 
 bool ValidFrameType(uint8_t t) {
   return t >= static_cast<uint8_t>(FrameType::kHello) &&
-         t <= static_cast<uint8_t>(FrameType::kBye);
+         t <= static_cast<uint8_t>(FrameType::kRepeatRequest);
+}
+
+// CRC32C (Castagnoli, reflected polynomial 0x82F63B78), byte-at-a-time
+// table. Software only: the transport is loopback/LAN scale and the
+// payloads dominate hashing cost anyway.
+const std::array<uint32_t, 256>& Crc32cTable() {
+  static const std::array<uint32_t, 256> table = [] {
+    std::array<uint32_t, 256> t{};
+    for (uint32_t i = 0; i < 256; ++i) {
+      uint32_t c = i;
+      for (int k = 0; k < 8; ++k) {
+        c = (c & 1) ? (c >> 1) ^ 0x82F63B78u : c >> 1;
+      }
+      t[i] = c;
+    }
+    return t;
+  }();
+  return table;
+}
+
+// Unconditioned state update (caller applies the ~ at both ends).
+uint32_t Crc32cRaw(uint32_t crc, const char* data, size_t len) {
+  const auto& table = Crc32cTable();
+  const auto* p = reinterpret_cast<const unsigned char*>(data);
+  for (size_t i = 0; i < len; ++i) {
+    crc = table[(crc ^ p[i]) & 0xff] ^ (crc >> 8);
+  }
+  return crc;
+}
+
+// The frame checksum: CRC32C over header bytes [4, 20) (version through
+// length — magic is the resync marker and excluded) followed by the
+// payload.
+uint32_t FrameCrc(const char* header, const char* payload,
+                  size_t payload_len) {
+  uint32_t crc = 0xFFFFFFFFu;
+  crc = Crc32cRaw(crc, header + 4, kFrameHeaderSize - 4);
+  crc = Crc32cRaw(crc, payload, payload_len);
+  return crc ^ 0xFFFFFFFFu;
 }
 
 }  // namespace
+
+uint32_t Crc32c(std::string_view data) {
+  return Crc32cRaw(0xFFFFFFFFu, data.data(), data.size()) ^ 0xFFFFFFFFu;
+}
 
 const char* FrameTypeName(FrameType type) {
   switch (type) {
@@ -63,28 +107,71 @@ const char* FrameTypeName(FrameType type) {
       return "REPLAY_FROM";
     case FrameType::kBye:
       return "BYE";
+    case FrameType::kRepeatRequest:
+      return "REPEAT_REQUEST";
   }
   return "?";
 }
 
-Result<std::string> EncodeFrame(const Frame& frame) {
+Result<std::string> EncodeFrame(const Frame& frame, uint8_t version) {
   if (frame.payload.size() > kMaxFramePayload) {
     return Status::InvalidArgument(StringPrintf(
         "frame payload of %llu bytes exceeds the %u-byte limit",
         static_cast<unsigned long long>(frame.payload.size()),
         kMaxFramePayload));
   }
+  if (version != kFrameVersion && version != kFrameVersionCrc) {
+    return Status::InvalidArgument(
+        StringPrintf("cannot encode frame version %u", version));
+  }
   std::string out;
-  out.reserve(kFrameHeaderSize + frame.payload.size());
+  size_t header = version == kFrameVersionCrc ? kFrameHeaderSizeCrc
+                                              : kFrameHeaderSize;
+  out.reserve(header + frame.payload.size());
   PutU32(&out, kFrameMagic);
-  out.push_back(static_cast<char>(kFrameVersion));
+  out.push_back(static_cast<char>(version));
   out.push_back(static_cast<char>(frame.type));
   out.push_back(static_cast<char>(frame.flags));
   out.push_back(0);  // reserved
   PutU64(&out, frame.seq);
   PutU32(&out, static_cast<uint32_t>(frame.payload.size()));
+  if (version == kFrameVersionCrc) {
+    PutU32(&out, FrameCrc(out.data(), frame.payload.data(),
+                          frame.payload.size()));
+  }
   out += frame.payload;
   return out;
+}
+
+std::string DowngradeFrameToV1(std::string_view frame_bytes) {
+  if (frame_bytes.size() < kFrameHeaderSizeCrc ||
+      static_cast<uint8_t>(frame_bytes[4]) != kFrameVersionCrc) {
+    return std::string(frame_bytes);
+  }
+  std::string out;
+  out.reserve(frame_bytes.size() - 4);
+  out.append(frame_bytes.data(), kFrameHeaderSize);  // header sans crc
+  out[4] = static_cast<char>(kFrameVersion);
+  out.append(frame_bytes.data() + kFrameHeaderSizeCrc,
+             frame_bytes.size() - kFrameHeaderSizeCrc);
+  return out;
+}
+
+std::string WithRepeatFlag(std::string frame_bytes) {
+  if (frame_bytes.size() < kFrameHeaderSize) return frame_bytes;
+  frame_bytes[6] = static_cast<char>(static_cast<uint8_t>(frame_bytes[6]) |
+                                     kFlagRepeat);
+  if (static_cast<uint8_t>(frame_bytes[4]) == kFrameVersionCrc &&
+      frame_bytes.size() >= kFrameHeaderSizeCrc) {
+    uint32_t crc = FrameCrc(frame_bytes.data(),
+                            frame_bytes.data() + kFrameHeaderSizeCrc,
+                            frame_bytes.size() - kFrameHeaderSizeCrc);
+    for (int i = 0; i < 4; ++i) {
+      frame_bytes[kFrameHeaderSize + i] =
+          static_cast<char>((crc >> (8 * i)) & 0xff);
+    }
+  }
+  return frame_bytes;
 }
 
 void FrameReader::Feed(const char* data, size_t len) {
@@ -107,28 +194,49 @@ Result<std::optional<Frame>> FrameReader::Next() {
     return Status::ParseError("bad frame magic (stream out of sync)");
   }
   uint8_t version = static_cast<uint8_t>(h[4]);
-  if (version != kFrameVersion) {
+  if (version != kFrameVersion && version != kFrameVersionCrc) {
     return Status::Unsupported(
-        StringPrintf("frame version %u (expected %u)", version,
-                     kFrameVersion));
+        StringPrintf("frame version %u (expected %u or %u)", version,
+                     kFrameVersion, kFrameVersionCrc));
   }
-  uint8_t type = static_cast<uint8_t>(h[5]);
-  if (!ValidFrameType(type)) {
-    return Status::ParseError(StringPrintf("unknown frame type %u", type));
-  }
+  size_t header = version == kFrameVersionCrc ? kFrameHeaderSizeCrc
+                                              : kFrameHeaderSize;
+  if (buffered() < header) return std::optional<Frame>();
   uint32_t len = GetU32(h + 16);
   if (len > kMaxFramePayload) {
     return Status::ParseError(
         StringPrintf("frame payload of %u bytes exceeds the %u limit", len,
                      kMaxFramePayload));
   }
-  if (buffered() < kFrameHeaderSize + len) return std::optional<Frame>();
+  if (buffered() < header + len) return std::optional<Frame>();
+  if (version == kFrameVersionCrc) {
+    uint32_t want = GetU32(h + kFrameHeaderSize);
+    uint32_t got = FrameCrc(h, h + header, len);
+    if (want != got) {
+      // The framing held up (magic + plausible length) but the contents
+      // did not: skip the frame and report it as corrupt instead of
+      // killing the stream — the caller decides how to recover.
+      Frame frame;
+      frame.crc_ok = false;
+      frame.wire_version = version;
+      frame.type = FrameType::kHeartbeat;  // placeholder, untrusted
+      frame.flags = 0;
+      frame.seq = GetU64(h + 8);  // untrusted, for logging only
+      pos_ += header + len;
+      return std::optional<Frame>(std::move(frame));
+    }
+  }
+  uint8_t type = static_cast<uint8_t>(h[5]);
+  if (!ValidFrameType(type)) {
+    return Status::ParseError(StringPrintf("unknown frame type %u", type));
+  }
   Frame frame;
   frame.type = static_cast<FrameType>(type);
   frame.flags = static_cast<uint8_t>(h[6]);
   frame.seq = GetU64(h + 8);
-  frame.payload.assign(h + kFrameHeaderSize, len);
-  pos_ += kFrameHeaderSize + len;
+  frame.wire_version = version;
+  frame.payload.assign(h + header, len);
+  pos_ += header + len;
   return std::optional<Frame>(std::move(frame));
 }
 
@@ -172,6 +280,19 @@ std::string EncodeReplayFrom(int64_t last_seen_seq) {
 Result<int64_t> DecodeReplayFrom(std::string_view payload) {
   if (payload.size() != 8) {
     return Status::ParseError("REPLAY_FROM payload must be 8 bytes");
+  }
+  return static_cast<int64_t>(GetU64(payload.data()));
+}
+
+std::string EncodeRepeatRequest(int64_t filler_id) {
+  std::string out;
+  PutU64(&out, static_cast<uint64_t>(filler_id));
+  return out;
+}
+
+Result<int64_t> DecodeRepeatRequest(std::string_view payload) {
+  if (payload.size() != 8) {
+    return Status::ParseError("REPEAT_REQUEST payload must be 8 bytes");
   }
   return static_cast<int64_t>(GetU64(payload.data()));
 }

@@ -5,16 +5,28 @@
 //
 //   offset  size  field
 //        0     4  magic  "XFRM"
-//        4     1  version (kFrameVersion)
+//        4     1  version (1 or 2, see below)
 //        5     1  type    (FrameType)
 //        6     1  flags   (kFlagCompressedPayload: payload is the §4.1
-//                          tag-compressed form instead of plain XML)
+//                          tag-compressed form instead of plain XML;
+//                          kFlagRepeat: retransmission of a logged frame,
+//                          sent by the repeat/NACK machinery)
 //        7     1  reserved, must be 0
 //        8     8  seq     (per-stream monotonic sequence number; fragment
 //                          frames carry their 0-based publish position,
 //                          heartbeats the count of frames published so far)
 //       16     4  payload length
-//       20     n  payload
+//   [v2] 20     4  CRC32C over bytes [4, 20) + payload (Castagnoli,
+//                  reflected, init/xorout 0xFFFFFFFF). v1 has no checksum.
+//    20/24    n  payload
+//
+// Version negotiation: HELLO frames are always encoded as v1 (so a peer of
+// either vintage can parse them) and advertise checksum support with the
+// kHelloFlagCrcFrames frame-flag bit. When both sides set the bit, all
+// subsequent frames on the connection are v2; otherwise everything stays
+// v1. Old peers send flags=0 and ignore unknown flag bits, so they
+// interoperate unchanged. The REPEAT_REQUEST frame type likewise exists
+// only on negotiated-v2 connections (an old decoder rejects it fatally).
 //
 // Conversation: the subscriber opens with HELLO (stream name, desired
 // codec, known tag-structure hash or 0), the server answers with HELLO
@@ -23,7 +35,9 @@
 // sends REPLAY_FROM(last seen seq; -1 for everything) and receives the
 // replayed history followed by live FRAGMENT frames. HEARTBEATs flow
 // server→client on idle; BYE announces an orderly close in either
-// direction.
+// direction. REPEAT_REQUEST(filler id) flows client→server to NACK a
+// missing filler: the server re-sends every logged frame of that filler
+// with its original seq and kFlagRepeat set.
 #ifndef XCQL_NET_FRAME_H_
 #define XCQL_NET_FRAME_H_
 
@@ -40,8 +54,13 @@ namespace xcql::net {
 
 inline constexpr uint32_t kFrameMagic = 0x4D52'4658;  // "XFRM" on the wire
 inline constexpr uint8_t kFrameVersion = 1;
+inline constexpr uint8_t kFrameVersionCrc = 2;
 inline constexpr size_t kFrameHeaderSize = 20;
+inline constexpr size_t kFrameHeaderSizeCrc = 24;
 inline constexpr uint8_t kFlagCompressedPayload = 0x01;
+inline constexpr uint8_t kFlagRepeat = 0x02;
+/// HELLO frame-flag bit: "I can speak the v2 (checksummed) frame format".
+inline constexpr uint8_t kHelloFlagCrcFrames = 0x02;
 // Sanity bound: a received frame larger than this is treated as stream
 // corruption, and EncodeFrame refuses to produce one. Tied to the codec
 // layer's publish-time limit so an accepted fragment always frames.
@@ -56,6 +75,7 @@ enum class FrameType : uint8_t {
   kHeartbeat = 3,
   kReplayFrom = 4,
   kBye = 5,
+  kRepeatRequest = 6,  // v2-only: NACK for a missing filler id
 };
 
 const char* FrameTypeName(FrameType type);
@@ -66,15 +86,40 @@ struct Frame {
   uint8_t flags = 0;
   uint64_t seq = 0;
   std::string payload;
+  /// False when a v2 frame failed its checksum. The frame was framed well
+  /// enough to skip (magic + length held up) but every other field is
+  /// untrusted: type/flags are zeroed, the payload is empty, and seq holds
+  /// the wire value for logging only.
+  bool crc_ok = true;
+  /// Wire version the frame arrived in (kFrameVersion or kFrameVersionCrc).
+  uint8_t wire_version = kFrameVersion;
 };
 
-/// \brief Serializes header + payload. Fails on a payload larger than
-/// kMaxFramePayload — the decoder is guaranteed to reject such a frame as
-/// stream corruption, so it must never reach the wire (or the frame log).
-Result<std::string> EncodeFrame(const Frame& frame);
+/// \brief Serializes header + payload in the given wire version. Fails on
+/// a payload larger than kMaxFramePayload — the decoder is guaranteed to
+/// reject such a frame as stream corruption, so it must never reach the
+/// wire (or the frame log).
+Result<std::string> EncodeFrame(const Frame& frame,
+                                uint8_t version = kFrameVersionCrc);
+
+/// \brief CRC32C (Castagnoli) of `data`; software table implementation.
+uint32_t Crc32c(std::string_view data);
+
+/// \brief Transcodes a well-formed v2-encoded frame to v1 by dropping the
+/// checksum field (for peers that did not negotiate v2). v1 input is
+/// returned unchanged.
+std::string DowngradeFrameToV1(std::string_view frame_bytes);
+
+/// \brief Returns `frame_bytes` with kFlagRepeat set in the flags byte,
+/// recomputing the v2 checksum when present. Input must be a well-formed
+/// encoded frame (it comes from the server's own log).
+std::string WithRepeatFlag(std::string frame_bytes);
 
 /// \brief Incremental decoder over a TCP byte stream: Feed() whatever
-/// arrived, then pop complete frames with Next().
+/// arrived, then pop complete frames with Next(). Accepts v1 and v2
+/// frames interleaved; a v2 frame whose checksum does not match is
+/// returned with crc_ok=false rather than failing the stream (the frame
+/// boundary itself held up, so the decoder can resync on the next frame).
 class FrameReader {
  public:
   void Feed(const char* data, size_t len);
@@ -107,6 +152,10 @@ Result<Hello> DecodeHello(std::string_view payload);
 /// (-1 = replay everything).
 std::string EncodeReplayFrom(int64_t last_seen_seq);
 Result<int64_t> DecodeReplayFrom(std::string_view payload);
+
+/// \brief REPEAT_REQUEST payload: the filler id being NACKed.
+std::string EncodeRepeatRequest(int64_t filler_id);
+Result<int64_t> DecodeRepeatRequest(std::string_view payload);
 
 /// \brief FNV-1a over the Tag Structure's canonical XML form; both ends
 /// compare hashes at HELLO to verify they hold the same schema.

@@ -29,6 +29,15 @@ struct MetricsSnapshot {
   int64_t encode_failures = 0;     // fragments that failed wire encoding
   int64_t repeats_out = 0;         // logged frames re-sent by RepeatFiller
   int64_t gaps_detected = 0;       // seq gaps that forced a reconnect
+  int64_t frames_corrupt = 0;      // v2 frames failing their checksum
+  int64_t liveness_timeouts = 0;   // recv deadlines that forced a reconnect
+  int64_t catchup_replays = 0;     // heartbeat-lag REPLAY_FROMs (subscriber)
+  int64_t nacks_sent = 0;          // REPEAT_REQUEST frames sent (subscriber)
+  int64_t repeat_requests_in = 0;  // REPEAT_REQUEST frames served (server)
+  int64_t fillers_repaired = 0;    // missing fillers recovered via NACK
+  int64_t fillers_lost = 0;        // missing fillers past their retry budget
+  int64_t poison_quarantined = 0;  // checksum-valid frames whose payload
+                                   // failed the codec and were skipped
 };
 
 /// \brief The live counters. Relaxed atomics: each counter is independent
@@ -69,6 +78,28 @@ class Metrics {
   void AddGapDetected() {
     gaps_detected_.fetch_add(1, std::memory_order_relaxed);
   }
+  void AddFrameCorrupt() {
+    frames_corrupt_.fetch_add(1, std::memory_order_relaxed);
+  }
+  void AddLivenessTimeout() {
+    liveness_timeouts_.fetch_add(1, std::memory_order_relaxed);
+  }
+  void AddCatchupReplay() {
+    catchup_replays_.fetch_add(1, std::memory_order_relaxed);
+  }
+  void AddNackSent() { nacks_sent_.fetch_add(1, std::memory_order_relaxed); }
+  void AddRepeatRequestIn() {
+    repeat_requests_in_.fetch_add(1, std::memory_order_relaxed);
+  }
+  void AddFillerRepaired() {
+    fillers_repaired_.fetch_add(1, std::memory_order_relaxed);
+  }
+  void AddFillerLost() {
+    fillers_lost_.fetch_add(1, std::memory_order_relaxed);
+  }
+  void AddPoisonQuarantined() {
+    poison_quarantined_.fetch_add(1, std::memory_order_relaxed);
+  }
   void ConnectionOpened() {
     connections_active_.fetch_add(1, std::memory_order_relaxed);
   }
@@ -107,6 +138,16 @@ class Metrics {
     s.encode_failures = encode_failures_.load(std::memory_order_relaxed);
     s.repeats_out = repeats_out_.load(std::memory_order_relaxed);
     s.gaps_detected = gaps_detected_.load(std::memory_order_relaxed);
+    s.frames_corrupt = frames_corrupt_.load(std::memory_order_relaxed);
+    s.liveness_timeouts = liveness_timeouts_.load(std::memory_order_relaxed);
+    s.catchup_replays = catchup_replays_.load(std::memory_order_relaxed);
+    s.nacks_sent = nacks_sent_.load(std::memory_order_relaxed);
+    s.repeat_requests_in =
+        repeat_requests_in_.load(std::memory_order_relaxed);
+    s.fillers_repaired = fillers_repaired_.load(std::memory_order_relaxed);
+    s.fillers_lost = fillers_lost_.load(std::memory_order_relaxed);
+    s.poison_quarantined =
+        poison_quarantined_.load(std::memory_order_relaxed);
     return s;
   }
 
@@ -120,6 +161,11 @@ class Metrics {
   std::atomic<int64_t> connections_accepted_{0}, connections_active_{0};
   std::atomic<int64_t> encode_failures_{0};
   std::atomic<int64_t> repeats_out_{0}, gaps_detected_{0};
+  std::atomic<int64_t> frames_corrupt_{0}, liveness_timeouts_{0};
+  std::atomic<int64_t> catchup_replays_{0}, nacks_sent_{0};
+  std::atomic<int64_t> repeat_requests_in_{0};
+  std::atomic<int64_t> fillers_repaired_{0}, fillers_lost_{0};
+  std::atomic<int64_t> poison_quarantined_{0};
 };
 
 }  // namespace xcql::net

@@ -34,6 +34,7 @@ Status FragmentServer::Start() {
     for (int64_t i = 0; i < source_->history_size(); ++i) {
       log_.push_back(EncodeEntry(source_->history_at(i),
                                  static_cast<uint64_t>(log_.size())));
+      filler_index_[log_.back().filler_id].push_back(log_.size() - 1);
     }
     published_.store(static_cast<int64_t>(log_.size()));
   }
@@ -74,6 +75,7 @@ int64_t FragmentServer::next_seq() const {
 FragmentServer::LogEntry FragmentServer::EncodeEntry(
     const frag::Fragment& fragment, uint64_t seq) {
   LogEntry entry;
+  entry.filler_id = fragment.id;
   const frag::TagStructure& ts = source_->tag_structure();
   Frame frame;
   frame.type = FrameType::kFragment;
@@ -110,6 +112,7 @@ void FragmentServer::OnFragment(const std::string& /*stream_name*/,
     metrics_.AddFragmentOut();
   }
   log_.push_back(std::move(entry));
+  filler_index_[log_.back().filler_id].push_back(log_.size() - 1);
   published_.store(static_cast<int64_t>(log_.size()));
   const LogEntry& stored = log_.back();
   std::lock_guard<std::mutex> conns_lock(conns_mu_);
@@ -129,10 +132,21 @@ void FragmentServer::OnRepeat(const std::string& /*stream_name*/,
   metrics_.AddRepeatOut();
   const LogEntry& stored = log_[static_cast<size_t>(history_pos)];
   std::lock_guard<std::mutex> conns_lock(conns_mu_);
-  for (auto& conn : conns_) Enqueue(conn.get(), stored);
+  for (auto& conn : conns_) Enqueue(conn.get(), stored, /*repeat=*/true);
 }
 
-void FragmentServer::Enqueue(Connection* conn, const LogEntry& entry) {
+void FragmentServer::ServeRepeat(Connection* conn, int64_t filler_id) {
+  std::lock_guard<std::mutex> lock(log_mu_);
+  auto it = filler_index_.find(filler_id);
+  if (it == filler_index_.end()) return;  // never published: nothing to say
+  for (size_t pos : it->second) {
+    metrics_.AddRepeatOut();
+    Enqueue(conn, log_[pos], /*repeat=*/true);
+  }
+}
+
+void FragmentServer::Enqueue(Connection* conn, const LogEntry& entry,
+                             bool repeat) {
   std::unique_lock<std::mutex> lock(conn->mu);
   if (conn->closing || !conn->live) return;
   // Preferred codec first, the other form as fallback: the flag in the
@@ -144,8 +158,16 @@ void FragmentServer::Enqueue(Connection* conn, const LogEntry& entry) {
       prefer_compressed ? entry.compressed : entry.plain;
   const std::string& fallback =
       prefer_compressed ? entry.plain : entry.compressed;
-  const std::string& frame = primary.empty() ? fallback : primary;
-  if (frame.empty()) return;  // unencodable in any form: nothing to send
+  const std::string& stored = primary.empty() ? fallback : primary;
+  if (stored.empty()) return;  // unencodable in any form: nothing to send
+  // The log holds v2 frames; rewrite only off the common path (old peer,
+  // or a retransmission that must carry kFlagRepeat).
+  std::string rewritten;
+  if (repeat) rewritten = WithRepeatFlag(stored);
+  if (!conn->peer_crc) {
+    rewritten = DowngradeFrameToV1(rewritten.empty() ? stored : rewritten);
+  }
+  const std::string& frame = rewritten.empty() ? stored : rewritten;
   if (conn->queue.size() >= opts_.queue_capacity) {
     switch (opts_.slow_consumer) {
       case SlowConsumerPolicy::kBlock:
@@ -249,6 +271,7 @@ Status FragmentServer::HandleHello(Connection* conn, const Frame& frame) {
   {
     std::lock_guard<std::mutex> lock(conn->mu);
     conn->codec = hello.value().codec;
+    conn->peer_crc = (frame.flags & kHelloFlagCrcFrames) != 0;
   }
   Hello ack;
   ack.stream_name = source_->name();
@@ -257,8 +280,11 @@ Status FragmentServer::HandleHello(Connection* conn, const Frame& frame) {
   ack.tag_structure_xml = ts_xml_;
   Frame out;
   out.type = FrameType::kHello;
+  out.flags = kHelloFlagCrcFrames;  // we always speak v2; peer decides
   out.payload = EncodeHello(ack);
-  XCQL_ASSIGN_OR_RETURN(std::string bytes, EncodeFrame(out));
+  // HELLO frames stay v1 on the wire so a peer of either vintage can
+  // parse them; the flag bit above is the entire negotiation.
+  XCQL_ASSIGN_OR_RETURN(std::string bytes, EncodeFrame(out, kFrameVersion));
   return SendRaw(conn, bytes);
 }
 
@@ -295,15 +321,23 @@ void FragmentServer::ReaderLoop(Connection* conn) {
       }
       if (!next.value().has_value()) break;
       const Frame& frame = *next.value();
-      metrics_.AddFrameIn(
-          static_cast<int64_t>(kFrameHeaderSize + frame.payload.size()));
+      metrics_.AddFrameIn(static_cast<int64_t>(
+          (frame.wire_version == kFrameVersionCrc ? kFrameHeaderSizeCrc
+                                                  : kFrameHeaderSize) +
+          frame.payload.size()));
+      if (!frame.crc_ok) {
+        // Client→server traffic is all control; a corrupt request is the
+        // client's to retry. Count it and move on.
+        metrics_.AddFrameCorrupt();
+        continue;
+      }
       if (!handshaken) {
         if (frame.type != FrameType::kHello ||
             !HandleHello(conn, frame).ok()) {
           metrics_.AddHandshakeFailure();
           Frame bye;
           bye.type = FrameType::kBye;
-          auto bye_bytes = EncodeFrame(bye);
+          auto bye_bytes = EncodeFrame(bye, kFrameVersion);
           if (bye_bytes.ok()) (void)SendRaw(conn, bye_bytes.value());
           done = true;
           break;
@@ -319,6 +353,16 @@ void FragmentServer::ReaderLoop(Connection* conn) {
             break;
           }
           ServeReplay(conn, from.value());
+          break;
+        }
+        case FrameType::kRepeatRequest: {
+          auto id = DecodeRepeatRequest(frame.payload);
+          if (!id.ok()) {
+            done = true;
+            break;
+          }
+          metrics_.AddRepeatRequestIn();
+          ServeRepeat(conn, id.value());
           break;
         }
         case FrameType::kBye:
@@ -343,11 +387,13 @@ void FragmentServer::WriterLoop(Connection* conn) {
   for (;;) {
     std::string frame;
     bool heartbeat = false;
+    bool peer_crc = false;
     {
       std::unique_lock<std::mutex> lock(conn->mu);
       conn->cv_data.wait_for(lock, opts_.heartbeat_interval, [&] {
         return !conn->queue.empty() || conn->closing;
       });
+      peer_crc = conn->peer_crc;
       if (conn->queue.empty()) {
         if (conn->closing) break;
         if (!conn->live) continue;  // no heartbeats before the handshake
@@ -362,7 +408,8 @@ void FragmentServer::WriterLoop(Connection* conn) {
     // published_ instead of next_seq(): the writer must stay off log_mu_,
     // which a kBlock publisher may hold while waiting on this very writer.
     if (heartbeat) {
-      auto hb = EncodeFrame(HeartbeatFrame(published_.load()));
+      auto hb = EncodeFrame(HeartbeatFrame(published_.load()),
+                            peer_crc ? kFrameVersionCrc : kFrameVersion);
       if (!hb.ok()) continue;  // empty payload: cannot actually fail
       frame = std::move(hb).MoveValue();
     }

@@ -24,6 +24,7 @@
 #include <mutex>
 #include <string>
 #include <thread>
+#include <unordered_map>
 #include <vector>
 
 #include "common/result.h"
@@ -111,6 +112,9 @@ class FragmentServer : public stream::StreamClient {
     std::condition_variable cv_space;  // queue gained room / closing
     std::deque<std::string> queue;     // encoded frames awaiting send
     frag::WireCodec codec = frag::WireCodec::kPlainXml;
+    /// Peer advertised kHelloFlagCrcFrames: send v2 (checksummed) frames.
+    /// Old peers get every frame transcoded down to v1.
+    bool peer_crc = false;
     bool live = false;
     bool closing = false;
     int64_t enqueued = 0;
@@ -122,10 +126,13 @@ class FragmentServer : public stream::StreamClient {
   };
 
   // One published fragment, encoded once per codec the server offers.
+  // Frames are logged in the v2 (checksummed) format and transcoded down
+  // per connection when a peer did not negotiate it.
   struct LogEntry {
     std::string plain;       // FRAGMENT frame, plain-XML payload
     std::string compressed;  // FRAGMENT frame, §4.1 payload ("" if the
                              // payload does not compress under the schema)
+    int64_t filler_id = 0;   // the fragment's filler id (NACK index key)
   };
 
   LogEntry EncodeEntry(const frag::Fragment& fragment, uint64_t seq);
@@ -134,9 +141,13 @@ class FragmentServer : public stream::StreamClient {
   void WriterLoop(Connection* conn);
   Status HandleHello(Connection* conn, const Frame& frame);
   void ServeReplay(Connection* conn, int64_t last_seen_seq);
+  /// \brief Serves a REPEAT_REQUEST (NACK): re-enqueues every logged frame
+  /// of `filler_id` — original seqs, kFlagRepeat set — to `conn` only.
+  void ServeRepeat(Connection* conn, int64_t filler_id);
   /// \brief Appends one encoded frame to the connection's queue, applying
-  /// the slow-consumer policy. Caller may hold log_mu_.
-  void Enqueue(Connection* conn, const LogEntry& entry);
+  /// the slow-consumer policy. Caller may hold log_mu_. With `repeat` the
+  /// frame goes out flagged as a retransmission.
+  void Enqueue(Connection* conn, const LogEntry& entry, bool repeat = false);
   Status SendRaw(Connection* conn, const std::string& bytes);
   void CloseConnection(Connection* conn);
   void ReapFinished();
@@ -155,6 +166,9 @@ class FragmentServer : public stream::StreamClient {
   // Frame log. Lock order: log_mu_ -> conns_mu_ -> Connection::mu.
   mutable std::mutex log_mu_;
   std::vector<LogEntry> log_;
+  // Log positions per filler id, so a NACK replays all of a filler's
+  // frames without scanning the log. Guarded by log_mu_.
+  std::unordered_map<int64_t, std::vector<size_t>> filler_index_;
   // log_.size(), readable without log_mu_. The heartbeat path uses this:
   // a kBlock publisher can hold log_mu_ while waiting for queue space, so
   // the writer thread must never take log_mu_ to make progress.

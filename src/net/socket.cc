@@ -4,6 +4,7 @@
 #include <netdb.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
+#include <poll.h>
 #include <sys/socket.h>
 #include <unistd.h>
 
@@ -66,6 +67,32 @@ Result<size_t> Socket::Recv(void* buf, size_t len) {
       return Errno("recv");
     }
     return static_cast<size_t>(n);
+  }
+}
+
+Result<size_t> Socket::RecvTimeout(void* buf, size_t len,
+                                   std::chrono::milliseconds timeout,
+                                   bool* timed_out) {
+  *timed_out = false;
+  pollfd pfd{};
+  pfd.fd = fd_;
+  pfd.events = POLLIN;
+  auto deadline = std::chrono::steady_clock::now() + timeout;
+  for (;;) {
+    auto left = std::chrono::duration_cast<std::chrono::milliseconds>(
+        deadline - std::chrono::steady_clock::now());
+    int wait_ms = left.count() > 0 ? static_cast<int>(left.count()) : 0;
+    int rc = ::poll(&pfd, 1, wait_ms);
+    if (rc < 0) {
+      if (errno == EINTR) continue;
+      return Errno("poll");
+    }
+    if (rc == 0) {
+      *timed_out = true;
+      return static_cast<size_t>(0);
+    }
+    // Readable (or error/hup, which recv reports): do the actual read.
+    return Recv(buf, len);
   }
 }
 

@@ -5,6 +5,7 @@
 #ifndef XCQL_NET_SOCKET_H_
 #define XCQL_NET_SOCKET_H_
 
+#include <chrono>
 #include <cstddef>
 #include <cstdint>
 #include <string>
@@ -40,6 +41,14 @@ class Socket {
 
   /// \brief Receives up to `len` bytes. Returns 0 on orderly shutdown.
   Result<size_t> Recv(void* buf, size_t len);
+
+  /// \brief Like Recv, but waits at most `timeout` for data. On timeout
+  /// returns 0 with *timed_out set; otherwise *timed_out is cleared and
+  /// the semantics match Recv (0 = orderly shutdown). The liveness
+  /// watchdog of the subscriber is built on this.
+  Result<size_t> RecvTimeout(void* buf, size_t len,
+                             std::chrono::milliseconds timeout,
+                             bool* timed_out);
 
  private:
   int fd_ = -1;

@@ -2,8 +2,23 @@
 
 #include <algorithm>
 #include <iterator>
+#include <unordered_set>
 
 namespace xcql::net {
+
+namespace {
+
+// Quarantine log depth: enough to diagnose a poisoning publisher, bounded
+// so a hostile stream cannot grow subscriber memory.
+constexpr size_t kMaxPoisonLog = 16;
+
+// Consecutive lagging heartbeats (same stalled last_seq) before the loss
+// detector trusts the lag. One heartbeat can race the publish that bumped
+// the server's published counter before the frame was enqueued; two in a
+// row with zero progress means the frames are not coming.
+constexpr int kHeartbeatLagThreshold = 2;
+
+}  // namespace
 
 FragmentSubscriber::FragmentSubscriber(FragmentSubscriberOptions options)
     : opts_(std::move(options)) {
@@ -68,6 +83,7 @@ void FragmentSubscriber::Run() {
         std::lock_guard<std::mutex> lock(state_mu_);
         was_connected = connected_;
         connected_ = false;
+        wire_version_ = kFrameVersion;
         sock_.Close();
         state_cv_.notify_all();
       }
@@ -82,6 +98,46 @@ void FragmentSubscriber::Run() {
   state_cv_.notify_all();
 }
 
+Status FragmentSubscriber::SendFrame(const Frame& frame) {
+  // state_mu_ both validates the socket (Run() swaps it between sessions)
+  // and serializes writers: the receive thread's in-session REPLAY_FROM
+  // and an application thread's NACK must not interleave on the fd.
+  std::lock_guard<std::mutex> lock(state_mu_);
+  if (!sock_.valid() || !connected_) {
+    return Status::Internal("subscriber not connected");
+  }
+  if (frame.type == FrameType::kRepeatRequest &&
+      wire_version_ != kFrameVersionCrc) {
+    return Status::Unsupported(
+        "server did not negotiate v2 frames (no REPEAT_REQUEST support)");
+  }
+  XCQL_ASSIGN_OR_RETURN(std::string bytes, EncodeFrame(frame, wire_version_));
+  XCQL_RETURN_NOT_OK(sock_.SendAll(bytes.data(), bytes.size()));
+  metrics_.AddFrameOut(static_cast<int64_t>(bytes.size()));
+  return Status::OK();
+}
+
+bool FragmentSubscriber::RepairRequested(int64_t filler_id) const {
+  std::lock_guard<std::mutex> lock(repair_mu_);
+  auto it = repairs_.find(filler_id);
+  // A late repeat for an already-lost filler still heals the store, so
+  // `lost` does not bar admission; `resolved` fillers need nothing more.
+  return it != repairs_.end() && it->second.attempts > 0 &&
+         !it->second.resolved;
+}
+
+void FragmentSubscriber::QuarantinePoison(int64_t seq, const Status& error,
+                                          size_t payload_bytes) {
+  metrics_.AddPoisonQuarantined();
+  std::lock_guard<std::mutex> lock(pending_mu_);
+  if (poison_log_.size() >= kMaxPoisonLog) poison_log_.pop_front();
+  PoisonRecord rec;
+  rec.seq = seq;
+  rec.error = error.message();
+  rec.payload_bytes = payload_bytes;
+  poison_log_.push_back(std::move(rec));
+}
+
 void FragmentSubscriber::Session() {
   Hello hello;
   hello.stream_name = opts_.stream;
@@ -89,8 +145,10 @@ void FragmentSubscriber::Session() {
   hello.ts_hash = ts_xml_.empty() ? 0 : TagStructureHash(ts_xml_);
   Frame out;
   out.type = FrameType::kHello;
+  out.flags = kHelloFlagCrcFrames;  // advertise v2; the ack decides
   out.payload = EncodeHello(hello);
-  auto hello_bytes = EncodeFrame(out);
+  // HELLO always goes out v1 so servers of either vintage can parse it.
+  auto hello_bytes = EncodeFrame(out, kFrameVersion);
   if (!hello_bytes.ok()) return;
   const std::string& bytes = hello_bytes.value();
   if (!sock_.SendAll(bytes.data(), bytes.size()).ok()) return;
@@ -99,18 +157,57 @@ void FragmentSubscriber::Session() {
   FrameReader reader;
   char buf[64 * 1024];
   bool handshaken = false;
+  // Heartbeat loss detector state: the last_seq a lagging heartbeat saw,
+  // and how many lagging heartbeats in a row saw it unchanged.
+  int64_t lag_have = -2;
+  int lag_count = 0;
+  auto last_rx = std::chrono::steady_clock::now();
   for (;;) {
     if (stopping_.load()) return;
-    auto n = sock_.Recv(buf, sizeof(buf));
-    if (!n.ok() || n.value() == 0) return;
-    reader.Feed(buf, n.value());
+    size_t got = 0;
+    if (opts_.liveness_timeout.count() > 0) {
+      auto deadline = last_rx + opts_.liveness_timeout;
+      auto now = std::chrono::steady_clock::now();
+      if (now >= deadline) {
+        metrics_.AddLivenessTimeout();
+        return;  // half-dead link: reconnect with backoff
+      }
+      bool timed_out = false;
+      auto n = sock_.RecvTimeout(
+          buf, sizeof(buf),
+          std::chrono::duration_cast<std::chrono::milliseconds>(deadline -
+                                                                now),
+          &timed_out);
+      if (!n.ok()) return;
+      if (timed_out) {
+        metrics_.AddLivenessTimeout();
+        return;
+      }
+      if (n.value() == 0) return;
+      got = n.value();
+    } else {
+      auto n = sock_.Recv(buf, sizeof(buf));
+      if (!n.ok() || n.value() == 0) return;
+      got = n.value();
+    }
+    last_rx = std::chrono::steady_clock::now();
+    reader.Feed(buf, got);
     for (;;) {
       auto next = reader.Next();
       if (!next.ok()) return;  // malformed stream: drop and reconnect
       if (!next.value().has_value()) break;
       Frame frame = std::move(*next.value());
-      metrics_.AddFrameIn(
-          static_cast<int64_t>(kFrameHeaderSize + frame.payload.size()));
+      metrics_.AddFrameIn(static_cast<int64_t>(
+          (frame.wire_version == kFrameVersionCrc ? kFrameHeaderSizeCrc
+                                                  : kFrameHeaderSize) +
+          frame.payload.size()));
+      if (!frame.crc_ok) {
+        // Bits flipped in flight. The frame's content is untrusted, so
+        // treat it exactly like a gap: end the session and resume via
+        // REPLAY_FROM(last contiguous seq) — the server still holds it.
+        metrics_.AddFrameCorrupt();
+        return;
+      }
       if (!handshaken) {
         // The server answers HELLO with HELLO, or BYE on rejection.
         if (frame.type != FrameType::kHello) {
@@ -146,6 +243,9 @@ void FragmentSubscriber::Session() {
         {
           std::lock_guard<std::mutex> lock(state_mu_);
           if (ts_xml_.empty()) ts_xml_ = ack.value().tag_structure_xml;
+          wire_version_ = (frame.flags & kHelloFlagCrcFrames)
+                              ? kFrameVersionCrc
+                              : kFrameVersion;
           connected_ = true;
           if (ever_connected_) metrics_.AddReconnect();
           ever_connected_ = true;
@@ -156,16 +256,30 @@ void FragmentSubscriber::Session() {
         Frame replay;
         replay.type = FrameType::kReplayFrom;
         replay.payload = EncodeReplayFrom(last_seq());
-        auto replay_bytes = EncodeFrame(replay);
-        if (!replay_bytes.ok()) return;
-        const std::string& rb = replay_bytes.value();
-        if (!sock_.SendAll(rb.data(), rb.size()).ok()) return;
-        metrics_.AddFrameOut(static_cast<int64_t>(rb.size()));
+        if (!SendFrame(replay).ok()) return;
         metrics_.AddReplayRequested();
         continue;
       }
       switch (frame.type) {
         case FrameType::kFragment: {
+          frag::WireCodec codec = (frame.flags & kFlagCompressedPayload)
+                                      ? frag::WireCodec::kTagCompressed
+                                      : frag::WireCodec::kPlainXml;
+          if (frame.flags & kFlagRepeat) {
+            // A retransmission (RepeatFiller broadcast or our own NACK
+            // being answered). It re-uses its original seq, so it never
+            // advances the contiguous prefix; admit it only when we asked
+            // for its filler, otherwise it is a duplicate to discard.
+            auto fragment =
+                frag::DecodeWirePayload(frame.payload, *ts_, codec);
+            if (!fragment.ok()) break;  // corrupt repeat: the NACK retries
+            if (!RepairRequested(fragment.value().id)) break;
+            metrics_.AddFragmentIn();
+            std::lock_guard<std::mutex> lock(pending_mu_);
+            pending_.push_back(std::move(fragment).MoveValue());
+            pending_cv_.notify_all();
+            break;
+          }
           // last_seq_ tracks the *contiguous* prefix, and only the
           // receive thread writes it, so reading it via the locked getter
           // and advancing later cannot race.
@@ -180,11 +294,23 @@ void FragmentSubscriber::Session() {
             metrics_.AddGapDetected();
             return;
           }
-          frag::WireCodec codec = (frame.flags & kFlagCompressedPayload)
-                                      ? frag::WireCodec::kTagCompressed
-                                      : frag::WireCodec::kPlainXml;
           auto fragment = frag::DecodeWirePayload(frame.payload, *ts_, codec);
-          if (!fragment.ok()) return;  // schema drift: resync via reconnect
+          if (!fragment.ok()) {
+            if (frame.wire_version == kFrameVersionCrc) {
+              // The checksum held, so these are the bytes the server sent:
+              // retrying cannot fix a malformed payload. Quarantine it and
+              // keep the stream alive instead of reconnecting forever into
+              // the same poison frame.
+              QuarantinePoison(seq, fragment.status(), frame.payload.size());
+              std::lock_guard<std::mutex> lock(pending_mu_);
+              last_seq_ = seq;
+              pending_cv_.notify_all();
+              break;
+            }
+            // v1 frame: transit corruption and sender poison look the
+            // same; resync via reconnect like any other damaged stream.
+            return;
+          }
           metrics_.AddFragmentIn();
           std::lock_guard<std::mutex> lock(pending_mu_);
           pending_.push_back(std::move(fragment).MoveValue());
@@ -192,8 +318,40 @@ void FragmentSubscriber::Session() {
           pending_cv_.notify_all();
           break;
         }
-        case FrameType::kHeartbeat:
-          break;  // liveness only
+        case FrameType::kHeartbeat: {
+          // The heartbeat's `published` count doubles as a loss detector:
+          // the server claims seqs up to published-1 exist, frames ahead
+          // of a heartbeat arrive before it (TCP ordering), so a stalled
+          // contiguous prefix below that with nothing in flight means the
+          // frames were evicted before we ever got them. Two consecutive
+          // lagging heartbeats with zero progress confirm it (one can
+          // race the publish that bumped the counter); then pull the
+          // range now instead of waiting for the next live frame to
+          // reveal the gap.
+          const int64_t published = static_cast<int64_t>(frame.seq);
+          const int64_t have = last_seq();
+          if (published - 1 > have) {
+            if (lag_have == have) {
+              ++lag_count;
+            } else {
+              lag_have = have;
+              lag_count = 1;
+            }
+            if (lag_count >= kHeartbeatLagThreshold) {
+              lag_count = 0;
+              Frame replay;
+              replay.type = FrameType::kReplayFrom;
+              replay.payload = EncodeReplayFrom(have);
+              if (!SendFrame(replay).ok()) return;
+              metrics_.AddCatchupReplay();
+              metrics_.AddReplayRequested();
+            }
+          } else {
+            lag_have = -2;
+            lag_count = 0;
+          }
+          break;
+        }
         case FrameType::kBye:
           return;  // server going away; reconnect with backoff
         default:
@@ -221,6 +379,76 @@ int FragmentSubscriber::Drain(std::vector<frag::Fragment>* out) {
     pending_.clear();
   }
   return n;
+}
+
+Result<RepairSummary> FragmentSubscriber::RepairMissing(
+    const frag::FragmentStore& store) {
+  RepairSummary sum;
+  std::vector<int64_t> missing = store.MissingFillers();
+  sum.missing = static_cast<int>(missing.size());
+  std::unordered_set<int64_t> missing_set(missing.begin(), missing.end());
+  const auto now = std::chrono::steady_clock::now();
+  std::vector<int64_t> to_nack;
+  {
+    std::lock_guard<std::mutex> lock(repair_mu_);
+    // Anything we NACKed that the store no longer misses got repaired
+    // (via the repeat path or an overlapping replay — either counts).
+    for (auto& [id, st] : repairs_) {
+      if (st.attempts > 0 && !st.resolved && missing_set.count(id) == 0) {
+        st.resolved = true;
+        metrics_.AddFillerRepaired();
+      }
+    }
+    for (int64_t id : missing) {
+      RepairState& st = repairs_[id];
+      if (st.lost) continue;
+      const bool interval_passed =
+          st.attempts == 0 ||
+          now - st.last_sent >= opts_.repair_retry_interval;
+      if (!interval_passed) continue;
+      if (st.attempts >= opts_.repair_retry_budget) {
+        // Budget burned and the grace interval after the last attempt
+        // expired with the filler still missing: declare it lost. The
+        // hole stays in the store; HolePolicy decides what queries do.
+        st.lost = true;
+        metrics_.AddFillerLost();
+        continue;
+      }
+      to_nack.push_back(id);
+    }
+    for (const auto& [id, st] : repairs_) {
+      if (st.resolved) ++sum.repaired_total;
+      if (st.lost) ++sum.lost_total;
+    }
+  }
+  for (int64_t id : to_nack) {
+    // Register the attempt BEFORE the NACK goes out: on loopback the
+    // repeat can land on the receive thread before SendFrame returns, and
+    // repeats are only admitted for fillers already marked requested.
+    {
+      std::lock_guard<std::mutex> lock(repair_mu_);
+      RepairState& rs = repairs_[id];
+      ++rs.attempts;
+      rs.last_sent = now;
+    }
+    Frame nack;
+    nack.type = FrameType::kRepeatRequest;
+    nack.payload = EncodeRepeatRequest(id);
+    Status st = SendFrame(nack);
+    if (st.ok()) {
+      metrics_.AddNackSent();
+      ++sum.nacks_sent;
+      continue;
+    }
+    {
+      // The NACK never left; undo so the next sweep retries immediately
+      // and `attempts` keeps counting NACKs actually sent.
+      std::lock_guard<std::mutex> lock(repair_mu_);
+      --repairs_[id].attempts;
+    }
+    if (st.code() == StatusCode::kUnsupported) return st;
+  }
+  return sum;
 }
 
 int64_t FragmentSubscriber::last_seq() const {
@@ -253,12 +481,22 @@ bool FragmentSubscriber::handshake_failed() const {
   return fatal_;
 }
 
+bool FragmentSubscriber::server_crc() const {
+  std::lock_guard<std::mutex> lock(state_mu_);
+  return connected_ && wire_version_ == kFrameVersionCrc;
+}
+
 Result<std::string> FragmentSubscriber::TagStructureXml() const {
   std::lock_guard<std::mutex> lock(state_mu_);
   if (ts_xml_.empty()) {
     return Status::NotFound("no handshake completed yet");
   }
   return ts_xml_;
+}
+
+std::vector<PoisonRecord> FragmentSubscriber::poison_log() const {
+  std::lock_guard<std::mutex> lock(pending_mu_);
+  return std::vector<PoisonRecord>(poison_log_.begin(), poison_log_.end());
 }
 
 MetricsSnapshot FragmentSubscriber::metrics() const {

@@ -11,6 +11,22 @@
 // exponential backoff and resumes via REPLAY_FROM, so a subscriber that
 // missed frames (restart, drop-oldest gap, network blip) converges back to
 // the full stream.
+//
+// Fault handling (docs/ROBUSTNESS.md):
+//  * a v2 frame failing its checksum is counted (frames_corrupt) and
+//    treated as a gap — the session ends and resumes via REPLAY_FROM;
+//  * a connection with no bytes for liveness_timeout is declared half-dead
+//    (liveness_timeouts) and re-dialed with backoff;
+//  * a heartbeat showing the server ahead of our contiguous prefix with no
+//    frames arriving doubles as a loss detector: after two consecutive
+//    lagging heartbeats an in-session REPLAY_FROM (catchup_replays) pulls
+//    the missing range without waiting for the next live frame;
+//  * a checksum-valid FRAGMENT whose payload fails the codec is poison,
+//    not loss: it is quarantined (bounded log, poison_quarantined) and the
+//    stream continues past it;
+//  * RepairMissing() NACKs the store's unfilled hole ids upstream
+//    (REPEAT_REQUEST) with a per-filler retry budget and timeout, after
+//    which the filler is declared lost (fillers_repaired / fillers_lost).
 #ifndef XCQL_NET_SUBSCRIBER_H_
 #define XCQL_NET_SUBSCRIBER_H_
 
@@ -18,6 +34,8 @@
 #include <chrono>
 #include <condition_variable>
 #include <cstdint>
+#include <deque>
+#include <map>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -43,6 +61,32 @@ struct FragmentSubscriberOptions {
   /// When set, its hash travels in HELLO and a mismatching server is
   /// rejected (fatal, no reconnect).
   std::string tag_structure_xml;
+  /// Reconnect when no bytes (frame or heartbeat) arrive for this long —
+  /// a half-dead link otherwise blocks the recv loop forever. Should be a
+  /// few multiples of the server's heartbeat interval; 0 disables.
+  std::chrono::milliseconds liveness_timeout{10000};
+  /// RepairMissing(): NACK attempts per missing filler before it is
+  /// declared lost.
+  int repair_retry_budget = 4;
+  /// RepairMissing(): minimum wait between NACKs of the same filler, and
+  /// the grace period after the final attempt before declaring it lost.
+  std::chrono::milliseconds repair_retry_interval{500};
+};
+
+/// \brief Outcome of one RepairMissing() sweep.
+struct RepairSummary {
+  int missing = 0;         // unfilled hole ids the store reported
+  int nacks_sent = 0;      // REPEAT_REQUESTs sent this sweep
+  int repaired_total = 0;  // fillers ever recovered after a NACK
+  int lost_total = 0;      // fillers ever declared lost (budget exhausted)
+};
+
+/// \brief One quarantined poison fragment (checksum-valid frame whose
+/// payload failed the codec).
+struct PoisonRecord {
+  int64_t seq = 0;
+  std::string error;
+  size_t payload_bytes = 0;
 };
 
 class FragmentSubscriber {
@@ -67,6 +111,14 @@ class FragmentSubscriber {
   /// \brief Like DrainInto, into a plain vector.
   int Drain(std::vector<frag::Fragment>* out);
 
+  /// \brief One repair sweep against `store` (call from the draining
+  /// thread): NACKs each missing filler that still has retry budget and is
+  /// past its retry interval, marks fillers repaired once the store no
+  /// longer misses them, and declares the budget-exhausted ones lost.
+  /// Fails if the server did not negotiate the v2 protocol (old servers
+  /// have no REPEAT_REQUEST).
+  Result<RepairSummary> RepairMissing(const frag::FragmentStore& store);
+
   /// \brief Highest *contiguously* received FRAGMENT sequence number (-1
   /// before the first). A frame beyond a sequence gap is never admitted:
   /// the subscriber kills the connection and resumes via
@@ -87,9 +139,16 @@ class FragmentSubscriber {
   /// schema hash); the subscriber has given up reconnecting.
   bool handshake_failed() const;
 
+  /// \brief True while the current session negotiated v2 (checksummed)
+  /// frames with the server.
+  bool server_crc() const;
+
   /// \brief The stream's Tag Structure XML as learned at the handshake
   /// (or as configured). Errors before the first successful handshake.
   Result<std::string> TagStructureXml() const;
+
+  /// \brief The most recent quarantined poison fragments (bounded).
+  std::vector<PoisonRecord> poison_log() const;
 
   MetricsSnapshot metrics() const;
 
@@ -98,10 +157,25 @@ class FragmentSubscriber {
   void KillConnection();
 
  private:
+  struct RepairState {
+    int attempts = 0;
+    std::chrono::steady_clock::time_point last_sent{};
+    bool lost = false;
+    bool resolved = false;
+  };
+
   void Run();
   // One connect→handshake→receive cycle; returns when the connection dies.
   void Session();
   bool SleepBackoff(std::chrono::milliseconds delay);
+  /// Serialized post-handshake send on the current socket (receive thread
+  /// and RepairMissing callers share it), in the negotiated wire version.
+  Status SendFrame(const Frame& frame);
+  /// Whether a repeat-flagged frame for `filler_id` was actually NACKed
+  /// (anything else is an unsolicited retransmission to discard).
+  bool RepairRequested(int64_t filler_id) const;
+  void QuarantinePoison(int64_t seq, const Status& error,
+                        size_t payload_bytes);
 
   FragmentSubscriberOptions opts_;
   std::thread thread_;
@@ -113,6 +187,8 @@ class FragmentSubscriber {
   bool connected_ = false;
   bool fatal_ = false;
   bool ever_connected_ = false;
+  /// Wire version for outgoing frames, per the HELLO flag negotiation.
+  uint8_t wire_version_ = kFrameVersion;
   std::string ts_xml_;  // set at first handshake (or from options)
   Socket sock_;         // guarded by state_mu_; owned by the receive thread
 
@@ -123,6 +199,11 @@ class FragmentSubscriber {
   mutable std::condition_variable pending_cv_;
   std::vector<frag::Fragment> pending_;
   int64_t last_seq_ = -1;  // contiguous prefix; written by receive thread
+  std::deque<PoisonRecord> poison_log_;  // bounded, newest at the back
+
+  // NACK bookkeeping per missing filler id. Guarded by repair_mu_.
+  mutable std::mutex repair_mu_;
+  std::map<int64_t, RepairState> repairs_;
 
   mutable Metrics metrics_;
 };

@@ -129,6 +129,7 @@ Status ContinuousQueryEngine::Tick() {
     Query* q;
     int64_t stamp;
     Result<xq::Sequence> result = Status::Internal("not evaluated");
+    lang::ExecStats exec_stats;
   };
   std::vector<DueEntry> due;  // ascending query id (queries_ is ordered)
   for (auto& [id, q] : queries_) {
@@ -162,6 +163,8 @@ Status ContinuousQueryEngine::Tick() {
     lang::ExecOptions opts;
     opts.method = entry.q->options.method;
     opts.now = now;
+    opts.hole_policy = entry.q->options.hole_policy;
+    opts.stats = &entry.exec_stats;  // each worker writes only its own slot
     if (entry.q->options.incremental) {
       opts.bindings["since"] =
           xq::SingletonAtomic(xq::Atomic(entry.q->watermark));
@@ -185,6 +188,8 @@ Status ContinuousQueryEngine::Tick() {
     q.last_status = Status::OK();
     q.last_stamp = entry.stamp;
     q.watermark = now;
+    q.holes_unresolved_last = entry.exec_stats.holes_unresolved;
+    if (entry.exec_stats.holes_unresolved > 0) ++q.incomplete_evaluations;
     xq::Sequence result = std::move(entry.result).MoveValue();
     if (!q.options.dedup) {
       results_emitted_ += static_cast<int64_t>(result.size());
@@ -219,6 +224,8 @@ Result<ContinuousQueryStats> ContinuousQueryEngine::QueryStats(int id) const {
   stats.last_status = q.last_status;
   stats.time_sensitive = q.prepared.relevance.time_sensitive;
   stats.unbounded = q.prepared.relevance.unbounded;
+  stats.holes_unresolved_last = q.holes_unresolved_last;
+  stats.incomplete_evaluations = q.incomplete_evaluations;
   return stats;
 }
 

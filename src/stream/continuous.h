@@ -65,6 +65,13 @@ struct ContinuousQueryOptions {
   bool incremental = false;
   /// Tick-skipping policy (see TickPolicy).
   TickPolicy tick_policy = TickPolicy::kAuto;
+  /// Degraded-mode behavior when a referenced filler is missing from the
+  /// store (lossy transport, repair budget exhausted): omit the hole, keep
+  /// it as a marker, or fail the evaluation. Under kOmit/kKeepHole the
+  /// query keeps running and QueryStats reports per-evaluation
+  /// completeness; under kFail each tick records an error until the filler
+  /// arrives. See docs/ROBUSTNESS.md.
+  xq::HolePolicy hole_policy = xq::HolePolicy::kOmit;
 };
 
 /// \brief Per-query runtime counters and status.
@@ -76,6 +83,12 @@ struct ContinuousQueryStats {
   /// From the plan's relevance analysis (see lang::QueryRelevance).
   bool time_sensitive = false;
   bool unbounded = false;
+  /// Completeness under the query's hole policy: holes left unresolved by
+  /// the most recent successful evaluation, and how many successful
+  /// evaluations were incomplete (unresolved > 0). 0/0 ⇔ every emitted
+  /// result was built from fully-arrived data.
+  int64_t holes_unresolved_last = 0;
+  int64_t incomplete_evaluations = 0;
 };
 
 /// \brief Runs registered XCQL queries continuously over a hub's streams.
@@ -142,6 +155,8 @@ class ContinuousQueryEngine {
     int64_t skips = 0;
     int64_t errors = 0;
     Status last_status;
+    int64_t holes_unresolved_last = 0;
+    int64_t incomplete_evaluations = 0;
   };
 
   Status SyncStreams();

@@ -9,9 +9,18 @@
 //   xcql_serve --port 7788 --xmark 0.01 --updates 1000 --interval-ms 50
 //   xcql_serve --port 7788 --stream credit --structure credit.ts.xml
 //              --document credit.xml [--compress] [--policy drop]
+//
+// With any --fault-* flag the stream is served through a deterministic
+// fault-injection proxy (net::ChaosLink) on --port, with the real server
+// on an ephemeral port behind it — for exercising subscriber recovery
+// (docs/ROBUSTNESS.md):
+//
+//   xcql_serve --port 7788 --xmark 0.005 --updates 500 \
+//              --fault-drop 0.02 --fault-corrupt 0.02 --fault-seed 42
 #include <chrono>
 #include <cstdio>
 #include <cstring>
+#include <memory>
 #include <string>
 #include <thread>
 #include <vector>
@@ -19,6 +28,7 @@
 #include "common/file_util.h"
 #include "common/random.h"
 #include "common/string_util.h"
+#include "net/chaos.h"
 #include "net/server.h"
 #include "stream/transport.h"
 #include "xmark/generator.h"
@@ -39,6 +49,9 @@ struct ServeOptions {
   xcql::net::SlowConsumerPolicy policy =
       xcql::net::SlowConsumerPolicy::kBlock;
   size_t queue = 1024;
+  xcql::net::ChaosFaults faults;
+  uint64_t fault_seed = 1;
+  bool any_fault = false;
 };
 
 int Usage(const char* argv0) {
@@ -47,7 +60,10 @@ int Usage(const char* argv0) {
       "usage: %s [--port N] [--stream NAME]\n"
       "          (--structure FILE --document FILE | --xmark SCALE)\n"
       "          [--updates N] [--interval-ms M] [--serve-ms M]\n"
-      "          [--compress] [--policy block|drop|disconnect] [--queue N]\n",
+      "          [--compress] [--policy block|drop|disconnect] [--queue N]\n"
+      "          [--fault-drop P] [--fault-dup P] [--fault-reorder P]\n"
+      "          [--fault-corrupt P] [--fault-truncate P]\n"
+      "          [--fault-delay-ms M] [--fault-seed S]\n",
       argv0);
   return 2;
 }
@@ -105,6 +121,27 @@ int main(int argc, char** argv) {
       const char* v = next();
       if (v == nullptr) return Usage(argv[0]);
       opt.queue = static_cast<size_t>(std::atoll(v));
+    } else if (arg == "--fault-drop" || arg == "--fault-dup" ||
+               arg == "--fault-reorder" || arg == "--fault-corrupt" ||
+               arg == "--fault-truncate") {
+      const char* v = next();
+      if (v == nullptr) return Usage(argv[0]);
+      double p = std::atof(v);
+      opt.any_fault = true;
+      if (arg == "--fault-drop") opt.faults.drop = p;
+      if (arg == "--fault-dup") opt.faults.duplicate = p;
+      if (arg == "--fault-reorder") opt.faults.reorder = p;
+      if (arg == "--fault-corrupt") opt.faults.corrupt = p;
+      if (arg == "--fault-truncate") opt.faults.truncate = p;
+    } else if (arg == "--fault-delay-ms") {
+      const char* v = next();
+      if (v == nullptr) return Usage(argv[0]);
+      opt.faults.delay = std::chrono::milliseconds(std::atoi(v));
+      opt.any_fault = true;
+    } else if (arg == "--fault-seed") {
+      const char* v = next();
+      if (v == nullptr) return Usage(argv[0]);
+      opt.fault_seed = static_cast<uint64_t>(std::atoll(v));
     } else if (arg == "--policy") {
       const char* v = next();
       if (v == nullptr) return Usage(argv[0]);
@@ -153,14 +190,34 @@ int main(int argc, char** argv) {
   if (opt.compress) server.EnableWireCompression();
 
   xcql::net::FragmentServerOptions net_opts;
-  net_opts.port = opt.port;
+  // With faults the chaos proxy owns the public port; the real server
+  // hides behind it on an ephemeral one.
+  net_opts.port = opt.any_fault ? 0 : opt.port;
   net_opts.slow_consumer = opt.policy;
   net_opts.queue_capacity = opt.queue;
   xcql::net::FragmentServer net_server(&server, net_opts);
   if (Fail(net_server.Start())) return 1;
-  std::printf("serving stream \"%s\" on port %u (%s wire accounting)\n",
-              opt.stream.c_str(), net_server.port(),
-              xcql::frag::WireCodecName(server.wire_codec()));
+
+  std::unique_ptr<xcql::net::ChaosLink> chaos;
+  if (opt.any_fault) {
+    xcql::net::ChaosLinkOptions chaos_opts;
+    chaos_opts.listen_port = opt.port;
+    chaos_opts.upstream_port = net_server.port();
+    chaos_opts.seed = opt.fault_seed;
+    chaos_opts.faults = opt.faults;
+    chaos = std::make_unique<xcql::net::ChaosLink>(chaos_opts);
+    if (Fail(chaos->Start())) return 1;
+    std::printf(
+        "serving stream \"%s\" on port %u through a chaos link (seed %llu; "
+        "upstream port %u; %s wire accounting)\n",
+        opt.stream.c_str(), chaos->port(),
+        static_cast<unsigned long long>(opt.fault_seed), net_server.port(),
+        xcql::frag::WireCodecName(server.wire_codec()));
+  } else {
+    std::printf("serving stream \"%s\" on port %u (%s wire accounting)\n",
+                opt.stream.c_str(), net_server.port(),
+                xcql::frag::WireCodecName(server.wire_codec()));
+  }
 
   if (doc != nullptr) {
     if (Fail(server.PublishDocument(*doc))) return 1;
@@ -211,11 +268,25 @@ int main(int argc, char** argv) {
   }
   auto m = net_server.metrics();
   std::printf(
-      "frames out %lld, bytes out %lld, drops %lld, subscribers served "
-      "%lld\n",
+      "frames out %lld, bytes out %lld, drops %lld, repeats served %lld, "
+      "subscribers served %lld\n",
       static_cast<long long>(m.frames_out),
       static_cast<long long>(m.bytes_out), static_cast<long long>(m.drops),
+      static_cast<long long>(m.repeat_requests_in),
       static_cast<long long>(m.connections_accepted));
+  if (chaos != nullptr) {
+    auto cs = chaos->stats();
+    std::printf(
+        "chaos: %lld frames, dropped %lld, duplicated %lld, reordered "
+        "%lld, corrupted %lld, truncated %lld\n",
+        static_cast<long long>(cs.frames),
+        static_cast<long long>(cs.dropped),
+        static_cast<long long>(cs.duplicated),
+        static_cast<long long>(cs.reordered),
+        static_cast<long long>(cs.corrupted),
+        static_cast<long long>(cs.truncated));
+    chaos->Stop();
+  }
   net_server.Stop();
   return 0;
 }

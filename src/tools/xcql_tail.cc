@@ -8,14 +8,23 @@
 //
 //   xcql_tail --connect localhost:7788 --stream auction
 //             --query 'count(stream("auction")//item)' [--compressed]
+//
+// With any --fault-* flag the connection runs through a local
+// deterministic fault-injection proxy (net::ChaosLink) and each drain
+// sweep NACKs still-missing fillers upstream, so the full corruption →
+// gap → repair loop can be exercised against any server
+// (docs/ROBUSTNESS.md). --holes picks the degraded-mode behavior when a
+// filler stays missing: omit (default), keep, or fail.
 #include <chrono>
 #include <cstdio>
 #include <cstring>
+#include <memory>
 #include <string>
 #include <thread>
 
 #include "common/string_util.h"
 #include "core/stream_manager.h"
+#include "net/chaos.h"
 #include "net/subscriber.h"
 #include "stream/continuous.h"
 #include "stream/registry.h"
@@ -30,12 +39,21 @@ struct TailOptions {
   bool compressed = false;
   int interval_ms = 500;
   int duration_ms = 0;  // 0 = until killed
+  xcql::xq::HolePolicy holes = xcql::xq::HolePolicy::kOmit;
+  xcql::net::ChaosFaults faults;
+  uint64_t fault_seed = 1;
+  bool any_fault = false;
 };
 
 int Usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s --connect HOST:PORT --stream NAME [--query XCQL]\n"
-               "          [--compressed] [--interval-ms M] [--duration-ms M]\n",
+               "          [--compressed] [--interval-ms M] [--duration-ms M]\n"
+               "          [--holes omit|keep|fail]\n"
+               "          [--fault-drop P] [--fault-dup P] [--fault-reorder "
+               "P]\n"
+               "          [--fault-corrupt P] [--fault-truncate P]\n"
+               "          [--fault-delay-ms M] [--fault-seed S]\n",
                argv0);
   return 2;
 }
@@ -81,15 +99,64 @@ int main(int argc, char** argv) {
       const char* v = next();
       if (v == nullptr) return Usage(argv[0]);
       opt.duration_ms = std::atoi(v);
+    } else if (arg == "--holes") {
+      const char* v = next();
+      if (v == nullptr) return Usage(argv[0]);
+      if (std::strcmp(v, "omit") == 0) {
+        opt.holes = xcql::xq::HolePolicy::kOmit;
+      } else if (std::strcmp(v, "keep") == 0) {
+        opt.holes = xcql::xq::HolePolicy::kKeepHole;
+      } else if (std::strcmp(v, "fail") == 0) {
+        opt.holes = xcql::xq::HolePolicy::kFail;
+      } else {
+        return Usage(argv[0]);
+      }
+    } else if (arg == "--fault-drop" || arg == "--fault-dup" ||
+               arg == "--fault-reorder" || arg == "--fault-corrupt" ||
+               arg == "--fault-truncate") {
+      const char* v = next();
+      if (v == nullptr) return Usage(argv[0]);
+      double p = std::atof(v);
+      opt.any_fault = true;
+      if (arg == "--fault-drop") opt.faults.drop = p;
+      if (arg == "--fault-dup") opt.faults.duplicate = p;
+      if (arg == "--fault-reorder") opt.faults.reorder = p;
+      if (arg == "--fault-corrupt") opt.faults.corrupt = p;
+      if (arg == "--fault-truncate") opt.faults.truncate = p;
+    } else if (arg == "--fault-delay-ms") {
+      const char* v = next();
+      if (v == nullptr) return Usage(argv[0]);
+      opt.faults.delay = std::chrono::milliseconds(std::atoi(v));
+      opt.any_fault = true;
+    } else if (arg == "--fault-seed") {
+      const char* v = next();
+      if (v == nullptr) return Usage(argv[0]);
+      opt.fault_seed = static_cast<uint64_t>(std::atoll(v));
     } else {
       return Usage(argv[0]);
     }
   }
   if (opt.stream.empty()) return Usage(argv[0]);
 
+  // With faults the subscriber dials a local chaos proxy that relays (and
+  // attacks) the upstream connection.
+  std::unique_ptr<xcql::net::ChaosLink> chaos;
+  if (opt.any_fault) {
+    xcql::net::ChaosLinkOptions chaos_opts;
+    chaos_opts.upstream_host = opt.host;
+    chaos_opts.upstream_port = opt.port;
+    chaos_opts.seed = opt.fault_seed;
+    chaos_opts.faults = opt.faults;
+    chaos = std::make_unique<xcql::net::ChaosLink>(chaos_opts);
+    if (Fail(chaos->Start())) return 1;
+    std::printf("chaos link on port %u → %s:%u (seed %llu)\n",
+                chaos->port(), opt.host.c_str(), opt.port,
+                static_cast<unsigned long long>(opt.fault_seed));
+  }
+
   xcql::net::FragmentSubscriberOptions sub_opts;
-  sub_opts.host = opt.host;
-  sub_opts.port = opt.port;
+  sub_opts.host = chaos != nullptr ? "127.0.0.1" : opt.host;
+  sub_opts.port = chaos != nullptr ? chaos->port() : opt.port;
   sub_opts.stream = opt.stream;
   sub_opts.codec = opt.compressed ? xcql::frag::WireCodec::kTagCompressed
                                   : xcql::frag::WireCodec::kPlainXml;
@@ -117,14 +184,18 @@ int main(int argc, char** argv) {
   xcql::stream::ContinuousQueryEngine engine(&hub, &clock);
 
   if (!opt.query.empty()) {
+    xcql::stream::ContinuousQueryOptions q_opts;
+    q_opts.hole_policy = opt.holes;
     auto id = engine.Register(
-        opt.query, [](const xcql::xq::Sequence& delta, xcql::DateTime at) {
+        opt.query,
+        [](const xcql::xq::Sequence& delta, xcql::DateTime at) {
           for (const auto& item : delta) {
             std::printf("[%s] %s\n", at.ToString().c_str(),
                         xcql::RenderResult({item}).c_str());
           }
           std::fflush(stdout);
-        });
+        },
+        q_opts);
     if (Fail(id.status())) return 1;
   }
 
@@ -134,6 +205,17 @@ int main(int argc, char** argv) {
     std::this_thread::sleep_for(std::chrono::milliseconds(opt.interval_ms));
     auto drained = subscriber.DrainInto(store);
     if (Fail(drained.status())) return 1;
+    // NACK any fillers whose holes are still dangling (v2 servers only).
+    if (subscriber.server_crc()) {
+      auto repair = subscriber.RepairMissing(*store);
+      if (repair.ok() && repair.value().nacks_sent > 0) {
+        std::printf("repair: %d missing, %d NACKed (%d repaired, %d lost "
+                    "so far)\n",
+                    repair.value().missing, repair.value().nacks_sent,
+                    repair.value().repaired_total,
+                    repair.value().lost_total);
+      }
+    }
     if (drained.value() > 0) {
       total += drained.value();
       clock.AdvanceTo(store->max_valid_time());
@@ -160,6 +242,34 @@ int main(int argc, char** argv) {
       static_cast<long long>(m.bytes_in),
       static_cast<long long>(m.reconnects),
       static_cast<long long>(subscriber.last_seq()));
+  if (m.frames_corrupt + m.nacks_sent + m.fillers_repaired +
+          m.fillers_lost + m.poison_quarantined + m.liveness_timeouts +
+          m.catchup_replays >
+      0) {
+    std::printf(
+        "faults: %lld corrupt frames, %lld liveness timeouts, %lld catchup "
+        "replays, %lld NACKs (%lld repaired, %lld lost), %lld poison\n",
+        static_cast<long long>(m.frames_corrupt),
+        static_cast<long long>(m.liveness_timeouts),
+        static_cast<long long>(m.catchup_replays),
+        static_cast<long long>(m.nacks_sent),
+        static_cast<long long>(m.fillers_repaired),
+        static_cast<long long>(m.fillers_lost),
+        static_cast<long long>(m.poison_quarantined));
+  }
+  if (chaos != nullptr) {
+    auto cs = chaos->stats();
+    std::printf(
+        "chaos: %lld frames, dropped %lld, duplicated %lld, reordered "
+        "%lld, corrupted %lld, truncated %lld\n",
+        static_cast<long long>(cs.frames),
+        static_cast<long long>(cs.dropped),
+        static_cast<long long>(cs.duplicated),
+        static_cast<long long>(cs.reordered),
+        static_cast<long long>(cs.corrupted),
+        static_cast<long long>(cs.truncated));
+    chaos->Stop();
+  }
   subscriber.Stop();
   return 0;
 }

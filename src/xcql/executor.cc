@@ -192,8 +192,11 @@ QueryExecutor::QueryExecutor() : registry_(xq::FunctionRegistry::Builtins()) {
         if (it == stores_.end()) {
           return Status::NotFound("unknown stream '" + name + "'");
         }
+        frag::TemporalizeStats tstats;
         XCQL_ASSIGN_OR_RETURN(
-            NodePtr view, frag::Temporalize(*it->second, ctx.linear_fillers));
+            NodePtr view, frag::Temporalize(*it->second, ctx.linear_fillers,
+                                            ctx.hole_policy, &tstats));
+        ctx.holes_unresolved += tstats.unresolved_holes;
         return xq::SingletonNode(std::move(view));
       });
 }
@@ -258,6 +261,7 @@ Result<xq::Sequence> QueryExecutor::ExecutePrepared(
   // linear scan; QaC+ uses the hash index.
   ctx.linear_fillers = options.linear_get_fillers.value_or(
       prepared.method != ExecMethod::kQaCPlus);
+  ctx.hole_policy = options.hole_policy;
   if (options.now.has_value()) {
     ctx.now = *options.now;
   } else {
@@ -279,8 +283,11 @@ Result<xq::Sequence> QueryExecutor::ExecutePrepared(
           continue;
         }
       }
+      frag::TemporalizeStats tstats;
       XCQL_ASSIGN_OR_RETURN(NodePtr view,
-                            frag::Temporalize(*store, ctx.linear_fillers));
+                            frag::Temporalize(*store, ctx.linear_fillers,
+                                              ctx.hole_policy, &tstats));
+      ctx.holes_unresolved += tstats.unresolved_holes;
       // Wrap in a synthetic document node so `stream(x)/root-name` steps
       // work exactly as they do over the fragment methods' root wrapper.
       NodePtr doc = Node::Element("#document");
@@ -300,7 +307,10 @@ Result<xq::Sequence> QueryExecutor::ExecutePrepared(
   XCQL_ASSIGN_OR_RETURN(xq::Sequence result,
                         evaluator.EvalProgram(*prepared.program));
   if (options.materialize_result && prepared.method != ExecMethod::kCaQ) {
-    return MaterializeResult(std::move(result), &ctx);
+    XCQL_ASSIGN_OR_RETURN(result, MaterializeResult(std::move(result), &ctx));
+  }
+  if (options.stats != nullptr) {
+    options.stats->holes_unresolved = ctx.holes_unresolved;
   }
   return result;
 }

@@ -26,6 +26,14 @@
 
 namespace xcql::lang {
 
+/// \brief Per-execution observability counters, filled when
+/// ExecOptions::stats points at one.
+struct ExecStats {
+  /// Holes whose filler was missing and that were omitted or kept per the
+  /// hole policy — the result-completeness signal (0 = complete result).
+  int64_t holes_unresolved = 0;
+};
+
 /// \brief Options for one execution.
 struct ExecOptions {
   ExecMethod method = ExecMethod::kQaCPlus;
@@ -52,6 +60,15 @@ struct ExecOptions {
   /// long as the stream's revision is unchanged. Off by default — the
   /// paper's CaQ cost (Figure 4) includes construction on every run.
   bool cache_materialized_views = false;
+
+  /// What hole resolution (and CaQ view materialization) does when a
+  /// filler is missing — the degraded-mode knob for lossy transports
+  /// (docs/ROBUSTNESS.md). The default preserves the historical silent-
+  /// omit behavior; `stats` makes the omission observable.
+  xq::HolePolicy hole_policy = xq::HolePolicy::kOmit;
+
+  /// When non-null, receives this execution's completeness counters.
+  ExecStats* stats = nullptr;
 };
 
 /// \brief A query compiled once for one execution method: the translated

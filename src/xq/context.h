@@ -17,6 +17,22 @@ namespace xcql::xq {
 
 struct EvalContext;
 
+/// \brief What resolution does with a hole whose filler never arrived
+/// (lossy link, retry budget exhausted). The Hole-Filler model expects
+/// fillers to go missing (paper §1); this is the query layer's answer.
+enum class HolePolicy : uint8_t {
+  /// Splice nothing: the hole vanishes from the result (the historical
+  /// default — results stay well-formed but silently incomplete; the
+  /// unresolved count makes the incompleteness observable).
+  kOmit = 0,
+  /// Fail the evaluation with NotFound. For consumers that would rather
+  /// have no answer than a partial one.
+  kFail = 1,
+  /// Keep the <hole id=… tsid=…/> element in the result as an explicit
+  /// incompleteness marker downstream consumers can detect.
+  kKeepHole = 2,
+};
+
 /// \brief Resolves a <hole id=… tsid=…/> element into the version elements
 /// (annotated with vtFrom/vtTo) of the fillers that fill it. Implemented by
 /// the fragment layer; null in contexts with no fragmented data (e.g. CaQ
@@ -79,6 +95,13 @@ struct EvalContext {
   /// Lives here (not on the resolver) so concurrent evaluations sharing one
   /// resolver each carry their own method's cost model.
   bool linear_fillers = false;
+
+  /// What hole resolution does when a filler is missing (see HolePolicy).
+  HolePolicy hole_policy = HolePolicy::kOmit;
+
+  /// Holes left unresolved during this evaluation under kOmit/kKeepHole —
+  /// the per-evaluation completeness signal surfaced in QueryStats.
+  int64_t holes_unresolved = 0;
 
   /// Named documents for fn:doc (and for stream() once a method binds
   /// stream names to materialized roots).

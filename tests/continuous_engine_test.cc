@@ -10,6 +10,7 @@
 #include <string>
 #include <vector>
 
+#include "frag/fragment.h"
 #include "frag/fragmenter.h"
 #include "stream/clock.h"
 #include "stream/continuous.h"
@@ -131,6 +132,68 @@ TEST_F(QuiescentTest, TimeSensitivePlansAreNeverSkipped) {
   auto stats = engine_->QueryStats(id.value());
   ASSERT_TRUE(stats.ok());
   EXPECT_TRUE(stats.value().time_sensitive);
+}
+
+TEST_F(QuiescentTest, MissingFillerDegradesPerHolePolicyWithoutWedging) {
+  // A transaction arrives whose status subtree is a dangling hole — its
+  // filler never made it through the transport. An omit-policy query must
+  // keep answering while reporting per-evaluation incompleteness; a
+  // fail-policy twin must record an error each tick; and neither may wedge
+  // the engine.
+  // The interval projection descends into the transaction subtree and
+  // resolves its holes — where a missing filler surfaces to the policy.
+  const char* kProjectionQuery =
+      "for $t in stream(\"credit\")//transaction?[start,now] "
+      "return string($t/@id)";
+  ContinuousQueryOptions omit_opts;
+  omit_opts.tick_policy = TickPolicy::kAlways;
+  auto omit_id = engine_->Register(kProjectionQuery, nullptr, omit_opts);
+  ASSERT_TRUE(omit_id.ok()) << omit_id.status().ToString();
+  ContinuousQueryOptions fail_opts;
+  fail_opts.tick_policy = TickPolicy::kAlways;
+  fail_opts.hole_policy = xq::HolePolicy::kFail;
+  auto fail_id = engine_->Register(kProjectionQuery, nullptr, fail_opts);
+  ASSERT_TRUE(fail_id.ok()) << fail_id.status().ToString();
+
+  // First tick: complete data, both queries clean.
+  TickAt("2003-11-02T00:00:00");
+  auto omit_stats = engine_->QueryStats(omit_id.value());
+  ASSERT_TRUE(omit_stats.ok());
+  EXPECT_EQ(omit_stats.value().holes_unresolved_last, 0);
+  EXPECT_EQ(omit_stats.value().incomplete_evaluations, 0);
+
+  frag::Fragment tx;
+  tx.id = 300;
+  tx.tsid = 5;
+  tx.valid_time = T("2003-11-02T12:00:00");
+  tx.content = Node::Element("transaction");
+  tx.content->SetAttr("id", "77777");
+  tx.content->AddChild(frag::MakeHole(301, 7));  // status never arrives
+  ASSERT_TRUE(server_->Publish(std::move(tx)).ok());
+
+  TickAt("2003-11-03T00:00:00");
+  omit_stats = engine_->QueryStats(omit_id.value());
+  ASSERT_TRUE(omit_stats.ok());
+  EXPECT_TRUE(omit_stats.value().last_status.ok());
+  EXPECT_EQ(omit_stats.value().errors, 0);
+  EXPECT_GE(omit_stats.value().holes_unresolved_last, 1);
+  EXPECT_EQ(omit_stats.value().incomplete_evaluations, 1);
+
+  auto fail_stats = engine_->QueryStats(fail_id.value());
+  ASSERT_TRUE(fail_stats.ok());
+  EXPECT_FALSE(fail_stats.value().last_status.ok());
+  EXPECT_EQ(fail_stats.value().errors, 1);
+
+  // Not wedged: the next tick still evaluates both (kAlways ticking, so
+  // neither is skipped).
+  TickAt("2003-11-04T00:00:00");
+  omit_stats = engine_->QueryStats(omit_id.value());
+  ASSERT_TRUE(omit_stats.ok());
+  EXPECT_TRUE(omit_stats.value().last_status.ok());
+  EXPECT_EQ(omit_stats.value().incomplete_evaluations, 2);
+  fail_stats = engine_->QueryStats(fail_id.value());
+  ASSERT_TRUE(fail_stats.ok());
+  EXPECT_EQ(fail_stats.value().errors, 2);
 }
 
 // ---- Tick policies ----------------------------------------------------------

@@ -329,6 +329,22 @@ class StoreTest : public FragmenterTest {
     ASSERT_TRUE(store_->InsertAll(std::move(copy)).ok());
   }
 
+  // A store rebuilt from frags_ with every fragment of filler `id` dropped
+  // — what a subscriber holds when that filler was lost in transit.
+  std::unique_ptr<FragmentStore> StoreWithout(int64_t id) {
+    auto partial = std::make_unique<FragmentStore>(CreditTs(), "credit");
+    for (const Fragment& f : frags_) {
+      if (f.id == id) continue;
+      Fragment c;
+      c.id = f.id;
+      c.tsid = f.tsid;
+      c.valid_time = f.valid_time;
+      c.content = f.content->Clone();
+      EXPECT_TRUE(partial->Insert(std::move(c)).ok());
+    }
+    return partial;
+  }
+
   std::unique_ptr<FragmentStore> store_;
 };
 
@@ -467,6 +483,80 @@ TEST_F(StoreTest, SchemaDrivenTemporalizeAgrees) {
       << "generic:\n"
       << SerializeXml(*generic.value(), {.pretty = true}) << "\nschema:\n"
       << SerializeXml(*schema.value(), {.pretty = true});
+}
+
+TEST_F(StoreTest, MissingFillersTracksDanglingHoles) {
+  // The fully-populated store has nothing dangling.
+  EXPECT_TRUE(store_->MissingFillers().empty());
+
+  // Without account 5678's fragment, the root's second hole dangles. The
+  // account's own children stay merely unreferenced — present fillers
+  // whose referencing hole never arrived are not "missing".
+  auto accounts = WithTsid(2);
+  const int64_t victim = accounts[1]->id;
+  auto partial = StoreWithout(victim);
+  auto missing = partial->MissingFillers();
+  ASSERT_EQ(missing.size(), 1u);
+  EXPECT_EQ(missing[0], victim);
+
+  // A late (repaired) insert clears the report.
+  Fragment repair;
+  repair.id = accounts[1]->id;
+  repair.tsid = accounts[1]->tsid;
+  repair.valid_time = accounts[1]->valid_time;
+  repair.content = accounts[1]->content->Clone();
+  ASSERT_TRUE(partial->Insert(std::move(repair)).ok());
+  EXPECT_TRUE(partial->MissingFillers().empty());
+}
+
+TEST_F(StoreTest, HolePoliciesGovernDegradedTemporalization) {
+  auto accounts = WithTsid(2);
+  const int64_t victim = accounts[1]->id;  // account 5678
+  auto partial = StoreWithout(victim);
+
+  // kOmit: the view materializes without the lost subtree, and the stats
+  // out-param reports how much is missing.
+  TemporalizeStats stats;
+  auto omitted =
+      Temporalize(*partial, false, xq::HolePolicy::kOmit, &stats);
+  ASSERT_TRUE(omitted.ok()) << omitted.status().ToString();
+  EXPECT_EQ(stats.unresolved_holes, 1);
+  ASSERT_EQ(omitted.value()->children().size(), 1u);
+  EXPECT_EQ(omitted.value()->children()[0]->name(), "account");
+
+  // kKeepHole: the dangling hole survives in the view as an explicit
+  // placeholder carrying the lost filler's id.
+  stats = {};
+  auto kept =
+      Temporalize(*partial, false, xq::HolePolicy::kKeepHole, &stats);
+  ASSERT_TRUE(kept.ok()) << kept.status().ToString();
+  EXPECT_EQ(stats.unresolved_holes, 1);
+  ASSERT_EQ(kept.value()->children().size(), 2u);
+  const Node& hole = *kept.value()->children()[1];
+  ASSERT_TRUE(IsHoleElement(hole));
+  EXPECT_EQ(HoleId(hole).value(), victim);
+
+  // kFail: reconstruction refuses to present an incomplete view.
+  EXPECT_FALSE(Temporalize(*partial, false, xq::HolePolicy::kFail).ok());
+  EXPECT_FALSE(Temporalize(*partial, true, xq::HolePolicy::kFail).ok());
+  EXPECT_FALSE(
+      TemporalizeSchemaDriven(*partial, xq::HolePolicy::kFail).ok());
+
+  // All three reconstruction paths agree under each lenient policy.
+  for (auto policy : {xq::HolePolicy::kOmit, xq::HolePolicy::kKeepHole}) {
+    auto generic = Temporalize(*partial, false, policy);
+    auto linear = Temporalize(*partial, true, policy);
+    auto schema = TemporalizeSchemaDriven(*partial, policy);
+    ASSERT_TRUE(generic.ok());
+    ASSERT_TRUE(linear.ok());
+    ASSERT_TRUE(schema.ok()) << schema.status().ToString();
+    EXPECT_TRUE(Node::DeepEqual(*generic.value(), *linear.value()));
+    EXPECT_TRUE(Node::DeepEqual(*generic.value(), *schema.value()))
+        << "generic:\n"
+        << SerializeXml(*generic.value(), {.pretty = true})
+        << "\nschema:\n"
+        << SerializeXml(*schema.value(), {.pretty = true});
+  }
 }
 
 TEST(TemporalizeTest, EmptyStoreIsError) {

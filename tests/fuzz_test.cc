@@ -3,11 +3,14 @@
 // evaluator — every input yields either a value or a clean error Status.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <string>
+#include <vector>
 
 #include "common/random.h"
 #include "frag/fragment.h"
 #include "frag/tag_structure.h"
+#include "net/frame.h"
 #include "test_util.h"
 #include "xml/parser.h"
 #include "xq/eval.h"
@@ -118,6 +121,87 @@ TEST_P(FragmentFuzzTest, MutatedWireFormsNeverCrash) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, FragmentFuzzTest,
+                         ::testing::Range<uint64_t>(0, 16));
+
+class FrameFuzzTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(FrameFuzzTest, MutatedFramesNeverCrashOrForgeAChecksum) {
+  // Truncated and bit-flipped frame streams, fed in random-sized chunks,
+  // must never crash the reader, over-read, or — the integrity property —
+  // produce a checksum-verified v2 frame that differs from a frame
+  // actually encoded. 1-3 bit flips are always within CRC32C's detection
+  // distance at these frame sizes, so any frame that verifies can only be
+  // one the mutations never touched.
+  Random rng(GetParam() + 3000);
+  // Valid v2 frames of every type; no payload embeds the frame magic.
+  std::vector<net::Frame> corpus;
+  net::Hello hello;
+  hello.stream_name = "credit";
+  corpus.push_back(
+      {net::FrameType::kHello, 0, 0, net::EncodeHello(hello)});
+  corpus.push_back({net::FrameType::kFragment,
+                    net::kFlagCompressedPayload, 41,
+                    std::string(300, 'z')});
+  corpus.push_back({net::FrameType::kHeartbeat, 0, 42, ""});
+  corpus.push_back(
+      {net::FrameType::kReplayFrom, 0, 0, net::EncodeReplayFrom(-1)});
+  corpus.push_back({net::FrameType::kRepeatRequest, 0, 7,
+                    net::EncodeRepeatRequest(1234)});
+  std::vector<std::string> encoded;
+  for (const auto& f : corpus) {
+    auto e = net::EncodeFrame(f);
+    ASSERT_TRUE(e.ok()) << e.status().ToString();
+    encoded.push_back(std::move(e).MoveValue());
+  }
+  auto matches_corpus = [&](const net::Frame& got) {
+    for (const auto& f : corpus) {
+      if (got.type == f.type && got.flags == f.flags &&
+          got.seq == f.seq && got.payload == f.payload) {
+        return true;
+      }
+    }
+    return false;
+  };
+
+  for (int round = 0; round < 200; ++round) {
+    std::string wire = encoded[rng.Uniform(encoded.size())] +
+                       encoded[rng.Uniform(encoded.size())];
+    if (rng.Bernoulli(0.3)) {
+      wire.resize(1 + rng.Uniform(wire.size()));
+    }
+    const int flips = 1 + static_cast<int>(rng.Uniform(3));
+    for (int i = 0; i < flips; ++i) {
+      wire[rng.Uniform(wire.size())] ^=
+          static_cast<char>(1 << rng.Uniform(8));
+    }
+
+    net::FrameReader reader;
+    size_t off = 0;
+    bool dead = false;
+    while (off < wire.size() && !dead) {
+      const size_t n =
+          std::min<size_t>(1 + rng.Uniform(64), wire.size() - off);
+      reader.Feed(wire.data() + off, n);
+      off += n;
+      for (;;) {
+        auto next = reader.Next();
+        if (!next.ok()) {
+          dead = true;  // clean decode error: the stream is abandoned
+          break;
+        }
+        if (!next.value().has_value()) break;
+        const net::Frame& got = *next.value();
+        if (got.wire_version == net::kFrameVersionCrc && got.crc_ok) {
+          EXPECT_TRUE(matches_corpus(got))
+              << "forged frame in round " << round << ": type "
+              << static_cast<int>(got.type) << " seq " << got.seq;
+        }
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FrameFuzzTest,
                          ::testing::Range<uint64_t>(0, 16));
 
 }  // namespace

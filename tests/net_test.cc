@@ -10,6 +10,7 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <chrono>
 #include <cstring>
 #include <string>
@@ -18,6 +19,8 @@
 
 #include "common/random.h"
 #include "frag/assembler.h"
+#include "frag/fragment.h"
+#include "net/chaos.h"
 #include "net/frame.h"
 #include "net/server.h"
 #include "net/subscriber.h"
@@ -215,6 +218,98 @@ TEST(FrameCodecTest, ReplayFromRoundTrips) {
     EXPECT_EQ(back.value(), seq);
   }
   EXPECT_FALSE(DecodeReplayFrom("abc").ok());
+}
+
+TEST(FrameCodecTest, V2FramesCarryAValidChecksum) {
+  Frame f{FrameType::kFragment, kFlagCompressedPayload, 77, "payload-bytes"};
+  std::string wire = MustEncode(f);  // v2 is the default encoding
+  ASSERT_EQ(wire.size(), kFrameHeaderSizeCrc + f.payload.size());
+  EXPECT_EQ(static_cast<uint8_t>(wire[4]), kFrameVersionCrc);
+  uint32_t stored = 0;
+  std::memcpy(&stored, wire.data() + 20, sizeof(stored));
+  EXPECT_EQ(stored, Crc32c(wire.substr(4, 16) + f.payload));
+
+  FrameReader reader;
+  reader.Feed(wire.data(), wire.size());
+  auto next = reader.Next();
+  ASSERT_TRUE(next.ok()) << next.status().ToString();
+  ASSERT_TRUE(next.value().has_value());
+  EXPECT_TRUE(next.value()->crc_ok);
+  EXPECT_EQ(next.value()->wire_version, kFrameVersionCrc);
+  EXPECT_EQ(next.value()->type, FrameType::kFragment);
+  EXPECT_EQ(next.value()->flags, kFlagCompressedPayload);
+  EXPECT_EQ(next.value()->seq, 77u);
+  EXPECT_EQ(next.value()->payload, f.payload);
+}
+
+TEST(FrameCodecTest, DowngradeToV1StripsTheChecksum) {
+  Frame f{FrameType::kFragment, 0, 5, "abc"};
+  std::string v2 = MustEncode(f);
+  std::string v1 = DowngradeFrameToV1(v2);
+  ASSERT_EQ(v1.size(), kFrameHeaderSize + f.payload.size());
+  FrameReader reader;
+  reader.Feed(v1.data(), v1.size());
+  auto next = reader.Next();
+  ASSERT_TRUE(next.ok()) << next.status().ToString();
+  ASSERT_TRUE(next.value().has_value());
+  EXPECT_EQ(next.value()->wire_version, kFrameVersion);
+  EXPECT_TRUE(next.value()->crc_ok);
+  EXPECT_EQ(next.value()->seq, 5u);
+  EXPECT_EQ(next.value()->payload, "abc");
+  // v1 input passes through untouched.
+  EXPECT_EQ(DowngradeFrameToV1(v1), v1);
+}
+
+TEST(FrameCodecTest, RepeatFlagPatchKeepsTheChecksumValid) {
+  Frame f{FrameType::kFragment, kFlagCompressedPayload, 9, "xyz"};
+  for (uint8_t version : {kFrameVersion, kFrameVersionCrc}) {
+    auto encoded = EncodeFrame(f, version);
+    ASSERT_TRUE(encoded.ok());
+    std::string flagged = WithRepeatFlag(encoded.value());
+    FrameReader reader;
+    reader.Feed(flagged.data(), flagged.size());
+    auto next = reader.Next();
+    ASSERT_TRUE(next.ok()) << "version " << int{version} << ": "
+                           << next.status().ToString();
+    ASSERT_TRUE(next.value().has_value());
+    EXPECT_TRUE(next.value()->crc_ok);
+    EXPECT_EQ(next.value()->flags, kFlagCompressedPayload | kFlagRepeat);
+    EXPECT_EQ(next.value()->payload, "xyz");
+  }
+}
+
+TEST(FrameCodecTest, RepeatRequestRoundTrips) {
+  for (int64_t id : {int64_t{0}, int64_t{7}, int64_t{123456789}}) {
+    auto back = DecodeRepeatRequest(EncodeRepeatRequest(id));
+    ASSERT_TRUE(back.ok());
+    EXPECT_EQ(back.value(), id);
+  }
+  EXPECT_FALSE(DecodeRepeatRequest("xy").ok());
+}
+
+TEST(FrameCodecTest, CorruptV2FrameIsFlaggedWithoutDesyncingTheStream) {
+  std::string first =
+      MustEncode({FrameType::kFragment, 0, 0, "first-payload"});
+  std::string second =
+      MustEncode({FrameType::kFragment, 0, 1, "second-payload"});
+  first[kFrameHeaderSizeCrc + 3] ^= 0x10;  // flip one payload bit
+  std::string wire = first + second;
+
+  FrameReader reader;
+  reader.Feed(wire.data(), wire.size());
+  auto bad = reader.Next();
+  ASSERT_TRUE(bad.ok()) << bad.status().ToString();
+  ASSERT_TRUE(bad.value().has_value());
+  EXPECT_FALSE(bad.value()->crc_ok);
+  EXPECT_TRUE(bad.value()->payload.empty());  // untrusted content withheld
+  // The framing held up, so the next frame decodes cleanly.
+  auto good = reader.Next();
+  ASSERT_TRUE(good.ok()) << good.status().ToString();
+  ASSERT_TRUE(good.value().has_value());
+  EXPECT_TRUE(good.value()->crc_ok);
+  EXPECT_EQ(good.value()->seq, 1u);
+  EXPECT_EQ(good.value()->payload, "second-payload");
+  EXPECT_EQ(reader.buffered(), 0u);
 }
 
 TEST(FrameCodecTest, TagStructureHashDistinguishesSchemas) {
@@ -603,13 +698,15 @@ TEST(FragmentServerTest, RepeatFillerKeepsSeqAlignedWithHistory) {
 // ---- Gap detection ----------------------------------------------------------
 
 // A hand-rolled protocol server for fault injection: accepts one
-// connection, answers the handshake, records the REPLAY_FROM value, sends
-// a scripted list of pre-encoded frames, then holds the connection open
-// until the peer closes it. Returns the REPLAY_FROM seq (-100 on protocol
-// error).
+// connection, answers the handshake (advertising `hello_flags` — pass
+// kHelloFlagCrcFrames to negotiate the v2 wire), records the REPLAY_FROM
+// value, sends a scripted list of pre-encoded frames, then holds the
+// connection open — silently, no FIN, like a half-dead server — until the
+// peer closes it. Returns the REPLAY_FROM seq (-100 on protocol error).
 int64_t ServeOneSession(const Socket& listener, const std::string& ts_xml,
                         const std::vector<std::string>& frames,
-                        const std::vector<int>& to_send) {
+                        const std::vector<int>& to_send,
+                        uint8_t hello_flags = 0) {
   auto accepted = Accept(listener);
   if (!accepted.ok()) return -100;
   Socket conn = std::move(accepted).MoveValue();
@@ -632,8 +729,12 @@ int64_t ServeOneSession(const Socket& listener, const std::string& ts_xml,
         ack.stream_name = "pkts";
         ack.ts_hash = TagStructureHash(ts_xml);
         ack.tag_structure_xml = ts_xml;
-        std::string hello =
-            MustEncode({FrameType::kHello, 0, 0, EncodeHello(ack)});
+        // HELLO acks always travel v1, like the real server's.
+        auto hello_r = EncodeFrame(
+            {FrameType::kHello, hello_flags, 0, EncodeHello(ack)},
+            kFrameVersion);
+        if (!hello_r.ok()) return -100;
+        const std::string& hello = hello_r.value();
         if (!conn.SendAll(hello.data(), hello.size()).ok()) return -100;
         handshaken = true;
       } else if (fr.type == FrameType::kReplayFrom) {
@@ -873,6 +974,627 @@ TEST(SlowConsumerTest, BlockPolicyDeliversEverythingToEveryone) {
 
   a.Stop();
   b.Stop();
+  server.Stop();
+}
+
+// ---- Robustness: checksums, liveness, repair, degradation -------------------
+
+// Collects the filler ids referenced by hole elements under `n`.
+void CollectHoleIds(const Node& n, std::vector<int64_t>* out) {
+  if (frag::IsHoleElement(n)) {
+    auto id = frag::HoleId(n);
+    if (id.ok()) out->push_back(id.value());
+    return;
+  }
+  for (const auto& child : n.children()) CollectHoleIds(*child, out);
+}
+
+TEST(FragmentSubscriberTest, NegotiatesChecksummedFramesWithARealServer) {
+  stream::StreamServer source("pkts", MustParseTs(kPacketTs));
+  FragmentServer server(&source);
+  ASSERT_TRUE(server.Start().ok());
+  for (int i = 0; i < 3; ++i) {
+    ASSERT_TRUE(source.Publish(MakePacket(i + 1, 1000 + i, i)).ok());
+  }
+
+  FragmentSubscriberOptions opts;
+  opts.port = server.port();
+  opts.stream = "pkts";
+  FragmentSubscriber sub(opts);
+  ASSERT_TRUE(sub.Start().ok());
+  ASSERT_TRUE(sub.WaitForSeq(2, 10s));
+  EXPECT_TRUE(sub.server_crc());
+  auto m = sub.metrics();
+  EXPECT_EQ(m.fragments_in, 3);
+  EXPECT_EQ(m.frames_corrupt, 0);
+  EXPECT_EQ(m.poison_quarantined, 0);
+  sub.Stop();
+  server.Stop();
+}
+
+TEST(FragmentSubscriberTest, LivenessTimeoutRecoversFromAHalfDeadServer) {
+  // A server that stops sending without closing the socket (no FIN — a
+  // hard crash, a pulled cable) must not hold the subscriber forever: the
+  // liveness watchdog kills the connection and the reconnect resumes via
+  // REPLAY_FROM from the last contiguous seq.
+  frag::TagStructure ts = MustParseTs(kPacketTs);
+  const std::string ts_xml = ts.ToXml();
+  auto listener = ListenOn(0);
+  ASSERT_TRUE(listener.ok());
+  auto port = BoundPort(listener.value());
+  ASSERT_TRUE(port.ok());
+
+  std::vector<std::string> frames;
+  for (int i = 0; i < 4; ++i) {
+    auto payload = frag::EncodeWirePayload(MakePacket(i + 1, 1000 + i, i),
+                                           ts, frag::WireCodec::kPlainXml);
+    ASSERT_TRUE(payload.ok()) << payload.status().ToString();
+    frames.push_back(MustEncode({FrameType::kFragment, 0,
+                                 static_cast<uint64_t>(i),
+                                 std::move(payload).MoveValue()}));
+  }
+
+  int64_t first_replay = -7;
+  int64_t second_replay = -7;
+  std::thread half_dead([&] {
+    // Session 1 delivers seqs 0-1 and then goes silent (never heartbeats,
+    // never FINs). Session 2 serves the resumed tail.
+    first_replay =
+        ServeOneSession(listener.value(), ts_xml, frames, {0, 1});
+    second_replay =
+        ServeOneSession(listener.value(), ts_xml, frames, {2, 3});
+  });
+
+  FragmentSubscriberOptions opts;
+  opts.port = port.value();
+  opts.stream = "pkts";
+  opts.liveness_timeout = 200ms;
+  opts.backoff_initial = 10ms;
+  FragmentSubscriber sub(opts);
+  ASSERT_TRUE(sub.Start().ok());
+  const bool caught_up = sub.WaitForSeq(3, 10s);
+  const MetricsSnapshot m = sub.metrics();
+  std::vector<frag::Fragment> got;
+  sub.Drain(&got);
+  sub.Stop();
+  listener.value().Shutdown();
+  half_dead.join();
+
+  EXPECT_TRUE(caught_up);
+  EXPECT_EQ(first_replay, -1);  // cold start
+  EXPECT_EQ(second_replay, 1);  // resume from the last contiguous seq
+  EXPECT_GE(m.liveness_timeouts, 1);
+  EXPECT_GE(m.reconnects, 1);
+  ASSERT_EQ(got.size(), 4u);
+  for (size_t i = 0; i < got.size(); ++i) {
+    EXPECT_EQ(got[i].id, static_cast<int64_t>(i + 1));
+  }
+}
+
+// Like ServeOneSession, but after delivering the first two frames it keeps
+// heartbeating a published count that covers all of them — a loss the
+// subscriber can only notice through the heartbeat — until the peer asks
+// for a catch-up replay, which it then serves.
+struct LaggingResult {
+  int64_t initial_replay = -100;
+  int64_t catchup_from = -100;
+};
+
+LaggingResult ServeLaggingSession(const Socket& listener,
+                                  const std::string& ts_xml,
+                                  const std::vector<std::string>& frames) {
+  LaggingResult result;
+  auto accepted = Accept(listener);
+  if (!accepted.ok()) return result;
+  Socket conn = std::move(accepted).MoveValue();
+  FrameReader reader;
+  char buf[4096];
+  bool handshaken = false;
+  while (result.initial_replay == -100) {
+    auto n = conn.Recv(buf, sizeof(buf));
+    if (!n.ok() || n.value() == 0) return result;
+    reader.Feed(buf, n.value());
+    for (;;) {
+      auto next = reader.Next();
+      if (!next.ok()) return result;
+      if (!next.value().has_value()) break;
+      Frame fr = std::move(*next.value());
+      if (!handshaken && fr.type == FrameType::kHello) {
+        Hello ack;
+        ack.stream_name = "pkts";
+        ack.ts_hash = TagStructureHash(ts_xml);
+        ack.tag_structure_xml = ts_xml;
+        auto hello_r = EncodeFrame(
+            {FrameType::kHello, 0, 0, EncodeHello(ack)}, kFrameVersion);
+        if (!hello_r.ok()) return result;
+        const std::string& hello = hello_r.value();
+        if (!conn.SendAll(hello.data(), hello.size()).ok()) return result;
+        handshaken = true;
+      } else if (fr.type == FrameType::kReplayFrom) {
+        auto from = DecodeReplayFrom(fr.payload);
+        if (!from.ok()) return result;
+        result.initial_replay = from.value();
+      }
+    }
+  }
+  for (int idx : {0, 1}) {
+    if (!conn.SendAll(frames[idx].data(), frames[idx].size()).ok()) {
+      return result;
+    }
+  }
+  const std::string hb = MustEncode(
+      {FrameType::kHeartbeat, 0, static_cast<uint64_t>(frames.size()), ""});
+  while (result.catchup_from == -100) {
+    if (!conn.SendAll(hb.data(), hb.size()).ok()) return result;
+    bool timed_out = false;
+    auto n = conn.RecvTimeout(buf, sizeof(buf), 40ms, &timed_out);
+    if (!n.ok()) return result;
+    if (timed_out) continue;
+    if (n.value() == 0) return result;
+    reader.Feed(buf, n.value());
+    for (;;) {
+      auto next = reader.Next();
+      if (!next.ok()) return result;
+      if (!next.value().has_value()) break;
+      if (next.value()->type == FrameType::kReplayFrom) {
+        auto from = DecodeReplayFrom(next.value()->payload);
+        if (from.ok()) result.catchup_from = from.value();
+      }
+    }
+  }
+  for (size_t i = static_cast<size_t>(result.catchup_from) + 1;
+       i < frames.size(); ++i) {
+    if (!conn.SendAll(frames[i].data(), frames[i].size()).ok()) {
+      return result;
+    }
+  }
+  for (;;) {  // hold until the peer closes
+    auto n = conn.Recv(buf, sizeof(buf));
+    if (!n.ok() || n.value() == 0) break;
+  }
+  return result;
+}
+
+TEST(FragmentSubscriberTest, HeartbeatLagTriggersInSessionCatchup) {
+  // Frames evicted before the subscriber ever saw them leave no seq gap
+  // on the wire; the only witness is the heartbeat's published count
+  // running ahead of a stalled contiguous prefix. Two lagging heartbeats
+  // in a row must trigger an in-session REPLAY_FROM — no reconnect.
+  frag::TagStructure ts = MustParseTs(kPacketTs);
+  const std::string ts_xml = ts.ToXml();
+  auto listener = ListenOn(0);
+  ASSERT_TRUE(listener.ok());
+  auto port = BoundPort(listener.value());
+  ASSERT_TRUE(port.ok());
+
+  std::vector<std::string> frames;
+  for (int i = 0; i < 4; ++i) {
+    auto payload = frag::EncodeWirePayload(MakePacket(i + 1, 1000 + i, i),
+                                           ts, frag::WireCodec::kPlainXml);
+    ASSERT_TRUE(payload.ok()) << payload.status().ToString();
+    frames.push_back(MustEncode({FrameType::kFragment, 0,
+                                 static_cast<uint64_t>(i),
+                                 std::move(payload).MoveValue()}));
+  }
+
+  LaggingResult result;
+  std::thread lagging([&] {
+    result = ServeLaggingSession(listener.value(), ts_xml, frames);
+  });
+
+  FragmentSubscriberOptions opts;
+  opts.port = port.value();
+  opts.stream = "pkts";
+  FragmentSubscriber sub(opts);
+  ASSERT_TRUE(sub.Start().ok());
+  const bool caught_up = sub.WaitForSeq(3, 10s);
+  const MetricsSnapshot m = sub.metrics();
+  std::vector<frag::Fragment> got;
+  sub.Drain(&got);
+  sub.Stop();
+  listener.value().Shutdown();
+  lagging.join();
+
+  EXPECT_TRUE(caught_up);
+  EXPECT_EQ(result.initial_replay, -1);
+  EXPECT_EQ(result.catchup_from, 1);  // "I have up to seq 1"
+  EXPECT_GE(m.catchup_replays, 1);
+  EXPECT_EQ(m.reconnects, 0);  // recovered inside the session
+  EXPECT_EQ(m.gaps_detected, 0);
+  ASSERT_EQ(got.size(), 4u);
+  for (size_t i = 0; i < got.size(); ++i) {
+    EXPECT_EQ(got[i].id, static_cast<int64_t>(i + 1));
+  }
+}
+
+TEST(FragmentSubscriberTest, PoisonFrameIsQuarantinedWithoutReconnect) {
+  // A frame whose checksum verifies but whose payload does not decode is
+  // publisher poison, not transport noise: retrying the connection would
+  // refetch the same bytes forever. It must be quarantined and skipped.
+  frag::TagStructure ts = MustParseTs(kPacketTs);
+  const std::string ts_xml = ts.ToXml();
+  auto listener = ListenOn(0);
+  ASSERT_TRUE(listener.ok());
+  auto port = BoundPort(listener.value());
+  ASSERT_TRUE(port.ok());
+
+  const std::string kGarbage = "not a wire payload";
+  std::vector<std::string> frames;
+  auto p0 = frag::EncodeWirePayload(MakePacket(1, 1000, 0), ts,
+                                    frag::WireCodec::kPlainXml);
+  auto p2 = frag::EncodeWirePayload(MakePacket(3, 1002, 2), ts,
+                                    frag::WireCodec::kPlainXml);
+  ASSERT_TRUE(p0.ok());
+  ASSERT_TRUE(p2.ok());
+  frames.push_back(
+      MustEncode({FrameType::kFragment, 0, 0, std::move(p0).MoveValue()}));
+  frames.push_back(MustEncode({FrameType::kFragment, 0, 1, kGarbage}));
+  frames.push_back(
+      MustEncode({FrameType::kFragment, 0, 2, std::move(p2).MoveValue()}));
+
+  int64_t replay = -7;
+  std::thread poisoner([&] {
+    replay = ServeOneSession(listener.value(), ts_xml, frames, {0, 1, 2},
+                             kHelloFlagCrcFrames);
+  });
+
+  FragmentSubscriberOptions opts;
+  opts.port = port.value();
+  opts.stream = "pkts";
+  FragmentSubscriber sub(opts);
+  ASSERT_TRUE(sub.Start().ok());
+  const bool caught_up = sub.WaitForSeq(2, 10s);
+  const MetricsSnapshot m = sub.metrics();
+  auto poison = sub.poison_log();
+  std::vector<frag::Fragment> got;
+  sub.Drain(&got);
+  sub.Stop();
+  listener.value().Shutdown();
+  poisoner.join();
+
+  EXPECT_TRUE(caught_up);
+  EXPECT_EQ(replay, -1);
+  EXPECT_EQ(m.fragments_in, 2);
+  EXPECT_EQ(m.poison_quarantined, 1);
+  EXPECT_EQ(m.reconnects, 0);
+  EXPECT_EQ(m.gaps_detected, 0);
+  ASSERT_EQ(poison.size(), 1u);
+  EXPECT_EQ(poison[0].seq, 1);
+  EXPECT_EQ(poison[0].payload_bytes, kGarbage.size());
+  EXPECT_FALSE(poison[0].error.empty());
+  ASSERT_EQ(got.size(), 2u);
+  EXPECT_EQ(got[0].id, 1);
+  EXPECT_EQ(got[1].id, 3);
+}
+
+TEST(FragmentSubscriberTest, NackRepairsAMissingFiller) {
+  // The full NACK loop against a real server: a filler's fragments are
+  // "lost" downstream of the subscriber, the store reports the dangling
+  // hole, RepairMissing NACKs it upstream, the server re-sends the
+  // original frames repeat-flagged, and the store converges to the
+  // reference view.
+  std::string ts_xml = xmark::AuctionTagStructureXml();
+  stream::StreamServer source("auction", MustParseTs(ts_xml));
+  stream::StreamHub reference;
+  ASSERT_TRUE(reference.Subscribe(&source).ok());
+  FragmentServer server(&source);
+  ASSERT_TRUE(server.Start().ok());
+
+  FragmentSubscriberOptions opts;
+  opts.port = server.port();
+  opts.stream = "auction";
+  opts.repair_retry_interval = 30ms;
+  FragmentSubscriber sub(opts);
+  ASSERT_TRUE(sub.Start().ok());
+  ASSERT_TRUE(sub.WaitConnected(10s));
+
+  xmark::XMarkOptions gen;
+  gen.scale = 0.0;
+  auto doc = xmark::GenerateAuctionDoc(gen);
+  ASSERT_TRUE(doc.ok()) << doc.status().ToString();
+  ASSERT_TRUE(source.PublishDocument(*doc.value()).ok());
+  const int64_t last = server.next_seq() - 1;
+  ASSERT_TRUE(sub.WaitForSeq(last, 30s));
+  ASSERT_TRUE(sub.server_crc());
+
+  // The victim: the first filler the root fragment's holes reference —
+  // guaranteed to leave a dangling hole when its fragments go missing.
+  std::vector<int64_t> root_holes;
+  CollectHoleIds(*source.history_at(0).content, &root_holes);
+  ASSERT_FALSE(root_holes.empty());
+  const int64_t victim = root_holes[0];
+
+  stream::StreamHub hub;
+  auto store_r = hub.AddLocalStream("auction", MustParseTs(ts_xml));
+  ASSERT_TRUE(store_r.ok());
+  frag::FragmentStore* store = store_r.value();
+  std::vector<frag::Fragment> got;
+  sub.Drain(&got);
+  int filtered = 0;
+  for (auto& f : got) {
+    if (f.id == victim) {
+      ++filtered;  // "lost" between transport and store
+      continue;
+    }
+    ASSERT_TRUE(store->Insert(std::move(f)).ok());
+  }
+  ASSERT_GE(filtered, 1);
+  auto missing = store->MissingFillers();
+  ASSERT_EQ(missing.size(), 1u);
+  EXPECT_EQ(missing[0], victim);
+
+  auto sweep1 = sub.RepairMissing(*store);
+  ASSERT_TRUE(sweep1.ok()) << sweep1.status().ToString();
+  EXPECT_EQ(sweep1.value().missing, 1);
+  EXPECT_EQ(sweep1.value().nacks_sent, 1);
+
+  ASSERT_TRUE(PollFor(
+      [&] {
+        auto drained = sub.DrainInto(store);
+        return drained.ok() && store->MissingFillers().empty();
+      },
+      10s));
+
+  auto sweep2 = sub.RepairMissing(*store);
+  ASSERT_TRUE(sweep2.ok());
+  EXPECT_EQ(sweep2.value().missing, 0);
+  EXPECT_EQ(sweep2.value().repaired_total, 1);
+  EXPECT_EQ(sweep2.value().lost_total, 0);
+
+  const frag::FragmentStore* ref = reference.store("auction");
+  ASSERT_NE(ref, nullptr);
+  EXPECT_EQ(store->size(), ref->size());
+  EXPECT_EQ(ViewOf(*store), ViewOf(*ref));
+  auto m = sub.metrics();
+  EXPECT_EQ(m.nacks_sent, 1);
+  EXPECT_EQ(m.fillers_repaired, 1);
+  EXPECT_EQ(m.fillers_lost, 0);
+  EXPECT_GE(server.metrics().repeat_requests_in, 1);
+  EXPECT_GE(server.metrics().repeats_out, 1);
+
+  sub.Stop();
+  server.Stop();
+}
+
+TEST(FragmentSubscriberTest, RepairBudgetExhaustionDegradesInsteadOfWedging) {
+  // A server that never answers NACKs must not wedge the pipeline: after
+  // the retry budget the filler is declared lost, and each HolePolicy
+  // degrades the materialized view its own way.
+  frag::TagStructure ts = MustParseTs(kPacketTs);
+  const std::string ts_xml = ts.ToXml();
+  auto listener = ListenOn(0);
+  ASSERT_TRUE(listener.ok());
+  auto port = BoundPort(listener.value());
+  ASSERT_TRUE(port.ok());
+
+  // One root fragment whose <packet> child (filler 5) never arrives.
+  frag::Fragment root;
+  root.id = 0;
+  root.tsid = 1;
+  root.valid_time = DateTime(1000);
+  root.content = Node::Element("packets");
+  root.content->AddChild(frag::MakeHole(5, 2));
+  auto payload =
+      frag::EncodeWirePayload(root, ts, frag::WireCodec::kPlainXml);
+  ASSERT_TRUE(payload.ok()) << payload.status().ToString();
+  std::vector<std::string> frames{MustEncode(
+      {FrameType::kFragment, 0, 0, std::move(payload).MoveValue()})};
+
+  int64_t replay = -7;
+  std::thread deaf([&] {
+    // Handshakes and serves the root, then swallows every NACK.
+    replay = ServeOneSession(listener.value(), ts_xml, frames, {0},
+                             kHelloFlagCrcFrames);
+  });
+
+  FragmentSubscriberOptions opts;
+  opts.port = port.value();
+  opts.stream = "pkts";
+  opts.repair_retry_budget = 2;
+  opts.repair_retry_interval = 30ms;
+  FragmentSubscriber sub(opts);
+  ASSERT_TRUE(sub.Start().ok());
+  ASSERT_TRUE(sub.WaitForSeq(0, 10s));
+  ASSERT_TRUE(PollFor([&] { return sub.server_crc(); }, 5s));
+
+  stream::StreamHub hub;
+  auto store_r = hub.AddLocalStream("pkts", MustParseTs(ts_xml));
+  ASSERT_TRUE(store_r.ok());
+  frag::FragmentStore* store = store_r.value();
+  ASSERT_TRUE(sub.DrainInto(store).ok());
+  ASSERT_EQ(store->MissingFillers().size(), 1u);
+
+  RepairSummary last_sweep;
+  ASSERT_TRUE(PollFor(
+      [&] {
+        auto sweep = sub.RepairMissing(*store);
+        if (!sweep.ok()) return false;
+        last_sweep = sweep.value();
+        return last_sweep.lost_total >= 1;
+      },
+      10s));
+  const MetricsSnapshot m = sub.metrics();
+  sub.Stop();
+  listener.value().Shutdown();
+  deaf.join();
+
+  EXPECT_EQ(replay, -1);
+  EXPECT_EQ(last_sweep.lost_total, 1);
+  EXPECT_EQ(last_sweep.repaired_total, 0);
+  EXPECT_EQ(m.nacks_sent, 2);  // exactly the budget
+  EXPECT_EQ(m.fillers_lost, 1);
+  EXPECT_EQ(m.fillers_repaired, 0);
+
+  // Degraded-mode temporalization over the unrepairable store.
+  frag::TemporalizeStats stats;
+  auto omitted =
+      frag::Temporalize(*store, false, xq::HolePolicy::kOmit, &stats);
+  ASSERT_TRUE(omitted.ok()) << omitted.status().ToString();
+  EXPECT_EQ(stats.unresolved_holes, 1);
+  EXPECT_TRUE(omitted.value()->children().empty());
+
+  EXPECT_FALSE(
+      frag::Temporalize(*store, false, xq::HolePolicy::kFail).ok());
+
+  stats = {};
+  auto kept =
+      frag::Temporalize(*store, false, xq::HolePolicy::kKeepHole, &stats);
+  ASSERT_TRUE(kept.ok()) << kept.status().ToString();
+  EXPECT_EQ(stats.unresolved_holes, 1);
+  ASSERT_EQ(kept.value()->children().size(), 1u);
+  const Node& hole = *kept.value()->children()[0];
+  EXPECT_TRUE(frag::IsHoleElement(hole));
+  auto hole_id = frag::HoleId(hole);
+  ASSERT_TRUE(hole_id.ok());
+  EXPECT_EQ(hole_id.value(), 5);
+}
+
+// ---- Chaos soak -------------------------------------------------------------
+
+TEST(NetChaosTest, SoakConvergesToTheCleanViewThroughFaults) {
+  // The headline robustness scenario: an XMark stream with hundreds of
+  // updates served through a deterministic chaos link that drops,
+  // duplicates, reorders, corrupts, and truncates. The subscriber must
+  // survive every fault class and — with NACK repair for the fillers
+  // withheld downstream — converge to a store byte-identical to a clean
+  // in-process reference.
+  std::string ts_xml = xmark::AuctionTagStructureXml();
+  stream::StreamServer source("auction", MustParseTs(ts_xml));
+  stream::StreamHub reference;
+  ASSERT_TRUE(reference.Subscribe(&source).ok());
+
+  FragmentServerOptions sopts;
+  sopts.queue_capacity = 4096;
+  sopts.heartbeat_interval = 100ms;
+  FragmentServer server(&source, sopts);
+  ASSERT_TRUE(server.Start().ok());
+
+  ChaosLinkOptions chaos_opts;
+  chaos_opts.upstream_port = server.port();
+  chaos_opts.seed = 42;
+  chaos_opts.faults.drop = 0.02;
+  chaos_opts.faults.duplicate = 0.02;
+  chaos_opts.faults.reorder = 0.02;
+  chaos_opts.faults.corrupt = 0.02;
+  chaos_opts.faults.truncate = 0.01;
+  ChaosLink chaos(chaos_opts);
+  ASSERT_TRUE(chaos.Start().ok());
+
+  FragmentSubscriberOptions opts;
+  opts.port = chaos.port();
+  opts.stream = "auction";
+  opts.backoff_initial = 10ms;
+  opts.backoff_max = 100ms;
+  opts.repair_retry_interval = 50ms;
+  opts.repair_retry_budget = 50;
+  FragmentSubscriber sub(opts);
+  ASSERT_TRUE(sub.Start().ok());
+  ASSERT_TRUE(sub.WaitConnected(30s));
+
+  xmark::XMarkOptions gen;
+  gen.scale = 0.0;
+  auto doc = xmark::GenerateAuctionDoc(gen);
+  ASSERT_TRUE(doc.ok()) << doc.status().ToString();
+  ASSERT_TRUE(source.PublishDocument(*doc.value()).ok());
+
+  // Victims: fillers the root references, withheld from the local store
+  // downstream of the subscriber so only NACK repair can recover them.
+  // They are excluded from the update mix so each has exactly one frame
+  // and a repair is all-or-nothing: either the repeat lands intact or the
+  // filler stays missing and is NACKed again (repair granularity is the
+  // filler id — docs/ROBUSTNESS.md).
+  std::vector<int64_t> root_holes;
+  CollectHoleIds(*source.history_at(0).content, &root_holes);
+  ASSERT_GE(root_holes.size(), 3u);
+  std::vector<int64_t> victims(root_holes.begin(), root_holes.begin() + 3);
+  auto is_victim = [&](int64_t id) {
+    return std::find(victims.begin(), victims.end(), id) != victims.end();
+  };
+
+  std::vector<int64_t> candidates;
+  for (int64_t i = 0; i < source.history_size(); ++i) {
+    const auto& f = source.history_at(i);
+    const auto* tag = source.tag_structure().FindById(f.tsid);
+    if (tag != nullptr && tag->fragmented() && !is_victim(f.id)) {
+      candidates.push_back(i);
+    }
+  }
+  ASSERT_FALSE(candidates.empty());
+
+  constexpr int kUpdates = 400;
+  Random rng(17);
+  int64_t t =
+      source.history_at(source.history_size() - 1).valid_time.seconds();
+  for (int u = 0; u < kUpdates; ++u) {
+    const auto& base = source.history_at(static_cast<int64_t>(
+        candidates[rng.Uniform(candidates.size())]));
+    frag::Fragment f;
+    f.id = base.id;
+    f.tsid = base.tsid;
+    t += 1 + static_cast<int64_t>(rng.Uniform(30));
+    f.valid_time = DateTime(t);
+    f.content = base.content->Clone();
+    f.content->SetAttr("rev", std::to_string(u + 1));
+    ASSERT_TRUE(source.Publish(std::move(f)).ok());
+  }
+  const int64_t last = server.next_seq() - 1;
+  ASSERT_TRUE(sub.WaitForSeq(last, 120s))
+      << "stuck at seq " << sub.last_seq() << " of " << last;
+
+  stream::StreamHub hub;
+  auto store_r = hub.AddLocalStream("auction", MustParseTs(ts_xml));
+  ASSERT_TRUE(store_r.ok());
+  frag::FragmentStore* store = store_r.value();
+  std::vector<frag::Fragment> got;
+  sub.Drain(&got);
+  for (auto& f : got) {
+    if (is_victim(f.id)) continue;  // "lost" downstream of the transport
+    ASSERT_TRUE(store->Insert(std::move(f)).ok());
+  }
+  ASSERT_EQ(store->MissingFillers().size(), victims.size());
+
+  // Repair loop: NACK, drain, re-check — chaos may eat repeats too, so
+  // keep sweeping until every hole fills (the retry budget is generous).
+  const auto deadline = std::chrono::steady_clock::now() + 60s;
+  while (!store->MissingFillers().empty()) {
+    ASSERT_LT(std::chrono::steady_clock::now(), deadline)
+        << store->MissingFillers().size() << " fillers still missing";
+    auto sweep = sub.RepairMissing(*store);
+    ASSERT_TRUE(sweep.ok()) << sweep.status().ToString();
+    ASSERT_EQ(sweep.value().lost_total, 0) << "a filler ran out of budget";
+    std::this_thread::sleep_for(20ms);
+    ASSERT_TRUE(sub.DrainInto(store).ok());
+  }
+  auto final_sweep = sub.RepairMissing(*store);
+  ASSERT_TRUE(final_sweep.ok());
+  EXPECT_EQ(final_sweep.value().missing, 0);
+  EXPECT_GE(final_sweep.value().repaired_total,
+            static_cast<int>(victims.size()));
+  EXPECT_EQ(final_sweep.value().lost_total, 0);
+
+  // Byte-identical convergence with the clean in-process reference.
+  const frag::FragmentStore* ref = reference.store("auction");
+  ASSERT_NE(ref, nullptr);
+  EXPECT_EQ(store->size(), ref->size());
+  EXPECT_EQ(ViewOf(*store), ViewOf(*ref));
+
+  // The run actually exercised the fault paths.
+  const MetricsSnapshot m = sub.metrics();
+  EXPECT_GE(m.frames_corrupt, 1);
+  EXPECT_GE(m.nacks_sent, static_cast<int64_t>(victims.size()));
+  EXPECT_GE(m.fillers_repaired, static_cast<int64_t>(victims.size()));
+  EXPECT_EQ(m.fillers_lost, 0);
+  EXPECT_GE(m.reconnects, 1);
+  EXPECT_GE(server.metrics().repeat_requests_in,
+            static_cast<int64_t>(victims.size()));
+  const ChaosStats cs = chaos.stats();
+  EXPECT_GE(cs.corrupted, 1);
+  EXPECT_GE(cs.dropped + cs.duplicated + cs.reordered + cs.corrupted +
+                cs.truncated,
+            10);
+
+  sub.Stop();
+  chaos.Stop();
   server.Stop();
 }
 
