@@ -9,8 +9,12 @@
 //   ./build/bench/bench_transport [--benchmark_format=json]
 #include <benchmark/benchmark.h>
 
+#include <cstdlib>
+
 #include <algorithm>
 #include <chrono>
+#include <filesystem>
+#include <memory>
 #include <string>
 #include <thread>
 #include <vector>
@@ -20,6 +24,7 @@
 #include "net/chaos.h"
 #include "net/server.h"
 #include "net/subscriber.h"
+#include "net/wal.h"
 #include "stream/transport.h"
 #include "xmark/generator.h"
 
@@ -308,6 +313,177 @@ void BM_TransportChaos(benchmark::State& state) {
   server.Stop();
 }
 
+// The --restart scenario (select with --benchmark_filter=Restart):
+// crash/recovery latency of a WAL-backed server. Each timed iteration
+// publishes a batch (durable, fsync=always), kills the server before the
+// subscriber has converged, recovers the stream from disk (Wal::Open
+// replay + RestoreStream), restarts on the same port, and waits until the
+// subscriber's reconnect + REPLAY_FROM has caught back up to the pre-kill
+// frontier. With fsync=always the on-disk state after Close() is
+// byte-identical to a SIGKILL taken after the final append, so this
+// measures the crash path without forking. `recover_ms` / `catchup_ms`
+// split the cycle; `wal_records` is the history length the final recovery
+// replayed (growing each iteration — checkpoints bound the replayed tail).
+void BM_TransportRestart(benchmark::State& state) {
+  const int64_t checkpoint_every = state.range(0);
+
+  char tmpl[] = "/tmp/xcql_bench_wal_XXXXXX";
+  if (::mkdtemp(tmpl) == nullptr) {
+    state.SkipWithError("mkdtemp failed");
+    return;
+  }
+  const std::string root = tmpl;
+  const std::string dir = root + "/wal";
+  const std::string ts_xml = xcql::xmark::AuctionTagStructureXml();
+
+  xcql::net::WalOptions wal_opts;
+  wal_opts.fsync = xcql::net::FsyncPolicy::kAlways;
+  wal_opts.checkpoint_every = checkpoint_every;
+
+  struct Life {
+    std::unique_ptr<xcql::net::Wal> wal;
+    std::unique_ptr<xcql::stream::StreamServer> source;
+    std::unique_ptr<xcql::net::FragmentServer> server;
+  };
+  auto start_life = [&](uint16_t port, xcql::net::WalRecovery* rec) {
+    Life life;
+    auto wal = xcql::net::Wal::Open(dir, "auction", ts_xml, wal_opts, rec);
+    if (!wal.ok()) return life;
+    life.wal = std::move(wal).MoveValue();
+    auto ts = xcql::frag::TagStructure::Parse(ts_xml);
+    if (!ts.ok()) return Life{};
+    life.source = std::make_unique<xcql::stream::StreamServer>(
+        "auction", std::move(ts).MoveValue());
+    if (!rec->records.empty() &&
+        !xcql::net::RestoreStream(*rec, life.source.get()).ok()) {
+      return Life{};
+    }
+    xcql::net::FragmentServerOptions server_opts;
+    server_opts.port = port;
+    server_opts.queue_capacity = 4096;
+    server_opts.wal = life.wal.get();
+    life.server = std::make_unique<xcql::net::FragmentServer>(
+        life.source.get(), server_opts);
+    if (!life.server->Start().ok()) return Life{};
+    return life;
+  };
+
+  xcql::net::WalRecovery rec;
+  Life life = start_life(0, &rec);
+  if (!life.server) {
+    state.SkipWithError("initial life failed to start");
+    return;
+  }
+  const uint16_t port = life.server->port();
+
+  xcql::net::FragmentSubscriberOptions sub_opts;
+  sub_opts.port = port;
+  sub_opts.stream = "auction";
+  sub_opts.backoff_initial = std::chrono::milliseconds(10);
+  sub_opts.backoff_max = std::chrono::milliseconds(100);
+  xcql::net::FragmentSubscriber sub(sub_opts);
+  if (!sub.Start().ok() || !sub.WaitConnected(10s)) {
+    state.SkipWithError("subscriber failed to connect");
+    return;
+  }
+
+  xcql::xmark::XMarkOptions gen;
+  gen.scale = 0.0;
+  auto doc = xcql::xmark::GenerateAuctionDoc(gen);
+  if (!doc.ok() || !life.source->PublishDocument(*doc.value()).ok()) {
+    state.SkipWithError("document publish failed");
+    return;
+  }
+  const int64_t doc_frags = life.source->history_size();
+  if (!sub.WaitForSeq(life.server->next_seq() - 1, 60s)) {
+    state.SkipWithError("initial document never converged");
+    return;
+  }
+
+  std::vector<int64_t> candidates;
+  for (int64_t i = 0; i < doc_frags; ++i) {
+    const auto* tag = life.source->tag_structure().FindById(
+        life.source->history_at(i).tsid);
+    if (tag != nullptr && tag->fragmented()) candidates.push_back(i);
+  }
+  xcql::Random rng(11);
+  int64_t t = life.source->history_at(doc_frags - 1).valid_time.seconds();
+  int rev = 0;
+
+  constexpr int kBatch = 200;
+  double recover_ms_total = 0;
+  double catchup_ms_total = 0;
+  int64_t wal_records = 0;
+  std::vector<xcql::frag::Fragment> sink;
+  for (auto _ : state) {
+    for (int k = 0; k < kBatch; ++k) {
+      const auto& base = life.source->history_at(static_cast<int64_t>(
+          candidates[rng.Uniform(candidates.size())]));
+      xcql::frag::Fragment f;
+      f.id = base.id;
+      f.tsid = base.tsid;
+      t += 1 + static_cast<int64_t>(rng.Uniform(30));
+      f.valid_time = xcql::DateTime(t);
+      f.content = base.content->Clone();
+      f.content->SetAttr("rev", std::to_string(++rev));
+      if (!life.source->Publish(std::move(f)).ok()) {
+        state.SkipWithError("publish failed");
+        return;
+      }
+    }
+    // Kill the server with the batch durable but (mostly) undelivered.
+    const int64_t frontier = life.server->next_seq() - 1;
+    life.server->Stop();
+    life.server.reset();
+    life.source.reset();
+    (void)life.wal->Close();
+    life.wal.reset();
+
+    const auto t0 = std::chrono::steady_clock::now();
+    rec = xcql::net::WalRecovery();
+    life = start_life(port, &rec);
+    if (!life.server) {
+      state.SkipWithError("recovered life failed to start");
+      return;
+    }
+    const auto t1 = std::chrono::steady_clock::now();
+    if (!sub.WaitForSeq(frontier, 60s)) {
+      state.SkipWithError("subscriber never caught up after restart");
+      return;
+    }
+    const auto t2 = std::chrono::steady_clock::now();
+    recover_ms_total +=
+        std::chrono::duration<double, std::milli>(t1 - t0).count();
+    catchup_ms_total +=
+        std::chrono::duration<double, std::milli>(t2 - t1).count();
+    wal_records = static_cast<int64_t>(rec.records.size());
+    if (rec.report.torn_tail) {
+      state.SkipWithError("unexpected torn tail on a synced close");
+      return;
+    }
+    sink.clear();
+    sub.Drain(&sink);
+  }
+
+  state.SetItemsProcessed(state.iterations() * kBatch);
+  const double iters = static_cast<double>(state.iterations());
+  state.counters["recover_ms"] = recover_ms_total / iters;
+  state.counters["catchup_ms"] = catchup_ms_total / iters;
+  state.counters["wal_records"] = static_cast<double>(wal_records);
+  state.counters["reconnects"] =
+      static_cast<double>(sub.metrics().reconnects);
+  state.counters["epoch_resets"] =
+      static_cast<double>(sub.metrics().epoch_resets);
+
+  sub.Stop();
+  if (life.server) life.server->Stop();
+  life.server.reset();
+  life.source.reset();
+  if (life.wal) (void)life.wal->Close();
+  std::error_code ec;
+  std::filesystem::remove_all(root, ec);
+}
+
 }  // namespace
 
 // scale_permille: XMark scale factor x1000 (0 = minimal document);
@@ -332,6 +508,16 @@ BENCHMARK(BM_TransportChaos)
     ->Args({0})
     ->Args({10})
     ->Args({50})
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(5);
+
+// checkpoint_every: WAL auto-checkpoint cadence in records (0 = never —
+// recovery replays the whole history; 200 = every batch — recovery is
+// checkpoint + short tail).
+BENCHMARK(BM_TransportRestart)
+    ->ArgNames({"checkpoint_every"})
+    ->Args({0})
+    ->Args({200})
     ->Unit(benchmark::kMillisecond)
     ->Iterations(5);
 

@@ -215,6 +215,19 @@ std::vector<int64_t> FragmentStore::MissingFillers() const {
   return out;
 }
 
+std::vector<int64_t> FragmentStore::VersionTimes(int64_t id) const {
+  std::vector<int64_t> out;
+  auto it = by_id_.find(id);
+  if (it == by_id_.end()) return out;
+  // Indices are sorted by (validTime, arrival), so distinct times fall
+  // out of a single adjacent-dedup pass.
+  for (size_t idx : it->second) {
+    int64_t t = fragments_[idx].valid_time.seconds();
+    if (out.empty() || out.back() != t) out.push_back(t);
+  }
+  return out;
+}
+
 void StoreHoleResolver::AddStore(const FragmentStore* store) {
   stores_[store->name()] = store;
   sole_store_ = stores_.size() == 1 ? store : nullptr;

@@ -93,6 +93,13 @@ class FragmentStore {
   /// mode temporalization must splice around (xq::HolePolicy).
   std::vector<int64_t> MissingFillers() const;
 
+  /// \brief Distinct validTimes (epoch seconds) of the stored versions of
+  /// `id`, ascending; empty when no version has arrived. This is the
+  /// "have" list a version-aware REPEAT_REQUEST carries so the server
+  /// re-sends only the versions of a partially-delivered filler that are
+  /// actually absent (net::FragmentSubscriber::RepairVersions).
+  std::vector<int64_t> VersionTimes(int64_t id) const;
+
  private:
   std::vector<const Fragment*> CollectById(int64_t id, bool linear) const;
   Result<std::vector<NodePtr>> BuildVersions(

@@ -63,6 +63,8 @@ ChaosStats ChaosLink::stats() const {
   s.reordered = reordered_.load(std::memory_order_relaxed);
   s.corrupted = corrupted_.load(std::memory_order_relaxed);
   s.truncated = truncated_.load(std::memory_order_relaxed);
+  s.control_frames = control_frames_.load(std::memory_order_relaxed);
+  s.control_corrupted = control_corrupted_.load(std::memory_order_relaxed);
   return s;
 }
 
@@ -87,7 +89,9 @@ void ChaosLink::AcceptLoop() {
       std::lock_guard<std::mutex> lock(conns_mu_);
       conns_.push_back(std::move(conn));
     }
-    raw->up = std::thread([this, raw] { UpLoop(raw); });
+    raw->up = std::thread([this, raw, conn_seed] {
+      UpLoop(raw, conn_seed);
+    });
     raw->down = std::thread([this, raw, conn_seed] {
       DownLoop(raw, conn_seed);
     });
@@ -107,12 +111,21 @@ void ChaosLink::AcceptLoop() {
   }
 }
 
-void ChaosLink::UpLoop(Conn* conn) {
-  char buf[16 * 1024];
-  for (;;) {
-    auto n = conn->client.Recv(buf, sizeof(buf));
-    if (!n.ok() || n.value() == 0) break;
-    if (!conn->upstream.SendAll(buf, n.value()).ok()) break;
+void ChaosLink::UpLoop(Conn* conn, uint64_t conn_seed) {
+  if (opts_.fault_control) {
+    // Distinct schedule from the down direction on the same connection.
+    Random rng(conn_seed ^ 0x9e3779b97f4a7c15ull);
+    PumpFramed(&conn->client, &conn->upstream,
+               [this, conn, &rng](std::string&& frame) {
+                 return ForwardControlFrame(conn, std::move(frame), &rng);
+               });
+  } else {
+    char buf[16 * 1024];
+    for (;;) {
+      auto n = conn->client.Recv(buf, sizeof(buf));
+      if (!n.ok() || n.value() == 0) break;
+      if (!conn->upstream.SendAll(buf, n.value()).ok()) break;
+    }
   }
   // One dead direction kills the pair, like a real connection would.
   conn->client.Shutdown();
@@ -122,6 +135,31 @@ void ChaosLink::UpLoop(Conn* conn) {
 
 bool ChaosLink::SendToClient(Conn* conn, const std::string& bytes) {
   return conn->client.SendAll(bytes.data(), bytes.size()).ok();
+}
+
+bool ChaosLink::ForwardControlFrame(Conn* conn, std::string frame,
+                                    Random* rng) {
+  control_frames_.fetch_add(1, std::memory_order_relaxed);
+  const uint8_t version = static_cast<uint8_t>(frame[4]);
+  const size_t header = version == kFrameVersionCrc ? kFrameHeaderSizeCrc
+                                                    : kFrameHeaderSize;
+  // Only the corrupt fault applies to control frames (see ChaosLinkOptions):
+  // the server's decoders and checksums are the detectors under test. Bits
+  // flip in the payload; v1 frames reach the decoder as garbage the server
+  // must count-and-drop, v2 frames die at the checksum.
+  if (frame.size() > header &&
+      rng->NextDouble() < opts_.faults.control_corrupt) {
+    control_corrupted_.fetch_add(1, std::memory_order_relaxed);
+    int flips = 1 + static_cast<int>(rng->Uniform(3));
+    for (int i = 0; i < flips; ++i) {
+      size_t off =
+          header + static_cast<size_t>(rng->Uniform(frame.size() - header));
+      frame[off] = static_cast<char>(
+          static_cast<uint8_t>(frame[off]) ^
+          static_cast<uint8_t>(1u << rng->Uniform(8)));
+    }
+  }
+  return conn->upstream.SendAll(frame.data(), frame.size()).ok();
 }
 
 bool ChaosLink::ForwardFrame(Conn* conn, std::string frame, Random* rng,
@@ -194,18 +232,18 @@ bool ChaosLink::ForwardFrame(Conn* conn, std::string frame, Random* rng,
   return true;
 }
 
-void ChaosLink::DownLoop(Conn* conn, uint64_t conn_seed) {
-  Random rng(conn_seed);
+void ChaosLink::PumpFramed(
+    Socket* src, Socket* dst,
+    const std::function<bool(std::string&&)>& forward) {
   char buf[16 * 1024];
-  std::string acc;     // unparsed upstream bytes
-  std::string held;    // reordered frame awaiting its successor
+  std::string acc;  // unparsed source bytes
   bool alive = true;
   bool passthrough = false;  // lost framing: relay raw bytes
   while (alive) {
-    auto n = conn->upstream.Recv(buf, sizeof(buf));
+    auto n = src->Recv(buf, sizeof(buf));
     if (!n.ok() || n.value() == 0) break;
     if (passthrough) {
-      if (!conn->client.SendAll(buf, n.value()).ok()) break;
+      if (!dst->SendAll(buf, n.value()).ok()) break;
       continue;
     }
     acc.append(buf, n.value());
@@ -215,10 +253,9 @@ void ChaosLink::DownLoop(Conn* conn, uint64_t conn_seed) {
       const char* h = acc.data() + pos;
       if (PeekU32(h) != kFrameMagic) {
         // Not something we can frame (never happens against a real
-        // server): stop interfering and relay the rest verbatim.
+        // peer): stop interfering and relay the rest verbatim.
         passthrough = true;
-        alive = conn->client.SendAll(acc.data() + pos, acc.size() - pos)
-                    .ok();
+        alive = dst->SendAll(acc.data() + pos, acc.size() - pos).ok();
         pos = acc.size();
         break;
       }
@@ -231,10 +268,19 @@ void ChaosLink::DownLoop(Conn* conn, uint64_t conn_seed) {
       if (acc.size() - pos < header + len) break;
       std::string frame = acc.substr(pos, header + len);
       pos += header + len;
-      alive = ForwardFrame(conn, std::move(frame), &rng, &held);
+      alive = forward(std::move(frame));
     }
     acc.erase(0, pos);
   }
+}
+
+void ChaosLink::DownLoop(Conn* conn, uint64_t conn_seed) {
+  Random rng(conn_seed);
+  std::string held;  // reordered frame awaiting its successor
+  PumpFramed(&conn->upstream, &conn->client,
+             [this, conn, &rng, &held](std::string&& frame) {
+               return ForwardFrame(conn, std::move(frame), &rng, &held);
+             });
   if (!held.empty()) (void)SendToClient(conn, held);
   conn->client.Shutdown();
   conn->upstream.Shutdown();

@@ -2,10 +2,13 @@
 // FragmentSubscriber and a FragmentServer.
 //
 // The link listens on its own port and relays each accepted connection to
-// the upstream server. Client→server bytes pass through untouched (the
-// control channel: HELLO, REPLAY_FROM, NACKs). Server→client traffic is
-// re-framed on XFRM boundaries and each FRAGMENT frame (plus, optionally,
-// each HEARTBEAT) rolls against the configured fault probabilities:
+// the upstream server. Client→server bytes pass through untouched by
+// default (the control channel: HELLO, REPLAY_FROM, NACKs); with
+// fault_control set, that direction is also pumped frame-aware and each
+// control frame rolls against the corrupt probability. Server→client
+// traffic is re-framed on XFRM boundaries and each FRAGMENT frame (plus,
+// optionally, each HEARTBEAT) rolls against the configured fault
+// probabilities:
 //
 //   drop       the frame never arrives
 //   duplicate  the frame arrives twice
@@ -29,6 +32,7 @@
 #include <atomic>
 #include <chrono>
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -49,6 +53,10 @@ struct ChaosFaults {
   double reorder = 0.0;
   double corrupt = 0.0;
   double truncate = 0.0;
+  /// Corruption probability for client→server control frames (only with
+  /// fault_control; independent of `corrupt` so the control plane can be
+  /// attacked while the data plane stays clean, and vice versa).
+  double control_corrupt = 0.0;
   /// Extra latency before each forwarded frame (0 = none).
   std::chrono::milliseconds delay{0};
 };
@@ -63,6 +71,16 @@ struct ChaosLinkOptions {
   /// the liveness/loss-detector channel stays reliable unless a test
   /// wants it attacked too).
   bool fault_heartbeats = false;
+  /// Also attack the client→server control channel: the up direction is
+  /// pumped frame-aware and each control frame (HELLO, REPLAY_FROM,
+  /// REPEAT_REQUEST, BYE) rolls against `faults.control_corrupt`, flipping
+  /// 1–3 payload bits. The server must count-and-drop the mangled request
+  /// (frames_corrupt / bad_control_frames / handshake_failures) and the
+  /// subscriber's retry + catch-up machinery must still converge. Only
+  /// corruption applies: dropping or truncating control frames models a
+  /// different failure (dead link) that the downstream faults already
+  /// cover.
+  bool fault_control = false;
 };
 
 struct ChaosStats {
@@ -73,6 +91,8 @@ struct ChaosStats {
   int64_t reordered = 0;
   int64_t corrupted = 0;
   int64_t truncated = 0;
+  int64_t control_frames = 0;     // upstream frames seen (fault_control)
+  int64_t control_corrupted = 0;  // upstream frames mangled
 };
 
 class ChaosLink {
@@ -107,13 +127,21 @@ class ChaosLink {
   };
 
   void AcceptLoop();
-  void UpLoop(Conn* conn);
+  void UpLoop(Conn* conn, uint64_t conn_seed);
   void DownLoop(Conn* conn, uint64_t conn_seed);
+  /// Pumps src→dst re-framing on XFRM boundaries, calling `forward` for
+  /// each complete frame; falls back to raw passthrough when framing is
+  /// lost. `forward` returns false to kill the connection.
+  void PumpFramed(Socket* src, Socket* dst,
+                  const std::function<bool(std::string&&)>& forward);
   /// Applies one fault roll to `frame` and forwards it (and/or the held
   /// reordered frame). Returns false when the connection must die
   /// (truncation fired or a send failed).
   bool ForwardFrame(Conn* conn, std::string frame, Random* rng,
                     std::string* held);
+  /// fault_control: rolls `faults.corrupt` against a client→server
+  /// control frame and relays it upstream.
+  bool ForwardControlFrame(Conn* conn, std::string frame, Random* rng);
   bool SendToClient(Conn* conn, const std::string& bytes);
 
   ChaosLinkOptions opts_;
@@ -128,7 +156,8 @@ class ChaosLink {
   std::vector<std::unique_ptr<Conn>> conns_;
 
   std::atomic<int64_t> connections_{0}, frames_{0}, dropped_{0},
-      duplicated_{0}, reordered_{0}, corrupted_{0}, truncated_{0};
+      duplicated_{0}, reordered_{0}, corrupted_{0}, truncated_{0},
+      control_frames_{0}, control_corrupted_{0};
 };
 
 }  // namespace xcql::net

@@ -284,17 +284,47 @@ Result<int64_t> DecodeReplayFrom(std::string_view payload) {
   return static_cast<int64_t>(GetU64(payload.data()));
 }
 
-std::string EncodeRepeatRequest(int64_t filler_id) {
+std::string EncodeRepeatRequest(const RepeatRequest& request) {
   std::string out;
-  PutU64(&out, static_cast<uint64_t>(filler_id));
+  PutU64(&out, static_cast<uint64_t>(request.filler_id));
+  if (!request.have_valid_times.empty()) {
+    PutU32(&out,
+           static_cast<uint32_t>(request.have_valid_times.size()));
+    for (int64_t t : request.have_valid_times) {
+      PutU64(&out, static_cast<uint64_t>(t));
+    }
+  }
   return out;
 }
 
-Result<int64_t> DecodeRepeatRequest(std::string_view payload) {
-  if (payload.size() != 8) {
-    return Status::ParseError("REPEAT_REQUEST payload must be 8 bytes");
+std::string EncodeRepeatRequest(int64_t filler_id) {
+  RepeatRequest request;
+  request.filler_id = filler_id;
+  return EncodeRepeatRequest(request);
+}
+
+Result<RepeatRequest> DecodeRepeatRequest(std::string_view payload) {
+  RepeatRequest request;
+  if (payload.size() < 8) {
+    return Status::ParseError("REPEAT_REQUEST payload must be >= 8 bytes");
   }
-  return static_cast<int64_t>(GetU64(payload.data()));
+  request.filler_id = static_cast<int64_t>(GetU64(payload.data()));
+  if (payload.size() == 8) return request;  // pre-versioned form
+  if (payload.size() < 12) {
+    return Status::ParseError("REPEAT_REQUEST version count truncated");
+  }
+  uint32_t count = GetU32(payload.data() + 8);
+  if (payload.size() != 12u + 8ull * count) {
+    return Status::ParseError(StringPrintf(
+        "REPEAT_REQUEST promises %u validTimes but carries %zu bytes",
+        count, payload.size()));
+  }
+  request.have_valid_times.reserve(count);
+  for (uint32_t i = 0; i < count; ++i) {
+    request.have_valid_times.push_back(
+        static_cast<int64_t>(GetU64(payload.data() + 12 + 8ull * i)));
+  }
+  return request;
 }
 
 uint64_t TagStructureHash(std::string_view ts_xml) {

@@ -45,6 +45,7 @@
 #include <optional>
 #include <string>
 #include <string_view>
+#include <vector>
 
 #include "common/result.h"
 #include "frag/codec.h"
@@ -153,9 +154,24 @@ Result<Hello> DecodeHello(std::string_view payload);
 std::string EncodeReplayFrom(int64_t last_seen_seq);
 Result<int64_t> DecodeReplayFrom(std::string_view payload);
 
-/// \brief REPEAT_REQUEST payload: the filler id being NACKed.
+/// \brief REPEAT_REQUEST payload: the filler id being NACKed, plus the
+/// validTimes (epoch seconds) of the versions the subscriber already
+/// holds, so the server re-sends only the missing versions of a
+/// partially-delivered filler instead of all of them.
+///
+/// Wire form: u64 filler id [, u32 count, count × u64 validTime]. The
+/// bare 8-byte form — an older subscriber, or a fully-missing filler —
+/// decodes with an empty list, which means "send every version".
+struct RepeatRequest {
+  int64_t filler_id = 0;
+  std::vector<int64_t> have_valid_times;
+};
+
+std::string EncodeRepeatRequest(const RepeatRequest& request);
+/// \brief The all-versions NACK (no held versions), wire-compatible with
+/// pre-versioned peers.
 std::string EncodeRepeatRequest(int64_t filler_id);
-Result<int64_t> DecodeRepeatRequest(std::string_view payload);
+Result<RepeatRequest> DecodeRepeatRequest(std::string_view payload);
 
 /// \brief FNV-1a over the Tag Structure's canonical XML form; both ends
 /// compare hashes at HELLO to verify they hold the same schema.

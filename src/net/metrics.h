@@ -38,6 +38,12 @@ struct MetricsSnapshot {
   int64_t fillers_lost = 0;        // missing fillers past their retry budget
   int64_t poison_quarantined = 0;  // checksum-valid frames whose payload
                                    // failed the codec and were skipped
+  int64_t epoch_resets = 0;        // server epoch changed under a resume:
+                                   // subscriber restarted from scratch
+  int64_t bad_control_frames = 0;  // well-framed client requests whose
+                                   // payload didn't decode (dropped, server)
+  int64_t wal_append_failures = 0; // published frames the WAL rejected
+                                   // (durability degraded, server)
 };
 
 /// \brief The live counters. Relaxed atomics: each counter is independent
@@ -100,6 +106,15 @@ class Metrics {
   void AddPoisonQuarantined() {
     poison_quarantined_.fetch_add(1, std::memory_order_relaxed);
   }
+  void AddEpochReset() {
+    epoch_resets_.fetch_add(1, std::memory_order_relaxed);
+  }
+  void AddBadControlFrame() {
+    bad_control_frames_.fetch_add(1, std::memory_order_relaxed);
+  }
+  void AddWalAppendFailure() {
+    wal_append_failures_.fetch_add(1, std::memory_order_relaxed);
+  }
   void ConnectionOpened() {
     connections_active_.fetch_add(1, std::memory_order_relaxed);
   }
@@ -148,6 +163,11 @@ class Metrics {
     s.fillers_lost = fillers_lost_.load(std::memory_order_relaxed);
     s.poison_quarantined =
         poison_quarantined_.load(std::memory_order_relaxed);
+    s.epoch_resets = epoch_resets_.load(std::memory_order_relaxed);
+    s.bad_control_frames =
+        bad_control_frames_.load(std::memory_order_relaxed);
+    s.wal_append_failures =
+        wal_append_failures_.load(std::memory_order_relaxed);
     return s;
   }
 
@@ -166,6 +186,8 @@ class Metrics {
   std::atomic<int64_t> repeat_requests_in_{0};
   std::atomic<int64_t> fillers_repaired_{0}, fillers_lost_{0};
   std::atomic<int64_t> poison_quarantined_{0};
+  std::atomic<int64_t> epoch_resets_{0}, bad_control_frames_{0};
+  std::atomic<int64_t> wal_append_failures_{0};
 };
 
 }  // namespace xcql::net

@@ -1,6 +1,10 @@
 #include "net/server.h"
 
 #include <algorithm>
+#include <cstdio>
+#include <unordered_set>
+
+#include "net/wal.h"
 
 namespace xcql::net {
 
@@ -27,6 +31,7 @@ Status FragmentServer::Start() {
   if (started_) return Status::InvalidArgument("server already started");
   ts_xml_ = source_->tag_structure().ToXml();
   ts_hash_ = TagStructureHash(ts_xml_);
+  epoch_ = opts_.wal != nullptr ? opts_.wal->epoch() : 0;
   // Seed the frame log with everything the source published before the
   // network face existed, so late subscribers replay the full stream.
   {
@@ -35,6 +40,17 @@ Status FragmentServer::Start() {
       log_.push_back(EncodeEntry(source_->history_at(i),
                                  static_cast<uint64_t>(log_.size())));
       filler_index_[log_.back().filler_id].push_back(log_.size() - 1);
+      // Make the seed durable too. A history rebuilt *from* the WAL
+      // re-appends seqs the WAL already holds, which Append skips.
+      if (opts_.wal != nullptr) {
+        const LogEntry& entry = log_.back();
+        const std::string& rec =
+            entry.plain.empty() ? entry.compressed : entry.plain;
+        if (!rec.empty()) {
+          XCQL_RETURN_NOT_OK(opts_.wal->Append(
+              static_cast<int64_t>(log_.size()) - 1, rec));
+        }
+      }
     }
     published_.store(static_cast<int64_t>(log_.size()));
   }
@@ -76,6 +92,7 @@ FragmentServer::LogEntry FragmentServer::EncodeEntry(
     const frag::Fragment& fragment, uint64_t seq) {
   LogEntry entry;
   entry.filler_id = fragment.id;
+  entry.valid_time_s = fragment.valid_time.seconds();
   const frag::TagStructure& ts = source_->tag_structure();
   Frame frame;
   frame.type = FrameType::kFragment;
@@ -111,6 +128,24 @@ void FragmentServer::OnFragment(const std::string& /*stream_name*/,
   if (!entry.plain.empty() || !entry.compressed.empty()) {
     metrics_.AddFragmentOut();
   }
+  // Write-ahead: the frame reaches the WAL before any subscriber queue,
+  // so under FsyncPolicy::kAlways a subscriber can never hold a seq that
+  // a restart would not recover. A failed append degrades durability but
+  // not delivery — the stream must not stall on a full disk.
+  if (opts_.wal != nullptr) {
+    const std::string& rec =
+        entry.plain.empty() ? entry.compressed : entry.plain;
+    if (!rec.empty()) {
+      Status st =
+          opts_.wal->Append(static_cast<int64_t>(log_.size()), rec);
+      if (!st.ok()) {
+        metrics_.AddWalAppendFailure();
+        std::fprintf(stderr, "wal: append of seq %lld failed: %s\n",
+                     static_cast<long long>(log_.size()),
+                     st.message().c_str());
+      }
+    }
+  }
   log_.push_back(std::move(entry));
   filler_index_[log_.back().filler_id].push_back(log_.size() - 1);
   published_.store(static_cast<int64_t>(log_.size()));
@@ -135,11 +170,18 @@ void FragmentServer::OnRepeat(const std::string& /*stream_name*/,
   for (auto& conn : conns_) Enqueue(conn.get(), stored, /*repeat=*/true);
 }
 
-void FragmentServer::ServeRepeat(Connection* conn, int64_t filler_id) {
+void FragmentServer::ServeRepeat(Connection* conn,
+                                 const RepeatRequest& request) {
   std::lock_guard<std::mutex> lock(log_mu_);
-  auto it = filler_index_.find(filler_id);
+  auto it = filler_index_.find(request.filler_id);
   if (it == filler_index_.end()) return;  // never published: nothing to say
+  const std::unordered_set<int64_t> have(request.have_valid_times.begin(),
+                                         request.have_valid_times.end());
   for (size_t pos : it->second) {
+    // Version-aware NACK: skip versions the subscriber already holds.
+    // Granularity is the validTime — two versions sharing one are both
+    // re-sent, and the subscriber's store dedups the one it has.
+    if (!have.empty() && have.count(log_[pos].valid_time_s) != 0) continue;
     metrics_.AddRepeatOut();
     Enqueue(conn, log_[pos], /*repeat=*/true);
   }
@@ -257,30 +299,34 @@ void FragmentServer::ReapFinished() {
   }
 }
 
-Status FragmentServer::HandleHello(Connection* conn, const Frame& frame) {
-  auto hello = DecodeHello(frame.payload);
-  if (!hello.ok()) return hello.status();
-  if (hello.value().stream_name != source_->name()) {
-    return Status::NotFound("unknown stream '" + hello.value().stream_name +
+Status FragmentServer::HandleHello(Connection* conn, const Hello& hello,
+                                   const Frame& frame) {
+  if (hello.stream_name != source_->name()) {
+    return Status::NotFound("unknown stream '" + hello.stream_name +
                             "' (serving '" + source_->name() + "')");
   }
-  if (hello.value().ts_hash != 0 && hello.value().ts_hash != ts_hash_) {
+  if (hello.ts_hash != 0 && hello.ts_hash != ts_hash_) {
     return Status::InvalidArgument(
         "tag-structure hash mismatch: subscriber holds a different schema");
   }
   {
     std::lock_guard<std::mutex> lock(conn->mu);
-    conn->codec = hello.value().codec;
+    conn->codec = hello.codec;
     conn->peer_crc = (frame.flags & kHelloFlagCrcFrames) != 0;
   }
   Hello ack;
   ack.stream_name = source_->name();
-  ack.codec = hello.value().codec;
+  ack.codec = hello.codec;
   ack.ts_hash = ts_hash_;
   ack.tag_structure_xml = ts_xml_;
   Frame out;
   out.type = FrameType::kHello;
   out.flags = kHelloFlagCrcFrames;  // we always speak v2; peer decides
+  // The stream epoch rides in the ack's (otherwise unused) seq field: a
+  // subscriber resuming with seq numbers from a different epoch knows its
+  // resume point is meaningless and restarts from scratch. 0 = no epoch
+  // (an in-memory server, or one predating durability).
+  out.seq = epoch_;
   out.payload = EncodeHello(ack);
   // HELLO frames stay v1 on the wire so a peer of either vintage can
   // parse them; the flag bit above is the entire negotiation.
@@ -332,13 +378,31 @@ void FragmentServer::ReaderLoop(Connection* conn) {
         continue;
       }
       if (!handshaken) {
-        if (frame.type != FrameType::kHello ||
-            !HandleHello(conn, frame).ok()) {
+        bool reject_with_bye = true;
+        bool ok = frame.type == FrameType::kHello;
+        if (ok) {
+          auto hello = DecodeHello(frame.payload);
+          if (!hello.ok()) {
+            // Garbage HELLO payload (line noise, a mangled frame): count
+            // it and just cut the connection. A BYE here would be wrong —
+            // the subscriber reads BYE-at-handshake as a semantic
+            // rejection (wrong stream/schema) and gives up for good,
+            // while a retried clean HELLO may well succeed.
+            ok = false;
+            reject_with_bye = false;
+            metrics_.AddBadControlFrame();
+          } else {
+            ok = HandleHello(conn, hello.value(), frame).ok();
+          }
+        }
+        if (!ok) {
           metrics_.AddHandshakeFailure();
-          Frame bye;
-          bye.type = FrameType::kBye;
-          auto bye_bytes = EncodeFrame(bye, kFrameVersion);
-          if (bye_bytes.ok()) (void)SendRaw(conn, bye_bytes.value());
+          if (reject_with_bye) {
+            Frame bye;
+            bye.type = FrameType::kBye;
+            auto bye_bytes = EncodeFrame(bye, kFrameVersion);
+            if (bye_bytes.ok()) (void)SendRaw(conn, bye_bytes.value());
+          }
           done = true;
           break;
         }
@@ -349,20 +413,25 @@ void FragmentServer::ReaderLoop(Connection* conn) {
         case FrameType::kReplayFrom: {
           auto from = DecodeReplayFrom(frame.payload);
           if (!from.ok()) {
-            done = true;
+            // A well-framed, checksum-valid request whose payload doesn't
+            // decode: count it and drop it. Killing the session would let
+            // one buggy (or chaos-injected) control frame take down a
+            // live subscriber; the framing itself survived, so the stream
+            // stays parseable.
+            metrics_.AddBadControlFrame();
             break;
           }
           ServeReplay(conn, from.value());
           break;
         }
         case FrameType::kRepeatRequest: {
-          auto id = DecodeRepeatRequest(frame.payload);
-          if (!id.ok()) {
-            done = true;
+          auto request = DecodeRepeatRequest(frame.payload);
+          if (!request.ok()) {
+            metrics_.AddBadControlFrame();
             break;
           }
           metrics_.AddRepeatRequestIn();
-          ServeRepeat(conn, id.value());
+          ServeRepeat(conn, request.value());
           break;
         }
         case FrameType::kBye:

@@ -44,11 +44,19 @@ enum class SlowConsumerPolicy {
                 // machinery refetches what it missed
 };
 
+class Wal;
+
 struct FragmentServerOptions {
   uint16_t port = 0;  // 0 = pick an ephemeral port (see port())
   size_t queue_capacity = 1024;  // outbound frames per connection
   SlowConsumerPolicy slow_consumer = SlowConsumerPolicy::kBlock;
   std::chrono::milliseconds heartbeat_interval{1000};
+  /// Durability: every published frame is appended here *before* any
+  /// subscriber sees it, so with FsyncPolicy::kAlways no subscriber can
+  /// ever be ahead of what a restart recovers. Not owned; must outlive
+  /// the server. The WAL's epoch rides in the HELLO ack so resuming
+  /// subscribers detect a reset data dir. nullptr = in-memory only.
+  Wal* wal = nullptr;
 };
 
 /// \brief Per-connection counters, exposed so tests and tools can verify
@@ -84,6 +92,10 @@ class FragmentServer : public stream::StreamClient {
 
   /// \brief Sequence number the next published fragment will carry.
   int64_t next_seq() const;
+
+  /// \brief The stream epoch advertised in HELLO acks: the WAL's epoch
+  /// when one is attached, 0 (no epoch) otherwise.
+  uint64_t epoch() const { return epoch_; }
 
   /// \brief StreamClient hook: called by the source on the publisher
   /// thread for every multicast fragment.
@@ -133,17 +145,23 @@ class FragmentServer : public stream::StreamClient {
     std::string compressed;  // FRAGMENT frame, §4.1 payload ("" if the
                              // payload does not compress under the schema)
     int64_t filler_id = 0;   // the fragment's filler id (NACK index key)
+    int64_t valid_time_s = 0;  // the version's validTime (epoch seconds),
+                               // so a version-aware NACK can skip versions
+                               // the subscriber already holds
   };
 
   LogEntry EncodeEntry(const frag::Fragment& fragment, uint64_t seq);
   void AcceptLoop();
   void ReaderLoop(Connection* conn);
   void WriterLoop(Connection* conn);
-  Status HandleHello(Connection* conn, const Frame& frame);
+  Status HandleHello(Connection* conn, const Hello& hello,
+                     const Frame& frame);
   void ServeReplay(Connection* conn, int64_t last_seen_seq);
-  /// \brief Serves a REPEAT_REQUEST (NACK): re-enqueues every logged frame
-  /// of `filler_id` — original seqs, kFlagRepeat set — to `conn` only.
-  void ServeRepeat(Connection* conn, int64_t filler_id);
+  /// \brief Serves a REPEAT_REQUEST (NACK): re-enqueues the logged frames
+  /// of the request's filler — original seqs, kFlagRepeat set — to `conn`
+  /// only, skipping versions whose validTime the request says the
+  /// subscriber already holds.
+  void ServeRepeat(Connection* conn, const RepeatRequest& request);
   /// \brief Appends one encoded frame to the connection's queue, applying
   /// the slow-consumer policy. Caller may hold log_mu_. With `repeat` the
   /// frame goes out flagged as a retransmission.
@@ -156,6 +174,7 @@ class FragmentServer : public stream::StreamClient {
   FragmentServerOptions opts_;
   std::string ts_xml_;
   uint64_t ts_hash_ = 0;
+  uint64_t epoch_ = 0;
   uint16_t port_ = 0;
   bool started_ = false;
 

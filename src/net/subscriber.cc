@@ -18,10 +18,18 @@ constexpr size_t kMaxPoisonLog = 16;
 // row with zero progress means the frames are not coming.
 constexpr int kHeartbeatLagThreshold = 2;
 
+// Consecutive handshake rejections before the subscriber gives up for
+// good. A genuine wrong-stream/wrong-schema rejection repeats every time,
+// so fatal still surfaces within a few backoff rounds; a HELLO mangled in
+// flight (control-plane chaos) gets retried instead of wedging forever.
+constexpr int kHandshakeRejectLimit = 3;
+
 }  // namespace
 
 FragmentSubscriber::FragmentSubscriber(FragmentSubscriberOptions options)
     : opts_(std::move(options)) {
+  last_seq_ = opts_.initial_last_seq;
+  epoch_ = opts_.known_epoch;
   if (!opts_.tag_structure_xml.empty()) {
     auto ts = frag::TagStructure::Parse(opts_.tag_structure_xml);
     if (ts.ok()) {
@@ -212,9 +220,11 @@ void FragmentSubscriber::Session() {
         // The server answers HELLO with HELLO, or BYE on rejection.
         if (frame.type != FrameType::kHello) {
           metrics_.AddHandshakeFailure();
-          std::lock_guard<std::mutex> lock(state_mu_);
-          fatal_ = true;
-          state_cv_.notify_all();
+          if (++handshake_rejects_ >= kHandshakeRejectLimit) {
+            std::lock_guard<std::mutex> lock(state_mu_);
+            fatal_ = true;
+            state_cv_.notify_all();
+          }
           return;
         }
         auto ack = DecodeHello(frame.payload);
@@ -234,12 +244,15 @@ void FragmentSubscriber::Session() {
         }
         if (!ok) {
           metrics_.AddHandshakeFailure();
-          std::lock_guard<std::mutex> lock(state_mu_);
-          fatal_ = true;
-          state_cv_.notify_all();
+          if (++handshake_rejects_ >= kHandshakeRejectLimit) {
+            std::lock_guard<std::mutex> lock(state_mu_);
+            fatal_ = true;
+            state_cv_.notify_all();
+          }
           return;
         }
         handshaken = true;
+        handshake_rejects_ = 0;
         {
           std::lock_guard<std::mutex> lock(state_mu_);
           if (ts_xml_.empty()) ts_xml_ = ack.value().tag_structure_xml;
@@ -250,6 +263,31 @@ void FragmentSubscriber::Session() {
           if (ever_connected_) metrics_.AddReconnect();
           ever_connected_ = true;
           state_cv_.notify_all();
+        }
+        // The ack's seq carries the stream epoch. A different epoch than
+        // the one our resume state came from means the server's data dir
+        // was reset (or replaced): its history is a different stream, and
+        // resuming our seq numbers into it would silently mis-splice two
+        // histories. Discard the resume point and restart from scratch.
+        {
+          const uint64_t srv_epoch = frame.seq;
+          bool reset = false;
+          {
+            std::lock_guard<std::mutex> lock(pending_mu_);
+            if (srv_epoch != 0 && epoch_ != 0 && epoch_ != srv_epoch) {
+              reset = true;
+              last_seq_ = -1;
+              // Undrained fragments belong to the dead epoch's history;
+              // admitting them into the new one would mix the streams.
+              pending_.clear();
+            }
+            if (srv_epoch != 0) epoch_ = srv_epoch;
+          }
+          if (reset) {
+            metrics_.AddEpochReset();
+            std::lock_guard<std::mutex> lock(repair_mu_);
+            repairs_.clear();
+          }
         }
         // Resume from where we left off (-1 the first time = everything:
         // the late subscriber's catch-up).
@@ -392,9 +430,20 @@ Result<RepairSummary> FragmentSubscriber::RepairMissing(
   {
     std::lock_guard<std::mutex> lock(repair_mu_);
     // Anything we NACKed that the store no longer misses got repaired
-    // (via the repeat path or an overlapping replay — either counts).
+    // (via the repeat path or an overlapping replay — either counts). A
+    // version repair (RepairVersions) was never "missing": it resolves
+    // when the store's version count for the filler has grown instead.
     for (auto& [id, st] : repairs_) {
-      if (st.attempts > 0 && !st.resolved && missing_set.count(id) == 0) {
+      if (st.attempts == 0 || st.resolved) continue;
+      if (st.versions_at_request >= 0) {
+        if (static_cast<int>(store.VersionTimes(id).size()) >
+            st.versions_at_request) {
+          st.resolved = true;
+          metrics_.AddFillerRepaired();
+        }
+        continue;
+      }
+      if (missing_set.count(id) == 0) {
         st.resolved = true;
         metrics_.AddFillerRepaired();
       }
@@ -451,9 +500,59 @@ Result<RepairSummary> FragmentSubscriber::RepairMissing(
   return sum;
 }
 
+Status FragmentSubscriber::RepairVersions(int64_t filler_id,
+                                          const frag::FragmentStore& store) {
+  std::vector<int64_t> have = store.VersionTimes(filler_id);
+  {
+    std::lock_guard<std::mutex> lock(repair_mu_);
+    RepairState& rs = repairs_[filler_id];
+    if (rs.lost) {
+      return Status::NotFound("filler repair budget exhausted");
+    }
+    if (rs.attempts >= opts_.repair_retry_budget) {
+      rs.lost = true;
+      metrics_.AddFillerLost();
+      return Status::NotFound("filler repair budget exhausted");
+    }
+    if (rs.attempts > 0 && std::chrono::steady_clock::now() - rs.last_sent <
+                               opts_.repair_retry_interval) {
+      return Status::InvalidArgument(
+          "previous repair attempt still within its retry interval");
+    }
+    // Register before sending (repeats are only admitted for registered
+    // fillers, and on loopback they can arrive before SendFrame returns);
+    // keep the *first* attempt's version count as the resolution baseline
+    // so a retry can't erase an unmet goal.
+    ++rs.attempts;
+    rs.last_sent = std::chrono::steady_clock::now();
+    if (rs.versions_at_request < 0) {
+      rs.versions_at_request = static_cast<int>(have.size());
+    }
+  }
+  Frame nack;
+  nack.type = FrameType::kRepeatRequest;
+  RepeatRequest request;
+  request.filler_id = filler_id;
+  request.have_valid_times = std::move(have);
+  nack.payload = EncodeRepeatRequest(request);
+  Status st = SendFrame(nack);
+  if (!st.ok()) {
+    std::lock_guard<std::mutex> lock(repair_mu_);
+    --repairs_[filler_id].attempts;
+    return st;
+  }
+  metrics_.AddNackSent();
+  return Status::OK();
+}
+
 int64_t FragmentSubscriber::last_seq() const {
   std::lock_guard<std::mutex> lock(pending_mu_);
   return last_seq_;
+}
+
+uint64_t FragmentSubscriber::server_epoch() const {
+  std::lock_guard<std::mutex> lock(pending_mu_);
+  return epoch_;
 }
 
 bool FragmentSubscriber::WaitForSeq(int64_t seq,

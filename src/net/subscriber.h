@@ -71,6 +71,13 @@ struct FragmentSubscriberOptions {
   /// RepairMissing(): minimum wait between NACKs of the same filler, and
   /// the grace period after the final attempt before declaring it lost.
   std::chrono::milliseconds repair_retry_interval{500};
+  /// Resume state from a previous subscriber's life (e.g. across an
+  /// application restart whose store was persisted): the last contiguous
+  /// seq already held (-1 = nothing) and the server epoch it came from
+  /// (0 = unknown). If the server's epoch differs, the resume point is
+  /// discarded and the subscription restarts from scratch.
+  int64_t initial_last_seq = -1;
+  uint64_t known_epoch = 0;
 };
 
 /// \brief Outcome of one RepairMissing() sweep.
@@ -119,6 +126,16 @@ class FragmentSubscriber {
   /// have no REPEAT_REQUEST).
   Result<RepairSummary> RepairMissing(const frag::FragmentStore& store);
 
+  /// \brief Version-aware NACK for one filler the caller believes is only
+  /// partially delivered (some versions present, so MissingFillers() can't
+  /// see it). Sends a REPEAT_REQUEST carrying the validTimes the store
+  /// already holds; the server re-sends only the other versions, and the
+  /// repeats are admitted like any requested repair. Resolution is
+  /// observed by RepairMissing() sweeps once the store's version count for
+  /// the filler has grown. Call again (after repair_retry_interval) to
+  /// retry; the per-filler retry budget applies.
+  Status RepairVersions(int64_t filler_id, const frag::FragmentStore& store);
+
   /// \brief Highest *contiguously* received FRAGMENT sequence number (-1
   /// before the first). A frame beyond a sequence gap is never admitted:
   /// the subscriber kills the connection and resumes via
@@ -143,6 +160,13 @@ class FragmentSubscriber {
   /// frames with the server.
   bool server_crc() const;
 
+  /// \brief The stream epoch the server advertised at the last handshake
+  /// (0 until then, or against a pre-epoch server). When this changes
+  /// across a reconnect the subscriber has already discarded its resume
+  /// state (metrics().epoch_resets counts it); the application should
+  /// likewise rebuild its store — the old epoch's history is gone.
+  uint64_t server_epoch() const;
+
   /// \brief The stream's Tag Structure XML as learned at the handshake
   /// (or as configured). Errors before the first successful handshake.
   Result<std::string> TagStructureXml() const;
@@ -162,6 +186,10 @@ class FragmentSubscriber {
     std::chrono::steady_clock::time_point last_sent{};
     bool lost = false;
     bool resolved = false;
+    /// RepairVersions() only: how many versions the store held when the
+    /// NACK went out. The repair resolves when the count grows, not when
+    /// the filler stops being "missing" (it never was).
+    int versions_at_request = -1;
   };
 
   void Run();
@@ -194,11 +222,17 @@ class FragmentSubscriber {
 
   // Receive-thread-only: the parsed schema used to decode payloads.
   std::unique_ptr<frag::TagStructure> ts_;
+  // Receive-thread-only: consecutive handshake rejections. A single BYE
+  // can be a transiently mangled HELLO (chaos, line noise) rather than a
+  // real stream/schema mismatch, so fatal_ is only declared after a few
+  // rejections in a row; any successful handshake resets the count.
+  int handshake_rejects_ = 0;
 
   mutable std::mutex pending_mu_;
   mutable std::condition_variable pending_cv_;
   std::vector<frag::Fragment> pending_;
   int64_t last_seq_ = -1;  // contiguous prefix; written by receive thread
+  uint64_t epoch_ = 0;     // server epoch as of the last handshake
   std::deque<PoisonRecord> poison_log_;  // bounded, newest at the back
 
   // NACK bookkeeping per missing filler id. Guarded by repair_mu_.

@@ -1,0 +1,220 @@
+// net::Wal — the durability layer under FragmentServer: a segmented,
+// CRC32C-framed write-ahead log plus periodic checkpoints, so a server
+// killed mid-stream recovers its frame log from disk and resumes serving
+// the same stream, byte-identical, with the same sequence numbers.
+//
+// On-disk layout (one directory per stream):
+//
+//   MANIFEST                      one XFRM v2 HELLO frame. seq = the
+//                                 stream epoch, payload = stream name +
+//                                 tag-structure hash + Tag Structure XML.
+//   wal-<seq20>.log               a segment: consecutive XFRM v2 FRAGMENT
+//                                 frames whose seqs start at <seq20>.
+//                                 Only the highest-numbered segment is
+//                                 appended to; lower ones are sealed.
+//   checkpoint-<n20>.ckpt         a snapshot of records [0, n): the same
+//                                 v2 FRAGMENT frames, compacted into one
+//                                 file so recovery is O(checkpoint + tail)
+//                                 instead of O(segments ever written).
+//   *.tmp                         in-flight checkpoint; deleted at open.
+//
+// Records reuse the wire codec verbatim: a WAL record *is* the encoded v2
+// frame the server logs and fans out, checksum included, so one codec
+// (frame.h) covers wire and disk and the fuzz/chaos results transfer.
+//
+// Crash semantics, which the kill-point tests enforce:
+//  * Appends go to the tail of the newest segment only. A crash mid-append
+//    leaves a prefix of a valid frame; recovery detects it (the frame never
+//    completes), truncates exactly that partial record, and reports it
+//    (torn_tail in the recovery report) — never an error.
+//  * A CRC-invalid or undecodable record anywhere else is disk corruption,
+//    not a torn write: recovery fails with a poison report naming the file
+//    and offset rather than silently serving a damaged history.
+//  * Checkpoints are written to a temp file, fsync'd, then renamed, so a
+//    visible checkpoint is complete by construction; segment GC runs after
+//    the rename and is finished by the next Open if interrupted.
+//  * The epoch is minted once, when the directory is initialized, and
+//    carried in the server's HELLO ack (frame seq): a subscriber resuming
+//    against a reset data dir sees a different epoch and restarts from
+//    scratch instead of mis-resuming seq numbers into a different history.
+#ifndef XCQL_NET_WAL_H_
+#define XCQL_NET_WAL_H_
+
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+#include "net/frame.h"
+#include "stream/transport.h"
+
+namespace xcql::net {
+
+/// \brief When appends reach the disk platter.
+enum class FsyncPolicy : uint8_t {
+  kAlways,    // fsync after every append: no acked record is ever lost
+  kInterval,  // fsync when the oldest unsynced append is older than
+              // fsync_interval: bounded loss window, amortized cost
+  kNever,     // leave it to the OS: fastest, loses the page cache on crash
+};
+
+const char* FsyncPolicyName(FsyncPolicy policy);
+Result<FsyncPolicy> ParseFsyncPolicy(std::string_view name);
+
+struct WalOptions {
+  FsyncPolicy fsync = FsyncPolicy::kAlways;
+  /// kInterval only: maximum age of an unsynced append.
+  std::chrono::milliseconds fsync_interval{50};
+  /// Rotate to a fresh segment when the current one would exceed this.
+  /// A record never splits across segments.
+  size_t segment_bytes = 4u << 20;
+  /// Checkpoint automatically every this many appended records; 0 =
+  /// only when Checkpoint() is called.
+  int64_t checkpoint_every = 0;
+};
+
+/// \brief Crash-injection seam: the WAL announces every write/rotate/
+/// checkpoint boundary through here, and a test hook (installed in a
+/// fork()ed child) can _exit() the process at any of them to prove
+/// recovery handles a kill at that exact point. No hook installed (the
+/// production case) costs one relaxed atomic load per point.
+class WalHooks {
+ public:
+  using Hook = std::function<void(const char* point)>;
+
+  /// \brief Installs (or, with nullptr, removes) the process-wide hook.
+  static void Install(Hook hook);
+  static bool installed();
+
+  /// \brief Fires the hook, if any. Called by the WAL; tests never call it.
+  static void At(const char* point);
+
+  /// \brief Every point the WAL announces, for kill-point matrix tests.
+  static const std::vector<const char*>& Points();
+};
+
+/// \brief One recovered record: the decoded FRAGMENT frame.
+struct WalRecord {
+  int64_t seq = 0;
+  uint8_t flags = 0;     // kFlagCompressedPayload: §4.1 payload form
+  std::string payload;   // wire payload (frag::EncodeWirePayload output)
+};
+
+/// \brief What recovery found and did.
+struct WalRecoveryReport {
+  int64_t checkpoint_records = 0;  // records loaded from the checkpoint
+  int64_t tail_records = 0;        // records loaded from WAL segments
+  int segments_scanned = 0;
+  bool torn_tail = false;     // a partial final record was truncated
+  size_t torn_bytes = 0;      // bytes the truncation dropped
+  std::string warning;        // human-readable torn-tail note ("" if none)
+};
+
+/// \brief Everything Open() recovered from the directory.
+struct WalRecovery {
+  uint64_t epoch = 0;
+  std::string stream_name;
+  std::string ts_xml;
+  std::vector<WalRecord> records;  // seqs 0..n-1, contiguous
+  WalRecoveryReport report;
+};
+
+/// \brief Counters for tests and the serve CLI.
+struct WalStats {
+  int64_t appends = 0;
+  int64_t syncs = 0;
+  int64_t rotations = 0;
+  int64_t checkpoints = 0;
+  int64_t append_failures = 0;
+};
+
+class Wal {
+ public:
+  /// \brief Opens an existing data directory (replaying checkpoint + tail
+  /// into `recovery`) or initializes a fresh one (minting a new epoch and
+  /// writing the manifest). A manifest holding a different stream name or
+  /// tag-structure hash fails: resuming seq numbers into a different
+  /// stream would corrupt every subscriber. A torn final record is
+  /// truncated and reported; a CRC-invalid record anywhere else fails
+  /// with a poison report.
+  static Result<std::unique_ptr<Wal>> Open(const std::string& dir,
+                                           const std::string& stream_name,
+                                           const std::string& ts_xml,
+                                           const WalOptions& options,
+                                           WalRecovery* recovery);
+
+  ~Wal();
+
+  Wal(const Wal&) = delete;
+  Wal& operator=(const Wal&) = delete;
+
+  /// \brief Appends one encoded v2 FRAGMENT frame. `seq` must be the next
+  /// sequence number; a seq already durable (below next_seq()) is a no-op
+  /// (the server re-seeding its log after recovery), a gap is an error.
+  /// Handles rotation, the fsync policy, and automatic checkpoints.
+  Status Append(int64_t seq, std::string_view frame_bytes);
+
+  /// \brief Forces the current segment to disk regardless of policy.
+  Status Sync();
+
+  /// \brief Compacts checkpoint + every segment into a new checkpoint
+  /// covering all records, then garbage-collects what it replaced.
+  Status Checkpoint();
+
+  /// \brief Syncs and closes. Appends fail afterwards. Idempotent (the
+  /// destructor calls it).
+  Status Close();
+
+  uint64_t epoch() const { return epoch_; }
+  int64_t next_seq() const;
+  const std::string& dir() const { return dir_; }
+  WalStats stats() const;
+
+ private:
+  Wal(std::string dir, WalOptions options);
+
+  Status AppendLocked(int64_t seq, std::string_view frame_bytes);
+  Status RotateLocked();
+  Status CheckpointLocked();
+  Status SyncLocked();
+  Status MaybeSyncLocked();
+  /// Writes all of `data` to fd_, un-writing (ftruncate) on failure so a
+  /// short write cannot leave a mid-segment torn record behind.
+  Status WriteFully(std::string_view data);
+  Status OpenActiveSegment(int64_t base_seq, bool create);
+
+  const std::string dir_;
+  const WalOptions opts_;
+  uint64_t epoch_ = 0;
+
+  mutable std::mutex mu_;
+  int fd_ = -1;                  // active segment
+  std::string active_path_;
+  int64_t active_base_ = 0;      // seq of the active segment's first record
+  size_t active_bytes_ = 0;      // bytes in the active segment
+  int64_t next_seq_ = 0;
+  int64_t checkpointed_ = 0;     // records covered by the newest checkpoint
+  std::vector<std::string> sealed_;  // sealed segment paths, oldest first
+  std::chrono::steady_clock::time_point last_sync_{};
+  bool dirty_ = false;           // unsynced bytes in the active segment
+  bool broken_ = false;          // unrecoverable write error: fail appends
+  WalStats stats_;
+
+  friend class WalTestPeer;
+};
+
+/// \brief Rebuilds a StreamServer's published history from a recovery:
+/// decodes every record against the server's Tag Structure and replants it
+/// (no multicast, no wire-byte accounting). The server must be freshly
+/// constructed with the recovered stream's name and schema.
+Status RestoreStream(const WalRecovery& recovery,
+                     stream::StreamServer* server);
+
+}  // namespace xcql::net
+
+#endif  // XCQL_NET_WAL_H_

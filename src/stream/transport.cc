@@ -59,6 +59,18 @@ Status StreamServer::Publish(frag::Fragment fragment) {
   return Status::OK();
 }
 
+Status StreamServer::RestoreHistory(frag::Fragment fragment) {
+  if (fragment.content == nullptr) {
+    return Status::InvalidArgument("fragment without payload");
+  }
+  if (ts_.FindById(fragment.tsid) == nullptr) {
+    return Status::InvalidArgument("fragment tsid not in the tag structure");
+  }
+  next_filler_id_ = std::max(next_filler_id_, fragment.id + 1);
+  history_.push_back(std::move(fragment));
+  return Status::OK();
+}
+
 Status StreamServer::PublishDocument(const Node& doc,
                                      const frag::FragmenterOptions& options) {
   frag::Fragmenter fragmenter(&ts_, options);

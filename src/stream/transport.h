@@ -104,6 +104,14 @@ class StreamServer {
   int64_t fragments_sent() const { return fragments_sent_; }
   int64_t bytes_sent() const { return bytes_sent_; }
 
+  /// \brief Replants one fragment as already-published history — no
+  /// multicast, no wire-byte accounting — in publish order. The recovery
+  /// path (net::RestoreStream) uses this to rebuild a server from its WAL
+  /// so the history numbering (and thus every subscriber's sequence
+  /// numbers) survives a restart. Keeps NextFillerId ahead of the
+  /// restored id, exactly as the original Publish did.
+  Status RestoreHistory(frag::Fragment fragment);
+
   /// \brief Next unused filler id (for publishing updates that fill holes
   /// created by earlier fragments).
   int64_t NextFillerId() { return next_filler_id_++; }

@@ -17,6 +17,14 @@
 //
 //   xcql_serve --port 7788 --xmark 0.005 --updates 500 \
 //              --fault-drop 0.02 --fault-corrupt 0.02 --fault-seed 42
+//
+// With --data-dir the server is durable (docs/DURABILITY.md): published
+// frames append to a write-ahead log before any subscriber sees them, and
+// a restart replays checkpoint + WAL tail so the same stream resumes with
+// the same sequence numbers and epoch:
+//
+//   xcql_serve --port 7788 --xmark 0.01 --data-dir /var/lib/xcql/auction \
+//              --fsync interval --fsync-interval-ms 25 --checkpoint-every 512
 #include <chrono>
 #include <cstdio>
 #include <cstring>
@@ -30,6 +38,7 @@
 #include "common/string_util.h"
 #include "net/chaos.h"
 #include "net/server.h"
+#include "net/wal.h"
 #include "stream/transport.h"
 #include "xmark/generator.h"
 #include "xml/parser.h"
@@ -52,6 +61,8 @@ struct ServeOptions {
   xcql::net::ChaosFaults faults;
   uint64_t fault_seed = 1;
   bool any_fault = false;
+  std::string data_dir;  // empty = in-memory (no durability)
+  xcql::net::WalOptions wal;
 };
 
 int Usage(const char* argv0) {
@@ -63,7 +74,10 @@ int Usage(const char* argv0) {
       "          [--compress] [--policy block|drop|disconnect] [--queue N]\n"
       "          [--fault-drop P] [--fault-dup P] [--fault-reorder P]\n"
       "          [--fault-corrupt P] [--fault-truncate P]\n"
-      "          [--fault-delay-ms M] [--fault-seed S]\n",
+      "          [--fault-delay-ms M] [--fault-seed S]\n"
+      "          [--data-dir PATH] [--fsync always|interval|never]\n"
+      "          [--fsync-interval-ms M] [--segment-bytes N]\n"
+      "          [--checkpoint-every N]\n",
       argv0);
   return 2;
 }
@@ -142,6 +156,28 @@ int main(int argc, char** argv) {
       const char* v = next();
       if (v == nullptr) return Usage(argv[0]);
       opt.fault_seed = static_cast<uint64_t>(std::atoll(v));
+    } else if (arg == "--data-dir") {
+      const char* v = next();
+      if (v == nullptr) return Usage(argv[0]);
+      opt.data_dir = v;
+    } else if (arg == "--fsync") {
+      const char* v = next();
+      if (v == nullptr) return Usage(argv[0]);
+      auto policy = xcql::net::ParseFsyncPolicy(v);
+      if (Fail(policy.status())) return Usage(argv[0]);
+      opt.wal.fsync = policy.value();
+    } else if (arg == "--fsync-interval-ms") {
+      const char* v = next();
+      if (v == nullptr) return Usage(argv[0]);
+      opt.wal.fsync_interval = std::chrono::milliseconds(std::atoi(v));
+    } else if (arg == "--segment-bytes") {
+      const char* v = next();
+      if (v == nullptr) return Usage(argv[0]);
+      opt.wal.segment_bytes = static_cast<size_t>(std::atoll(v));
+    } else if (arg == "--checkpoint-every") {
+      const char* v = next();
+      if (v == nullptr) return Usage(argv[0]);
+      opt.wal.checkpoint_every = std::atoll(v);
     } else if (arg == "--policy") {
       const char* v = next();
       if (v == nullptr) return Usage(argv[0]);
@@ -189,7 +225,40 @@ int main(int argc, char** argv) {
   xcql::stream::StreamServer server(opt.stream, std::move(ts).MoveValue());
   if (opt.compress) server.EnableWireCompression();
 
+  // Durability: open (or initialize) the data dir before the network face
+  // exists, and replant any recovered history so FragmentServer::Start()
+  // seeds its frame log — same seqs, same epoch — from it.
+  std::unique_ptr<xcql::net::Wal> wal;
+  bool recovered = false;
+  if (!opt.data_dir.empty()) {
+    xcql::net::WalRecovery recovery;
+    auto w = xcql::net::Wal::Open(opt.data_dir, opt.stream, ts_xml, opt.wal,
+                                  &recovery);
+    if (Fail(w.status())) return 1;
+    wal = std::move(w).MoveValue();
+    if (!recovery.report.warning.empty()) {
+      std::fprintf(stderr, "xcql_serve: %s\n",
+                   recovery.report.warning.c_str());
+    }
+    if (!recovery.records.empty()) {
+      if (Fail(xcql::net::RestoreStream(recovery, &server))) return 1;
+      recovered = true;
+    }
+    std::printf(
+        "data dir %s: epoch %llu, recovered %lld records "
+        "(%lld checkpointed + %lld tail, %d segments%s), fsync=%s\n",
+        wal->dir().c_str(), static_cast<unsigned long long>(wal->epoch()),
+        static_cast<long long>(recovery.report.checkpoint_records +
+                               recovery.report.tail_records),
+        static_cast<long long>(recovery.report.checkpoint_records),
+        static_cast<long long>(recovery.report.tail_records),
+        recovery.report.segments_scanned,
+        recovery.report.torn_tail ? ", torn tail truncated" : "",
+        xcql::net::FsyncPolicyName(opt.wal.fsync));
+  }
+
   xcql::net::FragmentServerOptions net_opts;
+  net_opts.wal = wal.get();
   // With faults the chaos proxy owns the public port; the real server
   // hides behind it on an ephemeral one.
   net_opts.port = opt.any_fault ? 0 : opt.port;
@@ -219,7 +288,12 @@ int main(int argc, char** argv) {
                 xcql::frag::WireCodecName(server.wire_codec()));
   }
 
-  if (doc != nullptr) {
+  if (recovered) {
+    // The initial document (if any) is already in the recovered history;
+    // publishing it again would append duplicate versions.
+    std::printf("resuming recovered stream: %lld fragments in history\n",
+                static_cast<long long>(server.history_size()));
+  } else if (doc != nullptr) {
     if (Fail(server.PublishDocument(*doc))) return 1;
     std::printf("published initial document: %lld fragments\n",
                 static_cast<long long>(server.fragments_sent()));
@@ -288,5 +362,16 @@ int main(int argc, char** argv) {
     chaos->Stop();
   }
   net_server.Stop();
+  if (wal != nullptr) {
+    auto ws = wal->stats();
+    std::printf(
+        "wal: %lld appends, %lld syncs, %lld rotations, %lld checkpoints, "
+        "%lld append failures\n",
+        static_cast<long long>(ws.appends), static_cast<long long>(ws.syncs),
+        static_cast<long long>(ws.rotations),
+        static_cast<long long>(ws.checkpoints),
+        static_cast<long long>(ws.append_failures));
+    if (Fail(wal->Close())) return 1;
+  }
   return 0;
 }

@@ -57,6 +57,31 @@ Result<NodePtr> ResolveHolesDeep(xq::EvalContext* ctx, const NodePtr& node,
   return out;
 }
 
+// QaC's rewritten queries fetch fillers by id directly, bypassing hole
+// resolution — apply the evaluation's HolePolicy here too, so a filler that
+// never arrived is surfaced (holes_unresolved / NotFound) instead of
+// silently yielding an empty <filler> wrapper. Returns false when the
+// wrapper should be dropped from the result (kOmit keeps the empty wrapper:
+// it contributes no versions but preserves sequence cardinality).
+Result<bool> ApplyMissingFillerPolicy(xq::EvalContext& ctx, int64_t id,
+                                      const NodePtr& wrapper) {
+  if (!wrapper->children().empty()) return true;
+  switch (ctx.hole_policy) {
+    case xq::HolePolicy::kFail:
+      return Status::NotFound(
+          StringPrintf("get_fillers: missing filler %lld",
+                       static_cast<long long>(id)));
+    case xq::HolePolicy::kKeepHole:
+      ++ctx.holes_unresolved;
+      wrapper->AddChild(frag::MakeHole(id, /*tsid=*/0));
+      return true;
+    case xq::HolePolicy::kOmit:
+      ++ctx.holes_unresolved;
+      return true;
+  }
+  return true;
+}
+
 }  // namespace
 
 QueryExecutor::QueryExecutor() : registry_(xq::FunctionRegistry::Builtins()) {
@@ -86,7 +111,9 @@ QueryExecutor::QueryExecutor() : registry_(xq::FunctionRegistry::Builtins()) {
           XCQL_ASSIGN_OR_RETURN(
               NodePtr wrapper,
               it->second->GetFillerWrapper(id, ctx.linear_fillers));
-          out.emplace_back(std::move(wrapper));
+          XCQL_ASSIGN_OR_RETURN(bool keep,
+                                ApplyMissingFillerPolicy(ctx, id, wrapper));
+          if (keep) out.emplace_back(std::move(wrapper));
         }
         return out;
       });
@@ -158,7 +185,9 @@ QueryExecutor::QueryExecutor() : registry_(xq::FunctionRegistry::Builtins()) {
       XCQL_ASSIGN_OR_RETURN(int64_t id, ItemToFillerId(idi));
       XCQL_ASSIGN_OR_RETURN(NodePtr wrapper,
                             store->GetFillerWrapper(id, ctx.linear_fillers));
-      out.emplace_back(std::move(wrapper));
+      XCQL_ASSIGN_OR_RETURN(bool keep,
+                            ApplyMissingFillerPolicy(ctx, id, wrapper));
+      if (keep) out.emplace_back(std::move(wrapper));
     }
     return out;
   };

@@ -4,13 +4,19 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <chrono>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "common/random.h"
 #include "frag/fragment.h"
 #include "frag/tag_structure.h"
 #include "net/frame.h"
+#include "net/server.h"
+#include "net/socket.h"
+#include "net/subscriber.h"
+#include "stream/transport.h"
 #include "test_util.h"
 #include "xml/parser.h"
 #include "xq/eval.h"
@@ -203,6 +209,188 @@ TEST_P(FrameFuzzTest, MutatedFramesNeverCrashOrForgeAChecksum) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, FrameFuzzTest,
                          ::testing::Range<uint64_t>(0, 16));
+
+class ControlFuzzTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(ControlFuzzTest, MutatedControlFramesNeverKillTheServer) {
+  // A live FragmentServer fed mutated control frames — garbage HELLOs at
+  // handshake, well-framed-but-undecodable REPLAY_FROM / REPEAT_REQUEST
+  // payloads, bit-flipped v2 frames, unknown frame types — must count
+  // each rejection (handshake_failures / bad_control_frames /
+  // frames_corrupt) and keep serving: a clean subscriber connected after
+  // the barrage still converges on the full stream.
+  using namespace std::chrono_literals;
+  Random rng(GetParam() + 4000);
+
+  const char* ts_xml = R"(
+<tag type="snapshot" id="1" name="packets">
+  <tag type="event" id="2" name="packet">
+    <tag type="snapshot" id="3" name="id"/>
+  </tag>
+</tag>)";
+  auto ts = frag::TagStructure::Parse(ts_xml);
+  ASSERT_TRUE(ts.ok());
+  stream::StreamServer source("pkts", std::move(ts).MoveValue());
+  for (int i = 0; i < 8; ++i) {
+    frag::Fragment f;
+    f.id = 10 + i;
+    f.tsid = 2;
+    f.valid_time = DateTime(1000 + i);
+    f.content = Node::Element("packet");
+    NodePtr pid = Node::Element("id");
+    pid->AddChild(Node::Text(std::to_string(i)));
+    f.content->AddChild(std::move(pid));
+    ASSERT_TRUE(source.Publish(std::move(f)).ok());
+  }
+  net::FragmentServer server(&source);
+  ASSERT_TRUE(server.Start().ok());
+
+  auto encode = [](const net::Frame& f, uint8_t version) {
+    auto e = net::EncodeFrame(f, version);
+    EXPECT_TRUE(e.ok()) << e.status().ToString();
+    return e.ok() ? std::move(e).MoveValue() : std::string();
+  };
+  net::Hello hello;
+  hello.stream_name = "pkts";
+  const std::string good_hello = net::EncodeHello(hello);
+
+  // Reads frames off `sock` until one of type `want` arrives. False on
+  // timeout/close — the server hung up, which callers treat as "this
+  // round's session is over".
+  auto read_until = [&](net::Socket& sock, net::FrameType want) {
+    net::FrameReader reader;
+    char buf[4096];
+    auto deadline = std::chrono::steady_clock::now() + 5s;
+    while (std::chrono::steady_clock::now() < deadline) {
+      bool timed_out = false;
+      auto n = sock.RecvTimeout(buf, sizeof(buf), 200ms, &timed_out);
+      if (!n.ok()) return false;
+      if (timed_out) continue;
+      if (n.value() == 0) return false;
+      reader.Feed(buf, n.value());
+      for (;;) {
+        auto next = reader.Next();
+        if (!next.ok()) return false;
+        if (!next.value().has_value()) break;
+        if (next.value()->type == want) return true;
+      }
+    }
+    return false;
+  };
+
+  for (int round = 0; round < 12; ++round) {
+    auto conn = net::ConnectTo("127.0.0.1", server.port());
+    ASSERT_TRUE(conn.ok()) << conn.status().ToString();
+    net::Socket sock = std::move(conn).MoveValue();
+    if (rng.Bernoulli(0.4)) {
+      // Mangled handshake: a well-framed HELLO whose payload is mutated
+      // garbage. The server must count it and cut the connection — no
+      // crash, no BYE-as-semantic-rejection.
+      std::string payload =
+          Mutate(good_hello, &rng, 2 + static_cast<int>(rng.Uniform(8)));
+      std::string wire =
+          encode({net::FrameType::kHello, net::kHelloFlagCrcFrames, 0,
+                  std::move(payload)},
+                 net::kFrameVersion);
+      (void)sock.SendAll(wire.data(), wire.size());
+      char buf[1024];
+      bool timed_out = false;
+      (void)sock.RecvTimeout(buf, sizeof(buf), 500ms, &timed_out);
+      continue;
+    }
+    // Clean handshake, then a burst of hostile post-handshake frames.
+    std::string wire = encode(
+        {net::FrameType::kHello, net::kHelloFlagCrcFrames, 0, good_hello},
+        net::kFrameVersion);
+    ASSERT_TRUE(sock.SendAll(wire.data(), wire.size()).ok());
+    if (!read_until(sock, net::FrameType::kHello)) continue;
+    for (int k = 0; k < 6; ++k) {
+      net::Frame f;
+      f.seq = static_cast<int64_t>(rng.Uniform(100));
+      switch (rng.Uniform(4)) {
+        case 0:  // wrong-length REPLAY_FROM payload: decode must fail
+          f.type = net::FrameType::kReplayFrom;
+          f.payload = std::string(1 + rng.Uniform(6), 'x');
+          break;
+        case 1:  // mutated REPEAT_REQUEST
+          f.type = net::FrameType::kRepeatRequest;
+          f.payload = Mutate(net::EncodeRepeatRequest(1234), &rng,
+                             1 + static_cast<int>(rng.Uniform(6)));
+          break;
+        case 2:  // unknown frame type with random bytes
+          f.type = static_cast<net::FrameType>(200 + rng.Uniform(50));
+          f.payload = std::string(rng.Uniform(32), '?');
+          break;
+        default:  // valid REPLAY_FROM, bit-flipped after encoding: the
+                  // checksum is the detector
+          f.type = net::FrameType::kReplayFrom;
+          f.payload = net::EncodeReplayFrom(-1);
+          break;
+      }
+      const bool flip = rng.Uniform(4) == 3;
+      std::string bytes = encode(f, net::kFrameVersionCrc);
+      if (flip && bytes.size() > net::kFrameHeaderSizeCrc) {
+        size_t off =
+            net::kFrameHeaderSizeCrc +
+            rng.Uniform(bytes.size() - net::kFrameHeaderSizeCrc);
+        bytes[off] ^= static_cast<char>(1 << rng.Uniform(8));
+      }
+      if (!sock.SendAll(bytes.data(), bytes.size()).ok()) break;
+    }
+    std::this_thread::sleep_for(20ms);
+  }
+
+  // Deterministic floor: at least one garbage HELLO and one undecodable
+  // control frame, so the counters below are guaranteed to move even if
+  // every random roll above happened to produce decodable bytes.
+  {
+    auto conn = net::ConnectTo("127.0.0.1", server.port());
+    ASSERT_TRUE(conn.ok());
+    net::Socket sock = std::move(conn).MoveValue();
+    std::string wire = encode(
+        {net::FrameType::kHello, 0, 0, "not-a-hello-payload"},
+        net::kFrameVersion);
+    ASSERT_TRUE(sock.SendAll(wire.data(), wire.size()).ok());
+  }
+  {
+    auto conn = net::ConnectTo("127.0.0.1", server.port());
+    ASSERT_TRUE(conn.ok());
+    net::Socket sock = std::move(conn).MoveValue();
+    std::string wire = encode(
+        {net::FrameType::kHello, net::kHelloFlagCrcFrames, 0, good_hello},
+        net::kFrameVersion);
+    ASSERT_TRUE(sock.SendAll(wire.data(), wire.size()).ok());
+    ASSERT_TRUE(read_until(sock, net::FrameType::kHello));
+    std::string bad = encode(
+        {net::FrameType::kReplayFrom, 0, 0, std::string("zz")},
+        net::kFrameVersionCrc);
+    ASSERT_TRUE(sock.SendAll(bad.data(), bad.size()).ok());
+    std::this_thread::sleep_for(50ms);
+  }
+
+  auto sm = server.metrics();
+  EXPECT_GE(sm.handshake_failures, 1) << "garbage HELLO went uncounted";
+  EXPECT_GE(sm.bad_control_frames, 1)
+      << "undecodable control frame went uncounted";
+
+  // The server survived the barrage: a clean subscriber converges.
+  net::FragmentSubscriberOptions opts;
+  opts.port = server.port();
+  opts.stream = "pkts";
+  net::FragmentSubscriber sub(opts);
+  ASSERT_TRUE(sub.Start().ok());
+  EXPECT_TRUE(sub.WaitForSeq(7, 10s))
+      << "server stopped serving after control-frame fuzzing: last_seq="
+      << sub.last_seq();
+  std::vector<frag::Fragment> got;
+  sub.Drain(&got);
+  EXPECT_EQ(got.size(), 8u);
+  sub.Stop();
+  server.Stop();
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ControlFuzzTest,
+                         ::testing::Range<uint64_t>(0, 8));
 
 }  // namespace
 }  // namespace xcql

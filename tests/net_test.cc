@@ -8,15 +8,19 @@
 #include <arpa/inet.h>
 #include <netinet/in.h>
 #include <sys/socket.h>
+#include <sys/wait.h>
 #include <unistd.h>
 
 #include <algorithm>
 #include <chrono>
+#include <csignal>
 #include <cstring>
+#include <filesystem>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include "common/file_util.h"
 #include "common/random.h"
 #include "frag/assembler.h"
 #include "frag/fragment.h"
@@ -24,6 +28,7 @@
 #include "net/frame.h"
 #include "net/server.h"
 #include "net/subscriber.h"
+#include "net/wal.h"
 #include "stream/registry.h"
 #include "stream/transport.h"
 #include "xmark/generator.h"
@@ -280,11 +285,35 @@ TEST(FrameCodecTest, RepeatFlagPatchKeepsTheChecksumValid) {
 
 TEST(FrameCodecTest, RepeatRequestRoundTrips) {
   for (int64_t id : {int64_t{0}, int64_t{7}, int64_t{123456789}}) {
+    // Legacy 8-byte form: no have-list, meaning "send every version".
     auto back = DecodeRepeatRequest(EncodeRepeatRequest(id));
     ASSERT_TRUE(back.ok());
-    EXPECT_EQ(back.value(), id);
+    EXPECT_EQ(back.value().filler_id, id);
+    EXPECT_TRUE(back.value().have_valid_times.empty());
   }
   EXPECT_FALSE(DecodeRepeatRequest("xy").ok());
+}
+
+TEST(FrameCodecTest, VersionAwareRepeatRequestRoundTrips) {
+  RepeatRequest req;
+  req.filler_id = 42;
+  req.have_valid_times = {100, 260, 980000000};
+  auto back = DecodeRepeatRequest(EncodeRepeatRequest(req));
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back.value().filler_id, 42);
+  EXPECT_EQ(back.value().have_valid_times, req.have_valid_times);
+
+  // An explicitly empty have-list still round-trips (it encodes the count).
+  req.have_valid_times.clear();
+  back = DecodeRepeatRequest(EncodeRepeatRequest(req));
+  ASSERT_TRUE(back.ok());
+  EXPECT_TRUE(back.value().have_valid_times.empty());
+
+  // Truncated count and short have-lists are parse errors, not crashes.
+  std::string wire = EncodeRepeatRequest(
+      RepeatRequest{7, std::vector<int64_t>{1, 2}});
+  EXPECT_FALSE(DecodeRepeatRequest(wire.substr(0, 10)).ok());
+  EXPECT_FALSE(DecodeRepeatRequest(wire.substr(0, wire.size() - 3)).ok());
 }
 
 TEST(FrameCodecTest, CorruptV2FrameIsFlaggedWithoutDesyncingTheStream) {
@@ -1596,6 +1625,617 @@ TEST(NetChaosTest, SoakConvergesToTheCleanViewThroughFaults) {
   sub.Stop();
   chaos.Stop();
   server.Stop();
+}
+
+// ---- Version-aware NACK repair ----------------------------------------------
+
+TEST(FragmentSubscriberTest, VersionAwareNackFetchesOnlyMissingVersions) {
+  // A filler with three versions, of which only the first survived the
+  // trip into the store. MissingFillers() can't see it (the filler isn't
+  // missing, just incomplete); RepairVersions NACKs it with the held
+  // validTimes and the server re-sends exactly the two absent versions.
+  stream::StreamServer source("pkts", MustParseTs(kPacketTs));
+  FragmentServer server(&source);
+  ASSERT_TRUE(server.Start().ok());
+
+  FragmentSubscriberOptions opts;
+  opts.port = server.port();
+  opts.stream = "pkts";
+  opts.repair_retry_interval = 30ms;
+  FragmentSubscriber sub(opts);
+  ASSERT_TRUE(sub.Start().ok());
+  ASSERT_TRUE(sub.WaitConnected(10s));
+
+  for (int v = 0; v < 3; ++v) {
+    ASSERT_TRUE(source.Publish(MakePacket(5, 100 + v * 100, v)).ok());
+  }
+  ASSERT_TRUE(sub.WaitForSeq(2, 10s));
+  ASSERT_TRUE(sub.server_crc());
+
+  stream::StreamHub hub;
+  auto store_r = hub.AddLocalStream("pkts", MustParseTs(kPacketTs));
+  ASSERT_TRUE(store_r.ok());
+  frag::FragmentStore* store = store_r.value();
+  std::vector<frag::Fragment> got;
+  sub.Drain(&got);
+  ASSERT_EQ(got.size(), 3u);
+  for (auto& f : got) {
+    if (f.valid_time.seconds() != 100) continue;  // versions 2+3 "lost"
+    ASSERT_TRUE(store->Insert(std::move(f)).ok());
+  }
+  ASSERT_EQ(store->VersionTimes(5), (std::vector<int64_t>{100}));
+  ASSERT_TRUE(store->MissingFillers().empty());  // invisible to the sweep
+
+  const int64_t replays_before = server.metrics().replays_served;
+  ASSERT_TRUE(sub.RepairVersions(5, *store).ok());
+  ASSERT_TRUE(PollFor(
+      [&] {
+        auto drained = sub.DrainInto(store);
+        return drained.ok() && store->VersionTimes(5).size() == 3;
+      },
+      10s));
+  EXPECT_EQ(store->VersionTimes(5),
+            (std::vector<int64_t>{100, 200, 300}));
+  EXPECT_EQ(store->size(), 3u);  // exactly the two absent versions arrived
+
+  // The server filtered by the have-list: two repeats, not three, and the
+  // repair never fell back to a full replay.
+  EXPECT_EQ(server.metrics().repeats_out, 2);
+  EXPECT_EQ(server.metrics().repeat_requests_in, 1);
+  EXPECT_EQ(server.metrics().replays_served, replays_before);
+  EXPECT_EQ(sub.metrics().nacks_sent, 1);
+
+  // The next sweep observes the version count grew and closes the repair.
+  auto sweep = sub.RepairMissing(*store);
+  ASSERT_TRUE(sweep.ok());
+  EXPECT_EQ(sweep.value().repaired_total, 1);
+  EXPECT_EQ(sweep.value().lost_total, 0);
+  EXPECT_EQ(sub.metrics().fillers_repaired, 1);
+
+  sub.Stop();
+  server.Stop();
+}
+
+// ---- Control-plane robustness -----------------------------------------------
+
+TEST(FragmentServerTest, MalformedControlPayloadsAreCountedAndDropped) {
+  // A well-framed, checksum-valid control frame whose payload does not
+  // decode must not kill the session (one buggy client frame would
+  // otherwise take down a live subscription): the server counts it, drops
+  // it, and keeps serving the same connection.
+  stream::StreamServer source("pkts", MustParseTs(kPacketTs));
+  FragmentServer server(&source);
+  ASSERT_TRUE(server.Start().ok());
+  ASSERT_TRUE(source.Publish(MakePacket(1, 1000, 7)).ok());
+
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  ASSERT_GE(fd, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(server.port());
+  ASSERT_EQ(inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr), 1);
+  ASSERT_EQ(::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)),
+            0);
+  auto send_all = [&](const std::string& bytes) {
+    size_t off = 0;
+    while (off < bytes.size()) {
+      ssize_t n = ::send(fd, bytes.data() + off, bytes.size() - off,
+                         MSG_NOSIGNAL);
+      ASSERT_GT(n, 0);
+      off += static_cast<size_t>(n);
+    }
+  };
+  Hello hello;
+  hello.stream_name = "pkts";
+  send_all(MustEncode({FrameType::kHello, kHelloFlagCrcFrames, 0,
+                       EncodeHello(hello)}));
+
+  FrameReader reader;
+  char buf[4096];
+  auto read_frame = [&]() -> Frame {
+    for (;;) {
+      auto next = reader.Next();
+      EXPECT_TRUE(next.ok());
+      if (next.ok() && next.value().has_value()) return *next.value();
+      ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+      EXPECT_GT(n, 0) << "server closed the connection";
+      if (n <= 0) return Frame{};
+      reader.Feed(buf, static_cast<size_t>(n));
+    }
+  };
+  ASSERT_EQ(read_frame().type, FrameType::kHello);
+
+  // Two undecodable control payloads, post-handshake.
+  send_all(MustEncode({FrameType::kReplayFrom, 0, 0, "zz"}));
+  send_all(MustEncode({FrameType::kRepeatRequest, 0, 0, "short-bad"}));
+  ASSERT_TRUE(PollFor(
+      [&] { return server.metrics().bad_control_frames == 2; }, 5s));
+
+  // The session survived: a valid replay on the same connection streams
+  // the published fragment.
+  send_all(MustEncode({FrameType::kReplayFrom, 0, 0, EncodeReplayFrom(-1)}));
+  Frame frame;
+  do {
+    frame = read_frame();
+  } while (frame.type == FrameType::kHeartbeat);
+  EXPECT_EQ(frame.type, FrameType::kFragment);
+  EXPECT_EQ(frame.seq, 0u);
+  EXPECT_EQ(server.metrics().bad_control_frames, 2);
+
+  ::close(fd);
+  server.Stop();
+}
+
+// A root snapshot (filler 0) whose holes dangle to the packet fillers, so
+// the store temporalizes into a complete document for ViewOf comparisons.
+frag::Fragment MakeRoot(const std::vector<int64_t>& hole_ids) {
+  frag::Fragment f;
+  f.id = 0;
+  f.tsid = 1;
+  f.valid_time = DateTime(999);
+  f.content = Node::Element("packets");
+  for (int64_t id : hole_ids) f.content->AddChild(frag::MakeHole(id, 2));
+  return f;
+}
+
+TEST(NetChaosTest, ControlPlaneChaosIsCountedAndSurvived) {
+  // fault_control mangles the client→server direction: HELLOs, REPLAY_FROMs
+  // and NACKs arrive with flipped payload bits. The server must count and
+  // drop every mangled request without crashing or wedging the session,
+  // and the subscriber's retry + catch-up machinery must still converge —
+  // including NACK repair, whose REPEAT_REQUESTs roll against the same
+  // corruption.
+  stream::StreamServer source("pkts", MustParseTs(kPacketTs));
+  FragmentServerOptions sopts;
+  sopts.heartbeat_interval = 50ms;
+  FragmentServer server(&source, sopts);
+  ASSERT_TRUE(server.Start().ok());
+
+  ChaosLinkOptions chaos_opts;
+  chaos_opts.upstream_port = server.port();
+  chaos_opts.seed = 7;
+  chaos_opts.faults.control_corrupt = 0.45;
+  chaos_opts.fault_control = true;
+  ChaosLink chaos(chaos_opts);
+  ASSERT_TRUE(chaos.Start().ok());
+
+  ASSERT_TRUE(source.Publish(MakeRoot({1, 2})).ok());
+  for (int i = 0; i < 20; ++i) {
+    ASSERT_TRUE(source.Publish(MakePacket(1 + i % 2, 1000 + i * 10, i)).ok());
+  }
+
+  FragmentSubscriberOptions opts;
+  opts.port = chaos.port();
+  opts.stream = "pkts";
+  opts.backoff_initial = 5ms;
+  opts.backoff_max = 50ms;
+  opts.repair_retry_interval = 20ms;
+  opts.repair_retry_budget = 100;
+  FragmentSubscriber sub(opts);
+  ASSERT_TRUE(sub.Start().ok());
+  {
+    const bool converged = sub.WaitForSeq(20, 60s);
+    const MetricsSnapshot dm = sub.metrics();
+    const ChaosStats dcs = chaos.stats();
+    const MetricsSnapshot dsm = server.metrics();
+    ASSERT_TRUE(converged)
+        << "stuck at seq " << sub.last_seq() << " fatal="
+        << sub.handshake_failed() << " reconnects=" << dm.reconnects
+        << " handshake_failures=" << dm.handshake_failures
+        << " replays=" << dm.replays_requested
+        << " catchup=" << dm.catchup_replays
+        << " liveness=" << dm.liveness_timeouts
+        << " frames_in=" << dm.fragments_in
+        << " | chaos conns=" << dcs.connections
+        << " ctrl=" << dcs.control_frames << "/" << dcs.control_corrupted
+        << " | srv hs_fail=" << dsm.handshake_failures
+        << " corrupt=" << dsm.frames_corrupt
+        << " bad_ctrl=" << dsm.bad_control_frames
+        << " replays_served=" << dsm.replays_served;
+  }
+
+  // Withhold filler 2 downstream so only NACK repair can recover it.
+  frag::FragmentStore store(MustParseTs(kPacketTs), "pkts");
+  std::vector<frag::Fragment> got;
+  sub.Drain(&got);
+  for (auto& f : got) {
+    if (f.id == 2) continue;
+    ASSERT_TRUE(store.Insert(std::move(f)).ok());
+  }
+  ASSERT_EQ(store.MissingFillers().size(), 1u);
+  const auto deadline = std::chrono::steady_clock::now() + 60s;
+  while (!store.MissingFillers().empty()) {
+    ASSERT_LT(std::chrono::steady_clock::now(), deadline)
+        << "filler 2 still missing";
+    auto sweep = sub.RepairMissing(store);
+    ASSERT_TRUE(sweep.ok()) << sweep.status().ToString();
+    ASSERT_EQ(sweep.value().lost_total, 0)
+        << "repeat_requests_in=" << server.metrics().repeat_requests_in
+        << " repeats_out=" << server.metrics().repeats_out
+        << " bad_ctrl=" << server.metrics().bad_control_frames
+        << " srv_corrupt=" << server.metrics().frames_corrupt
+        << " nacks_sent=" << sub.metrics().nacks_sent
+        << " connected=" << sub.connected()
+        << " sub_frames_in=" << sub.metrics().frames_in
+        << " sub_fragments_in=" << sub.metrics().fragments_in
+        << " sub_corrupt=" << sub.metrics().frames_corrupt
+        << " sub_gaps=" << sub.metrics().gaps_detected
+        << " sub_reconnects=" << sub.metrics().reconnects
+        << " sub_poison=" << sub.metrics().poison_quarantined;
+    std::this_thread::sleep_for(20ms);
+    ASSERT_TRUE(sub.DrainInto(&store).ok());
+  }
+
+  frag::FragmentStore ref(MustParseTs(kPacketTs), "pkts");
+  ASSERT_TRUE(ref.Insert(MakeRoot({1, 2})).ok());
+  for (int i = 0; i < 20; ++i) {
+    ASSERT_TRUE(ref.Insert(MakePacket(1 + i % 2, 1000 + i * 10, i)).ok());
+  }
+  EXPECT_EQ(ViewOf(store), ViewOf(ref));
+
+  // The run actually attacked the control plane, and the server absorbed
+  // every mangled frame into a counter instead of dying: each corrupted
+  // control frame surfaces as a checksum drop, an undecodable payload, or
+  // a failed handshake.
+  const ChaosStats cs = chaos.stats();
+  EXPECT_GE(cs.control_frames, 2);
+  EXPECT_GE(cs.control_corrupted, 1);
+  const MetricsSnapshot sm = server.metrics();
+  EXPECT_GE(sm.frames_corrupt + sm.bad_control_frames +
+                sm.handshake_failures,
+            1);
+
+  // The server is still healthy: a clean direct subscriber converges.
+  FragmentSubscriberOptions clean_opts;
+  clean_opts.port = server.port();
+  clean_opts.stream = "pkts";
+  FragmentSubscriber clean(clean_opts);
+  ASSERT_TRUE(clean.Start().ok());
+  EXPECT_TRUE(clean.WaitForSeq(20, 10s));
+  clean.Stop();
+
+  sub.Stop();
+  chaos.Stop();
+  server.Stop();
+}
+
+// ---- Durability: restart, epoch reset, crash soak ---------------------------
+
+namespace fs = std::filesystem;
+
+class WalTransportTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    char tmpl[] = "/tmp/xcql_net_wal_XXXXXX";
+    ASSERT_NE(::mkdtemp(tmpl), nullptr);
+    dir_ = tmpl;
+  }
+  void TearDown() override {
+    WalHooks::Install(nullptr);
+    std::error_code ec;
+    fs::remove_all(dir_, ec);
+  }
+  std::string dir_;
+};
+
+TEST_F(WalTransportTest, ServerRestartFromWalResumesSubscribers) {
+  frag::FragmentStore store(MustParseTs(kPacketTs), "pkts");
+  int64_t saved_last = -1;
+  uint64_t saved_epoch = 0;
+
+  // First life: durable server, four fragments, one subscriber.
+  {
+    WalRecovery rec;
+    auto wal = Wal::Open(dir_ + "/wal", "pkts", kPacketTs, WalOptions{},
+                         &rec);
+    ASSERT_TRUE(wal.ok()) << wal.status().ToString();
+    ASSERT_TRUE(rec.records.empty());
+    stream::StreamServer source("pkts", MustParseTs(kPacketTs));
+    FragmentServerOptions sopts;
+    sopts.wal = wal.value().get();
+    FragmentServer server(&source, sopts);
+    ASSERT_TRUE(server.Start().ok());
+    ASSERT_TRUE(source.Publish(MakeRoot({1, 2})).ok());
+    for (int i = 0; i < 4; ++i) {
+      ASSERT_TRUE(source.Publish(MakePacket(1 + i % 2, 1000 + i * 10, i))
+                      .ok());
+    }
+    FragmentSubscriberOptions opts;
+    opts.port = server.port();
+    opts.stream = "pkts";
+    FragmentSubscriber sub(opts);
+    ASSERT_TRUE(sub.Start().ok());
+    ASSERT_TRUE(sub.WaitForSeq(4, 10s));
+    ASSERT_TRUE(sub.DrainInto(&store).ok());
+    saved_last = sub.last_seq();
+    saved_epoch = sub.server_epoch();
+    EXPECT_EQ(saved_last, 4);
+    EXPECT_EQ(saved_epoch, wal.value()->epoch());
+    ASSERT_NE(saved_epoch, 0u);
+    sub.Stop();
+    server.Stop();
+    ASSERT_TRUE(wal.value()->Close().ok());
+  }
+
+  // Second life: recover from disk, publish more, and a subscriber that
+  // resumes from its persisted (last_seq, epoch) receives only the new
+  // frames — no re-replay of what it already holds.
+  {
+    WalRecovery rec;
+    auto wal = Wal::Open(dir_ + "/wal", "pkts", kPacketTs, WalOptions{},
+                         &rec);
+    ASSERT_TRUE(wal.ok()) << wal.status().ToString();
+    ASSERT_EQ(rec.records.size(), 5u);
+    ASSERT_EQ(rec.epoch, saved_epoch);
+    stream::StreamServer source("pkts", MustParseTs(kPacketTs));
+    ASSERT_TRUE(RestoreStream(rec, &source).ok());
+    FragmentServerOptions sopts;
+    sopts.wal = wal.value().get();
+    FragmentServer server(&source, sopts);
+    ASSERT_TRUE(server.Start().ok());
+    for (int i = 4; i < 6; ++i) {
+      ASSERT_TRUE(source.Publish(MakePacket(1 + i % 2, 1000 + i * 10, i))
+                      .ok());
+    }
+    FragmentSubscriberOptions opts;
+    opts.port = server.port();
+    opts.stream = "pkts";
+    opts.initial_last_seq = saved_last;
+    opts.known_epoch = saved_epoch;
+    FragmentSubscriber sub(opts);
+    ASSERT_TRUE(sub.Start().ok());
+    ASSERT_TRUE(sub.WaitForSeq(6, 10s));
+    EXPECT_EQ(sub.server_epoch(), saved_epoch);
+    EXPECT_EQ(sub.metrics().epoch_resets, 0);
+    EXPECT_EQ(sub.metrics().fragments_in, 2);  // seqs 5 and 6 only
+    ASSERT_TRUE(sub.DrainInto(&store).ok());
+    sub.Stop();
+    server.Stop();
+  }
+
+  // The resumed store equals a clean single-life reference, byte for byte.
+  frag::FragmentStore ref(MustParseTs(kPacketTs), "pkts");
+  ASSERT_TRUE(ref.Insert(MakeRoot({1, 2})).ok());
+  for (int i = 0; i < 6; ++i) {
+    ASSERT_TRUE(ref.Insert(MakePacket(1 + i % 2, 1000 + i * 10, i)).ok());
+  }
+  EXPECT_EQ(store.size(), ref.size());
+  EXPECT_EQ(ViewOf(store), ViewOf(ref));
+}
+
+TEST_F(WalTransportTest, EpochChangeDiscardsResumeStateAndReplaysAll) {
+  int64_t saved_last = -1;
+  uint64_t saved_epoch = 0;
+  {
+    WalRecovery rec;
+    auto wal = Wal::Open(dir_ + "/wal", "pkts", kPacketTs, WalOptions{},
+                         &rec);
+    ASSERT_TRUE(wal.ok());
+    stream::StreamServer source("pkts", MustParseTs(kPacketTs));
+    FragmentServerOptions sopts;
+    sopts.wal = wal.value().get();
+    FragmentServer server(&source, sopts);
+    ASSERT_TRUE(server.Start().ok());
+    ASSERT_TRUE(source.Publish(MakePacket(1, 1000, 0)).ok());
+    ASSERT_TRUE(source.Publish(MakePacket(1, 1010, 1)).ok());
+    FragmentSubscriberOptions opts;
+    opts.port = server.port();
+    opts.stream = "pkts";
+    FragmentSubscriber sub(opts);
+    ASSERT_TRUE(sub.Start().ok());
+    ASSERT_TRUE(sub.WaitForSeq(1, 10s));
+    saved_last = sub.last_seq();
+    saved_epoch = sub.server_epoch();
+    ASSERT_NE(saved_epoch, 0u);
+    sub.Stop();
+    server.Stop();
+    ASSERT_TRUE(wal.value()->Close().ok());
+  }
+
+  // The data dir is wiped: a new epoch, a different history. A subscriber
+  // resuming with the old (last_seq, epoch) must detect the reset and
+  // restart from scratch instead of mis-resuming seq numbers into an
+  // unrelated stream.
+  std::error_code ec;
+  fs::remove_all(dir_ + "/wal", ec);
+  WalRecovery rec;
+  auto wal = Wal::Open(dir_ + "/wal", "pkts", kPacketTs, WalOptions{}, &rec);
+  ASSERT_TRUE(wal.ok());
+  ASSERT_NE(wal.value()->epoch(), saved_epoch);
+  stream::StreamServer source("pkts", MustParseTs(kPacketTs));
+  FragmentServerOptions sopts;
+  sopts.wal = wal.value().get();
+  FragmentServer server(&source, sopts);
+  ASSERT_TRUE(server.Start().ok());
+  for (int i = 0; i < 3; ++i) {
+    ASSERT_TRUE(source.Publish(MakePacket(9, 5000 + i * 10, 100 + i)).ok());
+  }
+  FragmentSubscriberOptions opts;
+  opts.port = server.port();
+  opts.stream = "pkts";
+  opts.initial_last_seq = saved_last;
+  opts.known_epoch = saved_epoch;
+  FragmentSubscriber sub(opts);
+  ASSERT_TRUE(sub.Start().ok());
+  // With the stale resume point discarded the full new history (3 frames,
+  // seqs 0..2) replays; resuming from seq 1 would have delivered one.
+  ASSERT_TRUE(sub.WaitForSeq(2, 10s));
+  EXPECT_EQ(sub.metrics().epoch_resets, 1);
+  EXPECT_EQ(sub.metrics().fragments_in, 3);
+  EXPECT_EQ(sub.server_epoch(), wal.value()->epoch());
+  frag::FragmentStore store(MustParseTs(kPacketTs), "pkts");
+  ASSERT_TRUE(sub.DrainInto(&store).ok());
+  EXPECT_EQ(store.size(), 3u);
+  EXPECT_EQ(store.VersionTimes(9), (std::vector<int64_t>{5000, 5010, 5020}));
+  sub.Stop();
+  server.Stop();
+}
+
+// ---- Crash soak -------------------------------------------------------------
+
+constexpr int kSoakRecords = 40;
+
+frag::Fragment SoakFragment(int i) {
+  // Record 0 is the root; after it, four fillers with ~ten versions each,
+  // strictly increasing validTimes, padded so 512-byte WAL segments rotate
+  // every couple of records.
+  if (i == 0) return MakeRoot({10, 11, 12, 13});
+  return MakePacket(10 + (i - 1) % 4, 1000 + i * 10, i, /*pad=*/100);
+}
+
+// The child's whole life: recover the WAL, serve, publish the rest of the
+// workload — and die at `kill_point` (the `kill_at`th time it fires), if
+// one is set. Exit codes: 43 = killed at the point, 0 = workload complete
+// (waits for the parent's stop file), anything else = a real failure.
+[[noreturn]] void RunSoakServer(const std::string& dir,
+                                const char* kill_point, int kill_at) {
+  if (kill_point != nullptr) {
+    auto fired = std::make_shared<int>(0);
+    std::string point = kill_point;
+    WalHooks::Install([point, kill_at, fired](const char* p) {
+      if (point == p && ++*fired >= kill_at) ::_exit(43);
+    });
+  }
+  WalOptions wopts;
+  wopts.fsync = FsyncPolicy::kAlways;
+  wopts.segment_bytes = 512;
+  wopts.checkpoint_every = 6;
+  WalRecovery rec;
+  auto wal = Wal::Open(dir + "/wal", "pkts", kPacketTs, wopts, &rec);
+  if (!wal.ok()) ::_exit(99);
+  auto ts = frag::TagStructure::Parse(kPacketTs);
+  if (!ts.ok()) ::_exit(99);
+  stream::StreamServer source("pkts", std::move(ts).MoveValue());
+  if (!rec.records.empty() && !RestoreStream(rec, &source).ok()) ::_exit(98);
+  FragmentServerOptions sopts;
+  sopts.wal = wal.value().get();
+  FragmentServer server(&source, sopts);
+  if (!server.Start().ok()) ::_exit(97);
+  // Announce the port atomically (write + rename) so the parent never
+  // reads a half-written file.
+  if (!WriteStringToFile(dir + "/port.tmp", std::to_string(server.port()))
+           .ok()) {
+    ::_exit(96);
+  }
+  if (::rename((dir + "/port.tmp").c_str(), (dir + "/port").c_str()) != 0) {
+    ::_exit(96);
+  }
+  for (int64_t i = source.history_size(); i < kSoakRecords; ++i) {
+    if (!source.Publish(SoakFragment(static_cast<int>(i))).ok()) ::_exit(95);
+    std::this_thread::sleep_for(1ms);
+  }
+  WalHooks::Install(nullptr);
+  (void)wal.value()->Sync();
+  if (!WriteStringToFile(dir + "/complete", "done").ok()) ::_exit(94);
+  for (int i = 0; i < 1000 && !fs::exists(dir + "/stop"); ++i) {
+    std::this_thread::sleep_for(10ms);
+  }
+  ::_exit(0);
+}
+
+TEST_F(WalTransportTest, CrashSoakConvergesByteIdenticalAcrossKills) {
+  // The server is killed over and over mid-stream — at every WAL crash
+  // point in turn, plus raw SIGKILL rounds — and restarted from its data
+  // dir each time. A per-round subscriber resumes from the previous
+  // round's (last_seq, epoch); across all the carnage the accumulated
+  // store must converge byte-identical to a clean single-run reference.
+  struct Spec {
+    const char* point;  // nullptr = SIGKILL round
+    int at;
+  };
+  std::vector<Spec> specs;
+  for (const char* p : WalHooks::Points()) {
+    const bool is_append = std::string(p).rfind("append:", 0) == 0;
+    specs.push_back({p, is_append ? 4 : 2});
+  }
+  specs.push_back({nullptr, 0});
+  specs.push_back({nullptr, 0});
+
+  frag::FragmentStore ref(MustParseTs(kPacketTs), "pkts");
+  for (int i = 0; i < kSoakRecords; ++i) {
+    ASSERT_TRUE(ref.Insert(SoakFragment(i)).ok());
+  }
+
+  frag::FragmentStore store(MustParseTs(kPacketTs), "pkts");
+  int64_t saved_last = -1;
+  uint64_t saved_epoch = 0;
+  int64_t epoch_resets = 0;
+  int kills = 0;
+  bool complete = false;
+  for (int round = 0; !complete; ++round) {
+    ASSERT_LT(round, 60) << "soak failed to make progress; stuck at seq "
+                         << saved_last;
+    const Spec& spec = specs[static_cast<size_t>(round) % specs.size()];
+    std::error_code ec;
+    fs::remove(dir_ + "/port", ec);
+    pid_t pid = fork();
+    ASSERT_GE(pid, 0);
+    if (pid == 0) RunSoakServer(dir_, spec.point, spec.at);  // never returns
+    ASSERT_TRUE(PollFor([&] { return fs::exists(dir_ + "/port"); }, 10s));
+    auto port_str = ReadFileToString(dir_ + "/port");
+    ASSERT_TRUE(port_str.ok());
+
+    FragmentSubscriberOptions opts;
+    opts.port = static_cast<uint16_t>(std::atoi(port_str.value().c_str()));
+    opts.stream = "pkts";
+    opts.backoff_initial = 5ms;
+    opts.backoff_max = 20ms;
+    opts.initial_last_seq = saved_last;
+    opts.known_epoch = saved_epoch;
+    FragmentSubscriber sub(opts);
+    ASSERT_TRUE(sub.Start().ok());
+    (void)sub.WaitConnected(2s);  // best effort: the child may die first
+
+    if (spec.point == nullptr) {
+      // SIGKILL round: let it stream a moment, then pull the plug.
+      std::this_thread::sleep_for(50ms);
+      if (!fs::exists(dir_ + "/complete")) ::kill(pid, SIGKILL);
+    }
+
+    int status = 0;
+    bool child_done = false;
+    while (!child_done) {
+      if (::waitpid(pid, &status, WNOHANG) == pid) {
+        child_done = true;
+      } else if (fs::exists(dir_ + "/complete")) {
+        // Final life: the whole workload is durable. Catch all the way
+        // up, then release the child.
+        EXPECT_TRUE(sub.WaitForSeq(kSoakRecords - 1, 30s))
+            << "stuck at seq " << sub.last_seq();
+        ASSERT_TRUE(WriteStringToFile(dir_ + "/stop", "").ok());
+        ASSERT_EQ(::waitpid(pid, &status, 0), pid);
+        child_done = true;
+      } else {
+        std::this_thread::sleep_for(5ms);
+      }
+    }
+    if (WIFEXITED(status)) {
+      const int code = WEXITSTATUS(status);
+      ASSERT_TRUE(code == 0 || code == 43) << "child failed, exit " << code;
+      if (code == 0) complete = true;
+      if (code == 43) ++kills;
+    } else {
+      ASSERT_TRUE(WIFSIGNALED(status));
+      ++kills;
+    }
+
+    ASSERT_TRUE(sub.DrainInto(&store).ok());
+    if (sub.last_seq() > saved_last) saved_last = sub.last_seq();
+    if (sub.server_epoch() != 0) {
+      if (saved_epoch == 0) saved_epoch = sub.server_epoch();
+      // The data dir is never wiped, so the epoch must hold steady across
+      // every crash and recovery.
+      EXPECT_EQ(sub.server_epoch(), saved_epoch) << "round " << round;
+    }
+    epoch_resets += sub.metrics().epoch_resets;
+    sub.Stop();
+  }
+
+  EXPECT_GE(kills, 5) << "the soak barely crashed anything";
+  EXPECT_EQ(saved_last, kSoakRecords - 1);
+  EXPECT_EQ(epoch_resets, 0);
+  EXPECT_EQ(store.size(), ref.size());
+  EXPECT_EQ(ViewOf(store), ViewOf(ref));
 }
 
 }  // namespace

@@ -352,6 +352,48 @@ TEST_F(RadarTest, CoincidenceJoinAcrossStreams) {
   }
 }
 
+TEST_F(EquivalenceTest, QaCRewriteReportsMissingFillers) {
+  // A transaction version whose status filler never arrived: the QaC
+  // rewrite fetches filler 301 by id (hole/@id), finds nothing, and must
+  // surface the incompleteness per the hole policy instead of silently
+  // returning an empty wrapper. Reuse an existing transaction filler id so
+  // the dangling hole is reachable from the account path.
+  auto wrappers = store_->GetFillersByTsid(5);
+  ASSERT_TRUE(wrappers.ok());
+  ASSERT_FALSE(wrappers.value().empty());
+  const std::string* idattr = wrappers.value().front()->FindAttr("id");
+  ASSERT_NE(idattr, nullptr);
+  frag::Fragment tx;
+  tx.id = std::stoll(*idattr);
+  tx.tsid = 5;
+  tx.valid_time = DateTime::Parse("2003-11-02T12:00:00").value();
+  tx.content = Node::Element("transaction");
+  tx.content->SetAttr("id", "77777");
+  tx.content->AddChild(frag::MakeHole(301, 7));  // status never arrives
+  ASSERT_TRUE(store_->Insert(std::move(tx)).ok());
+
+  const char* q = "count(stream(\"credit\")//status)";
+  ExecOptions opts;
+  opts.method = ExecMethod::kQaC;
+  opts.now = DateTime::Parse("2003-12-01T00:00:00").value();
+  ExecStats stats;
+  opts.stats = &stats;
+  auto r = exec_.Execute(q, opts);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(testutil::Render(r.value()), "3");  // the 3 complete statuses
+  EXPECT_GE(stats.holes_unresolved, 1);
+
+  // kFail would rather have no answer than a partial one.
+  ExecOptions fail = opts;
+  fail.hole_policy = xq::HolePolicy::kFail;
+  auto rf = exec_.Execute(q, fail);
+  ASSERT_FALSE(rf.ok());
+  EXPECT_EQ(rf.status().code(), StatusCode::kNotFound)
+      << rf.status().ToString();
+  EXPECT_NE(rf.status().ToString().find("301"), std::string::npos)
+      << rf.status().ToString();
+}
+
 TEST_F(RadarTest, WindowExcludesDistantEvents) {
   // Widening the window to a minute lets the 99 MHz pair coincide too.
   const char* q = R"(
