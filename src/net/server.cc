@@ -31,7 +31,8 @@ Status FragmentServer::Start() {
   if (started_) return Status::InvalidArgument("server already started");
   ts_xml_ = source_->tag_structure().ToXml();
   ts_hash_ = TagStructureHash(ts_xml_);
-  epoch_ = opts_.wal != nullptr ? opts_.wal->epoch() : 0;
+  epoch_.store(opts_.wal != nullptr ? opts_.wal->epoch() : 0,
+               std::memory_order_release);
   // Seed the frame log with everything the source published before the
   // network face existed, so late subscribers replay the full stream.
   {
@@ -131,19 +132,16 @@ void FragmentServer::OnFragment(const std::string& /*stream_name*/,
   // Write-ahead: the frame reaches the WAL before any subscriber queue,
   // so under FsyncPolicy::kAlways a subscriber can never hold a seq that
   // a restart would not recover. A failed append degrades durability but
-  // not delivery — the stream must not stall on a full disk.
-  if (opts_.wal != nullptr) {
+  // not delivery — the stream must not stall on a full disk — at the
+  // price of the durable epoch: see DegradeDurability.
+  if (opts_.wal != nullptr &&
+      !wal_degraded_.load(std::memory_order_acquire)) {
     const std::string& rec =
         entry.plain.empty() ? entry.compressed : entry.plain;
     if (!rec.empty()) {
       Status st =
           opts_.wal->Append(static_cast<int64_t>(log_.size()), rec);
-      if (!st.ok()) {
-        metrics_.AddWalAppendFailure();
-        std::fprintf(stderr, "wal: append of seq %lld failed: %s\n",
-                     static_cast<long long>(log_.size()),
-                     st.message().c_str());
-      }
+      if (!st.ok()) DegradeDurability(st);
     }
   }
   log_.push_back(std::move(entry));
@@ -152,6 +150,31 @@ void FragmentServer::OnFragment(const std::string& /*stream_name*/,
   const LogEntry& stored = log_.back();
   std::lock_guard<std::mutex> conns_lock(conns_mu_);
   for (auto& conn : conns_) Enqueue(conn.get(), stored);
+}
+
+void FragmentServer::DegradeDurability(const Status& why) {
+  metrics_.AddWalAppendFailure();
+  std::fprintf(stderr, "wal: append of seq %lld failed: %s\n",
+               static_cast<long long>(log_.size()), why.message().c_str());
+  if (wal_degraded_.exchange(true, std::memory_order_acq_rel)) return;
+  // Every frame from here on is undurable, and the WAL's sequence chain
+  // is broken: a restart would recover a shorter history and then mint
+  // the *same* seq numbers for different fragments. Any subscriber still
+  // holding (durable epoch, last_seq) would mis-splice the two histories
+  // on resume. Durability cannot be restored mid-flight, but the epoch
+  // invariant can: retire the durable epoch for a fresh volatile one and
+  // cut every connection. Each subscriber re-handshakes, sees the epoch
+  // change, discards its resume state, and replays from the (complete)
+  // in-memory log — so no resume point minted after this moment can
+  // survive into the next incarnation.
+  const uint64_t retired = epoch_.load(std::memory_order_relaxed);
+  epoch_.store(MintEpoch(), std::memory_order_release);
+  std::fprintf(stderr,
+               "net: durability has ended for this process; epoch %llu "
+               "retired, subscribers restarted on a volatile epoch\n",
+               static_cast<unsigned long long>(retired));
+  std::lock_guard<std::mutex> lock(conns_mu_);
+  for (auto& conn : conns_) CloseConnection(conn.get());
 }
 
 void FragmentServer::OnRepeat(const std::string& /*stream_name*/,
@@ -325,8 +348,10 @@ Status FragmentServer::HandleHello(Connection* conn, const Hello& hello,
   // The stream epoch rides in the ack's (otherwise unused) seq field: a
   // subscriber resuming with seq numbers from a different epoch knows its
   // resume point is meaningless and restarts from scratch. 0 = no epoch
-  // (an in-memory server, or one predating durability).
-  out.seq = epoch_;
+  // (an in-memory server, or one predating durability). After a WAL
+  // append failure this is the volatile replacement epoch, which the next
+  // incarnation can never advertise — forcing a clean restart then.
+  out.seq = epoch_.load(std::memory_order_acquire);
   out.payload = EncodeHello(ack);
   // HELLO frames stay v1 on the wire so a peer of either vintage can
   // parse them; the flag bit above is the entire negotiation.

@@ -55,7 +55,11 @@ struct FragmentServerOptions {
   /// subscriber sees it, so with FsyncPolicy::kAlways no subscriber can
   /// ever be ahead of what a restart recovers. Not owned; must outlive
   /// the server. The WAL's epoch rides in the HELLO ack so resuming
-  /// subscribers detect a reset data dir. nullptr = in-memory only.
+  /// subscribers detect a reset data dir. If an append ever fails, the
+  /// server keeps delivering but retires the durable epoch (minting a
+  /// volatile one and restarting every subscriber) so no resume point
+  /// outlives the process — see FragmentServer::DegradeDurability.
+  /// nullptr = in-memory only.
   Wal* wal = nullptr;
 };
 
@@ -94,8 +98,16 @@ class FragmentServer : public stream::StreamClient {
   int64_t next_seq() const;
 
   /// \brief The stream epoch advertised in HELLO acks: the WAL's epoch
-  /// when one is attached, 0 (no epoch) otherwise.
-  uint64_t epoch() const { return epoch_; }
+  /// when one is attached, 0 (no epoch) otherwise. After a WAL append
+  /// failure this becomes a freshly minted *volatile* epoch (see
+  /// DegradeDurability), never the durable one again.
+  uint64_t epoch() const { return epoch_.load(std::memory_order_acquire); }
+
+  /// \brief True once a WAL append failed and the server retired the
+  /// durable epoch: frames published since then survive only in memory.
+  bool wal_degraded() const {
+    return wal_degraded_.load(std::memory_order_acquire);
+  }
 
   /// \brief StreamClient hook: called by the source on the publisher
   /// thread for every multicast fragment.
@@ -169,12 +181,19 @@ class FragmentServer : public stream::StreamClient {
   Status SendRaw(Connection* conn, const std::string& bytes);
   void CloseConnection(Connection* conn);
   void ReapFinished();
+  /// \brief Called (with log_mu_ held) when a WAL append fails: retires
+  /// the durable epoch for a volatile one and cuts every connection, so
+  /// no subscriber keeps a resume point that a restart could mis-splice.
+  void DegradeDurability(const Status& why);
 
   stream::StreamServer* source_;
   FragmentServerOptions opts_;
   std::string ts_xml_;
   uint64_t ts_hash_ = 0;
-  uint64_t epoch_ = 0;
+  // Advertised in every HELLO ack; rewritten by DegradeDurability on the
+  // publisher thread while reader threads serve handshakes, hence atomic.
+  std::atomic<uint64_t> epoch_{0};
+  std::atomic<bool> wal_degraded_{false};
   uint16_t port_ = 0;
   bool started_ = false;
 

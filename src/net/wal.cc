@@ -123,15 +123,6 @@ Status WriteFileSynced(const std::string& path, std::string_view data) {
   return st;
 }
 
-uint64_t MintEpoch() {
-  std::random_device rd;
-  uint64_t e = (static_cast<uint64_t>(rd()) << 32) ^ rd();
-  e ^= static_cast<uint64_t>(::getpid()) << 48;
-  e ^= static_cast<uint64_t>(
-      std::chrono::steady_clock::now().time_since_epoch().count());
-  return e == 0 ? 1 : e;  // 0 means "no epoch" on the wire
-}
-
 // ---------------------------------------------------------------------------
 // WalHooks: a process-wide hook behind one relaxed atomic, so the
 // production path (no hook) costs a single load per crash point.
@@ -173,6 +164,14 @@ Result<ScannedFile> ScanRecordFile(const std::string& path,
   out.total_bytes = bytes.size();
   FrameReader reader;
   reader.Feed(bytes.data(), bytes.size());
+  // Offset of a CRC-failed record seen in torn-tolerant mode. Under
+  // fsync=interval/never a crash can expose a record whose framing
+  // completed (i_size ran ahead) but whose payload blocks never flushed —
+  // a torn tail that fails its checksum instead of stopping short. That
+  // reading only holds for the *final* record: if anything complete
+  // follows, the failed record's bytes were written and then damaged.
+  size_t bad_crc_at = std::string::npos;
+  uint64_t bad_crc_seq = 0;
   for (;;) {
     size_t before = bytes.size() - reader.buffered();
     auto next = reader.Next();
@@ -184,7 +183,8 @@ Result<ScannedFile> ScanRecordFile(const std::string& path,
       // filesystem may expose never-written garbage past the last
       // complete record: treat that as the torn tail.
       if (allow_torn) {
-        out.good_bytes = before;
+        out.good_bytes = bad_crc_at != std::string::npos ? bad_crc_at
+                                                         : before;
         out.torn = true;
         return out;
       }
@@ -193,7 +193,13 @@ Result<ScannedFile> ScanRecordFile(const std::string& path,
                               next.status().message());
     }
     if (!next.value().has_value()) {
-      // Incomplete record at EOF.
+      // Incomplete (or absent) record at EOF.
+      if (bad_crc_at != std::string::npos) {
+        // The CRC failure was the final record after all: torn tail.
+        out.good_bytes = bad_crc_at;
+        out.torn = true;
+        return out;
+      }
       out.good_bytes = before;
       if (reader.buffered() == 0) return out;  // clean end
       if (allow_torn) {
@@ -206,10 +212,27 @@ Result<ScannedFile> ScanRecordFile(const std::string& path,
           " bytes of a partial record inside a sealed file");
     }
     const Frame& frame = *next.value();
+    if (bad_crc_at != std::string::npos) {
+      // A complete record follows the checksum failure, so the failed
+      // record cannot be a torn tail: its bytes reached the disk and
+      // were damaged afterwards. Refusing to serve is the only honest
+      // answer — the record's content is gone.
+      return Status::Internal(
+          "wal poison: " + path + " at offset " +
+          std::to_string(bad_crc_at) + ": record seq " +
+          std::to_string(bad_crc_seq) +
+          " failed its CRC32C mid-log (disk corruption, not a torn "
+          "write)");
+    }
     if (!frame.crc_ok) {
-      // The framing held but the checksum did not: bit rot, not a torn
-      // write (a partial append never completes its frame). Refusing to
-      // serve is the only honest answer — the record's content is gone.
+      if (allow_torn) {
+        // Might be the torn tail (see above) — decided by what follows.
+        bad_crc_at = before;
+        bad_crc_seq = frame.seq;
+        continue;
+      }
+      // Sealed files are never appended to, so a checksum failure there
+      // is bit rot no matter where it sits.
       return Status::Internal(
           "wal poison: " + path + " at offset " + std::to_string(before) +
           ": record seq " + std::to_string(frame.seq) +
@@ -232,6 +255,15 @@ Result<ScannedFile> ScanRecordFile(const std::string& path,
 }
 
 }  // namespace
+
+uint64_t MintEpoch() {
+  std::random_device rd;
+  uint64_t e = (static_cast<uint64_t>(rd()) << 32) ^ rd();
+  e ^= static_cast<uint64_t>(::getpid()) << 48;
+  e ^= static_cast<uint64_t>(
+      std::chrono::steady_clock::now().time_since_epoch().count());
+  return e == 0 ? 1 : e;  // 0 means "no epoch" on the wire
+}
 
 void WalHooks::Install(Hook hook) {
   std::lock_guard<std::mutex> lock(g_hook_mu);
@@ -440,6 +472,7 @@ Result<std::unique_ptr<Wal>> Wal::Open(const std::string& dir,
   // --- Segments: the tail. ----------------------------------------------
   // Segments wholly behind the checkpoint are a crash between a
   // checkpoint's rename and its GC; they parse (cheap insurance) and die.
+  const int64_t ckpt_records = expected;  // records the checkpoint covers
   std::vector<std::string> gc;  // files to delete once recovery is decided
   for (int64_t i = 0; i + 1 < static_cast<int64_t>(checkpoints.size());
        ++i) {
@@ -508,17 +541,26 @@ Result<std::unique_ptr<Wal>> Wal::Open(const std::string& dir,
       std::fprintf(stderr, "wal: %s\n", rec.report.warning.c_str());
     }
     if (last) {
-      if (seg_end == expected) {
-        // Appending seq `expected` keeps this segment contiguous: adopt
-        // it as the active segment.
+      if (seg_end == expected && base >= ckpt_records) {
+        // Appending seq `expected` keeps this segment contiguous, and no
+        // record in it is also in the checkpoint: adopt it as the active
+        // segment.
         active_path = path;
         active_base = base;
         active_bytes = scanned.good_bytes;
-      } else {
-        // Fully behind the checkpoint (a crash between a checkpoint's
-        // rename and its GC): appending here would break the segment's
-        // contiguity, so finish the GC and start fresh at `expected`.
+      } else if (seg_end <= ckpt_records) {
+        // Fully covered by the checkpoint (a crash between a checkpoint's
+        // rename and its GC). Adopting it would hand the next checkpoint
+        // a segment whose records duplicate the checkpoint's, so finish
+        // the GC and start fresh at `expected`.
         gc.push_back(std::move(path));
+      } else {
+        // Straddles the checkpoint: its tail records past `ckpt_records`
+        // are the only copy, so it cannot die, but appending to it would
+        // grow the duplicated prefix. Keep it sealed (the checkpoint
+        // copy skips records a prior file already covered) and open a
+        // fresh active segment at `expected`.
+        sealed.push_back(std::move(path));
       }
     } else {
       sealed.push_back(std::move(path));
@@ -548,7 +590,39 @@ Result<std::unique_ptr<Wal>> Wal::Open(const std::string& dir,
         "wal holds records but the caller passed no recovery sink");
   }
   if (recovery != nullptr) *recovery = std::move(rec);
+  if (options.fsync == FsyncPolicy::kInterval) wal->StartFlusher();
   return wal;
+}
+
+void Wal::StartFlusher() {
+  flusher_ = std::thread([this] { FlusherLoop(); });
+}
+
+void Wal::FlusherLoop() {
+  std::unique_lock<std::mutex> lock(mu_);
+  while (!flusher_stop_) {
+    if (!dirty_ || fd_ < 0) {
+      flush_cv_.wait(lock, [&] {
+        return flusher_stop_ || (dirty_ && fd_ >= 0);
+      });
+      continue;
+    }
+    // Sleep until the oldest unsynced append turns fsync_interval old,
+    // then sync — unless an append's own amortized sync got there first.
+    const auto deadline = dirty_since_ + opts_.fsync_interval;
+    if (flush_cv_.wait_until(lock, deadline, [&] { return flusher_stop_; }))
+      break;
+    if (!dirty_ || fd_ < 0) continue;
+    Status st = SyncLocked();
+    if (!st.ok()) {
+      // Same contract as a failed append-path sync: durability is gone
+      // and pretending otherwise would be worse.
+      broken_ = true;
+      std::fprintf(stderr, "wal: background sync failed: %s\n",
+                   st.message().c_str());
+      break;
+    }
+  }
 }
 
 Status Wal::OpenActiveSegment(int64_t base_seq, bool create) {
@@ -596,31 +670,56 @@ Status Wal::AppendLocked(int64_t seq, std::string_view frame_bytes) {
   if (frame_bytes.size() < kFrameHeaderSizeCrc) {
     return Status::InvalidArgument("wal record is not an encoded v2 frame");
   }
+  // From here on a failure means the write path itself is sick (rotation,
+  // write, or fsync): the record's durability is unknowable, and any
+  // record appended after it would be out of order. Mark the wal broken
+  // so every later append fails fast instead of silently not persisting.
+  auto durability_lost = [this](Status st) {
+    broken_ = true;
+    return st;
+  };
   if (active_bytes_ > 0 &&
       active_bytes_ + frame_bytes.size() > opts_.segment_bytes) {
-    XCQL_RETURN_NOT_OK(RotateLocked());
+    Status st = RotateLocked();
+    if (!st.ok()) return durability_lost(std::move(st));
   }
   WalHooks::At("append:before_write");
   if (WalHooks::installed() && frame_bytes.size() >= 2) {
     // Split the write so a kill-point test can die with half a record on
     // disk — the torn tail recovery must truncate.
     size_t half = frame_bytes.size() / 2;
-    XCQL_RETURN_NOT_OK(WriteFully(frame_bytes.substr(0, half)));
+    Status st = WriteFully(frame_bytes.substr(0, half));
+    if (!st.ok()) return durability_lost(std::move(st));
     WalHooks::At("append:mid_write");
-    XCQL_RETURN_NOT_OK(WriteFully(frame_bytes.substr(half)));
+    st = WriteFully(frame_bytes.substr(half));
+    if (!st.ok()) return durability_lost(std::move(st));
   } else {
-    XCQL_RETURN_NOT_OK(WriteFully(frame_bytes));
+    Status st = WriteFully(frame_bytes);
+    if (!st.ok()) return durability_lost(std::move(st));
   }
   active_bytes_ += frame_bytes.size();
   ++next_seq_;
   ++stats_.appends;
-  dirty_ = true;
+  if (!dirty_) {
+    dirty_ = true;
+    dirty_since_ = std::chrono::steady_clock::now();
+    flush_cv_.notify_all();  // wake the interval flusher, if any
+  }
   WalHooks::At("append:after_write");
-  XCQL_RETURN_NOT_OK(MaybeSyncLocked());
+  Status st = MaybeSyncLocked();
+  if (!st.ok()) return durability_lost(std::move(st));
   WalHooks::At("append:after_sync");
   if (opts_.checkpoint_every > 0 &&
       next_seq_ - checkpointed_ >= opts_.checkpoint_every) {
-    XCQL_RETURN_NOT_OK(CheckpointLocked());
+    st = CheckpointLocked();
+    if (!st.ok()) {
+      if (fd_ < 0) return durability_lost(std::move(st));  // lost the tail
+      // The record itself is durable; a failed compaction costs disk
+      // space, not data. Surface it and retry at the next append.
+      ++stats_.checkpoint_failures;
+      std::fprintf(stderr, "wal: checkpoint failed: %s\n",
+                   st.message().c_str());
+    }
   }
   return Status::OK();
 }
@@ -707,9 +806,26 @@ Status Wal::CheckpointLocked() {
   const std::string tmp_path = dir_ + "/" + CheckpointName(n) + kTmpSuffix;
   int tmp = ::open(tmp_path.c_str(), O_CREAT | O_WRONLY | O_TRUNC, 0644);
   if (tmp < 0) return ErrnoStatus("open", tmp_path);
+  // Seqs [0, copied) are already in the tmp file. Records run
+  // contiguously ascending within each source file, but a file can
+  // overlap what a prior file contributed — recovery from a crash
+  // between a checkpoint's rename and its GC keeps a straddling segment
+  // whose prefix the checkpoint already holds — so each copy skips to
+  // the first record past `copied` instead of byte-copying blindly.
+  int64_t copied = 0;
   auto copy_into = [&](const std::string& path) -> Status {
     XCQL_ASSIGN_OR_RETURN(std::string bytes, ReadFileToString(path));
-    size_t off = 0;
+    size_t off = bytes.size();  // nothing new: copy nothing
+    FrameReader reader;
+    reader.Feed(bytes.data(), bytes.size());
+    for (;;) {
+      size_t before = bytes.size() - reader.buffered();
+      auto next = reader.Next();
+      if (!next.ok() || !next.value().has_value()) break;
+      int64_t seq = static_cast<int64_t>(next.value()->seq);
+      if (seq >= copied && off == bytes.size()) off = before;
+      if (seq + 1 > copied) copied = seq + 1;
+    }
     while (off < bytes.size()) {
       ssize_t w = ::write(tmp, bytes.data() + off, bytes.size() - off);
       if (w < 0) {
@@ -729,6 +845,13 @@ Status Wal::CheckpointLocked() {
     st = copy_into(path);
   }
   if (st.ok()) st = copy_into(active_path_);
+  if (st.ok() && copied != n) {
+    // Writing a checkpoint whose record count belies its name would
+    // poison the *next* recovery; better to fail this one loudly.
+    st = Status::Internal(StringPrintf(
+        "checkpoint aborted: sources yield %lld records, expected %lld",
+        static_cast<long long>(copied), static_cast<long long>(n)));
+  }
   if (st.ok()) st = SyncFd(tmp, tmp_path);
   ::close(tmp);
   if (!st.ok()) {
@@ -759,7 +882,20 @@ Status Wal::CheckpointLocked() {
   return Status::OK();
 }
 
+bool Wal::broken() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return broken_;
+}
+
 Status Wal::Close() {
+  std::thread flusher;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    flusher_stop_ = true;
+    flusher.swap(flusher_);
+  }
+  flush_cv_.notify_all();
+  if (flusher.joinable()) flusher.join();
   std::lock_guard<std::mutex> lock(mu_);
   if (fd_ < 0) return Status::OK();
   Status st = SyncLocked();

@@ -27,9 +27,13 @@
 //    leaves a prefix of a valid frame; recovery detects it (the frame never
 //    completes), truncates exactly that partial record, and reports it
 //    (torn_tail in the recovery report) — never an error.
-//  * A CRC-invalid or undecodable record anywhere else is disk corruption,
-//    not a torn write: recovery fails with a poison report naming the file
-//    and offset rather than silently serving a damaged history.
+//  * A CRC-invalid *final* record in the newest segment is also treated as
+//    torn: fsync policies weaker than `always` can crash with the frame's
+//    length on disk but its payload blocks unflushed, so the framing
+//    completes and only the checksum fails. A CRC-invalid or undecodable
+//    record anywhere else is disk corruption, not a torn write: recovery
+//    fails with a poison report naming the file and offset rather than
+//    silently serving a damaged history.
 //  * Checkpoints are written to a temp file, fsync'd, then renamed, so a
 //    visible checkpoint is complete by construction; segment GC runs after
 //    the rename and is finished by the next Open if interrupted.
@@ -41,12 +45,14 @@
 #define XCQL_NET_WAL_H_
 
 #include <chrono>
+#include <condition_variable>
 #include <cstdint>
 #include <functional>
 #include <memory>
 #include <mutex>
 #include <string>
 #include <string_view>
+#include <thread>
 #include <vector>
 
 #include "common/result.h"
@@ -59,7 +65,9 @@ namespace xcql::net {
 enum class FsyncPolicy : uint8_t {
   kAlways,    // fsync after every append: no acked record is ever lost
   kInterval,  // fsync when the oldest unsynced append is older than
-              // fsync_interval: bounded loss window, amortized cost
+              // fsync_interval: bounded loss window, amortized cost. A
+              // background flusher enforces the bound even when the
+              // stream goes idle after the last append.
   kNever,     // leave it to the OS: fastest, loses the page cache on crash
 };
 
@@ -131,7 +139,15 @@ struct WalStats {
   int64_t rotations = 0;
   int64_t checkpoints = 0;
   int64_t append_failures = 0;
+  /// Auto-checkpoints that failed after their trigger append was already
+  /// durable (surfaced on stderr, retried at the next append).
+  int64_t checkpoint_failures = 0;
 };
+
+/// \brief Mints a nonzero stream epoch (random, pid- and clock-salted).
+/// Wal::Open mints one for a fresh directory; the server mints a volatile
+/// one to retire the durable epoch when an append fails mid-flight.
+uint64_t MintEpoch();
 
 class Wal {
  public:
@@ -175,9 +191,16 @@ class Wal {
   const std::string& dir() const { return dir_; }
   WalStats stats() const;
 
+  /// \brief True once a write/sync error made further appends unsafe
+  /// (they would be out of order with the record whose fate is unknown).
+  /// Broken is permanent for this handle; restart to recover.
+  bool broken() const;
+
  private:
   Wal(std::string dir, WalOptions options);
 
+  void StartFlusher();
+  void FlusherLoop();
   Status AppendLocked(int64_t seq, std::string_view frame_bytes);
   Status RotateLocked();
   Status CheckpointLocked();
@@ -202,8 +225,17 @@ class Wal {
   std::vector<std::string> sealed_;  // sealed segment paths, oldest first
   std::chrono::steady_clock::time_point last_sync_{};
   bool dirty_ = false;           // unsynced bytes in the active segment
+  // Time of the oldest unsynced append (valid while dirty_): the interval
+  // flusher's deadline is dirty_since_ + fsync_interval.
+  std::chrono::steady_clock::time_point dirty_since_{};
   bool broken_ = false;          // unrecoverable write error: fail appends
   WalStats stats_;
+
+  // kInterval only: syncs an idle dirty tail within fsync_interval, so the
+  // bounded-loss-window promise holds without relying on a next append.
+  std::thread flusher_;
+  std::condition_variable flush_cv_;
+  bool flusher_stop_ = false;    // guarded by mu_
 
   friend class WalTestPeer;
 };

@@ -366,11 +366,17 @@ int main(int argc, char** argv) {
     auto ws = wal->stats();
     std::printf(
         "wal: %lld appends, %lld syncs, %lld rotations, %lld checkpoints, "
-        "%lld append failures\n",
+        "%lld append failures, %lld checkpoint failures\n",
         static_cast<long long>(ws.appends), static_cast<long long>(ws.syncs),
         static_cast<long long>(ws.rotations),
         static_cast<long long>(ws.checkpoints),
-        static_cast<long long>(ws.append_failures));
+        static_cast<long long>(ws.append_failures),
+        static_cast<long long>(ws.checkpoint_failures));
+    if (net_server.wal_degraded()) {
+      std::fprintf(stderr,
+                   "wal: durability degraded this run (append failure); "
+                   "frames after the failure were not persisted\n");
+    }
     if (Fail(wal->Close())) return 1;
   }
   return 0;

@@ -61,8 +61,9 @@ Result<NodePtr> ResolveHolesDeep(xq::EvalContext* ctx, const NodePtr& node,
 // resolution — apply the evaluation's HolePolicy here too, so a filler that
 // never arrived is surfaced (holes_unresolved / NotFound) instead of
 // silently yielding an empty <filler> wrapper. Returns false when the
-// wrapper should be dropped from the result (kOmit keeps the empty wrapper:
-// it contributes no versions but preserves sequence cardinality).
+// wrapper must be dropped from the result: kOmit omits the missing filler
+// entirely, matching the materialized evaluation, which splices nothing
+// where the unresolvable hole sat.
 Result<bool> ApplyMissingFillerPolicy(xq::EvalContext& ctx, int64_t id,
                                       const NodePtr& wrapper) {
   if (!wrapper->children().empty()) return true;
@@ -77,7 +78,7 @@ Result<bool> ApplyMissingFillerPolicy(xq::EvalContext& ctx, int64_t id,
       return true;
     case xq::HolePolicy::kOmit:
       ++ctx.holes_unresolved;
-      return true;
+      return false;
   }
   return true;
 }

@@ -2071,6 +2071,66 @@ TEST_F(WalTransportTest, EpochChangeDiscardsResumeStateAndReplaysAll) {
   server.Stop();
 }
 
+// A WAL append failure must not let durability end *silently*: the server
+// keeps serving, but it retires the durable epoch for a freshly minted
+// volatile one and restarts every subscriber on it. A resume point from
+// the degraded run can then never splice into a post-restart stream whose
+// WAL is missing the un-appended frames.
+TEST_F(WalTransportTest, WalAppendFailureRetiresTheDurableEpoch) {
+  WalRecovery rec;
+  auto wal = Wal::Open(dir_ + "/wal", "pkts", kPacketTs, WalOptions{}, &rec);
+  ASSERT_TRUE(wal.ok());
+  stream::StreamServer source("pkts", MustParseTs(kPacketTs));
+  FragmentServerOptions sopts;
+  sopts.wal = wal.value().get();
+  FragmentServer server(&source, sopts);
+  ASSERT_TRUE(server.Start().ok());
+  ASSERT_TRUE(source.Publish(MakeRoot({1, 2})).ok());
+  ASSERT_TRUE(source.Publish(MakePacket(1, 1000, 0)).ok());
+  ASSERT_TRUE(source.Publish(MakePacket(2, 1010, 1)).ok());
+
+  FragmentSubscriberOptions opts;
+  opts.port = server.port();
+  opts.stream = "pkts";
+  FragmentSubscriber sub(opts);
+  ASSERT_TRUE(sub.Start().ok());
+  ASSERT_TRUE(sub.WaitForSeq(2, 10s));
+  const uint64_t durable_epoch = server.epoch();
+  ASSERT_EQ(durable_epoch, wal.value()->epoch());
+  ASSERT_NE(durable_epoch, 0u);
+  ASSERT_FALSE(server.wal_degraded());
+
+  // Fail every append from here on (a closed WAL rejects appends the same
+  // way a full disk would). The next publish ends durability.
+  ASSERT_TRUE(wal.value()->Close().ok());
+  ASSERT_TRUE(source.Publish(MakePacket(1, 1020, 2)).ok());
+  ASSERT_TRUE(source.Publish(MakePacket(2, 1030, 3)).ok());
+
+  // The degrade cut the connection; the subscriber reconnects, sees the
+  // volatile epoch, discards its resume state, and replays everything.
+  ASSERT_TRUE(sub.WaitForSeq(4, 10s));
+  EXPECT_TRUE(server.wal_degraded());
+  EXPECT_NE(server.epoch(), durable_epoch);
+  EXPECT_NE(server.epoch(), 0u);
+  EXPECT_EQ(sub.server_epoch(), server.epoch());
+  EXPECT_GE(sub.metrics().epoch_resets, 1);
+  EXPECT_GE(server.metrics().wal_append_failures, 1);
+
+  // Delivery itself never degraded: the subscriber holds all five
+  // fragments, including the two the WAL rejected.
+  frag::FragmentStore store(MustParseTs(kPacketTs), "pkts");
+  ASSERT_TRUE(sub.DrainInto(&store).ok());
+  frag::FragmentStore ref(MustParseTs(kPacketTs), "pkts");
+  ASSERT_TRUE(ref.Insert(MakeRoot({1, 2})).ok());
+  ASSERT_TRUE(ref.Insert(MakePacket(1, 1000, 0)).ok());
+  ASSERT_TRUE(ref.Insert(MakePacket(2, 1010, 1)).ok());
+  ASSERT_TRUE(ref.Insert(MakePacket(1, 1020, 2)).ok());
+  ASSERT_TRUE(ref.Insert(MakePacket(2, 1030, 3)).ok());
+  EXPECT_EQ(ViewOf(store), ViewOf(ref));
+  sub.Stop();
+  server.Stop();
+}
+
 // ---- Crash soak -------------------------------------------------------------
 
 constexpr int kSoakRecords = 40;

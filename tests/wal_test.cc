@@ -12,11 +12,13 @@
 #include <unistd.h>
 
 #include <algorithm>
+#include <chrono>
 #include <cstdlib>
 #include <cstring>
 #include <filesystem>
 #include <fstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "common/file_util.h"
@@ -210,13 +212,81 @@ TEST_F(WalTest, CorruptRecordMidLogIsPoisonNotTornTail) {
     ASSERT_TRUE(wal.value()->Close().ok());
   }
   // Flip one payload bit inside record 1. The framing still holds, so the
-  // CRC catches it — and a checksum failure is never "torn", even in the
-  // newest segment: the bytes were fully written, then damaged.
+  // CRC catches it — and with complete records *after* it the failure
+  // cannot be a torn tail: the bytes were fully written, then damaged.
   std::string path = Dir() + "/wal-00000000000000000000.log";
   auto bytes = ReadFileToString(path);
   ASSERT_TRUE(bytes.ok());
   std::string damaged = bytes.value();
   damaged[64 + 24 + 5] ^= 0x20;  // record 1's payload
+  ASSERT_TRUE(WriteStringToFile(path, damaged).ok());
+  WalRecovery rec;
+  auto wal = OpenWal(Dir(), WalOptions{}, &rec);
+  ASSERT_FALSE(wal.ok());
+  EXPECT_NE(wal.status().message().find("poison"), std::string::npos)
+      << wal.status().ToString();
+  EXPECT_NE(wal.status().message().find("CRC32C"), std::string::npos);
+}
+
+TEST_F(WalTest, CrcFailedFinalRecordInNewestSegmentIsTornTail) {
+  {
+    WalRecovery rec;
+    auto wal = OpenWal(Dir(), WalOptions{}, &rec);
+    ASSERT_TRUE(wal.ok());
+    for (int64_t i = 0; i < 4; ++i) {
+      ASSERT_TRUE(wal.value()->Append(i, RecordFor(i)).ok());
+    }
+    ASSERT_TRUE(wal.value()->Close().ok());
+  }
+  // Damage the *final* record's payload. The framing still completes, so
+  // under fsync=interval/never this is indistinguishable from a crash
+  // that grew the file before the payload blocks flushed: recovery must
+  // truncate it as a torn tail, not refuse to start.
+  std::string path = Dir() + "/wal-00000000000000000000.log";
+  auto bytes = ReadFileToString(path);
+  ASSERT_TRUE(bytes.ok());
+  std::string damaged = bytes.value();
+  damaged[3 * 64 + 24 + 5] ^= 0x20;  // record 3's payload
+  ASSERT_TRUE(WriteStringToFile(path, damaged).ok());
+  WalRecovery rec;
+  auto wal = OpenWal(Dir(), WalOptions{}, &rec);
+  ASSERT_TRUE(wal.ok()) << wal.status().ToString();
+  EXPECT_EQ(rec.records.size(), 3u);
+  ExpectPrefix(rec, 3);
+  EXPECT_TRUE(rec.report.torn_tail);
+  EXPECT_EQ(rec.report.torn_bytes, 64u);  // exactly the damaged record
+  // The truncated log accepts a re-append of seq 3 and reopens clean.
+  ASSERT_TRUE(wal.value()->Append(3, RecordFor(3)).ok());
+  ASSERT_TRUE(wal.value()->Close().ok());
+  WalRecovery rec2;
+  auto wal2 = OpenWal(Dir(), WalOptions{}, &rec2);
+  ASSERT_TRUE(wal2.ok());
+  EXPECT_EQ(rec2.records.size(), 4u);
+  ExpectPrefix(rec2, 4);
+  EXPECT_FALSE(rec2.report.torn_tail);
+}
+
+TEST_F(WalTest, CrcFailedRecordInSealedSegmentIsPoisonEvenAtItsEnd) {
+  WalOptions opts;
+  opts.segment_bytes = 160;  // 64-byte records: rotate every 2-3
+  {
+    WalRecovery rec;
+    auto wal = OpenWal(Dir(), opts, &rec);
+    ASSERT_TRUE(wal.ok());
+    for (int64_t i = 0; i < 6; ++i) {
+      ASSERT_TRUE(wal.value()->Append(i, RecordFor(i)).ok());
+    }
+    ASSERT_GT(wal.value()->stats().rotations, 0);
+    ASSERT_TRUE(wal.value()->Close().ok());
+  }
+  // The torn-tail reading exists only for the newest segment: sealed
+  // files are never appended to, so even their final record failing its
+  // checksum is bit rot, never a crash artifact.
+  std::string path = Dir() + "/wal-00000000000000000000.log";
+  auto bytes = ReadFileToString(path);
+  ASSERT_TRUE(bytes.ok());
+  std::string damaged = bytes.value();
+  damaged[damaged.size() - 10] ^= 0x20;  // the sealed segment's last record
   ASSERT_TRUE(WriteStringToFile(path, damaged).ok());
   WalRecovery rec;
   auto wal = OpenWal(Dir(), WalOptions{}, &rec);
@@ -565,6 +635,75 @@ TEST_F(WalTest, KillDuringCheckpointPreservesEveryRecord) {
     EXPECT_GE(rec.records.size(), 5u) << point;
     ExpectPrefix(rec);
   }
+}
+
+// Regression: a crash at checkpoint:after_rename (rename done, GC not)
+// leaves the pre-checkpoint active segment on disk with a base *below*
+// the checkpoint count but an end exactly at it. Open must GC that
+// segment, not adopt it as active — adopting it made the *next*
+// checkpoint byte-copy checkpoint + segment into a file whose record
+// count no longer matched its name, poisoning the directory.
+TEST_F(WalTest, CheckpointAfterMidGcRecoveryDoesNotDuplicateRecords) {
+  std::string dir = Dir("ckpt_dup");
+  pid_t pid = fork();
+  ASSERT_GE(pid, 0);
+  if (pid == 0) RunKillWorkload(dir, "checkpoint:after_rename");
+  int status = 0;
+  ASSERT_EQ(::waitpid(pid, &status, 0), pid);
+  ASSERT_EQ(WEXITSTATUS(status), 42);
+
+  WalRecovery rec;
+  auto wal = OpenWal(dir, WalOptions{}, &rec);
+  ASSERT_TRUE(wal.ok()) << wal.status().ToString();
+  int64_t n = static_cast<int64_t>(rec.records.size());
+  // The checkpoint fires inside Append(4): exactly records 0..4 are both
+  // durable and checkpointed when the child dies.
+  ASSERT_EQ(n, 5);
+  EXPECT_EQ(rec.report.checkpoint_records, 5);
+  ExpectPrefix(rec, 5);
+  // Recovery finished the interrupted GC: nothing below the checkpoint
+  // survives as a log segment.
+  std::vector<std::string> entries = DirEntries(dir);
+  for (const std::string& e : entries) {
+    if (e.rfind("wal-", 0) != 0) continue;
+    EXPECT_GE(e, std::string("wal-00000000000000000005.log")) << e;
+  }
+  for (int64_t i = n; i < kWorkloadRecords; ++i) {
+    ASSERT_TRUE(wal.value()->Append(i, RecordFor(i)).ok());
+  }
+  // The second checkpoint is the regression proper: pre-fix it copied
+  // records 0..4 twice (once from the checkpoint, once from the adopted
+  // stale segment) and the reopen below failed with a count mismatch.
+  ASSERT_TRUE(wal.value()->Checkpoint().ok());
+  ASSERT_TRUE(wal.value()->Close().ok());
+
+  WalRecovery rec2;
+  auto wal2 = OpenWal(dir, WalOptions{}, &rec2);
+  ASSERT_TRUE(wal2.ok()) << wal2.status().ToString();
+  EXPECT_EQ(rec2.records.size(), static_cast<size_t>(kWorkloadRecords));
+  EXPECT_EQ(rec2.report.checkpoint_records, kWorkloadRecords);
+  ExpectPrefix(rec2, kWorkloadRecords);
+}
+
+// FsyncPolicy::kInterval bounds the loss window by wall clock, not by
+// "until someone happens to append again": the background flusher must
+// sync an idle dirty tail on its own.
+TEST_F(WalTest, IntervalPolicySyncsAnIdleTailWithinTheInterval) {
+  WalOptions opts;
+  opts.fsync = FsyncPolicy::kInterval;
+  opts.fsync_interval = std::chrono::milliseconds(20);
+  WalRecovery rec;
+  auto wal = OpenWal(Dir(), opts, &rec);
+  ASSERT_TRUE(wal.ok());
+  ASSERT_TRUE(wal.value()->Append(0, RecordFor(0)).ok());
+  // No further appends: only the flusher thread can sync this record.
+  // Generous poll bound; normally one 20ms interval suffices.
+  for (int i = 0; i < 400 && wal.value()->stats().syncs == 0; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  EXPECT_GE(wal.value()->stats().syncs, 1)
+      << "idle dirty tail was never synced by the interval flusher";
+  ASSERT_TRUE(wal.value()->Close().ok());
 }
 
 }  // namespace

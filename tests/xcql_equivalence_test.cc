@@ -392,6 +392,21 @@ TEST_F(EquivalenceTest, QaCRewriteReportsMissingFillers) {
       << rf.status().ToString();
   EXPECT_NE(rf.status().ToString().find("301"), std::string::npos)
       << rf.status().ToString();
+
+  // The policies differ on what a missing filler *looks like*: kOmit drops
+  // it from the sequence entirely (matching materialized evaluation, which
+  // splices nothing where the unresolvable hole sat), while kKeepHole keeps
+  // a wrapper holding the unresolved hole marker.
+  const char* direct = "count(get_fillers(301))";
+  auto romit = exec_.Execute(direct, opts);  // opts defaults to kOmit
+  ASSERT_TRUE(romit.ok()) << romit.status().ToString();
+  EXPECT_EQ(testutil::Render(romit.value()), "0");
+
+  ExecOptions keep = opts;
+  keep.hole_policy = xq::HolePolicy::kKeepHole;
+  auto rkeep = exec_.Execute(direct, keep);
+  ASSERT_TRUE(rkeep.ok()) << rkeep.status().ToString();
+  EXPECT_EQ(testutil::Render(rkeep.value()), "1");
 }
 
 TEST_F(RadarTest, WindowExcludesDistantEvents) {
