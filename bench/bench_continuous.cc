@@ -4,8 +4,9 @@
 // re-evaluation latency and sustained event throughput as the store grows,
 // for each execution method — plus the incremental-engine ablations:
 // quiescent-stream tick latency (relevance skipping vs the seed's full
-// re-evaluation) and a mixed workload where only some queries are relevant
-// to the arriving fragments.
+// re-evaluation), a mixed workload where only some queries are relevant
+// to the arriving fragments, and a compiled-plan ablation (flat operator
+// plan vs the tree-walking interpreter on identical workloads).
 //
 //   ./build/bench/bench_continuous [--quick] [--json]
 //
@@ -146,45 +147,66 @@ struct Harness {
   int next_id = 0;
 };
 
-void RunMethod(xcql::lang::ExecMethod method, int batches, int batch_size) {
+struct Timed {
+  double events = 0;
+  double total_tick_ms = 0;
+  double throughput = 0;
+};
+
+// Times the paper's fraud-style window query (charges in the last hour)
+// over an arriving transaction stream. `use_compiled_plan` toggles the
+// flat-plan tentpole against the reference tree-walking interpreter;
+// `progress` (optional) labels per-batch progress lines.
+Timed TimeWindowQuery(xcql::lang::ExecMethod method, bool use_compiled_plan,
+                      int batches, int batch_size,
+                      const char* progress = nullptr) {
   Harness h;
-  // The paper's fraud-style window query: charges in the last hour.
   auto qid = h.mgr.RegisterContinuousQuery(
       "sum(stream(\"credit\")//account/transaction?[now - PT1H, now]"
       "[status = \"charged\"]/amount)",
-      nullptr, {.method = method, .dedup = false});
+      nullptr,
+      {.method = method, .dedup = false,
+       .use_compiled_plan = use_compiled_plan});
   if (!qid.ok()) {
     std::fprintf(stderr, "register: %s\n", qid.status().ToString().c_str());
     std::exit(1);
   }
 
-  double total_tick_ms = 0;
+  Timed out;
   for (int b = 1; b <= batches; ++b) {
     h.AppendEvents(batch_size);
     auto start = std::chrono::steady_clock::now();
     if (!h.mgr.Tick().ok()) std::exit(1);
     double ms = MsSince(start);
-    total_tick_ms += ms;
-    if (!g_json && (b == 1 || b == batches / 2 || b == batches)) {
+    out.total_tick_ms += ms;
+    if (!g_json && progress != nullptr &&
+        (b == 1 || b == batches / 2 || b == batches)) {
       std::printf("  %-5s batch %3d: store=%5zu fragments, tick=%8.2fms\n",
-                  xcql::lang::ExecMethodName(method), b,
-                  h.mgr.store("credit")->size(), ms);
+                  progress, b, h.mgr.store("credit")->size(), ms);
     }
   }
-  double events = static_cast<double>(batches) * batch_size;
-  double throughput =
-      total_tick_ms > 0 ? events / (total_tick_ms / 1000.0) : 0;
+  out.events = static_cast<double>(batches) * batch_size;
+  out.throughput = out.total_tick_ms > 0
+                       ? out.events / (out.total_tick_ms / 1000.0)
+                       : 0;
+  return out;
+}
+
+void RunMethod(xcql::lang::ExecMethod method, int batches, int batch_size) {
+  Timed r = TimeWindowQuery(method, /*use_compiled_plan=*/true, batches,
+                            batch_size, xcql::lang::ExecMethodName(method));
   if (!g_json) {
     std::printf(
         "  %-5s total: %d events, %.1f events/sec sustained (query "
         "re-evaluation only)\n\n",
-        xcql::lang::ExecMethodName(method), batches * batch_size, throughput);
+        xcql::lang::ExecMethodName(method), batches * batch_size,
+        r.throughput);
   }
   Record(std::string("throughput_") + xcql::lang::ExecMethodName(method),
-         {{"events", events},
-          {"total_tick_ms", total_tick_ms},
-          {"avg_tick_ms", total_tick_ms / batches},
-          {"events_per_sec", throughput}});
+         {{"events", r.events},
+          {"total_tick_ms", r.total_tick_ms},
+          {"avg_tick_ms", r.total_tick_ms / batches},
+          {"events_per_sec", r.throughput}});
 }
 
 // Quiescent-stream ablation: a populated store, registered data-bounded
@@ -255,8 +277,11 @@ void RunQuiescent(xcql::stream::TickPolicy policy, const char* name,
 // Mixed workload: transaction events keep arriving, but most registered
 // queries watch the (quiet) creditLimit subtree — only the transaction
 // queries are due each tick, and the due ones evaluate on the worker pool.
-void RunMixed(xcql::stream::TickPolicy policy, int workers, const char* name,
-              int batches, int batch_size, int limit_versions) {
+// Returns the average tick latency. `name == nullptr` runs silently
+// without recording a scenario (used by the plan ablation below).
+double RunMixed(xcql::stream::TickPolicy policy, int workers, const char* name,
+                int batches, int batch_size, int limit_versions,
+                bool use_compiled_plan = true) {
   Harness h;
   h.AddLimitVersions(limit_versions);
   const char* kRelevant[] = {
@@ -279,7 +304,8 @@ void RunMixed(xcql::stream::TickPolicy policy, int workers, const char* name,
                  text, nullptr,
                  {.method = xcql::lang::ExecMethod::kQaCPlus,
                   .dedup = true,
-                  .tick_policy = policy})
+                  .tick_policy = policy,
+                  .use_compiled_plan = use_compiled_plan})
              .ok()) {
       std::exit(1);
     }
@@ -290,7 +316,8 @@ void RunMixed(xcql::stream::TickPolicy policy, int workers, const char* name,
                  text, nullptr,
                  {.method = xcql::lang::ExecMethod::kQaCPlus,
                   .dedup = true,
-                  .tick_policy = policy})
+                  .tick_policy = policy,
+                  .use_compiled_plan = use_compiled_plan})
              .ok()) {
       std::exit(1);
     }
@@ -305,6 +332,7 @@ void RunMixed(xcql::stream::TickPolicy policy, int workers, const char* name,
     total_ms += MsSince(start);
   }
   double avg = total_ms / batches;
+  if (name == nullptr) return avg;
   if (!g_json) {
     std::printf(
         "  %-9s %3d ticks x %d events: avg %8.3fms/tick, %lld evaluations, "
@@ -320,6 +348,66 @@ void RunMixed(xcql::stream::TickPolicy policy, int workers, const char* name,
           {"evaluations", static_cast<double>(engine.evaluations())},
           {"skips", static_cast<double>(engine.skips())},
           {"workers", static_cast<double>(workers)}});
+  return avg;
+}
+
+// Tentpole ablation: every workload above now runs through the compiled
+// flat-operator plan by default; this section re-times each execution
+// method (and the mixed workload) with `use_compiled_plan` forced off, so
+// the plan's contribution is separable from the cost-model change.
+void RunPlanAblation(int batches, int batch_size, int limit_versions) {
+  const struct {
+    xcql::lang::ExecMethod method;
+    int batches;
+  } kMethods[] = {
+      {xcql::lang::ExecMethod::kQaCPlus, batches},
+      {xcql::lang::ExecMethod::kQaC, batches},
+      // CaQ re-materializes the view every tick; keep it bounded as above.
+      {xcql::lang::ExecMethod::kCaQ, std::max(batches / 4, 2)},
+  };
+  for (const auto& m : kMethods) {
+    Timed compiled =
+        TimeWindowQuery(m.method, /*use_compiled_plan=*/true, m.batches,
+                        batch_size);
+    Timed interpreted =
+        TimeWindowQuery(m.method, /*use_compiled_plan=*/false, m.batches,
+                        batch_size);
+    double speedup = interpreted.throughput > 0
+                         ? compiled.throughput / interpreted.throughput
+                         : 0;
+    if (!g_json) {
+      std::printf(
+          "  %-5s compiled %8.1f ev/s vs interpreted %8.1f ev/s "
+          "(%.2fx)\n",
+          xcql::lang::ExecMethodName(m.method), compiled.throughput,
+          interpreted.throughput, speedup);
+    }
+    Record(std::string("compiled_vs_interpreted_") +
+               xcql::lang::ExecMethodName(m.method),
+           {{"events", compiled.events},
+            {"compiled_events_per_sec", compiled.throughput},
+            {"interpreted_events_per_sec", interpreted.throughput},
+            {"speedup", speedup}});
+  }
+  double compiled_avg =
+      RunMixed(xcql::stream::TickPolicy::kAuto, 3, nullptr, batches,
+               batch_size, limit_versions, /*use_compiled_plan=*/true);
+  double interpreted_avg =
+      RunMixed(xcql::stream::TickPolicy::kAuto, 3, nullptr, batches,
+               batch_size, limit_versions, /*use_compiled_plan=*/false);
+  double speedup =
+      compiled_avg > 0 ? interpreted_avg / compiled_avg : 0;
+  if (!g_json) {
+    std::printf(
+        "  mixed compiled %8.3fms/tick vs interpreted %8.3fms/tick "
+        "(%.2fx)\n\n",
+        compiled_avg, interpreted_avg, speedup);
+  }
+  Record("compiled_vs_interpreted_mixed",
+         {{"ticks", static_cast<double>(batches)},
+          {"compiled_avg_tick_ms", compiled_avg},
+          {"interpreted_avg_tick_ms", interpreted_avg},
+          {"speedup", speedup}});
 }
 
 // Incremental-mode ablation: the same detection query evaluated over the
@@ -419,6 +507,13 @@ int main(int argc, char** argv) {
   RunMixed(xcql::stream::TickPolicy::kAuto, 3, "optimized", kBatches,
            kBatchSize, kLimitVersions);
   if (!g_json) std::printf("\n");
+
+  if (!g_json) {
+    std::printf(
+        "Compiled-plan ablation: same workloads with the flat operator "
+        "plan (default) vs the tree-walking interpreter\n\n");
+  }
+  RunPlanAblation(kBatches, kBatchSize, kLimitVersions);
 
   if (!g_json) {
     std::printf(

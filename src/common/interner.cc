@@ -1,0 +1,57 @@
+#include "common/interner.h"
+
+#include <deque>
+#include <mutex>
+#include <shared_mutex>
+#include <unordered_map>
+
+namespace xcql {
+
+namespace {
+
+struct Table {
+  std::shared_mutex mu;
+  // Keys view into `names`, whose deque-backed strings never move.
+  std::unordered_map<std::string_view, int> ids;
+  std::deque<std::string> names;
+
+  Table() {
+    names.emplace_back();
+    ids.emplace(std::string_view(names.back()), kEmptyNameId);
+  }
+};
+
+// Leaked intentionally: interned ids may be read from static destructors
+// (e.g. global node trees torn down at exit), so the table must outlive
+// every other static.
+Table& GlobalTable() {
+  static Table* table = new Table();
+  return *table;
+}
+
+}  // namespace
+
+int InternName(std::string_view name) {
+  if (name.empty()) return kEmptyNameId;
+  Table& t = GlobalTable();
+  {
+    std::shared_lock<std::shared_mutex> lock(t.mu);
+    auto it = t.ids.find(name);
+    if (it != t.ids.end()) return it->second;
+  }
+  std::unique_lock<std::shared_mutex> lock(t.mu);
+  auto it = t.ids.find(name);
+  if (it != t.ids.end()) return it->second;
+  t.names.emplace_back(name);
+  int id = static_cast<int>(t.names.size()) - 1;
+  t.ids.emplace(std::string_view(t.names.back()), id);
+  return id;
+}
+
+const std::string& InternedName(int id) {
+  Table& t = GlobalTable();
+  std::shared_lock<std::shared_mutex> lock(t.mu);
+  return t.names[static_cast<size_t>(id)];
+}
+
+}  // namespace xcql

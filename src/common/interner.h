@@ -1,0 +1,32 @@
+// Process-wide interned name table. Tag and attribute names repeat millions
+// of times across fragments and query results; interning maps each distinct
+// spelling to a small stable integer so hot-path comparisons (path node
+// tests, hole detection, temporalize grouping) are int compares instead of
+// string compares.
+//
+// Ids are stable for the process lifetime and never reused; the table only
+// grows (schemas are tiny, so this is bytes, not megabytes). Lookup takes a
+// shared lock, first-time insertion a unique lock, so concurrent tick
+// workers interning the same names never race.
+#ifndef XCQL_COMMON_INTERNER_H_
+#define XCQL_COMMON_INTERNER_H_
+
+#include <string>
+#include <string_view>
+
+namespace xcql {
+
+/// \brief Id of the empty name. Text nodes carry it; it is pre-interned so
+/// the (very common) empty case never touches the table.
+inline constexpr int kEmptyNameId = 0;
+
+/// \brief Returns the stable id for `name`, interning it on first sight.
+int InternName(std::string_view name);
+
+/// \brief The spelling behind an id. Precondition: `id` came from
+/// InternName in this process.
+const std::string& InternedName(int id);
+
+}  // namespace xcql
+
+#endif  // XCQL_COMMON_INTERNER_H_

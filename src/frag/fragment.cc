@@ -78,7 +78,8 @@ NodePtr MakeHole(int64_t filler_id, int tsid) {
 }
 
 bool IsHoleElement(const Node& n) {
-  return n.is_element() && n.name() == "hole";
+  static const int kHoleId = InternName("hole");
+  return n.is_element() && n.name_id() == kHoleId;
 }
 
 Result<int64_t> HoleId(const Node& hole) {

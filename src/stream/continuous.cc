@@ -1,5 +1,6 @@
 #include "stream/continuous.h"
 
+#include <algorithm>
 #include <thread>
 #include <vector>
 
@@ -129,7 +130,7 @@ Status ContinuousQueryEngine::Tick() {
     Query* q;
     int64_t stamp;
     Result<xq::Sequence> result = Status::Internal("not evaluated");
-    lang::ExecStats exec_stats;
+    lang::ExecStats exec_stats = {};
   };
   std::vector<DueEntry> due;  // ascending query id (queries_ is ordered)
   for (auto& [id, q] : queries_) {
@@ -164,6 +165,8 @@ Status ContinuousQueryEngine::Tick() {
     opts.method = entry.q->options.method;
     opts.now = now;
     opts.hole_policy = entry.q->options.hole_policy;
+    opts.linear_get_fillers = entry.q->options.linear_get_fillers;
+    opts.use_compiled_plan = entry.q->options.use_compiled_plan;
     opts.stats = &entry.exec_stats;  // each worker writes only its own slot
     if (entry.q->options.incremental) {
       opts.bindings["since"] =
@@ -178,6 +181,13 @@ Status ContinuousQueryEngine::Tick() {
     Query& q = *entry.q;
     ++evaluations_;
     ++q.evaluations;
+    if (entry.exec_stats.used_compiled_plan) {
+      ++q.compiled_evals;
+    } else {
+      ++q.fallback_evals;
+    }
+    q.arena_high_water =
+        std::max(q.arena_high_water, entry.exec_stats.arena_bytes);
     if (!entry.result.ok()) {
       // Keep watermark, stamp and seen-set untouched: the query retries
       // with identical inputs next tick.
@@ -226,6 +236,11 @@ Result<ContinuousQueryStats> ContinuousQueryEngine::QueryStats(int id) const {
   stats.unbounded = q.prepared.relevance.unbounded;
   stats.holes_unresolved_last = q.holes_unresolved_last;
   stats.incomplete_evaluations = q.incomplete_evaluations;
+  stats.compile_micros = q.prepared.compile_micros;
+  stats.compiled_evals = q.compiled_evals;
+  stats.fallback_evals = q.fallback_evals;
+  stats.plan_fallback_reason = q.prepared.plan_fallback_reason;
+  stats.arena_high_water = q.arena_high_water;
   return stats;
 }
 

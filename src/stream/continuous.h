@@ -22,6 +22,7 @@
 #include <functional>
 #include <map>
 #include <memory>
+#include <optional>
 #include <set>
 #include <string>
 #include <unordered_set>
@@ -72,6 +73,13 @@ struct ContinuousQueryOptions {
   /// completeness; under kFail each tick records an error until the filler
   /// arrives. See docs/ROBUSTNESS.md.
   xq::HolePolicy hole_policy = xq::HolePolicy::kOmit;
+  /// Overrides the filler-lookup cost model when set: true forces the
+  /// paper-faithful linear scan (`--paper-faithful` in the CLIs). Unset
+  /// uses the engine default (indexed lookup).
+  std::optional<bool> linear_get_fillers = std::nullopt;
+  /// Evaluate ticks through the compiled plan when the query lowered to one
+  /// (see xq/plan.h); off forces the reference tree-walking interpreter.
+  bool use_compiled_plan = true;
 };
 
 /// \brief Per-query runtime counters and status.
@@ -89,6 +97,15 @@ struct ContinuousQueryStats {
   /// result was built from fully-arrived data.
   int64_t holes_unresolved_last = 0;
   int64_t incomplete_evaluations = 0;
+  /// Plan pipeline counters: microseconds spent lowering the query (latest
+  /// compilation), how many evaluations ran the compiled plan vs fell back
+  /// to the interpreter, why the plan fell back (empty = it compiled), and
+  /// the largest evaluation-arena footprint seen (bytes).
+  int64_t compile_micros = 0;
+  int64_t compiled_evals = 0;
+  int64_t fallback_evals = 0;
+  std::string plan_fallback_reason;
+  size_t arena_high_water = 0;
 };
 
 /// \brief Runs registered XCQL queries continuously over a hub's streams.
@@ -157,6 +174,9 @@ class ContinuousQueryEngine {
     Status last_status;
     int64_t holes_unresolved_last = 0;
     int64_t incomplete_evaluations = 0;
+    int64_t compiled_evals = 0;
+    int64_t fallback_evals = 0;
+    size_t arena_high_water = 0;
   };
 
   Status SyncStreams();

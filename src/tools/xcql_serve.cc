@@ -25,6 +25,15 @@
 //
 //   xcql_serve --port 7788 --xmark 0.01 --data-dir /var/lib/xcql/auction \
 //              --fsync interval --fsync-interval-ms 25 --checkpoint-every 512
+//
+// With --monitor the server also runs a continuous XCQL query over its own
+// stream (a local mirror store fed by the publish path) and prints newly
+// appearing results as updates go out — server-side monitoring without a
+// subscriber process:
+//
+//   xcql_serve --port 7788 --xmark 0.01 --updates 200 \
+//              --monitor 'count(stream("auction")//item)' \
+//              [--monitor-method caq|qac|qac+] [--paper-faithful]
 #include <chrono>
 #include <cstdio>
 #include <cstring>
@@ -36,9 +45,13 @@
 #include "common/file_util.h"
 #include "common/random.h"
 #include "common/string_util.h"
+#include "core/stream_manager.h"
 #include "net/chaos.h"
 #include "net/server.h"
 #include "net/wal.h"
+#include "stream/clock.h"
+#include "stream/continuous.h"
+#include "stream/registry.h"
 #include "stream/transport.h"
 #include "xmark/generator.h"
 #include "xml/parser.h"
@@ -63,6 +76,12 @@ struct ServeOptions {
   bool any_fault = false;
   std::string data_dir;  // empty = in-memory (no durability)
   xcql::net::WalOptions wal;
+  // Server-side continuous monitoring query (empty = none).
+  std::string monitor;
+  xcql::lang::ExecMethod monitor_method = xcql::lang::ExecMethod::kQaCPlus;
+  // Paper-faithful cost model for the monitor query: linear filler scans
+  // instead of the default hash-indexed lookup.
+  bool paper_faithful = false;
 };
 
 int Usage(const char* argv0) {
@@ -77,9 +96,24 @@ int Usage(const char* argv0) {
       "          [--fault-delay-ms M] [--fault-seed S]\n"
       "          [--data-dir PATH] [--fsync always|interval|never]\n"
       "          [--fsync-interval-ms M] [--segment-bytes N]\n"
-      "          [--checkpoint-every N]\n",
+      "          [--checkpoint-every N]\n"
+      "          [--monitor XCQL] [--monitor-method caq|qac|qac+]\n"
+      "          [--paper-faithful]\n",
       argv0);
   return 2;
+}
+
+bool ParseMethod(const char* s, xcql::lang::ExecMethod* out) {
+  if (std::strcmp(s, "caq") == 0) {
+    *out = xcql::lang::ExecMethod::kCaQ;
+  } else if (std::strcmp(s, "qac") == 0) {
+    *out = xcql::lang::ExecMethod::kQaC;
+  } else if (std::strcmp(s, "qac+") == 0 || std::strcmp(s, "qacplus") == 0) {
+    *out = xcql::lang::ExecMethod::kQaCPlus;
+  } else {
+    return false;
+  }
+  return true;
 }
 
 bool Fail(const xcql::Status& st) {
@@ -178,6 +212,17 @@ int main(int argc, char** argv) {
       const char* v = next();
       if (v == nullptr) return Usage(argv[0]);
       opt.wal.checkpoint_every = std::atoll(v);
+    } else if (arg == "--monitor") {
+      const char* v = next();
+      if (v == nullptr) return Usage(argv[0]);
+      opt.monitor = v;
+    } else if (arg == "--monitor-method") {
+      const char* v = next();
+      if (v == nullptr || !ParseMethod(v, &opt.monitor_method)) {
+        return Usage(argv[0]);
+      }
+    } else if (arg == "--paper-faithful") {
+      opt.paper_faithful = true;
     } else if (arg == "--policy") {
       const char* v = next();
       if (v == nullptr) return Usage(argv[0]);
@@ -224,6 +269,44 @@ int main(int argc, char** argv) {
   if (Fail(ts.status())) return 1;
   xcql::stream::StreamServer server(opt.stream, std::move(ts).MoveValue());
   if (opt.compress) server.EnableWireCompression();
+
+  // Server-side monitor: subscribe a local hub to our own server so every
+  // published fragment mirrors into a FragmentStore, and run the --monitor
+  // query continuously over it as updates go out. (Subscribing before any
+  // publish means the mirror sees the initial document too; recovered
+  // history is replanted without multicast and is replayed in below.)
+  xcql::stream::StreamHub monitor_hub;
+  xcql::stream::SimClock monitor_clock;
+  std::unique_ptr<xcql::stream::ContinuousQueryEngine> monitor_engine;
+  int monitor_qid = -1;
+  if (!opt.monitor.empty()) {
+    if (Fail(monitor_hub.Subscribe(&server))) return 1;
+    monitor_engine = std::make_unique<xcql::stream::ContinuousQueryEngine>(
+        &monitor_hub, &monitor_clock);
+    xcql::stream::ContinuousQueryOptions q_opts;
+    q_opts.method = opt.monitor_method;
+    if (opt.paper_faithful) q_opts.linear_get_fillers = true;
+    auto qid = monitor_engine->Register(
+        opt.monitor,
+        [](const xcql::xq::Sequence& delta, xcql::DateTime at) {
+          for (const auto& item : delta) {
+            std::printf("[monitor %s] %s\n", at.ToString().c_str(),
+                        xcql::RenderResult({item}).c_str());
+          }
+          std::fflush(stdout);
+        },
+        q_opts);
+    if (Fail(qid.status())) return 1;
+    monitor_qid = qid.value();
+  }
+  auto monitor_tick = [&]() -> bool {
+    if (monitor_engine == nullptr) return true;
+    const xcql::frag::FragmentStore* mstore = monitor_hub.store(opt.stream);
+    if (mstore != nullptr && mstore->size() > 0) {
+      monitor_clock.AdvanceTo(mstore->max_valid_time());
+    }
+    return !Fail(monitor_engine->Tick());
+  };
 
   // Durability: open (or initialize) the data dir before the network face
   // exists, and replant any recovered history so FragmentServer::Start()
@@ -293,11 +376,17 @@ int main(int argc, char** argv) {
     // publishing it again would append duplicate versions.
     std::printf("resuming recovered stream: %lld fragments in history\n",
                 static_cast<long long>(server.history_size()));
+    // Recovery replants history without multicast; catch the monitor's
+    // mirror store up explicitly.
+    if (monitor_engine != nullptr) {
+      if (Fail(server.ReplayTo(&monitor_hub).status())) return 1;
+    }
   } else if (doc != nullptr) {
     if (Fail(server.PublishDocument(*doc))) return 1;
     std::printf("published initial document: %lld fragments\n",
                 static_cast<long long>(server.fragments_sent()));
   }
+  if (!monitor_tick()) return 1;
 
   // Timed updates: new versions of existing fragmented fillers.
   if (opt.updates > 0) {
@@ -328,6 +417,7 @@ int main(int argc, char** argv) {
       f.content = base.content->Clone();
       f.content->SetAttr("rev", std::to_string(u + 1));
       if (Fail(server.Publish(std::move(f)))) return 1;
+      if (!monitor_tick()) return 1;
       std::this_thread::sleep_for(
           std::chrono::milliseconds(opt.interval_ms));
     }
@@ -339,6 +429,25 @@ int main(int argc, char** argv) {
   } else {
     std::printf("serving until killed (ctrl-c)...\n");
     for (;;) std::this_thread::sleep_for(std::chrono::seconds(3600));
+  }
+  if (monitor_qid >= 0) {
+    if (!monitor_tick()) return 1;  // final evaluation over the full stream
+    auto qs = monitor_engine->QueryStats(monitor_qid);
+    if (qs.ok()) {
+      std::printf(
+          "monitor (%s): %lld evaluations (%lld compiled / %lld "
+          "interpreted), %lld skips, compile %lldus, arena high-water %zu "
+          "bytes%s%s\n",
+          xcql::lang::ExecMethodName(opt.monitor_method),
+          static_cast<long long>(qs.value().evaluations),
+          static_cast<long long>(qs.value().compiled_evals),
+          static_cast<long long>(qs.value().fallback_evals),
+          static_cast<long long>(qs.value().skips),
+          static_cast<long long>(qs.value().compile_micros),
+          qs.value().arena_high_water,
+          qs.value().plan_fallback_reason.empty() ? "" : " — fallback: ",
+          qs.value().plan_fallback_reason.c_str());
+    }
   }
   auto m = net_server.metrics();
   std::printf(

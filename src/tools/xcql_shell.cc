@@ -46,6 +46,9 @@ struct ShellOptions {
   std::optional<xcql::DateTime> now;
   std::vector<std::string> queries;
   bool translate_only = false;
+  // Paper-faithful cost model: linear filler[@id=$fid] scans instead of the
+  // default hash-indexed lookup (reproduces the paper's QaC/CaQ costs).
+  bool paper_faithful = false;
   std::string materialize;
 };
 
@@ -54,7 +57,7 @@ int Usage(const char* argv0) {
       stderr,
       "usage: %s --stream NAME --structure FILE [--document FILE]\n"
       "          [--fragments FILE]... [--stream NAME2 ...]\n"
-      "          [--method caq|qac|qac+] [--now dateTime]\n"
+      "          [--method caq|qac|qac+] [--now dateTime] [--paper-faithful]\n"
       "          [--query XCQL]... [--translate] [--materialize NAME]\n",
       argv0);
   return 2;
@@ -114,6 +117,7 @@ void RunQuery(xcql::StreamManager* mgr, const ShellOptions& opts,
   xcql::lang::ExecOptions eopts;
   eopts.method = opts.method;
   eopts.now = opts.now;
+  if (opts.paper_faithful) eopts.linear_get_fillers = true;
   auto r = mgr->Query(query, eopts);
   if (!r.ok()) {
     std::printf("error: %s\n", r.status().ToString().c_str());
@@ -243,6 +247,8 @@ int main(int argc, char** argv) {
       opts.queries.emplace_back(v);
     } else if (arg == "--translate") {
       opts.translate_only = true;
+    } else if (arg == "--paper-faithful") {
+      opts.paper_faithful = true;
     } else if (arg == "--materialize") {
       const char* v = next();
       if (v == nullptr) return Usage(argv[0]);

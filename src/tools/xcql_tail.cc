@@ -39,6 +39,9 @@ struct TailOptions {
   bool compressed = false;
   int interval_ms = 500;
   int duration_ms = 0;  // 0 = until killed
+  // Paper-faithful cost model: linear filler scans instead of the default
+  // hash-indexed lookup.
+  bool paper_faithful = false;
   xcql::xq::HolePolicy holes = xcql::xq::HolePolicy::kOmit;
   xcql::net::ChaosFaults faults;
   uint64_t fault_seed = 1;
@@ -49,7 +52,7 @@ int Usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s --connect HOST:PORT --stream NAME [--query XCQL]\n"
                "          [--compressed] [--interval-ms M] [--duration-ms M]\n"
-               "          [--holes omit|keep|fail]\n"
+               "          [--holes omit|keep|fail] [--paper-faithful]\n"
                "          [--fault-drop P] [--fault-dup P] [--fault-reorder "
                "P]\n"
                "          [--fault-corrupt P] [--fault-truncate P]\n"
@@ -91,6 +94,8 @@ int main(int argc, char** argv) {
       opt.query = v;
     } else if (arg == "--compressed") {
       opt.compressed = true;
+    } else if (arg == "--paper-faithful") {
+      opt.paper_faithful = true;
     } else if (arg == "--interval-ms") {
       const char* v = next();
       if (v == nullptr) return Usage(argv[0]);
@@ -183,9 +188,11 @@ int main(int argc, char** argv) {
   xcql::stream::SimClock clock;
   xcql::stream::ContinuousQueryEngine engine(&hub, &clock);
 
+  int query_id = -1;
   if (!opt.query.empty()) {
     xcql::stream::ContinuousQueryOptions q_opts;
     q_opts.hole_policy = opt.holes;
+    if (opt.paper_faithful) q_opts.linear_get_fillers = true;
     auto id = engine.Register(
         opt.query,
         [](const xcql::xq::Sequence& delta, xcql::DateTime at) {
@@ -197,6 +204,7 @@ int main(int argc, char** argv) {
         },
         q_opts);
     if (Fail(id.status())) return 1;
+    query_id = id.value();
   }
 
   auto started = std::chrono::steady_clock::now();
@@ -232,6 +240,20 @@ int main(int argc, char** argv) {
         std::chrono::steady_clock::now() - started >=
             std::chrono::milliseconds(opt.duration_ms)) {
       break;
+    }
+  }
+  if (query_id >= 0) {
+    auto qs = engine.QueryStats(query_id);
+    if (qs.ok()) {
+      std::printf(
+          "plan: compiled in %lldus, %lld compiled / %lld interpreted "
+          "evaluations, arena high-water %zu bytes%s%s\n",
+          static_cast<long long>(qs.value().compile_micros),
+          static_cast<long long>(qs.value().compiled_evals),
+          static_cast<long long>(qs.value().fallback_evals),
+          qs.value().arena_high_water,
+          qs.value().plan_fallback_reason.empty() ? "" : " — fallback: ",
+          qs.value().plan_fallback_reason.c_str());
     }
   }
   auto m = subscriber.metrics();

@@ -23,6 +23,7 @@
 #include "xcql/translator.h"
 #include "xq/context.h"
 #include "xq/eval.h"
+#include "xq/plan.h"
 
 namespace xcql::lang {
 
@@ -32,6 +33,14 @@ struct ExecStats {
   /// Holes whose filler was missing and that were omitted or kept per the
   /// hole policy — the result-completeness signal (0 = complete result).
   int64_t holes_unresolved = 0;
+
+  /// True when this execution ran the compiled plan; false when it ran the
+  /// tree-walking interpreter (no plan compiled, or compilation fell back).
+  bool used_compiled_plan = false;
+
+  /// Bytes bump-allocated from this execution's evaluation arena (high-water
+  /// mark; the arena is monotonic). 0 when arena allocation is disabled.
+  size_t arena_bytes = 0;
 };
 
 /// \brief Options for one execution.
@@ -46,10 +55,16 @@ struct ExecOptions {
   /// materialized after fragment processing).
   bool materialize_result = true;
 
-  /// Overrides the method's filler-lookup cost model when set: true forces
-  /// the paper-faithful linear scan, false forces the hash index (used by
-  /// the Ablation A benchmark).
+  /// Overrides the filler-lookup cost model when set: true forces the
+  /// paper-faithful linear scan (`--paper-faithful` in the CLIs, and the
+  /// paper-replication benchmarks), false forces the hash index. Unset uses
+  /// the default cost model: indexed lookup for every method.
   std::optional<bool> linear_get_fillers;
+
+  /// Evaluate through the compiled plan when the prepared query has one
+  /// (see xq/plan.h). Off forces the tree-walking interpreter — the
+  /// reference evaluator, used by the differential equivalence tests.
+  bool use_compiled_plan = true;
 
   /// External variable bindings visible to the query (names without '$').
   /// The continuous engine uses this to pass the per-query watermark as
@@ -80,6 +95,14 @@ struct PreparedQuery {
   /// Conservative summary of the fragments that can affect the result and
   /// whether the result can drift without new data (see QueryRelevance).
   QueryRelevance relevance;
+  /// The program lowered to a flat operator pipeline (xq/plan.h); null when
+  /// the program uses a construct the plan layer does not lower, in which
+  /// case `plan_fallback_reason` says why and execution uses the
+  /// interpreter.
+  std::shared_ptr<const xq::CompiledPlan> plan;
+  std::string plan_fallback_reason;
+  /// Wall-clock microseconds spent lowering the program in Prepare().
+  int64_t compile_micros = 0;
 };
 
 /// \brief Executes XCQL queries over registered fragment streams.

@@ -2,8 +2,15 @@
 
 namespace xcql {
 
+// A derived struct may use the private constructor because it is a member
+// of Node itself; allocate_shared needs its constructor to be public.
+struct Node::Access : Node {
+  explicit Access(Kind kind) : Node(kind) {}
+};
+
 NodePtr Node::Element(std::string name) {
   NodePtr n(new Node(Kind::kElement));
+  n->name_id_ = InternName(name);
   n->name_ = std::move(name);
   return n;
 }
@@ -16,6 +23,36 @@ NodePtr Node::Text(std::string text) {
 
 NodePtr Node::Attribute(std::string name, std::string value) {
   NodePtr n(new Node(Kind::kAttribute));
+  n->name_id_ = InternName(name);
+  n->name_ = std::move(name);
+  n->text_ = std::move(value);
+  return n;
+}
+
+NodePtr Node::Element(std::string name,
+                      const std::shared_ptr<ArenaPool>& arena) {
+  if (arena == nullptr) return Element(std::move(name));
+  NodePtr n = std::allocate_shared<Access>(ArenaAllocator<Access>(arena),
+                                           Kind::kElement);
+  n->name_id_ = InternName(name);
+  n->name_ = std::move(name);
+  return n;
+}
+
+NodePtr Node::Text(std::string text, const std::shared_ptr<ArenaPool>& arena) {
+  if (arena == nullptr) return Text(std::move(text));
+  NodePtr n =
+      std::allocate_shared<Access>(ArenaAllocator<Access>(arena), Kind::kText);
+  n->text_ = std::move(text);
+  return n;
+}
+
+NodePtr Node::Attribute(std::string name, std::string value,
+                        const std::shared_ptr<ArenaPool>& arena) {
+  if (arena == nullptr) return Attribute(std::move(name), std::move(value));
+  NodePtr n = std::allocate_shared<Access>(ArenaAllocator<Access>(arena),
+                                           Kind::kAttribute);
+  n->name_id_ = InternName(name);
   n->name_ = std::move(name);
   n->text_ = std::move(value);
   return n;
@@ -88,6 +125,7 @@ NodePtr Node::FirstChildElement(std::string_view name) const {
 
 NodePtr Node::Clone() const {
   NodePtr n(new Node(kind_));
+  n->name_id_ = name_id_;
   n->name_ = name_;
   n->text_ = text_;
   n->attrs_ = attrs_;

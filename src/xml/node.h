@@ -10,6 +10,9 @@
 #include <utility>
 #include <vector>
 
+#include "common/arena.h"
+#include "common/interner.h"
+
 namespace xcql {
 
 class Node;
@@ -39,6 +42,17 @@ class Node : public std::enable_shared_from_this<Node> {
   /// constructors in the query engine.
   static NodePtr Attribute(std::string name, std::string value);
 
+  /// \brief Arena-backed variants: node + control block live in `arena`,
+  /// which stays alive until the last node allocated from it is released
+  /// (see common/arena.h). Used for the transient nodes the query engine
+  /// creates per evaluation. Null arena falls back to the heap factories.
+  static NodePtr Element(std::string name,
+                         const std::shared_ptr<ArenaPool>& arena);
+  static NodePtr Text(std::string text,
+                      const std::shared_ptr<ArenaPool>& arena);
+  static NodePtr Attribute(std::string name, std::string value,
+                           const std::shared_ptr<ArenaPool>& arena);
+
   Kind kind() const { return kind_; }
   bool is_element() const { return kind_ == Kind::kElement; }
   bool is_text() const { return kind_ == Kind::kText; }
@@ -46,6 +60,11 @@ class Node : public std::enable_shared_from_this<Node> {
 
   /// \brief Element name; empty for text nodes.
   const std::string& name() const { return name_; }
+
+  /// \brief Interned id of name() (kEmptyNameId for text nodes), fixed at
+  /// construction. Two nodes have equal names iff their ids are equal, so
+  /// tag tests reduce to an int compare.
+  int name_id() const { return name_id_; }
 
   /// \brief Text content (text nodes) or attribute value (attribute nodes);
   /// empty for elements (see StringValue()).
@@ -100,7 +119,12 @@ class Node : public std::enable_shared_from_this<Node> {
  private:
   explicit Node(Kind kind) : kind_(kind) {}
 
+  // Gives the arena factories (std::allocate_shared needs a public
+  // constructor) access to the private one without exposing it.
+  struct Access;
+
   Kind kind_;
+  int name_id_ = kEmptyNameId;
   std::string name_;
   std::string text_;
   std::vector<std::pair<std::string, std::string>> attrs_;

@@ -10,6 +10,7 @@
 #include <string>
 #include <vector>
 
+#include "common/arena.h"
 #include "xq/ast.h"
 #include "xq/value.h"
 
@@ -106,6 +107,12 @@ struct EvalContext {
   /// Named documents for fn:doc (and for stream() once a method binds
   /// stream names to materialized roots).
   std::map<std::string, NodePtr, std::less<>> documents;
+
+  /// Arena for transient nodes created during this evaluation (projection
+  /// copies, attribute nodes, constructor results). Null = plain heap. The
+  /// pool outlives any result nodes that escape (see common/arena.h), so
+  /// callers may hand results around freely.
+  std::shared_ptr<ArenaPool> arena;
 };
 
 }  // namespace xcql::xq

@@ -4,76 +4,22 @@
 #include <cmath>
 #include <unordered_set>
 
+#include "common/interner.h"
 #include "common/string_util.h"
 #include "temporal/interval.h"
+#include "xq/eval_kernels.h"
 #include "xq/parser.h"
 
 namespace xcql::xq {
 
 namespace {
 
-// Recursion guard: deep enough for any realistic document/query, shallow
-// enough to fail cleanly instead of overflowing the stack.
-constexpr int kMaxDepth = 1200;
-
-// Resolves the serialized lifespan endpoint "now" (DateTime::End after
-// parsing) to the evaluation clock, per the temporal-view semantics: the
-// view always shows history up to `ctx.now`.
-DateTime ResolveNow(const EvalContext& ctx, DateTime t) {
-  return t == DateTime::End() ? ctx.now : t;
-}
-
-Result<DateTime> ParseVtAttr(const EvalContext& ctx, const std::string& s) {
-  XCQL_ASSIGN_OR_RETURN(DateTime t, DateTime::Parse(s));
-  return ResolveNow(ctx, t);
-}
-
-// Converts an atomic to a dateTime bound for interval projections.
-Result<DateTime> AtomicToDateTime(const EvalContext& ctx, const Atomic& a) {
-  if (a.is_datetime()) return ResolveNow(ctx, a.AsDateTime());
-  if (a.is_string()) return ParseVtAttr(ctx, a.AsString());
-  return Status::TypeError(std::string("expected xs:dateTime bound, got ") +
-                           a.TypeName() + " '" + a.ToStringValue() + "'");
-}
-
-Result<int64_t> AtomicToVersion(const Atomic& a) {
-  if (a.is_int()) return a.AsInt();
-  if (a.is_double()) return static_cast<int64_t>(a.AsDoubleUnchecked());
-  if (a.is_string()) {
-    auto v = ParseInt64(a.AsString());
-    if (v) return *v;
-  }
-  return Status::TypeError(std::string("expected integer version bound, got ") +
-                           a.TypeName());
-}
-
-// Reads the (vtFrom, vtTo) lifespan attributes of an element, if present.
-Result<std::optional<Interval>> ReadLifespanAttrs(const EvalContext& ctx,
-                                                  const Node& e) {
-  const std::string* f = e.FindAttr("vtFrom");
-  const std::string* t = e.FindAttr("vtTo");
-  if (f == nullptr && t == nullptr) return std::optional<Interval>();
-  DateTime from = DateTime::Start();
-  DateTime to = ctx.now;
-  if (f != nullptr) {
-    XCQL_ASSIGN_OR_RETURN(from, ParseVtAttr(ctx, *f));
-  }
-  if (t != nullptr) {
-    XCQL_ASSIGN_OR_RETURN(to, ParseVtAttr(ctx, *t));
-  }
-  return std::optional<Interval>(Interval(from, to));
-}
-
-bool IsHole(const Node& n) {
-  return n.is_element() && n.name() == "hole";
-}
-
 Status ProjectNode(EvalContext& ctx, const NodePtr& node, DateTime tb,
                    DateTime te, Sequence* out, int depth);
 
 Status ProjectChildrenInto(EvalContext& ctx, const Node& src, DateTime tb,
                            DateTime te, Node* dst, int depth) {
-  if (depth > kMaxDepth) {
+  if (depth > kEvalMaxDepth) {
     return Status::Internal("interval projection recursion too deep");
   }
   for (const NodePtr& c : src.children()) {
@@ -89,17 +35,18 @@ Status ProjectChildrenInto(EvalContext& ctx, const Node& src, DateTime tb,
 // Core of interval_projection (paper §6) for one node.
 Status ProjectNode(EvalContext& ctx, const NodePtr& node, DateTime tb,
                    DateTime te, Sequence* out, int depth) {
-  if (depth > kMaxDepth) {
+  if (depth > kEvalMaxDepth) {
     return Status::Internal("interval projection recursion too deep");
   }
   if (!node->is_element()) {
-    out->emplace_back(Node::Text(node->text()));
     if (node->is_attribute()) {
-      out->back() = Node::Attribute(node->name(), node->text());
+      out->emplace_back(NewAttribute(ctx, node->name(), node->text()));
+    } else {
+      out->emplace_back(NewText(ctx, node->text()));
     }
     return Status::OK();
   }
-  if (IsHole(*node) && ctx.hole_resolver != nullptr) {
+  if (IsHoleNode(*node) && ctx.hole_resolver != nullptr) {
     XCQL_ASSIGN_OR_RETURN(std::vector<NodePtr> versions,
                           ctx.hole_resolver->Resolve(ctx, *node));
     for (const NodePtr& v : versions) {
@@ -111,7 +58,7 @@ Status ProjectNode(EvalContext& ctx, const NodePtr& node, DateTime tb,
                         ReadLifespanAttrs(ctx, *node));
   if (!life.has_value()) {
     // Snapshot element: keep it, project the children.
-    NodePtr copy = Node::Element(node->name());
+    NodePtr copy = NewElement(ctx, node->name());
     for (const auto& [k, v] : node->attrs()) copy->SetAttr(k, v);
     XCQL_RETURN_NOT_OK(ProjectChildrenInto(ctx, *node, tb, te, copy.get(),
                                            depth));
@@ -119,7 +66,7 @@ Status ProjectNode(EvalContext& ctx, const NodePtr& node, DateTime tb,
     return Status::OK();
   }
   if (life->end() < tb || life->begin() > te) return Status::OK();  // pruned
-  NodePtr copy = Node::Element(node->name());
+  NodePtr copy = NewElement(ctx, node->name());
   for (const auto& [k, v] : node->attrs()) {
     if (k == "vtFrom" || k == "vtTo") continue;
     copy->SetAttr(k, v);
@@ -131,70 +78,6 @@ Status ProjectNode(EvalContext& ctx, const NodePtr& node, DateTime tb,
   out->emplace_back(std::move(copy));
   return Status::OK();
 }
-
-struct SortKey {
-  // Type rank orders heterogeneous keys deterministically:
-  // empty < boolean < number < dateTime < duration < string.
-  int rank = 0;
-  bool b = false;
-  double num = 0;
-  int64_t ticks = 0;
-  int64_t months = 0;
-  std::string str;
-
-  static SortKey From(const Sequence& seq) {
-    SortKey k;
-    if (seq.empty()) return k;
-    Atomic a = AtomizeItem(seq.front());
-    if (a.is_bool()) {
-      k.rank = 1;
-      k.b = a.AsBool();
-    } else if (a.is_numeric()) {
-      k.rank = 2;
-      k.num = *a.ToNumber();
-    } else if (a.is_datetime()) {
-      k.rank = 3;
-      k.ticks = a.AsDateTime().seconds();
-    } else if (a.is_duration()) {
-      k.rank = 4;
-      k.months = a.AsDuration().months();
-      k.ticks = a.AsDuration().seconds();
-    } else {
-      // Untyped strings that look numeric sort numerically, so documents
-      // with unannotated numbers (the common case) order as expected.
-      auto n = a.untyped() ? ParseDouble(a.AsString()) : std::nullopt;
-      if (n) {
-        k.rank = 2;
-        k.num = *n;
-      } else {
-        k.rank = 5;
-        k.str = a.AsString();
-      }
-    }
-    return k;
-  }
-
-  std::weak_ordering Compare(const SortKey& o) const {
-    if (auto c = rank <=> o.rank; c != 0) return c;
-    switch (rank) {
-      case 1:
-        return b <=> o.b;
-      case 2:
-        return num < o.num    ? std::weak_ordering::less
-               : num > o.num  ? std::weak_ordering::greater
-                              : std::weak_ordering::equivalent;
-      case 3:
-        return ticks <=> o.ticks;
-      case 4:
-        if (auto c = months <=> o.months; c != 0) return c;
-        return ticks <=> o.ticks;
-      case 5:
-        return str.compare(o.str) <=> 0;
-      default:
-        return std::weak_ordering::equivalent;
-    }
-  }
-};
 
 }  // namespace
 
@@ -227,7 +110,7 @@ Result<Sequence> VersionProjection(EvalContext& ctx, const Sequence& input,
                           ReadLifespanAttrs(ctx, *node));
     // A snapshot element counts as a single version spanning all time.
     Interval span = life.value_or(Interval(DateTime::Start(), ctx.now));
-    NodePtr copy = Node::Element(node->name());
+    NodePtr copy = NewElement(ctx, node->name());
     for (const auto& [k, v] : node->attrs()) copy->SetAttr(k, v);
     XCQL_RETURN_NOT_OK(ProjectChildrenInto(ctx, *node, span.begin(),
                                            span.end(), copy.get(), 0));
@@ -245,7 +128,7 @@ Result<DateTime> LifespanFrom(EvalContext& ctx, const Node& e) {
   bool any = false;
   for (const NodePtr& c : e.children()) {
     if (!c->is_element()) continue;
-    if (IsHole(*c) && ctx.hole_resolver != nullptr) {
+    if (IsHoleNode(*c) && ctx.hole_resolver != nullptr) {
       XCQL_ASSIGN_OR_RETURN(std::vector<NodePtr> versions,
                             ctx.hole_resolver->Resolve(ctx, *c));
       for (const NodePtr& v : versions) {
@@ -271,7 +154,7 @@ Result<DateTime> LifespanTo(EvalContext& ctx, const Node& e) {
   bool any = false;
   for (const NodePtr& c : e.children()) {
     if (!c->is_element()) continue;
-    if (IsHole(*c) && ctx.hole_resolver != nullptr) {
+    if (IsHoleNode(*c) && ctx.hole_resolver != nullptr) {
       XCQL_ASSIGN_OR_RETURN(std::vector<NodePtr> versions,
                             ctx.hole_resolver->Resolve(ctx, *c));
       for (const NodePtr& v : versions) {
@@ -341,7 +224,7 @@ Result<Sequence> Evaluator::EvalProgram(const Program& prog) {
 }
 
 Result<Sequence> Evaluator::EvalExpr(const Expr& e) {
-  if (++depth_ > kMaxDepth) {
+  if (++depth_ > kEvalMaxDepth) {
     --depth_;
     return Status::Internal("expression evaluation recursion too deep");
   }
@@ -394,17 +277,7 @@ Result<Sequence> Evaluator::EvalExpr(const Expr& e) {
     case ExprKind::kUnary: {
       const auto& u = static_cast<const UnaryExpr&>(e);
       XCQL_ASSIGN_OR_RETURN(Sequence r, EvalExpr(*u.operand));
-      if (r.empty()) return r;
-      if (r.size() != 1) {
-        return Status::TypeError("unary minus on a multi-item sequence");
-      }
-      Atomic a = AtomizeItem(r.front());
-      if (a.is_int()) return SingletonAtomic(Atomic(-a.AsInt()));
-      auto n = a.ToNumber();
-      if (!n) {
-        return Status::TypeError(std::string("unary minus on ") + a.TypeName());
-      }
-      return SingletonAtomic(Atomic(-*n));
+      return UnaryMinus(std::move(r));
     }
     case ExprKind::kPath:
       return EvalPath(static_cast<const PathExpr&>(e));
@@ -439,7 +312,7 @@ Result<Sequence> Evaluator::EvalFlwor(const FlworExpr& e) {
   if (!ordered.empty() || HasOrderBy(e)) {
     // Sort collected tuples by their keys (stable, empty-least).
     struct Row {
-      std::vector<SortKey> keys;
+      std::vector<OrderSortKey> keys;
       Sequence* seq;
     };
     std::vector<Row> rows;
@@ -447,11 +320,7 @@ Result<Sequence> Evaluator::EvalFlwor(const FlworExpr& e) {
     for (auto& [keys, seq] : ordered) {
       Row r;
       for (const Atomic& a : keys) {
-        Sequence s;
-        if (!(a.is_string() && a.AsString().empty() && a.untyped())) {
-          s.push_back(a);
-        }
-        r.keys.push_back(SortKey::From(s));
+        r.keys.push_back(OrderSortKeyFrom(a));
       }
       r.seq = &seq;
       rows.push_back(std::move(r));
@@ -535,11 +404,7 @@ Status Evaluator::EvalFlworClauses(
       std::vector<Atomic> keys;
       for (const auto& k : c.keys) {
         XCQL_ASSIGN_OR_RETURN(Sequence kv, EvalExpr(*k.key));
-        if (kv.empty()) {
-          keys.emplace_back(std::string(), /*untyped=*/true);  // empty marker
-        } else {
-          keys.push_back(AtomizeItem(kv.front()));
-        }
+        keys.push_back(OrderKeyAtomic(kv));
       }
       Sequence tuple_out;
       XCQL_RETURN_NOT_OK(EvalFlworClauses(e, idx + 1, ordered, &tuple_out));
@@ -602,305 +467,46 @@ Result<Sequence> Evaluator::EvalBinary(const BinaryExpr& e) {
   XCQL_ASSIGN_OR_RETURN(Sequence l, EvalExpr(*e.lhs));
   XCQL_ASSIGN_OR_RETURN(Sequence r, EvalExpr(*e.rhs));
 
-  auto cmp_op = [](BinOp op) {
-    switch (op) {
-      case BinOp::kGenEq:
-      case BinOp::kValEq:
-        return CmpOp::kEq;
-      case BinOp::kGenNe:
-      case BinOp::kValNe:
-        return CmpOp::kNe;
-      case BinOp::kGenLt:
-      case BinOp::kValLt:
-        return CmpOp::kLt;
-      case BinOp::kGenLe:
-      case BinOp::kValLe:
-        return CmpOp::kLe;
-      case BinOp::kGenGt:
-      case BinOp::kValGt:
-        return CmpOp::kGt;
-      default:
-        return CmpOp::kGe;
-    }
-  };
-
   switch (e.op) {
     case BinOp::kGenEq:
     case BinOp::kGenNe:
     case BinOp::kGenLt:
     case BinOp::kGenLe:
     case BinOp::kGenGt:
-    case BinOp::kGenGe: {
-      // General comparison: existential over the two sequences.
-      std::vector<Atomic> la = Atomize(l);
-      std::vector<Atomic> ra = Atomize(r);
-      for (const Atomic& a : la) {
-        for (const Atomic& b : ra) {
-          XCQL_ASSIGN_OR_RETURN(bool ok, CompareAtomics(a, b, cmp_op(e.op)));
-          if (ok) return SingletonAtomic(Atomic(true));
-        }
-      }
-      return SingletonAtomic(Atomic(false));
-    }
+    case BinOp::kGenGe:
+      return GeneralCompare(e.op, l, r);
     case BinOp::kValEq:
     case BinOp::kValNe:
     case BinOp::kValLt:
     case BinOp::kValLe:
     case BinOp::kValGt:
-    case BinOp::kValGe: {
-      if (l.empty() || r.empty()) return Sequence{};
-      if (l.size() != 1 || r.size() != 1) {
-        return Status::TypeError(
-            "value comparison requires singleton operands");
-      }
-      XCQL_ASSIGN_OR_RETURN(
-          bool ok, CompareAtomics(AtomizeItem(l.front()),
-                                  AtomizeItem(r.front()), cmp_op(e.op)));
-      return SingletonAtomic(Atomic(ok));
-    }
-    case BinOp::kTo: {
-      if (l.empty() || r.empty()) return Sequence{};
-      Atomic la = AtomizeItem(l.front());
-      Atomic ra = AtomizeItem(r.front());
-      XCQL_ASSIGN_OR_RETURN(int64_t lo, AtomicToVersion(la));
-      XCQL_ASSIGN_OR_RETURN(int64_t hi, AtomicToVersion(ra));
-      Sequence out;
-      for (int64_t i = lo; i <= hi; ++i) out.emplace_back(Atomic(i));
-      return out;
-    }
+    case BinOp::kValGe:
+      return ValueCompare(e.op, l, r);
+    case BinOp::kTo:
+      return RangeSequence(l, r);
     case BinOp::kUnion:
     case BinOp::kIntersect:
-    case BinOp::kExcept: {
-      // Node-set operators by node identity, preserving the left operand's
-      // order (we do not maintain a global document order).
-      for (const Sequence* side : {&l, &r}) {
-        for (const Item& item : *side) {
-          if (!IsNode(item)) {
-            return Status::TypeError("set operands must be nodes");
-          }
-        }
-      }
-      std::unordered_set<const Node*> right;
-      for (const Item& item : r) right.insert(AsNode(item).get());
-      Sequence out;
-      std::unordered_set<const Node*> seen;
-      if (e.op == BinOp::kUnion) {
-        for (Sequence* side : {&l, &r}) {
-          for (Item& item : *side) {
-            if (seen.insert(AsNode(item).get()).second) {
-              out.push_back(std::move(item));
-            }
-          }
-        }
-        return out;
-      }
-      for (Item& item : l) {
-        bool in_right = right.count(AsNode(item).get()) > 0;
-        if ((e.op == BinOp::kIntersect) != in_right) continue;
-        if (seen.insert(AsNode(item).get()).second) {
-          out.push_back(std::move(item));
-        }
-      }
-      return out;
-    }
+    case BinOp::kExcept:
+      return NodeSetOp(e.op, std::move(l), std::move(r));
     case BinOp::kBefore:
     case BinOp::kAfter:
     case BinOp::kMeets:
     case BinOp::kOverlaps:
     case BinOp::kContains:
-    case BinOp::kDuring: {
-      // XCQL interval relations: existential over the lifespans of the two
-      // sequences (elements by lifespan; dateTimes as point intervals).
-      // `overlaps` means "share at least one instant" (symmetric), which is
-      // the useful reading for coincidence queries; the strict Allen
-      // overlap is expressible as (a overlaps b and not(a contains b) …).
-      for (const Item& a : l) {
-        XCQL_ASSIGN_OR_RETURN(Interval ia, ItemLifespan(a));
-        for (const Item& b : r) {
-          XCQL_ASSIGN_OR_RETURN(Interval ib, ItemLifespan(b));
-          bool hit = false;
-          switch (e.op) {
-            case BinOp::kBefore:
-              hit = ia.Before(ib);
-              break;
-            case BinOp::kAfter:
-              hit = ia.After(ib);
-              break;
-            case BinOp::kMeets:
-              hit = ia.Meets(ib);
-              break;
-            case BinOp::kOverlaps:
-              hit = ia.Intersects(ib);
-              break;
-            case BinOp::kContains:
-              hit = ia.ContainsInterval(ib);
-              break;
-            default:
-              hit = ia.During(ib);
-          }
-          if (hit) return SingletonAtomic(Atomic(true));
-        }
-      }
-      return SingletonAtomic(Atomic(false));
-    }
+    case BinOp::kDuring:
+      return IntervalRelation(*ctx_, e.op, l, r);
     default: {
       if (l.empty() || r.empty()) return Sequence{};
       if (l.size() != 1 || r.size() != 1) {
         return Status::TypeError("arithmetic requires singleton operands");
       }
-      return EvalArithmetic(e.op, AtomizeItem(l.front()),
+      return EvalArithmetic(*ctx_, e.op, AtomizeItem(l.front()),
                             AtomizeItem(r.front()));
     }
   }
 }
 
-Result<Interval> Evaluator::ItemLifespan(const Item& item) {
-  if (IsNode(item)) {
-    const NodePtr& n = AsNode(item);
-    XCQL_ASSIGN_OR_RETURN(DateTime f, LifespanFrom(*ctx_, *n));
-    XCQL_ASSIGN_OR_RETURN(DateTime t, LifespanTo(*ctx_, *n));
-    return Interval(f, t);
-  }
-  XCQL_ASSIGN_OR_RETURN(DateTime d, AtomicToDateTime(*ctx_, AsAtomic(item)));
-  return Interval::Point(d);
-}
-
-Result<Sequence> Evaluator::EvalArithmetic(BinOp op, const Atomic& a,
-                                           const Atomic& b) {
-  // Temporal arithmetic first: dateTime ± duration, dateTime - dateTime,
-  // duration ± duration, duration * number.
-  auto as_datetime = [&](const Atomic& x) -> std::optional<DateTime> {
-    if (x.is_datetime()) return ResolveNow(*ctx_, x.AsDateTime());
-    if (x.is_string()) {
-      auto r = DateTime::Parse(x.AsString());
-      if (r.ok()) return ResolveNow(*ctx_, r.value());
-    }
-    return std::nullopt;
-  };
-  auto as_duration = [&](const Atomic& x) -> std::optional<Duration> {
-    if (x.is_duration()) return x.AsDuration();
-    if (x.is_string()) {
-      auto r = Duration::Parse(x.AsString());
-      if (r.ok()) return r.value();
-    }
-    return std::nullopt;
-  };
-
-  if (a.is_datetime() || b.is_datetime() || a.is_duration() ||
-      b.is_duration()) {
-    if (op == BinOp::kPlus || op == BinOp::kMinus) {
-      auto da = as_datetime(a);
-      auto db = as_datetime(b);
-      auto ua = as_duration(a);
-      auto ub = as_duration(b);
-      if (da && ub) {
-        DateTime r = op == BinOp::kPlus ? da->Add(*ub) : da->Subtract(*ub);
-        return SingletonAtomic(Atomic(r));
-      }
-      if (ua && db && op == BinOp::kPlus) {
-        return SingletonAtomic(Atomic(db->Add(*ua)));
-      }
-      if (da && db && op == BinOp::kMinus) {
-        return SingletonAtomic(
-            Atomic(Duration::FromSeconds(da->DiffSeconds(*db))));
-      }
-      if (ua && ub) {
-        Duration r = op == BinOp::kPlus
-                         ? Duration(ua->months() + ub->months(),
-                                    ua->seconds() + ub->seconds())
-                         : Duration(ua->months() - ub->months(),
-                                    ua->seconds() - ub->seconds());
-        return SingletonAtomic(Atomic(r));
-      }
-    }
-    if (op == BinOp::kMul) {
-      auto ua = as_duration(a);
-      auto ub = as_duration(b);
-      auto na = a.ToNumber();
-      auto nb = b.ToNumber();
-      if (ua && nb) {
-        return SingletonAtomic(
-            Atomic(Duration(static_cast<int64_t>(ua->months() * *nb),
-                            static_cast<int64_t>(ua->seconds() * *nb))));
-      }
-      if (ub && na) {
-        return SingletonAtomic(
-            Atomic(Duration(static_cast<int64_t>(ub->months() * *na),
-                            static_cast<int64_t>(ub->seconds() * *na))));
-      }
-    }
-    return Status::TypeError(std::string("invalid temporal arithmetic: ") +
-                             a.TypeName() + " " + BinOpName(op) + " " +
-                             b.TypeName());
-  }
-
-  // Mixed string/number operands: strings must parse as numbers.
-  auto na = a.ToNumber();
-  auto nb = b.ToNumber();
-  if (!na || !nb) {
-    return Status::TypeError(std::string("arithmetic on ") + a.TypeName() +
-                             " '" + a.ToStringValue() + "' and " +
-                             b.TypeName() + " '" + b.ToStringValue() + "'");
-  }
-  bool both_int = a.is_int() && b.is_int();
-  switch (op) {
-    case BinOp::kPlus:
-      if (both_int) return SingletonAtomic(Atomic(a.AsInt() + b.AsInt()));
-      return SingletonAtomic(Atomic(*na + *nb));
-    case BinOp::kMinus:
-      if (both_int) return SingletonAtomic(Atomic(a.AsInt() - b.AsInt()));
-      return SingletonAtomic(Atomic(*na - *nb));
-    case BinOp::kMul:
-      if (both_int) return SingletonAtomic(Atomic(a.AsInt() * b.AsInt()));
-      return SingletonAtomic(Atomic(*na * *nb));
-    case BinOp::kDiv:
-      if (*nb == 0) {
-        return Status::TypeError("division by zero");
-      }
-      return SingletonAtomic(Atomic(*na / *nb));
-    case BinOp::kIdiv: {
-      if (*nb == 0) return Status::TypeError("integer division by zero");
-      return SingletonAtomic(
-          Atomic(static_cast<int64_t>(std::trunc(*na / *nb))));
-    }
-    case BinOp::kMod: {
-      if (*nb == 0) return Status::TypeError("modulo by zero");
-      if (both_int) {
-        return SingletonAtomic(Atomic(a.AsInt() % b.AsInt()));
-      }
-      return SingletonAtomic(Atomic(std::fmod(*na, *nb)));
-    }
-    default:
-      return Status::Internal("unhandled arithmetic operator");
-  }
-}
-
 // ---- Paths ------------------------------------------------------------------
-
-namespace {
-
-void CollectDescendants(const NodePtr& n, std::vector<NodePtr>* out) {
-  for (const NodePtr& c : n->children()) {
-    out->push_back(c);
-    if (c->is_element()) CollectDescendants(c, out);
-  }
-}
-
-bool MatchesTest(const Node& n, const PathStep& step) {
-  switch (step.test) {
-    case PathStep::Test::kName:
-      return n.is_element() && n.name() == step.name;
-    case PathStep::Test::kWildcard:
-      return n.is_element();
-    case PathStep::Test::kText:
-      return n.is_text();
-    case PathStep::Test::kNode:
-      return true;
-  }
-  return false;
-}
-
-}  // namespace
 
 Result<Sequence> Evaluator::EvalPath(const PathExpr& e) {
   Sequence current;
@@ -926,49 +532,17 @@ Result<Sequence> Evaluator::EvalStep(const PathStep& step,
                                      const Sequence& input) {
   Sequence out;
   std::unordered_set<const Node*> seen;  // dedup for the descendant axis
+  // Intern once per step application; every item then matches by id compare.
+  const int name_id =
+      step.test == PathStep::Test::kName ? InternName(step.name) : kEmptyNameId;
   for (const Item& item : input) {
     if (!IsNode(item)) {
       return Status::TypeError("path step applied to an atomic value");
     }
     const NodePtr& node = AsNode(item);
     Sequence matches;
-    switch (step.axis) {
-      case PathStep::Axis::kChild: {
-        for (const NodePtr& c : node->children()) {
-          if (MatchesTest(*c, step)) matches.emplace_back(c);
-        }
-        break;
-      }
-      case PathStep::Axis::kDescendant: {
-        std::vector<NodePtr> desc;
-        CollectDescendants(node, &desc);
-        for (const NodePtr& d : desc) {
-          if (MatchesTest(*d, step) && seen.insert(d.get()).second) {
-            matches.emplace_back(d);
-          }
-        }
-        break;
-      }
-      case PathStep::Axis::kAttribute: {
-        if (step.test == PathStep::Test::kWildcard) {
-          for (const auto& [k, v] : node->attrs()) {
-            matches.emplace_back(Node::Attribute(k, v));
-          }
-        } else {
-          const std::string* v = node->FindAttr(step.name);
-          if (v != nullptr) {
-            matches.emplace_back(Node::Attribute(step.name, *v));
-          }
-        }
-        break;
-      }
-      case PathStep::Axis::kParent: {
-        if (node->parent() != nullptr) {
-          matches.emplace_back(node->parent()->shared_from_this());
-        }
-        break;
-      }
-    }
+    XCQL_RETURN_NOT_OK(
+        CollectAxisMatches(*ctx_, node, step, name_id, &seen, &matches));
     if (!step.predicates.empty()) {
       XCQL_ASSIGN_OR_RETURN(matches,
                             ApplyPredicates(step.predicates,
@@ -997,22 +571,12 @@ Result<Sequence> Evaluator::ApplyPredicates(const std::vector<ExprPtr>& preds,
         st = r.status();
         break;
       }
-      const Sequence& rv = r.value();
-      // A singleton numeric predicate selects by position.
-      if (rv.size() == 1 && !IsNode(rv.front()) &&
-          AsAtomic(rv.front()).is_numeric()) {
-        double want = *AsAtomic(rv.front()).ToNumber();
-        if (static_cast<double>(i + 1) == want) {
-          kept.push_back(input[static_cast<size_t>(i)]);
-        }
-        continue;
-      }
-      Result<bool> b = EffectiveBooleanValue(rv);
-      if (!b.ok()) {
-        st = b.status();
+      Result<bool> keep = PredicateAccepts(r.value(), i + 1);
+      if (!keep.ok()) {
+        st = keep.status();
         break;
       }
-      if (b.value()) kept.push_back(input[static_cast<size_t>(i)]);
+      if (keep.value()) kept.push_back(input[static_cast<size_t>(i)]);
     }
     focus_ = saved;
     XCQL_RETURN_NOT_OK(st);
@@ -1092,38 +656,8 @@ Result<Sequence> Evaluator::EvalFunctionCall(const FunctionCallExpr& e) {
 
 // ---- Constructors -------------------------------------------------------------
 
-Status Evaluator::AppendConstructorContent(const Sequence& items, Node* element,
-                                           std::string* pending_text) {
-  bool prev_atomic = false;
-  for (const Item& item : items) {
-    if (IsNode(item)) {
-      const NodePtr& n = AsNode(item);
-      if (n->is_attribute()) {
-        element->SetAttr(n->name(), n->text());
-        prev_atomic = false;
-        continue;
-      }
-      if (!pending_text->empty()) {
-        element->AddChild(Node::Text(std::move(*pending_text)));
-        pending_text->clear();
-      }
-      if (n->is_text()) {
-        element->AddChild(Node::Text(n->text()));
-      } else {
-        element->AddChild(n->Clone());
-      }
-      prev_atomic = false;
-    } else {
-      if (prev_atomic) pending_text->push_back(' ');
-      *pending_text += AsAtomic(item).ToStringValue();
-      prev_atomic = true;
-    }
-  }
-  return Status::OK();
-}
-
 Result<Sequence> Evaluator::EvalDirectElement(const DirectElementExpr& e) {
-  NodePtr el = Node::Element(e.name);
+  NodePtr el = NewElement(*ctx_, e.name);
   for (const auto& attr : e.attrs) {
     std::string value;
     for (const ContentPart& part : attr.value) {
@@ -1143,9 +677,9 @@ Result<Sequence> Evaluator::EvalDirectElement(const DirectElementExpr& e) {
       continue;
     }
     XCQL_ASSIGN_OR_RETURN(Sequence r, EvalExpr(*part.expr));
-    XCQL_RETURN_NOT_OK(AppendConstructorContent(r, el.get(), &pending));
+    XCQL_RETURN_NOT_OK(AppendConstructorContent(*ctx_, r, el.get(), &pending));
   }
-  if (!pending.empty()) el->AddChild(Node::Text(std::move(pending)));
+  if (!pending.empty()) el->AddChild(NewText(*ctx_, std::move(pending)));
   return SingletonNode(std::move(el));
 }
 
@@ -1155,12 +689,12 @@ Result<Sequence> Evaluator::EvalComputedElement(const ComputedElementExpr& e) {
   if (name.empty()) {
     return Status::TypeError("computed element constructor: empty name");
   }
-  NodePtr el = Node::Element(std::move(name));
+  NodePtr el = NewElement(*ctx_, std::move(name));
   if (e.content != nullptr) {
     XCQL_ASSIGN_OR_RETURN(Sequence r, EvalExpr(*e.content));
     std::string pending;
-    XCQL_RETURN_NOT_OK(AppendConstructorContent(r, el.get(), &pending));
-    if (!pending.empty()) el->AddChild(Node::Text(std::move(pending)));
+    XCQL_RETURN_NOT_OK(AppendConstructorContent(*ctx_, r, el.get(), &pending));
+    if (!pending.empty()) el->AddChild(NewText(*ctx_, std::move(pending)));
   }
   return SingletonNode(std::move(el));
 }
@@ -1177,7 +711,7 @@ Result<Sequence> Evaluator::EvalComputedAttribute(
     XCQL_ASSIGN_OR_RETURN(Sequence r, EvalExpr(*e.content));
     value = SequenceToString(r);
   }
-  return SingletonNode(Node::Attribute(std::move(name), std::move(value)));
+  return SingletonNode(NewAttribute(*ctx_, std::move(name), std::move(value)));
 }
 
 // ---- XCQL projections ----------------------------------------------------------

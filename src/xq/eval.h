@@ -51,7 +51,6 @@ class Evaluator {
   Result<Sequence> EvalQuantified(const QuantifiedExpr& e);
   Status QuantifyFrom(const QuantifiedExpr& e, size_t idx, bool* result);
   Result<Sequence> EvalBinary(const BinaryExpr& e);
-  Result<Sequence> EvalArithmetic(BinOp op, const Atomic& a, const Atomic& b);
   Result<Sequence> EvalPath(const PathExpr& e);
   Result<Sequence> EvalStep(const PathStep& step, const Sequence& input);
   Result<Sequence> ApplyPredicates(const std::vector<ExprPtr>& preds,
@@ -62,13 +61,6 @@ class Evaluator {
   Result<Sequence> EvalComputedAttribute(const ComputedAttributeExpr& e);
   Result<Sequence> EvalIntervalProj(const IntervalProjExpr& e);
   Result<Sequence> EvalVersionProj(const VersionProjExpr& e);
-
-  Status AppendConstructorContent(const Sequence& items, Node* element,
-                                  std::string* pending_text);
-
-  /// Lifespan of one item for interval relations: elements via
-  /// vtFrom/vtTo (paper §2), dateTime atomics as point intervals.
-  Result<Interval> ItemLifespan(const Item& item);
 
   // Scoped variable lookup.
   const Sequence* Lookup(const std::string& name) const;

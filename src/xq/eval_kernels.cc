@@ -1,0 +1,522 @@
+#include "xq/eval_kernels.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/interner.h"
+#include "common/string_util.h"
+#include "xq/eval.h"
+
+namespace xcql::xq {
+
+// ---- Temporal scalar kernels ----------------------------------------------
+
+DateTime ResolveNow(const EvalContext& ctx, DateTime t) {
+  return t == DateTime::End() ? ctx.now : t;
+}
+
+Result<DateTime> ParseVtAttr(const EvalContext& ctx, const std::string& s) {
+  XCQL_ASSIGN_OR_RETURN(DateTime t, DateTime::Parse(s));
+  return ResolveNow(ctx, t);
+}
+
+Result<DateTime> AtomicToDateTime(const EvalContext& ctx, const Atomic& a) {
+  if (a.is_datetime()) return ResolveNow(ctx, a.AsDateTime());
+  if (a.is_string()) return ParseVtAttr(ctx, a.AsString());
+  return Status::TypeError(std::string("expected xs:dateTime bound, got ") +
+                           a.TypeName() + " '" + a.ToStringValue() + "'");
+}
+
+Result<int64_t> AtomicToVersion(const Atomic& a) {
+  if (a.is_int()) return a.AsInt();
+  if (a.is_double()) return static_cast<int64_t>(a.AsDoubleUnchecked());
+  if (a.is_string()) {
+    auto v = ParseInt64(a.AsString());
+    if (v) return *v;
+  }
+  return Status::TypeError(std::string("expected integer version bound, got ") +
+                           a.TypeName());
+}
+
+Result<std::optional<Interval>> ReadLifespanAttrs(const EvalContext& ctx,
+                                                  const Node& e) {
+  const std::string* f = e.FindAttr("vtFrom");
+  const std::string* t = e.FindAttr("vtTo");
+  if (f == nullptr && t == nullptr) return std::optional<Interval>();
+  DateTime from = DateTime::Start();
+  DateTime to = ctx.now;
+  if (f != nullptr) {
+    XCQL_ASSIGN_OR_RETURN(from, ParseVtAttr(ctx, *f));
+  }
+  if (t != nullptr) {
+    XCQL_ASSIGN_OR_RETURN(to, ParseVtAttr(ctx, *t));
+  }
+  return std::optional<Interval>(Interval(from, to));
+}
+
+bool IsHoleNode(const Node& n) {
+  static const int kHoleId = InternName("hole");
+  return n.is_element() && n.name_id() == kHoleId;
+}
+
+Result<Interval> ItemLifespan(EvalContext& ctx, const Item& item) {
+  if (IsNode(item)) {
+    const NodePtr& n = AsNode(item);
+    XCQL_ASSIGN_OR_RETURN(DateTime f, LifespanFrom(ctx, *n));
+    XCQL_ASSIGN_OR_RETURN(DateTime t, LifespanTo(ctx, *n));
+    return Interval(f, t);
+  }
+  XCQL_ASSIGN_OR_RETURN(DateTime d, AtomicToDateTime(ctx, AsAtomic(item)));
+  return Interval::Point(d);
+}
+
+// ---- Arena-aware node construction ----------------------------------------
+
+NodePtr NewElement(const EvalContext& ctx, std::string name) {
+  return Node::Element(std::move(name), ctx.arena);
+}
+
+NodePtr NewText(const EvalContext& ctx, std::string text) {
+  return Node::Text(std::move(text), ctx.arena);
+}
+
+NodePtr NewAttribute(const EvalContext& ctx, std::string name,
+                     std::string value) {
+  return Node::Attribute(std::move(name), std::move(value), ctx.arena);
+}
+
+// ---- Operator kernels ------------------------------------------------------
+
+Result<Sequence> EvalArithmetic(const EvalContext& ctx, BinOp op,
+                                const Atomic& a, const Atomic& b) {
+  // Temporal arithmetic first: dateTime ± duration, dateTime - dateTime,
+  // duration ± duration, duration * number.
+  auto as_datetime = [&](const Atomic& x) -> std::optional<DateTime> {
+    if (x.is_datetime()) return ResolveNow(ctx, x.AsDateTime());
+    if (x.is_string()) {
+      auto r = DateTime::Parse(x.AsString());
+      if (r.ok()) return ResolveNow(ctx, r.value());
+    }
+    return std::nullopt;
+  };
+  auto as_duration = [&](const Atomic& x) -> std::optional<Duration> {
+    if (x.is_duration()) return x.AsDuration();
+    if (x.is_string()) {
+      auto r = Duration::Parse(x.AsString());
+      if (r.ok()) return r.value();
+    }
+    return std::nullopt;
+  };
+
+  if (a.is_datetime() || b.is_datetime() || a.is_duration() ||
+      b.is_duration()) {
+    if (op == BinOp::kPlus || op == BinOp::kMinus) {
+      auto da = as_datetime(a);
+      auto db = as_datetime(b);
+      auto ua = as_duration(a);
+      auto ub = as_duration(b);
+      if (da && ub) {
+        DateTime r = op == BinOp::kPlus ? da->Add(*ub) : da->Subtract(*ub);
+        return SingletonAtomic(Atomic(r));
+      }
+      if (ua && db && op == BinOp::kPlus) {
+        return SingletonAtomic(Atomic(db->Add(*ua)));
+      }
+      if (da && db && op == BinOp::kMinus) {
+        return SingletonAtomic(
+            Atomic(Duration::FromSeconds(da->DiffSeconds(*db))));
+      }
+      if (ua && ub) {
+        Duration r = op == BinOp::kPlus
+                         ? Duration(ua->months() + ub->months(),
+                                    ua->seconds() + ub->seconds())
+                         : Duration(ua->months() - ub->months(),
+                                    ua->seconds() - ub->seconds());
+        return SingletonAtomic(Atomic(r));
+      }
+    }
+    if (op == BinOp::kMul) {
+      auto ua = as_duration(a);
+      auto ub = as_duration(b);
+      auto na = a.ToNumber();
+      auto nb = b.ToNumber();
+      if (ua && nb) {
+        return SingletonAtomic(
+            Atomic(Duration(static_cast<int64_t>(ua->months() * *nb),
+                            static_cast<int64_t>(ua->seconds() * *nb))));
+      }
+      if (ub && na) {
+        return SingletonAtomic(
+            Atomic(Duration(static_cast<int64_t>(ub->months() * *na),
+                            static_cast<int64_t>(ub->seconds() * *na))));
+      }
+    }
+    return Status::TypeError(std::string("invalid temporal arithmetic: ") +
+                             a.TypeName() + " " + BinOpName(op) + " " +
+                             b.TypeName());
+  }
+
+  // Mixed string/number operands: strings must parse as numbers.
+  auto na = a.ToNumber();
+  auto nb = b.ToNumber();
+  if (!na || !nb) {
+    return Status::TypeError(std::string("arithmetic on ") + a.TypeName() +
+                             " '" + a.ToStringValue() + "' and " +
+                             b.TypeName() + " '" + b.ToStringValue() + "'");
+  }
+  bool both_int = a.is_int() && b.is_int();
+  switch (op) {
+    case BinOp::kPlus:
+      if (both_int) return SingletonAtomic(Atomic(a.AsInt() + b.AsInt()));
+      return SingletonAtomic(Atomic(*na + *nb));
+    case BinOp::kMinus:
+      if (both_int) return SingletonAtomic(Atomic(a.AsInt() - b.AsInt()));
+      return SingletonAtomic(Atomic(*na - *nb));
+    case BinOp::kMul:
+      if (both_int) return SingletonAtomic(Atomic(a.AsInt() * b.AsInt()));
+      return SingletonAtomic(Atomic(*na * *nb));
+    case BinOp::kDiv:
+      if (*nb == 0) {
+        return Status::TypeError("division by zero");
+      }
+      return SingletonAtomic(Atomic(*na / *nb));
+    case BinOp::kIdiv: {
+      if (*nb == 0) return Status::TypeError("integer division by zero");
+      return SingletonAtomic(
+          Atomic(static_cast<int64_t>(std::trunc(*na / *nb))));
+    }
+    case BinOp::kMod: {
+      if (*nb == 0) return Status::TypeError("modulo by zero");
+      if (both_int) {
+        return SingletonAtomic(Atomic(a.AsInt() % b.AsInt()));
+      }
+      return SingletonAtomic(Atomic(std::fmod(*na, *nb)));
+    }
+    default:
+      return Status::Internal("unhandled arithmetic operator");
+  }
+}
+
+namespace {
+
+CmpOp CmpOpFor(BinOp op) {
+  switch (op) {
+    case BinOp::kGenEq:
+    case BinOp::kValEq:
+      return CmpOp::kEq;
+    case BinOp::kGenNe:
+    case BinOp::kValNe:
+      return CmpOp::kNe;
+    case BinOp::kGenLt:
+    case BinOp::kValLt:
+      return CmpOp::kLt;
+    case BinOp::kGenLe:
+    case BinOp::kValLe:
+      return CmpOp::kLe;
+    case BinOp::kGenGt:
+    case BinOp::kValGt:
+      return CmpOp::kGt;
+    default:
+      return CmpOp::kGe;
+  }
+}
+
+}  // namespace
+
+Result<Sequence> GeneralCompare(BinOp op, const Sequence& l,
+                                const Sequence& r) {
+  std::vector<Atomic> la = Atomize(l);
+  std::vector<Atomic> ra = Atomize(r);
+  for (const Atomic& a : la) {
+    for (const Atomic& b : ra) {
+      XCQL_ASSIGN_OR_RETURN(bool ok, CompareAtomics(a, b, CmpOpFor(op)));
+      if (ok) return SingletonAtomic(Atomic(true));
+    }
+  }
+  return SingletonAtomic(Atomic(false));
+}
+
+Result<Sequence> ValueCompare(BinOp op, const Sequence& l, const Sequence& r) {
+  if (l.empty() || r.empty()) return Sequence{};
+  if (l.size() != 1 || r.size() != 1) {
+    return Status::TypeError("value comparison requires singleton operands");
+  }
+  XCQL_ASSIGN_OR_RETURN(bool ok,
+                        CompareAtomics(AtomizeItem(l.front()),
+                                       AtomizeItem(r.front()), CmpOpFor(op)));
+  return SingletonAtomic(Atomic(ok));
+}
+
+Result<Sequence> RangeSequence(const Sequence& l, const Sequence& r) {
+  if (l.empty() || r.empty()) return Sequence{};
+  Atomic la = AtomizeItem(l.front());
+  Atomic ra = AtomizeItem(r.front());
+  XCQL_ASSIGN_OR_RETURN(int64_t lo, AtomicToVersion(la));
+  XCQL_ASSIGN_OR_RETURN(int64_t hi, AtomicToVersion(ra));
+  Sequence out;
+  for (int64_t i = lo; i <= hi; ++i) out.emplace_back(Atomic(i));
+  return out;
+}
+
+Result<Sequence> NodeSetOp(BinOp op, Sequence l, Sequence r) {
+  // Node-set operators by node identity, preserving the left operand's
+  // order (we do not maintain a global document order).
+  for (const Sequence* side : {&l, &r}) {
+    for (const Item& item : *side) {
+      if (!IsNode(item)) {
+        return Status::TypeError("set operands must be nodes");
+      }
+    }
+  }
+  std::unordered_set<const Node*> right;
+  for (const Item& item : r) right.insert(AsNode(item).get());
+  Sequence out;
+  std::unordered_set<const Node*> seen;
+  if (op == BinOp::kUnion) {
+    for (Sequence* side : {&l, &r}) {
+      for (Item& item : *side) {
+        if (seen.insert(AsNode(item).get()).second) {
+          out.push_back(std::move(item));
+        }
+      }
+    }
+    return out;
+  }
+  for (Item& item : l) {
+    bool in_right = right.count(AsNode(item).get()) > 0;
+    if ((op == BinOp::kIntersect) != in_right) continue;
+    if (seen.insert(AsNode(item).get()).second) {
+      out.push_back(std::move(item));
+    }
+  }
+  return out;
+}
+
+Result<Sequence> IntervalRelation(EvalContext& ctx, BinOp op,
+                                  const Sequence& l, const Sequence& r) {
+  // Existential over the lifespans of the two sequences (elements by
+  // lifespan; dateTimes as point intervals). `overlaps` means "share at
+  // least one instant" (symmetric), which is the useful reading for
+  // coincidence queries; the strict Allen overlap is expressible as
+  // (a overlaps b and not(a contains b) …).
+  for (const Item& a : l) {
+    XCQL_ASSIGN_OR_RETURN(Interval ia, ItemLifespan(ctx, a));
+    for (const Item& b : r) {
+      XCQL_ASSIGN_OR_RETURN(Interval ib, ItemLifespan(ctx, b));
+      bool hit = false;
+      switch (op) {
+        case BinOp::kBefore:
+          hit = ia.Before(ib);
+          break;
+        case BinOp::kAfter:
+          hit = ia.After(ib);
+          break;
+        case BinOp::kMeets:
+          hit = ia.Meets(ib);
+          break;
+        case BinOp::kOverlaps:
+          hit = ia.Intersects(ib);
+          break;
+        case BinOp::kContains:
+          hit = ia.ContainsInterval(ib);
+          break;
+        default:
+          hit = ia.During(ib);
+      }
+      if (hit) return SingletonAtomic(Atomic(true));
+    }
+  }
+  return SingletonAtomic(Atomic(false));
+}
+
+Result<Sequence> UnaryMinus(Sequence r) {
+  if (r.empty()) return r;
+  if (r.size() != 1) {
+    return Status::TypeError("unary minus on a multi-item sequence");
+  }
+  Atomic a = AtomizeItem(r.front());
+  if (a.is_int()) return SingletonAtomic(Atomic(-a.AsInt()));
+  auto n = a.ToNumber();
+  if (!n) {
+    return Status::TypeError(std::string("unary minus on ") + a.TypeName());
+  }
+  return SingletonAtomic(Atomic(-*n));
+}
+
+// ---- Path kernels ----------------------------------------------------------
+
+namespace {
+
+void CollectDescendants(const NodePtr& n, std::vector<NodePtr>* out) {
+  for (const NodePtr& c : n->children()) {
+    out->push_back(c);
+    if (c->is_element()) CollectDescendants(c, out);
+  }
+}
+
+bool MatchesTest(const Node& n, PathStep::Test test, int name_id) {
+  switch (test) {
+    case PathStep::Test::kName:
+      return n.is_element() && n.name_id() == name_id;
+    case PathStep::Test::kWildcard:
+      return n.is_element();
+    case PathStep::Test::kText:
+      return n.is_text();
+    case PathStep::Test::kNode:
+      return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+Status CollectAxisMatches(const EvalContext& ctx, const NodePtr& node,
+                          const PathStep& step, int name_id,
+                          std::unordered_set<const Node*>* desc_seen,
+                          Sequence* matches) {
+  switch (step.axis) {
+    case PathStep::Axis::kChild: {
+      for (const NodePtr& c : node->children()) {
+        if (MatchesTest(*c, step.test, name_id)) matches->emplace_back(c);
+      }
+      break;
+    }
+    case PathStep::Axis::kDescendant: {
+      std::vector<NodePtr> desc;
+      CollectDescendants(node, &desc);
+      for (const NodePtr& d : desc) {
+        if (MatchesTest(*d, step.test, name_id) &&
+            desc_seen->insert(d.get()).second) {
+          matches->emplace_back(d);
+        }
+      }
+      break;
+    }
+    case PathStep::Axis::kAttribute: {
+      if (step.test == PathStep::Test::kWildcard) {
+        for (const auto& [k, v] : node->attrs()) {
+          matches->emplace_back(NewAttribute(ctx, k, v));
+        }
+      } else {
+        const std::string* v = node->FindAttr(step.name);
+        if (v != nullptr) {
+          matches->emplace_back(NewAttribute(ctx, step.name, *v));
+        }
+      }
+      break;
+    }
+    case PathStep::Axis::kParent: {
+      if (node->parent() != nullptr) {
+        matches->emplace_back(node->parent()->shared_from_this());
+      }
+      break;
+    }
+  }
+  return Status::OK();
+}
+
+Result<bool> PredicateAccepts(const Sequence& value, int64_t pos) {
+  // A singleton numeric predicate selects by position.
+  if (value.size() == 1 && !IsNode(value.front()) &&
+      AsAtomic(value.front()).is_numeric()) {
+    double want = *AsAtomic(value.front()).ToNumber();
+    return static_cast<double>(pos) == want;
+  }
+  return EffectiveBooleanValue(value);
+}
+
+// ---- Constructor kernels ---------------------------------------------------
+
+Status AppendConstructorContent(const EvalContext& ctx, const Sequence& items,
+                                Node* element, std::string* pending_text) {
+  bool prev_atomic = false;
+  for (const Item& item : items) {
+    if (IsNode(item)) {
+      const NodePtr& n = AsNode(item);
+      if (n->is_attribute()) {
+        element->SetAttr(n->name(), n->text());
+        prev_atomic = false;
+        continue;
+      }
+      if (!pending_text->empty()) {
+        element->AddChild(NewText(ctx, std::move(*pending_text)));
+        pending_text->clear();
+      }
+      if (n->is_text()) {
+        element->AddChild(NewText(ctx, n->text()));
+      } else {
+        element->AddChild(n->Clone());
+      }
+      prev_atomic = false;
+    } else {
+      if (prev_atomic) pending_text->push_back(' ');
+      *pending_text += AsAtomic(item).ToStringValue();
+      prev_atomic = true;
+    }
+  }
+  return Status::OK();
+}
+
+// ---- Order-by kernels ------------------------------------------------------
+
+std::weak_ordering OrderSortKey::Compare(const OrderSortKey& o) const {
+  if (auto c = rank <=> o.rank; c != 0) return c;
+  switch (rank) {
+    case 1:
+      return b <=> o.b;
+    case 2:
+      return num < o.num    ? std::weak_ordering::less
+             : num > o.num  ? std::weak_ordering::greater
+                            : std::weak_ordering::equivalent;
+    case 3:
+      return ticks <=> o.ticks;
+    case 4:
+      if (auto c = months <=> o.months; c != 0) return c;
+      return ticks <=> o.ticks;
+    case 5:
+      return str.compare(o.str) <=> 0;
+    default:
+      return std::weak_ordering::equivalent;
+  }
+}
+
+Atomic OrderKeyAtomic(const Sequence& kv) {
+  if (kv.empty()) {
+    return Atomic(std::string(), /*untyped=*/true);  // empty marker
+  }
+  return AtomizeItem(kv.front());
+}
+
+OrderSortKey OrderSortKeyFrom(const Atomic& a) {
+  OrderSortKey k;
+  // The empty marker (see OrderKeyAtomic) sorts first: rank 0.
+  if (a.is_string() && a.AsString().empty() && a.untyped()) return k;
+  if (a.is_bool()) {
+    k.rank = 1;
+    k.b = a.AsBool();
+  } else if (a.is_numeric()) {
+    k.rank = 2;
+    k.num = *a.ToNumber();
+  } else if (a.is_datetime()) {
+    k.rank = 3;
+    k.ticks = a.AsDateTime().seconds();
+  } else if (a.is_duration()) {
+    k.rank = 4;
+    k.months = a.AsDuration().months();
+    k.ticks = a.AsDuration().seconds();
+  } else {
+    // Untyped strings that look numeric sort numerically, so documents
+    // with unannotated numbers (the common case) order as expected.
+    auto n = a.untyped() ? ParseDouble(a.AsString()) : std::nullopt;
+    if (n) {
+      k.rank = 2;
+      k.num = *n;
+    } else {
+      k.rank = 5;
+      k.str = a.AsString();
+    }
+  }
+  return k;
+}
+
+}  // namespace xcql::xq

@@ -1,0 +1,143 @@
+// Shared evaluation kernels: the semantic core of the XQuery/XCQL subset,
+// factored out of the tree-walking Evaluator so the compiled plan layer
+// (xq/plan.h) evaluates through EXACTLY the same code paths. Keeping the
+// semantics in one place is what makes the compiled-vs-interpreted
+// differential tests byte-identical by construction: the two engines differ
+// only in dispatch (AST walk vs closed ops), never in meaning.
+#ifndef XCQL_XQ_EVAL_KERNELS_H_
+#define XCQL_XQ_EVAL_KERNELS_H_
+
+#include <optional>
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "temporal/interval.h"
+#include "xq/ast.h"
+#include "xq/context.h"
+#include "xq/value.h"
+
+namespace xcql::xq {
+
+// Recursion guard shared by evaluator and plan: deep enough for any
+// realistic document/query, shallow enough to fail cleanly instead of
+// overflowing the stack.
+inline constexpr int kEvalMaxDepth = 1200;
+
+// ---- Temporal scalar kernels ----------------------------------------------
+
+/// \brief Resolves the serialized lifespan endpoint "now" (DateTime::End
+/// after parsing) to the evaluation clock.
+DateTime ResolveNow(const EvalContext& ctx, DateTime t);
+
+/// \brief Parses a vtFrom/vtTo attribute value, resolving "now".
+Result<DateTime> ParseVtAttr(const EvalContext& ctx, const std::string& s);
+
+/// \brief Converts an atomic to a dateTime bound for interval projections.
+Result<DateTime> AtomicToDateTime(const EvalContext& ctx, const Atomic& a);
+
+/// \brief Converts an atomic to an integer version bound.
+Result<int64_t> AtomicToVersion(const Atomic& a);
+
+/// \brief Reads the (vtFrom, vtTo) lifespan attributes of an element, if
+/// present.
+Result<std::optional<Interval>> ReadLifespanAttrs(const EvalContext& ctx,
+                                                  const Node& e);
+
+/// \brief True for <hole> elements (interned-id compare).
+bool IsHoleNode(const Node& n);
+
+/// \brief Lifespan of one item for interval relations: elements via
+/// vtFrom/vtTo (or their children's span), dateTime atomics as points.
+Result<Interval> ItemLifespan(EvalContext& ctx, const Item& item);
+
+// ---- Arena-aware node construction ----------------------------------------
+
+/// \brief Node factories for transient evaluation nodes: arena-backed when
+/// ctx.arena is set, plain heap otherwise.
+NodePtr NewElement(const EvalContext& ctx, std::string name);
+NodePtr NewText(const EvalContext& ctx, std::string text);
+NodePtr NewAttribute(const EvalContext& ctx, std::string name,
+                     std::string value);
+
+// ---- Operator kernels ------------------------------------------------------
+
+/// \brief Arithmetic (including temporal arithmetic: dateTime ± duration,
+/// dateTime − dateTime, duration ops, duration × number) on two atomized
+/// singletons.
+Result<Sequence> EvalArithmetic(const EvalContext& ctx, BinOp op,
+                                const Atomic& a, const Atomic& b);
+
+/// \brief General comparison: existential over the two atomized sequences.
+Result<Sequence> GeneralCompare(BinOp op, const Sequence& l,
+                                const Sequence& r);
+
+/// \brief Value comparison: empty propagates, singletons required.
+Result<Sequence> ValueCompare(BinOp op, const Sequence& l, const Sequence& r);
+
+/// \brief The `to` range operator.
+Result<Sequence> RangeSequence(const Sequence& l, const Sequence& r);
+
+/// \brief union/intersect/except by node identity, preserving the left
+/// operand's order.
+Result<Sequence> NodeSetOp(BinOp op, Sequence l, Sequence r);
+
+/// \brief XCQL interval relations (before/after/meets/overlaps/contains/
+/// during): existential over the lifespans of the two sequences.
+Result<Sequence> IntervalRelation(EvalContext& ctx, BinOp op,
+                                  const Sequence& l, const Sequence& r);
+
+/// \brief Unary minus on a sequence (empty propagates, singleton required).
+Result<Sequence> UnaryMinus(Sequence r);
+
+// ---- Path kernels ----------------------------------------------------------
+
+/// \brief Collects one item's matches for a path step (axis + node test,
+/// WITHOUT predicates) into `matches`. `name_id` is the interned id of
+/// step.name (ignored unless the test needs it); `desc_seen` dedups across
+/// the whole input sequence on the descendant axis.
+Status CollectAxisMatches(const EvalContext& ctx, const NodePtr& node,
+                          const PathStep& step, int name_id,
+                          std::unordered_set<const Node*>* desc_seen,
+                          Sequence* matches);
+
+/// \brief One predicate decision for the item at 1-based position `pos`:
+/// a singleton numeric predicate value selects by position, anything else
+/// by effective boolean value.
+Result<bool> PredicateAccepts(const Sequence& value, int64_t pos);
+
+// ---- Constructor kernels ---------------------------------------------------
+
+/// \brief Appends evaluated constructor content to `element`: attribute
+/// nodes become attributes, nodes are cloned/copied in, atomics accumulate
+/// in `pending_text` (space-separated between adjacent atomics).
+Status AppendConstructorContent(const EvalContext& ctx, const Sequence& items,
+                                Node* element, std::string* pending_text);
+
+// ---- Order-by kernels ------------------------------------------------------
+
+/// \brief A comparable order-by key. Type rank orders heterogeneous keys
+/// deterministically: empty < boolean < number < dateTime < duration <
+/// string; untyped numeric-looking strings sort numerically.
+struct OrderSortKey {
+  int rank = 0;
+  bool b = false;
+  double num = 0;
+  int64_t ticks = 0;
+  int64_t months = 0;
+  std::string str;
+
+  std::weak_ordering Compare(const OrderSortKey& o) const;
+};
+
+/// \brief Collapses one evaluated order-by key sequence to its key atomic:
+/// the first item atomized, or the empty marker for an empty sequence.
+Atomic OrderKeyAtomic(const Sequence& kv);
+
+/// \brief Builds the comparable key from an OrderKeyAtomic result (the
+/// empty marker sorts first).
+OrderSortKey OrderSortKeyFrom(const Atomic& a);
+
+}  // namespace xcql::xq
+
+#endif  // XCQL_XQ_EVAL_KERNELS_H_

@@ -1,0 +1,1592 @@
+#include "xq/plan.h"
+
+#include <algorithm>
+#include <unordered_set>
+#include <utility>
+
+#include "common/interner.h"
+#include "common/string_util.h"
+#include "xq/eval.h"
+#include "xq/eval_kernels.h"
+
+namespace xcql::xq {
+
+namespace {
+
+class PlanImpl;
+
+// Per-evaluation state: the slot frame, the focus, and the recursion guard.
+// Stack-local to Execute, so one immutable plan can evaluate concurrently.
+struct PlanCtx {
+  EvalContext* ctx = nullptr;
+  const PlanImpl* plan = nullptr;
+  std::vector<Sequence> slots;
+  std::vector<char> bound;  // external slots start unbound
+
+  struct Focus {
+    bool has = false;
+    Item item;
+    int64_t pos = 0;
+    int64_t size = 0;
+  } focus;
+
+  int64_t version_last = -1;  // value of `last` inside #[…] bounds
+  int depth = 0;
+};
+
+class PlanOp {
+ public:
+  virtual ~PlanOp() = default;
+  virtual Result<Sequence> Eval(PlanCtx& pc) const = 0;
+  virtual void Describe(std::string* out, int indent) const = 0;
+};
+
+using PlanOpPtr = std::unique_ptr<PlanOp>;
+
+Result<Sequence> EvalChild(const PlanOp& op, PlanCtx& pc) {
+  if (++pc.depth > kEvalMaxDepth) {
+    --pc.depth;
+    return Status::Internal("expression evaluation recursion too deep");
+  }
+  struct DepthGuard {
+    int* d;
+    ~DepthGuard() { --*d; }
+  } guard{&pc.depth};
+  return op.Eval(pc);
+}
+
+void Line(std::string* out, int indent, const std::string& text) {
+  out->append(static_cast<size_t>(indent) * 2, ' ');
+  out->append(text);
+  out->push_back('\n');
+}
+
+// ---- Leaf ops --------------------------------------------------------------
+
+class ConstOp : public PlanOp {
+ public:
+  explicit ConstOp(Sequence v) : value_(std::move(v)) {}
+  Result<Sequence> Eval(PlanCtx&) const override { return value_; }
+  void Describe(std::string* out, int indent) const override {
+    Line(out, indent, "const (" + SequenceToString(value_) + ")");
+  }
+  const Sequence& value() const { return value_; }
+
+ private:
+  Sequence value_;
+};
+
+class LocalVarOp : public PlanOp {
+ public:
+  LocalVarOp(int slot, std::string name) : slot_(slot), name_(std::move(name)) {}
+  Result<Sequence> Eval(PlanCtx& pc) const override {
+    return pc.slots[static_cast<size_t>(slot_)];
+  }
+  void Describe(std::string* out, int indent) const override {
+    Line(out, indent, "var $" + name_ + " slot=" + std::to_string(slot_));
+  }
+
+ private:
+  int slot_;
+  std::string name_;
+};
+
+class ExternalVarOp : public PlanOp {
+ public:
+  ExternalVarOp(int slot, std::string name)
+      : slot_(slot), name_(std::move(name)) {}
+  Result<Sequence> Eval(PlanCtx& pc) const override {
+    if (!pc.bound[static_cast<size_t>(slot_)]) {
+      return Status::NotFound("undefined variable $" + name_);
+    }
+    return pc.slots[static_cast<size_t>(slot_)];
+  }
+  void Describe(std::string* out, int indent) const override {
+    Line(out, indent,
+         "extern $" + name_ + " slot=" + std::to_string(slot_));
+  }
+
+ private:
+  int slot_;
+  std::string name_;
+};
+
+// A free variable inside a function body: the interpreter's function scope
+// sees only parameters, so referencing it is always an error — but only when
+// evaluation actually reaches the reference.
+class UndefinedVarOp : public PlanOp {
+ public:
+  explicit UndefinedVarOp(std::string name) : name_(std::move(name)) {}
+  Result<Sequence> Eval(PlanCtx&) const override {
+    return Status::NotFound("undefined variable $" + name_);
+  }
+  void Describe(std::string* out, int indent) const override {
+    Line(out, indent, "undefined-var $" + name_);
+  }
+
+ private:
+  std::string name_;
+};
+
+class ContextItemOp : public PlanOp {
+ public:
+  Result<Sequence> Eval(PlanCtx& pc) const override {
+    if (!pc.focus.has) {
+      return Status::TypeError("context item is undefined here");
+    }
+    Sequence s;
+    s.push_back(pc.focus.item);
+    return s;
+  }
+  void Describe(std::string* out, int indent) const override {
+    Line(out, indent, "context-item");
+  }
+};
+
+class PositionOp : public PlanOp {
+ public:
+  Result<Sequence> Eval(PlanCtx& pc) const override {
+    if (!pc.focus.has) return Status::TypeError("position() without focus");
+    return SingletonAtomic(Atomic(pc.focus.pos));
+  }
+  void Describe(std::string* out, int indent) const override {
+    Line(out, indent, "position()");
+  }
+};
+
+class LastOp : public PlanOp {
+ public:
+  Result<Sequence> Eval(PlanCtx& pc) const override {
+    if (!pc.focus.has) return Status::TypeError("last() without focus");
+    return SingletonAtomic(Atomic(pc.focus.size));
+  }
+  void Describe(std::string* out, int indent) const override {
+    Line(out, indent, "last()");
+  }
+};
+
+class NowOp : public PlanOp {
+ public:
+  Result<Sequence> Eval(PlanCtx& pc) const override {
+    return SingletonAtomic(Atomic(pc.ctx->now));
+  }
+  void Describe(std::string* out, int indent) const override {
+    Line(out, indent, "xcql:now()");
+  }
+};
+
+class VersionLastOp : public PlanOp {
+ public:
+  Result<Sequence> Eval(PlanCtx& pc) const override {
+    if (pc.version_last < 0) {
+      return Status::TypeError("'last' used outside a version projection");
+    }
+    return SingletonAtomic(Atomic(pc.version_last));
+  }
+  void Describe(std::string* out, int indent) const override {
+    Line(out, indent, "xcql:last()");
+  }
+};
+
+// ---- Structure ops ---------------------------------------------------------
+
+class SeqOp : public PlanOp {
+ public:
+  explicit SeqOp(std::vector<PlanOpPtr> items) : items_(std::move(items)) {}
+  Result<Sequence> Eval(PlanCtx& pc) const override {
+    Sequence out;
+    for (const PlanOpPtr& item : items_) {
+      XCQL_ASSIGN_OR_RETURN(Sequence r, EvalChild(*item, pc));
+      out.insert(out.end(), std::make_move_iterator(r.begin()),
+                 std::make_move_iterator(r.end()));
+    }
+    return out;
+  }
+  void Describe(std::string* out, int indent) const override {
+    Line(out, indent, "sequence");
+    for (const PlanOpPtr& item : items_) item->Describe(out, indent + 1);
+  }
+
+ private:
+  std::vector<PlanOpPtr> items_;
+};
+
+class IfOp : public PlanOp {
+ public:
+  IfOp(PlanOpPtr c, PlanOpPtr t, PlanOpPtr e)
+      : cond_(std::move(c)), then_(std::move(t)), else_(std::move(e)) {}
+  Result<Sequence> Eval(PlanCtx& pc) const override {
+    XCQL_ASSIGN_OR_RETURN(Sequence c, EvalChild(*cond_, pc));
+    XCQL_ASSIGN_OR_RETURN(bool b, EffectiveBooleanValue(c));
+    return EvalChild(b ? *then_ : *else_, pc);
+  }
+  void Describe(std::string* out, int indent) const override {
+    Line(out, indent, "if");
+    cond_->Describe(out, indent + 1);
+    Line(out, indent, "then");
+    then_->Describe(out, indent + 1);
+    Line(out, indent, "else");
+    else_->Describe(out, indent + 1);
+  }
+
+ private:
+  PlanOpPtr cond_;
+  PlanOpPtr then_;
+  PlanOpPtr else_;
+};
+
+class LogicalOp : public PlanOp {
+ public:
+  LogicalOp(bool is_and, PlanOpPtr l, PlanOpPtr r)
+      : is_and_(is_and), lhs_(std::move(l)), rhs_(std::move(r)) {}
+  Result<Sequence> Eval(PlanCtx& pc) const override {
+    XCQL_ASSIGN_OR_RETURN(Sequence l, EvalChild(*lhs_, pc));
+    XCQL_ASSIGN_OR_RETURN(bool lb, EffectiveBooleanValue(l));
+    if (is_and_ && !lb) return SingletonAtomic(Atomic(false));
+    if (!is_and_ && lb) return SingletonAtomic(Atomic(true));
+    XCQL_ASSIGN_OR_RETURN(Sequence r, EvalChild(*rhs_, pc));
+    XCQL_ASSIGN_OR_RETURN(bool rb, EffectiveBooleanValue(r));
+    return SingletonAtomic(Atomic(rb));
+  }
+  void Describe(std::string* out, int indent) const override {
+    Line(out, indent, is_and_ ? "and" : "or");
+    lhs_->Describe(out, indent + 1);
+    rhs_->Describe(out, indent + 1);
+  }
+
+ private:
+  bool is_and_;
+  PlanOpPtr lhs_;
+  PlanOpPtr rhs_;
+};
+
+enum class BinCategory {
+  kGeneralCompare,
+  kValueCompare,
+  kRange,
+  kNodeSet,
+  kIntervalRel,
+  kArith,
+};
+
+class BinaryOpOp : public PlanOp {
+ public:
+  BinaryOpOp(BinCategory cat, BinOp op, PlanOpPtr l, PlanOpPtr r)
+      : cat_(cat), op_(op), lhs_(std::move(l)), rhs_(std::move(r)) {}
+  Result<Sequence> Eval(PlanCtx& pc) const override {
+    XCQL_ASSIGN_OR_RETURN(Sequence l, EvalChild(*lhs_, pc));
+    XCQL_ASSIGN_OR_RETURN(Sequence r, EvalChild(*rhs_, pc));
+    switch (cat_) {
+      case BinCategory::kGeneralCompare:
+        return GeneralCompare(op_, l, r);
+      case BinCategory::kValueCompare:
+        return ValueCompare(op_, l, r);
+      case BinCategory::kRange:
+        return RangeSequence(l, r);
+      case BinCategory::kNodeSet:
+        return NodeSetOp(op_, std::move(l), std::move(r));
+      case BinCategory::kIntervalRel:
+        return IntervalRelation(*pc.ctx, op_, l, r);
+      case BinCategory::kArith: {
+        if (l.empty() || r.empty()) return Sequence{};
+        if (l.size() != 1 || r.size() != 1) {
+          return Status::TypeError("arithmetic requires singleton operands");
+        }
+        return EvalArithmetic(*pc.ctx, op_, AtomizeItem(l.front()),
+                              AtomizeItem(r.front()));
+      }
+    }
+    return Status::Internal("unhandled binary category");
+  }
+  void Describe(std::string* out, int indent) const override {
+    Line(out, indent, std::string("binary ") + BinOpName(op_));
+    lhs_->Describe(out, indent + 1);
+    rhs_->Describe(out, indent + 1);
+  }
+
+ private:
+  BinCategory cat_;
+  BinOp op_;
+  PlanOpPtr lhs_;
+  PlanOpPtr rhs_;
+};
+
+class NegOp : public PlanOp {
+ public:
+  explicit NegOp(PlanOpPtr operand) : operand_(std::move(operand)) {}
+  Result<Sequence> Eval(PlanCtx& pc) const override {
+    XCQL_ASSIGN_OR_RETURN(Sequence r, EvalChild(*operand_, pc));
+    return UnaryMinus(std::move(r));
+  }
+  void Describe(std::string* out, int indent) const override {
+    Line(out, indent, "negate");
+    operand_->Describe(out, indent + 1);
+  }
+
+ private:
+  PlanOpPtr operand_;
+};
+
+// ---- Predicates (shared by paths and filters) ------------------------------
+
+Result<Sequence> ApplyPlanPredicates(PlanCtx& pc,
+                                     const std::vector<PlanOpPtr>& preds,
+                                     Sequence input) {
+  for (const PlanOpPtr& pred : preds) {
+    Sequence kept;
+    PlanCtx::Focus saved = pc.focus;
+    int64_t size = static_cast<int64_t>(input.size());
+    Status st;
+    for (int64_t i = 0; i < size; ++i) {
+      pc.focus.has = true;
+      pc.focus.item = input[static_cast<size_t>(i)];
+      pc.focus.pos = i + 1;
+      pc.focus.size = size;
+      Result<Sequence> r = EvalChild(*pred, pc);
+      if (!r.ok()) {
+        st = r.status();
+        break;
+      }
+      Result<bool> keep = PredicateAccepts(r.value(), i + 1);
+      if (!keep.ok()) {
+        st = keep.status();
+        break;
+      }
+      if (keep.value()) kept.push_back(input[static_cast<size_t>(i)]);
+    }
+    pc.focus = saved;
+    XCQL_RETURN_NOT_OK(st);
+    input = std::move(kept);
+  }
+  return input;
+}
+
+// ---- Paths -----------------------------------------------------------------
+
+struct CompiledStep {
+  PathStep step;  // axis/test/name; predicates left empty (compiled below)
+  int name_id = kEmptyNameId;
+  std::vector<PlanOpPtr> preds;
+};
+
+class PathOp : public PlanOp {
+ public:
+  PathOp(PlanOpPtr input, std::vector<CompiledStep> steps)
+      : input_(std::move(input)), steps_(std::move(steps)) {}
+  Result<Sequence> Eval(PlanCtx& pc) const override {
+    Sequence current;
+    if (input_ != nullptr) {
+      XCQL_ASSIGN_OR_RETURN(current, EvalChild(*input_, pc));
+    } else {
+      // Absolute path: root of the context item's tree.
+      if (!pc.focus.has || !IsNode(pc.focus.item)) {
+        return Status::TypeError(
+            "absolute path requires a node context item");
+      }
+      Node* root = AsNode(pc.focus.item).get();
+      while (root->parent() != nullptr) root = root->parent();
+      current = SingletonNode(root->shared_from_this());
+    }
+    for (const CompiledStep& s : steps_) {
+      Sequence out;
+      std::unordered_set<const Node*> seen;  // dedup for the descendant axis
+      for (const Item& item : current) {
+        if (!IsNode(item)) {
+          return Status::TypeError("path step applied to an atomic value");
+        }
+        Sequence matches;
+        XCQL_RETURN_NOT_OK(CollectAxisMatches(*pc.ctx, AsNode(item), s.step,
+                                              s.name_id, &seen, &matches));
+        if (!s.preds.empty()) {
+          XCQL_ASSIGN_OR_RETURN(
+              matches, ApplyPlanPredicates(pc, s.preds, std::move(matches)));
+        }
+        out.insert(out.end(), std::make_move_iterator(matches.begin()),
+                   std::make_move_iterator(matches.end()));
+      }
+      current = std::move(out);
+    }
+    return current;
+  }
+  void Describe(std::string* out, int indent) const override {
+    Line(out, indent, "path");
+    if (input_ != nullptr) input_->Describe(out, indent + 1);
+    for (const CompiledStep& s : steps_) {
+      Line(out, indent + 1,
+           "step " + s.step.ToString() +
+               (s.step.test == PathStep::Test::kName
+                    ? " name_id=" + std::to_string(s.name_id)
+                    : ""));
+      for (const PlanOpPtr& p : s.preds) p->Describe(out, indent + 2);
+    }
+  }
+
+ private:
+  PlanOpPtr input_;  // null = absolute path
+  std::vector<CompiledStep> steps_;
+};
+
+class FilterOp : public PlanOp {
+ public:
+  FilterOp(PlanOpPtr input, std::vector<PlanOpPtr> preds)
+      : input_(std::move(input)), preds_(std::move(preds)) {}
+  Result<Sequence> Eval(PlanCtx& pc) const override {
+    XCQL_ASSIGN_OR_RETURN(Sequence in, EvalChild(*input_, pc));
+    return ApplyPlanPredicates(pc, preds_, std::move(in));
+  }
+  void Describe(std::string* out, int indent) const override {
+    Line(out, indent, "filter");
+    input_->Describe(out, indent + 1);
+    for (const PlanOpPtr& p : preds_) p->Describe(out, indent + 1);
+  }
+
+ private:
+  PlanOpPtr input_;
+  std::vector<PlanOpPtr> preds_;
+};
+
+// ---- FLWOR / quantifiers ---------------------------------------------------
+
+struct CompiledOrderKey {
+  PlanOpPtr key;
+};
+
+struct CompiledClause {
+  FlworClause::Kind kind;
+  int slot = -1;      // for/let variable slot
+  int pos_slot = -1;  // 'at $p' slot, -1 if none
+  std::string var;    // display only
+  PlanOpPtr expr;     // for/let binding or where condition
+  std::vector<CompiledOrderKey> keys;
+};
+
+class FlworOp : public PlanOp {
+ public:
+  FlworOp(std::vector<CompiledClause> clauses, PlanOpPtr ret,
+          std::vector<bool> descending, bool has_order_by)
+      : clauses_(std::move(clauses)),
+        ret_(std::move(ret)),
+        descending_(std::move(descending)),
+        has_order_by_(has_order_by) {}
+
+  Result<Sequence> Eval(PlanCtx& pc) const override {
+    Sequence out;
+    std::vector<std::pair<std::vector<Atomic>, Sequence>> ordered;
+    XCQL_RETURN_NOT_OK(EvalClauses(pc, 0, &ordered, &out));
+    if (!ordered.empty() || has_order_by_) {
+      struct Row {
+        std::vector<OrderSortKey> keys;
+        Sequence* seq;
+      };
+      std::vector<Row> rows;
+      rows.reserve(ordered.size());
+      for (auto& [keys, seq] : ordered) {
+        Row r;
+        for (const Atomic& a : keys) r.keys.push_back(OrderSortKeyFrom(a));
+        r.seq = &seq;
+        rows.push_back(std::move(r));
+      }
+      std::stable_sort(rows.begin(), rows.end(),
+                       [&](const Row& a, const Row& b) {
+                         for (size_t i = 0; i < a.keys.size(); ++i) {
+                           auto c = a.keys[i].Compare(b.keys[i]);
+                           bool desc =
+                               i < descending_.size() && descending_[i];
+                           if (c == std::weak_ordering::less) return !desc;
+                           if (c == std::weak_ordering::greater) return desc;
+                         }
+                         return false;
+                       });
+      for (const Row& r : rows) {
+        out.insert(out.end(), r.seq->begin(), r.seq->end());
+      }
+    }
+    return out;
+  }
+
+  void Describe(std::string* out, int indent) const override {
+    Line(out, indent, "flwor");
+    for (const CompiledClause& c : clauses_) {
+      switch (c.kind) {
+        case FlworClause::Kind::kFor:
+          Line(out, indent + 1,
+               "for $" + c.var + " slot=" + std::to_string(c.slot) +
+                   (c.pos_slot >= 0
+                        ? " at slot=" + std::to_string(c.pos_slot)
+                        : ""));
+          c.expr->Describe(out, indent + 2);
+          break;
+        case FlworClause::Kind::kLet:
+          Line(out, indent + 1,
+               "let $" + c.var + " slot=" + std::to_string(c.slot));
+          c.expr->Describe(out, indent + 2);
+          break;
+        case FlworClause::Kind::kWhere:
+          Line(out, indent + 1, "where");
+          c.expr->Describe(out, indent + 2);
+          break;
+        case FlworClause::Kind::kOrderBy:
+          Line(out, indent + 1, "order-by");
+          for (const CompiledOrderKey& k : c.keys) {
+            k.key->Describe(out, indent + 2);
+          }
+          break;
+      }
+    }
+    Line(out, indent + 1, "return");
+    ret_->Describe(out, indent + 2);
+  }
+
+ private:
+  Status EvalClauses(
+      PlanCtx& pc, size_t idx,
+      std::vector<std::pair<std::vector<Atomic>, Sequence>>* ordered,
+      Sequence* out) const {
+    if (idx == clauses_.size()) {
+      XCQL_ASSIGN_OR_RETURN(Sequence r, EvalChild(*ret_, pc));
+      out->insert(out->end(), std::make_move_iterator(r.begin()),
+                  std::make_move_iterator(r.end()));
+      return Status::OK();
+    }
+    const CompiledClause& c = clauses_[idx];
+    switch (c.kind) {
+      case FlworClause::Kind::kFor: {
+        XCQL_ASSIGN_OR_RETURN(Sequence seq, EvalChild(*c.expr, pc));
+        int64_t pos = 0;
+        for (Item& item : seq) {
+          ++pos;
+          Sequence binding;
+          binding.push_back(item);
+          pc.slots[static_cast<size_t>(c.slot)] = std::move(binding);
+          if (c.pos_slot >= 0) {
+            pc.slots[static_cast<size_t>(c.pos_slot)] =
+                SingletonAtomic(Atomic(pos));
+          }
+          XCQL_RETURN_NOT_OK(EvalClauses(pc, idx + 1, ordered, out));
+        }
+        return Status::OK();
+      }
+      case FlworClause::Kind::kLet: {
+        XCQL_ASSIGN_OR_RETURN(Sequence seq, EvalChild(*c.expr, pc));
+        pc.slots[static_cast<size_t>(c.slot)] = std::move(seq);
+        return EvalClauses(pc, idx + 1, ordered, out);
+      }
+      case FlworClause::Kind::kWhere: {
+        XCQL_ASSIGN_OR_RETURN(Sequence cond, EvalChild(*c.expr, pc));
+        XCQL_ASSIGN_OR_RETURN(bool b, EffectiveBooleanValue(cond));
+        if (!b) return Status::OK();
+        return EvalClauses(pc, idx + 1, ordered, out);
+      }
+      case FlworClause::Kind::kOrderBy: {
+        std::vector<Atomic> keys;
+        for (const CompiledOrderKey& k : c.keys) {
+          XCQL_ASSIGN_OR_RETURN(Sequence kv, EvalChild(*k.key, pc));
+          keys.push_back(OrderKeyAtomic(kv));
+        }
+        Sequence tuple_out;
+        XCQL_RETURN_NOT_OK(EvalClauses(pc, idx + 1, ordered, &tuple_out));
+        ordered->emplace_back(std::move(keys), std::move(tuple_out));
+        return Status::OK();
+      }
+    }
+    return Status::Internal("unhandled FLWOR clause");
+  }
+
+  std::vector<CompiledClause> clauses_;
+  PlanOpPtr ret_;
+  std::vector<bool> descending_;
+  bool has_order_by_;
+};
+
+class QuantifiedOp : public PlanOp {
+ public:
+  struct Binding {
+    int slot;
+    std::string var;
+    PlanOpPtr expr;
+  };
+  QuantifiedOp(bool every, std::vector<Binding> bindings, PlanOpPtr satisfies)
+      : every_(every),
+        bindings_(std::move(bindings)),
+        satisfies_(std::move(satisfies)) {}
+
+  Result<Sequence> Eval(PlanCtx& pc) const override {
+    bool result = every_;
+    XCQL_RETURN_NOT_OK(QuantifyFrom(pc, 0, &result));
+    return SingletonAtomic(Atomic(result));
+  }
+  void Describe(std::string* out, int indent) const override {
+    Line(out, indent, every_ ? "every" : "some");
+    for (const Binding& b : bindings_) {
+      Line(out, indent + 1,
+           "in $" + b.var + " slot=" + std::to_string(b.slot));
+      b.expr->Describe(out, indent + 2);
+    }
+    Line(out, indent + 1, "satisfies");
+    satisfies_->Describe(out, indent + 2);
+  }
+
+ private:
+  Status QuantifyFrom(PlanCtx& pc, size_t idx, bool* result) const {
+    if (every_ ? !*result : *result) return Status::OK();
+    if (idx == bindings_.size()) {
+      XCQL_ASSIGN_OR_RETURN(Sequence s, EvalChild(*satisfies_, pc));
+      XCQL_ASSIGN_OR_RETURN(bool b, EffectiveBooleanValue(s));
+      if (every_) {
+        if (!b) *result = false;
+      } else {
+        if (b) *result = true;
+      }
+      return Status::OK();
+    }
+    XCQL_ASSIGN_OR_RETURN(Sequence seq, EvalChild(*bindings_[idx].expr, pc));
+    for (Item& item : seq) {
+      Sequence binding;
+      binding.push_back(item);
+      pc.slots[static_cast<size_t>(bindings_[idx].slot)] = std::move(binding);
+      XCQL_RETURN_NOT_OK(QuantifyFrom(pc, idx + 1, result));
+      if (every_ ? !*result : *result) return Status::OK();
+    }
+    return Status::OK();
+  }
+
+  bool every_;
+  std::vector<Binding> bindings_;
+  PlanOpPtr satisfies_;
+};
+
+}  // namespace
+
+// CompiledFunction / PlanImpl need external linkage declarations inside the
+// anonymous namespace users above, so they live after the ops but before the
+// call ops that reference them.
+namespace {
+
+struct CompiledFunction {
+  std::string name;
+  std::vector<int> param_slots;
+  PlanOpPtr body;
+};
+
+class PlanImpl : public CompiledPlan {
+ public:
+  Result<Sequence> Execute(
+      EvalContext* ctx,
+      const std::map<std::string, Sequence>& bindings) const override;
+  std::string DebugString() const override;
+  int slot_count() const override { return num_slots_; }
+  const std::vector<std::string>& external_names() const override {
+    return external_names_;
+  }
+
+  const CompiledFunction& function(int idx) const {
+    return functions_[static_cast<size_t>(idx)];
+  }
+
+  // Filled by the compiler.
+  int num_slots_ = 0;
+  std::vector<std::string> external_names_;
+  std::vector<int> external_slots_;
+  std::vector<CompiledFunction> functions_;
+  std::vector<std::pair<int, PlanOpPtr>> prolog_vars_;
+  std::vector<std::string> prolog_var_names_;
+  PlanOpPtr body_;
+};
+
+// ---- Function calls --------------------------------------------------------
+
+class NativeCallOp : public PlanOp {
+ public:
+  NativeCallOp(std::string name, const FunctionRegistry::NativeEntry* entry,
+               std::vector<PlanOpPtr> args)
+      : name_(std::move(name)), entry_(entry), args_(std::move(args)) {}
+  Result<Sequence> Eval(PlanCtx& pc) const override {
+    std::vector<Sequence> args;
+    args.reserve(args_.size());
+    for (const PlanOpPtr& a : args_) {
+      XCQL_ASSIGN_OR_RETURN(Sequence s, EvalChild(*a, pc));
+      args.push_back(std::move(s));
+    }
+    return entry_->fn(*pc.ctx, args);
+  }
+  void Describe(std::string* out, int indent) const override {
+    Line(out, indent, "native " + name_ + "()");
+    for (const PlanOpPtr& a : args_) a->Describe(out, indent + 1);
+  }
+
+ private:
+  std::string name_;
+  const FunctionRegistry::NativeEntry* entry_;  // resolved at compile time
+  std::vector<PlanOpPtr> args_;
+};
+
+class UserCallOp : public PlanOp {
+ public:
+  UserCallOp(std::string name, int fn_index, std::vector<PlanOpPtr> args)
+      : name_(std::move(name)), fn_index_(fn_index), args_(std::move(args)) {}
+  Result<Sequence> Eval(PlanCtx& pc) const override {
+    // Arguments evaluate in the caller's frame; the callee's slots only
+    // change after that, and the call graph is acyclic (the compiler falls
+    // back on recursion), so no frame needs saving.
+    std::vector<Sequence> args;
+    args.reserve(args_.size());
+    for (const PlanOpPtr& a : args_) {
+      XCQL_ASSIGN_OR_RETURN(Sequence s, EvalChild(*a, pc));
+      args.push_back(std::move(s));
+    }
+    const CompiledFunction& fn = pc.plan->function(fn_index_);
+    for (size_t i = 0; i < args.size(); ++i) {
+      pc.slots[static_cast<size_t>(fn.param_slots[i])] = std::move(args[i]);
+    }
+    // Function bodies see no focus (XQuery function scoping).
+    PlanCtx::Focus saved = pc.focus;
+    pc.focus = PlanCtx::Focus{};
+    Result<Sequence> r = EvalChild(*fn.body, pc);
+    pc.focus = saved;
+    return r;
+  }
+  void Describe(std::string* out, int indent) const override {
+    Line(out, indent,
+         "call " + name_ + "() fn=" + std::to_string(fn_index_));
+    for (const PlanOpPtr& a : args_) a->Describe(out, indent + 1);
+  }
+
+ private:
+  std::string name_;
+  int fn_index_;
+  std::vector<PlanOpPtr> args_;
+};
+
+// ---- Constructors ----------------------------------------------------------
+
+struct CompiledContentPart {
+  std::string text;  // used when op is null
+  PlanOpPtr op;
+};
+
+class DirectElementOp : public PlanOp {
+ public:
+  struct Attr {
+    std::string name;
+    std::vector<CompiledContentPart> value;
+  };
+  DirectElementOp(std::string name, std::vector<Attr> attrs,
+                  std::vector<CompiledContentPart> content)
+      : name_(std::move(name)),
+        attrs_(std::move(attrs)),
+        content_(std::move(content)) {}
+
+  Result<Sequence> Eval(PlanCtx& pc) const override {
+    NodePtr el = NewElement(*pc.ctx, name_);
+    for (const Attr& attr : attrs_) {
+      std::string value;
+      for (const CompiledContentPart& part : attr.value) {
+        if (part.op == nullptr) {
+          value += part.text;
+        } else {
+          XCQL_ASSIGN_OR_RETURN(Sequence r, EvalChild(*part.op, pc));
+          value += SequenceToString(r);
+        }
+      }
+      el->SetAttr(attr.name, std::move(value));
+    }
+    std::string pending;
+    for (const CompiledContentPart& part : content_) {
+      if (part.op == nullptr) {
+        pending += part.text;
+        continue;
+      }
+      XCQL_ASSIGN_OR_RETURN(Sequence r, EvalChild(*part.op, pc));
+      XCQL_RETURN_NOT_OK(
+          AppendConstructorContent(*pc.ctx, r, el.get(), &pending));
+    }
+    if (!pending.empty()) el->AddChild(NewText(*pc.ctx, std::move(pending)));
+    return SingletonNode(std::move(el));
+  }
+  void Describe(std::string* out, int indent) const override {
+    Line(out, indent, "element <" + name_ + ">");
+    for (const Attr& a : attrs_) {
+      for (const CompiledContentPart& part : a.value) {
+        if (part.op != nullptr) part.op->Describe(out, indent + 1);
+      }
+    }
+    for (const CompiledContentPart& part : content_) {
+      if (part.op != nullptr) part.op->Describe(out, indent + 1);
+    }
+  }
+
+ private:
+  std::string name_;
+  std::vector<Attr> attrs_;
+  std::vector<CompiledContentPart> content_;
+};
+
+class ComputedElementOp : public PlanOp {
+ public:
+  ComputedElementOp(PlanOpPtr name, PlanOpPtr content)
+      : name_(std::move(name)), content_(std::move(content)) {}
+  Result<Sequence> Eval(PlanCtx& pc) const override {
+    XCQL_ASSIGN_OR_RETURN(Sequence name_seq, EvalChild(*name_, pc));
+    std::string name = SequenceToString(name_seq);
+    if (name.empty()) {
+      return Status::TypeError("computed element constructor: empty name");
+    }
+    NodePtr el = NewElement(*pc.ctx, std::move(name));
+    if (content_ != nullptr) {
+      XCQL_ASSIGN_OR_RETURN(Sequence r, EvalChild(*content_, pc));
+      std::string pending;
+      XCQL_RETURN_NOT_OK(
+          AppendConstructorContent(*pc.ctx, r, el.get(), &pending));
+      if (!pending.empty()) el->AddChild(NewText(*pc.ctx, std::move(pending)));
+    }
+    return SingletonNode(std::move(el));
+  }
+  void Describe(std::string* out, int indent) const override {
+    Line(out, indent, "computed-element");
+    name_->Describe(out, indent + 1);
+    if (content_ != nullptr) content_->Describe(out, indent + 1);
+  }
+
+ private:
+  PlanOpPtr name_;
+  PlanOpPtr content_;  // may be null
+};
+
+class ComputedAttributeOp : public PlanOp {
+ public:
+  ComputedAttributeOp(PlanOpPtr name, PlanOpPtr content)
+      : name_(std::move(name)), content_(std::move(content)) {}
+  Result<Sequence> Eval(PlanCtx& pc) const override {
+    XCQL_ASSIGN_OR_RETURN(Sequence name_seq, EvalChild(*name_, pc));
+    std::string name = SequenceToString(name_seq);
+    if (name.empty()) {
+      return Status::TypeError("computed attribute constructor: empty name");
+    }
+    std::string value;
+    if (content_ != nullptr) {
+      XCQL_ASSIGN_OR_RETURN(Sequence r, EvalChild(*content_, pc));
+      value = SequenceToString(r);
+    }
+    return SingletonNode(
+        NewAttribute(*pc.ctx, std::move(name), std::move(value)));
+  }
+  void Describe(std::string* out, int indent) const override {
+    Line(out, indent, "computed-attribute");
+    name_->Describe(out, indent + 1);
+    if (content_ != nullptr) content_->Describe(out, indent + 1);
+  }
+
+ private:
+  PlanOpPtr name_;
+  PlanOpPtr content_;  // may be null
+};
+
+// ---- XCQL projections ------------------------------------------------------
+
+class IntervalProjOp : public PlanOp {
+ public:
+  IntervalProjOp(PlanOpPtr input, PlanOpPtr lo, PlanOpPtr hi)
+      : input_(std::move(input)), lo_(std::move(lo)), hi_(std::move(hi)) {}
+  Result<Sequence> Eval(PlanCtx& pc) const override {
+    XCQL_ASSIGN_OR_RETURN(Sequence input, EvalChild(*input_, pc));
+    XCQL_ASSIGN_OR_RETURN(Sequence lo_seq, EvalChild(*lo_, pc));
+    if (lo_seq.size() != 1) {
+      return Status::TypeError(
+          "interval projection bound must be a singleton");
+    }
+    XCQL_ASSIGN_OR_RETURN(
+        DateTime tb, AtomicToDateTime(*pc.ctx, AtomizeItem(lo_seq.front())));
+    DateTime te = tb;
+    if (hi_ != nullptr) {
+      XCQL_ASSIGN_OR_RETURN(Sequence hi_seq, EvalChild(*hi_, pc));
+      if (hi_seq.size() != 1) {
+        return Status::TypeError(
+            "interval projection bound must be a singleton");
+      }
+      XCQL_ASSIGN_OR_RETURN(
+          te, AtomicToDateTime(*pc.ctx, AtomizeItem(hi_seq.front())));
+    }
+    if (tb > te) {
+      return Status::InvalidArgument(
+          "interval projection with begin > end: " +
+          Interval(tb, te).ToString());
+    }
+    return IntervalProjection(*pc.ctx, input, tb, te);
+  }
+  void Describe(std::string* out, int indent) const override {
+    Line(out, indent, "interval-proj");
+    input_->Describe(out, indent + 1);
+    lo_->Describe(out, indent + 1);
+    if (hi_ != nullptr) hi_->Describe(out, indent + 1);
+  }
+
+ private:
+  PlanOpPtr input_;
+  PlanOpPtr lo_;
+  PlanOpPtr hi_;  // null means point interval [lo, lo]
+};
+
+class VersionProjOp : public PlanOp {
+ public:
+  VersionProjOp(PlanOpPtr input, PlanOpPtr lo, PlanOpPtr hi)
+      : input_(std::move(input)), lo_(std::move(lo)), hi_(std::move(hi)) {}
+  Result<Sequence> Eval(PlanCtx& pc) const override {
+    XCQL_ASSIGN_OR_RETURN(Sequence input, EvalChild(*input_, pc));
+    int64_t saved_last = pc.version_last;
+    pc.version_last = static_cast<int64_t>(input.size());
+    auto eval_bound = [&](const PlanOp& bound) -> Result<int64_t> {
+      XCQL_ASSIGN_OR_RETURN(Sequence s, EvalChild(bound, pc));
+      if (s.size() != 1) {
+        return Status::TypeError(
+            "version projection bound must be a singleton");
+      }
+      return AtomicToVersion(AtomizeItem(s.front()));
+    };
+    Result<int64_t> vb = eval_bound(*lo_);
+    if (!vb.ok()) {
+      pc.version_last = saved_last;
+      return vb.status();
+    }
+    int64_t ve = vb.value();
+    if (hi_ != nullptr) {
+      Result<int64_t> hi = eval_bound(*hi_);
+      if (!hi.ok()) {
+        pc.version_last = saved_last;
+        return hi.status();
+      }
+      ve = hi.value();
+    }
+    pc.version_last = saved_last;
+    if (vb.value() > ve) {
+      return Status::InvalidArgument(
+          StringPrintf("version projection with begin %lld > end %lld",
+                       static_cast<long long>(vb.value()),
+                       static_cast<long long>(ve)));
+    }
+    return VersionProjection(*pc.ctx, input, vb.value(), ve);
+  }
+  void Describe(std::string* out, int indent) const override {
+    Line(out, indent, "version-proj");
+    input_->Describe(out, indent + 1);
+    lo_->Describe(out, indent + 1);
+    if (hi_ != nullptr) hi_->Describe(out, indent + 1);
+  }
+
+ private:
+  PlanOpPtr input_;
+  PlanOpPtr lo_;
+  PlanOpPtr hi_;
+};
+
+// ---- PlanImpl::Execute / DebugString ---------------------------------------
+
+Result<Sequence> PlanImpl::Execute(
+    EvalContext* ctx, const std::map<std::string, Sequence>& bindings) const {
+  if (ctx->functions == nullptr) {
+    return Status::InvalidArgument("EvalContext has no function registry");
+  }
+  PlanCtx pc;
+  pc.ctx = ctx;
+  pc.plan = this;
+  pc.slots.resize(static_cast<size_t>(num_slots_));
+  pc.bound.assign(static_cast<size_t>(num_slots_), 0);
+  for (size_t i = 0; i < external_names_.size(); ++i) {
+    auto it = bindings.find(external_names_[i]);
+    if (it != bindings.end()) {
+      size_t slot = static_cast<size_t>(external_slots_[i]);
+      pc.slots[slot] = it->second;
+      pc.bound[slot] = 1;
+    }
+  }
+  for (const auto& [slot, init] : prolog_vars_) {
+    Result<Sequence> r = EvalChild(*init, pc);
+    if (!r.ok()) return r.status();
+    size_t s = static_cast<size_t>(slot);
+    pc.slots[s] = std::move(r).MoveValue();
+    pc.bound[s] = 1;
+  }
+  return EvalChild(*body_, pc);
+}
+
+std::string PlanImpl::DebugString() const {
+  std::string out = "plan slots=" + std::to_string(num_slots_);
+  if (!external_names_.empty()) {
+    out += " externals=[";
+    for (size_t i = 0; i < external_names_.size(); ++i) {
+      if (i > 0) out += ",";
+      out += "$" + external_names_[i];
+    }
+    out += "]";
+  }
+  out += "\n";
+  for (const CompiledFunction& f : functions_) {
+    Line(&out, 1, "function " + f.name + "/" +
+                      std::to_string(f.param_slots.size()));
+    f.body->Describe(&out, 2);
+  }
+  for (size_t i = 0; i < prolog_vars_.size(); ++i) {
+    Line(&out, 1, "declare $" + prolog_var_names_[i] + " slot=" +
+                      std::to_string(prolog_vars_[i].first));
+    prolog_vars_[i].second->Describe(&out, 2);
+  }
+  Line(&out, 1, "body");
+  body_->Describe(&out, 2);
+  return out;
+}
+
+// ---- Compiler --------------------------------------------------------------
+
+// Atoms the constant folder may evaluate at compile time: dateTime and
+// duration values are excluded because their arithmetic can resolve "now"
+// against the evaluation clock (EvalContext-dependent).
+bool FoldableConst(const Sequence& s) {
+  for (const Item& item : s) {
+    if (IsNode(item)) return false;
+    const Atomic& a = AsAtomic(item);
+    if (a.is_datetime() || a.is_duration()) return false;
+  }
+  return true;
+}
+
+const Sequence* AsConst(const PlanOpPtr& op) {
+  auto* c = dynamic_cast<const ConstOp*>(op.get());
+  return c != nullptr ? &c->value() : nullptr;
+}
+
+class Compiler {
+ public:
+  Compiler(const Program& prog, const FunctionRegistry& registry)
+      : prog_(prog), registry_(registry) {}
+
+  PlanCompileResult Run() {
+    auto plan = std::make_shared<PlanImpl>();
+    plan_ = plan.get();
+
+    for (const FunctionDecl& d : prog_.functions) {
+      if (!declared_.insert(d.name).second) {
+        return Fallback("duplicate declaration of function " + d.name + "()");
+      }
+    }
+    for (const FunctionDecl& d : prog_.functions) {
+      CompiledFunction cf;
+      cf.name = d.name;
+      in_function_ = true;
+      std::vector<std::pair<std::string, int>> saved_env;
+      saved_env.swap(env_);
+      for (const std::string& p : d.params) {
+        int slot = NewSlot();
+        cf.param_slots.push_back(slot);
+        env_.emplace_back(p, slot);
+      }
+      cf.body = CompileExpr(*d.body);
+      env_ = std::move(saved_env);
+      in_function_ = false;
+      if (failed_) return Fallback(reason_);
+      function_index_[d.name] = static_cast<int>(plan_->functions_.size());
+      plan_->functions_.push_back(std::move(cf));
+    }
+    for (const VariableDecl& v : prog_.variables) {
+      PlanOpPtr init = CompileExpr(*v.init);
+      if (failed_) return Fallback(reason_);
+      int slot = NewSlot();
+      plan_->prolog_vars_.emplace_back(slot, std::move(init));
+      plan_->prolog_var_names_.push_back(v.name);
+      env_.emplace_back(v.name, slot);
+    }
+    plan_->body_ = CompileExpr(*prog_.body);
+    if (failed_) return Fallback(reason_);
+    return PlanCompileResult{std::move(plan), std::string()};
+  }
+
+ private:
+  PlanCompileResult Fallback(std::string reason) {
+    return PlanCompileResult{nullptr, std::move(reason)};
+  }
+
+  PlanOpPtr Fail(const std::string& reason) {
+    if (!failed_) {
+      failed_ = true;
+      reason_ = reason;
+    }
+    return nullptr;
+  }
+
+  int NewSlot() { return plan_->num_slots_++; }
+
+  PlanOpPtr CompileExpr(const Expr& e);
+  PlanOpPtr CompileVarRef(const VarRefExpr& e);
+  PlanOpPtr CompileFlwor(const FlworExpr& e);
+  PlanOpPtr CompileQuantified(const QuantifiedExpr& e);
+  PlanOpPtr CompileBinary(const BinaryExpr& e);
+  PlanOpPtr CompilePath(const PathExpr& e);
+  PlanOpPtr CompileCall(const FunctionCallExpr& e);
+  bool CompileContent(const std::vector<ContentPart>& parts,
+                      std::vector<CompiledContentPart>* out);
+
+  const Program& prog_;
+  const FunctionRegistry& registry_;
+  PlanImpl* plan_ = nullptr;
+  std::vector<std::pair<std::string, int>> env_;
+  std::map<std::string, int> function_index_;
+  std::unordered_set<std::string> declared_;
+  std::map<std::string, int> external_by_name_;
+  bool in_function_ = false;
+  bool failed_ = false;
+  std::string reason_;
+};
+
+PlanOpPtr Compiler::CompileVarRef(const VarRefExpr& e) {
+  for (auto it = env_.rbegin(); it != env_.rend(); ++it) {
+    if (it->first == e.name) {
+      return std::make_unique<LocalVarOp>(it->second, e.name);
+    }
+  }
+  if (in_function_) {
+    // Function bodies see only their parameters; a free variable errors if
+    // (and only if) evaluation reaches it — same as the interpreter.
+    return std::make_unique<UndefinedVarOp>(e.name);
+  }
+  auto it = external_by_name_.find(e.name);
+  int slot;
+  if (it != external_by_name_.end()) {
+    slot = it->second;
+  } else {
+    slot = NewSlot();
+    external_by_name_[e.name] = slot;
+    plan_->external_names_.push_back(e.name);
+    plan_->external_slots_.push_back(slot);
+  }
+  return std::make_unique<ExternalVarOp>(slot, e.name);
+}
+
+PlanOpPtr Compiler::CompileFlwor(const FlworExpr& e) {
+  std::vector<CompiledClause> clauses;
+  std::vector<bool> descending;
+  bool has_order_by = false;
+  size_t env_mark = env_.size();
+  for (const FlworClause& c : e.clauses) {
+    CompiledClause cc;
+    cc.kind = c.kind;
+    switch (c.kind) {
+      case FlworClause::Kind::kFor: {
+        cc.expr = CompileExpr(*c.expr);
+        if (cc.expr == nullptr) return nullptr;
+        cc.var = c.var;
+        cc.slot = NewSlot();
+        env_.emplace_back(c.var, cc.slot);
+        if (!c.pos_var.empty()) {
+          cc.pos_slot = NewSlot();
+          env_.emplace_back(c.pos_var, cc.pos_slot);
+        }
+        break;
+      }
+      case FlworClause::Kind::kLet: {
+        cc.expr = CompileExpr(*c.expr);
+        if (cc.expr == nullptr) return nullptr;
+        cc.var = c.var;
+        cc.slot = NewSlot();
+        env_.emplace_back(c.var, cc.slot);
+        break;
+      }
+      case FlworClause::Kind::kWhere: {
+        cc.expr = CompileExpr(*c.expr);
+        if (cc.expr == nullptr) return nullptr;
+        break;
+      }
+      case FlworClause::Kind::kOrderBy: {
+        has_order_by = true;
+        descending.clear();  // the last order-by clause's directions win
+        for (const FlworClause::OrderKey& k : c.keys) {
+          CompiledOrderKey ck;
+          ck.key = CompileExpr(*k.key);
+          if (ck.key == nullptr) return nullptr;
+          cc.keys.push_back(std::move(ck));
+          descending.push_back(k.descending);
+        }
+        break;
+      }
+    }
+    clauses.push_back(std::move(cc));
+  }
+  PlanOpPtr ret = CompileExpr(*e.ret);
+  env_.resize(env_mark);
+  if (ret == nullptr) return nullptr;
+  return std::make_unique<FlworOp>(std::move(clauses), std::move(ret),
+                                   std::move(descending), has_order_by);
+}
+
+PlanOpPtr Compiler::CompileQuantified(const QuantifiedExpr& e) {
+  std::vector<QuantifiedOp::Binding> bindings;
+  size_t env_mark = env_.size();
+  for (const QuantifiedExpr::Binding& b : e.bindings) {
+    QuantifiedOp::Binding cb;
+    cb.expr = CompileExpr(*b.expr);
+    if (cb.expr == nullptr) return nullptr;
+    cb.var = b.var;
+    cb.slot = NewSlot();
+    env_.emplace_back(b.var, cb.slot);
+    bindings.push_back(std::move(cb));
+  }
+  PlanOpPtr satisfies = CompileExpr(*e.satisfies);
+  env_.resize(env_mark);
+  if (satisfies == nullptr) return nullptr;
+  return std::make_unique<QuantifiedOp>(e.every, std::move(bindings),
+                                        std::move(satisfies));
+}
+
+PlanOpPtr Compiler::CompileBinary(const BinaryExpr& e) {
+  PlanOpPtr l = CompileExpr(*e.lhs);
+  if (l == nullptr) return nullptr;
+  PlanOpPtr r = CompileExpr(*e.rhs);
+  if (r == nullptr) return nullptr;
+
+  const Sequence* lc = AsConst(l);
+  const Sequence* rc = AsConst(r);
+  bool foldable = lc != nullptr && rc != nullptr && FoldableConst(*lc) &&
+                  FoldableConst(*rc);
+
+  if (e.op == BinOp::kAnd || e.op == BinOp::kOr) {
+    // Short-circuit folding: a decided left side folds the whole operator
+    // even when the right side is dynamic, exactly as evaluation would.
+    if (lc != nullptr && FoldableConst(*lc)) {
+      Result<bool> lb = EffectiveBooleanValue(*lc);
+      if (lb.ok()) {
+        if (e.op == BinOp::kAnd && !lb.value()) {
+          return std::make_unique<ConstOp>(SingletonAtomic(Atomic(false)));
+        }
+        if (e.op == BinOp::kOr && lb.value()) {
+          return std::make_unique<ConstOp>(SingletonAtomic(Atomic(true)));
+        }
+        if (rc != nullptr && FoldableConst(*rc)) {
+          Result<bool> rb = EffectiveBooleanValue(*rc);
+          if (rb.ok()) {
+            return std::make_unique<ConstOp>(
+                SingletonAtomic(Atomic(rb.value())));
+          }
+        }
+      }
+    }
+    return std::make_unique<LogicalOp>(e.op == BinOp::kAnd, std::move(l),
+                                       std::move(r));
+  }
+
+  BinCategory cat;
+  switch (e.op) {
+    case BinOp::kGenEq:
+    case BinOp::kGenNe:
+    case BinOp::kGenLt:
+    case BinOp::kGenLe:
+    case BinOp::kGenGt:
+    case BinOp::kGenGe:
+      cat = BinCategory::kGeneralCompare;
+      break;
+    case BinOp::kValEq:
+    case BinOp::kValNe:
+    case BinOp::kValLt:
+    case BinOp::kValLe:
+    case BinOp::kValGt:
+    case BinOp::kValGe:
+      cat = BinCategory::kValueCompare;
+      break;
+    case BinOp::kTo:
+      cat = BinCategory::kRange;
+      break;
+    case BinOp::kUnion:
+    case BinOp::kIntersect:
+    case BinOp::kExcept:
+      cat = BinCategory::kNodeSet;
+      break;
+    case BinOp::kBefore:
+    case BinOp::kAfter:
+    case BinOp::kMeets:
+    case BinOp::kOverlaps:
+    case BinOp::kContains:
+    case BinOp::kDuring:
+      cat = BinCategory::kIntervalRel;
+      break;
+    default:
+      cat = BinCategory::kArith;
+      break;
+  }
+
+  if (foldable) {
+    Result<Sequence> folded = Status::OK();
+    switch (cat) {
+      case BinCategory::kGeneralCompare:
+        folded = GeneralCompare(e.op, *lc, *rc);
+        break;
+      case BinCategory::kValueCompare:
+        folded = ValueCompare(e.op, *lc, *rc);
+        break;
+      case BinCategory::kRange:
+        folded = RangeSequence(*lc, *rc);
+        break;
+      case BinCategory::kArith: {
+        if (lc->empty() || rc->empty()) {
+          return std::make_unique<ConstOp>(Sequence{});
+        }
+        if (lc->size() != 1 || rc->size() != 1) {
+          folded = Status::TypeError("not folded");  // keep the op
+          break;
+        }
+        // Non-temporal atomics only (checked above), so arithmetic never
+        // touches the evaluation clock; any context works.
+        static EvalContext fold_ctx;
+        folded = EvalArithmetic(fold_ctx, e.op, AtomizeItem(lc->front()),
+                                AtomizeItem(rc->front()));
+        break;
+      }
+      default:
+        folded = Status::TypeError("not folded");
+        break;
+    }
+    // Folding failures (e.g. division by zero) keep the unfolded op so the
+    // runtime error surfaces only if evaluation reaches it.
+    if (folded.ok()) {
+      return std::make_unique<ConstOp>(std::move(folded).MoveValue());
+    }
+  }
+  return std::make_unique<BinaryOpOp>(cat, e.op, std::move(l), std::move(r));
+}
+
+PlanOpPtr Compiler::CompilePath(const PathExpr& e) {
+  PlanOpPtr input;
+  if (e.input != nullptr) {
+    input = CompileExpr(*e.input);
+    if (input == nullptr) return nullptr;
+  }
+  std::vector<CompiledStep> steps;
+  for (const PathStep& s : e.steps) {
+    CompiledStep cs;
+    cs.step.axis = s.axis;
+    cs.step.test = s.test;
+    cs.step.name = s.name;
+    cs.name_id = s.test == PathStep::Test::kName ? InternName(s.name)
+                                                 : kEmptyNameId;
+    for (const ExprPtr& p : s.predicates) {
+      PlanOpPtr pp = CompileExpr(*p);
+      if (pp == nullptr) return nullptr;
+      cs.preds.push_back(std::move(pp));
+    }
+    steps.push_back(std::move(cs));
+  }
+  return std::make_unique<PathOp>(std::move(input), std::move(steps));
+}
+
+PlanOpPtr Compiler::CompileCall(const FunctionCallExpr& e) {
+  // Focus- and projection-dependent builtins resolve before the registry,
+  // mirroring the interpreter's dispatch order.
+  if (e.args.empty()) {
+    if (e.name == "position") return std::make_unique<PositionOp>();
+    if (e.name == "last") return std::make_unique<LastOp>();
+    if (e.name == "xcql:now") return std::make_unique<NowOp>();
+    if (e.name == "xcql:start") {
+      return std::make_unique<ConstOp>(
+          SingletonAtomic(Atomic(DateTime::Start())));
+    }
+    if (e.name == "xcql:last") return std::make_unique<VersionLastOp>();
+  }
+
+  std::vector<PlanOpPtr> args;
+  args.reserve(e.args.size());
+  for (const ExprPtr& a : e.args) {
+    PlanOpPtr op = CompileExpr(*a);
+    if (op == nullptr) return nullptr;
+    args.push_back(std::move(op));
+  }
+  int n = static_cast<int>(args.size());
+
+  const FunctionRegistry::NativeEntry* native = registry_.FindNative(e.name);
+  if (native != nullptr) {
+    if (n < native->min_arity ||
+        (native->max_arity >= 0 && n > native->max_arity)) {
+      // The interpreter raises this lazily; fall back so an unreached bad
+      // call cannot change program behavior.
+      return Fail(StringPrintf("wrong number of arguments (%d) to %s()", n,
+                               e.name.c_str()));
+    }
+    return std::make_unique<NativeCallOp>(e.name, native, std::move(args));
+  }
+
+  auto fn = function_index_.find(e.name);
+  if (fn != function_index_.end()) {
+    const CompiledFunction& cf =
+        plan_->functions_[static_cast<size_t>(fn->second)];
+    if (static_cast<size_t>(n) != cf.param_slots.size()) {
+      return Fail(StringPrintf(
+          "wrong number of arguments (%d, expected %zu) to %s()", n,
+          cf.param_slots.size(), e.name.c_str()));
+    }
+    return std::make_unique<UserCallOp>(e.name, fn->second, std::move(args));
+  }
+  if (declared_.count(e.name) > 0) {
+    // Declared later in the prolog (or a self-reference): the fixed-slot
+    // frame cannot be re-entered, so lowering stops here.
+    return Fail("forward or recursive reference to " + e.name + "()");
+  }
+  if (registry_.FindUser(e.name) != nullptr) {
+    return Fail("call to registry user function " + e.name + "()");
+  }
+  return Fail("unknown function " + e.name + "()");
+}
+
+bool Compiler::CompileContent(const std::vector<ContentPart>& parts,
+                              std::vector<CompiledContentPart>* out) {
+  for (const ContentPart& part : parts) {
+    CompiledContentPart cp;
+    if (part.expr == nullptr) {
+      cp.text = part.text;
+    } else {
+      cp.op = CompileExpr(*part.expr);
+      if (cp.op == nullptr) return false;
+    }
+    out->push_back(std::move(cp));
+  }
+  return true;
+}
+
+PlanOpPtr Compiler::CompileExpr(const Expr& e) {
+  switch (e.kind()) {
+    case ExprKind::kLiteral:
+      return std::make_unique<ConstOp>(
+          SingletonAtomic(static_cast<const LiteralExpr&>(e).value));
+    case ExprKind::kVarRef:
+      return CompileVarRef(static_cast<const VarRefExpr&>(e));
+    case ExprKind::kContextItem:
+      return std::make_unique<ContextItemOp>();
+    case ExprKind::kSequence: {
+      const auto& seq = static_cast<const SequenceExpr&>(e);
+      std::vector<PlanOpPtr> items;
+      items.reserve(seq.items.size());
+      for (const ExprPtr& item : seq.items) {
+        PlanOpPtr op = CompileExpr(*item);
+        if (op == nullptr) return nullptr;
+        items.push_back(std::move(op));
+      }
+      return std::make_unique<SeqOp>(std::move(items));
+    }
+    case ExprKind::kFlwor:
+      return CompileFlwor(static_cast<const FlworExpr&>(e));
+    case ExprKind::kQuantified:
+      return CompileQuantified(static_cast<const QuantifiedExpr&>(e));
+    case ExprKind::kIf: {
+      const auto& i = static_cast<const IfExpr&>(e);
+      PlanOpPtr c = CompileExpr(*i.cond);
+      if (c == nullptr) return nullptr;
+      PlanOpPtr t = CompileExpr(*i.then_branch);
+      if (t == nullptr) return nullptr;
+      PlanOpPtr el = CompileExpr(*i.else_branch);
+      if (el == nullptr) return nullptr;
+      return std::make_unique<IfOp>(std::move(c), std::move(t),
+                                    std::move(el));
+    }
+    case ExprKind::kBinary:
+      return CompileBinary(static_cast<const BinaryExpr&>(e));
+    case ExprKind::kUnary: {
+      const auto& u = static_cast<const UnaryExpr&>(e);
+      PlanOpPtr operand = CompileExpr(*u.operand);
+      if (operand == nullptr) return nullptr;
+      if (const Sequence* c = AsConst(operand);
+          c != nullptr && FoldableConst(*c)) {
+        Result<Sequence> folded = UnaryMinus(*c);
+        if (folded.ok()) {
+          return std::make_unique<ConstOp>(std::move(folded).MoveValue());
+        }
+      }
+      return std::make_unique<NegOp>(std::move(operand));
+    }
+    case ExprKind::kPath:
+      return CompilePath(static_cast<const PathExpr&>(e));
+    case ExprKind::kFilter: {
+      const auto& f = static_cast<const FilterExpr&>(e);
+      PlanOpPtr input = CompileExpr(*f.input);
+      if (input == nullptr) return nullptr;
+      std::vector<PlanOpPtr> preds;
+      for (const ExprPtr& p : f.predicates) {
+        PlanOpPtr pp = CompileExpr(*p);
+        if (pp == nullptr) return nullptr;
+        preds.push_back(std::move(pp));
+      }
+      return std::make_unique<FilterOp>(std::move(input), std::move(preds));
+    }
+    case ExprKind::kFunctionCall:
+      return CompileCall(static_cast<const FunctionCallExpr&>(e));
+    case ExprKind::kDirectElement: {
+      const auto& d = static_cast<const DirectElementExpr&>(e);
+      std::vector<DirectElementOp::Attr> attrs;
+      for (const DirectElementExpr::Attr& a : d.attrs) {
+        DirectElementOp::Attr ca;
+        ca.name = a.name;
+        if (!CompileContent(a.value, &ca.value)) return nullptr;
+        attrs.push_back(std::move(ca));
+      }
+      std::vector<CompiledContentPart> content;
+      if (!CompileContent(d.content, &content)) return nullptr;
+      return std::make_unique<DirectElementOp>(d.name, std::move(attrs),
+                                               std::move(content));
+    }
+    case ExprKind::kComputedElement: {
+      const auto& c = static_cast<const ComputedElementExpr&>(e);
+      PlanOpPtr name = CompileExpr(*c.name_expr);
+      if (name == nullptr) return nullptr;
+      PlanOpPtr content;
+      if (c.content != nullptr) {
+        content = CompileExpr(*c.content);
+        if (content == nullptr) return nullptr;
+      }
+      return std::make_unique<ComputedElementOp>(std::move(name),
+                                                 std::move(content));
+    }
+    case ExprKind::kComputedAttribute: {
+      const auto& c = static_cast<const ComputedAttributeExpr&>(e);
+      PlanOpPtr name = CompileExpr(*c.name_expr);
+      if (name == nullptr) return nullptr;
+      PlanOpPtr content;
+      if (c.content != nullptr) {
+        content = CompileExpr(*c.content);
+        if (content == nullptr) return nullptr;
+      }
+      return std::make_unique<ComputedAttributeOp>(std::move(name),
+                                                   std::move(content));
+    }
+    case ExprKind::kIntervalProj: {
+      const auto& p = static_cast<const IntervalProjExpr&>(e);
+      PlanOpPtr input = CompileExpr(*p.input);
+      if (input == nullptr) return nullptr;
+      PlanOpPtr lo = CompileExpr(*p.lo);
+      if (lo == nullptr) return nullptr;
+      PlanOpPtr hi;
+      if (p.hi != nullptr) {
+        hi = CompileExpr(*p.hi);
+        if (hi == nullptr) return nullptr;
+      }
+      return std::make_unique<IntervalProjOp>(std::move(input), std::move(lo),
+                                              std::move(hi));
+    }
+    case ExprKind::kVersionProj: {
+      const auto& p = static_cast<const VersionProjExpr&>(e);
+      PlanOpPtr input = CompileExpr(*p.input);
+      if (input == nullptr) return nullptr;
+      PlanOpPtr lo = CompileExpr(*p.lo);
+      if (lo == nullptr) return nullptr;
+      PlanOpPtr hi;
+      if (p.hi != nullptr) {
+        hi = CompileExpr(*p.hi);
+        if (hi == nullptr) return nullptr;
+      }
+      return std::make_unique<VersionProjOp>(std::move(input), std::move(lo),
+                                             std::move(hi));
+    }
+  }
+  return Fail("unhandled expression kind");
+}
+
+}  // namespace
+
+PlanCompileResult CompileProgram(const Program& prog,
+                                 const FunctionRegistry& registry) {
+  Compiler compiler(prog, registry);
+  return compiler.Run();
+}
+
+}  // namespace xcql::xq

@@ -1,0 +1,89 @@
+// Compiled query plans: the translated XQuery/XCQL AST lowered into a flat,
+// closed operator pipeline that is built once per prepared query and
+// evaluated many times (the continuous-query hot loop re-evaluates a plan on
+// every tick). Lowering replaces the interpreter's per-evaluation costs with
+// compile-time work:
+//
+//   - variable references become pre-resolved frame slots (no reverse scan
+//     of a name/value vector per lookup),
+//   - native function calls carry the resolved registry entry (no map
+//     lookup per call, arity checked once at compile time),
+//   - path-step name tests carry the interned tag id (no string compare
+//     per node),
+//   - pure, context-free subexpressions over non-temporal literals are
+//     constant-folded into materialized sequences.
+//
+// Every operator evaluates through the SAME semantic kernels
+// (xq/eval_kernels.h) as the tree-walking Evaluator, so the two engines are
+// byte-identical by construction; the randomized differential suite
+// (tests/xcql_random_equivalence_test.cc) enforces it.
+//
+// Lowering is total for the supported language except a few constructs that
+// would need re-entrant frames or runtime name resolution; for those
+// CompileProgram returns a null plan with a reason and the caller falls back
+// to the interpreter (always safe — the interpreter is the reference):
+//
+//   - recursive or forward-referenced user functions (a fixed-slot frame
+//     cannot be re-entered while live),
+//   - duplicate user-function declarations,
+//   - calls to unknown functions or with mismatched arity (the interpreter
+//     raises these lazily, only if evaluation reaches the call).
+#ifndef XCQL_XQ_PLAN_H_
+#define XCQL_XQ_PLAN_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "xq/ast.h"
+#include "xq/context.h"
+#include "xq/value.h"
+
+namespace xcql::xq {
+
+/// \brief A compiled, immutable query plan. Thread-safe to Execute
+/// concurrently: all per-evaluation state (slot frame, focus, recursion
+/// depth) lives in a stack-local frame, so one plan instance can be shared
+/// across parallel tick workers.
+class CompiledPlan {
+ public:
+  virtual ~CompiledPlan() = default;
+
+  /// \brief Evaluates the plan: binds `bindings` into the external-variable
+  /// slots, evaluates prolog variables, then the body. `ctx` must use the
+  /// same FunctionRegistry the plan was compiled against (native entries are
+  /// resolved at compile time).
+  virtual Result<Sequence> Execute(
+      EvalContext* ctx,
+      const std::map<std::string, Sequence>& bindings) const = 0;
+
+  /// \brief Indented one-op-per-line rendering of the pipeline, for tests
+  /// and `explain`-style introspection.
+  virtual std::string DebugString() const = 0;
+
+  /// \brief Total number of variable slots in the frame.
+  virtual int slot_count() const = 0;
+
+  /// \brief Names of free top-level variables, resolved from Execute's
+  /// `bindings` by name (referencing one that is absent raises the
+  /// interpreter's "undefined variable" error).
+  virtual const std::vector<std::string>& external_names() const = 0;
+};
+
+/// \brief Result of lowering: a plan, or null + reason when the program
+/// contains a construct the plan layer does not lower (caller falls back to
+/// the tree-walking Evaluator).
+struct PlanCompileResult {
+  std::shared_ptr<const CompiledPlan> plan;
+  std::string fallback_reason;
+};
+
+/// \brief Lowers a translated program against `registry` (which must
+/// outlive the plan; native entries are resolved to stable pointers).
+PlanCompileResult CompileProgram(const Program& prog,
+                                 const FunctionRegistry& registry);
+
+}  // namespace xcql::xq
+
+#endif  // XCQL_XQ_PLAN_H_

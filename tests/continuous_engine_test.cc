@@ -467,7 +467,7 @@ struct Emitted {
 
 std::vector<Emitted> RunSchedule(
     const std::vector<std::vector<frag::Fragment>>& batches,
-    TickPolicy policy, int workers) {
+    TickPolicy policy, int workers, bool use_compiled_plan = true) {
   StreamServer server("credit", ParseTs(testutil::kCreditTagStructure));
   StreamHub hub;
   EXPECT_TRUE(hub.Subscribe(&server).ok());
@@ -506,6 +506,7 @@ std::vector<Emitted> RunSchedule(
   for (size_t qi = 0; qi < specs.size(); ++qi) {
     ContinuousQueryOptions opts = specs[qi].opts;
     opts.tick_policy = policy;
+    opts.use_compiled_plan = use_compiled_plan;
     auto id = engine.Register(
         specs[qi].text,
         [&out, &tick_no, qi](const xq::Sequence& delta, DateTime at) {
@@ -550,6 +551,62 @@ TEST(ContinuousEquivalenceTest, OptimizedEngineMatchesReferenceDeltaStream) {
     ASSERT_FALSE(reference.empty()) << "seed " << seed
                                     << ": vacuous equivalence";
   }
+}
+
+TEST(ContinuousEquivalenceTest, CompiledPlansMatchInterpreterDeltaStream) {
+  // The compiled-plan tick path (the default) must emit exactly the delta
+  // stream the tree-walking interpreter emits, over random documents,
+  // shuffled arrival schedules, every execution method in the spec list,
+  // and with the one immutable plan shared across parallel tick workers.
+  for (uint32_t seed = 11; seed <= 15; ++seed) {
+    std::mt19937 rng(seed);
+    NodePtr doc = RandomCreditDoc(rng);
+    auto batches = MakeSchedule(*doc, rng, 8);
+    auto interpreted =
+        RunSchedule(batches, TickPolicy::kAlways, 0, /*use_compiled_plan=*/false);
+    auto compiled =
+        RunSchedule(batches, TickPolicy::kAlways, 0, /*use_compiled_plan=*/true);
+    auto compiled_parallel =
+        RunSchedule(batches, TickPolicy::kAlways, 3, /*use_compiled_plan=*/true);
+    EXPECT_EQ(interpreted, compiled) << "seed " << seed;
+    EXPECT_EQ(interpreted, compiled_parallel) << "seed " << seed;
+    ASSERT_FALSE(interpreted.empty()) << "seed " << seed
+                                      << ": vacuous equivalence";
+  }
+}
+
+// ---- Plan pipeline stats ----------------------------------------------------
+
+TEST_F(QuiescentTest, QueryStatsReportPlanCounters) {
+  // The constructor makes the evaluation allocate result nodes, which land
+  // in the per-evaluation arena.
+  auto id = engine_->Register(
+      "for $t in stream(\"credit\")//transaction "
+      "return <tx id={$t/@id}/>",
+      nullptr, {.dedup = false, .tick_policy = TickPolicy::kAlways});
+  ASSERT_TRUE(id.ok()) << id.status().ToString();
+  TickAt("2003-11-02T00:00:00");
+  TickAt("2003-11-03T00:00:00");
+  auto stats = engine_->QueryStats(id.value());
+  ASSERT_TRUE(stats.ok());
+  // The query lowers, so every evaluation ran the compiled plan.
+  EXPECT_TRUE(stats.value().plan_fallback_reason.empty())
+      << stats.value().plan_fallback_reason;
+  EXPECT_EQ(stats.value().compiled_evals, 2);
+  EXPECT_EQ(stats.value().fallback_evals, 0);
+  EXPECT_GT(stats.value().arena_high_water, 0u);
+}
+
+TEST_F(QuiescentTest, InterpreterOptOutCountsFallbackEvals) {
+  auto id = engine_->Register(
+      "count(stream(\"credit\")//transaction)", nullptr,
+      {.tick_policy = TickPolicy::kAlways, .use_compiled_plan = false});
+  ASSERT_TRUE(id.ok()) << id.status().ToString();
+  TickAt("2003-11-02T00:00:00");
+  auto stats = engine_->QueryStats(id.value());
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(stats.value().compiled_evals, 0);
+  EXPECT_EQ(stats.value().fallback_evals, 1);
 }
 
 }  // namespace

@@ -1,0 +1,229 @@
+// Unit tests for the compiled-plan layer (xq/plan.h): lowering, constant
+// folding, slot-resolved variables, external bindings, user functions, and
+// the interpreter-fallback triggers. The broad semantic property (compiled
+// == interpreted over randomized documents) lives in
+// xcql_random_equivalence_test.cc; these tests pin the plan-specific
+// mechanics.
+#include <gtest/gtest.h>
+
+#include "xq/eval.h"
+#include "xq/parser.h"
+#include "xq/plan.h"
+#include "xq/value.h"
+
+namespace xcql::xq {
+namespace {
+
+class PlanTest : public ::testing::Test {
+ protected:
+  PlanCompileResult Compile(const std::string& query) {
+    auto prog = ParseQuery(query);
+    EXPECT_TRUE(prog.ok()) << prog.status().ToString();
+    if (!prog.ok()) return {};
+    return CompileProgram(prog.value(), registry_);
+  }
+
+  // Compiles (asserting it lowers) and executes with the given bindings.
+  Result<Sequence> Run(const std::string& query,
+                       const std::map<std::string, Sequence>& bindings = {}) {
+    PlanCompileResult compiled = Compile(query);
+    EXPECT_NE(compiled.plan, nullptr)
+        << query << " fell back: " << compiled.fallback_reason;
+    if (compiled.plan == nullptr) {
+      return Status::Internal(compiled.fallback_reason);
+    }
+    EvalContext ctx;
+    ctx.functions = &registry_;
+    return compiled.plan->Execute(&ctx, bindings);
+  }
+
+  std::string RunToString(const std::string& query) {
+    auto r = Run(query);
+    EXPECT_TRUE(r.ok()) << query << ": " << r.status().ToString();
+    return r.ok() ? SequenceToString(r.value()) : "<error>";
+  }
+
+  FunctionRegistry registry_ = FunctionRegistry::Builtins();
+};
+
+// ---- Constant folding ------------------------------------------------------
+
+TEST_F(PlanTest, FoldsLiteralArithmetic) {
+  PlanCompileResult c = Compile("1 + 2");
+  ASSERT_NE(c.plan, nullptr) << c.fallback_reason;
+  EXPECT_NE(c.plan->DebugString().find("const (3)"), std::string::npos)
+      << c.plan->DebugString();
+}
+
+TEST_F(PlanTest, FoldsComparisonsAndShortCircuits) {
+  PlanCompileResult c = Compile("2 < 3 or 1 = 2");
+  ASSERT_NE(c.plan, nullptr) << c.fallback_reason;
+  // The whole disjunction folds: 2 < 3 folds to true, which decides `or`.
+  EXPECT_NE(c.plan->DebugString().find("const (true)"), std::string::npos)
+      << c.plan->DebugString();
+}
+
+TEST_F(PlanTest, FoldsRangeExpression) {
+  PlanCompileResult c = Compile("1 to 4");
+  ASSERT_NE(c.plan, nullptr) << c.fallback_reason;
+  EXPECT_NE(c.plan->DebugString().find("const (1 2 3 4)"), std::string::npos)
+      << c.plan->DebugString();
+}
+
+TEST_F(PlanTest, DoesNotFoldTemporalArithmetic) {
+  // dateTime/duration arithmetic resolves "now" against the evaluation
+  // clock, so it must stay a runtime op even over literals.
+  PlanCompileResult c = Compile("2004-01-01T00:00:00 + P1D");
+  ASSERT_NE(c.plan, nullptr) << c.fallback_reason;
+  EXPECT_NE(c.plan->DebugString().find("binary +"), std::string::npos)
+      << c.plan->DebugString();
+}
+
+TEST_F(PlanTest, FoldingFailureStaysRuntimeError) {
+  // div-by-zero must not fail compilation; the error surfaces lazily at
+  // Execute, exactly as in the interpreter.
+  PlanCompileResult c = Compile("1 div 0");
+  ASSERT_NE(c.plan, nullptr) << c.fallback_reason;
+  EXPECT_NE(c.plan->DebugString().find("binary div"), std::string::npos)
+      << c.plan->DebugString();
+  EvalContext ctx;
+  ctx.functions = &registry_;
+  auto r = c.plan->Execute(&ctx, {});
+  EXPECT_FALSE(r.ok());
+}
+
+TEST_F(PlanTest, UnreachedFoldingFailureDoesNotRaise) {
+  EXPECT_EQ(RunToString("if (1 = 1) then 7 else 1 div 0"), "7");
+}
+
+// ---- Execution -------------------------------------------------------------
+
+TEST_F(PlanTest, EvaluatesFlworWithSlots) {
+  EXPECT_EQ(RunToString("for $i in 1 to 3 return $i * 10"), "10 20 30");
+  EXPECT_EQ(RunToString("for $i in 1 to 3 order by $i descending return $i"),
+            "3 2 1");
+  EXPECT_EQ(RunToString("for $i at $p in (5, 6) return $p * 100 + $i"),
+            "105 206");
+}
+
+TEST_F(PlanTest, LetShadowingResolvesToDistinctSlots) {
+  EXPECT_EQ(RunToString("let $x := 1 return (let $x := $x + 1 return $x)"),
+            "2");
+}
+
+TEST_F(PlanTest, NativeCallsResolveAtCompileTime) {
+  EXPECT_EQ(RunToString("count((1, 2, 3))"), "3");
+  EXPECT_EQ(RunToString("concat(\"a\", \"b\")"), "ab");
+}
+
+TEST_F(PlanTest, UserFunctionsCompileToFixedFrames) {
+  EXPECT_EQ(RunToString("declare function twice($x) { $x * 2 }; twice(21)"),
+            "42");
+  EXPECT_EQ(RunToString("declare function add($a, $b) { $a + $b }; "
+                        "declare function inc($n) { add($n, 1) }; inc(41)"),
+            "42");
+}
+
+TEST_F(PlanTest, PrologVariablesEvaluateInOrder) {
+  EXPECT_EQ(RunToString("declare variable $a := 2; "
+                        "declare variable $b := $a * 3; $a + $b"),
+            "8");
+}
+
+// ---- External bindings -----------------------------------------------------
+
+TEST_F(PlanTest, ExternalVariablesBindByName) {
+  PlanCompileResult c = Compile("$x + 1");
+  ASSERT_NE(c.plan, nullptr) << c.fallback_reason;
+  ASSERT_EQ(c.plan->external_names().size(), 1u);
+  EXPECT_EQ(c.plan->external_names()[0], "x");
+  EvalContext ctx;
+  ctx.functions = &registry_;
+  std::map<std::string, Sequence> bindings;
+  bindings["x"] = SingletonAtomic(Atomic(static_cast<int64_t>(41)));
+  auto r = c.plan->Execute(&ctx, bindings);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(SequenceToString(r.value()), "42");
+}
+
+TEST_F(PlanTest, UnboundExternalRaisesLazily) {
+  PlanCompileResult c = Compile("if (1 = 2) then $missing else 9");
+  ASSERT_NE(c.plan, nullptr) << c.fallback_reason;
+  EvalContext ctx;
+  ctx.functions = &registry_;
+  auto ok = c.plan->Execute(&ctx, {});
+  ASSERT_TRUE(ok.ok()) << ok.status().ToString();
+  EXPECT_EQ(SequenceToString(ok.value()), "9");
+
+  PlanCompileResult c2 = Compile("$missing + 1");
+  ASSERT_NE(c2.plan, nullptr) << c2.fallback_reason;
+  auto err = c2.plan->Execute(&ctx, {});
+  ASSERT_FALSE(err.ok());
+  EXPECT_NE(err.status().ToString().find("undefined variable $missing"),
+            std::string::npos)
+      << err.status().ToString();
+}
+
+// ---- Fallback triggers -----------------------------------------------------
+
+TEST_F(PlanTest, RecursiveFunctionFallsBack) {
+  PlanCompileResult c = Compile(
+      "declare function f($n) { if ($n <= 0) then 0 else f($n - 1) }; f(3)");
+  EXPECT_EQ(c.plan, nullptr);
+  EXPECT_NE(c.fallback_reason.find("forward or recursive"),
+            std::string::npos)
+      << c.fallback_reason;
+}
+
+TEST_F(PlanTest, DuplicateFunctionDeclarationFallsBack) {
+  PlanCompileResult c = Compile(
+      "declare function f() { 1 }; declare function f() { 2 }; f()");
+  EXPECT_EQ(c.plan, nullptr);
+  EXPECT_NE(c.fallback_reason.find("duplicate"), std::string::npos)
+      << c.fallback_reason;
+}
+
+TEST_F(PlanTest, UnknownFunctionFallsBack) {
+  PlanCompileResult c = Compile("no:such-function(1)");
+  EXPECT_EQ(c.plan, nullptr);
+  EXPECT_NE(c.fallback_reason.find("unknown function"), std::string::npos)
+      << c.fallback_reason;
+}
+
+TEST_F(PlanTest, ArityMismatchFallsBack) {
+  PlanCompileResult c = Compile(
+      "declare function one($x) { $x }; one(1, 2)");
+  EXPECT_EQ(c.plan, nullptr);
+  EXPECT_FALSE(c.fallback_reason.empty());
+}
+
+// ---- Differential spot-check against the interpreter ----------------------
+
+TEST_F(PlanTest, MatchesInterpreterOnConstructors) {
+  const char* kQueries[] = {
+      "for $i in 1 to 3 return <n v=\"{$i}\">{$i * $i}</n>",
+      "element box { attribute size { 2 + 3 }, \"payload\" }",
+      "let $s := (3, 1, 2) return (max($s), min($s), avg($s))",
+      "string-join(for $i in 1 to 3 return string($i), \"-\")",
+  };
+  for (const char* q : kQueries) {
+    PlanCompileResult c = Compile(q);
+    ASSERT_NE(c.plan, nullptr) << q << ": " << c.fallback_reason;
+    EvalContext plan_ctx;
+    plan_ctx.functions = &registry_;
+    auto compiled = c.plan->Execute(&plan_ctx, {});
+    ASSERT_TRUE(compiled.ok()) << q << ": "
+                               << compiled.status().ToString();
+    EvalContext interp_ctx;
+    interp_ctx.functions = &registry_;
+    auto interpreted = EvalQuery(q, &interp_ctx);
+    ASSERT_TRUE(interpreted.ok()) << q << ": "
+                                  << interpreted.status().ToString();
+    EXPECT_EQ(SequenceToString(compiled.value()),
+              SequenceToString(interpreted.value()))
+        << q;
+  }
+}
+
+}  // namespace
+}  // namespace xcql::xq

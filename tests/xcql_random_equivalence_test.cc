@@ -206,5 +206,72 @@ TEST_P(RandomEquivalenceTest, AllMethodsAgreeOnRandomDocuments) {
 INSTANTIATE_TEST_SUITE_P(Seeds, RandomEquivalenceTest,
                          ::testing::Range<uint64_t>(0, 20));
 
+// Compiled-plan differential (the plan layer's correctness property, see
+// xq/plan.h): over the same randomized documents and the full query corpus,
+// evaluating the compiled plan must produce byte-identical serialized
+// results to the tree-walking interpreter — under every execution method
+// and both lossy-degradation hole policies. Every corpus query must also
+// actually lower (no silent fallback), so the property really exercises the
+// plan and not the interpreter twice.
+class CompiledPlanEquivalenceTest : public ::testing::TestWithParam<uint64_t> {
+};
+
+TEST_P(CompiledPlanEquivalenceTest, CompiledMatchesInterpreted) {
+  DocGen gen(GetParam());
+  NodePtr doc = gen.Build();
+  std::string xml = SerializeXml(*doc);
+  auto store = testutil::MakeStream("credit", testutil::kCreditTagStructure,
+                                    xml.c_str());
+  ASSERT_NE(store, nullptr) << xml;
+  QueryExecutor exec;
+  ASSERT_TRUE(exec.RegisterStream(store.get()).ok());
+
+  for (const char* query : kQueryCorpus) {
+    for (ExecMethod m :
+         {ExecMethod::kCaQ, ExecMethod::kQaC, ExecMethod::kQaCPlus}) {
+      auto prepared = exec.Prepare(query, m);
+      ASSERT_TRUE(prepared.ok()) << query << "\n"
+                                 << prepared.status().ToString();
+      EXPECT_NE(prepared.value().plan, nullptr)
+          << "query did not lower to a plan (" << ExecMethodName(m)
+          << "): " << prepared.value().plan_fallback_reason
+          << "\nquery: " << query;
+      for (xq::HolePolicy policy :
+           {xq::HolePolicy::kOmit, xq::HolePolicy::kKeepHole}) {
+        ExecOptions opts;
+        opts.method = m;
+        opts.now = DateTime::Parse("2006-01-01T00:00:00").value();
+        opts.hole_policy = policy;
+        ExecStats compiled_stats;
+        opts.stats = &compiled_stats;
+        auto compiled = exec.ExecutePrepared(prepared.value(), opts);
+        ASSERT_TRUE(compiled.ok()) << "seed " << GetParam() << " compiled "
+                                   << ExecMethodName(m) << "\nquery: "
+                                   << query << "\n"
+                                   << compiled.status().ToString();
+        ExecOptions interp_opts = opts;
+        interp_opts.use_compiled_plan = false;
+        ExecStats interp_stats;
+        interp_opts.stats = &interp_stats;
+        auto interpreted = exec.ExecutePrepared(prepared.value(), interp_opts);
+        ASSERT_TRUE(interpreted.ok())
+            << "seed " << GetParam() << " interpreted " << ExecMethodName(m)
+            << "\nquery: " << query << "\n"
+            << interpreted.status().ToString();
+        EXPECT_TRUE(compiled_stats.used_compiled_plan) << query;
+        EXPECT_FALSE(interp_stats.used_compiled_plan) << query;
+        EXPECT_EQ(testutil::Render(compiled.value()),
+                  testutil::Render(interpreted.value()))
+            << "seed " << GetParam() << " method " << ExecMethodName(m)
+            << " policy " << static_cast<int>(policy)
+            << "\nquery: " << query;
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CompiledPlanEquivalenceTest,
+                         ::testing::Range<uint64_t>(0, 10));
+
 }  // namespace
 }  // namespace xcql::lang
