@@ -22,9 +22,14 @@
 #include "common/random.h"
 #include "frag/fragment_store.h"
 #include "net/chaos.h"
+#include "net/frame.h"
+#include "net/query_channel.h"
 #include "net/server.h"
 #include "net/subscriber.h"
 #include "net/wal.h"
+#include "stream/clock.h"
+#include "stream/continuous.h"
+#include "stream/registry.h"
 #include "stream/transport.h"
 #include "xmark/generator.h"
 
@@ -484,6 +489,193 @@ void BM_TransportRestart(benchmark::State& state) {
   std::filesystem::remove_all(root, ec);
 }
 
+// The remote-query ablation (protocol v3): one continuous query, eight
+// consumers. server_side=1 registers the query once in the server's
+// QueryChannel — one evaluation per tick, RESULT frames fanned out —
+// while each subscriber merely decodes deltas. server_side=0 is the
+// pre-v3 architecture: every subscriber pulls the raw fragment stream
+// and runs its own ContinuousQueryEngine, so the same query evaluates
+// eight times per tick. Each timed iteration publishes a batch and waits
+// until all eight consumers hold the batch's full delta stream; the gap
+// between the two modes is the evaluate-once dividend.
+void BM_TransportQueryFanout(benchmark::State& state) {
+  const bool server_side = state.range(0) != 0;
+  constexpr int kSubs = 8;
+  constexpr int kBatch = 100;
+  constexpr const char* kTs = R"(
+<tag type="snapshot" id="1" name="packets">
+  <tag type="event" id="2" name="packet">
+    <tag type="snapshot" id="3" name="id"/>
+    <tag type="snapshot" id="4" name="srcIP"/>
+  </tag>
+</tag>)";
+  constexpr const char* kQuery =
+      "for $p in stream(\"pkts\")//packet return string($p/id)";
+
+  auto parse_ts = [&] {
+    auto r = xcql::frag::TagStructure::Parse(kTs);
+    return std::move(r).MoveValue();
+  };
+  xcql::stream::StreamServer source("pkts", parse_ts());
+  xcql::net::QueryChannel channel("pkts", parse_ts());
+  if (!channel.Open().ok()) {
+    state.SkipWithError("channel failed to open");
+    return;
+  }
+  xcql::net::FragmentServerOptions server_opts;
+  server_opts.queue_capacity = 4096;
+  if (server_side) server_opts.query_channel = &channel;
+  xcql::net::FragmentServer server(&source, server_opts);
+  if (!server.Start().ok()) {
+    state.SkipWithError("server failed to start");
+    return;
+  }
+
+  // Client-side consumers each own a full local engine; server-side ones
+  // only track their remote token.
+  struct Consumer {
+    std::unique_ptr<xcql::net::FragmentSubscriber> sub;
+    uint32_t token = 0;
+    // client-side only:
+    std::unique_ptr<xcql::stream::StreamHub> hub;
+    std::unique_ptr<xcql::stream::SimClock> clock;
+    std::unique_ptr<xcql::stream::ContinuousQueryEngine> engine;
+    xcql::frag::FragmentStore* store = nullptr;
+    int64_t deltas = 0;
+  };
+  std::vector<Consumer> consumers(kSubs);
+  for (auto& c : consumers) {
+    xcql::net::FragmentSubscriberOptions sub_opts;
+    sub_opts.port = server.port();
+    sub_opts.stream = "pkts";
+    c.sub = std::make_unique<xcql::net::FragmentSubscriber>(sub_opts);
+    if (server_side) {
+      xcql::net::RemoteQuerySpec spec;
+      spec.text = kQuery;
+      spec.method =
+          static_cast<uint8_t>(xcql::lang::ExecMethod::kQaCPlus);
+      auto token = c.sub->AddRemoteQuery(spec);
+      if (!token.ok()) {
+        state.SkipWithError("AddRemoteQuery failed");
+        return;
+      }
+      c.token = token.value();
+    } else {
+      c.hub = std::make_unique<xcql::stream::StreamHub>();
+      c.clock = std::make_unique<xcql::stream::SimClock>();
+      auto store = c.hub->AddLocalStream("pkts", parse_ts());
+      if (!store.ok()) {
+        state.SkipWithError("AddLocalStream failed");
+        return;
+      }
+      c.store = store.value();
+      c.engine = std::make_unique<xcql::stream::ContinuousQueryEngine>(
+          c.hub.get(), c.clock.get());
+      auto* deltas = &c.deltas;
+      auto id = c.engine->RegisterDelta(
+          kQuery,
+          [deltas](const xcql::xq::Sequence&,
+                   const std::vector<std::string>&,
+                   xcql::DateTime) { ++*deltas; },
+          {});
+      if (!id.ok()) {
+        state.SkipWithError("RegisterDelta failed");
+        return;
+      }
+    }
+    if (!c.sub->Start().ok() || !c.sub->WaitConnected(10s)) {
+      state.SkipWithError("subscriber failed to connect");
+      return;
+    }
+    if (server_side && !c.sub->WaitQueryActive(c.token, 10s)) {
+      state.SkipWithError("remote query never activated");
+      return;
+    }
+  }
+
+  // Root first, so packet fillers splice under it; it emits no delta.
+  xcql::frag::Fragment root;
+  root.id = 0;
+  root.tsid = 1;
+  root.valid_time = xcql::DateTime(999);
+  root.content = xcql::Node::Element("packets");
+  if (!source.Publish(std::move(root)).ok()) {
+    state.SkipWithError("root publish failed");
+    return;
+  }
+
+  xcql::Random rng(13);
+  int64_t t = 1000;
+  int next_val = 0;
+  std::vector<xcql::frag::Fragment> sink;
+  std::vector<xcql::net::RemoteQueryResult> results;
+  for (auto _ : state) {
+    for (int k = 0; k < kBatch; ++k) {
+      xcql::frag::Fragment f;
+      f.id = 1 + static_cast<int64_t>(rng.Uniform(16));
+      f.tsid = 2;
+      t += 1 + static_cast<int64_t>(rng.Uniform(9));
+      f.valid_time = xcql::DateTime(t);
+      f.content = xcql::Node::Element("packet");
+      xcql::NodePtr pid = xcql::Node::Element("id");
+      pid->AddChild(xcql::Node::Text(std::to_string(++next_val)));
+      f.content->AddChild(std::move(pid));
+      if (!source.Publish(std::move(f)).ok()) {
+        state.SkipWithError("publish failed");
+        return;
+      }
+    }
+    // Every distinct packet value is one delta; the root tick emits none.
+    const int64_t result_target = next_val - 1;
+    const int64_t frag_target = server.next_seq() - 1;
+    for (auto& c : consumers) {
+      if (server_side) {
+        if (!c.sub->WaitForResultSeq(c.token, result_target, 60s)) {
+          state.SkipWithError("result stream fell behind");
+          return;
+        }
+        results.clear();
+        c.sub->DrainResults(&results);
+      } else {
+        if (!c.sub->WaitForSeq(frag_target, 60s)) {
+          state.SkipWithError("fragment stream fell behind");
+          return;
+        }
+        sink.clear();
+        c.sub->Drain(&sink);
+        for (auto& f : sink) {
+          c.hub->OnFragment("pkts", f);
+          c.clock->AdvanceTo(c.store->max_valid_time());
+          if (!c.engine->Tick().ok()) {
+            state.SkipWithError("client tick failed");
+            return;
+          }
+        }
+        if (c.deltas != next_val) {
+          state.SkipWithError("client-side delta stream diverged");
+          return;
+        }
+      }
+    }
+  }
+
+  state.SetItemsProcessed(state.iterations() * kBatch);
+  state.counters["subscribers"] = kSubs;
+  if (server_side) {
+    // One evaluation's frames, fanned out: log size vs frames sent.
+    state.counters["result_frames_logged"] =
+        static_cast<double>(channel.stats().result_frames);
+    state.counters["result_frames_sent"] =
+        static_cast<double>(server.metrics().result_frames_out);
+  } else {
+    int64_t evals = 0;
+    for (auto& c : consumers) evals += c.engine->evaluations();
+    state.counters["client_evaluations"] = static_cast<double>(evals);
+  }
+  for (auto& c : consumers) c.sub->Stop();
+  server.Stop();
+}
+
 }  // namespace
 
 // scale_permille: XMark scale factor x1000 (0 = minimal document);
@@ -518,6 +710,16 @@ BENCHMARK(BM_TransportRestart)
     ->ArgNames({"checkpoint_every"})
     ->Args({0})
     ->Args({200})
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(5);
+
+// server_side: 1 = one QueryChannel evaluation fanned out as RESULT
+// frames to 8 subscribers; 0 = 8 client-side engines each evaluating the
+// same query over the raw fragment stream.
+BENCHMARK(BM_TransportQueryFanout)
+    ->ArgNames({"server_side"})
+    ->Args({0})
+    ->Args({1})
     ->Unit(benchmark::kMillisecond)
     ->Iterations(5);
 

@@ -47,7 +47,7 @@ uint64_t GetU64(const char* p) {
 
 bool ValidFrameType(uint8_t t) {
   return t >= static_cast<uint8_t>(FrameType::kHello) &&
-         t <= static_cast<uint8_t>(FrameType::kRepeatRequest);
+         t <= static_cast<uint8_t>(FrameType::kQueryStatus);
 }
 
 // CRC32C (Castagnoli, reflected polynomial 0x82F63B78), byte-at-a-time
@@ -109,6 +109,14 @@ const char* FrameTypeName(FrameType type) {
       return "BYE";
     case FrameType::kRepeatRequest:
       return "REPEAT_REQUEST";
+    case FrameType::kQuery:
+      return "QUERY";
+    case FrameType::kUnquery:
+      return "UNQUERY";
+    case FrameType::kResult:
+      return "RESULT";
+    case FrameType::kQueryStatus:
+      return "QUERY_STATUS";
   }
   return "?";
 }
@@ -325,6 +333,135 @@ Result<RepeatRequest> DecodeRepeatRequest(std::string_view payload) {
         static_cast<int64_t>(GetU64(payload.data() + 12 + 8ull * i)));
   }
   return request;
+}
+
+std::string EncodeQuery(const RemoteQuerySpec& spec) {
+  std::string out;
+  PutU32(&out, spec.token);
+  out.push_back(static_cast<char>(spec.method));
+  out.push_back(static_cast<char>(spec.hole_policy));
+  out.push_back(static_cast<char>(spec.tick_policy));
+  out.push_back(static_cast<char>(spec.flags));
+  PutU64(&out, static_cast<uint64_t>(spec.last_result_seq));
+  out += spec.text;
+  return out;
+}
+
+Result<RemoteQuerySpec> DecodeQuery(std::string_view payload) {
+  // 4 (token) + 4 (option bytes) + 8 (resume seq); the text may be empty
+  // on the wire (the channel rejects it with a status, not a parse error).
+  if (payload.size() < 16) {
+    return Status::ParseError("QUERY payload truncated");
+  }
+  RemoteQuerySpec spec;
+  spec.token = GetU32(payload.data());
+  spec.method = static_cast<uint8_t>(payload[4]);
+  spec.hole_policy = static_cast<uint8_t>(payload[5]);
+  spec.tick_policy = static_cast<uint8_t>(payload[6]);
+  spec.flags = static_cast<uint8_t>(payload[7]);
+  spec.last_result_seq = static_cast<int64_t>(GetU64(payload.data() + 8));
+  spec.text.assign(payload.begin() + 16, payload.end());
+  return spec;
+}
+
+std::string EncodeUnquery(uint64_t query_id) {
+  std::string out;
+  PutU64(&out, query_id);
+  return out;
+}
+
+Result<uint64_t> DecodeUnquery(std::string_view payload) {
+  if (payload.size() != 8) {
+    return Status::ParseError("UNQUERY payload must be 8 bytes");
+  }
+  return GetU64(payload.data());
+}
+
+std::string EncodeQueryStatus(const QueryStatus& status) {
+  std::string out;
+  PutU32(&out, status.token);
+  PutU64(&out, status.query_id);
+  PutU32(&out, status.code);
+  out += status.message;
+  return out;
+}
+
+Result<QueryStatus> DecodeQueryStatus(std::string_view payload) {
+  if (payload.size() < 16) {
+    return Status::ParseError("QUERY_STATUS payload truncated");
+  }
+  QueryStatus status;
+  status.token = GetU32(payload.data());
+  status.query_id = GetU64(payload.data() + 4);
+  status.code = GetU32(payload.data() + 12);
+  status.message.assign(payload.begin() + 16, payload.end());
+  return status;
+}
+
+Result<std::string> EncodeResultDelta(const ResultDelta& delta) {
+  std::string out;
+  PutU64(&out, delta.query_id);
+  PutU64(&out, static_cast<uint64_t>(delta.eval_time_s));
+  PutU32(&out, static_cast<uint32_t>(delta.added.size()));
+  PutU32(&out, static_cast<uint32_t>(delta.removed.size()));
+  for (const auto* items : {&delta.added, &delta.removed}) {
+    for (const std::string& item : *items) {
+      PutU32(&out, static_cast<uint32_t>(item.size()));
+      out += item;
+      if (out.size() > kMaxFramePayload) {
+        return Status::InvalidArgument(StringPrintf(
+            "RESULT delta for query %llu exceeds the %u-byte frame limit",
+            static_cast<unsigned long long>(delta.query_id),
+            kMaxFramePayload));
+      }
+    }
+  }
+  return out;
+}
+
+Result<ResultDelta> DecodeResultDelta(std::string_view payload) {
+  if (payload.size() < 24) {
+    return Status::ParseError("RESULT payload truncated");
+  }
+  ResultDelta delta;
+  delta.query_id = GetU64(payload.data());
+  delta.eval_time_s = static_cast<int64_t>(GetU64(payload.data() + 8));
+  uint32_t added = GetU32(payload.data() + 16);
+  uint32_t removed = GetU32(payload.data() + 20);
+  size_t pos = 24;
+  auto read_items = [&](uint32_t count,
+                        std::vector<std::string>* out) -> Status {
+    out->reserve(count);
+    for (uint32_t i = 0; i < count; ++i) {
+      if (payload.size() - pos < 4) {
+        return Status::ParseError("RESULT item length truncated");
+      }
+      uint32_t len = GetU32(payload.data() + pos);
+      pos += 4;
+      if (payload.size() - pos < len) {
+        return Status::ParseError("RESULT item body truncated");
+      }
+      out->emplace_back(payload.substr(pos, len));
+      pos += len;
+    }
+    return Status::OK();
+  };
+  // Item counts are bounded by the remaining bytes (each item costs at
+  // least its 4-byte length prefix), so a forged count fails fast here
+  // instead of driving a giant reserve().
+  if ((static_cast<uint64_t>(added) + removed) * 4 > payload.size() - pos) {
+    return Status::ParseError(StringPrintf(
+        "RESULT promises %u items in %zu bytes", added + removed,
+        payload.size() - pos));
+  }
+  Status s = read_items(added, &delta.added);
+  if (!s.ok()) return s;
+  s = read_items(removed, &delta.removed);
+  if (!s.ok()) return s;
+  if (pos != payload.size()) {
+    return Status::ParseError("RESULT payload has trailing bytes");
+  }
+  return delta;
 }
 
 uint64_t TagStructureHash(std::string_view ts_xml) {

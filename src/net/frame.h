@@ -38,6 +38,24 @@
 // direction. REPEAT_REQUEST(filler id) flows client→server to NACK a
 // missing filler: the server re-sends every logged frame of that filler
 // with its original seq and kFlagRepeat set.
+//
+// Protocol v3 — the remote query channel. A client that sets
+// kHelloFlagQueryChannel in its HELLO (and sees the server echo it back)
+// may send QUERY frames: XCQL text plus ExecMethod / HolePolicy /
+// TickPolicy options and a resume position. The server registers the
+// query in its incremental engine and answers with QUERY_STATUS (token
+// echoed, assigned query id, or a rejection code + message). From then
+// on every engine tick's delta for that query arrives as a RESULT frame:
+// frame.seq is a per-query result sequence number with the same
+// contiguity / REPLAY_FROM-style resume / epoch-reset semantics as
+// fragment seqs (the resume point travels inside the QUERY frame rather
+// than in REPLAY_FROM, which stays scoped to the fragment log). UNQUERY
+// deregisters; the server confirms with QUERY_STATUS. Downgrade rule:
+// old peers ignore unknown HELLO flag bits, so the channel silently
+// negotiates away — query frames never flow to a peer that did not echo
+// the bit, and the v3 frame types (7–10) are never emitted on such a
+// connection (an old decoder rejects them fatally, like REPEAT_REQUEST
+// on v1).
 #ifndef XCQL_NET_FRAME_H_
 #define XCQL_NET_FRAME_H_
 
@@ -62,6 +80,11 @@ inline constexpr uint8_t kFlagCompressedPayload = 0x01;
 inline constexpr uint8_t kFlagRepeat = 0x02;
 /// HELLO frame-flag bit: "I can speak the v2 (checksummed) frame format".
 inline constexpr uint8_t kHelloFlagCrcFrames = 0x02;
+/// HELLO frame-flag bit: "I speak the v3 remote-query channel". The
+/// client advertises it; the server echoes it back only when a query
+/// channel is actually attached, so both sides know whether QUERY /
+/// RESULT frames may flow on this connection.
+inline constexpr uint8_t kHelloFlagQueryChannel = 0x04;
 // Sanity bound: a received frame larger than this is treated as stream
 // corruption, and EncodeFrame refuses to produce one. Tied to the codec
 // layer's publish-time limit so an accepted fragment always frames.
@@ -77,6 +100,10 @@ enum class FrameType : uint8_t {
   kReplayFrom = 4,
   kBye = 5,
   kRepeatRequest = 6,  // v2-only: NACK for a missing filler id
+  kQuery = 7,          // v3: register a continuous query (client→server)
+  kUnquery = 8,        // v3: deregister a query (client→server)
+  kResult = 9,         // v3: one tick's result delta (server→client)
+  kQueryStatus = 10,   // v3: QUERY/UNQUERY ack or rejection (server→client)
 };
 
 const char* FrameTypeName(FrameType type);
@@ -172,6 +199,75 @@ std::string EncodeRepeatRequest(const RepeatRequest& request);
 /// pre-versioned peers.
 std::string EncodeRepeatRequest(int64_t filler_id);
 Result<RepeatRequest> DecodeRepeatRequest(std::string_view payload);
+
+/// QUERY option-flag bits. The two filler-lookup bits form a tri-state
+/// (neither set = the engine default): kQueryFlagPaperFaithful pins the
+/// paper's linear filler[@id=$fid] scan, kQueryFlagIndexedFillers pins the
+/// indexed lookup. kQueryFlagNoDedup disables the engine's per-query
+/// result dedup (every evaluation re-reports its full result).
+inline constexpr uint8_t kQueryFlagPaperFaithful = 0x01;
+inline constexpr uint8_t kQueryFlagIndexedFillers = 0x02;
+inline constexpr uint8_t kQueryFlagNoDedup = 0x04;
+/// Full diff mode: RESULT frames report items leaving the result in
+/// `removed` (see ContinuousQueryOptions::track_removals).
+inline constexpr uint8_t kQueryFlagTrackRemovals = 0x08;
+
+/// \brief QUERY payload: everything the server needs to register the
+/// query in its engine, plus a resume position for reconnects. The enum
+/// fields travel as raw bytes so the codec stays free of engine headers;
+/// the query channel validates and converts them on admission.
+struct RemoteQuerySpec {
+  /// Client-chosen correlation token, echoed verbatim in QUERY_STATUS so
+  /// the subscriber can match acks to in-flight registrations.
+  uint32_t token = 0;
+  uint8_t method = 0;       // lang::ExecMethod
+  uint8_t hole_policy = 0;  // xq::HolePolicy
+  uint8_t tick_policy = 0;  // stream::TickPolicy
+  uint8_t flags = 0;        // kQueryFlag* bits
+  /// Last result seq the client already holds for this query (-1 = send
+  /// the result stream from the beginning).
+  int64_t last_result_seq = -1;
+  std::string text;  // XCQL source
+};
+
+std::string EncodeQuery(const RemoteQuerySpec& spec);
+Result<RemoteQuerySpec> DecodeQuery(std::string_view payload);
+
+/// \brief UNQUERY payload: the server-assigned query id to deregister.
+std::string EncodeUnquery(uint64_t query_id);
+Result<uint64_t> DecodeUnquery(std::string_view payload);
+
+/// \brief QUERY_STATUS payload: the server's answer to QUERY or UNQUERY.
+/// code 0 = accepted (query_id assigned); nonzero = rejected (query_id 0,
+/// message says why — admission limit, parse error, bad option byte…).
+struct QueryStatus {
+  uint32_t token = 0;
+  uint64_t query_id = 0;
+  uint32_t code = 0;
+  std::string message;
+};
+
+/// QUERY_STATUS codes (u32 on the wire; room for per-layer growth).
+inline constexpr uint32_t kQueryStatusOk = 0;
+inline constexpr uint32_t kQueryStatusRejected = 1;   // admission limit
+inline constexpr uint32_t kQueryStatusInvalid = 2;    // bad spec/XCQL
+inline constexpr uint32_t kQueryStatusUnknownId = 3;  // UNQUERY miss
+
+std::string EncodeQueryStatus(const QueryStatus& status);
+Result<QueryStatus> DecodeQueryStatus(std::string_view payload);
+
+/// \brief RESULT payload: one engine tick's delta for one query. `added`
+/// and `removed` carry serialized result items (the engine's canonical
+/// rendering); frame.seq carries the per-query result sequence number.
+struct ResultDelta {
+  uint64_t query_id = 0;
+  int64_t eval_time_s = 0;  // clock position of the tick (epoch seconds)
+  std::vector<std::string> added;
+  std::vector<std::string> removed;
+};
+
+Result<std::string> EncodeResultDelta(const ResultDelta& delta);
+Result<ResultDelta> DecodeResultDelta(std::string_view payload);
 
 /// \brief FNV-1a over the Tag Structure's canonical XML form; both ends
 /// compare hashes at HELLO to verify they hold the same schema.

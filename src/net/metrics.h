@@ -44,6 +44,10 @@ struct MetricsSnapshot {
                                    // payload didn't decode (dropped, server)
   int64_t wal_append_failures = 0; // published frames the WAL rejected
                                    // (durability degraded, server)
+  int64_t queries_registered = 0;  // QUERY frames admitted (server)
+  int64_t queries_rejected = 0;    // QUERY frames refused: admission limit,
+                                   // bad spec, or unnegotiated channel
+  int64_t result_frames_out = 0;   // RESULT frames enqueued to subscribers
 };
 
 /// \brief The live counters. Relaxed atomics: each counter is independent
@@ -115,6 +119,15 @@ class Metrics {
   void AddWalAppendFailure() {
     wal_append_failures_.fetch_add(1, std::memory_order_relaxed);
   }
+  void AddQueryRegistered() {
+    queries_registered_.fetch_add(1, std::memory_order_relaxed);
+  }
+  void AddQueryRejected() {
+    queries_rejected_.fetch_add(1, std::memory_order_relaxed);
+  }
+  void AddResultFrameOut() {
+    result_frames_out_.fetch_add(1, std::memory_order_relaxed);
+  }
   void ConnectionOpened() {
     connections_active_.fetch_add(1, std::memory_order_relaxed);
   }
@@ -168,6 +181,11 @@ class Metrics {
         bad_control_frames_.load(std::memory_order_relaxed);
     s.wal_append_failures =
         wal_append_failures_.load(std::memory_order_relaxed);
+    s.queries_registered =
+        queries_registered_.load(std::memory_order_relaxed);
+    s.queries_rejected = queries_rejected_.load(std::memory_order_relaxed);
+    s.result_frames_out =
+        result_frames_out_.load(std::memory_order_relaxed);
     return s;
   }
 
@@ -188,6 +206,8 @@ class Metrics {
   std::atomic<int64_t> poison_quarantined_{0};
   std::atomic<int64_t> epoch_resets_{0}, bad_control_frames_{0};
   std::atomic<int64_t> wal_append_failures_{0};
+  std::atomic<int64_t> queries_registered_{0}, queries_rejected_{0};
+  std::atomic<int64_t> result_frames_out_{0};
 };
 
 }  // namespace xcql::net

@@ -4,6 +4,7 @@
 #include <cstdio>
 #include <unordered_set>
 
+#include "net/query_channel.h"
 #include "net/wal.h"
 
 namespace xcql::net {
@@ -51,6 +52,13 @@ Status FragmentServer::Start() {
           XCQL_RETURN_NOT_OK(opts_.wal->Append(
               static_cast<int64_t>(log_.size()) - 1, rec));
         }
+      }
+      // The query channel replays the same history the subscribers do, so
+      // recovered registrations rebuild their result logs byte-identical.
+      // The channel must be Open()ed before Start() for mid-stream
+      // registration positions to line up.
+      if (opts_.query_channel != nullptr) {
+        opts_.query_channel->OnFragment(source_->history_at(i));
       }
     }
     published_.store(static_cast<int64_t>(log_.size()));
@@ -148,8 +156,18 @@ void FragmentServer::OnFragment(const std::string& /*stream_name*/,
   filler_index_[log_.back().filler_id].push_back(log_.size() - 1);
   published_.store(static_cast<int64_t>(log_.size()));
   const LogEntry& stored = log_.back();
-  std::lock_guard<std::mutex> conns_lock(conns_mu_);
-  for (auto& conn : conns_) Enqueue(conn.get(), stored);
+  {
+    std::lock_guard<std::mutex> conns_lock(conns_mu_);
+    for (auto& conn : conns_) Enqueue(conn.get(), stored);
+  }
+  // Tick the query channel after the fragment fan-out, still under
+  // log_mu_: the channel sees fragments in exactly log order, and its
+  // RESULT frames reach each connection queue after the fragment that
+  // caused them. OnRepeat stays off this path — a retransmission is not
+  // a new fragment and must not re-tick the engine.
+  if (opts_.query_channel != nullptr) {
+    opts_.query_channel->OnFragment(fragment);
+  }
 }
 
 void FragmentServer::DegradeDurability(const Status& why) {
@@ -233,33 +251,55 @@ void FragmentServer::Enqueue(Connection* conn, const LogEntry& entry,
     rewritten = DowngradeFrameToV1(rewritten.empty() ? stored : rewritten);
   }
   const std::string& frame = rewritten.empty() ? stored : rewritten;
-  if (conn->queue.size() >= opts_.queue_capacity) {
-    switch (opts_.slow_consumer) {
-      case SlowConsumerPolicy::kBlock:
-        conn->cv_space.wait(lock, [&] {
-          return conn->queue.size() < opts_.queue_capacity || conn->closing;
-        });
-        if (conn->closing) return;
-        break;
-      case SlowConsumerPolicy::kDropOldest:
-        while (conn->queue.size() >= opts_.queue_capacity) {
-          conn->queue.pop_front();
-          ++conn->dropped;
-          metrics_.AddDrop();
-        }
-        break;
-      case SlowConsumerPolicy::kDisconnect:
-        conn->closing = true;
-        conn->sock.Shutdown();
-        conn->cv_data.notify_all();
-        conn->cv_space.notify_all();
-        metrics_.AddSlowDisconnect();
-        return;
-    }
-  }
+  if (!ReserveQueueSlot(conn, lock)) return;
   conn->queue.push_back(frame);
   ++conn->enqueued;
   metrics_.UpdateQueueHwm(static_cast<int64_t>(conn->queue.size()));
+  conn->cv_data.notify_one();
+}
+
+bool FragmentServer::ReserveQueueSlot(Connection* conn,
+                                      std::unique_lock<std::mutex>& lock) {
+  if (conn->queue.size() < opts_.queue_capacity) return true;
+  switch (opts_.slow_consumer) {
+    case SlowConsumerPolicy::kBlock:
+      conn->cv_space.wait(lock, [&] {
+        return conn->queue.size() < opts_.queue_capacity || conn->closing;
+      });
+      return !conn->closing;
+    case SlowConsumerPolicy::kDropOldest:
+      while (conn->queue.size() >= opts_.queue_capacity) {
+        conn->queue.pop_front();
+        ++conn->dropped;
+        metrics_.AddDrop();
+      }
+      return true;
+    case SlowConsumerPolicy::kDisconnect:
+      conn->closing = true;
+      conn->sock.Shutdown();
+      conn->cv_data.notify_all();
+      conn->cv_space.notify_all();
+      metrics_.AddSlowDisconnect();
+      return false;
+  }
+  return false;
+}
+
+void FragmentServer::EnqueueEncoded(Connection* conn,
+                                    const std::string& frame_bytes) {
+  std::unique_lock<std::mutex> lock(conn->mu);
+  // Only `closing` gates this path, not `live`: a QUERY may directly
+  // follow the HELLO, and its backlog replay must not wait for a
+  // REPLAY_FROM the subscriber may never send.
+  if (conn->closing) return;
+  std::string rewritten;
+  if (!conn->peer_crc) rewritten = DowngradeFrameToV1(frame_bytes);
+  const std::string& frame = rewritten.empty() ? frame_bytes : rewritten;
+  if (!ReserveQueueSlot(conn, lock)) return;
+  conn->queue.push_back(frame);
+  ++conn->enqueued;
+  metrics_.UpdateQueueHwm(static_cast<int64_t>(conn->queue.size()));
+  metrics_.AddResultFrameOut();
   conn->cv_data.notify_one();
 }
 
@@ -332,10 +372,16 @@ Status FragmentServer::HandleHello(Connection* conn, const Hello& hello,
     return Status::InvalidArgument(
         "tag-structure hash mismatch: subscriber holds a different schema");
   }
+  // Query-channel negotiation: the bit is echoed only when the peer asked
+  // AND a channel is attached, so v3 frame types never flow on a
+  // connection that did not negotiate them (old peers ignore the bit).
+  const bool peer_queries = (frame.flags & kHelloFlagQueryChannel) != 0 &&
+                            opts_.query_channel != nullptr;
   {
     std::lock_guard<std::mutex> lock(conn->mu);
     conn->codec = hello.codec;
     conn->peer_crc = (frame.flags & kHelloFlagCrcFrames) != 0;
+    conn->peer_queries = peer_queries;
   }
   Hello ack;
   ack.stream_name = source_->name();
@@ -345,6 +391,7 @@ Status FragmentServer::HandleHello(Connection* conn, const Hello& hello,
   Frame out;
   out.type = FrameType::kHello;
   out.flags = kHelloFlagCrcFrames;  // we always speak v2; peer decides
+  if (peer_queries) out.flags |= kHelloFlagQueryChannel;
   // The stream epoch rides in the ack's (otherwise unused) seq field: a
   // subscriber resuming with seq numbers from a different epoch knows its
   // resume point is meaningless and restarts from scratch. 0 = no epoch
@@ -459,6 +506,12 @@ void FragmentServer::ReaderLoop(Connection* conn) {
           ServeRepeat(conn, request.value());
           break;
         }
+        case FrameType::kQuery:
+          HandleQuery(conn, frame);
+          break;
+        case FrameType::kUnquery:
+          HandleUnquery(conn, frame);
+          break;
         case FrameType::kBye:
           done = true;
           break;
@@ -469,12 +522,118 @@ void FragmentServer::ReaderLoop(Connection* conn) {
     }
     if (done) break;
   }
+  // Detach this connection's result sinks before it can be reaped. A
+  // disconnect does not UNQUERY: the registration (and its result log)
+  // stays for the subscriber's reconnect.
+  if (opts_.query_channel != nullptr && !conn->query_subs.empty()) {
+    opts_.query_channel->DropSink(conn);
+  }
   std::lock_guard<std::mutex> lock(conn->mu);
   conn->closing = true;
   conn->reader_done = true;
   conn->sock.Shutdown();
   conn->cv_data.notify_all();
   conn->cv_space.notify_all();
+}
+
+Status FragmentServer::SendQueryStatus(Connection* conn,
+                                       const QueryStatus& status) {
+  bool peer_crc;
+  {
+    std::lock_guard<std::mutex> lock(conn->mu);
+    peer_crc = conn->peer_crc;
+  }
+  Frame frame;
+  frame.type = FrameType::kQueryStatus;
+  frame.payload = EncodeQueryStatus(status);
+  XCQL_ASSIGN_OR_RETURN(
+      std::string bytes,
+      EncodeFrame(frame, peer_crc ? kFrameVersionCrc : kFrameVersion));
+  return SendRaw(conn, bytes);
+}
+
+void FragmentServer::HandleQuery(Connection* conn, const Frame& frame) {
+  auto spec = DecodeQuery(frame.payload);
+  if (!spec.ok()) {
+    metrics_.AddBadControlFrame();
+    return;
+  }
+  QueryStatus status;
+  status.token = spec.value().token;
+  if (!conn->peer_queries) {
+    // The peer skipped negotiation (or no channel is attached): a clean
+    // control-plane refusal, not a cut connection.
+    status.code = kQueryStatusRejected;
+    status.message = "query channel not negotiated on this connection";
+    metrics_.AddQueryRejected();
+    (void)SendQueryStatus(conn, status);
+    return;
+  }
+  if (opts_.max_queries_per_conn > 0 &&
+      static_cast<int>(conn->query_subs.size()) >= opts_.max_queries_per_conn) {
+    status.code = kQueryStatusRejected;
+    status.message = "connection query limit reached (" +
+                     std::to_string(opts_.max_queries_per_conn) + ")";
+    metrics_.AddQueryRejected();
+    (void)SendQueryStatus(conn, status);
+    return;
+  }
+  bool rejected_by_limit = false;
+  auto id = opts_.query_channel->Register(spec.value(), &rejected_by_limit);
+  if (!id.ok()) {
+    status.code = rejected_by_limit ? kQueryStatusRejected
+                                    : kQueryStatusInvalid;
+    status.message = id.status().message();
+    metrics_.AddQueryRejected();
+    (void)SendQueryStatus(conn, status);
+    return;
+  }
+  metrics_.AddQueryRegistered();
+  status.query_id = id.value();
+  status.code = kQueryStatusOk;
+  // Ack before subscribing: the backlog replay enqueues RESULT frames the
+  // writer may send immediately, and the subscriber needs the token→id
+  // mapping before the first one lands.
+  (void)SendQueryStatus(conn, status);
+  const bool already =
+      std::find(conn->query_subs.begin(), conn->query_subs.end(),
+                id.value()) != conn->query_subs.end();
+  if (already) return;  // duplicate QUERY within one session: ack only
+  Status sub = opts_.query_channel->Subscribe(
+      id.value(), spec.value().last_result_seq, conn,
+      [this, conn](const std::string& bytes) { EnqueueEncoded(conn, bytes); });
+  if (!sub.ok()) {
+    // Raced a concurrent UNQUERY between Register and Subscribe: retract
+    // the ok with an UnknownId status; the subscriber re-issues the QUERY.
+    status.code = kQueryStatusUnknownId;
+    status.message = sub.message();
+    (void)SendQueryStatus(conn, status);
+    return;
+  }
+  conn->query_subs.push_back(id.value());
+}
+
+void FragmentServer::HandleUnquery(Connection* conn, const Frame& frame) {
+  auto id = DecodeUnquery(frame.payload);
+  if (!id.ok()) {
+    metrics_.AddBadControlFrame();
+    return;
+  }
+  QueryStatus status;
+  status.query_id = id.value();
+  auto it = std::find(conn->query_subs.begin(), conn->query_subs.end(),
+                      id.value());
+  if (!conn->peer_queries || it == conn->query_subs.end()) {
+    status.code = kQueryStatusUnknownId;
+    status.message = "query not subscribed on this connection";
+    (void)SendQueryStatus(conn, status);
+    return;
+  }
+  conn->query_subs.erase(it);
+  opts_.query_channel->Unsubscribe(id.value(), conn);
+  (void)opts_.query_channel->Unregister(id.value());
+  status.code = kQueryStatusOk;
+  (void)SendQueryStatus(conn, status);
 }
 
 void FragmentServer::WriterLoop(Connection* conn) {

@@ -45,6 +45,7 @@ enum class SlowConsumerPolicy {
 };
 
 class Wal;
+class QueryChannel;
 
 struct FragmentServerOptions {
   uint16_t port = 0;  // 0 = pick an ephemeral port (see port())
@@ -61,6 +62,17 @@ struct FragmentServerOptions {
   /// outlives the process — see FragmentServer::DegradeDurability.
   /// nullptr = in-memory only.
   Wal* wal = nullptr;
+  /// Remote query channel (protocol v3): fed every log-appended fragment
+  /// and serving QUERY/UNQUERY registrations, with RESULT frames fanned
+  /// out through the same per-connection queues as fragments. Not owned;
+  /// must outlive the server. nullptr = queries are not offered (the
+  /// HELLO ack never echoes kHelloFlagQueryChannel, so v3 frames never
+  /// flow).
+  QueryChannel* query_channel = nullptr;
+  /// Admission limit: active query subscriptions per connection
+  /// (<= 0 = unlimited). The channel-wide cap lives in
+  /// QueryChannelOptions::max_queries.
+  int max_queries_per_conn = 8;
 };
 
 /// \brief Per-connection counters, exposed so tests and tools can verify
@@ -139,6 +151,12 @@ class FragmentServer : public stream::StreamClient {
     /// Peer advertised kHelloFlagCrcFrames: send v2 (checksummed) frames.
     /// Old peers get every frame transcoded down to v1.
     bool peer_crc = false;
+    /// Peer advertised kHelloFlagQueryChannel *and* a channel is attached:
+    /// QUERY frames are admissible and v3 frames may flow back.
+    bool peer_queries = false;
+    /// Query ids this connection subscribed to. Reader-thread only (the
+    /// reader admits QUERY/UNQUERY and tears the sinks down on exit).
+    std::vector<uint64_t> query_subs;
     bool live = false;
     bool closing = false;
     int64_t enqueued = 0;
@@ -174,10 +192,25 @@ class FragmentServer : public stream::StreamClient {
   /// only, skipping versions whose validTime the request says the
   /// subscriber already holds.
   void ServeRepeat(Connection* conn, const RepeatRequest& request);
+  /// \brief Serves a QUERY frame: admission checks (connection cap, then
+  /// the channel's), registration, status ack, and result-stream
+  /// subscription from the spec's resume seq.
+  void HandleQuery(Connection* conn, const Frame& frame);
+  void HandleUnquery(Connection* conn, const Frame& frame);
+  Status SendQueryStatus(Connection* conn, const QueryStatus& status);
   /// \brief Appends one encoded frame to the connection's queue, applying
   /// the slow-consumer policy. Caller may hold log_mu_. With `repeat` the
   /// frame goes out flagged as a retransmission.
   void Enqueue(Connection* conn, const LogEntry& entry, bool repeat = false);
+  /// \brief Queues an already-encoded v2 frame (a RESULT from the query
+  /// channel), transcoding for old peers and applying the same
+  /// slow-consumer policy as Enqueue. Unlike fragments it does not wait
+  /// for `live`: a QUERY may directly follow the HELLO.
+  void EnqueueEncoded(Connection* conn, const std::string& frame_bytes);
+  /// \brief The slow-consumer policy body shared by the enqueue paths:
+  /// returns true when a queue slot is available (possibly after blocking
+  /// or evicting), false when the frame must be abandoned.
+  bool ReserveQueueSlot(Connection* conn, std::unique_lock<std::mutex>& lock);
   Status SendRaw(Connection* conn, const std::string& bytes);
   void CloseConnection(Connection* conn);
   void ReapFinished();

@@ -92,6 +92,7 @@ void FragmentSubscriber::Run() {
         was_connected = connected_;
         connected_ = false;
         wire_version_ = kFrameVersion;
+        server_queries_ = false;
         sock_.Close();
         state_cv_.notify_all();
       }
@@ -153,7 +154,9 @@ void FragmentSubscriber::Session() {
   hello.ts_hash = ts_xml_.empty() ? 0 : TagStructureHash(ts_xml_);
   Frame out;
   out.type = FrameType::kHello;
-  out.flags = kHelloFlagCrcFrames;  // advertise v2; the ack decides
+  // Advertise v2 frames and the query channel; the ack decides both (an
+  // old server ignores unknown flag bits, so v3 types never flow to it).
+  out.flags = kHelloFlagCrcFrames | kHelloFlagQueryChannel;
   out.payload = EncodeHello(hello);
   // HELLO always goes out v1 so servers of either vintage can parse it.
   auto hello_bytes = EncodeFrame(out, kFrameVersion);
@@ -259,6 +262,7 @@ void FragmentSubscriber::Session() {
           wire_version_ = (frame.flags & kHelloFlagCrcFrames)
                               ? kFrameVersionCrc
                               : kFrameVersion;
+          server_queries_ = (frame.flags & kHelloFlagQueryChannel) != 0;
           connected_ = true;
           if (ever_connected_) metrics_.AddReconnect();
           ever_connected_ = true;
@@ -280,6 +284,14 @@ void FragmentSubscriber::Session() {
               // Undrained fragments belong to the dead epoch's history;
               // admitting them into the new one would mix the streams.
               pending_.clear();
+              // Likewise the result streams: the new epoch's fragment
+              // history is a different stream, so every query's result
+              // log restarts from seq 0.
+              results_.clear();
+              query_by_id_.clear();
+              for (auto& [token, q] : queries_) {
+                q.state = RemoteQueryState{};
+              }
             }
             if (srv_epoch != 0) epoch_ = srv_epoch;
           }
@@ -296,6 +308,9 @@ void FragmentSubscriber::Session() {
         replay.payload = EncodeReplayFrom(last_seq());
         if (!SendFrame(replay).ok()) return;
         metrics_.AddReplayRequested();
+        // Re-register every remote query on the fresh session, each
+        // resuming from its own contiguous result seq.
+        ResendQueries();
         continue;
       }
       switch (frame.type) {
@@ -390,6 +405,59 @@ void FragmentSubscriber::Session() {
           }
           break;
         }
+        case FrameType::kQueryStatus: {
+          auto status = DecodeQueryStatus(frame.payload);
+          if (!status.ok()) break;  // mangled ack: WaitQueryActive times out
+          std::lock_guard<std::mutex> lock(pending_mu_);
+          auto it = queries_.find(status.value().token);
+          if (it == queries_.end()) break;  // removed while in flight
+          RemoteQuery& q = it->second;
+          q.state.last_code = status.value().code;
+          q.state.last_message = status.value().message;
+          if (status.value().code == kQueryStatusOk) {
+            q.state.active = true;
+            q.state.query_id = status.value().query_id;
+            query_by_id_[status.value().query_id] = it->first;
+          } else {
+            // Rejection — or the server retracting an earlier ok (it
+            // raced an UNQUERY). Either way the stream is not coming.
+            if (q.state.query_id != 0) query_by_id_.erase(q.state.query_id);
+            q.state.active = false;
+            q.state.query_id = 0;
+          }
+          pending_cv_.notify_all();
+          break;
+        }
+        case FrameType::kResult: {
+          auto delta = DecodeResultDelta(frame.payload);
+          if (!delta.ok()) {
+            // Checksum-valid but undecodable: poison, not loss. Skipping
+            // it would silently drop a delta, so treat it like a gap.
+            metrics_.AddGapDetected();
+            return;
+          }
+          const int64_t seq = static_cast<int64_t>(frame.seq);
+          std::unique_lock<std::mutex> lock(pending_mu_);
+          auto by_id = query_by_id_.find(delta.value().query_id);
+          if (by_id == query_by_id_.end()) break;  // unknown/removed query
+          RemoteQuery& q = queries_[by_id->second];
+          if (seq <= q.state.last_result_seq) break;  // replayed duplicate
+          if (seq > q.state.last_result_seq + 1) {
+            // A RESULT frame was lost (drop-oldest eviction): cut the
+            // connection and resume — the reconnect's QUERY carries our
+            // contiguous seq and the server replays from its result log.
+            metrics_.AddGapDetected();
+            return;
+          }
+          q.state.last_result_seq = seq;
+          RemoteQueryResult out_result;
+          out_result.token = by_id->second;
+          out_result.seq = seq;
+          out_result.delta = std::move(delta).MoveValue();
+          results_.push_back(std::move(out_result));
+          pending_cv_.notify_all();
+          break;
+        }
         case FrameType::kBye:
           return;  // server going away; reconnect with backoff
         default:
@@ -397,6 +465,123 @@ void FragmentSubscriber::Session() {
       }
     }
   }
+}
+
+Status FragmentSubscriber::SendQuery(RemoteQuerySpec spec) {
+  Frame frame;
+  frame.type = FrameType::kQuery;
+  frame.payload = EncodeQuery(spec);
+  return SendFrame(frame);
+}
+
+void FragmentSubscriber::ResendQueries() {
+  if (!server_queries()) return;  // old server: queries stay inactive
+  std::vector<RemoteQuerySpec> to_send;
+  {
+    std::lock_guard<std::mutex> lock(pending_mu_);
+    to_send.reserve(queries_.size());
+    for (auto& [token, q] : queries_) {
+      RemoteQuerySpec spec = q.spec;
+      spec.last_result_seq = q.state.last_result_seq;
+      to_send.push_back(std::move(spec));
+    }
+  }
+  for (auto& spec : to_send) {
+    if (!SendQuery(std::move(spec)).ok()) return;
+  }
+}
+
+Result<uint32_t> FragmentSubscriber::AddRemoteQuery(RemoteQuerySpec spec) {
+  if (spec.text.empty()) {
+    return Status::InvalidArgument("remote query needs XCQL text");
+  }
+  uint32_t token;
+  {
+    std::lock_guard<std::mutex> lock(pending_mu_);
+    token = next_token_++;
+    spec.token = token;
+    spec.last_result_seq = -1;
+    RemoteQuery q;
+    q.spec = spec;
+    queries_[token] = std::move(q);
+  }
+  // Already on a session that speaks queries: register now rather than at
+  // the next reconnect. A failure is not fatal — the session is dying and
+  // the reconnect's ResendQueries covers it.
+  if (server_queries()) (void)SendQuery(std::move(spec));
+  return token;
+}
+
+Status FragmentSubscriber::RemoveRemoteQuery(uint32_t token) {
+  uint64_t query_id = 0;
+  {
+    std::lock_guard<std::mutex> lock(pending_mu_);
+    auto it = queries_.find(token);
+    if (it == queries_.end()) {
+      return Status::NotFound("no remote query with token " +
+                              std::to_string(token));
+    }
+    if (it->second.state.active) query_id = it->second.state.query_id;
+    if (it->second.state.query_id != 0) {
+      query_by_id_.erase(it->second.state.query_id);
+    }
+    queries_.erase(it);
+    // Undrained results for the token are already decoupled (they carry
+    // the token); leave them for the application to drain or ignore.
+  }
+  if (query_id != 0) {
+    Frame frame;
+    frame.type = FrameType::kUnquery;
+    frame.payload = EncodeUnquery(query_id);
+    (void)SendFrame(frame);  // disconnected = server keeps it; acceptable
+  }
+  return Status::OK();
+}
+
+int FragmentSubscriber::DrainResults(std::vector<RemoteQueryResult>* out) {
+  std::lock_guard<std::mutex> lock(pending_mu_);
+  int n = static_cast<int>(results_.size());
+  if (out->empty()) {
+    out->swap(results_);
+  } else {
+    std::move(results_.begin(), results_.end(), std::back_inserter(*out));
+    results_.clear();
+  }
+  return n;
+}
+
+bool FragmentSubscriber::WaitQueryActive(
+    uint32_t token, std::chrono::milliseconds timeout) const {
+  std::unique_lock<std::mutex> lock(pending_mu_);
+  return pending_cv_.wait_for(lock, timeout, [&] {
+    auto it = queries_.find(token);
+    return it != queries_.end() && it->second.state.active;
+  });
+}
+
+bool FragmentSubscriber::WaitForResultSeq(
+    uint32_t token, int64_t seq, std::chrono::milliseconds timeout) const {
+  std::unique_lock<std::mutex> lock(pending_mu_);
+  return pending_cv_.wait_for(lock, timeout, [&] {
+    auto it = queries_.find(token);
+    return it != queries_.end() && it->second.state.last_result_seq >= seq;
+  });
+}
+
+Result<RemoteQueryState> FragmentSubscriber::query_state(
+    uint32_t token) const {
+  std::lock_guard<std::mutex> lock(pending_mu_);
+  auto it = queries_.find(token);
+  if (it == queries_.end()) {
+    return Status::NotFound("no remote query with token " +
+                            std::to_string(token));
+  }
+  return it->second.state;
+}
+
+bool FragmentSubscriber::server_queries() const {
+  std::lock_guard<std::mutex> lock(state_mu_);
+  return connected_ && server_queries_;
 }
 
 Result<int> FragmentSubscriber::DrainInto(frag::FragmentStore* store) {

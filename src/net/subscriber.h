@@ -96,6 +96,22 @@ struct PoisonRecord {
   size_t payload_bytes = 0;
 };
 
+/// \brief One decoded RESULT frame, as drained by DrainResults().
+struct RemoteQueryResult {
+  uint32_t token = 0;  // which AddRemoteQuery registration it belongs to
+  int64_t seq = -1;    // per-query result sequence number
+  ResultDelta delta;
+};
+
+/// \brief Point-in-time state of one remote query registration.
+struct RemoteQueryState {
+  bool active = false;       // server acked and the result stream is live
+  uint64_t query_id = 0;     // server-assigned id (0 until acked)
+  int64_t last_result_seq = -1;  // contiguous prefix of the result stream
+  uint32_t last_code = 0;        // last QUERY_STATUS code received
+  std::string last_message;      // last QUERY_STATUS message
+};
+
 class FragmentSubscriber {
  public:
   explicit FragmentSubscriber(FragmentSubscriberOptions options);
@@ -176,6 +192,38 @@ class FragmentSubscriber {
 
   MetricsSnapshot metrics() const;
 
+  /// \brief Registers a remote continuous query (protocol v3): the spec
+  /// travels to the server in a QUERY frame on the current session and on
+  /// every reconnect, resuming each time from the last contiguous result
+  /// seq so the accumulated result stream never gaps or duplicates. The
+  /// spec's token and resume seq are overwritten; the returned token
+  /// identifies the registration in DrainResults() / query_state().
+  /// Callable before Start() and from any thread.
+  Result<uint32_t> AddRemoteQuery(RemoteQuerySpec spec);
+
+  /// \brief Deregisters: sends UNQUERY for the server-assigned id (when
+  /// active) and forgets the registration and its undrained results.
+  Status RemoveRemoteQuery(uint32_t token);
+
+  /// \brief Moves every decoded RESULT frame received since the previous
+  /// drain into `out`, in arrival order. Returns how many.
+  int DrainResults(std::vector<RemoteQueryResult>* out);
+
+  /// \brief Blocks until the server acks the registration (true) or the
+  /// timeout expires (false).
+  bool WaitQueryActive(uint32_t token, std::chrono::milliseconds timeout) const;
+
+  /// \brief Blocks until the query's contiguous result prefix reaches
+  /// `seq` (true) or the timeout expires (false).
+  bool WaitForResultSeq(uint32_t token, int64_t seq,
+                        std::chrono::milliseconds timeout) const;
+
+  Result<RemoteQueryState> query_state(uint32_t token) const;
+
+  /// \brief True while the current session negotiated the query channel
+  /// (server echoed kHelloFlagQueryChannel).
+  bool server_queries() const;
+
   /// \brief Severs the current connection (as a network fault would),
   /// exercising the reconnect + REPLAY_FROM path. Test/chaos hook.
   void KillConnection();
@@ -192,9 +240,19 @@ class FragmentSubscriber {
     int versions_at_request = -1;
   };
 
+  struct RemoteQuery {
+    RemoteQuerySpec spec;  // token = ours; last_result_seq = resume point
+    RemoteQueryState state;
+  };
+
   void Run();
   // One connect→handshake→receive cycle; returns when the connection dies.
   void Session();
+  /// Re-sends every registered QUERY on a fresh session, each resuming
+  /// from its own contiguous result seq. Receive thread, post-handshake.
+  void ResendQueries();
+  /// Builds and sends one QUERY frame for `q` (caller holds no locks).
+  Status SendQuery(RemoteQuerySpec spec);
   bool SleepBackoff(std::chrono::milliseconds delay);
   /// Serialized post-handshake send on the current socket (receive thread
   /// and RepairMissing callers share it), in the negotiated wire version.
@@ -217,6 +275,9 @@ class FragmentSubscriber {
   bool ever_connected_ = false;
   /// Wire version for outgoing frames, per the HELLO flag negotiation.
   uint8_t wire_version_ = kFrameVersion;
+  /// Current session negotiated the query channel (HELLO ack echoed the
+  /// flag). Guarded by state_mu_.
+  bool server_queries_ = false;
   std::string ts_xml_;  // set at first handshake (or from options)
   Socket sock_;         // guarded by state_mu_; owned by the receive thread
 
@@ -234,6 +295,12 @@ class FragmentSubscriber {
   int64_t last_seq_ = -1;  // contiguous prefix; written by receive thread
   uint64_t epoch_ = 0;     // server epoch as of the last handshake
   std::deque<PoisonRecord> poison_log_;  // bounded, newest at the back
+  // Remote query registrations and their undrained results. Guarded by
+  // pending_mu_ (they share the drain/wait machinery with fragments).
+  std::map<uint32_t, RemoteQuery> queries_;
+  std::map<uint64_t, uint32_t> query_by_id_;  // server id → our token
+  std::vector<RemoteQueryResult> results_;
+  uint32_t next_token_ = 1;
 
   // NACK bookkeeping per missing filler id. Guarded by repair_mu_.
   mutable std::mutex repair_mu_;

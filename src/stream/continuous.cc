@@ -62,6 +62,14 @@ Result<int> ContinuousQueryEngine::Register(
   return id;
 }
 
+Result<int> ContinuousQueryEngine::RegisterDelta(
+    const std::string& xcql, DeltaCallback callback,
+    const ContinuousQueryOptions& options) {
+  XCQL_ASSIGN_OR_RETURN(int id, Register(xcql, Callback(), options));
+  queries_[id].delta_callback = std::move(callback);
+  return id;
+}
+
 Status ContinuousQueryEngine::Unregister(int id) {
   if (queries_.erase(id) == 0) {
     return Status::NotFound("no continuous query with id " +
@@ -201,9 +209,47 @@ Status ContinuousQueryEngine::Tick() {
     q.holes_unresolved_last = entry.exec_stats.holes_unresolved;
     if (entry.exec_stats.holes_unresolved > 0) ++q.incomplete_evaluations;
     xq::Sequence result = std::move(entry.result).MoveValue();
+    static const std::vector<std::string> kNoRemoved;
+    auto fire = [&](const xq::Sequence& items) {
+      if (q.callback) q.callback(items, now);
+      if (q.delta_callback) q.delta_callback(items, kNoRemoved, now);
+    };
+    if (q.options.track_removals && q.delta_callback) {
+      // Symmetric diff against the previous evaluation. Both sides keep
+      // emission order (current result order for adds, previous result
+      // order for removals); duplicate items within one evaluation
+      // collapse to their first occurrence.
+      std::unordered_set<uint64_t> prev_keys;
+      prev_keys.reserve(q.present.size());
+      for (const auto& [key, serialized] : q.present) prev_keys.insert(key);
+      std::vector<std::pair<uint64_t, std::string>> current;
+      std::unordered_set<uint64_t> current_keys;
+      xq::Sequence added;
+      for (xq::Item& item : result) {
+        uint64_t key = ItemKey(item);
+        if (!current_keys.insert(key).second) continue;
+        current.emplace_back(key, SerializeResultItem(item));
+        if (prev_keys.find(key) == prev_keys.end()) {
+          added.push_back(std::move(item));
+        }
+      }
+      std::vector<std::string> removed;
+      for (auto& [key, serialized] : q.present) {
+        if (current_keys.find(key) == current_keys.end()) {
+          removed.push_back(std::move(serialized));
+        }
+      }
+      q.present = std::move(current);
+      if (!added.empty() || !removed.empty()) {
+        results_emitted_ +=
+            static_cast<int64_t>(added.size() + removed.size());
+        q.delta_callback(added, removed, now);
+      }
+      continue;
+    }
     if (!q.options.dedup) {
       results_emitted_ += static_cast<int64_t>(result.size());
-      if (q.callback) q.callback(result, now);
+      fire(result);
       continue;
     }
     xq::Sequence delta;
@@ -214,7 +260,7 @@ Status ContinuousQueryEngine::Tick() {
     }
     if (!delta.empty()) {
       results_emitted_ += static_cast<int64_t>(delta.size());
-      if (q.callback) q.callback(delta, now);
+      fire(delta);
     }
   }
   return Status::OK();
@@ -242,6 +288,11 @@ Result<ContinuousQueryStats> ContinuousQueryEngine::QueryStats(int id) const {
   stats.plan_fallback_reason = q.prepared.plan_fallback_reason;
   stats.arena_high_water = q.arena_high_water;
   return stats;
+}
+
+std::string SerializeResultItem(const xq::Item& item) {
+  if (xq::IsNode(item)) return SerializeXml(*xq::AsNode(item));
+  return xq::AsAtomic(item).ToStringValue();
 }
 
 }  // namespace xcql::stream

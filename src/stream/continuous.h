@@ -80,6 +80,14 @@ struct ContinuousQueryOptions {
   /// Evaluate ticks through the compiled plan when the query lowered to one
   /// (see xq/plan.h); off forces the reference tree-walking interpreter.
   bool use_compiled_plan = true;
+  /// Full diff mode (requires a delta callback, see RegisterDelta): each
+  /// tick reports items that newly appeared since the previous evaluation
+  /// as `added` and items that vanished as `removed` (serialized, in the
+  /// order the previous tick emitted them). Overrides the monotone
+  /// adds-only semantics of `dedup` — an item that disappears and later
+  /// reappears is re-added. Costs one serialized copy of the current
+  /// result, held between ticks.
+  bool track_removals = false;
 };
 
 /// \brief Per-query runtime counters and status.
@@ -114,6 +122,12 @@ class ContinuousQueryEngine {
   /// Callback: the delta (or full) result plus the evaluation time.
   using Callback =
       std::function<void(const xq::Sequence& results, DateTime at)>;
+  /// Delta callback (RegisterDelta): newly appearing items, the serialized
+  /// forms of items that left the result (empty unless track_removals),
+  /// and the evaluation time.
+  using DeltaCallback = std::function<void(
+      const xq::Sequence& added, const std::vector<std::string>& removed,
+      DateTime at)>;
 
   ContinuousQueryEngine(StreamHub* hub, SimClock* clock);
 
@@ -122,6 +136,15 @@ class ContinuousQueryEngine {
   /// reuse the compiled plan.
   Result<int> Register(const std::string& xcql, Callback callback,
                        const ContinuousQueryOptions& options = {});
+
+  /// \brief Like Register, but the callback also sees removals. Without
+  /// options.track_removals the added sequence is exactly what Register's
+  /// callback would have received (dedup delta or full result) and removed
+  /// stays empty; with it, ticks report the symmetric diff against the
+  /// previous evaluation. This is the emission hook the remote query
+  /// channel encodes into RESULT frames.
+  Result<int> RegisterDelta(const std::string& xcql, DeltaCallback callback,
+                            const ContinuousQueryOptions& options = {});
 
   Status Unregister(int id);
 
@@ -155,7 +178,12 @@ class ContinuousQueryEngine {
   struct Query {
     std::string text;
     Callback callback;
+    DeltaCallback delta_callback;
     ContinuousQueryOptions options;
+    /// track_removals only: the previous evaluation's result as
+    /// (dedup key, serialized item), in emission order — the base the next
+    /// tick diffs against.
+    std::vector<std::pair<uint64_t, std::string>> present;
     lang::PreparedQuery prepared;
     /// Engine schema epoch the plan was compiled against; a mismatch (new
     /// stream or UDF appeared) triggers recompilation at the next tick.
@@ -200,6 +228,11 @@ class ContinuousQueryEngine {
   int64_t ticks_ = 0;
   int64_t skips_ = 0;
 };
+
+/// \brief Canonical rendering of one result item: SerializeXml for nodes,
+/// the string value for atomics — the same per-item form RenderResult
+/// space-joins, and the byte form RESULT frames carry over the wire.
+std::string SerializeResultItem(const xq::Item& item);
 
 }  // namespace xcql::stream
 

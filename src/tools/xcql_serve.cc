@@ -47,6 +47,7 @@
 #include "common/string_util.h"
 #include "core/stream_manager.h"
 #include "net/chaos.h"
+#include "net/query_channel.h"
 #include "net/server.h"
 #include "net/wal.h"
 #include "stream/clock.h"
@@ -82,6 +83,11 @@ struct ServeOptions {
   // Paper-faithful cost model for the monitor query: linear filler scans
   // instead of the default hash-indexed lookup.
   bool paper_faithful = false;
+  // Remote query channel (protocol v3): admission limits. --no-queries
+  // turns the channel off entirely (the HELLO ack never offers it).
+  bool queries = true;
+  int max_queries = 64;
+  int max_queries_per_conn = 8;
 };
 
 int Usage(const char* argv0) {
@@ -98,7 +104,8 @@ int Usage(const char* argv0) {
       "          [--fsync-interval-ms M] [--segment-bytes N]\n"
       "          [--checkpoint-every N]\n"
       "          [--monitor XCQL] [--monitor-method caq|qac|qac+]\n"
-      "          [--paper-faithful]\n",
+      "          [--paper-faithful]\n"
+      "          [--no-queries] [--max-queries N] [--max-queries-per-conn N]\n",
       argv0);
   return 2;
 }
@@ -223,6 +230,16 @@ int main(int argc, char** argv) {
       }
     } else if (arg == "--paper-faithful") {
       opt.paper_faithful = true;
+    } else if (arg == "--no-queries") {
+      opt.queries = false;
+    } else if (arg == "--max-queries") {
+      const char* v = next();
+      if (v == nullptr) return Usage(argv[0]);
+      opt.max_queries = std::atoi(v);
+    } else if (arg == "--max-queries-per-conn") {
+      const char* v = next();
+      if (v == nullptr) return Usage(argv[0]);
+      opt.max_queries_per_conn = std::atoi(v);
     } else if (arg == "--policy") {
       const char* v = next();
       if (v == nullptr) return Usage(argv[0]);
@@ -340,8 +357,32 @@ int main(int argc, char** argv) {
         xcql::net::FsyncPolicyName(opt.wal.fsync));
   }
 
+  // Remote query channel: opened (registry replayed) before the network
+  // face starts, so recovered registrations line up with the seeded
+  // history and their result streams resume byte-identical.
+  std::unique_ptr<xcql::net::QueryChannel> channel;
+  if (opt.queries) {
+    auto channel_ts = xcql::frag::TagStructure::Parse(ts_xml);
+    if (Fail(channel_ts.status())) return 1;
+    xcql::net::QueryChannelOptions ch_opts;
+    ch_opts.max_queries = opt.max_queries;
+    if (!opt.data_dir.empty()) {
+      ch_opts.registry_path = opt.data_dir + "/queries.reg";
+    }
+    channel = std::make_unique<xcql::net::QueryChannel>(
+        opt.stream, std::move(channel_ts).MoveValue(), ch_opts);
+    if (Fail(channel->Open())) return 1;
+    auto cs = channel->stats();
+    if (cs.recovered_queries > 0) {
+      std::printf("query registry: %lld registrations recovered\n",
+                  static_cast<long long>(cs.recovered_queries));
+    }
+  }
+
   xcql::net::FragmentServerOptions net_opts;
   net_opts.wal = wal.get();
+  net_opts.query_channel = channel.get();
+  net_opts.max_queries_per_conn = opt.max_queries_per_conn;
   // With faults the chaos proxy owns the public port; the real server
   // hides behind it on an ephemeral one.
   net_opts.port = opt.any_fault ? 0 : opt.port;
@@ -457,6 +498,17 @@ int main(int argc, char** argv) {
       static_cast<long long>(m.bytes_out), static_cast<long long>(m.drops),
       static_cast<long long>(m.repeat_requests_in),
       static_cast<long long>(m.connections_accepted));
+  if (channel != nullptr) {
+    auto cs = channel->stats();
+    std::printf(
+        "queries: %d active (%d pending), %lld registered, %lld rejected, "
+        "%lld result frames over %lld fragments\n",
+        cs.active_queries, cs.pending_queries,
+        static_cast<long long>(m.queries_registered),
+        static_cast<long long>(m.queries_rejected),
+        static_cast<long long>(cs.result_frames),
+        static_cast<long long>(cs.fragments_fed));
+  }
   if (chaos != nullptr) {
     auto cs = chaos->stats();
     std::printf(

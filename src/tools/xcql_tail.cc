@@ -9,6 +9,17 @@
 //   xcql_tail --connect localhost:7788 --stream auction
 //             --query 'count(stream("auction")//item)' [--compressed]
 //
+// With --remote the query is not evaluated here at all: it travels to the
+// server in a QUERY frame (protocol v3, docs/REMOTE_QUERIES.md), the
+// server's query channel evaluates it once per published fragment, and
+// this process just prints the RESULT delta stream — added items as [+],
+// removed as [-]. --method, --holes and --paper-faithful ride along in
+// the frame, so the server evaluates with exactly the options a local
+// engine would have used:
+//
+//   xcql_tail --connect localhost:7788 --stream auction --remote \
+//             --query 'stream("auction")//item' --method qac+ --holes omit
+//
 // With any --fault-* flag the connection runs through a local
 // deterministic fault-injection proxy (net::ChaosLink) and each drain
 // sweep NACKs still-missing fillers upstream, so the full corruption →
@@ -43,6 +54,10 @@ struct TailOptions {
   // hash-indexed lookup.
   bool paper_faithful = false;
   xcql::xq::HolePolicy holes = xcql::xq::HolePolicy::kOmit;
+  // Server-side evaluation: ship the query in a QUERY frame and print the
+  // RESULT delta stream instead of evaluating locally.
+  bool remote = false;
+  xcql::lang::ExecMethod method = xcql::lang::ExecMethod::kQaCPlus;
   xcql::net::ChaosFaults faults;
   uint64_t fault_seed = 1;
   bool any_fault = false;
@@ -51,6 +66,7 @@ struct TailOptions {
 int Usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s --connect HOST:PORT --stream NAME [--query XCQL]\n"
+               "          [--remote] [--method caq|qac|qac+]\n"
                "          [--compressed] [--interval-ms M] [--duration-ms M]\n"
                "          [--holes omit|keep|fail] [--paper-faithful]\n"
                "          [--fault-drop P] [--fault-dup P] [--fault-reorder "
@@ -94,6 +110,21 @@ int main(int argc, char** argv) {
       opt.query = v;
     } else if (arg == "--compressed") {
       opt.compressed = true;
+    } else if (arg == "--remote") {
+      opt.remote = true;
+    } else if (arg == "--method") {
+      const char* v = next();
+      if (v == nullptr) return Usage(argv[0]);
+      if (std::strcmp(v, "caq") == 0) {
+        opt.method = xcql::lang::ExecMethod::kCaQ;
+      } else if (std::strcmp(v, "qac") == 0) {
+        opt.method = xcql::lang::ExecMethod::kQaC;
+      } else if (std::strcmp(v, "qac+") == 0 ||
+                 std::strcmp(v, "qacplus") == 0) {
+        opt.method = xcql::lang::ExecMethod::kQaCPlus;
+      } else {
+        return Usage(argv[0]);
+      }
     } else if (arg == "--paper-faithful") {
       opt.paper_faithful = true;
     } else if (arg == "--interval-ms") {
@@ -142,6 +173,10 @@ int main(int argc, char** argv) {
     }
   }
   if (opt.stream.empty()) return Usage(argv[0]);
+  if (opt.remote && opt.query.empty()) {
+    std::fprintf(stderr, "xcql_tail: --remote needs --query\n");
+    return Usage(argv[0]);
+  }
 
   // With faults the subscriber dials a local chaos proxy that relays (and
   // attacks) the upstream connection.
@@ -166,6 +201,22 @@ int main(int argc, char** argv) {
   sub_opts.codec = opt.compressed ? xcql::frag::WireCodec::kTagCompressed
                                   : xcql::frag::WireCodec::kPlainXml;
   xcql::net::FragmentSubscriber subscriber(sub_opts);
+
+  // Remote mode: register before Start() so the very first handshake
+  // already carries the QUERY, plumbing --method / --holes /
+  // --paper-faithful through the frame's option bytes.
+  uint32_t query_token = 0;
+  if (opt.remote) {
+    xcql::net::RemoteQuerySpec spec;
+    spec.text = opt.query;
+    spec.method = static_cast<uint8_t>(opt.method);
+    spec.hole_policy = static_cast<uint8_t>(opt.holes);
+    if (opt.paper_faithful) spec.flags |= xcql::net::kQueryFlagPaperFaithful;
+    auto token = subscriber.AddRemoteQuery(std::move(spec));
+    if (Fail(token.status())) return 1;
+    query_token = token.value();
+  }
+
   if (Fail(subscriber.Start())) return 1;
   if (!subscriber.WaitConnected(std::chrono::seconds(10))) {
     std::fprintf(stderr, "xcql_tail: could not reach %s:%u (%s)\n",
@@ -188,9 +239,30 @@ int main(int argc, char** argv) {
   xcql::stream::SimClock clock;
   xcql::stream::ContinuousQueryEngine engine(&hub, &clock);
 
+  if (opt.remote) {
+    if (!subscriber.server_queries()) {
+      std::fprintf(stderr,
+                   "xcql_tail: server did not negotiate the query channel "
+                   "(--no-queries or pre-v3 peer); rerun without --remote\n");
+      return 1;
+    }
+    if (!subscriber.WaitQueryActive(query_token, std::chrono::seconds(10))) {
+      auto qs = subscriber.query_state(query_token);
+      std::fprintf(stderr, "xcql_tail: remote query not admitted%s%s\n",
+                   qs.ok() && !qs.value().last_message.empty() ? ": " : "",
+                   qs.ok() ? qs.value().last_message.c_str() : "");
+      return 1;
+    }
+    auto qs = subscriber.query_state(query_token);
+    std::printf("remote query active (server id %llu)\n",
+                static_cast<unsigned long long>(
+                    qs.ok() ? qs.value().query_id : 0));
+  }
+
   int query_id = -1;
-  if (!opt.query.empty()) {
+  if (!opt.query.empty() && !opt.remote) {
     xcql::stream::ContinuousQueryOptions q_opts;
+    q_opts.method = opt.method;
     q_opts.hole_policy = opt.holes;
     if (opt.paper_faithful) q_opts.linear_get_fillers = true;
     auto id = engine.Register(
@@ -224,12 +296,29 @@ int main(int argc, char** argv) {
                     repair.value().lost_total);
       }
     }
+    if (opt.remote) {
+      std::vector<xcql::net::RemoteQueryResult> results;
+      subscriber.DrainResults(&results);
+      for (const auto& r : results) {
+        const std::string when =
+            xcql::DateTime(r.delta.eval_time_s).ToString();
+        for (const auto& item : r.delta.added) {
+          std::printf("[%s #%lld +] %s\n", when.c_str(),
+                      static_cast<long long>(r.seq), item.c_str());
+        }
+        for (const auto& item : r.delta.removed) {
+          std::printf("[%s #%lld -] %s\n", when.c_str(),
+                      static_cast<long long>(r.seq), item.c_str());
+        }
+      }
+      if (!results.empty()) std::fflush(stdout);
+    }
     if (drained.value() > 0) {
       total += drained.value();
       clock.AdvanceTo(store->max_valid_time());
-      if (!opt.query.empty()) {
+      if (!opt.query.empty() && !opt.remote) {
         if (Fail(engine.Tick())) return 1;
-      } else {
+      } else if (opt.query.empty()) {
         std::printf("received %d fragments (%lld total, seq %lld)\n",
                     drained.value(), static_cast<long long>(total),
                     static_cast<long long>(subscriber.last_seq()));
@@ -254,6 +343,13 @@ int main(int argc, char** argv) {
           qs.value().arena_high_water,
           qs.value().plan_fallback_reason.empty() ? "" : " — fallback: ",
           qs.value().plan_fallback_reason.c_str());
+    }
+  }
+  if (opt.remote) {
+    auto qs = subscriber.query_state(query_token);
+    if (qs.ok()) {
+      std::printf("remote query: last result seq %lld\n",
+                  static_cast<long long>(qs.value().last_result_seq));
     }
   }
   auto m = subscriber.metrics();
