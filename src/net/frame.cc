@@ -47,7 +47,7 @@ uint64_t GetU64(const char* p) {
 
 bool ValidFrameType(uint8_t t) {
   return t >= static_cast<uint8_t>(FrameType::kHello) &&
-         t <= static_cast<uint8_t>(FrameType::kQueryStatus);
+         t <= static_cast<uint8_t>(FrameType::kSubscribe);
 }
 
 // CRC32C (Castagnoli, reflected polynomial 0x82F63B78), byte-at-a-time
@@ -117,6 +117,10 @@ const char* FrameTypeName(FrameType type) {
       return "RESULT";
     case FrameType::kQueryStatus:
       return "QUERY_STATUS";
+    case FrameType::kSkipTo:
+      return "SKIP_TO";
+    case FrameType::kSubscribe:
+      return "SUBSCRIBE";
   }
   return "?";
 }
@@ -333,6 +337,44 @@ Result<RepeatRequest> DecodeRepeatRequest(std::string_view payload) {
         static_cast<int64_t>(GetU64(payload.data() + 12 + 8ull * i)));
   }
   return request;
+}
+
+std::string EncodeSubscribe(const std::vector<int>& tsids) {
+  std::string out;
+  PutU32(&out, static_cast<uint32_t>(tsids.size()));
+  for (int id : tsids) PutU32(&out, static_cast<uint32_t>(id));
+  return out;
+}
+
+Result<std::vector<int>> DecodeSubscribe(std::string_view payload) {
+  if (payload.size() < 4) {
+    return Status::ParseError("SUBSCRIBE payload truncated");
+  }
+  uint32_t count = GetU32(payload.data());
+  if (payload.size() != 4u + 4ull * count) {
+    return Status::ParseError(StringPrintf(
+        "SUBSCRIBE promises %u tsids but carries %zu bytes", count,
+        payload.size()));
+  }
+  std::vector<int> tsids;
+  tsids.reserve(count);
+  for (uint32_t i = 0; i < count; ++i) {
+    tsids.push_back(static_cast<int>(GetU32(payload.data() + 4 + 4ull * i)));
+  }
+  return tsids;
+}
+
+std::string EncodeSkipTo(int64_t first_skipped_seq) {
+  std::string out;
+  PutU64(&out, static_cast<uint64_t>(first_skipped_seq));
+  return out;
+}
+
+Result<int64_t> DecodeSkipTo(std::string_view payload) {
+  if (payload.size() != 8) {
+    return Status::ParseError("SKIP_TO payload must be 8 bytes");
+  }
+  return static_cast<int64_t>(GetU64(payload.data()));
 }
 
 std::string EncodeQuery(const RemoteQuerySpec& spec) {

@@ -56,6 +56,30 @@
 // the bit, and the v3 frame types (7–10) are never emitted on such a
 // connection (an old decoder rejects them fatally, like REPEAT_REQUEST
 // on v1).
+//
+// Per-tsid subscription filters (v3 extension). A client that sets
+// kHelloFlagTsidFilter (and sees it echoed) may send a SUBSCRIBE frame
+// naming tag-structure ids; the server expands each id to its schema
+// subtree closure and from then on delivers only FRAGMENT frames whose
+// tsid falls inside the closure. Filtered-out seqs would look like gaps
+// to the subscriber's contiguous-prefix tracking, so the server covers
+// every skipped run with a SKIP_TO frame (seq = the highest seq of the
+// run, payload = the first): the subscriber advances its contiguous
+// prefix over the run without receiving the data. Carrying the run start
+// keeps skips gap-checkable: a SKIP_TO whose start is not exactly
+// last_seq+1 was reordered or preceded by loss, and the subscriber cuts
+// the session and replays rather than silently jumping past deliverable
+// frames. SKIP_TO is emitted before the next delivered frame and flushed
+// on the heartbeat cadence, so a filtered subscriber's last_seq keeps
+// tracking the stream head. SUBSCRIBE is
+// per-session state: the subscriber re-sends it after every handshake,
+// before REPLAY_FROM, so replays are filtered too. An empty SUBSCRIBE
+// clears the filter. The server can also derive a filter itself: a QUERY
+// carrying kQueryFlagAutoFilter has its relevance analyzed
+// (lang::AnalyzeRelevance) and the touched subtree closure unioned into
+// the connection's filter (an unbounded query disables filtering). NACK
+// repair (REPEAT_REQUEST) bypasses the filter: an explicitly requested
+// filler is always re-sent.
 #ifndef XCQL_NET_FRAME_H_
 #define XCQL_NET_FRAME_H_
 
@@ -85,6 +109,10 @@ inline constexpr uint8_t kHelloFlagCrcFrames = 0x02;
 /// channel is actually attached, so both sides know whether QUERY /
 /// RESULT frames may flow on this connection.
 inline constexpr uint8_t kHelloFlagQueryChannel = 0x04;
+/// HELLO frame-flag bit: "I speak per-tsid subscription filters"
+/// (SUBSCRIBE / SKIP_TO frames). Client advertises, server echoes when it
+/// supports filtering; neither frame type flows unless both bits met.
+inline constexpr uint8_t kHelloFlagTsidFilter = 0x08;
 // Sanity bound: a received frame larger than this is treated as stream
 // corruption, and EncodeFrame refuses to produce one. Tied to the codec
 // layer's publish-time limit so an accepted fragment always frames.
@@ -104,6 +132,11 @@ enum class FrameType : uint8_t {
   kUnquery = 8,        // v3: deregister a query (client→server)
   kResult = 9,         // v3: one tick's result delta (server→client)
   kQueryStatus = 10,   // v3: QUERY/UNQUERY ack or rejection (server→client)
+  kSkipTo = 11,        // v3 filters: advance the contiguous prefix to seq
+                       // without data (everything skipped was filtered
+                       // out; payload = first seq of the skipped run)
+  kSubscribe = 12,     // v3 filters: set/replace this connection's tsid
+                       // filter (client→server; empty = deliver everything)
 };
 
 const char* FrameTypeName(FrameType type);
@@ -200,6 +233,19 @@ std::string EncodeRepeatRequest(const RepeatRequest& request);
 std::string EncodeRepeatRequest(int64_t filler_id);
 Result<RepeatRequest> DecodeRepeatRequest(std::string_view payload);
 
+/// \brief SUBSCRIBE payload: the tag-structure ids this connection wants
+/// (u32 count, count × u32 id). The server expands each id to its subtree
+/// closure; an empty list clears the filter.
+std::string EncodeSubscribe(const std::vector<int>& tsids);
+Result<std::vector<int>> DecodeSubscribe(std::string_view payload);
+
+/// \brief SKIP_TO payload: the first skipped sequence number of the run
+/// (the header seq carries the last). The subscriber admits a skip only
+/// when the run starts exactly at its contiguous prefix + 1 — anything
+/// else is a reorder or a loss, handled like a data-frame gap.
+std::string EncodeSkipTo(int64_t first_skipped_seq);
+Result<int64_t> DecodeSkipTo(std::string_view payload);
+
 /// QUERY option-flag bits. The two filler-lookup bits form a tri-state
 /// (neither set = the engine default): kQueryFlagPaperFaithful pins the
 /// paper's linear filler[@id=$fid] scan, kQueryFlagIndexedFillers pins the
@@ -211,6 +257,12 @@ inline constexpr uint8_t kQueryFlagNoDedup = 0x04;
 /// Full diff mode: RESULT frames report items leaving the result in
 /// `removed` (see ContinuousQueryOptions::track_removals).
 inline constexpr uint8_t kQueryFlagTrackRemovals = 0x08;
+/// Ask the server to derive a per-tsid filter from this query: its
+/// relevance is analyzed and the touched subtree closure is unioned into
+/// the connection's subscription filter. Transport-level — the server
+/// strips the bit before engine registration, so two otherwise-identical
+/// queries still share one engine registration.
+inline constexpr uint8_t kQueryFlagAutoFilter = 0x10;
 
 /// \brief QUERY payload: everything the server needs to register the
 /// query in its engine, plus a resume position for reconnects. The enum

@@ -48,6 +48,15 @@ struct MetricsSnapshot {
   int64_t queries_rejected = 0;    // QUERY frames refused: admission limit,
                                    // bad spec, or unnegotiated channel
   int64_t result_frames_out = 0;   // RESULT frames enqueued to subscribers
+  int64_t fragment_encodes = 0;    // distinct wire encodings of published
+                                   // fragments — fan-out shares buffers, so
+                                   // this tracks publishes, not deliveries
+  int64_t frames_filtered = 0;     // FRAGMENT deliveries suppressed by a
+                                   // per-tsid subscription filter (server)
+  int64_t filtered_bytes_saved = 0;// wire bytes those deliveries would have
+                                   // cost
+  int64_t skips_out = 0;           // SKIP_TO frames sent (server)
+  int64_t skips_in = 0;            // SKIP_TO frames applied (subscriber)
 };
 
 /// \brief The live counters. Relaxed atomics: each counter is independent
@@ -128,6 +137,15 @@ class Metrics {
   void AddResultFrameOut() {
     result_frames_out_.fetch_add(1, std::memory_order_relaxed);
   }
+  void AddFragmentEncode() {
+    fragment_encodes_.fetch_add(1, std::memory_order_relaxed);
+  }
+  void AddFrameFiltered(int64_t bytes_saved) {
+    frames_filtered_.fetch_add(1, std::memory_order_relaxed);
+    filtered_bytes_saved_.fetch_add(bytes_saved, std::memory_order_relaxed);
+  }
+  void AddSkipOut() { skips_out_.fetch_add(1, std::memory_order_relaxed); }
+  void AddSkipIn() { skips_in_.fetch_add(1, std::memory_order_relaxed); }
   void ConnectionOpened() {
     connections_active_.fetch_add(1, std::memory_order_relaxed);
   }
@@ -186,6 +204,12 @@ class Metrics {
     s.queries_rejected = queries_rejected_.load(std::memory_order_relaxed);
     s.result_frames_out =
         result_frames_out_.load(std::memory_order_relaxed);
+    s.fragment_encodes = fragment_encodes_.load(std::memory_order_relaxed);
+    s.frames_filtered = frames_filtered_.load(std::memory_order_relaxed);
+    s.filtered_bytes_saved =
+        filtered_bytes_saved_.load(std::memory_order_relaxed);
+    s.skips_out = skips_out_.load(std::memory_order_relaxed);
+    s.skips_in = skips_in_.load(std::memory_order_relaxed);
     return s;
   }
 
@@ -208,6 +232,9 @@ class Metrics {
   std::atomic<int64_t> wal_append_failures_{0};
   std::atomic<int64_t> queries_registered_{0}, queries_rejected_{0};
   std::atomic<int64_t> result_frames_out_{0};
+  std::atomic<int64_t> fragment_encodes_{0};
+  std::atomic<int64_t> frames_filtered_{0}, filtered_bytes_saved_{0};
+  std::atomic<int64_t> skips_out_{0}, skips_in_{0};
 };
 
 }  // namespace xcql::net

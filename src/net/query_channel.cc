@@ -12,6 +12,7 @@
 #include "common/file_util.h"
 #include "common/string_util.h"
 #include "net/wal.h"
+#include "xcql/executor.h"
 
 namespace xcql::net {
 
@@ -390,7 +391,8 @@ void QueryChannel::EmitDelta(uint64_t id, const xq::Sequence& added,
     ++encode_failures_;
     return;
   }
-  state.log.push_back(std::move(bytes).MoveValue());
+  state.log.push_back(
+      std::make_shared<const std::string>(std::move(bytes).MoveValue()));
   ++result_frames_;
   for (const Sink& sink : state.sinks) sink.deliver(state.log.back());
 }
@@ -408,6 +410,23 @@ QueryChannelStats QueryChannel::stats() const {
   s.recovered_queries = recovered_queries_;
   s.encode_failures = encode_failures_;
   return s;
+}
+
+Result<lang::QueryRelevance> QueryChannel::AnalyzeSpec(
+    const RemoteQuerySpec& spec) const {
+  if (store_ == nullptr) {
+    return Status::Internal("query channel has no mirror store");
+  }
+  XCQL_RETURN_NOT_OK(ValidateSpec(spec));
+  // A throwaway executor: Prepare only parses/translates/analyzes, so the
+  // cost is one compile, and touching no fragments keeps this lock-free
+  // against the feeding thread.
+  lang::QueryExecutor exec;
+  XCQL_RETURN_NOT_OK(exec.RegisterStream(store_));
+  XCQL_ASSIGN_OR_RETURN(
+      lang::PreparedQuery prepared,
+      exec.Prepare(spec.text, static_cast<lang::ExecMethod>(spec.method)));
+  return prepared.relevance;
 }
 
 int64_t QueryChannel::result_log_size(uint64_t query_id) const {

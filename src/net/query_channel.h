@@ -35,6 +35,7 @@
 #include <cstdint>
 #include <functional>
 #include <map>
+#include <memory>
 #include <mutex>
 #include <string>
 #include <vector>
@@ -46,6 +47,7 @@
 #include "stream/clock.h"
 #include "stream/continuous.h"
 #include "stream/registry.h"
+#include "xcql/translator.h"
 
 namespace xcql::net {
 
@@ -77,8 +79,10 @@ class QueryChannel {
  public:
   /// Sink delivery: one encoded v2 RESULT frame, called under the channel
   /// mutex (keep it non-blocking toward channel re-entry; enqueueing to a
-  /// connection's outbound queue is the intended body).
-  using Deliver = std::function<void(const std::string& frame_bytes)>;
+  /// connection's outbound queue is the intended body). The frame buffer
+  /// is shared — sinks queue the refcounted pointer, never a copy.
+  using Deliver =
+      std::function<void(const std::shared_ptr<const std::string>& frame)>;
 
   QueryChannel(std::string stream_name, frag::TagStructure ts,
                QueryChannelOptions options = {});
@@ -128,6 +132,14 @@ class QueryChannel {
   /// \brief Number of RESULT frames logged for `query_id` (0 if unknown).
   int64_t result_log_size(uint64_t query_id) const;
 
+  /// \brief Compiles `spec` against this channel's schema and returns its
+  /// relevance summary (which tsids can affect the result). Lock-free: the
+  /// schema is immutable after construction, and the throwaway executor
+  /// reads only the store's tag structure, never its fragments. Used by
+  /// the server to derive per-tsid subscription filters
+  /// (kQueryFlagAutoFilter).
+  Result<lang::QueryRelevance> AnalyzeSpec(const RemoteQuerySpec& spec) const;
+
  private:
   struct Sink {
     const void* handle = nullptr;
@@ -139,7 +151,9 @@ class QueryChannel {
     /// Fragments already fed when the query registered: its first tick
     /// observes the mirror store at exactly this position.
     int64_t register_pos = 0;
-    std::vector<std::string> log;  // encoded v2 RESULT frames; seq = index
+    // Encoded v2 RESULT frames; seq = index. Refcounted so fan-out and
+    // replay enqueue views of one buffer.
+    std::vector<std::shared_ptr<const std::string>> log;
     std::vector<Sink> sinks;
   };
 

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cstdio>
 #include <unordered_set>
+#include <utility>
 
 #include "net/query_channel.h"
 #include "net/wal.h"
@@ -18,6 +19,27 @@ Frame HeartbeatFrame(int64_t published) {
   hb.type = FrameType::kHeartbeat;
   hb.seq = static_cast<uint64_t>(published);
   return hb;
+}
+
+std::shared_ptr<const std::string> SharedBytes(std::string bytes) {
+  return std::make_shared<const std::string>(std::move(bytes));
+}
+
+// Per-connection view of a logged frame. The common path (v2 peer, not a
+// retransmission) returns the stored buffer itself — zero copies, the
+// whole point of the refcounted log; only old peers and repeats allocate.
+std::shared_ptr<const std::string> TransformFrame(
+    const std::shared_ptr<const std::string>& stored, bool repeat,
+    bool peer_crc) {
+  if (!repeat && peer_crc) return stored;
+  std::string rewritten;
+  if (repeat) rewritten = WithRepeatFlag(*stored);
+  if (!peer_crc) {
+    rewritten = DowngradeFrameToV1(rewritten.empty() ? std::string_view(*stored)
+                                                     : rewritten);
+  }
+  if (rewritten.empty()) return stored;
+  return SharedBytes(std::move(rewritten));
 }
 
 }  // namespace
@@ -46,11 +68,11 @@ Status FragmentServer::Start() {
       // re-appends seqs the WAL already holds, which Append skips.
       if (opts_.wal != nullptr) {
         const LogEntry& entry = log_.back();
-        const std::string& rec =
-            entry.plain.empty() ? entry.compressed : entry.plain;
-        if (!rec.empty()) {
-          XCQL_RETURN_NOT_OK(opts_.wal->Append(
-              static_cast<int64_t>(log_.size()) - 1, rec));
+        const std::shared_ptr<const std::string>& rec =
+            entry.plain != nullptr ? entry.plain : entry.compressed;
+        if (rec != nullptr) {
+          XCQL_RETURN_NOT_OK(
+              opts_.wal->Append(static_cast<int64_t>(log_.size()) - 1, *rec));
         }
       }
       // The query channel replays the same history the subscribers do, so
@@ -65,9 +87,18 @@ Status FragmentServer::Start() {
   }
   XCQL_ASSIGN_OR_RETURN(listener_, ListenOn(opts_.port));
   XCQL_ASSIGN_OR_RETURN(port_, BoundPort(listener_));
-  source_->RegisterClient(this);
+  XCQL_RETURN_NOT_OK(listener_.SetNonBlocking());
+  loop_ = std::make_unique<EventLoop>();
+  XCQL_RETURN_NOT_OK(loop_->Init(opts_.backend));
+  backend_ = loop_->backend();
+  // Registering before the thread spawns is safe: thread creation orders
+  // these writes before anything the loop thread does.
+  XCQL_RETURN_NOT_OK(
+      loop_->Add(listener_.fd(), &listener_tag_, /*want_read=*/true,
+                 /*want_write=*/false));
   stopping_.store(false);
-  accept_thread_ = std::thread([this] { AcceptLoop(); });
+  loop_thread_ = std::thread([this] { LoopThread(); });
+  source_->RegisterClient(this);
   started_ = true;
   return Status::OK();
 }
@@ -75,21 +106,25 @@ Status FragmentServer::Start() {
 void FragmentServer::Stop() {
   if (!started_) return;
   started_ = false;
-  stopping_.store(true);
   source_->UnregisterClient(this);
-  listener_.Shutdown();
-  if (accept_thread_.joinable()) accept_thread_.join();
-  listener_.Close();
-  std::vector<std::unique_ptr<Connection>> conns;
+  stopping_.store(true, std::memory_order_release);
+  // Defensive: a publisher parked in a kBlock wait (there should be none —
+  // Stop comes from the publisher thread) must not outlive the loop.
   {
     std::lock_guard<std::mutex> lock(conns_mu_);
-    conns.swap(conns_);
+    for (auto& conn : conns_) {
+      std::lock_guard<std::mutex> conn_lock(conn->mu);
+      conn->closing = true;
+      conn->cv_space.notify_all();
+    }
   }
-  for (auto& conn : conns) {
-    CloseConnection(conn.get());
-    if (conn->reader.joinable()) conn->reader.join();
-    if (conn->writer.joinable()) conn->writer.join();
-  }
+  loop_->Wake();
+  if (loop_thread_.joinable()) loop_thread_.join();
+  // The loop thread tore down every connection (closing each socket
+  // exactly once) on its way out; what's left is the listener and the
+  // loop's own descriptors.
+  listener_.Close();
+  loop_.reset();
 }
 
 int64_t FragmentServer::next_seq() const {
@@ -99,9 +134,11 @@ int64_t FragmentServer::next_seq() const {
 
 FragmentServer::LogEntry FragmentServer::EncodeEntry(
     const frag::Fragment& fragment, uint64_t seq) {
+  metrics_.AddFragmentEncode();
   LogEntry entry;
   entry.filler_id = fragment.id;
   entry.valid_time_s = fragment.valid_time.seconds();
+  entry.tsid = fragment.tsid;
   const frag::TagStructure& ts = source_->tag_structure();
   Frame frame;
   frame.type = FrameType::kFragment;
@@ -112,61 +149,77 @@ FragmentServer::LogEntry FragmentServer::EncodeEntry(
     frame.flags = 0;
     frame.payload = std::move(plain).MoveValue();
     auto bytes = EncodeFrame(frame);
-    if (bytes.ok()) entry.plain = std::move(bytes).MoveValue();
+    if (bytes.ok()) entry.plain = SharedBytes(std::move(bytes).MoveValue());
   }
-  if (entry.plain.empty()) metrics_.AddEncodeFailure();
+  if (entry.plain == nullptr) metrics_.AddEncodeFailure();
   auto compressed =
       frag::EncodeWirePayload(fragment, ts, frag::WireCodec::kTagCompressed);
   if (compressed.ok()) {
     frame.flags = kFlagCompressedPayload;
     frame.payload = std::move(compressed).MoveValue();
     auto bytes = EncodeFrame(frame);
-    if (bytes.ok()) entry.compressed = std::move(bytes).MoveValue();
+    if (bytes.ok()) {
+      entry.compressed = SharedBytes(std::move(bytes).MoveValue());
+    }
   }
   return entry;
 }
 
 void FragmentServer::OnFragment(const std::string& /*stream_name*/,
                                 frag::Fragment fragment) {
-  std::lock_guard<std::mutex> log_lock(log_mu_);
-  LogEntry entry = EncodeEntry(fragment, static_cast<uint64_t>(log_.size()));
-  // The seq is burned even for a fragment with no transportable form
-  // (unreachable while the source enforces the wire payload limit at
-  // publish): the log must stay aligned with the source's history
-  // numbering, or resume after a restart skips or duplicates fragments.
-  if (!entry.plain.empty() || !entry.compressed.empty()) {
-    metrics_.AddFragmentOut();
-  }
-  // Write-ahead: the frame reaches the WAL before any subscriber queue,
-  // so under FsyncPolicy::kAlways a subscriber can never hold a seq that
-  // a restart would not recover. A failed append degrades durability but
-  // not delivery — the stream must not stall on a full disk — at the
-  // price of the durable epoch: see DegradeDurability.
-  if (opts_.wal != nullptr &&
-      !wal_degraded_.load(std::memory_order_acquire)) {
-    const std::string& rec =
-        entry.plain.empty() ? entry.compressed : entry.plain;
-    if (!rec.empty()) {
-      Status st =
-          opts_.wal->Append(static_cast<int64_t>(log_.size()), rec);
-      if (!st.ok()) DegradeDurability(st);
-    }
-  }
-  log_.push_back(std::move(entry));
-  filler_index_[log_.back().filler_id].push_back(log_.size() - 1);
-  published_.store(static_cast<int64_t>(log_.size()));
-  const LogEntry& stored = log_.back();
+  const LogEntry* stored = nullptr;
+  int64_t seq = 0;
   {
-    std::lock_guard<std::mutex> conns_lock(conns_mu_);
-    for (auto& conn : conns_) Enqueue(conn.get(), stored);
+    std::lock_guard<std::mutex> log_lock(log_mu_);
+    seq = static_cast<int64_t>(log_.size());
+    LogEntry entry = EncodeEntry(fragment, static_cast<uint64_t>(seq));
+    // The seq is burned even for a fragment with no transportable form
+    // (unreachable while the source enforces the wire payload limit at
+    // publish): the log must stay aligned with the source's history
+    // numbering, or resume after a restart skips or duplicates fragments.
+    if (entry.plain != nullptr || entry.compressed != nullptr) {
+      metrics_.AddFragmentOut();
+    }
+    // Write-ahead: the frame reaches the WAL before any subscriber queue,
+    // so under FsyncPolicy::kAlways a subscriber can never hold a seq that
+    // a restart would not recover. A failed append degrades durability but
+    // not delivery — the stream must not stall on a full disk — at the
+    // price of the durable epoch: see DegradeDurability.
+    if (opts_.wal != nullptr &&
+        !wal_degraded_.load(std::memory_order_acquire)) {
+      const std::shared_ptr<const std::string>& rec =
+          entry.plain != nullptr ? entry.plain : entry.compressed;
+      if (rec != nullptr) {
+        Status st = opts_.wal->Append(seq, *rec);
+        if (!st.ok()) DegradeDurability(st);
+      }
+    }
+    log_.push_back(std::move(entry));
+    filler_index_[log_.back().filler_id].push_back(log_.size() - 1);
+    published_.store(seq + 1);
+    stored = &log_.back();  // deque: stable under later appends
   }
-  // Tick the query channel after the fragment fan-out, still under
-  // log_mu_: the channel sees fragments in exactly log order, and its
-  // RESULT frames reach each connection queue after the fragment that
-  // caused them. OnRepeat stays off this path — a retransmission is not
-  // a new fragment and must not re-tick the engine.
+  // Wake before the fan-out: a kBlock wait below needs the loop draining
+  // queues while we stand still, and the loop may be asleep right now.
+  loop_->Wake();
+  // Fan out without holding log_mu_ or conns_mu_: the snapshot keeps every
+  // connection alive, and replay/live dedup is handled by next_live_seq
+  // (set to log_.size() under log_mu_ at each conn's replay handover).
+  std::vector<std::shared_ptr<Connection>> targets;
+  {
+    std::lock_guard<std::mutex> lock(conns_mu_);
+    targets = conns_;
+  }
+  for (auto& conn : targets) Enqueue(conn.get(), *stored, seq);
+  loop_->Wake();
+  // Tick the query channel after the fragment fan-out (same thread, so the
+  // channel still sees fragments in exactly log order, and a query's
+  // RESULT reaches each data queue after the fragment that caused it).
+  // OnRepeat stays off this path — a retransmission is not a new fragment
+  // and must not re-tick the engine.
   if (opts_.query_channel != nullptr) {
     opts_.query_channel->OnFragment(fragment);
+    loop_->Wake();
   }
 }
 
@@ -191,8 +244,11 @@ void FragmentServer::DegradeDurability(const Status& why) {
                "net: durability has ended for this process; epoch %llu "
                "retired, subscribers restarted on a volatile epoch\n",
                static_cast<unsigned long long>(retired));
-  std::lock_guard<std::mutex> lock(conns_mu_);
-  for (auto& conn : conns_) CloseConnection(conn.get());
+  {
+    std::lock_guard<std::mutex> lock(conns_mu_);
+    for (auto& conn : conns_) CloseConnection(conn.get());
+  }
+  loop_->Wake();
 }
 
 void FragmentServer::OnRepeat(const std::string& /*stream_name*/,
@@ -201,14 +257,25 @@ void FragmentServer::OnRepeat(const std::string& /*stream_name*/,
   // A repeat is a wire-level retransmission: re-send the logged frame with
   // its original seq instead of minting a new one, so the log and the
   // source's history keep the same numbering across restarts.
-  std::lock_guard<std::mutex> log_lock(log_mu_);
-  if (history_pos < 0 || history_pos >= static_cast<int64_t>(log_.size())) {
-    return;
+  const LogEntry* stored = nullptr;
+  {
+    std::lock_guard<std::mutex> log_lock(log_mu_);
+    if (history_pos < 0 ||
+        history_pos >= static_cast<int64_t>(log_.size())) {
+      return;
+    }
+    metrics_.AddRepeatOut();
+    stored = &log_[static_cast<size_t>(history_pos)];
   }
-  metrics_.AddRepeatOut();
-  const LogEntry& stored = log_[static_cast<size_t>(history_pos)];
-  std::lock_guard<std::mutex> conns_lock(conns_mu_);
-  for (auto& conn : conns_) Enqueue(conn.get(), stored, /*repeat=*/true);
+  std::vector<std::shared_ptr<Connection>> targets;
+  {
+    std::lock_guard<std::mutex> lock(conns_mu_);
+    targets = conns_;
+  }
+  for (auto& conn : targets) {
+    Enqueue(conn.get(), *stored, history_pos, /*repeat=*/true);
+  }
+  loop_->Wake();
 }
 
 void FragmentServer::ServeRepeat(Connection* conn,
@@ -224,218 +291,315 @@ void FragmentServer::ServeRepeat(Connection* conn,
     // re-sent, and the subscriber's store dedups the one it has.
     if (!have.empty() && have.count(log_[pos].valid_time_s) != 0) continue;
     metrics_.AddRepeatOut();
-    Enqueue(conn, log_[pos], /*repeat=*/true);
+    // An explicitly requested filler is always re-sent, filter or not.
+    Enqueue(conn, log_[pos], static_cast<int64_t>(pos), /*repeat=*/true,
+            /*bypass_filter=*/true);
   }
 }
 
 void FragmentServer::Enqueue(Connection* conn, const LogEntry& entry,
-                             bool repeat) {
+                             int64_t seq, bool repeat, bool bypass_filter) {
+  const bool may_block = !OnLoopThread();
   std::unique_lock<std::mutex> lock(conn->mu);
   if (conn->closing || !conn->live) return;
+  // Replay/live dedup: anything below next_live_seq was (or will be)
+  // served by the replay cursor. Retransmissions are exempt — their whole
+  // point is re-sending an old seq.
+  if (!repeat && seq < conn->next_live_seq) return;
   // Preferred codec first, the other form as fallback: the flag in the
   // frame header (not the handshake) is authoritative for decoding, so
   // either form is decodable by any subscriber.
   const bool prefer_compressed =
       conn->codec == frag::WireCodec::kTagCompressed;
-  const std::string& primary =
+  const std::shared_ptr<const std::string>& primary =
       prefer_compressed ? entry.compressed : entry.plain;
-  const std::string& fallback =
+  const std::shared_ptr<const std::string>& fallback =
       prefer_compressed ? entry.plain : entry.compressed;
-  const std::string& stored = primary.empty() ? fallback : primary;
-  if (stored.empty()) return;  // unencodable in any form: nothing to send
-  // The log holds v2 frames; rewrite only off the common path (old peer,
-  // or a retransmission that must carry kFlagRepeat).
-  std::string rewritten;
-  if (repeat) rewritten = WithRepeatFlag(stored);
-  if (!conn->peer_crc) {
-    rewritten = DowngradeFrameToV1(rewritten.empty() ? stored : rewritten);
+  const std::shared_ptr<const std::string>& stored =
+      primary != nullptr ? primary : fallback;
+  if (stored == nullptr) return;  // unencodable in any form
+  if (conn->filter_active && !bypass_filter &&
+      conn->filter.count(entry.tsid) == 0) {
+    metrics_.AddFrameFiltered(static_cast<int64_t>(stored->size()));
+    // Live filtered seqs accumulate into one pending SKIP_TO; a filtered
+    // retransmission is simply not re-sent (the subscriber holds the seq
+    // or will NACK it explicitly).
+    if (!repeat && !conn->skip_suppressed) {
+      if (conn->pending_skip < 0) {
+        conn->pending_skip_start = seq;
+        conn->skip_deadline =
+            std::chrono::steady_clock::now() + opts_.skip_flush_interval;
+      }
+      conn->pending_skip = seq;
+    }
+    return;
   }
-  const std::string& frame = rewritten.empty() ? stored : rewritten;
-  if (!ReserveQueueSlot(conn, lock)) return;
-  conn->queue.push_back(frame);
+  // A filtered run precedes this frame: its SKIP_TO must go out first and
+  // in seq order (the data queue preserves both).
+  if (!repeat && conn->pending_skip >= 0 && conn->pending_skip < seq) {
+    if (!ReserveQueueSlot(conn, lock, may_block)) return;
+    PushSkipLocked(conn);
+  }
+  if (!ReserveQueueSlot(conn, lock, may_block)) return;
+  conn->data.push_back(
+      OutFrame{TransformFrame(stored, repeat, conn->peer_crc), false});
   ++conn->enqueued;
-  metrics_.UpdateQueueHwm(static_cast<int64_t>(conn->queue.size()));
-  conn->cv_data.notify_one();
+  metrics_.UpdateQueueHwm(static_cast<int64_t>(conn->data.size()));
 }
 
 bool FragmentServer::ReserveQueueSlot(Connection* conn,
-                                      std::unique_lock<std::mutex>& lock) {
-  if (conn->queue.size() < opts_.queue_capacity) return true;
+                                      std::unique_lock<std::mutex>& lock,
+                                      bool may_block) {
+  if (conn->data.size() < opts_.queue_capacity) return true;
   switch (opts_.slow_consumer) {
     case SlowConsumerPolicy::kBlock:
+      // The loop thread (the queue's only consumer) and callers under
+      // QueryChannel::mu_ must never park here, or nothing can ever drain
+      // the queue: overflowing the bound keeps them lossless instead.
+      if (!may_block) return true;
+      loop_->Wake();  // the drain side may be asleep; it runs while we wait
       conn->cv_space.wait(lock, [&] {
-        return conn->queue.size() < opts_.queue_capacity || conn->closing;
+        return conn->data.size() < opts_.queue_capacity || conn->closing;
       });
       return !conn->closing;
-    case SlowConsumerPolicy::kDropOldest:
-      while (conn->queue.size() >= opts_.queue_capacity) {
-        conn->queue.pop_front();
+    case SlowConsumerPolicy::kDropOldest: {
+      bool dropped_data = false;
+      while (conn->data.size() >= opts_.queue_capacity) {
+        if (!conn->data.front().is_skip) dropped_data = true;
+        conn->data.pop_front();
         ++conn->dropped;
         metrics_.AddDrop();
       }
+      if (dropped_data) {
+        // A SKIP_TO still queued (or pending) behind the eviction would
+        // advance the subscriber's prefix past the dropped frame, masking
+        // the loss. Purge them and stop skipping until the next replay
+        // handover re-establishes a clean prefix; the subscriber then
+        // sees the genuine gap and repairs it via REPLAY_FROM.
+        for (auto it = conn->data.begin(); it != conn->data.end();) {
+          if (it->is_skip) {
+            ++conn->dropped;
+            metrics_.AddDrop();
+            it = conn->data.erase(it);
+          } else {
+            ++it;
+          }
+        }
+        conn->pending_skip = -1;
+        conn->pending_skip_start = -1;
+        conn->skip_suppressed = true;
+      }
       return true;
+    }
     case SlowConsumerPolicy::kDisconnect:
       conn->closing = true;
       conn->sock.Shutdown();
-      conn->cv_data.notify_all();
       conn->cv_space.notify_all();
       metrics_.AddSlowDisconnect();
+      loop_->Wake();  // let the loop observe the dead socket promptly
       return false;
   }
   return false;
 }
 
-void FragmentServer::EnqueueEncoded(Connection* conn,
-                                    const std::string& frame_bytes) {
+void FragmentServer::PushSkipLocked(Connection* conn) {
+  if (conn->pending_skip < 0 || conn->skip_suppressed) return;
+  Frame skip;
+  skip.type = FrameType::kSkipTo;
+  skip.seq = static_cast<uint64_t>(conn->pending_skip);
+  skip.payload = EncodeSkipTo(conn->pending_skip_start);
+  auto bytes = EncodeFrame(
+      skip, conn->peer_crc ? kFrameVersionCrc : kFrameVersion);
+  if (!bytes.ok()) return;  // fixed 8-byte payload: cannot actually fail
+  conn->data.push_back(OutFrame{SharedBytes(std::move(bytes).MoveValue()),
+                                /*is_skip=*/true});
+  ++conn->enqueued;
+  conn->pending_skip = -1;
+  conn->pending_skip_start = -1;
+  metrics_.AddSkipOut();
+  metrics_.UpdateQueueHwm(static_cast<int64_t>(conn->data.size()));
+}
+
+void FragmentServer::EnqueueEncoded(
+    Connection* conn, const std::shared_ptr<const std::string>& frame) {
   std::unique_lock<std::mutex> lock(conn->mu);
   // Only `closing` gates this path, not `live`: a QUERY may directly
   // follow the HELLO, and its backlog replay must not wait for a
   // REPLAY_FROM the subscriber may never send.
   if (conn->closing) return;
-  std::string rewritten;
-  if (!conn->peer_crc) rewritten = DowngradeFrameToV1(frame_bytes);
-  const std::string& frame = rewritten.empty() ? frame_bytes : rewritten;
-  if (!ReserveQueueSlot(conn, lock)) return;
-  conn->queue.push_back(frame);
+  std::shared_ptr<const std::string> out = frame;
+  if (!conn->peer_crc) {
+    std::string down = DowngradeFrameToV1(*frame);
+    if (!down.empty()) out = SharedBytes(std::move(down));
+  }
+  // Never block: RESULT delivery runs under QueryChannel::mu_, which the
+  // loop thread needs to drain anything.
+  if (!ReserveQueueSlot(conn, lock, /*may_block=*/false)) return;
+  conn->data.push_back(OutFrame{std::move(out), false});
   ++conn->enqueued;
-  metrics_.UpdateQueueHwm(static_cast<int64_t>(conn->queue.size()));
+  metrics_.UpdateQueueHwm(static_cast<int64_t>(conn->data.size()));
   metrics_.AddResultFrameOut();
-  conn->cv_data.notify_one();
 }
 
-Status FragmentServer::SendRaw(Connection* conn, const std::string& bytes) {
-  std::lock_guard<std::mutex> lock(conn->send_mu);
-  Status st = conn->sock.SendAll(bytes.data(), bytes.size());
-  if (st.ok()) metrics_.AddFrameOut(static_cast<int64_t>(bytes.size()));
-  return st;
+void FragmentServer::EnqueueCtrl(Connection* conn,
+                                 std::shared_ptr<const std::string> frame) {
+  std::lock_guard<std::mutex> lock(conn->mu);
+  if (conn->closing) return;
+  // Control frames ride the unbounded queue and stay out of the
+  // enqueued/sent counters, exactly like the old direct sends did.
+  conn->ctrl.push_back(OutFrame{std::move(frame), false});
 }
 
 void FragmentServer::CloseConnection(Connection* conn) {
   std::lock_guard<std::mutex> lock(conn->mu);
   conn->closing = true;
   conn->sock.Shutdown();
-  conn->cv_data.notify_all();
   conn->cv_space.notify_all();
 }
 
-void FragmentServer::AcceptLoop() {
-  while (!stopping_.load()) {
-    auto accepted = Accept(listener_);
-    if (!accepted.ok()) {
-      if (stopping_.load()) break;
-      continue;  // transient accept error
+// --- event-loop thread -----------------------------------------------------
+
+void FragmentServer::LoopThread() {
+  loop_tid_.store(std::this_thread::get_id(), std::memory_order_relaxed);
+  std::vector<LoopEvent> events;
+  // When the next O(conns) maintenance sweep is due: the earliest
+  // heartbeat/skip-flush deadline recorded by the previous sweep. Keeping
+  // the sweep off the per-event path is what makes the loop O(ready):
+  // with N idle connections a per-pass sweep costs O(N) and the passes
+  // themselves arrive at O(N / heartbeat_interval) — quadratic in N.
+  auto next_sweep =
+      std::chrono::steady_clock::now() + opts_.heartbeat_interval;
+  while (!stopping_.load(std::memory_order_acquire)) {
+    // Sleep until readiness, a Wake(), or the next maintenance sweep.
+    const auto now = std::chrono::steady_clock::now();
+    const auto delta = std::chrono::duration_cast<std::chrono::milliseconds>(
+                           next_sweep - now)
+                           .count();
+    const int timeout_ms =
+        delta <= 0 ? 0
+                   : static_cast<int>(std::min<int64_t>(delta, 60000)) + 1;
+    auto waited = loop_->Wait(&events, timeout_ms);
+    if (!waited.ok()) break;  // backend failure: unrecoverable
+    if (stopping_.load(std::memory_order_acquire)) break;
+    for (const LoopEvent& ev : events) {
+      if (ev.tag == &listener_tag_) {
+        HandleAccept();
+        continue;
+      }
+      auto* conn = static_cast<Connection*>(ev.tag);
+      if (conn->dead) continue;  // torn down earlier in this batch
+      if (ev.error) {
+        DestroyConnection(conn);
+        continue;
+      }
+      if (ev.readable) HandleReadable(conn);
+      if (conn->dead) continue;
+      // A readable event may have queued replies (HELLO ack, query
+      // status) or kicked off a replay: push them now rather than
+      // waiting for the next sweep.
+      if (ev.writable || (ev.readable && !conn->want_write)) {
+        PumpWrites(conn);
+      }
     }
+    // The O(conns) maintenance sweep, run only when the publisher woke
+    // the loop (enqueues arrive with a Wake, not an fd event: every
+    // connection not already parked on EPOLLOUT gets a chance to drain)
+    // or a heartbeat deadline arrived — never on plain fd traffic.
+    const auto tick = std::chrono::steady_clock::now();
+    if (loop_->took_wake() || tick >= next_sweep) {
+      auto earliest = tick + opts_.heartbeat_interval;
+      for (size_t i = 0; i < loop_conns_.size(); ++i) {
+        Connection* conn = loop_conns_[i].get();
+        if (conn->dead) continue;
+        if (!conn->want_write) PumpWrites(conn);
+        if (conn->dead) continue;
+        const auto next = HeartbeatTick(conn, tick);
+        if (next < earliest) earliest = next;
+      }
+      // The minimum stays valid until it fires: new connections start a
+      // full interval out (see HandleAccept), and a skip run started by a
+      // publisher between sweeps arrives with the Wake that announces the
+      // publish, which itself triggers the next sweep.
+      next_sweep = earliest;
+    }
+    // Sweep: forget connections destroyed in this iteration.
+    if (dead_pending_) {
+      dead_pending_ = false;
+      {
+        std::lock_guard<std::mutex> lock(conns_mu_);
+        conns_.erase(
+            std::remove_if(conns_.begin(), conns_.end(),
+                           [](const std::shared_ptr<Connection>& c) {
+                             return c->dead;
+                           }),
+            conns_.end());
+      }
+      loop_conns_.erase(
+          std::remove_if(loop_conns_.begin(), loop_conns_.end(),
+                         [](const std::shared_ptr<Connection>& c) {
+                           return c->dead;
+                         }),
+          loop_conns_.end());
+    }
+  }
+  // Teardown, on the owning thread, exactly once per socket.
+  for (auto& conn : loop_conns_) {
+    if (!conn->dead) DestroyConnection(conn.get());
+  }
+  loop_conns_.clear();
+  {
+    std::lock_guard<std::mutex> lock(conns_mu_);
+    conns_.clear();
+  }
+  loop_->Remove(listener_.fd());
+}
+
+void FragmentServer::HandleAccept() {
+  for (;;) {
+    auto accepted = Accept(listener_);
+    if (!accepted.ok()) return;  // drained (EAGAIN) or transient error
     metrics_.AddConnectionAccepted();
-    auto conn = std::make_unique<Connection>();
+    auto conn = std::make_shared<Connection>();
     conn->sock = std::move(accepted).MoveValue();
-    Connection* raw = conn.get();
-    // The connection must be visible to OnFragment before its reader can
-    // finish the handshake + replay: otherwise a fragment published
-    // between the end of the replay and the insertion is never enqueued
-    // (a silent gap).
+    if (!conn->sock.SetNonBlocking().ok()) continue;
+    conn->hb_deadline =
+        std::chrono::steady_clock::now() + opts_.heartbeat_interval;
+    if (!loop_->Add(conn->sock.fd(), conn.get(), /*want_read=*/true,
+                    /*want_write=*/false)
+             .ok()) {
+      continue;
+    }
+    // Visible to OnFragment before the handshake can finish: otherwise a
+    // fragment published between the end of a replay and the insertion
+    // would never be enqueued (a silent gap).
     {
       std::lock_guard<std::mutex> lock(conns_mu_);
-      conns_.push_back(std::move(conn));
+      conns_.push_back(conn);
     }
-    raw->reader = std::thread([this, raw] { ReaderLoop(raw); });
-    raw->writer = std::thread([this, raw] { WriterLoop(raw); });
-    ReapFinished();
+    loop_conns_.push_back(std::move(conn));
   }
 }
 
-void FragmentServer::ReapFinished() {
-  std::lock_guard<std::mutex> lock(conns_mu_);
-  for (auto it = conns_.begin(); it != conns_.end();) {
-    Connection* conn = it->get();
-    bool done;
-    {
-      std::lock_guard<std::mutex> conn_lock(conn->mu);
-      done = conn->reader_done && conn->writer_done;
-    }
-    if (done) {
-      if (conn->reader.joinable()) conn->reader.join();
-      if (conn->writer.joinable()) conn->writer.join();
-      it = conns_.erase(it);
-    } else {
-      ++it;
-    }
-  }
-}
-
-Status FragmentServer::HandleHello(Connection* conn, const Hello& hello,
-                                   const Frame& frame) {
-  if (hello.stream_name != source_->name()) {
-    return Status::NotFound("unknown stream '" + hello.stream_name +
-                            "' (serving '" + source_->name() + "')");
-  }
-  if (hello.ts_hash != 0 && hello.ts_hash != ts_hash_) {
-    return Status::InvalidArgument(
-        "tag-structure hash mismatch: subscriber holds a different schema");
-  }
-  // Query-channel negotiation: the bit is echoed only when the peer asked
-  // AND a channel is attached, so v3 frame types never flow on a
-  // connection that did not negotiate them (old peers ignore the bit).
-  const bool peer_queries = (frame.flags & kHelloFlagQueryChannel) != 0 &&
-                            opts_.query_channel != nullptr;
-  {
-    std::lock_guard<std::mutex> lock(conn->mu);
-    conn->codec = hello.codec;
-    conn->peer_crc = (frame.flags & kHelloFlagCrcFrames) != 0;
-    conn->peer_queries = peer_queries;
-  }
-  Hello ack;
-  ack.stream_name = source_->name();
-  ack.codec = hello.codec;
-  ack.ts_hash = ts_hash_;
-  ack.tag_structure_xml = ts_xml_;
-  Frame out;
-  out.type = FrameType::kHello;
-  out.flags = kHelloFlagCrcFrames;  // we always speak v2; peer decides
-  if (peer_queries) out.flags |= kHelloFlagQueryChannel;
-  // The stream epoch rides in the ack's (otherwise unused) seq field: a
-  // subscriber resuming with seq numbers from a different epoch knows its
-  // resume point is meaningless and restarts from scratch. 0 = no epoch
-  // (an in-memory server, or one predating durability). After a WAL
-  // append failure this is the volatile replacement epoch, which the next
-  // incarnation can never advertise — forcing a clean restart then.
-  out.seq = epoch_.load(std::memory_order_acquire);
-  out.payload = EncodeHello(ack);
-  // HELLO frames stay v1 on the wire so a peer of either vintage can
-  // parse them; the flag bit above is the entire negotiation.
-  XCQL_ASSIGN_OR_RETURN(std::string bytes, EncodeFrame(out, kFrameVersion));
-  return SendRaw(conn, bytes);
-}
-
-void FragmentServer::ServeReplay(Connection* conn, int64_t last_seen_seq) {
-  // Holding log_mu_ across the whole replay closes the gap between "copy
-  // the history" and "go live": OnFragment serializes behind us, so the
-  // subscriber sees every seq exactly once, in order.
-  std::lock_guard<std::mutex> lock(log_mu_);
-  metrics_.AddReplayServed();
-  {
-    std::lock_guard<std::mutex> conn_lock(conn->mu);
-    conn->live = true;
-  }
-  int64_t from = last_seen_seq < 0 ? 0 : last_seen_seq + 1;
-  for (size_t seq = static_cast<size_t>(from); seq < log_.size(); ++seq) {
-    Enqueue(conn, log_[seq]);
-  }
-}
-
-void FragmentServer::ReaderLoop(Connection* conn) {
-  FrameReader reader;
+void FragmentServer::HandleReadable(Connection* conn) {
   char buf[64 * 1024];
-  bool handshaken = false;
   for (;;) {
-    auto n = conn->sock.Recv(buf, sizeof(buf));
-    if (!n.ok() || n.value() == 0) break;
-    reader.Feed(buf, n.value());
-    bool done = false;
+    bool would_block = false;
+    auto n = conn->sock.RecvNonBlocking(buf, sizeof(buf), &would_block);
+    if (!n.ok()) {
+      DestroyConnection(conn);
+      return;
+    }
+    if (would_block) return;
+    if (n.value() == 0) {  // orderly EOF
+      DestroyConnection(conn);
+      return;
+    }
+    conn->reader.Feed(buf, n.value());
     for (;;) {
-      auto next = reader.Next();
-      if (!next.ok()) {
-        done = true;  // malformed stream; cut the connection
-        break;
+      auto next = conn->reader.Next();
+      if (!next.ok()) {  // malformed stream; cut the connection
+        DestroyConnection(conn);
+        return;
       }
       if (!next.value().has_value()) break;
       const Frame& frame = *next.value();
@@ -449,165 +613,314 @@ void FragmentServer::ReaderLoop(Connection* conn) {
         metrics_.AddFrameCorrupt();
         continue;
       }
-      if (!handshaken) {
-        bool reject_with_bye = true;
-        bool ok = frame.type == FrameType::kHello;
-        if (ok) {
-          auto hello = DecodeHello(frame.payload);
-          if (!hello.ok()) {
-            // Garbage HELLO payload (line noise, a mangled frame): count
-            // it and just cut the connection. A BYE here would be wrong —
-            // the subscriber reads BYE-at-handshake as a semantic
-            // rejection (wrong stream/schema) and gives up for good,
-            // while a retried clean HELLO may well succeed.
-            ok = false;
-            reject_with_bye = false;
-            metrics_.AddBadControlFrame();
-          } else {
-            ok = HandleHello(conn, hello.value(), frame).ok();
-          }
-        }
-        if (!ok) {
-          metrics_.AddHandshakeFailure();
-          if (reject_with_bye) {
-            Frame bye;
-            bye.type = FrameType::kBye;
-            auto bye_bytes = EncodeFrame(bye, kFrameVersion);
-            if (bye_bytes.ok()) (void)SendRaw(conn, bye_bytes.value());
-          }
-          done = true;
-          break;
-        }
-        handshaken = true;
-        continue;
+      if (!HandleFrame(conn, frame)) {
+        DestroyConnection(conn);
+        return;
       }
-      switch (frame.type) {
-        case FrameType::kReplayFrom: {
-          auto from = DecodeReplayFrom(frame.payload);
-          if (!from.ok()) {
-            // A well-framed, checksum-valid request whose payload doesn't
-            // decode: count it and drop it. Killing the session would let
-            // one buggy (or chaos-injected) control frame take down a
-            // live subscriber; the framing itself survived, so the stream
-            // stays parseable.
-            metrics_.AddBadControlFrame();
-            break;
-          }
-          ServeReplay(conn, from.value());
-          break;
-        }
-        case FrameType::kRepeatRequest: {
-          auto request = DecodeRepeatRequest(frame.payload);
-          if (!request.ok()) {
-            metrics_.AddBadControlFrame();
-            break;
-          }
-          metrics_.AddRepeatRequestIn();
-          ServeRepeat(conn, request.value());
-          break;
-        }
-        case FrameType::kQuery:
-          HandleQuery(conn, frame);
-          break;
-        case FrameType::kUnquery:
-          HandleUnquery(conn, frame);
-          break;
-        case FrameType::kBye:
-          done = true;
-          break;
-        default:
-          break;  // HEARTBEAT and anything else: ignore
+      // A semantic rejection queued a BYE: stop consuming input and let
+      // PumpWrites close once the queues drain.
+      if (conn->close_after_flush) {
+        PumpWrites(conn);
+        return;
       }
-      if (done) break;
     }
-    if (done) break;
   }
-  // Detach this connection's result sinks before it can be reaped. A
-  // disconnect does not UNQUERY: the registration (and its result log)
-  // stays for the subscriber's reconnect.
-  if (opts_.query_channel != nullptr && !conn->query_subs.empty()) {
-    opts_.query_channel->DropSink(conn);
-  }
-  std::lock_guard<std::mutex> lock(conn->mu);
-  conn->closing = true;
-  conn->reader_done = true;
-  conn->sock.Shutdown();
-  conn->cv_data.notify_all();
-  conn->cv_space.notify_all();
 }
 
-Status FragmentServer::SendQueryStatus(Connection* conn,
-                                       const QueryStatus& status) {
-  bool peer_crc;
+bool FragmentServer::HandleFrame(Connection* conn, const Frame& frame) {
+  if (!conn->handshaken) {
+    bool reject_with_bye = true;
+    Status st = Status::InvalidArgument("first frame must be HELLO");
+    if (frame.type == FrameType::kHello) {
+      auto hello = DecodeHello(frame.payload);
+      if (!hello.ok()) {
+        // Garbage HELLO payload (line noise, a mangled frame): count it
+        // and just cut the connection. A BYE here would be wrong — the
+        // subscriber reads BYE-at-handshake as a semantic rejection
+        // (wrong stream/schema) and gives up for good, while a retried
+        // clean HELLO may well succeed.
+        metrics_.AddBadControlFrame();
+        metrics_.AddHandshakeFailure();
+        return false;
+      }
+      st = HandleHello(conn, hello.value(), frame);
+    }
+    if (!st.ok()) {
+      metrics_.AddHandshakeFailure();
+      if (reject_with_bye) {
+        Frame bye;
+        bye.type = FrameType::kBye;
+        auto bye_bytes = EncodeFrame(bye, kFrameVersion);
+        if (bye_bytes.ok()) {
+          EnqueueCtrl(conn, SharedBytes(std::move(bye_bytes).MoveValue()));
+        }
+        conn->close_after_flush = true;
+        (void)loop_->Update(conn->sock.fd(), /*want_read=*/false,
+                            /*want_write=*/true);
+      }
+      return reject_with_bye;  // with a BYE queued, close after the flush
+    }
+    conn->handshaken = true;
+    return true;
+  }
+  switch (frame.type) {
+    case FrameType::kReplayFrom: {
+      auto from = DecodeReplayFrom(frame.payload);
+      if (!from.ok()) {
+        // A well-framed, checksum-valid request whose payload doesn't
+        // decode: count it and drop it. Killing the session would let
+        // one buggy (or chaos-injected) control frame take down a live
+        // subscriber; the framing itself survived, so the stream stays
+        // parseable.
+        metrics_.AddBadControlFrame();
+        break;
+      }
+      metrics_.AddReplayServed();
+      std::lock_guard<std::mutex> lock(conn->mu);
+      // A catch-up REPLAY_FROM on a live connection drops back to the
+      // cursor; anything already queued becomes a harmless duplicate
+      // (the subscriber discards seqs it has seen).
+      conn->live = false;
+      conn->replaying = true;
+      conn->replay_next =
+          static_cast<size_t>(std::max<int64_t>(0, from.value() + 1));
+      conn->pending_skip = -1;
+      conn->pending_skip_start = -1;
+      conn->skip_suppressed = false;
+      break;
+    }
+    case FrameType::kRepeatRequest: {
+      auto request = DecodeRepeatRequest(frame.payload);
+      if (!request.ok()) {
+        metrics_.AddBadControlFrame();
+        break;
+      }
+      metrics_.AddRepeatRequestIn();
+      ServeRepeat(conn, request.value());
+      break;
+    }
+    case FrameType::kSubscribe:
+      HandleSubscribe(conn, frame);
+      break;
+    case FrameType::kQuery:
+      HandleQuery(conn, frame);
+      break;
+    case FrameType::kUnquery:
+      HandleUnquery(conn, frame);
+      break;
+    case FrameType::kBye:
+      return false;
+    default:
+      break;  // HEARTBEAT and anything else: ignore
+  }
+  return true;
+}
+
+Status FragmentServer::HandleHello(Connection* conn, const Hello& hello,
+                                   const Frame& frame) {
+  if (hello.stream_name != source_->name()) {
+    return Status::NotFound("unknown stream '" + hello.stream_name +
+                            "' (serving '" + source_->name() + "')");
+  }
+  if (hello.ts_hash != 0 && hello.ts_hash != ts_hash_) {
+    return Status::InvalidArgument(
+        "tag-structure hash mismatch: subscriber holds a different schema");
+  }
+  // Capability negotiation: a bit is echoed only when the peer asked AND
+  // the server can serve it, so v3 frame types never flow on a connection
+  // that did not negotiate them (old peers ignore the bits).
+  const bool peer_queries = (frame.flags & kHelloFlagQueryChannel) != 0 &&
+                            opts_.query_channel != nullptr;
+  const bool peer_filter = (frame.flags & kHelloFlagTsidFilter) != 0;
   {
     std::lock_guard<std::mutex> lock(conn->mu);
-    peer_crc = conn->peer_crc;
+    conn->codec = hello.codec;
+    conn->peer_crc = (frame.flags & kHelloFlagCrcFrames) != 0;
+    conn->peer_queries = peer_queries;
+    conn->peer_filter = peer_filter;
   }
-  Frame frame;
-  frame.type = FrameType::kQueryStatus;
-  frame.payload = EncodeQueryStatus(status);
-  XCQL_ASSIGN_OR_RETURN(
-      std::string bytes,
-      EncodeFrame(frame, peer_crc ? kFrameVersionCrc : kFrameVersion));
-  return SendRaw(conn, bytes);
+  Hello ack;
+  ack.stream_name = source_->name();
+  ack.codec = hello.codec;
+  ack.ts_hash = ts_hash_;
+  ack.tag_structure_xml = ts_xml_;
+  Frame out;
+  out.type = FrameType::kHello;
+  out.flags = kHelloFlagCrcFrames;  // we always speak v2; peer decides
+  if (peer_queries) out.flags |= kHelloFlagQueryChannel;
+  if (peer_filter) out.flags |= kHelloFlagTsidFilter;
+  // The stream epoch rides in the ack's (otherwise unused) seq field: a
+  // subscriber resuming with seq numbers from a different epoch knows its
+  // resume point is meaningless and restarts from scratch. 0 = no epoch
+  // (an in-memory server, or one predating durability). After a WAL
+  // append failure this is the volatile replacement epoch, which the next
+  // incarnation can never advertise — forcing a clean restart then.
+  out.seq = epoch_.load(std::memory_order_acquire);
+  out.payload = EncodeHello(ack);
+  // HELLO frames stay v1 on the wire so a peer of either vintage can
+  // parse them; the flag bits above are the entire negotiation.
+  XCQL_ASSIGN_OR_RETURN(std::string bytes, EncodeFrame(out, kFrameVersion));
+  EnqueueCtrl(conn, SharedBytes(std::move(bytes)));
+  return Status::OK();
 }
 
-void FragmentServer::HandleQuery(Connection* conn, const Frame& frame) {
-  auto spec = DecodeQuery(frame.payload);
-  if (!spec.ok()) {
+void FragmentServer::HandleSubscribe(Connection* conn, const Frame& frame) {
+  if (!conn->peer_filter) {
+    // Not negotiated: a v3 frame the peer promised not to send.
     metrics_.AddBadControlFrame();
     return;
   }
+  auto tsids = DecodeSubscribe(frame.payload);
+  if (!tsids.ok()) {
+    metrics_.AddBadControlFrame();
+    return;
+  }
+  std::unordered_set<int> closure = ExpandTsidClosure(tsids.value());
+  std::lock_guard<std::mutex> lock(conn->mu);
+  if (tsids.value().empty()) {
+    // Empty SUBSCRIBE = deliver everything again. A pending skip for
+    // already-filtered seqs stays pending: those frames were not sent.
+    conn->filter_active = false;
+    conn->filter.clear();
+  } else {
+    conn->filter_active = true;
+    conn->filter = std::move(closure);
+  }
+}
+
+std::unordered_set<int> FragmentServer::ExpandTsidClosure(
+    const std::vector<int>& ids) const {
+  std::unordered_set<int> out;
+  const frag::TagStructure& ts = source_->tag_structure();
+  std::vector<const frag::TagNode*> stack;
+  for (int id : ids) {
+    // Unknown ids are kept literally: the filter simply never matches
+    // them, and a schema evolution race stays a no-op instead of an error.
+    out.insert(id);
+    const frag::TagNode* node = ts.FindById(id);
+    if (node == nullptr) continue;
+    stack.push_back(node);
+    while (!stack.empty()) {
+      const frag::TagNode* n = stack.back();
+      stack.pop_back();
+      out.insert(n->id);
+      for (const auto& child : n->children) stack.push_back(child.get());
+    }
+  }
+  return out;
+}
+
+void FragmentServer::SendQueryStatus(Connection* conn,
+                                     const QueryStatus& status) {
+  Frame frame;
+  frame.type = FrameType::kQueryStatus;
+  frame.payload = EncodeQueryStatus(status);
+  auto bytes = EncodeFrame(
+      frame, conn->peer_crc ? kFrameVersionCrc : kFrameVersion);
+  if (!bytes.ok()) return;
+  EnqueueCtrl(conn, SharedBytes(std::move(bytes).MoveValue()));
+}
+
+void FragmentServer::HandleQuery(Connection* conn, const Frame& frame) {
+  auto decoded = DecodeQuery(frame.payload);
+  if (!decoded.ok()) {
+    metrics_.AddBadControlFrame();
+    return;
+  }
+  RemoteQuerySpec spec = std::move(decoded).MoveValue();
+  // kQueryFlagAutoFilter is transport-level: strip it before registration
+  // so identical queries (with and without the bit) share one canonical
+  // key, one engine query and one result log.
+  const bool auto_filter = (spec.flags & kQueryFlagAutoFilter) != 0;
+  spec.flags &= static_cast<uint8_t>(~kQueryFlagAutoFilter);
   QueryStatus status;
-  status.token = spec.value().token;
+  status.token = spec.token;
   if (!conn->peer_queries) {
     // The peer skipped negotiation (or no channel is attached): a clean
     // control-plane refusal, not a cut connection.
     status.code = kQueryStatusRejected;
     status.message = "query channel not negotiated on this connection";
     metrics_.AddQueryRejected();
-    (void)SendQueryStatus(conn, status);
+    SendQueryStatus(conn, status);
     return;
   }
-  if (opts_.max_queries_per_conn > 0 &&
-      static_cast<int>(conn->query_subs.size()) >= opts_.max_queries_per_conn) {
+  bool rejected_by_limit = false;
+  auto id = opts_.query_channel->Register(spec, &rejected_by_limit);
+  if (!id.ok()) {
+    status.code =
+        rejected_by_limit ? kQueryStatusRejected : kQueryStatusInvalid;
+    status.message = id.status().message();
+    metrics_.AddQueryRejected();
+    SendQueryStatus(conn, status);
+    return;
+  }
+  // The per-connection limit must not count a re-send of a query this
+  // connection already subscribes to: the subscriber's handshake re-send
+  // can race its first send, and rejecting the duplicate would overwrite
+  // the ok status client-side. Register is idempotent for identical
+  // specs, so probing the id first is free.
+  const bool already =
+      std::find(conn->query_subs.begin(), conn->query_subs.end(),
+                id.value()) != conn->query_subs.end();
+  if (!already && opts_.max_queries_per_conn > 0 &&
+      static_cast<int>(conn->query_subs.size()) >=
+          opts_.max_queries_per_conn) {
     status.code = kQueryStatusRejected;
     status.message = "connection query limit reached (" +
                      std::to_string(opts_.max_queries_per_conn) + ")";
     metrics_.AddQueryRejected();
-    (void)SendQueryStatus(conn, status);
-    return;
-  }
-  bool rejected_by_limit = false;
-  auto id = opts_.query_channel->Register(spec.value(), &rejected_by_limit);
-  if (!id.ok()) {
-    status.code = rejected_by_limit ? kQueryStatusRejected
-                                    : kQueryStatusInvalid;
-    status.message = id.status().message();
-    metrics_.AddQueryRejected();
-    (void)SendQueryStatus(conn, status);
+    SendQueryStatus(conn, status);
+    // If this refusal is what registered the query, release it; with
+    // sinks still attached elsewhere Unregister keeps the registration.
+    (void)opts_.query_channel->Unregister(id.value());
     return;
   }
   metrics_.AddQueryRegistered();
+  // The query registered, so it compiles: fold its relevance into the
+  // connection's subscription filter when asked (and negotiated). An
+  // unbounded query (or one touching a different stream than expected)
+  // needs everything — the filter comes off entirely.
+  if (auto_filter && conn->peer_filter) {
+    auto relevance = opts_.query_channel->AnalyzeSpec(spec);
+    if (relevance.ok()) {
+      auto it = relevance.value().streams.find(source_->name());
+      if (relevance.value().unbounded ||
+          it == relevance.value().streams.end()) {
+        std::lock_guard<std::mutex> lock(conn->mu);
+        conn->filter_active = false;
+        conn->filter.clear();
+      } else {
+        std::vector<int> ids(it->second.begin(), it->second.end());
+        std::unordered_set<int> closure = ExpandTsidClosure(ids);
+        std::lock_guard<std::mutex> lock(conn->mu);
+        if (conn->filter_active) {
+          conn->filter.insert(closure.begin(), closure.end());
+        } else {
+          conn->filter_active = true;
+          conn->filter = std::move(closure);
+        }
+      }
+    }
+  }
   status.query_id = id.value();
   status.code = kQueryStatusOk;
-  // Ack before subscribing: the backlog replay enqueues RESULT frames the
-  // writer may send immediately, and the subscriber needs the token→id
-  // mapping before the first one lands.
-  (void)SendQueryStatus(conn, status);
-  const bool already =
-      std::find(conn->query_subs.begin(), conn->query_subs.end(),
-                id.value()) != conn->query_subs.end();
+  // Ack before subscribing: the backlog replay enqueues RESULT frames
+  // that may go out immediately, and the subscriber needs the token→id
+  // mapping before the first one lands. Both ride queues, and ctrl
+  // drains before data, so the order holds on the wire too.
+  SendQueryStatus(conn, status);
   if (already) return;  // duplicate QUERY within one session: ack only
   Status sub = opts_.query_channel->Subscribe(
-      id.value(), spec.value().last_result_seq, conn,
-      [this, conn](const std::string& bytes) { EnqueueEncoded(conn, bytes); });
+      id.value(), spec.last_result_seq, conn,
+      [this, conn](const std::shared_ptr<const std::string>& bytes) {
+        EnqueueEncoded(conn, bytes);
+      });
   if (!sub.ok()) {
     // Raced a concurrent UNQUERY between Register and Subscribe: retract
     // the ok with an UnknownId status; the subscriber re-issues the QUERY.
     status.code = kQueryStatusUnknownId;
     status.message = sub.message();
-    (void)SendQueryStatus(conn, status);
+    SendQueryStatus(conn, status);
     return;
   }
   conn->query_subs.push_back(id.value());
@@ -626,56 +939,225 @@ void FragmentServer::HandleUnquery(Connection* conn, const Frame& frame) {
   if (!conn->peer_queries || it == conn->query_subs.end()) {
     status.code = kQueryStatusUnknownId;
     status.message = "query not subscribed on this connection";
-    (void)SendQueryStatus(conn, status);
+    SendQueryStatus(conn, status);
     return;
   }
   conn->query_subs.erase(it);
   opts_.query_channel->Unsubscribe(id.value(), conn);
   (void)opts_.query_channel->Unregister(id.value());
   status.code = kQueryStatusOk;
-  (void)SendQueryStatus(conn, status);
+  SendQueryStatus(conn, status);
 }
 
-void FragmentServer::WriterLoop(Connection* conn) {
-  for (;;) {
-    std::string frame;
-    bool heartbeat = false;
-    bool peer_crc = false;
-    {
-      std::unique_lock<std::mutex> lock(conn->mu);
-      conn->cv_data.wait_for(lock, opts_.heartbeat_interval, [&] {
-        return !conn->queue.empty() || conn->closing;
-      });
-      peer_crc = conn->peer_crc;
-      if (conn->queue.empty()) {
-        if (conn->closing) break;
-        if (!conn->live) continue;  // no heartbeats before the handshake
-        heartbeat = true;
-      } else {
-        frame = std::move(conn->queue.front());
-        conn->queue.pop_front();
-        ++conn->sent;
-        conn->cv_space.notify_one();
-      }
-    }
-    // published_ instead of next_seq(): the writer must stay off log_mu_,
-    // which a kBlock publisher may hold while waiting on this very writer.
-    if (heartbeat) {
-      auto hb = EncodeFrame(HeartbeatFrame(published_.load()),
-                            peer_crc ? kFrameVersionCrc : kFrameVersion);
-      if (!hb.ok()) continue;  // empty payload: cannot actually fail
-      frame = std::move(hb).MoveValue();
-    }
-    if (!SendRaw(conn, frame).ok()) {
-      std::lock_guard<std::mutex> lock(conn->mu);
-      conn->closing = true;
-      conn->sock.Shutdown();  // wake the reader
-      conn->cv_space.notify_all();
+std::shared_ptr<const std::string> FragmentServer::NextFrame(
+    Connection* conn) {
+  // 1. Control frames (acks, statuses, heartbeats, BYE).
+  {
+    std::lock_guard<std::mutex> lock(conn->mu);
+    if (!conn->ctrl.empty()) {
+      auto frame = std::move(conn->ctrl.front().bytes);
+      conn->ctrl.pop_front();
+      return frame;
     }
   }
-  std::lock_guard<std::mutex> lock(conn->mu);
-  conn->writer_done = true;
+  // 2. A replay frame stashed behind its preceding SKIP_TO.
+  if (conn->replay_stash != nullptr) return std::move(conn->replay_stash);
+  // 3. The replay cursor: history served straight from the log, one
+  // bounded log_mu_ hold, never queued. `replaying` is written only on
+  // this thread, so the unlocked pre-check cannot race.
+  if (conn->replaying) {
+    std::lock_guard<std::mutex> log_lock(log_mu_);
+    std::unique_lock<std::mutex> lock(conn->mu);
+    while (conn->replaying) {
+      if (conn->replay_next >= log_.size()) {
+        // Handover, under log_mu_ + conn->mu: the live path owns every
+        // seq from log_.size() on, so replay and fan-out are exactly-once
+        // even though the publisher fans out lock-free.
+        conn->replaying = false;
+        conn->live = true;
+        conn->next_live_seq = static_cast<int64_t>(log_.size());
+        conn->skip_suppressed = false;
+        if (conn->pending_skip >= 0) PushSkipLocked(conn);
+        break;
+      }
+      const LogEntry& entry = log_[conn->replay_next];
+      const int64_t seq = static_cast<int64_t>(conn->replay_next);
+      ++conn->replay_next;
+      const bool prefer_compressed =
+          conn->codec == frag::WireCodec::kTagCompressed;
+      const std::shared_ptr<const std::string>& primary =
+          prefer_compressed ? entry.compressed : entry.plain;
+      const std::shared_ptr<const std::string>& fallback =
+          prefer_compressed ? entry.plain : entry.compressed;
+      const std::shared_ptr<const std::string>& stored =
+          primary != nullptr ? primary : fallback;
+      if (stored == nullptr) continue;
+      if (conn->filter_active && conn->filter.count(entry.tsid) == 0) {
+        metrics_.AddFrameFiltered(static_cast<int64_t>(stored->size()));
+        if (conn->pending_skip < 0) {
+          conn->pending_skip_start = seq;
+          conn->skip_deadline =
+              std::chrono::steady_clock::now() + opts_.skip_flush_interval;
+        }
+        conn->pending_skip = seq;
+        continue;
+      }
+      auto frame = TransformFrame(stored, /*repeat=*/false, conn->peer_crc);
+      // Replay frames are never queued: count them enqueued+sent at the
+      // pull, keeping enqueued == sent + dropped + queue_depth exact.
+      ++conn->enqueued;
+      ++conn->sent;
+      if (conn->pending_skip >= 0 && !conn->skip_suppressed) {
+        // The filtered run before this frame gets its SKIP_TO first.
+        Frame skip;
+        skip.type = FrameType::kSkipTo;
+        skip.seq = static_cast<uint64_t>(conn->pending_skip);
+        skip.payload = EncodeSkipTo(conn->pending_skip_start);
+        auto skip_bytes = EncodeFrame(
+            skip, conn->peer_crc ? kFrameVersionCrc : kFrameVersion);
+        conn->pending_skip = -1;
+        conn->pending_skip_start = -1;
+        if (skip_bytes.ok()) {
+          ++conn->enqueued;
+          ++conn->sent;
+          metrics_.AddSkipOut();
+          conn->replay_stash = std::move(frame);
+          return SharedBytes(std::move(skip_bytes).MoveValue());
+        }
+      }
+      return frame;
+    }
+  }
+  // 4. The bounded data queue (live fragments, RESULTs, SKIP_TOs).
+  {
+    std::lock_guard<std::mutex> lock(conn->mu);
+    if (!conn->data.empty()) {
+      auto frame = std::move(conn->data.front().bytes);
+      conn->data.pop_front();
+      ++conn->sent;
+      conn->cv_space.notify_one();
+      return frame;
+    }
+  }
+  return nullptr;
 }
+
+void FragmentServer::PumpWrites(Connection* conn) {
+  for (;;) {
+    if (conn->cur == nullptr) {
+      conn->cur = NextFrame(conn);
+      conn->cur_off = 0;
+      if (conn->cur == nullptr) break;  // fully drained
+    }
+    bool would_block = false;
+    auto n = conn->sock.SendNonBlocking(conn->cur->data() + conn->cur_off,
+                                        conn->cur->size() - conn->cur_off,
+                                        &would_block);
+    if (!n.ok()) {
+      DestroyConnection(conn);
+      return;
+    }
+    if (would_block) break;
+    conn->cur_off += n.value();
+    if (conn->cur_off < conn->cur->size()) continue;
+    metrics_.AddFrameOut(static_cast<int64_t>(conn->cur->size()));
+    conn->cur.reset();
+    conn->cur_off = 0;
+    // Any completed send proves liveness: push the heartbeat out.
+    conn->hb_deadline =
+        std::chrono::steady_clock::now() + opts_.heartbeat_interval;
+  }
+  const bool pending = conn->cur != nullptr;
+  // cur == null here means NextFrame found nothing: ctrl, stash, replay
+  // and data are all empty — the flush point close_after_flush waits for.
+  if (!pending && conn->close_after_flush) {
+    DestroyConnection(conn);
+    return;
+  }
+  if (pending != conn->want_write) {
+    conn->want_write = pending;
+    (void)loop_->Update(conn->sock.fd(),
+                        /*want_read=*/!conn->close_after_flush,
+                        /*want_write=*/pending);
+  }
+}
+
+void FragmentServer::FlushPendingSkip(Connection* conn) {
+  std::lock_guard<std::mutex> lock(conn->mu);
+  if (conn->closing || !conn->live) return;
+  PushSkipLocked(conn);
+}
+
+std::chrono::steady_clock::time_point FragmentServer::HeartbeatTick(
+    Connection* conn, std::chrono::steady_clock::time_point now) {
+  bool live;
+  bool idle;
+  bool has_skip;
+  bool peer_crc;
+  std::chrono::steady_clock::time_point skip_deadline;
+  {
+    std::lock_guard<std::mutex> lock(conn->mu);
+    live = conn->live;
+    peer_crc = conn->peer_crc;
+    has_skip = conn->pending_skip >= 0 && !conn->skip_suppressed;
+    skip_deadline = conn->skip_deadline;
+    idle = conn->ctrl.empty() && conn->data.empty() && !conn->replaying;
+  }
+  if (live && has_skip && now >= skip_deadline) {
+    // A run of filtered frames with no matching frame behind it to carry
+    // the SKIP_TO out: flush it so the subscriber's contiguous prefix
+    // keeps advancing. Cadenced by skip_flush_interval, not the (much
+    // coarser) heartbeat clock — a filtered slice should not wait a full
+    // liveness interval to learn the stream moved on.
+    FlushPendingSkip(conn);
+    PumpWrites(conn);
+    // The flush is itself a completed send in the common case; PumpWrites
+    // already pushed hb_deadline out. Re-read below for the return value.
+    has_skip = false;
+  }
+  if (now >= conn->hb_deadline) {
+    conn->hb_deadline = now + opts_.heartbeat_interval;
+    if (conn->handshaken && live && idle && !has_skip &&
+        conn->cur == nullptr && conn->replay_stash == nullptr) {
+      auto hb = EncodeFrame(HeartbeatFrame(published_.load()),
+                            peer_crc ? kFrameVersionCrc : kFrameVersion);
+      if (hb.ok()) {  // empty payload: cannot actually fail
+        EnqueueCtrl(conn, SharedBytes(std::move(hb).MoveValue()));
+        PumpWrites(conn);
+      }
+    }
+  }
+  // When this connection next needs the clock: its heartbeat, or sooner
+  // if a (possibly freshly started) skip run is waiting on its deadline.
+  auto next = conn->hb_deadline;
+  if (live) {
+    std::lock_guard<std::mutex> lock(conn->mu);
+    if (conn->pending_skip >= 0 && !conn->skip_suppressed &&
+        conn->skip_deadline < next) {
+      next = conn->skip_deadline;
+    }
+  }
+  return next;
+}
+
+void FragmentServer::DestroyConnection(Connection* conn) {
+  if (conn->dead) return;
+  conn->dead = true;
+  dead_pending_ = true;  // loop thread reaps on its next pass
+  // Detach result sinks before the conn can be reaped. A disconnect does
+  // not UNQUERY: the registration (and its result log) stays for the
+  // subscriber's reconnect.
+  if (opts_.query_channel != nullptr && !conn->query_subs.empty()) {
+    opts_.query_channel->DropSink(conn);
+  }
+  loop_->Remove(conn->sock.fd());
+  std::lock_guard<std::mutex> lock(conn->mu);
+  conn->closing = true;
+  conn->sock.Close();
+  conn->cv_space.notify_all();
+}
+
+// --- introspection ---------------------------------------------------------
 
 MetricsSnapshot FragmentServer::metrics() const {
   MetricsSnapshot s = metrics_.Snapshot();
@@ -703,9 +1185,10 @@ std::vector<ConnectionStats> FragmentServer::connection_stats() const {
     stats.enqueued = conn->enqueued;
     stats.sent = conn->sent;
     stats.dropped = conn->dropped;
-    stats.queue_depth = static_cast<int64_t>(conn->queue.size());
+    stats.queue_depth = static_cast<int64_t>(conn->data.size());
     stats.live = conn->live;
     stats.closing = conn->closing;
+    stats.filtered = conn->filter_active;
     out.push_back(stats);
   }
   return out;

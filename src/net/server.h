@@ -1,17 +1,41 @@
 // net::FragmentServer — the networked face of a stream::StreamServer.
 //
 // The server registers itself as one more StreamClient on the in-process
-// multicast, encodes every published fragment once per supported codec into
-// an append-only frame log (seq = publish position), and fans frames out to
-// any number of TCP subscribers. Each connection owns a bounded outbound
-// queue drained by a dedicated writer thread, so one stalled consumer
-// cannot stall the publisher or its peers; what happens when a queue fills
-// is the configurable SlowConsumerPolicy. Late subscribers and resuming
-// subscribers catch up from the frame log via REPLAY_FROM.
+// multicast, encodes every published fragment exactly once per supported
+// codec into an append-only frame log (seq = publish position), and fans
+// the *same immutable buffers* out to any number of TCP subscribers: a
+// connection's outbound queue holds refcounted views of log entries, never
+// copies, so publishing to 10k subscribers costs one encode and N queue
+// pushes. Late and resuming subscribers catch up from the frame log via
+// REPLAY_FROM.
 //
-// Threading: all socket work happens on threads owned by this class. The
-// core engine stays single-threaded — Start(), Stop() and the publishes
-// that reach OnFragment() must come from the same (publisher) thread.
+// I/O model: a single event-loop thread (net::EventLoop — epoll on Linux,
+// poll elsewhere) owns every socket: it accepts, reads control frames,
+// and drains the per-connection outbound queues through non-blocking
+// writes with a per-connection partial-write offset. There are no
+// per-connection threads. The publisher thread only encodes, appends,
+// pushes queue entries and wakes the loop.
+//
+// Per-connection send order: control frames (HELLO ack, QUERY_STATUS,
+// heartbeats, BYE) first, then the replay cursor (history served straight
+// from the log, no queueing), then the data queue (live fragments,
+// RESULTs, SKIP_TOs, repeats). The replay→live handover happens under
+// log_mu_, so every seq reaches a subscriber exactly once.
+//
+// Each connection may carry a per-tsid subscription filter (SUBSCRIBE
+// frame, or derived from a registered query via kQueryFlagAutoFilter):
+// only fragments whose tsid falls in the filter's subtree closure are
+// delivered, and skipped runs are covered by SKIP_TO frames so the
+// subscriber's contiguous-prefix tracking never sees a false gap.
+//
+// What happens when a bounded data queue fills is the configurable
+// SlowConsumerPolicy; the conservation law
+//   enqueued == sent + dropped + queue_depth
+// holds for every connection at every instant.
+//
+// Threading: the core engine stays single-threaded — Start(), Stop() and
+// the publishes that reach OnFragment() must come from the same
+// (publisher) thread. Everything socket-side happens on the loop thread.
 #ifndef XCQL_NET_SERVER_H_
 #define XCQL_NET_SERVER_H_
 
@@ -25,9 +49,11 @@
 #include <string>
 #include <thread>
 #include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
 #include "common/result.h"
+#include "net/event_loop.h"
 #include "net/frame.h"
 #include "net/metrics.h"
 #include "net/socket.h"
@@ -49,9 +75,18 @@ class QueryChannel;
 
 struct FragmentServerOptions {
   uint16_t port = 0;  // 0 = pick an ephemeral port (see port())
-  size_t queue_capacity = 1024;  // outbound frames per connection
+  size_t queue_capacity = 1024;  // outbound data frames per connection
   SlowConsumerPolicy slow_consumer = SlowConsumerPolicy::kBlock;
   std::chrono::milliseconds heartbeat_interval{1000};
+  /// How long a pending SKIP_TO run may sit before the loop flushes it
+  /// even though no matching frame arrived to carry it out. Bounds a
+  /// filtered subscriber's prefix-advance latency independently of the
+  /// (much coarser) heartbeat/liveness cadence.
+  std::chrono::milliseconds skip_flush_interval{50};
+  /// Readiness backend for the I/O thread (kDefault = epoll on Linux,
+  /// poll elsewhere). kPoll stays selectable on Linux so the portable
+  /// path is exercised by the same test suite.
+  EventBackend backend = EventBackend::kDefault;
   /// Durability: every published frame is appended here *before* any
   /// subscriber sees it, so with FsyncPolicy::kAlways no subscriber can
   /// ever be ahead of what a restart recovers. Not owned; must outlive
@@ -84,6 +119,7 @@ struct ConnectionStats {
   int64_t queue_depth = 0;
   bool live = false;     // handshake + replay done, receiving live frames
   bool closing = false;
+  bool filtered = false; // a per-tsid subscription filter is active
 };
 
 class FragmentServer : public stream::StreamClient {
@@ -96,11 +132,12 @@ class FragmentServer : public stream::StreamClient {
   FragmentServer& operator=(const FragmentServer&) = delete;
 
   /// \brief Seeds the frame log from the source's already-published
-  /// history, registers with the source, binds and starts accepting.
+  /// history, registers with the source, binds and starts the I/O thread.
   Status Start();
 
-  /// \brief Unregisters, closes every connection, joins all threads.
-  /// Idempotent.
+  /// \brief Unregisters, stops the event loop (closing every socket on
+  /// the loop thread, exactly once) and joins it. Idempotent; leaks no
+  /// file descriptors.
   void Stop();
 
   /// \brief The bound TCP port (after Start()).
@@ -122,7 +159,9 @@ class FragmentServer : public stream::StreamClient {
   }
 
   /// \brief StreamClient hook: called by the source on the publisher
-  /// thread for every multicast fragment.
+  /// thread for every multicast fragment. Encodes once, appends to the
+  /// log (WAL first), enqueues refcounted views to every live
+  /// connection, then wakes the I/O thread.
   void OnFragment(const std::string& stream_name,
                   frag::Fragment fragment) override;
 
@@ -138,15 +177,26 @@ class FragmentServer : public stream::StreamClient {
   std::vector<ConnectionStats> connection_stats() const;
   int active_connections() const;
 
+  /// \brief The readiness backend the I/O thread actually runs on.
+  EventBackend backend() const { return backend_; }
+
  private:
+  /// One queued outbound frame: a refcounted view of an immutable buffer
+  /// (shared with the log and with every other subscriber's queue on the
+  /// common path) plus nothing else — the partial-write offset lives on
+  /// the connection, since only one frame is in flight per socket.
+  struct OutFrame {
+    std::shared_ptr<const std::string> bytes;
+    bool is_skip = false;  // a SKIP_TO (evicted alongside dropped data)
+  };
+
   struct Connection {
     Socket sock;
-    std::thread reader;
-    std::thread writer;
+
     std::mutex mu;                     // guards everything below
-    std::condition_variable cv_data;   // queue became non-empty / closing
-    std::condition_variable cv_space;  // queue gained room / closing
-    std::deque<std::string> queue;     // encoded frames awaiting send
+    std::condition_variable cv_space;  // data queue gained room / closing
+    std::deque<OutFrame> ctrl;  // unbounded: acks, statuses, BYE
+    std::deque<OutFrame> data;  // bounded: fragments, results, skips
     frag::WireCodec codec = frag::WireCodec::kPlainXml;
     /// Peer advertised kHelloFlagCrcFrames: send v2 (checksummed) frames.
     /// Old peers get every frame transcoded down to v1.
@@ -154,99 +204,198 @@ class FragmentServer : public stream::StreamClient {
     /// Peer advertised kHelloFlagQueryChannel *and* a channel is attached:
     /// QUERY frames are admissible and v3 frames may flow back.
     bool peer_queries = false;
-    /// Query ids this connection subscribed to. Reader-thread only (the
-    /// reader admits QUERY/UNQUERY and tears the sinks down on exit).
-    std::vector<uint64_t> query_subs;
+    /// Peer advertised kHelloFlagTsidFilter: SUBSCRIBE is admissible and
+    /// SKIP_TO frames may flow back.
+    bool peer_filter = false;
     bool live = false;
     bool closing = false;
+    /// A BYE sits in ctrl: close once both queues and cur have flushed.
+    bool close_after_flush = false;
     int64_t enqueued = 0;
     int64_t sent = 0;
     int64_t dropped = 0;
-    std::mutex send_mu;  // serializes socket writes (writer + handshake)
-    bool reader_done = false;
-    bool writer_done = false;
+    /// Replay cursor: history is pulled straight from the log (one brief
+    /// log_mu_ hold per frame), never queued, so a kBlock loop thread can
+    /// not deadlock against itself and the bounded queue only ever holds
+    /// live traffic.
+    bool replaying = false;
+    size_t replay_next = 0;
+    /// First seq the live path owns; the handover sets it to log_.size()
+    /// under log_mu_, so replay and live delivery are exactly-once even
+    /// though the publisher fans out without holding log_mu_.
+    int64_t next_live_seq = 0;
+    /// Per-tsid subscription filter (subtree closure; empty + inactive =
+    /// deliver everything).
+    bool filter_active = false;
+    std::unordered_set<int> filter;
+    /// Highest filtered-out seq not yet covered by a SKIP_TO (-1 = none),
+    /// and the first seq of that run (the SKIP_TO payload — subscribers
+    /// verify the run continues their contiguous prefix exactly).
+    int64_t pending_skip = -1;
+    int64_t pending_skip_start = -1;
+    /// When the current pending run must be flushed (stamped as the run
+    /// starts); meaningful only while pending_skip >= 0.
+    std::chrono::steady_clock::time_point skip_deadline;
+    /// A data-queue eviction may have dropped a fragment that queued
+    /// SKIP_TOs would otherwise mask: stop emitting skips until the next
+    /// replay handover re-establishes a clean prefix.
+    bool skip_suppressed = false;
+
+    // --- loop-thread-only state (no lock needed) ---
+    FrameReader reader;
+    bool handshaken = false;
+    std::vector<uint64_t> query_subs;  // query ids subscribed on this conn
+    std::shared_ptr<const std::string> cur;  // frame being written
+    size_t cur_off = 0;
+    bool want_write = false;  // current backend interest
+    std::chrono::steady_clock::time_point hb_deadline;
+    /// Replay pulled a deliverable frame but a SKIP_TO for the filtered
+    /// run before it must go out first: the frame waits here one turn.
+    std::shared_ptr<const std::string> replay_stash;
+    bool dead = false;  // torn down; skip in loop sweeps until erased
   };
 
   // One published fragment, encoded once per codec the server offers.
-  // Frames are logged in the v2 (checksummed) format and transcoded down
-  // per connection when a peer did not negotiate it.
+  // Frames are logged in the v2 (checksummed) format, as refcounted
+  // immutable buffers shared by every queue that delivers them; they are
+  // transcoded down per connection only when a peer did not negotiate v2.
   struct LogEntry {
-    std::string plain;       // FRAGMENT frame, plain-XML payload
-    std::string compressed;  // FRAGMENT frame, §4.1 payload ("" if the
-                             // payload does not compress under the schema)
+    std::shared_ptr<const std::string> plain;  // FRAGMENT frame, plain XML
+    std::shared_ptr<const std::string> compressed;  // §4.1 payload (null
+                                                    // if incompressible)
     int64_t filler_id = 0;   // the fragment's filler id (NACK index key)
     int64_t valid_time_s = 0;  // the version's validTime (epoch seconds),
                                // so a version-aware NACK can skip versions
                                // the subscriber already holds
+    int tsid = 0;  // the fragment's tag-structure id (filter key)
   };
 
   LogEntry EncodeEntry(const frag::Fragment& fragment, uint64_t seq);
-  void AcceptLoop();
-  void ReaderLoop(Connection* conn);
-  void WriterLoop(Connection* conn);
+
+  // --- event-loop thread ---
+  void LoopThread();
+  void HandleAccept();
+  void HandleReadable(Connection* conn);
+  bool HandleFrame(Connection* conn, const Frame& frame);  // false = cut
   Status HandleHello(Connection* conn, const Hello& hello,
                      const Frame& frame);
-  void ServeReplay(Connection* conn, int64_t last_seen_seq);
+  void HandleSubscribe(Connection* conn, const Frame& frame);
+  /// \brief Serves a QUERY frame: admission checks (connection cap, then
+  /// the channel's), registration, status ack, and result-stream
+  /// subscription from the spec's resume seq. kQueryFlagAutoFilter is
+  /// stripped before registration and folded into the connection filter.
+  void HandleQuery(Connection* conn, const Frame& frame);
+  void HandleUnquery(Connection* conn, const Frame& frame);
+  void SendQueryStatus(Connection* conn, const QueryStatus& status);
   /// \brief Serves a REPEAT_REQUEST (NACK): re-enqueues the logged frames
   /// of the request's filler — original seqs, kFlagRepeat set — to `conn`
   /// only, skipping versions whose validTime the request says the
-  /// subscriber already holds.
+  /// subscriber already holds. Bypasses the subscription filter: an
+  /// explicitly requested filler is always re-sent.
   void ServeRepeat(Connection* conn, const RepeatRequest& request);
-  /// \brief Serves a QUERY frame: admission checks (connection cap, then
-  /// the channel's), registration, status ack, and result-stream
-  /// subscription from the spec's resume seq.
-  void HandleQuery(Connection* conn, const Frame& frame);
-  void HandleUnquery(Connection* conn, const Frame& frame);
-  Status SendQueryStatus(Connection* conn, const QueryStatus& status);
-  /// \brief Appends one encoded frame to the connection's queue, applying
-  /// the slow-consumer policy. Caller may hold log_mu_. With `repeat` the
-  /// frame goes out flagged as a retransmission.
-  void Enqueue(Connection* conn, const LogEntry& entry, bool repeat = false);
+  /// \brief Drains this connection's sendable frames (ctrl → replay
+  /// cursor → data) through non-blocking writes; parks on EPOLLOUT when
+  /// the kernel buffer fills.
+  void PumpWrites(Connection* conn);
+  /// \brief Pulls the next frame to send, or null. Advances the replay
+  /// cursor (and performs the live handover) as a side effect.
+  std::shared_ptr<const std::string> NextFrame(Connection* conn);
+  void FlushPendingSkip(Connection* conn);
+  /// \brief Per-connection clock work: flushes a skip run past its
+  /// deadline, emits an idle heartbeat past hb_deadline. Returns when
+  /// this connection next needs the clock (feeds the loop's next sweep).
+  std::chrono::steady_clock::time_point HeartbeatTick(
+      Connection* conn, std::chrono::steady_clock::time_point now);
+  /// \brief Loop-thread teardown: drop query sinks, deregister from the
+  /// backend, close the socket, wake blocked publishers, forget the conn.
+  void DestroyConnection(Connection* conn);
+
+  // --- any thread ---
+  /// \brief Appends a refcounted view of a logged fragment frame to the
+  /// connection's data queue, applying the subscription filter and the
+  /// slow-consumer policy. With `repeat` the frame goes out flagged as a
+  /// retransmission; `bypass_filter` serves NACKs.
+  void Enqueue(Connection* conn, const LogEntry& entry, int64_t seq,
+               bool repeat = false, bool bypass_filter = false);
   /// \brief Queues an already-encoded v2 frame (a RESULT from the query
   /// channel), transcoding for old peers and applying the same
   /// slow-consumer policy as Enqueue. Unlike fragments it does not wait
   /// for `live`: a QUERY may directly follow the HELLO.
-  void EnqueueEncoded(Connection* conn, const std::string& frame_bytes);
+  void EnqueueEncoded(Connection* conn,
+                      const std::shared_ptr<const std::string>& frame);
+  void EnqueueCtrl(Connection* conn,
+                   std::shared_ptr<const std::string> frame);
   /// \brief The slow-consumer policy body shared by the enqueue paths:
-  /// returns true when a queue slot is available (possibly after blocking
-  /// or evicting), false when the frame must be abandoned.
-  bool ReserveQueueSlot(Connection* conn, std::unique_lock<std::mutex>& lock);
-  Status SendRaw(Connection* conn, const std::string& bytes);
+  /// returns true when a data-queue slot is available (possibly after
+  /// blocking or evicting), false when the frame must be abandoned.
+  /// `may_block` = false makes kBlock overflow the bound instead of
+  /// waiting: enqueues from the loop thread (the queue's only consumer)
+  /// and from under QueryChannel::mu_ must never park, or the drain side
+  /// deadlocks; overflowing keeps them lossless.
+  bool ReserveQueueSlot(Connection* conn, std::unique_lock<std::mutex>& lock,
+                        bool may_block);
+  /// \brief Appends a per-connection SKIP_TO(pending_skip) to the data
+  /// queue. Caller holds conn->mu.
+  void PushSkipLocked(Connection* conn);
+  /// \brief Expands tag-structure ids to their schema subtree closure.
+  std::unordered_set<int> ExpandTsidClosure(const std::vector<int>& ids)
+      const;
+  /// \brief Marks the connection closing and shuts the socket down; the
+  /// loop thread observes the dead socket and destroys the connection.
   void CloseConnection(Connection* conn);
-  void ReapFinished();
   /// \brief Called (with log_mu_ held) when a WAL append fails: retires
   /// the durable epoch for a volatile one and cuts every connection, so
   /// no subscriber keeps a resume point that a restart could mis-splice.
   void DegradeDurability(const Status& why);
+
+  bool OnLoopThread() const {
+    return std::this_thread::get_id() ==
+           loop_tid_.load(std::memory_order_relaxed);
+  }
 
   stream::StreamServer* source_;
   FragmentServerOptions opts_;
   std::string ts_xml_;
   uint64_t ts_hash_ = 0;
   // Advertised in every HELLO ack; rewritten by DegradeDurability on the
-  // publisher thread while reader threads serve handshakes, hence atomic.
+  // publisher thread while the loop thread serves handshakes, hence atomic.
   std::atomic<uint64_t> epoch_{0};
   std::atomic<bool> wal_degraded_{false};
   uint16_t port_ = 0;
   bool started_ = false;
+  EventBackend backend_ = EventBackend::kDefault;
 
   Socket listener_;
-  std::thread accept_thread_;
+  int listener_tag_ = 0;  // address marks the listener in loop events
+  std::unique_ptr<EventLoop> loop_;
+  std::thread loop_thread_;
+  // Set by the loop thread on entry; read by enqueue paths on any thread.
+  std::atomic<std::thread::id> loop_tid_{};
   std::atomic<bool> stopping_{false};
 
   // Frame log. Lock order: log_mu_ -> conns_mu_ -> Connection::mu.
+  // The publisher holds log_mu_ only while encoding/appending — never
+  // across the fan-out — so the loop thread's replay cursor can always
+  // make progress while a kBlock publisher waits for queue space.
   mutable std::mutex log_mu_;
-  std::vector<LogEntry> log_;
+  std::deque<LogEntry> log_;  // deque: stable references under append
   // Log positions per filler id, so a NACK replays all of a filler's
   // frames without scanning the log. Guarded by log_mu_.
   std::unordered_map<int64_t, std::vector<size_t>> filler_index_;
-  // log_.size(), readable without log_mu_. The heartbeat path uses this:
-  // a kBlock publisher can hold log_mu_ while waiting for queue space, so
-  // the writer thread must never take log_mu_ to make progress.
+  // log_.size(), readable without log_mu_. Heartbeats use this: the loop
+  // thread must never need log_mu_ just to report progress.
   std::atomic<int64_t> published_{0};
 
+  // Shared connection registry (publisher fan-out, stats). The loop
+  // thread keeps its own loop_conns_ so it never waits on conns_mu_
+  // while a publisher is parked in ReserveQueueSlot.
   mutable std::mutex conns_mu_;
-  std::vector<std::unique_ptr<Connection>> conns_;
+  std::vector<std::shared_ptr<Connection>> conns_;
+  std::vector<std::shared_ptr<Connection>> loop_conns_;  // loop thread only
+  // Set by DestroyConnection so the loop's reap pass runs only when a
+  // connection actually died, not O(conns) every iteration. Loop thread
+  // only — DestroyConnection is owner-thread-only by contract.
+  bool dead_pending_ = false;
 
   mutable Metrics metrics_;
 };

@@ -1,6 +1,7 @@
 #include "net/socket.h"
 
 #include <arpa/inet.h>
+#include <fcntl.h>
 #include <netdb.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
@@ -93,6 +94,49 @@ Result<size_t> Socket::RecvTimeout(void* buf, size_t len,
     }
     // Readable (or error/hup, which recv reports): do the actual read.
     return Recv(buf, len);
+  }
+}
+
+Status Socket::SetNonBlocking() {
+  int flags = ::fcntl(fd_, F_GETFL, 0);
+  if (flags < 0) return Errno("fcntl(F_GETFL)");
+  if (::fcntl(fd_, F_SETFL, flags | O_NONBLOCK) < 0) {
+    return Errno("fcntl(F_SETFL)");
+  }
+  return Status::OK();
+}
+
+Result<size_t> Socket::SendNonBlocking(const void* data, size_t len,
+                                       bool* would_block) {
+  *would_block = false;
+  for (;;) {
+    ssize_t n = ::send(fd_, data, len, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        *would_block = true;
+        return static_cast<size_t>(0);
+      }
+      return Errno("send");
+    }
+    return static_cast<size_t>(n);
+  }
+}
+
+Result<size_t> Socket::RecvNonBlocking(void* buf, size_t len,
+                                       bool* would_block) {
+  *would_block = false;
+  for (;;) {
+    ssize_t n = ::recv(fd_, buf, len, 0);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        *would_block = true;
+        return static_cast<size_t>(0);
+      }
+      return Errno("recv");
+    }
+    return static_cast<size_t>(n);
   }
 }
 

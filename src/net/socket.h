@@ -50,13 +50,25 @@ class Socket {
                              std::chrono::milliseconds timeout,
                              bool* timed_out);
 
+  /// \brief Switches the fd to O_NONBLOCK for event-loop use.
+  Status SetNonBlocking();
+
+  /// \brief Single non-blocking send. Returns the bytes written (possibly
+  /// 0); a full kernel buffer sets *would_block instead of failing.
+  Result<size_t> SendNonBlocking(const void* data, size_t len,
+                                 bool* would_block);
+
+  /// \brief Single non-blocking recv. Returns 0 on orderly shutdown; no
+  /// data yet sets *would_block with a 0 return.
+  Result<size_t> RecvNonBlocking(void* buf, size_t len, bool* would_block);
+
  private:
   int fd_ = -1;
 };
 
 /// \brief Binds and listens on 0.0.0.0:`port` (0 = ephemeral; read the
 /// chosen port back with BoundPort).
-Result<Socket> ListenOn(uint16_t port, int backlog = 16);
+Result<Socket> ListenOn(uint16_t port, int backlog = 128);
 
 /// \brief The locally bound port of a listening (or connected) socket.
 Result<uint16_t> BoundPort(const Socket& sock);

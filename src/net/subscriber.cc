@@ -93,6 +93,7 @@ void FragmentSubscriber::Run() {
         connected_ = false;
         wire_version_ = kFrameVersion;
         server_queries_ = false;
+        server_filter_ = false;
         sock_.Close();
         state_cv_.notify_all();
       }
@@ -154,9 +155,11 @@ void FragmentSubscriber::Session() {
   hello.ts_hash = ts_xml_.empty() ? 0 : TagStructureHash(ts_xml_);
   Frame out;
   out.type = FrameType::kHello;
-  // Advertise v2 frames and the query channel; the ack decides both (an
-  // old server ignores unknown flag bits, so v3 types never flow to it).
-  out.flags = kHelloFlagCrcFrames | kHelloFlagQueryChannel;
+  // Advertise v2 frames, the query channel and per-tsid filters; the ack
+  // decides each (an old server ignores unknown flag bits, so v3 types
+  // never flow to it).
+  out.flags =
+      kHelloFlagCrcFrames | kHelloFlagQueryChannel | kHelloFlagTsidFilter;
   out.payload = EncodeHello(hello);
   // HELLO always goes out v1 so servers of either vintage can parse it.
   auto hello_bytes = EncodeFrame(out, kFrameVersion);
@@ -263,6 +266,7 @@ void FragmentSubscriber::Session() {
                               ? kFrameVersionCrc
                               : kFrameVersion;
           server_queries_ = (frame.flags & kHelloFlagQueryChannel) != 0;
+          server_filter_ = (frame.flags & kHelloFlagTsidFilter) != 0;
           connected_ = true;
           if (ever_connected_) metrics_.AddReconnect();
           ever_connected_ = true;
@@ -300,6 +304,14 @@ void FragmentSubscriber::Session() {
             std::lock_guard<std::mutex> lock(repair_mu_);
             repairs_.clear();
           }
+        }
+        // Install the subscription filter before asking for the replay,
+        // so the catch-up itself is already filtered (and SKIP_TO-covered).
+        if (!opts_.filter_tsids.empty() && server_filter()) {
+          Frame sub;
+          sub.type = FrameType::kSubscribe;
+          sub.payload = EncodeSubscribe(opts_.filter_tsids);
+          if (!SendFrame(sub).ok()) return;
         }
         // Resume from where we left off (-1 the first time = everything:
         // the late subscriber's catch-up).
@@ -458,6 +470,35 @@ void FragmentSubscriber::Session() {
           pending_cv_.notify_all();
           break;
         }
+        case FrameType::kSkipTo: {
+          // Everything in [payload start, header seq] was filtered out by
+          // our own subscription: advance the contiguous prefix without
+          // data, so gap detection and catch-up replays stay exact.
+          const int64_t seq = static_cast<int64_t>(frame.seq);
+          if (seq <= last_seq()) break;  // stale skip (overlapping replay)
+          auto start = DecodeSkipTo(frame.payload);
+          if (!start.ok()) {
+            // Checksum-valid but malformed: the run bounds are untrusted,
+            // so treat it like a gap rather than guess.
+            metrics_.AddGapDetected();
+            return;
+          }
+          if (start.value() != last_seq() + 1) {
+            // The skipped run does not continue our prefix: a reordered
+            // skip would otherwise jump past deliverable frames that are
+            // still in flight (or already lost). Cut and replay — same
+            // contract as a data-frame seq gap.
+            metrics_.AddGapDetected();
+            return;
+          }
+          metrics_.AddSkipIn();
+          lag_have = -2;  // prefix progress: reset the loss detector
+          lag_count = 0;
+          std::lock_guard<std::mutex> lock(pending_mu_);
+          last_seq_ = seq;
+          pending_cv_.notify_all();
+          break;
+        }
         case FrameType::kBye:
           return;  // server going away; reconnect with backoff
         default:
@@ -582,6 +623,11 @@ Result<RemoteQueryState> FragmentSubscriber::query_state(
 bool FragmentSubscriber::server_queries() const {
   std::lock_guard<std::mutex> lock(state_mu_);
   return connected_ && server_queries_;
+}
+
+bool FragmentSubscriber::server_filter() const {
+  std::lock_guard<std::mutex> lock(state_mu_);
+  return connected_ && server_filter_;
 }
 
 Result<int> FragmentSubscriber::DrainInto(frag::FragmentStore* store) {

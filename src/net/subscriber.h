@@ -78,6 +78,14 @@ struct FragmentSubscriberOptions {
   /// discarded and the subscription restarts from scratch.
   int64_t initial_last_seq = -1;
   uint64_t known_epoch = 0;
+  /// Per-tsid subscription filter (protocol v3): when non-empty, a
+  /// SUBSCRIBE frame carrying these tag-structure ids goes out after every
+  /// handshake (before REPLAY_FROM, so replays are filtered too). The
+  /// server expands each id to its schema subtree and delivers only
+  /// matching fragments, covering the filtered runs with SKIP_TO frames so
+  /// the contiguous prefix still advances. Ignored by servers that do not
+  /// echo kHelloFlagTsidFilter.
+  std::vector<int> filter_tsids;
 };
 
 /// \brief Outcome of one RepairMissing() sweep.
@@ -224,6 +232,10 @@ class FragmentSubscriber {
   /// (server echoed kHelloFlagQueryChannel).
   bool server_queries() const;
 
+  /// \brief True while the current session negotiated per-tsid filters
+  /// (server echoed kHelloFlagTsidFilter).
+  bool server_filter() const;
+
   /// \brief Severs the current connection (as a network fault would),
   /// exercising the reconnect + REPLAY_FROM path. Test/chaos hook.
   void KillConnection();
@@ -278,6 +290,8 @@ class FragmentSubscriber {
   /// Current session negotiated the query channel (HELLO ack echoed the
   /// flag). Guarded by state_mu_.
   bool server_queries_ = false;
+  /// Current session negotiated per-tsid filters. Guarded by state_mu_.
+  bool server_filter_ = false;
   std::string ts_xml_;  // set at first handshake (or from options)
   Socket sock_;         // guarded by state_mu_; owned by the receive thread
 

@@ -16,8 +16,10 @@
 #include <csignal>
 #include <cstring>
 #include <filesystem>
+#include <memory>
 #include <string>
 #include <thread>
+#include <utility>
 #include <vector>
 
 #include "common/file_util.h"
@@ -25,7 +27,9 @@
 #include "frag/assembler.h"
 #include "frag/fragment.h"
 #include "net/chaos.h"
+#include "net/event_loop.h"
 #include "net/frame.h"
+#include "net/query_channel.h"
 #include "net/server.h"
 #include "net/subscriber.h"
 #include "net/wal.h"
@@ -2296,6 +2300,547 @@ TEST_F(WalTransportTest, CrashSoakConvergesByteIdenticalAcrossKills) {
   EXPECT_EQ(epoch_resets, 0);
   EXPECT_EQ(store.size(), ref.size());
   EXPECT_EQ(ViewOf(store), ViewOf(ref));
+}
+
+// ---- Event loop: fd hygiene, backends, encode-once fan-out ------------------
+
+int CountOpenFds() {
+  int n = 0;
+  for (const auto& entry :
+       std::filesystem::directory_iterator("/proc/self/fd")) {
+    (void)entry;
+    ++n;
+  }
+  return n;
+}
+
+TEST(FrameCodecTest, SubscribeAndSkipToRoundTrip) {
+  const std::vector<int> ids = {2, 4, 6};
+  auto back = DecodeSubscribe(EncodeSubscribe(ids));
+  ASSERT_TRUE(back.ok()) << back.status().ToString();
+  EXPECT_EQ(back.value(), ids);
+
+  auto empty = DecodeSubscribe(EncodeSubscribe({}));
+  ASSERT_TRUE(empty.ok());
+  EXPECT_TRUE(empty.value().empty());
+
+  // The payload length must match the promised count exactly: truncated,
+  // padded, and sub-header payloads are all parse errors, never misreads.
+  const std::string wire = EncodeSubscribe(ids);
+  EXPECT_FALSE(
+      DecodeSubscribe(std::string_view(wire.data(), wire.size() - 2)).ok());
+  EXPECT_FALSE(DecodeSubscribe(wire + "x").ok());
+  EXPECT_FALSE(DecodeSubscribe("abc").ok());
+
+  // SUBSCRIBE and SKIP_TO travel through the frame codec like any other
+  // type; SKIP_TO spans [payload start, header seq].
+  Frame sub{FrameType::kSubscribe, 0, 0, wire};
+  Frame skip{FrameType::kSkipTo, 0, 123, EncodeSkipTo(120)};
+  std::string bytes = MustEncode(sub) + MustEncode(skip);
+  FrameReader reader;
+  reader.Feed(bytes.data(), bytes.size());
+  auto first = reader.Next();
+  ASSERT_TRUE(first.ok() && first.value().has_value());
+  EXPECT_EQ(first.value()->type, FrameType::kSubscribe);
+  auto decoded = DecodeSubscribe(first.value()->payload);
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded.value(), ids);
+  auto second = reader.Next();
+  ASSERT_TRUE(second.ok() && second.value().has_value());
+  EXPECT_EQ(second.value()->type, FrameType::kSkipTo);
+  EXPECT_EQ(second.value()->seq, 123);
+  auto start = DecodeSkipTo(second.value()->payload);
+  ASSERT_TRUE(start.ok());
+  EXPECT_EQ(start.value(), 120);
+  EXPECT_FALSE(DecodeSkipTo("short").ok());
+  EXPECT_EQ(reader.buffered(), 0u);
+}
+
+TEST(EventLoopServerTest, StopReleasesEveryFdAndSupportsRestart) {
+  stream::StreamServer source("pkts", MustParseTs(kPacketTs));
+  for (int i = 0; i < 3; ++i) {
+    ASSERT_TRUE(source.Publish(MakePacket(i + 1, 1000 + i, i)).ok());
+  }
+
+  // Everything the server opens — listener, epoll/poll set, wake pipe,
+  // accepted connections — must be gone after Stop(), across restarts.
+  const int baseline = CountOpenFds();
+  for (int round = 0; round < 2; ++round) {
+    FragmentServerOptions opts;
+    opts.heartbeat_interval = 100ms;
+    FragmentServer server(&source, opts);
+    ASSERT_TRUE(server.Start().ok()) << "round " << round;
+
+    FragmentSubscriberOptions sopts;
+    sopts.port = server.port();
+    sopts.stream = "pkts";
+    FragmentSubscriber a(sopts), b(sopts), c(sopts);
+    ASSERT_TRUE(a.Start().ok());
+    ASSERT_TRUE(b.Start().ok());
+    ASSERT_TRUE(c.Start().ok());
+    ASSERT_TRUE(a.WaitForSeq(2, 10s));
+    ASSERT_TRUE(b.WaitForSeq(2, 10s));
+    ASSERT_TRUE(c.WaitForSeq(2, 10s));
+    EXPECT_GT(CountOpenFds(), baseline);
+
+    a.Stop();
+    b.Stop();
+    c.Stop();
+    server.Stop();
+    EXPECT_EQ(CountOpenFds(), baseline) << "round " << round;
+  }
+}
+
+TEST(EventLoopServerTest, PollBackendServesEndToEnd) {
+  stream::StreamServer source("pkts", MustParseTs(kPacketTs));
+
+#ifdef __linux__
+  {
+    // The default resolves to epoll on Linux.
+    FragmentServer def(&source);
+    ASSERT_TRUE(def.Start().ok());
+    EXPECT_EQ(def.backend(), EventBackend::kEpoll);
+    def.Stop();
+  }
+#endif
+
+  // The portable poll(2) backend stays selectable and serves the same
+  // protocol: replay, live delivery, heartbeats.
+  FragmentServerOptions opts;
+  opts.backend = EventBackend::kPoll;
+  opts.heartbeat_interval = 100ms;
+  FragmentServer server(&source, opts);
+  ASSERT_TRUE(server.Start().ok());
+  EXPECT_EQ(server.backend(), EventBackend::kPoll);
+
+  for (int i = 0; i < 5; ++i) {
+    ASSERT_TRUE(source.Publish(MakePacket(i + 1, 1000 + i, i)).ok());
+  }
+  FragmentSubscriberOptions sopts;
+  sopts.port = server.port();
+  sopts.stream = "pkts";
+  FragmentSubscriber sub(sopts);
+  ASSERT_TRUE(sub.Start().ok());
+  ASSERT_TRUE(sub.WaitForSeq(4, 10s));
+  for (int i = 5; i < 10; ++i) {
+    ASSERT_TRUE(source.Publish(MakePacket(i + 1, 1000 + i, i)).ok());
+  }
+  ASSERT_TRUE(sub.WaitForSeq(9, 10s));
+  EXPECT_EQ(sub.metrics().fragments_in, 10);
+
+  sub.Stop();
+  server.Stop();
+}
+
+TEST(EventLoopServerTest, FanOutAndReplayEncodeEachFragmentExactlyOnce) {
+  stream::StreamServer source("pkts", MustParseTs(kPacketTs));
+  FragmentServer server(&source);
+  ASSERT_TRUE(server.Start().ok());
+
+  constexpr int kHistory = 40;
+  for (int i = 0; i < kHistory; ++i) {
+    ASSERT_TRUE(source.Publish(MakePacket(i + 1, 1000 + i, i)).ok());
+  }
+
+  // Six late joiners replay the full log; replay serves the refcounted
+  // buffers encoded at publish time, so the encode count stays flat.
+  constexpr int kSubs = 6;
+  std::vector<std::unique_ptr<FragmentSubscriber>> subs;
+  FragmentSubscriberOptions sopts;
+  sopts.port = server.port();
+  sopts.stream = "pkts";
+  for (int i = 0; i < kSubs; ++i) {
+    subs.push_back(std::make_unique<FragmentSubscriber>(sopts));
+    ASSERT_TRUE(subs.back()->Start().ok());
+  }
+  for (auto& s : subs) ASSERT_TRUE(s->WaitForSeq(kHistory - 1, 10s));
+  EXPECT_EQ(server.metrics().fragment_encodes, kHistory);
+
+  // Live fan-out: one encoding shared by all six queues.
+  constexpr int kLive = 10;
+  for (int i = 0; i < kLive; ++i) {
+    ASSERT_TRUE(
+        source.Publish(MakePacket(kHistory + i + 1, 2000 + i, i)).ok());
+  }
+  for (auto& s : subs) {
+    ASSERT_TRUE(s->WaitForSeq(kHistory + kLive - 1, 10s));
+    EXPECT_EQ(s->metrics().fragments_in, kHistory + kLive);
+  }
+  const MetricsSnapshot m = server.metrics();
+  EXPECT_EQ(m.fragment_encodes, kHistory + kLive);
+  EXPECT_EQ(m.drops, 0);
+
+  // Fully drained queues: per-connection conservation degenerates to
+  // enqueued == sent.
+  for (const auto& s : server.connection_stats()) {
+    EXPECT_EQ(s.enqueued, s.sent + s.dropped + s.queue_depth);
+  }
+
+  for (auto& s : subs) s->Stop();
+  server.Stop();
+}
+
+TEST(EventLoopServerTest, ConnectionChurnUnderConcurrentPublishIsClean) {
+  stream::StreamServer source("pkts", MustParseTs(kPacketTs));
+  FragmentServerOptions opts;
+  opts.heartbeat_interval = 100ms;
+  opts.queue_capacity = 4096;
+  opts.slow_consumer = SlowConsumerPolicy::kDropOldest;
+  FragmentServer server(&source, opts);
+  ASSERT_TRUE(server.Start().ok());
+
+  // A publisher that never pauses while connections come and go — the
+  // TSan target for the loop-thread / publisher / churner interleavings.
+  std::atomic<bool> stop{false};
+  std::atomic<int> published{0};
+  std::thread pub([&] {
+    int i = 0;
+    while (!stop.load(std::memory_order_relaxed)) {
+      ++i;
+      EXPECT_TRUE(source.Publish(MakePacket(i, 1000 + i, i)).ok());
+      published.store(i, std::memory_order_relaxed);
+      std::this_thread::sleep_for(500us);
+    }
+  });
+
+  // 4 threads × 16 sessions = 64 connect/disconnect cycles, a mix of
+  // filtered and unfiltered subscribers, a third of them severed rudely.
+  std::vector<std::thread> churners;
+  for (int t = 0; t < 4; ++t) {
+    churners.emplace_back([&, t] {
+      for (int round = 0; round < 16; ++round) {
+        FragmentSubscriberOptions so;
+        so.port = server.port();
+        so.stream = "pkts";
+        so.backoff_initial = 5ms;
+        if ((round + t) % 2 == 0) so.filter_tsids = {2};
+        FragmentSubscriber s(so);
+        EXPECT_TRUE(s.Start().ok());
+        s.WaitConnected(10s);
+        std::this_thread::sleep_for(2ms);
+        if (round % 3 == 0) s.KillConnection();
+        s.Stop();
+      }
+    });
+  }
+  for (auto& t : churners) t.join();
+  stop.store(true);
+  pub.join();
+
+  // The server shed every churned connection and still serves the whole
+  // stream to a fresh subscriber.
+  ASSERT_TRUE(PollFor([&] { return server.active_connections() == 0; }, 10s));
+  const int total = published.load();
+  ASSERT_GT(total, 0);
+  FragmentSubscriberOptions so;
+  so.port = server.port();
+  so.stream = "pkts";
+  FragmentSubscriber fin(so);
+  ASSERT_TRUE(fin.Start().ok());
+  ASSERT_TRUE(fin.WaitForSeq(total - 1, 30s));
+  EXPECT_EQ(fin.metrics().fragments_in, total);
+  for (const auto& s : server.connection_stats()) {
+    EXPECT_EQ(s.enqueued, s.sent + s.dropped + s.queue_depth);
+  }
+  fin.Stop();
+  server.Stop();
+}
+
+// ---- Per-tsid subscription filters ------------------------------------------
+
+// A three-event schema so filters can carve disjoint slices of a stream.
+constexpr const char* kFlowTs = R"(
+<tag type="snapshot" id="1" name="flows">
+  <tag type="event" id="2" name="tcp">
+    <tag type="snapshot" id="3" name="port"/>
+  </tag>
+  <tag type="event" id="4" name="udp">
+    <tag type="snapshot" id="5" name="port"/>
+  </tag>
+  <tag type="event" id="6" name="icmp">
+    <tag type="snapshot" id="7" name="code"/>
+  </tag>
+</tag>)";
+
+frag::Fragment MakeFlow(int tsid, int64_t id, int64_t t, int val) {
+  const char* name = tsid == 2 ? "tcp" : tsid == 4 ? "udp" : "icmp";
+  const char* field = tsid == 6 ? "code" : "port";
+  frag::Fragment f;
+  f.id = id;
+  f.tsid = tsid;
+  f.valid_time = DateTime(t);
+  f.content = Node::Element(name);
+  NodePtr child = Node::Element(field);
+  child->AddChild(Node::Text(std::to_string(val)));
+  f.content->AddChild(std::move(child));
+  return f;
+}
+
+// The byte-level identity of one delivered fragment, for exact
+// filtered-subsequence comparisons.
+std::string FlowSig(const frag::Fragment& f) {
+  return std::to_string(f.tsid) + "|" + std::to_string(f.id) + "|" +
+         std::to_string(f.valid_time.seconds()) + "|" +
+         SerializeXml(*f.content);
+}
+
+TEST(FilterTest, SubscriberFilterCarvesByteIdenticalSlice) {
+  stream::StreamServer source("flows", MustParseTs(kFlowTs));
+  FragmentServerOptions opts;
+  opts.heartbeat_interval = 100ms;
+  FragmentServer server(&source, opts);
+  ASSERT_TRUE(server.Start().ok());
+
+  std::vector<std::string> expect;  // the tcp slice, in stream order
+  Random rng(7);
+  int64_t next_id = 0;
+  auto publish_mix = [&](int n) {
+    for (int i = 0; i < n; ++i) {
+      int tsid = 2 * (1 + static_cast<int>(rng.Uniform(3)));
+      ++next_id;
+      frag::Fragment f = MakeFlow(tsid, next_id, 1000 + next_id, i);
+      if (tsid == 2) expect.push_back(FlowSig(f));
+      EXPECT_TRUE(source.Publish(std::move(f)).ok());
+    }
+  };
+  // Half the stream exists before the subscriber: the replay must honor
+  // the filter too (SUBSCRIBE goes out before REPLAY_FROM).
+  publish_mix(60);
+
+  FragmentSubscriberOptions sopts;
+  sopts.port = server.port();
+  sopts.stream = "flows";
+  sopts.filter_tsids = {2};
+  FragmentSubscriber sub(sopts);
+  ASSERT_TRUE(sub.Start().ok());
+  ASSERT_TRUE(sub.WaitConnected(10s));
+  EXPECT_TRUE(sub.server_filter());
+  publish_mix(60);
+
+  // SKIP_TO frames advance the contiguous prefix across the filtered-out
+  // runs, so the subscriber reaches the stream head without the data.
+  const int64_t last = server.next_seq() - 1;
+  ASSERT_TRUE(sub.WaitForSeq(last, 30s))
+      << "stuck at seq " << sub.last_seq() << " of " << last;
+
+  std::vector<frag::Fragment> got;
+  sub.Drain(&got);
+  ASSERT_EQ(got.size(), expect.size());
+  for (size_t i = 0; i < expect.size(); ++i) {
+    EXPECT_EQ(FlowSig(got[i]), expect[i]) << "frame " << i;
+  }
+
+  EXPECT_GE(sub.metrics().skips_in, 1);
+  const MetricsSnapshot m = server.metrics();
+  EXPECT_EQ(m.frames_filtered, 120 - static_cast<int64_t>(expect.size()));
+  EXPECT_GT(m.filtered_bytes_saved, 0);
+  EXPECT_GE(m.skips_out, 1);
+  auto stats = server.connection_stats();
+  ASSERT_EQ(stats.size(), 1u);
+  EXPECT_TRUE(stats[0].filtered);
+
+  sub.Stop();
+  server.Stop();
+}
+
+TEST(FilterTest, EmptySubscribeClearsTheFilter) {
+  // filter_tsids only ever *sets* a filter; this pins the protocol-level
+  // clear against a raw session: SUBSCRIBE {2}, then SUBSCRIBE {}, then
+  // everything flows again.
+  stream::StreamServer source("flows", MustParseTs(kFlowTs));
+  FragmentServerOptions opts;
+  opts.heartbeat_interval = 100ms;
+  FragmentServer server(&source, opts);
+  ASSERT_TRUE(server.Start().ok());
+
+  FragmentSubscriberOptions sopts;
+  sopts.port = server.port();
+  sopts.stream = "flows";
+  sopts.filter_tsids = {2};
+  FragmentSubscriber sub(sopts);
+  ASSERT_TRUE(sub.Start().ok());
+  ASSERT_TRUE(sub.WaitConnected(10s));
+  ASSERT_TRUE(PollFor(
+      [&] {
+        auto stats = server.connection_stats();
+        return stats.size() == 1 && stats[0].filtered;
+      },
+      5s));
+  sub.Stop();
+
+  // Same port, no filter: the server must treat the fresh session clean.
+  sopts.filter_tsids.clear();
+  FragmentSubscriber open(sopts);
+  ASSERT_TRUE(open.Start().ok());
+  ASSERT_TRUE(open.WaitConnected(10s));
+  for (int i = 0; i < 9; ++i) {
+    int tsid = 2 * (1 + i % 3);
+    ASSERT_TRUE(source.Publish(MakeFlow(tsid, i + 1, 1000 + i, i)).ok());
+  }
+  ASSERT_TRUE(open.WaitForSeq(8, 10s));
+  EXPECT_EQ(open.metrics().fragments_in, 9);
+  auto stats = server.connection_stats();
+  ASSERT_EQ(stats.size(), 1u);
+  EXPECT_FALSE(stats[0].filtered);
+
+  open.Stop();
+  server.Stop();
+}
+
+TEST(FilterTest, AutoFilterFromQueryRelevanceNarrowsDelivery) {
+  stream::StreamServer source("flows", MustParseTs(kFlowTs));
+  QueryChannel channel("flows", MustParseTs(kFlowTs));
+  ASSERT_TRUE(channel.Open().ok());
+  FragmentServerOptions opts;
+  opts.query_channel = &channel;
+  opts.heartbeat_interval = 100ms;
+  FragmentServer server(&source, opts);
+  ASSERT_TRUE(server.Start().ok());
+
+  // No static filter — the server derives one from the query: //tcp under
+  // QaC+ compiles to tsid scans of the tcp subtree, so only {2,3} are
+  // relevant and udp/icmp traffic never crosses the wire.
+  FragmentSubscriberOptions sopts;
+  sopts.port = server.port();
+  sopts.stream = "flows";
+  FragmentSubscriber sub(sopts);
+  RemoteQuerySpec spec;
+  spec.method = 2;  // lang::ExecMethod::kQaCPlus
+  spec.flags = kQueryFlagAutoFilter;
+  spec.text = "for $f in stream(\"flows\")//tcp return string($f/port)";
+  auto token = sub.AddRemoteQuery(spec);
+  ASSERT_TRUE(token.ok()) << token.status().ToString();
+  ASSERT_TRUE(sub.Start().ok());
+  ASSERT_TRUE(sub.WaitConnected(10s));
+  ASSERT_TRUE(sub.WaitQueryActive(token.value(), 10s));
+  ASSERT_TRUE(PollFor(
+      [&] {
+        auto stats = server.connection_stats();
+        return stats.size() == 1 && stats[0].filtered;
+      },
+      5s));
+
+  int tcp_count = 0;
+  for (int i = 0; i < 30; ++i) {
+    int tsid = 2 * (1 + i % 3);
+    if (tsid == 2) ++tcp_count;
+    ASSERT_TRUE(
+        source.Publish(MakeFlow(tsid, i + 1, 1000 + i, 7000 + i)).ok());
+  }
+  const int64_t last = server.next_seq() - 1;
+  ASSERT_TRUE(sub.WaitForSeq(last, 30s))
+      << "stuck at seq " << sub.last_seq() << " of " << last;
+
+  std::vector<frag::Fragment> got;
+  sub.Drain(&got);
+  ASSERT_EQ(got.size(), static_cast<size_t>(tcp_count));
+  for (const auto& f : got) EXPECT_EQ(f.tsid, 2);
+  EXPECT_GT(server.metrics().frames_filtered, 0);
+
+  // The query results themselves are untouched by the transport filter.
+  EXPECT_TRUE(sub.WaitForResultSeq(token.value(), 0, 10s));
+
+  sub.Stop();
+  server.Stop();
+}
+
+TEST(FilterTest, RandomizedFiltersSurviveChaosAndReconnects) {
+  // N subscribers behind a faulty link, each with a random tsid filter,
+  // two of them severed mid-stream: every one must converge to exactly
+  // its filtered subsequence, byte-identical and in stream order.
+  stream::StreamServer source("flows", MustParseTs(kFlowTs));
+  FragmentServerOptions opts;
+  opts.heartbeat_interval = 100ms;
+  opts.queue_capacity = 4096;
+  FragmentServer server(&source, opts);
+  ASSERT_TRUE(server.Start().ok());
+
+  ChaosLinkOptions copts;
+  copts.upstream_port = server.port();
+  copts.seed = 7;
+  copts.faults.drop = 0.01;
+  copts.faults.duplicate = 0.01;
+  copts.faults.reorder = 0.01;
+  copts.faults.corrupt = 0.01;
+  ChaosLink chaos(copts);
+  ASSERT_TRUE(chaos.Start().ok());
+
+  constexpr int kSubs = 5;
+  std::vector<std::unique_ptr<FragmentSubscriber>> subs;
+  std::vector<std::vector<int>> filters;
+  Random pick(99);
+  for (int i = 0; i < kSubs; ++i) {
+    std::vector<int> f;
+    if (i == 0) {
+      f = {2};  // always one single-slice subscriber...
+    } else if (i > 1) {
+      // ...one guaranteed-unfiltered one (i == 1), the rest random.
+      for (int tsid : {2, 4, 6}) {
+        if (pick.Uniform(2) == 1) f.push_back(tsid);
+      }
+    }
+    filters.push_back(f);
+    FragmentSubscriberOptions so;
+    so.port = chaos.port();
+    so.stream = "flows";
+    so.backoff_initial = 10ms;
+    so.backoff_max = 100ms;
+    so.filter_tsids = f;
+    subs.push_back(std::make_unique<FragmentSubscriber>(so));
+    ASSERT_TRUE(subs[i]->Start().ok());
+    ASSERT_TRUE(subs[i]->WaitConnected(30s));
+  }
+
+  std::vector<std::pair<int, std::string>> pub;  // (tsid, signature)
+  Random rng(3);
+  constexpr int kCount = 300;
+  for (int i = 0; i < kCount; ++i) {
+    int tsid = 2 * (1 + static_cast<int>(rng.Uniform(3)));
+    frag::Fragment f =
+        MakeFlow(tsid, i + 1, 1000 + i, static_cast<int>(rng.Uniform(1000)));
+    pub.emplace_back(tsid, FlowSig(f));
+    ASSERT_TRUE(source.Publish(std::move(f)).ok());
+    // Rude mid-stream cuts: reconnect re-sends SUBSCRIBE before
+    // REPLAY_FROM, so the resumed replay stays filtered.
+    if (i == kCount / 3) subs[0]->KillConnection();
+    if (i == (2 * kCount) / 3) subs[3]->KillConnection();
+  }
+
+  const int64_t last = server.next_seq() - 1;
+  for (int i = 0; i < kSubs; ++i) {
+    ASSERT_TRUE(subs[i]->WaitForSeq(last, 120s))
+        << "sub " << i << " stuck at seq " << subs[i]->last_seq() << " of "
+        << last;
+  }
+
+  for (int i = 0; i < kSubs; ++i) {
+    std::vector<frag::Fragment> got;
+    subs[i]->Drain(&got);
+    std::vector<std::string> want;
+    for (const auto& [tsid, sig] : pub) {
+      if (filters[i].empty() ||
+          std::find(filters[i].begin(), filters[i].end(), tsid) !=
+              filters[i].end()) {
+        want.push_back(sig);
+      }
+    }
+    ASSERT_EQ(got.size(), want.size()) << "sub " << i;
+    for (size_t j = 0; j < want.size(); ++j) {
+      ASSERT_EQ(FlowSig(got[j]), want[j]) << "sub " << i << " frame " << j;
+    }
+  }
+
+  // The two kills alone guarantee reconnect traffic; chaos usually adds
+  // more. And the faults really fired.
+  int64_t reconnects = 0;
+  for (const auto& s : subs) reconnects += s->metrics().reconnects;
+  EXPECT_GE(reconnects, 2);
+  const ChaosStats cs = chaos.stats();
+  EXPECT_GE(cs.dropped + cs.duplicated + cs.reordered + cs.corrupted, 1);
+
+  for (auto& s : subs) s->Stop();
+  chaos.Stop();
+  server.Stop();
 }
 
 }  // namespace

@@ -451,13 +451,13 @@ TEST(QueryChannelTest, SubscribeReplaysAtomicallyAndDeliversLive) {
   std::vector<std::string> got_a, got_b;
   ASSERT_TRUE(channel
                   .Subscribe(id.value(), -1, &sink_a,
-                             [&](const std::string& b) { got_a.push_back(b); })
+                             [&](const std::shared_ptr<const std::string>& b) { got_a.push_back(*b); })
                   .ok());
   ASSERT_EQ(got_a.size(), 2u);
   // Resuming joiner: only what it does not already hold.
   ASSERT_TRUE(channel
                   .Subscribe(id.value(), 0, &sink_b,
-                             [&](const std::string& b) { got_b.push_back(b); })
+                             [&](const std::shared_ptr<const std::string>& b) { got_b.push_back(*b); })
                   .ok());
   ASSERT_EQ(got_b.size(), 1u);
   EXPECT_EQ(got_a[1], got_b[0]);
@@ -482,8 +482,11 @@ TEST(QueryChannelTest, SubscribeReplaysAtomicallyAndDeliversLive) {
   EXPECT_EQ(got_a.size(), 3u);
   EXPECT_EQ(got_b.size(), 2u);
   EXPECT_EQ(channel.stats().active_sinks, 0);
-  EXPECT_FALSE(channel.Subscribe(999, -1, &sink_a, [](const std::string&) {})
-                   .ok());
+  EXPECT_FALSE(
+      channel
+          .Subscribe(999, -1, &sink_a,
+                     [](const std::shared_ptr<const std::string>&) {})
+          .ok());
 }
 
 TEST(QueryChannelTest, UnregisterKeepsQueryWhileSinksRemain) {
@@ -495,7 +498,7 @@ TEST(QueryChannelTest, UnregisterKeepsQueryWhileSinksRemain) {
   std::vector<std::string> got;
   ASSERT_TRUE(channel
                   .Subscribe(id.value(), -1, &sink,
-                             [&](const std::string& b) { got.push_back(b); })
+                             [&](const std::shared_ptr<const std::string>& b) { got.push_back(*b); })
                   .ok());
 
   // UNQUERY with a sink still attached: the registration survives (the
@@ -538,12 +541,12 @@ TEST(QueryChannelTest, HolePolicyPlumbsThroughTheSpec) {
   ASSERT_TRUE(
       channel
           .Subscribe(omit_id.value(), -1, &h1,
-                     [&](const std::string& b) { omit_frames.push_back(b); })
+                     [&](const std::shared_ptr<const std::string>& b) { omit_frames.push_back(*b); })
           .ok());
   ASSERT_TRUE(
       channel
           .Subscribe(fail_id.value(), -1, &h2,
-                     [&](const std::string& b) { fail_frames.push_back(b); })
+                     [&](const std::shared_ptr<const std::string>& b) { fail_frames.push_back(*b); })
           .ok());
 
   // Packet 2's <id> is a hole to filler 99, which is withheld.
@@ -615,9 +618,8 @@ TEST(QueryChannelTest, FillerLookupFlagsAndMethodsAgreeOnResults) {
     auto* sink = &frames[i];
     ASSERT_TRUE(channel
                     .Subscribe(id.value(), -1, &handles[i],
-                               [sink](const std::string& b) {
-                                 sink->push_back(b);
-                               })
+                               [sink](const std::shared_ptr<const std::string>&
+                                          b) { sink->push_back(*b); })
                     .ok());
   }
   EXPECT_EQ(channel.stats().active_queries,
@@ -691,14 +693,14 @@ TEST_F(QueryRegistryTest, RecoveryRebuildsResultLogsByteIdentical) {
     int ha = 0, hb = 0;
     ASSERT_TRUE(channel
                     .Subscribe(id_a, -1, &ha,
-                               [&](const std::string& f) {
-                                 first_a.push_back(f);
+                               [&](const std::shared_ptr<const std::string>& f) {
+                                 first_a.push_back(*f);
                                })
                     .ok());
     ASSERT_TRUE(channel
                     .Subscribe(id_b, -1, &hb,
-                               [&](const std::string& f) {
-                                 first_b.push_back(f);
+                               [&](const std::shared_ptr<const std::string>& f) {
+                                 first_b.push_back(*f);
                                })
                     .ok());
     ASSERT_EQ(first_a.size(), 5u);  // "1".."5", one delta each
@@ -725,14 +727,14 @@ TEST_F(QueryRegistryTest, RecoveryRebuildsResultLogsByteIdentical) {
     int ha = 0, hb = 0;
     ASSERT_TRUE(channel
                     .Subscribe(id_a, -1, &ha,
-                               [&](const std::string& f) {
-                                 second_a.push_back(f);
+                               [&](const std::shared_ptr<const std::string>& f) {
+                                 second_a.push_back(*f);
                                })
                     .ok());
     ASSERT_TRUE(channel
                     .Subscribe(id_b, -1, &hb,
-                               [&](const std::string& f) {
-                                 second_b.push_back(f);
+                               [&](const std::shared_ptr<const std::string>& f) {
+                                 second_b.push_back(*f);
                                })
                     .ok());
     EXPECT_EQ(second_a, first_a);
@@ -922,6 +924,10 @@ TEST(RemoteQueryTest, UnnegotiatedChannelNeverActivatesQueries) {
   server.Stop();
 }
 
+// Waits here are generous (20s): the test chains three subscribers'
+// handshake + query round-trips, and on an oversubscribed CI box a lost
+// scheduling race recovers via the liveness-watchdog reconnect, which
+// alone can take several seconds.
 TEST(RemoteQueryTest, AdmissionLimitsAnswerWithCleanRejections) {
   stream::StreamServer source("pkts", MustParseTs(kPacketTs));
   QueryChannelOptions copts;
@@ -939,12 +945,26 @@ TEST(RemoteQueryTest, AdmissionLimitsAnswerWithCleanRejections) {
   opts.stream = "pkts";
   FragmentSubscriber sub(opts);
   ASSERT_TRUE(sub.Start().ok());
-  ASSERT_TRUE(sub.WaitConnected(5s));
+  ASSERT_TRUE(sub.WaitConnected(20s));
 
   // First query is admitted; the second trips the per-connection cap.
   auto tok1 = sub.AddRemoteQuery(Spec(kIdQuery));
   ASSERT_TRUE(tok1.ok());
-  ASSERT_TRUE(sub.WaitQueryActive(tok1.value(), 5s));
+  const bool tok1_active = sub.WaitQueryActive(tok1.value(), 20s);
+  if (!tok1_active) {
+    auto st = sub.query_state(tok1.value());
+    auto sm = server.metrics();
+    ASSERT_TRUE(tok1_active)
+        << "tok1 state: ok=" << st.ok()
+        << " last_code=" << (st.ok() ? st.value().last_code : -1)
+        << " msg=" << (st.ok() ? st.value().last_message : "")
+        << " channel active=" << channel.stats().active_queries
+        << " srv registered=" << sm.queries_registered
+        << " rejected=" << sm.queries_rejected
+        << " bad_ctrl=" << sm.bad_control_frames
+        << " sub reconnects=" << sub.metrics().reconnects
+        << " frames_out=" << sub.metrics().frames_out;
+  }
   auto tok2 = sub.AddRemoteQuery(Spec(kIdQuery, 0));
   ASSERT_TRUE(tok2.ok());
   ASSERT_TRUE(PollFor(
@@ -952,7 +972,7 @@ TEST(RemoteQueryTest, AdmissionLimitsAnswerWithCleanRejections) {
         auto s = sub.query_state(tok2.value());
         return s.ok() && s.value().last_code != 0;
       },
-      5s));
+      20s));
   auto rejected = sub.query_state(tok2.value());
   ASSERT_TRUE(rejected.ok());
   EXPECT_FALSE(rejected.value().active);
@@ -966,15 +986,23 @@ TEST(RemoteQueryTest, AdmissionLimitsAnswerWithCleanRejections) {
   // invalid-spec one.
   FragmentSubscriber sub2(opts);
   ASSERT_TRUE(sub2.Start().ok());
-  ASSERT_TRUE(sub2.WaitConnected(5s));
+  ASSERT_TRUE(sub2.WaitConnected(20s));
   auto tok3 = sub2.AddRemoteQuery(Spec(kIdQuery, 0));
   ASSERT_TRUE(tok3.ok());
-  ASSERT_TRUE(sub2.WaitQueryActive(tok3.value(), 5s));
+  const bool tok3_active = sub2.WaitQueryActive(tok3.value(), 20s);
+  if (!tok3_active) {
+    auto st = sub2.query_state(tok3.value());
+    ASSERT_TRUE(tok3_active)
+        << "tok3 state: ok=" << st.ok()
+        << " last_code=" << (st.ok() ? st.value().last_code : -1)
+        << " msg=" << (st.ok() ? st.value().last_message : "")
+        << " channel active_queries=" << channel.stats().active_queries;
+  }
   EXPECT_EQ(channel.stats().active_queries, 2);
 
   FragmentSubscriber sub3(opts);
   ASSERT_TRUE(sub3.Start().ok());
-  ASSERT_TRUE(sub3.WaitConnected(5s));
+  ASSERT_TRUE(sub3.WaitConnected(20s));
   auto tok4 = sub3.AddRemoteQuery(Spec(kIdQuery, 1));
   ASSERT_TRUE(tok4.ok());
   ASSERT_TRUE(PollFor(
@@ -982,7 +1010,7 @@ TEST(RemoteQueryTest, AdmissionLimitsAnswerWithCleanRejections) {
         auto s = sub3.query_state(tok4.value());
         return s.ok() && s.value().last_code != 0;
       },
-      5s));
+      20s));
   auto full = sub3.query_state(tok4.value());
   ASSERT_TRUE(full.ok());
   EXPECT_EQ(full.value().last_code, kQueryStatusRejected);
@@ -1000,7 +1028,7 @@ TEST(RemoteQueryTest, AdmissionLimitsAnswerWithCleanRejections) {
         auto s = sub3.query_state(tok5.value());
         return s.ok() && s.value().last_code != 0;
       },
-      5s));
+      20s));
   EXPECT_EQ(sub3.query_state(tok5.value()).value().last_code,
             kQueryStatusInvalid);
 
@@ -1008,9 +1036,9 @@ TEST(RemoteQueryTest, AdmissionLimitsAnswerWithCleanRejections) {
   // sessions still deliver fragments.
   EXPECT_GE(server.metrics().queries_rejected, 3);
   ASSERT_TRUE(source.Publish(MakePacket(1, 1000, 1)).ok());
-  EXPECT_TRUE(sub.WaitForSeq(0, 5s));
-  EXPECT_TRUE(sub2.WaitForSeq(0, 5s));
-  EXPECT_TRUE(sub3.WaitForSeq(0, 5s));
+  EXPECT_TRUE(sub.WaitForSeq(0, 20s));
+  EXPECT_TRUE(sub2.WaitForSeq(0, 20s));
+  EXPECT_TRUE(sub3.WaitForSeq(0, 20s));
 
   sub3.Stop();
   sub2.Stop();
