@@ -687,6 +687,143 @@ void BM_TransportQueryFanout(benchmark::State& state) {
   server.Stop();
 }
 
+// ---- Retention (bounded-memory forever-run) --------------------------------
+//
+// The same publish→deliver pipeline with the retention driver active
+// (docs/RETENTION.md): a registered continuous query with a sliding
+// 600-second observable window, a frame-count window on the log, version
+// windows on the fragment stores, and bounded result logs. retain_frames=0
+// is the unbounded baseline. The emitted counters land in
+// BENCH_transport.json: `frame_log_bytes` / `fragment_store_bytes` /
+// `retention_floor_seq` show the steady state, `frames_retired` /
+// `result_log_trimmed` the cumulative GC volume.
+
+constexpr const char* kRetentionTs = R"(
+<tag type="snapshot" id="1" name="packets">
+  <tag type="event" id="2" name="packet">
+    <tag type="snapshot" id="3" name="id"/>
+  </tag>
+</tag>)";
+// Sliding window: the projection's static lower bound (now - 600s) is what
+// lang::AnalyzeRelevance turns into the query's observable window, so
+// retention may compact everything older.
+constexpr const char* kRetentionQuery =
+    "for $p in stream(\"pkts\")//packet?[now - \"PT600S\", now] "
+    "return string($p/id)";
+
+xcql::frag::TagStructure ParseRetentionTs() {
+  auto r = xcql::frag::TagStructure::Parse(kRetentionTs);
+  return std::move(r).MoveValue();
+}
+
+void BM_TransportRetention(benchmark::State& state) {
+  const int64_t retain_frames = state.range(0);
+  constexpr int kBatch = 256;
+
+  xcql::stream::StreamServer source("pkts", ParseRetentionTs());
+  xcql::net::QueryChannel channel("pkts", ParseRetentionTs());
+  if (!channel.Open().ok()) {
+    state.SkipWithError("channel failed to open");
+    return;
+  }
+  xcql::net::FragmentServerOptions server_opts;
+  server_opts.queue_capacity = 4096;
+  server_opts.query_channel = &channel;
+  if (retain_frames > 0) {
+    server_opts.retention.max_frames = retain_frames;
+    server_opts.retention.max_versions = 4;
+    server_opts.retention.max_results = 512;
+    server_opts.retention.check_every = 64;
+  }
+  xcql::net::FragmentServer server(&source, server_opts);
+  if (!server.Start().ok()) {
+    state.SkipWithError("server failed to start");
+    return;
+  }
+
+  xcql::net::FragmentSubscriberOptions sub_opts;
+  sub_opts.port = server.port();
+  sub_opts.stream = "pkts";
+  xcql::net::FragmentSubscriber sub(sub_opts);
+  xcql::net::RemoteQuerySpec spec;
+  spec.text = kRetentionQuery;
+  spec.method = static_cast<uint8_t>(xcql::lang::ExecMethod::kQaCPlus);
+  auto token = sub.AddRemoteQuery(spec);
+  if (!token.ok()) {
+    state.SkipWithError("AddRemoteQuery failed");
+    return;
+  }
+  if (!sub.Start().ok() || !sub.WaitConnected(10s)) {
+    state.SkipWithError("subscriber failed to connect");
+    return;
+  }
+  if (!sub.WaitQueryActive(token.value(), 10s)) {
+    state.SkipWithError("remote query never activated");
+    return;
+  }
+
+  xcql::frag::Fragment root;
+  root.id = 0;
+  root.tsid = 1;
+  root.valid_time = xcql::DateTime(999);
+  root.content = xcql::Node::Element("packets");
+  if (!source.Publish(std::move(root)).ok()) {
+    state.SkipWithError("root publish failed");
+    return;
+  }
+
+  xcql::Random rng(17);
+  int64_t t = 1000;
+  int next_val = 0;
+  std::vector<xcql::frag::Fragment> sink;
+  std::vector<xcql::net::RemoteQueryResult> results;
+  for (auto _ : state) {
+    const int64_t target = server.next_seq() + kBatch - 1;
+    for (int k = 0; k < kBatch; ++k) {
+      xcql::frag::Fragment f;
+      f.id = 1 + static_cast<int64_t>(rng.Uniform(32));
+      f.tsid = 2;
+      t += 1 + static_cast<int64_t>(rng.Uniform(9));
+      f.valid_time = xcql::DateTime(t);
+      f.content = xcql::Node::Element("packet");
+      xcql::NodePtr pid = xcql::Node::Element("id");
+      pid->AddChild(xcql::Node::Text(std::to_string(++next_val)));
+      f.content->AddChild(std::move(pid));
+      if (!source.Publish(std::move(f)).ok()) {
+        state.SkipWithError("publish failed");
+        return;
+      }
+    }
+    if (!sub.WaitForSeq(target, 60s)) {
+      state.SkipWithError("subscriber fell behind");
+      return;
+    }
+    sink.clear();
+    sub.Drain(&sink);
+    results.clear();
+    sub.DrainResults(&results);
+  }
+
+  state.SetItemsProcessed(state.iterations() * kBatch);
+  const auto m = server.metrics();
+  state.counters["retain_frames"] = static_cast<double>(retain_frames);
+  state.counters["retention_runs"] = static_cast<double>(m.retention_runs);
+  state.counters["frames_retired"] = static_cast<double>(m.frames_retired);
+  state.counters["fragments_compacted"] =
+      static_cast<double>(m.fragments_compacted);
+  state.counters["result_log_trimmed"] =
+      static_cast<double>(m.result_log_trimmed);
+  state.counters["retention_floor_seq"] =
+      static_cast<double>(m.retention_floor_seq);
+  state.counters["frame_log_bytes"] =
+      static_cast<double>(m.frame_log_bytes);
+  state.counters["fragment_store_bytes"] =
+      static_cast<double>(m.fragment_store_bytes);
+  state.counters["expired_out"] = static_cast<double>(m.expired_out);
+  sub.Stop();
+  server.Stop();
+}
+
 // ---- Event-loop fan-out ----------------------------------------------------
 //
 // One publisher, `conns` raw framed-TCP subscribers serviced by a single
@@ -1031,6 +1168,123 @@ int RunFanOutSoak(int conns) {
   return err.empty() ? 0 : 1;
 }
 
+// --soak-retention [N [rss_ceiling_mb]]: a single-pass bounded-memory
+// soak for sanitizer CI. Publishes N event fragments through the full
+// server pipeline (frame log + query channel with a registered
+// sliding-window query) with retention windows active, samples VmRSS as
+// it goes, and fails if the frame log outgrows its window or the peak
+// RSS (after warmup) exceeds the ceiling. Prints one parseable line.
+int64_t ReadRssKb() {
+  std::FILE* f = std::fopen("/proc/self/status", "r");
+  if (f == nullptr) return -1;
+  char line[256];
+  int64_t kb = -1;
+  while (std::fgets(line, sizeof(line), f) != nullptr) {
+    if (std::strncmp(line, "VmRSS:", 6) == 0) {
+      kb = std::atoll(line + 6);
+      break;
+    }
+  }
+  std::fclose(f);
+  return kb;
+}
+
+int RunRetentionSoak(int64_t publishes, int64_t rss_ceiling_mb) {
+  constexpr int64_t kRetainFrames = 8192;
+  constexpr int64_t kCheckEvery = 512;
+
+  xcql::stream::StreamServer source("pkts", ParseRetentionTs());
+  xcql::net::QueryChannel channel("pkts", ParseRetentionTs());
+  std::string err;
+  if (!channel.Open().ok()) err = "channel failed to open";
+  if (err.empty()) {
+    xcql::net::RemoteQuerySpec spec;
+    spec.text = kRetentionQuery;
+    spec.method = static_cast<uint8_t>(xcql::lang::ExecMethod::kQaCPlus);
+    if (!channel.Register(spec).ok()) err = "query registration failed";
+  }
+  xcql::net::FragmentServerOptions server_opts;
+  server_opts.queue_capacity = 4096;
+  server_opts.query_channel = &channel;
+  server_opts.retention.max_frames = kRetainFrames;
+  server_opts.retention.max_versions = 4;
+  server_opts.retention.max_results = 1024;
+  server_opts.retention.max_age_s = 3600;
+  server_opts.retention.check_every = kCheckEvery;
+  xcql::net::FragmentServer server(&source, server_opts);
+  if (err.empty() && !server.Start().ok()) err = "server failed to start";
+
+  if (err.empty()) {
+    xcql::frag::Fragment root;
+    root.id = 0;
+    root.tsid = 1;
+    root.valid_time = xcql::DateTime(999);
+    root.content = xcql::Node::Element("packets");
+    if (!source.Publish(std::move(root)).ok()) err = "root publish failed";
+  }
+
+  xcql::Random rng(23);
+  int64_t t = 1000;
+  int64_t rss_peak_kb = 0;
+  const int64_t warmup = publishes / 10;
+  for (int64_t i = 0; err.empty() && i < publishes; ++i) {
+    xcql::frag::Fragment f;
+    f.id = 1 + static_cast<int64_t>(rng.Uniform(32));
+    f.tsid = 2;
+    t += 1 + static_cast<int64_t>(rng.Uniform(9));
+    f.valid_time = xcql::DateTime(t);
+    f.content = xcql::Node::Element("packet");
+    xcql::NodePtr pid = xcql::Node::Element("id");
+    pid->AddChild(xcql::Node::Text(std::to_string(i)));
+    f.content->AddChild(std::move(pid));
+    if (!source.Publish(std::move(f)).ok()) {
+      err = "publish failed";
+      break;
+    }
+    if ((i & 0xFFFF) == 0xFFFF || i + 1 == publishes) {
+      const int64_t kb = ReadRssKb();
+      if (i >= warmup && kb > rss_peak_kb) rss_peak_kb = kb;
+      std::fprintf(stderr,
+                   "soak-retention: %lld/%lld published, rss %lld MB, "
+                   "floor %lld\n",
+                   static_cast<long long>(i + 1),
+                   static_cast<long long>(publishes),
+                   static_cast<long long>(kb / 1024),
+                   static_cast<long long>(server.log_base()));
+    }
+  }
+
+  const auto m = server.metrics();
+  const int64_t live_frames = server.next_seq() - server.log_base();
+  if (err.empty() && live_frames > kRetainFrames + 2 * kCheckEvery) {
+    err = "frame log outgrew its retention window";
+  }
+  if (err.empty() && m.frames_retired <= 0) {
+    err = "retention never retired a frame";
+  }
+  if (err.empty() && rss_ceiling_mb > 0 &&
+      rss_peak_kb > rss_ceiling_mb * 1024) {
+    err = "rss ceiling exceeded";
+  }
+  std::printf(
+      "retention-soak published=%lld retired=%lld compacted=%lld "
+      "result_trimmed=%lld floor=%lld live_frames=%lld "
+      "frame_log_bytes=%lld fragment_store_bytes=%lld rss_peak_mb=%lld "
+      "status=%s\n",
+      static_cast<long long>(publishes),
+      static_cast<long long>(m.frames_retired),
+      static_cast<long long>(m.fragments_compacted),
+      static_cast<long long>(m.result_log_trimmed),
+      static_cast<long long>(m.retention_floor_seq),
+      static_cast<long long>(live_frames),
+      static_cast<long long>(m.frame_log_bytes),
+      static_cast<long long>(m.fragment_store_bytes),
+      static_cast<long long>(rss_peak_kb / 1024),
+      err.empty() ? "ok" : err.c_str());
+  server.Stop();
+  return err.empty() ? 0 : 1;
+}
+
 }  // namespace
 
 // scale_permille: XMark scale factor x1000 (0 = minimal document);
@@ -1091,10 +1345,28 @@ BENCHMARK(BM_TransportFanOut)
     ->Unit(benchmark::kMillisecond)
     ->Iterations(3);
 
+// retain_frames: frame-log count window (0 = retention off — the
+// unbounded baseline). Fixed iteration count: with the window active the
+// log, stores, and result logs reach steady state well inside it.
+BENCHMARK(BM_TransportRetention)
+    ->ArgNames({"retain_frames"})
+    ->Args({0})
+    ->Args({1024})
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(12);
+
 int main(int argc, char** argv) {
   for (int i = 1; i < argc; ++i) {
     if (std::string(argv[i]) == "--fan-out-soak") {
       return RunFanOutSoak(256);
+    }
+    if (std::string(argv[i]) == "--soak-retention") {
+      int64_t publishes = 1'000'000;
+      int64_t ceiling_mb = 1024;
+      if (i + 1 < argc) publishes = std::atoll(argv[i + 1]);
+      if (i + 2 < argc) ceiling_mb = std::atoll(argv[i + 2]);
+      return RunRetentionSoak(publishes > 0 ? publishes : 1'000'000,
+                              ceiling_mb);
     }
   }
   benchmark::Initialize(&argc, argv);

@@ -6,6 +6,29 @@
 
 namespace xcql::frag {
 
+namespace {
+
+// Rough heap footprint of one payload tree: node bookkeeping plus string
+// storage. An estimate (allocator slack is invisible), but maintained
+// identically by Insert and Compact so the fragment_store_bytes gauge
+// moves with the real footprint.
+int64_t ApproxNodeBytes(const Node& n) {
+  int64_t bytes = 96;  // node object + shared_ptr control block
+  bytes += static_cast<int64_t>(n.name().size() + n.text().size());
+  for (const auto& [k, v] : n.attrs()) {
+    bytes += static_cast<int64_t>(k.size() + v.size() + 32);
+  }
+  for (const NodePtr& c : n.children()) bytes += ApproxNodeBytes(*c);
+  return bytes;
+}
+
+int64_t ApproxFragmentBytes(const Fragment& f) {
+  // Payload tree + Fragment struct + the parallel wire header element.
+  return ApproxNodeBytes(*f.content) + 160;
+}
+
+}  // namespace
+
 FragmentStore::FragmentStore(TagStructure ts, std::string name)
     : ts_(std::move(ts)), name_(std::move(name)) {}
 
@@ -28,9 +51,20 @@ Status FragmentStore::Insert(Fragment f) {
       }
     }
   }
+  if (auto tomb = expired_.find(f.id); tomb != expired_.end()) {
+    if (f.valid_time < retention_floor_) {
+      // A late repeat of a version that compaction already removed:
+      // admitting it would resurrect a partial version chain whose
+      // predecessors are gone. The tombstone stands in for it.
+      return Status::OK();
+    }
+    // A genuinely new version at or above the floor revives the filler.
+    expired_.erase(tomb);
+  }
   max_valid_time_ = std::max(max_valid_time_, f.valid_time);
   ++revision_;
   ++revision_by_tsid_[f.tsid];
+  approx_bytes_ += ApproxFragmentBytes(f);
   size_t idx = fragments_.size();
   fragments_.push_back(std::move(f));
   const Fragment& stored = fragments_.back();
@@ -210,7 +244,12 @@ size_t FragmentStore::CountIdsWithTsid(int tsid) const {
 std::vector<int64_t> FragmentStore::MissingFillers() const {
   std::vector<int64_t> out;
   for (int64_t id : referenced_holes_) {
-    if (by_id_.find(id) == by_id_.end()) out.push_back(id);
+    // An expired filler is not missing: its versions were compacted on
+    // purpose, so NACKing it upstream would burn repair budget on data
+    // the retention policy already declared unobservable.
+    if (by_id_.find(id) == by_id_.end() && expired_.count(id) == 0) {
+      out.push_back(id);
+    }
   }
   return out;
 }
@@ -226,6 +265,125 @@ std::vector<int64_t> FragmentStore::VersionTimes(int64_t id) const {
     if (out.empty() || out.back() != t) out.push_back(t);
   }
   return out;
+}
+
+Result<CompactionStats> FragmentStore::Compact(const RetentionPolicy& policy,
+                                               DateTime now,
+                                               DateTime observe_floor) {
+  CompactionStats stats;
+  if (!policy.enabled() || fragments_.empty()) return stats;
+
+  // The most aggressive enabled window wins (a version outside any window
+  // is removable), then the query-observable floor clamps it: nothing a
+  // registered query can still observe is ever removed.
+  DateTime floor = DateTime::Start();
+  if (policy.max_age_s >= 0) {
+    floor = std::max(floor, DateTime(now.seconds() - policy.max_age_s));
+  }
+  if (policy.max_fragments >= 0 &&
+      static_cast<int64_t>(fragments_.size()) > policy.max_fragments) {
+    // Keep the newest max_fragments by validTime: the floor is the cut
+    // point's validTime. Lifespan rules still apply below it, so the
+    // kept count can stay above the cap (open lifespans survive).
+    std::vector<int64_t> times;
+    times.reserve(fragments_.size());
+    for (const Fragment& f : fragments_) {
+      times.push_back(f.valid_time.seconds());
+    }
+    size_t cut =
+        fragments_.size() - static_cast<size_t>(policy.max_fragments);
+    std::nth_element(times.begin(), times.begin() + cut, times.end());
+    floor = std::max(floor, DateTime(times[cut]));
+  }
+  floor = std::min(floor, observe_floor);
+
+  // A version's lifespan has ended at or below `f` when an event's instant
+  // is strictly below it, or a temporal version's successor starts at or
+  // below it (lifespans are half-open, so a successor exactly at `f`
+  // still leaves [f, now) fully covered by the kept suffix).
+  auto ended_below = [this](const std::vector<size_t>& versions, size_t i,
+                            TagType type, DateTime f) {
+    const Fragment& frag = fragments_[versions[i]];
+    if (type == TagType::kEvent) return frag.valid_time < f;
+    if (type == TagType::kTemporal) {
+      return i + 1 < versions.size() &&
+             fragments_[versions[i + 1]].valid_time <= f;
+    }
+    return false;
+  };
+
+  std::vector<bool> keep(fragments_.size(), true);
+  for (const auto& [id, versions] : by_id_) {
+    for (size_t i = 0; i < versions.size(); ++i) {
+      const Fragment& frag = fragments_[versions[i]];
+      const TagNode* tag = ts_.FindById(frag.tsid);
+      TagType type = tag != nullptr ? tag->type : TagType::kTemporal;
+      bool removable = false;
+      if (type == TagType::kSnapshot) {
+        // Replacement semantics: superseded transmissions are invisible
+        // to every query already, so no floor gates them.
+        removable = i + 1 < versions.size();
+      } else {
+        removable = ended_below(versions, i, type, floor);
+        if (!removable && policy.max_versions >= 0 &&
+            i + static_cast<size_t>(policy.max_versions) <
+                versions.size()) {
+          // The per-filler version window reaches past the global floor,
+          // but only up to what registered queries cannot observe.
+          removable = ended_below(versions, i, type, observe_floor);
+        }
+      }
+      if (removable) keep[versions[i]] = false;
+    }
+  }
+
+  size_t kept = 0;
+  for (bool k : keep) kept += k ? 1 : 0;
+  if (kept == fragments_.size()) {
+    retention_floor_ = std::max(retention_floor_, floor);
+    return stats;
+  }
+
+  // Rebuild-on-compact: replay the kept fragments (in arrival order) into
+  // fresh structures. referenced_holes_ shrinks with the removed contexts,
+  // and ids left with zero versions are tombstoned as expired.
+  std::deque<Fragment> old_fragments;
+  old_fragments.swap(fragments_);
+  wire_headers_.clear();
+  auto old_by_id = std::move(by_id_);
+  by_id_.clear();
+  ids_by_tsid_.clear();
+  referenced_holes_.clear();
+  int64_t old_revision = revision_;
+  auto old_tsid_revisions = std::move(revision_by_tsid_);
+  revision_by_tsid_.clear();
+  int64_t old_bytes = approx_bytes_;
+  approx_bytes_ = 0;
+  DateTime old_max = max_valid_time_;
+  for (size_t i = 0; i < old_fragments.size(); ++i) {
+    if (!keep[i]) {
+      ++stats.removed_fragments;
+      old_tsid_revisions[old_fragments[i].tsid] += 1;
+      continue;
+    }
+    XCQL_RETURN_NOT_OK(Insert(std::move(old_fragments[i])));
+  }
+  stats.bytes_reclaimed = old_bytes - approx_bytes_;
+  max_valid_time_ = old_max;
+  // Compaction changes what derived state can see, so affected tsids bump
+  // their change counters like any other mutation (consumers re-derive,
+  // never serve a stale cache); untouched tsids keep theirs so
+  // relevance-based tick skipping stays effective.
+  revision_by_tsid_ = std::move(old_tsid_revisions);
+  revision_ = old_revision + 1;
+  for (const auto& [id, versions] : old_by_id) {
+    if (by_id_.find(id) == by_id_.end()) {
+      expired_.insert(id);
+      ++stats.expired_fillers;
+    }
+  }
+  retention_floor_ = std::max(retention_floor_, floor);
+  return stats;
 }
 
 void StoreHoleResolver::AddStore(const FragmentStore* store) {
@@ -254,7 +412,15 @@ Result<std::vector<NodePtr>> StoreHoleResolver::Resolve(xq::EvalContext& ctx,
   XCQL_ASSIGN_OR_RETURN(std::vector<NodePtr> versions,
                         store->GetFillerVersions(id, ctx.linear_fillers));
   // An id with any stored fragment always yields at least one version, so
-  // an empty vector means the filler never arrived: apply the hole policy.
+  // an empty vector means the filler never arrived — or was compacted.
+  // Expired fillers resolve as empty under every policy: retention
+  // guarantees no registered query's window reaches them, and an ad-hoc
+  // query sees the truthful "this data was aged out" accounting rather
+  // than a spurious missing-filler failure.
+  if (versions.empty() && store->IsExpired(id)) {
+    ++ctx.holes_expired;
+    return versions;
+  }
   if (versions.empty()) {
     switch (ctx.hole_policy) {
       case xq::HolePolicy::kFail:

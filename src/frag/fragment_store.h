@@ -26,6 +26,34 @@
 
 namespace xcql::frag {
 
+/// \brief Per-stream retention windows. Any window < 0 is off; with every
+/// window off the store keeps history forever (the paper's model).
+/// Compaction is lifespan-sound: only versions whose lifespan has already
+/// ended below the effective floor are removed, so every query whose
+/// observable window starts at or above the floor computes the same answer
+/// over the compacted store as over the unbounded one (docs/RETENTION.md).
+struct RetentionPolicy {
+  /// Time window: versions whose lifespan ended more than this many
+  /// seconds before `now` become removable.
+  int64_t max_age_s = -1;
+  /// Version window: keep at most this many newest versions per filler id.
+  int max_versions = -1;
+  /// Count window: keep at most this many fragments store-wide (oldest
+  /// validTimes become removable first).
+  int64_t max_fragments = -1;
+
+  bool enabled() const {
+    return max_age_s >= 0 || max_versions >= 0 || max_fragments >= 0;
+  }
+};
+
+/// \brief One Compact() pass's accounting.
+struct CompactionStats {
+  int64_t removed_fragments = 0;  // versions dropped from the store
+  int64_t expired_fillers = 0;    // ids tombstoned (zero versions kept)
+  int64_t bytes_reclaimed = 0;    // estimated payload bytes freed
+};
+
 /// \brief Store of fragments for one stream.
 class FragmentStore {
  public:
@@ -100,6 +128,37 @@ class FragmentStore {
   /// actually absent (net::FragmentSubscriber::RepairVersions).
   std::vector<int64_t> VersionTimes(int64_t id) const;
 
+  /// \brief Compacts superseded versions below the retention floor.
+  ///
+  /// The effective floor is the most aggressive enabled policy window
+  /// (time or count), clamped by `observe_floor` — the union of the
+  /// observable windows of every registered query (DateTime::End() when
+  /// nothing pins retention; DateTime::Start() pins everything). A version
+  /// is removed only when its lifespan already ended at or below the
+  /// floor: events strictly before it, temporal versions only when a
+  /// successor starts at or below it (the latest version of a temporal
+  /// filler is open at `now` and never removed), superseded snapshot
+  /// transmissions always (replacement semantics). A filler id left with
+  /// zero versions is tombstoned: IsExpired(id) distinguishes "expired by
+  /// retention" from "never arrived" so hole resolution and
+  /// MissingFillers never misreport a compacted filler as lost.
+  Result<CompactionStats> Compact(const RetentionPolicy& policy,
+                                  DateTime now, DateTime observe_floor);
+
+  /// \brief True when every version of `id` was removed by compaction.
+  bool IsExpired(int64_t id) const { return expired_.count(id) != 0; }
+
+  size_t expired_count() const { return expired_.size(); }
+
+  /// \brief The floor the last Compact() removed below (Start() before
+  /// any compaction) — late arrivals for expired ids below it are dropped
+  /// rather than resurrecting a partially-compacted version chain.
+  DateTime retention_floor() const { return retention_floor_; }
+
+  /// \brief Estimated heap footprint of the stored payloads (payload tree
+  /// nodes + indexes), maintained incrementally by Insert/Compact.
+  int64_t ApproxBytes() const { return approx_bytes_; }
+
  private:
   std::vector<const Fragment*> CollectById(int64_t id, bool linear) const;
   Result<std::vector<NodePtr>> BuildVersions(
@@ -123,8 +182,13 @@ class FragmentStore {
   // Every filler id some stored payload references via <hole id=…/>;
   // ordered so MissingFillers() is deterministic.
   std::set<int64_t> referenced_holes_;
+  // Filler ids fully removed by Compact(): resolved as "expired", never
+  // reported missing. Ordered for deterministic iteration.
+  std::set<int64_t> expired_;
+  DateTime retention_floor_ = DateTime::Start();
   DateTime max_valid_time_ = DateTime::Start();
   int64_t revision_ = 0;
+  int64_t approx_bytes_ = 0;
 };
 
 /// \brief HoleResolver over one or more stores: routes each hole to the

@@ -47,7 +47,7 @@ uint64_t GetU64(const char* p) {
 
 bool ValidFrameType(uint8_t t) {
   return t >= static_cast<uint8_t>(FrameType::kHello) &&
-         t <= static_cast<uint8_t>(FrameType::kSubscribe);
+         t <= static_cast<uint8_t>(FrameType::kExpired);
 }
 
 // CRC32C (Castagnoli, reflected polynomial 0x82F63B78), byte-at-a-time
@@ -121,6 +121,8 @@ const char* FrameTypeName(FrameType type) {
       return "SKIP_TO";
     case FrameType::kSubscribe:
       return "SUBSCRIBE";
+    case FrameType::kExpired:
+      return "EXPIRED";
   }
   return "?";
 }
@@ -504,6 +506,59 @@ Result<ResultDelta> DecodeResultDelta(std::string_view payload) {
     return Status::ParseError("RESULT payload has trailing bytes");
   }
   return delta;
+}
+
+std::string EncodeExpired(const Expired& expired) {
+  std::string out;
+  out.push_back(static_cast<char>(expired.kind));
+  switch (expired.kind) {
+    case Expired::kRange:
+      PutU64(&out, static_cast<uint64_t>(expired.first_seq));
+      break;
+    case Expired::kFiller:
+      PutU64(&out, static_cast<uint64_t>(expired.filler_id));
+      break;
+    case Expired::kResultRange:
+      PutU64(&out, expired.query_id);
+      PutU64(&out, static_cast<uint64_t>(expired.first_seq));
+      break;
+  }
+  return out;
+}
+
+Result<Expired> DecodeExpired(std::string_view payload) {
+  if (payload.empty()) {
+    return Status::ParseError("EXPIRED payload truncated");
+  }
+  Expired expired;
+  uint8_t kind = static_cast<uint8_t>(payload[0]);
+  switch (kind) {
+    case Expired::kRange:
+      if (payload.size() != 9) {
+        return Status::ParseError("EXPIRED range payload must be 9 bytes");
+      }
+      expired.kind = Expired::kRange;
+      expired.first_seq = static_cast<int64_t>(GetU64(payload.data() + 1));
+      return expired;
+    case Expired::kFiller:
+      if (payload.size() != 9) {
+        return Status::ParseError("EXPIRED filler payload must be 9 bytes");
+      }
+      expired.kind = Expired::kFiller;
+      expired.filler_id = static_cast<int64_t>(GetU64(payload.data() + 1));
+      return expired;
+    case Expired::kResultRange:
+      if (payload.size() != 17) {
+        return Status::ParseError("EXPIRED result payload must be 17 bytes");
+      }
+      expired.kind = Expired::kResultRange;
+      expired.query_id = GetU64(payload.data() + 1);
+      expired.first_seq = static_cast<int64_t>(GetU64(payload.data() + 9));
+      return expired;
+    default:
+      return Status::ParseError(
+          StringPrintf("unknown EXPIRED kind %u", kind));
+  }
 }
 
 uint64_t TagStructureHash(std::string_view ts_xml) {

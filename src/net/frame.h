@@ -113,6 +113,12 @@ inline constexpr uint8_t kHelloFlagQueryChannel = 0x04;
 /// (SUBSCRIBE / SKIP_TO frames). Client advertises, server echoes when it
 /// supports filtering; neither frame type flows unless both bits met.
 inline constexpr uint8_t kHelloFlagTsidFilter = 0x08;
+/// HELLO frame-flag bit: "I understand retention (EXPIRED frames)". The
+/// client advertises it; the server echoes it back only when a retention
+/// policy is active. A subscriber that did not negotiate the bit and asks
+/// to resume below the retention floor gets a clean BYE instead of a
+/// frame type it would reject fatally.
+inline constexpr uint8_t kHelloFlagRetention = 0x10;
 // Sanity bound: a received frame larger than this is treated as stream
 // corruption, and EncodeFrame refuses to produce one. Tied to the codec
 // layer's publish-time limit so an accepted fragment always frames.
@@ -137,6 +143,9 @@ enum class FrameType : uint8_t {
                        // out; payload = first seq of the skipped run)
   kSubscribe = 12,     // v3 filters: set/replace this connection's tsid
                        // filter (client→server; empty = deliver everything)
+  kExpired = 13,       // retention: a seq range / filler / result range
+                       // was aged out on purpose (server→client; flows
+                       // only after kHelloFlagRetention is negotiated)
 };
 
 const char* FrameTypeName(FrameType type);
@@ -320,6 +329,32 @@ struct ResultDelta {
 
 Result<std::string> EncodeResultDelta(const ResultDelta& delta);
 Result<ResultDelta> DecodeResultDelta(std::string_view payload);
+
+/// \brief EXPIRED payload (retention, docs/RETENTION.md). Three kinds:
+///  - kRange: frame-log seqs [first_seq, header seq] were trimmed below
+///    the retention floor (a WAL checkpoint covers them on disk). Emitted
+///    at the head of a replay that starts below the floor, and
+///    gap-checked exactly like SKIP_TO: the run must continue the
+///    subscriber's contiguous prefix or the session is cut.
+///  - kFiller: answer to a REPEAT_REQUEST whose filler was compacted —
+///    the subscriber marks the repair expired (not lost) and stops
+///    NACKing it.
+///  - kResultRange: result-log seqs [first_seq, header seq] of query_id
+///    were trimmed; the subscriber advances that query's contiguous
+///    result seq over the run without data.
+///
+/// Wire form: u8 kind, then kRange: u64 first_seq; kFiller: u64 filler
+/// id; kResultRange: u64 query_id, u64 first_seq.
+struct Expired {
+  enum Kind : uint8_t { kRange = 0, kFiller = 1, kResultRange = 2 };
+  uint8_t kind = kRange;
+  int64_t first_seq = 0;   // kRange / kResultRange
+  int64_t filler_id = 0;   // kFiller
+  uint64_t query_id = 0;   // kResultRange
+};
+
+std::string EncodeExpired(const Expired& expired);
+Result<Expired> DecodeExpired(std::string_view payload);
 
 /// \brief FNV-1a over the Tag Structure's canonical XML form; both ends
 /// compare hashes at HELLO to verify they hold the same schema.

@@ -57,6 +57,22 @@ struct MetricsSnapshot {
                                    // cost
   int64_t skips_out = 0;           // SKIP_TO frames sent (server)
   int64_t skips_in = 0;            // SKIP_TO frames applied (subscriber)
+  // --- retention (docs/RETENTION.md) ---
+  int64_t retention_runs = 0;      // retention driver passes (server)
+  int64_t frames_retired = 0;      // frame-log entries dropped by retention
+  int64_t frames_refreshed = 0;    // live snapshot versions re-published at
+                                   // the tail to unpin the frame-log head
+  int64_t fragments_compacted = 0; // store versions removed by Compact
+  int64_t result_log_trimmed = 0;  // RESULT frames dropped by retention
+  int64_t expired_out = 0;         // EXPIRED frames sent (server)
+  int64_t expired_in = 0;          // EXPIRED frames applied (subscriber)
+  int64_t fillers_expired = 0;     // NACKed fillers answered/resolved as
+                                   // retention-expired, not lost
+  // Gauges (latest value, not monotone):
+  int64_t retention_floor_seq = 0; // oldest retained frame-log seq
+  int64_t fragment_store_bytes = 0;  // approx store footprint (server side:
+                                     // the query channel's mirror store)
+  int64_t frame_log_bytes = 0;       // encoded bytes held by the frame log
 };
 
 /// \brief The live counters. Relaxed atomics: each counter is independent
@@ -146,6 +162,37 @@ class Metrics {
   }
   void AddSkipOut() { skips_out_.fetch_add(1, std::memory_order_relaxed); }
   void AddSkipIn() { skips_in_.fetch_add(1, std::memory_order_relaxed); }
+  void AddRetentionRun() {
+    retention_runs_.fetch_add(1, std::memory_order_relaxed);
+  }
+  void AddFramesRetired(int64_t n) {
+    frames_retired_.fetch_add(n, std::memory_order_relaxed);
+  }
+  void AddFrameRefreshed() {
+    frames_refreshed_.fetch_add(1, std::memory_order_relaxed);
+  }
+  void AddFragmentsCompacted(int64_t n) {
+    fragments_compacted_.fetch_add(n, std::memory_order_relaxed);
+  }
+  void AddResultLogTrimmed(int64_t n) {
+    result_log_trimmed_.fetch_add(n, std::memory_order_relaxed);
+  }
+  void AddExpiredOut() {
+    expired_out_.fetch_add(1, std::memory_order_relaxed);
+  }
+  void AddExpiredIn() { expired_in_.fetch_add(1, std::memory_order_relaxed); }
+  void AddFillerExpired() {
+    fillers_expired_.fetch_add(1, std::memory_order_relaxed);
+  }
+  void SetRetentionFloorSeq(int64_t seq) {
+    retention_floor_seq_.store(seq, std::memory_order_relaxed);
+  }
+  void SetFragmentStoreBytes(int64_t bytes) {
+    fragment_store_bytes_.store(bytes, std::memory_order_relaxed);
+  }
+  void SetFrameLogBytes(int64_t bytes) {
+    frame_log_bytes_.store(bytes, std::memory_order_relaxed);
+  }
   void ConnectionOpened() {
     connections_active_.fetch_add(1, std::memory_order_relaxed);
   }
@@ -210,6 +257,21 @@ class Metrics {
         filtered_bytes_saved_.load(std::memory_order_relaxed);
     s.skips_out = skips_out_.load(std::memory_order_relaxed);
     s.skips_in = skips_in_.load(std::memory_order_relaxed);
+    s.retention_runs = retention_runs_.load(std::memory_order_relaxed);
+    s.frames_retired = frames_retired_.load(std::memory_order_relaxed);
+    s.frames_refreshed = frames_refreshed_.load(std::memory_order_relaxed);
+    s.fragments_compacted =
+        fragments_compacted_.load(std::memory_order_relaxed);
+    s.result_log_trimmed =
+        result_log_trimmed_.load(std::memory_order_relaxed);
+    s.expired_out = expired_out_.load(std::memory_order_relaxed);
+    s.expired_in = expired_in_.load(std::memory_order_relaxed);
+    s.fillers_expired = fillers_expired_.load(std::memory_order_relaxed);
+    s.retention_floor_seq =
+        retention_floor_seq_.load(std::memory_order_relaxed);
+    s.fragment_store_bytes =
+        fragment_store_bytes_.load(std::memory_order_relaxed);
+    s.frame_log_bytes = frame_log_bytes_.load(std::memory_order_relaxed);
     return s;
   }
 
@@ -235,6 +297,13 @@ class Metrics {
   std::atomic<int64_t> fragment_encodes_{0};
   std::atomic<int64_t> frames_filtered_{0}, filtered_bytes_saved_{0};
   std::atomic<int64_t> skips_out_{0}, skips_in_{0};
+  std::atomic<int64_t> retention_runs_{0}, frames_retired_{0};
+  std::atomic<int64_t> frames_refreshed_{0};
+  std::atomic<int64_t> fragments_compacted_{0}, result_log_trimmed_{0};
+  std::atomic<int64_t> expired_out_{0}, expired_in_{0};
+  std::atomic<int64_t> fillers_expired_{0};
+  std::atomic<int64_t> retention_floor_seq_{0};
+  std::atomic<int64_t> fragment_store_bytes_{0}, frame_log_bytes_{0};
 };
 
 }  // namespace xcql::net

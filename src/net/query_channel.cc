@@ -4,6 +4,7 @@
 #include <sys/stat.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
 #include <cstdio>
 #include <cstring>
@@ -313,9 +314,27 @@ Status QueryChannel::Subscribe(uint64_t query_id, int64_t last_seq,
   // Replay the backlog and attach under one lock hold: OnFragment cannot
   // interleave, so the sink sees every result seq exactly once, in order.
   int64_t from = last_seq < 0 ? 0 : last_seq + 1;
-  for (size_t seq = static_cast<size_t>(from); seq < state.log.size();
-       ++seq) {
-    deliver(state.log[seq]);
+  if (from < state.log_base) {
+    // Retention dropped [from, log_base): tell the subscriber the range
+    // was aged out on purpose (not lost) so it advances its result cursor
+    // cleanly instead of waiting for seqs that will never arrive.
+    Expired expired;
+    expired.kind = Expired::kResultRange;
+    expired.query_id = query_id;
+    expired.first_seq = from;
+    Frame frame;
+    frame.type = FrameType::kExpired;
+    frame.seq = static_cast<uint64_t>(state.log_base - 1);
+    frame.payload = EncodeExpired(expired);
+    auto bytes = EncodeFrame(frame);
+    if (!bytes.ok()) return bytes.status();
+    deliver(std::make_shared<const std::string>(
+        std::move(bytes).MoveValue()));
+    from = state.log_base;
+  }
+  for (int64_t seq = from;
+       seq < state.log_base + static_cast<int64_t>(state.log.size()); ++seq) {
+    deliver(state.log[static_cast<size_t>(seq - state.log_base)]);
   }
   Sink sink;
   sink.handle = handle;
@@ -384,7 +403,8 @@ void QueryChannel::EmitDelta(uint64_t id, const xq::Sequence& added,
   }
   Frame frame;
   frame.type = FrameType::kResult;
-  frame.seq = static_cast<uint64_t>(state.log.size());
+  frame.seq =
+      static_cast<uint64_t>(state.log_base + static_cast<int64_t>(state.log.size()));
   frame.payload = std::move(payload).MoveValue();
   auto bytes = EncodeFrame(frame);
   if (!bytes.ok()) {
@@ -409,7 +429,66 @@ QueryChannelStats QueryChannel::stats() const {
   s.fragments_fed = fragments_fed_;
   s.recovered_queries = recovered_queries_;
   s.encode_failures = encode_failures_;
+  s.result_log_trimmed = result_log_trimmed_;
+  for (const auto& [id, state] : queries_) {
+    for (const auto& frame : state.log) {
+      s.result_log_bytes += static_cast<int64_t>(frame->size());
+    }
+  }
   return s;
+}
+
+int64_t QueryChannel::TrimResultLogs(int64_t max_results) {
+  if (max_results <= 0) return 0;
+  std::lock_guard<std::mutex> lock(mu_);
+  int64_t dropped = 0;
+  for (auto& [id, state] : queries_) {
+    const int64_t excess =
+        static_cast<int64_t>(state.log.size()) - max_results;
+    if (excess <= 0) continue;
+    state.log.erase(state.log.begin(), state.log.begin() + excess);
+    state.log_base += excess;
+    dropped += excess;
+  }
+  result_log_trimmed_ += dropped;
+  return dropped;
+}
+
+DateTime QueryChannel::ObservableFloor(
+    DateTime now, std::vector<uint64_t>* pinning) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  DateTime floor = DateTime::End();  // no query: nothing constrains
+  for (const auto& [id, state] : queries_) {
+    auto stats = engine_.QueryStats(state.engine_id);
+    DateTime q_floor = stats.ok() ? stats.value().window.FloorAt(now)
+                                  : DateTime::Start();
+    if (q_floor == DateTime::Start() && pinning != nullptr) {
+      pinning->push_back(id);
+    }
+    floor = std::min(floor, q_floor);
+  }
+  // Recovered registrations not yet re-attached: their window is unknown
+  // until they compile, so they pin retention rather than risk compacting
+  // data they will need.
+  for (const auto& [id, state] : pending_) {
+    if (pinning != nullptr) pinning->push_back(id);
+    floor = DateTime::Start();
+  }
+  return floor;
+}
+
+frag::CompactionStats QueryChannel::CompactMirror(
+    const frag::RetentionPolicy& policy, DateTime now,
+    DateTime observe_floor) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (store_ == nullptr || !policy.enabled()) return {};
+  auto stats = store_->Compact(policy, now, observe_floor);
+  return stats.ok() ? stats.value() : frag::CompactionStats{};
+}
+
+int64_t QueryChannel::mirror_store_bytes() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return store_ == nullptr ? 0 : store_->ApproxBytes();
 }
 
 Result<lang::QueryRelevance> QueryChannel::AnalyzeSpec(
@@ -432,8 +511,16 @@ Result<lang::QueryRelevance> QueryChannel::AnalyzeSpec(
 int64_t QueryChannel::result_log_size(uint64_t query_id) const {
   std::lock_guard<std::mutex> lock(mu_);
   auto it = queries_.find(query_id);
-  return it == queries_.end() ? 0
-                              : static_cast<int64_t>(it->second.log.size());
+  return it == queries_.end()
+             ? 0
+             : it->second.log_base +
+                   static_cast<int64_t>(it->second.log.size());
+}
+
+int64_t QueryChannel::result_log_base(uint64_t query_id) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = queries_.find(query_id);
+  return it == queries_.end() ? 0 : it->second.log_base;
 }
 
 }  // namespace xcql::net

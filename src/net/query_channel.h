@@ -42,6 +42,7 @@
 
 #include "common/result.h"
 #include "frag/fragment.h"
+#include "frag/fragment_store.h"
 #include "frag/tag_structure.h"
 #include "net/frame.h"
 #include "stream/clock.h"
@@ -73,6 +74,8 @@ struct QueryChannelStats {
   int64_t fragments_fed = 0;  // fragments ticked through the engine
   int64_t recovered_queries = 0;  // registrations replayed by Open()
   int64_t encode_failures = 0;    // deltas that failed to frame (oversize)
+  int64_t result_log_trimmed = 0;  // RESULT frames dropped by retention
+  int64_t result_log_bytes = 0;    // encoded bytes retained across logs
 };
 
 class QueryChannel {
@@ -129,8 +132,40 @@ class QueryChannel {
 
   QueryChannelStats stats() const;
 
-  /// \brief Number of RESULT frames logged for `query_id` (0 if unknown).
+  /// \brief Number of RESULT frames logged for `query_id` (0 if unknown),
+  /// retention-trimmed frames included: the seq the next EmitDelta mints.
   int64_t result_log_size(uint64_t query_id) const;
+
+  /// \brief Oldest retained result seq for `query_id` (0 if unknown or
+  /// never trimmed). Subscribes below this get an EXPIRED marker first.
+  int64_t result_log_base(uint64_t query_id) const;
+
+  /// \brief Retention: bounds every query's result log to the newest
+  /// `max_results` frames (older ones are only replayable via the WAL
+  /// checkpoint — a rebuilt channel regenerates them). Returns the number
+  /// of frames dropped across all logs. <= 0 keeps everything.
+  int64_t TrimResultLogs(int64_t max_results);
+
+  /// \brief The earliest validTime any registered query can still observe
+  /// at `now` — the union of per-query minimal windows (see
+  /// lang::ObservableWindow). DateTime::Start() ⇔ some query pins
+  /// retention (unbounded window, or recovered-and-pending so its window
+  /// is unknown); its ids are appended to *pinning when given.
+  /// DateTime::End() ⇔ no query constrains retention.
+  DateTime ObservableFloor(DateTime now,
+                           std::vector<uint64_t>* pinning = nullptr) const;
+
+  /// \brief Compacts the channel's mirror store with the same policy/floor
+  /// the server applied to its own store, so the two stay in lockstep and
+  /// the mirror's memory is bounded too. Safe for results by the
+  /// ObservableWindow contract: only versions no registered query can
+  /// observe are removed. Returns what the compaction removed.
+  frag::CompactionStats CompactMirror(const frag::RetentionPolicy& policy,
+                                      DateTime now, DateTime observe_floor);
+
+  /// \brief Approximate heap footprint of the mirror store (the
+  /// fragment_store_bytes gauge).
+  int64_t mirror_store_bytes() const;
 
   /// \brief Compiles `spec` against this channel's schema and returns its
   /// relevance summary (which tsids can affect the result). Lock-free: the
@@ -151,8 +186,11 @@ class QueryChannel {
     /// Fragments already fed when the query registered: its first tick
     /// observes the mirror store at exactly this position.
     int64_t register_pos = 0;
-    // Encoded v2 RESULT frames; seq = index. Refcounted so fan-out and
-    // replay enqueue views of one buffer.
+    /// Seq of log[0]: retention drops a prefix by erasing entries and
+    /// advancing the base, so seqs stay stable across trims.
+    int64_t log_base = 0;
+    // Encoded v2 RESULT frames; seq = log_base + index. Refcounted so
+    // fan-out and replay enqueue views of one buffer.
     std::vector<std::shared_ptr<const std::string>> log;
     std::vector<Sink> sinks;
   };
@@ -194,6 +232,7 @@ class QueryChannel {
   uint64_t next_id_ = 1;
   int64_t fragments_fed_ = 0;
   int64_t result_frames_ = 0;
+  int64_t result_log_trimmed_ = 0;
   int64_t recovered_queries_ = 0;
   int64_t encode_failures_ = 0;
   int registry_fd_ = -1;

@@ -60,10 +60,17 @@ Status FragmentServer::Start() {
   // network face existed, so late subscribers replay the full stream.
   {
     std::lock_guard<std::mutex> lock(log_mu_);
-    for (int64_t i = 0; i < source_->history_size(); ++i) {
-      log_.push_back(EncodeEntry(source_->history_at(i),
-                                 static_cast<uint64_t>(log_.size())));
-      filler_index_[log_.back().filler_id].push_back(log_.size() - 1);
+    // A source whose history was already trimmed seeds a log that starts
+    // at the same base: positions stay absolute publish seqs either way.
+    log_base_ = source_->history_base();
+    for (int64_t i = log_base_; i < source_->history_size(); ++i) {
+      log_.push_back(
+          EncodeEntry(source_->history_at(i), static_cast<uint64_t>(i)));
+      filler_index_[log_.back().filler_id].push_back(
+          static_cast<size_t>(i));
+      frame_log_bytes_ += EntryBytes(log_.back());
+      max_valid_time_s_ =
+          std::max(max_valid_time_s_, log_.back().valid_time_s);
       // Make the seed durable too. A history rebuilt *from* the WAL
       // re-appends seqs the WAL already holds, which Append skips.
       if (opts_.wal != nullptr) {
@@ -71,8 +78,7 @@ Status FragmentServer::Start() {
         const std::shared_ptr<const std::string>& rec =
             entry.plain != nullptr ? entry.plain : entry.compressed;
         if (rec != nullptr) {
-          XCQL_RETURN_NOT_OK(
-              opts_.wal->Append(static_cast<int64_t>(log_.size()) - 1, *rec));
+          XCQL_RETURN_NOT_OK(opts_.wal->Append(i, *rec));
         }
       }
       // The query channel replays the same history the subscribers do, so
@@ -83,7 +89,7 @@ Status FragmentServer::Start() {
         opts_.query_channel->OnFragment(source_->history_at(i));
       }
     }
-    published_.store(static_cast<int64_t>(log_.size()));
+    published_.store(log_base_ + static_cast<int64_t>(log_.size()));
   }
   XCQL_ASSIGN_OR_RETURN(listener_, ListenOn(opts_.port));
   XCQL_ASSIGN_OR_RETURN(port_, BoundPort(listener_));
@@ -129,7 +135,12 @@ void FragmentServer::Stop() {
 
 int64_t FragmentServer::next_seq() const {
   std::lock_guard<std::mutex> lock(log_mu_);
-  return static_cast<int64_t>(log_.size());
+  return log_base_ + static_cast<int64_t>(log_.size());
+}
+
+int64_t FragmentServer::log_base() const {
+  std::lock_guard<std::mutex> lock(log_mu_);
+  return log_base_;
 }
 
 FragmentServer::LogEntry FragmentServer::EncodeEntry(
@@ -171,7 +182,7 @@ void FragmentServer::OnFragment(const std::string& /*stream_name*/,
   int64_t seq = 0;
   {
     std::lock_guard<std::mutex> log_lock(log_mu_);
-    seq = static_cast<int64_t>(log_.size());
+    seq = log_base_ + static_cast<int64_t>(log_.size());
     LogEntry entry = EncodeEntry(fragment, static_cast<uint64_t>(seq));
     // The seq is burned even for a fragment with no transportable form
     // (unreachable while the source enforces the wire payload limit at
@@ -195,7 +206,10 @@ void FragmentServer::OnFragment(const std::string& /*stream_name*/,
       }
     }
     log_.push_back(std::move(entry));
-    filler_index_[log_.back().filler_id].push_back(log_.size() - 1);
+    filler_index_[log_.back().filler_id].push_back(static_cast<size_t>(seq));
+    frame_log_bytes_ += EntryBytes(log_.back());
+    max_valid_time_s_ =
+        std::max(max_valid_time_s_, log_.back().valid_time_s);
     published_.store(seq + 1);
     stored = &log_.back();  // deque: stable under later appends
   }
@@ -221,12 +235,22 @@ void FragmentServer::OnFragment(const std::string& /*stream_name*/,
     opts_.query_channel->OnFragment(fragment);
     loop_->Wake();
   }
+  // Retention rides the publish cadence (same thread, after the fan-out
+  // and the channel tick, so every layer saw this fragment first).
+  if (opts_.retention.enabled() &&
+      ++publishes_since_retain_ >=
+          std::max<int64_t>(1, opts_.retention.check_every)) {
+    publishes_since_retain_ = 0;
+    RunRetention();
+  }
 }
 
 void FragmentServer::DegradeDurability(const Status& why) {
   metrics_.AddWalAppendFailure();
   std::fprintf(stderr, "wal: append of seq %lld failed: %s\n",
-               static_cast<long long>(log_.size()), why.message().c_str());
+               static_cast<long long>(log_base_ +
+                                      static_cast<int64_t>(log_.size())),
+               why.message().c_str());
   if (wal_degraded_.exchange(true, std::memory_order_acq_rel)) return;
   // Every frame from here on is undurable, and the WAL's sequence chain
   // is broken: a restart would recover a shorter history and then mint
@@ -251,6 +275,198 @@ void FragmentServer::DegradeDurability(const Status& why) {
   loop_->Wake();
 }
 
+void FragmentServer::RunRetention() {
+  if (!opts_.retention.enabled()) return;
+  // The refresh path below re-enters OnFragment, which may tick the
+  // retention cadence again; one pass at a time (publisher thread only).
+  if (retaining_) return;
+  retaining_ = true;
+  metrics_.AddRetentionRun();
+  // "Now" is the stream's high-water validTime, not the wall clock: the
+  // windows age with the data, so a replayed history compacts exactly the
+  // way the original run did (determinism the result logs rely on).
+  int64_t now_s;
+  {
+    std::lock_guard<std::mutex> lock(log_mu_);
+    now_s = max_valid_time_s_;
+  }
+  const DateTime now(now_s);
+  // The observability clamp: retention may only forget what no registered
+  // query can still observe. An unbounded (or pending-recovery) query
+  // pins the floor at Start() and nothing below it is ever compacted.
+  DateTime observe_floor = DateTime::End();
+  if (opts_.query_channel != nullptr) {
+    observe_floor = opts_.query_channel->ObservableFloor(now);
+  }
+  // 1. Store compaction (the channel's mirror; serve-side consumer stores
+  // compact with the same policy in their own loops).
+  frag::RetentionPolicy policy;
+  policy.max_age_s = opts_.retention.max_age_s;
+  policy.max_versions = opts_.retention.max_versions;
+  policy.max_fragments = opts_.retention.max_frames;
+  if (policy.enabled() && opts_.query_channel != nullptr) {
+    frag::CompactionStats stats =
+        opts_.query_channel->CompactMirror(policy, now, observe_floor);
+    if (stats.removed_fragments > 0) {
+      metrics_.AddFragmentsCompacted(stats.removed_fragments);
+    }
+  }
+  // 2. Frame-log trim target: the policy proposes (count/time windows),
+  // the observability rule disposes — a prefix entry may go only when its
+  // version's lifespan ended below the floor every query can still see
+  // (successor-version rule, mirroring FragmentStore::Compact), so a NACK
+  // for anything observable is always answerable from the retained log.
+  const int64_t observe_floor_s = observe_floor.seconds();
+  // A live version the windows want gone can pin the (prefix-trimmed)
+  // frame log forever — the classic case is a root container published
+  // once and never superseded. For snapshot tags the unpin is sound:
+  // re-publish the identical version at the tail ("refresh"; replacement
+  // semantics make it a state no-op), which makes the old entry
+  // superseded and trimmable on the next pass. Temporal live versions
+  // stay pinned by design — minting a successor would cap their open
+  // lifespan and change query results.
+  constexpr size_t kMaxRefreshPerRun = 32;
+  constexpr int64_t kMaxScanPastBlock = 4096;
+  std::vector<int64_t> refresh_seqs;
+  int64_t desired = 0;
+  {
+    std::lock_guard<std::mutex> lock(log_mu_);
+    const int64_t end = log_base_ + static_cast<int64_t>(log_.size());
+    const int64_t count_target = opts_.retention.max_frames >= 0
+                                     ? end - opts_.retention.max_frames
+                                     : log_base_;
+    const int64_t age_cutoff_s = opts_.retention.max_age_s >= 0
+                                     ? now_s - opts_.retention.max_age_s
+                                     : INT64_MIN;
+    desired = log_base_;
+    bool blocked = false;
+    int64_t scanned_past_block = 0;
+    for (int64_t s = log_base_; s < end; ++s) {
+      const LogEntry& e = log_[static_cast<size_t>(s - log_base_)];
+      const bool want = s < count_target || e.valid_time_s < age_cutoff_s;
+      if (!want) break;
+      if (blocked && (++scanned_past_block > kMaxScanPastBlock ||
+                      refresh_seqs.size() >= kMaxRefreshPerRun)) {
+        break;
+      }
+      // Lifespan check, mirroring FragmentStore::Compact: an event
+      // version lives only at its validTime; a temporal version's
+      // lifespan is capped by the next logged version of the same filler
+      // (no successor = still open at now, never trimmed); a snapshot
+      // version is dead the moment a successor replaced it.
+      const auto* tag = source_->tag_structure().FindById(e.tsid);
+      bool ended_below = false;
+      if (tag == nullptr) {
+        // unknown tsid: keep, conservatively
+      } else if (tag->type == frag::TagType::kEvent) {
+        ended_below = e.valid_time_s < observe_floor_s;
+      } else {
+        auto fit = filler_index_.find(e.filler_id);
+        if (fit != filler_index_.end()) {
+          auto succ = std::upper_bound(fit->second.begin(),
+                                       fit->second.end(),
+                                       static_cast<size_t>(s));
+          if (succ != fit->second.end()) {
+            if (tag->type == frag::TagType::kSnapshot) {
+              ended_below = true;
+            } else {
+              const LogEntry& next =
+                  log_[*succ - static_cast<size_t>(log_base_)];
+              ended_below = next.valid_time_s <= observe_floor_s;
+            }
+          }
+        }
+        if (!ended_below && tag->type == frag::TagType::kSnapshot &&
+            refresh_seqs.size() < kMaxRefreshPerRun) {
+          refresh_seqs.push_back(s);
+        }
+      }
+      if (!ended_below) {
+        // The prefix stops here, but keep scanning the want-window for
+        // more refreshable snapshots so one pass unpins them all.
+        blocked = true;
+        continue;
+      }
+      if (!blocked) desired = s + 1;
+    }
+  }
+  // 3. Checkpoint-then-trim, in that order, with crash points at the
+  // boundary: a kill anywhere here leaves every retired seq covered by a
+  // durable checkpoint (never both GC'd and un-checkpointed).
+  if (opts_.wal != nullptr &&
+      !wal_degraded_.load(std::memory_order_acquire)) {
+    if (desired > opts_.wal->checkpointed()) {
+      Status st = opts_.wal->Checkpoint();
+      if (!st.ok()) {
+        std::fprintf(stderr, "retain: checkpoint failed: %s\n",
+                     st.message().c_str());
+      }
+    }
+    // Whatever the checkpoint covers bounds the trim — on failure the
+    // frame log simply keeps its prefix until a later pass succeeds.
+    desired = std::min(desired, opts_.wal->checkpointed());
+  }
+  WalHooks::At("retain:before_trim");
+  int64_t retired = 0;
+  {
+    std::lock_guard<std::mutex> lock(log_mu_);
+    while (log_base_ < desired && !log_.empty()) {
+      const LogEntry& e = log_.front();
+      frame_log_bytes_ -= EntryBytes(e);
+      auto fit = filler_index_.find(e.filler_id);
+      if (fit != filler_index_.end()) {
+        auto& positions = fit->second;
+        if (!positions.empty() &&
+            positions.front() == static_cast<size_t>(log_base_)) {
+          positions.erase(positions.begin());
+        }
+        if (positions.empty()) filler_index_.erase(fit);
+      }
+      log_.pop_front();
+      ++log_base_;
+      ++retired;
+    }
+    metrics_.SetRetentionFloorSeq(log_base_);
+    metrics_.SetFrameLogBytes(frame_log_bytes_);
+  }
+  if (retired > 0) metrics_.AddFramesRetired(retired);
+  // The source's fragment history trims in lockstep: RepeatFiller and
+  // late ReplayTo serve the retained suffix only.
+  source_->TrimHistory(desired);
+  WalHooks::At("retain:after_trim");
+  // 4. Result logs last: their regeneration replays the (durable) frame
+  // log, so they must never outlive the data that rebuilds them.
+  if (opts_.query_channel != nullptr && opts_.retention.max_results >= 0) {
+    const int64_t trimmed =
+        opts_.query_channel->TrimResultLogs(opts_.retention.max_results);
+    if (trimmed > 0) metrics_.AddResultLogTrimmed(trimmed);
+  }
+  if (opts_.query_channel != nullptr) {
+    metrics_.SetFragmentStoreBytes(
+        opts_.query_channel->mirror_store_bytes());
+  }
+  // 5. Refreshes last, outside every lock: each re-publish runs the whole
+  // normal publish path (WAL append, fan-out, channel tick) and lands at
+  // the tail, superseding the pinned head entry for the next pass.
+  for (int64_t s : refresh_seqs) {
+    if (s < source_->history_base() || s >= source_->history_size()) continue;
+    const frag::Fragment& live = source_->history_at(s);
+    frag::Fragment copy;
+    copy.id = live.id;
+    copy.tsid = live.tsid;
+    copy.valid_time = live.valid_time;
+    copy.content = live.content->Clone();
+    Status st = source_->Publish(std::move(copy));
+    if (!st.ok()) {
+      std::fprintf(stderr, "retain: refresh of filler %lld failed: %s\n",
+                   static_cast<long long>(live.id), st.message().c_str());
+      break;
+    }
+    metrics_.AddFrameRefreshed();
+  }
+  retaining_ = false;
+}
+
 void FragmentServer::OnRepeat(const std::string& /*stream_name*/,
                               int64_t history_pos,
                               frag::Fragment /*fragment*/) {
@@ -260,12 +476,14 @@ void FragmentServer::OnRepeat(const std::string& /*stream_name*/,
   const LogEntry* stored = nullptr;
   {
     std::lock_guard<std::mutex> log_lock(log_mu_);
-    if (history_pos < 0 ||
-        history_pos >= static_cast<int64_t>(log_.size())) {
+    // A position below log_base_ was retired by retention: nothing to
+    // re-send (the repeat's audience NACKs it and gets an EXPIRED answer).
+    if (history_pos < log_base_ ||
+        history_pos >= log_base_ + static_cast<int64_t>(log_.size())) {
       return;
     }
     metrics_.AddRepeatOut();
-    stored = &log_[static_cast<size_t>(history_pos)];
+    stored = &log_[static_cast<size_t>(history_pos - log_base_)];
   }
   std::vector<std::shared_ptr<Connection>> targets;
   {
@@ -280,21 +498,62 @@ void FragmentServer::OnRepeat(const std::string& /*stream_name*/,
 
 void FragmentServer::ServeRepeat(Connection* conn,
                                  const RepeatRequest& request) {
-  std::lock_guard<std::mutex> lock(log_mu_);
-  auto it = filler_index_.find(request.filler_id);
-  if (it == filler_index_.end()) return;  // never published: nothing to say
-  const std::unordered_set<int64_t> have(request.have_valid_times.begin(),
-                                         request.have_valid_times.end());
-  for (size_t pos : it->second) {
-    // Version-aware NACK: skip versions the subscriber already holds.
-    // Granularity is the validTime — two versions sharing one are both
-    // re-sent, and the subscriber's store dedups the one it has.
-    if (!have.empty() && have.count(log_[pos].valid_time_s) != 0) continue;
-    metrics_.AddRepeatOut();
-    // An explicitly requested filler is always re-sent, filter or not.
-    Enqueue(conn, log_[pos], static_cast<int64_t>(pos), /*repeat=*/true,
-            /*bypass_filter=*/true);
+  bool expired = false;
+  {
+    std::lock_guard<std::mutex> lock(log_mu_);
+    auto it = filler_index_.find(request.filler_id);
+    if (it == filler_index_.end()) {
+      // Never published — or every logged frame of it was retired by
+      // retention. With a retention floor in place the distinction
+      // matters: answer "expired on purpose" rather than leaving the
+      // subscriber to burn its repair budget on silence.
+      expired = log_base_ > 0;
+    } else {
+      const std::unordered_set<int64_t> have(
+          request.have_valid_times.begin(), request.have_valid_times.end());
+      bool any_retained = false;
+      for (size_t pos : it->second) {
+        if (static_cast<int64_t>(pos) < log_base_) continue;  // retired
+        any_retained = true;
+        // Version-aware NACK: skip versions the subscriber already holds.
+        // Granularity is the validTime — two versions sharing one are both
+        // re-sent, and the subscriber's store dedups the one it has.
+        const LogEntry& entry = log_[pos - static_cast<size_t>(log_base_)];
+        if (!have.empty() && have.count(entry.valid_time_s) != 0) continue;
+        metrics_.AddRepeatOut();
+        // An explicitly requested filler is always re-sent, filter or not.
+        Enqueue(conn, entry, static_cast<int64_t>(pos), /*repeat=*/true,
+                /*bypass_filter=*/true);
+      }
+      expired = !any_retained && log_base_ > 0;
+    }
   }
+  if (expired) SendExpiredFiller(conn, request.filler_id);
+}
+
+void FragmentServer::SendExpiredFiller(Connection* conn, int64_t filler_id) {
+  bool peer_retention;
+  bool peer_crc;
+  {
+    std::lock_guard<std::mutex> lock(conn->mu);
+    peer_retention = conn->peer_retention;
+    peer_crc = conn->peer_crc;
+  }
+  // Not negotiated: stay silent, exactly like an unknown filler id — the
+  // subscriber's repair budget eventually reports the filler lost.
+  if (!peer_retention) return;
+  Expired expired;
+  expired.kind = Expired::kFiller;
+  expired.filler_id = filler_id;
+  Frame frame;
+  frame.type = FrameType::kExpired;
+  frame.payload = EncodeExpired(expired);
+  auto bytes =
+      EncodeFrame(frame, peer_crc ? kFrameVersionCrc : kFrameVersion);
+  if (!bytes.ok()) return;
+  metrics_.AddExpiredOut();
+  metrics_.AddFillerExpired();
+  EnqueueCtrl(conn, SharedBytes(std::move(bytes).MoveValue()));
 }
 
 void FragmentServer::Enqueue(Connection* conn, const LogEntry& entry,
@@ -732,12 +991,17 @@ Status FragmentServer::HandleHello(Connection* conn, const Hello& hello,
   const bool peer_queries = (frame.flags & kHelloFlagQueryChannel) != 0 &&
                             opts_.query_channel != nullptr;
   const bool peer_filter = (frame.flags & kHelloFlagTsidFilter) != 0;
+  // Echoed only when a retention policy is actually active: peers of a
+  // server that never forgets should never see an EXPIRED frame.
+  const bool peer_retention = (frame.flags & kHelloFlagRetention) != 0 &&
+                              opts_.retention.enabled();
   {
     std::lock_guard<std::mutex> lock(conn->mu);
     conn->codec = hello.codec;
     conn->peer_crc = (frame.flags & kHelloFlagCrcFrames) != 0;
     conn->peer_queries = peer_queries;
     conn->peer_filter = peer_filter;
+    conn->peer_retention = peer_retention;
   }
   Hello ack;
   ack.stream_name = source_->name();
@@ -749,6 +1013,7 @@ Status FragmentServer::HandleHello(Connection* conn, const Hello& hello,
   out.flags = kHelloFlagCrcFrames;  // we always speak v2; peer decides
   if (peer_queries) out.flags |= kHelloFlagQueryChannel;
   if (peer_filter) out.flags |= kHelloFlagTsidFilter;
+  if (peer_retention) out.flags |= kHelloFlagRetention;
   // The stream epoch rides in the ack's (otherwise unused) seq field: a
   // subscriber resuming with seq numbers from a different epoch knows its
   // resume point is meaningless and restarts from scratch. 0 = no epoch
@@ -969,18 +1234,58 @@ std::shared_ptr<const std::string> FragmentServer::NextFrame(
     std::lock_guard<std::mutex> log_lock(log_mu_);
     std::unique_lock<std::mutex> lock(conn->mu);
     while (conn->replaying) {
-      if (conn->replay_next >= log_.size()) {
+      if (static_cast<int64_t>(conn->replay_next) < log_base_) {
+        // The requested resume point was retired by retention. The WAL
+        // checkpoint still holds it (a restarted server replays it), but
+        // this incarnation's in-memory log starts at log_base_.
+        const int64_t first = static_cast<int64_t>(conn->replay_next);
+        conn->replay_next = static_cast<size_t>(log_base_);
+        if (!conn->peer_retention) {
+          // The peer never negotiated EXPIRED frames: a clean BYE beats a
+          // frame type it would treat as stream corruption. Its reconnect
+          // machinery starts over (and a fresh start resumes from -1,
+          // which lands at the floor via the same path, expired-run-first).
+          conn->replaying = false;
+          conn->close_after_flush = true;
+          Frame bye;
+          bye.type = FrameType::kBye;
+          auto bye_bytes = EncodeFrame(bye, kFrameVersion);
+          if (!bye_bytes.ok()) break;
+          ++conn->enqueued;
+          ++conn->sent;
+          return SharedBytes(std::move(bye_bytes).MoveValue());
+        }
+        Expired expired;
+        expired.kind = Expired::kRange;
+        expired.first_seq = first;
+        Frame f;
+        f.type = FrameType::kExpired;
+        f.seq = static_cast<uint64_t>(log_base_ - 1);
+        f.payload = EncodeExpired(expired);
+        auto bytes = EncodeFrame(
+            f, conn->peer_crc ? kFrameVersionCrc : kFrameVersion);
+        if (bytes.ok()) {
+          ++conn->enqueued;
+          ++conn->sent;
+          metrics_.AddExpiredOut();
+          return SharedBytes(std::move(bytes).MoveValue());
+        }
+        continue;  // encode failure (cannot actually happen): fall through
+      }
+      if (conn->replay_next >=
+          static_cast<size_t>(log_base_) + log_.size()) {
         // Handover, under log_mu_ + conn->mu: the live path owns every
-        // seq from log_.size() on, so replay and fan-out are exactly-once
+        // seq from the log end on, so replay and fan-out are exactly-once
         // even though the publisher fans out lock-free.
         conn->replaying = false;
         conn->live = true;
-        conn->next_live_seq = static_cast<int64_t>(log_.size());
+        conn->next_live_seq = log_base_ + static_cast<int64_t>(log_.size());
         conn->skip_suppressed = false;
         if (conn->pending_skip >= 0) PushSkipLocked(conn);
         break;
       }
-      const LogEntry& entry = log_[conn->replay_next];
+      const LogEntry& entry =
+          log_[conn->replay_next - static_cast<size_t>(log_base_)];
       const int64_t seq = static_cast<int64_t>(conn->replay_next);
       ++conn->replay_next;
       const bool prefer_compressed =

@@ -73,6 +73,35 @@ enum class SlowConsumerPolicy {
 class Wal;
 class QueryChannel;
 
+/// \brief Bounded-memory forever-run knobs (docs/RETENTION.md). The server
+/// unions the enabled windows into a retention floor, clamps it by the
+/// registered queries' minimal observable windows and by the WAL's
+/// checkpoint coverage, and then — in this order — compacts the fragment
+/// stores, drops the frame-log prefix, and trims the result logs. An
+/// expired seq range is still replayable from the WAL checkpoint; live
+/// subscribers resuming below the floor get an EXPIRED frame (after
+/// negotiating kHelloFlagRetention) or a clean BYE.
+struct RetentionOptions {
+  /// Compact store versions whose lifespan ended more than this many
+  /// seconds before the stream's high-water validTime. -1 = no time window.
+  int64_t max_age_s = -1;
+  /// Keep at most this many superseded versions per filler id in the
+  /// stores. -1 = no version window.
+  int max_versions = -1;
+  /// Keep at most this many frames in the in-memory frame log (and
+  /// fragments in the stores). -1 = no count window.
+  int64_t max_frames = -1;
+  /// Keep at most this many RESULT frames per query result log. -1 = no
+  /// result window.
+  int64_t max_results = -1;
+  /// Run the retention driver every this many publishes (>= 1).
+  int64_t check_every = 256;
+  bool enabled() const {
+    return max_age_s >= 0 || max_versions >= 0 || max_frames >= 0 ||
+           max_results >= 0;
+  }
+};
+
 struct FragmentServerOptions {
   uint16_t port = 0;  // 0 = pick an ephemeral port (see port())
   size_t queue_capacity = 1024;  // outbound data frames per connection
@@ -108,6 +137,8 @@ struct FragmentServerOptions {
   /// (<= 0 = unlimited). The channel-wide cap lives in
   /// QueryChannelOptions::max_queries.
   int max_queries_per_conn = 8;
+  /// Retention windows; disabled by default (nothing is ever forgotten).
+  RetentionOptions retention;
 };
 
 /// \brief Per-connection counters, exposed so tests and tools can verify
@@ -177,6 +208,18 @@ class FragmentServer : public stream::StreamClient {
   std::vector<ConnectionStats> connection_stats() const;
   int active_connections() const;
 
+  /// \brief Oldest seq the in-memory frame log still holds (the retention
+  /// floor; 0 until retention ever trims). Seqs below it are replayable
+  /// only from the WAL checkpoint; a live resume below it is answered
+  /// with an EXPIRED run (negotiated peers) or a clean BYE.
+  int64_t log_base() const;
+
+  /// \brief Runs one retention pass now (publisher thread only — the same
+  /// thread that calls the publishes reaching OnFragment). OnFragment
+  /// calls this automatically every retention.check_every publishes; tests
+  /// and idle-loop callers invoke it directly to trim without traffic.
+  void RunRetention();
+
   /// \brief The readiness backend the I/O thread actually runs on.
   EventBackend backend() const { return backend_; }
 
@@ -207,6 +250,10 @@ class FragmentServer : public stream::StreamClient {
     /// Peer advertised kHelloFlagTsidFilter: SUBSCRIBE is admissible and
     /// SKIP_TO frames may flow back.
     bool peer_filter = false;
+    /// Peer advertised kHelloFlagRetention *and* a retention policy is
+    /// active: EXPIRED frames may flow back. Without it a resume below
+    /// the retention floor gets a clean BYE instead.
+    bool peer_retention = false;
     bool live = false;
     bool closing = false;
     /// A BYE sits in ctrl: close once both queues and cur have flushed.
@@ -271,6 +318,14 @@ class FragmentServer : public stream::StreamClient {
   };
 
   LogEntry EncodeEntry(const frag::Fragment& fragment, uint64_t seq);
+  static int64_t EntryBytes(const LogEntry& entry) {
+    return (entry.plain != nullptr
+                ? static_cast<int64_t>(entry.plain->size())
+                : 0) +
+           (entry.compressed != nullptr
+                ? static_cast<int64_t>(entry.compressed->size())
+                : 0);
+  }
 
   // --- event-loop thread ---
   void LoopThread();
@@ -348,6 +403,11 @@ class FragmentServer : public stream::StreamClient {
   /// no subscriber keeps a resume point that a restart could mis-splice.
   void DegradeDurability(const Status& why);
 
+  /// \brief Enqueues an EXPIRED(kFiller) answer for a NACK whose filler
+  /// was compacted by retention — "aged out on purpose", so the
+  /// subscriber resolves the repair instead of burning its retry budget.
+  void SendExpiredFiller(Connection* conn, int64_t filler_id);
+
   bool OnLoopThread() const {
     return std::this_thread::get_id() ==
            loop_tid_.load(std::memory_order_relaxed);
@@ -379,8 +439,24 @@ class FragmentServer : public stream::StreamClient {
   // make progress while a kBlock publisher waits for queue space.
   mutable std::mutex log_mu_;
   std::deque<LogEntry> log_;  // deque: stable references under append
-  // Log positions per filler id, so a NACK replays all of a filler's
-  // frames without scanning the log. Guarded by log_mu_.
+  /// Absolute seq of log_.front(): retention drops the log prefix and
+  /// advances the base, so seq s lives at log_[s - log_base_] and seqs
+  /// never renumber. Guarded by log_mu_.
+  int64_t log_base_ = 0;
+  /// Encoded bytes held by log_ (both codec forms). Guarded by log_mu_;
+  /// published to the frame_log_bytes gauge by the retention driver.
+  int64_t frame_log_bytes_ = 0;
+  /// Publishes since the last retention pass (publisher thread only).
+  int64_t publishes_since_retain_ = 0;
+  /// Re-entrancy latch for RunRetention (publisher thread only): the
+  /// snapshot-refresh path re-enters OnFragment, whose cadence check must
+  /// not start a nested pass.
+  bool retaining_ = false;
+  /// High-water validTime across logged fragments (epoch seconds): the
+  /// retention driver's "now". Guarded by log_mu_.
+  int64_t max_valid_time_s_ = 0;
+  // Log positions (absolute seqs) per filler id, so a NACK replays all of
+  // a filler's frames without scanning the log. Guarded by log_mu_.
   std::unordered_map<int64_t, std::vector<size_t>> filler_index_;
   // log_.size(), readable without log_mu_. Heartbeats use this: the loop
   // thread must never need log_mu_ just to report progress.

@@ -94,6 +94,7 @@ void FragmentSubscriber::Run() {
         wire_version_ = kFrameVersion;
         server_queries_ = false;
         server_filter_ = false;
+        server_retention_ = false;
         sock_.Close();
         state_cv_.notify_all();
       }
@@ -158,8 +159,8 @@ void FragmentSubscriber::Session() {
   // Advertise v2 frames, the query channel and per-tsid filters; the ack
   // decides each (an old server ignores unknown flag bits, so v3 types
   // never flow to it).
-  out.flags =
-      kHelloFlagCrcFrames | kHelloFlagQueryChannel | kHelloFlagTsidFilter;
+  out.flags = kHelloFlagCrcFrames | kHelloFlagQueryChannel |
+              kHelloFlagTsidFilter | kHelloFlagRetention;
   out.payload = EncodeHello(hello);
   // HELLO always goes out v1 so servers of either vintage can parse it.
   auto hello_bytes = EncodeFrame(out, kFrameVersion);
@@ -267,6 +268,7 @@ void FragmentSubscriber::Session() {
                               : kFrameVersion;
           server_queries_ = (frame.flags & kHelloFlagQueryChannel) != 0;
           server_filter_ = (frame.flags & kHelloFlagTsidFilter) != 0;
+          server_retention_ = (frame.flags & kHelloFlagRetention) != 0;
           connected_ = true;
           if (ever_connected_) metrics_.AddReconnect();
           ever_connected_ = true;
@@ -499,6 +501,75 @@ void FragmentSubscriber::Session() {
           pending_cv_.notify_all();
           break;
         }
+        case FrameType::kExpired: {
+          auto expired = DecodeExpired(frame.payload);
+          if (!expired.ok()) {
+            // Checksum-valid but malformed: the run bounds are untrusted.
+            metrics_.AddGapDetected();
+            return;
+          }
+          metrics_.AddExpiredIn();
+          switch (expired.value().kind) {
+            case Expired::kRange: {
+              // Frame-log seqs [first_seq, header seq] were retired below
+              // the retention floor (durable in a WAL checkpoint server-
+              // side): advance the contiguous prefix over the run without
+              // data, with exactly SKIP_TO's continuity check — an
+              // expired run that does not continue our prefix would skip
+              // past frames that were lost, not retired.
+              const int64_t seq = static_cast<int64_t>(frame.seq);
+              if (seq <= last_seq()) break;  // stale (overlapping replay)
+              if (expired.value().first_seq != last_seq() + 1) {
+                metrics_.AddGapDetected();
+                return;
+              }
+              lag_have = -2;  // prefix progress: reset the loss detector
+              lag_count = 0;
+              std::lock_guard<std::mutex> lock(pending_mu_);
+              last_seq_ = seq;
+              pending_cv_.notify_all();
+              break;
+            }
+            case Expired::kFiller: {
+              // Our NACK's filler was compacted on purpose: stop
+              // retrying, and count it expired — not lost.
+              std::lock_guard<std::mutex> lock(repair_mu_);
+              auto it = repairs_.find(expired.value().filler_id);
+              if (it == repairs_.end() || it->second.expired ||
+                  it->second.resolved) {
+                break;
+              }
+              it->second.expired = true;
+              metrics_.AddFillerExpired();
+              break;
+            }
+            case Expired::kResultRange: {
+              // Result-log seqs [first_seq, header seq] of one query were
+              // trimmed: advance that query's contiguous result prefix
+              // over the run (the deltas are regenerable server-side from
+              // the checkpoint, but this subscriber chose a window that
+              // no longer covers them).
+              const int64_t seq = static_cast<int64_t>(frame.seq);
+              std::lock_guard<std::mutex> lock(pending_mu_);
+              auto by_id = query_by_id_.find(expired.value().query_id);
+              if (by_id == query_by_id_.end()) break;
+              RemoteQuery& q = queries_[by_id->second];
+              if (seq <= q.state.last_result_seq) break;  // stale
+              if (expired.value().first_seq > q.state.last_result_seq + 1) {
+                // The expired run starts past our prefix: the frames
+                // between were lost, not retired.
+                metrics_.AddGapDetected();
+                return;
+              }
+              q.state.last_result_seq = seq;
+              pending_cv_.notify_all();
+              break;
+            }
+            default:
+              break;  // unknown kind from a newer server: ignore
+          }
+          break;
+        }
         case FrameType::kBye:
           return;  // server going away; reconnect with backoff
         default:
@@ -630,6 +701,11 @@ bool FragmentSubscriber::server_filter() const {
   return connected_ && server_filter_;
 }
 
+bool FragmentSubscriber::server_retention() const {
+  std::lock_guard<std::mutex> lock(state_mu_);
+  return connected_ && server_retention_;
+}
+
 Result<int> FragmentSubscriber::DrainInto(frag::FragmentStore* store) {
   std::vector<frag::Fragment> batch;
   Drain(&batch);
@@ -682,6 +758,9 @@ Result<RepairSummary> FragmentSubscriber::RepairMissing(
     for (int64_t id : missing) {
       RepairState& st = repairs_[id];
       if (st.lost) continue;
+      // Retention-expired upstream: the server will answer every further
+      // NACK with EXPIRED, so stop asking (and never call it lost).
+      if (st.expired) continue;
       const bool interval_passed =
           st.attempts == 0 ||
           now - st.last_sent >= opts_.repair_retry_interval;
@@ -699,6 +778,7 @@ Result<RepairSummary> FragmentSubscriber::RepairMissing(
     for (const auto& [id, st] : repairs_) {
       if (st.resolved) ++sum.repaired_total;
       if (st.lost) ++sum.lost_total;
+      if (st.expired) ++sum.expired_total;
     }
   }
   for (int64_t id : to_nack) {

@@ -94,6 +94,7 @@ struct RepairSummary {
   int nacks_sent = 0;      // REPEAT_REQUESTs sent this sweep
   int repaired_total = 0;  // fillers ever recovered after a NACK
   int lost_total = 0;      // fillers ever declared lost (budget exhausted)
+  int expired_total = 0;   // fillers the server reported retention-expired
 };
 
 /// \brief One quarantined poison fragment (checksum-valid frame whose
@@ -236,6 +237,11 @@ class FragmentSubscriber {
   /// (server echoed kHelloFlagTsidFilter).
   bool server_filter() const;
 
+  /// \brief True while the current session negotiated retention (server
+  /// echoed kHelloFlagRetention: a retention policy is active and EXPIRED
+  /// frames may flow instead of a BYE when we resume below the floor).
+  bool server_retention() const;
+
   /// \brief Severs the current connection (as a network fault would),
   /// exercising the reconnect + REPLAY_FROM path. Test/chaos hook.
   void KillConnection();
@@ -246,6 +252,11 @@ class FragmentSubscriber {
     std::chrono::steady_clock::time_point last_sent{};
     bool lost = false;
     bool resolved = false;
+    /// The server answered the NACK with EXPIRED: the filler was
+    /// compacted below the retention floor on purpose. Not a loss — the
+    /// repair stops retrying without burning the budget, and queries see
+    /// the hole as expired (HolePolicy), not missing.
+    bool expired = false;
     /// RepairVersions() only: how many versions the store held when the
     /// NACK went out. The repair resolves when the count grows, not when
     /// the filler stops being "missing" (it never was).
@@ -292,6 +303,9 @@ class FragmentSubscriber {
   bool server_queries_ = false;
   /// Current session negotiated per-tsid filters. Guarded by state_mu_.
   bool server_filter_ = false;
+  /// Current session negotiated retention / EXPIRED frames. Guarded by
+  /// state_mu_.
+  bool server_retention_ = false;
   std::string ts_xml_;  // set at first handshake (or from options)
   Socket sock_;         // guarded by state_mu_; owned by the receive thread
 

@@ -144,6 +144,12 @@ const char* kWalCrashPoints[] = {
     "checkpoint:tmp_written",  // tmp complete + fsync'd, not yet renamed
     "checkpoint:after_rename",  // checkpoint visible, old files not GC'd
     "checkpoint:after_gc",   // steady state restored
+    // Fired by the server's retention driver (net/server.cc), not the WAL
+    // itself: the boundary between "checkpoint covers the range" and "the
+    // in-memory frame log dropped it". A kill between them must never leave
+    // a seq both GC'd and un-checkpointed.
+    "retain:before_trim",    // checkpoint durable, frame log still intact
+    "retain:after_trim",     // frame log trimmed, stores compacted
 };
 
 // One decoded file of records (checkpoint or segment).
@@ -885,6 +891,11 @@ Status Wal::CheckpointLocked() {
 bool Wal::broken() const {
   std::lock_guard<std::mutex> lock(mu_);
   return broken_;
+}
+
+int64_t Wal::checkpointed() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return checkpointed_;
 }
 
 Status Wal::Close() {

@@ -188,6 +188,10 @@ class Wal {
 
   uint64_t epoch() const { return epoch_; }
   int64_t next_seq() const;
+  /// \brief Records covered by the newest durable checkpoint: [0, n). The
+  /// retention driver may only drop in-memory state for seqs below this —
+  /// anything not yet checkpointed must stay replayable from memory.
+  int64_t checkpointed() const;
   const std::string& dir() const { return dir_; }
   WalStats stats() const;
 

@@ -280,6 +280,7 @@ Result<ContinuousQueryStats> ContinuousQueryEngine::QueryStats(int id) const {
   stats.last_status = q.last_status;
   stats.time_sensitive = q.prepared.relevance.time_sensitive;
   stats.unbounded = q.prepared.relevance.unbounded;
+  stats.window = q.prepared.relevance.window;
   stats.holes_unresolved_last = q.holes_unresolved_last;
   stats.incomplete_evaluations = q.incomplete_evaluations;
   stats.compile_micros = q.prepared.compile_micros;

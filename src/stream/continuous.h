@@ -99,6 +99,9 @@ struct ContinuousQueryStats {
   /// From the plan's relevance analysis (see lang::QueryRelevance).
   bool time_sensitive = false;
   bool unbounded = false;
+  /// The minimal observable window the plan can still see (window.bounded
+  /// false ⇔ this query pins retention; see docs/RETENTION.md).
+  lang::ObservableWindow window;
   /// Completeness under the query's hole policy: holes left unresolved by
   /// the most recent successful evaluation, and how many successful
   /// evaluations were incomplete (unresolved > 0). 0/0 ⇔ every emitted

@@ -53,9 +53,28 @@ Status StreamServer::Publish(frag::Fragment fragment) {
   if (ts_.FindById(fragment.tsid) == nullptr) {
     return Status::InvalidArgument("fragment tsid not in the tag structure");
   }
-  XCQL_RETURN_NOT_OK(Multicast(fragment));
   next_filler_id_ = std::max(next_filler_id_, fragment.id + 1);
-  history_.push_back(std::move(fragment));
+  // History append precedes the fan-out: a callback that re-enters
+  // Publish (the retention refresh path re-publishes a live snapshot
+  // version from inside OnFragment) must see its own fragment land
+  // *behind* this one, or history positions drift from frame-log seqs.
+  // The fan-out reads the local argument, not the stored copy — re-entry
+  // may grow (or trim the front of) `history_` mid-multicast.
+  {
+    frag::Fragment stored;
+    stored.id = fragment.id;
+    stored.tsid = fragment.tsid;
+    stored.valid_time = fragment.valid_time;
+    stored.content = fragment.content->Clone();
+    history_.push_back(std::move(stored));
+  }
+  Status st = Multicast(fragment);
+  if (!st.ok()) {
+    // A codec error surfaces before any callback runs, so nothing
+    // re-entrant happened and the appended copy is still the back entry.
+    history_.pop_back();
+    return st;
+  }
   return Status::OK();
 }
 
@@ -103,7 +122,9 @@ Result<int> StreamServer::RepeatFiller(int64_t filler_id) {
         break;
       }
     }
-    if (!duplicate) versions.push_back({static_cast<int64_t>(i), &f});
+    if (!duplicate) {
+      versions.push_back({history_base_ + static_cast<int64_t>(i), &f});
+    }
   }
   int repeated = 0;
   for (const Version& v : versions) {
@@ -111,6 +132,17 @@ Result<int> StreamServer::RepeatFiller(int64_t filler_id) {
     ++repeated;
   }
   return repeated;
+}
+
+int64_t StreamServer::TrimHistory(int64_t keep_from) {
+  const int64_t lo = history_base_;
+  const int64_t hi = history_size();
+  const int64_t target = std::min(std::max(keep_from, lo), hi);
+  const int64_t drop = target - lo;
+  if (drop <= 0) return 0;
+  history_.erase(history_.begin(), history_.begin() + drop);
+  history_base_ = target;
+  return drop;
 }
 
 Result<int> StreamServer::ReplayTo(StreamClient* client) {

@@ -93,13 +93,25 @@ class StreamServer {
   // The published history, exposed for catch-up replay: a fragment's
   // sequence number is its 0-based publish position, so a networked
   // transport can seed its frame log from a server that already published
-  // and resume subscribers from any sequence number.
+  // and resume subscribers from any sequence number. Retention may trim a
+  // prefix (TrimHistory); positions stay stable — history_size() keeps
+  // counting from the stream's origin and history_at() takes absolute
+  // positions, valid only in [history_base(), history_size()).
   int64_t history_size() const {
-    return static_cast<int64_t>(history_.size());
+    return history_base_ + static_cast<int64_t>(history_.size());
   }
+  int64_t history_base() const { return history_base_; }
   const frag::Fragment& history_at(int64_t seq) const {
-    return history_[static_cast<size_t>(seq)];
+    return history_[static_cast<size_t>(seq - history_base_)];
   }
+
+  /// \brief Retention: forgets every published fragment below `keep_from`
+  /// (clamped to the current bounds). Positions of retained fragments do
+  /// not move. Returns the number of fragments dropped. RepeatFiller and
+  /// ReplayTo serve the retained suffix only afterwards — callers pair
+  /// this with a durable checkpoint (net::Wal) when the prefix must stay
+  /// recoverable.
+  int64_t TrimHistory(int64_t keep_from);
 
   int64_t fragments_sent() const { return fragments_sent_; }
   int64_t bytes_sent() const { return bytes_sent_; }
@@ -133,6 +145,7 @@ class StreamServer {
   frag::TagStructure ts_;
   std::vector<StreamClient*> clients_;
   std::vector<frag::Fragment> history_;  // for RepeatFiller / ReplayTo
+  int64_t history_base_ = 0;  // publish position of history_[0]
   int64_t fragments_sent_ = 0;
   int64_t bytes_sent_ = 0;
   int64_t next_filler_id_ = 0;

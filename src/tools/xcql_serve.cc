@@ -34,9 +34,11 @@
 //   xcql_serve --port 7788 --xmark 0.01 --updates 200 \
 //              --monitor 'count(stream("auction")//item)' \
 //              [--monitor-method caq|qac|qac+] [--paper-faithful]
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <cstring>
+#include <limits>
 #include <memory>
 #include <string>
 #include <thread>
@@ -88,6 +90,11 @@ struct ServeOptions {
   bool queries = true;
   int max_queries = 64;
   int max_queries_per_conn = 8;
+  // Retention (docs/RETENTION.md): bounded-memory forever-run. Any
+  // --retain-* flag enables the retention driver, which compacts the
+  // fragment stores, trims the frame log (after a covering WAL
+  // checkpoint), and bounds the result logs in lockstep.
+  xcql::net::RetentionOptions retention;
 };
 
 int Usage(const char* argv0) {
@@ -105,7 +112,10 @@ int Usage(const char* argv0) {
       "          [--checkpoint-every N]\n"
       "          [--monitor XCQL] [--monitor-method caq|qac|qac+]\n"
       "          [--paper-faithful]\n"
-      "          [--no-queries] [--max-queries N] [--max-queries-per-conn N]\n",
+      "          [--no-queries] [--max-queries N] [--max-queries-per-conn N]\n"
+      "          [--retain-age-s N] [--retain-versions N]\n"
+      "          [--retain-frames N] [--retain-results N]\n"
+      "          [--retain-interval N]\n",
       argv0);
   return 2;
 }
@@ -240,6 +250,26 @@ int main(int argc, char** argv) {
       const char* v = next();
       if (v == nullptr) return Usage(argv[0]);
       opt.max_queries_per_conn = std::atoi(v);
+    } else if (arg == "--retain-age-s") {
+      const char* v = next();
+      if (v == nullptr) return Usage(argv[0]);
+      opt.retention.max_age_s = std::atoll(v);
+    } else if (arg == "--retain-versions") {
+      const char* v = next();
+      if (v == nullptr) return Usage(argv[0]);
+      opt.retention.max_versions = std::atoi(v);
+    } else if (arg == "--retain-frames") {
+      const char* v = next();
+      if (v == nullptr) return Usage(argv[0]);
+      opt.retention.max_frames = std::atoll(v);
+    } else if (arg == "--retain-results") {
+      const char* v = next();
+      if (v == nullptr) return Usage(argv[0]);
+      opt.retention.max_results = std::atoll(v);
+    } else if (arg == "--retain-interval") {
+      const char* v = next();
+      if (v == nullptr) return Usage(argv[0]);
+      opt.retention.check_every = std::atoll(v);
     } else if (arg == "--policy") {
       const char* v = next();
       if (v == nullptr) return Usage(argv[0]);
@@ -383,6 +413,17 @@ int main(int argc, char** argv) {
   net_opts.wal = wal.get();
   net_opts.query_channel = channel.get();
   net_opts.max_queries_per_conn = opt.max_queries_per_conn;
+  net_opts.retention = opt.retention;
+  if (opt.retention.enabled()) {
+    std::printf(
+        "retention: age %llds, versions %d, frames %lld, results %lld "
+        "(every %lld publishes)\n",
+        static_cast<long long>(opt.retention.max_age_s),
+        opt.retention.max_versions,
+        static_cast<long long>(opt.retention.max_frames),
+        static_cast<long long>(opt.retention.max_results),
+        static_cast<long long>(opt.retention.check_every));
+  }
   // With faults the chaos proxy owns the public port; the real server
   // hides behind it on an ephemeral one.
   net_opts.port = opt.any_fault ? 0 : opt.port;
@@ -431,22 +472,41 @@ int main(int argc, char** argv) {
 
   // Timed updates: new versions of existing fragmented fillers.
   if (opt.updates > 0) {
+    auto collect = [&](std::vector<int64_t>* out) {
+      out->clear();
+      for (int64_t i = server.history_base(); i < server.history_size();
+           ++i) {
+        const auto& f = server.history_at(i);
+        const auto* tag = server.tag_structure().FindById(f.tsid);
+        if (tag != nullptr && tag->fragmented()) out->push_back(i);
+      }
+    };
     std::vector<int64_t> candidates;
-    for (int64_t i = 0; i < server.history_size(); ++i) {
-      const auto& f = server.history_at(i);
-      const auto* tag = server.tag_structure().FindById(f.tsid);
-      if (tag != nullptr && tag->fragmented()) candidates.push_back(i);
-    }
+    collect(&candidates);
     if (candidates.empty()) {
       std::fprintf(stderr, "xcql_serve: no fragmented fillers to update\n");
       return 1;
     }
     xcql::Random rng(7);
-    int64_t t = server.history_size() > 0
+    int64_t t = server.history_size() > server.history_base()
                     ? server.history_at(server.history_size() - 1)
                           .valid_time.seconds()
                     : 0;
     for (int u = 0; u < opt.updates; ++u) {
+      // The retention driver runs on this publish path and may have
+      // trimmed the history under us: positions below history_base() are
+      // gone. Candidates are ascending, so dropping the dead prefix is a
+      // bound search; refresh the whole set if it ran dry.
+      const int64_t base_pos = server.history_base();
+      if (!candidates.empty() && candidates.front() < base_pos) {
+        candidates.erase(candidates.begin(),
+                         std::lower_bound(candidates.begin(),
+                                          candidates.end(), base_pos));
+      }
+      if (candidates.empty()) {
+        collect(&candidates);
+        if (candidates.empty()) break;  // everything expired: stop updating
+      }
       int64_t pick = candidates[static_cast<size_t>(
           rng.Uniform(static_cast<int>(candidates.size())))];
       const auto& base = server.history_at(pick);
@@ -488,6 +548,11 @@ int main(int argc, char** argv) {
           qs.value().arena_high_water,
           qs.value().plan_fallback_reason.empty() ? "" : " — fallback: ",
           qs.value().plan_fallback_reason.c_str());
+      if (opt.retention.enabled() && !qs.value().window.bounded) {
+        std::printf(
+            "monitor: query window is unbounded — it would pin retention "
+            "if registered on the channel (see docs/RETENTION.md)\n");
+      }
     }
   }
   auto m = net_server.metrics();
@@ -508,6 +573,30 @@ int main(int argc, char** argv) {
         static_cast<long long>(m.queries_rejected),
         static_cast<long long>(cs.result_frames),
         static_cast<long long>(cs.fragments_fed));
+  }
+  if (opt.retention.enabled()) {
+    std::printf(
+        "retention: %lld runs, %lld frames retired, %lld fragments "
+        "compacted, %lld result frames trimmed, floor seq %lld, frame log "
+        "%lld bytes, fragment store %lld bytes\n",
+        static_cast<long long>(m.retention_runs),
+        static_cast<long long>(m.frames_retired),
+        static_cast<long long>(m.fragments_compacted),
+        static_cast<long long>(m.result_log_trimmed),
+        static_cast<long long>(m.retention_floor_seq),
+        static_cast<long long>(m.frame_log_bytes),
+        static_cast<long long>(m.fragment_store_bytes));
+    if (channel != nullptr) {
+      std::vector<uint64_t> pinning;
+      (void)channel->ObservableFloor(
+          xcql::DateTime(std::numeric_limits<int64_t>::max() / 2), &pinning);
+      for (uint64_t id : pinning) {
+        std::printf(
+            "retention: query %llu has an unbounded observable window and "
+            "pins the retention floor\n",
+            static_cast<unsigned long long>(id));
+      }
+    }
   }
   if (chaos != nullptr) {
     auto cs = chaos->stats();

@@ -1,5 +1,7 @@
 #include "xcql/translator.h"
 
+#include <algorithm>
+
 #include "common/string_util.h"
 
 namespace xcql::lang {
@@ -147,6 +149,99 @@ void CollectSubtreeTsids(const frag::TagNode* tag, std::set<int>* out) {
   for (const auto& c : tag->children) CollectSubtreeTsids(c.get(), out);
 }
 
+// The store-access calls the Fig. 3 rewriting emits (plus the raw paper
+// spellings). Only these can observe stored versions.
+bool IsStoreAccessCall(const std::string& name) {
+  return name == "xcql:tsid_scan" || name == "xcql:tsid_scan_range" ||
+         name == "xcql:get_fillers" || name == "get_fillers" ||
+         name == "get_fillers_list" || name == "stream" ||
+         name == "temporalize" || name == "doc" || name == "document";
+}
+
+// A projection input that cannot observe pre-clip versions: a pure path
+// of literal-argument store accesses and predicate-free steps. Any
+// predicate, filter, or control flow in the projected subtree can read a
+// version the projection would clip, so it voids the window bound.
+bool IsPlainProjectionInput(const Expr* e) {
+  if (e == nullptr) return false;
+  switch (e->kind()) {
+    case ExprKind::kFunctionCall: {
+      const auto& f = static_cast<const FunctionCallExpr&>(*e);
+      if (!IsStoreAccessCall(f.name)) return false;
+      for (const auto& a : f.args) {
+        if (a == nullptr || a->kind() != ExprKind::kLiteral) return false;
+      }
+      return true;
+    }
+    case ExprKind::kPath: {
+      const auto& p = static_cast<const PathExpr&>(*e);
+      for (const auto& s : p.steps) {
+        if (!s.predicates.empty()) return false;
+      }
+      return IsPlainProjectionInput(p.input.get());
+    }
+    default:
+      return false;
+  }
+}
+
+// Recognizes a statically-bounded projection lower bound: an absolute
+// dateTime literal, or `clock() - duration` (a sliding lookback). The
+// lookback over-approximates calendar months as 31 days — the estimated
+// floor is never later than the true one, so retention keeps at least
+// what the query can observe.
+std::optional<ObservableWindow> ExtractLowerBound(const Expr* lo) {
+  if (lo == nullptr) return std::nullopt;
+  ObservableWindow w;
+  w.bounded = true;
+  if (lo->kind() == ExprKind::kLiteral) {
+    const auto& lit = static_cast<const LiteralExpr&>(*lo);
+    if (lit.value.is_datetime()) {
+      DateTime dt = lit.value.AsDateTime();
+      if (dt == DateTime::Start()) return std::nullopt;
+      w.absolute_lo_s = dt.seconds();
+      return w;
+    }
+    if (lit.value.is_string()) {
+      auto dt = DateTime::Parse(lit.value.AsString());
+      if (!dt.ok()) return std::nullopt;
+      w.absolute_lo_s = dt.value().seconds();
+      return w;
+    }
+    return std::nullopt;
+  }
+  if (lo->kind() == ExprKind::kBinary) {
+    const auto& b = static_cast<const BinaryExpr&>(*lo);
+    if (b.op != xq::BinOp::kMinus) return std::nullopt;
+    if (b.lhs == nullptr || b.lhs->kind() != ExprKind::kFunctionCall) {
+      return std::nullopt;
+    }
+    const auto& clock = static_cast<const FunctionCallExpr&>(*b.lhs);
+    if (!IsClockBuiltin(clock.name) || clock.name == "vtTo" ||
+        !clock.args.empty()) {
+      return std::nullopt;
+    }
+    if (b.rhs == nullptr || b.rhs->kind() != ExprKind::kLiteral) {
+      return std::nullopt;
+    }
+    const auto& dur = static_cast<const LiteralExpr&>(*b.rhs);
+    Duration d;
+    if (dur.value.is_duration()) {
+      d = dur.value.AsDuration();
+    } else if (dur.value.is_string()) {
+      auto parsed = Duration::Parse(dur.value.AsString());
+      if (!parsed.ok()) return std::nullopt;
+      d = parsed.value();
+    } else {
+      return std::nullopt;
+    }
+    if (d.months() < 0 || d.seconds() < 0) return std::nullopt;
+    w.lookback_s = d.months() * 31ll * 86400 + d.seconds();
+    return w;
+  }
+  return std::nullopt;
+}
+
 class RelevanceWalker {
  public:
   RelevanceWalker(const std::map<std::string, const frag::TagStructure*>& schemas,
@@ -259,7 +354,18 @@ class RelevanceWalker {
         const auto* p = static_cast<const IntervalProjExpr*>(e);
         // Projections clip against open lifespans, which end at `now`.
         out_->time_sensitive = true;
-        Walk(p->input.get());
+        // A statically-bounded lower bound over a plain input windows
+        // every store access underneath: versions ending below the bound
+        // are clipped out, so compaction below it cannot change the
+        // result.
+        std::optional<ObservableWindow> bound = ExtractLowerBound(p->lo.get());
+        if (bound.has_value() && IsPlainProjectionInput(p->input.get())) {
+          bound_stack_.push_back(*bound);
+          Walk(p->input.get());
+          bound_stack_.pop_back();
+        } else {
+          Walk(p->input.get());
+        }
         Walk(p->lo.get());
         Walk(p->hi.get());
         return;
@@ -302,6 +408,7 @@ class RelevanceWalker {
   }
 
   void AddWholeStream(const std::string& stream) {
+    NoteAccessWindow();
     auto it = schemas_.find(stream);
     if (it == schemas_.end() || it->second->root() == nullptr) {
       out_->unbounded = true;
@@ -319,10 +426,24 @@ class RelevanceWalker {
       AddWholeStream(stream);
       return;
     }
+    NoteAccessWindow();
     // The scan returns fillers of `tsid`, but their payloads hold holes
     // whose resolution (projections, result materialization) descends into
     // the fillers of every schema descendant.
     CollectSubtreeTsids(tag, &out_->streams[stream]);
+  }
+
+  /// Folds the current access's window into the query's: bounded by the
+  /// innermost recognized projection, or unbounded when none wraps it.
+  void NoteAccessWindow() {
+    ObservableWindow w;  // bounded defaults to false
+    if (!bound_stack_.empty()) w = bound_stack_.back();
+    if (!any_access_) {
+      out_->window = w;
+      any_access_ = true;
+    } else {
+      out_->window.Union(w);
+    }
   }
 
   void WalkCall(const FunctionCallExpr& e) {
@@ -331,6 +452,15 @@ class RelevanceWalker {
     if (e.name == "xcql:tsid_scan" || e.name == "xcql:tsid_scan_range") {
       std::optional<std::string> stream = LitString(e.args, 0);
       std::optional<int64_t> tsid = LitInt(e.args, 1);
+      // A range scan only returns versions overlapping [lo, hi]: the Fig. 3
+      // rewriting pushes the projection window into the scan itself, so a
+      // statically-recognized lo bounds this access even when the
+      // surrounding IntervalProj input is no longer in plain form.
+      std::optional<ObservableWindow> scan_bound;
+      if (e.name == "xcql:tsid_scan_range" && e.args.size() >= 3) {
+        scan_bound = ExtractLowerBound(e.args[2].get());
+      }
+      if (scan_bound.has_value()) bound_stack_.push_back(*scan_bound);
       if (!stream.has_value()) {
         out_->unbounded = true;
       } else if (!tsid.has_value()) {
@@ -338,6 +468,7 @@ class RelevanceWalker {
       } else {
         AddTsidSubtree(*stream, *tsid);
       }
+      if (scan_bound.has_value()) bound_stack_.pop_back();
       return;
     }
     if (e.name == "xcql:get_fillers") {
@@ -413,9 +544,35 @@ class RelevanceWalker {
   const std::set<std::string>& opaque_;
   std::set<std::string> declared_;
   QueryRelevance* out_;
+  std::vector<ObservableWindow> bound_stack_;
+  bool any_access_ = false;
 };
 
 }  // namespace
+
+DateTime ObservableWindow::FloorAt(DateTime now) const {
+  if (!bounded) return DateTime::Start();
+  // The loosest contributing bound wins; with none contributing the query
+  // observes no stored version at all.
+  DateTime floor = DateTime::End();
+  if (lookback_s >= 0) {
+    floor = std::min(floor, DateTime(now.seconds() - lookback_s));
+  }
+  if (absolute_lo_s != INT64_MIN) {
+    floor = std::min(floor, DateTime(absolute_lo_s));
+  }
+  return floor;
+}
+
+void ObservableWindow::Union(const ObservableWindow& other) {
+  bounded = bounded && other.bounded;
+  lookback_s = std::max(lookback_s, other.lookback_s);
+  if (other.absolute_lo_s != INT64_MIN) {
+    absolute_lo_s = absolute_lo_s == INT64_MIN
+                        ? other.absolute_lo_s
+                        : std::min(absolute_lo_s, other.absolute_lo_s);
+  }
+}
 
 QueryRelevance AnalyzeRelevance(
     const xq::Program& translated,
@@ -428,6 +585,15 @@ QueryRelevance AnalyzeRelevance(
   for (const auto& f : translated.functions) walker.Walk(f.body.get());
   for (const auto& v : translated.variables) walker.Walk(v.init.get());
   walker.Walk(translated.body.get());
+  if (out.unbounded) {
+    // Unknown data accesses can reach anything: the window analysis can
+    // promise nothing.
+    out.window = ObservableWindow{};
+  } else if (out.streams.empty()) {
+    // No store access at all: the query observes no stored version, so it
+    // never pins retention.
+    out.window.bounded = true;
+  }
   return out;
 }
 

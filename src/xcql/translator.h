@@ -23,6 +23,7 @@
 #ifndef XCQL_XCQL_TRANSLATOR_H_
 #define XCQL_XCQL_TRANSLATOR_H_
 
+#include <cstdint>
 #include <map>
 #include <optional>
 #include <set>
@@ -43,6 +44,40 @@ enum class ExecMethod {
 };
 
 const char* ExecMethodName(ExecMethod m);
+
+/// \brief How far back in validTime a query can observe, derived from the
+/// interval projections wrapping its store accesses.
+///
+/// Soundness contract (mirrors QueryRelevance): when `bounded` is true,
+/// the query's result cannot depend on any version whose lifespan ended
+/// strictly before FloorAt(now) — so a retention policy may compact such
+/// versions without changing the query's answer. The analysis may
+/// under-approximate the window (report unbounded for a query that is in
+/// fact windowed), never the reverse: an access is only credited with a
+/// window when it sits under an interval projection whose lower bound is
+/// a static literal (absolute dateTime, or `now - duration` lookback) and
+/// whose input is a plain path over the access — a predicate anywhere in
+/// the projected subtree can observe pre-clip versions, so it voids the
+/// bound.
+struct ObservableWindow {
+  /// True when every store access is window-bounded. False = this query
+  /// pins retention: nothing it reads may ever be compacted.
+  bool bounded = false;
+  /// Sliding lower bound: the query observes nothing ending before
+  /// now - lookback_s. -1 = no sliding bound contributes.
+  int64_t lookback_s = -1;
+  /// Absolute lower bound (epoch seconds); INT64_MIN = none contributes.
+  int64_t absolute_lo_s = INT64_MIN;
+
+  /// \brief The concrete floor at evaluation time `now`: the loosest of
+  /// the contributing bounds, or DateTime::Start() when not bounded.
+  DateTime FloorAt(DateTime now) const;
+
+  /// \brief Folds another access's window in: the union of what the two
+  /// can observe (bounded only when both are; the looser bound of each
+  /// kind survives).
+  void Union(const ObservableWindow& other);
+};
 
 /// \brief Conservative summary of what can change a compiled query's result,
 /// derived from the translated AST: the store-access calls the Fig. 3
@@ -67,6 +102,9 @@ struct QueryRelevance {
   /// relations, temporal projections, or opaque natives reading external
   /// state. Quiescent data does not imply a stable result.
   bool time_sensitive = false;
+  /// The minimal observable window across all store accesses: what a
+  /// retention policy must keep for this query (docs/RETENTION.md).
+  ObservableWindow window;
 };
 
 /// \brief Analyzes a *translated* program (the output of

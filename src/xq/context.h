@@ -104,6 +104,13 @@ struct EvalContext {
   /// the per-evaluation completeness signal surfaced in QueryStats.
   int64_t holes_unresolved = 0;
 
+  /// Holes whose filler was compacted away by a retention policy
+  /// (frag::FragmentStore::Compact). Expired is not lost: the store
+  /// removed the versions deliberately, so these are resolved as empty
+  /// under every HolePolicy (including kFail) and counted here instead of
+  /// in holes_unresolved.
+  int64_t holes_expired = 0;
+
   /// Named documents for fn:doc (and for stream() once a method binds
   /// stream names to materialized roots).
   std::map<std::string, NodePtr, std::less<>> documents;

@@ -558,8 +558,11 @@ constexpr int kWorkloadRecords = 12;
 }
 
 TEST_F(WalTest, KillPointMatrixRecoversAContiguousAppendablePrefix) {
-  ASSERT_EQ(WalHooks::Points().size(), 10u);
+  ASSERT_EQ(WalHooks::Points().size(), 12u);
   for (const char* point : WalHooks::Points()) {
+    // The retain:* points fire from the server's retention driver, not
+    // from WAL appends; retention_test's kill matrix covers them.
+    if (std::string(point).rfind("retain:", 0) == 0) continue;
     std::string dir = Dir(std::string("kill_") + point);
     std::replace(dir.begin(), dir.end(), ':', '_');
     pid_t pid = fork();
