@@ -292,8 +292,15 @@ Result<CompactionStats> FragmentStore::Compact(const RetentionPolicy& policy,
     }
     size_t cut =
         fragments_.size() - static_cast<size_t>(policy.max_fragments);
-    std::nth_element(times.begin(), times.begin() + cut, times.end());
-    floor = std::max(floor, DateTime(times[cut]));
+    if (cut >= times.size()) {
+      // max_fragments == 0: the count window keeps nothing, so every
+      // validTime sits below the cut. The lifespan rules and the
+      // observe-floor clamp below still decide what actually goes.
+      floor = DateTime::End();
+    } else {
+      std::nth_element(times.begin(), times.begin() + cut, times.end());
+      floor = std::max(floor, DateTime(times[cut]));
+    }
   }
   floor = std::min(floor, observe_floor);
 

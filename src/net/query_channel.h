@@ -116,9 +116,14 @@ class QueryChannel {
   /// \brief Attaches a sink to a query's result stream: replays every
   /// logged RESULT frame after `last_seq` through `deliver` and then
   /// keeps delivering live frames, with no gap (both happen under the
-  /// channel mutex). `handle` identifies the sink for removal.
+  /// channel mutex). `handle` identifies the sink for removal. A resume
+  /// below the retained log base opens with an EXPIRED(kResultRange)
+  /// frame — but only when `send_expired` says the peer negotiated
+  /// kHelloFlagRetention; otherwise the replay silently starts at the
+  /// base (an un-negotiated peer rejects frame type kExpired as stream
+  /// corruption, and cutting it would just loop the same resume).
   Status Subscribe(uint64_t query_id, int64_t last_seq, const void* handle,
-                   Deliver deliver);
+                   Deliver deliver, bool send_expired = true);
 
   /// \brief Detaches one sink from one query (absent = no-op).
   void Unsubscribe(uint64_t query_id, const void* handle);

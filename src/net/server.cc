@@ -68,6 +68,7 @@ Status FragmentServer::Start() {
           EncodeEntry(source_->history_at(i), static_cast<uint64_t>(i)));
       filler_index_[log_.back().filler_id].push_back(
           static_cast<size_t>(i));
+      retired_fillers_.erase(log_.back().filler_id);
       frame_log_bytes_ += EntryBytes(log_.back());
       max_valid_time_s_ =
           std::max(max_valid_time_s_, log_.back().valid_time_s);
@@ -207,6 +208,9 @@ void FragmentServer::OnFragment(const std::string& /*stream_name*/,
     }
     log_.push_back(std::move(entry));
     filler_index_[log_.back().filler_id].push_back(static_cast<size_t>(seq));
+    // A re-published filler is live again: its EXPIRED tombstone (if any)
+    // no longer describes the log.
+    retired_fillers_.erase(log_.back().filler_id);
     frame_log_bytes_ += EntryBytes(log_.back());
     max_valid_time_s_ =
         std::max(max_valid_time_s_, log_.back().valid_time_s);
@@ -393,9 +397,9 @@ void FragmentServer::RunRetention() {
   // 3. Checkpoint-then-trim, in that order, with crash points at the
   // boundary: a kill anywhere here leaves every retired seq covered by a
   // durable checkpoint (never both GC'd and un-checkpointed).
-  if (opts_.wal != nullptr &&
-      !wal_degraded_.load(std::memory_order_acquire)) {
-    if (desired > opts_.wal->checkpointed()) {
+  if (opts_.wal != nullptr) {
+    if (!wal_degraded_.load(std::memory_order_acquire) &&
+        desired > opts_.wal->checkpointed()) {
       Status st = opts_.wal->Checkpoint();
       if (!st.ok()) {
         std::fprintf(stderr, "retain: checkpoint failed: %s\n",
@@ -404,6 +408,10 @@ void FragmentServer::RunRetention() {
     }
     // Whatever the checkpoint covers bounds the trim — on failure the
     // frame log simply keeps its prefix until a later pass succeeds.
+    // With durability degraded no new checkpoint may be cut, but the
+    // last durable one is still valid coverage, so the clamp (not the
+    // trim) is what must survive degradation: without it a retired seq
+    // would be neither in memory nor durable anywhere.
     desired = std::min(desired, opts_.wal->checkpointed());
   }
   WalHooks::At("retain:before_trim");
@@ -418,9 +426,15 @@ void FragmentServer::RunRetention() {
         auto& positions = fit->second;
         if (!positions.empty() &&
             positions.front() == static_cast<size_t>(log_base_)) {
-          positions.erase(positions.begin());
+          positions.pop_front();
         }
-        if (positions.empty()) filler_index_.erase(fit);
+        if (positions.empty()) {
+          filler_index_.erase(fit);
+          // Every logged frame of this filler is now retired: only such
+          // ids may be answered EXPIRED — a NACK for an id the log never
+          // held is real upstream loss and must stay silent.
+          retired_fillers_.insert(e.filler_id);
+        }
       }
       log_.pop_front();
       ++log_base_;
@@ -503,11 +517,13 @@ void FragmentServer::ServeRepeat(Connection* conn,
     std::lock_guard<std::mutex> lock(log_mu_);
     auto it = filler_index_.find(request.filler_id);
     if (it == filler_index_.end()) {
-      // Never published — or every logged frame of it was retired by
-      // retention. With a retention floor in place the distinction
-      // matters: answer "expired on purpose" rather than leaving the
-      // subscriber to burn its repair budget on silence.
-      expired = log_base_ > 0;
+      // Absent from the index means never published — real upstream
+      // loss, answered with silence so the repair budget reports it —
+      // unless the retirement tombstones say every logged frame of it
+      // was aged out by retention, which is answered "expired on
+      // purpose" so the subscriber stops NACKing data that is gone by
+      // policy, not by accident.
+      expired = retired_fillers_.count(request.filler_id) != 0;
     } else {
       const std::unordered_set<int64_t> have(
           request.have_valid_times.begin(), request.have_valid_times.end());
@@ -1179,7 +1195,8 @@ void FragmentServer::HandleQuery(Connection* conn, const Frame& frame) {
       id.value(), spec.last_result_seq, conn,
       [this, conn](const std::shared_ptr<const std::string>& bytes) {
         EnqueueEncoded(conn, bytes);
-      });
+      },
+      /*send_expired=*/conn->peer_retention);
   if (!sub.ok()) {
     // Raced a concurrent UNQUERY between Register and Subscribe: retract
     // the ok with an UnknownId status; the subscriber re-issues the QUERY.

@@ -456,8 +456,17 @@ class FragmentServer : public stream::StreamClient {
   /// retention driver's "now". Guarded by log_mu_.
   int64_t max_valid_time_s_ = 0;
   // Log positions (absolute seqs) per filler id, so a NACK replays all of
-  // a filler's frames without scanning the log. Guarded by log_mu_.
-  std::unordered_map<int64_t, std::vector<size_t>> filler_index_;
+  // a filler's frames without scanning the log. Deque: retention pops the
+  // front position per retired frame, which must stay O(1) under log_mu_
+  // for fillers with many logged versions. Guarded by log_mu_.
+  std::unordered_map<int64_t, std::deque<size_t>> filler_index_;
+  /// Filler ids whose every logged frame was retired by retention (and
+  /// that have not been re-published since): exactly the ids a NACK may
+  /// answer EXPIRED — anything else absent from filler_index_ is genuine
+  /// upstream loss and stays silent so the subscriber's repair budget
+  /// still reports it lost. One id each, the same tombstone shape the
+  /// stores keep (FragmentStore::expired_). Guarded by log_mu_.
+  std::unordered_set<int64_t> retired_fillers_;
   // log_.size(), readable without log_mu_. Heartbeats use this: the loop
   // thread must never need log_mu_ just to report progress.
   std::atomic<int64_t> published_{0};

@@ -238,6 +238,26 @@ TEST(CompactTest, ObserveFloorPinsCompaction) {
   EXPECT_EQ(free.value().removed_fragments, 3);
 }
 
+TEST(CompactTest, ZeroCountWindowIsSafeAndCompactsEverythingRemovable) {
+  // The --retain-frames 0 extreme: the count window keeps nothing. The
+  // cut index then equals the fragment count, which must not read one
+  // past the end of the validTime array; lifespan rules and the observe
+  // floor still decide what actually goes.
+  frag::FragmentStore store(MustParseTs(kMixedTs), "db");
+  for (int64_t t : {100, 200, 300}) {
+    ASSERT_TRUE(store.Insert(Frag(20 + t, 4, t, "tx")).ok());
+  }
+  // An open temporal lifespan survives even a keep-nothing window.
+  ASSERT_TRUE(store.Insert(Frag(10, 2, 150, "account")).ok());
+  frag::RetentionPolicy policy;
+  policy.max_fragments = 0;
+  auto stats = store.Compact(policy, DateTime(1000), DateTime::End());
+  ASSERT_TRUE(stats.ok()) << stats.status().ToString();
+  EXPECT_EQ(stats.value().removed_fragments, 3);  // the three events
+  EXPECT_EQ(store.size(), 1u);
+  EXPECT_EQ(store.VersionTimes(10), (std::vector<int64_t>{150}));
+}
+
 TEST(CompactTest, TombstoneDistinguishesExpiredFromLost) {
   frag::FragmentStore store(MustParseTs(kPacketTs), "pkts");
   // Root holds holes for fillers 1 (expired below) and 2 (never arrived).
@@ -531,6 +551,62 @@ TEST(RetentionServerTest, NackForACompactedFillerResolvesAsExpired) {
   server.Stop();
 }
 
+// A trimmed frame log must not turn genuine upstream loss into a polite
+// "expired": only fillers whose logged frames retention actually retired
+// are answered EXPIRED; a filler that was never published stays silent so
+// the subscriber's repair budget still reports it lost.
+TEST(RetentionServerTest, NackForANeverPublishedFillerStaysLostNotExpired) {
+  stream::StreamServer source("pkts", MustParseTs(kPacketTs));
+  net::FragmentServerOptions sopts;
+  sopts.retention.max_frames = 6;
+  sopts.retention.check_every = 2;
+  net::FragmentServer server(&source, sopts);
+  ASSERT_TRUE(server.Start().ok());
+
+  // Filler 1's frames land early and get retired; filler 2's never land
+  // at all. Both leave dangling holes in the root, but only 1 may be
+  // answered EXPIRED.
+  ASSERT_TRUE(source.Publish(MakeRoot({1, 2})).ok());
+  for (int i = 0; i < 4; ++i) {
+    ASSERT_TRUE(source.Publish(MakePacket(1, 1000 + i * 10, i)).ok());
+  }
+  for (int i = 0; i < 12; ++i) {
+    ASSERT_TRUE(source.Publish(MakePacket(3, 5000 + i * 10, 100 + i)).ok());
+  }
+  ASSERT_TRUE(PollFor([&] { return server.log_base() >= 5; }, 10s));
+
+  net::FragmentSubscriberOptions opts;
+  opts.port = server.port();
+  opts.stream = "pkts";
+  opts.repair_retry_interval = 30ms;
+  opts.repair_retry_budget = 2;
+  net::FragmentSubscriber sub(opts);
+  ASSERT_TRUE(sub.Start().ok());
+  ASSERT_TRUE(sub.WaitForSeq(server.next_seq() - 1, 10s));
+
+  frag::FragmentStore store(MustParseTs(kPacketTs), "pkts");
+  ASSERT_TRUE(sub.DrainInto(&store).ok());
+  ASSERT_EQ(store.MissingFillers(), (std::vector<int64_t>{1, 2}));
+
+  ASSERT_TRUE(PollFor(
+      [&] {
+        auto sweep = sub.RepairMissing(store);
+        if (!sweep.ok()) return false;
+        (void)sub.DrainInto(&store);
+        return sweep.value().expired_total >= 1 &&
+               sweep.value().lost_total >= 1;
+      },
+      15s));
+  auto sweep = sub.RepairMissing(store);
+  ASSERT_TRUE(sweep.ok());
+  EXPECT_EQ(sweep.value().expired_total, 1);  // filler 1: retired frames
+  EXPECT_EQ(sweep.value().lost_total, 1);     // filler 2: real loss
+  EXPECT_EQ(sweep.value().repaired_total, 0);
+
+  sub.Stop();
+  server.Stop();
+}
+
 TEST(RetentionServerTest, TrimmedResultLogResumesViaExpiredResultRange) {
   constexpr const char* kIdQuery =
       "for $p in stream(\"pkts\")//packet return string($p/id)";
@@ -585,6 +661,119 @@ TEST(RetentionServerTest, TrimmedResultLogResumesViaExpiredResultRange) {
 
   one.Stop();
   two.Stop();
+  server.Stop();
+}
+
+// A query subscriber that never negotiated kHelloFlagRetention and resumes
+// below the trimmed result-log base must NOT be sent EXPIRED(kResultRange)
+// — it rejects frame type 13 as stream corruption, cuts the session, and
+// re-issues the same QUERY forever (a permanent reconnect loop). The
+// replay instead starts silently at the retained base.
+TEST(RetentionServerTest, UnnegotiatedQueryResumeGetsNoExpiredFrame) {
+  constexpr const char* kIdQuery =
+      "for $p in stream(\"pkts\")//packet return string($p/id)";
+  stream::StreamServer source("pkts", MustParseTs(kPacketTs));
+  net::QueryChannel channel("pkts", MustParseTs(kPacketTs));
+  ASSERT_TRUE(channel.Open().ok());
+  net::FragmentServerOptions sopts;
+  sopts.query_channel = &channel;
+  sopts.retention.max_results = 4;
+  sopts.retention.check_every = 2;
+  net::FragmentServer server(&source, sopts);
+  ASSERT_TRUE(server.Start().ok());
+
+  // A negotiated subscriber drives the query's result log past the
+  // retention window: result seqs 0..11, base trimmed above 0.
+  net::FragmentSubscriberOptions opts;
+  opts.port = server.port();
+  opts.stream = "pkts";
+  net::FragmentSubscriber one(opts);
+  auto tok1 = one.AddRemoteQuery(Spec(kIdQuery));
+  ASSERT_TRUE(tok1.ok());
+  ASSERT_TRUE(one.Start().ok());
+  ASSERT_TRUE(one.WaitQueryActive(tok1.value(), 10s));
+  ASSERT_TRUE(source.Publish(MakeRoot({})).ok());
+  for (int i = 0; i < 12; ++i) {
+    ASSERT_TRUE(source.Publish(MakePacket(1 + i, 1000 + i * 10, i)).ok());
+  }
+  ASSERT_TRUE(one.WaitForResultSeq(tok1.value(), 11, 10s));
+  ASSERT_TRUE(PollFor(
+      [&] { return server.metrics().result_log_trimmed > 0; }, 10s));
+
+  // A raw peer negotiates the query channel but not retention, and asks
+  // for the result stream from scratch (below the trimmed base).
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  ASSERT_GE(fd, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(server.port());
+  ASSERT_EQ(inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr), 1);
+  ASSERT_EQ(::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)),
+            0);
+  auto send_frame = [&](const net::Frame& f) {
+    auto bytes = net::EncodeFrame(f);
+    ASSERT_TRUE(bytes.ok());
+    size_t off = 0;
+    while (off < bytes.value().size()) {
+      ssize_t n = ::send(fd, bytes.value().data() + off,
+                         bytes.value().size() - off, MSG_NOSIGNAL);
+      ASSERT_GT(n, 0);
+      off += static_cast<size_t>(n);
+    }
+  };
+  net::Hello hello;
+  hello.stream_name = "pkts";
+  send_frame({net::FrameType::kHello, net::kHelloFlagQueryChannel, 0,
+              net::EncodeHello(hello)});
+  net::FrameReader reader;
+  char buf[4096];
+  bool acked = false, got_expired = false, got_bye = false;
+  uint64_t query_id = 0;
+  int64_t first_result_seq = -1, last_result_seq = -1;
+  const auto deadline = std::chrono::steady_clock::now() + 10s;
+  while (std::chrono::steady_clock::now() < deadline &&
+         last_result_seq < 11 && !got_bye) {
+    auto next = reader.Next();
+    ASSERT_TRUE(next.ok());
+    if (next.value().has_value()) {
+      const net::Frame& f = next.value().value();
+      if (f.type == net::FrameType::kHello && !acked) {
+        acked = true;
+        net::RemoteQuerySpec spec = Spec(kIdQuery);
+        spec.token = 7;
+        spec.last_result_seq = -1;
+        send_frame({net::FrameType::kQuery, 0, 0, net::EncodeQuery(spec)});
+      }
+      if (f.type == net::FrameType::kQueryStatus) {
+        auto status = net::DecodeQueryStatus(f.payload);
+        ASSERT_TRUE(status.ok());
+        ASSERT_EQ(status.value().code, net::kQueryStatusOk);
+        query_id = status.value().query_id;
+      }
+      if (f.type == net::FrameType::kResult) {
+        const int64_t seq = static_cast<int64_t>(f.seq);
+        if (first_result_seq < 0) first_result_seq = seq;
+        last_result_seq = seq;
+      }
+      if (f.type == net::FrameType::kExpired) got_expired = true;
+      if (f.type == net::FrameType::kBye) got_bye = true;
+      continue;
+    }
+    ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+    if (n <= 0) break;
+    reader.Feed(buf, static_cast<size_t>(n));
+  }
+  ::close(fd);
+  EXPECT_FALSE(got_expired);
+  EXPECT_FALSE(got_bye);
+  ASSERT_NE(query_id, 0u);
+  // The replay started exactly at the retained base — no frame below it,
+  // no EXPIRED marker, and the live tail followed with no session cut.
+  EXPECT_GT(channel.result_log_base(query_id), 0);
+  EXPECT_EQ(first_result_seq, channel.result_log_base(query_id));
+  EXPECT_EQ(last_result_seq, 11);
+
+  one.Stop();
   server.Stop();
 }
 
