@@ -29,6 +29,7 @@
 #include <thread>
 #include <vector>
 
+#include "common/io_env.h"
 #include "common/random.h"
 #include "frag/fragment_store.h"
 #include "net/chaos.h"
@@ -1285,6 +1286,157 @@ int RunRetentionSoak(int64_t publishes, int64_t rss_ceiling_mb) {
   return err.empty() ? 0 : 1;
 }
 
+// --fault-disk [cycles]: the degrade/re-arm timing soak for sanitizer CI
+// and BENCH_transport.json. A FaultyIoEnv under the WAL fails one fsync
+// per cycle (a disk hiccup), which degrades durability mid-stream; the
+// self-healing supervisor probes and re-arms into a fresh durable
+// generation. Per cycle the run times fault→re-armed (`rearm_ms`) and
+// re-arm→subscriber-reconverged (`reconverge_ms`), then asserts the full
+// contract: every cycle re-armed, the subscriber holds every published
+// seq, and no descriptor was ever fsync'd after a failed fsync. Prints
+// one parseable line and exits nonzero on violation.
+int RunDiskFaultSoak(int cycles) {
+  constexpr int kBatch = 64;
+  char tmpl[] = "/tmp/xcql_bench_fault_XXXXXX";
+  if (::mkdtemp(tmpl) == nullptr) {
+    std::printf("disk-fault-soak status=mkdtemp-failed\n");
+    return 1;
+  }
+  const std::string root = tmpl;
+  const std::string dir = root + "/wal";
+
+  xcql::FaultyIoEnv env(19);
+  xcql::IoEnv::Install(&env);
+  std::string err;
+  double rearm_ms_total = 0;
+  double reconverge_ms_total = 0;
+  int64_t published = 0;
+  xcql::net::MetricsSnapshot m;
+  {
+    xcql::net::WalRecovery rec;
+    auto wal = xcql::net::Wal::Open(dir, "pkts", kRetentionTs,
+                                    xcql::net::WalOptions{}, &rec);
+    if (!wal.ok()) err = "wal open failed";
+    xcql::stream::StreamServer source("pkts", ParseRetentionTs());
+    xcql::net::FragmentServerOptions server_opts;
+    server_opts.queue_capacity = 4096;
+    if (err.empty()) server_opts.wal = wal.value().get();
+    server_opts.durability.self_heal = true;
+    server_opts.durability.probe_initial = std::chrono::milliseconds(5);
+    server_opts.durability.probe_max = std::chrono::milliseconds(50);
+    xcql::net::FragmentServer server(&source, server_opts);
+    if (err.empty() && !server.Start().ok()) err = "server failed to start";
+
+    xcql::net::FragmentSubscriberOptions sub_opts;
+    sub_opts.port = server.port();
+    sub_opts.stream = "pkts";
+    sub_opts.backoff_initial = std::chrono::milliseconds(5);
+    sub_opts.backoff_max = std::chrono::milliseconds(50);
+    xcql::net::FragmentSubscriber sub(sub_opts);
+    if (err.empty() && (!sub.Start().ok() ||
+                        !sub.WaitConnected(std::chrono::seconds(10)))) {
+      err = "subscriber failed to connect";
+    }
+
+    auto publish_one = [&](int64_t t) {
+      xcql::frag::Fragment f;
+      f.id = 1 + published % 32;
+      f.tsid = 2;
+      f.valid_time = xcql::DateTime(1000 + t);
+      f.content = xcql::Node::Element("packet");
+      xcql::NodePtr pid = xcql::Node::Element("id");
+      pid->AddChild(xcql::Node::Text(std::to_string(published)));
+      f.content->AddChild(std::move(pid));
+      ++published;
+      return source.Publish(std::move(f));
+    };
+    if (err.empty()) {
+      xcql::frag::Fragment rootf;
+      rootf.id = 0;
+      rootf.tsid = 1;
+      rootf.valid_time = xcql::DateTime(999);
+      rootf.content = xcql::Node::Element("packets");
+      if (!source.Publish(std::move(rootf)).ok()) err = "root publish failed";
+    }
+    for (int k = 0; err.empty() && k < kBatch; ++k) {
+      if (!publish_one(published).ok()) err = "warmup publish failed";
+    }
+    if (err.empty() &&
+        !sub.WaitForSeq(server.next_seq() - 1, std::chrono::seconds(30))) {
+      err = "warmup never converged";
+    }
+
+    for (int cycle = 1; err.empty() && cycle <= cycles; ++cycle) {
+      xcql::FaultRule rule;
+      rule.path_prefix = dir + "/wal-";
+      rule.op = xcql::IoOp::kFsync;
+      rule.err = EIO;
+      env.AddRule(rule);
+      const auto t0 = std::chrono::steady_clock::now();
+      if (!publish_one(published).ok()) {
+        err = "faulted publish failed";
+        break;
+      }
+      const auto deadline = t0 + std::chrono::seconds(30);
+      while (server.metrics().durability_rearms < cycle &&
+             std::chrono::steady_clock::now() < deadline) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+      }
+      if (server.metrics().durability_rearms < cycle ||
+          server.wal_degraded()) {
+        err = "cycle " + std::to_string(cycle) + " never re-armed";
+        break;
+      }
+      const auto t1 = std::chrono::steady_clock::now();
+      for (int k = 0; k < kBatch; ++k) {
+        if (!publish_one(published).ok()) {
+          err = "post-rearm publish failed";
+          break;
+        }
+      }
+      if (!err.empty()) break;
+      if (!sub.WaitForSeq(server.next_seq() - 1,
+                          std::chrono::seconds(30))) {
+        err = "cycle " + std::to_string(cycle) + " never reconverged";
+        break;
+      }
+      const auto t2 = std::chrono::steady_clock::now();
+      rearm_ms_total +=
+          std::chrono::duration<double, std::milli>(t1 - t0).count();
+      reconverge_ms_total +=
+          std::chrono::duration<double, std::milli>(t2 - t1).count();
+    }
+
+    m = server.metrics();
+    if (err.empty() && m.durability_rearms != cycles) {
+      err = "re-arm count mismatch";
+    }
+    if (err.empty() && env.fsync_retry_violations() != 0) {
+      err = "fsyncgate violated: a failed fsync was retried";
+    }
+    const auto sm = sub.metrics();
+    sub.Stop();
+    server.Stop();
+    if (wal.ok()) (void)wal.value()->Close();
+    std::printf(
+        "disk-fault-soak cycles=%d published=%lld rearms=%lld "
+        "degraded_ms=%lld mean_rearm_ms=%.2f mean_reconverge_ms=%.2f "
+        "epoch_resets=%lld fsync_retry_violations=%lld status=%s\n",
+        cycles, static_cast<long long>(published),
+        static_cast<long long>(m.durability_rearms),
+        static_cast<long long>(m.degraded_ms_total),
+        cycles > 0 ? rearm_ms_total / cycles : 0.0,
+        cycles > 0 ? reconverge_ms_total / cycles : 0.0,
+        static_cast<long long>(sm.epoch_resets),
+        static_cast<long long>(env.fsync_retry_violations()),
+        err.empty() ? "ok" : err.c_str());
+  }
+  xcql::IoEnv::Install(nullptr);
+  std::error_code ec;
+  std::filesystem::remove_all(root, ec);
+  return err.empty() ? 0 : 1;
+}
+
 }  // namespace
 
 // scale_permille: XMark scale factor x1000 (0 = minimal document);
@@ -1359,6 +1511,11 @@ int main(int argc, char** argv) {
   for (int i = 1; i < argc; ++i) {
     if (std::string(argv[i]) == "--fan-out-soak") {
       return RunFanOutSoak(256);
+    }
+    if (std::string(argv[i]) == "--fault-disk") {
+      int cycles = 10;
+      if (i + 1 < argc) cycles = std::atoi(argv[i + 1]);
+      return RunDiskFaultSoak(cycles > 0 ? cycles : 10);
     }
     if (std::string(argv[i]) == "--soak-retention") {
       int64_t publishes = 1'000'000;

@@ -1,8 +1,14 @@
 #include "common/file_util.h"
 
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <sys/types.h>
+
 #include <cerrno>
 #include <cstdio>
 #include <cstring>
+
+#include "common/io_env.h"
 
 namespace xcql {
 
@@ -27,14 +33,27 @@ Result<std::string> ReadFileToString(const std::string& path) {
 }
 
 Status WriteStringToFile(const std::string& path, std::string_view content) {
-  std::FILE* f = std::fopen(path.c_str(), "wb");
-  if (f == nullptr) {
+  // Through the IoEnv seam, so disk-fault tests can inject failures at
+  // every write site the tree has, not just the WAL's.
+  IoEnv* io = IoEnv::Get();
+  int fd = io->Open(path.c_str(), O_CREAT | O_WRONLY | O_TRUNC, 0644);
+  if (fd < 0) {
     return Status::InvalidArgument("cannot create '" + path +
                                    "': " + std::strerror(errno));
   }
-  size_t written = std::fwrite(content.data(), 1, content.size(), f);
-  bool failed = written != content.size() || std::fclose(f) != 0;
-  if (failed) {
+  size_t off = 0;
+  while (off < content.size()) {
+    ssize_t n = io->Write(fd, content.data() + off, content.size() - off);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      Status st = Status::Internal("error writing '" + path +
+                                   "': " + std::strerror(errno));
+      (void)io->Close(fd);
+      return st;
+    }
+    off += static_cast<size_t>(n);
+  }
+  if (io->Close(fd) != 0) {
     return Status::Internal("error writing '" + path + "'");
   }
   return Status::OK();

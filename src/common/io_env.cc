@@ -1,0 +1,387 @@
+#include "common/io_env.h"
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cerrno>
+#include <cstring>
+
+namespace xcql {
+
+namespace {
+
+IoEnv* DefaultEnv() {
+  static IoEnv env;
+  return &env;
+}
+
+std::atomic<IoEnv*> g_env{nullptr};
+
+}  // namespace
+
+const char* IoOpName(IoOp op) {
+  switch (op) {
+    case IoOp::kOpen:
+      return "open";
+    case IoOp::kWrite:
+      return "write";
+    case IoOp::kFsync:
+      return "fsync";
+    case IoOp::kRename:
+      return "rename";
+    case IoOp::kTruncate:
+      return "truncate";
+    case IoOp::kUnlink:
+      return "unlink";
+    case IoOp::kMkdir:
+      return "mkdir";
+    case IoOp::kOpenDir:
+      return "opendir";
+    case IoOp::kStatvfs:
+      return "statvfs";
+  }
+  return "?";
+}
+
+int IoEnv::Open(const char* path, int flags, mode_t mode) {
+  return ::open(path, flags, mode);
+}
+
+ssize_t IoEnv::Write(int fd, const void* buf, size_t count) {
+  return ::write(fd, buf, count);
+}
+
+int IoEnv::Fsync(int fd) { return ::fsync(fd); }
+
+int IoEnv::Close(int fd) { return ::close(fd); }
+
+int IoEnv::Rename(const char* from, const char* to) {
+  return ::rename(from, to);
+}
+
+int IoEnv::Truncate(const char* path, off_t length) {
+  return ::truncate(path, length);
+}
+
+int IoEnv::Ftruncate(int fd, off_t length) {
+  return ::ftruncate(fd, length);
+}
+
+int IoEnv::Unlink(const char* path) { return ::unlink(path); }
+
+int IoEnv::Mkdir(const char* path, mode_t mode) {
+  return ::mkdir(path, mode);
+}
+
+DIR* IoEnv::OpenDir(const char* path) { return ::opendir(path); }
+
+int IoEnv::Statvfs(const char* path, struct statvfs* out) {
+  return ::statvfs(path, out);
+}
+
+IoEnv* IoEnv::Get() {
+  IoEnv* env = g_env.load(std::memory_order_acquire);
+  return env != nullptr ? env : DefaultEnv();
+}
+
+IoEnv* IoEnv::Install(IoEnv* env) {
+  return g_env.exchange(env, std::memory_order_acq_rel);
+}
+
+int64_t IoFreeBytes(const std::string& path) {
+  struct statvfs vfs;
+  if (IoEnv::Get()->Statvfs(path.c_str(), &vfs) != 0) return -1;
+  const uint64_t frsize = vfs.f_frsize != 0 ? vfs.f_frsize : vfs.f_bsize;
+  return static_cast<int64_t>(static_cast<uint64_t>(vfs.f_bavail) * frsize);
+}
+
+// ---------------------------------------------------------------------------
+// FaultyIoEnv
+
+FaultyIoEnv::FaultyIoEnv(uint64_t seed)
+    : rng_state_(seed != 0 ? seed : 0x9e3779b97f4a7c15ull) {}
+
+int FaultyIoEnv::AddRule(FaultRule rule) {
+  std::lock_guard<std::mutex> lock(mu_);
+  int id = next_rule_id_++;
+  RuleState state;
+  state.rule = std::move(rule);
+  rules_.emplace(id, std::move(state));
+  return id;
+}
+
+void FaultyIoEnv::RemoveRule(int rule_id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  rules_.erase(rule_id);
+}
+
+void FaultyIoEnv::ClearRules() {
+  std::lock_guard<std::mutex> lock(mu_);
+  rules_.clear();
+}
+
+int64_t FaultyIoEnv::hits(int rule_id) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = rules_.find(rule_id);
+  return it != rules_.end() ? it->second.fired : 0;
+}
+
+void FaultyIoEnv::SetFreeBytes(const std::string& path_prefix,
+                               int64_t bytes) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto it = free_overrides_.begin(); it != free_overrides_.end(); ++it) {
+    if (it->first == path_prefix) {
+      if (bytes < 0) {
+        free_overrides_.erase(it);
+      } else {
+        it->second = bytes;
+      }
+      return;
+    }
+  }
+  if (bytes >= 0) free_overrides_.emplace_back(path_prefix, bytes);
+}
+
+int64_t FaultyIoEnv::fsync_retry_violations() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return fsync_retry_violations_;
+}
+
+int64_t FaultyIoEnv::total_injected() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return total_injected_;
+}
+
+std::string FaultyIoEnv::PathOf(int fd) const {
+  auto it = fd_paths_.find(fd);
+  return it != fd_paths_.end() ? it->second : std::string();
+}
+
+FaultyIoEnv::Action FaultyIoEnv::Decide(IoOp op, const std::string& path,
+                                        int* err) {
+  // Caller holds mu_. First armed rule in id order whose scope matches
+  // decides; later rules never see the call (rules are few in practice).
+  for (auto& [id, state] : rules_) {
+    (void)id;
+    if (!state.armed) continue;
+    const FaultRule& rule = state.rule;
+    if (rule.op != op) continue;
+    if (!rule.path_prefix.empty() &&
+        path.compare(0, rule.path_prefix.size(), rule.path_prefix) != 0) {
+      continue;
+    }
+    ++state.matches;
+    bool fire = false;
+    switch (rule.mode) {
+      case FaultRule::Mode::kOneShot:
+        fire = true;
+        state.armed = false;
+        break;
+      case FaultRule::Mode::kAfterN:
+        fire = state.matches > rule.after_n;
+        break;
+      case FaultRule::Mode::kProbability: {
+        // xorshift64*: deterministic for a given seed and call order.
+        rng_state_ ^= rng_state_ >> 12;
+        rng_state_ ^= rng_state_ << 25;
+        rng_state_ ^= rng_state_ >> 27;
+        const uint64_t r = rng_state_ * 0x2545f4914f6cdd1dull;
+        fire = (static_cast<double>(r >> 11) / 9007199254740992.0) <
+               rule.probability;
+        break;
+      }
+    }
+    if (!fire) return Action::kPass;
+    ++state.fired;
+    ++total_injected_;
+    if (op == IoOp::kWrite && rule.short_write && !state.short_done) {
+      state.short_done = true;
+      return Action::kShortWrite;
+    }
+    *err = rule.err;
+    return Action::kFail;
+  }
+  return Action::kPass;
+}
+
+int FaultyIoEnv::Open(const char* path, int flags, mode_t mode) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    int err = 0;
+    if (Decide(IoOp::kOpen, path, &err) == Action::kFail) {
+      errno = err;
+      return -1;
+    }
+  }
+  int fd = IoEnv::Open(path, flags, mode);
+  if (fd >= 0) {
+    std::lock_guard<std::mutex> lock(mu_);
+    fd_paths_[fd] = path;
+    fsync_failed_.erase(fd);  // the kernel may reuse descriptor numbers
+  }
+  return fd;
+}
+
+ssize_t FaultyIoEnv::Write(int fd, const void* buf, size_t count) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    int err = 0;
+    switch (Decide(IoOp::kWrite, PathOf(fd), &err)) {
+      case Action::kPass:
+        break;
+      case Action::kFail:
+        errno = err;
+        return -1;
+      case Action::kShortWrite: {
+        size_t half = count / 2;
+        if (half == 0) half = count;  // cannot shorten a 1-byte write
+        return IoEnv::Write(fd, buf, half);
+      }
+    }
+  }
+  return IoEnv::Write(fd, buf, count);
+}
+
+int FaultyIoEnv::Fsync(int fd) {
+  int injected = 0;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    // fsyncgate bookkeeping first: retrying fsync on a descriptor whose
+    // earlier fsync failed is a bug regardless of what this call returns.
+    if (fsync_failed_.count(fd) != 0) ++fsync_retry_violations_;
+    int err = 0;
+    if (Decide(IoOp::kFsync, PathOf(fd), &err) == Action::kFail) {
+      injected = err;
+    }
+  }
+  int rc = 0;
+  if (injected != 0) {
+    errno = injected;
+    rc = -1;
+  } else {
+    rc = IoEnv::Fsync(fd);
+  }
+  if (rc != 0) {
+    std::lock_guard<std::mutex> lock(mu_);
+    fsync_failed_.insert(fd);
+  }
+  return rc;
+}
+
+int FaultyIoEnv::Close(int fd) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    fd_paths_.erase(fd);
+    fsync_failed_.erase(fd);
+  }
+  return IoEnv::Close(fd);
+}
+
+int FaultyIoEnv::Rename(const char* from, const char* to) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    int err = 0;
+    if (Decide(IoOp::kRename, from, &err) == Action::kFail) {
+      errno = err;
+      return -1;
+    }
+  }
+  return IoEnv::Rename(from, to);
+}
+
+int FaultyIoEnv::Truncate(const char* path, off_t length) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    int err = 0;
+    if (Decide(IoOp::kTruncate, path, &err) == Action::kFail) {
+      errno = err;
+      return -1;
+    }
+  }
+  return IoEnv::Truncate(path, length);
+}
+
+int FaultyIoEnv::Ftruncate(int fd, off_t length) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    int err = 0;
+    if (Decide(IoOp::kTruncate, PathOf(fd), &err) == Action::kFail) {
+      errno = err;
+      return -1;
+    }
+  }
+  return IoEnv::Ftruncate(fd, length);
+}
+
+int FaultyIoEnv::Unlink(const char* path) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    int err = 0;
+    if (Decide(IoOp::kUnlink, path, &err) == Action::kFail) {
+      errno = err;
+      return -1;
+    }
+  }
+  return IoEnv::Unlink(path);
+}
+
+int FaultyIoEnv::Mkdir(const char* path, mode_t mode) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    int err = 0;
+    if (Decide(IoOp::kMkdir, path, &err) == Action::kFail) {
+      errno = err;
+      return -1;
+    }
+  }
+  return IoEnv::Mkdir(path, mode);
+}
+
+DIR* FaultyIoEnv::OpenDir(const char* path) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    int err = 0;
+    if (Decide(IoOp::kOpenDir, path, &err) == Action::kFail) {
+      errno = err;
+      return nullptr;
+    }
+  }
+  return IoEnv::OpenDir(path);
+}
+
+int FaultyIoEnv::Statvfs(const char* path, struct statvfs* out) {
+  int64_t override_bytes = -1;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    int err = 0;
+    if (Decide(IoOp::kStatvfs, path, &err) == Action::kFail) {
+      errno = err;
+      return -1;
+    }
+    size_t best = 0;
+    for (const auto& [prefix, bytes] : free_overrides_) {
+      if (std::strncmp(path, prefix.c_str(), prefix.size()) == 0 &&
+          (override_bytes < 0 || prefix.size() >= best)) {
+        best = prefix.size();
+        override_bytes = bytes;
+      }
+    }
+  }
+  int rc = IoEnv::Statvfs(path, out);
+  if (override_bytes < 0) return rc;
+  if (rc != 0) {
+    std::memset(out, 0, sizeof(*out));
+    out->f_bsize = 4096;
+    out->f_frsize = 4096;
+  }
+  const uint64_t frsize = out->f_frsize != 0 ? out->f_frsize : out->f_bsize;
+  const uint64_t blocks =
+      static_cast<uint64_t>(override_bytes) / (frsize != 0 ? frsize : 4096);
+  out->f_bavail = blocks;
+  out->f_bfree = blocks;
+  return 0;
+}
+
+}  // namespace xcql

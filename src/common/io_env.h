@@ -1,0 +1,180 @@
+// IoEnv — the process-wide seam between the durability layer and the
+// filesystem. Every file operation the WAL, the checkpointer, the query
+// registry and the retention driver issue goes through IoEnv::Get(), which
+// defaults to the raw syscalls at zero abstraction cost (one atomic load,
+// direct virtual dispatch to thin wrappers). Tests install a FaultyIoEnv to
+// inject errno failures deterministically — ENOSPC, EIO, EDQUOT, short
+// writes, fsync failures, rename failures — scoped by path-prefix × op ×
+// mode (one-shot, after-N, probability), which is what makes the disk the
+// third chaos axis next to ChaosLink (network) and WalHooks (crashes).
+//
+// The seam is POSIX-shaped on purpose: each method returns exactly what
+// the syscall returns and reports failure through errno, so call sites
+// keep their existing error handling and the injected failures are
+// indistinguishable from real ones.
+//
+// FaultyIoEnv also keeps the bookkeeping that proves the fsyncgate rule:
+// once an fsync on a descriptor fails, calling fsync on that same
+// descriptor again is a correctness bug (the kernel may have dropped the
+// dirty pages and a later fsync can report success for data that never hit
+// the platter). Every Fsync on a descriptor with a previously failed
+// Fsync increments fsync_retry_violations(); tests assert it stays zero.
+#ifndef XCQL_COMMON_IO_ENV_H_
+#define XCQL_COMMON_IO_ENV_H_
+
+#include <dirent.h>
+#include <sys/statvfs.h>
+#include <sys/types.h>
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+namespace xcql {
+
+/// \brief The operations the seam covers (rule-matching key).
+enum class IoOp : uint8_t {
+  kOpen,      // open(2) — segments, checkpoints, manifest, registry, dirs
+  kWrite,     // write(2)
+  kFsync,     // fsync(2) — file and directory descriptors
+  kRename,    // rename(2) — checkpoint tmp → visible
+  kTruncate,  // truncate(2)/ftruncate(2) — torn-tail repair, un-write
+  kUnlink,    // unlink(2) — GC, tmp cleanup
+  kMkdir,     // mkdir(2) — data dir init
+  kOpenDir,   // opendir(3) — recovery directory scan
+  kStatvfs,   // statvfs(3) — disk-space watermarks
+};
+
+const char* IoOpName(IoOp op);
+
+/// \brief The default environment: direct syscalls. Subclass and override
+/// to interpose. All methods must stay thread-safe.
+class IoEnv {
+ public:
+  virtual ~IoEnv() = default;
+
+  virtual int Open(const char* path, int flags, mode_t mode);
+  virtual ssize_t Write(int fd, const void* buf, size_t count);
+  virtual int Fsync(int fd);
+  virtual int Close(int fd);
+  virtual int Rename(const char* from, const char* to);
+  virtual int Truncate(const char* path, off_t length);
+  virtual int Ftruncate(int fd, off_t length);
+  virtual int Unlink(const char* path);
+  virtual int Mkdir(const char* path, mode_t mode);
+  virtual DIR* OpenDir(const char* path);
+  virtual int Statvfs(const char* path, struct statvfs* out);
+
+  /// \brief The installed environment (never null; defaults to the raw
+  /// syscall implementation above).
+  static IoEnv* Get();
+
+  /// \brief Installs `env` process-wide (nullptr restores the default);
+  /// returns the previously installed environment (nullptr = default).
+  /// Not owned. Install before opening anything whose descriptors the
+  /// environment should track (i.e. before Wal::Open / QueryChannel::Open).
+  static IoEnv* Install(IoEnv* env);
+};
+
+/// \brief Free bytes available to unprivileged writers on the filesystem
+/// holding `path`, via the installed environment; -1 on error.
+int64_t IoFreeBytes(const std::string& path);
+
+/// \brief One injection rule: fail `op` on paths starting with
+/// `path_prefix` (empty = every path, including untracked descriptors)
+/// with errno `err`, according to `mode`.
+struct FaultRule {
+  enum class Mode : uint8_t {
+    kOneShot,      // fail the first matching call, then disarm
+    kAfterN,       // let `after_n` matching calls through, then fail every
+                   // one after (a disk going bad and staying bad)
+    kProbability,  // fail each matching call with `probability` (seeded)
+  };
+
+  std::string path_prefix;
+  IoOp op = IoOp::kWrite;
+  int err = 5;  // EIO; any errno value
+  Mode mode = Mode::kOneShot;
+  int64_t after_n = 0;
+  double probability = 1.0;
+  /// kWrite only: the first injection writes roughly half the requested
+  /// bytes for real and returns short; later injections fail with `err`.
+  /// Models a volume running out mid-record (torn write, then hard error).
+  bool short_write = false;
+};
+
+/// \brief Deterministic fault injection behind the IoEnv seam. Descriptors
+/// opened through this environment are tracked back to their paths, so
+/// fd-based ops (write/fsync/ftruncate) match path-prefix rules too.
+class FaultyIoEnv : public IoEnv {
+ public:
+  explicit FaultyIoEnv(uint64_t seed = 1);
+
+  int Open(const char* path, int flags, mode_t mode) override;
+  ssize_t Write(int fd, const void* buf, size_t count) override;
+  int Fsync(int fd) override;
+  int Close(int fd) override;
+  int Rename(const char* from, const char* to) override;
+  int Truncate(const char* path, off_t length) override;
+  int Ftruncate(int fd, off_t length) override;
+  int Unlink(const char* path) override;
+  int Mkdir(const char* path, mode_t mode) override;
+  DIR* OpenDir(const char* path) override;
+  int Statvfs(const char* path, struct statvfs* out) override;
+
+  /// \brief Arms a rule; returns its id (for hits()/RemoveRule()).
+  int AddRule(FaultRule rule);
+  void RemoveRule(int rule_id);
+  /// \brief Disarms every rule ("the disk healed"). Tracking state —
+  /// descriptor paths, fsync bookkeeping — is kept.
+  void ClearRules();
+
+  /// \brief Times rule `rule_id` injected a failure (0 for unknown ids).
+  int64_t hits(int rule_id) const;
+
+  /// \brief Overrides Statvfs free space for paths under `path_prefix`
+  /// (bytes < 0 removes the override). Block counts are synthesized from
+  /// the real statvfs when it succeeds, else from a 4 KiB block size.
+  void SetFreeBytes(const std::string& path_prefix, int64_t bytes);
+
+  /// \brief Fsync calls issued on a descriptor whose earlier fsync (real
+  /// or injected) already failed — the fsyncgate violation count. Must
+  /// stay 0; see the class comment.
+  int64_t fsync_retry_violations() const;
+
+  /// \brief Total failures injected across all rules.
+  int64_t total_injected() const;
+
+ private:
+  enum class Action : uint8_t { kPass, kFail, kShortWrite };
+
+  /// Decides what happens to one matching-candidate call. Updates rule
+  /// state. `path` may be empty (untracked descriptor).
+  Action Decide(IoOp op, const std::string& path, int* err);
+  std::string PathOf(int fd) const;  // "" if untracked; callers hold mu_
+
+  struct RuleState {
+    FaultRule rule;
+    int64_t matches = 0;  // calls that matched the scope
+    int64_t fired = 0;    // failures injected
+    bool armed = true;
+    bool short_done = false;
+  };
+
+  mutable std::mutex mu_;
+  std::unordered_map<int, RuleState> rules_;
+  int next_rule_id_ = 1;
+  uint64_t rng_state_;
+  std::unordered_map<int, std::string> fd_paths_;
+  std::unordered_set<int> fsync_failed_;  // fds with a failed fsync
+  int64_t fsync_retry_violations_ = 0;
+  int64_t total_injected_ = 0;
+  std::vector<std::pair<std::string, int64_t>> free_overrides_;
+};
+
+}  // namespace xcql
+
+#endif  // XCQL_COMMON_IO_ENV_H_

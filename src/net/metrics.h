@@ -68,11 +68,19 @@ struct MetricsSnapshot {
   int64_t expired_in = 0;          // EXPIRED frames applied (subscriber)
   int64_t fillers_expired = 0;     // NACKed fillers answered/resolved as
                                    // retention-expired, not lost
+  // --- durability self-healing (docs/DURABILITY.md) ---
+  int64_t durability_rearms = 0;   // degraded→durable re-arm cycles (server)
+  int64_t emergency_retention_runs = 0;  // retention passes forced by the
+                                         // soft disk-space watermark
   // Gauges (latest value, not monotone):
   int64_t retention_floor_seq = 0; // oldest retained frame-log seq
   int64_t fragment_store_bytes = 0;  // approx store footprint (server side:
                                      // the query channel's mirror store)
   int64_t frame_log_bytes = 0;       // encoded bytes held by the frame log
+  int64_t durability_degraded = 0;   // 1 while appends are volatile
+  int64_t degraded_ms_total = 0;     // cumulative wall time spent degraded
+  int64_t data_dir_free_bytes = 0;   // last statvfs reading of the data dir
+                                     // (-1 = never sampled / unavailable)
 };
 
 /// \brief The live counters. Relaxed atomics: each counter is independent
@@ -184,6 +192,21 @@ class Metrics {
   void AddFillerExpired() {
     fillers_expired_.fetch_add(1, std::memory_order_relaxed);
   }
+  void AddDurabilityRearm() {
+    durability_rearms_.fetch_add(1, std::memory_order_relaxed);
+  }
+  void AddEmergencyRetentionRun() {
+    emergency_retention_runs_.fetch_add(1, std::memory_order_relaxed);
+  }
+  void SetDurabilityDegraded(bool degraded) {
+    durability_degraded_.store(degraded ? 1 : 0, std::memory_order_relaxed);
+  }
+  void AddDegradedMs(int64_t ms) {
+    degraded_ms_total_.fetch_add(ms, std::memory_order_relaxed);
+  }
+  void SetDataDirFreeBytes(int64_t bytes) {
+    data_dir_free_bytes_.store(bytes, std::memory_order_relaxed);
+  }
   void SetRetentionFloorSeq(int64_t seq) {
     retention_floor_seq_.store(seq, std::memory_order_relaxed);
   }
@@ -267,6 +290,16 @@ class Metrics {
     s.expired_out = expired_out_.load(std::memory_order_relaxed);
     s.expired_in = expired_in_.load(std::memory_order_relaxed);
     s.fillers_expired = fillers_expired_.load(std::memory_order_relaxed);
+    s.durability_rearms =
+        durability_rearms_.load(std::memory_order_relaxed);
+    s.emergency_retention_runs =
+        emergency_retention_runs_.load(std::memory_order_relaxed);
+    s.durability_degraded =
+        durability_degraded_.load(std::memory_order_relaxed);
+    s.degraded_ms_total =
+        degraded_ms_total_.load(std::memory_order_relaxed);
+    s.data_dir_free_bytes =
+        data_dir_free_bytes_.load(std::memory_order_relaxed);
     s.retention_floor_seq =
         retention_floor_seq_.load(std::memory_order_relaxed);
     s.fragment_store_bytes =
@@ -302,6 +335,11 @@ class Metrics {
   std::atomic<int64_t> fragments_compacted_{0}, result_log_trimmed_{0};
   std::atomic<int64_t> expired_out_{0}, expired_in_{0};
   std::atomic<int64_t> fillers_expired_{0};
+  std::atomic<int64_t> durability_rearms_{0};
+  std::atomic<int64_t> emergency_retention_runs_{0};
+  std::atomic<int64_t> durability_degraded_{0};
+  std::atomic<int64_t> degraded_ms_total_{0};
+  std::atomic<int64_t> data_dir_free_bytes_{-1};
   std::atomic<int64_t> retention_floor_seq_{0};
   std::atomic<int64_t> fragment_store_bytes_{0}, frame_log_bytes_{0};
 };

@@ -11,6 +11,7 @@
 #include <utility>
 
 #include "common/file_util.h"
+#include "common/io_env.h"
 #include "common/string_util.h"
 #include "net/wal.h"
 #include "xcql/executor.h"
@@ -41,7 +42,7 @@ QueryChannel::QueryChannel(std::string stream_name, frag::TagStructure ts,
 }
 
 QueryChannel::~QueryChannel() {
-  if (registry_fd_ >= 0) ::close(registry_fd_);
+  if (registry_fd_ >= 0) IoEnv::Get()->Close(registry_fd_);
 }
 
 std::string QueryChannel::CanonicalKey(const RemoteQuerySpec& spec) {
@@ -149,14 +150,15 @@ Status QueryChannel::Open() {
                    "queryreg: truncating %zu torn byte(s) at the tail of "
                    "%s\n",
                    bytes.size() - valid, opts_.registry_path.c_str());
-      if (::truncate(opts_.registry_path.c_str(),
-                     static_cast<off_t>(valid)) != 0) {
+      if (IoEnv::Get()->Truncate(opts_.registry_path.c_str(),
+                                 static_cast<off_t>(valid)) != 0) {
         return ErrnoStatus("truncate", opts_.registry_path);
       }
     }
+    registry_bytes_ = static_cast<int64_t>(valid);
   }
-  registry_fd_ = ::open(opts_.registry_path.c_str(),
-                        O_CREAT | O_WRONLY | O_APPEND, 0644);
+  registry_fd_ = IoEnv::Get()->Open(opts_.registry_path.c_str(),
+                                    O_CREAT | O_WRONLY | O_APPEND, 0644);
   if (registry_fd_ < 0) return ErrnoStatus("open", opts_.registry_path);
   // Registrations made when the log was empty are live immediately; the
   // rest re-attach as the server's history feed reaches their position.
@@ -167,23 +169,69 @@ Status QueryChannel::Open() {
 Status QueryChannel::PersistLocked(FrameType type, const std::string& payload,
                                    uint64_t id) {
   if (registry_fd_ < 0) return Status::OK();
+  if (registry_broken_) {
+    return Status::Internal("query registry is broken (an earlier append "
+                            "failed and could not be repaired); restart to "
+                            "recover");
+  }
   Frame frame;
   frame.type = type;
   frame.seq = id;
   frame.payload = payload;
   XCQL_ASSIGN_OR_RETURN(std::string bytes, EncodeFrame(frame));
   WalHooks::At("queryreg:before_write");
+  IoEnv* io = IoEnv::Get();
+  Status st = Status::OK();
+  bool fsync_failed = false;
   size_t off = 0;
   while (off < bytes.size()) {
-    ssize_t n = ::write(registry_fd_, bytes.data() + off, bytes.size() - off);
-    if (n < 0) return ErrnoStatus("write", opts_.registry_path);
+    ssize_t n =
+        io->Write(registry_fd_, bytes.data() + off, bytes.size() - off);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      st = ErrnoStatus("write", opts_.registry_path);
+      break;
+    }
     off += static_cast<size_t>(n);
   }
-  if (::fsync(registry_fd_) != 0) {
-    return ErrnoStatus("fsync", opts_.registry_path);
+  if (st.ok()) {
+    if (io->Fsync(registry_fd_) != 0) {
+      st = ErrnoStatus("fsync", opts_.registry_path);
+      fsync_failed = true;
+    }
   }
-  WalHooks::At("queryreg:after_write");
-  return Status::OK();
+  if (st.ok()) {
+    registry_bytes_ += static_cast<int64_t>(bytes.size());
+    WalHooks::At("queryreg:after_write");
+    return Status::OK();
+  }
+  // Repair: cut the file back to the last record boundary so a later
+  // successful append cannot bury this torn record mid-file (Open()'s
+  // torn-tail truncation only heals the final record). After a FAILED
+  // FSYNC the descriptor may hold pages the kernel already dropped, so it
+  // is closed and never fsync'd again (fsyncgate); the truncate below goes
+  // through the path, and the registry continues on a fresh descriptor.
+  if (fsync_failed) {
+    io->Close(registry_fd_);
+    registry_fd_ = -1;
+  }
+  bool repaired =
+      io->Truncate(opts_.registry_path.c_str(),
+                   static_cast<off_t>(registry_bytes_)) == 0;
+  if (repaired && registry_fd_ < 0) {
+    registry_fd_ = io->Open(opts_.registry_path.c_str(),
+                            O_CREAT | O_WRONLY | O_APPEND, 0644);
+    repaired = registry_fd_ >= 0;
+  }
+  if (!repaired) {
+    registry_broken_ = true;
+    std::fprintf(stderr,
+                 "queryreg: append failed AND the partial record could not "
+                 "be truncated away; registry %s is now read-only until "
+                 "restart (%s)\n",
+                 opts_.registry_path.c_str(), st.message().c_str());
+  }
+  return st;
 }
 
 Result<uint64_t> QueryChannel::AdmitLocked(const RemoteQuerySpec& spec,

@@ -214,7 +214,14 @@ class QueryChannel {
   /// reached by the fragment feed.
   void ActivatePendingLocked();
   /// Appends one record (a QUERY or UNQUERY frame) to the registry file,
-  /// fsync'd, bracketed by the queryreg WalHooks crash points.
+  /// fsync'd, bracketed by the queryreg WalHooks crash points. On any
+  /// failure the partial record is truncated away (through a FRESH
+  /// descriptor when the fsync failed — never re-fsync a descriptor whose
+  /// fsync already failed) so the file ends on a record boundary and
+  /// later successful appends cannot bury a torn record mid-file. When
+  /// even that repair fails, the registry is marked broken and every
+  /// subsequent persist is refused: a QUERY that cannot be made durable
+  /// is rejected, never acked-durable-but-volatile.
   Status PersistLocked(FrameType type, const std::string& payload,
                        uint64_t id);
   void EmitDelta(uint64_t id, const xq::Sequence& added,
@@ -241,6 +248,12 @@ class QueryChannel {
   int64_t recovered_queries_ = 0;
   int64_t encode_failures_ = 0;
   int registry_fd_ = -1;
+  /// Registry bytes known durable (== file size at the last record
+  /// boundary); the truncation target when an append fails part-way.
+  int64_t registry_bytes_ = 0;
+  /// Set when a failed append could not be repaired: the on-disk registry
+  /// may end in a torn record, so no further record may be appended.
+  bool registry_broken_ = false;
 };
 
 }  // namespace xcql::net

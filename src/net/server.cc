@@ -1,10 +1,14 @@
 #include "net/server.h"
 
+#include <fcntl.h>
+
 #include <algorithm>
 #include <cstdio>
+#include <cstring>
 #include <unordered_set>
 #include <utility>
 
+#include "common/io_env.h"
 #include "net/query_channel.h"
 #include "net/wal.h"
 
@@ -106,6 +110,22 @@ Status FragmentServer::Start() {
   stopping_.store(false);
   loop_thread_ = std::thread([this] { LoopThread(); });
   source_->RegisterClient(this);
+  if (opts_.wal != nullptr) {
+    // Satellite of the degrade path: the interval flusher's background
+    // fsync failure reaches DegradeDurability the moment it happens, not
+    // at the next append. The callback runs on the flusher thread, which
+    // holds no server lock — DegradeDurability is safe there.
+    opts_.wal->SetFailureCallback(
+        [this](const Status& why) { DegradeDurability(why); });
+    if (opts_.durability.self_heal || opts_.durability.soft_free_bytes > 0 ||
+        opts_.durability.hard_free_bytes > 0) {
+      {
+        std::lock_guard<std::mutex> lock(durability_mu_);
+        durability_stop_ = false;
+      }
+      durability_thread_ = std::thread([this] { DurabilityLoop(); });
+    }
+  }
   started_ = true;
   return Status::OK();
 }
@@ -114,6 +134,17 @@ void FragmentServer::Stop() {
   if (!started_) return;
   started_ = false;
   source_->UnregisterClient(this);
+  if (opts_.wal != nullptr) {
+    // Blocks until any in-flight flusher failure callback returns, so no
+    // DegradeDurability can land on a server mid-teardown.
+    opts_.wal->SetFailureCallback(nullptr);
+  }
+  {
+    std::lock_guard<std::mutex> lock(durability_mu_);
+    durability_stop_ = true;
+  }
+  durability_cv_.notify_all();
+  if (durability_thread_.joinable()) durability_thread_.join();
   stopping_.store(true, std::memory_order_release);
   // Defensive: a publisher parked in a kBlock wait (there should be none —
   // Stop comes from the publisher thread) must not outlive the loop.
@@ -203,7 +234,10 @@ void FragmentServer::OnFragment(const std::string& /*stream_name*/,
           entry.plain != nullptr ? entry.plain : entry.compressed;
       if (rec != nullptr) {
         Status st = opts_.wal->Append(seq, *rec);
-        if (!st.ok()) DegradeDurability(st);
+        if (!st.ok()) {
+          metrics_.AddWalAppendFailure();
+          DegradeDurability(st);
+        }
       }
     }
     log_.push_back(std::move(entry));
@@ -240,43 +274,210 @@ void FragmentServer::OnFragment(const std::string& /*stream_name*/,
     loop_->Wake();
   }
   // Retention rides the publish cadence (same thread, after the fan-out
-  // and the channel tick, so every layer saw this fragment first).
-  if (opts_.retention.enabled() &&
-      ++publishes_since_retain_ >=
-          std::max<int64_t>(1, opts_.retention.check_every)) {
+  // and the channel tick, so every layer saw this fragment first). The
+  // soft disk-space watermark jumps the cadence: the supervisor raised
+  // the flag, but RunRetention is publisher-thread-only, so the pass
+  // happens here, at the first publish after the dip.
+  const bool emergency = emergency_retain_.exchange(
+      false, std::memory_order_acq_rel);
+  if (emergency) metrics_.AddEmergencyRetentionRun();
+  if (emergency ||
+      (opts_.retention.enabled() &&
+       ++publishes_since_retain_ >=
+           std::max<int64_t>(1, opts_.retention.check_every))) {
     publishes_since_retain_ = 0;
     RunRetention();
   }
 }
 
 void FragmentServer::DegradeDurability(const Status& why) {
-  metrics_.AddWalAppendFailure();
-  std::fprintf(stderr, "wal: append of seq %lld failed: %s\n",
-               static_cast<long long>(log_base_ +
-                                      static_cast<int64_t>(log_.size())),
+  std::fprintf(stderr, "wal: durability failure at seq %lld: %s\n",
+               static_cast<long long>(
+                   published_.load(std::memory_order_acquire)),
                why.message().c_str());
   if (wal_degraded_.exchange(true, std::memory_order_acq_rel)) return;
+  degraded_since_ms_.store(
+      std::chrono::duration_cast<std::chrono::milliseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count(),
+      std::memory_order_release);
+  metrics_.SetDurabilityDegraded(true);
   // Every frame from here on is undurable, and the WAL's sequence chain
   // is broken: a restart would recover a shorter history and then mint
   // the *same* seq numbers for different fragments. Any subscriber still
   // holding (durable epoch, last_seq) would mis-splice the two histories
-  // on resume. Durability cannot be restored mid-flight, but the epoch
-  // invariant can: retire the durable epoch for a fresh volatile one and
-  // cut every connection. Each subscriber re-handshakes, sees the epoch
-  // change, discards its resume state, and replays from the (complete)
-  // in-memory log — so no resume point minted after this moment can
-  // survive into the next incarnation.
+  // on resume. Durability cannot be restored on the broken handle, but
+  // the epoch invariant can: retire the durable epoch for a fresh
+  // volatile one and cut every connection. Each subscriber
+  // re-handshakes, sees the epoch change, discards its resume state, and
+  // replays from the (complete) in-memory log — so no resume point
+  // minted after this moment can survive into the next incarnation.
+  // With self-heal on, a later TryRearm mints the next *durable* epoch.
   const uint64_t retired = epoch_.load(std::memory_order_relaxed);
   epoch_.store(MintEpoch(), std::memory_order_release);
   std::fprintf(stderr,
-               "net: durability has ended for this process; epoch %llu "
-               "retired, subscribers restarted on a volatile epoch\n",
+               "net: durability degraded; epoch %llu retired, subscribers "
+               "restarted on a volatile epoch\n",
                static_cast<unsigned long long>(retired));
+  CutAllConnections();
+  // Wake the supervisor so the first probe fires at probe_initial, not
+  // at the tail of a full watermark interval.
+  durability_cv_.notify_all();
+}
+
+void FragmentServer::CutAllConnections() {
   {
     std::lock_guard<std::mutex> lock(conns_mu_);
     for (auto& conn : conns_) CloseConnection(conn.get());
   }
   loop_->Wake();
+}
+
+int64_t FragmentServer::time_in_degraded_ms() const {
+  int64_t total = metrics_.Snapshot().degraded_ms_total;
+  if (wal_degraded_.load(std::memory_order_acquire)) {
+    const int64_t now_ms =
+        std::chrono::duration_cast<std::chrono::milliseconds>(
+            std::chrono::steady_clock::now().time_since_epoch())
+            .count();
+    total += now_ms - degraded_since_ms_.load(std::memory_order_acquire);
+  }
+  return total;
+}
+
+Status FragmentServer::TryRearm() {
+  if (opts_.wal == nullptr) {
+    return Status::InvalidArgument("no WAL attached");
+  }
+  if (!wal_degraded_.load(std::memory_order_acquire)) {
+    return Status::OK();  // nothing to heal
+  }
+  {
+    // Publishing pauses for the duration of the rebuild: the snapshot,
+    // the new generation's checkpoint and the resumption of durable
+    // appends must see one consistent log. OnFragment blocks on log_mu_
+    // and then appends durably into the fresh generation.
+    std::lock_guard<std::mutex> log_lock(log_mu_);
+    std::vector<std::shared_ptr<const std::string>> records;
+    records.reserve(log_.size());
+    for (const LogEntry& e : log_) {
+      const std::shared_ptr<const std::string>& rec =
+          e.plain != nullptr ? e.plain : e.compressed;
+      if (rec == nullptr) {
+        return Status::Internal(
+            "rearm: a logged fragment has no encoded form");
+      }
+      records.push_back(rec);
+    }
+    XCQL_RETURN_NOT_OK(opts_.wal->Rearm(log_base_, records));
+    // Publish the new durable epoch and resume durable appends while the
+    // publisher is still blocked, so the first post-rearm fragment lands
+    // in the new generation with no volatile window.
+    epoch_.store(opts_.wal->epoch(), std::memory_order_release);
+    wal_degraded_.store(false, std::memory_order_release);
+  }
+  const int64_t now_ms =
+      std::chrono::duration_cast<std::chrono::milliseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count();
+  metrics_.AddDegradedMs(
+      now_ms - degraded_since_ms_.load(std::memory_order_acquire));
+  metrics_.SetDurabilityDegraded(false);
+  metrics_.AddDurabilityRearm();
+  std::fprintf(stderr,
+               "net: durability re-armed on epoch %llu (covering %lld "
+               "frames); subscribers restarted\n",
+               static_cast<unsigned long long>(
+                   epoch_.load(std::memory_order_acquire)),
+               static_cast<long long>(
+                   published_.load(std::memory_order_acquire)));
+  // One cut per cycle: every subscriber re-handshakes onto the durable
+  // epoch and replays from the retained log.
+  CutAllConnections();
+  return Status::OK();
+}
+
+bool FragmentServer::ProbeDisk(const std::string& dir) {
+  IoEnv* io = IoEnv::Get();
+  const std::string path = dir + "/.durability-probe";
+  // A fresh descriptor per probe: fsyncgate forbids re-fsyncing any fd
+  // whose fsync already failed, and the cheapest way to never do it is
+  // to never reuse one.
+  int fd = io->Open(path.c_str(), O_CREAT | O_WRONLY | O_TRUNC, 0644);
+  if (fd < 0) return false;
+  char block[4096];
+  std::memset(block, 0xa5, sizeof(block));
+  bool ok = true;
+  size_t off = 0;
+  while (off < sizeof(block)) {
+    ssize_t n = io->Write(fd, block + off, sizeof(block) - off);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      ok = false;
+      break;
+    }
+    off += static_cast<size_t>(n);
+  }
+  if (ok) ok = io->Fsync(fd) == 0;
+  io->Close(fd);
+  (void)io->Unlink(path.c_str());
+  return ok;
+}
+
+void FragmentServer::DurabilityLoop() {
+  const DurabilityOptions& d = opts_.durability;
+  std::chrono::milliseconds backoff = d.probe_initial;
+  for (;;) {
+    const bool degraded = wal_degraded_.load(std::memory_order_acquire);
+    std::chrono::milliseconds wait = d.watermark_interval;
+    if (degraded && d.self_heal) wait = std::min(wait, backoff);
+    {
+      std::unique_lock<std::mutex> lock(durability_mu_);
+      // A degrade mid-wait must cut the healthy-tick sleep short (its
+      // notify would otherwise read as spurious and the first probe
+      // would wait out the full watermark interval).
+      durability_cv_.wait_for(lock, wait, [this, degraded] {
+        return durability_stop_ ||
+               (!degraded &&
+                wal_degraded_.load(std::memory_order_acquire));
+      });
+      if (durability_stop_) return;
+    }
+    const std::string& dir = opts_.wal->dir();
+    // Watermarks: one statvfs per tick feeds the gauge; the hard mark
+    // degrades while appends still succeed (no torn tail on a disk that
+    // is about to fill), the soft mark schedules an emergency
+    // checkpoint-then-trim pass on the publisher thread.
+    int64_t free_bytes = -1;
+    if (d.soft_free_bytes > 0 || d.hard_free_bytes > 0) {
+      free_bytes = IoFreeBytes(dir);
+      metrics_.SetDataDirFreeBytes(free_bytes);
+      if (free_bytes >= 0) {
+        if (d.hard_free_bytes > 0 && free_bytes < d.hard_free_bytes &&
+            !wal_degraded_.load(std::memory_order_acquire)) {
+          DegradeDurability(Status::Internal(
+              "data dir free space below the hard watermark"));
+        } else if (d.soft_free_bytes > 0 &&
+                   free_bytes < d.soft_free_bytes) {
+          emergency_retain_.store(true, std::memory_order_release);
+        }
+      }
+    }
+    if (!d.self_heal || !wal_degraded_.load(std::memory_order_acquire)) {
+      backoff = d.probe_initial;
+      continue;
+    }
+    // A re-arm below the hard watermark would degrade again immediately;
+    // wait for space (emergency retention or an operator) instead.
+    const bool above_hard =
+        d.hard_free_bytes <= 0 ||
+        (free_bytes < 0 ? true : free_bytes >= d.hard_free_bytes);
+    if (above_hard && ProbeDisk(dir) && TryRearm().ok()) {
+      backoff = d.probe_initial;
+    } else {
+      backoff = std::min(backoff * 2, d.probe_max);
+    }
+  }
 }
 
 void FragmentServer::RunRetention() {

@@ -102,6 +102,36 @@ struct RetentionOptions {
   }
 };
 
+/// \brief Self-healing durability knobs (docs/DURABILITY.md, "Degraded
+/// mode and re-arm"). Active only with a WAL attached: a supervisor
+/// thread probes a degraded disk with exponential backoff and, once a
+/// probe write+fsync round-trips, re-arms — checkpoints the live
+/// in-memory frame log into a fresh WAL generation under a new durable
+/// epoch and cuts every subscriber exactly once so no resume point
+/// spans the volatile gap. Disk-space watermarks (statvfs on the WAL's
+/// data dir) act before the disk actually fails: below the soft mark
+/// the next publish runs an emergency retention pass; below the hard
+/// mark durability degrades preemptively, while appends would still
+/// succeed, so the stream never tears a half-written record on ENOSPC.
+struct DurabilityOptions {
+  /// Re-arm automatically after a degrade. Off = degraded is terminal
+  /// for the process (the pre-existing behavior).
+  bool self_heal = true;
+  /// Probe cadence while degraded: starts at probe_initial, doubles per
+  /// failed probe up to probe_max.
+  std::chrono::milliseconds probe_initial{100};
+  std::chrono::milliseconds probe_max{2000};
+  /// Soft watermark: data-dir free bytes below which the server forces a
+  /// retention pass (checkpoint-then-trim) at the next publish.
+  /// 0 = disabled.
+  int64_t soft_free_bytes = 0;
+  /// Hard watermark: free bytes below which durability degrades
+  /// preemptively — and below which a re-arm is refused. 0 = disabled.
+  int64_t hard_free_bytes = 0;
+  /// How often the supervisor samples statvfs while healthy.
+  std::chrono::milliseconds watermark_interval{1000};
+};
+
 struct FragmentServerOptions {
   uint16_t port = 0;  // 0 = pick an ephemeral port (see port())
   size_t queue_capacity = 1024;  // outbound data frames per connection
@@ -139,6 +169,8 @@ struct FragmentServerOptions {
   int max_queries_per_conn = 8;
   /// Retention windows; disabled by default (nothing is ever forgotten).
   RetentionOptions retention;
+  /// Self-healing durability; a no-op without a WAL.
+  DurabilityOptions durability;
 };
 
 /// \brief Per-connection counters, exposed so tests and tools can verify
@@ -183,11 +215,26 @@ class FragmentServer : public stream::StreamClient {
   /// DegradeDurability), never the durable one again.
   uint64_t epoch() const { return epoch_.load(std::memory_order_acquire); }
 
-  /// \brief True once a WAL append failed and the server retired the
-  /// durable epoch: frames published since then survive only in memory.
+  /// \brief True while the server runs without durability: a WAL append
+  /// or background fsync failed and the durable epoch was retired.
+  /// Frames published while degraded survive only in memory — until a
+  /// re-arm (DurabilityOptions::self_heal) makes them durable again.
   bool wal_degraded() const {
     return wal_degraded_.load(std::memory_order_acquire);
   }
+
+  /// \brief Cumulative wall time spent degraded, current stretch
+  /// included (the degraded_ms_total metric only accumulates on re-arm).
+  int64_t time_in_degraded_ms() const;
+
+  /// \brief One degraded→durable transition, callable directly by tests
+  /// and operators (the supervisor calls it after a successful probe):
+  /// snapshots the live frame log under log_mu_, rebuilds the WAL into a
+  /// fresh generation starting at the log's base (Wal::Rearm), publishes
+  /// the new durable epoch, resumes durable appends, and cuts every
+  /// subscriber once so each re-handshakes onto the new epoch. On
+  /// failure the WAL stays broken/degraded and the call may be retried.
+  Status TryRearm();
 
   /// \brief StreamClient hook: called by the source on the publisher
   /// thread for every multicast fragment. Encodes once, appends to the
@@ -398,10 +445,25 @@ class FragmentServer : public stream::StreamClient {
   /// \brief Marks the connection closing and shuts the socket down; the
   /// loop thread observes the dead socket and destroys the connection.
   void CloseConnection(Connection* conn);
-  /// \brief Called (with log_mu_ held) when a WAL append fails: retires
-  /// the durable epoch for a volatile one and cuts every connection, so
-  /// no subscriber keeps a resume point that a restart could mis-splice.
+  /// \brief Called when a WAL append fails (publisher thread, log_mu_
+  /// held), a background fsync fails (the WAL flusher's failure
+  /// callback) or the hard disk-space watermark trips (the durability
+  /// supervisor): retires the durable epoch for a volatile one and cuts
+  /// every connection, so no subscriber keeps a resume point that a
+  /// restart could mis-splice. Never touches log_ — callers may or may
+  /// not hold log_mu_. Concurrent calls collapse into one degrade.
   void DegradeDurability(const Status& why);
+  /// \brief Cuts every connection (each subscriber re-handshakes and
+  /// observes the current epoch) and wakes the loop.
+  void CutAllConnections();
+  /// \brief The durability supervisor body: samples the data-dir free
+  /// bytes on watermark_interval while healthy; while degraded, probes
+  /// the disk with exponential backoff and re-arms when it heals.
+  void DurabilityLoop();
+  /// \brief One probe round-trip on the WAL's data dir: create, write
+  /// 4KiB, fsync, close, unlink — through the IoEnv seam and always on a
+  /// FRESH descriptor (a probe must never re-fsync a failed one).
+  bool ProbeDisk(const std::string& dir);
 
   /// \brief Enqueues an EXPIRED(kFiller) answer for a NACK whose filler
   /// was compacted by retention — "aged out on purpose", so the
@@ -417,10 +479,24 @@ class FragmentServer : public stream::StreamClient {
   FragmentServerOptions opts_;
   std::string ts_xml_;
   uint64_t ts_hash_ = 0;
-  // Advertised in every HELLO ack; rewritten by DegradeDurability on the
-  // publisher thread while the loop thread serves handshakes, hence atomic.
+  // Advertised in every HELLO ack; rewritten by DegradeDurability (any
+  // thread) and TryRearm while the loop thread serves handshakes, hence
+  // atomic.
   std::atomic<uint64_t> epoch_{0};
   std::atomic<bool> wal_degraded_{false};
+  /// steady_clock ms at the moment of the last degrade (meaningful while
+  /// wal_degraded_); feeds degraded-time accounting on re-arm.
+  std::atomic<int64_t> degraded_since_ms_{0};
+  /// Set by the supervisor when free space dips below the soft
+  /// watermark; the next OnFragment consumes it and runs retention.
+  std::atomic<bool> emergency_retain_{false};
+  // The durability supervisor (started with the WAL in Start, joined
+  // first in Stop). durability_mu_ guards only the stop flag + cv; it is
+  // never held while taking any other lock.
+  std::thread durability_thread_;
+  std::mutex durability_mu_;
+  std::condition_variable durability_cv_;
+  bool durability_stop_ = false;
   uint16_t port_ = 0;
   bool started_ = false;
   EventBackend backend_ = EventBackend::kDefault;

@@ -13,12 +13,17 @@
 #include <random>
 
 #include "common/file_util.h"
+#include "common/io_env.h"
 #include "common/string_util.h"
 #include "frag/codec.h"
 
 namespace xcql::net {
 
 namespace {
+
+// Every syscall below routes through the process-wide IoEnv, so disk-fault
+// tests can inject errno failures at any site (docs/ROBUSTNESS.md).
+IoEnv* io() { return IoEnv::Get(); }
 
 constexpr const char* kManifestName = "MANIFEST";
 constexpr const char* kSegmentPrefix = "wal-";
@@ -73,7 +78,7 @@ Status ErrnoStatus(const std::string& what, const std::string& path) {
 }
 
 Result<std::vector<std::string>> ListDir(const std::string& dir) {
-  DIR* d = ::opendir(dir.c_str());
+  DIR* d = io()->OpenDir(dir.c_str());
   if (d == nullptr) return ErrnoStatus("opendir", dir);
   std::vector<std::string> names;
   while (struct dirent* e = ::readdir(d)) {
@@ -89,38 +94,67 @@ Result<std::vector<std::string>> ListDir(const std::string& dir) {
 // fsync on the directory itself, so a freshly created/renamed file's
 // directory entry survives a crash too.
 Status SyncDir(const std::string& dir) {
-  int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+  int fd = io()->Open(dir.c_str(), O_RDONLY | O_DIRECTORY, 0);
   if (fd < 0) return ErrnoStatus("open dir", dir);
-  int rc = ::fsync(fd);
-  ::close(fd);
+  int rc = io()->Fsync(fd);
+  io()->Close(fd);
   if (rc != 0) return ErrnoStatus("fsync dir", dir);
   return Status::OK();
 }
 
 Status SyncFd(int fd, const std::string& path) {
-  if (::fsync(fd) != 0) return ErrnoStatus("fsync", path);
+  if (io()->Fsync(fd) != 0) return ErrnoStatus("fsync", path);
   return Status::OK();
 }
 
 // Writes a whole file durably: tmp-less, for the manifest at init time
 // (nothing references the directory until Open returns).
 Status WriteFileSynced(const std::string& path, std::string_view data) {
-  int fd = ::open(path.c_str(), O_CREAT | O_WRONLY | O_TRUNC, 0644);
+  int fd = io()->Open(path.c_str(), O_CREAT | O_WRONLY | O_TRUNC, 0644);
   if (fd < 0) return ErrnoStatus("open", path);
   size_t off = 0;
   while (off < data.size()) {
-    ssize_t n = ::write(fd, data.data() + off, data.size() - off);
+    ssize_t n = io()->Write(fd, data.data() + off, data.size() - off);
     if (n < 0) {
       if (errno == EINTR) continue;
       Status st = ErrnoStatus("write", path);
-      ::close(fd);
+      io()->Close(fd);
       return st;
     }
     off += static_cast<size_t>(n);
   }
   Status st = SyncFd(fd, path);
-  ::close(fd);
+  io()->Close(fd);
   return st;
+}
+
+// Encodes the MANIFEST: the HELLO identity frame, plus — for a re-armed
+// generation whose records start past 0 — a kReplayFrom base marker. Base
+// 0 stays a single frame, byte-identical to what every pre-existing data
+// dir holds.
+Result<std::string> EncodeManifest(uint64_t epoch,
+                                   const std::string& stream_name,
+                                   const std::string& ts_xml,
+                                   int64_t base_seq) {
+  Hello manifest;
+  manifest.stream_name = stream_name;
+  manifest.ts_hash = TagStructureHash(ts_xml);
+  manifest.tag_structure_xml = ts_xml;
+  Frame frame;
+  frame.type = FrameType::kHello;
+  frame.seq = epoch;
+  frame.payload = EncodeHello(manifest);
+  XCQL_ASSIGN_OR_RETURN(std::string bytes,
+                        EncodeFrame(frame, kFrameVersionCrc));
+  if (base_seq > 0) {
+    Frame marker;
+    marker.type = FrameType::kReplayFrom;
+    marker.seq = static_cast<uint64_t>(base_seq);
+    XCQL_ASSIGN_OR_RETURN(std::string marker_bytes,
+                          EncodeFrame(marker, kFrameVersionCrc));
+    bytes += marker_bytes;
+  }
+  return bytes;
 }
 
 // ---------------------------------------------------------------------------
@@ -329,7 +363,7 @@ Result<std::unique_ptr<Wal>> Wal::Open(const std::string& dir,
                                        const WalOptions& options,
                                        WalRecovery* recovery) {
   if (dir.empty()) return Status::InvalidArgument("wal needs a directory");
-  if (::mkdir(dir.c_str(), 0755) != 0 && errno != EEXIST) {
+  if (io()->Mkdir(dir.c_str(), 0755) != 0 && errno != EEXIST) {
     return ErrnoStatus("mkdir", dir);
   }
   XCQL_ASSIGN_OR_RETURN(std::vector<std::string> names, ListDir(dir));
@@ -341,7 +375,7 @@ Result<std::unique_ptr<Wal>> Wal::Open(const std::string& dir,
   bool have_manifest = false;
   for (const std::string& name : names) {
     if (EndsWith(name, kTmpSuffix)) {
-      (void)::unlink((dir + "/" + name).c_str());
+      (void)io()->Unlink((dir + "/" + name).c_str());
       continue;
     }
     if (name == kManifestName) {
@@ -378,8 +412,19 @@ Result<std::unique_ptr<Wal>> Wal::Open(const std::string& dir,
     auto frame = reader.Next();
     bool ok = frame.ok() && frame.value().has_value() &&
               frame.value()->crc_ok &&
-              frame.value()->type == FrameType::kHello &&
-              reader.buffered() == 0;
+              frame.value()->type == FrameType::kHello;
+    // An optional second frame is the base marker a Rearm wrote: a
+    // kReplayFrom whose seq is the first record seq this generation
+    // holds. A single-frame manifest (every pre-Rearm dir) means base 0.
+    int64_t manifest_base = 0;
+    if (ok && reader.buffered() > 0) {
+      auto marker = reader.Next();
+      ok = marker.ok() && marker.value().has_value() &&
+           marker.value()->crc_ok &&
+           marker.value()->type == FrameType::kReplayFrom &&
+           reader.buffered() == 0;
+      if (ok) manifest_base = static_cast<int64_t>(marker.value()->seq);
+    }
     if (!ok) {
       // The manifest is written (and fsync'd) before the first segment is
       // created, so a damaged manifest alongside records is corruption; a
@@ -402,6 +447,7 @@ Result<std::unique_ptr<Wal>> Wal::Open(const std::string& dir,
       if (rec.epoch == 0) {
         return Status::Internal("wal poison: manifest carries epoch 0");
       }
+      rec.base_seq = manifest_base;
       rec.stream_name = hello.value().stream_name;
       rec.ts_xml = hello.value().tag_structure_xml;
       if (!stream_name.empty() && stream_name != rec.stream_name) {
@@ -431,22 +477,17 @@ Result<std::unique_ptr<Wal>> Wal::Open(const std::string& dir,
     rec.epoch = MintEpoch();
     rec.stream_name = stream_name;
     rec.ts_xml = ts_xml;
-    Hello manifest;
-    manifest.stream_name = stream_name;
-    manifest.ts_hash = TagStructureHash(ts_xml);
-    manifest.tag_structure_xml = ts_xml;
-    Frame frame;
-    frame.type = FrameType::kHello;
-    frame.seq = rec.epoch;
-    frame.payload = EncodeHello(manifest);
-    XCQL_ASSIGN_OR_RETURN(std::string bytes,
-                          EncodeFrame(frame, kFrameVersionCrc));
+    XCQL_ASSIGN_OR_RETURN(
+        std::string bytes,
+        EncodeManifest(rec.epoch, stream_name, ts_xml, /*base_seq=*/0));
     XCQL_RETURN_NOT_OK(WriteFileSynced(dir + "/" + kManifestName, bytes));
     XCQL_RETURN_NOT_OK(SyncDir(dir));
   }
 
   // --- Checkpoint: the compacted prefix. --------------------------------
-  int64_t expected = 0;  // next record seq the chain must produce
+  // A checkpoint named n covers records [base, n): the record count is
+  // n - base, and seqs run contiguously from the generation's base.
+  int64_t expected = rec.base_seq;  // next record seq the chain must produce
   if (!checkpoints.empty()) {
     int64_t n = checkpoints.back();
     std::string path = dir + "/" + CheckpointName(n);
@@ -455,22 +496,24 @@ Result<std::unique_ptr<Wal>> Wal::Open(const std::string& dir,
     // tmp file, so a torn checkpoint is corruption, never a crash artifact.
     XCQL_ASSIGN_OR_RETURN(ScannedFile scanned,
                           ScanRecordFile(path, bytes, /*allow_torn=*/false));
-    if (static_cast<int64_t>(scanned.records.size()) != n) {
+    if (static_cast<int64_t>(scanned.records.size()) != n - rec.base_seq) {
       return Status::Internal(StringPrintf(
-          "wal poison: %s holds %lld records, name promises %lld",
+          "wal poison: %s holds %lld records, name promises %lld "
+          "(generation base %lld)",
           path.c_str(), static_cast<long long>(scanned.records.size()),
-          static_cast<long long>(n)));
+          static_cast<long long>(n - rec.base_seq),
+          static_cast<long long>(rec.base_seq)));
     }
-    for (int64_t i = 0; i < n; ++i) {
-      if (scanned.records[static_cast<size_t>(i)].seq != i) {
+    for (int64_t i = rec.base_seq; i < n; ++i) {
+      const size_t at = static_cast<size_t>(i - rec.base_seq);
+      if (scanned.records[at].seq != i) {
         return Status::Internal(StringPrintf(
             "wal poison: %s record %lld carries seq %lld", path.c_str(),
-            static_cast<long long>(i),
-            static_cast<long long>(
-                scanned.records[static_cast<size_t>(i)].seq)));
+            static_cast<long long>(at),
+            static_cast<long long>(scanned.records[at].seq)));
       }
     }
-    rec.report.checkpoint_records = n;
+    rec.report.checkpoint_records = n - rec.base_seq;
     expected = n;
     rec.records = std::move(scanned.records);
   }
@@ -528,14 +571,14 @@ Result<std::unique_ptr<Wal>> Wal::Open(const std::string& dir,
     if (scanned.torn) {
       // Exactly one partial record at the very tail: truncate and warn.
       size_t dropped = scanned.total_bytes - scanned.good_bytes;
-      if (::truncate(path.c_str(), static_cast<off_t>(scanned.good_bytes)) !=
-          0) {
+      if (io()->Truncate(path.c_str(),
+                         static_cast<off_t>(scanned.good_bytes)) != 0) {
         return ErrnoStatus("truncate torn wal tail of", path);
       }
-      int fd = ::open(path.c_str(), O_WRONLY);
+      int fd = io()->Open(path.c_str(), O_WRONLY, 0);
       if (fd >= 0) {
-        (void)::fsync(fd);
-        ::close(fd);
+        (void)io()->Fsync(fd);
+        io()->Close(fd);
       }
       rec.report.torn_tail = true;
       rec.report.torn_bytes = dropped;
@@ -575,13 +618,17 @@ Result<std::unique_ptr<Wal>> Wal::Open(const std::string& dir,
 
   auto wal = std::unique_ptr<Wal>(new Wal(dir, options));
   wal->epoch_ = rec.epoch;
+  wal->stream_name_ = rec.stream_name;
+  wal->ts_xml_ = rec.ts_xml;
+  wal->base_ = rec.base_seq;
   wal->next_seq_ = expected;
-  wal->checkpointed_ = checkpoints.empty() ? 0 : checkpoints.back();
+  wal->checkpointed_ =
+      checkpoints.empty() ? rec.base_seq : checkpoints.back();
   wal->sealed_ = std::move(sealed);
   wal->last_sync_ = std::chrono::steady_clock::now();
 
   // Finish the interrupted GC (if any) before appending anything new.
-  for (const std::string& path : gc) (void)::unlink(path.c_str());
+  for (const std::string& path : gc) (void)io()->Unlink(path.c_str());
   if (!gc.empty()) XCQL_RETURN_NOT_OK(SyncDir(dir));
 
   if (!active_path.empty() && active_base <= expected) {
@@ -622,19 +669,35 @@ void Wal::FlusherLoop() {
     Status st = SyncLocked();
     if (!st.ok()) {
       // Same contract as a failed append-path sync: durability is gone
-      // and pretending otherwise would be worse.
+      // and pretending otherwise would be worse. Unlike an append-path
+      // failure there is no caller to tell, so fire the failure callback
+      // (outside mu_) — the server must degrade *now*, not at the next
+      // append, or subscribers keep collecting resume points that a
+      // restart would mis-splice.
       broken_ = true;
       std::fprintf(stderr, "wal: background sync failed: %s\n",
                    st.message().c_str());
-      break;
+      lock.unlock();
+      NotifyFailure(st);
+      return;
     }
   }
+}
+
+void Wal::NotifyFailure(const Status& why) {
+  std::lock_guard<std::mutex> lock(cb_mu_);
+  if (failure_cb_) failure_cb_(why);
+}
+
+void Wal::SetFailureCallback(std::function<void(const Status&)> cb) {
+  std::lock_guard<std::mutex> lock(cb_mu_);
+  failure_cb_ = std::move(cb);
 }
 
 Status Wal::OpenActiveSegment(int64_t base_seq, bool create) {
   active_path_ = dir_ + "/" + SegmentName(base_seq);
   int flags = O_WRONLY | O_APPEND | (create ? O_CREAT : 0);
-  fd_ = ::open(active_path_.c_str(), flags, 0644);
+  fd_ = io()->Open(active_path_.c_str(), flags, 0644);
   if (fd_ < 0) return ErrnoStatus("open segment", active_path_);
   active_base_ = base_seq;
   if (create) {
@@ -733,7 +796,7 @@ Status Wal::AppendLocked(int64_t seq, std::string_view frame_bytes) {
 Status Wal::WriteFully(std::string_view data) {
   size_t off = 0;
   while (off < data.size()) {
-    ssize_t n = ::write(fd_, data.data() + off, data.size() - off);
+    ssize_t n = io()->Write(fd_, data.data() + off, data.size() - off);
     if (n < 0) {
       if (errno == EINTR) continue;
       Status st = ErrnoStatus("write", active_path_);
@@ -741,7 +804,7 @@ Status Wal::WriteFully(std::string_view data) {
       // would read as poison at the next recovery. If even that fails the
       // wal is broken and refuses further appends — recovery's torn-tail
       // truncation will repair the file.
-      if (::ftruncate(fd_, static_cast<off_t>(active_bytes_)) != 0) {
+      if (io()->Ftruncate(fd_, static_cast<off_t>(active_bytes_)) != 0) {
         broken_ = true;
       }
       return st;
@@ -753,6 +816,14 @@ Status Wal::WriteFully(std::string_view data) {
 
 Status Wal::SyncLocked() {
   if (fd_ < 0) return Status::Internal("wal is closed");
+  // fsyncgate: once anything broke this handle, its descriptor may carry
+  // a failed fsync, and fsyncing it again could report success for pages
+  // the kernel already dropped. Data is only re-made durable by Rearm,
+  // which re-writes it through fresh descriptors.
+  if (broken_) {
+    return Status::Internal(
+        "wal is broken; refusing to fsync a possibly-poisoned descriptor");
+  }
   if (!dirty_) return Status::OK();
   XCQL_RETURN_NOT_OK(SyncFd(fd_, active_path_));
   dirty_ = false;
@@ -784,7 +855,7 @@ Status Wal::Sync() {
 
 Status Wal::RotateLocked() {
   XCQL_RETURN_NOT_OK(SyncLocked());
-  ::close(fd_);
+  io()->Close(fd_);
   fd_ = -1;
   sealed_.push_back(active_path_);
   WalHooks::At("rotate:sealed");
@@ -801,6 +872,10 @@ Status Wal::Checkpoint() {
 
 Status Wal::CheckpointLocked() {
   if (fd_ < 0) return Status::Internal("wal is closed");
+  if (broken_) {
+    return Status::Internal(
+        "wal is broken; checkpoints resume after a re-arm or restart");
+  }
   if (next_seq_ == checkpointed_ && sealed_.empty()) {
     return Status::OK();  // nothing newer than the checkpoint
   }
@@ -810,15 +885,15 @@ Status Wal::CheckpointLocked() {
   XCQL_RETURN_NOT_OK(SyncLocked());
   const int64_t n = next_seq_;
   const std::string tmp_path = dir_ + "/" + CheckpointName(n) + kTmpSuffix;
-  int tmp = ::open(tmp_path.c_str(), O_CREAT | O_WRONLY | O_TRUNC, 0644);
+  int tmp = io()->Open(tmp_path.c_str(), O_CREAT | O_WRONLY | O_TRUNC, 0644);
   if (tmp < 0) return ErrnoStatus("open", tmp_path);
-  // Seqs [0, copied) are already in the tmp file. Records run
+  // Seqs [base_, copied) are already in the tmp file. Records run
   // contiguously ascending within each source file, but a file can
   // overlap what a prior file contributed — recovery from a crash
   // between a checkpoint's rename and its GC keeps a straddling segment
   // whose prefix the checkpoint already holds — so each copy skips to
   // the first record past `copied` instead of byte-copying blindly.
-  int64_t copied = 0;
+  int64_t copied = base_;
   auto copy_into = [&](const std::string& path) -> Status {
     XCQL_ASSIGN_OR_RETURN(std::string bytes, ReadFileToString(path));
     size_t off = bytes.size();  // nothing new: copy nothing
@@ -833,7 +908,7 @@ Status Wal::CheckpointLocked() {
       if (seq + 1 > copied) copied = seq + 1;
     }
     while (off < bytes.size()) {
-      ssize_t w = ::write(tmp, bytes.data() + off, bytes.size() - off);
+      ssize_t w = io()->Write(tmp, bytes.data() + off, bytes.size() - off);
       if (w < 0) {
         if (errno == EINTR) continue;
         return ErrnoStatus("write", tmp_path);
@@ -843,8 +918,11 @@ Status Wal::CheckpointLocked() {
     return Status::OK();
   };
   Status st = Status::OK();
+  // checkpointed_ == base_ means no checkpoint file exists yet (a fresh
+  // generation covers nothing below its own base).
   const std::string old_ckpt =
-      checkpointed_ > 0 ? dir_ + "/" + CheckpointName(checkpointed_) : "";
+      checkpointed_ > base_ ? dir_ + "/" + CheckpointName(checkpointed_)
+                            : "";
   if (!old_ckpt.empty()) st = copy_into(old_ckpt);
   for (const std::string& path : sealed_) {
     if (!st.ok()) break;
@@ -859,28 +937,31 @@ Status Wal::CheckpointLocked() {
         static_cast<long long>(copied), static_cast<long long>(n)));
   }
   if (st.ok()) st = SyncFd(tmp, tmp_path);
-  ::close(tmp);
+  io()->Close(tmp);
   if (!st.ok()) {
-    (void)::unlink(tmp_path.c_str());
+    // Unlink the tmp on every failure path: a stale tmp is harmless to
+    // recovery (Open sweeps *.tmp) but wastes the very disk space a
+    // failing checkpoint suggests is scarce.
+    (void)io()->Unlink(tmp_path.c_str());
     return st;
   }
   WalHooks::At("checkpoint:tmp_written");
   const std::string ckpt_path = dir_ + "/" + CheckpointName(n);
-  if (::rename(tmp_path.c_str(), ckpt_path.c_str()) != 0) {
+  if (io()->Rename(tmp_path.c_str(), ckpt_path.c_str()) != 0) {
     Status err = ErrnoStatus("rename", tmp_path);
-    (void)::unlink(tmp_path.c_str());
+    (void)io()->Unlink(tmp_path.c_str());
     return err;
   }
   XCQL_RETURN_NOT_OK(SyncDir(dir_));
   WalHooks::At("checkpoint:after_rename");
   // GC: everything the checkpoint subsumes. The active segment is fully
   // covered too, so it is replaced with a fresh one based at n.
-  if (!old_ckpt.empty()) (void)::unlink(old_ckpt.c_str());
-  for (const std::string& path : sealed_) (void)::unlink(path.c_str());
+  if (!old_ckpt.empty()) (void)io()->Unlink(old_ckpt.c_str());
+  for (const std::string& path : sealed_) (void)io()->Unlink(path.c_str());
   sealed_.clear();
-  ::close(fd_);
+  io()->Close(fd_);
   fd_ = -1;
-  (void)::unlink(active_path_.c_str());
+  (void)io()->Unlink(active_path_.c_str());
   XCQL_RETURN_NOT_OK(OpenActiveSegment(n, /*create=*/true));
   WalHooks::At("checkpoint:after_gc");
   checkpointed_ = n;
@@ -898,6 +979,11 @@ int64_t Wal::checkpointed() const {
   return checkpointed_;
 }
 
+int64_t Wal::base_seq() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return base_;
+}
+
 Status Wal::Close() {
   std::thread flusher;
   {
@@ -909,10 +995,120 @@ Status Wal::Close() {
   if (flusher.joinable()) flusher.join();
   std::lock_guard<std::mutex> lock(mu_);
   if (fd_ < 0) return Status::OK();
-  Status st = SyncLocked();
-  ::close(fd_);
+  // A broken handle closes without syncing (fsyncgate — see SyncLocked);
+  // a healthy one flushes its tail.
+  Status st = broken_ ? Status::OK() : SyncLocked();
+  io()->Close(fd_);
   fd_ = -1;
   return st;
+}
+
+Status Wal::Rearm(
+    int64_t base_seq,
+    const std::vector<std::shared_ptr<const std::string>>& records) {
+  // Park the interval flusher first (it may have already exited after a
+  // background fsync failure): it must not observe the directory rebuild,
+  // and a healed wal needs a fresh one anyway.
+  std::thread flusher;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    flusher_stop_ = true;
+    flusher.swap(flusher_);
+  }
+  flush_cv_.notify_all();
+  if (flusher.joinable()) flusher.join();
+
+  std::lock_guard<std::mutex> lock(mu_);
+  flusher_stop_ = false;
+  // Until the rebuild completes, the handle counts as broken: any early
+  // return below leaves it refusing appends, and Rearm can be retried.
+  broken_ = true;
+  dirty_ = false;
+  // fsyncgate: the active descriptor's last fsync may have failed, so it
+  // is closed and never fsync'd again — every record that matters is
+  // re-written below through fresh descriptors.
+  if (fd_ >= 0) {
+    io()->Close(fd_);
+    fd_ = -1;
+  }
+  // Wipe the old generation: record files first, manifest last (by
+  // overwrite), so a crash mid-wipe can never leave records beside a
+  // missing or stale manifest. Records-without-manifest is poison;
+  // manifest-without-records re-initializes cleanly at the marked base.
+  XCQL_ASSIGN_OR_RETURN(std::vector<std::string> names, ListDir(dir_));
+  for (const std::string& name : names) {
+    const bool ours =
+        EndsWith(name, kTmpSuffix) ||
+        ParseNumberedName(name, kSegmentPrefix, kSegmentSuffix) >= 0 ||
+        ParseNumberedName(name, kCheckpointPrefix, kCheckpointSuffix) >= 0;
+    if (!ours) continue;  // foreign files (e.g. queries.reg) are not ours
+    const std::string path = dir_ + "/" + name;
+    if (io()->Unlink(path.c_str()) != 0) {
+      return ErrnoStatus("unlink", path);
+    }
+  }
+  XCQL_RETURN_NOT_OK(SyncDir(dir_));
+  sealed_.clear();
+  // New identity: a fresh epoch — subscribers must discard every resume
+  // point minted against the degraded incarnation — and the caller's
+  // frame-log base riding in the manifest as a kReplayFrom marker.
+  epoch_ = MintEpoch();
+  base_ = base_seq;
+  XCQL_ASSIGN_OR_RETURN(
+      std::string manifest,
+      EncodeManifest(epoch_, stream_name_, ts_xml_, base_seq));
+  XCQL_RETURN_NOT_OK(WriteFileSynced(dir_ + "/" + kManifestName, manifest));
+  XCQL_RETURN_NOT_OK(SyncDir(dir_));
+  // Checkpoint the live in-memory stream into the fresh generation: tmp +
+  // fsync + rename, like any checkpoint, through a fresh descriptor.
+  const int64_t n = base_seq + static_cast<int64_t>(records.size());
+  if (!records.empty()) {
+    const std::string ckpt_path = dir_ + "/" + CheckpointName(n);
+    const std::string tmp_path = ckpt_path + kTmpSuffix;
+    int tmp =
+        io()->Open(tmp_path.c_str(), O_CREAT | O_WRONLY | O_TRUNC, 0644);
+    if (tmp < 0) return ErrnoStatus("open", tmp_path);
+    Status st = Status::OK();
+    for (const auto& record : records) {
+      if (record == nullptr) {
+        st = Status::Internal("rearm: null frame in the record snapshot");
+        break;
+      }
+      size_t off = 0;
+      while (off < record->size()) {
+        ssize_t w =
+            io()->Write(tmp, record->data() + off, record->size() - off);
+        if (w < 0) {
+          if (errno == EINTR) continue;
+          st = ErrnoStatus("write", tmp_path);
+          break;
+        }
+        off += static_cast<size_t>(w);
+      }
+      if (!st.ok()) break;
+    }
+    if (st.ok()) st = SyncFd(tmp, tmp_path);
+    io()->Close(tmp);
+    if (!st.ok()) {
+      (void)io()->Unlink(tmp_path.c_str());
+      return st;
+    }
+    if (io()->Rename(tmp_path.c_str(), ckpt_path.c_str()) != 0) {
+      Status err = ErrnoStatus("rename", tmp_path);
+      (void)io()->Unlink(tmp_path.c_str());
+      return err;
+    }
+    XCQL_RETURN_NOT_OK(SyncDir(dir_));
+  }
+  next_seq_ = n;
+  checkpointed_ = n;  // == base_seq when records is empty
+  XCQL_RETURN_NOT_OK(OpenActiveSegment(n, /*create=*/true));
+  active_bytes_ = 0;
+  last_sync_ = std::chrono::steady_clock::now();
+  broken_ = false;
+  ++stats_.rearms;
+  if (opts_.fsync == FsyncPolicy::kInterval) StartFlusher();
+  return Status::OK();
 }
 
 Status RestoreStream(const WalRecovery& recovery,
@@ -927,6 +1123,13 @@ Status RestoreStream(const WalRecovery& recovery,
           CanonicalTsHash(recovery.ts_xml)) {
     return Status::InvalidArgument(
         "recovered stream's tag structure differs from the server's");
+  }
+  // A re-armed generation starts past seq 0: seed the history base so the
+  // server's next publish mints recovery.base_seq + records, not 0 —
+  // otherwise the WAL (whose next_seq_ is already past it) would silently
+  // skip every fresh append.
+  if (recovery.base_seq > 0) {
+    XCQL_RETURN_NOT_OK(server->SeedHistoryBase(recovery.base_seq));
   }
   for (const WalRecord& rec : recovery.records) {
     frag::WireCodec codec = (rec.flags & kFlagCompressedPayload)

@@ -8,14 +8,21 @@
 //   MANIFEST                      one XFRM v2 HELLO frame. seq = the
 //                                 stream epoch, payload = stream name +
 //                                 tag-structure hash + Tag Structure XML.
+//                                 A generation re-armed after degraded
+//                                 durability (see Rearm) appends a second
+//                                 frame, a kReplayFrom whose seq is the
+//                                 base: the first record seq this
+//                                 generation holds. Absent = base 0.
 //   wal-<seq20>.log               a segment: consecutive XFRM v2 FRAGMENT
 //                                 frames whose seqs start at <seq20>.
 //                                 Only the highest-numbered segment is
 //                                 appended to; lower ones are sealed.
-//   checkpoint-<n20>.ckpt         a snapshot of records [0, n): the same
-//                                 v2 FRAGMENT frames, compacted into one
-//                                 file so recovery is O(checkpoint + tail)
-//                                 instead of O(segments ever written).
+//   checkpoint-<n20>.ckpt         a snapshot of records [base, n): the
+//                                 same v2 FRAGMENT frames, compacted into
+//                                 one file so recovery is O(checkpoint +
+//                                 tail) instead of O(segments ever
+//                                 written). The name carries n, the seq
+//                                 the checkpoint covers through.
 //   *.tmp                         in-flight checkpoint; deleted at open.
 //
 // Records reuse the wire codec verbatim: a WAL record *is* the encoded v2
@@ -128,7 +135,10 @@ struct WalRecovery {
   uint64_t epoch = 0;
   std::string stream_name;
   std::string ts_xml;
-  std::vector<WalRecord> records;  // seqs 0..n-1, contiguous
+  /// First seq this generation holds (0 unless the directory was written
+  /// by Rearm after retention had trimmed the stream's prefix).
+  int64_t base_seq = 0;
+  std::vector<WalRecord> records;  // seqs base_seq..n-1, contiguous
   WalRecoveryReport report;
 };
 
@@ -142,6 +152,8 @@ struct WalStats {
   /// Auto-checkpoints that failed after their trigger append was already
   /// durable (surfaced on stderr, retried at the next append).
   int64_t checkpoint_failures = 0;
+  /// Times a broken handle was rebuilt into a fresh durable generation.
+  int64_t rearms = 0;
 };
 
 /// \brief Mints a nonzero stream epoch (random, pid- and clock-salted).
@@ -183,21 +195,49 @@ class Wal {
   Status Checkpoint();
 
   /// \brief Syncs and closes. Appends fail afterwards. Idempotent (the
-  /// destructor calls it).
+  /// destructor calls it). A broken handle closes without syncing: its
+  /// descriptor's last fsync may have failed, and fsyncing it again could
+  /// report success for pages the kernel already dropped (fsyncgate).
   Status Close();
+
+  /// \brief Rebuilds a broken (or healthy) handle into a fresh durable
+  /// generation, in place: closes the sick descriptor (never fsyncing it
+  /// again), wipes the old generation's files, mints a NEW epoch, writes
+  /// a manifest carrying `base_seq`, checkpoints `records` (the caller's
+  /// live in-memory frames for seqs base_seq..base_seq+n-1, re-written in
+  /// full through fresh descriptors), and re-opens an active segment at
+  /// the tail. On success broken() is false and appends resume at
+  /// base_seq + records.size(). On failure the handle stays broken and
+  /// Rearm may be retried. The caller must cut subscribers afterwards:
+  /// the epoch changed, so no old resume point may survive.
+  Status Rearm(int64_t base_seq,
+               const std::vector<std::shared_ptr<const std::string>>&
+                   records);
+
+  /// \brief Installs (or clears, with nullptr) a callback fired when a
+  /// *background* failure breaks the wal — today the interval flusher's
+  /// fsync; append-path failures surface synchronously to the caller
+  /// instead. Fired from the flusher thread with no wal lock held, and
+  /// serialized against SetFailureCallback itself: once a
+  /// SetFailureCallback(nullptr) returns, no callback is in flight.
+  void SetFailureCallback(std::function<void(const Status&)> cb);
 
   uint64_t epoch() const { return epoch_; }
   int64_t next_seq() const;
-  /// \brief Records covered by the newest durable checkpoint: [0, n). The
-  /// retention driver may only drop in-memory state for seqs below this —
-  /// anything not yet checkpointed must stay replayable from memory.
+  /// \brief Seq the newest durable checkpoint covers through: records
+  /// [base_seq(), n). The retention driver may only drop in-memory state
+  /// for seqs below this — anything not yet checkpointed must stay
+  /// replayable from memory.
   int64_t checkpointed() const;
+  /// \brief First seq this generation holds (0 for a never-re-armed dir).
+  int64_t base_seq() const;
   const std::string& dir() const { return dir_; }
   WalStats stats() const;
 
   /// \brief True once a write/sync error made further appends unsafe
   /// (they would be out of order with the record whose fate is unknown).
-  /// Broken is permanent for this handle; restart to recover.
+  /// Permanent for this handle until Rearm rebuilds it (or a restart
+  /// recovers the directory).
   bool broken() const;
 
  private:
@@ -205,6 +245,7 @@ class Wal {
 
   void StartFlusher();
   void FlusherLoop();
+  void NotifyFailure(const Status& why);
   Status AppendLocked(int64_t seq, std::string_view frame_bytes);
   Status RotateLocked();
   Status CheckpointLocked();
@@ -218,14 +259,18 @@ class Wal {
   const std::string dir_;
   const WalOptions opts_;
   uint64_t epoch_ = 0;
+  // Stream identity, kept so Rearm can rewrite the manifest.
+  std::string stream_name_;
+  std::string ts_xml_;
 
   mutable std::mutex mu_;
   int fd_ = -1;                  // active segment
   std::string active_path_;
   int64_t active_base_ = 0;      // seq of the active segment's first record
   size_t active_bytes_ = 0;      // bytes in the active segment
+  int64_t base_ = 0;             // first seq this generation holds
   int64_t next_seq_ = 0;
-  int64_t checkpointed_ = 0;     // records covered by the newest checkpoint
+  int64_t checkpointed_ = 0;     // seq the newest checkpoint covers through
   std::vector<std::string> sealed_;  // sealed segment paths, oldest first
   std::chrono::steady_clock::time_point last_sync_{};
   bool dirty_ = false;           // unsynced bytes in the active segment
@@ -240,6 +285,12 @@ class Wal {
   std::thread flusher_;
   std::condition_variable flush_cv_;
   bool flusher_stop_ = false;    // guarded by mu_
+
+  // Background-failure callback. Its own mutex (never held with mu_) so
+  // invocation serializes against SetFailureCallback without holding the
+  // wal lock across user code.
+  std::mutex cb_mu_;
+  std::function<void(const Status&)> failure_cb_;  // guarded by cb_mu_
 
   friend class WalTestPeer;
 };

@@ -90,6 +90,17 @@ Status StreamServer::RestoreHistory(frag::Fragment fragment) {
   return Status::OK();
 }
 
+Status StreamServer::SeedHistoryBase(int64_t base) {
+  if (base < 0) return Status::InvalidArgument("history base must be >= 0");
+  if (history_base_ != 0 || !history_.empty()) {
+    return Status::InvalidArgument(
+        "SeedHistoryBase needs a freshly constructed server (history must "
+        "be empty)");
+  }
+  history_base_ = base;
+  return Status::OK();
+}
+
 Status StreamServer::PublishDocument(const Node& doc,
                                      const frag::FragmenterOptions& options) {
   frag::Fragmenter fragmenter(&ts_, options);

@@ -124,6 +124,13 @@ class StreamServer {
   /// restored id, exactly as the original Publish did.
   Status RestoreHistory(frag::Fragment fragment);
 
+  /// \brief Starts the history numbering at `base` instead of 0, for a
+  /// server restored from a WAL generation whose records begin past the
+  /// stream's origin (a re-armed log, or a checkpoint that trimmed its
+  /// prefix before any surviving record). Only legal on a fresh server —
+  /// before any Publish or RestoreHistory.
+  Status SeedHistoryBase(int64_t base);
+
   /// \brief Next unused filler id (for publishing updates that fill holes
   /// created by earlier fragments).
   int64_t NextFillerId() { return next_filler_id_++; }

@@ -45,6 +45,7 @@
 #include <vector>
 
 #include "common/file_util.h"
+#include "common/io_env.h"
 #include "common/random.h"
 #include "common/string_util.h"
 #include "core/stream_manager.h"
@@ -95,6 +96,9 @@ struct ServeOptions {
   // fragment stores, trims the frame log (after a covering WAL
   // checkpoint), and bounds the result logs in lockstep.
   xcql::net::RetentionOptions retention;
+  // Self-healing durability (docs/DURABILITY.md): probe/re-arm after a
+  // disk fault, plus disk-space watermarks on the data dir.
+  xcql::net::DurabilityOptions durability;
 };
 
 int Usage(const char* argv0) {
@@ -115,7 +119,9 @@ int Usage(const char* argv0) {
       "          [--no-queries] [--max-queries N] [--max-queries-per-conn N]\n"
       "          [--retain-age-s N] [--retain-versions N]\n"
       "          [--retain-frames N] [--retain-results N]\n"
-      "          [--retain-interval N]\n",
+      "          [--retain-interval N]\n"
+      "          [--no-self-heal] [--probe-ms M] [--probe-max-ms M]\n"
+      "          [--disk-soft BYTES] [--disk-hard BYTES]\n",
       argv0);
   return 2;
 }
@@ -270,6 +276,24 @@ int main(int argc, char** argv) {
       const char* v = next();
       if (v == nullptr) return Usage(argv[0]);
       opt.retention.check_every = std::atoll(v);
+    } else if (arg == "--no-self-heal") {
+      opt.durability.self_heal = false;
+    } else if (arg == "--probe-ms") {
+      const char* v = next();
+      if (v == nullptr) return Usage(argv[0]);
+      opt.durability.probe_initial = std::chrono::milliseconds(std::atoi(v));
+    } else if (arg == "--probe-max-ms") {
+      const char* v = next();
+      if (v == nullptr) return Usage(argv[0]);
+      opt.durability.probe_max = std::chrono::milliseconds(std::atoi(v));
+    } else if (arg == "--disk-soft") {
+      const char* v = next();
+      if (v == nullptr) return Usage(argv[0]);
+      opt.durability.soft_free_bytes = std::atoll(v);
+    } else if (arg == "--disk-hard") {
+      const char* v = next();
+      if (v == nullptr) return Usage(argv[0]);
+      opt.durability.hard_free_bytes = std::atoll(v);
     } else if (arg == "--policy") {
       const char* v = next();
       if (v == nullptr) return Usage(argv[0]);
@@ -317,6 +341,10 @@ int main(int argc, char** argv) {
   xcql::stream::StreamServer server(opt.stream, std::move(ts).MoveValue());
   if (opt.compress) server.EnableWireCompression();
 
+  // Declared ahead of the monitor lambda so it can report the data dir's
+  // health; opened further down, before the network face starts.
+  std::unique_ptr<xcql::net::Wal> wal;
+
   // Server-side monitor: subscribe a local hub to our own server so every
   // published fragment mirrors into a FragmentStore, and run the --monitor
   // query continuously over it as updates go out. (Subscribing before any
@@ -346,8 +374,37 @@ int main(int argc, char** argv) {
     if (Fail(qid.status())) return 1;
     monitor_qid = qid.value();
   }
+  // The monitor feed also carries disk health: one line at startup and
+  // one whenever the durability state machine moves (degrade or re-arm),
+  // so a watcher sees epoch changes inline with query results. The
+  // network server is constructed further down; the pointer is planted
+  // right after it starts.
+  xcql::net::FragmentServer* monitor_durability_src = nullptr;
+  bool monitor_durability_printed = false;
+  bool monitor_last_degraded = false;
+  long long monitor_last_rearms = 0;
   auto monitor_tick = [&]() -> bool {
     if (monitor_engine == nullptr) return true;
+    if (monitor_durability_src != nullptr && wal != nullptr) {
+      const bool degraded = monitor_durability_src->wal_degraded();
+      const long long rearms = static_cast<long long>(
+          monitor_durability_src->metrics().durability_rearms);
+      if (!monitor_durability_printed || degraded != monitor_last_degraded ||
+          rearms != monitor_last_rearms) {
+        std::printf(
+            "[monitor] durability %s, %lldms degraded, %lld re-arm(s), "
+            "data dir free %lld bytes\n",
+            degraded ? "DEGRADED (volatile epoch)" : "durable",
+            static_cast<long long>(
+                monitor_durability_src->time_in_degraded_ms()),
+            rearms,
+            static_cast<long long>(xcql::IoFreeBytes(wal->dir())));
+        std::fflush(stdout);
+        monitor_durability_printed = true;
+        monitor_last_degraded = degraded;
+        monitor_last_rearms = rearms;
+      }
+    }
     const xcql::frag::FragmentStore* mstore = monitor_hub.store(opt.stream);
     if (mstore != nullptr && mstore->size() > 0) {
       monitor_clock.AdvanceTo(mstore->max_valid_time());
@@ -358,7 +415,6 @@ int main(int argc, char** argv) {
   // Durability: open (or initialize) the data dir before the network face
   // exists, and replant any recovered history so FragmentServer::Start()
   // seeds its frame log — same seqs, same epoch — from it.
-  std::unique_ptr<xcql::net::Wal> wal;
   bool recovered = false;
   if (!opt.data_dir.empty()) {
     xcql::net::WalRecovery recovery;
@@ -370,9 +426,12 @@ int main(int argc, char** argv) {
       std::fprintf(stderr, "xcql_serve: %s\n",
                    recovery.report.warning.c_str());
     }
-    if (!recovery.records.empty()) {
+    // Restore even with zero records: a re-armed generation's manifest
+    // carries a nonzero base, and the server's history numbering must
+    // start there or fresh publishes would collide with WAL seqs.
+    if (!recovery.records.empty() || recovery.base_seq > 0) {
       if (Fail(xcql::net::RestoreStream(recovery, &server))) return 1;
-      recovered = true;
+      recovered = !recovery.records.empty();
     }
     std::printf(
         "data dir %s: epoch %llu, recovered %lld records "
@@ -414,6 +473,16 @@ int main(int argc, char** argv) {
   net_opts.query_channel = channel.get();
   net_opts.max_queries_per_conn = opt.max_queries_per_conn;
   net_opts.retention = opt.retention;
+  net_opts.durability = opt.durability;
+  if (wal != nullptr &&
+      (opt.durability.soft_free_bytes > 0 ||
+       opt.durability.hard_free_bytes > 0)) {
+    std::printf(
+        "disk watermarks: soft %lld bytes (emergency retention), hard %lld "
+        "bytes (preemptive degrade)\n",
+        static_cast<long long>(opt.durability.soft_free_bytes),
+        static_cast<long long>(opt.durability.hard_free_bytes));
+  }
   if (opt.retention.enabled()) {
     std::printf(
         "retention: age %llds, versions %d, frames %lld, results %lld "
@@ -431,6 +500,7 @@ int main(int argc, char** argv) {
   net_opts.queue_capacity = opt.queue;
   xcql::net::FragmentServer net_server(&server, net_opts);
   if (Fail(net_server.Start())) return 1;
+  monitor_durability_src = &net_server;
 
   std::unique_ptr<xcql::net::ChaosLink> chaos;
   if (opt.any_fault) {
@@ -611,6 +681,10 @@ int main(int argc, char** argv) {
         static_cast<long long>(cs.truncated));
     chaos->Stop();
   }
+  // Durability state is read before Stop() joins the supervisor, so the
+  // numbers describe the serving window, not the teardown.
+  const bool ended_degraded = net_server.wal_degraded();
+  const long long degraded_ms = net_server.time_in_degraded_ms();
   net_server.Stop();
   if (wal != nullptr) {
     auto ws = wal->stats();
@@ -622,10 +696,17 @@ int main(int argc, char** argv) {
         static_cast<long long>(ws.checkpoints),
         static_cast<long long>(ws.append_failures),
         static_cast<long long>(ws.checkpoint_failures));
-    if (net_server.wal_degraded()) {
+    std::printf(
+        "durability: %s, %lld re-arm(s), %lldms degraded, data dir free "
+        "%lld bytes\n",
+        ended_degraded ? "DEGRADED (volatile epoch)" : "durable",
+        static_cast<long long>(m.durability_rearms), degraded_ms,
+        static_cast<long long>(
+            xcql::IoFreeBytes(wal->dir())));
+    if (ended_degraded) {
       std::fprintf(stderr,
-                   "wal: durability degraded this run (append failure); "
-                   "frames after the failure were not persisted\n");
+                   "wal: durability degraded at exit; frames published "
+                   "since the last failure were not persisted\n");
     }
     if (Fail(wal->Close())) return 1;
   }

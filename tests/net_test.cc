@@ -2087,6 +2087,10 @@ TEST_F(WalTransportTest, WalAppendFailureRetiresTheDurableEpoch) {
   stream::StreamServer source("pkts", MustParseTs(kPacketTs));
   FragmentServerOptions sopts;
   sopts.wal = wal.value().get();
+  // This test is about the degrade protocol itself; with self-healing on,
+  // the supervisor would re-arm the (healthy) disk before the assertions
+  // run. The re-arm path is covered by disk_fault_test.cc.
+  sopts.durability.self_heal = false;
   FragmentServer server(&source, sopts);
   ASSERT_TRUE(server.Start().ok());
   ASSERT_TRUE(source.Publish(MakeRoot({1, 2})).ok());
